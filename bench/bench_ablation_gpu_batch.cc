@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ablation: CUDA-Graph batch size sensitivity of the GPU backend.
+ *
+ * The paper sets the batch size by available GPU memory ("up to around
+ * hundreds of thousands of nodes"). This bench sweeps the batch budget on
+ * MNIST_S and shows the regimes: tiny batches degenerate toward cuFHE-like
+ * behavior (launch- and transfer-bound), large batches amortize everything
+ * and let batch construction hide behind execution.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace pytfhe;
+
+int main() {
+    const vip::BenchScale scale;
+    const core::Compiled c =
+        bench::CompileWorkload(vip::FindWorkload("MNIST_S", scale));
+    std::printf("MNIST_S: %llu gates\n\n",
+                static_cast<unsigned long long>(c.program.NumGates()));
+
+    std::printf("=== Ablation: GPU batch budget (RTX A5000 model) ===\n\n");
+    std::printf("%10s %10s %12s %12s %12s %14s\n", "batch", "batches",
+                "total (s)", "h2d (s)", "launch (s)", "build-hidden?");
+    bench::PrintRule(76);
+    backend::GpuConfig gpu = backend::A5000();
+    const double cufhe = backend::SimulateCuFhe(c.program, gpu, 0).seconds;
+    for (uint64_t batch :
+         {uint64_t{16}, uint64_t{256}, uint64_t{2048}, uint64_t{16384},
+          uint64_t{65536}, uint64_t{200000}, uint64_t{1000000}}) {
+        gpu.batch_gates = batch;
+        const auto r = backend::SimulatePyTfhe(c.program, gpu, 0);
+        const bool hidden =
+            r.seconds < r.kernel_seconds + r.h2d_seconds + r.d2h_seconds +
+                            r.launch_seconds + r.host_build_seconds;
+        std::printf("%10llu %10llu %12.2f %12.3f %12.4f %14s\n",
+                    static_cast<unsigned long long>(batch),
+                    static_cast<unsigned long long>(r.batches), r.seconds,
+                    r.h2d_seconds, r.launch_seconds, hidden ? "yes" : "no");
+    }
+    std::printf("\ncuFHE per-gate reference: %.2f s\n", cufhe);
+    return 0;
+}

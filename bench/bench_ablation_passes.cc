@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation: contribution of each synthesis rewrite to gate count.
+ *
+ * DESIGN.md calls out four rewrites in the Yosys-substitute pipeline:
+ * constant folding, structural-hash CSE, NOT absorption into the TFHE
+ * gate set, and DCE. This bench compiles MNIST_S from a rewrite-free
+ * frontend and toggles each pass, reporting gates and estimated runtime.
+ */
+#include <cstdio>
+
+#include "baseline/mnist_compiler.h"
+#include "bench_util.h"
+
+using namespace pytfhe;
+
+int main() {
+    // Build once with every builder rewrite off (raw frontend output).
+    baseline::Profile raw = baseline::PyTfheProfile();
+    raw.builder.fold_constants = false;
+    raw.builder.cse = false;
+    raw.builder.absorb_not = false;
+    baseline::MnistOptions opt;
+    opt.image = 12;
+    std::printf("building raw (unoptimized) MNIST_S frontend output...\n");
+    const circuit::Netlist netlist = baseline::CompileMnist(raw, opt);
+    std::printf("raw gates: %llu\n\n",
+                static_cast<unsigned long long>(netlist.NumGates()));
+
+    struct Config {
+        const char* name;
+        circuit::OptOptions opt;
+    };
+    // NOT absorption without CSE is count-neutral on shared gates
+    // (negating a multiply-consumed gate duplicates it), so it is shown
+    // both alone and on top of CSE.
+    const Config configs[] = {
+        {"none (DCE only)", {false, false, false, true}},
+        {"+ constant folding", {true, false, false, true}},
+        {"+ CSE", {false, true, false, true}},
+        {"+ NOT absorption", {false, false, true, true}},
+        {"CSE + NOT absorption", {false, true, true, true}},
+        {"fold + CSE", {true, true, false, true}},
+        {"all passes", {true, true, true, true}},
+    };
+
+    std::printf("=== Ablation: synthesis passes on MNIST_S(12x12) ===\n\n");
+    std::printf("%-22s %12s %12s %14s\n", "passes", "gates", "reduction",
+                "1-core est (s)");
+    bench::PrintRule(64);
+    const backend::CpuCostModel cpu;
+    uint64_t baseline_gates = 0;
+    for (const Config& c : configs) {
+        const auto result = circuit::Optimize(netlist, c.opt);
+        const uint64_t g = result.netlist.NumGates();
+        if (baseline_gates == 0) baseline_gates = g;
+        std::printf("%-22s %12llu %11.1f%% %14.1f\n", c.name,
+                    static_cast<unsigned long long>(g),
+                    100.0 * (1.0 - static_cast<double>(g) / baseline_gates),
+                    g * cpu.bootstrap_gate_seconds);
+    }
+    return 0;
+}

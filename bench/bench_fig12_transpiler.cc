@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fig. 12: Google Transpiler vs PyTFHE on MNIST_S, by component.
+ *
+ * The paper's experiment crosses frontends with backends:
+ *   GT+GC       Transpiler frontend, Transpiler code-gen backend (1 core)
+ *   GT+PyT CPU  Transpiler-compiled circuit on the PyTFHE 4-node cluster
+ *   GT+PyT GPU  Transpiler-compiled circuit on the PyTFHE GPU backend
+ *   PyT+PyT *   ChiselTorch-style frontend + PyTFHE backends
+ *
+ * Both frontends compile the same MNIST_S computation with the same
+ * weights (baseline::CompileMnist); runtimes come from the calibrated cost
+ * models. Reference points: GT+PyT CPU = 52x over GT+GC; GT+PyT GPU =
+ * 69x-89x; PyT+PyT up to 3369x (Fig. 12) / 28.4x-4070x (Table IV).
+ */
+#include <cstdio>
+
+#include "baseline/mnist_compiler.h"
+#include "bench_util.h"
+
+using namespace pytfhe;
+
+int main() {
+    baseline::MnistOptions opt;
+    opt.image = 16;  // Scaled MNIST (see EXPERIMENTS.md).
+
+    std::printf("compiling MNIST_S with both frontends (image %lldx%lld)...\n",
+                static_cast<long long>(opt.image),
+                static_cast<long long>(opt.image));
+    auto gt = core::Compile(
+        baseline::CompileMnist(baseline::TranspilerProfile(), opt),
+        core::CompileOptions{
+            // Transpiler's own pipeline: no further gate-level cleanup
+            // beyond what XLS did (modeled in the profile); only DCE.
+            circuit::OptOptions{false, false, false, true}});
+    auto pyt = core::Compile(
+        baseline::CompileMnist(baseline::PyTfheProfile(), opt));
+    if (!gt || !pyt) {
+        std::fprintf(stderr, "compile failed\n");
+        return 1;
+    }
+    std::printf("Transpiler frontend: %llu gates; ChiselTorch frontend: "
+                "%llu gates (%.1fx smaller)\n\n",
+                static_cast<unsigned long long>(gt->program.NumGates()),
+                static_cast<unsigned long long>(pyt->program.NumGates()),
+                static_cast<double>(gt->program.NumGates()) /
+                    pyt->program.NumGates());
+
+    backend::ClusterConfig four_nodes;
+    four_nodes.nodes = 4;
+    const backend::GpuConfig a5000 = backend::A5000();
+    const backend::GpuConfig rtx4090 = backend::Rtx4090();
+
+    const double gtgc = bench::SingleCoreSeconds(gt->program);
+
+    struct Row {
+        const char* name;
+        double seconds;
+    };
+    const Row rows[] = {
+        {"GT+GC (1 core, baseline)", gtgc},
+        {"GT+PyT CPU (4 nodes)",
+         backend::SimulateCluster(gt->program, four_nodes).seconds},
+        {"GT+PyT GPU (A5000)",
+         backend::SimulatePyTfhe(gt->program, a5000, 0).seconds},
+        {"GT+PyT GPU (4090)",
+         backend::SimulatePyTfhe(gt->program, rtx4090, 0).seconds},
+        {"PyT+PyT CPU (1 core)", bench::SingleCoreSeconds(pyt->program)},
+        {"PyT+PyT CPU (4 nodes)",
+         backend::SimulateCluster(pyt->program, four_nodes).seconds},
+        {"PyT+PyT GPU (A5000)",
+         backend::SimulatePyTfhe(pyt->program, a5000, 0).seconds},
+        {"PyT+PyT GPU (4090)",
+         backend::SimulatePyTfhe(pyt->program, rtx4090, 0).seconds},
+    };
+
+    std::printf("=== Fig. 12: Transpiler vs PyTFHE on MNIST_S ===\n");
+    std::printf("%-28s %14s %12s\n", "configuration", "time", "vs GT+GC");
+    bench::PrintRule(58);
+    for (const Row& r : rows) {
+        if (r.seconds > 3600)
+            std::printf("%-28s %11.2f hr %11.1fx\n", r.name,
+                        r.seconds / 3600, gtgc / r.seconds);
+        else
+            std::printf("%-28s %12.1f s %11.1fx\n", r.name, r.seconds,
+                        gtgc / r.seconds);
+    }
+    std::printf("\npaper: GT+GC took days; GT+PyT CPU 52x, GT+PyT GPU "
+                "69x-89x, PyT+PyT up to 3369x.\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fig. 13 + Table IV: PyTFHE vs E3, Cingulata, and Transpiler on MNIST_S.
+ *
+ * Following the paper's methodology (footnote 1), the competitors'
+ * runtimes are estimated as gate count / single-core TFHE-library
+ * throughput. PyTFHE rows are produced for: single core, 1 node, 4 nodes,
+ * A5000, and 4090 — reproducing the Table IV speedup matrix.
+ *
+ * Paper Table IV (speedup of PyTFHE over each framework):
+ *                  E3     Cingulata  Transpiler
+ *   single core    1.5    1.8        28.4
+ *   1 node         23.0   28.1       427.9
+ *   4 nodes        80.6   98.2       1497.4
+ *   A5000          108.7  132.4      2019.8
+ *   4090           218.9  266.9      4070.5
+ */
+#include <cstdio>
+
+#include "baseline/mnist_compiler.h"
+#include "bench_util.h"
+
+using namespace pytfhe;
+
+int main() {
+    baseline::MnistOptions opt;
+    opt.image = 16;
+
+    std::printf("compiling MNIST_S under all four frameworks...\n");
+    auto compile = [&](const baseline::Profile& p, bool optimize) {
+        const circuit::OptOptions o =
+            optimize ? circuit::OptOptions{}
+                     : circuit::OptOptions{false, false, false, true};
+        auto c = core::Compile(baseline::CompileMnist(p, opt),
+                               core::CompileOptions{o});
+        if (!c) std::abort();
+        return std::move(*c);
+    };
+    const auto pyt = compile(baseline::PyTfheProfile(), true);
+    const auto cingulata = compile(baseline::CingulataProfile(), false);
+    const auto e3 = compile(baseline::E3Profile(), false);
+    const auto transpiler = compile(baseline::TranspilerProfile(), false);
+
+    // Fig. 13: absolute runtimes. Competitors run single-core (their only
+    // backend); PyTFHE runs on every backend.
+    const double t_e3 = bench::SingleCoreSeconds(e3.program);
+    const double t_cin = bench::SingleCoreSeconds(cingulata.program);
+    const double t_gt = bench::SingleCoreSeconds(transpiler.program);
+
+    backend::ClusterConfig one, four;
+    four.nodes = 4;
+    const double p_core = bench::SingleCoreSeconds(pyt.program);
+    const double p_1n = backend::SimulateCluster(pyt.program, one).seconds;
+    const double p_4n = backend::SimulateCluster(pyt.program, four).seconds;
+    const double p_a5000 =
+        backend::SimulatePyTfhe(pyt.program, backend::A5000(), 0).seconds;
+    const double p_4090 =
+        backend::SimulatePyTfhe(pyt.program, backend::Rtx4090(), 0).seconds;
+
+    std::printf("\n=== Fig. 13: MNIST_S runtime by framework "
+                "(gate-count / throughput methodology) ===\n");
+    std::printf("%-26s %12s %14s\n", "framework / backend", "gates",
+                "runtime (s)");
+    bench::PrintRule(56);
+    auto row = [](const char* name, uint64_t gates, double seconds) {
+        std::printf("%-26s %12llu %14.1f\n", name,
+                    static_cast<unsigned long long>(gates), seconds);
+    };
+    row("Transpiler (1 core)", transpiler.program.NumGates(), t_gt);
+    row("E3 (1 core)", e3.program.NumGates(), t_e3);
+    row("Cingulata (1 core)", cingulata.program.NumGates(), t_cin);
+    row("PyTFHE (1 core)", pyt.program.NumGates(), p_core);
+    row("PyTFHE (1 node)", pyt.program.NumGates(), p_1n);
+    row("PyTFHE (4 nodes)", pyt.program.NumGates(), p_4n);
+    row("PyTFHE (A5000)", pyt.program.NumGates(), p_a5000);
+    row("PyTFHE (4090)", pyt.program.NumGates(), p_4090);
+
+    std::printf("\n=== Table IV: speedup of PyTFHE over each framework ===\n");
+    std::printf("%-22s %10s %12s %12s\n", "", "E3", "Cingulata",
+                "Transpiler");
+    bench::PrintRule(60);
+    auto srow = [&](const char* name, double pyt_seconds) {
+        std::printf("%-22s %9.1fx %11.1fx %11.1fx\n", name,
+                    t_e3 / pyt_seconds, t_cin / pyt_seconds,
+                    t_gt / pyt_seconds);
+    };
+    srow("PyTFHE Single Core", p_core);
+    srow("PyTFHE 1 Node", p_1n);
+    srow("PyTFHE 4 Nodes", p_4n);
+    srow("PyTFHE A5000 GPU", p_a5000);
+    srow("PyTFHE 4090 GPU", p_4090);
+    std::printf("\npaper values: 1.5/1.8/28.4; 23/28.1/427.9; "
+                "80.6/98.2/1497.4; 108.7/132.4/2019.8; 218.9/266.9/4070.5\n");
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Microbenchmarks of the TFHE substrate primitives (google-benchmark):
+ * negacyclic FFT, external product, key switching, encryption, and the
+ * compiler's gate-construction throughput. These are the building blocks
+ * behind every per-gate number used by the cost models.
+ */
+#include <benchmark/benchmark.h>
+
+#include "circuit/builder.h"
+#include "tfhe/bootstrap.h"
+#include "tfhe/fft.h"
+
+using namespace pytfhe;
+
+namespace {
+
+void BM_FftForward(benchmark::State& state) {
+    const int32_t n = static_cast<int32_t>(state.range(0));
+    const tfhe::NegacyclicFft& fft = tfhe::GetFftPlan(n);
+    tfhe::Rng rng(1);
+    tfhe::TorusPolynomial p(n);
+    for (auto& c : p.coefs) c = rng.UniformTorus32();
+    tfhe::FreqPolynomial f;
+    for (auto _ : state) {
+        fft.Forward(f, p);
+        benchmark::DoNotOptimize(f);
+    }
+}
+BENCHMARK(BM_FftForward)->Arg(128)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_NegacyclicMulFft(benchmark::State& state) {
+    const int32_t n = static_cast<int32_t>(state.range(0));
+    const tfhe::NegacyclicFft& fft = tfhe::GetFftPlan(n);
+    tfhe::Rng rng(2);
+    tfhe::IntPolynomial a(n);
+    tfhe::TorusPolynomial b(n), r(n);
+    for (auto& c : a.coefs)
+        c = static_cast<int32_t>(rng.UniformBelow(128)) - 64;
+    for (auto& c : b.coefs) c = rng.UniformTorus32();
+    for (auto _ : state) {
+        fft.Multiply(r, a, b);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_NegacyclicMulFft)
+    ->Arg(128)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NegacyclicMulNaive(benchmark::State& state) {
+    const int32_t n = static_cast<int32_t>(state.range(0));
+    tfhe::Rng rng(3);
+    tfhe::IntPolynomial a(n);
+    tfhe::TorusPolynomial b(n), r(n);
+    for (auto& c : a.coefs)
+        c = static_cast<int32_t>(rng.UniformBelow(128)) - 64;
+    for (auto& c : b.coefs) c = rng.UniformTorus32();
+    for (auto _ : state) {
+        tfhe::NaiveNegacyclicMul(r, a, b);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_NegacyclicMulNaive)
+    ->Arg(128)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+struct TgswFixture {
+    tfhe::Rng rng{4};
+    tfhe::Params params = tfhe::Tfhe128Params();
+    tfhe::TLweKey key{params.big_n, params.k, rng};
+    const tfhe::NegacyclicFft& fft = tfhe::GetFftPlan(params.big_n);
+    tfhe::TGswSampleFft c = tfhe::TGswToFft(
+        tfhe::TGswEncrypt(1, params.bk_l, params.bk_bg_bit,
+                          params.tlwe_noise_stddev, key, rng),
+        fft);
+    tfhe::TLweSample sample =
+        tfhe::TLweEncryptConst(1 << 29, params.tlwe_noise_stddev, key, rng);
+};
+
+void BM_ExternalProduct128(benchmark::State& state) {
+    static auto* f = new TgswFixture();
+    tfhe::TLweSample out;
+    for (auto _ : state) {
+        tfhe::TGswExternalProduct(out, f->c, f->sample, f->fft);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_ExternalProduct128)->Unit(benchmark::kMicrosecond);
+
+struct KsFixture {
+    tfhe::Rng rng{5};
+    tfhe::Params params = tfhe::Tfhe128Params();
+    tfhe::LweKey small{params.n, rng};
+    tfhe::TLweKey big{params.big_n, params.k, rng};
+    tfhe::KeySwitchKey ksk{big.ExtractLweKey(), small, params.ks_t,
+                           params.ks_base_bit, params.lwe_noise_stddev, rng};
+    tfhe::LweSample in = tfhe::LweEncrypt(1 << 29, params.lwe_noise_stddev,
+                                          big.ExtractLweKey(), rng);
+};
+
+void BM_KeySwitch128(benchmark::State& state) {
+    static auto* f = new KsFixture();
+    for (auto _ : state) benchmark::DoNotOptimize(f->ksk.Apply(f->in));
+}
+BENCHMARK(BM_KeySwitch128)->Unit(benchmark::kMicrosecond);
+
+void BM_LweEncrypt128(benchmark::State& state) {
+    tfhe::Rng rng(6);
+    const tfhe::Params p = tfhe::Tfhe128Params();
+    tfhe::LweKey key(p.n, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            tfhe::LweEncryptBit(true, p.lwe_noise_stddev, key, rng));
+}
+BENCHMARK(BM_LweEncrypt128)->Unit(benchmark::kMicrosecond);
+
+void BM_BuilderGateConstruction(benchmark::State& state) {
+    // Compiler-side throughput: hash-consed gate emission.
+    for (auto _ : state) {
+        circuit::SimplifyingBuilder b;
+        std::vector<circuit::NodeId> pool;
+        for (int i = 0; i < 8; ++i) pool.push_back(b.MakeInput());
+        uint64_t x = 12345;
+        for (int i = 0; i < 10000; ++i) {
+            x = x * 6364136223846793005ull + 1442695040888963407ull;
+            const auto t = static_cast<circuit::GateType>(1 + (x >> 33) % 10);
+            const auto a = pool[(x >> 3) % pool.size()];
+            const auto c = pool[(x >> 13) % pool.size()];
+            pool.push_back(b.MakeGate(t, a, c));
+        }
+        benchmark::DoNotOptimize(pool.back());
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_BuilderGateConstruction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

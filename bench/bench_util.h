@@ -1,0 +1,40 @@
+/** @file Shared helpers for the figure/table regeneration binaries. */
+#ifndef PYTFHE_BENCH_BENCH_UTIL_H
+#define PYTFHE_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+#include "backend/cluster_sim.h"
+#include "backend/gpu_sim.h"
+#include "core/compiler.h"
+#include "vip/registry.h"
+
+namespace pytfhe::bench {
+
+/** Compiles a workload, aborting on failure. */
+inline core::Compiled CompileWorkload(const vip::Workload& w) {
+    std::string error;
+    auto compiled = core::Compile(w.build(), {}, &error);
+    if (!compiled) {
+        std::fprintf(stderr, "compile of %s failed: %s\n", w.name.c_str(),
+                     error.c_str());
+        std::abort();
+    }
+    return std::move(*compiled);
+}
+
+/** Single-core runtime estimate (footnote-1 methodology). */
+inline double SingleCoreSeconds(const pasm::Program& p) {
+    return backend::SingleCoreSeconds(backend::ComputeGateMix(p),
+                                      backend::CpuCostModel{});
+}
+
+inline void PrintRule(int width = 96) {
+    for (int i = 0; i < width; ++i) std::putchar('-');
+    std::putchar('\n');
+}
+
+}  // namespace pytfhe::bench
+
+#endif  // PYTFHE_BENCH_BENCH_UTIL_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Self-attention under FHE: demonstrates that ChiselTorch's primitive
+ * tensor operations (matmul, transpose, softmax) compose into BERT-style
+ * layers, and characterizes the resulting TFHE program: gate mix, DAG
+ * shape, and simulated runtimes on every backend.
+ *
+ * Usage: attention_stats [seq_len] [hidden]   (default 4 x 16)
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "backend/cluster_sim.h"
+#include "backend/gpu_sim.h"
+#include "core/compiler.h"
+#include "nn/attention.h"
+
+using namespace pytfhe;
+
+int main(int argc, char** argv) {
+    const int64_t seq = argc > 1 ? std::atoll(argv[1]) : 4;
+    const int64_t hidden = argc > 2 ? std::atoll(argv[2]) : 16;
+
+    nn::SelfAttention attn(seq, hidden);
+    attn.InitRandom(11);
+    const hdl::DType t = hdl::DType::Float(5, 6);
+
+    std::printf("== self-attention [%lld x %lld] at %s ==\n",
+                static_cast<long long>(seq), static_cast<long long>(hidden),
+                t.ToString().c_str());
+    auto compiled = core::CompileModule(attn, t, {seq, hidden});
+    if (!compiled) {
+        std::fprintf(stderr, "compile failed\n");
+        return 1;
+    }
+    std::printf("%s", compiled->stats.ToString().c_str());
+
+    const auto schedule = backend::ComputeSchedule(compiled->program);
+    std::printf("DAG: %llu waves, max width %llu, avg width %.1f\n",
+                static_cast<unsigned long long>(schedule.NumLevels()),
+                static_cast<unsigned long long>(schedule.MaxWidth()),
+                schedule.AvgWidth());
+
+    backend::ClusterConfig one, four;
+    four.nodes = 4;
+    const double single = backend::SingleCoreSeconds(
+        backend::ComputeGateMix(compiled->program), one.cpu);
+    std::printf("\n%-24s %12s %10s\n", "backend", "time (s)", "speedup");
+    std::printf("%-24s %12.1f %10s\n", "single-core CPU", single, "1.0x");
+    const auto r1 = backend::SimulateCluster(compiled->program, one);
+    const auto r4 = backend::SimulateCluster(compiled->program, four);
+    std::printf("%-24s %12.1f %9.1fx\n", "distributed CPU (1 node)",
+                r1.seconds, r1.Speedup());
+    std::printf("%-24s %12.1f %9.1fx\n", "distributed CPU (4 nodes)",
+                r4.seconds, r4.Speedup());
+    for (const auto& gpu : {backend::A5000(), backend::Rtx4090()}) {
+        const auto rc = backend::SimulateCuFhe(compiled->program, gpu);
+        const auto rp = backend::SimulatePyTfhe(compiled->program, gpu);
+        std::printf("%-24s %12.1f %9.1fx\n",
+                    (gpu.name + " (cuFHE)").c_str(), rc.seconds,
+                    single / rc.seconds);
+        std::printf("%-24s %12.1f %9.1fx\n",
+                    (gpu.name + " (PyTFHE)").c_str(), rp.seconds,
+                    single / rp.seconds);
+    }
+    return 0;
+}

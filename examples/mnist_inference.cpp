@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Privacy-preserving MNIST inference — the paper's flagship application.
+ *
+ * Declares the MNIST_S model through the ChiselTorch-equivalent API,
+ * compiles it to a PyTFHE binary, verifies the binary functionally against
+ * the plaintext reference model, runs a scaled-down instance under real
+ * encryption (toy parameters), and reports what the full 28x28 inference
+ * would cost on each simulated execution platform.
+ *
+ * Usage: mnist_inference [image_side]   (default 10; 28 = full MNIST)
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "backend/cluster_sim.h"
+#include "backend/gpu_sim.h"
+#include "core/compiler.h"
+#include "core/runtime.h"
+#include "nn/models.h"
+
+using namespace pytfhe;
+
+namespace {
+
+std::vector<double> SyntheticDigit(int64_t side, const hdl::DType& t) {
+    // A crude "7": a horizontal bar and a diagonal stroke.
+    std::vector<double> img(side * side, 0.0);
+    for (int64_t x = 0; x < side; ++x) img[1 * side + x] = 1.0;
+    for (int64_t y = 1; y < side; ++y) {
+        const int64_t x = side - 1 - y * (side - 2) / side;
+        if (x >= 0) img[y * side + x] = 1.0;
+    }
+    for (auto& p : img) p = t.Quantize(p);
+    return img;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const int64_t side = argc > 1 ? std::atoll(argv[1]) : 10;
+    nn::MnistConfig cfg;
+    cfg.image = side;
+    cfg.seed = 7;
+    auto model = nn::MnistS(cfg);
+    const hdl::DType t = hdl::DType::Fixed(8, 8);
+
+    std::printf("== compiling MNIST_S for %lldx%lld at %s ==\n",
+                static_cast<long long>(side), static_cast<long long>(side),
+                t.ToString().c_str());
+    auto compiled = core::CompileModule(*model, t, nn::MnistInputShape(cfg));
+    if (!compiled) {
+        std::fprintf(stderr, "compile failed\n");
+        return 1;
+    }
+    std::printf("%s", compiled->stats.ToString().c_str());
+    std::printf("optimizer: %s\n", compiled->opt_stats.ToString().c_str());
+
+    // Functional verification: plaintext backend vs the reference model.
+    const std::vector<double> image = SyntheticDigit(side, t);
+    std::vector<bool> bits;
+    for (double v : image) {
+        const auto e = t.Encode(v);
+        bits.insert(bits.end(), e.begin(), e.end());
+    }
+    backend::PlainEvaluator plain;
+    const auto out_bits =
+        backend::RunProgram(compiled->program, plain, bits);
+    std::vector<double> logits;
+    for (size_t i = 0; i + t.TotalBits() <= out_bits.size();
+         i += t.TotalBits())
+        logits.push_back(t.Decode(std::vector<bool>(
+            out_bits.begin() + i, out_bits.begin() + i + t.TotalBits())));
+
+    nn::Shape shape = nn::MnistInputShape(cfg);
+    const auto ref = model->RefForward(image, shape, t);
+    const int got = static_cast<int>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+    const int want = static_cast<int>(
+        std::max_element(ref.begin(), ref.end()) - ref.begin());
+    std::printf("predicted class: %d (reference model: %d) %s\n", got, want,
+                got == want ? "[match]" : "[MISMATCH]");
+
+    // What would this cost on the paper's platforms?
+    std::printf("\n== simulated execution platforms ==\n");
+    backend::ClusterConfig one_node, four_nodes;
+    four_nodes.nodes = 4;
+    const auto single =
+        backend::SingleCoreSeconds(backend::ComputeGateMix(compiled->program),
+                                   one_node.cpu);
+    const auto r1 = backend::SimulateCluster(compiled->program, one_node);
+    const auto r4 = backend::SimulateCluster(compiled->program, four_nodes);
+    std::printf("single core CPU:        %10.1f s\n", single);
+    std::printf("1 node  (18 workers):   %10.1f s  (%.1fx)\n", r1.seconds,
+                r1.Speedup());
+    std::printf("4 nodes (72 workers):   %10.1f s  (%.1fx)\n", r4.seconds,
+                r4.Speedup());
+    for (const auto& gpu : {backend::A5000(), backend::Rtx4090()}) {
+        const auto rg = backend::SimulatePyTfhe(compiled->program, gpu);
+        const auto rc = backend::SimulateCuFhe(compiled->program, gpu);
+        std::printf("%-12s PyTFHE:    %10.1f s  (%.1fx CPU, %.1fx cuFHE)\n",
+                    gpu.name.c_str(), rg.seconds, single / rg.seconds,
+                    rc.seconds / rg.seconds);
+    }
+
+    // Real encrypted inference on a tiny instance (toy parameters).
+    std::printf("\n== encrypted run (toy parameters, 6x6 image) ==\n");
+    nn::MnistConfig tiny;
+    tiny.image = 6;
+    tiny.seed = 7;
+    auto tiny_model = nn::MnistS(tiny);
+    const hdl::DType tt = hdl::DType::Fixed(5, 3);
+    auto tiny_compiled =
+        core::CompileModule(*tiny_model, tt, nn::MnistInputShape(tiny));
+    if (!tiny_compiled) {
+        std::fprintf(stderr, "tiny compile failed\n");
+        return 1;
+    }
+    core::Client client(tfhe::ToyParams(), 3);
+    auto server = client.MakeServer();
+    const auto tiny_img = SyntheticDigit(6, tt);
+    const auto enc = client.EncryptValues(tt, tiny_img);
+    const auto enc_out = server->Run(tiny_compiled->program, enc, 2);
+    const auto tiny_logits = client.DecryptValues(tt, enc_out);
+    const int enc_class = static_cast<int>(
+        std::max_element(tiny_logits.begin(), tiny_logits.end()) -
+        tiny_logits.begin());
+    std::printf("encrypted inference: %llu gates -> class %d\n",
+                static_cast<unsigned long long>(
+                    tiny_compiled->stats.num_gates),
+                enc_class);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Quickstart: homomorphic 8-bit addition, end to end.
+ *
+ * Builds an adder circuit with the hdl library, compiles it to a PyTFHE
+ * binary, generates keys, encrypts two numbers on the "client", executes
+ * the binary over ciphertexts on the "server", and decrypts the sum.
+ *
+ * Runs with toy (INSECURE, fast) parameters by default; pass --secure to
+ * use the paper's 128-bit parameter set (key generation takes a while).
+ */
+#include <cstdio>
+#include <cstring>
+
+#include "core/compiler.h"
+#include "core/runtime.h"
+#include "hdl/word_ops.h"
+
+using namespace pytfhe;
+
+int main(int argc, char** argv) {
+    const bool secure = argc > 1 && std::strcmp(argv[1], "--secure") == 0;
+    const tfhe::Params params =
+        secure ? tfhe::Tfhe128Params() : tfhe::ToyParams();
+    std::printf("parameter set: %s\n", params.name.c_str());
+
+    // 1. Describe the computation as a circuit.
+    hdl::Builder builder;
+    const hdl::Bits x = hdl::InputBits(builder, 8, "x");
+    const hdl::Bits y = hdl::InputBits(builder, 8, "y");
+    hdl::OutputBits(builder, hdl::Add(builder, x, y), "sum");
+
+    // 2. Compile: optimize and assemble the PyTFHE binary.
+    auto compiled = core::Compile(builder.netlist());
+    if (!compiled) {
+        std::fprintf(stderr, "compilation failed\n");
+        return 1;
+    }
+    std::printf("compiled: %llu gates, depth %llu, binary %zu bytes\n",
+                static_cast<unsigned long long>(compiled->stats.num_gates),
+                static_cast<unsigned long long>(compiled->stats.depth),
+                compiled->program.ByteSize());
+
+    // 3. Client: keys + encryption.
+    core::Client client(params, /*seed=*/42);
+    auto server = client.MakeServer();  // Ships only public key material.
+
+    const hdl::DType u8 = hdl::DType::UInt(8);
+    const double a = 37, b = 105;
+    core::Ciphertexts inputs = client.EncryptValue(u8, a);
+    core::Ciphertexts more = client.EncryptValue(u8, b);
+    inputs.insert(inputs.end(), more.begin(), more.end());
+
+    // 4. Server: homomorphic evaluation — sees only ciphertexts.
+    const core::Ciphertexts result = server->Run(compiled->program, inputs);
+
+    // 5. Client: decryption.
+    const double sum = client.DecryptValue(u8, result);
+    std::printf("%g + %g = %g (homomorphically)\n", a, b, sum);
+    std::printf("bootstrapped gates evaluated: %llu\n",
+                static_cast<unsigned long long>(
+                    server->profile().bootstrap_count));
+    return sum == a + b ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * VIP-Bench explorer: list the registered workloads, or compile one and
+ * print its circuit statistics, binary size, disassembly head, and
+ * simulated runtimes across backends.
+ *
+ * Usage:
+ *   vip_explorer list
+ *   vip_explorer <WorkloadName>          e.g. vip_explorer Hamming
+ */
+#include <cstdio>
+#include <cstring>
+
+#include "backend/cluster_sim.h"
+#include "backend/gpu_sim.h"
+#include "core/compiler.h"
+#include "vip/registry.h"
+
+using namespace pytfhe;
+
+int main(int argc, char** argv) {
+    vip::BenchScale scale;
+    scale.mnist_image = 12;  // Keep the explorer snappy.
+
+    if (argc < 2 || std::strcmp(argv[1], "list") == 0) {
+        std::printf("available workloads:\n");
+        for (const auto& w : vip::AllWorkloads(scale))
+            std::printf("  %-16s %s\n", w.name.c_str(),
+                        w.is_neural ? "(neural)" : "");
+        std::printf("\nusage: vip_explorer <name>\n");
+        return 0;
+    }
+
+    const vip::Workload w = vip::FindWorkload(argv[1], scale);
+    std::printf("== %s ==\n", w.name.c_str());
+    auto compiled = core::Compile(w.build());
+    if (!compiled) {
+        std::fprintf(stderr, "compile failed\n");
+        return 1;
+    }
+    std::printf("%s", compiled->stats.ToString().c_str());
+    std::printf("binary: %zu bytes (%zu instructions)\n",
+                compiled->program.ByteSize(),
+                compiled->program.Instructions().size());
+
+    // First few instructions of the binary.
+    std::printf("\ndisassembly (head):\n");
+    const auto& ins = compiled->program.Instructions();
+    for (uint64_t i = 0; i < ins.size() && i < 8; ++i)
+        std::printf("  %s\n", ins[i].ToString(i).c_str());
+
+    const auto schedule = backend::ComputeSchedule(compiled->program);
+    std::printf("\nDAG: %llu waves, max width %llu, avg width %.1f\n",
+                static_cast<unsigned long long>(schedule.NumLevels()),
+                static_cast<unsigned long long>(schedule.MaxWidth()),
+                schedule.AvgWidth());
+
+    backend::ClusterConfig one, four;
+    four.nodes = 4;
+    const double single = backend::SingleCoreSeconds(
+        backend::ComputeGateMix(compiled->program), one.cpu);
+    const auto r1 = backend::SimulateCluster(compiled->program, one);
+    const auto r4 = backend::SimulateCluster(compiled->program, four);
+    std::printf("\nsingle core: %.2f s | 1 node: %.2f s (%.1fx) | "
+                "4 nodes: %.2f s (%.1fx)\n",
+                single, r1.seconds, r1.Speedup(), r4.seconds, r4.Speedup());
+    for (const auto& gpu : {backend::A5000(), backend::Rtx4090()}) {
+        const auto rc = backend::SimulateCuFhe(compiled->program, gpu);
+        const auto rp = backend::SimulatePyTfhe(compiled->program, gpu);
+        std::printf("%s: cuFHE %.2f s, PyTFHE %.2f s (%.1fx)\n",
+                    gpu.name.c_str(), rc.seconds, rp.seconds,
+                    rc.seconds / rp.seconds);
+    }
+    return 0;
+}

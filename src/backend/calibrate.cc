@@ -1,0 +1,32 @@
+#include "backend/calibrate.h"
+
+#include <chrono>
+
+namespace pytfhe::backend {
+
+CpuCostModel MeasureCpuCostModel(tfhe::GateEvaluator& gates,
+                                 tfhe::SecretKeySet& secret, tfhe::Rng& rng,
+                                 int32_t samples) {
+    using Clock = std::chrono::steady_clock;
+    tfhe::LweSample a = secret.Encrypt(true, rng);
+    tfhe::LweSample b = secret.Encrypt(false, rng);
+
+    const auto t0 = Clock::now();
+    for (int32_t i = 0; i < samples; ++i) a = gates.Nand(a, b);
+    const double bootstrap =
+        std::chrono::duration<double>(Clock::now() - t0).count() / samples;
+
+    const auto t1 = Clock::now();
+    const int32_t not_samples = samples * 1000;
+    for (int32_t i = 0; i < not_samples; ++i) b = gates.Not(b);
+    const double linear =
+        std::chrono::duration<double>(Clock::now() - t1).count() /
+        not_samples;
+
+    CpuCostModel model;
+    model.bootstrap_gate_seconds = bootstrap;
+    model.linear_gate_seconds = linear;
+    return model;
+}
+
+}  // namespace pytfhe::backend

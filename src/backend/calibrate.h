@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Calibration: derive simulator cost models from real measurements on the
+ * local machine, instead of the paper-scale defaults in cost_model.h.
+ */
+#ifndef PYTFHE_BACKEND_CALIBRATE_H
+#define PYTFHE_BACKEND_CALIBRATE_H
+
+#include "backend/cost_model.h"
+#include "tfhe/gates.h"
+
+namespace pytfhe::backend {
+
+/**
+ * Times `samples` bootstrapped gates (and noiseless NOTs) through the
+ * given evaluator and returns a cost model with the measured means.
+ */
+CpuCostModel MeasureCpuCostModel(tfhe::GateEvaluator& gates,
+                                 tfhe::SecretKeySet& secret, tfhe::Rng& rng,
+                                 int32_t samples = 10);
+
+}  // namespace pytfhe::backend
+
+#endif  // PYTFHE_BACKEND_CALIBRATE_H

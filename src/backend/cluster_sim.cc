@@ -1,0 +1,77 @@
+#include "backend/cluster_sim.h"
+
+#include <algorithm>
+
+namespace pytfhe::backend {
+
+GateMix ComputeGateMix(const pasm::Program& program) {
+    GateMix mix;
+    const uint64_t first = program.FirstGateIndex();
+    for (uint64_t idx = first; idx < first + program.NumGates(); ++idx) {
+        if (circuit::NeedsBootstrap(program.GateAt(idx).type)) {
+            ++mix.bootstrap_gates;
+        } else {
+            ++mix.linear_gates;
+        }
+    }
+    return mix;
+}
+
+ClusterResult SimulateCluster(const pasm::Program& program,
+                              const ClusterConfig& config) {
+    const Schedule schedule = ComputeSchedule(program);
+    const GateMix mix = ComputeGateMix(program);
+    const int32_t workers = config.TotalWorkers();
+
+    ClusterResult result;
+    result.waves = schedule.NumLevels();
+    result.gates = program.NumGates();
+    result.single_core_seconds = SingleCoreSeconds(mix, config.cpu);
+    result.ideal_seconds = result.single_core_seconds / workers;
+
+    const double comm_per_task =
+        config.ciphertexts_per_task * kCiphertextBytes / config.net_bandwidth;
+
+    double t = 0.0;
+    for (const auto& wave : schedule.levels) {
+        // Split the wave's gates round-robin over workers; the wave span is
+        // the busiest worker. Linear (NOT) gates are executed inline by the
+        // driver at negligible cost.
+        uint64_t bootstraps = 0;
+        double linear_cost = 0.0;
+        for (uint64_t idx : wave) {
+            if (circuit::NeedsBootstrap(program.GateAt(idx).type)) {
+                ++bootstraps;
+            } else {
+                linear_cost += config.cpu.linear_gate_seconds;
+            }
+        }
+        if (bootstraps == 0) {
+            t += linear_cost;
+            continue;
+        }
+        const uint64_t per_worker =
+            (bootstraps + workers - 1) / static_cast<uint64_t>(workers);
+        const double task_seconds =
+            config.cpu.bootstrap_gate_seconds +
+            (config.nodes > 1 ? comm_per_task : 0.0);
+        const double compute_span = per_worker * task_seconds;
+        // The driver submits tasks serially but overlapped with execution;
+        // it binds only when submission is slower than compute.
+        const double submit_span = bootstraps * config.submit_seconds;
+        const double barrier =
+            config.barrier_local_seconds +
+            (config.nodes > 1 ? config.barrier_remote_seconds : 0.0);
+        t += std::max(compute_span, submit_span) + barrier + linear_cost;
+    }
+    result.seconds = t;
+    return result;
+}
+
+double IdealThroughput(const ClusterConfig& config) {
+    // Independent single-threaded programs: no barriers, no dependencies —
+    // every worker streams gates back to back.
+    return config.TotalWorkers() / config.cpu.bootstrap_gate_seconds;
+}
+
+}  // namespace pytfhe::backend

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Discrete-event simulation of the distributed CPU backend (Section IV-D).
+ *
+ * Substitution note (DESIGN.md): the paper runs Ray actors on a 4-node
+ * Xeon cluster; this simulator executes the same Algorithm-1 wave schedule
+ * of the same compiled program against the ClusterConfig cost model. The
+ * speedup *shape* — near-ideal scaling for wide DAGs, overhead-bound small
+ * benchmarks, serial benchmarks stuck at 1x — is produced by the real DAG
+ * widths and depths, not by baked-in answers.
+ */
+#ifndef PYTFHE_BACKEND_CLUSTER_SIM_H
+#define PYTFHE_BACKEND_CLUSTER_SIM_H
+
+#include "backend/cost_model.h"
+#include "backend/scheduler.h"
+
+namespace pytfhe::backend {
+
+/** Result of one simulated run. */
+struct ClusterResult {
+    double seconds = 0;             ///< Simulated makespan.
+    double single_core_seconds = 0; ///< Same program on one core.
+    double ideal_seconds = 0;       ///< Perfect scaling over all workers.
+    uint64_t waves = 0;
+    uint64_t gates = 0;
+
+    double Speedup() const { return single_core_seconds / seconds; }
+    double IdealSpeedup() const { return single_core_seconds / ideal_seconds; }
+    /** Fraction of the ideal speedup achieved. */
+    double Efficiency() const { return Speedup() / IdealSpeedup(); }
+};
+
+/** Classifies gates of a program into bootstrapped vs linear. */
+GateMix ComputeGateMix(const pasm::Program& program);
+
+/**
+ * Simulates executing `program` on the cluster. Each wave of the BFS
+ * schedule is submitted to the worker pool; the wave's span is the maximum
+ * over workers of their assigned compute plus communication, bounded below
+ * by the driver's serial submission; a barrier closes each wave.
+ */
+ClusterResult SimulateCluster(const pasm::Program& program,
+                              const ClusterConfig& config);
+
+/**
+ * Throughput (gates/second) of running independent single-threaded dummy
+ * TFHE programs until every core is saturated — the paper's ideal-
+ * throughput measurement for Fig. 10.
+ */
+double IdealThroughput(const ClusterConfig& config);
+
+}  // namespace pytfhe::backend
+
+#endif  // PYTFHE_BACKEND_CLUSTER_SIM_H

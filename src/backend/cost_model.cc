@@ -1,0 +1,35 @@
+#include "backend/cost_model.h"
+
+namespace pytfhe::backend {
+
+GpuConfig A5000() {
+    GpuConfig g;
+    g.name = "RTX A5000";
+    g.sms = 64;
+    g.sms_per_gate = 2;        // 32 concurrent bootstrap kernels.
+    g.kernel_seconds = 6.5e-3;
+    g.launch_seconds = 20e-6;
+    g.transfer_sync_seconds = 2.0e-3;  // Fig. 8: copies rival the kernel.
+    g.pcie_bandwidth = 12e9;
+    g.graph_launch_seconds = 50e-6;
+    g.graph_build_per_gate = 5e-6;
+    g.batch_gates = 200000;  // "up to around hundreds of thousands of nodes".
+    return g;
+}
+
+GpuConfig Rtx4090() {
+    GpuConfig g;
+    g.name = "RTX 4090";
+    g.sms = 128;
+    g.sms_per_gate = 2;        // 64 concurrent bootstrap kernels.
+    g.kernel_seconds = 5.0e-3;
+    g.launch_seconds = 20e-6;
+    g.transfer_sync_seconds = 1.6e-3;
+    g.pcie_bandwidth = 24e9;
+    g.graph_launch_seconds = 50e-6;
+    g.graph_build_per_gate = 4e-6;
+    g.batch_gates = 200000;
+    return g;
+}
+
+}  // namespace pytfhe::backend

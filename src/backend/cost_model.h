@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Cost models for the simulated execution platforms.
+ *
+ * The paper evaluates on hardware this repository does not have: a 4-node
+ * Ray cluster of 2x Xeon Gold 5215 servers (Table II) and NVIDIA RTX
+ * A5000 / RTX 4090 GPUs running cuFHE kernels under CUDA Graphs
+ * (Table III). The simulators in cluster_sim.h / gpu_sim.h execute the real
+ * schedules of real compiled programs against the parameter sets below.
+ *
+ * Calibration: per-gate CPU cost defaults to the paper's Fig. 7 scale
+ * (~15 ms per bootstrapped gate on one core) and can be overridden with a
+ * locally measured value (bench_fig07 measures it). GPU parameters are
+ * chosen so that the modeled platform reproduces the paper's *relative*
+ * throughputs (Table IV: A5000 ~72x and 4090 ~146x a single CPU core;
+ * cuFHE's per-gate discipline per Fig. 8). Absolute times are modeled
+ * milliseconds, not measurements — EXPERIMENTS.md tracks paper-vs-model.
+ */
+#ifndef PYTFHE_BACKEND_COST_MODEL_H
+#define PYTFHE_BACKEND_COST_MODEL_H
+
+#include <cstdint>
+#include <string>
+
+namespace pytfhe::backend {
+
+/** TFHE ciphertext size on the wire (Section IV-D: 2.46 KB). */
+constexpr double kCiphertextBytes = 2460.0;
+
+/** Cost of one gate on one CPU core. */
+struct CpuCostModel {
+    double bootstrap_gate_seconds = 0.015;  ///< Bootstrapped gate.
+    double linear_gate_seconds = 2e-6;      ///< NOT/COPY (noiseless).
+};
+
+/** The distributed CPU platform (Table II + Section IV-D). */
+struct ClusterConfig {
+    std::string name = "xeon-cluster";
+    int32_t nodes = 1;
+    int32_t workers_per_node = 18;  ///< Ray actors per node (paper: ideal 18).
+    CpuCostModel cpu;
+
+    /** Driver-side serial cost to submit one Ray task. */
+    double submit_seconds = 100e-6;
+    /** Wave barrier cost within one node. */
+    double barrier_local_seconds = 2e-3;
+    /** Additional wave barrier cost once tasks span nodes. */
+    double barrier_remote_seconds = 8e-3;
+    /** NIC bandwidth in bytes/second (Table II: gigabit NIC). */
+    double net_bandwidth = 125e6;
+    /** Ciphertexts moved per remote task (result ship-back; inputs are
+     *  pipelined with compute, matching the 0.094 % share of Fig. 7). */
+    double ciphertexts_per_task = 1.0;
+
+    int32_t TotalWorkers() const { return nodes * workers_per_node; }
+};
+
+/** A GPU platform for the cuFHE / PyTFHE backend simulation. */
+struct GpuConfig {
+    std::string name;
+    int32_t sms;                   ///< Streaming multiprocessors.
+    int32_t sms_per_gate;          ///< SMs one bootstrap kernel occupies.
+    double kernel_seconds;         ///< One bootstrapped gate kernel.
+    double launch_seconds;         ///< Per-kernel-launch CPU cost (cuFHE).
+    double transfer_sync_seconds;  ///< Per-transfer PCIe+sync latency.
+    double pcie_bandwidth;         ///< Bytes/second.
+    double graph_launch_seconds;   ///< Per CUDA-graph launch.
+    double graph_build_per_gate;   ///< Host-side graph construction per gate.
+    uint64_t batch_gates;          ///< Max sub-DAG batch size (GPU memory).
+
+    /** Concurrent gate kernels the device sustains. */
+    int32_t Concurrency() const { return sms / sms_per_gate; }
+};
+
+/** NVIDIA RTX A5000 24 GB (Table III). */
+GpuConfig A5000();
+/** NVIDIA RTX 4090 24 GB (Table III). */
+GpuConfig Rtx4090();
+
+/** Single-core runtime of a program under the CPU cost model. */
+struct GateMix {
+    uint64_t bootstrap_gates = 0;
+    uint64_t linear_gates = 0;
+};
+
+inline double SingleCoreSeconds(const GateMix& mix, const CpuCostModel& cpu) {
+    return mix.bootstrap_gates * cpu.bootstrap_gate_seconds +
+           mix.linear_gates * cpu.linear_gate_seconds;
+}
+
+
+}  // namespace pytfhe::backend
+
+#endif  // PYTFHE_BACKEND_COST_MODEL_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Gate evaluators: the pluggable execution substrate of every backend.
+ *
+ * An evaluator provides a Ciphertext type plus Constant/Apply operations
+ * with TFHE gate semantics. Backends are templates over the evaluator so
+ * the same scheduler runs functionally on plaintext bits (fast, used for
+ * validation), on real TFHE ciphertexts (the actual FHE execution), or on
+ * a counting stub (used by the simulators).
+ */
+#ifndef PYTFHE_BACKEND_EVALUATOR_H
+#define PYTFHE_BACKEND_EVALUATOR_H
+
+#include <cstdint>
+
+#include "circuit/gate_type.h"
+#include "tfhe/gates.h"
+
+namespace pytfhe::backend {
+
+using circuit::GateType;
+
+/** Evaluates gates on plaintext booleans (reference semantics). */
+class PlainEvaluator {
+  public:
+    using Ciphertext = bool;
+
+    Ciphertext Constant(bool value) const { return value; }
+    Ciphertext Apply(GateType t, Ciphertext a, Ciphertext b) const {
+        return circuit::EvalGate(t, a, b);
+    }
+};
+
+/** Evaluates gates on real TFHE ciphertexts via bootstrapped gates. */
+class TfheEvaluator {
+  public:
+    using Ciphertext = tfhe::LweSample;
+
+    explicit TfheEvaluator(tfhe::GateEvaluator& gates) : gates_(&gates) {}
+
+    Ciphertext Constant(bool value) const { return gates_->Constant(value); }
+
+    Ciphertext Apply(GateType t, const Ciphertext& a,
+                     const Ciphertext& b) const {
+        switch (t) {
+            case GateType::kNot: return gates_->Not(a);
+            case GateType::kAnd: return gates_->And(a, b);
+            case GateType::kNand: return gates_->Nand(a, b);
+            case GateType::kOr: return gates_->Or(a, b);
+            case GateType::kNor: return gates_->Nor(a, b);
+            case GateType::kXnor: return gates_->Xnor(a, b);
+            case GateType::kXor: return gates_->Xor(a, b);
+            case GateType::kAndNY: return gates_->AndNY(a, b);
+            case GateType::kAndYN: return gates_->AndYN(a, b);
+            case GateType::kOrNY: return gates_->OrNY(a, b);
+            case GateType::kOrYN: return gates_->OrYN(a, b);
+        }
+        return a;  // Unreachable for valid gate types.
+    }
+
+  private:
+    tfhe::GateEvaluator* gates_;
+};
+
+/** Counts gate evaluations; Ciphertext is a placeholder byte. */
+class CountingEvaluator {
+  public:
+    using Ciphertext = uint8_t;
+
+    Ciphertext Constant(bool value) const { return value; }
+    Ciphertext Apply(GateType t, Ciphertext a, Ciphertext b) {
+        ++counts_[static_cast<int32_t>(t)];
+        ++total_;
+        return circuit::EvalGate(t, a, b) ? 1 : 0;
+    }
+
+    uint64_t Total() const { return total_; }
+    uint64_t CountOf(GateType t) const {
+        return counts_[static_cast<int32_t>(t)];
+    }
+
+  private:
+    uint64_t counts_[circuit::kNumGateTypes] = {};
+    uint64_t total_ = 0;
+};
+
+}  // namespace pytfhe::backend
+
+#endif  // PYTFHE_BACKEND_EVALUATOR_H

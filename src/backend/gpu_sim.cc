@@ -1,0 +1,158 @@
+#include "backend/gpu_sim.h"
+
+#include <algorithm>
+
+namespace pytfhe::backend {
+
+namespace {
+
+double TransferSeconds(const GpuConfig& gpu, double ciphertexts) {
+    return gpu.transfer_sync_seconds +
+           ciphertexts * kCiphertextBytes / gpu.pcie_bandwidth;
+}
+
+void AddEvent(GpuResult& r, size_t max_events, double start, double end,
+              const char* lane, std::string label) {
+    if (r.timeline.size() < max_events)
+        r.timeline.push_back(TimelineEvent{start, end, lane, std::move(label)});
+}
+
+}  // namespace
+
+GpuResult SimulateCuFhe(const pasm::Program& program, const GpuConfig& gpu,
+                        size_t max_events) {
+    GpuResult r;
+    r.gates = program.NumGates();
+    double t = 0.0;
+    const uint64_t first = program.FirstGateIndex();
+    for (uint64_t idx = first; idx < first + program.NumGates(); ++idx) {
+        const auto g = program.GateAt(idx);
+        if (!circuit::NeedsBootstrap(g.type)) continue;  // Host-side NOT.
+        // H2D of both operands, blocking.
+        const double h2d = TransferSeconds(gpu, 2);
+        AddEvent(r, max_events, t, t + h2d, "H2D",
+                 "in " + std::to_string(idx));
+        t += h2d;
+        r.h2d_seconds += h2d;
+        // Kernel launch + execution, blocking.
+        t += gpu.launch_seconds;
+        r.launch_seconds += gpu.launch_seconds;
+        AddEvent(r, max_events, t, t + gpu.kernel_seconds, "Kernel",
+                 std::string(circuit::GateTypeName(g.type)));
+        t += gpu.kernel_seconds;
+        r.kernel_seconds += gpu.kernel_seconds;
+        // D2H of the result regardless of whether it is reused (Fig. 8).
+        const double d2h = TransferSeconds(gpu, 1);
+        AddEvent(r, max_events, t, t + d2h, "D2H",
+                 "out " + std::to_string(idx));
+        t += d2h;
+        r.d2h_seconds += d2h;
+        ++r.batches;  // One API call per gate.
+    }
+    r.seconds = t;
+    return r;
+}
+
+GpuResult SimulatePyTfhe(const pasm::Program& program, const GpuConfig& gpu,
+                         size_t max_events) {
+    GpuResult r;
+    r.gates = program.NumGates();
+    const Schedule schedule = ComputeSchedule(program);
+    const int32_t concurrency = std::max(1, gpu.Concurrency());
+
+    // Cut the wave sequence into batches of at most batch_gates gates.
+    struct Batch {
+        std::vector<const std::vector<uint64_t>*> waves;
+        uint64_t gates = 0;
+    };
+    std::vector<Batch> batches;
+    Batch current;
+    for (const auto& wave : schedule.levels) {
+        if (current.gates > 0 &&
+            current.gates + wave.size() > gpu.batch_gates) {
+            batches.push_back(std::move(current));
+            current = Batch{};
+        }
+        current.waves.push_back(&wave);
+        current.gates += wave.size();
+    }
+    if (current.gates > 0) batches.push_back(std::move(current));
+    r.batches = batches.size();
+
+    // Which instruction produced each value, per batch, to count fresh
+    // host-to-device inputs (values produced before the batch).
+    const uint64_t first = program.FirstGateIndex();
+    const uint64_t end = first + program.NumGates();
+    std::vector<int32_t> batch_of(end, -1);  // -1 = primary input.
+    for (size_t bi = 0; bi < batches.size(); ++bi)
+        for (const auto* wave : batches[bi].waves)
+            for (uint64_t idx : *wave)
+                batch_of[idx] = static_cast<int32_t>(bi);
+
+    double device_free = 0.0;  // When the GPU finishes its current batch.
+    double host_time = 0.0;    // CPU cursor (graph construction).
+    std::vector<int64_t> seen_stamp(end, -1);  // Upload dedup per batch.
+    for (size_t bi = 0; bi < batches.size(); ++bi) {
+        const Batch& batch = batches[bi];
+
+        // Host builds this batch's CUDA graph; overlaps with the device
+        // executing the previous batch.
+        const double build = batch.gates * gpu.graph_build_per_gate;
+        const double build_done = host_time + build;
+        host_time = build_done;
+        r.host_build_seconds += build;
+
+        // Count ciphertexts that must be uploaded: operands produced
+        // outside this batch that have not been uploaded for it yet.
+        uint64_t fresh_inputs = 0;
+        for (const auto* wave : batch.waves) {
+            for (uint64_t idx : *wave) {
+                const auto g = program.GateAt(idx);
+                for (uint64_t in : {g.in0, g.in1}) {
+                    if (seen_stamp[in] == static_cast<int64_t>(bi)) continue;
+                    seen_stamp[in] = static_cast<int64_t>(bi);
+                    if (batch_of[in] != static_cast<int32_t>(bi))
+                        ++fresh_inputs;
+                }
+            }
+        }
+
+        const double start = std::max(device_free, build_done);
+        double t = start;
+        const double h2d = TransferSeconds(gpu, fresh_inputs);
+        AddEvent(r, max_events, t, t + h2d, "H2D",
+                 "batch " + std::to_string(bi) + " inputs");
+        t += h2d;
+        r.h2d_seconds += h2d;
+
+        t += gpu.graph_launch_seconds;
+        r.launch_seconds += gpu.graph_launch_seconds;
+
+        const double kernel_start = t;
+        for (const auto* wave : batch.waves) {
+            uint64_t bootstraps = 0;
+            for (uint64_t idx : *wave)
+                if (circuit::NeedsBootstrap(program.GateAt(idx).type))
+                    ++bootstraps;
+            if (bootstraps == 0) continue;
+            const uint64_t rounds =
+                (bootstraps + concurrency - 1) / concurrency;
+            t += rounds * gpu.kernel_seconds;
+        }
+        AddEvent(r, max_events, kernel_start, t, "Kernel",
+                 "batch " + std::to_string(bi) + " (" +
+                     std::to_string(batch.gates) + " gates)");
+        r.kernel_seconds += t - kernel_start;
+        device_free = t;
+    }
+
+    // Final download: only the declared outputs come back.
+    const double d2h = TransferSeconds(
+        gpu, static_cast<double>(program.OutputIndices().size()));
+    AddEvent(r, max_events, device_free, device_free + d2h, "D2H", "outputs");
+    r.d2h_seconds += d2h;
+    r.seconds = device_free + d2h;
+    return r;
+}
+
+}  // namespace pytfhe::backend

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Program interpreters: run a PyTFHE binary against any evaluator.
+ *
+ * RunProgram executes single-threaded in instruction order (indices are
+ * topological by construction). RunProgramThreaded executes the BFS
+ * schedule with a pool of worker threads synchronized per wave — the same
+ * discipline the distributed backend uses, on local threads. Both are the
+ * *functional* backends; wall-clock modeling of clusters/GPUs lives in
+ * cluster_sim.h and gpu_sim.h.
+ */
+#ifndef PYTFHE_BACKEND_INTERPRETER_H
+#define PYTFHE_BACKEND_INTERPRETER_H
+
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+#include "backend/evaluator.h"
+#include "backend/scheduler.h"
+#include "pasm/program.h"
+
+namespace pytfhe::backend {
+
+/**
+ * Executes `program` on `inputs` (one ciphertext per input instruction).
+ * Returns one ciphertext per output instruction.
+ */
+template <typename Evaluator>
+std::vector<typename Evaluator::Ciphertext> RunProgram(
+    const pasm::Program& program, Evaluator& eval,
+    const std::vector<typename Evaluator::Ciphertext>& inputs) {
+    using C = typename Evaluator::Ciphertext;
+    assert(inputs.size() == program.NumInputs());
+
+    const uint64_t first_gate = program.FirstGateIndex();
+    const uint64_t end_gate = first_gate + program.NumGates();
+    // value[idx] for instruction idx (0 = header slot, unused).
+    std::vector<C> value(end_gate);
+    for (uint64_t i = 0; i < inputs.size(); ++i) value[1 + i] = inputs[i];
+    for (uint64_t idx = first_gate; idx < end_gate; ++idx) {
+        const pasm::DecodedGate g = program.GateAt(idx);
+        value[idx] = eval.Apply(g.type, value[g.in0], value[g.in1]);
+    }
+    std::vector<C> out;
+    out.reserve(program.OutputIndices().size());
+    for (uint64_t src : program.OutputIndices()) out.push_back(value[src]);
+    return out;
+}
+
+/**
+ * Level-parallel execution with `num_threads` workers. The evaluator's
+ * Apply must be safe to call concurrently (TFHE gate evaluation is: the
+ * evaluation key is read-only; the profile counters are approximate under
+ * concurrency and only used for reporting).
+ */
+template <typename Evaluator>
+std::vector<typename Evaluator::Ciphertext> RunProgramThreaded(
+    const pasm::Program& program, Evaluator& eval,
+    const std::vector<typename Evaluator::Ciphertext>& inputs,
+    int32_t num_threads) {
+    using C = typename Evaluator::Ciphertext;
+    assert(inputs.size() == program.NumInputs());
+    assert(num_threads >= 1);
+
+    const Schedule schedule = ComputeSchedule(program);
+    const uint64_t end_gate = program.FirstGateIndex() + program.NumGates();
+    std::vector<C> value(end_gate);
+    for (uint64_t i = 0; i < inputs.size(); ++i) value[1 + i] = inputs[i];
+
+    for (const auto& wave : schedule.levels) {
+        // Submit the whole ready set (Algorithm 1's Compute(C - finished)),
+        // then barrier before the next wave.
+        std::atomic<size_t> cursor{0};
+        auto worker = [&]() {
+            while (true) {
+                const size_t i = cursor.fetch_add(1);
+                if (i >= wave.size()) break;
+                const uint64_t idx = wave[i];
+                const pasm::DecodedGate g = program.GateAt(idx);
+                value[idx] = eval.Apply(g.type, value[g.in0], value[g.in1]);
+            }
+        };
+        if (num_threads == 1 || wave.size() == 1) {
+            worker();
+        } else {
+            std::vector<std::thread> threads;
+            const int32_t n = std::min<int32_t>(
+                num_threads, static_cast<int32_t>(wave.size()));
+            threads.reserve(n);
+            for (int32_t t = 0; t < n; ++t) threads.emplace_back(worker);
+            for (auto& t : threads) t.join();
+        }
+    }
+
+    std::vector<C> out;
+    out.reserve(program.OutputIndices().size());
+    for (uint64_t src : program.OutputIndices()) out.push_back(value[src]);
+    return out;
+}
+
+}  // namespace pytfhe::backend
+
+#endif  // PYTFHE_BACKEND_INTERPRETER_H

@@ -1,0 +1,27 @@
+#include "backend/scheduler.h"
+
+namespace pytfhe::backend {
+
+Schedule ComputeSchedule(const pasm::Program& program) {
+    const uint64_t first_gate = program.FirstGateIndex();
+    const uint64_t end_gate = first_gate + program.NumGates();
+
+    // level[idx] for instruction idx; inputs (and the header) are level 0.
+    std::vector<uint32_t> level(end_gate, 0);
+    uint32_t max_level = 0;
+    for (uint64_t idx = first_gate; idx < end_gate; ++idx) {
+        const pasm::DecodedGate g = program.GateAt(idx);
+        const uint32_t in_level =
+            std::max(level[g.in0], level[g.in1]);
+        level[idx] = in_level + 1;
+        max_level = std::max(max_level, level[idx]);
+    }
+
+    Schedule s;
+    s.levels.resize(max_level);
+    for (uint64_t idx = first_gate; idx < end_gate; ++idx)
+        s.levels[level[idx] - 1].push_back(idx);
+    return s;
+}
+
+}  // namespace pytfhe::backend

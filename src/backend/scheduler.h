@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The BFS DAG-traversal scheduler of Algorithm 1.
+ *
+ * Starting from the inputs, each wave ("level") collects every gate whose
+ * predecessors have all been computed; waves are what the distributed
+ * backend submits to the worker pool and what the GPU backend packs into
+ * CUDA-graph batches. The schedule is computed once per program and shared
+ * by every backend and simulator.
+ */
+#ifndef PYTFHE_BACKEND_SCHEDULER_H
+#define PYTFHE_BACKEND_SCHEDULER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "pasm/program.h"
+
+namespace pytfhe::backend {
+
+/** The level-by-level schedule of a program's gate instructions. */
+struct Schedule {
+    /** levels[i] = instruction indices of gates ready in wave i. */
+    std::vector<std::vector<uint64_t>> levels;
+
+    uint64_t NumLevels() const { return levels.size(); }
+    uint64_t TotalGates() const {
+        uint64_t n = 0;
+        for (const auto& l : levels) n += l.size();
+        return n;
+    }
+    /** Widest wave — the parallelism ceiling. */
+    uint64_t MaxWidth() const {
+        uint64_t w = 0;
+        for (const auto& l : levels) w = std::max<uint64_t>(w, l.size());
+        return w;
+    }
+    /** Average gates per wave. */
+    double AvgWidth() const {
+        return levels.empty()
+                   ? 0.0
+                   : static_cast<double>(TotalGates()) / levels.size();
+    }
+};
+
+/**
+ * Computes the BFS schedule (Algorithm 1): a gate's level is one more than
+ * the deepest of its gate predecessors; inputs are level 0.
+ */
+Schedule ComputeSchedule(const pasm::Program& program);
+
+}  // namespace pytfhe::backend
+
+#endif  // PYTFHE_BACKEND_SCHEDULER_H

@@ -1,0 +1,134 @@
+#include "baseline/mnist_compiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "hdl/word_ops.h"
+
+namespace pytfhe::baseline {
+
+namespace {
+
+using circuit::GateType;
+using hdl::Bits;
+using hdl::Builder;
+using hdl::Signal;
+
+int32_t Align(const Profile& p, int32_t width) {
+    return p.byte_aligned ? (width + 7) / 8 * 8 : width;
+}
+
+/** Quantized weight in [-2^(w-1), 2^(w-1)) at frac_bits of scale. */
+int64_t QuantWeight(double v, int32_t width, int32_t frac_bits) {
+    const int64_t lim = INT64_C(1) << (width - 1);
+    int64_t q = std::llround(v * std::pow(2.0, frac_bits));
+    return std::clamp(q, -lim, lim - 1);
+}
+
+/** Signed max via comparison + mux. */
+Bits SMax(Builder& b, const Bits& x, const Bits& y) {
+    return hdl::MuxBits(b, hdl::Slt(b, x, y), y, x);
+}
+
+}  // namespace
+
+circuit::Netlist CompileMnist(const Profile& profile,
+                              const MnistOptions& options) {
+    Builder b(profile.builder);
+    const int32_t w = Align(profile, profile.value_bits);
+    const int32_t accw = Align(profile, w + profile.accum_extra);
+    const int32_t frac = profile.frac_bits;
+    const int64_t img = options.image;
+    const int64_t conv_out = img - 2;
+    const int64_t pool_out = conv_out - 2;
+    const int64_t features = pool_out * pool_out;
+
+    std::mt19937_64 rng(options.seed);
+    std::uniform_real_distribution<double> dist(-0.5, 0.5);
+    auto weight = [&](double scale) {
+        return QuantWeight(dist(rng) * scale, w, frac);
+    };
+    auto weight_bits = [&](int64_t q) {
+        if (profile.weights_as_inputs)
+            return hdl::InputBits(b, w, "w");
+        return hdl::ConstBits(b, static_cast<uint64_t>(q), w);
+    };
+
+    // Encrypted input image.
+    std::vector<Bits> image;
+    image.reserve(img * img);
+    for (int64_t i = 0; i < img * img; ++i)
+        image.push_back(hdl::InputBits(b, w, "px" + std::to_string(i)));
+
+    // Conv2d(1,1,3,1): 3x3 kernel, stride 1, then rescale by frac bits.
+    std::vector<int64_t> kernel;
+    for (int i = 0; i < 9; ++i) kernel.push_back(weight(1.0 / 3));
+    std::vector<Bits> conv;
+    conv.reserve(conv_out * conv_out);
+    for (int64_t y = 0; y < conv_out; ++y) {
+        for (int64_t x = 0; x < conv_out; ++x) {
+            // Accumulate from the first term (any real DSL does at least
+            // this; it keeps the fold-free profiles from paying for
+            // add-to-zero chains).
+            Bits acc;
+            for (int64_t ky = 0; ky < 3; ++ky) {
+                for (int64_t kx = 0; kx < 3; ++kx) {
+                    const Bits& px = image[(y + ky) * img + (x + kx)];
+                    const Bits wv = weight_bits(kernel[ky * 3 + kx]);
+                    Bits prod = hdl::SMul(
+                        b, px, wv,
+                        profile.full_width_products ? 2 * accw : accw);
+                    if (prod.Width() > accw) prod = prod.Slice(0, accw);
+                    acc = (ky == 0 && kx == 0) ? prod : hdl::Add(b, acc, prod);
+                }
+            }
+            // Rescale back to the activation format.
+            acc = hdl::AshrConst(b, acc, frac);
+            conv.push_back(acc.Slice(0, w));
+        }
+    }
+
+    // ReLU.
+    for (Bits& v : conv)
+        v = hdl::MuxBits(b, v.Msb(), hdl::ConstBits(b, 0, w), v);
+
+    // MaxPool2d(3,1).
+    std::vector<Bits> pooled;
+    pooled.reserve(features);
+    for (int64_t y = 0; y < pool_out; ++y) {
+        for (int64_t x = 0; x < pool_out; ++x) {
+            Bits m = conv[y * conv_out + x];
+            for (int64_t ky = 0; ky < 3; ++ky)
+                for (int64_t kx = 0; kx < 3; ++kx)
+                    if (ky || kx)
+                        m = SMax(b, m, conv[(y + ky) * conv_out + (x + kx)]);
+            pooled.push_back(m);
+        }
+    }
+
+    // Flatten: wiring for everyone except the Transpiler model, which
+    // emits a copy gate per bit (Section V-C).
+    if (profile.flatten_emits_copies) {
+        for (Bits& v : pooled)
+            for (Signal& s : v.bits)
+                s = b.netlist().AddGate(GateType::kAnd, s, s);
+    }
+
+    // Linear(features, 10).
+    for (int64_t o = 0; o < 10; ++o) {
+        Bits acc;
+        for (int64_t i = 0; i < features; ++i) {
+            const Bits wv = weight_bits(weight(0.5));
+            Bits prod = hdl::SMul(
+                b, pooled[i], wv,
+                profile.full_width_products ? 2 * accw : accw);
+            if (prod.Width() > accw) prod = prod.Slice(0, accw);
+            acc = (i == 0) ? prod : hdl::Add(b, acc, prod);
+        }
+        hdl::OutputBits(b, acc, "logit" + std::to_string(o));
+    }
+    return std::move(b.netlist());
+}
+
+}  // namespace pytfhe::baseline

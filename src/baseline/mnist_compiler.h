@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The shared quantized-MNIST compiler used for cross-framework comparison
+ * (Figs. 12-14, Table IV).
+ *
+ * All four frameworks (PyTFHE and the three baseline models) compile the
+ * same MNIST_S computation — Conv2d(1,1,3,1), ReLU, MaxPool2d(3,1),
+ * Flatten, Linear(n,10) — over fixed-point integers, differing only by
+ * their Profile. Identical weights (derived from the seed) are used so the
+ * comparison isolates lowering quality.
+ */
+#ifndef PYTFHE_BASELINE_MNIST_COMPILER_H
+#define PYTFHE_BASELINE_MNIST_COMPILER_H
+
+#include "baseline/profiles.h"
+#include "circuit/netlist.h"
+
+namespace pytfhe::baseline {
+
+struct MnistOptions {
+    int64_t image = 28;  ///< Input image side.
+    uint64_t seed = 1;   ///< Weight derivation seed (shared by frameworks).
+};
+
+/** Compiles MNIST_S under a framework profile. */
+circuit::Netlist CompileMnist(const Profile& profile,
+                              const MnistOptions& options = {});
+
+}  // namespace pytfhe::baseline
+
+#endif  // PYTFHE_BASELINE_MNIST_COMPILER_H

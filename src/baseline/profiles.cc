@@ -1,0 +1,54 @@
+#include "baseline/profiles.h"
+
+namespace pytfhe::baseline {
+
+Profile PyTfheProfile() {
+    Profile p;
+    p.name = "PyTFHE";
+    // Full optimization: hash-consing CSE, constant folding, the complete
+    // TFHE gate set, wiring-only reshape.
+    p.builder = circuit::BuilderOptions{};
+    return p;
+}
+
+Profile CingulataProfile() {
+    Profile p;
+    p.name = "Cingulata";
+    p.builder.fold_constants = true;  // DSL-level plaintext folding.
+    p.builder.cse = false;            // No gate-level optimization.
+    p.builder.absorb_not = false;
+    p.builder.basic_gates_only = true;
+    return p;
+}
+
+Profile E3Profile() {
+    Profile p;
+    p.name = "E3";
+    // DSL-level plaintext folding exists, but arithmetic instantiates
+    // hardcoded full-width templates and there is no gate-level cleanup.
+    p.builder.fold_constants = true;
+    p.builder.cse = false;
+    p.builder.absorb_not = false;
+    p.builder.basic_gates_only = true;
+    p.byte_aligned = true;  // Bits and 8-bit integers only.
+    // Byte-only types force the next multi-word accumulator size (three
+    // 8-bit words) once products exceed 16 bits.
+    p.accum_extra = 16;
+    return p;
+}
+
+Profile TranspilerProfile() {
+    Profile p;
+    p.name = "Transpiler";
+    p.builder.fold_constants = true;  // XLS folds literals...
+    p.builder.cse = false;            // ...but not across statements.
+    p.builder.absorb_not = false;
+    p.builder.basic_gates_only = true;
+    p.value_bits = 16;  // C native short; no sub-byte types.
+    p.byte_aligned = true;
+    p.weights_as_inputs = true;  // Weights are function parameters in C.
+    p.flatten_emits_copies = true;  // Section V-C observation.
+    return p;
+}
+
+}  // namespace pytfhe::baseline

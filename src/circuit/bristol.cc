@@ -1,0 +1,212 @@
+#include "circuit/bristol.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace pytfhe::circuit {
+
+namespace {
+
+/** Emits AND/XOR/INV gate lines, assigning fresh wire numbers. */
+class BristolWriter {
+  public:
+    explicit BristolWriter(uint64_t first_free_wire)
+        : next_wire_(first_free_wire) {}
+
+    uint64_t And(uint64_t a, uint64_t b) { return Binary("AND", a, b); }
+    uint64_t Xor(uint64_t a, uint64_t b) { return Binary("XOR", a, b); }
+    uint64_t Inv(uint64_t a) {
+        const uint64_t out = next_wire_++;
+        lines_ << "1 1 " << a << " " << out << " INV\n";
+        ++gate_count_;
+        return out;
+    }
+    uint64_t Copy(uint64_t a, uint64_t out) {
+        lines_ << "1 1 " << a << " " << out << " EQW\n";
+        ++gate_count_;
+        return out;
+    }
+    uint64_t Const(bool v) {
+        const uint64_t out = next_wire_++;
+        lines_ << "1 1 " << (v ? 1 : 0) << " " << out << " EQ\n";
+        ++gate_count_;
+        return out;
+    }
+
+    /** Lowers one netlist gate to the basic set. */
+    uint64_t Lower(GateType t, uint64_t a, uint64_t b) {
+        switch (t) {
+            case GateType::kNot: return Inv(a);
+            case GateType::kAnd: return And(a, b);
+            case GateType::kNand: return Inv(And(a, b));
+            case GateType::kOr: return Inv(And(Inv(a), Inv(b)));
+            case GateType::kNor: return And(Inv(a), Inv(b));
+            case GateType::kXor: return Xor(a, b);
+            case GateType::kXnor: return Inv(Xor(a, b));
+            case GateType::kAndNY: return And(Inv(a), b);
+            case GateType::kAndYN: return And(a, Inv(b));
+            case GateType::kOrNY: return Inv(And(a, Inv(b)));
+            case GateType::kOrYN: return Inv(And(Inv(a), b));
+        }
+        return a;  // Unreachable.
+    }
+
+    uint64_t gate_count() const { return gate_count_; }
+    uint64_t next_wire() const { return next_wire_; }
+    void set_next_wire(uint64_t w) { next_wire_ = w; }
+    std::string TakeLines() { return lines_.str(); }
+
+  private:
+    uint64_t Binary(const char* op, uint64_t a, uint64_t b) {
+        const uint64_t out = next_wire_++;
+        lines_ << "2 1 " << a << " " << b << " " << out << " " << op << "\n";
+        ++gate_count_;
+        return out;
+    }
+
+    uint64_t next_wire_;
+    uint64_t gate_count_ = 0;
+    std::ostringstream lines_;
+};
+
+}  // namespace
+
+void ExportBristol(std::ostream& os, const Netlist& netlist) {
+    const uint64_t n_inputs = netlist.Inputs().size();
+    const uint64_t n_outputs = netlist.Outputs().size();
+
+    BristolWriter w(n_inputs);
+    // Wire assigned to each netlist node (inputs get 0..n_inputs-1).
+    std::vector<uint64_t> wire(netlist.NumNodes(), UINT64_MAX);
+    std::optional<uint64_t> const_wire[2];
+
+    auto wire_of = [&](NodeId id) -> uint64_t {
+        if (id <= kConstTrue) {
+            const int v = id == kConstTrue ? 1 : 0;
+            if (!const_wire[v]) const_wire[v] = w.Const(v);
+            return *const_wire[v];
+        }
+        return wire[id];
+    };
+
+    {
+        uint64_t next_input = 0;
+        for (NodeId id : netlist.Inputs()) wire[id] = next_input++;
+    }
+    for (NodeId id = 2; id < netlist.NumNodes(); ++id) {
+        const Node& n = netlist.GetNode(id);
+        if (n.kind != NodeKind::kGate) continue;
+        wire[id] = w.Lower(n.type, wire_of(n.in0), wire_of(n.in1));
+    }
+    // Materialize any constant outputs before freezing the tail region.
+    for (NodeId id : netlist.Outputs()) (void)wire_of(id);
+    // Copy outputs onto the tail wires (format requirement).
+    const uint64_t first_output_wire = w.next_wire();
+    w.set_next_wire(first_output_wire + n_outputs);
+    for (uint64_t i = 0; i < n_outputs; ++i)
+        w.Copy(wire_of(netlist.Outputs()[i]), first_output_wire + i);
+    const uint64_t total_wires = first_output_wire + n_outputs;
+
+    os << w.gate_count() << " " << total_wires << "\n";
+    os << "1 " << n_inputs << "\n";
+    os << "1 " << n_outputs << "\n\n";
+    os << w.TakeLines();
+}
+
+std::string ExportBristolString(const Netlist& netlist) {
+    std::ostringstream os;
+    ExportBristol(os, netlist);
+    return os.str();
+}
+
+std::optional<Netlist> ImportBristol(std::istream& is, std::string* error) {
+    auto fail = [&](const std::string& m) {
+        if (error) *error = m;
+        return std::nullopt;
+    };
+
+    uint64_t n_gates, n_wires;
+    if (!(is >> n_gates >> n_wires)) return fail("bad header");
+    if (n_wires > (UINT64_C(1) << 28)) return fail("too many wires");
+
+    uint64_t niv;
+    if (!(is >> niv)) return fail("bad input declaration");
+    uint64_t n_inputs = 0;
+    for (uint64_t i = 0; i < niv; ++i) {
+        uint64_t bits;
+        if (!(is >> bits)) return fail("bad input widths");
+        n_inputs += bits;
+    }
+    uint64_t nov;
+    if (!(is >> nov)) return fail("bad output declaration");
+    uint64_t n_outputs = 0;
+    for (uint64_t i = 0; i < nov; ++i) {
+        uint64_t bits;
+        if (!(is >> bits)) return fail("bad output widths");
+        n_outputs += bits;
+    }
+    if (n_inputs + n_outputs > n_wires)
+        return fail("wire count smaller than interface");
+
+    Netlist out;
+    std::vector<NodeId> node(n_wires, UINT64_MAX);
+    for (uint64_t i = 0; i < n_inputs; ++i) node[i] = out.AddInput();
+
+    for (uint64_t g = 0; g < n_gates; ++g) {
+        uint64_t fan_in, fan_out;
+        if (!(is >> fan_in >> fan_out)) return fail("truncated gate list");
+        if (fan_out != 1) return fail("multi-output gates unsupported");
+        uint64_t in0 = 0, in1 = 0, dst;
+        if (fan_in == 2) {
+            if (!(is >> in0 >> in1 >> dst)) return fail("bad binary gate");
+        } else if (fan_in == 1) {
+            if (!(is >> in0 >> dst)) return fail("bad unary gate");
+        } else {
+            return fail("unsupported fan-in");
+        }
+        std::string op;
+        if (!(is >> op)) return fail("missing gate op");
+        if (dst >= n_wires) return fail("gate writes past wire space");
+
+        NodeId result;
+        if (op == "AND" || op == "XOR") {
+            if (in0 >= n_wires || in1 >= n_wires ||
+                node[in0] == UINT64_MAX || node[in1] == UINT64_MAX)
+                return fail("gate reads undefined wire");
+            result = out.AddGate(
+                op == "AND" ? GateType::kAnd : GateType::kXor, node[in0],
+                node[in1]);
+        } else if (op == "INV" || op == "NOT") {
+            if (in0 >= n_wires || node[in0] == UINT64_MAX)
+                return fail("gate reads undefined wire");
+            result = out.AddGate(GateType::kNot, node[in0], node[in0]);
+        } else if (op == "EQW") {
+            if (in0 >= n_wires || node[in0] == UINT64_MAX)
+                return fail("gate reads undefined wire");
+            result = node[in0];  // Pure aliasing.
+        } else if (op == "EQ") {
+            if (in0 > 1) return fail("EQ constant must be 0 or 1");
+            result = in0 ? kConstTrue : kConstFalse;
+        } else {
+            return fail("unknown gate op: " + op);
+        }
+        node[dst] = result;
+    }
+
+    for (uint64_t i = 0; i < n_outputs; ++i) {
+        const uint64_t wire = n_wires - n_outputs + i;
+        if (node[wire] == UINT64_MAX) return fail("undriven output wire");
+        out.AddOutput(node[wire]);
+    }
+    return out;
+}
+
+std::optional<Netlist> ImportBristolString(const std::string& text,
+                                           std::string* error) {
+    std::istringstream is(text);
+    return ImportBristol(is, error);
+}
+
+}  // namespace pytfhe::circuit

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Bristol-fashion circuit import/export.
+ *
+ * "Bristol fashion" is the de-facto interchange format for boolean
+ * circuits in the MPC/FHE community (the format of the published AES,
+ * SHA, and adder circuits). Supporting it lets PyTFHE execute circuits
+ * produced by other toolchains and lets other tools consume ours.
+ *
+ * Header: `<ngates> <nwires>`, then the input declaration
+ * `<niv> <w1> ... <wniv>` and output declaration `<nov> <w1> ... <wnov>`.
+ * Gate lines: `2 1 a b out AND|XOR`, `1 1 a out INV|EQW`,
+ * `1 1 c out EQ` (constant 0/1). Wires 0..n_inputs-1 are the inputs and
+ * the last wires are the outputs, in order.
+ *
+ * Export lowers the rich TFHE gate set to AND/XOR/INV and appends EQW
+ * copies so outputs land on the tail wires; import accepts AND, XOR, INV,
+ * NOT, EQ, and EQW.
+ */
+#ifndef PYTFHE_CIRCUIT_BRISTOL_H
+#define PYTFHE_CIRCUIT_BRISTOL_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace pytfhe::circuit {
+
+/**
+ * Writes the netlist in Bristol fashion. Inputs become one input value of
+ * n bits; outputs one output value of m bits (per-wire grouping metadata
+ * is not preserved).
+ */
+void ExportBristol(std::ostream& os, const Netlist& netlist);
+
+/** Convenience: export to a string. */
+std::string ExportBristolString(const Netlist& netlist);
+
+/** Parses a Bristol-fashion circuit. Returns nullopt + error on failure. */
+std::optional<Netlist> ImportBristol(std::istream& is,
+                                     std::string* error = nullptr);
+std::optional<Netlist> ImportBristolString(const std::string& text,
+                                           std::string* error = nullptr);
+
+}  // namespace pytfhe::circuit
+
+#endif  // PYTFHE_CIRCUIT_BRISTOL_H

@@ -1,0 +1,177 @@
+#include "circuit/builder.h"
+
+#include <cassert>
+
+namespace pytfhe::circuit {
+
+namespace {
+
+/** The gate type computing the same function with operands swapped. */
+GateType SwappedGate(GateType t) {
+    switch (t) {
+        case GateType::kAndNY: return GateType::kAndYN;
+        case GateType::kAndYN: return GateType::kAndNY;
+        case GateType::kOrNY: return GateType::kOrYN;
+        case GateType::kOrYN: return GateType::kOrNY;
+        default: return t;  // Commutative gates and NOT.
+    }
+}
+
+}  // namespace
+
+std::optional<NodeId> SimplifyingBuilder::NotInputOf(NodeId id) const {
+    const Node& n = out_.GetNode(id);
+    if (n.kind == NodeKind::kGate && n.type == GateType::kNot) return n.in0;
+    return std::nullopt;
+}
+
+NodeId SimplifyingBuilder::MakeNot(NodeId a) {
+    if (opts_.fold_constants) {
+        if (a == kConstFalse) return kConstTrue;
+        if (a == kConstTrue) return kConstFalse;
+        if (auto inner = NotInputOf(a)) {
+            ++stats_.folded;
+            return *inner;
+        }
+    }
+    if (opts_.absorb_not && opts_.cse) {
+        // NOT of a binary gate becomes the negated gate directly — but
+        // only when CSE is on: without it, negating a gate that has other
+        // consumers duplicates logic instead of saving the (noiseless)
+        // NOT. Only pay when the negated twin already exists.
+        const Node& n = out_.GetNode(a);
+        if (n.kind == NodeKind::kGate && n.type != GateType::kNot) {
+            const GateKey key{NegatedGate(n.type), n.in0, n.in1};
+            auto it = cse_.find(key);
+            if (it != cse_.end()) {
+                ++stats_.absorbed_nots;
+                return it->second;
+            }
+        }
+    }
+    return Emit(GateType::kNot, a, a);
+}
+
+NodeId SimplifyingBuilder::MakeGate(GateType t, NodeId a, NodeId b) {
+    if (t == GateType::kNot) return MakeNot(a);
+
+    if (opts_.basic_gates_only) {
+        assert(!opts_.absorb_not && "absorb_not would undo the lowering");
+        switch (t) {
+            case GateType::kNand:
+                return MakeNot(MakeGate(GateType::kAnd, a, b));
+            case GateType::kNor:
+                return MakeNot(MakeGate(GateType::kOr, a, b));
+            case GateType::kXnor:
+                return MakeNot(MakeGate(GateType::kXor, a, b));
+            case GateType::kAndNY:
+                return MakeGate(GateType::kAnd, MakeNot(a), b);
+            case GateType::kAndYN:
+                return MakeGate(GateType::kAnd, a, MakeNot(b));
+            case GateType::kOrNY:
+                return MakeGate(GateType::kOr, MakeNot(a), b);
+            case GateType::kOrYN:
+                return MakeGate(GateType::kOr, a, MakeNot(b));
+            default:
+                break;  // AND/OR/XOR pass through.
+        }
+    }
+
+    if (opts_.absorb_not) {
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            if (auto inner = NotInputOf(a)) {
+                t = GateWithFirstInputNegated(t);
+                a = *inner;
+                ++stats_.absorbed_nots;
+                changed = true;
+            }
+            if (auto inner = NotInputOf(b)) {
+                t = GateWithSecondInputNegated(t);
+                b = *inner;
+                ++stats_.absorbed_nots;
+                changed = true;
+            }
+        }
+    }
+
+    if (opts_.fold_constants) {
+        const bool a_const = a <= kConstTrue;
+        const bool b_const = b <= kConstTrue;
+        if (a_const && b_const) {
+            ++stats_.folded;
+            return EvalGate(t, a == kConstTrue, b == kConstTrue) ? kConstTrue
+                                                                 : kConstFalse;
+        }
+        if (a_const) {
+            ++stats_.folded;
+            return UnaryOf(t, b, /*fixed_first=*/true, a == kConstTrue);
+        }
+        if (b_const) {
+            ++stats_.folded;
+            return UnaryOf(t, a, /*fixed_first=*/false, b == kConstTrue);
+        }
+        if (a == b) {
+            ++stats_.folded;
+            return FromTruth(EvalGate(t, false, false), EvalGate(t, true, true),
+                             a);
+        }
+    }
+
+    if (a > b) {
+        t = SwappedGate(t);
+        std::swap(a, b);
+    }
+    return Emit(t, a, b);
+}
+
+NodeId SimplifyingBuilder::MakeMux(NodeId sel, NodeId t, NodeId f) {
+    if (opts_.fold_constants) {
+        if (sel == kConstTrue) return t;
+        if (sel == kConstFalse) return f;
+        if (t == f) return t;
+        // Constant arms collapse to a single gate.
+        if (t == kConstTrue) return MakeGate(GateType::kOr, sel, f);
+        if (t == kConstFalse) return MakeGate(GateType::kAndNY, sel, f);
+        if (f == kConstTrue) return MakeGate(GateType::kOrNY, sel, t);
+        if (f == kConstFalse) return MakeGate(GateType::kAnd, sel, t);
+    }
+    // sel ? t : f == (sel AND t) OR (NOT sel AND f). With folding enabled,
+    // constant t/f collapse the arms (e.g. t == 1 gives OR(sel, f)).
+    const NodeId arm_t = MakeGate(GateType::kAnd, sel, t);
+    const NodeId arm_f = MakeGate(GateType::kAndNY, sel, f);
+    return MakeGate(GateType::kOr, arm_t, arm_f);
+}
+
+NodeId SimplifyingBuilder::UnaryOf(GateType t, NodeId x, bool fixed_first,
+                                   bool cval) {
+    const bool r0 =
+        fixed_first ? EvalGate(t, cval, false) : EvalGate(t, false, cval);
+    const bool r1 =
+        fixed_first ? EvalGate(t, cval, true) : EvalGate(t, true, cval);
+    return FromTruth(r0, r1, x);
+}
+
+NodeId SimplifyingBuilder::FromTruth(bool r0, bool r1, NodeId x) {
+    if (r0 == r1) return r0 ? kConstTrue : kConstFalse;
+    if (!r0 && r1) return x;
+    return MakeNot(x);
+}
+
+NodeId SimplifyingBuilder::Emit(GateType t, NodeId a, NodeId b) {
+    if (opts_.cse) {
+        const GateKey key{t, a, b};
+        auto it = cse_.find(key);
+        if (it != cse_.end()) {
+            ++stats_.deduped;
+            return it->second;
+        }
+        const NodeId id = out_.AddGate(t, a, b);
+        cse_.emplace(key, id);
+        return id;
+    }
+    return out_.AddGate(t, a, b);
+}
+
+}  // namespace pytfhe::circuit

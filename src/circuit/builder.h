@@ -1,0 +1,101 @@
+/**
+ * @file
+ * SimplifyingBuilder: the canonical way to construct optimized netlists.
+ *
+ * Every MakeGate call applies local rewrites before emitting a node:
+ * constant folding, duplicate/complement-input folding, double-negation
+ * elimination, NOT absorption into the TFHE gate set, canonical operand
+ * ordering, and structural hashing (CSE). Frontends (the HDL layer, the
+ * baseline models with rewrites disabled) and the Optimize pass all build
+ * through this class, so circuits are born optimized rather than cleaned up
+ * afterwards.
+ */
+#ifndef PYTFHE_CIRCUIT_BUILDER_H
+#define PYTFHE_CIRCUIT_BUILDER_H
+
+#include <optional>
+#include <unordered_map>
+
+#include "circuit/netlist.h"
+
+namespace pytfhe::circuit {
+
+/** Which local rewrites MakeGate applies. Defaults: everything on. */
+struct BuilderOptions {
+    bool fold_constants = true;
+    bool cse = true;
+    bool absorb_not = true;
+    /**
+     * Restricts emission to the basic AND/OR/XOR/NOT set, lowering the
+     * richer TFHE gates into gate + NOT pairs. Used by the baseline
+     * framework models (Cingulata/E3/Transpiler do not exploit the full
+     * TFHE gate set); incompatible with absorb_not.
+     */
+    bool basic_gates_only = false;
+};
+
+/** Counts of applied rewrites. */
+struct BuilderStats {
+    uint64_t folded = 0;
+    uint64_t deduped = 0;
+    uint64_t absorbed_nots = 0;
+};
+
+class SimplifyingBuilder {
+  public:
+    explicit SimplifyingBuilder(BuilderOptions options = {})
+        : opts_(options) {}
+
+    /** The netlist under construction. */
+    Netlist& netlist() { return out_; }
+    const Netlist& netlist() const { return out_; }
+    const BuilderStats& stats() const { return stats_; }
+
+    NodeId MakeInput(std::string name = {}) {
+        return out_.AddInput(std::move(name));
+    }
+    NodeId MakeConst(bool value) {
+        return value ? kConstTrue : kConstFalse;
+    }
+    /** Builds gate type t over (a, b), simplifying. For NOT, b is ignored. */
+    NodeId MakeGate(GateType t, NodeId a, NodeId b);
+    NodeId MakeNot(NodeId a);
+    /** sel ? t : f, lowered to the binary gate set (2 bootstrapped gates). */
+    NodeId MakeMux(NodeId sel, NodeId t, NodeId f);
+
+    void AddOutput(NodeId id, std::string name = {}) {
+        out_.AddOutput(id, std::move(name));
+    }
+
+  private:
+    std::optional<NodeId> NotInputOf(NodeId id) const;
+    NodeId UnaryOf(GateType t, NodeId x, bool fixed_first, bool cval);
+    NodeId FromTruth(bool r0, bool r1, NodeId x);
+    NodeId Emit(GateType t, NodeId a, NodeId b);
+
+    struct GateKey {
+        GateType type;
+        NodeId a;
+        NodeId b;
+        bool operator==(const GateKey& o) const {
+            return type == o.type && a == o.a && b == o.b;
+        }
+    };
+    struct GateKeyHash {
+        size_t operator()(const GateKey& k) const {
+            size_t h = static_cast<size_t>(k.type);
+            h = h * 0x9E3779B97F4A7C15ull + k.a;
+            h = h * 0x9E3779B97F4A7C15ull + k.b;
+            return h;
+        }
+    };
+
+    BuilderOptions opts_;
+    BuilderStats stats_;
+    Netlist out_;
+    std::unordered_map<GateKey, NodeId, GateKeyHash> cse_;
+};
+
+}  // namespace pytfhe::circuit
+
+#endif  // PYTFHE_CIRCUIT_BUILDER_H

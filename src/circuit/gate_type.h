@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The TFHE gate set shared by the circuit IR, the assembler, and the
+ * backends.
+ *
+ * Enum values are the 4-bit gate-type encodings of the PyTFHE binary format
+ * (Fig. 5 of the paper); XOR = 6 matches the half-adder example in Fig. 6.
+ */
+#ifndef PYTFHE_CIRCUIT_GATE_TYPE_H
+#define PYTFHE_CIRCUIT_GATE_TYPE_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace pytfhe::circuit {
+
+/** The eleven PyTFHE gate types. */
+enum class GateType : uint8_t {
+    kNot = 0,    ///< NOT(a); single input, noiseless in TFHE.
+    kAnd = 1,
+    kNand = 2,
+    kOr = 3,
+    kNor = 4,
+    kXnor = 5,
+    kXor = 6,    ///< Encoded 0110, per the paper's half-adder example.
+    kAndNY = 7,  ///< NOT(a) AND b.
+    kAndYN = 8,  ///< a AND NOT(b).
+    kOrNY = 9,   ///< NOT(a) OR b.
+    kOrYN = 10,  ///< a OR NOT(b).
+};
+
+constexpr int32_t kNumGateTypes = 11;
+
+/** True for the single-input NOT gate. */
+constexpr bool IsUnary(GateType t) { return t == GateType::kNot; }
+
+/** True for gates whose TFHE evaluation needs a bootstrap (all but NOT). */
+constexpr bool NeedsBootstrap(GateType t) { return t != GateType::kNot; }
+
+/** Plaintext semantics of a gate. For NOT, b is ignored. */
+constexpr bool EvalGate(GateType t, bool a, bool b) {
+    switch (t) {
+        case GateType::kNot: return !a;
+        case GateType::kAnd: return a && b;
+        case GateType::kNand: return !(a && b);
+        case GateType::kOr: return a || b;
+        case GateType::kNor: return !(a || b);
+        case GateType::kXnor: return a == b;
+        case GateType::kXor: return a != b;
+        case GateType::kAndNY: return !a && b;
+        case GateType::kAndYN: return a && !b;
+        case GateType::kOrNY: return !a || b;
+        case GateType::kOrYN: return a || !b;
+    }
+    return false;  // Unreachable for valid gate types.
+}
+
+/** True if swapping the inputs leaves the gate function unchanged. */
+constexpr bool IsCommutative(GateType t) {
+    switch (t) {
+        case GateType::kAnd:
+        case GateType::kNand:
+        case GateType::kOr:
+        case GateType::kNor:
+        case GateType::kXor:
+        case GateType::kXnor:
+            return true;
+        default:
+            return false;
+    }
+}
+
+/** Short uppercase mnemonic, as used in disassembly and stats output. */
+constexpr std::string_view GateTypeName(GateType t) {
+    switch (t) {
+        case GateType::kNot: return "NOT";
+        case GateType::kAnd: return "AND";
+        case GateType::kNand: return "NAND";
+        case GateType::kOr: return "OR";
+        case GateType::kNor: return "NOR";
+        case GateType::kXnor: return "XNOR";
+        case GateType::kXor: return "XOR";
+        case GateType::kAndNY: return "ANDNY";
+        case GateType::kAndYN: return "ANDYN";
+        case GateType::kOrNY: return "ORNY";
+        case GateType::kOrYN: return "ORYN";
+    }
+    return "?";
+}
+
+/** The gate computing NOT(gate), when it exists in the gate set. */
+constexpr GateType NegatedGate(GateType t) {
+    switch (t) {
+        case GateType::kAnd: return GateType::kNand;
+        case GateType::kNand: return GateType::kAnd;
+        case GateType::kOr: return GateType::kNor;
+        case GateType::kNor: return GateType::kOr;
+        case GateType::kXor: return GateType::kXnor;
+        case GateType::kXnor: return GateType::kXor;
+        case GateType::kAndNY: return GateType::kOrYN;
+        case GateType::kAndYN: return GateType::kOrNY;
+        case GateType::kOrNY: return GateType::kAndYN;
+        case GateType::kOrYN: return GateType::kAndNY;
+        case GateType::kNot: return GateType::kNot;  // NOT(NOT) handled as copy.
+    }
+    return t;
+}
+
+/** The gate equivalent to t with its first input negated, if in the set. */
+constexpr GateType GateWithFirstInputNegated(GateType t) {
+    switch (t) {
+        case GateType::kAnd: return GateType::kAndNY;
+        case GateType::kOr: return GateType::kOrNY;
+        case GateType::kAndNY: return GateType::kAnd;
+        case GateType::kOrNY: return GateType::kOr;
+        case GateType::kXor: return GateType::kXnor;
+        case GateType::kXnor: return GateType::kXor;
+        case GateType::kNand: return GateType::kOrYN;
+        case GateType::kNor: return GateType::kAndYN;
+        case GateType::kAndYN: return GateType::kNor;
+        case GateType::kOrYN: return GateType::kNand;
+        case GateType::kNot: return GateType::kNot;
+    }
+    return t;
+}
+
+/** The gate equivalent to t with its second input negated, if in the set. */
+constexpr GateType GateWithSecondInputNegated(GateType t) {
+    switch (t) {
+        case GateType::kAnd: return GateType::kAndYN;
+        case GateType::kOr: return GateType::kOrYN;
+        case GateType::kAndYN: return GateType::kAnd;
+        case GateType::kOrYN: return GateType::kOr;
+        case GateType::kXor: return GateType::kXnor;
+        case GateType::kXnor: return GateType::kXor;
+        case GateType::kNand: return GateType::kOrNY;
+        case GateType::kNor: return GateType::kAndNY;
+        case GateType::kAndNY: return GateType::kNor;
+        case GateType::kOrNY: return GateType::kNand;
+        case GateType::kNot: return GateType::kNot;
+    }
+    return t;
+}
+
+}  // namespace pytfhe::circuit
+
+#endif  // PYTFHE_CIRCUIT_GATE_TYPE_H

@@ -1,0 +1,169 @@
+#include "circuit/netlist.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace pytfhe::circuit {
+
+std::string NetlistStats::ToString() const {
+    std::ostringstream os;
+    os << "inputs=" << num_inputs << " outputs=" << num_outputs
+       << " gates=" << num_gates << " bootstraps=" << num_bootstrap_gates
+       << " depth=" << depth << " max_width=" << max_width << "\n";
+    for (int32_t t = 0; t < kNumGateTypes; ++t) {
+        if (gate_histogram[t] == 0) continue;
+        os << "  " << GateTypeName(static_cast<GateType>(t)) << ": "
+           << gate_histogram[t] << "\n";
+    }
+    return os.str();
+}
+
+Netlist::Netlist() {
+    nodes_.push_back(Node{NodeKind::kConst, GateType::kAnd, 0, 0});
+    nodes_.push_back(Node{NodeKind::kConst, GateType::kAnd, 0, 0});
+}
+
+NodeId Netlist::AddInput(std::string name) {
+    const NodeId id = nodes_.size();
+    nodes_.push_back(Node{NodeKind::kInput, GateType::kAnd, 0, 0});
+    inputs_.push_back(id);
+    if (name.empty()) name = "in" + std::to_string(inputs_.size() - 1);
+    input_names_.push_back(std::move(name));
+    return id;
+}
+
+NodeId Netlist::AddGate(GateType type, NodeId a, NodeId b) {
+    assert(a < nodes_.size() && b < nodes_.size());
+    const NodeId id = nodes_.size();
+    nodes_.push_back(Node{NodeKind::kGate, type, a, IsUnary(type) ? a : b});
+    ++num_gates_;
+    return id;
+}
+
+size_t Netlist::AddOutput(NodeId id, std::string name) {
+    assert(id < nodes_.size());
+    outputs_.push_back(id);
+    if (name.empty()) name = "out" + std::to_string(outputs_.size() - 1);
+    output_names_.push_back(std::move(name));
+    return outputs_.size() - 1;
+}
+
+std::optional<std::string> Netlist::Validate() const {
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        const Node& n = nodes_[id];
+        if (id <= kConstTrue) {
+            if (n.kind != NodeKind::kConst)
+                return "node " + std::to_string(id) + " must be a constant";
+            continue;
+        }
+        if (n.kind == NodeKind::kConst)
+            return "constant node at non-reserved id " + std::to_string(id);
+        if (n.kind == NodeKind::kGate) {
+            if (n.in0 >= id || n.in1 >= id)
+                return "gate " + std::to_string(id) +
+                       " references a non-topological input";
+        }
+    }
+    for (NodeId id : outputs_) {
+        if (id >= nodes_.size())
+            return "output references missing node " + std::to_string(id);
+    }
+    return std::nullopt;
+}
+
+std::vector<std::vector<NodeId>> Netlist::ComputeLevels() const {
+    // level[id] = 0 for inputs/constants; gates get
+    // 1 + max(level of gate inputs). NOT gates are noiseless but still
+    // scheduled; they do not add bootstrap depth (tracked separately in
+    // stats) yet occupy a slot in their level.
+    std::vector<uint32_t> level(nodes_.size(), 0);
+    uint32_t max_level = 0;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        const Node& n = nodes_[id];
+        if (n.kind != NodeKind::kGate) continue;
+        level[id] = 1 + std::max(level[n.in0], level[n.in1]);
+        max_level = std::max(max_level, level[id]);
+    }
+    std::vector<std::vector<NodeId>> levels(max_level);
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        if (nodes_[id].kind == NodeKind::kGate)
+            levels[level[id] - 1].push_back(id);
+    }
+    return levels;
+}
+
+NetlistStats Netlist::ComputeStats() const {
+    NetlistStats s;
+    s.num_inputs = inputs_.size();
+    s.num_outputs = outputs_.size();
+
+    // Depth in *bootstrapped* gates: NOT is free.
+    std::vector<uint32_t> bdepth(nodes_.size(), 0);
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        const Node& n = nodes_[id];
+        if (n.kind != NodeKind::kGate) continue;
+        ++s.num_gates;
+        ++s.gate_histogram[static_cast<int32_t>(n.type)];
+        const uint32_t in_depth = std::max(bdepth[n.in0], bdepth[n.in1]);
+        if (NeedsBootstrap(n.type)) {
+            ++s.num_bootstrap_gates;
+            bdepth[id] = in_depth + 1;
+        } else {
+            bdepth[id] = in_depth;
+        }
+        s.depth = std::max<uint64_t>(s.depth, bdepth[id]);
+    }
+    for (const auto& lvl : ComputeLevels())
+        s.max_width = std::max<uint64_t>(s.max_width, lvl.size());
+    return s;
+}
+
+std::vector<bool> Netlist::EvaluatePlain(
+    const std::vector<bool>& input_values) const {
+    assert(input_values.size() == inputs_.size());
+    std::vector<bool> value(nodes_.size(), false);
+    value[kConstTrue] = true;
+    for (size_t i = 0; i < inputs_.size(); ++i)
+        value[inputs_[i]] = input_values[i];
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        const Node& n = nodes_[id];
+        if (n.kind == NodeKind::kGate)
+            value[id] = EvalGate(n.type, value[n.in0], value[n.in1]);
+    }
+    std::vector<bool> out(outputs_.size());
+    for (size_t i = 0; i < outputs_.size(); ++i) out[i] = value[outputs_[i]];
+    return out;
+}
+
+std::string Netlist::ToDot() const {
+    std::ostringstream os;
+    os << "digraph netlist {\n  rankdir=LR;\n";
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        const Node& n = nodes_[id];
+        switch (n.kind) {
+            case NodeKind::kConst:
+                os << "  n" << id << " [label=\""
+                   << (id == kConstTrue ? "1" : "0")
+                   << "\" shape=plaintext];\n";
+                break;
+            case NodeKind::kInput:
+                os << "  n" << id << " [label=\"in\" shape=box];\n";
+                break;
+            case NodeKind::kGate:
+                os << "  n" << id << " [label=\"" << GateTypeName(n.type)
+                   << "\"];\n";
+                os << "  n" << n.in0 << " -> n" << id << ";\n";
+                if (!IsUnary(n.type))
+                    os << "  n" << n.in1 << " -> n" << id << ";\n";
+                break;
+        }
+    }
+    for (size_t i = 0; i < outputs_.size(); ++i) {
+        os << "  o" << i << " [label=\"" << output_names_[i]
+           << "\" shape=box];\n  n" << outputs_[i] << " -> o" << i << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+}  // namespace pytfhe::circuit

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The gate-level intermediate representation: a DAG of 2-input gates.
+ *
+ * A Netlist is the common artifact of every frontend (ChiselTorch, the
+ * baseline models, hand-written circuits) and the common input of the
+ * assembler and every backend. Nodes are identified by dense NodeIds in
+ * creation order, which is also a valid topological order: a gate's inputs
+ * always have smaller ids. Node 0 and 1 are reserved constant-false /
+ * constant-true nodes (frontends fold them away before assembly; see
+ * opt/passes.h).
+ */
+#ifndef PYTFHE_CIRCUIT_NETLIST_H
+#define PYTFHE_CIRCUIT_NETLIST_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/gate_type.h"
+
+namespace pytfhe::circuit {
+
+using NodeId = uint64_t;
+
+/** Reserved node ids for the two constants. */
+constexpr NodeId kConstFalse = 0;
+constexpr NodeId kConstTrue = 1;
+
+/** What a node is. */
+enum class NodeKind : uint8_t {
+    kConst,  ///< One of the two reserved constants.
+    kInput,  ///< Primary input.
+    kGate,   ///< Two-input (or NOT) gate.
+};
+
+/** One DAG node. POD; 24 bytes. */
+struct Node {
+    NodeKind kind = NodeKind::kConst;
+    GateType type = GateType::kAnd;  ///< Valid when kind == kGate.
+    NodeId in0 = 0;                  ///< Valid when kind == kGate.
+    NodeId in1 = 0;                  ///< Valid for binary gates; == in0 for NOT.
+};
+
+/** Aggregate statistics over a netlist. */
+struct NetlistStats {
+    uint64_t num_inputs = 0;
+    uint64_t num_outputs = 0;
+    uint64_t num_gates = 0;               ///< All gates, including NOT.
+    uint64_t num_bootstrap_gates = 0;     ///< Gates that cost a bootstrap.
+    uint64_t gate_histogram[kNumGateTypes] = {};
+    uint64_t depth = 0;       ///< Critical path in bootstrapped gates.
+    uint64_t max_width = 0;   ///< Largest level of the BFS schedule.
+
+    std::string ToString() const;
+};
+
+/**
+ * A combinational circuit as a DAG of gates.
+ *
+ * Invariants (checked by Validate):
+ *  - every gate input id is smaller than the gate's own id;
+ *  - every referenced id exists;
+ *  - outputs reference existing nodes.
+ */
+class Netlist {
+  public:
+    Netlist();
+
+    /** Adds a primary input and returns its node id. */
+    NodeId AddInput(std::string name = {});
+
+    /**
+     * Adds a gate node without any simplification (frontends that want
+     * hash-consing use hdl::Builder). For NOT gates pass b == a.
+     */
+    NodeId AddGate(GateType type, NodeId a, NodeId b);
+
+    /** Registers an output. Returns its output index. */
+    size_t AddOutput(NodeId id, std::string name = {});
+
+    size_t NumNodes() const { return nodes_.size(); }
+    const Node& GetNode(NodeId id) const { return nodes_[id]; }
+
+    const std::vector<NodeId>& Inputs() const { return inputs_; }
+    const std::vector<NodeId>& Outputs() const { return outputs_; }
+    const std::string& InputName(size_t i) const { return input_names_[i]; }
+    const std::string& OutputName(size_t i) const { return output_names_[i]; }
+
+    uint64_t NumGates() const { return num_gates_; }
+
+    /** Returns an error description, or nullopt if the netlist is valid. */
+    std::optional<std::string> Validate() const;
+
+    /**
+     * Level-by-level BFS schedule per Algorithm 1 of the paper: level[0] is
+     * every gate whose inputs are all primary inputs or constants; level[i]
+     * contains gates whose deepest predecessor gate sits in level[i-1].
+     * Only gate nodes appear in the result.
+     */
+    std::vector<std::vector<NodeId>> ComputeLevels() const;
+
+    /** Full statistics (walks the DAG; O(nodes)). */
+    NetlistStats ComputeStats() const;
+
+    /**
+     * Evaluates the circuit on plaintext bits (reference semantics used by
+     * tests and the functional backends). input_values must match Inputs().
+     */
+    std::vector<bool> EvaluatePlain(const std::vector<bool>& input_values) const;
+
+    /** Graphviz dump for debugging small circuits. */
+    std::string ToDot() const;
+
+  private:
+    std::vector<Node> nodes_;
+    std::vector<NodeId> inputs_;
+    std::vector<std::string> input_names_;
+    std::vector<NodeId> outputs_;
+    std::vector<std::string> output_names_;
+    uint64_t num_gates_ = 0;
+};
+
+}  // namespace pytfhe::circuit
+
+#endif  // PYTFHE_CIRCUIT_NETLIST_H

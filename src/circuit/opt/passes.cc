@@ -1,0 +1,85 @@
+#include "circuit/opt/passes.h"
+
+#include <sstream>
+
+#include "circuit/builder.h"
+
+namespace pytfhe::circuit {
+
+namespace {
+
+/** One rebuild sweep through SimplifyingBuilder. */
+Netlist RebuildOnce(const Netlist& in, const OptOptions& opts,
+                    OptStats& stats) {
+    // Liveness: only rebuild the output cone when DCE is on.
+    std::vector<bool> live(in.NumNodes(), !opts.dce);
+    if (opts.dce) {
+        std::vector<NodeId> stack(in.Outputs().begin(), in.Outputs().end());
+        for (NodeId id : in.Inputs()) live[id] = true;
+        while (!stack.empty()) {
+            const NodeId id = stack.back();
+            stack.pop_back();
+            if (live[id]) continue;
+            live[id] = true;
+            const Node& n = in.GetNode(id);
+            if (n.kind == NodeKind::kGate) {
+                if (!live[n.in0]) stack.push_back(n.in0);
+                if (!live[n.in1]) stack.push_back(n.in1);
+            }
+        }
+    }
+
+    SimplifyingBuilder builder(BuilderOptions{
+        opts.fold_constants, opts.cse, opts.absorb_not});
+    std::vector<NodeId> map(in.NumNodes(), kConstFalse);
+    map[kConstTrue] = kConstTrue;
+    size_t input_idx = 0;
+    for (NodeId id = 2; id < in.NumNodes(); ++id) {
+        const Node& n = in.GetNode(id);
+        if (n.kind == NodeKind::kInput) {
+            // Inputs are always preserved, in order.
+            map[id] = builder.MakeInput(in.InputName(input_idx++));
+            continue;
+        }
+        if (!live[id]) continue;
+        map[id] = builder.MakeGate(n.type, map[n.in0], map[n.in1]);
+    }
+    for (size_t i = 0; i < in.Outputs().size(); ++i)
+        builder.AddOutput(map[in.Outputs()[i]], in.OutputName(i));
+
+    stats.folded += builder.stats().folded;
+    stats.deduped += builder.stats().deduped;
+    stats.absorbed_nots += builder.stats().absorbed_nots;
+    return std::move(builder.netlist());
+}
+
+}  // namespace
+
+std::string OptStats::ToString() const {
+    std::ostringstream os;
+    os << "gates " << gates_before << " -> " << gates_after << " (folded "
+       << folded << ", cse " << deduped << ", not-absorbed " << absorbed_nots
+       << ")";
+    return os.str();
+}
+
+OptResult Optimize(const Netlist& input, const OptOptions& options) {
+    OptResult result{Netlist{}, OptStats{}};
+    result.stats.gates_before = input.NumGates();
+
+    Netlist current = RebuildOnce(input, options, result.stats);
+    // NOT absorption can orphan nodes; rebuild until the size is stable
+    // (bounded: each sweep only shrinks the netlist).
+    for (int iter = 0; iter < 4; ++iter) {
+        Netlist next = RebuildOnce(current, options, result.stats);
+        const bool stable = next.NumGates() == current.NumGates();
+        current = std::move(next);
+        if (stable) break;
+    }
+
+    result.stats.gates_after = current.NumGates();
+    result.netlist = std::move(current);
+    return result;
+}
+
+}  // namespace pytfhe::circuit

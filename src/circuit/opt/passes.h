@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Netlist optimization passes — the stand-in for Yosys synthesis cleanup in
+ * the original toolchain.
+ *
+ * A single rebuilding pass applies, in topological order:
+ *  - constant folding (gates with constant or duplicate/complementary
+ *    inputs reduce to constants, wires, or NOTs);
+ *  - double-negation elimination;
+ *  - NOT absorption into consumers using the rich TFHE gate set
+ *    (e.g. AND(NOT a, b) -> ANDNY(a, b));
+ *  - structural hashing / common-subexpression elimination with canonical
+ *    operand order;
+ *  - dead-code elimination (only the output cone is rebuilt).
+ *
+ * Each rewrite can be disabled individually, which the ablation benchmark
+ * uses to attribute gate-count savings per pass.
+ */
+#ifndef PYTFHE_CIRCUIT_OPT_PASSES_H
+#define PYTFHE_CIRCUIT_OPT_PASSES_H
+
+#include "circuit/netlist.h"
+
+namespace pytfhe::circuit {
+
+/** Which rewrites to apply. Defaults: everything on. */
+struct OptOptions {
+    bool fold_constants = true;
+    bool cse = true;
+    bool absorb_not = true;
+    bool dce = true;
+};
+
+/** Rewrite statistics for reporting and ablation. */
+struct OptStats {
+    uint64_t folded = 0;        ///< Constant/identity folds.
+    uint64_t deduped = 0;       ///< CSE hits.
+    uint64_t absorbed_nots = 0; ///< NOTs fused into consumers.
+    uint64_t gates_before = 0;
+    uint64_t gates_after = 0;
+
+    std::string ToString() const;
+};
+
+/** Result of optimization. */
+struct OptResult {
+    Netlist netlist;
+    OptStats stats;
+};
+
+/**
+ * Optimizes a netlist. Semantics are preserved exactly: for every input
+ * assignment the optimized circuit produces identical outputs (property
+ * tests enforce this on random circuits).
+ */
+OptResult Optimize(const Netlist& input, const OptOptions& options = {});
+
+}  // namespace pytfhe::circuit
+
+#endif  // PYTFHE_CIRCUIT_OPT_PASSES_H

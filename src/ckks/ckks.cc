@@ -1,0 +1,364 @@
+#include "ckks/ckks.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pytfhe::ckks {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+uint64_t MaskOf(int32_t log_q) {
+    return log_q >= 64 ? ~UINT64_C(0) : (UINT64_C(1) << log_q) - 1;
+}
+
+/** Centered representative of v mod 2^log_q. */
+int64_t Center(uint64_t v, int32_t log_q) {
+    const uint64_t mask = MaskOf(log_q);
+    v &= mask;
+    if (log_q < 64 && v >= (UINT64_C(1) << (log_q - 1)))
+        return static_cast<int64_t>(v) - static_cast<int64_t>(mask) - 1;
+    return static_cast<int64_t>(v);
+}
+
+void AddInto(Poly& a, const Poly& b, uint64_t mask) {
+    for (size_t i = 0; i < a.size(); ++i) a[i] = (a[i] + b[i]) & mask;
+}
+
+void SubInto(Poly& a, const Poly& b, uint64_t mask) {
+    for (size_t i = 0; i < a.size(); ++i) a[i] = (a[i] - b[i]) & mask;
+}
+
+/**
+ * Negacyclic product mod 2^log_q. Power-of-two moduli make this exact with
+ * plain wrapping uint64 arithmetic plus a final mask.
+ */
+Poly NegacyclicMul(const Poly& a, const Poly& b, int32_t log_q) {
+    const size_t n = a.size();
+    const uint64_t mask = MaskOf(log_q);
+    Poly out(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        const uint64_t ai = a[i];
+        if (ai == 0) continue;
+        for (size_t j = 0; j < n; ++j) {
+            const uint64_t term = ai * b[j];
+            const size_t k = i + j;
+            if (k < n) {
+                out[k] += term;
+            } else {
+                out[k - n] -= term;
+            }
+        }
+    }
+    for (auto& c : out) c &= mask;
+    return out;
+}
+
+/** Signed value stored mod 2^log_q. */
+uint64_t FromSigned(int64_t v, uint64_t mask) {
+    return static_cast<uint64_t>(v) & mask;
+}
+
+}  // namespace
+
+CkksContext::CkksContext(const CkksParams& params, tfhe::Rng& rng)
+    : params_(params) {
+    const int32_t n = params.n;
+    assert(n >= 8 && (n & (n - 1)) == 0);
+    assert(params.log_q0 <= 62);
+
+    // Ternary secret.
+    secret_.resize(n);
+    const uint64_t mask = MaskOf(params.log_q0);
+    for (auto& c : secret_)
+        c = FromSigned(static_cast<int64_t>(rng.UniformBelow(3)) - 1, mask);
+
+    // Slot roots along the 5^j orbit: zeta^(5^j), zeta = exp(i pi / n).
+    const int32_t slots = params.NumSlots();
+    roots_.resize(slots);
+    galois_.resize(slots);
+    int64_t e = 1;
+    for (int32_t j = 0; j < slots; ++j) {
+        galois_[j] = e;
+        roots_[j] = std::exp(std::complex<double>(
+            0.0, 2.0 * kPi * static_cast<double>(e) / (2.0 * n)));
+        e = (e * 5) % (2 * n);
+    }
+
+    // Relinearization key: s^2 -> s.
+    relin_key_ = MakeKsKey(NegacyclicMul(secret_, secret_, params.log_q0),
+                           rng);
+}
+
+Poly CkksContext::Encode(const std::vector<double>& slots) const {
+    const int32_t n = params_.n;
+    const int32_t num_slots = params_.NumSlots();
+    assert(static_cast<int32_t>(slots.size()) == num_slots);
+    const double scale = std::pow(2.0, params_.log_scale);
+    const uint64_t mask = MaskOf(params_.log_q0);
+    Poly out(n);
+    for (int32_t k = 0; k < n; ++k) {
+        double acc = 0;
+        for (int32_t j = 0; j < num_slots; ++j) {
+            // Re(z_j * conj(root_j^k)).
+            const std::complex<double> w = std::pow(roots_[j], -k);
+            acc += slots[j] * w.real();
+        }
+        const double coef = 2.0 * acc / n * scale;
+        out[k] = FromSigned(std::llround(coef), mask);
+    }
+    return out;
+}
+
+std::vector<double> CkksContext::Decode(const Poly& plain, double scale,
+                                        int32_t log_q) const {
+    const int32_t num_slots = params_.NumSlots();
+    std::vector<double> out(num_slots);
+    for (int32_t j = 0; j < num_slots; ++j) {
+        std::complex<double> acc = 0;
+        std::complex<double> w = 1;
+        for (size_t k = 0; k < plain.size(); ++k) {
+            acc += static_cast<double>(Center(plain[k], log_q)) * w;
+            w *= roots_[j];
+        }
+        out[j] = acc.real() / scale;
+    }
+    return out;
+}
+
+CkksCiphertext CkksContext::Encrypt(const std::vector<double>& slots,
+                                    tfhe::Rng& rng) {
+    const int32_t n = params_.n;
+    const uint64_t mask = MaskOf(params_.log_q0);
+    CkksCiphertext ct;
+    ct.log_q = params_.log_q0;
+    ct.scale = std::pow(2.0, params_.log_scale);
+    ct.c1.resize(n);
+    for (auto& c : ct.c1) c = rng.Uniform64() & mask;
+    // c0 = -c1*s + m + e.
+    ct.c0 = NegacyclicMul(ct.c1, secret_, ct.log_q);
+    for (auto& c : ct.c0) c = (~c + 1) & mask;  // Negate.
+    const Poly m = Encode(slots);
+    for (int32_t i = 0; i < n; ++i) {
+        const int64_t noise = std::llround(
+            rng.GaussianDouble(params_.noise_stddev));
+        ct.c0[i] = (ct.c0[i] + m[i] + FromSigned(noise, mask)) & mask;
+    }
+    return ct;
+}
+
+std::vector<double> CkksContext::Decrypt(const CkksCiphertext& ct) const {
+    Poly m = NegacyclicMul(ct.c1, secret_, ct.log_q);
+    AddInto(m, ct.c0, MaskOf(ct.log_q));
+    return Decode(m, ct.scale, ct.log_q);
+}
+
+CkksCiphertext CkksContext::Add(const CkksCiphertext& a,
+                                const CkksCiphertext& b) const {
+    assert(a.log_q == b.log_q);
+    assert(std::abs(a.scale - b.scale) < 1e-6 * a.scale);
+    CkksCiphertext out = a;
+    AddInto(out.c0, b.c0, MaskOf(a.log_q));
+    AddInto(out.c1, b.c1, MaskOf(a.log_q));
+    return out;
+}
+
+CkksCiphertext CkksContext::Sub(const CkksCiphertext& a,
+                                const CkksCiphertext& b) const {
+    assert(a.log_q == b.log_q);
+    CkksCiphertext out = a;
+    SubInto(out.c0, b.c0, MaskOf(a.log_q));
+    SubInto(out.c1, b.c1, MaskOf(a.log_q));
+    return out;
+}
+
+CkksCiphertext CkksContext::Mul(const CkksCiphertext& a,
+                                const CkksCiphertext& b) const {
+    assert(a.log_q == b.log_q);
+    const int32_t log_q = a.log_q;
+    CkksCiphertext out;
+    out.log_q = log_q;
+    out.scale = a.scale * b.scale;
+    out.c0 = NegacyclicMul(a.c0, b.c0, log_q);
+    Poly d1 = NegacyclicMul(a.c0, b.c1, log_q);
+    AddInto(d1, NegacyclicMul(a.c1, b.c0, log_q), MaskOf(log_q));
+    out.c1 = std::move(d1);
+    const Poly d2 = NegacyclicMul(a.c1, b.c1, log_q);
+    ApplyKsKey(relin_key_, d2, out.c0, out.c1, log_q);
+    return out;
+}
+
+CkksCiphertext CkksContext::MulPlain(const CkksCiphertext& a,
+                                     const std::vector<double>& slots) const {
+    const Poly m = Encode(slots);
+    CkksCiphertext out;
+    out.log_q = a.log_q;
+    out.scale = a.scale * std::pow(2.0, params_.log_scale);
+    out.c0 = NegacyclicMul(a.c0, m, a.log_q);
+    out.c1 = NegacyclicMul(a.c1, m, a.log_q);
+    return out;
+}
+
+CkksCiphertext CkksContext::AddPlain(const CkksCiphertext& a,
+                                     const std::vector<double>& slots) const {
+    // Re-encode at the ciphertext's current scale.
+    const double ratio = a.scale / std::pow(2.0, params_.log_scale);
+    std::vector<double> scaled = slots;
+    for (auto& v : scaled) v *= ratio;
+    const Poly m = Encode(scaled);
+    CkksCiphertext out = a;
+    AddInto(out.c0, m, MaskOf(a.log_q));
+    return out;
+}
+
+CkksCiphertext CkksContext::Rescale(const CkksCiphertext& a) const {
+    const int32_t ls = params_.log_scale;
+    assert(a.log_q - ls >= ls && "modulus chain exhausted");
+    CkksCiphertext out;
+    out.log_q = a.log_q - ls;
+    out.scale = a.scale / std::pow(2.0, ls);
+    const uint64_t new_mask = MaskOf(out.log_q);
+    const int64_t half = INT64_C(1) << (ls - 1);
+    out.c0.resize(a.c0.size());
+    out.c1.resize(a.c1.size());
+    for (size_t i = 0; i < a.c0.size(); ++i) {
+        out.c0[i] = FromSigned((Center(a.c0[i], a.log_q) + half) >> ls,
+                               new_mask);
+        out.c1[i] = FromSigned((Center(a.c1[i], a.log_q) + half) >> ls,
+                               new_mask);
+    }
+    return out;
+}
+
+CkksContext::KsKey CkksContext::MakeKsKey(const Poly& target_secret,
+                                          tfhe::Rng& rng) const {
+    const int32_t w = params_.ks_digit_bits;
+    const int32_t digits = (params_.log_q0 + w - 1) / w;
+    const uint64_t mask = MaskOf(params_.log_q0);
+    KsKey key;
+    key.digits.resize(digits);
+    for (int32_t i = 0; i < digits; ++i) {
+        Poly ai(params_.n);
+        for (auto& c : ai) c = rng.Uniform64() & mask;
+        Poly bi = NegacyclicMul(ai, secret_, params_.log_q0);
+        for (auto& c : bi) c = (~c + 1) & mask;  // -a*s.
+        for (int32_t k = 0; k < params_.n; ++k) {
+            const int64_t noise =
+                std::llround(rng.GaussianDouble(params_.noise_stddev));
+            const uint64_t gadget =
+                (target_secret[k] << (w * i)) & mask;
+            bi[k] = (bi[k] + gadget + FromSigned(noise, mask)) & mask;
+        }
+        key.digits[i] = {std::move(bi), std::move(ai)};
+    }
+    return key;
+}
+
+void CkksContext::ApplyKsKey(const KsKey& key, const Poly& c_prime, Poly& c0,
+                             Poly& c1, int32_t log_q) const {
+    // Keys live at the top modulus; reducing them mod the ciphertext's
+    // modulus keeps the gadget relation valid on the power-of-two chain,
+    // and the centered decomposition below must use the ciphertext's own
+    // modulus so wrapped negatives stay small.
+    const int32_t w = params_.ks_digit_bits;
+    const int32_t n = params_.n;
+
+    // Centered base-2^w decomposition of every coefficient.
+    const int32_t digits = static_cast<int32_t>(key.digits.size());
+    std::vector<Poly> dec(digits, Poly(n, 0));
+    const int64_t base = INT64_C(1) << w;
+    const uint64_t mask = MaskOf(log_q);
+    for (int32_t k = 0; k < n; ++k) {
+        int64_t v = Center(c_prime[k] & mask, log_q);
+        for (int32_t i = 0; i < digits; ++i) {
+            int64_t d = v % base;
+            v /= base;
+            if (d >= base / 2) {
+                d -= base;
+                v += 1;
+            } else if (d < -base / 2) {
+                d += base;
+                v -= 1;
+            }
+            dec[i][k] = FromSigned(d, mask);
+        }
+    }
+    const uint64_t out_mask = MaskOf(log_q);
+    for (int32_t i = 0; i < digits; ++i) {
+        AddInto(c0, NegacyclicMul(dec[i], key.digits[i].first, log_q),
+                out_mask);
+        AddInto(c1, NegacyclicMul(dec[i], key.digits[i].second, log_q),
+                out_mask);
+    }
+}
+
+Poly CkksContext::Automorphism(const Poly& p, int64_t g) const {
+    const int32_t n = params_.n;
+    Poly out(n, 0);
+    const uint64_t mask = ~UINT64_C(0);
+    for (int32_t k = 0; k < n; ++k) {
+        const int64_t t = (static_cast<int64_t>(k) * g) % (2 * n);
+        if (t < n) {
+            out[t] = (out[t] + p[k]) & mask;
+        } else {
+            out[t - n] = (out[t - n] - p[k]) & mask;
+        }
+    }
+    return out;
+}
+
+void CkksContext::EnsureRotationKey(int32_t steps, tfhe::Rng& rng) {
+    const int32_t slots = params_.NumSlots();
+    steps = ((steps % slots) + slots) % slots;
+    if (steps == 0 || rotation_keys_.count(steps)) return;
+    const int64_t g = galois_[steps];
+    rotation_keys_.emplace(steps,
+                           MakeKsKey(Automorphism(secret_, g), rng));
+}
+
+CkksCiphertext CkksContext::Rotate(const CkksCiphertext& a, int32_t steps) {
+    const int32_t slots = params_.NumSlots();
+    steps = ((steps % slots) + slots) % slots;
+    if (steps == 0) return a;
+    assert(rotation_keys_.count(steps) &&
+           "call EnsureRotationKey(steps) first");
+    const int64_t g = galois_[steps];
+    const uint64_t mask = MaskOf(a.log_q);
+
+    CkksCiphertext out;
+    out.log_q = a.log_q;
+    out.scale = a.scale;
+    out.c0 = Automorphism(a.c0, g);
+    for (auto& c : out.c0) c &= mask;
+    Poly c1_prime = Automorphism(a.c1, g);
+    for (auto& c : c1_prime) c &= mask;
+    out.c1.assign(params_.n, 0);
+    ApplyKsKey(rotation_keys_.at(steps), c1_prime, out.c0, out.c1, a.log_q);
+    for (auto& c : out.c0) c &= mask;
+    for (auto& c : out.c1) c &= mask;
+    return out;
+}
+
+CkksCiphertext CkksContext::SumSlots(const CkksCiphertext& a,
+                                     tfhe::Rng& rng) {
+    CkksCiphertext acc = a;
+    for (int32_t shift = 1; shift < params_.NumSlots(); shift *= 2) {
+        EnsureRotationKey(shift, rng);
+        acc = Add(acc, Rotate(acc, shift));
+    }
+    return acc;
+}
+
+size_t CkksContext::RotationKeyBytes() const {
+    size_t total = 0;
+    for (const auto& [steps, key] : rotation_keys_)
+        total += key.digits.size() * 2 * params_.n * sizeof(uint64_t);
+    return total;
+}
+
+size_t CkksContext::RelinKeyBytes() const {
+    return relin_key_.digits.size() * 2 * params_.n * sizeof(uint64_t);
+}
+
+}  // namespace pytfhe::ckks

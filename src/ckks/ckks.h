@@ -1,0 +1,141 @@
+/**
+ * @file
+ * CKKS-lite: a minimal word-wise (approximate-arithmetic) FHE scheme.
+ *
+ * Section II-C of the paper contrasts TFHE with word-wise schemes like
+ * CKKS: word-wise schemes batch a vector of fixed-point numbers per
+ * ciphertext and evaluate element-wise add/mult and cyclic rotations
+ * efficiently, but have no direct access to individual elements, support
+ * non-linear functions only through polynomial approximation, and need
+ * per-step rotation keys that dwarf TFHE's public key. This module
+ * implements enough of CKKS to measure those claims
+ * (bench_ablation_schemes) rather than argue them qualitatively.
+ *
+ * Scope (documented simplifications):
+ *  - power-of-two modulus chain (q = 2^k) with exact shift-based rescale;
+ *    this is a *model* of RNS-CKKS arithmetic, not a hardened parameter
+ *    set — like ToyParams, it is for study, not deployment;
+ *  - symmetric encryption (the cloud scenario's client encrypts);
+ *  - O(N^2) canonical embedding and negacyclic multiplication (plain
+ *    loops; N stays small);
+ *  - relinearization and rotation key-switching via base-2^w digit
+ *    decomposition;
+ *  - slots ordered along the 5^j orbit so Rotate(k) is the automorphism
+ *    X -> X^(5^k).
+ */
+#ifndef PYTFHE_CKKS_CKKS_H
+#define PYTFHE_CKKS_CKKS_H
+
+#include <complex>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "tfhe/rng.h"
+
+namespace pytfhe::ckks {
+
+/** Scheme parameters. */
+struct CkksParams {
+    int32_t n = 64;          ///< Ring degree (power of two); N/2 slots.
+    int32_t log_q0 = 62;     ///< Top modulus bits.
+    int32_t log_scale = 18;  ///< Encoding scale bits (Delta = 2^log_scale).
+    /** Key-switching decomposition base bits. A tiny base keeps the
+     *  key-switch noise far below the scale — important because rotation
+     *  outputs sit at scale Delta, not Delta^2. */
+    int32_t ks_digit_bits = 2;
+    double noise_stddev = 3.2;   ///< Fresh error, in coefficient units.
+
+    int32_t NumSlots() const { return n / 2; }
+    /** Rescales (= multiplicative depth) the modulus chain supports:
+     *  rescale requires log_q >= 2*log_scale beforehand. */
+    int32_t MaxDepth() const {
+        return (log_q0 - 2 * log_scale) / log_scale + 1;
+    }
+};
+
+/** A ring element: n coefficients, stored mod 2^log_q. */
+using Poly = std::vector<uint64_t>;
+
+/** A CKKS ciphertext (c0, c1) at some point in the modulus chain. */
+struct CkksCiphertext {
+    Poly c0, c1;
+    int32_t log_q;   ///< Current modulus bits.
+    double scale;    ///< Message scale (Delta^k during multiplication).
+};
+
+/** The scheme context: keys plus the operations. */
+class CkksContext {
+  public:
+    CkksContext(const CkksParams& params, tfhe::Rng& rng);
+
+    const CkksParams& params() const { return params_; }
+
+    /** Encodes N/2 real slots into a plaintext polynomial at scale Delta. */
+    Poly Encode(const std::vector<double>& slots) const;
+    /** Decodes a plaintext polynomial (at the given scale/modulus). */
+    std::vector<double> Decode(const Poly& plain, double scale,
+                               int32_t log_q) const;
+
+    CkksCiphertext Encrypt(const std::vector<double>& slots, tfhe::Rng& rng);
+    std::vector<double> Decrypt(const CkksCiphertext& ct) const;
+
+    /** Element-wise addition (scales and moduli must match). */
+    CkksCiphertext Add(const CkksCiphertext& a, const CkksCiphertext& b) const;
+    CkksCiphertext Sub(const CkksCiphertext& a, const CkksCiphertext& b) const;
+
+    /** Element-wise multiplication with relinearization (scale squares). */
+    CkksCiphertext Mul(const CkksCiphertext& a, const CkksCiphertext& b) const;
+
+    /** Multiplication by a plaintext slot vector. */
+    CkksCiphertext MulPlain(const CkksCiphertext& a,
+                            const std::vector<double>& slots) const;
+    /** Addition of a plaintext slot vector. */
+    CkksCiphertext AddPlain(const CkksCiphertext& a,
+                            const std::vector<double>& slots) const;
+
+    /** Drops one scale level: divides by Delta, shrinking the modulus. */
+    CkksCiphertext Rescale(const CkksCiphertext& a) const;
+
+    /**
+     * Cyclic left rotation of the slot vector by `steps`. Requires the
+     * per-step rotation key generated at construction (or via
+     * EnsureRotationKey).
+     */
+    CkksCiphertext Rotate(const CkksCiphertext& a, int32_t steps);
+
+    /** Generates (and caches) the rotation key for `steps`. */
+    void EnsureRotationKey(int32_t steps, tfhe::Rng& rng);
+
+    /** Sum of all slots via log2(slots) rotations (needs those keys). */
+    CkksCiphertext SumSlots(const CkksCiphertext& a, tfhe::Rng& rng);
+
+    /** Bytes of key-switching material currently held (Section II-C's
+     *  rotation-key-size argument). */
+    size_t RotationKeyBytes() const;
+    size_t RelinKeyBytes() const;
+
+  private:
+    struct KsKey {
+        /** Per digit i: (b_i, a_i) with b_i = -a_i s + e + 2^(w i) s'. */
+        std::vector<std::pair<Poly, Poly>> digits;
+    };
+
+    KsKey MakeKsKey(const Poly& target_secret, tfhe::Rng& rng) const;
+    /** Key-switches a (poly under s') contribution back to s. */
+    void ApplyKsKey(const KsKey& key, const Poly& c_prime, Poly& c0,
+                    Poly& c1, int32_t log_q) const;
+    /** The automorphism X -> X^g on a polynomial. */
+    Poly Automorphism(const Poly& p, int64_t g) const;
+
+    CkksParams params_;
+    Poly secret_;                ///< Ternary secret key.
+    KsKey relin_key_;            ///< Key for s^2 -> s.
+    std::map<int32_t, KsKey> rotation_keys_;
+    std::vector<std::complex<double>> roots_;  ///< zeta^(5^j) per slot.
+    std::vector<int64_t> galois_;              ///< 5^j mod 4n table.
+};
+
+}  // namespace pytfhe::ckks
+
+#endif  // PYTFHE_CKKS_CKKS_H

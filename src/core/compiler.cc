@@ -1,0 +1,32 @@
+#include "core/compiler.h"
+
+namespace pytfhe::core {
+
+std::optional<Compiled> Compile(const circuit::Netlist& netlist,
+                                const CompileOptions& options,
+                                std::string* error) {
+    if (auto err = netlist.Validate()) {
+        if (error) *error = *err;
+        return std::nullopt;
+    }
+    circuit::OptResult opt = circuit::Optimize(netlist, options.opt);
+    auto program = pasm::Assemble(opt.netlist, error);
+    if (!program) return std::nullopt;
+    Compiled out{std::move(*program), opt.netlist.ComputeStats(),
+                 opt.stats};
+    return out;
+}
+
+std::optional<Compiled> CompileModule(const nn::Module& module,
+                                      const hdl::DType& dtype,
+                                      const nn::Shape& input_shape,
+                                      const CompileOptions& options,
+                                      std::string* error) {
+    hdl::Builder builder;
+    nn::Tensor in = nn::Tensor::Input(builder, dtype, input_shape, "in");
+    nn::Tensor out = module.Forward(builder, in);
+    out.Output(builder, "out");
+    return Compile(builder.netlist(), options, error);
+}
+
+}  // namespace pytfhe::core

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The end-to-end compile pipeline (Fig. 2 of the paper): frontend circuit
+ * -> synthesis/optimization -> PyTFHE binary.
+ *
+ * This is the facade a downstream user calls: give it a netlist (from the
+ * hdl layer, the nn layer, or your own generator) or an nn::Module, get
+ * back an executable, serializable Program plus compile statistics.
+ */
+#ifndef PYTFHE_CORE_COMPILER_H
+#define PYTFHE_CORE_COMPILER_H
+
+#include <optional>
+#include <string>
+
+#include "circuit/opt/passes.h"
+#include "nn/layers.h"
+#include "pasm/assembler.h"
+
+namespace pytfhe::core {
+
+/** Compilation knobs. */
+struct CompileOptions {
+    circuit::OptOptions opt;  ///< Synthesis rewrites (default: all on).
+};
+
+/** A compiled TFHE program plus its provenance statistics. */
+struct Compiled {
+    pasm::Program program;
+    circuit::NetlistStats stats;   ///< Of the optimized netlist.
+    circuit::OptStats opt_stats;   ///< What optimization achieved.
+};
+
+/**
+ * Optimizes and assembles a netlist. Returns nullopt with `error` filled
+ * when the netlist is invalid or not representable (e.g. constant outputs).
+ */
+std::optional<Compiled> Compile(const circuit::Netlist& netlist,
+                                const CompileOptions& options = {},
+                                std::string* error = nullptr);
+
+/**
+ * Elaborates an nn::Module over an encrypted input tensor of the given
+ * dtype/shape (ChiselTorch path), then compiles. Input bits are ordered as
+ * Tensor::Input orders them; outputs as Tensor::Output.
+ */
+std::optional<Compiled> CompileModule(const nn::Module& module,
+                                      const hdl::DType& dtype,
+                                      const nn::Shape& input_shape,
+                                      const CompileOptions& options = {},
+                                      std::string* error = nullptr);
+
+}  // namespace pytfhe::core
+
+#endif  // PYTFHE_CORE_COMPILER_H

@@ -1,0 +1,65 @@
+#include "core/runtime.h"
+
+#include <cassert>
+
+namespace pytfhe::core {
+
+Ciphertexts Client::EncryptBits(const std::vector<bool>& bits) {
+    Ciphertexts out;
+    out.reserve(bits.size());
+    for (bool b : bits) out.push_back(secret_.Encrypt(b, rng_));
+    return out;
+}
+
+Ciphertexts Client::EncryptValue(const hdl::DType& dtype, double value) {
+    return EncryptBits(dtype.Encode(value));
+}
+
+Ciphertexts Client::EncryptValues(const hdl::DType& dtype,
+                                  const std::vector<double>& values) {
+    std::vector<bool> bits;
+    for (double v : values) {
+        const auto enc = dtype.Encode(v);
+        bits.insert(bits.end(), enc.begin(), enc.end());
+    }
+    return EncryptBits(bits);
+}
+
+std::vector<bool> Client::DecryptBits(const Ciphertexts& cts) const {
+    std::vector<bool> out;
+    out.reserve(cts.size());
+    for (const auto& c : cts) out.push_back(secret_.Decrypt(c));
+    return out;
+}
+
+double Client::DecryptValue(const hdl::DType& dtype,
+                            const Ciphertexts& cts) const {
+    return dtype.Decode(DecryptBits(cts));
+}
+
+std::vector<double> Client::DecryptValues(const hdl::DType& dtype,
+                                          const Ciphertexts& cts) const {
+    const std::vector<bool> bits = DecryptBits(cts);
+    const size_t w = dtype.TotalBits();
+    assert(bits.size() % w == 0);
+    std::vector<double> out;
+    for (size_t i = 0; i + w <= bits.size(); i += w)
+        out.push_back(dtype.Decode(
+            std::vector<bool>(bits.begin() + i, bits.begin() + i + w)));
+    return out;
+}
+
+std::unique_ptr<Server> Client::MakeServer() {
+    return std::make_unique<Server>(
+        std::make_unique<tfhe::GateEvaluator>(secret_, rng_));
+}
+
+Ciphertexts Server::Run(const pasm::Program& program,
+                        const Ciphertexts& inputs, int32_t num_threads) {
+    if (num_threads <= 1)
+        return backend::RunProgram(program, evaluator_, inputs);
+    return backend::RunProgramThreaded(program, evaluator_, inputs,
+                                       num_threads);
+}
+
+}  // namespace pytfhe::core

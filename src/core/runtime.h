@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Client/server runtime roles for the cloud scenario of Fig. 1.
+ *
+ * The Client owns the secret key: it encodes and encrypts data, ships the
+ * public evaluation key, and decrypts results. The Server holds only the
+ * evaluation key and executes compiled programs over ciphertexts — it
+ * never sees a plaintext. Tests assert this split by construction: Server
+ * has no decrypt path.
+ */
+#ifndef PYTFHE_CORE_RUNTIME_H
+#define PYTFHE_CORE_RUNTIME_H
+
+#include <memory>
+#include <vector>
+
+#include "backend/interpreter.h"
+#include "hdl/dtype.h"
+#include "tfhe/gates.h"
+
+namespace pytfhe::core {
+
+using Ciphertexts = std::vector<tfhe::LweSample>;
+
+class Server;
+
+/** The data owner. */
+class Client {
+  public:
+    explicit Client(const tfhe::Params& params, uint64_t seed = 1)
+        : rng_(seed), secret_(params, rng_) {}
+
+    /** Encrypts raw bits. */
+    Ciphertexts EncryptBits(const std::vector<bool>& bits);
+
+    /** Encodes a number in `dtype` and encrypts its bits. */
+    Ciphertexts EncryptValue(const hdl::DType& dtype, double value);
+
+    /** Encodes and encrypts a vector of numbers, concatenated. */
+    Ciphertexts EncryptValues(const hdl::DType& dtype,
+                              const std::vector<double>& values);
+
+    std::vector<bool> DecryptBits(const Ciphertexts& cts) const;
+    double DecryptValue(const hdl::DType& dtype, const Ciphertexts& cts) const;
+    std::vector<double> DecryptValues(const hdl::DType& dtype,
+                                      const Ciphertexts& cts) const;
+
+    /**
+     * Produces the server for this client's keys. Generating the
+     * bootstrapping key is the expensive step of the protocol.
+     */
+    std::unique_ptr<Server> MakeServer();
+
+  private:
+    tfhe::Rng rng_;
+    tfhe::SecretKeySet secret_;
+};
+
+/** The untrusted evaluator: public key material only. */
+class Server {
+  public:
+    explicit Server(std::unique_ptr<tfhe::GateEvaluator> gates)
+        : gates_(std::move(gates)), evaluator_(*gates_) {}
+
+    /** Executes a compiled program over ciphertexts. */
+    Ciphertexts Run(const pasm::Program& program, const Ciphertexts& inputs,
+                    int32_t num_threads = 1);
+
+    const tfhe::GateProfile& profile() const { return gates_->profile(); }
+
+  private:
+    std::unique_ptr<tfhe::GateEvaluator> gates_;
+    backend::TfheEvaluator evaluator_;
+};
+
+}  // namespace pytfhe::core
+
+#endif  // PYTFHE_CORE_RUNTIME_H

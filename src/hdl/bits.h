@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Bit-vector handle for hardware construction.
+ *
+ * A Bits is a little-endian vector of netlist signals (bit 0 = LSB) built
+ * against a circuit::SimplifyingBuilder. Bits are value types: copying a
+ * Bits copies signal ids, not hardware. All hardware generators live in
+ * word_ops.h / float_ops.h and take the builder explicitly, mirroring how
+ * Chisel generators elaborate into a module under construction.
+ */
+#ifndef PYTFHE_HDL_BITS_H
+#define PYTFHE_HDL_BITS_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/builder.h"
+
+namespace pytfhe::hdl {
+
+using Builder = circuit::SimplifyingBuilder;
+using Signal = circuit::NodeId;
+
+/** Little-endian vector of signals. */
+struct Bits {
+    std::vector<Signal> bits;
+
+    Bits() = default;
+    explicit Bits(std::vector<Signal> b) : bits(std::move(b)) {}
+
+    int32_t Width() const { return static_cast<int32_t>(bits.size()); }
+    Signal& operator[](int32_t i) { return bits[i]; }
+    Signal operator[](int32_t i) const { return bits[i]; }
+    Signal Msb() const {
+        assert(!bits.empty());
+        return bits.back();
+    }
+
+    /** The low `n` bits. */
+    Bits Slice(int32_t lo, int32_t width) const {
+        assert(lo >= 0 && lo + width <= Width());
+        return Bits(std::vector<Signal>(bits.begin() + lo,
+                                        bits.begin() + lo + width));
+    }
+};
+
+}  // namespace pytfhe::hdl
+
+#endif  // PYTFHE_HDL_BITS_H

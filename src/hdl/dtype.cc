@@ -1,0 +1,160 @@
+#include "hdl/dtype.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace pytfhe::hdl {
+
+namespace {
+
+std::vector<bool> ToBitsLsbFirst(uint64_t pattern, int32_t width) {
+    std::vector<bool> out(width);
+    for (int32_t i = 0; i < width; ++i) out[i] = (pattern >> i) & 1;
+    return out;
+}
+
+uint64_t FromBitsLsbFirst(const std::vector<bool>& bits) {
+    uint64_t v = 0;
+    for (size_t i = 0; i < bits.size() && i < 64; ++i)
+        if (bits[i]) v |= UINT64_C(1) << i;
+    return v;
+}
+
+/** Clamps v into [lo, hi]. */
+double Clamp(double v, double lo, double hi) {
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace
+
+int32_t DType::TotalBits() const {
+    switch (kind_) {
+        case Kind::kUInt:
+        case Kind::kSInt:
+            return a_;
+        case Kind::kFixed:
+            return a_ + b_;
+        case Kind::kFloat:
+            return 1 + a_ + b_;
+    }
+    return 0;
+}
+
+std::vector<bool> DType::Encode(double value) const {
+    switch (kind_) {
+        case Kind::kUInt: {
+            const double max = std::pow(2.0, a_) - 1;
+            const uint64_t v =
+                static_cast<uint64_t>(std::llround(Clamp(value, 0.0, max)));
+            return ToBitsLsbFirst(v, a_);
+        }
+        case Kind::kSInt: {
+            const double max = std::pow(2.0, a_ - 1) - 1;
+            const double min = -std::pow(2.0, a_ - 1);
+            const int64_t v = std::llround(Clamp(value, min, max));
+            return ToBitsLsbFirst(static_cast<uint64_t>(v), a_);
+        }
+        case Kind::kFixed: {
+            const int32_t w = a_ + b_;
+            const double scaled = value * std::pow(2.0, b_);
+            const double max = std::pow(2.0, w - 1) - 1;
+            const double min = -std::pow(2.0, w - 1);
+            const int64_t v = std::llround(Clamp(scaled, min, max));
+            return ToBitsLsbFirst(static_cast<uint64_t>(v), w);
+        }
+        case Kind::kFloat: {
+            const int32_t e = a_, m = b_;
+            const int32_t bias = Bias();
+            const int32_t max_exp = (1 << e) - 1;  // All-ones = infinity.
+            uint64_t sign = value < 0 ? 1 : 0;
+            double mag = std::abs(value);
+            uint64_t exp_field = 0, mant_field = 0;
+            if (std::isnan(mag) || mag == 0.0) {
+                // NaN is not representable; encode as +0 (documented).
+                sign = std::isnan(mag) ? 0 : sign;
+            } else if (std::isinf(mag)) {
+                exp_field = max_exp;
+            } else {
+                int ilogb = static_cast<int>(std::floor(std::log2(mag)));
+                // Mantissa truncation (round toward zero).
+                double frac = mag / std::pow(2.0, ilogb) - 1.0;  // [0, 1).
+                int64_t mant =
+                    static_cast<int64_t>(frac * std::pow(2.0, m));
+                if (mant >= (INT64_C(1) << m)) {  // Numeric safety.
+                    mant = 0;
+                    ++ilogb;
+                }
+                int64_t biased = ilogb + bias;
+                if (biased >= max_exp) {  // Overflow: saturate to infinity.
+                    exp_field = max_exp;
+                    mant = 0;
+                } else if (biased <= 0) {  // Underflow: flush to zero.
+                    exp_field = 0;
+                    mant = 0;
+                    sign = 0;
+                } else {
+                    exp_field = static_cast<uint64_t>(biased);
+                }
+                mant_field = static_cast<uint64_t>(mant);
+            }
+            if (exp_field == 0) mant_field = 0;
+            // Layout, LSB first: mantissa, exponent, sign.
+            const uint64_t pattern =
+                mant_field | (exp_field << m) |
+                (sign << (m + e));
+            return ToBitsLsbFirst(pattern, 1 + e + m);
+        }
+    }
+    return {};
+}
+
+double DType::Decode(const std::vector<bool>& bits) const {
+    assert(static_cast<int32_t>(bits.size()) == TotalBits());
+    const uint64_t pattern = FromBitsLsbFirst(bits);
+    switch (kind_) {
+        case Kind::kUInt:
+            return static_cast<double>(pattern);
+        case Kind::kSInt: {
+            int64_t v = static_cast<int64_t>(pattern);
+            if (a_ < 64 && (pattern >> (a_ - 1)) & 1)
+                v -= INT64_C(1) << a_;  // Sign extend.
+            return static_cast<double>(v);
+        }
+        case Kind::kFixed: {
+            const int32_t w = a_ + b_;
+            int64_t v = static_cast<int64_t>(pattern);
+            if (w < 64 && (pattern >> (w - 1)) & 1) v -= INT64_C(1) << w;
+            return static_cast<double>(v) * std::pow(2.0, -b_);
+        }
+        case Kind::kFloat: {
+            const int32_t e = a_, m = b_;
+            const uint64_t mant = pattern & ((UINT64_C(1) << m) - 1);
+            const uint64_t exp = (pattern >> m) & ((UINT64_C(1) << e) - 1);
+            const uint64_t sign = (pattern >> (m + e)) & 1;
+            if (exp == 0) return sign ? -0.0 : 0.0;  // Subnormals flushed.
+            const double s = sign ? -1.0 : 1.0;
+            if (exp == static_cast<uint64_t>((1 << e) - 1))
+                return s * std::numeric_limits<double>::infinity();
+            const double frac =
+                1.0 + static_cast<double>(mant) * std::pow(2.0, -m);
+            return s * frac *
+                   std::pow(2.0, static_cast<double>(exp) - Bias());
+        }
+    }
+    return 0.0;
+}
+
+std::string DType::ToString() const {
+    std::ostringstream os;
+    switch (kind_) {
+        case Kind::kUInt: os << "UInt(" << a_ << ")"; break;
+        case Kind::kSInt: os << "SInt(" << a_ << ")"; break;
+        case Kind::kFixed: os << "Fixed(" << a_ << "," << b_ << ")"; break;
+        case Kind::kFloat: os << "Float(" << a_ << "," << b_ << ")"; break;
+    }
+    return os.str();
+}
+
+}  // namespace pytfhe::hdl

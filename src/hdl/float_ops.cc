@@ -1,0 +1,299 @@
+#include "hdl/float_ops.h"
+
+namespace pytfhe::hdl {
+
+using circuit::GateType;
+
+FloatParts FUnpack(const FloatFmt& fmt, const Bits& x) {
+    assert(x.Width() == fmt.TotalBits());
+    FloatParts p;
+    p.mant = x.Slice(0, fmt.m);
+    p.exp = x.Slice(fmt.m, fmt.e);
+    p.sign = x[fmt.m + fmt.e];
+    return p;
+}
+
+Bits FPack(Builder& b, const FloatFmt& fmt, const FloatParts& parts) {
+    (void)b;
+    assert(parts.exp.Width() == fmt.e && parts.mant.Width() == fmt.m);
+    Bits out = parts.mant;
+    out.bits.insert(out.bits.end(), parts.exp.bits.begin(),
+                    parts.exp.bits.end());
+    out.bits.push_back(parts.sign);
+    return out;
+}
+
+Signal FIsZero(Builder& b, const FloatFmt& fmt, const Bits& x) {
+    return b.MakeNot(OrReduce(b, x.Slice(fmt.m, fmt.e)));
+}
+
+Signal FIsInf(Builder& b, const FloatFmt& fmt, const Bits& x) {
+    return AndReduce(b, x.Slice(fmt.m, fmt.e));
+}
+
+Bits FZero(Builder& b, const FloatFmt& fmt) {
+    return ConstBits(b, 0, fmt.TotalBits());
+}
+
+namespace {
+
+/** Mantissa with the implicit leading bit prepended (m + 1 bits). */
+Bits FullMantissa(Builder& b, const FloatFmt& fmt, const FloatParts& p,
+                  Signal is_zero) {
+    Bits full = p.mant;
+    full.bits.push_back(b.MakeNot(is_zero));
+    (void)fmt;
+    return full;
+}
+
+/** The packed infinity with the given sign. */
+Bits FInfinity(Builder& b, const FloatFmt& fmt, Signal sign) {
+    FloatParts p;
+    p.mant = ConstBits(b, 0, fmt.m);
+    p.exp = ConstBits(b, ~UINT64_C(0), fmt.e);
+    p.sign = sign;
+    return FPack(b, fmt, p);
+}
+
+/**
+ * Final exponent clamp shared by add/mul/div. exp_w is a signed word wider
+ * than e bits holding the tentative biased exponent; the result is
+ *  - zero when the value underflows (exp_w <= 0) or `force_zero`;
+ *  - infinity when it overflows (exp_w >= 2^e - 1) or `force_inf`;
+ *  - the packed normal value otherwise.
+ */
+Bits ClampAndPack(Builder& b, const FloatFmt& fmt, Signal sign,
+                  const Bits& exp_w, const Bits& mant, Signal force_zero,
+                  Signal force_inf) {
+    const int32_t we = exp_w.Width();
+    // exp_w <= 0: negative (MSB) or all-zero.
+    const Signal negative = exp_w.Msb();
+    const Signal zero_exp = b.MakeNot(OrReduce(b, exp_w));
+    const Signal underflow = b.MakeGate(GateType::kOr, negative, zero_exp);
+    // exp_w >= max_exp (as signed; negative already excluded).
+    const Bits max_exp = ConstBits(b, (UINT64_C(1) << fmt.e) - 1, we);
+    const Signal too_big = b.MakeNot(Slt(b, exp_w, max_exp));
+    const Signal overflow = b.MakeGate(GateType::kAndNY, negative, too_big);
+
+    FloatParts norm;
+    norm.sign = sign;
+    norm.exp = exp_w.Slice(0, fmt.e);
+    norm.mant = mant;
+    Bits packed = FPack(b, fmt, norm);
+
+    Bits result = MuxBits(b, overflow, FInfinity(b, fmt, sign), packed);
+    result = MuxBits(b, b.MakeGate(GateType::kOr, underflow, force_zero),
+                     FZero(b, fmt), result);
+    // force_inf wins over zero (used by div-by-zero and inf operands).
+    result = MuxBits(b, force_inf, FInfinity(b, fmt, sign), result);
+    return result;
+}
+
+}  // namespace
+
+Bits FAdd(Builder& b, const FloatFmt& fmt, const Bits& x, const Bits& y) {
+    const int32_t m = fmt.m;
+    constexpr int32_t kGuard = 3;
+
+    const FloatParts a = FUnpack(fmt, x);
+    const FloatParts c = FUnpack(fmt, y);
+    const Signal za = FIsZero(b, fmt, x);
+    const Signal zc = FIsZero(b, fmt, y);
+
+    // Order by magnitude ({exp, mant} compares like magnitude).
+    Bits mag_a = a.mant;
+    mag_a.bits.insert(mag_a.bits.end(), a.exp.bits.begin(), a.exp.bits.end());
+    Bits mag_c = c.mant;
+    mag_c.bits.insert(mag_c.bits.end(), c.exp.bits.begin(), c.exp.bits.end());
+    const Signal a_lt_c = Ult(b, mag_a, mag_c);
+
+    const Signal big_sign = b.MakeMux(a_lt_c, c.sign, a.sign);
+    const Signal small_sign = b.MakeMux(a_lt_c, a.sign, c.sign);
+    const Bits big_exp = MuxBits(b, a_lt_c, c.exp, a.exp);
+    const Bits small_exp = MuxBits(b, a_lt_c, a.exp, c.exp);
+    const Bits big_mant = MuxBits(b, a_lt_c, c.mant, a.mant);
+    const Bits small_mant = MuxBits(b, a_lt_c, a.mant, c.mant);
+    const Signal big_zero = b.MakeMux(a_lt_c, zc, za);
+    const Signal small_zero = b.MakeMux(a_lt_c, za, zc);
+
+    FloatParts bigp{big_sign, big_exp, big_mant};
+    FloatParts smallp{small_sign, small_exp, small_mant};
+
+    // Align: shift the small mantissa right by the exponent difference.
+    const int32_t w = m + 2 + kGuard;
+    Bits bm = ZeroExtend(b, FullMantissa(b, fmt, bigp, big_zero), w);
+    bm = ShlConst(b, bm, kGuard);
+    Bits sm = ZeroExtend(b, FullMantissa(b, fmt, smallp, small_zero), w);
+    sm = ShlConst(b, sm, kGuard);
+    const Bits exp_diff = Sub(b, big_exp, small_exp);
+    sm = LshrDynamic(b, sm, exp_diff);
+
+    const Signal same_sign = b.MakeGate(GateType::kXnor, big_sign, small_sign);
+    const Bits sum_add = Add(b, bm, sm);
+    const Bits sum_sub = Sub(b, bm, sm);  // Never negative: |big| >= |small|.
+    const Bits sum = MuxBits(b, same_sign, sum_add, sum_sub);
+
+    // Normalize: left-shift away leading zeros.
+    const Signal sum_zero = b.MakeNot(OrReduce(b, sum));
+    const Bits lzc = LeadingZeroCount(b, sum);
+    const Bits norm = ShlDynamic(b, sum, ZeroExtend(b, lzc, lzc.Width()));
+
+    // Biased result exponent: big_exp + 1 - lzc, in e+2-bit signed math.
+    const int32_t we = fmt.e + 2;
+    Bits exp_w = ZeroExtend(b, big_exp, we);
+    exp_w = Increment(b, exp_w);
+    exp_w = Sub(b, exp_w, ZeroExtend(b, lzc, we));
+
+    // Mantissa: bits below the (implicit) MSB of norm, truncated.
+    Bits mant_out = norm.Slice(w - 1 - m, m);
+
+    const Signal inf_a = FIsInf(b, fmt, x);
+    const Signal inf_c = FIsInf(b, fmt, y);
+    const Signal any_inf = b.MakeGate(GateType::kOr, inf_a, inf_c);
+    // Sign of the infinite result: the sign of whichever operand is inf
+    // (x wins when both; inf - inf is +inf only if x is +inf — documented).
+    const Signal inf_sign = b.MakeMux(inf_a, a.sign, c.sign);
+
+    // Exact cancellation produces +0 (sign cleared via force_zero path).
+    Bits result = ClampAndPack(b, fmt, big_sign, exp_w, mant_out, sum_zero,
+                               b.MakeConst(false));
+    result = MuxBits(b, any_inf, FInfinity(b, fmt, inf_sign), result);
+    return result;
+}
+
+Bits FSub(Builder& b, const FloatFmt& fmt, const Bits& x, const Bits& y) {
+    return FAdd(b, fmt, x, FNeg(b, fmt, y));
+}
+
+Bits FMul(Builder& b, const FloatFmt& fmt, const Bits& x, const Bits& y) {
+    const int32_t m = fmt.m;
+    const FloatParts a = FUnpack(fmt, x);
+    const FloatParts c = FUnpack(fmt, y);
+    const Signal za = FIsZero(b, fmt, x);
+    const Signal zc = FIsZero(b, fmt, y);
+    const Signal sign = b.MakeGate(GateType::kXor, a.sign, c.sign);
+
+    const Bits am = FullMantissa(b, fmt, a, za);
+    const Bits cm = FullMantissa(b, fmt, c, zc);
+    const int32_t pw = 2 * m + 2;
+    const Bits prod = UMul(b, ZeroExtend(b, am, pw), cm, pw);
+
+    // Product of [1,2) x [1,2) is in [1,4): top bit selects the shift.
+    const Signal top = prod[pw - 1];
+    const Bits mant_hi = prod.Slice(m + 1, m);  // Top set: drop bit 2m+1.
+    const Bits mant_lo = prod.Slice(m, m);      // Top clear: drop bit 2m.
+    const Bits mant_out = MuxBits(b, top, mant_hi, mant_lo);
+
+    // exp = exp_a + exp_c - bias + top.
+    const int32_t we = fmt.e + 2;
+    Bits exp_w = Add(b, ZeroExtend(b, a.exp, we), ZeroExtend(b, c.exp, we));
+    exp_w = Sub(b, exp_w, ConstBits(b, fmt.Bias(), we));
+    exp_w = Add(b, exp_w, ZeroExtend(b, Bits({top}), we));
+
+    const Signal any_zero = b.MakeGate(GateType::kOr, za, zc);
+    const Signal any_inf = b.MakeGate(GateType::kOr, FIsInf(b, fmt, x),
+                                      FIsInf(b, fmt, y));
+    // 0 * inf: zero wins (documented).
+    const Signal force_inf = b.MakeGate(GateType::kAndNY, any_zero, any_inf);
+    return ClampAndPack(b, fmt, sign, exp_w, mant_out, any_zero, force_inf);
+}
+
+Bits FDiv(Builder& b, const FloatFmt& fmt, const Bits& x, const Bits& y) {
+    const int32_t m = fmt.m;
+    const FloatParts a = FUnpack(fmt, x);
+    const FloatParts c = FUnpack(fmt, y);
+    const Signal za = FIsZero(b, fmt, x);
+    const Signal zc = FIsZero(b, fmt, y);
+    const Signal sign = b.MakeGate(GateType::kXor, a.sign, c.sign);
+
+    // Quotient of full mantissas, scaled by 2^(m+2).
+    const int32_t qw = 2 * m + 3;
+    const Bits num = ShlConst(
+        b, ZeroExtend(b, FullMantissa(b, fmt, a, za), qw), m + 2);
+    const Bits den = ZeroExtend(b, FullMantissa(b, fmt, c, zc), qw);
+    const Bits quot = UDivMod(b, num, den).first;
+
+    // Ratio in (1/2, 2): bit m+2 set means ratio >= 1.
+    const Signal top = quot[m + 2];
+    const Bits mant_hi = quot.Slice(2, m);
+    const Bits mant_lo = quot.Slice(1, m);
+    const Bits mant_out = MuxBits(b, top, mant_hi, mant_lo);
+
+    // exp = exp_a - exp_c + bias - (top ? 0 : 1).
+    const int32_t we = fmt.e + 2;
+    Bits exp_w = Sub(b, ZeroExtend(b, a.exp, we), ZeroExtend(b, c.exp, we));
+    exp_w = Add(b, exp_w, ConstBits(b, fmt.Bias(), we));
+    exp_w = Sub(b, exp_w, ZeroExtend(b, Bits({b.MakeNot(top)}), we));
+
+    const Signal inf_a = FIsInf(b, fmt, x);
+    const Signal inf_c = FIsInf(b, fmt, y);
+    // x/0 and inf/y give infinity; 0/y and x/inf give zero; zero dividend
+    // wins over zero divisor (0/0 -> documented as +inf via div-by-zero?
+    // No: za forces zero first, so 0/0 -> 0 with force_zero; acceptable).
+    const Signal force_zero = b.MakeGate(GateType::kOr, za, inf_c);
+    const Signal force_inf = b.MakeGate(
+        GateType::kAndNY, force_zero, b.MakeGate(GateType::kOr, zc, inf_a));
+    return ClampAndPack(b, fmt, sign, exp_w, mant_out, force_zero, force_inf);
+}
+
+Bits FNeg(Builder& b, const FloatFmt& fmt, const Bits& x) {
+    Bits out = x;
+    out.bits.back() = b.MakeNot(x.Msb());
+    (void)fmt;
+    return out;
+}
+
+Bits FAbs(Builder& b, const FloatFmt& fmt, const Bits& x) {
+    Bits out = x;
+    out.bits.back() = b.MakeConst(false);
+    (void)fmt;
+    return out;
+}
+
+Signal FLt(Builder& b, const FloatFmt& fmt, const Bits& x, const Bits& y) {
+    const FloatParts a = FUnpack(fmt, x);
+    const FloatParts c = FUnpack(fmt, y);
+    const Signal za = FIsZero(b, fmt, x);
+    const Signal zc = FIsZero(b, fmt, y);
+    const Signal both_zero = b.MakeGate(GateType::kAnd, za, zc);
+
+    Bits mag_a = a.mant;
+    mag_a.bits.insert(mag_a.bits.end(), a.exp.bits.begin(), a.exp.bits.end());
+    Bits mag_c = c.mant;
+    mag_c.bits.insert(mag_c.bits.end(), c.exp.bits.begin(), c.exp.bits.end());
+    const Signal lt_mag = Ult(b, mag_a, mag_c);
+    const Signal gt_mag = Ult(b, mag_c, mag_a);
+
+    const Signal diff_sign = b.MakeGate(GateType::kXor, a.sign, c.sign);
+    // Same sign: negative operands compare reversed.
+    const Signal same_sign_lt = b.MakeMux(a.sign, gt_mag, lt_mag);
+    // Different sign: x < y iff x is the negative one.
+    const Signal lt = b.MakeMux(diff_sign, a.sign, same_sign_lt);
+    return b.MakeGate(GateType::kAndNY, both_zero, lt);
+}
+
+Signal FLe(Builder& b, const FloatFmt& fmt, const Bits& x, const Bits& y) {
+    return b.MakeNot(FLt(b, fmt, y, x));
+}
+
+Signal FEq(Builder& b, const FloatFmt& fmt, const Bits& x, const Bits& y) {
+    const Signal bits_eq = Eq(b, x, y);
+    const Signal both_zero = b.MakeGate(GateType::kAnd, FIsZero(b, fmt, x),
+                                        FIsZero(b, fmt, y));
+    return b.MakeGate(GateType::kOr, bits_eq, both_zero);
+}
+
+Bits FRelu(Builder& b, const FloatFmt& fmt, const Bits& x) {
+    // Negative (sign bit set) maps to +0; everything else passes through.
+    return MuxBits(b, x.Msb(), FZero(b, fmt), x);
+}
+
+Bits FMax(Builder& b, const FloatFmt& fmt, const Bits& x, const Bits& y) {
+    return MuxBits(b, FLt(b, fmt, x, y), y, x);
+}
+
+Bits FMin(Builder& b, const FloatFmt& fmt, const Bits& x, const Bits& y) {
+    return MuxBits(b, FLt(b, fmt, x, y), x, y);
+}
+
+}  // namespace pytfhe::hdl

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Floating-point circuit generators for arbitrary Float(e, m) formats.
+ *
+ * Semantics (documented simplifications, adequate for inference workloads):
+ *  - round toward zero (mantissa truncation) on add/sub/mul/div;
+ *  - subnormals flush to zero; exponent overflow saturates to infinity;
+ *  - no NaN representation: 0/0 yields infinity, inf - inf yields +inf;
+ *  - -0 is normalized to +0 by arithmetic, and comparisons treat them equal.
+ *
+ * Bit layout within a Bits word (LSB first): mantissa[0..m), exponent[m..m+e),
+ * sign at the top — matching DType::Encode for Kind::kFloat.
+ */
+#ifndef PYTFHE_HDL_FLOAT_OPS_H
+#define PYTFHE_HDL_FLOAT_OPS_H
+
+#include "hdl/bits.h"
+#include "hdl/word_ops.h"
+
+namespace pytfhe::hdl {
+
+/** A floating-point format: e exponent bits, m mantissa bits. */
+struct FloatFmt {
+    int32_t e;
+    int32_t m;
+
+    int32_t TotalBits() const { return 1 + e + m; }
+    int32_t Bias() const { return (1 << (e - 1)) - 1; }
+};
+
+/** Unpacked view of a float word (handles, no gates). */
+struct FloatParts {
+    Signal sign;
+    Bits exp;   ///< e bits.
+    Bits mant;  ///< m bits, without the implicit leading 1.
+};
+
+/** Splits a packed float word. */
+FloatParts FUnpack(const FloatFmt& fmt, const Bits& x);
+/** Packs fields back into a word. */
+Bits FPack(Builder& b, const FloatFmt& fmt, const FloatParts& parts);
+
+/** True when the value is (+/-) zero (exponent field all zeros). */
+Signal FIsZero(Builder& b, const FloatFmt& fmt, const Bits& x);
+/** True when the value is (+/-) infinity (exponent field all ones). */
+Signal FIsInf(Builder& b, const FloatFmt& fmt, const Bits& x);
+
+/** The canonical +0 constant. */
+Bits FZero(Builder& b, const FloatFmt& fmt);
+
+Bits FAdd(Builder& b, const FloatFmt& fmt, const Bits& x, const Bits& y);
+Bits FSub(Builder& b, const FloatFmt& fmt, const Bits& x, const Bits& y);
+Bits FMul(Builder& b, const FloatFmt& fmt, const Bits& x, const Bits& y);
+Bits FDiv(Builder& b, const FloatFmt& fmt, const Bits& x, const Bits& y);
+
+/** Sign flip (zero stays +0 is NOT enforced here; -0 compares equal). */
+Bits FNeg(Builder& b, const FloatFmt& fmt, const Bits& x);
+Bits FAbs(Builder& b, const FloatFmt& fmt, const Bits& x);
+
+Signal FLt(Builder& b, const FloatFmt& fmt, const Bits& x, const Bits& y);
+Signal FLe(Builder& b, const FloatFmt& fmt, const Bits& x, const Bits& y);
+Signal FEq(Builder& b, const FloatFmt& fmt, const Bits& x, const Bits& y);
+
+/** max(0, x): a single sign-controlled mux — cheap in bit-wise FHE. */
+Bits FRelu(Builder& b, const FloatFmt& fmt, const Bits& x);
+
+Bits FMax(Builder& b, const FloatFmt& fmt, const Bits& x, const Bits& y);
+Bits FMin(Builder& b, const FloatFmt& fmt, const Bits& x, const Bits& y);
+
+}  // namespace pytfhe::hdl
+
+#endif  // PYTFHE_HDL_FLOAT_OPS_H

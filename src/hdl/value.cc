@@ -1,0 +1,160 @@
+#include "hdl/value.h"
+
+#include <cassert>
+
+namespace pytfhe::hdl {
+
+namespace {
+
+FloatFmt FmtOf(const DType& t) { return FloatFmt{t.ExpBits(), t.MantBits()}; }
+
+void CheckSameType(const Value& x, const Value& y) {
+    assert(x.dtype == y.dtype);
+    (void)x;
+    (void)y;
+}
+
+}  // namespace
+
+Value InputValue(Builder& b, const DType& t, const std::string& name) {
+    return Value{t, InputBits(b, t.TotalBits(), name)};
+}
+
+Value ConstValue(Builder& b, const DType& t, double value) {
+    const std::vector<bool> pattern = t.Encode(value);
+    Bits bits;
+    bits.bits.reserve(pattern.size());
+    for (bool bit : pattern) bits.bits.push_back(b.MakeConst(bit));
+    return Value{t, std::move(bits)};
+}
+
+void OutputValue(Builder& b, const Value& v, const std::string& name) {
+    OutputBits(b, v.bits, name);
+}
+
+Value VAdd(Builder& b, const Value& x, const Value& y) {
+    CheckSameType(x, y);
+    if (x.dtype.IsFloat())
+        return Value{x.dtype, FAdd(b, FmtOf(x.dtype), x.bits, y.bits)};
+    return Value{x.dtype, Add(b, x.bits, y.bits)};
+}
+
+Value VSub(Builder& b, const Value& x, const Value& y) {
+    CheckSameType(x, y);
+    if (x.dtype.IsFloat())
+        return Value{x.dtype, FSub(b, FmtOf(x.dtype), x.bits, y.bits)};
+    return Value{x.dtype, Sub(b, x.bits, y.bits)};
+}
+
+Value VMul(Builder& b, const Value& x, const Value& y) {
+    CheckSameType(x, y);
+    const DType& t = x.dtype;
+    switch (t.kind()) {
+        case DType::Kind::kFloat:
+            return Value{t, FMul(b, FmtOf(t), x.bits, y.bits)};
+        case DType::Kind::kUInt:
+            return Value{t, UMul(b, x.bits, y.bits, t.TotalBits())};
+        case DType::Kind::kSInt:
+            return Value{t, SMul(b, x.bits, y.bits, t.TotalBits())};
+        case DType::Kind::kFixed: {
+            // Widen so the product's fractional shift cannot overflow.
+            const int32_t w = t.TotalBits() + t.FracBits();
+            Bits prod = SMul(b, x.bits, y.bits, w);
+            prod = AshrConst(b, prod, t.FracBits());
+            return Value{t, prod.Slice(0, t.TotalBits())};
+        }
+    }
+    return x;  // Unreachable.
+}
+
+Value VDiv(Builder& b, const Value& x, const Value& y) {
+    CheckSameType(x, y);
+    const DType& t = x.dtype;
+    switch (t.kind()) {
+        case DType::Kind::kFloat:
+            return Value{t, FDiv(b, FmtOf(t), x.bits, y.bits)};
+        case DType::Kind::kUInt:
+            return Value{t, UDivMod(b, x.bits, y.bits).first};
+        case DType::Kind::kSInt:
+            return Value{t, SDivMod(b, x.bits, y.bits).first};
+        case DType::Kind::kFixed: {
+            // (x << f) / y in widened signed arithmetic.
+            const int32_t w = t.TotalBits() + t.FracBits() + 1;
+            Bits num = ShlConst(b, SignExtend(b, x.bits, w), t.FracBits());
+            Bits den = SignExtend(b, y.bits, w);
+            Bits quot = SDivMod(b, num, den).first;
+            return Value{t, quot.Slice(0, t.TotalBits())};
+        }
+    }
+    return x;  // Unreachable.
+}
+
+Value VNeg(Builder& b, const Value& x) {
+    if (x.dtype.IsFloat())
+        return Value{x.dtype, FNeg(b, FmtOf(x.dtype), x.bits)};
+    return Value{x.dtype, Neg(b, x.bits)};
+}
+
+Signal VLt(Builder& b, const Value& x, const Value& y) {
+    CheckSameType(x, y);
+    const DType& t = x.dtype;
+    switch (t.kind()) {
+        case DType::Kind::kFloat:
+            return FLt(b, FmtOf(t), x.bits, y.bits);
+        case DType::Kind::kUInt:
+            return Ult(b, x.bits, y.bits);
+        case DType::Kind::kSInt:
+        case DType::Kind::kFixed:
+            return Slt(b, x.bits, y.bits);
+    }
+    return b.MakeConst(false);  // Unreachable.
+}
+
+Signal VLe(Builder& b, const Value& x, const Value& y) {
+    return b.MakeNot(VLt(b, y, x));
+}
+Signal VGt(Builder& b, const Value& x, const Value& y) { return VLt(b, y, x); }
+Signal VGe(Builder& b, const Value& x, const Value& y) {
+    return b.MakeNot(VLt(b, x, y));
+}
+
+Signal VEq(Builder& b, const Value& x, const Value& y) {
+    CheckSameType(x, y);
+    if (x.dtype.IsFloat()) return FEq(b, FmtOf(x.dtype), x.bits, y.bits);
+    return Eq(b, x.bits, y.bits);
+}
+
+Signal VNe(Builder& b, const Value& x, const Value& y) {
+    return b.MakeNot(VEq(b, x, y));
+}
+
+Value VMux(Builder& b, Signal sel, const Value& x, const Value& y) {
+    CheckSameType(x, y);
+    return Value{x.dtype, MuxBits(b, sel, x.bits, y.bits)};
+}
+
+Value VRelu(Builder& b, const Value& x) {
+    const DType& t = x.dtype;
+    switch (t.kind()) {
+        case DType::Kind::kFloat:
+            return Value{t, FRelu(b, FmtOf(t), x.bits)};
+        case DType::Kind::kUInt:
+            return x;  // Already non-negative.
+        case DType::Kind::kSInt:
+        case DType::Kind::kFixed:
+            // Negative (MSB set) clamps to zero.
+            return Value{t, MuxBits(b, x.bits.Msb(),
+                                    ConstBits(b, 0, t.TotalBits()), x.bits)};
+    }
+    return x;  // Unreachable.
+}
+
+Value VMax(Builder& b, const Value& x, const Value& y) {
+    return VMux(b, VLt(b, x, y), y, x);
+}
+
+Value VMin(Builder& b, const Value& x, const Value& y) {
+    return VMux(b, VLt(b, x, y), x, y);
+}
+
+}  // namespace pytfhe::hdl

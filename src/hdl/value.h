@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Typed scalar values: a bit vector tagged with a DType, plus arithmetic
+ * that dispatches to the right generator (integer, fixed-point, or float).
+ *
+ * This is the scalar layer the tensor library is built on: a nn::Tensor is
+ * a shape plus a flat vector of hdl::Value.
+ */
+#ifndef PYTFHE_HDL_VALUE_H
+#define PYTFHE_HDL_VALUE_H
+
+#include "hdl/dtype.h"
+#include "hdl/float_ops.h"
+#include "hdl/word_ops.h"
+
+namespace pytfhe::hdl {
+
+/** A typed word under construction. */
+struct Value {
+    DType dtype = DType::SInt(8);
+    Bits bits;
+
+    int32_t Width() const { return bits.Width(); }
+};
+
+/** Declares an encrypted input value. */
+Value InputValue(Builder& b, const DType& t, const std::string& name);
+
+/** Embeds a plaintext constant (quantized to the dtype). */
+Value ConstValue(Builder& b, const DType& t, double value);
+
+/** Registers the value's bits as outputs. */
+void OutputValue(Builder& b, const Value& v, const std::string& name);
+
+/** Arithmetic; operands must share a dtype. */
+Value VAdd(Builder& b, const Value& x, const Value& y);
+Value VSub(Builder& b, const Value& x, const Value& y);
+Value VMul(Builder& b, const Value& x, const Value& y);
+Value VDiv(Builder& b, const Value& x, const Value& y);
+Value VNeg(Builder& b, const Value& x);
+
+/** Comparisons. */
+Signal VLt(Builder& b, const Value& x, const Value& y);
+Signal VLe(Builder& b, const Value& x, const Value& y);
+Signal VGt(Builder& b, const Value& x, const Value& y);
+Signal VGe(Builder& b, const Value& x, const Value& y);
+Signal VEq(Builder& b, const Value& x, const Value& y);
+Signal VNe(Builder& b, const Value& x, const Value& y);
+
+/** sel ? x : y. */
+Value VMux(Builder& b, Signal sel, const Value& x, const Value& y);
+
+/** max(0, x). */
+Value VRelu(Builder& b, const Value& x);
+Value VMax(Builder& b, const Value& x, const Value& y);
+Value VMin(Builder& b, const Value& x, const Value& y);
+
+}  // namespace pytfhe::hdl
+
+#endif  // PYTFHE_HDL_VALUE_H

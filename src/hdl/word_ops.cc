@@ -1,0 +1,393 @@
+#include "hdl/word_ops.h"
+
+#include <algorithm>
+
+namespace pytfhe::hdl {
+
+using circuit::GateType;
+
+Bits ConstBits(Builder& b, uint64_t value, int32_t width) {
+    Bits out;
+    out.bits.reserve(width);
+    for (int32_t i = 0; i < width; ++i)
+        out.bits.push_back(b.MakeConst(i < 64 && ((value >> i) & 1)));
+    return out;
+}
+
+Bits InputBits(Builder& b, int32_t width, const std::string& name) {
+    Bits out;
+    out.bits.reserve(width);
+    for (int32_t i = 0; i < width; ++i)
+        out.bits.push_back(b.MakeInput(name + "[" + std::to_string(i) + "]"));
+    return out;
+}
+
+void OutputBits(Builder& b, const Bits& x, const std::string& name) {
+    for (int32_t i = 0; i < x.Width(); ++i)
+        b.AddOutput(x[i], name + "[" + std::to_string(i) + "]");
+}
+
+Bits ZeroExtend(Builder& b, const Bits& x, int32_t width) {
+    Bits out = x;
+    out.bits.resize(width, b.MakeConst(false));
+    if (width < x.Width()) out.bits.resize(width);
+    return out;
+}
+
+Bits SignExtend(Builder& b, const Bits& x, int32_t width) {
+    (void)b;
+    Bits out = x;
+    if (width <= x.Width()) {
+        out.bits.resize(width);
+    } else {
+        out.bits.resize(width, x.Msb());
+    }
+    return out;
+}
+
+namespace {
+
+Bits Bitwise(Builder& b, GateType t, const Bits& x, const Bits& y) {
+    assert(x.Width() == y.Width());
+    Bits out;
+    out.bits.reserve(x.Width());
+    for (int32_t i = 0; i < x.Width(); ++i)
+        out.bits.push_back(b.MakeGate(t, x[i], y[i]));
+    return out;
+}
+
+}  // namespace
+
+Bits AndBits(Builder& b, const Bits& x, const Bits& y) {
+    return Bitwise(b, GateType::kAnd, x, y);
+}
+Bits OrBits(Builder& b, const Bits& x, const Bits& y) {
+    return Bitwise(b, GateType::kOr, x, y);
+}
+Bits XorBits(Builder& b, const Bits& x, const Bits& y) {
+    return Bitwise(b, GateType::kXor, x, y);
+}
+
+Bits NotBits(Builder& b, const Bits& x) {
+    Bits out;
+    out.bits.reserve(x.Width());
+    for (int32_t i = 0; i < x.Width(); ++i)
+        out.bits.push_back(b.MakeNot(x[i]));
+    return out;
+}
+
+Bits MaskBits(Builder& b, const Bits& x, Signal bit) {
+    Bits out;
+    out.bits.reserve(x.Width());
+    for (int32_t i = 0; i < x.Width(); ++i)
+        out.bits.push_back(b.MakeGate(GateType::kAnd, x[i], bit));
+    return out;
+}
+
+Bits MuxBits(Builder& b, Signal sel, const Bits& t, const Bits& f) {
+    assert(t.Width() == f.Width());
+    Bits out;
+    out.bits.reserve(t.Width());
+    for (int32_t i = 0; i < t.Width(); ++i)
+        out.bits.push_back(b.MakeMux(sel, t[i], f[i]));
+    return out;
+}
+
+std::pair<Bits, Signal> AddWithCarry(Builder& b, const Bits& x, const Bits& y,
+                                     Signal carry_in) {
+    assert(x.Width() == y.Width());
+    Bits sum;
+    sum.bits.reserve(x.Width());
+    Signal carry = carry_in;
+    for (int32_t i = 0; i < x.Width(); ++i) {
+        const Signal axb = b.MakeGate(GateType::kXor, x[i], y[i]);
+        sum.bits.push_back(b.MakeGate(GateType::kXor, axb, carry));
+        const Signal gen = b.MakeGate(GateType::kAnd, x[i], y[i]);
+        const Signal prop = b.MakeGate(GateType::kAnd, axb, carry);
+        carry = b.MakeGate(GateType::kOr, gen, prop);
+    }
+    return {std::move(sum), carry};
+}
+
+Bits Add(Builder& b, const Bits& x, const Bits& y) {
+    return AddWithCarry(b, x, y, b.MakeConst(false)).first;
+}
+
+namespace {
+
+/**
+ * Shared Kogge-Stone core over precomputed generate/propagate vectors;
+ * cin folds into g[0]. sum_p holds the half-sums for the final XOR stage.
+ */
+Bits KoggeStoneCore(Builder& b, std::vector<Signal> g, std::vector<Signal> p,
+                    const std::vector<Signal>& sum_p) {
+    const int32_t w = static_cast<int32_t>(g.size());
+    for (int32_t dist = 1; dist < w; dist *= 2) {
+        std::vector<Signal> ng = g, np = p;
+        for (int32_t i = dist; i < w; ++i) {
+            ng[i] = b.MakeGate(
+                GateType::kOr, g[i],
+                b.MakeGate(GateType::kAnd, p[i], g[i - dist]));
+            np[i] = b.MakeGate(GateType::kAnd, p[i], p[i - dist]);
+        }
+        g = std::move(ng);
+        p = std::move(np);
+    }
+    // g[i] is now the carry OUT of bit i; sum_i = p_i ^ carry_in(i).
+    Bits sum;
+    sum.bits.reserve(w);
+    sum.bits.push_back(sum_p[0]);
+    for (int32_t i = 1; i < w; ++i)
+        sum.bits.push_back(b.MakeGate(GateType::kXor, sum_p[i], g[i - 1]));
+    return sum;
+}
+
+}  // namespace
+
+Bits AddFast(Builder& b, const Bits& x, const Bits& y) {
+    assert(x.Width() == y.Width());
+    const int32_t w = x.Width();
+    if (w == 0) return Bits{};
+    // (g, p) o (g', p') = (g | (p & g'), p & p'), carry-in 0.
+    std::vector<Signal> g(w), p(w);
+    for (int32_t i = 0; i < w; ++i) {
+        g[i] = b.MakeGate(GateType::kAnd, x[i], y[i]);
+        p[i] = b.MakeGate(GateType::kXor, x[i], y[i]);
+    }
+    return KoggeStoneCore(b, g, p, p);
+}
+
+Bits SubFast(Builder& b, const Bits& x, const Bits& y) {
+    assert(x.Width() == y.Width());
+    const int32_t w = x.Width();
+    if (w == 0) return Bits{};
+    // x + ~y + 1: generate = x & ~y, propagate = x XNOR y, carry-in 1
+    // folds into g[0] (g | p with cin = 1).
+    std::vector<Signal> g(w), p(w), sum_p(w);
+    for (int32_t i = 0; i < w; ++i) {
+        g[i] = b.MakeGate(GateType::kAndYN, x[i], y[i]);
+        p[i] = b.MakeGate(GateType::kXnor, x[i], y[i]);
+        // Half-sum including the carry-in at bit 0.
+        sum_p[i] = i == 0 ? b.MakeGate(GateType::kXor, x[i], y[i]) : p[i];
+    }
+    g[0] = b.MakeGate(GateType::kOr, g[0], p[0]);
+    return KoggeStoneCore(b, g, p, sum_p);
+}
+
+Bits Sub(Builder& b, const Bits& x, const Bits& y) {
+    return AddWithCarry(b, x, NotBits(b, y), b.MakeConst(true)).first;
+}
+
+Bits Neg(Builder& b, const Bits& x) {
+    return Sub(b, ConstBits(b, 0, x.Width()), x);
+}
+
+Bits Increment(Builder& b, const Bits& x) {
+    return Add(b, x, ConstBits(b, 1, x.Width()));
+}
+
+Signal OrReduce(Builder& b, const Bits& x) {
+    Signal acc = b.MakeConst(false);
+    // Balanced tree keeps depth logarithmic for the BFS scheduler.
+    std::vector<Signal> level = x.bits;
+    if (level.empty()) return acc;
+    while (level.size() > 1) {
+        std::vector<Signal> next;
+        for (size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(b.MakeGate(GateType::kOr, level[i], level[i + 1]));
+        if (level.size() % 2) next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level[0];
+}
+
+Signal AndReduce(Builder& b, const Bits& x) {
+    std::vector<Signal> level = x.bits;
+    if (level.empty()) return b.MakeConst(true);
+    while (level.size() > 1) {
+        std::vector<Signal> next;
+        for (size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(b.MakeGate(GateType::kAnd, level[i], level[i + 1]));
+        if (level.size() % 2) next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level[0];
+}
+
+Signal Eq(Builder& b, const Bits& x, const Bits& y) {
+    assert(x.Width() == y.Width());
+    Bits eq;
+    eq.bits.reserve(x.Width());
+    for (int32_t i = 0; i < x.Width(); ++i)
+        eq.bits.push_back(b.MakeGate(GateType::kXnor, x[i], y[i]));
+    return AndReduce(b, eq);
+}
+
+Signal Ne(Builder& b, const Bits& x, const Bits& y) {
+    return b.MakeNot(Eq(b, x, y));
+}
+
+Signal Ult(Builder& b, const Bits& x, const Bits& y) {
+    assert(x.Width() == y.Width());
+    // LSB-to-MSB scan: higher bits override lower decisions.
+    Signal lt = b.MakeConst(false);
+    for (int32_t i = 0; i < x.Width(); ++i) {
+        const Signal bit_lt = b.MakeGate(GateType::kAndNY, x[i], y[i]);
+        const Signal bit_eq = b.MakeGate(GateType::kXnor, x[i], y[i]);
+        lt = b.MakeGate(GateType::kOr, bit_lt,
+                        b.MakeGate(GateType::kAnd, bit_eq, lt));
+    }
+    return lt;
+}
+
+Signal Slt(Builder& b, const Bits& x, const Bits& y) {
+    assert(x.Width() == y.Width() && x.Width() >= 1);
+    // Flip the sign bits and compare unsigned.
+    Bits xf = x, yf = y;
+    xf.bits.back() = b.MakeNot(x.Msb());
+    yf.bits.back() = b.MakeNot(y.Msb());
+    return Ult(b, xf, yf);
+}
+
+Bits ShlConst(Builder& b, const Bits& x, int32_t amount) {
+    const int32_t w = x.Width();
+    Bits out = ConstBits(b, 0, w);
+    for (int32_t i = 0; i + amount < w; ++i) out[i + amount] = x[i];
+    return out;
+}
+
+Bits LshrConst(Builder& b, const Bits& x, int32_t amount) {
+    const int32_t w = x.Width();
+    Bits out = ConstBits(b, 0, w);
+    for (int32_t i = amount; i < w; ++i) out[i - amount] = x[i];
+    return out;
+}
+
+Bits AshrConst(Builder& b, const Bits& x, int32_t amount) {
+    (void)b;
+    const int32_t w = x.Width();
+    Bits out;
+    out.bits.reserve(w);
+    for (int32_t i = 0; i < w; ++i)
+        out.bits.push_back(x[std::min(i + amount, w - 1)]);
+    return out;
+}
+
+Bits ShlDynamic(Builder& b, const Bits& x, const Bits& amount) {
+    Bits out = x;
+    for (int32_t k = 0; k < amount.Width(); ++k) {
+        const int64_t step = INT64_C(1) << std::min(k, 30);
+        if (step >= x.Width()) {
+            // Shifting by this stage clears the word entirely.
+            out = MuxBits(b, amount[k], ConstBits(b, 0, x.Width()), out);
+        } else {
+            out = MuxBits(b, amount[k],
+                          ShlConst(b, out, static_cast<int32_t>(step)), out);
+        }
+    }
+    return out;
+}
+
+Bits LshrDynamic(Builder& b, const Bits& x, const Bits& amount) {
+    Bits out = x;
+    for (int32_t k = 0; k < amount.Width(); ++k) {
+        const int64_t step = INT64_C(1) << std::min(k, 30);
+        if (step >= x.Width()) {
+            out = MuxBits(b, amount[k], ConstBits(b, 0, x.Width()), out);
+        } else {
+            out = MuxBits(b, amount[k],
+                          LshrConst(b, out, static_cast<int32_t>(step)), out);
+        }
+    }
+    return out;
+}
+
+Bits UMul(Builder& b, const Bits& x, const Bits& y, int32_t out_width) {
+    Bits acc = ConstBits(b, 0, out_width);
+    const Bits xe = ZeroExtend(b, x, out_width);
+    for (int32_t i = 0; i < y.Width() && i < out_width; ++i) {
+        // Partial product: (x << i) masked by y_i, truncated to out_width.
+        const Bits shifted = ShlConst(b, xe, i);
+        acc = Add(b, acc, MaskBits(b, shifted, y[i]));
+    }
+    return acc;
+}
+
+Bits SMul(Builder& b, const Bits& x, const Bits& y, int32_t out_width) {
+    // Two's complement multiply is exact modulo 2^out_width after
+    // sign extension of both operands.
+    return UMul(b, SignExtend(b, x, out_width), SignExtend(b, y, out_width),
+                out_width);
+}
+
+std::pair<Bits, Bits> UDivMod(Builder& b, const Bits& x, const Bits& y) {
+    assert(x.Width() == y.Width());
+    const int32_t w = x.Width();
+    // Remainder gets one extra bit so rem - y never wraps mid-step.
+    Bits rem = ConstBits(b, 0, w + 1);
+    const Bits ye = ZeroExtend(b, y, w + 1);
+    Bits quot = ConstBits(b, 0, w);
+    for (int32_t i = w - 1; i >= 0; --i) {
+        // rem = (rem << 1) | x_i.
+        for (int32_t j = w; j > 0; --j) rem[j] = rem[j - 1];
+        rem[0] = x[i];
+        const Bits diff = Sub(b, rem, ye);
+        // diff's MSB clear means rem >= y.
+        const Signal ge = b.MakeNot(diff.Msb());
+        rem = MuxBits(b, ge, diff, rem);
+        quot[i] = ge;
+    }
+    return {std::move(quot), rem.Slice(0, w)};
+}
+
+std::pair<Bits, Bits> SDivMod(Builder& b, const Bits& x, const Bits& y) {
+    assert(x.Width() == y.Width());
+    const Signal sx = x.Msb();
+    const Signal sy = y.Msb();
+    const Bits ax = MuxBits(b, sx, Neg(b, x), x);
+    const Bits ay = MuxBits(b, sy, Neg(b, y), y);
+    auto [q, r] = UDivMod(b, ax, ay);
+    // Quotient sign: sx XOR sy; remainder takes the dividend's sign
+    // (round toward zero, C semantics).
+    const Signal sq = b.MakeGate(GateType::kXor, sx, sy);
+    Bits quot = MuxBits(b, sq, Neg(b, q), q);
+    Bits rem = MuxBits(b, sx, Neg(b, r), r);
+    return {std::move(quot), std::move(rem)};
+}
+
+namespace {
+
+int32_t CountWidth(int32_t width) {
+    int32_t w = 1;
+    while ((1 << w) <= width) ++w;
+    return w;
+}
+
+}  // namespace
+
+Bits LeadingZeroCount(Builder& b, const Bits& x) {
+    const int32_t w = x.Width();
+    const int32_t cw = CountWidth(w);
+    // prefix[i] = OR of bits i..MSB; leading zeros = popcount of ~prefix.
+    Bits not_prefix;
+    not_prefix.bits.resize(w);
+    Signal seen = b.MakeConst(false);
+    for (int32_t i = w - 1; i >= 0; --i) {
+        seen = b.MakeGate(GateType::kOr, seen, x[i]);
+        not_prefix[i] = b.MakeNot(seen);
+    }
+    Bits count = PopCount(b, not_prefix);
+    return ZeroExtend(b, count, cw);
+}
+
+Bits PopCount(Builder& b, const Bits& x) {
+    const int32_t cw = CountWidth(x.Width());
+    Bits acc = ConstBits(b, 0, cw);
+    for (int32_t i = 0; i < x.Width(); ++i) {
+        Bits bit = ZeroExtend(b, Bits({x[i]}), cw);
+        acc = Add(b, acc, bit);
+    }
+    return acc;
+}
+
+}  // namespace pytfhe::hdl

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Word-level combinational generators: the pre-built, validated arithmetic
+ * module library (the repo's equivalent of ChiselTorch's pre-built Chisel
+ * modules).
+ *
+ * All functions elaborate gates into the given builder and return handles.
+ * Width conventions: unless stated otherwise, results have the width of the
+ * wider operand and arithmetic wraps modulo 2^width (two's complement).
+ */
+#ifndef PYTFHE_HDL_WORD_OPS_H
+#define PYTFHE_HDL_WORD_OPS_H
+
+#include <utility>
+
+#include "hdl/bits.h"
+
+namespace pytfhe::hdl {
+
+/** Constant word of the given width (value truncated to width). */
+Bits ConstBits(Builder& b, uint64_t value, int32_t width);
+
+/** Declares `width` fresh primary inputs named name[0..width). */
+Bits InputBits(Builder& b, int32_t width, const std::string& name);
+
+/** Registers each bit as an output named name[i]. */
+void OutputBits(Builder& b, const Bits& x, const std::string& name);
+
+/** Zero-extends or truncates to `width`. */
+Bits ZeroExtend(Builder& b, const Bits& x, int32_t width);
+/** Sign-extends (replicating the MSB) or truncates to `width`. */
+Bits SignExtend(Builder& b, const Bits& x, int32_t width);
+
+/** Bitwise operations (equal widths required). */
+Bits AndBits(Builder& b, const Bits& x, const Bits& y);
+Bits OrBits(Builder& b, const Bits& x, const Bits& y);
+Bits XorBits(Builder& b, const Bits& x, const Bits& y);
+Bits NotBits(Builder& b, const Bits& x);
+/** Replicates `bit` across `width` lanes and ANDs with x. */
+Bits MaskBits(Builder& b, const Bits& x, Signal bit);
+
+/** Per-bit select: sel ? t : f (equal widths). */
+Bits MuxBits(Builder& b, Signal sel, const Bits& t, const Bits& f);
+
+/** Ripple-carry adder; returns sum (same width) and carry-out. */
+std::pair<Bits, Signal> AddWithCarry(Builder& b, const Bits& x, const Bits& y,
+                                     Signal carry_in);
+/** x + y modulo 2^width. */
+Bits Add(Builder& b, const Bits& x, const Bits& y);
+
+/**
+ * Kogge-Stone parallel-prefix adder: O(log w) bootstrap depth instead of
+ * the ripple adder's O(w), at ~2x the gate count. Depth is what the
+ * distributed and GPU backends parallelize over, so arithmetic-heavy
+ * circuits built with fast adders scale much further (see
+ * bench_ablation_adders).
+ */
+Bits AddFast(Builder& b, const Bits& x, const Bits& y);
+
+/** Kogge-Stone subtraction: x - y at O(log w) depth. */
+Bits SubFast(Builder& b, const Bits& x, const Bits& y);
+/** x - y modulo 2^width. */
+Bits Sub(Builder& b, const Bits& x, const Bits& y);
+/** Two's complement negation. */
+Bits Neg(Builder& b, const Bits& x);
+/** x + 1 modulo 2^width. */
+Bits Increment(Builder& b, const Bits& x);
+
+/** Reduction operators. */
+Signal OrReduce(Builder& b, const Bits& x);
+Signal AndReduce(Builder& b, const Bits& x);
+
+/** Comparisons (equal widths). */
+Signal Eq(Builder& b, const Bits& x, const Bits& y);
+Signal Ne(Builder& b, const Bits& x, const Bits& y);
+/** Unsigned less-than. */
+Signal Ult(Builder& b, const Bits& x, const Bits& y);
+/** Signed (two's complement) less-than. */
+Signal Slt(Builder& b, const Bits& x, const Bits& y);
+
+/** Shifts by a constant amount (width preserved). */
+Bits ShlConst(Builder& b, const Bits& x, int32_t amount);
+Bits LshrConst(Builder& b, const Bits& x, int32_t amount);
+Bits AshrConst(Builder& b, const Bits& x, int32_t amount);
+
+/** Barrel shifts by a signal amount (width preserved). */
+Bits ShlDynamic(Builder& b, const Bits& x, const Bits& amount);
+Bits LshrDynamic(Builder& b, const Bits& x, const Bits& amount);
+
+/**
+ * Unsigned multiply: returns the low `out_width` bits of x * y
+ * (shift-and-add array multiplier).
+ */
+Bits UMul(Builder& b, const Bits& x, const Bits& y, int32_t out_width);
+/** Signed multiply modulo 2^out_width (sign-extends then multiplies). */
+Bits SMul(Builder& b, const Bits& x, const Bits& y, int32_t out_width);
+
+/** Restoring unsigned division; returns {quotient, remainder}. */
+std::pair<Bits, Bits> UDivMod(Builder& b, const Bits& x, const Bits& y);
+/** Signed division rounding toward zero; returns {quotient, remainder}. */
+std::pair<Bits, Bits> SDivMod(Builder& b, const Bits& x, const Bits& y);
+
+/** Number of leading zeros, as a word of ceil(log2(width+1)) bits. */
+Bits LeadingZeroCount(Builder& b, const Bits& x);
+
+/** Population count, as a word of ceil(log2(width+1)) bits. */
+Bits PopCount(Builder& b, const Bits& x);
+
+}  // namespace pytfhe::hdl
+
+#endif  // PYTFHE_HDL_WORD_OPS_H

@@ -1,0 +1,87 @@
+#include "nn/attention.h"
+
+#include <cassert>
+#include <cmath>
+#include <random>
+
+#include "nn/reference.h"
+
+namespace pytfhe::nn {
+
+SelfAttention::SelfAttention(int64_t seq_len, int64_t hidden)
+    : seq_len_(seq_len),
+      hidden_(hidden),
+      wq_(hidden * hidden, 0.0),
+      wk_(hidden * hidden, 0.0),
+      wv_(hidden * hidden, 0.0) {
+    InitRandom(0xA77E);
+}
+
+void SelfAttention::InitRandom(uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    const double scale = 1.0 / std::sqrt(static_cast<double>(hidden_));
+    std::uniform_real_distribution<double> dist(-scale, scale);
+    for (auto* w : {&wq_, &wk_, &wv_})
+        for (auto& x : *w) x = dist(rng);
+}
+
+void SelfAttention::SetWeights(std::vector<double> wq, std::vector<double> wk,
+                               std::vector<double> wv) {
+    assert(wq.size() == wq_.size() && wk.size() == wk_.size() &&
+           wv.size() == wv_.size());
+    wq_ = std::move(wq);
+    wk_ = std::move(wk);
+    wv_ = std::move(wv);
+}
+
+Tensor SelfAttention::Forward(Builder& b, const Tensor& input) const {
+    assert(input.Rank() == 2 && input.Dim(0) == seq_len_ &&
+           input.Dim(1) == hidden_);
+    const DType& t = input.dtype();
+    assert(t.IsFloat());
+
+    const Tensor wq = Tensor::FromData(b, t, {hidden_, hidden_}, wq_);
+    const Tensor wk = Tensor::FromData(b, t, {hidden_, hidden_}, wk_);
+    const Tensor wv = Tensor::FromData(b, t, {hidden_, hidden_}, wv_);
+
+    const Tensor q = MatMul(b, input, wq);
+    const Tensor k = MatMul(b, input, wk);
+    const Tensor v = MatMul(b, input, wv);
+
+    Tensor scores = MatMul(b, q, k.Transpose(0, 1));
+    scores = MulScalar(b, scores, 1.0 / std::sqrt(static_cast<double>(hidden_)));
+    const Tensor attn = Softmax(b, scores);
+    return MatMul(b, attn, v);
+}
+
+std::vector<double> SelfAttention::RefForward(const std::vector<double>& input,
+                                              Shape& shape,
+                                              const DType& dtype) const {
+    assert(shape.size() == 2 && shape[0] == seq_len_ && shape[1] == hidden_);
+    auto quantize = [&](const std::vector<double>& w) {
+        std::vector<double> q(w.size());
+        for (size_t i = 0; i < w.size(); ++i) q[i] = dtype.Quantize(w[i]);
+        return q;
+    };
+    const auto q =
+        reference::MatMul(input, quantize(wq_), seq_len_, hidden_, hidden_);
+    const auto k =
+        reference::MatMul(input, quantize(wk_), seq_len_, hidden_, hidden_);
+    const auto v =
+        reference::MatMul(input, quantize(wv_), seq_len_, hidden_, hidden_);
+    // scores = q k^T / sqrt(h).
+    std::vector<double> kt(k.size());
+    for (int64_t i = 0; i < seq_len_; ++i)
+        for (int64_t j = 0; j < hidden_; ++j)
+            kt[j * seq_len_ + i] = k[i * hidden_ + j];
+    auto scores = reference::MatMul(q, kt, seq_len_, hidden_, seq_len_);
+    const double inv_sqrt =
+        dtype.Quantize(1.0 / std::sqrt(static_cast<double>(hidden_)));
+    for (auto& s : scores) s *= inv_sqrt;
+    const auto attn = reference::Softmax(scores, seq_len_, seq_len_);
+    auto out = reference::MatMul(attn, v, seq_len_, seq_len_, hidden_);
+    shape = {seq_len_, hidden_};
+    return out;
+}
+
+}  // namespace pytfhe::nn

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Self-attention (Section V-A of the paper): the key BERT component,
+ * implemented with the primitive tensor operations (matmul, transpose,
+ * softmax) to demonstrate that ChiselTorch supports non-native complicated
+ * structures.
+ */
+#ifndef PYTFHE_NN_ATTENTION_H
+#define PYTFHE_NN_ATTENTION_H
+
+#include "nn/layers.h"
+
+namespace pytfhe::nn {
+
+/**
+ * Single-head self-attention over an input of shape [seq_len, hidden]:
+ *   Q = x Wq, K = x Wk, V = x Wv
+ *   out = softmax(Q K^T / sqrt(hidden)) V
+ * Float dtypes only (softmax needs ExpApprox and division).
+ */
+class SelfAttention : public Module {
+  public:
+    SelfAttention(int64_t seq_len, int64_t hidden);
+
+    void InitRandom(uint64_t seed);
+    void SetWeights(std::vector<double> wq, std::vector<double> wk,
+                    std::vector<double> wv);
+
+    std::string Name() const override { return "SelfAttention"; }
+    Tensor Forward(Builder& b, const Tensor& input) const override;
+    std::vector<double> RefForward(const std::vector<double>& input,
+                                   Shape& shape,
+                                   const DType& dtype) const override;
+
+    int64_t seq_len() const { return seq_len_; }
+    int64_t hidden() const { return hidden_; }
+
+  private:
+    int64_t seq_len_, hidden_;
+    std::vector<double> wq_, wk_, wv_;  ///< Each [hidden, hidden].
+};
+
+}  // namespace pytfhe::nn
+
+#endif  // PYTFHE_NN_ATTENTION_H

@@ -1,0 +1,252 @@
+#include "nn/functional.h"
+
+#include <cassert>
+
+#include "nn/reference.h"
+
+namespace pytfhe::nn {
+
+namespace {
+
+using BinOp = Value (*)(Builder&, const Value&, const Value&);
+
+Tensor Elementwise(Builder& b, const Tensor& x, const Tensor& y, BinOp op) {
+    assert(x.shape() == y.shape());
+    std::vector<Value> out;
+    out.reserve(x.Numel());
+    for (int64_t i = 0; i < x.Numel(); ++i)
+        out.push_back(op(b, x.At(i), y.At(i)));
+    return Tensor(x.shape(), std::move(out));
+}
+
+using PredOp = Signal (*)(Builder&, const Value&, const Value&);
+
+Tensor ElementwisePred(Builder& b, const Tensor& x, const Tensor& y,
+                       PredOp op) {
+    assert(x.shape() == y.shape());
+    std::vector<Value> out;
+    out.reserve(x.Numel());
+    for (int64_t i = 0; i < x.Numel(); ++i)
+        out.push_back(Value{DType::UInt(1),
+                            hdl::Bits({op(b, x.At(i), y.At(i))})});
+    return Tensor(x.shape(), std::move(out));
+}
+
+/** Balanced reduction of a list of values. */
+Value TreeReduce(Builder& b, std::vector<Value> vals, BinOp op) {
+    assert(!vals.empty());
+    while (vals.size() > 1) {
+        std::vector<Value> next;
+        next.reserve((vals.size() + 1) / 2);
+        for (size_t i = 0; i + 1 < vals.size(); i += 2)
+            next.push_back(op(b, vals[i], vals[i + 1]));
+        if (vals.size() % 2) next.push_back(vals.back());
+        vals = std::move(next);
+    }
+    return vals[0];
+}
+
+}  // namespace
+
+Tensor Add(Builder& b, const Tensor& x, const Tensor& y) {
+    return Elementwise(b, x, y, hdl::VAdd);
+}
+Tensor Sub(Builder& b, const Tensor& x, const Tensor& y) {
+    return Elementwise(b, x, y, hdl::VSub);
+}
+Tensor Mul(Builder& b, const Tensor& x, const Tensor& y) {
+    return Elementwise(b, x, y, hdl::VMul);
+}
+Tensor Div(Builder& b, const Tensor& x, const Tensor& y) {
+    return Elementwise(b, x, y, hdl::VDiv);
+}
+
+Tensor AddScalar(Builder& b, const Tensor& x, double c) {
+    const Value cv = hdl::ConstValue(b, x.dtype(), c);
+    std::vector<Value> out;
+    out.reserve(x.Numel());
+    for (int64_t i = 0; i < x.Numel(); ++i)
+        out.push_back(hdl::VAdd(b, x.At(i), cv));
+    return Tensor(x.shape(), std::move(out));
+}
+
+Tensor MulScalar(Builder& b, const Tensor& x, double c) {
+    const Value cv = hdl::ConstValue(b, x.dtype(), c);
+    std::vector<Value> out;
+    out.reserve(x.Numel());
+    for (int64_t i = 0; i < x.Numel(); ++i)
+        out.push_back(hdl::VMul(b, x.At(i), cv));
+    return Tensor(x.shape(), std::move(out));
+}
+
+Tensor CmpEq(Builder& b, const Tensor& x, const Tensor& y) {
+    return ElementwisePred(b, x, y, hdl::VEq);
+}
+Tensor CmpNe(Builder& b, const Tensor& x, const Tensor& y) {
+    return ElementwisePred(b, x, y, hdl::VNe);
+}
+Tensor CmpLt(Builder& b, const Tensor& x, const Tensor& y) {
+    return ElementwisePred(b, x, y, hdl::VLt);
+}
+Tensor CmpLe(Builder& b, const Tensor& x, const Tensor& y) {
+    return ElementwisePred(b, x, y, hdl::VLe);
+}
+Tensor CmpGt(Builder& b, const Tensor& x, const Tensor& y) {
+    return ElementwisePred(b, x, y, hdl::VGt);
+}
+Tensor CmpGe(Builder& b, const Tensor& x, const Tensor& y) {
+    return ElementwisePred(b, x, y, hdl::VGe);
+}
+
+Tensor MatMul(Builder& b, const Tensor& x, const Tensor& y) {
+    assert(x.Rank() == 2 && y.Rank() == 2 && x.Dim(1) == y.Dim(0));
+    const int64_t m = x.Dim(0), k = x.Dim(1), n = y.Dim(1);
+    std::vector<Value> out;
+    out.reserve(m * n);
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            std::vector<Value> terms;
+            terms.reserve(k);
+            for (int64_t p = 0; p < k; ++p)
+                terms.push_back(
+                    hdl::VMul(b, x.At(i * k + p), y.At(p * n + j)));
+            out.push_back(TreeReduce(b, std::move(terms), hdl::VAdd));
+        }
+    }
+    return Tensor({m, n}, std::move(out));
+}
+
+Value Dot(Builder& b, const Tensor& x, const Tensor& y) {
+    assert(x.Rank() == 1 && x.shape() == y.shape());
+    std::vector<Value> terms;
+    terms.reserve(x.Numel());
+    for (int64_t i = 0; i < x.Numel(); ++i)
+        terms.push_back(hdl::VMul(b, x.At(i), y.At(i)));
+    return TreeReduce(b, std::move(terms), hdl::VAdd);
+}
+
+Value Sum(Builder& b, const Tensor& x) {
+    return TreeReduce(b, x.values(), hdl::VAdd);
+}
+Value Prod(Builder& b, const Tensor& x) {
+    return TreeReduce(b, x.values(), hdl::VMul);
+}
+Value MaxVal(Builder& b, const Tensor& x) {
+    return TreeReduce(b, x.values(), hdl::VMax);
+}
+Value MinVal(Builder& b, const Tensor& x) {
+    return TreeReduce(b, x.values(), hdl::VMin);
+}
+
+namespace {
+
+Value ArgExtreme(Builder& b, const Tensor& x, bool max) {
+    assert(x.Rank() == 1 && x.Numel() >= 1);
+    int32_t idx_bits = 1;
+    while ((INT64_C(1) << idx_bits) < x.Numel()) ++idx_bits;
+    const DType idx_t = DType::UInt(idx_bits);
+
+    Value best = x.At(0);
+    Value best_idx = hdl::ConstValue(b, idx_t, 0);
+    for (int64_t i = 1; i < x.Numel(); ++i) {
+        // Strict comparison keeps the first extreme on ties.
+        const Signal better = max ? hdl::VGt(b, x.At(i), best)
+                                  : hdl::VLt(b, x.At(i), best);
+        best = hdl::VMux(b, better, x.At(i), best);
+        best_idx = hdl::VMux(b, better,
+                             hdl::ConstValue(b, idx_t, static_cast<double>(i)),
+                             best_idx);
+    }
+    return best_idx;
+}
+
+}  // namespace
+
+Value ArgMax(Builder& b, const Tensor& x) { return ArgExtreme(b, x, true); }
+Value ArgMin(Builder& b, const Tensor& x) { return ArgExtreme(b, x, false); }
+
+Tensor Relu(Builder& b, const Tensor& x) {
+    std::vector<Value> out;
+    out.reserve(x.Numel());
+    for (int64_t i = 0; i < x.Numel(); ++i)
+        out.push_back(hdl::VRelu(b, x.At(i)));
+    return Tensor(x.shape(), std::move(out));
+}
+
+Tensor ExpApprox(Builder& b, const Tensor& x) {
+    assert(x.dtype().IsFloat());
+    const auto& segs = reference::PwlExpSegments();
+    std::vector<Value> out;
+    out.reserve(x.Numel());
+    for (int64_t i = 0; i < x.Numel(); ++i) {
+        const Value& v = x.At(i);
+        // Start below the polyline (0), then overwrite segment by segment:
+        // the last segment whose lower knot is <= x wins.
+        Value y = hdl::ConstValue(b, v.dtype, 0.0);
+        for (const auto& s : segs) {
+            const Value lo = hdl::ConstValue(b, v.dtype, s.lo);
+            const Signal in_range = hdl::VGe(b, v, lo);
+            Value line = hdl::VMul(b, v, hdl::ConstValue(b, v.dtype, s.slope));
+            line = hdl::VAdd(b, line, hdl::ConstValue(b, v.dtype, s.offset));
+            y = hdl::VMux(b, in_range, line, y);
+        }
+        // x >= 0 clamps to 1 (inputs are max-subtracted, so x <= 0).
+        const Signal nonneg =
+            hdl::VGe(b, v, hdl::ConstValue(b, v.dtype, 0.0));
+        y = hdl::VMux(b, nonneg, hdl::ConstValue(b, v.dtype, 1.0), y);
+        out.push_back(y);
+    }
+    return Tensor(x.shape(), std::move(out));
+}
+
+Tensor SigmoidApprox(Builder& b, const Tensor& x) {
+    assert(x.dtype().IsFloat());
+    const auto& segs = reference::PwlSigmoidSegments();
+    std::vector<Value> out;
+    out.reserve(x.Numel());
+    for (int64_t i = 0; i < x.Numel(); ++i) {
+        const Value& v = x.At(i);
+        Value y = hdl::ConstValue(b, v.dtype, 0.0);
+        for (const auto& s : segs) {
+            const Value lo = hdl::ConstValue(b, v.dtype, s.lo);
+            const Signal in_range = hdl::VGe(b, v, lo);
+            Value line = hdl::VMul(b, v, hdl::ConstValue(b, v.dtype, s.slope));
+            line = hdl::VAdd(b, line, hdl::ConstValue(b, v.dtype, s.offset));
+            y = hdl::VMux(b, in_range, line, y);
+        }
+        const Signal above = hdl::VGe(
+            b, v, hdl::ConstValue(b, v.dtype, segs.back().hi));
+        y = hdl::VMux(b, above, hdl::ConstValue(b, v.dtype, 1.0), y);
+        out.push_back(y);
+    }
+    return Tensor(x.shape(), std::move(out));
+}
+
+Tensor TanhApprox(Builder& b, const Tensor& x) {
+    Tensor doubled = MulScalar(b, x, 2.0);
+    Tensor sig = SigmoidApprox(b, doubled);
+    return AddScalar(b, MulScalar(b, sig, 2.0), -1.0);
+}
+
+Tensor Softmax(Builder& b, const Tensor& x) {
+    assert(x.Rank() == 2 && x.dtype().IsFloat());
+    const int64_t rows = x.Dim(0), cols = x.Dim(1);
+    std::vector<Value> out(rows * cols);
+    for (int64_t r = 0; r < rows; ++r) {
+        std::vector<Value> row(x.values().begin() + r * cols,
+                               x.values().begin() + (r + 1) * cols);
+        const Value mx = TreeReduce(b, row, hdl::VMax);
+        std::vector<Value> shifted;
+        shifted.reserve(cols);
+        for (int64_t c = 0; c < cols; ++c)
+            shifted.push_back(hdl::VSub(b, x.At(r * cols + c), mx));
+        Tensor exps = ExpApprox(
+            b, Tensor({cols}, std::move(shifted)));
+        const Value total = Sum(b, exps);
+        for (int64_t c = 0; c < cols; ++c)
+            out[r * cols + c] = hdl::VDiv(b, exps.At(c), total);
+    }
+    return Tensor(x.shape(), std::move(out));
+}
+
+}  // namespace pytfhe::nn

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Primitive tensor operations (Table I of the paper): matmul, dot,
+ * elementwise arithmetic, comparisons, reductions, argmax/argmin, and the
+ * softmax building blocks used by attention layers.
+ */
+#ifndef PYTFHE_NN_FUNCTIONAL_H
+#define PYTFHE_NN_FUNCTIONAL_H
+
+#include "nn/tensor.h"
+
+namespace pytfhe::nn {
+
+using hdl::Signal;
+
+/** Elementwise arithmetic; shapes must match. */
+Tensor Add(Builder& b, const Tensor& x, const Tensor& y);
+Tensor Sub(Builder& b, const Tensor& x, const Tensor& y);
+Tensor Mul(Builder& b, const Tensor& x, const Tensor& y);
+Tensor Div(Builder& b, const Tensor& x, const Tensor& y);
+
+/** Tensor (op) scalar-constant. */
+Tensor AddScalar(Builder& b, const Tensor& x, double c);
+Tensor MulScalar(Builder& b, const Tensor& x, double c);
+
+/** Elementwise comparisons; results are UInt(1) tensors. */
+Tensor CmpEq(Builder& b, const Tensor& x, const Tensor& y);
+Tensor CmpNe(Builder& b, const Tensor& x, const Tensor& y);
+Tensor CmpLt(Builder& b, const Tensor& x, const Tensor& y);
+Tensor CmpLe(Builder& b, const Tensor& x, const Tensor& y);
+Tensor CmpGt(Builder& b, const Tensor& x, const Tensor& y);
+Tensor CmpGe(Builder& b, const Tensor& x, const Tensor& y);
+
+/** Matrix product: [m,k] x [k,n] -> [m,n]. */
+Tensor MatMul(Builder& b, const Tensor& x, const Tensor& y);
+/** Inner product of two 1-D tensors. */
+Value Dot(Builder& b, const Tensor& x, const Tensor& y);
+
+/** Reductions over the whole tensor (balanced trees). */
+Value Sum(Builder& b, const Tensor& x);
+Value Prod(Builder& b, const Tensor& x);
+Value MaxVal(Builder& b, const Tensor& x);
+Value MinVal(Builder& b, const Tensor& x);
+
+/**
+ * Index of the maximum element of a 1-D tensor, as a UInt word of
+ * ceil(log2(n)) bits. First maximum wins on ties.
+ */
+Value ArgMax(Builder& b, const Tensor& x);
+Value ArgMin(Builder& b, const Tensor& x);
+
+/** Elementwise max(0, x). */
+Tensor Relu(Builder& b, const Tensor& x);
+
+/**
+ * Elementwise piecewise-linear approximation of exp(x) for x <= 0
+ * (use after max subtraction). Float dtypes only. The exact polyline is
+ * defined by reference::PwlExp so circuits and reference models agree.
+ */
+Tensor ExpApprox(Builder& b, const Tensor& x);
+
+/**
+ * Elementwise piecewise-linear logistic sigmoid (reference::PwlSigmoid).
+ * Float dtypes only.
+ */
+Tensor SigmoidApprox(Builder& b, const Tensor& x);
+
+/** Elementwise tanh = 2*sigmoid(2x) - 1 over the shared polyline. */
+Tensor TanhApprox(Builder& b, const Tensor& x);
+
+/**
+ * Row-wise softmax of a [rows, cols] tensor using max-subtraction,
+ * ExpApprox, and a divider per element. Float dtypes only.
+ */
+Tensor Softmax(Builder& b, const Tensor& x);
+
+}  // namespace pytfhe::nn
+
+#endif  // PYTFHE_NN_FUNCTIONAL_H

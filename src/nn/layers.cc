@@ -1,0 +1,569 @@
+#include "nn/layers.h"
+
+#include <cassert>
+#include <cmath>
+#include <random>
+
+#include "nn/reference.h"
+
+namespace pytfhe::nn {
+
+namespace {
+
+using reference::OutDim;
+
+std::vector<double> RandomWeights(uint64_t seed, size_t count, double scale) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-scale, scale);
+    std::vector<double> w(count);
+    for (auto& x : w) x = dist(rng);
+    return w;
+}
+
+/** Quantizes a weight vector the way ConstValue will. */
+std::vector<double> QuantizeAll(const std::vector<double>& w,
+                                const DType& t) {
+    std::vector<double> q(w.size());
+    for (size_t i = 0; i < w.size(); ++i) q[i] = t.Quantize(w[i]);
+    return q;
+}
+
+/** Balanced summation of circuit values. */
+Value SumTree(Builder& b, std::vector<Value> terms) {
+    assert(!terms.empty());
+    while (terms.size() > 1) {
+        std::vector<Value> next;
+        for (size_t i = 0; i + 1 < terms.size(); i += 2)
+            next.push_back(hdl::VAdd(b, terms[i], terms[i + 1]));
+        if (terms.size() % 2) next.push_back(terms.back());
+        terms = std::move(next);
+    }
+    return terms[0];
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Sequential
+
+Tensor Sequential::Forward(Builder& b, const Tensor& input) const {
+    Tensor t = input;
+    for (const auto& m : modules_) t = m->Forward(b, t);
+    return t;
+}
+
+std::vector<double> Sequential::RefForward(const std::vector<double>& input,
+                                           Shape& shape,
+                                           const DType& dtype) const {
+    std::vector<double> v = input;
+    for (const auto& m : modules_) v = m->RefForward(v, shape, dtype);
+    return v;
+}
+
+// -------------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel_size,
+               int64_t stride, int64_t padding)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel_size),
+      stride_(stride),
+      padding_(padding),
+      weight_(out_channels * in_channels * kernel_size * kernel_size, 0.0),
+      bias_(out_channels, 0.0) {
+    InitRandom(0xC017);
+}
+
+void Conv2d::InitRandom(uint64_t seed) {
+    const double scale = 1.0 / std::sqrt(static_cast<double>(
+                                   in_channels_ * kernel_ * kernel_));
+    weight_ = RandomWeights(seed, weight_.size(), scale);
+    bias_ = RandomWeights(seed ^ 0xB1A5, bias_.size(), scale);
+}
+
+void Conv2d::SetWeights(std::vector<double> weight, std::vector<double> bias) {
+    assert(weight.size() == weight_.size() && bias.size() == bias_.size());
+    weight_ = std::move(weight);
+    bias_ = std::move(bias);
+}
+
+Tensor Conv2d::Forward(Builder& b, const Tensor& raw_input) const {
+    assert(raw_input.Rank() == 3 && raw_input.Dim(0) == in_channels_);
+    const Tensor input =
+        padding_ > 0 ? raw_input.Pad2d(b, padding_) : raw_input;
+    const DType& t = input.dtype();
+    const int64_t h = input.Dim(1), w = input.Dim(2);
+    const int64_t oh = OutDim(h, kernel_, stride_);
+    const int64_t ow = OutDim(w, kernel_, stride_);
+
+    std::vector<Value> out;
+    out.reserve(out_channels_ * oh * ow);
+    for (int64_t f = 0; f < out_channels_; ++f) {
+        for (int64_t oy = 0; oy < oh; ++oy) {
+            for (int64_t ox = 0; ox < ow; ++ox) {
+                std::vector<Value> terms;
+                terms.push_back(hdl::ConstValue(b, t, bias_[f]));
+                for (int64_t c = 0; c < in_channels_; ++c) {
+                    for (int64_t ky = 0; ky < kernel_; ++ky) {
+                        for (int64_t kx = 0; kx < kernel_; ++kx) {
+                            const Value& x = input.At(
+                                {c, oy * stride_ + ky, ox * stride_ + kx});
+                            const Value wv = hdl::ConstValue(
+                                b, t,
+                                weight_[((f * in_channels_ + c) * kernel_ +
+                                         ky) * kernel_ + kx]);
+                            terms.push_back(hdl::VMul(b, x, wv));
+                        }
+                    }
+                }
+                out.push_back(SumTree(b, std::move(terms)));
+            }
+        }
+    }
+    return Tensor({out_channels_, oh, ow}, std::move(out));
+}
+
+std::vector<double> Conv2d::RefForward(const std::vector<double>& input,
+                                       Shape& shape,
+                                       const DType& dtype) const {
+    assert(shape.size() == 3 && shape[0] == in_channels_);
+    // Zero-pad the reference input the same way the circuit does.
+    std::vector<double> padded = input;
+    int64_t h = shape[1], w = shape[2];
+    if (padding_ > 0) {
+        const int64_t ph = h + 2 * padding_, pw = w + 2 * padding_;
+        padded.assign(shape[0] * ph * pw, 0.0);
+        for (int64_t c = 0; c < shape[0]; ++c)
+            for (int64_t y = 0; y < h; ++y)
+                for (int64_t x = 0; x < w; ++x)
+                    padded[(c * ph + y + padding_) * pw + x + padding_] =
+                        input[(c * h + y) * w + x];
+        h = ph;
+        w = pw;
+    }
+    auto out = reference::Conv2d(padded, shape[0], h, w,
+                                 QuantizeAll(weight_, dtype), out_channels_,
+                                 kernel_, kernel_, stride_,
+                                 QuantizeAll(bias_, dtype));
+    shape = {out_channels_, OutDim(h, kernel_, stride_),
+             OutDim(w, kernel_, stride_)};
+    return out;
+}
+
+// -------------------------------------------------------------------- Conv1d
+
+Conv1d::Conv1d(int64_t in_channels, int64_t out_channels, int64_t kernel_size,
+               int64_t stride)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel_size),
+      stride_(stride),
+      weight_(out_channels * in_channels * kernel_size, 0.0),
+      bias_(out_channels, 0.0) {
+    InitRandom(0xC011);
+}
+
+void Conv1d::InitRandom(uint64_t seed) {
+    const double scale =
+        1.0 / std::sqrt(static_cast<double>(in_channels_ * kernel_));
+    weight_ = RandomWeights(seed, weight_.size(), scale);
+    bias_ = RandomWeights(seed ^ 0xB1A5, bias_.size(), scale);
+}
+
+void Conv1d::SetWeights(std::vector<double> weight, std::vector<double> bias) {
+    assert(weight.size() == weight_.size() && bias.size() == bias_.size());
+    weight_ = std::move(weight);
+    bias_ = std::move(bias);
+}
+
+Tensor Conv1d::Forward(Builder& b, const Tensor& input) const {
+    assert(input.Rank() == 2 && input.Dim(0) == in_channels_);
+    const DType& t = input.dtype();
+    const int64_t l = input.Dim(1);
+    const int64_t ol = OutDim(l, kernel_, stride_);
+
+    std::vector<Value> out;
+    out.reserve(out_channels_ * ol);
+    for (int64_t f = 0; f < out_channels_; ++f) {
+        for (int64_t ox = 0; ox < ol; ++ox) {
+            std::vector<Value> terms;
+            terms.push_back(hdl::ConstValue(b, t, bias_[f]));
+            for (int64_t c = 0; c < in_channels_; ++c) {
+                for (int64_t kx = 0; kx < kernel_; ++kx) {
+                    const Value& x = input.At({c, ox * stride_ + kx});
+                    const Value wv = hdl::ConstValue(
+                        b, t, weight_[(f * in_channels_ + c) * kernel_ + kx]);
+                    terms.push_back(hdl::VMul(b, x, wv));
+                }
+            }
+            out.push_back(SumTree(b, std::move(terms)));
+        }
+    }
+    return Tensor({out_channels_, ol}, std::move(out));
+}
+
+std::vector<double> Conv1d::RefForward(const std::vector<double>& input,
+                                       Shape& shape,
+                                       const DType& dtype) const {
+    assert(shape.size() == 2 && shape[0] == in_channels_);
+    auto out = reference::Conv1d(input, shape[0], shape[1],
+                                 QuantizeAll(weight_, dtype), out_channels_,
+                                 kernel_, stride_, QuantizeAll(bias_, dtype));
+    shape = {out_channels_, OutDim(shape[1], kernel_, stride_)};
+    return out;
+}
+
+// -------------------------------------------------------------------- Linear
+
+Linear::Linear(int64_t in_features, int64_t out_features)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(in_features * out_features, 0.0),
+      bias_(out_features, 0.0) {
+    InitRandom(0x11EA);
+}
+
+void Linear::InitRandom(uint64_t seed) {
+    const double scale = 1.0 / std::sqrt(static_cast<double>(in_features_));
+    weight_ = RandomWeights(seed, weight_.size(), scale);
+    bias_ = RandomWeights(seed ^ 0xB1A5, bias_.size(), scale);
+}
+
+void Linear::SetWeights(std::vector<double> weight, std::vector<double> bias) {
+    assert(weight.size() == weight_.size() && bias.size() == bias_.size());
+    weight_ = std::move(weight);
+    bias_ = std::move(bias);
+}
+
+Tensor Linear::Forward(Builder& b, const Tensor& input) const {
+    assert(input.Rank() == 1 && input.Dim(0) == in_features_);
+    const DType& t = input.dtype();
+    std::vector<Value> out;
+    out.reserve(out_features_);
+    for (int64_t i = 0; i < out_features_; ++i) {
+        std::vector<Value> terms;
+        terms.push_back(hdl::ConstValue(b, t, bias_[i]));
+        for (int64_t j = 0; j < in_features_; ++j) {
+            const Value wv =
+                hdl::ConstValue(b, t, weight_[i * in_features_ + j]);
+            terms.push_back(hdl::VMul(b, input.At(j), wv));
+        }
+        out.push_back(SumTree(b, std::move(terms)));
+    }
+    return Tensor({out_features_}, std::move(out));
+}
+
+std::vector<double> Linear::RefForward(const std::vector<double>& input,
+                                       Shape& shape,
+                                       const DType& dtype) const {
+    assert(shape.size() == 1 && shape[0] == in_features_);
+    auto out = reference::Linear(input, QuantizeAll(weight_, dtype),
+                                 out_features_, in_features_,
+                                 QuantizeAll(bias_, dtype));
+    shape = {out_features_};
+    return out;
+}
+
+// ---------------------------------------------------------------------- ReLU
+
+Tensor ReLU::Forward(Builder& b, const Tensor& input) const {
+    return Relu(b, input);
+}
+
+std::vector<double> ReLU::RefForward(const std::vector<double>& input,
+                                     Shape& shape, const DType& dtype) const {
+    (void)shape;
+    (void)dtype;
+    return reference::Relu(input);
+}
+
+// ---------------------------------------------------------------- MaxPool2d
+
+MaxPool2d::MaxPool2d(int64_t kernel_size, int64_t stride)
+    : kernel_(kernel_size), stride_(stride) {}
+
+Tensor MaxPool2d::Forward(Builder& b, const Tensor& input) const {
+    assert(input.Rank() == 3);
+    const int64_t c = input.Dim(0), h = input.Dim(1), w = input.Dim(2);
+    const int64_t oh = OutDim(h, kernel_, stride_);
+    const int64_t ow = OutDim(w, kernel_, stride_);
+    std::vector<Value> out;
+    out.reserve(c * oh * ow);
+    for (int64_t ic = 0; ic < c; ++ic) {
+        for (int64_t oy = 0; oy < oh; ++oy) {
+            for (int64_t ox = 0; ox < ow; ++ox) {
+                std::vector<Value> window;
+                for (int64_t ky = 0; ky < kernel_; ++ky)
+                    for (int64_t kx = 0; kx < kernel_; ++kx)
+                        window.push_back(input.At(
+                            {ic, oy * stride_ + ky, ox * stride_ + kx}));
+                while (window.size() > 1) {
+                    std::vector<Value> next;
+                    for (size_t i = 0; i + 1 < window.size(); i += 2)
+                        next.push_back(hdl::VMax(b, window[i], window[i + 1]));
+                    if (window.size() % 2) next.push_back(window.back());
+                    window = std::move(next);
+                }
+                out.push_back(window[0]);
+            }
+        }
+    }
+    return Tensor({c, oh, ow}, std::move(out));
+}
+
+std::vector<double> MaxPool2d::RefForward(const std::vector<double>& input,
+                                          Shape& shape,
+                                          const DType& dtype) const {
+    (void)dtype;
+    auto out = reference::MaxPool2d(input, shape[0], shape[1], shape[2],
+                                    kernel_, stride_);
+    shape = {shape[0], OutDim(shape[1], kernel_, stride_),
+             OutDim(shape[2], kernel_, stride_)};
+    return out;
+}
+
+// ---------------------------------------------------------------- AvgPool2d
+
+AvgPool2d::AvgPool2d(int64_t kernel_size, int64_t stride)
+    : kernel_(kernel_size), stride_(stride) {}
+
+Tensor AvgPool2d::Forward(Builder& b, const Tensor& input) const {
+    assert(input.Rank() == 3);
+    const DType& t = input.dtype();
+    const int64_t c = input.Dim(0), h = input.Dim(1), w = input.Dim(2);
+    const int64_t oh = OutDim(h, kernel_, stride_);
+    const int64_t ow = OutDim(w, kernel_, stride_);
+    const double inv = 1.0 / static_cast<double>(kernel_ * kernel_);
+    std::vector<Value> out;
+    out.reserve(c * oh * ow);
+    for (int64_t ic = 0; ic < c; ++ic) {
+        for (int64_t oy = 0; oy < oh; ++oy) {
+            for (int64_t ox = 0; ox < ow; ++ox) {
+                std::vector<Value> window;
+                for (int64_t ky = 0; ky < kernel_; ++ky)
+                    for (int64_t kx = 0; kx < kernel_; ++kx)
+                        window.push_back(input.At(
+                            {ic, oy * stride_ + ky, ox * stride_ + kx}));
+                Value sum = SumTree(b, std::move(window));
+                if (t.IsFloat()) {
+                    // Multiply by the constant reciprocal.
+                    out.push_back(
+                        hdl::VMul(b, sum, hdl::ConstValue(b, t, inv)));
+                } else {
+                    // Integer/fixed: divide by the constant window size.
+                    out.push_back(hdl::VDiv(
+                        b, sum,
+                        hdl::ConstValue(
+                            b, t, static_cast<double>(kernel_ * kernel_))));
+                }
+            }
+        }
+    }
+    return Tensor({c, oh, ow}, std::move(out));
+}
+
+std::vector<double> AvgPool2d::RefForward(const std::vector<double>& input,
+                                          Shape& shape,
+                                          const DType& dtype) const {
+    (void)dtype;
+    auto out = reference::AvgPool2d(input, shape[0], shape[1], shape[2],
+                                    kernel_, stride_);
+    shape = {shape[0], OutDim(shape[1], kernel_, stride_),
+             OutDim(shape[2], kernel_, stride_)};
+    return out;
+}
+
+// ---------------------------------------------------------------- MaxPool1d
+
+MaxPool1d::MaxPool1d(int64_t kernel_size, int64_t stride)
+    : kernel_(kernel_size), stride_(stride) {}
+
+Tensor MaxPool1d::Forward(Builder& b, const Tensor& input) const {
+    assert(input.Rank() == 2);
+    const int64_t c = input.Dim(0), l = input.Dim(1);
+    const int64_t ol = OutDim(l, kernel_, stride_);
+    std::vector<Value> out;
+    out.reserve(c * ol);
+    for (int64_t ic = 0; ic < c; ++ic) {
+        for (int64_t ox = 0; ox < ol; ++ox) {
+            Value m = input.At({ic, ox * stride_});
+            for (int64_t kx = 1; kx < kernel_; ++kx)
+                m = hdl::VMax(b, m, input.At({ic, ox * stride_ + kx}));
+            out.push_back(m);
+        }
+    }
+    return Tensor({c, ol}, std::move(out));
+}
+
+std::vector<double> MaxPool1d::RefForward(const std::vector<double>& input,
+                                          Shape& shape,
+                                          const DType& dtype) const {
+    (void)dtype;
+    auto out =
+        reference::MaxPool1d(input, shape[0], shape[1], kernel_, stride_);
+    shape = {shape[0], OutDim(shape[1], kernel_, stride_)};
+    return out;
+}
+
+// ---------------------------------------------------------------- AvgPool1d
+
+AvgPool1d::AvgPool1d(int64_t kernel_size, int64_t stride)
+    : kernel_(kernel_size), stride_(stride) {}
+
+Tensor AvgPool1d::Forward(Builder& b, const Tensor& input) const {
+    assert(input.Rank() == 2);
+    const DType& t = input.dtype();
+    const int64_t c = input.Dim(0), l = input.Dim(1);
+    const int64_t ol = OutDim(l, kernel_, stride_);
+    std::vector<Value> out;
+    out.reserve(c * ol);
+    for (int64_t ic = 0; ic < c; ++ic) {
+        for (int64_t ox = 0; ox < ol; ++ox) {
+            std::vector<Value> window;
+            for (int64_t kx = 0; kx < kernel_; ++kx)
+                window.push_back(input.At({ic, ox * stride_ + kx}));
+            Value sum = SumTree(b, std::move(window));
+            if (t.IsFloat()) {
+                out.push_back(hdl::VMul(
+                    b, sum,
+                    hdl::ConstValue(b, t, 1.0 / static_cast<double>(kernel_))));
+            } else {
+                out.push_back(hdl::VDiv(
+                    b, sum,
+                    hdl::ConstValue(b, t, static_cast<double>(kernel_))));
+            }
+        }
+    }
+    return Tensor({c, ol}, std::move(out));
+}
+
+std::vector<double> AvgPool1d::RefForward(const std::vector<double>& input,
+                                          Shape& shape,
+                                          const DType& dtype) const {
+    (void)dtype;
+    auto out =
+        reference::AvgPool1d(input, shape[0], shape[1], kernel_, stride_);
+    shape = {shape[0], OutDim(shape[1], kernel_, stride_)};
+    return out;
+}
+
+// ----------------------------------------------------------------- BatchNorm
+
+BatchNorm::BatchNorm(int64_t channels, double eps)
+    : channels_(channels),
+      eps_(eps),
+      gamma_(channels, 1.0),
+      beta_(channels, 0.0),
+      mean_(channels, 0.0),
+      var_(channels, 1.0) {}
+
+void BatchNorm::InitRandom(uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> g(0.5, 1.5), m(-0.5, 0.5),
+        v(0.5, 2.0);
+    for (int64_t c = 0; c < channels_; ++c) {
+        gamma_[c] = g(rng);
+        beta_[c] = m(rng);
+        mean_[c] = m(rng);
+        var_[c] = v(rng);
+    }
+}
+
+void BatchNorm::SetStats(std::vector<double> gamma, std::vector<double> beta,
+                         std::vector<double> mean, std::vector<double> var) {
+    gamma_ = std::move(gamma);
+    beta_ = std::move(beta);
+    mean_ = std::move(mean);
+    var_ = std::move(var);
+}
+
+Tensor BatchNorm::Forward(Builder& b, const Tensor& input) const {
+    assert(input.Rank() >= 2 && input.Dim(0) == channels_);
+    const DType& t = input.dtype();
+    const int64_t per_channel = input.Numel() / channels_;
+    std::vector<Value> out;
+    out.reserve(input.Numel());
+    for (int64_t c = 0; c < channels_; ++c) {
+        // The affine form folds mean/var/gamma/beta into two constants.
+        const double scale = gamma_[c] / std::sqrt(var_[c] + eps_);
+        const double shift = beta_[c] - mean_[c] * scale;
+        const Value sv = hdl::ConstValue(b, t, scale);
+        const Value hv = hdl::ConstValue(b, t, shift);
+        for (int64_t i = 0; i < per_channel; ++i) {
+            Value y = hdl::VMul(b, input.At(c * per_channel + i), sv);
+            out.push_back(hdl::VAdd(b, y, hv));
+        }
+    }
+    return Tensor(input.shape(), std::move(out));
+}
+
+std::vector<double> BatchNorm::RefForward(const std::vector<double>& input,
+                                          Shape& shape,
+                                          const DType& dtype) const {
+    const int64_t per_channel =
+        static_cast<int64_t>(input.size()) / channels_;
+    // Quantize the folded constants exactly as Forward does.
+    std::vector<double> out(input.size());
+    for (int64_t c = 0; c < channels_; ++c) {
+        const double scale =
+            dtype.Quantize(gamma_[c] / std::sqrt(var_[c] + eps_));
+        const double shift =
+            dtype.Quantize(beta_[c] - mean_[c] *
+                                          (gamma_[c] / std::sqrt(var_[c] + eps_)));
+        for (int64_t i = 0; i < per_channel; ++i)
+            out[c * per_channel + i] =
+                input[c * per_channel + i] * scale + shift;
+    }
+    (void)shape;
+    return out;
+}
+
+// ------------------------------------------------------------------- Sigmoid
+
+Tensor Sigmoid::Forward(Builder& b, const Tensor& input) const {
+    return SigmoidApprox(b, input);
+}
+
+std::vector<double> Sigmoid::RefForward(const std::vector<double>& input,
+                                        Shape& shape,
+                                        const DType& dtype) const {
+    (void)shape;
+    (void)dtype;
+    std::vector<double> out(input.size());
+    for (size_t i = 0; i < input.size(); ++i)
+        out[i] = reference::PwlSigmoid(input[i]);
+    return out;
+}
+
+// ---------------------------------------------------------------------- Tanh
+
+Tensor Tanh::Forward(Builder& b, const Tensor& input) const {
+    return TanhApprox(b, input);
+}
+
+std::vector<double> Tanh::RefForward(const std::vector<double>& input,
+                                     Shape& shape,
+                                     const DType& dtype) const {
+    (void)shape;
+    (void)dtype;
+    std::vector<double> out(input.size());
+    for (size_t i = 0; i < input.size(); ++i)
+        out[i] = reference::PwlTanh(input[i]);
+    return out;
+}
+
+// ------------------------------------------------------------------- Flatten
+
+Tensor Flatten::Forward(Builder& b, const Tensor& input) const {
+    (void)b;  // Pure wiring: no gates (Section V-C of the paper).
+    return input.Flatten();
+}
+
+std::vector<double> Flatten::RefForward(const std::vector<double>& input,
+                                        Shape& shape,
+                                        const DType& dtype) const {
+    (void)dtype;
+    shape = {static_cast<int64_t>(input.size())};
+    return input;
+}
+
+}  // namespace pytfhe::nn

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * ChiselTorch pre-built neural network layers (Table I of the paper):
+ * Conv1d/Conv2d, BatchNorm1d/2d, Linear, ReLU, MaxPool1d/2d, AvgPool1d/2d,
+ * Flatten, composed with Sequential — a PyTorch-compatible module API that
+ * elaborates into gate-level circuits.
+ *
+ * Weights are plaintext model parameters (the server knows the model; only
+ * the data is encrypted). They are embedded as constants, which the
+ * hash-consing builder folds aggressively — multiplying by a known weight
+ * costs a fraction of a generic multiplier.
+ *
+ * Every module also provides RefForward, the double-precision reference
+ * semantics with weights quantized exactly as the circuit quantizes them;
+ * tests compare circuits against it.
+ */
+#ifndef PYTFHE_NN_LAYERS_H
+#define PYTFHE_NN_LAYERS_H
+
+#include <memory>
+#include <string>
+
+#include "nn/functional.h"
+
+namespace pytfhe::nn {
+
+/** Base class of all layers. */
+class Module {
+  public:
+    virtual ~Module() = default;
+
+    virtual std::string Name() const = 0;
+
+    /** Elaborates the layer over an input tensor. */
+    virtual Tensor Forward(Builder& b, const Tensor& input) const = 0;
+
+    /**
+     * Reference semantics: `shape` holds the input shape on entry and the
+     * output shape on return; `dtype` tells the reference how the circuit
+     * quantizes weights and activations.
+     */
+    virtual std::vector<double> RefForward(const std::vector<double>& input,
+                                           Shape& shape,
+                                           const DType& dtype) const = 0;
+};
+
+using ModulePtr = std::shared_ptr<Module>;
+
+/** Runs sub-modules in order — the nn.Sequential container. */
+class Sequential : public Module {
+  public:
+    explicit Sequential(std::vector<ModulePtr> modules)
+        : modules_(std::move(modules)) {}
+
+    std::string Name() const override { return "Sequential"; }
+    Tensor Forward(Builder& b, const Tensor& input) const override;
+    std::vector<double> RefForward(const std::vector<double>& input,
+                                   Shape& shape,
+                                   const DType& dtype) const override;
+
+    const std::vector<ModulePtr>& modules() const { return modules_; }
+
+  private:
+    std::vector<ModulePtr> modules_;
+};
+
+/** 2-D convolution: input [C,H,W] -> [F,H',W'], optional zero padding. */
+class Conv2d : public Module {
+  public:
+    Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel_size,
+           int64_t stride = 1, int64_t padding = 0);
+
+    /** Deterministic pseudo-random weight initialization. */
+    void InitRandom(uint64_t seed);
+    void SetWeights(std::vector<double> weight, std::vector<double> bias);
+
+    std::string Name() const override { return "Conv2d"; }
+    Tensor Forward(Builder& b, const Tensor& input) const override;
+    std::vector<double> RefForward(const std::vector<double>& input,
+                                   Shape& shape,
+                                   const DType& dtype) const override;
+
+  private:
+    int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
+    std::vector<double> weight_;  ///< [F, C, k, k].
+    std::vector<double> bias_;    ///< [F].
+};
+
+/** 1-D convolution: input [C,L] -> [F,L']. */
+class Conv1d : public Module {
+  public:
+    Conv1d(int64_t in_channels, int64_t out_channels, int64_t kernel_size,
+           int64_t stride = 1);
+
+    void InitRandom(uint64_t seed);
+    void SetWeights(std::vector<double> weight, std::vector<double> bias);
+
+    std::string Name() const override { return "Conv1d"; }
+    Tensor Forward(Builder& b, const Tensor& input) const override;
+    std::vector<double> RefForward(const std::vector<double>& input,
+                                   Shape& shape,
+                                   const DType& dtype) const override;
+
+  private:
+    int64_t in_channels_, out_channels_, kernel_, stride_;
+    std::vector<double> weight_;
+    std::vector<double> bias_;
+};
+
+/** Fully connected layer: [n] -> [m]. */
+class Linear : public Module {
+  public:
+    Linear(int64_t in_features, int64_t out_features);
+
+    void InitRandom(uint64_t seed);
+    void SetWeights(std::vector<double> weight, std::vector<double> bias);
+
+    std::string Name() const override { return "Linear"; }
+    Tensor Forward(Builder& b, const Tensor& input) const override;
+    std::vector<double> RefForward(const std::vector<double>& input,
+                                   Shape& shape,
+                                   const DType& dtype) const override;
+
+  private:
+    int64_t in_features_, out_features_;
+    std::vector<double> weight_;  ///< [m, n].
+    std::vector<double> bias_;    ///< [m].
+};
+
+/** Elementwise max(0, x). */
+class ReLU : public Module {
+  public:
+    std::string Name() const override { return "ReLU"; }
+    Tensor Forward(Builder& b, const Tensor& input) const override;
+    std::vector<double> RefForward(const std::vector<double>& input,
+                                   Shape& shape,
+                                   const DType& dtype) const override;
+};
+
+/** Max pooling over [C,H,W]. */
+class MaxPool2d : public Module {
+  public:
+    MaxPool2d(int64_t kernel_size, int64_t stride);
+    std::string Name() const override { return "MaxPool2d"; }
+    Tensor Forward(Builder& b, const Tensor& input) const override;
+    std::vector<double> RefForward(const std::vector<double>& input,
+                                   Shape& shape,
+                                   const DType& dtype) const override;
+
+  private:
+    int64_t kernel_, stride_;
+};
+
+/** Average pooling over [C,H,W] (divide by the constant window size). */
+class AvgPool2d : public Module {
+  public:
+    AvgPool2d(int64_t kernel_size, int64_t stride);
+    std::string Name() const override { return "AvgPool2d"; }
+    Tensor Forward(Builder& b, const Tensor& input) const override;
+    std::vector<double> RefForward(const std::vector<double>& input,
+                                   Shape& shape,
+                                   const DType& dtype) const override;
+
+  private:
+    int64_t kernel_, stride_;
+};
+
+/** Max pooling over [C,L]. */
+class MaxPool1d : public Module {
+  public:
+    MaxPool1d(int64_t kernel_size, int64_t stride);
+    std::string Name() const override { return "MaxPool1d"; }
+    Tensor Forward(Builder& b, const Tensor& input) const override;
+    std::vector<double> RefForward(const std::vector<double>& input,
+                                   Shape& shape,
+                                   const DType& dtype) const override;
+
+  private:
+    int64_t kernel_, stride_;
+};
+
+/** Average pooling over [C,L]. */
+class AvgPool1d : public Module {
+  public:
+    AvgPool1d(int64_t kernel_size, int64_t stride);
+    std::string Name() const override { return "AvgPool1d"; }
+    Tensor Forward(Builder& b, const Tensor& input) const override;
+    std::vector<double> RefForward(const std::vector<double>& input,
+                                   Shape& shape,
+                                   const DType& dtype) const override;
+
+  private:
+    int64_t kernel_, stride_;
+};
+
+/**
+ * Batch normalization in inference mode: per-channel affine
+ * y = x * gamma/sqrt(var+eps) + (beta - mean*gamma/sqrt(var+eps)), with the
+ * scale and shift folded into constants at compile time. Covers both the
+ * 1d ([C,L]) and 2d ([C,H,W]) variants — the channel is dim 0 either way.
+ */
+class BatchNorm : public Module {
+  public:
+    explicit BatchNorm(int64_t channels, double eps = 1e-5);
+
+    void InitRandom(uint64_t seed);
+    void SetStats(std::vector<double> gamma, std::vector<double> beta,
+                  std::vector<double> mean, std::vector<double> var);
+
+    std::string Name() const override { return "BatchNorm"; }
+    Tensor Forward(Builder& b, const Tensor& input) const override;
+    std::vector<double> RefForward(const std::vector<double>& input,
+                                   Shape& shape,
+                                   const DType& dtype) const override;
+
+  private:
+    int64_t channels_;
+    double eps_;
+    std::vector<double> gamma_, beta_, mean_, var_;
+};
+
+/** Elementwise piecewise-linear sigmoid activation (float dtypes). */
+class Sigmoid : public Module {
+  public:
+    std::string Name() const override { return "Sigmoid"; }
+    Tensor Forward(Builder& b, const Tensor& input) const override;
+    std::vector<double> RefForward(const std::vector<double>& input,
+                                   Shape& shape,
+                                   const DType& dtype) const override;
+};
+
+/** Elementwise tanh activation (float dtypes). */
+class Tanh : public Module {
+  public:
+    std::string Name() const override { return "Tanh"; }
+    Tensor Forward(Builder& b, const Tensor& input) const override;
+    std::vector<double> RefForward(const std::vector<double>& input,
+                                   Shape& shape,
+                                   const DType& dtype) const override;
+};
+
+/** Collapses to a 1-D tensor: pure wiring, zero gates. */
+class Flatten : public Module {
+  public:
+    std::string Name() const override { return "Flatten"; }
+    Tensor Forward(Builder& b, const Tensor& input) const override;
+    std::vector<double> RefForward(const std::vector<double>& input,
+                                   Shape& shape,
+                                   const DType& dtype) const override;
+};
+
+/** Convenience factory: make_module<Conv2d>(1, 1, 3, 1). */
+template <typename T, typename... Args>
+ModulePtr MakeModule(Args&&... args) {
+    return std::make_shared<T>(std::forward<Args>(args)...);
+}
+
+}  // namespace pytfhe::nn
+
+#endif  // PYTFHE_NN_LAYERS_H

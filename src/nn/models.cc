@@ -1,0 +1,57 @@
+#include "nn/models.h"
+
+namespace pytfhe::nn {
+
+namespace {
+
+std::shared_ptr<Sequential> MnistCnn(const MnistConfig& config,
+                                     int64_t kernels) {
+    const int64_t conv_out = config.image - 2;  // 3x3 conv, stride 1.
+    const int64_t pool_out = conv_out - 2;      // 3x3 pool, stride 1.
+    const int64_t features = kernels * pool_out * pool_out;
+
+    auto conv = MakeModule<Conv2d>(1, kernels, 3, 1);
+    auto linear = MakeModule<Linear>(features, 10);
+    std::static_pointer_cast<Conv2d>(conv)->InitRandom(config.seed);
+    std::static_pointer_cast<Linear>(linear)->InitRandom(config.seed ^ 0x5EED);
+
+    return std::make_shared<Sequential>(std::vector<ModulePtr>{
+        conv,
+        MakeModule<ReLU>(),
+        MakeModule<MaxPool2d>(3, 1),
+        MakeModule<Flatten>(),
+        linear,
+    });
+}
+
+}  // namespace
+
+std::shared_ptr<Sequential> MnistS(const MnistConfig& config) {
+    return MnistCnn(config, 1);
+}
+
+std::shared_ptr<Sequential> MnistM(const MnistConfig& config) {
+    return MnistCnn(config, 2);
+}
+
+std::shared_ptr<Sequential> MnistL(const MnistConfig& config) {
+    return MnistCnn(config, 3);
+}
+
+std::shared_ptr<SelfAttention> AttentionS(uint64_t seed) {
+    auto m = std::make_shared<SelfAttention>(16, 32);
+    m->InitRandom(seed);
+    return m;
+}
+
+std::shared_ptr<SelfAttention> AttentionL(uint64_t seed) {
+    auto m = std::make_shared<SelfAttention>(16, 64);
+    m->InitRandom(seed);
+    return m;
+}
+
+Shape MnistInputShape(const MnistConfig& config) {
+    return {1, config.image, config.image};
+}
+
+}  // namespace pytfhe::nn

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The paper's neural network benchmarks as ready-made model factories:
+ * the three MNIST CNNs (Section V-A: MNIST_S from VIP-Bench plus the larger
+ * MNIST_M/MNIST_L with two and three convolutional kernels) and the two
+ * self-attention configurations (Attention_S hidden=32, Attention_L
+ * hidden=64).
+ */
+#ifndef PYTFHE_NN_MODELS_H
+#define PYTFHE_NN_MODELS_H
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+
+namespace pytfhe::nn {
+
+/** Shape of the MNIST input image: [1, 28, 28] by default. */
+struct MnistConfig {
+    int64_t image = 28;  ///< Image side; tests use smaller images.
+    uint64_t seed = 1;   ///< Weight initialization seed.
+};
+
+/**
+ * MNIST_S (Fig. 4): Conv2d(1,1,3,1) -> ReLU -> MaxPool2d(3,1) -> Flatten ->
+ * Linear(576, 10) for 28x28 inputs; layer sizes scale with config.image.
+ */
+std::shared_ptr<Sequential> MnistS(const MnistConfig& config = {});
+
+/** MNIST_M: two convolution kernels (channels), same topology. */
+std::shared_ptr<Sequential> MnistM(const MnistConfig& config = {});
+
+/** MNIST_L: three convolution kernels. */
+std::shared_ptr<Sequential> MnistL(const MnistConfig& config = {});
+
+/** Attention_S: sequence length 16, hidden dimension 32. */
+std::shared_ptr<SelfAttention> AttentionS(uint64_t seed = 1);
+
+/** Attention_L: sequence length 16, hidden dimension 64. */
+std::shared_ptr<SelfAttention> AttentionL(uint64_t seed = 1);
+
+/** The input shape a model expects. */
+Shape MnistInputShape(const MnistConfig& config = {});
+
+}  // namespace pytfhe::nn
+
+#endif  // PYTFHE_NN_MODELS_H

@@ -1,0 +1,234 @@
+#include "nn/reference.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pytfhe::nn::reference {
+
+const std::vector<PwlSegment>& PwlExpSegments() {
+    static const std::vector<PwlSegment>* segments = [] {
+        const double knots[] = {-8,    -6,    -5,     -4,    -3.25, -2.5,
+                                -2,    -1.5,  -1.25,  -1,    -0.75, -0.5,
+                                -0.375, -0.25, -0.125, 0};
+        auto* out = new std::vector<PwlSegment>();
+        const int n = static_cast<int>(std::size(knots));
+        for (int i = 0; i + 1 < n; ++i) {
+            const double x0 = knots[i], x1 = knots[i + 1];
+            const double y0 = std::exp(x0), y1 = std::exp(x1);
+            const double slope = (y1 - y0) / (x1 - x0);
+            out->push_back(PwlSegment{x0, x1, slope, y0 - slope * x0});
+        }
+        return out;
+    }();
+    return *segments;
+}
+
+double PwlExp(double x) {
+    const auto& segs = PwlExpSegments();
+    if (x < segs.front().lo) return 0.0;
+    if (x >= 0.0) return 1.0;
+    for (const auto& s : segs)
+        if (x < s.hi) return s.slope * x + s.offset;
+    return 1.0;
+}
+
+const std::vector<PwlSegment>& PwlSigmoidSegments() {
+    static const std::vector<PwlSegment>* segments = [] {
+        const double knots[] = {-8, -6, -4, -3, -2.25, -1.5, -1, -0.5,
+                                0,  0.5, 1,  1.5, 2.25, 3,  4,  6, 8};
+        auto* out = new std::vector<PwlSegment>();
+        auto sigmoid = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
+        const int n = static_cast<int>(std::size(knots));
+        for (int i = 0; i + 1 < n; ++i) {
+            const double x0 = knots[i], x1 = knots[i + 1];
+            const double y0 = sigmoid(x0), y1 = sigmoid(x1);
+            const double slope = (y1 - y0) / (x1 - x0);
+            out->push_back(PwlSegment{x0, x1, slope, y0 - slope * x0});
+        }
+        return out;
+    }();
+    return *segments;
+}
+
+double PwlSigmoid(double x) {
+    const auto& segs = PwlSigmoidSegments();
+    if (x < segs.front().lo) return 0.0;
+    if (x >= segs.back().hi) return 1.0;
+    for (const auto& s : segs)
+        if (x < s.hi) return s.slope * x + s.offset;
+    return 1.0;
+}
+
+double PwlTanh(double x) { return 2.0 * PwlSigmoid(2.0 * x) - 1.0; }
+
+std::vector<double> Softmax(const std::vector<double>& x, int64_t rows,
+                            int64_t cols) {
+    std::vector<double> out(x.size());
+    for (int64_t r = 0; r < rows; ++r) {
+        double mx = x[r * cols];
+        for (int64_t c = 1; c < cols; ++c)
+            mx = std::max(mx, x[r * cols + c]);
+        double sum = 0;
+        for (int64_t c = 0; c < cols; ++c) {
+            out[r * cols + c] = PwlExp(x[r * cols + c] - mx);
+            sum += out[r * cols + c];
+        }
+        for (int64_t c = 0; c < cols; ++c) out[r * cols + c] /= sum;
+    }
+    return out;
+}
+
+std::vector<double> Conv2d(const std::vector<double>& in, int64_t c, int64_t h,
+                           int64_t w, const std::vector<double>& weight,
+                           int64_t f, int64_t kh, int64_t kw, int64_t stride,
+                           const std::vector<double>& bias) {
+    const int64_t oh = OutDim(h, kh, stride), ow = OutDim(w, kw, stride);
+    std::vector<double> out(f * oh * ow, 0.0);
+    for (int64_t of = 0; of < f; ++of) {
+        for (int64_t oy = 0; oy < oh; ++oy) {
+            for (int64_t ox = 0; ox < ow; ++ox) {
+                double acc = bias.empty() ? 0.0 : bias[of];
+                for (int64_t ic = 0; ic < c; ++ic)
+                    for (int64_t ky = 0; ky < kh; ++ky)
+                        for (int64_t kx = 0; kx < kw; ++kx)
+                            acc += in[(ic * h + oy * stride + ky) * w +
+                                      ox * stride + kx] *
+                                   weight[((of * c + ic) * kh + ky) * kw + kx];
+                out[(of * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<double> Conv1d(const std::vector<double>& in, int64_t c, int64_t l,
+                           const std::vector<double>& weight, int64_t f,
+                           int64_t k, int64_t stride,
+                           const std::vector<double>& bias) {
+    const int64_t ol = OutDim(l, k, stride);
+    std::vector<double> out(f * ol, 0.0);
+    for (int64_t of = 0; of < f; ++of) {
+        for (int64_t ox = 0; ox < ol; ++ox) {
+            double acc = bias.empty() ? 0.0 : bias[of];
+            for (int64_t ic = 0; ic < c; ++ic)
+                for (int64_t kx = 0; kx < k; ++kx)
+                    acc += in[ic * l + ox * stride + kx] *
+                           weight[(of * c + ic) * k + kx];
+            out[of * ol + ox] = acc;
+        }
+    }
+    return out;
+}
+
+std::vector<double> Linear(const std::vector<double>& in,
+                           const std::vector<double>& weight, int64_t m,
+                           int64_t n, const std::vector<double>& bias) {
+    std::vector<double> out(m, 0.0);
+    for (int64_t i = 0; i < m; ++i) {
+        double acc = bias.empty() ? 0.0 : bias[i];
+        for (int64_t j = 0; j < n; ++j) acc += weight[i * n + j] * in[j];
+        out[i] = acc;
+    }
+    return out;
+}
+
+std::vector<double> MaxPool2d(const std::vector<double>& in, int64_t c,
+                              int64_t h, int64_t w, int64_t k,
+                              int64_t stride) {
+    const int64_t oh = OutDim(h, k, stride), ow = OutDim(w, k, stride);
+    std::vector<double> out(c * oh * ow);
+    for (int64_t ic = 0; ic < c; ++ic)
+        for (int64_t oy = 0; oy < oh; ++oy)
+            for (int64_t ox = 0; ox < ow; ++ox) {
+                double m = -1e300;
+                for (int64_t ky = 0; ky < k; ++ky)
+                    for (int64_t kx = 0; kx < k; ++kx)
+                        m = std::max(m, in[(ic * h + oy * stride + ky) * w +
+                                           ox * stride + kx]);
+                out[(ic * oh + oy) * ow + ox] = m;
+            }
+    return out;
+}
+
+std::vector<double> AvgPool2d(const std::vector<double>& in, int64_t c,
+                              int64_t h, int64_t w, int64_t k,
+                              int64_t stride) {
+    const int64_t oh = OutDim(h, k, stride), ow = OutDim(w, k, stride);
+    std::vector<double> out(c * oh * ow);
+    for (int64_t ic = 0; ic < c; ++ic)
+        for (int64_t oy = 0; oy < oh; ++oy)
+            for (int64_t ox = 0; ox < ow; ++ox) {
+                double s = 0;
+                for (int64_t ky = 0; ky < k; ++ky)
+                    for (int64_t kx = 0; kx < k; ++kx)
+                        s += in[(ic * h + oy * stride + ky) * w +
+                                ox * stride + kx];
+                out[(ic * oh + oy) * ow + ox] = s / (k * k);
+            }
+    return out;
+}
+
+std::vector<double> MaxPool1d(const std::vector<double>& in, int64_t c,
+                              int64_t l, int64_t k, int64_t stride) {
+    const int64_t ol = OutDim(l, k, stride);
+    std::vector<double> out(c * ol);
+    for (int64_t ic = 0; ic < c; ++ic)
+        for (int64_t ox = 0; ox < ol; ++ox) {
+            double m = -1e300;
+            for (int64_t kx = 0; kx < k; ++kx)
+                m = std::max(m, in[ic * l + ox * stride + kx]);
+            out[ic * ol + ox] = m;
+        }
+    return out;
+}
+
+std::vector<double> AvgPool1d(const std::vector<double>& in, int64_t c,
+                              int64_t l, int64_t k, int64_t stride) {
+    const int64_t ol = OutDim(l, k, stride);
+    std::vector<double> out(c * ol);
+    for (int64_t ic = 0; ic < c; ++ic)
+        for (int64_t ox = 0; ox < ol; ++ox) {
+            double s = 0;
+            for (int64_t kx = 0; kx < k; ++kx)
+                s += in[ic * l + ox * stride + kx];
+            out[ic * ol + ox] = s / k;
+        }
+    return out;
+}
+
+std::vector<double> BatchNorm(const std::vector<double>& in, int64_t channels,
+                              int64_t per_channel,
+                              const std::vector<double>& gamma,
+                              const std::vector<double>& beta,
+                              const std::vector<double>& mean,
+                              const std::vector<double>& var, double eps) {
+    std::vector<double> out(in.size());
+    for (int64_t c = 0; c < channels; ++c) {
+        const double scale = gamma[c] / std::sqrt(var[c] + eps);
+        const double shift = beta[c] - mean[c] * scale;
+        for (int64_t i = 0; i < per_channel; ++i)
+            out[c * per_channel + i] = in[c * per_channel + i] * scale + shift;
+    }
+    return out;
+}
+
+std::vector<double> Relu(const std::vector<double>& in) {
+    std::vector<double> out(in.size());
+    for (size_t i = 0; i < in.size(); ++i) out[i] = std::max(0.0, in[i]);
+    return out;
+}
+
+std::vector<double> MatMul(const std::vector<double>& x,
+                           const std::vector<double>& y, int64_t m, int64_t k,
+                           int64_t n) {
+    std::vector<double> out(m * n, 0.0);
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < n; ++j) {
+            double acc = 0;
+            for (int64_t p = 0; p < k; ++p) acc += x[i * k + p] * y[p * n + j];
+            out[i * n + j] = acc;
+        }
+    return out;
+}
+
+}  // namespace pytfhe::nn::reference

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Plaintext reference semantics for the NN layer library.
+ *
+ * Every circuit-generating layer has a double-precision counterpart here.
+ * Tests build the circuit, evaluate it on plaintext bits, and compare with
+ * these functions under a quantization-scaled tolerance. The piecewise
+ * linear exp used by Softmax is defined here once so that the circuit and
+ * the reference use the same polyline.
+ */
+#ifndef PYTFHE_NN_REFERENCE_H
+#define PYTFHE_NN_REFERENCE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace pytfhe::nn::reference {
+
+/** One segment of the exp polyline: y = slope * x + offset on [lo, hi). */
+struct PwlSegment {
+    double lo;
+    double hi;
+    double slope;
+    double offset;
+};
+
+/** The shared polyline for exp(x), x <= 0; below the first knot exp = 0. */
+const std::vector<PwlSegment>& PwlExpSegments();
+
+/** Evaluates the polyline. */
+double PwlExp(double x);
+
+/** Shared polyline for the logistic sigmoid on [-8, 8]; clamps outside. */
+const std::vector<PwlSegment>& PwlSigmoidSegments();
+double PwlSigmoid(double x);
+
+/** tanh via the sigmoid polyline: 2*sigmoid(2x) - 1. */
+double PwlTanh(double x);
+
+/** Reference softmax using PwlExp, row-wise on [rows, cols] data. */
+std::vector<double> Softmax(const std::vector<double>& x, int64_t rows,
+                            int64_t cols);
+
+/** 2-D convolution, no padding: in [C,H,W], weight [F,C,kh,kw], bias [F]. */
+std::vector<double> Conv2d(const std::vector<double>& in, int64_t c, int64_t h,
+                           int64_t w, const std::vector<double>& weight,
+                           int64_t f, int64_t kh, int64_t kw, int64_t stride,
+                           const std::vector<double>& bias);
+
+/** 1-D convolution: in [C,L], weight [F,C,k], bias [F]. */
+std::vector<double> Conv1d(const std::vector<double>& in, int64_t c, int64_t l,
+                           const std::vector<double>& weight, int64_t f,
+                           int64_t k, int64_t stride,
+                           const std::vector<double>& bias);
+
+/** Fully connected: in [n], weight [m,n], bias [m]. */
+std::vector<double> Linear(const std::vector<double>& in,
+                           const std::vector<double>& weight, int64_t m,
+                           int64_t n, const std::vector<double>& bias);
+
+/** Max pooling over the trailing 2 dims of [C,H,W]. */
+std::vector<double> MaxPool2d(const std::vector<double>& in, int64_t c,
+                              int64_t h, int64_t w, int64_t k, int64_t stride);
+std::vector<double> AvgPool2d(const std::vector<double>& in, int64_t c,
+                              int64_t h, int64_t w, int64_t k, int64_t stride);
+std::vector<double> MaxPool1d(const std::vector<double>& in, int64_t c,
+                              int64_t l, int64_t k, int64_t stride);
+std::vector<double> AvgPool1d(const std::vector<double>& in, int64_t c,
+                              int64_t l, int64_t k, int64_t stride);
+
+/** Batch normalization (inference): y = (x - mean)/sqrt(var+eps)*g + beta. */
+std::vector<double> BatchNorm(const std::vector<double>& in,
+                              int64_t channels, int64_t per_channel,
+                              const std::vector<double>& gamma,
+                              const std::vector<double>& beta,
+                              const std::vector<double>& mean,
+                              const std::vector<double>& var, double eps);
+
+std::vector<double> Relu(const std::vector<double>& in);
+
+/** [m,k] x [k,n] -> [m,n]. */
+std::vector<double> MatMul(const std::vector<double>& x,
+                           const std::vector<double>& y, int64_t m, int64_t k,
+                           int64_t n);
+
+/** Output spatial size of a conv/pool window. */
+inline int64_t OutDim(int64_t in, int64_t k, int64_t stride) {
+    return (in - k) / stride + 1;
+}
+
+}  // namespace pytfhe::nn::reference
+
+#endif  // PYTFHE_NN_REFERENCE_H

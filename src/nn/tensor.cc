@@ -1,0 +1,120 @@
+#include "nn/tensor.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace pytfhe::nn {
+
+int64_t NumElements(const Shape& shape) {
+    int64_t n = 1;
+    for (int64_t d : shape) n *= d;
+    return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < shape.size(); ++i)
+        os << (i ? "," : "") << shape[i];
+    os << "]";
+    return os.str();
+}
+
+Tensor::Tensor(Shape shape, std::vector<Value> values)
+    : shape_(std::move(shape)), values_(std::move(values)) {
+    assert(NumElements(shape_) == static_cast<int64_t>(values_.size()));
+}
+
+Tensor Tensor::Input(Builder& b, const DType& t, Shape shape,
+                     const std::string& name) {
+    const int64_t n = NumElements(shape);
+    std::vector<Value> values;
+    values.reserve(n);
+    for (int64_t i = 0; i < n; ++i)
+        values.push_back(
+            hdl::InputValue(b, t, name + "." + std::to_string(i)));
+    return Tensor(std::move(shape), std::move(values));
+}
+
+Tensor Tensor::FromData(Builder& b, const DType& t, Shape shape,
+                        const std::vector<double>& data) {
+    assert(NumElements(shape) == static_cast<int64_t>(data.size()));
+    std::vector<Value> values;
+    values.reserve(data.size());
+    for (double d : data) values.push_back(hdl::ConstValue(b, t, d));
+    return Tensor(std::move(shape), std::move(values));
+}
+
+Tensor Tensor::Full(Builder& b, const DType& t, Shape shape, double value) {
+    const int64_t n = NumElements(shape);
+    return FromData(b, t, std::move(shape), std::vector<double>(n, value));
+}
+
+int64_t Tensor::FlatIndex(const std::vector<int64_t>& index) const {
+    assert(index.size() == shape_.size());
+    int64_t flat = 0;
+    for (size_t i = 0; i < index.size(); ++i) {
+        assert(index[i] >= 0 && index[i] < shape_[i]);
+        flat = flat * shape_[i] + index[i];
+    }
+    return flat;
+}
+
+Tensor Tensor::Reshape(const Shape& new_shape) const {
+    assert(NumElements(new_shape) == Numel());
+    return Tensor(new_shape, values_);
+}
+
+Tensor Tensor::Transpose(size_t dim0, size_t dim1) const {
+    assert(dim0 < Rank() && dim1 < Rank());
+    Shape new_shape = shape_;
+    std::swap(new_shape[dim0], new_shape[dim1]);
+    std::vector<Value> out(values_.size());
+    // Walk the destination in row-major order, reading the source with the
+    // two dimensions swapped.
+    std::vector<int64_t> idx(Rank(), 0);
+    for (int64_t flat = 0; flat < Numel(); ++flat) {
+        std::vector<int64_t> src = idx;
+        std::swap(src[dim0], src[dim1]);
+        out[flat] = values_[FlatIndex(src)];
+        // Increment the multi-index over new_shape.
+        for (int64_t d = static_cast<int64_t>(Rank()) - 1; d >= 0; --d) {
+            if (++idx[d] < new_shape[d]) break;
+            idx[d] = 0;
+        }
+    }
+    return Tensor(std::move(new_shape), std::move(out));
+}
+
+Tensor Tensor::Pad2d(Builder& b, int64_t pad) const {
+    assert(Rank() >= 2);
+    const size_t hd = Rank() - 2, wd = Rank() - 1;
+    const int64_t h = shape_[hd], w = shape_[wd];
+    Shape new_shape = shape_;
+    new_shape[hd] = h + 2 * pad;
+    new_shape[wd] = w + 2 * pad;
+    const int64_t outer = Numel() / (h * w);
+    const Value zero = hdl::ConstValue(b, dtype(), 0.0);
+    std::vector<Value> out;
+    out.reserve(NumElements(new_shape));
+    for (int64_t o = 0; o < outer; ++o) {
+        for (int64_t y = 0; y < h + 2 * pad; ++y) {
+            for (int64_t x = 0; x < w + 2 * pad; ++x) {
+                const int64_t sy = y - pad, sx = x - pad;
+                if (sy < 0 || sy >= h || sx < 0 || sx >= w) {
+                    out.push_back(zero);
+                } else {
+                    out.push_back(values_[(o * h + sy) * w + sx]);
+                }
+            }
+        }
+    }
+    return Tensor(std::move(new_shape), std::move(out));
+}
+
+void Tensor::Output(Builder& b, const std::string& name) const {
+    for (int64_t i = 0; i < Numel(); ++i)
+        hdl::OutputValue(b, values_[i], name + "." + std::to_string(i));
+}
+
+}  // namespace pytfhe::nn

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Encrypted tensors: the ChiselTorch data model.
+ *
+ * A Tensor is a shape plus a row-major flat vector of typed circuit values.
+ * Layout operations (view/reshape/transpose/pad/flatten) shuffle value
+ * handles and generate NO gates — this is the optimization the paper calls
+ * out in Section V-C: a Flatten layer compiles to pure wiring in PyTFHE
+ * while Transpiler emits gates for it.
+ */
+#ifndef PYTFHE_NN_TENSOR_H
+#define PYTFHE_NN_TENSOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdl/value.h"
+
+namespace pytfhe::nn {
+
+using hdl::Builder;
+using hdl::DType;
+using hdl::Value;
+
+using Shape = std::vector<int64_t>;
+
+/** Number of elements of a shape. */
+int64_t NumElements(const Shape& shape);
+std::string ShapeToString(const Shape& shape);
+
+/** An N-dimensional tensor of encrypted scalars under construction. */
+class Tensor {
+  public:
+    Tensor() = default;
+    Tensor(Shape shape, std::vector<Value> values);
+
+    /** Declares an encrypted input tensor (one circuit input per bit). */
+    static Tensor Input(Builder& b, const DType& t, Shape shape,
+                        const std::string& name);
+
+    /** Embeds plaintext data as constants (weights, biases). */
+    static Tensor FromData(Builder& b, const DType& t, Shape shape,
+                           const std::vector<double>& data);
+
+    /** A tensor filled with one constant. */
+    static Tensor Full(Builder& b, const DType& t, Shape shape, double value);
+
+    const Shape& shape() const { return shape_; }
+    int64_t Dim(size_t i) const { return shape_[i]; }
+    size_t Rank() const { return shape_.size(); }
+    int64_t Numel() const { return static_cast<int64_t>(values_.size()); }
+    const DType& dtype() const { return values_.front().dtype; }
+
+    const Value& At(int64_t flat_index) const { return values_[flat_index]; }
+    Value& At(int64_t flat_index) { return values_[flat_index]; }
+    const Value& At(const std::vector<int64_t>& index) const {
+        return values_[FlatIndex(index)];
+    }
+    const std::vector<Value>& values() const { return values_; }
+
+    int64_t FlatIndex(const std::vector<int64_t>& index) const;
+
+    /** Layout ops — zero gates. */
+    Tensor Reshape(const Shape& new_shape) const;
+    Tensor View(const Shape& new_shape) const { return Reshape(new_shape); }
+    Tensor Flatten() const { return Reshape({Numel()}); }
+    Tensor Transpose(size_t dim0, size_t dim1) const;
+    /**
+     * Zero-pads a 2D (or trailing-2D) tensor by `pad` on each side of the
+     * last two dimensions. The padding values are constants.
+     */
+    Tensor Pad2d(Builder& b, int64_t pad) const;
+
+    /** Registers every element as circuit outputs named name[i]. */
+    void Output(Builder& b, const std::string& name) const;
+
+  private:
+    Shape shape_;
+    std::vector<Value> values_;
+};
+
+}  // namespace pytfhe::nn
+
+#endif  // PYTFHE_NN_TENSOR_H

@@ -1,0 +1,105 @@
+#include "pasm/assembler.h"
+
+namespace pytfhe::pasm {
+
+using circuit::Netlist;
+using circuit::Node;
+using circuit::NodeId;
+using circuit::NodeKind;
+
+std::optional<Program> Assemble(const Netlist& netlist, std::string* error) {
+    if (auto err = netlist.Validate()) {
+        if (error) *error = *err;
+        return std::nullopt;
+    }
+
+    // Constant outputs are synthesized as XOR(x,x) / XNOR(x,x) over the
+    // first input — the binary format has no constant instruction.
+    bool needs_const0 = false, needs_const1 = false;
+    for (NodeId id : netlist.Outputs()) {
+        if (id == circuit::kConstFalse) needs_const0 = true;
+        if (id == circuit::kConstTrue) needs_const1 = true;
+    }
+    if ((needs_const0 || needs_const1) && netlist.Inputs().empty()) {
+        if (error)
+            *error = "constant outputs need at least one input to synthesize";
+        return std::nullopt;
+    }
+    const uint64_t extra_gates =
+        (needs_const0 ? 1 : 0) + (needs_const1 ? 1 : 0);
+
+    std::vector<Instruction> ins;
+    ins.reserve(2 + netlist.NumNodes() + netlist.Outputs().size());
+    ins.push_back(Instruction::MakeHeader(netlist.NumGates() + extra_gates));
+
+    // Map netlist node ids to binary indices: inputs first, then gates in
+    // creation (topological) order.
+    std::vector<uint64_t> index(netlist.NumNodes(), 0);
+    for (NodeId id : netlist.Inputs()) {
+        index[id] = ins.size();
+        ins.push_back(Instruction::MakeInput());
+    }
+    for (NodeId id = 2; id < netlist.NumNodes(); ++id) {
+        const Node& n = netlist.GetNode(id);
+        if (n.kind != NodeKind::kGate) continue;
+        if (n.in0 <= circuit::kConstTrue || n.in1 <= circuit::kConstTrue) {
+            if (error)
+                *error = "netlist references constants; run circuit::Optimize "
+                         "before assembling";
+            return std::nullopt;
+        }
+        index[id] = ins.size();
+        ins.push_back(
+            Instruction::MakeGate(n.type, index[n.in0], index[n.in1]));
+    }
+    uint64_t const0_idx = 0, const1_idx = 0;
+    if (needs_const0) {
+        const uint64_t first_in = index[netlist.Inputs()[0]];
+        const0_idx = ins.size();
+        ins.push_back(
+            Instruction::MakeGate(circuit::GateType::kXor, first_in, first_in));
+    }
+    if (needs_const1) {
+        const uint64_t first_in = index[netlist.Inputs()[0]];
+        const1_idx = ins.size();
+        ins.push_back(Instruction::MakeGate(circuit::GateType::kXnor, first_in,
+                                            first_in));
+    }
+    for (NodeId id : netlist.Outputs()) {
+        if (id == circuit::kConstFalse) {
+            ins.push_back(Instruction::MakeOutput(const0_idx));
+        } else if (id == circuit::kConstTrue) {
+            ins.push_back(Instruction::MakeOutput(const1_idx));
+        } else {
+            ins.push_back(Instruction::MakeOutput(index[id]));
+        }
+    }
+    return Program::FromInstructions(std::move(ins), error);
+}
+
+Netlist ToNetlist(const Program& program) {
+    Netlist out;
+    const auto& ins = program.Instructions();
+    // index in binary -> node id in netlist.
+    std::vector<NodeId> node(ins.size(), circuit::kConstFalse);
+    for (uint64_t pos = 1; pos < ins.size(); ++pos) {
+        switch (ins[pos].Kind(pos)) {
+            case InstructionKind::kInput:
+                node[pos] = out.AddInput();
+                break;
+            case InstructionKind::kGate: {
+                const DecodedGate g = program.GateAt(pos);
+                node[pos] = out.AddGate(g.type, node[g.in0], node[g.in1]);
+                break;
+            }
+            case InstructionKind::kOutput:
+                out.AddOutput(node[ins[pos].Input1()]);
+                break;
+            case InstructionKind::kHeader:
+                break;
+        }
+    }
+    return out;
+}
+
+}  // namespace pytfhe::pasm

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The PyTFHE Assembler: converts a gate netlist to/from the binary format.
+ *
+ * Assembly requires a constant-free netlist (run circuit::Optimize first;
+ * it folds constants away). Inputs are assigned indices 1..I in declaration
+ * order; gates are assigned I+1.. in topological (creation) order; one
+ * output instruction is appended per declared output.
+ */
+#ifndef PYTFHE_PASM_ASSEMBLER_H
+#define PYTFHE_PASM_ASSEMBLER_H
+
+#include <optional>
+#include <string>
+
+#include "circuit/netlist.h"
+#include "pasm/program.h"
+
+namespace pytfhe::pasm {
+
+/**
+ * Assembles a netlist into a PyTFHE binary. Returns nullopt and fills
+ * `error` if the netlist still references constants or fails validation.
+ */
+std::optional<Program> Assemble(const circuit::Netlist& netlist,
+                                std::string* error = nullptr);
+
+/**
+ * Reconstructs a netlist from a program (the disassembler's structural
+ * half). Names are synthesized. Round-tripping Assemble(Disassemble(p))
+ * reproduces p exactly; tests rely on this.
+ */
+circuit::Netlist ToNetlist(const Program& program);
+
+}  // namespace pytfhe::pasm
+
+#endif  // PYTFHE_PASM_ASSEMBLER_H

@@ -1,0 +1,63 @@
+#include "pasm/instruction.h"
+
+#include <sstream>
+
+namespace pytfhe::pasm {
+
+Instruction Instruction::Pack(uint64_t in0, uint64_t in1, uint8_t type) {
+    Instruction i;
+    i.lo = (type & 0xF) | (in1 << 4);
+    i.hi = ((in1 & kIndexAllOnes) >> 60) | ((in0 & kIndexAllOnes) << 2);
+    return i;
+}
+
+Instruction Instruction::MakeHeader(uint64_t total_gates) {
+    return Pack(0, total_gates, kHeaderType);
+}
+
+Instruction Instruction::MakeInput() {
+    return Pack(kIndexAllOnes, kIndexAllOnes, kInputType);
+}
+
+Instruction Instruction::MakeGate(circuit::GateType type, uint64_t in0,
+                                  uint64_t in1) {
+    return Pack(in0, in1, static_cast<uint8_t>(type));
+}
+
+Instruction Instruction::MakeOutput(uint64_t producer_index) {
+    return Pack(kIndexAllOnes, producer_index, kOutputType);
+}
+
+InstructionKind Instruction::Kind(uint64_t position) const {
+    if (position == 0) return InstructionKind::kHeader;
+    if (Input0() == kIndexAllOnes) {
+        if (TypeField() == kInputType && Input1() == kIndexAllOnes)
+            return InstructionKind::kInput;
+        if (TypeField() == kOutputType) return InstructionKind::kOutput;
+    }
+    return InstructionKind::kGate;
+}
+
+std::string Instruction::ToString(uint64_t position) const {
+    std::ostringstream os;
+    os << position << ": ";
+    switch (Kind(position)) {
+        case InstructionKind::kHeader:
+            os << "HEADER gates=" << Input1();
+            break;
+        case InstructionKind::kInput:
+            os << "INPUT";
+            break;
+        case InstructionKind::kOutput:
+            os << "OUTPUT <- " << Input1();
+            break;
+        case InstructionKind::kGate:
+            os << circuit::GateTypeName(
+                      static_cast<circuit::GateType>(TypeField()))
+               << " " << Input0() << ", " << Input1();
+            break;
+    }
+    return os.str();
+}
+
+}  // namespace pytfhe::pasm

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The 128-bit PyTFHE instruction encoding (Fig. 5 of the paper).
+ *
+ * Bit layout (bit 0 = least significant):
+ *   [3:0]    gate type (4 bits; eleven gate types are defined)
+ *   [65:4]   INPUT1 gate index (62 bits)
+ *   [127:66] INPUT0 gate index (62 bits)
+ *
+ * Four instruction kinds:
+ *   header  — always the first instruction; the INPUT1 field holds the total
+ *             number of gate instructions, all other fields are zero.
+ *   input   — reserves the next sequential index for a primary input; all
+ *             fields are all-ones (0x3FFF..., 0x3FFF..., 0xF).
+ *   gate    — INPUT0/INPUT1 hold the producing indices; type holds the gate.
+ *   output  — INPUT0 all-ones, INPUT1 the index that produced this output,
+ *             type = 0x3.
+ *
+ * Indices name instructions by file position: the header is index 0, the
+ * first input is index 1, and so on. This sequential naming permits O(1)
+ * operand lookup during DAG traversal, which is what makes the binary format
+ * fast to execute.
+ */
+#ifndef PYTFHE_PASM_INSTRUCTION_H
+#define PYTFHE_PASM_INSTRUCTION_H
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/gate_type.h"
+
+namespace pytfhe::pasm {
+
+/** All-ones 62-bit index; reserved, never a valid instruction index. */
+constexpr uint64_t kIndexAllOnes = (UINT64_C(1) << 62) - 1;
+/** Largest representable index (2^62 gates, minus the reserved value). */
+constexpr uint64_t kMaxIndex = kIndexAllOnes - 1;
+
+/** Type-field values for non-gate instructions. */
+constexpr uint8_t kHeaderType = 0x0;
+constexpr uint8_t kInputType = 0xF;
+constexpr uint8_t kOutputType = 0x3;
+
+/** What an instruction is. */
+enum class InstructionKind : uint8_t { kHeader, kInput, kGate, kOutput };
+
+/** One 128-bit instruction. */
+struct Instruction {
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+
+    bool operator==(const Instruction&) const = default;
+
+    uint8_t TypeField() const { return static_cast<uint8_t>(lo & 0xF); }
+    uint64_t Input1() const {
+        return ((lo >> 4) | (hi << 60)) & kIndexAllOnes;
+    }
+    uint64_t Input0() const { return (hi >> 2) & kIndexAllOnes; }
+
+    /** Classifies the instruction. `position` is its index in the program. */
+    InstructionKind Kind(uint64_t position) const;
+
+    /** Human-readable one-line disassembly. */
+    std::string ToString(uint64_t position) const;
+
+    static Instruction MakeHeader(uint64_t total_gates);
+    static Instruction MakeInput();
+    static Instruction MakeGate(circuit::GateType type, uint64_t in0,
+                                uint64_t in1);
+    static Instruction MakeOutput(uint64_t producer_index);
+
+  private:
+    static Instruction Pack(uint64_t in0, uint64_t in1, uint8_t type);
+};
+
+}  // namespace pytfhe::pasm
+
+#endif  // PYTFHE_PASM_INSTRUCTION_H

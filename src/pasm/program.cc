@@ -1,0 +1,152 @@
+#include "pasm/program.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace pytfhe::pasm {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+    if (error) *error = message;
+    return false;
+}
+
+}  // namespace
+
+std::optional<Program> Program::FromInstructions(
+    std::vector<Instruction> instructions, std::string* error) {
+    Program p;
+    p.instructions_ = std::move(instructions);
+    const auto& ins = p.instructions_;
+
+    if (ins.empty()) {
+        Fail(error, "empty program");
+        return std::nullopt;
+    }
+    if (ins[0].Kind(0) != InstructionKind::kHeader ||
+        ins[0].TypeField() != kHeaderType || ins[0].Input0() != 0) {
+        Fail(error, "first instruction is not a valid header");
+        return std::nullopt;
+    }
+    const uint64_t declared_gates = ins[0].Input1();
+
+    // Phase order: inputs, then gates, then outputs.
+    enum Phase { kInputs, kGates, kOutputs } phase = kInputs;
+    for (uint64_t pos = 1; pos < ins.size(); ++pos) {
+        switch (ins[pos].Kind(pos)) {
+            case InstructionKind::kHeader:
+                Fail(error, "unexpected header at position " +
+                                std::to_string(pos));
+                return std::nullopt;
+            case InstructionKind::kInput:
+                if (phase != kInputs) {
+                    Fail(error, "input instruction after gates at position " +
+                                    std::to_string(pos));
+                    return std::nullopt;
+                }
+                ++p.num_inputs_;
+                break;
+            case InstructionKind::kGate: {
+                if (phase == kOutputs) {
+                    Fail(error, "gate instruction after outputs at position " +
+                                    std::to_string(pos));
+                    return std::nullopt;
+                }
+                phase = kGates;
+                const DecodedGate g{
+                    static_cast<circuit::GateType>(ins[pos].TypeField()),
+                    ins[pos].Input0(), ins[pos].Input1()};
+                if (static_cast<int32_t>(g.type) >= circuit::kNumGateTypes) {
+                    Fail(error, "invalid gate type at position " +
+                                    std::to_string(pos));
+                    return std::nullopt;
+                }
+                if (g.in0 >= pos || g.in1 >= pos || g.in0 == 0 || g.in1 == 0) {
+                    Fail(error,
+                         "gate at position " + std::to_string(pos) +
+                             " references an invalid index");
+                    return std::nullopt;
+                }
+                ++p.num_gates_;
+                break;
+            }
+            case InstructionKind::kOutput: {
+                phase = kOutputs;
+                const uint64_t src = ins[pos].Input1();
+                if (src == 0 || src > p.num_inputs_ + p.num_gates_) {
+                    Fail(error, "output at position " + std::to_string(pos) +
+                                    " references an invalid index");
+                    return std::nullopt;
+                }
+                p.outputs_.push_back(src);
+                break;
+            }
+        }
+    }
+    if (p.num_gates_ != declared_gates) {
+        Fail(error, "header declares " + std::to_string(declared_gates) +
+                        " gates but program contains " +
+                        std::to_string(p.num_gates_));
+        return std::nullopt;
+    }
+    return p;
+}
+
+void Program::Serialize(std::ostream& os) const {
+    for (const Instruction& i : instructions_) {
+        char buf[16];
+        for (int b = 0; b < 8; ++b) {
+            buf[b] = static_cast<char>((i.lo >> (8 * b)) & 0xFF);
+            buf[8 + b] = static_cast<char>((i.hi >> (8 * b)) & 0xFF);
+        }
+        os.write(buf, 16);
+    }
+}
+
+std::optional<Program> Program::Deserialize(std::istream& is,
+                                            std::string* error) {
+    std::vector<Instruction> ins;
+    char buf[16];
+    while (is.read(buf, 16)) {
+        Instruction i;
+        for (int b = 0; b < 8; ++b) {
+            i.lo |= static_cast<uint64_t>(static_cast<uint8_t>(buf[b]))
+                    << (8 * b);
+            i.hi |= static_cast<uint64_t>(static_cast<uint8_t>(buf[8 + b]))
+                    << (8 * b);
+        }
+        ins.push_back(i);
+    }
+    if (is.gcount() != 0) {
+        Fail(error, "trailing bytes: file size is not a multiple of 16");
+        return std::nullopt;
+    }
+    return FromInstructions(std::move(ins), error);
+}
+
+bool Program::SaveToFile(const std::string& path) const {
+    std::ofstream f(path, std::ios::binary);
+    if (!f) return false;
+    Serialize(f);
+    return static_cast<bool>(f);
+}
+
+std::optional<Program> Program::LoadFromFile(const std::string& path,
+                                             std::string* error) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+        Fail(error, "cannot open " + path);
+        return std::nullopt;
+    }
+    return Deserialize(f, error);
+}
+
+std::string Program::Disassemble() const {
+    std::ostringstream os;
+    for (uint64_t pos = 0; pos < instructions_.size(); ++pos)
+        os << instructions_[pos].ToString(pos) << "\n";
+    return os.str();
+}
+
+}  // namespace pytfhe::pasm

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A PyTFHE program: a validated sequence of 128-bit instructions plus a
+ * decoded view that backends execute directly.
+ *
+ * The on-disk format is the raw instruction stream, little-endian, 16 bytes
+ * per instruction, preceded by nothing — the header instruction *is* the
+ * file header.
+ */
+#ifndef PYTFHE_PASM_PROGRAM_H
+#define PYTFHE_PASM_PROGRAM_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pasm/instruction.h"
+
+namespace pytfhe::pasm {
+
+/** Decoded gate record, indexed the same way as the instruction stream. */
+struct DecodedGate {
+    circuit::GateType type;
+    uint64_t in0;
+    uint64_t in1;
+};
+
+/** A validated PyTFHE binary. */
+class Program {
+  public:
+    Program() = default;
+
+    /**
+     * Wraps and validates a raw instruction stream. Returns nullopt and
+     * fills `error` (when non-null) on malformed input.
+     */
+    static std::optional<Program> FromInstructions(
+        std::vector<Instruction> instructions, std::string* error = nullptr);
+
+    const std::vector<Instruction>& Instructions() const {
+        return instructions_;
+    }
+
+    /** Number of primary inputs. First input index is 1. */
+    uint64_t NumInputs() const { return num_inputs_; }
+    /** Number of gate instructions. First gate index is NumInputs() + 1. */
+    uint64_t NumGates() const { return num_gates_; }
+    /** Producing index for each declared output, in order. */
+    const std::vector<uint64_t>& OutputIndices() const { return outputs_; }
+
+    /** Index of the first gate instruction. */
+    uint64_t FirstGateIndex() const { return 1 + num_inputs_; }
+
+    /** Decoded gate at instruction index `idx` (idx >= FirstGateIndex()). */
+    DecodedGate GateAt(uint64_t idx) const {
+        const Instruction& i = instructions_[idx];
+        return DecodedGate{static_cast<circuit::GateType>(i.TypeField()),
+                           i.Input0(), i.Input1()};
+    }
+
+    /** Serializes to a binary stream (16 bytes per instruction, LE). */
+    void Serialize(std::ostream& os) const;
+    /** Deserializes and validates. */
+    static std::optional<Program> Deserialize(std::istream& is,
+                                              std::string* error = nullptr);
+
+    /** Convenience file wrappers. */
+    bool SaveToFile(const std::string& path) const;
+    static std::optional<Program> LoadFromFile(const std::string& path,
+                                               std::string* error = nullptr);
+
+    /** Full text disassembly. */
+    std::string Disassemble() const;
+
+    /** Size of the binary in bytes. */
+    size_t ByteSize() const { return instructions_.size() * 16; }
+
+  private:
+    std::vector<Instruction> instructions_;
+    uint64_t num_inputs_ = 0;
+    uint64_t num_gates_ = 0;
+    std::vector<uint64_t> outputs_;
+};
+
+}  // namespace pytfhe::pasm
+
+#endif  // PYTFHE_PASM_PROGRAM_H

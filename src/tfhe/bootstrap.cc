@@ -1,0 +1,143 @@
+#include "tfhe/bootstrap.h"
+
+#include <cassert>
+
+namespace pytfhe::tfhe {
+
+BootstrappingKey::BootstrappingKey(const Params& params, const LweKey& lwe_key,
+                                   const TLweKey& tlwe_key, Rng& rng)
+    : params_(params),
+      fft_(&GetFftPlan(params.big_n)),
+      ksk_(tlwe_key.ExtractLweKey(), lwe_key, params.ks_t, params.ks_base_bit,
+           params.lwe_noise_stddev, rng) {
+    assert(lwe_key.N() == params.n);
+    assert(tlwe_key.BigN() == params.big_n && tlwe_key.K() == params.k);
+    bk_.reserve(params.n);
+    for (int32_t i = 0; i < params.n; ++i) {
+        TGswSample enc =
+            TGswEncrypt(lwe_key.key[i], params.bk_l, params.bk_bg_bit,
+                        params.tlwe_noise_stddev, tlwe_key, rng);
+        bk_.push_back(TGswToFft(enc, *fft_));
+    }
+}
+
+BootstrappingKey::BootstrappingKey(const Params& params,
+                                   std::vector<TGswSampleFft> bk,
+                                   KeySwitchKey ksk)
+    : params_(params),
+      fft_(&GetFftPlan(params.big_n)),
+      bk_(std::move(bk)),
+      ksk_(std::move(ksk)) {
+    assert(static_cast<int32_t>(bk_.size()) == params.n);
+    assert(ksk_.InputN() == params.ExtractedN());
+    assert(ksk_.OutputN() == params.n);
+}
+
+size_t BootstrappingKey::BkByteSize() const {
+    if (bk_.empty()) return 0;
+    const auto& s = bk_[0];
+    const size_t per_row =
+        s.rows.empty() ? 0 : s.rows[0].size() * s.rows[0][0].Size() * 2 *
+                                 sizeof(double);
+    return bk_.size() * s.rows.size() * per_row;
+}
+
+void BlindRotate(TLweSample& acc, const std::vector<int32_t>& bara,
+                 const BootstrappingKey& key) {
+    const Params& p = key.params();
+    assert(static_cast<int32_t>(bara.size()) == p.n);
+    TLweSample rotated(p.big_n, p.k);
+    TLweSample product(p.big_n, p.k);
+    for (int32_t i = 0; i < p.n; ++i) {
+        const int32_t a = bara[i];
+        if (a == 0) continue;
+        // acc <- CMUX(bk_i, X^a * acc, acc) = acc + bk_i x (X^a - 1) * acc.
+        TLweMulByXai(rotated, a, acc);
+        rotated.SubTo(acc);
+        TGswExternalProduct(product, key.bk()[i], rotated, key.fft());
+        acc.AddTo(product);
+    }
+}
+
+namespace {
+
+/**
+ * Runs mod switch, blind rotation over the given test vector, and
+ * extraction of coefficient 0 under the extracted key. The result encrypts
+ * test_vector[round(phase * 2N)] with negacyclic wrap-around.
+ */
+LweSample RotateAndExtract(const TorusPolynomial& test_vector,
+                           const LweSample& in, const BootstrappingKey& key) {
+    const Params& p = key.params();
+    const int32_t two_n = 2 * p.big_n;
+
+    const int32_t barb = ModSwitchFromTorus32(in.b, two_n);
+    std::vector<int32_t> bara(p.n);
+    for (int32_t i = 0; i < p.n; ++i)
+        bara[i] = ModSwitchFromTorus32(in.a[i], two_n);
+
+    TorusPolynomial shifted(p.big_n);
+    MulByXai(shifted, two_n - barb, test_vector);
+
+    TLweSample acc(p.big_n, p.k);
+    acc.SetTrivial(shifted);
+    BlindRotate(acc, bara, key);
+    return TLweExtractSample(acc, 0);
+}
+
+/**
+ * The gate-bootstrapping test vector: all coefficients mu. After rotation
+ * by the negative phase, coefficient 0 holds +mu when the phase is in the
+ * upper half circle and -mu otherwise (X^N = -1 flips the sign).
+ */
+LweSample BlindRotateAndExtract(Torus32 mu, const LweSample& in,
+                                const BootstrappingKey& key) {
+    TorusPolynomial testvect(key.params().big_n);
+    for (auto& c : testvect.coefs) c = mu;
+    return RotateAndExtract(testvect, in, key);
+}
+
+}  // namespace
+
+LweSample BootstrapWithoutKeySwitch(Torus32 mu, const LweSample& in,
+                                    const BootstrappingKey& key) {
+    return BlindRotateAndExtract(mu, in, key);
+}
+
+LweSample Bootstrap(Torus32 mu, const LweSample& in,
+                    const BootstrappingKey& key) {
+    return key.ksk().Apply(BlindRotateAndExtract(mu, in, key));
+}
+
+LweSample FunctionalBootstrap(const TorusPolynomial& test_vector,
+                              const LweSample& in,
+                              const BootstrappingKey& key) {
+    assert(test_vector.Size() == key.params().big_n);
+    return key.ksk().Apply(RotateAndExtract(test_vector, in, key));
+}
+
+Torus32 EncodePbsMessage(int32_t m, int32_t p) {
+    return ModSwitchToTorus32(2 * m + 1, 4 * p);
+}
+
+int32_t DecodePbsMessage(Torus32 phase, int32_t p) {
+    // Outputs are encoded as f/p; round to the nearest slot.
+    return ((ModSwitchFromTorus32(phase, p) % p) + p) % p;
+}
+
+TorusPolynomial MakeLutTestVector(const Params& params, int32_t p,
+                                  const std::function<int32_t(int32_t)>& f) {
+    const int32_t n = params.big_n;
+    assert(2 * p <= n && "LUT slots need at least two coefficients each");
+    TorusPolynomial tv(n);
+    for (int32_t j = 0; j < n; ++j) {
+        // Slot j covers phases around j / 2N; its message index under the
+        // EncodePbsMessage centering is floor(j * p / N).
+        const int32_t m = static_cast<int32_t>(
+            (static_cast<int64_t>(j) * p) / n);
+        tv.coefs[j] = ModSwitchToTorus32(f(m), p);
+    }
+    return tv;
+}
+
+}  // namespace pytfhe::tfhe

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Gate bootstrapping: blind rotation, sample extraction, key switching.
+ *
+ * Bootstrapping refreshes the noise of an LWE sample while applying the sign
+ * function: the output encrypts +mu when the input phase is in (0, 1/2) and
+ * -mu otherwise. Combined with a linear pre-combination of the two input
+ * bits, this evaluates any of the TFHE two-input gates with constant output
+ * noise, allowing circuits of unbounded depth.
+ */
+#ifndef PYTFHE_TFHE_BOOTSTRAP_H
+#define PYTFHE_TFHE_BOOTSTRAP_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tfhe/keyswitch.h"
+#include "tfhe/params.h"
+#include "tfhe/tgsw.h"
+
+namespace pytfhe::tfhe {
+
+/**
+ * Public evaluation key: TGSW encryptions (FFT domain) of each small-LWE key
+ * bit under the ring key, plus the key-switching key back from the extracted
+ * key. This is what a client ships to the evaluating server.
+ */
+class BootstrappingKey {
+  public:
+    /**
+     * Generates the evaluation key for lwe_key under tlwe_key.
+     */
+    BootstrappingKey(const Params& params, const LweKey& lwe_key,
+                     const TLweKey& tlwe_key, Rng& rng);
+
+    /** Reconstructs from serialized parts (see tfhe/serialization.h). */
+    BootstrappingKey(const Params& params, std::vector<TGswSampleFft> bk,
+                     KeySwitchKey ksk);
+
+    const Params& params() const { return params_; }
+    const NegacyclicFft& fft() const { return *fft_; }
+    const KeySwitchKey& ksk() const { return ksk_; }
+    const std::vector<TGswSampleFft>& bk() const { return bk_; }
+
+    /** Approximate size of the bootstrapping part in bytes (FFT domain). */
+    size_t BkByteSize() const;
+
+  private:
+    Params params_;
+    const NegacyclicFft* fft_;  ///< Cached plan, owned by the global cache.
+    std::vector<TGswSampleFft> bk_;
+    KeySwitchKey ksk_;
+};
+
+/**
+ * In-place blind rotation: multiplies acc by X^{-sum bara_i * s_i} using one
+ * CMUX per key bit.
+ */
+void BlindRotate(TLweSample& acc, const std::vector<int32_t>& bara,
+                 const BootstrappingKey& key);
+
+/**
+ * Bootstraps `in` to a fresh sample encrypting +-mu under the *extracted*
+ * key (no key switch). Used directly by the MUX gate.
+ */
+LweSample BootstrapWithoutKeySwitch(Torus32 mu, const LweSample& in,
+                                    const BootstrappingKey& key);
+
+/** Full gate bootstrap: blind rotate, extract, and key switch back to n. */
+LweSample Bootstrap(Torus32 mu, const LweSample& in,
+                    const BootstrappingKey& key);
+
+/**
+ * Programmable bootstrapping (Section II-B of the paper): refreshes noise
+ * while applying an arbitrary lookup table encoded in the test vector.
+ * The test vector is indexed by the 2N-mod-switched phase; slots N..2N-1
+ * wrap negacyclically (X^N = -1), so inputs must be encoded in the upper
+ * half-circle [0, 1/2) — see EncodePbsMessage.
+ */
+LweSample FunctionalBootstrap(const TorusPolynomial& test_vector,
+                              const LweSample& in,
+                              const BootstrappingKey& key);
+
+/**
+ * Encodes message m in [0, p) at the center of its LUT slot:
+ * (2m + 1) / (4p), always inside [0, 1/2).
+ */
+Torus32 EncodePbsMessage(int32_t m, int32_t p);
+
+/**
+ * Decodes the output of a LUT built by MakeLutTestVector back to [0, p).
+ */
+int32_t DecodePbsMessage(Torus32 phase, int32_t p);
+
+/**
+ * Builds the test vector evaluating f : [0, p) -> [0, p) under the
+ * EncodePbsMessage encoding. Requires 2p <= N.
+ */
+TorusPolynomial MakeLutTestVector(const Params& params, int32_t p,
+                                  const std::function<int32_t(int32_t)>& f);
+
+}  // namespace pytfhe::tfhe
+
+#endif  // PYTFHE_TFHE_BOOTSTRAP_H

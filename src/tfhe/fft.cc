@@ -1,0 +1,156 @@
+#include "tfhe/fft.h"
+
+#include <cassert>
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+
+namespace pytfhe::tfhe {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+void FreqPolynomial::AddMul(const FreqPolynomial& a, const FreqPolynomial& b) {
+    const int32_t n = Size();
+    assert(a.Size() == n && b.Size() == n);
+    const double* are = a.re.data();
+    const double* aim = a.im.data();
+    const double* bre = b.re.data();
+    const double* bim = b.im.data();
+    double* rre = re.data();
+    double* rim = im.data();
+    for (int32_t i = 0; i < n; ++i) {
+        rre[i] += are[i] * bre[i] - aim[i] * bim[i];
+        rim[i] += are[i] * bim[i] + aim[i] * bre[i];
+    }
+}
+
+NegacyclicFft::NegacyclicFft(int32_t n) : n_(n) {
+    assert(n >= 2 && (n & (n - 1)) == 0);
+    log2n_ = 0;
+    while ((1 << log2n_) < n) ++log2n_;
+
+    twist_re_.resize(n);
+    twist_im_.resize(n);
+    untwist_re_.resize(n);
+    untwist_im_.resize(n);
+    for (int32_t j = 0; j < n; ++j) {
+        const double ang = -kPi * j / n;
+        twist_re_[j] = std::cos(ang);
+        twist_im_[j] = std::sin(ang);
+        // Untwist includes the 1/n inverse-FFT normalization.
+        untwist_re_[j] = std::cos(-ang) / n;
+        untwist_im_[j] = std::sin(-ang) / n;
+    }
+
+    // Twiddles for stage with half-size h live at flat offset h - 1.
+    tw_re_.resize(n - 1);
+    tw_im_.resize(n - 1);
+    for (int32_t half = 1; half < n; half *= 2) {
+        const int32_t len = half * 2;
+        for (int32_t k = 0; k < half; ++k) {
+            const double ang = -2.0 * kPi * k / len;
+            tw_re_[half - 1 + k] = std::cos(ang);
+            tw_im_[half - 1 + k] = std::sin(ang);
+        }
+    }
+
+    bitrev_.resize(n);
+    for (int32_t i = 0; i < n; ++i) {
+        int32_t r = 0;
+        for (int32_t b = 0; b < log2n_; ++b)
+            if (i & (1 << b)) r |= 1 << (log2n_ - 1 - b);
+        bitrev_[i] = r;
+    }
+}
+
+void NegacyclicFft::FftInPlace(double* re, double* im, bool inverse) const {
+    const int32_t n = n_;
+    for (int32_t i = 0; i < n; ++i) {
+        const int32_t j = bitrev_[i];
+        if (i < j) {
+            std::swap(re[i], re[j]);
+            std::swap(im[i], im[j]);
+        }
+    }
+    for (int32_t half = 1; half < n; half *= 2) {
+        const int32_t len = half * 2;
+        const double* wre = &tw_re_[half - 1];
+        const double* wim = &tw_im_[half - 1];
+        const double sign = inverse ? -1.0 : 1.0;
+        for (int32_t base = 0; base < n; base += len) {
+            for (int32_t k = 0; k < half; ++k) {
+                const double cr = wre[k];
+                const double ci = sign * wim[k];
+                const int32_t i0 = base + k;
+                const int32_t i1 = i0 + half;
+                const double tre = re[i1] * cr - im[i1] * ci;
+                const double tim = re[i1] * ci + im[i1] * cr;
+                re[i1] = re[i0] - tre;
+                im[i1] = im[i0] - tim;
+                re[i0] += tre;
+                im[i0] += tim;
+            }
+        }
+    }
+}
+
+void NegacyclicFft::ForwardReal(FreqPolynomial& out, const double* coefs) const {
+    const int32_t n = n_;
+    out.re.resize(n);
+    out.im.resize(n);
+    for (int32_t j = 0; j < n; ++j) {
+        out.re[j] = coefs[j] * twist_re_[j];
+        out.im[j] = coefs[j] * twist_im_[j];
+    }
+    FftInPlace(out.re.data(), out.im.data(), /*inverse=*/false);
+}
+
+void NegacyclicFft::Forward(FreqPolynomial& out, const IntPolynomial& p) const {
+    assert(p.Size() == n_);
+    std::vector<double> tmp(n_);
+    for (int32_t j = 0; j < n_; ++j) tmp[j] = static_cast<double>(p.coefs[j]);
+    ForwardReal(out, tmp.data());
+}
+
+void NegacyclicFft::Forward(FreqPolynomial& out, const TorusPolynomial& p) const {
+    assert(p.Size() == n_);
+    std::vector<double> tmp(n_);
+    for (int32_t j = 0; j < n_; ++j)
+        tmp[j] = static_cast<double>(static_cast<int32_t>(p.coefs[j]));
+    ForwardReal(out, tmp.data());
+}
+
+void NegacyclicFft::Inverse(TorusPolynomial& out, const FreqPolynomial& f) const {
+    const int32_t n = n_;
+    assert(f.Size() == n && out.Size() == n);
+    std::vector<double> re(f.re), im(f.im);
+    FftInPlace(re.data(), im.data(), /*inverse=*/true);
+    for (int32_t j = 0; j < n; ++j) {
+        const double val = re[j] * untwist_re_[j] - im[j] * untwist_im_[j];
+        out.coefs[j] =
+            static_cast<Torus32>(static_cast<uint64_t>(std::llround(val)));
+    }
+}
+
+void NegacyclicFft::Multiply(TorusPolynomial& result, const IntPolynomial& a,
+                             const TorusPolynomial& b) const {
+    FreqPolynomial fa, fb, acc(n_);
+    Forward(fa, a);
+    Forward(fb, b);
+    acc.AddMul(fa, fb);
+    Inverse(result, acc);
+}
+
+const NegacyclicFft& GetFftPlan(int32_t n) {
+    static std::mutex mu;
+    static std::unordered_map<int32_t, std::unique_ptr<NegacyclicFft>> plans;
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = plans.find(n);
+    if (it == plans.end())
+        it = plans.emplace(n, std::make_unique<NegacyclicFft>(n)).first;
+    return *it->second;
+}
+
+}  // namespace pytfhe::tfhe

@@ -1,0 +1,136 @@
+#include "tfhe/gates.h"
+
+#include <chrono>
+
+namespace pytfhe::tfhe {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// +1/8 and +1/4 on the discretized torus.
+constexpr Torus32 kEighth = UINT32_C(1) << 29;
+constexpr Torus32 kQuarter = UINT32_C(1) << 30;
+
+}  // namespace
+
+LweSample GateEvaluator::Constant(bool value) const {
+    LweSample s(params().n);
+    s.SetTrivial(value ? kEighth : -kEighth);
+    return s;
+}
+
+LweSample GateEvaluator::Not(const LweSample& a) const {
+    LweSample s = a;
+    s.Negate();
+    return s;
+}
+
+LweSample GateEvaluator::LinearBootstrap(int32_t sign_a, const LweSample& a,
+                                         int32_t sign_b, const LweSample& b,
+                                         Torus32 offset, int32_t scale) {
+    auto t0 = Clock::now();
+    LweSample combo(params().n);
+    combo.SetTrivial(offset);
+    if (sign_a > 0) {
+        combo.AddTo(a);
+    } else {
+        combo.SubTo(a);
+    }
+    if (sign_b > 0) {
+        combo.AddTo(b);
+    } else {
+        combo.SubTo(b);
+    }
+    if (scale == 2) {
+        // XOR/XNOR use 2*(a +- b) + offset; the offset must not be doubled,
+        // so re-apply it after doubling.
+        combo.b -= offset;
+        combo.Double();
+        combo.b += offset;
+    }
+    profile_.linear_seconds += SecondsSince(t0);
+
+    auto t1 = Clock::now();
+    LweSample rotated = BootstrapWithoutKeySwitch(kEighth, combo, *key_);
+    profile_.blind_rotate_seconds += SecondsSince(t1);
+
+    auto t2 = Clock::now();
+    LweSample out = key_->ksk().Apply(rotated);
+    profile_.key_switch_seconds += SecondsSince(t2);
+    ++profile_.bootstrap_count;
+    return out;
+}
+
+LweSample GateEvaluator::And(const LweSample& a, const LweSample& b) {
+    return LinearBootstrap(+1, a, +1, b, -kEighth);
+}
+
+LweSample GateEvaluator::Nand(const LweSample& a, const LweSample& b) {
+    return LinearBootstrap(-1, a, -1, b, kEighth);
+}
+
+LweSample GateEvaluator::Or(const LweSample& a, const LweSample& b) {
+    return LinearBootstrap(+1, a, +1, b, kEighth);
+}
+
+LweSample GateEvaluator::Nor(const LweSample& a, const LweSample& b) {
+    return LinearBootstrap(-1, a, -1, b, -kEighth);
+}
+
+LweSample GateEvaluator::Xor(const LweSample& a, const LweSample& b) {
+    return LinearBootstrap(+1, a, +1, b, kQuarter, /*scale=*/2);
+}
+
+LweSample GateEvaluator::Xnor(const LweSample& a, const LweSample& b) {
+    return LinearBootstrap(+1, a, +1, b, -kQuarter, /*scale=*/2);
+}
+
+LweSample GateEvaluator::AndNY(const LweSample& a, const LweSample& b) {
+    return LinearBootstrap(-1, a, +1, b, -kEighth);
+}
+
+LweSample GateEvaluator::AndYN(const LweSample& a, const LweSample& b) {
+    return LinearBootstrap(+1, a, -1, b, -kEighth);
+}
+
+LweSample GateEvaluator::OrNY(const LweSample& a, const LweSample& b) {
+    return LinearBootstrap(-1, a, +1, b, kEighth);
+}
+
+LweSample GateEvaluator::OrYN(const LweSample& a, const LweSample& b) {
+    return LinearBootstrap(+1, a, -1, b, kEighth);
+}
+
+LweSample GateEvaluator::Mux(const LweSample& a, const LweSample& b,
+                             const LweSample& c) {
+    auto t0 = Clock::now();
+    LweSample and_ab(params().n);
+    and_ab.SetTrivial(-kEighth);
+    and_ab.AddTo(a);
+    and_ab.AddTo(b);
+    LweSample andny_ac(params().n);
+    andny_ac.SetTrivial(-kEighth);
+    andny_ac.SubTo(a);
+    andny_ac.AddTo(c);
+    profile_.linear_seconds += SecondsSince(t0);
+
+    auto t1 = Clock::now();
+    LweSample u = BootstrapWithoutKeySwitch(kEighth, and_ab, *key_);
+    LweSample v = BootstrapWithoutKeySwitch(kEighth, andny_ac, *key_);
+    u.AddTo(v);
+    u.AddConstant(kEighth);
+    profile_.blind_rotate_seconds += SecondsSince(t1);
+
+    auto t2 = Clock::now();
+    LweSample out = key_->ksk().Apply(u);
+    profile_.key_switch_seconds += SecondsSince(t2);
+    profile_.bootstrap_count += 2;
+    return out;
+}
+
+}  // namespace pytfhe::tfhe

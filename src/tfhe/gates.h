@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Bootstrapped homomorphic gates over LWE samples.
+ *
+ * Bits are encoded as torus messages -1/8 (false) and +1/8 (true). Each
+ * two-input gate computes a public linear combination of the inputs whose
+ * phase sign equals the gate output, then bootstraps to refresh noise.
+ * NOT/COPY/CONSTANT are noiseless linear operations.
+ *
+ * The gate set matches the 11 gate types of the PyTFHE binary format:
+ * NOT, AND, NAND, OR, NOR, XNOR, XOR, ANDNY, ANDYN, ORNY, ORYN (XOR = 6,
+ * per Fig. 5/6 of the paper). MUX is provided as the standard TFHE
+ * two-bootstrap composition and is lowered to the binary gate set by the
+ * compiler frontend.
+ */
+#ifndef PYTFHE_TFHE_GATES_H
+#define PYTFHE_TFHE_GATES_H
+
+#include <memory>
+
+#include "tfhe/bootstrap.h"
+
+namespace pytfhe::tfhe {
+
+/** Client-side key material. */
+struct SecretKeySet {
+    Params params;
+    LweKey lwe_key;
+    TLweKey tlwe_key;
+
+    SecretKeySet(const Params& p, Rng& rng)
+        : params(p), lwe_key(p.n, rng), tlwe_key(p.big_n, p.k, rng) {}
+
+    /** Reconstructs from serialized parts (see tfhe/serialization.h). */
+    SecretKeySet(Params p, LweKey lwe, TLweKey tlwe)
+        : params(std::move(p)),
+          lwe_key(std::move(lwe)),
+          tlwe_key(std::move(tlwe)) {}
+
+    /** Encrypts one bit for upload. */
+    LweSample Encrypt(bool bit, Rng& rng) const {
+        return LweEncryptBit(bit, params.lwe_noise_stddev, lwe_key, rng);
+    }
+
+    /** Decrypts one result bit. */
+    bool Decrypt(const LweSample& s) const {
+        return LweDecryptBit(s, lwe_key);
+    }
+};
+
+/** Wall-clock breakdown of gate evaluation, for Fig. 7 style profiling. */
+struct GateProfile {
+    double linear_seconds = 0.0;       ///< LWE linear combinations.
+    double blind_rotate_seconds = 0.0; ///< Blind rotation + extraction.
+    double key_switch_seconds = 0.0;   ///< Key switching.
+    uint64_t bootstrap_count = 0;
+
+    double TotalSeconds() const {
+        return linear_seconds + blind_rotate_seconds + key_switch_seconds;
+    }
+    void Reset() { *this = GateProfile(); }
+};
+
+/**
+ * Server-side gate evaluator holding the public evaluation key.
+ * All gate methods are const with respect to key material; the profile is
+ * mutable accounting only.
+ */
+class GateEvaluator {
+  public:
+    /** Generates the evaluation key from the client's secret keys. */
+    GateEvaluator(const SecretKeySet& secret, Rng& rng)
+        : key_(std::make_shared<BootstrappingKey>(
+              secret.params, secret.lwe_key, secret.tlwe_key, rng)) {}
+
+    /** Wraps an existing evaluation key (e.g. loaded from disk). */
+    explicit GateEvaluator(std::shared_ptr<BootstrappingKey> key)
+        : key_(std::move(key)) {}
+
+    const Params& params() const { return key_->params(); }
+    const BootstrappingKey& key() const { return *key_; }
+
+    GateProfile& profile() { return profile_; }
+    const GateProfile& profile() const { return profile_; }
+
+    /** Noiseless gates. */
+    LweSample Constant(bool value) const;
+    LweSample Not(const LweSample& a) const;
+    LweSample Copy(const LweSample& a) const { return a; }
+
+    /** Bootstrapped two-input gates. */
+    LweSample And(const LweSample& a, const LweSample& b);
+    LweSample Nand(const LweSample& a, const LweSample& b);
+    LweSample Or(const LweSample& a, const LweSample& b);
+    LweSample Nor(const LweSample& a, const LweSample& b);
+    LweSample Xor(const LweSample& a, const LweSample& b);
+    LweSample Xnor(const LweSample& a, const LweSample& b);
+    /** NOT(a) AND b. */
+    LweSample AndNY(const LweSample& a, const LweSample& b);
+    /** a AND NOT(b). */
+    LweSample AndYN(const LweSample& a, const LweSample& b);
+    /** NOT(a) OR b. */
+    LweSample OrNY(const LweSample& a, const LweSample& b);
+    /** a OR NOT(b). */
+    LweSample OrYN(const LweSample& a, const LweSample& b);
+
+    /** a ? b : c, two bootstraps plus one key switch. */
+    LweSample Mux(const LweSample& a, const LweSample& b, const LweSample& c);
+
+  private:
+    /**
+     * Evaluates a gate whose linear part is sign_a*a + sign_b*b + offset,
+     * followed by a bootstrap to +-1/8.
+     */
+    LweSample LinearBootstrap(int32_t sign_a, const LweSample& a,
+                              int32_t sign_b, const LweSample& b,
+                              Torus32 offset, int32_t scale = 1);
+
+    std::shared_ptr<BootstrappingKey> key_;
+    GateProfile profile_;
+};
+
+}  // namespace pytfhe::tfhe
+
+#endif  // PYTFHE_TFHE_GATES_H

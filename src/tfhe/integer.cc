@@ -1,0 +1,127 @@
+#include "tfhe/integer.h"
+
+#include <cassert>
+
+namespace pytfhe::tfhe {
+
+uint64_t RadixContext::Modulus() const {
+    uint64_t m = 1;
+    for (int32_t i = 0; i < num_digits_; ++i)
+        m *= static_cast<uint64_t>(ctx_.Modulus());
+    return m;
+}
+
+RadixInteger RadixContext::Encrypt(uint64_t value, const LweKey& key,
+                                   double noise_stddev, Rng& rng) const {
+    RadixInteger out;
+    out.digits.reserve(num_digits_);
+    const uint64_t p = static_cast<uint64_t>(ctx_.Modulus());
+    for (int32_t i = 0; i < num_digits_; ++i) {
+        out.digits.push_back(
+            ctx_.Encrypt(static_cast<int32_t>(value % p), key, noise_stddev,
+                         rng));
+        value /= p;
+    }
+    return out;
+}
+
+uint64_t RadixContext::Decrypt(const RadixInteger& x, const LweKey& key) const {
+    assert(x.digits.size() == static_cast<size_t>(num_digits_));
+    uint64_t value = 0;
+    const uint64_t p = static_cast<uint64_t>(ctx_.Modulus());
+    for (int32_t i = num_digits_ - 1; i >= 0; --i)
+        value = value * p +
+                static_cast<uint64_t>(ctx_.Decrypt(x.digits[i], key));
+    return value;
+}
+
+LweSample RadixContext::RawAdd(const LweSample& a, const LweSample& b) const {
+    // phi_a + phi_b = (2(a + b) + 2) / (4P); re-center with -1/(4P). Valid
+    // while a + b < P = p^2, which 2(p-1) and (2p-1)+(p-1) both satisfy
+    // for p >= 2 and p >= 3 respectively.
+    LweSample out = a;
+    out.AddTo(b);
+    out.AddConstant(-ModSwitchToTorus32(1, 4 * ctx_.CiphertextSpace()));
+    return out;
+}
+
+RadixInteger RadixContext::Add(const RadixInteger& a,
+                               const RadixInteger& b) const {
+    assert(a.digits.size() == b.digits.size());
+    const int32_t p = ctx_.Modulus();
+    RadixInteger out;
+    out.digits.reserve(a.digits.size());
+    LweSample carry = ctx_.TrivialDigit(0);
+    for (size_t i = 0; i < a.digits.size(); ++i) {
+        // Linear sum a_i + b_i + c_in stays below p^2; two bootstraps
+        // split it back into digit and carry.
+        const LweSample sum =
+            RawAdd(RawAdd(a.digits[i], b.digits[i]), carry);
+        out.digits.push_back(
+            ctx_.ApplyRaw([p](int32_t s) { return s % p; }, sum));
+        if (i + 1 < a.digits.size())
+            carry = ctx_.ApplyRaw([p](int32_t s) { return s / p; }, sum);
+    }
+    return out;
+}
+
+RadixInteger RadixContext::Mul(const RadixInteger& a,
+                               const RadixInteger& b) const {
+    assert(a.digits.size() == b.digits.size());
+    const int32_t n = num_digits_;
+    RadixInteger acc;
+    for (int32_t i = 0; i < n; ++i)
+        acc.digits.push_back(ctx_.TrivialDigit(0));
+
+    // Schoolbook: every partial-product row contributes a low-digit row
+    // and a high-digit row, each a valid radix integer.
+    for (int32_t i = 0; i < n; ++i) {
+        RadixInteger lo_row, hi_row;
+        for (int32_t k = 0; k < n; ++k) {
+            lo_row.digits.push_back(ctx_.TrivialDigit(0));
+            hi_row.digits.push_back(ctx_.TrivialDigit(0));
+        }
+        for (int32_t j = 0; i + j < n; ++j) {
+            lo_row.digits[i + j] = ctx_.Mul(a.digits[i], b.digits[j]);
+            if (i + j + 1 < n)
+                hi_row.digits[i + j + 1] =
+                    ctx_.MulHigh(a.digits[i], b.digits[j]);
+        }
+        acc = Add(Add(acc, lo_row), hi_row);
+    }
+    return acc;
+}
+
+LweSample RadixContext::Eq(const RadixInteger& a, const RadixInteger& b) const {
+    assert(a.digits.size() == b.digits.size());
+    LweSample all = ctx_.TrivialDigit(1);
+    for (size_t i = 0; i < a.digits.size(); ++i) {
+        const LweSample digit_eq = ctx_.Apply2(
+            [](int32_t x, int32_t y) { return x == y ? 1 : 0; }, a.digits[i],
+            b.digits[i]);
+        all = ctx_.Apply2([](int32_t x, int32_t y) { return x & y; }, all,
+                          digit_eq);
+    }
+    return all;
+}
+
+LweSample RadixContext::Lt(const RadixInteger& a, const RadixInteger& b) const {
+    assert(a.digits.size() == b.digits.size());
+    assert(ctx_.Modulus() >= 3 && "Lt needs a 3-valued comparison digit");
+    // state in {0, 1}; scan from LSB to MSB so higher digits dominate.
+    LweSample state = ctx_.TrivialDigit(0);
+    for (size_t i = 0; i < a.digits.size(); ++i) {
+        // c = 2 (less), 1 (equal), 0 (greater).
+        const LweSample c = ctx_.Apply2(
+            [](int32_t x, int32_t y) { return x < y ? 2 : (x == y ? 1 : 0); },
+            a.digits[i], b.digits[i]);
+        state = ctx_.Apply2(
+            [](int32_t cv, int32_t prev) {
+                return cv == 2 ? 1 : (cv == 1 ? prev : 0);
+            },
+            c, state);
+    }
+    return state;
+}
+
+}  // namespace pytfhe::tfhe

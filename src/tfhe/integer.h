@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Radix integers: multi-digit encrypted arithmetic over the short-int
+ * layer — the equivalent of the "integer" API the TFHE ecosystem built on
+ * top of digit-wise programmable bootstrapping.
+ *
+ * A RadixInteger is a little-endian vector of base-p digits, each one a
+ * ShortIntContext ciphertext. Because digit sums up to 2p-1 still fit the
+ * p^2-slot ciphertext space, carries propagate with *linear* additions
+ * plus two bootstraps per digit (digit extract + carry extract), and
+ * n-digit multiplication runs the schoolbook algorithm over single-digit
+ * partial products.
+ */
+#ifndef PYTFHE_TFHE_INTEGER_H
+#define PYTFHE_TFHE_INTEGER_H
+
+#include "tfhe/shortint.h"
+
+namespace pytfhe::tfhe {
+
+/** An encrypted unsigned integer in base-p digits, LSB first. */
+struct RadixInteger {
+    std::vector<LweSample> digits;
+
+    size_t NumDigits() const { return digits.size(); }
+};
+
+/** Arithmetic over RadixIntegers, bound to a digit context. */
+class RadixContext {
+  public:
+    /**
+     * @param p          Digit modulus of the underlying ShortIntContext.
+     * @param num_digits Width of every integer handled by this context.
+     */
+    RadixContext(int32_t p, int32_t num_digits, const BootstrappingKey& key)
+        : ctx_(p, key), num_digits_(num_digits) {}
+
+    const ShortIntContext& digit_context() const { return ctx_; }
+    int32_t NumDigits() const { return num_digits_; }
+    /** Largest representable value + 1 (p^digits). */
+    uint64_t Modulus() const;
+
+    /** Client-side helpers. */
+    RadixInteger Encrypt(uint64_t value, const LweKey& key,
+                         double noise_stddev, Rng& rng) const;
+    uint64_t Decrypt(const RadixInteger& x, const LweKey& key) const;
+
+    /** (a + b) mod p^digits: 2 bootstraps per digit. */
+    RadixInteger Add(const RadixInteger& a, const RadixInteger& b) const;
+
+    /** (a * b) mod p^digits: schoolbook over digit products. */
+    RadixInteger Mul(const RadixInteger& a, const RadixInteger& b) const;
+
+    /** a == b, as an encrypted 0/1 digit. */
+    LweSample Eq(const RadixInteger& a, const RadixInteger& b) const;
+
+    /** a < b (unsigned), as an encrypted 0/1 digit. */
+    LweSample Lt(const RadixInteger& a, const RadixInteger& b) const;
+
+  private:
+    /**
+     * Encoding-preserving linear sum: the phase of the result encodes
+     * a + b (valid while the sum stays below the ciphertext space p^2).
+     */
+    LweSample RawAdd(const LweSample& a, const LweSample& b) const;
+
+    ShortIntContext ctx_;
+    int32_t num_digits_;
+};
+
+}  // namespace pytfhe::tfhe
+
+#endif  // PYTFHE_TFHE_INTEGER_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * LWE-to-LWE key switching.
+ *
+ * After sample extraction, ciphertexts live under the extracted key of
+ * dimension N*k. The key-switching key re-encrypts them under the small LWE
+ * key of dimension n so that the next gate's linear phase stays cheap. Each
+ * mask coefficient is decomposed into t digits of base 2^base_bit; the key
+ * holds encryptions of s_i * v / base^{j+1} for every digit value v.
+ */
+#ifndef PYTFHE_TFHE_KEYSWITCH_H
+#define PYTFHE_TFHE_KEYSWITCH_H
+
+#include <vector>
+
+#include "tfhe/lwe.h"
+
+namespace pytfhe::tfhe {
+
+/** Key-switching key from an input key of dimension n_in to an output key. */
+class KeySwitchKey {
+  public:
+    KeySwitchKey() = default;
+
+    /**
+     * Builds the key material.
+     * @param in_key   Key the incoming samples are encrypted under.
+     * @param out_key  Key the result should be encrypted under.
+     * @param t        Decomposition depth.
+     * @param base_bit log2 of the decomposition base.
+     * @param noise_stddev Fresh noise of each key-switching encryption.
+     */
+    KeySwitchKey(const LweKey& in_key, const LweKey& out_key, int32_t t,
+                 int32_t base_bit, double noise_stddev, Rng& rng);
+
+    /** Reconstructs a key from serialized parts (see tfhe/serialization.h). */
+    static KeySwitchKey FromRaw(int32_t n_in, int32_t n_out, int32_t t,
+                                int32_t base_bit,
+                                std::vector<LweSample> keys);
+
+    /** Raw key material, for serialization. */
+    const std::vector<LweSample>& RawKeys() const { return keys_; }
+
+    /** Re-encrypts `in` (under in_key) as a sample under out_key. */
+    LweSample Apply(const LweSample& in) const;
+
+    int32_t InputN() const { return n_in_; }
+    int32_t OutputN() const { return n_out_; }
+    int32_t T() const { return t_; }
+    int32_t BaseBit() const { return base_bit_; }
+
+    /** Approximate size of the key material in bytes. */
+    size_t ByteSize() const;
+
+  private:
+    const LweSample& At(int32_t i, int32_t j, int32_t v) const {
+        return keys_[(static_cast<size_t>(i) * t_ + j) * base_ + v];
+    }
+
+    int32_t n_in_ = 0;
+    int32_t n_out_ = 0;
+    int32_t t_ = 0;
+    int32_t base_bit_ = 0;
+    int32_t base_ = 0;
+    std::vector<LweSample> keys_;  ///< n_in * t * base samples (v = 0 unused).
+};
+
+}  // namespace pytfhe::tfhe
+
+#endif  // PYTFHE_TFHE_KEYSWITCH_H

@@ -1,0 +1,73 @@
+#include "tfhe/lwe.h"
+
+#include <cassert>
+
+namespace pytfhe::tfhe {
+
+LweKey::LweKey(int32_t n, Rng& rng) : key(n) {
+    for (int32_t i = 0; i < n; ++i) key[i] = rng.UniformBit();
+}
+
+void LweSample::SetTrivial(Torus32 mu) {
+    std::fill(a.begin(), a.end(), 0);
+    b = mu;
+}
+
+void LweSample::AddTo(const LweSample& other) {
+    assert(N() == other.N());
+    for (int32_t i = 0; i < N(); ++i) a[i] += other.a[i];
+    b += other.b;
+}
+
+void LweSample::SubTo(const LweSample& other) {
+    assert(N() == other.N());
+    for (int32_t i = 0; i < N(); ++i) a[i] -= other.a[i];
+    b -= other.b;
+}
+
+void LweSample::Negate() {
+    for (int32_t i = 0; i < N(); ++i) a[i] = -a[i];
+    b = -b;
+}
+
+void LweSample::Double() {
+    for (int32_t i = 0; i < N(); ++i) a[i] *= 2;
+    b *= 2;
+}
+
+LweSample LweEncrypt(Torus32 mu, double noise_stddev, const LweKey& key,
+                     Rng& rng) {
+    const int32_t n = key.N();
+    LweSample s(n);
+    s.b = rng.GaussianTorus32(mu, noise_stddev);
+    for (int32_t i = 0; i < n; ++i) {
+        s.a[i] = rng.UniformTorus32();
+        s.b += s.a[i] * static_cast<uint32_t>(key.key[i]);
+    }
+    return s;
+}
+
+Torus32 LwePhase(const LweSample& sample, const LweKey& key) {
+    assert(sample.N() == key.N());
+    Torus32 phase = sample.b;
+    for (int32_t i = 0; i < sample.N(); ++i)
+        phase -= sample.a[i] * static_cast<uint32_t>(key.key[i]);
+    return phase;
+}
+
+Torus32 LweDecrypt(const LweSample& sample, const LweKey& key, int32_t msize) {
+    const Torus32 phase = LwePhase(sample, key);
+    return ModSwitchToTorus32(ModSwitchFromTorus32(phase, msize), msize);
+}
+
+bool LweDecryptBit(const LweSample& sample, const LweKey& key) {
+    return static_cast<int32_t>(LwePhase(sample, key)) > 0;
+}
+
+LweSample LweEncryptBit(bool bit, double noise_stddev, const LweKey& key,
+                        Rng& rng) {
+    const Torus32 mu = ModSwitchToTorus32(1, 8);  // +1/8
+    return LweEncrypt(bit ? mu : -mu, noise_stddev, key, rng);
+}
+
+}  // namespace pytfhe::tfhe

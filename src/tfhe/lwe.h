@@ -1,0 +1,72 @@
+/**
+ * @file
+ * LWE samples and keys over the discretized torus.
+ *
+ * An LWE sample (a, b) with b = <a, s> + m + e encrypts torus message m under
+ * binary secret key s of dimension n with Gaussian noise e. Gate inputs and
+ * outputs of the TFHE scheme are LWE samples with messages in {-1/8, +1/8}.
+ */
+#ifndef PYTFHE_TFHE_LWE_H
+#define PYTFHE_TFHE_LWE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tfhe/rng.h"
+#include "tfhe/torus.h"
+
+namespace pytfhe::tfhe {
+
+/** Binary LWE secret key. */
+struct LweKey {
+    std::vector<int32_t> key;  ///< n bits.
+
+    LweKey() = default;
+    /** Samples a uniform binary key of dimension n. */
+    LweKey(int32_t n, Rng& rng);
+
+    int32_t N() const { return static_cast<int32_t>(key.size()); }
+};
+
+/** LWE ciphertext (a_1..a_n, b). */
+struct LweSample {
+    std::vector<Torus32> a;
+    Torus32 b = 0;
+
+    LweSample() = default;
+    explicit LweSample(int32_t n) : a(n, 0) {}
+
+    int32_t N() const { return static_cast<int32_t>(a.size()); }
+
+    /** Sets this sample to a noiseless encryption of mu (a = 0, b = mu). */
+    void SetTrivial(Torus32 mu);
+
+    void AddTo(const LweSample& other);
+    void SubTo(const LweSample& other);
+    /** this = -this. */
+    void Negate();
+    /** this = 2 * this (used by XOR/XNOR gate linear parts). */
+    void Double();
+    void AddConstant(Torus32 mu) { b += mu; }
+};
+
+/** Encrypts torus message mu with the given noise standard deviation. */
+LweSample LweEncrypt(Torus32 mu, double noise_stddev, const LweKey& key,
+                     Rng& rng);
+
+/** Computes the phase b - <a, s> (message plus noise). */
+Torus32 LwePhase(const LweSample& sample, const LweKey& key);
+
+/** Decrypts to the nearest of msize equally spaced torus messages. */
+Torus32 LweDecrypt(const LweSample& sample, const LweKey& key, int32_t msize);
+
+/** Decrypts a gate-encoded bit (message in {-1/8, +1/8}): sign of phase. */
+bool LweDecryptBit(const LweSample& sample, const LweKey& key);
+
+/** Encrypts a gate-encoded bit as +-1/8 with the key's noise parameter. */
+LweSample LweEncryptBit(bool bit, double noise_stddev, const LweKey& key,
+                        Rng& rng);
+
+}  // namespace pytfhe::tfhe
+
+#endif  // PYTFHE_TFHE_LWE_H

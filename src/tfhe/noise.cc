@@ -1,0 +1,75 @@
+#include "tfhe/noise.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace pytfhe::tfhe {
+
+NoiseAnalysis AnalyzeNoise(const Params& p) {
+    NoiseAnalysis a;
+    a.fresh_lwe_variance = p.lwe_noise_stddev * p.lwe_noise_stddev;
+
+    // Blind rotation: n external products. Each adds
+    //   (k+1) * l * N * beta^2 * sigma_bk^2         (key noise term)
+    // + (1 + k*N) * eps^2                           (decomposition error)
+    // with beta = Bg/2 and eps = 1 / (2 * Bg^l).
+    const double beta = p.Bg() / 2.0;
+    const double sigma_bk2 = p.tlwe_noise_stddev * p.tlwe_noise_stddev;
+    const double eps = 1.0 / (2.0 * std::pow(p.Bg(), p.bk_l));
+    const double per_cmux =
+        (p.k + 1) * p.bk_l * p.big_n * beta * beta * sigma_bk2 +
+        (1.0 + p.k * p.big_n) * eps * eps;
+    a.blind_rotate_variance = p.n * per_cmux;
+
+    // Key switching from dimension kN to n: every digit subtracts one key
+    // sample (t per input coefficient), plus the rounding of each input
+    // coefficient to t digits.
+    const double sigma_ks2 = p.lwe_noise_stddev * p.lwe_noise_stddev;
+    const double ks_rounding =
+        std::pow(2.0, -2.0 * (p.ks_t * p.ks_base_bit + 1)) / 3.0;
+    a.key_switch_variance =
+        static_cast<double>(p.ExtractedN()) * (p.ks_t * sigma_ks2 + ks_rounding);
+
+    a.gate_output_variance =
+        a.blind_rotate_variance + a.key_switch_variance;
+
+    // Mod switch to Z_2N: each of the n+1 coefficients is rounded to a
+    // multiple of 1/(2N); uniform error of width 1/(2N) has variance
+    // (1/2N)^2 / 12, scaled by the key's expected weight (n/2 + 1 terms).
+    const double step = 1.0 / (2.0 * p.big_n);
+    a.mod_switch_variance = (p.n / 2.0 + 1.0) * step * step / 12.0;
+
+    // Worst linear combination: XOR computes 2*(a + b), amplifying each
+    // input's variance by 4. Inputs are gate outputs (post-bootstrap).
+    a.worst_gate_input_variance =
+        4.0 * 2.0 * a.gate_output_variance + a.mod_switch_variance;
+
+    // The decision margin of the gate encoding is 1/8: linear
+    // combinations sit at distance 1/8 from the sign boundary.
+    a.gate_failure_probability =
+        FailureProbability(a.worst_gate_input_variance, 1.0 / 8.0);
+    return a;
+}
+
+double FailureProbability(double variance, double margin) {
+    if (variance <= 0) return 0.0;
+    return std::erfc(margin / std::sqrt(2.0 * variance));
+}
+
+bool CheckParams(const Params& params, double max_failure) {
+    return AnalyzeNoise(params).gate_failure_probability <= max_failure;
+}
+
+std::string NoiseAnalysis::ToString() const {
+    std::ostringstream os;
+    os << "fresh lwe:        " << fresh_lwe_variance << "\n"
+       << "blind rotate:     " << blind_rotate_variance << "\n"
+       << "key switch:       " << key_switch_variance << "\n"
+       << "gate output:      " << gate_output_variance << "\n"
+       << "mod switch:       " << mod_switch_variance << "\n"
+       << "worst gate input: " << worst_gate_input_variance << "\n"
+       << "gate failure p:   " << gate_failure_probability << "\n";
+    return os.str();
+}
+
+}  // namespace pytfhe::tfhe

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Analytic noise model for the TFHE gate-bootstrapping pipeline.
+ *
+ * Predicts the variance added by each stage (fresh encryption, the gate's
+ * linear combination, blind rotation, key switching, mod switch) from the
+ * parameter set alone, and derives the per-gate decryption-failure
+ * probability. Tests validate the model against empirically measured
+ * phase noise; users can call CheckParams to sanity-check custom
+ * parameter sets before deploying them.
+ *
+ * Formulas follow the TFHE paper's worst-case-independence heuristics
+ * (CGGI20, Sections 4-6); they are upper-bound flavored, so measured
+ * variance should land at or below the prediction.
+ */
+#ifndef PYTFHE_TFHE_NOISE_H
+#define PYTFHE_TFHE_NOISE_H
+
+#include <string>
+
+#include "tfhe/params.h"
+
+namespace pytfhe::tfhe {
+
+/** Variance budget of one bootstrapped gate, in torus^2 units. */
+struct NoiseAnalysis {
+    double fresh_lwe_variance;       ///< sigma_lwe^2.
+    double blind_rotate_variance;    ///< Added by n CMUXes.
+    double key_switch_variance;      ///< Added by the key switch.
+    double gate_output_variance;     ///< Total on a gate's output sample.
+    double mod_switch_variance;      ///< Phase error of the 2N mod switch.
+
+    /**
+     * Variance of the phase at the bootstrap decision boundary for the
+     * worst gate (XOR doubles the inputs): 4 * (2 gate outputs) plus the
+     * mod-switch error.
+     */
+    double worst_gate_input_variance;
+
+    /** Probability one gate decrypts/bootstraps to the wrong bit. */
+    double gate_failure_probability;
+
+    std::string ToString() const;
+};
+
+/** Runs the model over a parameter set. */
+NoiseAnalysis AnalyzeNoise(const Params& params);
+
+/**
+ * Failure probability of a phase with the given variance staying within
+ * +-margin of its nominal value (Gaussian tail, two-sided).
+ */
+double FailureProbability(double variance, double margin);
+
+/**
+ * True when the parameter set evaluates gates with failure probability
+ * below the given bound (default 2^-32 per gate).
+ */
+bool CheckParams(const Params& params, double max_failure = 2.3e-10);
+
+}  // namespace pytfhe::tfhe
+
+#endif  // PYTFHE_TFHE_NOISE_H

@@ -1,0 +1,53 @@
+#include "tfhe/params.h"
+
+namespace pytfhe::tfhe {
+
+Params Tfhe128Params() {
+    Params p;
+    p.name = "tfhe-128";
+    p.n = 630;
+    p.big_n = 1024;
+    p.k = 1;
+    p.bk_l = 3;
+    p.bk_bg_bit = 7;
+    p.ks_t = 8;
+    p.ks_base_bit = 2;
+    // 2^-15 for the small-LWE key, 2^-25 for the ring key (fractions of the
+    // torus), following the updated reference-library defaults for 128-bit
+    // security.
+    p.lwe_noise_stddev = 3.0517578125e-05;   // 2^-15
+    p.tlwe_noise_stddev = 2.9802322387695312e-08;  // 2^-25
+    return p;
+}
+
+Params ToyParams() {
+    Params p;
+    p.name = "toy-insecure";
+    p.n = 8;
+    p.big_n = 128;
+    p.k = 1;
+    p.bk_l = 3;
+    p.bk_bg_bit = 8;
+    p.ks_t = 8;
+    p.ks_base_bit = 2;
+    p.lwe_noise_stddev = 1.0e-9;
+    p.tlwe_noise_stddev = 1.0e-9;
+    return p;
+}
+
+Params SmallParams() {
+    Params p;
+    p.name = "small-insecure";
+    p.n = 32;
+    p.big_n = 256;
+    p.k = 1;
+    p.bk_l = 3;
+    p.bk_bg_bit = 8;
+    p.ks_t = 8;
+    p.ks_base_bit = 2;
+    p.lwe_noise_stddev = 1.0e-8;
+    p.tlwe_noise_stddev = 1.0e-8;
+    return p;
+}
+
+}  // namespace pytfhe::tfhe

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Parameter sets for the TFHE scheme.
+ *
+ * The scheme is parameterized by:
+ *  - n:        LWE dimension of the "small" key used for gate inputs/outputs.
+ *  - N, k:     TLWE ring dimension (degree of X^N + 1) and mask size.
+ *  - bk_l, bk_bg_bit: gadget decomposition length and log2(base) used by the
+ *               bootstrapping key (TGSW ciphertexts).
+ *  - ks_t, ks_base_bit: key-switching decomposition depth and log2(base).
+ *  - lwe_noise_stddev, tlwe_noise_stddev: fresh-encryption noise, as a
+ *               fraction of the torus.
+ */
+#ifndef PYTFHE_TFHE_PARAMS_H
+#define PYTFHE_TFHE_PARAMS_H
+
+#include <cstdint>
+#include <string>
+
+namespace pytfhe::tfhe {
+
+/** Full parameter set for gate bootstrapping. */
+struct Params {
+    std::string name;
+
+    int32_t n;        ///< LWE dimension.
+    int32_t big_n;    ///< TLWE polynomial degree N (power of two).
+    int32_t k;        ///< TLWE mask size (number of mask polynomials).
+
+    int32_t bk_l;       ///< Gadget decomposition length for TGSW.
+    int32_t bk_bg_bit;  ///< log2 of the gadget decomposition base Bg.
+
+    int32_t ks_t;         ///< Key-switching decomposition depth.
+    int32_t ks_base_bit;  ///< log2 of the key-switching base.
+
+    double lwe_noise_stddev;   ///< Fresh LWE encryption noise.
+    double tlwe_noise_stddev;  ///< Fresh TLWE/TGSW encryption noise.
+
+    /** Gadget base Bg. */
+    int32_t Bg() const { return INT32_C(1) << bk_bg_bit; }
+    /** Key-switching base. */
+    int32_t KsBase() const { return INT32_C(1) << ks_base_bit; }
+    /** Dimension of LWE samples extracted from TLWE: N * k. */
+    int32_t ExtractedN() const { return big_n * k; }
+};
+
+/**
+ * The paper's configuration: lambda = 128 bits, "default parameter set as
+ * described in Section VIII of the TFHE paper". These match the updated
+ * defaults of the reference TFHE library for 128-bit security.
+ */
+Params Tfhe128Params();
+
+/**
+ * Tiny, INSECURE parameter set for unit tests. Noise standard deviations are
+ * small enough that the full bootstrapping path decrypts correctly with
+ * overwhelming probability, and dimensions are small enough that a
+ * bootstrapped gate evaluates in well under a millisecond.
+ */
+Params ToyParams();
+
+/** Mid-sized insecure set used by integration tests that need more gates. */
+Params SmallParams();
+
+}  // namespace pytfhe::tfhe
+
+#endif  // PYTFHE_TFHE_PARAMS_H

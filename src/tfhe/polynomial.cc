@@ -1,0 +1,64 @@
+#include "tfhe/polynomial.h"
+
+#include <cassert>
+
+namespace pytfhe::tfhe {
+
+void TorusPolynomial::AddTo(const TorusPolynomial& other) {
+    assert(Size() == other.Size());
+    for (int32_t i = 0; i < Size(); ++i) coefs[i] += other.coefs[i];
+}
+
+void TorusPolynomial::SubTo(const TorusPolynomial& other) {
+    assert(Size() == other.Size());
+    for (int32_t i = 0; i < Size(); ++i) coefs[i] -= other.coefs[i];
+}
+
+void MulByXai(TorusPolynomial& result, int32_t a, const TorusPolynomial& poly) {
+    const int32_t n = poly.Size();
+    assert(result.Size() == n && &result != &poly);
+    a = ((a % (2 * n)) + 2 * n) % (2 * n);
+    if (a < n) {
+        for (int32_t i = 0; i < a; ++i)
+            result.coefs[i] = -poly.coefs[i - a + n];
+        for (int32_t i = a; i < n; ++i)
+            result.coefs[i] = poly.coefs[i - a];
+    } else {
+        const int32_t aa = a - n;
+        for (int32_t i = 0; i < aa; ++i)
+            result.coefs[i] = poly.coefs[i - aa + n];
+        for (int32_t i = aa; i < n; ++i)
+            result.coefs[i] = -poly.coefs[i - aa];
+    }
+}
+
+void MulByXaiMinusOne(TorusPolynomial& result, int32_t a,
+                      const TorusPolynomial& poly) {
+    MulByXai(result, a, poly);
+    result.SubTo(poly);
+}
+
+void NaiveNegacyclicMul(TorusPolynomial& result, const IntPolynomial& a,
+                        const TorusPolynomial& b) {
+    const int32_t n = b.Size();
+    assert(a.Size() == n && result.Size() == n);
+    for (int32_t i = 0; i < n; ++i) result.coefs[i] = 0;
+    for (int32_t i = 0; i < n; ++i) {
+        const int64_t ai = a.coefs[i];
+        if (ai == 0) continue;
+        for (int32_t j = 0; j < n; ++j) {
+            // Torus32 wraps mod 2^32, so plain uint32 multiply-add is exact
+            // modulo 1 on the torus.
+            const uint32_t term =
+                static_cast<uint32_t>(ai) * b.coefs[j];
+            const int32_t idx = i + j;
+            if (idx < n) {
+                result.coefs[idx] += term;
+            } else {
+                result.coefs[idx - n] -= term;
+            }
+        }
+    }
+}
+
+}  // namespace pytfhe::tfhe

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Polynomials over Z[X]/(X^N + 1) and T[X]/(X^N + 1).
+ *
+ * TFHE works in the negacyclic ring R_N = X^N + 1: multiplying by X^N equals
+ * negation. IntPolynomial holds small integer coefficients (gadget digits,
+ * key bits); TorusPolynomial holds Torus32 coefficients.
+ */
+#ifndef PYTFHE_TFHE_POLYNOMIAL_H
+#define PYTFHE_TFHE_POLYNOMIAL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tfhe/torus.h"
+
+namespace pytfhe::tfhe {
+
+/** Polynomial with int32 coefficients, degree < n, in Z[X]/(X^n + 1). */
+struct IntPolynomial {
+    std::vector<int32_t> coefs;
+
+    IntPolynomial() = default;
+    explicit IntPolynomial(int32_t n) : coefs(n, 0) {}
+
+    int32_t Size() const { return static_cast<int32_t>(coefs.size()); }
+    void Clear() { std::fill(coefs.begin(), coefs.end(), 0); }
+};
+
+/** Polynomial with Torus32 coefficients, degree < n, in T[X]/(X^n + 1). */
+struct TorusPolynomial {
+    std::vector<Torus32> coefs;
+
+    TorusPolynomial() = default;
+    explicit TorusPolynomial(int32_t n) : coefs(n, 0) {}
+
+    int32_t Size() const { return static_cast<int32_t>(coefs.size()); }
+    void Clear() { std::fill(coefs.begin(), coefs.end(), 0); }
+
+    void AddTo(const TorusPolynomial& other);
+    void SubTo(const TorusPolynomial& other);
+};
+
+/** result = poly * X^a in the negacyclic ring; a is taken modulo 2N. */
+void MulByXai(TorusPolynomial& result, int32_t a, const TorusPolynomial& poly);
+
+/** result = poly * (X^a - 1) in the negacyclic ring. */
+void MulByXaiMinusOne(TorusPolynomial& result, int32_t a,
+                      const TorusPolynomial& poly);
+
+/**
+ * Exact negacyclic product result = a * b over T[X]/(X^N + 1), computed with
+ * O(N^2) integer arithmetic. Reference implementation used by tests and by
+ * the FFT-free code path.
+ */
+void NaiveNegacyclicMul(TorusPolynomial& result, const IntPolynomial& a,
+                        const TorusPolynomial& b);
+
+}  // namespace pytfhe::tfhe
+
+#endif  // PYTFHE_TFHE_POLYNOMIAL_H

@@ -1,0 +1,342 @@
+#include "tfhe/serialization.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace pytfhe::tfhe {
+
+namespace {
+
+constexpr uint16_t kVersion = 1;
+
+// Magics, one per object kind.
+constexpr uint32_t kMagicParams = 0x50544850;   // "PHTP"
+constexpr uint32_t kMagicSample = 0x50544853;   // "SHTP"
+constexpr uint32_t kMagicSamples = 0x5054484C;  // "LHTP"
+constexpr uint32_t kMagicSecret = 0x5054484B;   // "KHTP"
+constexpr uint32_t kMagicBk = 0x50544842;       // "BHTP"
+
+bool Fail(std::string* error, const char* message) {
+    if (error) *error = message;
+    return false;
+}
+
+// ------------------------------------------------------- scalar primitives
+
+void W32(std::ostream& os, uint32_t v) {
+    char b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    os.write(b, 4);
+}
+
+void W64(std::ostream& os, uint64_t v) {
+    W32(os, static_cast<uint32_t>(v));
+    W32(os, static_cast<uint32_t>(v >> 32));
+}
+
+void WDouble(std::ostream& os, double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    W64(os, bits);
+}
+
+bool R32(std::istream& is, uint32_t* v) {
+    char b[4];
+    if (!is.read(b, 4)) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i)
+        *v |= static_cast<uint32_t>(static_cast<uint8_t>(b[i])) << (8 * i);
+    return true;
+}
+
+bool R64(std::istream& is, uint64_t* v) {
+    uint32_t lo, hi;
+    if (!R32(is, &lo) || !R32(is, &hi)) return false;
+    *v = lo | (static_cast<uint64_t>(hi) << 32);
+    return true;
+}
+
+bool RDouble(std::istream& is, double* v) {
+    uint64_t bits;
+    if (!R64(is, &bits)) return false;
+    std::memcpy(v, &bits, 8);
+    return true;
+}
+
+void WriteHeader(std::ostream& os, uint32_t magic) {
+    W32(os, magic);
+    W32(os, kVersion);
+}
+
+bool ReadHeader(std::istream& is, uint32_t magic, std::string* error) {
+    uint32_t m, v;
+    if (!R32(is, &m) || !R32(is, &v)) return Fail(error, "truncated header");
+    if (m != magic) return Fail(error, "bad magic (wrong object type?)");
+    if (v != kVersion) return Fail(error, "unsupported version");
+    return true;
+}
+
+// --------------------------------------------------------- raw body codecs
+
+void WriteParamsBody(std::ostream& os, const Params& p) {
+    W64(os, p.name.size());
+    os.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    W32(os, static_cast<uint32_t>(p.n));
+    W32(os, static_cast<uint32_t>(p.big_n));
+    W32(os, static_cast<uint32_t>(p.k));
+    W32(os, static_cast<uint32_t>(p.bk_l));
+    W32(os, static_cast<uint32_t>(p.bk_bg_bit));
+    W32(os, static_cast<uint32_t>(p.ks_t));
+    W32(os, static_cast<uint32_t>(p.ks_base_bit));
+    WDouble(os, p.lwe_noise_stddev);
+    WDouble(os, p.tlwe_noise_stddev);
+}
+
+bool ReadParamsBody(std::istream& is, Params* p, std::string* error) {
+    uint64_t name_len;
+    if (!R64(is, &name_len) || name_len > 4096)
+        return Fail(error, "bad params name");
+    p->name.resize(name_len);
+    if (!is.read(p->name.data(), static_cast<std::streamsize>(name_len)))
+        return Fail(error, "truncated params name");
+    uint32_t v[7];
+    for (auto& x : v)
+        if (!R32(is, &x)) return Fail(error, "truncated params");
+    p->n = static_cast<int32_t>(v[0]);
+    p->big_n = static_cast<int32_t>(v[1]);
+    p->k = static_cast<int32_t>(v[2]);
+    p->bk_l = static_cast<int32_t>(v[3]);
+    p->bk_bg_bit = static_cast<int32_t>(v[4]);
+    p->ks_t = static_cast<int32_t>(v[5]);
+    p->ks_base_bit = static_cast<int32_t>(v[6]);
+    if (!RDouble(is, &p->lwe_noise_stddev) ||
+        !RDouble(is, &p->tlwe_noise_stddev))
+        return Fail(error, "truncated params noise");
+    if (p->n <= 0 || p->big_n <= 0 || (p->big_n & (p->big_n - 1)) != 0 ||
+        p->k <= 0 || p->bk_l <= 0 || p->bk_bg_bit <= 0)
+        return Fail(error, "invalid parameter values");
+    return true;
+}
+
+void WriteSampleBody(std::ostream& os, const LweSample& s) {
+    W64(os, s.a.size());
+    for (Torus32 t : s.a) W32(os, t);
+    W32(os, s.b);
+}
+
+bool ReadSampleBody(std::istream& is, LweSample* s, std::string* error) {
+    uint64_t n;
+    if (!R64(is, &n) || n > (UINT64_C(1) << 24))
+        return Fail(error, "bad sample dimension");
+    s->a.resize(n);
+    for (auto& t : s->a)
+        if (!R32(is, &t)) return Fail(error, "truncated sample");
+    if (!R32(is, &s->b)) return Fail(error, "truncated sample body");
+    return true;
+}
+
+void WriteIntPoly(std::ostream& os, const IntPolynomial& p) {
+    W64(os, p.coefs.size());
+    for (int32_t c : p.coefs) W32(os, static_cast<uint32_t>(c));
+}
+
+bool ReadIntPoly(std::istream& is, IntPolynomial* p, std::string* error) {
+    uint64_t n;
+    if (!R64(is, &n) || n > (UINT64_C(1) << 24))
+        return Fail(error, "bad polynomial size");
+    p->coefs.resize(n);
+    for (auto& c : p->coefs) {
+        uint32_t v;
+        if (!R32(is, &v)) return Fail(error, "truncated polynomial");
+        c = static_cast<int32_t>(v);
+    }
+    return true;
+}
+
+void WriteFreqPoly(std::ostream& os, const FreqPolynomial& f) {
+    W64(os, f.re.size());
+    for (double d : f.re) WDouble(os, d);
+    for (double d : f.im) WDouble(os, d);
+}
+
+bool ReadFreqPoly(std::istream& is, FreqPolynomial* f, std::string* error) {
+    uint64_t n;
+    if (!R64(is, &n) || n > (UINT64_C(1) << 24))
+        return Fail(error, "bad frequency polynomial size");
+    f->re.resize(n);
+    f->im.resize(n);
+    for (auto& d : f->re)
+        if (!RDouble(is, &d)) return Fail(error, "truncated freq poly");
+    for (auto& d : f->im)
+        if (!RDouble(is, &d)) return Fail(error, "truncated freq poly");
+    return true;
+}
+
+}  // namespace
+
+void SaveParams(std::ostream& os, const Params& params) {
+    WriteHeader(os, kMagicParams);
+    WriteParamsBody(os, params);
+}
+
+std::optional<Params> LoadParams(std::istream& is, std::string* error) {
+    if (!ReadHeader(is, kMagicParams, error)) return std::nullopt;
+    Params p;
+    if (!ReadParamsBody(is, &p, error)) return std::nullopt;
+    return p;
+}
+
+void SaveLweSample(std::ostream& os, const LweSample& sample) {
+    WriteHeader(os, kMagicSample);
+    WriteSampleBody(os, sample);
+}
+
+std::optional<LweSample> LoadLweSample(std::istream& is, std::string* error) {
+    if (!ReadHeader(is, kMagicSample, error)) return std::nullopt;
+    LweSample s;
+    if (!ReadSampleBody(is, &s, error)) return std::nullopt;
+    return s;
+}
+
+void SaveLweSamples(std::ostream& os, const std::vector<LweSample>& samples) {
+    WriteHeader(os, kMagicSamples);
+    W64(os, samples.size());
+    for (const auto& s : samples) WriteSampleBody(os, s);
+}
+
+std::optional<std::vector<LweSample>> LoadLweSamples(std::istream& is,
+                                                     std::string* error) {
+    if (!ReadHeader(is, kMagicSamples, error)) return std::nullopt;
+    uint64_t count;
+    if (!R64(is, &count) || count > (UINT64_C(1) << 28)) {
+        Fail(error, "bad sample count");
+        return std::nullopt;
+    }
+    std::vector<LweSample> out(count);
+    for (auto& s : out)
+        if (!ReadSampleBody(is, &s, error)) return std::nullopt;
+    return out;
+}
+
+void SaveSecretKeySet(std::ostream& os, const SecretKeySet& keys) {
+    WriteHeader(os, kMagicSecret);
+    WriteParamsBody(os, keys.params);
+    W64(os, keys.lwe_key.key.size());
+    for (int32_t bit : keys.lwe_key.key) W32(os, static_cast<uint32_t>(bit));
+    W64(os, keys.tlwe_key.key.size());
+    for (const auto& poly : keys.tlwe_key.key) WriteIntPoly(os, poly);
+}
+
+std::optional<SecretKeySet> LoadSecretKeySet(std::istream& is,
+                                             std::string* error) {
+    if (!ReadHeader(is, kMagicSecret, error)) return std::nullopt;
+    Params p;
+    if (!ReadParamsBody(is, &p, error)) return std::nullopt;
+    uint64_t n;
+    if (!R64(is, &n) || n != static_cast<uint64_t>(p.n)) {
+        Fail(error, "lwe key dimension mismatch");
+        return std::nullopt;
+    }
+    LweKey lwe;
+    lwe.key.resize(n);
+    for (auto& bit : lwe.key) {
+        uint32_t v;
+        if (!R32(is, &v)) {
+            Fail(error, "truncated lwe key");
+            return std::nullopt;
+        }
+        bit = static_cast<int32_t>(v);
+    }
+    uint64_t k;
+    if (!R64(is, &k) || k != static_cast<uint64_t>(p.k)) {
+        Fail(error, "tlwe key size mismatch");
+        return std::nullopt;
+    }
+    TLweKey tlwe;
+    tlwe.key.resize(k);
+    for (auto& poly : tlwe.key)
+        if (!ReadIntPoly(is, &poly, error)) return std::nullopt;
+    return SecretKeySet(std::move(p), std::move(lwe), std::move(tlwe));
+}
+
+void SaveBootstrappingKey(std::ostream& os, const BootstrappingKey& key) {
+    WriteHeader(os, kMagicBk);
+    WriteParamsBody(os, key.params());
+    W64(os, key.bk().size());
+    for (const TGswSampleFft& s : key.bk()) {
+        W32(os, static_cast<uint32_t>(s.l));
+        W32(os, static_cast<uint32_t>(s.bg_bit));
+        W64(os, s.rows.size());
+        for (const auto& row : s.rows) {
+            W64(os, row.size());
+            for (const auto& f : row) WriteFreqPoly(os, f);
+        }
+    }
+    const KeySwitchKey& ksk = key.ksk();
+    W32(os, static_cast<uint32_t>(ksk.InputN()));
+    W32(os, static_cast<uint32_t>(ksk.OutputN()));
+    W32(os, static_cast<uint32_t>(ksk.T()));
+    W32(os, static_cast<uint32_t>(ksk.BaseBit()));
+    W64(os, ksk.RawKeys().size());
+    for (const auto& s : ksk.RawKeys()) WriteSampleBody(os, s);
+}
+
+std::optional<BootstrappingKey> LoadBootstrappingKey(std::istream& is,
+                                                     std::string* error) {
+    if (!ReadHeader(is, kMagicBk, error)) return std::nullopt;
+    Params p;
+    if (!ReadParamsBody(is, &p, error)) return std::nullopt;
+
+    uint64_t bk_size;
+    if (!R64(is, &bk_size) || bk_size != static_cast<uint64_t>(p.n)) {
+        Fail(error, "bootstrapping key size mismatch");
+        return std::nullopt;
+    }
+    std::vector<TGswSampleFft> bk(bk_size);
+    for (auto& s : bk) {
+        uint32_t l, bg_bit;
+        uint64_t rows;
+        if (!R32(is, &l) || !R32(is, &bg_bit) || !R64(is, &rows) ||
+            rows > 1024) {
+            Fail(error, "truncated tgsw sample");
+            return std::nullopt;
+        }
+        s.l = static_cast<int32_t>(l);
+        s.bg_bit = static_cast<int32_t>(bg_bit);
+        s.rows.resize(rows);
+        for (auto& row : s.rows) {
+            uint64_t cols;
+            if (!R64(is, &cols) || cols > 64) {
+                Fail(error, "truncated tgsw row");
+                return std::nullopt;
+            }
+            row.resize(cols);
+            for (auto& f : row)
+                if (!ReadFreqPoly(is, &f, error)) return std::nullopt;
+        }
+    }
+
+    uint32_t n_in, n_out, t, base_bit;
+    uint64_t ks_count;
+    if (!R32(is, &n_in) || !R32(is, &n_out) || !R32(is, &t) ||
+        !R32(is, &base_bit) || !R64(is, &ks_count) ||
+        ks_count > (UINT64_C(1) << 28)) {
+        Fail(error, "truncated key-switching key header");
+        return std::nullopt;
+    }
+    std::vector<LweSample> ks(ks_count);
+    for (auto& s : ks)
+        if (!ReadSampleBody(is, &s, error)) return std::nullopt;
+    if (ks_count != static_cast<uint64_t>(n_in) * t * (1u << base_bit)) {
+        Fail(error, "key-switching key size mismatch");
+        return std::nullopt;
+    }
+    KeySwitchKey ksk = KeySwitchKey::FromRaw(
+        static_cast<int32_t>(n_in), static_cast<int32_t>(n_out),
+        static_cast<int32_t>(t), static_cast<int32_t>(base_bit),
+        std::move(ks));
+    return BootstrappingKey(p, std::move(bk), std::move(ksk));
+}
+
+}  // namespace pytfhe::tfhe

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Binary serialization for key material and ciphertexts.
+ *
+ * The cloud protocol of Fig. 1 ships data between machines: the client
+ * uploads ciphertexts and the public evaluation key, the server returns
+ * result ciphertexts. This module provides versioned little-endian
+ * encodings for every transferable object. Secret keys serialize too (for
+ * client-side persistence) — never send those to the server.
+ *
+ * Every Save* writes a 4-byte magic + 2-byte version header; every Load*
+ * validates it and returns nullopt (with an error string) on mismatch or
+ * truncation.
+ */
+#ifndef PYTFHE_TFHE_SERIALIZATION_H
+#define PYTFHE_TFHE_SERIALIZATION_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tfhe/bootstrap.h"
+#include "tfhe/gates.h"
+
+namespace pytfhe::tfhe {
+
+void SaveParams(std::ostream& os, const Params& params);
+std::optional<Params> LoadParams(std::istream& is,
+                                 std::string* error = nullptr);
+
+void SaveLweSample(std::ostream& os, const LweSample& sample);
+std::optional<LweSample> LoadLweSample(std::istream& is,
+                                       std::string* error = nullptr);
+
+/** Batch of ciphertexts (the wire format for program inputs/outputs). */
+void SaveLweSamples(std::ostream& os, const std::vector<LweSample>& samples);
+std::optional<std::vector<LweSample>> LoadLweSamples(
+    std::istream& is, std::string* error = nullptr);
+
+/** Client-side secret key bundle. KEEP PRIVATE. */
+void SaveSecretKeySet(std::ostream& os, const SecretKeySet& keys);
+std::optional<SecretKeySet> LoadSecretKeySet(std::istream& is,
+                                             std::string* error = nullptr);
+
+/**
+ * Public evaluation key: parameters, the FFT-domain bootstrapping key, and
+ * the key-switching key. This is what the client uploads once.
+ */
+void SaveBootstrappingKey(std::ostream& os, const BootstrappingKey& key);
+std::optional<BootstrappingKey> LoadBootstrappingKey(
+    std::istream& is, std::string* error = nullptr);
+
+}  // namespace pytfhe::tfhe
+
+#endif  // PYTFHE_TFHE_SERIALIZATION_H

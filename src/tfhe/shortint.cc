@@ -1,0 +1,130 @@
+#include "tfhe/shortint.h"
+
+#include <cassert>
+
+namespace pytfhe::tfhe {
+
+ShortIntContext::ShortIntContext(int32_t p, const BootstrappingKey& key)
+    : p_(p), big_p_(p * p), key_(&key) {
+    assert(p >= 2);
+    assert(2 * big_p_ <= key.params().big_n &&
+           "message modulus too large for the ring dimension");
+}
+
+Torus32 ShortIntContext::Encode(int32_t m) const {
+    return ModSwitchToTorus32(2 * m + 1, 4 * big_p_);
+}
+
+int32_t ShortIntContext::Decode(Torus32 phase) const {
+    return DecodeRaw(phase) % p_;
+}
+
+LweSample ShortIntContext::Encrypt(int32_t m, const LweKey& key,
+                                   double noise_stddev, Rng& rng) const {
+    assert(m >= 0 && m < p_);
+    return LweEncrypt(Encode(m), noise_stddev, key, rng);
+}
+
+int32_t ShortIntContext::Decrypt(const LweSample& ct,
+                                 const LweKey& key) const {
+    return Decode(LwePhase(ct, key));
+}
+
+TorusPolynomial ShortIntContext::MakePackedLut(
+    const std::function<int32_t(int32_t)>& f) const {
+    const int32_t n = key_->params().big_n;
+    TorusPolynomial tv(n);
+    for (int32_t j = 0; j < n; ++j) {
+        const int32_t s = static_cast<int32_t>(
+            (static_cast<int64_t>(j) * big_p_) / n);
+        tv.coefs[j] = Encode(f(s) % p_);
+    }
+    return tv;
+}
+
+LweSample ShortIntContext::Apply(const std::function<int32_t(int32_t)>& f,
+                                 const LweSample& x) const {
+    // Digits occupy the first p slots of the P-space; reduce defensively.
+    const int32_t p = p_;
+    const TorusPolynomial tv =
+        MakePackedLut([&](int32_t s) { return f(s % p); });
+    return FunctionalBootstrap(tv, x, *key_);
+}
+
+LweSample ShortIntContext::ApplyRaw(
+    const std::function<int32_t(int32_t)>& f, const LweSample& x) const {
+    return FunctionalBootstrap(MakePackedLut(f), x, *key_);
+}
+
+LweSample ShortIntContext::TrivialDigit(int32_t m) const {
+    LweSample s(key_->params().n);
+    s.SetTrivial(Encode(m));
+    return s;
+}
+
+int32_t ShortIntContext::DecodeRaw(Torus32 phase) const {
+    const Torus32 quarter_slot = ModSwitchToTorus32(1, 4 * big_p_);
+    const int32_t m =
+        ModSwitchFromTorus32(phase - quarter_slot, 2 * big_p_) % big_p_;
+    return ((m % big_p_) + big_p_) % big_p_;
+}
+
+LweSample ShortIntContext::Apply2(
+    const std::function<int32_t(int32_t, int32_t)>& f, const LweSample& a,
+    const LweSample& b) const {
+    // s = p*b + a is linear in the ciphertexts:
+    //   p*phi_b + phi_a = (2(p*b + a) + p + 1) / (4P),
+    // so subtracting the constant p/(4P) re-centers the packed digit.
+    LweSample packed(b.N());
+    for (int32_t i = 0; i < b.N(); ++i)
+        packed.a[i] = b.a[i] * static_cast<uint32_t>(p_) + a.a[i];
+    packed.b = b.b * static_cast<uint32_t>(p_) + a.b -
+               ModSwitchToTorus32(p_, 4 * big_p_);
+
+    const int32_t p = p_;
+    const TorusPolynomial tv =
+        MakePackedLut([&](int32_t s) { return f(s % p, s / p); });
+    return FunctionalBootstrap(tv, packed, *key_);
+}
+
+LweSample ShortIntContext::Add(const LweSample& a, const LweSample& b) const {
+    return Apply2([this](int32_t x, int32_t y) { return (x + y) % p_; }, a,
+                  b);
+}
+
+LweSample ShortIntContext::AddCarry(const LweSample& a,
+                                    const LweSample& b) const {
+    return Apply2([this](int32_t x, int32_t y) { return (x + y) / p_; }, a,
+                  b);
+}
+
+LweSample ShortIntContext::Sub(const LweSample& a, const LweSample& b) const {
+    return Apply2(
+        [this](int32_t x, int32_t y) { return ((x - y) % p_ + p_) % p_; }, a,
+        b);
+}
+
+LweSample ShortIntContext::Mul(const LweSample& a, const LweSample& b) const {
+    return Apply2([this](int32_t x, int32_t y) { return (x * y) % p_; }, a,
+                  b);
+}
+
+LweSample ShortIntContext::MulHigh(const LweSample& a,
+                                   const LweSample& b) const {
+    return Apply2([this](int32_t x, int32_t y) { return (x * y) / p_; }, a,
+                  b);
+}
+
+LweSample ShortIntContext::Lt(const LweSample& a, const LweSample& b) const {
+    return Apply2([](int32_t x, int32_t y) { return x < y ? 1 : 0; }, a, b);
+}
+
+LweSample ShortIntContext::Max(const LweSample& a, const LweSample& b) const {
+    return Apply2([](int32_t x, int32_t y) { return x > y ? x : y; }, a, b);
+}
+
+LweSample ShortIntContext::Min(const LweSample& a, const LweSample& b) const {
+    return Apply2([](int32_t x, int32_t y) { return x < y ? x : y; }, a, b);
+}
+
+}  // namespace pytfhe::tfhe

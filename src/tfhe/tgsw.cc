@@ -1,0 +1,101 @@
+#include "tfhe/tgsw.h"
+
+#include <cassert>
+
+namespace pytfhe::tfhe {
+
+TGswSample TGswEncrypt(int32_t message, int32_t l, int32_t bg_bit,
+                       double noise_stddev, const TLweKey& key, Rng& rng) {
+    const int32_t n = key.BigN();
+    const int32_t k = key.K();
+    TGswSample out;
+    out.l = l;
+    out.bg_bit = bg_bit;
+    out.rows.reserve(static_cast<size_t>(k + 1) * l);
+    TorusPolynomial zero(n);
+    for (int32_t i = 0; i <= k; ++i) {
+        for (int32_t j = 0; j < l; ++j) {
+            TLweSample row = TLweEncrypt(zero, noise_stddev, key, rng);
+            const Torus32 h = UINT32_C(1) << (32 - bg_bit * (j + 1));
+            row.a[i].coefs[0] += static_cast<uint32_t>(message) * h;
+            out.rows.push_back(std::move(row));
+        }
+    }
+    return out;
+}
+
+TGswSampleFft TGswToFft(const TGswSample& sample, const NegacyclicFft& fft) {
+    TGswSampleFft out;
+    out.l = sample.l;
+    out.bg_bit = sample.bg_bit;
+    out.rows.resize(sample.rows.size());
+    for (size_t r = 0; r < sample.rows.size(); ++r) {
+        const TLweSample& row = sample.rows[r];
+        out.rows[r].resize(row.a.size());
+        for (size_t c = 0; c < row.a.size(); ++c)
+            fft.Forward(out.rows[r][c], row.a[c]);
+    }
+    return out;
+}
+
+void TGswDecompose(std::vector<IntPolynomial>& out, const TLweSample& sample,
+                   int32_t l, int32_t bg_bit) {
+    const int32_t n = sample.BigN();
+    const int32_t k = sample.K();
+    const int32_t bg = INT32_C(1) << bg_bit;
+    const int32_t half_bg = bg / 2;
+    const uint32_t mask = static_cast<uint32_t>(bg - 1);
+
+    // Rounding offset so truncation becomes round-to-nearest with digits
+    // recentered into [-Bg/2, Bg/2).
+    uint32_t offset = 0;
+    for (int32_t j = 1; j <= l; ++j)
+        offset += static_cast<uint32_t>(half_bg) << (32 - j * bg_bit);
+
+    out.assign(static_cast<size_t>(k + 1) * l, IntPolynomial(n));
+    for (int32_t c = 0; c <= k; ++c) {
+        const TorusPolynomial& poly = sample.a[c];
+        for (int32_t p = 0; p < n; ++p) {
+            const uint32_t t = poly.coefs[p] + offset;
+            for (int32_t j = 0; j < l; ++j) {
+                const uint32_t digit = (t >> (32 - bg_bit * (j + 1))) & mask;
+                out[c * l + j].coefs[p] =
+                    static_cast<int32_t>(digit) - half_bg;
+            }
+        }
+    }
+}
+
+void TGswExternalProduct(TLweSample& result, const TGswSampleFft& c,
+                         const TLweSample& sample, const NegacyclicFft& fft) {
+    const int32_t n = sample.BigN();
+    const int32_t k = sample.K();
+    assert(static_cast<size_t>((k + 1) * c.l) == c.rows.size());
+
+    static thread_local std::vector<IntPolynomial> dec;
+    TGswDecompose(dec, sample, c.l, c.bg_bit);
+
+    static thread_local std::vector<FreqPolynomial> acc;
+    static thread_local FreqPolynomial dec_fft;
+    acc.assign(k + 1, FreqPolynomial(n));
+
+    for (size_t r = 0; r < dec.size(); ++r) {
+        fft.Forward(dec_fft, dec[r]);
+        for (int32_t col = 0; col <= k; ++col)
+            acc[col].AddMul(dec_fft, c.rows[r][col]);
+    }
+
+    if (result.BigN() != n || result.K() != k) result = TLweSample(n, k);
+    for (int32_t col = 0; col <= k; ++col)
+        fft.Inverse(result.a[col], acc[col]);
+}
+
+void TGswCMux(TLweSample& result, const TGswSampleFft& c, const TLweSample& d1,
+              const TLweSample& d0, const NegacyclicFft& fft) {
+    TLweSample diff = d1;
+    diff.SubTo(d0);
+    TGswExternalProduct(result, c, diff, fft);
+    result.AddTo(d0);
+}
+
+}  // namespace pytfhe::tfhe

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * TGSW ciphertexts, gadget decomposition, and the external product.
+ *
+ * A TGSW sample encrypting integer m is a matrix of (k+1)*l TLWE rows: row
+ * (i, j) is an encryption of zero plus m * h_j placed on component i, where
+ * h_j = Bg^{-(j+1)} is the gadget. The external product TGSW x TLWE -> TLWE
+ * homomorphically multiplies the TLWE message by m, and CMUX(C, d1, d0)
+ * selects between two TLWE samples under an encrypted bit C. Bootstrapping
+ * keys store TGSW rows in the FFT domain so each CMUX needs only forward
+ * transforms of the gadget digits.
+ */
+#ifndef PYTFHE_TFHE_TGSW_H
+#define PYTFHE_TFHE_TGSW_H
+
+#include <vector>
+
+#include "tfhe/fft.h"
+#include "tfhe/params.h"
+#include "tfhe/tlwe.h"
+
+namespace pytfhe::tfhe {
+
+/** TGSW ciphertext in the standard (coefficient) domain. */
+struct TGswSample {
+    std::vector<TLweSample> rows;  ///< (k + 1) * l rows.
+    int32_t l = 0;
+    int32_t bg_bit = 0;
+};
+
+/** TGSW ciphertext with every row polynomial in the FFT domain. */
+struct TGswSampleFft {
+    /** rows[r][c]: component c of row r, frequency domain. */
+    std::vector<std::vector<FreqPolynomial>> rows;
+    int32_t l = 0;
+    int32_t bg_bit = 0;
+};
+
+/** Encrypts integer message m (typically a key bit in {0, 1}). */
+TGswSample TGswEncrypt(int32_t message, int32_t l, int32_t bg_bit,
+                       double noise_stddev, const TLweKey& key, Rng& rng);
+
+/** Converts a TGSW sample to the FFT domain using the plan for its size. */
+TGswSampleFft TGswToFft(const TGswSample& sample, const NegacyclicFft& fft);
+
+/**
+ * Signed gadget decomposition of every component of a TLWE sample:
+ * produces (k+1)*l integer polynomials with digits in [-Bg/2, Bg/2).
+ */
+void TGswDecompose(std::vector<IntPolynomial>& out, const TLweSample& sample,
+                   int32_t l, int32_t bg_bit);
+
+/** result = C x sample (external product), via the FFT domain. */
+void TGswExternalProduct(TLweSample& result, const TGswSampleFft& c,
+                         const TLweSample& sample, const NegacyclicFft& fft);
+
+/**
+ * result = d0 + C x (d1 - d0): selects d1 when C encrypts 1, d0 when C
+ * encrypts 0, up to noise.
+ */
+void TGswCMux(TLweSample& result, const TGswSampleFft& c, const TLweSample& d1,
+              const TLweSample& d0, const NegacyclicFft& fft);
+
+}  // namespace pytfhe::tfhe
+
+#endif  // PYTFHE_TFHE_TGSW_H

@@ -1,0 +1,100 @@
+#include "tfhe/tlwe.h"
+
+#include <cassert>
+
+namespace pytfhe::tfhe {
+
+TLweKey::TLweKey(int32_t n, int32_t k, Rng& rng) : key(k, IntPolynomial(n)) {
+    for (auto& poly : key)
+        for (auto& c : poly.coefs) c = rng.UniformBit();
+}
+
+LweKey TLweKey::ExtractLweKey() const {
+    LweKey out;
+    out.key.reserve(static_cast<size_t>(BigN()) * K());
+    for (const auto& poly : key)
+        out.key.insert(out.key.end(), poly.coefs.begin(), poly.coefs.end());
+    return out;
+}
+
+TLweSample::TLweSample(int32_t n, int32_t k)
+    : a(k + 1, TorusPolynomial(n)) {}
+
+void TLweSample::Clear() {
+    for (auto& poly : a) poly.Clear();
+}
+
+void TLweSample::SetTrivial(const TorusPolynomial& mu) {
+    Clear();
+    Body() = mu;
+}
+
+void TLweSample::AddTo(const TLweSample& other) {
+    assert(a.size() == other.a.size());
+    for (size_t i = 0; i < a.size(); ++i) a[i].AddTo(other.a[i]);
+}
+
+void TLweSample::SubTo(const TLweSample& other) {
+    assert(a.size() == other.a.size());
+    for (size_t i = 0; i < a.size(); ++i) a[i].SubTo(other.a[i]);
+}
+
+TLweSample TLweEncrypt(const TorusPolynomial& mu, double noise_stddev,
+                       const TLweKey& key, Rng& rng) {
+    const int32_t n = key.BigN();
+    const int32_t k = key.K();
+    assert(mu.Size() == n);
+    TLweSample s(n, k);
+    for (int32_t j = 0; j < n; ++j)
+        s.Body().coefs[j] = rng.GaussianTorus32(mu.coefs[j], noise_stddev);
+    TorusPolynomial prod(n);
+    for (int32_t i = 0; i < k; ++i) {
+        for (int32_t j = 0; j < n; ++j)
+            s.a[i].coefs[j] = rng.UniformTorus32();
+        NaiveNegacyclicMul(prod, key.key[i], s.a[i]);
+        s.Body().AddTo(prod);
+    }
+    return s;
+}
+
+TLweSample TLweEncryptConst(Torus32 mu, double noise_stddev,
+                            const TLweKey& key, Rng& rng) {
+    TorusPolynomial msg(key.BigN());
+    msg.coefs[0] = mu;
+    return TLweEncrypt(msg, noise_stddev, key, rng);
+}
+
+TorusPolynomial TLwePhase(const TLweSample& sample, const TLweKey& key) {
+    const int32_t n = key.BigN();
+    assert(sample.BigN() == n && sample.K() == key.K());
+    TorusPolynomial phase = sample.Body();
+    TorusPolynomial prod(n);
+    for (int32_t i = 0; i < key.K(); ++i) {
+        NaiveNegacyclicMul(prod, key.key[i], sample.a[i]);
+        phase.SubTo(prod);
+    }
+    return phase;
+}
+
+void TLweMulByXai(TLweSample& result, int32_t a, const TLweSample& sample) {
+    assert(&result != &sample);
+    for (size_t i = 0; i < sample.a.size(); ++i)
+        MulByXai(result.a[i], a, sample.a[i]);
+}
+
+LweSample TLweExtractSample(const TLweSample& sample, int32_t index) {
+    const int32_t n = sample.BigN();
+    const int32_t k = sample.K();
+    assert(index >= 0 && index < n);
+    LweSample out(n * k);
+    for (int32_t i = 0; i < k; ++i) {
+        for (int32_t j = 0; j <= index; ++j)
+            out.a[i * n + j] = sample.a[i].coefs[index - j];
+        for (int32_t j = index + 1; j < n; ++j)
+            out.a[i * n + j] = -sample.a[i].coefs[n + index - j];
+    }
+    out.b = sample.Body().coefs[index];
+    return out;
+}
+
+}  // namespace pytfhe::tfhe

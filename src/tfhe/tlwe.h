@@ -1,0 +1,81 @@
+/**
+ * @file
+ * TLWE (ring-LWE over the torus) samples and keys.
+ *
+ * A TLWE sample is (a_1..a_k, b) where each component is a torus polynomial
+ * in T[X]/(X^N + 1) and b = sum_i a_i * s_i + m + e for binary key
+ * polynomials s_i. TLWE carries the bootstrapping accumulator; individual
+ * LWE samples are extracted from coefficient 0.
+ */
+#ifndef PYTFHE_TFHE_TLWE_H
+#define PYTFHE_TFHE_TLWE_H
+
+#include <vector>
+
+#include "tfhe/lwe.h"
+#include "tfhe/params.h"
+#include "tfhe/polynomial.h"
+
+namespace pytfhe::tfhe {
+
+/** TLWE secret key: k binary polynomials of degree < N. */
+struct TLweKey {
+    std::vector<IntPolynomial> key;
+
+    TLweKey() = default;
+    /** Samples uniform binary key polynomials. */
+    TLweKey(int32_t n, int32_t k, Rng& rng);
+
+    int32_t BigN() const { return key.empty() ? 0 : key[0].Size(); }
+    int32_t K() const { return static_cast<int32_t>(key.size()); }
+
+    /**
+     * Flattens the ring key into an LWE key of dimension N * k, matching the
+     * layout of extracted samples.
+     */
+    LweKey ExtractLweKey() const;
+};
+
+/** TLWE ciphertext: k mask polynomials plus the body polynomial. */
+struct TLweSample {
+    std::vector<TorusPolynomial> a;  ///< k + 1 polynomials; a[k] is the body.
+
+    TLweSample() = default;
+    TLweSample(int32_t n, int32_t k);
+
+    int32_t BigN() const { return a.empty() ? 0 : a[0].Size(); }
+    int32_t K() const { return static_cast<int32_t>(a.size()) - 1; }
+
+    TorusPolynomial& Body() { return a.back(); }
+    const TorusPolynomial& Body() const { return a.back(); }
+
+    void Clear();
+    /** Sets a noiseless encryption of the given message polynomial. */
+    void SetTrivial(const TorusPolynomial& mu);
+    void AddTo(const TLweSample& other);
+    void SubTo(const TLweSample& other);
+};
+
+/** Encrypts a torus message polynomial. */
+TLweSample TLweEncrypt(const TorusPolynomial& mu, double noise_stddev,
+                       const TLweKey& key, Rng& rng);
+
+/** Encrypts a constant torus message in coefficient 0. */
+TLweSample TLweEncryptConst(Torus32 mu, double noise_stddev,
+                            const TLweKey& key, Rng& rng);
+
+/** Computes the phase polynomial b - sum_i a_i * s_i. */
+TorusPolynomial TLwePhase(const TLweSample& sample, const TLweKey& key);
+
+/** result = sample * X^a (rotates every component polynomial). */
+void TLweMulByXai(TLweSample& result, int32_t a, const TLweSample& sample);
+
+/**
+ * Extracts the LWE sample encrypting coefficient `index` of the TLWE message
+ * under the extracted key layout of TLweKey::ExtractLweKey.
+ */
+LweSample TLweExtractSample(const TLweSample& sample, int32_t index = 0);
+
+}  // namespace pytfhe::tfhe
+
+#endif  // PYTFHE_TFHE_TLWE_H

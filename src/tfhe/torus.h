@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Torus arithmetic for the TFHE scheme.
+ *
+ * The real torus T = R/Z is discretized to 32 bits: a Torus32 value t
+ * represents the real number int32_t(t) / 2^32 in [-1/2, 1/2). All torus
+ * additions are exact modulo 1 because uint32_t arithmetic wraps modulo 2^32.
+ */
+#ifndef PYTFHE_TFHE_TORUS_H
+#define PYTFHE_TFHE_TORUS_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace pytfhe::tfhe {
+
+/** Discretized torus element: t represents int32_t(t) / 2^32 mod 1. */
+using Torus32 = uint32_t;
+
+/** Converts a real number (interpreted modulo 1) to a Torus32. */
+inline Torus32 DoubleToTorus32(double d) {
+    // Reduce modulo 1 first so that the scaled value fits in an int64_t.
+    double frac = d - std::floor(d);
+    return static_cast<Torus32>(
+        static_cast<int64_t>(std::llround(frac * 4294967296.0)));
+}
+
+/** Converts a Torus32 to its canonical real representative in [-1/2, 1/2). */
+inline double Torus32ToDouble(Torus32 t) {
+    return static_cast<int32_t>(t) / 4294967296.0;
+}
+
+/**
+ * Encodes message mu in Z_msize as the torus element mu/msize rounded to
+ * 32 bits. Matches modSwitchToTorus32 from the reference TFHE library.
+ */
+inline Torus32 ModSwitchToTorus32(int32_t mu, int32_t msize) {
+    uint64_t interval = ((UINT64_C(1) << 63) / static_cast<uint64_t>(msize)) * 2;
+    uint64_t phase64 = static_cast<uint64_t>(static_cast<int64_t>(mu)) * interval;
+    return static_cast<Torus32>(phase64 >> 32);
+}
+
+/**
+ * Rounds a torus element to the nearest multiple of 1/msize and returns the
+ * numerator in [0, msize). Used for the mod switch to Z_{2N} before blind
+ * rotation.
+ */
+inline int32_t ModSwitchFromTorus32(Torus32 phase, int32_t msize) {
+    uint64_t interval = ((UINT64_C(1) << 63) / static_cast<uint64_t>(msize)) * 2;
+    uint64_t half = interval / 2;
+    uint64_t phase64 = (static_cast<uint64_t>(phase) << 32) + half;
+    return static_cast<int32_t>(phase64 / interval);
+}
+
+/** Approximates a torus element to `bits` fractional bits (round to nearest). */
+inline Torus32 ApproxPhase(Torus32 phase, int32_t bits) {
+    uint32_t interval = UINT32_C(1) << (32 - bits);
+    uint32_t half = interval / 2;
+    return (phase + half) & ~(interval - 1);
+}
+
+}  // namespace pytfhe::tfhe
+
+#endif  // PYTFHE_TFHE_TORUS_H

@@ -1,0 +1,663 @@
+#include "vip/benchmarks.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "hdl/value.h"
+
+namespace pytfhe::vip {
+
+namespace {
+
+using hdl::Bits;
+using hdl::Builder;
+using hdl::DType;
+using hdl::Signal;
+using hdl::Value;
+using circuit::GateType;
+
+/** Fixed(8,8): the VIP-Bench real-number representation used here. */
+const DType kFixed = DType::Fixed(8, 8);
+
+/** abs(x) for a signed word. */
+Bits Abs(Builder& b, const Bits& x) {
+    return hdl::MuxBits(b, x.Msb(), hdl::Neg(b, x), x);
+}
+
+/** Unsigned min/max pair. */
+std::pair<Bits, Bits> MinMax(Builder& b, const Bits& x, const Bits& y) {
+    const Signal lt = hdl::Ult(b, x, y);
+    return {hdl::MuxBits(b, lt, x, y), hdl::MuxBits(b, lt, y, x)};
+}
+
+Value FixedConst(Builder& b, double v) {
+    return hdl::ConstValue(b, kFixed, v);
+}
+
+Value FixedInput(Builder& b, const std::string& name) {
+    return hdl::InputValue(b, kFixed, name);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ Hamming
+
+Netlist BuildHammingDistance() {
+    Builder b;
+    const Bits x = hdl::InputBits(b, 64, "a");
+    const Bits y = hdl::InputBits(b, 64, "b");
+    const Bits diff = hdl::XorBits(b, x, y);
+    hdl::OutputBits(b, hdl::PopCount(b, diff), "distance");
+    return std::move(b.netlist());
+}
+
+uint64_t RefHammingDistance(uint64_t a, uint64_t b) {
+    return static_cast<uint64_t>(__builtin_popcountll(a ^ b));
+}
+
+// -------------------------------------------------------------- Bubble sort
+
+Netlist BuildBubbleSort() {
+    constexpr int32_t kN = 8, kW = 8;
+    Builder b;
+    std::vector<Bits> v;
+    for (int32_t i = 0; i < kN; ++i)
+        v.push_back(hdl::InputBits(b, kW, "v" + std::to_string(i)));
+    for (int32_t i = 0; i < kN - 1; ++i) {
+        for (int32_t j = 0; j < kN - 1 - i; ++j) {
+            auto [lo, hi] = MinMax(b, v[j], v[j + 1]);
+            v[j] = lo;
+            v[j + 1] = hi;
+        }
+    }
+    for (int32_t i = 0; i < kN; ++i)
+        hdl::OutputBits(b, v[i], "s" + std::to_string(i));
+    return std::move(b.netlist());
+}
+
+std::vector<uint64_t> RefBubbleSort(std::vector<uint64_t> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+// ------------------------------------------------------------- Distinctness
+
+Netlist BuildDistinctness() {
+    constexpr int32_t kN = 8, kW = 8;
+    Builder b;
+    std::vector<Bits> v;
+    for (int32_t i = 0; i < kN; ++i)
+        v.push_back(hdl::InputBits(b, kW, "v" + std::to_string(i)));
+    Signal distinct = b.MakeConst(true);
+    for (int32_t i = 0; i < kN; ++i)
+        for (int32_t j = i + 1; j < kN; ++j)
+            distinct = b.MakeGate(GateType::kAnd, distinct,
+                                  hdl::Ne(b, v[i], v[j]));
+    b.AddOutput(distinct, "distinct");
+    return std::move(b.netlist());
+}
+
+bool RefDistinctness(const std::vector<uint64_t>& v) {
+    for (size_t i = 0; i < v.size(); ++i)
+        for (size_t j = i + 1; j < v.size(); ++j)
+            if (v[i] == v[j]) return false;
+    return true;
+}
+
+// -------------------------------------------------------------- Dot product
+
+Netlist BuildDotProduct() {
+    constexpr int32_t kN = 16, kW = 8, kAcc = 24;
+    Builder b;
+    Bits acc = hdl::ConstBits(b, 0, kAcc);
+    for (int32_t i = 0; i < kN; ++i) {
+        const Bits x = hdl::InputBits(b, kW, "a" + std::to_string(i));
+        const Bits y = hdl::InputBits(b, kW, "b" + std::to_string(i));
+        acc = hdl::Add(b, acc, hdl::SMul(b, x, y, kAcc));
+    }
+    hdl::OutputBits(b, acc, "dot");
+    return std::move(b.netlist());
+}
+
+int64_t RefDotProduct(const std::vector<int64_t>& a,
+                      const std::vector<int64_t>& b) {
+    int64_t acc = 0;
+    for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+    return acc;
+}
+
+// ---------------------------------------------------------------- Fibonacci
+
+Netlist BuildFibonacci() {
+    constexpr int32_t kSteps = 12, kW = 16;
+    Builder b;
+    Bits f0 = hdl::InputBits(b, kW, "f0");
+    Bits f1 = hdl::InputBits(b, kW, "f1");
+    for (int32_t i = 0; i < kSteps; ++i) {
+        Bits f2 = hdl::Add(b, f0, f1);
+        f0 = f1;
+        f1 = f2;
+    }
+    hdl::OutputBits(b, f1, "fib");
+    return std::move(b.netlist());
+}
+
+uint64_t RefFibonacci(uint64_t f0, uint64_t f1) {
+    for (int i = 0; i < 12; ++i) {
+        const uint64_t f2 = (f0 + f1) & 0xFFFF;
+        f0 = f1;
+        f1 = f2;
+    }
+    return f1;
+}
+
+// ----------------------------------------------------------- Filtered query
+
+Netlist BuildFilteredQuery() {
+    constexpr int32_t kN = 16, kW = 8, kAcc = 12;
+    Builder b;
+    const Bits threshold = hdl::InputBits(b, kW, "threshold");
+    Bits acc = hdl::ConstBits(b, 0, kAcc);
+    for (int32_t i = 0; i < kN; ++i) {
+        const Bits key = hdl::InputBits(b, kW, "key" + std::to_string(i));
+        const Bits val = hdl::InputBits(b, kW, "val" + std::to_string(i));
+        const Signal pass = hdl::Ult(b, threshold, key);  // key > threshold.
+        const Bits masked =
+            hdl::MaskBits(b, hdl::ZeroExtend(b, val, kAcc), pass);
+        acc = hdl::Add(b, acc, masked);
+    }
+    hdl::OutputBits(b, acc, "sum");
+    return std::move(b.netlist());
+}
+
+uint64_t RefFilteredQuery(const std::vector<uint64_t>& keys,
+                          const std::vector<uint64_t>& values,
+                          uint64_t threshold) {
+    uint64_t sum = 0;
+    for (size_t i = 0; i < keys.size(); ++i)
+        if (keys[i] > threshold) sum += values[i];
+    return sum & 0xFFF;
+}
+
+// ------------------------------------------------------------------- Kadane
+
+Netlist BuildKadane() {
+    constexpr int32_t kN = 12, kW = 8, kAcc = 16;
+    Builder b;
+    Bits cur = hdl::ConstBits(b, 0, kAcc);
+    Bits best = hdl::ConstBits(b, 0, kAcc);
+    for (int32_t i = 0; i < kN; ++i) {
+        const Bits x = hdl::SignExtend(
+            b, hdl::InputBits(b, kW, "x" + std::to_string(i)), kAcc);
+        const Bits sum = hdl::Add(b, cur, x);
+        // cur = max(x, cur + x); best = max(best, cur) — signed maxima.
+        cur = hdl::MuxBits(b, hdl::Slt(b, sum, x), x, sum);
+        best = hdl::MuxBits(b, hdl::Slt(b, best, cur), cur, best);
+    }
+    hdl::OutputBits(b, best, "best");
+    return std::move(b.netlist());
+}
+
+int64_t RefKadane(const std::vector<int64_t>& v) {
+    int64_t cur = 0, best = 0;
+    for (int64_t x : v) {
+        cur = std::max(x, cur + x);
+        best = std::max(best, cur);
+    }
+    return best;
+}
+
+// ---------------------------------------------------------------------- KNN
+
+Netlist BuildKnn() {
+    constexpr int32_t kN = 8, kW = 8, kD = 10;
+    Builder b;
+    const Bits qx = hdl::InputBits(b, kW, "qx");
+    const Bits qy = hdl::InputBits(b, kW, "qy");
+    Bits best_dist;
+    Bits best_idx = hdl::ConstBits(b, 0, 3);
+    for (int32_t i = 0; i < kN; ++i) {
+        const Bits px = hdl::InputBits(b, kW, "px" + std::to_string(i));
+        const Bits py = hdl::InputBits(b, kW, "py" + std::to_string(i));
+        // L1 distance over sign-extended differences.
+        const Bits dx = Abs(b, hdl::Sub(b, hdl::SignExtend(b, px, kD),
+                                        hdl::SignExtend(b, qx, kD)));
+        const Bits dy = Abs(b, hdl::Sub(b, hdl::SignExtend(b, py, kD),
+                                        hdl::SignExtend(b, qy, kD)));
+        const Bits dist = hdl::Add(b, dx, dy);
+        if (i == 0) {
+            best_dist = dist;
+        } else {
+            const Signal closer = hdl::Ult(b, dist, best_dist);
+            best_dist = hdl::MuxBits(b, closer, dist, best_dist);
+            best_idx = hdl::MuxBits(
+                b, closer, hdl::ConstBits(b, static_cast<uint64_t>(i), 3),
+                best_idx);
+        }
+    }
+    hdl::OutputBits(b, best_idx, "nearest");
+    return std::move(b.netlist());
+}
+
+uint64_t RefKnn(const std::vector<int64_t>& px, const std::vector<int64_t>& py,
+                int64_t qx, int64_t qy) {
+    uint64_t best = 0;
+    int64_t best_dist = INT64_MAX;
+    for (size_t i = 0; i < px.size(); ++i) {
+        const int64_t d = std::abs(px[i] - qx) + std::abs(py[i] - qy);
+        if (d < best_dist) {
+            best_dist = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+// -------------------------------------------------------------- 4x4 matmul
+
+Netlist BuildMatrixMultiply() {
+    constexpr int32_t kN = 4, kW = 8, kAcc = 20;
+    Builder b;
+    std::vector<Bits> a, c;
+    for (int32_t i = 0; i < kN * kN; ++i)
+        a.push_back(hdl::InputBits(b, kW, "a" + std::to_string(i)));
+    for (int32_t i = 0; i < kN * kN; ++i)
+        c.push_back(hdl::InputBits(b, kW, "b" + std::to_string(i)));
+    for (int32_t i = 0; i < kN; ++i) {
+        for (int32_t j = 0; j < kN; ++j) {
+            Bits acc = hdl::ConstBits(b, 0, kAcc);
+            for (int32_t k = 0; k < kN; ++k)
+                acc = hdl::Add(
+                    b, acc, hdl::SMul(b, a[i * kN + k], c[k * kN + j], kAcc));
+            hdl::OutputBits(b, acc,
+                            "c" + std::to_string(i) + "_" + std::to_string(j));
+        }
+    }
+    return std::move(b.netlist());
+}
+
+std::vector<int64_t> RefMatrixMultiply(const std::vector<int64_t>& a,
+                                       const std::vector<int64_t>& b) {
+    std::vector<int64_t> out(16, 0);
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            for (int k = 0; k < 4; ++k)
+                out[i * 4 + j] += a[i * 4 + k] * b[k * 4 + j];
+    return out;
+}
+
+// ------------------------------------------------------------- Min/max/mean
+
+Netlist BuildMinMaxMean() {
+    constexpr int32_t kN = 16, kW = 8;
+    Builder b;
+    std::vector<Bits> v;
+    for (int32_t i = 0; i < kN; ++i)
+        v.push_back(hdl::InputBits(b, kW, "v" + std::to_string(i)));
+    Bits mn = v[0], mx = v[0];
+    Bits sum = hdl::ZeroExtend(b, v[0], kW + 4);
+    for (int32_t i = 1; i < kN; ++i) {
+        auto [lo, hi] = MinMax(b, mn, v[i]);
+        mn = lo;
+        auto [lo2, hi2] = MinMax(b, mx, v[i]);
+        mx = hi2;
+        sum = hdl::Add(b, sum, hdl::ZeroExtend(b, v[i], kW + 4));
+    }
+    hdl::OutputBits(b, mn, "min");
+    hdl::OutputBits(b, mx, "max");
+    // Mean of 16 values: shift the 12-bit sum right by 4.
+    hdl::OutputBits(b, hdl::LshrConst(b, sum, 4).Slice(0, kW), "mean");
+    return std::move(b.netlist());
+}
+
+std::vector<uint64_t> RefMinMaxMean(const std::vector<uint64_t>& v) {
+    uint64_t mn = v[0], mx = v[0], sum = 0;
+    for (uint64_t x : v) {
+        mn = std::min(mn, x);
+        mx = std::max(mx, x);
+        sum += x;
+    }
+    return {mn, mx, (sum / 16) & 0xFF};
+}
+
+// ---------------------------------------------------------------- Primality
+
+Netlist BuildPrimality() {
+    constexpr int32_t kW = 8;
+    Builder b;
+    const Bits n = hdl::InputBits(b, kW, "n");
+    Signal composite = b.MakeConst(false);
+    for (uint64_t d : {2, 3, 5, 7, 11, 13}) {
+        const Bits divisor = hdl::ConstBits(b, d, kW);
+        const Bits rem = hdl::UDivMod(b, n, divisor).second;
+        const Signal divides =
+            hdl::Eq(b, rem, hdl::ConstBits(b, 0, kW));
+        // Divisible and strictly greater than the divisor.
+        const Signal bigger = hdl::Ult(b, divisor, n);
+        composite = b.MakeGate(GateType::kOr, composite,
+                               b.MakeGate(GateType::kAnd, divides, bigger));
+    }
+    const Signal gt_one = hdl::Ult(b, hdl::ConstBits(b, 1, kW), n);
+    b.AddOutput(b.MakeGate(GateType::kAndYN, gt_one, composite), "prime");
+    return std::move(b.netlist());
+}
+
+bool RefPrimality(uint64_t n) {
+    if (n < 2) return false;
+    for (uint64_t d = 2; d * d <= n; ++d)
+        if (n % d == 0) return false;
+    return true;
+}
+
+// ------------------------------------------------------------ Edit distance
+
+Netlist BuildEditDistance() {
+    constexpr int32_t kN = 6, kW = 4, kCost = 4;
+    Builder b;
+    std::vector<Bits> s1, s2;
+    for (int32_t i = 0; i < kN; ++i)
+        s1.push_back(hdl::InputBits(b, kW, "s1_" + std::to_string(i)));
+    for (int32_t i = 0; i < kN; ++i)
+        s2.push_back(hdl::InputBits(b, kW, "s2_" + std::to_string(i)));
+
+    // DP over a (kN+1)^2 cost table of kCost-bit words.
+    std::vector<std::vector<Bits>> dp(kN + 1, std::vector<Bits>(kN + 1));
+    for (int32_t i = 0; i <= kN; ++i) {
+        dp[i][0] = hdl::ConstBits(b, static_cast<uint64_t>(i), kCost);
+        dp[0][i] = hdl::ConstBits(b, static_cast<uint64_t>(i), kCost);
+    }
+    for (int32_t i = 1; i <= kN; ++i) {
+        for (int32_t j = 1; j <= kN; ++j) {
+            const Signal same = hdl::Eq(b, s1[i - 1], s2[j - 1]);
+            const Bits del = hdl::Increment(b, dp[i - 1][j]);
+            const Bits ins = hdl::Increment(b, dp[i][j - 1]);
+            const Bits sub = hdl::MuxBits(b, same, dp[i - 1][j - 1],
+                                          hdl::Increment(b, dp[i - 1][j - 1]));
+            Bits m = MinMax(b, del, ins).first;
+            m = MinMax(b, m, sub).first;
+            dp[i][j] = m;
+        }
+    }
+    hdl::OutputBits(b, dp[kN][kN], "distance");
+    return std::move(b.netlist());
+}
+
+uint64_t RefEditDistance(const std::vector<uint64_t>& a,
+                         const std::vector<uint64_t>& b) {
+    const size_t n = a.size(), m = b.size();
+    std::vector<std::vector<uint64_t>> dp(n + 1,
+                                          std::vector<uint64_t>(m + 1, 0));
+    for (size_t i = 0; i <= n; ++i) dp[i][0] = i;
+    for (size_t j = 0; j <= m; ++j) dp[0][j] = j;
+    for (size_t i = 1; i <= n; ++i)
+        for (size_t j = 1; j <= m; ++j)
+            dp[i][j] = std::min({dp[i - 1][j] + 1, dp[i][j - 1] + 1,
+                                 dp[i - 1][j - 1] +
+                                     (a[i - 1] == b[j - 1] ? 0 : 1)});
+    return dp[n][m];
+}
+
+// ------------------------------------------------------------ Euler approx
+
+Netlist BuildEulerApprox() {
+    // Truncated Taylor series of e^x at an encrypted x, via Horner's rule:
+    // strictly serial, like VIP-Bench's iterative approximations.
+    constexpr int32_t kTerms = 8;
+    Builder b;
+    const Value x = FixedInput(b, "x");
+    double factorial = 1;
+    for (int32_t k = 1; k < kTerms; ++k) factorial *= k;
+    Value acc = FixedConst(b, 1.0 / factorial);
+    for (int32_t k = kTerms - 2; k >= 0; --k) {
+        double f = 1;
+        for (int32_t i = 1; i <= k; ++i) f *= i;
+        acc = hdl::VAdd(b, hdl::VMul(b, acc, x), FixedConst(b, 1.0 / f));
+    }
+    hdl::OutputValue(b, acc, "exp_x");
+    return std::move(b.netlist());
+}
+
+double RefEulerApprox(double x) {
+    constexpr int32_t kTerms = 8;
+    auto q = [](double v) { return DType::Fixed(8, 8).Quantize(v); };
+    double factorial = 1;
+    for (int32_t k = 1; k < kTerms; ++k) factorial *= k;
+    double acc = q(1.0 / factorial);
+    for (int32_t k = kTerms - 2; k >= 0; --k) {
+        double f = 1;
+        for (int32_t i = 1; i <= k; ++i) f *= i;
+        acc = q(q(acc * x) + q(1.0 / f));
+    }
+    return acc;
+}
+
+// ------------------------------------------------------------------ NR sqrt
+
+Netlist BuildNrSolver() {
+    constexpr int32_t kIters = 6;
+    Builder b;
+    const Value a = FixedInput(b, "a");
+    Value x = FixedConst(b, 1.0);
+    for (int32_t i = 0; i < kIters; ++i) {
+        const Value quotient = hdl::VDiv(b, a, x);
+        x = hdl::VMul(b, hdl::VAdd(b, x, quotient), FixedConst(b, 0.5));
+    }
+    hdl::OutputValue(b, x, "sqrt_a");
+    return std::move(b.netlist());
+}
+
+double RefNrSolver(double a) {
+    const DType t = DType::Fixed(8, 8);
+    auto q = [&](double v) { return t.Quantize(v); };
+    a = q(a);
+    double x = 1.0;
+    for (int32_t i = 0; i < 6; ++i) {
+        // Fixed-point division truncates toward zero at 8 fractional bits.
+        const double quotient =
+            std::trunc((a / x) * 256.0) / 256.0;
+        x = q(q(x + quotient) * 0.5);
+    }
+    return x;
+}
+
+// --------------------------------------------------------- Gradient descent
+
+Netlist BuildGradientDescent() {
+    constexpr int32_t kIters = 6;
+    Builder b;
+    const Value c = FixedInput(b, "target");
+    Value x = FixedInput(b, "x0");
+    for (int32_t i = 0; i < kIters; ++i) {
+        // x <- x - 0.25 * 2 (x - c) = 0.5 x + 0.5 c.
+        const Value half_x = hdl::VMul(b, x, FixedConst(b, 0.5));
+        const Value half_c = hdl::VMul(b, c, FixedConst(b, 0.5));
+        x = hdl::VAdd(b, half_x, half_c);
+    }
+    hdl::OutputValue(b, x, "x");
+    return std::move(b.netlist());
+}
+
+double RefGradientDescent(double x0, double c) {
+    const DType t = DType::Fixed(8, 8);
+    auto q = [&](double v) { return t.Quantize(v); };
+    double x = q(x0);
+    c = q(c);
+    for (int32_t i = 0; i < 6; ++i) {
+        // Fixed-point multiply truncates; mirror VMul's arithmetic.
+        const double hx = std::floor(x * 0.5 * 256.0) / 256.0;
+        const double hc = std::floor(c * 0.5 * 256.0) / 256.0;
+        x = q(hx + hc);
+    }
+    return x;
+}
+
+// ------------------------------------------------------------------- Kepler
+
+Netlist BuildKepler() {
+    constexpr int32_t kIters = 4;
+    Builder b;
+    const Value m = FixedInput(b, "mean_anomaly");
+    const Value e = FixedInput(b, "eccentricity");
+    Value big_e = m;
+    const Value sixth = FixedConst(b, 1.0 / 6.0);
+    for (int32_t i = 0; i < kIters; ++i) {
+        // sin(E) ~= E - E^3/6.
+        const Value e2 = hdl::VMul(b, big_e, big_e);
+        const Value e3 = hdl::VMul(b, e2, big_e);
+        const Value sin_e =
+            hdl::VSub(b, big_e, hdl::VMul(b, e3, sixth));
+        big_e = hdl::VAdd(b, m, hdl::VMul(b, e, sin_e));
+    }
+    hdl::OutputValue(b, big_e, "eccentric_anomaly");
+    return std::move(b.netlist());
+}
+
+double RefKepler(double mean_anomaly, double eccentricity) {
+    const DType t = DType::Fixed(8, 8);
+    auto q = [&](double v) { return t.Quantize(v); };
+    auto fmul = [&](double x, double y) {
+        return std::floor(x * y * 256.0 + 1e-12) / 256.0;
+    };
+    const double m = q(mean_anomaly), e = q(eccentricity);
+    const double sixth = q(1.0 / 6.0);
+    double big_e = m;
+    for (int32_t i = 0; i < 4; ++i) {
+        const double e2 = fmul(big_e, big_e);
+        const double e3 = fmul(e2, big_e);
+        const double sin_e = q(big_e - fmul(e3, sixth));
+        big_e = q(m + fmul(e, sin_e));
+    }
+    return big_e;
+}
+
+// ----------------------------------------------------------------- Parrondo
+
+Netlist BuildParrondo() {
+    constexpr int32_t kRounds = 16, kW = 8;
+    Builder b;
+    Bits capital = hdl::ConstBits(b, 32, kW);
+    const Bits three = hdl::ConstBits(b, 3, kW);
+    for (int32_t i = 0; i < kRounds; ++i) {
+        const Signal coin = b.MakeInput("coin" + std::to_string(i));
+        Signal win;
+        if (i % 2 == 0) {
+            win = coin;  // Game A: fair-ish coin.
+        } else {
+            // Game B: win only when capital is not a multiple of 3.
+            const Bits rem = hdl::UDivMod(b, capital, three).second;
+            const Signal mult3 = hdl::Eq(b, rem, hdl::ConstBits(b, 0, kW));
+            win = b.MakeGate(GateType::kAndNY, mult3, coin);
+        }
+        const Bits up = hdl::Increment(b, capital);
+        const Bits down = hdl::Sub(b, capital, hdl::ConstBits(b, 1, kW));
+        capital = hdl::MuxBits(b, win, up, down);
+    }
+    hdl::OutputBits(b, capital, "capital");
+    return std::move(b.netlist());
+}
+
+int64_t RefParrondo(const std::vector<bool>& coins) {
+    int64_t capital = 32;
+    for (size_t i = 0; i < coins.size(); ++i) {
+        bool win;
+        if (i % 2 == 0) {
+            win = coins[i];
+        } else {
+            win = (capital % 3 != 0) && coins[i];
+        }
+        capital += win ? 1 : -1;
+    }
+    return capital & 0xFF;
+}
+
+// ------------------------------------------------------------ Roberts-Cross
+
+Netlist BuildRobertsCross() {
+    constexpr int32_t kSize = 8;
+    Builder b;
+    std::vector<Value> img;
+    for (int32_t i = 0; i < kSize * kSize; ++i)
+        img.push_back(FixedInput(b, "p" + std::to_string(i)));
+    for (int32_t y = 0; y < kSize - 1; ++y) {
+        for (int32_t x = 0; x < kSize - 1; ++x) {
+            const Value& p00 = img[y * kSize + x];
+            const Value& p01 = img[y * kSize + x + 1];
+            const Value& p10 = img[(y + 1) * kSize + x];
+            const Value& p11 = img[(y + 1) * kSize + x + 1];
+            const Value gx = hdl::VSub(b, p00, p11);
+            const Value gy = hdl::VSub(b, p10, p01);
+            const Bits mag = hdl::Add(b, Abs(b, gx.bits), Abs(b, gy.bits));
+            hdl::OutputBits(
+                b, mag, "e" + std::to_string(y) + "_" + std::to_string(x));
+        }
+    }
+    return std::move(b.netlist());
+}
+
+std::vector<double> RefRobertsCross(const std::vector<double>& image) {
+    constexpr int32_t kSize = 8;
+    const DType t = DType::Fixed(8, 8);
+    std::vector<double> out;
+    for (int32_t y = 0; y < kSize - 1; ++y) {
+        for (int32_t x = 0; x < kSize - 1; ++x) {
+            const double p00 = t.Quantize(image[y * kSize + x]);
+            const double p01 = t.Quantize(image[y * kSize + x + 1]);
+            const double p10 = t.Quantize(image[(y + 1) * kSize + x]);
+            const double p11 = t.Quantize(image[(y + 1) * kSize + x + 1]);
+            out.push_back(std::abs(p00 - p11) + std::abs(p10 - p01));
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------- TEA
+
+Netlist BuildTea() {
+    constexpr uint32_t kDelta = 0x9E3779B9;
+    constexpr int32_t kRounds = 32;
+    Builder b;
+    Bits v0 = hdl::InputBits(b, 32, "v0");
+    Bits v1 = hdl::InputBits(b, 32, "v1");
+    std::vector<Bits> k;
+    for (int i = 0; i < 4; ++i)
+        k.push_back(hdl::InputBits(b, 32, "k" + std::to_string(i)));
+
+    uint32_t sum = 0;
+    for (int32_t r = 0; r < kRounds; ++r) {
+        sum += kDelta;  // Public round constant: folds at compile time.
+        const Bits sum_c = hdl::ConstBits(b, sum, 32);
+        {
+            const Bits t0 = hdl::Add(b, hdl::ShlConst(b, v1, 4), k[0]);
+            const Bits t1 = hdl::Add(b, v1, sum_c);
+            const Bits t2 = hdl::Add(b, hdl::LshrConst(b, v1, 5), k[1]);
+            v0 = hdl::Add(b, v0, hdl::XorBits(b, hdl::XorBits(b, t0, t1), t2));
+        }
+        {
+            const Bits t0 = hdl::Add(b, hdl::ShlConst(b, v0, 4), k[2]);
+            const Bits t1 = hdl::Add(b, v0, sum_c);
+            const Bits t2 = hdl::Add(b, hdl::LshrConst(b, v0, 5), k[3]);
+            v1 = hdl::Add(b, v1, hdl::XorBits(b, hdl::XorBits(b, t0, t1), t2));
+        }
+    }
+    hdl::OutputBits(b, v0, "c0");
+    hdl::OutputBits(b, v1, "c1");
+    return std::move(b.netlist());
+}
+
+std::pair<uint64_t, uint64_t> RefTea(uint64_t v0_in, uint64_t v1_in,
+                                     const std::vector<uint64_t>& key) {
+    uint32_t v0 = static_cast<uint32_t>(v0_in);
+    uint32_t v1 = static_cast<uint32_t>(v1_in);
+    uint32_t sum = 0;
+    for (int r = 0; r < 32; ++r) {
+        sum += 0x9E3779B9u;
+        v0 += ((v1 << 4) + static_cast<uint32_t>(key[0])) ^ (v1 + sum) ^
+              ((v1 >> 5) + static_cast<uint32_t>(key[1]));
+        v1 += ((v0 << 4) + static_cast<uint32_t>(key[2])) ^ (v0 + sum) ^
+              ((v0 >> 5) + static_cast<uint32_t>(key[3]));
+    }
+    return {v0, v1};
+}
+
+}  // namespace pytfhe::vip

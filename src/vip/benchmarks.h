@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The VIP-Bench workload circuits (Section V-A).
+ *
+ * VIP-Bench [38] is a benchmark suite for privacy-enhanced computation
+ * frameworks; the paper evaluates PyTFHE on its 18 benchmarks plus the
+ * MNIST CNNs and self-attention layers. Every benchmark here is a circuit
+ * generator (the Chisel implementation of the paper, reproduced with the
+ * hdl library) paired with a plaintext reference used by the tests.
+ *
+ * Sizes follow VIP-Bench's small fixed problem sizes; integer benchmarks
+ * use the bit widths noted per function, real-valued iterative benchmarks
+ * use Fixed(8,8).
+ */
+#ifndef PYTFHE_VIP_BENCHMARKS_H
+#define PYTFHE_VIP_BENCHMARKS_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace pytfhe::vip {
+
+using circuit::Netlist;
+
+// ---------------------------------------------------------------- integer
+
+/** Hamming distance between two 64-bit strings (XOR + popcount). */
+Netlist BuildHammingDistance();
+uint64_t RefHammingDistance(uint64_t a, uint64_t b);
+
+/** Bubble sort of 8 unsigned 8-bit values (compare-and-swap network). */
+Netlist BuildBubbleSort();
+std::vector<uint64_t> RefBubbleSort(std::vector<uint64_t> v);
+
+/** Distinctness: are all 8 unsigned 8-bit values distinct? */
+Netlist BuildDistinctness();
+bool RefDistinctness(const std::vector<uint64_t>& v);
+
+/** Dot product of two 16-element signed 8-bit vectors (24-bit result). */
+Netlist BuildDotProduct();
+int64_t RefDotProduct(const std::vector<int64_t>& a,
+                      const std::vector<int64_t>& b);
+
+/** 12 Fibonacci steps over 16-bit words seeded by two encrypted values. */
+Netlist BuildFibonacci();
+uint64_t RefFibonacci(uint64_t f0, uint64_t f1);
+
+/** Filtered query: sum of 16 8-bit records whose key exceeds a threshold. */
+Netlist BuildFilteredQuery();
+uint64_t RefFilteredQuery(const std::vector<uint64_t>& keys,
+                          const std::vector<uint64_t>& values,
+                          uint64_t threshold);
+
+/** Kadane's maximum-subarray sum over 12 signed 8-bit values. */
+Netlist BuildKadane();
+int64_t RefKadane(const std::vector<int64_t>& v);
+
+/** 1-NN: index of the closest of 8 2-D points (L1 distance, 8-bit). */
+Netlist BuildKnn();
+uint64_t RefKnn(const std::vector<int64_t>& px, const std::vector<int64_t>& py,
+                int64_t qx, int64_t qy);
+
+/** 4x4 by 4x4 signed 8-bit matrix multiply (20-bit accumulators). */
+Netlist BuildMatrixMultiply();
+std::vector<int64_t> RefMatrixMultiply(const std::vector<int64_t>& a,
+                                       const std::vector<int64_t>& b);
+
+/** Min, max, and truncated mean of 16 unsigned 8-bit values. */
+Netlist BuildMinMaxMean();
+std::vector<uint64_t> RefMinMaxMean(const std::vector<uint64_t>& v);
+
+/** Trial-division primality of an 8-bit value (divisors 2..13). */
+Netlist BuildPrimality();
+bool RefPrimality(uint64_t n);
+
+/** Edit distance (Levenshtein) of two 6-symbol strings, 4-bit alphabet. */
+Netlist BuildEditDistance();
+uint64_t RefEditDistance(const std::vector<uint64_t>& a,
+                         const std::vector<uint64_t>& b);
+
+// ------------------------------------------------------------- fixed-point
+// All use Fixed(8,8): 8 integer bits (incl. sign) and 8 fraction bits.
+
+/** Euler's number by summing 1/k! for k = 0..9 (iterative, serial). */
+Netlist BuildEulerApprox();
+double RefEulerApprox(double x_unused);
+
+/** Newton-Raphson square root of an encrypted value, 6 iterations. */
+Netlist BuildNrSolver();
+double RefNrSolver(double a);
+
+/** 6 gradient-descent steps on f(x) = (x - c)^2 with learning rate 1/4. */
+Netlist BuildGradientDescent();
+double RefGradientDescent(double x0, double c);
+
+/** Kepler's equation E = M + e sin(E) via 4 fixed-point iterations
+ *  (sin approximated by its cubic Taylor polynomial). */
+Netlist BuildKepler();
+double RefKepler(double mean_anomaly, double eccentricity);
+
+/** Parrondo's paradox: 16 rounds of two losing games played alternately;
+ *  serial chain of capital updates driven by encrypted coin bits. */
+Netlist BuildParrondo();
+int64_t RefParrondo(const std::vector<bool>& coins);
+
+/** Roberts-Cross edge detection on an 8x8 image (|gx| + |gy| magnitude). */
+Netlist BuildRobertsCross();
+std::vector<double> RefRobertsCross(const std::vector<double>& image);
+
+// ------------------------------------------------------- extra workloads
+// Beyond VIP-Bench's 18: block-cipher evaluation under FHE.
+
+/**
+ * TEA (Tiny Encryption Algorithm) block encryption: 32 rounds over an
+ * encrypted 64-bit block with an encrypted 128-bit key. The round counter
+ * is public, so the delta multiples fold to constants; everything else is
+ * 32-bit adds, xors, and constant shifts. Deeply serial.
+ */
+Netlist BuildTea();
+std::pair<uint64_t, uint64_t> RefTea(uint64_t v0, uint64_t v1,
+                                     const std::vector<uint64_t>& key);
+
+}  // namespace pytfhe::vip
+
+#endif  // PYTFHE_VIP_BENCHMARKS_H

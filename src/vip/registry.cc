@@ -1,0 +1,106 @@
+#include "vip/registry.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "nn/models.h"
+#include "vip/benchmarks.h"
+
+namespace pytfhe::vip {
+
+namespace {
+
+using nn::Builder;
+using nn::DType;
+using nn::Tensor;
+
+circuit::Netlist BuildMnist(int64_t kernels, int64_t image) {
+    nn::MnistConfig cfg;
+    cfg.image = image;
+    cfg.seed = 1;
+    auto model = kernels == 1 ? nn::MnistS(cfg)
+                              : (kernels == 2 ? nn::MnistM(cfg)
+                                              : nn::MnistL(cfg));
+    Builder b;
+    Tensor in = Tensor::Input(b, DType::Fixed(8, 8),
+                              nn::MnistInputShape(cfg), "image");
+    model->Forward(b, in).Output(b, "logits");
+    return std::move(b.netlist());
+}
+
+circuit::Netlist BuildAttention(int64_t seq, int64_t hidden) {
+    nn::SelfAttention attn(seq, hidden);
+    attn.InitRandom(1);
+    Builder b;
+    Tensor in = Tensor::Input(b, DType::Float(5, 6), {seq, hidden}, "x");
+    attn.Forward(b, in).Output(b, "y");
+    return std::move(b.netlist());
+}
+
+}  // namespace
+
+std::vector<Workload> VipWorkloads() {
+    return {
+        {"Hamming", BuildHammingDistance},
+        {"Parrondo", BuildParrondo},
+        {"Fibonacci", BuildFibonacci},
+        {"MinMaxMean", BuildMinMaxMean},
+        {"Primality", BuildPrimality},
+        {"GradientDescent", BuildGradientDescent},
+        {"EulerApprox", BuildEulerApprox},
+        {"FilteredQuery", BuildFilteredQuery},
+        {"Kadane", BuildKadane},
+        {"Distinctness", BuildDistinctness},
+        {"DotProduct", BuildDotProduct},
+        {"KNN", BuildKnn},
+        {"Kepler", BuildKepler},
+        {"NRSolver", BuildNrSolver},
+        {"BubbleSort", BuildBubbleSort},
+        {"EditDistance", BuildEditDistance},
+        {"MatrixMultiply", BuildMatrixMultiply},
+        {"RobertsCross", BuildRobertsCross},
+    };
+}
+
+std::vector<Workload> ExtraWorkloads() {
+    return {
+        {"TEA", BuildTea},
+    };
+}
+
+std::vector<Workload> NeuralWorkloads(const BenchScale& scale) {
+    std::vector<Workload> out;
+    out.push_back({"MNIST_S",
+                   [=] { return BuildMnist(1, scale.mnist_image); }, true});
+    out.push_back({"MNIST_M",
+                   [=] { return BuildMnist(2, scale.mnist_image); }, true});
+    out.push_back({"MNIST_L",
+                   [=] { return BuildMnist(3, scale.mnist_image); }, true});
+    out.push_back(
+        {"Attention_S",
+         [=] { return BuildAttention(scale.attention_seq,
+                                     scale.attention_hidden_s); },
+         true});
+    out.push_back(
+        {"Attention_L",
+         [=] { return BuildAttention(scale.attention_seq,
+                                     scale.attention_hidden_l); },
+         true});
+    return out;
+}
+
+std::vector<Workload> AllWorkloads(const BenchScale& scale) {
+    std::vector<Workload> all = VipWorkloads();
+    for (auto& w : ExtraWorkloads()) all.push_back(std::move(w));
+    for (auto& w : NeuralWorkloads(scale)) all.push_back(std::move(w));
+    return all;
+}
+
+Workload FindWorkload(const std::string& name, const BenchScale& scale) {
+    for (auto& w : AllWorkloads(scale))
+        if (w.name == name) return w;
+    std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
+    std::abort();
+}
+
+}  // namespace pytfhe::vip

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Workload registry: every benchmark of the paper's evaluation, by name,
+ * with lazy circuit construction.
+ *
+ * Problem sizes: the 18 VIP-Bench kernels use VIP-Bench's small fixed
+ * sizes. The neural workloads are configurable; the default BenchScale
+ * uses the full 28x28 MNIST at Fixed(8,8) and scaled-down attention
+ * configurations (documented in EXPERIMENTS.md) so that circuit
+ * construction fits workstation memory. The relative ordering
+ * (MNIST_S < M < L < Attention_S < Attention_L in gate count) matches the
+ * paper's Fig. 10 sort order.
+ */
+#ifndef PYTFHE_VIP_REGISTRY_H
+#define PYTFHE_VIP_REGISTRY_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace pytfhe::vip {
+
+/** One registered workload. */
+struct Workload {
+    std::string name;
+    /** Builds the (unoptimized-input) circuit; run Optimize + Assemble. */
+    std::function<circuit::Netlist()> build;
+    bool is_neural = false;
+};
+
+/** Scaling knobs for the neural workloads. */
+struct BenchScale {
+    int64_t mnist_image = 16;      ///< Paper: 28 (scaled for bench time;
+                                   ///< pass 28 for the full network).
+    int64_t attention_seq = 4;     ///< Paper: 16 (scaled for memory).
+    int64_t attention_hidden_s = 16;  ///< Paper: 32.
+    int64_t attention_hidden_l = 32;  ///< Paper: 64.
+};
+
+/** The 18 VIP-Bench kernels. */
+std::vector<Workload> VipWorkloads();
+
+/** Workloads beyond the paper's set (e.g. the TEA block cipher). */
+std::vector<Workload> ExtraWorkloads();
+
+/** MNIST_S/M/L and Attention_S/L. */
+std::vector<Workload> NeuralWorkloads(const BenchScale& scale = {});
+
+/** Everything, VIP kernels first. */
+std::vector<Workload> AllWorkloads(const BenchScale& scale = {});
+
+/** Looks a workload up by name; aborts with a message if missing. */
+Workload FindWorkload(const std::string& name,
+                      const BenchScale& scale = {});
+
+}  // namespace pytfhe::vip
+
+#endif  // PYTFHE_VIP_REGISTRY_H

@@ -1,0 +1,101 @@
+#include "backend/scheduler.h"
+
+#include <gtest/gtest.h>
+#include <random>
+
+#include "pasm/assembler.h"
+
+namespace pytfhe::backend {
+namespace {
+
+using circuit::GateType;
+using circuit::Netlist;
+using circuit::NodeId;
+
+pasm::Program RandomProgram(uint64_t seed, int32_t inputs, int32_t gates) {
+    std::mt19937_64 rng(seed);
+    Netlist n;
+    std::vector<NodeId> pool;
+    for (int32_t i = 0; i < inputs; ++i) pool.push_back(n.AddInput());
+    for (int32_t i = 0; i < gates; ++i) {
+        GateType t = static_cast<GateType>(rng() % circuit::kNumGateTypes);
+        pool.push_back(
+            n.AddGate(t, pool[rng() % pool.size()], pool[rng() % pool.size()]));
+    }
+    n.AddOutput(pool.back());
+    return *pasm::Assemble(n);
+}
+
+TEST(Scheduler, ChainIsFullySequential) {
+    Netlist n;
+    NodeId x = n.AddInput();
+    NodeId y = n.AddInput();
+    NodeId v = n.AddGate(GateType::kAnd, x, y);
+    for (int i = 0; i < 9; ++i) v = n.AddGate(GateType::kXor, v, y);
+    n.AddOutput(v);
+    const Schedule s = ComputeSchedule(*pasm::Assemble(n));
+    EXPECT_EQ(s.NumLevels(), 10u);
+    EXPECT_EQ(s.MaxWidth(), 1u);
+    EXPECT_EQ(s.TotalGates(), 10u);
+}
+
+TEST(Scheduler, IndependentGatesShareOneLevel) {
+    Netlist n;
+    NodeId x = n.AddInput();
+    NodeId y = n.AddInput();
+    for (int i = 0; i < 16; ++i)
+        n.AddOutput(n.AddGate(static_cast<GateType>(1 + i % 10), x, y));
+    const Schedule s = ComputeSchedule(*pasm::Assemble(n));
+    EXPECT_EQ(s.NumLevels(), 1u);
+    EXPECT_EQ(s.MaxWidth(), 16u);
+}
+
+TEST(Scheduler, EveryGateScheduledExactlyOnce) {
+    const pasm::Program p = RandomProgram(5, 6, 200);
+    const Schedule s = ComputeSchedule(p);
+    EXPECT_EQ(s.TotalGates(), p.NumGates());
+    std::vector<bool> seen(p.FirstGateIndex() + p.NumGates(), false);
+    for (const auto& level : s.levels) {
+        for (uint64_t idx : level) {
+            EXPECT_FALSE(seen[idx]);
+            seen[idx] = true;
+        }
+    }
+}
+
+class SchedulerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchedulerPropertyTest, DependenciesAlwaysInEarlierLevels) {
+    const pasm::Program p = RandomProgram(GetParam(), 5, 300);
+    const Schedule s = ComputeSchedule(p);
+    std::vector<int64_t> level_of(p.FirstGateIndex() + p.NumGates(), -1);
+    for (size_t l = 0; l < s.levels.size(); ++l)
+        for (uint64_t idx : s.levels[l])
+            level_of[idx] = static_cast<int64_t>(l);
+    for (size_t l = 0; l < s.levels.size(); ++l) {
+        for (uint64_t idx : s.levels[l]) {
+            const auto g = p.GateAt(idx);
+            for (uint64_t in : {g.in0, g.in1}) {
+                if (in >= p.FirstGateIndex())  // A gate, not an input.
+                    EXPECT_LT(level_of[in], static_cast<int64_t>(l));
+            }
+        }
+    }
+}
+
+TEST_P(SchedulerPropertyTest, FirstLevelDependsOnlyOnInputs) {
+    const pasm::Program p = RandomProgram(GetParam() ^ 0xF00, 5, 300);
+    const Schedule s = ComputeSchedule(p);
+    ASSERT_FALSE(s.levels.empty());
+    for (uint64_t idx : s.levels[0]) {
+        const auto g = p.GateAt(idx);
+        EXPECT_LT(g.in0, p.FirstGateIndex());
+        EXPECT_LT(g.in1, p.FirstGateIndex());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace pytfhe::backend

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "backend/calibrate.h"
+#include "backend/cluster_sim.h"
+#include "backend/gpu_sim.h"
+#include "pasm/assembler.h"
+
+namespace pytfhe::backend {
+namespace {
+
+using circuit::GateType;
+using circuit::Netlist;
+using circuit::NodeId;
+
+/** Wide shallow circuit: `width` independent AND gates per layer. */
+pasm::Program WideProgram(int32_t width, int32_t depth) {
+    Netlist n;
+    std::vector<NodeId> prev;
+    for (int32_t i = 0; i < width + 1; ++i) prev.push_back(n.AddInput());
+    for (int32_t d = 0; d < depth; ++d) {
+        std::vector<NodeId> next;
+        for (int32_t i = 0; i < width; ++i)
+            next.push_back(n.AddGate(GateType::kXor, prev[i], prev[i + 1]));
+        next.push_back(prev[0]);
+        prev = std::move(next);
+    }
+    for (int32_t i = 0; i < width; ++i) n.AddOutput(prev[i]);
+    return *pasm::Assemble(n);
+}
+
+/** Serial chain: no parallelism at all. */
+pasm::Program ChainProgram(int32_t length) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    NodeId v = n.AddInput();
+    for (int32_t i = 0; i < length; ++i) v = n.AddGate(GateType::kNand, v, a);
+    n.AddOutput(v);
+    return *pasm::Assemble(n);
+}
+
+ClusterConfig Nodes(int32_t nodes) {
+    ClusterConfig c;
+    c.nodes = nodes;
+    return c;
+}
+
+TEST(ClusterSim, WideCircuitScalesNearIdeallyOnOneNode) {
+    const auto p = WideProgram(2000, 40);
+    const ClusterResult r = SimulateCluster(p, Nodes(1));
+    EXPECT_GT(r.Speedup(), 0.90 * 18);
+    EXPECT_LE(r.Speedup(), 18.001);
+}
+
+TEST(ClusterSim, WideCircuitScalesWellOnFourNodes) {
+    const auto p = WideProgram(4000, 40);
+    const ClusterResult r = SimulateCluster(p, Nodes(4));
+    // Paper: 60.5 of ideal 72 on the MNIST workloads.
+    EXPECT_GT(r.Speedup(), 0.70 * 72);
+    EXPECT_LE(r.Speedup(), 72.001);
+}
+
+TEST(ClusterSim, SerialChainDoesNotScale) {
+    const auto p = ChainProgram(300);
+    const ClusterResult r = SimulateCluster(p, Nodes(4));
+    EXPECT_LT(r.Speedup(), 1.05);
+}
+
+TEST(ClusterSim, MoreWorkersNeverSlower) {
+    const auto p = WideProgram(500, 30);
+    double prev = 1e300;
+    for (int32_t nodes : {1, 2, 4}) {
+        const double t = SimulateCluster(p, Nodes(nodes)).seconds;
+        EXPECT_LE(t, prev * 1.0001) << nodes;
+        prev = t;
+    }
+}
+
+TEST(ClusterSim, SpeedupNeverExceedsIdeal) {
+    for (int32_t nodes : {1, 2, 4}) {
+        for (int32_t width : {10, 100, 1000}) {
+            const auto p = WideProgram(width, 10);
+            const ClusterResult r = SimulateCluster(p, Nodes(nodes));
+            EXPECT_LE(r.Speedup(), r.IdealSpeedup() * 1.0001)
+                << nodes << "x" << width;
+        }
+    }
+}
+
+TEST(ClusterSim, SmallBenchmarkIsOverheadBound) {
+    // A tiny wide program: barriers and submission dominate.
+    const auto p = WideProgram(8, 4);
+    const ClusterResult big_cluster = SimulateCluster(p, Nodes(4));
+    const ClusterResult small_cluster = SimulateCluster(p, Nodes(1));
+    // Efficiency is far from ideal on the big cluster.
+    EXPECT_LT(big_cluster.Efficiency(), 0.5);
+    // And four nodes barely help over one for such a small circuit.
+    EXPECT_LT(small_cluster.seconds / big_cluster.seconds, 4.0);
+}
+
+TEST(ClusterSim, IdealThroughputMatchesWorkerCount) {
+    EXPECT_NEAR(IdealThroughput(Nodes(1)), 18 / 0.015, 1e-6);
+    EXPECT_NEAR(IdealThroughput(Nodes(4)), 72 / 0.015, 1e-6);
+}
+
+TEST(ClusterSim, GateMixSeparatesNotGates) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    const NodeId g = n.AddGate(GateType::kAnd, a, b);
+    n.AddOutput(n.AddGate(GateType::kNot, g, g));
+    const GateMix mix = ComputeGateMix(*pasm::Assemble(n));
+    EXPECT_EQ(mix.bootstrap_gates, 1u);
+    EXPECT_EQ(mix.linear_gates, 1u);
+}
+
+TEST(Calibration, MeasuredCostModelIsPlausible) {
+    tfhe::Rng rng(401);
+    tfhe::SecretKeySet secret(tfhe::ToyParams(), rng);
+    tfhe::GateEvaluator gates(secret, rng);
+    const CpuCostModel m =
+        MeasureCpuCostModel(gates, secret, rng, /*samples=*/5);
+    // Toy bootstraps are sub-millisecond but far above a NOT.
+    EXPECT_GT(m.bootstrap_gate_seconds, 1e-6);
+    EXPECT_LT(m.bootstrap_gate_seconds, 0.5);
+    EXPECT_LT(m.linear_gate_seconds, m.bootstrap_gate_seconds / 10);
+    // And it plugs into the simulator.
+    ClusterConfig cfg;
+    cfg.cpu = m;
+    const auto p = WideProgram(100, 5);
+    EXPECT_GT(SimulateCluster(p, cfg).seconds, 0.0);
+}
+
+// ------------------------------------------------------------------- GPU
+
+TEST(GpuSim, PyTfheBeatsCuFheOnParallelCircuits) {
+    const auto p = WideProgram(1000, 30);
+    for (const GpuConfig& gpu : {A5000(), Rtx4090()}) {
+        const GpuResult cufhe = SimulateCuFhe(p, gpu);
+        const GpuResult pytfhe = SimulatePyTfhe(p, gpu);
+        const double speedup = cufhe.seconds / pytfhe.seconds;
+        // Paper: up to 61.5x; the gap must be at least an order of
+        // magnitude on a parallel workload.
+        EXPECT_GT(speedup, 10.0) << gpu.name;
+        EXPECT_LT(speedup, 200.0) << gpu.name;
+    }
+}
+
+TEST(GpuSim, SerialChainsGetModestGpuSpeedup) {
+    const auto p = ChainProgram(200);
+    const GpuConfig gpu = A5000();
+    const double speedup =
+        SimulateCuFhe(p, gpu).seconds / SimulatePyTfhe(p, gpu).seconds;
+    // No gate-level parallelism: the win comes only from eliminating
+    // copies and launches.
+    EXPECT_LT(speedup, 10.0);
+    EXPECT_GT(speedup, 1.0);
+}
+
+TEST(GpuSim, Rtx4090FasterThanA5000) {
+    const auto p = WideProgram(2000, 20);
+    EXPECT_LT(SimulatePyTfhe(p, Rtx4090()).seconds,
+              SimulatePyTfhe(p, A5000()).seconds);
+}
+
+TEST(GpuSim, CuFheBreakdownAccountsForTotal) {
+    const auto p = ChainProgram(10);
+    const GpuResult r = SimulateCuFhe(p, A5000());
+    EXPECT_NEAR(r.seconds,
+                r.h2d_seconds + r.kernel_seconds + r.d2h_seconds +
+                    r.launch_seconds,
+                1e-9);
+    EXPECT_EQ(r.batches, 10u);  // One API call per gate.
+}
+
+TEST(GpuSim, CuFheTimelineAlternatesLanes) {
+    const auto p = ChainProgram(4);
+    const GpuResult r = SimulateCuFhe(p, A5000());
+    // Fig. 8: H2D, Kernel, D2H per gate, serialized.
+    ASSERT_GE(r.timeline.size(), 12u);
+    EXPECT_EQ(r.timeline[0].lane, "H2D");
+    EXPECT_EQ(r.timeline[1].lane, "Kernel");
+    EXPECT_EQ(r.timeline[2].lane, "D2H");
+    for (size_t i = 1; i < r.timeline.size(); ++i)
+        EXPECT_GE(r.timeline[i].start, r.timeline[i - 1].end - 1e-12);
+}
+
+TEST(GpuSim, PyTfheBatchesRespectBudget) {
+    GpuConfig gpu = A5000();
+    gpu.batch_gates = 100;
+    const auto p = WideProgram(60, 10);  // 600 gates -> >= 6 batches.
+    const GpuResult r = SimulatePyTfhe(p, gpu);
+    EXPECT_GE(r.batches, 6u);
+    EXPECT_LE(r.batches, 12u);
+}
+
+TEST(GpuSim, IntermediateValuesStayOnDevice) {
+    // A deep chain in one batch needs only the primary inputs uploaded and
+    // the single output downloaded: transfer time is two syncs.
+    const auto p = ChainProgram(50);
+    const GpuConfig gpu = A5000();
+    const GpuResult r = SimulatePyTfhe(p, gpu);
+    EXPECT_LE(r.h2d_seconds, 2 * gpu.transfer_sync_seconds);
+    EXPECT_LE(r.d2h_seconds, 2 * gpu.transfer_sync_seconds);
+}
+
+TEST(GpuSim, HostBuildOverlapsExecution) {
+    GpuConfig gpu = A5000();
+    gpu.batch_gates = 2000;
+    const auto p = WideProgram(400, 50);  // 20000 gates, 10 batches.
+    const GpuResult r = SimulatePyTfhe(p, gpu);
+    // Build time is nonzero but mostly hidden: total << serial sum.
+    EXPECT_GT(r.host_build_seconds, 0.0);
+    EXPECT_LT(r.seconds, r.kernel_seconds + r.h2d_seconds + r.d2h_seconds +
+                             r.launch_seconds + r.host_build_seconds);
+}
+
+TEST(GpuSim, FasterKernelsNeverSlower) {
+    const auto p = WideProgram(500, 20);
+    GpuConfig slow = A5000(), fast = A5000();
+    fast.kernel_seconds = slow.kernel_seconds / 2;
+    EXPECT_LT(SimulatePyTfhe(p, fast).seconds,
+              SimulatePyTfhe(p, slow).seconds);
+    EXPECT_LT(SimulateCuFhe(p, fast).seconds,
+              SimulateCuFhe(p, slow).seconds);
+}
+
+TEST(GpuSim, MoreConcurrencyNeverSlower) {
+    const auto p = WideProgram(500, 20);
+    double prev = 1e300;
+    for (int32_t spg : {8, 4, 2, 1}) {  // Fewer SMs per gate = more lanes.
+        GpuConfig g = A5000();
+        g.sms_per_gate = spg;
+        const double t = SimulatePyTfhe(p, g).seconds;
+        EXPECT_LE(t, prev * 1.0001) << spg;
+        prev = t;
+    }
+}
+
+TEST(ClusterSim, SlowerGatesScaleLinearly) {
+    const auto p = WideProgram(500, 20);
+    ClusterConfig c1, c2;
+    c2.cpu.bootstrap_gate_seconds = 2 * c1.cpu.bootstrap_gate_seconds;
+    const double t1 = SimulateCluster(p, c1).seconds;
+    const double t2 = SimulateCluster(p, c2).seconds;
+    // Compute dominates on this program, so doubling the gate cost nearly
+    // doubles the makespan.
+    EXPECT_GT(t2 / t1, 1.8);
+    EXPECT_LT(t2 / t1, 2.05);
+}
+
+}  // namespace
+}  // namespace pytfhe::backend

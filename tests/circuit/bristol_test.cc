@@ -1,0 +1,145 @@
+#include "circuit/bristol.h"
+
+#include <gtest/gtest.h>
+#include <random>
+
+namespace pytfhe::circuit {
+namespace {
+
+Netlist HalfAdder() {
+    Netlist n;
+    const NodeId a = n.AddInput("A");
+    const NodeId b = n.AddInput("B");
+    n.AddOutput(n.AddGate(GateType::kXor, a, b), "Sum");
+    n.AddOutput(n.AddGate(GateType::kAnd, a, b), "Carry");
+    return n;
+}
+
+Netlist RandomNetlist(uint64_t seed, int32_t inputs, int32_t gates) {
+    std::mt19937_64 rng(seed);
+    Netlist n;
+    std::vector<NodeId> pool;
+    pool.push_back(kConstFalse);
+    pool.push_back(kConstTrue);
+    for (int32_t i = 0; i < inputs; ++i) pool.push_back(n.AddInput());
+    for (int32_t i = 0; i < gates; ++i) {
+        GateType t = static_cast<GateType>(rng() % kNumGateTypes);
+        pool.push_back(
+            n.AddGate(t, pool[rng() % pool.size()], pool[rng() % pool.size()]));
+    }
+    for (int i = 0; i < 3; ++i) n.AddOutput(pool[pool.size() - 1 - i]);
+    return n;
+}
+
+TEST(Bristol, HalfAdderExportShape) {
+    const std::string text = ExportBristolString(HalfAdder());
+    std::istringstream is(text);
+    uint64_t gates, wires;
+    is >> gates >> wires;
+    // XOR + AND + 2 EQW output copies.
+    EXPECT_EQ(gates, 4u);
+    EXPECT_EQ(wires, 6u);
+    EXPECT_NE(text.find("XOR"), std::string::npos);
+    EXPECT_NE(text.find("AND"), std::string::npos);
+    EXPECT_NE(text.find("EQW"), std::string::npos);
+}
+
+TEST(Bristol, HalfAdderRoundTrip) {
+    const Netlist original = HalfAdder();
+    auto back = ImportBristolString(ExportBristolString(original));
+    ASSERT_TRUE(back.has_value());
+    for (int a = 0; a < 2; ++a)
+        for (int b = 0; b < 2; ++b)
+            EXPECT_EQ(back->EvaluatePlain({a == 1, b == 1}),
+                      original.EvaluatePlain({a == 1, b == 1}));
+}
+
+class BristolPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BristolPropertyTest, RoundTripPreservesSemantics) {
+    const Netlist original = RandomNetlist(GetParam(), 5, 60);
+    std::string error;
+    auto back = ImportBristolString(ExportBristolString(original), &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(back->Inputs().size(), original.Inputs().size());
+    EXPECT_EQ(back->Outputs().size(), original.Outputs().size());
+    std::mt19937_64 rng(GetParam() ^ 0xB1);
+    for (int trial = 0; trial < 16; ++trial) {
+        std::vector<bool> in(5);
+        for (size_t i = 0; i < in.size(); ++i) in[i] = rng() & 1;
+        EXPECT_EQ(back->EvaluatePlain(in), original.EvaluatePlain(in));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BristolPropertyTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST(Bristol, ImportsHandWrittenFullAdder) {
+    // A textbook full adder in Bristol fashion: inputs a, b, cin.
+    const std::string text = R"(5 8
+1 3
+1 2
+
+2 1 0 1 3 XOR
+2 1 3 2 6 XOR
+2 1 0 1 4 AND
+2 1 3 2 5 AND
+2 1 4 5 7 XOR
+)";
+    // Outputs: wire 6 = sum, wire 7 = carry (OR of disjoint ANDs == XOR).
+    auto n = ImportBristolString(text);
+    ASSERT_TRUE(n.has_value());
+    for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+            for (int c = 0; c < 2; ++c) {
+                const auto out =
+                    n->EvaluatePlain({a == 1, b == 1, c == 1});
+                EXPECT_EQ(out[0], ((a + b + c) & 1) == 1);
+                EXPECT_EQ(out[1], (a + b + c) >= 2);
+            }
+        }
+    }
+}
+
+TEST(Bristol, ImportHandlesConstantsViaEq) {
+    const std::string text = R"(2 4
+1 1
+1 1
+
+1 1 1 2 EQ
+2 1 0 2 3 AND
+)";
+    auto n = ImportBristolString(text);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(n->EvaluatePlain({true})[0], true);   // x AND 1 == x.
+    EXPECT_EQ(n->EvaluatePlain({false})[0], false);
+}
+
+TEST(Bristol, RejectsMalformedInputs) {
+    std::string error;
+    EXPECT_FALSE(ImportBristolString("", &error).has_value());
+    EXPECT_FALSE(ImportBristolString("1 2\n1 1\n1 1\n\n2 1 0 5 1 AND\n",
+                                     &error)
+                     .has_value());  // Reads undefined wire.
+    EXPECT_FALSE(
+        ImportBristolString("1 3\n1 1\n1 1\n\n2 1 0 0 2 NAND\n", &error)
+            .has_value());  // Unknown op for this importer's base set.
+    EXPECT_NE(error.find("NAND"), std::string::npos);
+    EXPECT_FALSE(
+        ImportBristolString("1 3\n1 1\n1 1\n\n2 2 0 0 2 AND\n", &error)
+            .has_value());  // Multi-output gate.
+}
+
+TEST(Bristol, ExportedConstantsSurviveRoundTrip) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    n.AddOutput(n.AddGate(GateType::kOr, a, kConstTrue));  // Always 1.
+    n.AddOutput(a);
+    auto back = ImportBristolString(ExportBristolString(n));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->EvaluatePlain({false}), n.EvaluatePlain({false}));
+    EXPECT_EQ(back->EvaluatePlain({true}), n.EvaluatePlain({true}));
+}
+
+}  // namespace
+}  // namespace pytfhe::circuit

@@ -1,0 +1,133 @@
+#include "circuit/netlist.h"
+
+#include <gtest/gtest.h>
+
+namespace pytfhe::circuit {
+namespace {
+
+/** Builds the paper's half adder (Fig. 6): XOR + AND. */
+Netlist HalfAdder() {
+    Netlist n;
+    const NodeId a = n.AddInput("A");
+    const NodeId b = n.AddInput("B");
+    const NodeId sum = n.AddGate(GateType::kXor, a, b);
+    const NodeId carry = n.AddGate(GateType::kAnd, a, b);
+    n.AddOutput(sum, "Sum");
+    n.AddOutput(carry, "Carry");
+    return n;
+}
+
+TEST(GateTypeTest, EvalMatchesTruthTables) {
+    EXPECT_TRUE(EvalGate(GateType::kNand, false, false));
+    EXPECT_FALSE(EvalGate(GateType::kNand, true, true));
+    EXPECT_TRUE(EvalGate(GateType::kXor, true, false));
+    EXPECT_TRUE(EvalGate(GateType::kAndNY, false, true));
+    EXPECT_FALSE(EvalGate(GateType::kAndNY, true, true));
+    EXPECT_TRUE(EvalGate(GateType::kOrYN, false, false));
+}
+
+TEST(GateTypeTest, XorEncodesAsSix) {
+    // Fig. 6: XOR's gate type is 0110.
+    EXPECT_EQ(static_cast<int>(GateType::kXor), 6);
+}
+
+TEST(GateTypeTest, NegatedGateIsInvolution) {
+    for (int t = 1; t < kNumGateTypes; ++t) {
+        const GateType g = static_cast<GateType>(t);
+        EXPECT_EQ(NegatedGate(NegatedGate(g)), g);
+        for (int a = 0; a < 2; ++a)
+            for (int b = 0; b < 2; ++b)
+                EXPECT_EQ(EvalGate(NegatedGate(g), a, b), !EvalGate(g, a, b));
+    }
+}
+
+TEST(GateTypeTest, InputNegationIdentities) {
+    for (int t = 1; t < kNumGateTypes; ++t) {
+        const GateType g = static_cast<GateType>(t);
+        for (int a = 0; a < 2; ++a) {
+            for (int b = 0; b < 2; ++b) {
+                EXPECT_EQ(EvalGate(GateWithFirstInputNegated(g), a, b),
+                          EvalGate(g, !a, b))
+                    << GateTypeName(g);
+                EXPECT_EQ(EvalGate(GateWithSecondInputNegated(g), a, b),
+                          EvalGate(g, a, !b))
+                    << GateTypeName(g);
+            }
+        }
+    }
+}
+
+TEST(NetlistTest, HalfAdderEvaluates) {
+    Netlist n = HalfAdder();
+    EXPECT_EQ(n.NumGates(), 2u);
+    for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+            auto out = n.EvaluatePlain({a == 1, b == 1});
+            EXPECT_EQ(out[0], (a ^ b) != 0);
+            EXPECT_EQ(out[1], (a & b) != 0);
+        }
+    }
+}
+
+TEST(NetlistTest, ValidNetlistPassesValidation) {
+    EXPECT_FALSE(HalfAdder().Validate().has_value());
+}
+
+TEST(NetlistTest, LevelsRespectDependencies) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    const NodeId g1 = n.AddGate(GateType::kAnd, a, b);
+    const NodeId g2 = n.AddGate(GateType::kOr, g1, b);
+    const NodeId g3 = n.AddGate(GateType::kXor, g1, g2);
+    n.AddOutput(g3);
+    auto levels = n.ComputeLevels();
+    ASSERT_EQ(levels.size(), 3u);
+    EXPECT_EQ(levels[0], std::vector<NodeId>{g1});
+    EXPECT_EQ(levels[1], std::vector<NodeId>{g2});
+    EXPECT_EQ(levels[2], std::vector<NodeId>{g3});
+}
+
+TEST(NetlistTest, StatsCountGatesAndDepth) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId na = n.AddGate(GateType::kNot, a, a);
+    const NodeId g = n.AddGate(GateType::kAnd, na, a);
+    const NodeId h = n.AddGate(GateType::kOr, g, na);
+    n.AddOutput(h);
+    const NetlistStats s = n.ComputeStats();
+    EXPECT_EQ(s.num_gates, 3u);
+    EXPECT_EQ(s.num_bootstrap_gates, 2u);  // NOT is noiseless.
+    EXPECT_EQ(s.depth, 2u);                // AND then OR; NOT is free.
+    EXPECT_EQ(s.gate_histogram[static_cast<int>(GateType::kNot)], 1u);
+    EXPECT_EQ(s.num_inputs, 1u);
+    EXPECT_EQ(s.num_outputs, 1u);
+}
+
+TEST(NetlistTest, ConstantsEvaluate) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    n.AddOutput(n.AddGate(GateType::kOr, a, kConstTrue));
+    n.AddOutput(n.AddGate(GateType::kAnd, a, kConstFalse));
+    auto out = n.EvaluatePlain({false});
+    EXPECT_TRUE(out[0]);
+    EXPECT_FALSE(out[1]);
+}
+
+TEST(NetlistTest, DotExportContainsStructure) {
+    const std::string dot = HalfAdder().ToDot();
+    EXPECT_NE(dot.find("XOR"), std::string::npos);
+    EXPECT_NE(dot.find("AND"), std::string::npos);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(NetlistTest, InputAndOutputNames) {
+    Netlist n = HalfAdder();
+    EXPECT_EQ(n.InputName(0), "A");
+    EXPECT_EQ(n.InputName(1), "B");
+    EXPECT_EQ(n.OutputName(0), "Sum");
+    EXPECT_EQ(n.OutputName(1), "Carry");
+}
+
+}  // namespace
+}  // namespace pytfhe::circuit

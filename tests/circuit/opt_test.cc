@@ -1,0 +1,178 @@
+#include "circuit/opt/passes.h"
+
+#include <gtest/gtest.h>
+#include <random>
+
+#include "circuit/builder.h"
+
+namespace pytfhe::circuit {
+namespace {
+
+/** Generates a random DAG with the given gate count over `inputs` inputs. */
+Netlist RandomNetlist(uint64_t seed, int32_t inputs, int32_t gates,
+                      bool use_constants) {
+    std::mt19937_64 rng(seed);
+    Netlist n;
+    std::vector<NodeId> pool;
+    if (use_constants) {
+        pool.push_back(kConstFalse);
+        pool.push_back(kConstTrue);
+    }
+    for (int32_t i = 0; i < inputs; ++i) pool.push_back(n.AddInput());
+    for (int32_t i = 0; i < gates; ++i) {
+        const GateType t = static_cast<GateType>(rng() % kNumGateTypes);
+        const NodeId a = pool[rng() % pool.size()];
+        const NodeId b = pool[rng() % pool.size()];
+        pool.push_back(n.AddGate(t, a, b));
+    }
+    // A handful of outputs from the most recent nodes.
+    for (int32_t i = 0; i < 4; ++i)
+        n.AddOutput(pool[pool.size() - 1 - (rng() % (gates / 2 + 1))]);
+    return n;
+}
+
+std::vector<bool> RandomInputs(std::mt19937_64& rng, size_t count) {
+    std::vector<bool> v(count);
+    for (size_t i = 0; i < count; ++i) v[i] = rng() & 1;
+    return v;
+}
+
+class OptimizePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimizePropertyTest, PreservesSemanticsOnRandomCircuits) {
+    const uint64_t seed = GetParam();
+    Netlist original = RandomNetlist(seed, 6, 80, /*use_constants=*/true);
+    OptResult opt = Optimize(original);
+    ASSERT_FALSE(opt.netlist.Validate().has_value());
+    EXPECT_LE(opt.netlist.NumGates(), original.NumGates());
+
+    std::mt19937_64 rng(seed ^ 0xABCD);
+    for (int trial = 0; trial < 32; ++trial) {
+        const auto in = RandomInputs(rng, original.Inputs().size());
+        EXPECT_EQ(original.EvaluatePlain(in), opt.netlist.EvaluatePlain(in))
+            << "seed=" << seed << " trial=" << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizePropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(OptimizeTest, FoldsConstantCone) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId g1 = n.AddGate(GateType::kAnd, kConstTrue, kConstTrue);
+    const NodeId g2 = n.AddGate(GateType::kXor, g1, kConstTrue);  // == 0.
+    const NodeId g3 = n.AddGate(GateType::kOr, a, g2);            // == a.
+    n.AddOutput(g3);
+    OptResult r = Optimize(n);
+    EXPECT_EQ(r.netlist.NumGates(), 0u);
+    EXPECT_EQ(r.netlist.Outputs()[0], r.netlist.Inputs()[0]);
+}
+
+TEST(OptimizeTest, RemovesDeadGates) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    const NodeId live = n.AddGate(GateType::kAnd, a, b);
+    for (int i = 0; i < 10; ++i) n.AddGate(GateType::kXor, a, b);  // Dead.
+    n.AddOutput(live);
+    OptResult r = Optimize(n);
+    EXPECT_EQ(r.netlist.NumGates(), 1u);
+}
+
+TEST(OptimizeTest, DedupesIdenticalGates) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    const NodeId g1 = n.AddGate(GateType::kAnd, a, b);
+    const NodeId g2 = n.AddGate(GateType::kAnd, a, b);
+    const NodeId g3 = n.AddGate(GateType::kAnd, b, a);  // Commuted.
+    const NodeId o = n.AddGate(
+        GateType::kXor, n.AddGate(GateType::kOr, g1, g2), g3);
+    n.AddOutput(o);
+    OptResult r = Optimize(n);
+    // g1 == g2 == g3; OR(g, g) folds to g; XOR(g, g) folds to 0 — the
+    // whole circuit folds to constant false... which is then unrepresented.
+    EXPECT_EQ(r.netlist.NumGates(), 0u);
+    EXPECT_EQ(r.netlist.Outputs()[0], kConstFalse);
+}
+
+TEST(OptimizeTest, AbsorbsNotsIntoGateSet) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    const NodeId na = n.AddGate(GateType::kNot, a, a);
+    const NodeId g = n.AddGate(GateType::kAnd, na, b);  // -> ANDNY(a, b).
+    n.AddOutput(g);
+    OptResult r = Optimize(n);
+    EXPECT_EQ(r.netlist.NumGates(), 1u);
+    bool found_andny = false;
+    for (NodeId id = 2; id < r.netlist.NumNodes(); ++id) {
+        const Node& node = r.netlist.GetNode(id);
+        if (node.kind == NodeKind::kGate && node.type == GateType::kAndNY)
+            found_andny = true;
+    }
+    EXPECT_TRUE(found_andny);
+}
+
+TEST(OptimizeTest, DoubleNegationCancels) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId na = n.AddGate(GateType::kNot, a, a);
+    const NodeId nna = n.AddGate(GateType::kNot, na, na);
+    n.AddOutput(nna);
+    OptResult r = Optimize(n);
+    EXPECT_EQ(r.netlist.NumGates(), 0u);
+    EXPECT_EQ(r.netlist.Outputs()[0], r.netlist.Inputs()[0]);
+}
+
+TEST(OptimizeTest, DisabledRewritesAreRespected) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    n.AddOutput(n.AddGate(GateType::kAnd, a, b));
+    n.AddOutput(n.AddGate(GateType::kAnd, a, b));
+    OptOptions no_cse;
+    no_cse.cse = false;
+    EXPECT_EQ(Optimize(n, no_cse).netlist.NumGates(), 2u);
+    EXPECT_EQ(Optimize(n).netlist.NumGates(), 1u);
+}
+
+TEST(OptimizeTest, XorWithSameInputFoldsToFalse) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId x = n.AddGate(GateType::kXor, a, a);
+    const NodeId o = n.AddGate(GateType::kOr, a, x);
+    n.AddOutput(o);
+    OptResult r = Optimize(n);
+    EXPECT_EQ(r.netlist.NumGates(), 0u);
+    EXPECT_EQ(r.netlist.Outputs()[0], r.netlist.Inputs()[0]);
+}
+
+TEST(BuilderTest, MuxLowersToTwoBootstrappedGatesPlusOr) {
+    SimplifyingBuilder b;
+    const NodeId s = b.MakeInput();
+    const NodeId t = b.MakeInput();
+    const NodeId f = b.MakeInput();
+    b.AddOutput(b.MakeMux(s, t, f));
+    EXPECT_EQ(b.netlist().NumGates(), 3u);  // AND + ANDNY + OR.
+    // Exhaustive functional check.
+    for (int sv = 0; sv < 2; ++sv)
+        for (int tv = 0; tv < 2; ++tv)
+            for (int fv = 0; fv < 2; ++fv)
+                EXPECT_EQ(b.netlist().EvaluatePlain(
+                              {sv == 1, tv == 1, fv == 1})[0],
+                          sv ? tv == 1 : fv == 1);
+}
+
+TEST(BuilderTest, MuxWithConstantArmsSimplifies) {
+    SimplifyingBuilder b;
+    const NodeId s = b.MakeInput();
+    const NodeId f = b.MakeInput();
+    // s ? 1 : f == OR(s, f).
+    b.AddOutput(b.MakeMux(s, b.MakeConst(true), f));
+    EXPECT_EQ(b.netlist().NumGates(), 1u);
+}
+
+}  // namespace
+}  // namespace pytfhe::circuit

@@ -1,0 +1,170 @@
+#include "ckks/ckks.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace pytfhe::ckks {
+namespace {
+
+std::vector<double> RandomSlots(uint64_t seed, int32_t n, double mag = 1.0) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-mag, mag);
+    std::vector<double> v(n);
+    for (auto& x : v) x = dist(rng);
+    return v;
+}
+
+void ExpectSlotsNear(const std::vector<double>& got,
+                     const std::vector<double>& want, double tol) {
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i)
+        EXPECT_NEAR(got[i], want[i], tol) << "slot " << i;
+}
+
+class CkksTest : public ::testing::Test {
+  protected:
+    CkksTest() : rng_(501), ctx_(CkksParams{}, rng_) {}
+
+    tfhe::Rng rng_;
+    CkksContext ctx_;
+};
+
+TEST_F(CkksTest, EncodeDecodeRoundTrip) {
+    const auto slots = RandomSlots(1, ctx_.params().NumSlots());
+    const Poly m = ctx_.Encode(slots);
+    const auto back = ctx_.Decode(m, std::pow(2.0, ctx_.params().log_scale),
+                                  ctx_.params().log_q0);
+    // Encoding rounds coefficients to integers at scale Delta.
+    ExpectSlotsNear(back, slots, 1e-3);
+}
+
+TEST_F(CkksTest, EncryptDecryptRoundTrip) {
+    const auto slots = RandomSlots(2, ctx_.params().NumSlots());
+    const auto ct = ctx_.Encrypt(slots, rng_);
+    ExpectSlotsNear(ctx_.Decrypt(ct), slots, 5e-3);
+}
+
+TEST_F(CkksTest, HomomorphicAdditionIsSlotwise) {
+    const auto a = RandomSlots(3, ctx_.params().NumSlots());
+    const auto b = RandomSlots(4, ctx_.params().NumSlots());
+    const auto sum = ctx_.Add(ctx_.Encrypt(a, rng_), ctx_.Encrypt(b, rng_));
+    auto want = a;
+    for (size_t i = 0; i < want.size(); ++i) want[i] += b[i];
+    ExpectSlotsNear(ctx_.Decrypt(sum), want, 1e-2);
+}
+
+TEST_F(CkksTest, HomomorphicMultiplicationIsSlotwise) {
+    const auto a = RandomSlots(5, ctx_.params().NumSlots());
+    const auto b = RandomSlots(6, ctx_.params().NumSlots());
+    auto prod = ctx_.Mul(ctx_.Encrypt(a, rng_), ctx_.Encrypt(b, rng_));
+    auto want = a;
+    for (size_t i = 0; i < want.size(); ++i) want[i] *= b[i];
+    // Before rescale the scale is Delta^2; Decrypt handles it via the
+    // tracked scale.
+    ExpectSlotsNear(ctx_.Decrypt(prod), want, 3e-2);
+    // After rescale the result decrypts at one level down.
+    prod = ctx_.Rescale(prod);
+    EXPECT_EQ(prod.log_q,
+              ctx_.params().log_q0 - ctx_.params().log_scale);
+    ExpectSlotsNear(ctx_.Decrypt(prod), want, 3e-2);
+}
+
+TEST_F(CkksTest, PlaintextMulAndAdd) {
+    const auto a = RandomSlots(7, ctx_.params().NumSlots());
+    const auto w = RandomSlots(8, ctx_.params().NumSlots());
+    auto ct = ctx_.MulPlain(ctx_.Encrypt(a, rng_), w);
+    ct = ctx_.Rescale(ct);
+    ct = ctx_.AddPlain(ct, w);
+    auto want = a;
+    for (size_t i = 0; i < want.size(); ++i)
+        want[i] = want[i] * w[i] + w[i];
+    ExpectSlotsNear(ctx_.Decrypt(ct), want, 3e-2);
+}
+
+TEST_F(CkksTest, DepthTwoEvaluation) {
+    // (a*b) * c with rescales in between: exercises the modulus chain.
+    const int32_t slots = ctx_.params().NumSlots();
+    const auto a = RandomSlots(9, slots);
+    const auto b = RandomSlots(10, slots);
+    const auto c = RandomSlots(11, slots);
+    auto ab = ctx_.Rescale(
+        ctx_.Mul(ctx_.Encrypt(a, rng_), ctx_.Encrypt(b, rng_)));
+    // Bring c down to ab's level by multiplying by ones and rescaling.
+    auto cc = ctx_.Rescale(
+        ctx_.MulPlain(ctx_.Encrypt(c, rng_),
+                      std::vector<double>(slots, 1.0)));
+    ASSERT_EQ(ab.log_q, cc.log_q);
+    auto abc = ctx_.Rescale(ctx_.Mul(ab, cc));
+    auto want = a;
+    for (int32_t i = 0; i < slots; ++i) want[i] *= b[i] * c[i];
+    ExpectSlotsNear(ctx_.Decrypt(abc), want, 0.05);
+}
+
+TEST_F(CkksTest, RotationShiftsSlots) {
+    const auto a = RandomSlots(12, ctx_.params().NumSlots());
+    const auto ct = ctx_.Encrypt(a, rng_);
+    for (int32_t steps : {1, 2, 5}) {
+        ctx_.EnsureRotationKey(steps, rng_);
+        const auto rotated = ctx_.Rotate(ct, steps);
+        std::vector<double> want(a.size());
+        for (size_t i = 0; i < a.size(); ++i)
+            want[i] = a[(i + steps) % a.size()];
+        ExpectSlotsNear(ctx_.Decrypt(rotated), want, 2e-2);
+    }
+}
+
+TEST_F(CkksTest, SumSlotsComputesTotal) {
+    const auto a = RandomSlots(13, ctx_.params().NumSlots(), 0.5);
+    double total = 0;
+    for (double v : a) total += v;
+    const auto summed = ctx_.SumSlots(ctx_.Encrypt(a, rng_), rng_);
+    const auto slots = ctx_.Decrypt(summed);
+    // Every slot now holds the total.
+    for (double v : slots) EXPECT_NEAR(v, total, 0.1);
+}
+
+TEST_F(CkksTest, RotationKeysGrowPerStep) {
+    // Section II-C: every distinct rotation step needs its own key, and
+    // the material adds up (the paper cites tens of GB at real sizes).
+    EXPECT_EQ(ctx_.RotationKeyBytes(), 0u);
+    ctx_.EnsureRotationKey(1, rng_);
+    const size_t one = ctx_.RotationKeyBytes();
+    EXPECT_GT(one, 0u);
+    ctx_.EnsureRotationKey(2, rng_);
+    ctx_.EnsureRotationKey(4, rng_);
+    EXPECT_EQ(ctx_.RotationKeyBytes(), 3 * one);
+    // Re-requesting an existing key adds nothing.
+    ctx_.EnsureRotationKey(1, rng_);
+    EXPECT_EQ(ctx_.RotationKeyBytes(), 3 * one);
+}
+
+TEST(CkksParamsTest, DepthBudgetMatchesChain) {
+    CkksParams p;
+    p.log_q0 = 60;
+    p.log_scale = 15;
+    EXPECT_EQ(p.MaxDepth(), 3);  // 60 -> 45 -> 30 -> 15 (stop: 15 < 30).
+    p.log_q0 = 62;
+    p.log_scale = 18;
+    EXPECT_EQ(p.MaxDepth(), 2);  // 62 -> 44 -> 26.
+    EXPECT_EQ(p.NumSlots(), p.n / 2);
+}
+
+TEST(CkksLargerRing, WorksAtN128) {
+    tfhe::Rng rng(502);
+    CkksParams p;
+    p.n = 128;
+    CkksContext ctx(p, rng);
+    const auto a = RandomSlots(14, p.NumSlots());
+    const auto b = RandomSlots(15, p.NumSlots());
+    const auto sum = ctx.Add(ctx.Encrypt(a, rng), ctx.Encrypt(b, rng));
+    auto want = a;
+    for (size_t i = 0; i < want.size(); ++i) want[i] += b[i];
+    const auto got = ctx.Decrypt(sum);
+    for (size_t i = 0; i < want.size(); ++i)
+        EXPECT_NEAR(got[i], want[i], 1e-2) << i;
+}
+
+}  // namespace
+}  // namespace pytfhe::ckks

@@ -1,0 +1,153 @@
+#include "core/compiler.h"
+#include "core/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "hdl/word_ops.h"
+#include "nn/models.h"
+
+namespace pytfhe::core {
+namespace {
+
+using hdl::Bits;
+using hdl::Builder;
+using hdl::DType;
+
+/** An 8-bit adder circuit over two encrypted operands. */
+circuit::Netlist AdderNetlist() {
+    Builder b;
+    const Bits x = hdl::InputBits(b, 8, "x");
+    const Bits y = hdl::InputBits(b, 8, "y");
+    hdl::OutputBits(b, hdl::Add(b, x, y), "sum");
+    return std::move(b.netlist());
+}
+
+TEST(Compiler, CompilesAdder) {
+    auto compiled = Compile(AdderNetlist());
+    ASSERT_TRUE(compiled.has_value());
+    EXPECT_EQ(compiled->program.NumInputs(), 16u);
+    EXPECT_EQ(compiled->program.OutputIndices().size(), 8u);
+    EXPECT_GT(compiled->stats.num_gates, 0u);
+    EXPECT_LE(compiled->stats.num_gates, 40u);
+}
+
+TEST(Compiler, OptimizationShrinksUnoptimizedInput) {
+    // Build with every rewrite disabled, then let Compile clean it up.
+    circuit::BuilderOptions raw;
+    raw.fold_constants = false;
+    raw.cse = false;
+    raw.absorb_not = false;
+    Builder b(raw);
+    const Bits x = hdl::InputBits(b, 8, "x");
+    const Bits zero = hdl::ConstBits(b, 0, 8);
+    hdl::OutputBits(b, hdl::Add(b, x, zero), "sum");  // x + 0 == x.
+    const uint64_t before = b.netlist().NumGates();
+    auto compiled = Compile(b.netlist());
+    ASSERT_TRUE(compiled.has_value());
+    EXPECT_GT(before, 0u);
+    EXPECT_EQ(compiled->stats.num_gates, 0u);  // Fully folded.
+    EXPECT_EQ(compiled->opt_stats.gates_before, before);
+}
+
+TEST(Compiler, CompileModuleProducesRunnableProgram) {
+    nn::Linear lin(4, 2);
+    lin.InitRandom(5);
+    auto compiled = CompileModule(lin, DType::Fixed(6, 4), {4});
+    ASSERT_TRUE(compiled.has_value());
+    EXPECT_EQ(compiled->program.NumInputs(), 4u * 10u);
+    EXPECT_EQ(compiled->program.OutputIndices().size(), 2u * 10u);
+}
+
+TEST(Compiler, ReportsErrorsForInvalidNetlists) {
+    circuit::Netlist n;
+    n.AddOutput(circuit::kConstTrue);  // Constant output: unrepresentable.
+    std::string error;
+    EXPECT_FALSE(Compile(n, {}, &error).has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Runtime, ClientServerEncryptedAddition) {
+    auto compiled = Compile(AdderNetlist());
+    ASSERT_TRUE(compiled.has_value());
+
+    Client client(tfhe::ToyParams(), /*seed=*/7);
+    auto server = client.MakeServer();
+
+    const DType u8 = DType::UInt(8);
+    for (auto [a, b] : {std::pair<int, int>{3, 4}, {100, 55}, {200, 99}}) {
+        Ciphertexts in = client.EncryptValue(u8, a);
+        Ciphertexts in2 = client.EncryptValue(u8, b);
+        in.insert(in.end(), in2.begin(), in2.end());
+        const Ciphertexts out = server->Run(compiled->program, in);
+        EXPECT_EQ(client.DecryptValue(u8, out), (a + b) % 256) << a;
+    }
+}
+
+TEST(Runtime, ThreadedServerMatchesSequential) {
+    auto compiled = Compile(AdderNetlist());
+    Client client(tfhe::ToyParams(), 8);
+    auto server = client.MakeServer();
+    const DType u8 = DType::UInt(8);
+    Ciphertexts in = client.EncryptValues(u8, {77, 11});
+    EXPECT_EQ(client.DecryptBits(server->Run(compiled->program, in, 1)),
+              client.DecryptBits(server->Run(compiled->program, in, 4)));
+}
+
+TEST(Runtime, EncryptDecryptValuesRoundTrip) {
+    Client client(tfhe::ToyParams(), 9);
+    const DType f = DType::Fixed(6, 4);
+    const std::vector<double> vals{1.25, -2.5, 0.0625, 3.0};
+    EXPECT_EQ(client.DecryptValues(f, client.EncryptValues(f, vals)), vals);
+}
+
+TEST(Runtime, ServerProfilesBootstraps) {
+    auto compiled = Compile(AdderNetlist());
+    Client client(tfhe::ToyParams(), 10);
+    auto server = client.MakeServer();
+    (void)server->Run(compiled->program,
+                      client.EncryptValues(DType::UInt(8), {1, 2}));
+    EXPECT_GT(server->profile().bootstrap_count, 0u);
+    EXPECT_GT(server->profile().blind_rotate_seconds, 0.0);
+}
+
+TEST(Runtime, EndToEndTinyMnistEncrypted) {
+    // The flagship path: ChiselTorch model -> binary -> encrypted
+    // inference on the server -> decrypted logits match the plaintext
+    // reference bit for bit (toy parameters keep this fast).
+    nn::MnistConfig cfg;
+    cfg.image = 5;  // 5x5 image: conv->3x3, pool->1x1, linear(1x,10).
+    auto model = nn::MnistS(cfg);
+    const DType t = DType::Fixed(5, 3);
+    auto compiled = CompileModule(*model, t, nn::MnistInputShape(cfg));
+    ASSERT_TRUE(compiled.has_value());
+
+    Client client(tfhe::ToyParams(), 11);
+    auto server = client.MakeServer();
+
+    std::vector<double> image(25);
+    for (size_t i = 0; i < image.size(); ++i)
+        image[i] = t.Quantize(((i * 37) % 16) / 8.0 - 1.0);
+
+    const Ciphertexts out =
+        server->Run(compiled->program, client.EncryptValues(t, image), 2);
+    const std::vector<double> logits = client.DecryptValues(t, out);
+
+    // Plaintext execution of the same binary is the ground truth.
+    backend::PlainEvaluator plain;
+    std::vector<bool> bits;
+    for (double v : image) {
+        const auto e = t.Encode(v);
+        bits.insert(bits.end(), e.begin(), e.end());
+    }
+    const auto plain_out =
+        backend::RunProgram(compiled->program, plain, bits);
+    ASSERT_EQ(plain_out.size(), logits.size() * t.TotalBits());
+    for (size_t i = 0; i < logits.size(); ++i) {
+        std::vector<bool> word(plain_out.begin() + i * t.TotalBits(),
+                               plain_out.begin() + (i + 1) * t.TotalBits());
+        EXPECT_EQ(logits[i], t.Decode(word)) << i;
+    }
+}
+
+}  // namespace
+}  // namespace pytfhe::core

@@ -1,0 +1,103 @@
+#include "hdl/dtype.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pytfhe::hdl {
+namespace {
+
+TEST(DType, TotalBits) {
+    EXPECT_EQ(DType::UInt(7).TotalBits(), 7);
+    EXPECT_EQ(DType::SInt(9).TotalBits(), 9);
+    EXPECT_EQ(DType::Fixed(4, 6).TotalBits(), 10);
+    EXPECT_EQ(DType::Float(8, 8).TotalBits(), 17);   // bfloat16-like + sign.
+    EXPECT_EQ(DType::Float(5, 11).TotalBits(), 17);  // half-precision-like.
+}
+
+TEST(DType, ToString) {
+    EXPECT_EQ(DType::SInt(7).ToString(), "SInt(7)");
+    EXPECT_EQ(DType::Float(5, 11).ToString(), "Float(5,11)");
+    EXPECT_EQ(DType::Fixed(4, 4).ToString(), "Fixed(4,4)");
+}
+
+TEST(DType, IntegerRoundTrip) {
+    const DType u8 = DType::UInt(8);
+    for (int v : {0, 1, 127, 255}) EXPECT_EQ(u8.Quantize(v), v);
+    EXPECT_EQ(u8.Quantize(300), 255);  // Saturates.
+    EXPECT_EQ(u8.Quantize(-5), 0);
+
+    const DType s7 = DType::SInt(7);
+    for (int v : {-64, -1, 0, 1, 63}) EXPECT_EQ(s7.Quantize(v), v);
+    EXPECT_EQ(s7.Quantize(100), 63);
+    EXPECT_EQ(s7.Quantize(-100), -64);
+}
+
+TEST(DType, FixedPointRoundTrip) {
+    const DType f = DType::Fixed(4, 4);
+    EXPECT_EQ(f.Quantize(1.5), 1.5);
+    EXPECT_EQ(f.Quantize(-2.25), -2.25);
+    EXPECT_EQ(f.Quantize(0.0625), 0.0625);  // 1/16 = smallest step.
+    EXPECT_NEAR(f.Quantize(1.03), 1.0, 0.07);
+    EXPECT_EQ(f.Quantize(100.0), 7.9375);  // Saturates at 2^3 - 2^-4.
+}
+
+TEST(DType, FloatRoundTripExactValues) {
+    const DType bf = DType::Float(8, 8);
+    for (double v : {1.0, -2.0, 0.5, 1.5, -0.75, 256.0, 0.001953125})
+        EXPECT_EQ(bf.Quantize(v), v) << v;
+    EXPECT_EQ(bf.Quantize(0.0), 0.0);
+}
+
+TEST(DType, FloatTruncatesMantissa) {
+    const DType f = DType::Float(5, 4);  // 4 mantissa bits.
+    // 1.03125 = 1 + 1/32 needs 5 bits; truncates down to 1.0.
+    EXPECT_EQ(f.Quantize(1.03125), 1.0);
+    EXPECT_EQ(f.Quantize(1.0625), 1.0625);  // 1 + 1/16 fits.
+}
+
+TEST(DType, FloatOverflowSaturatesToInfinity) {
+    const DType f = DType::Float(4, 4);  // Max exp 2^(7)..., bias 7.
+    EXPECT_TRUE(std::isinf(f.Quantize(1e9)));
+    EXPECT_TRUE(std::isinf(f.Quantize(-1e9)));
+    EXPECT_LT(f.Quantize(-1e9), 0);
+}
+
+TEST(DType, FloatUnderflowFlushesToZero) {
+    const DType f = DType::Float(4, 4);
+    EXPECT_EQ(f.Quantize(1e-9), 0.0);
+}
+
+TEST(DType, FloatEncodingLayout) {
+    // +1.0 in Float(8,8): sign 0, exp = bias = 127, mant = 0.
+    const DType bf = DType::Float(8, 8);
+    const auto bits = bf.Encode(1.0);
+    ASSERT_EQ(bits.size(), 17u);
+    for (int i = 0; i < 8; ++i) EXPECT_FALSE(bits[i]) << i;  // Mantissa.
+    uint32_t exp = 0;
+    for (int i = 0; i < 8; ++i) exp |= static_cast<uint32_t>(bits[8 + i]) << i;
+    EXPECT_EQ(exp, 127u);
+    EXPECT_FALSE(bits[16]);  // Sign.
+}
+
+TEST(DType, QuantizeIsIdempotent) {
+    for (const DType& t : {DType::Float(5, 11), DType::Fixed(6, 10),
+                           DType::SInt(12), DType::UInt(9)}) {
+        for (double v : {3.14159, -2.71828, 0.125, 100.25, -0.001}) {
+            const double q = t.Quantize(v);
+            EXPECT_EQ(t.Quantize(q), q) << t.ToString() << " " << v;
+        }
+    }
+}
+
+TEST(DType, HalfPrecisionAccuracy) {
+    const DType half = DType::Float(5, 11);
+    // Relative error of truncation is below 2^-11.
+    for (double v : {3.14159, 123.456, 0.000987, -55.5}) {
+        EXPECT_NEAR(half.Quantize(v), v, std::abs(v) * std::pow(2.0, -10))
+            << v;
+    }
+}
+
+}  // namespace
+}  // namespace pytfhe::hdl

@@ -1,0 +1,250 @@
+#include "hdl/float_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "hdl/dtype.h"
+#include "hdl_test_util.h"
+
+namespace pytfhe::hdl {
+namespace {
+
+/** Evaluates a binary float circuit on plaintext doubles. */
+double EvalF2(const DType& t, double x, double y,
+              const std::function<Bits(Builder&, const FloatFmt&, const Bits&,
+                                       const Bits&)>& gen) {
+    const FloatFmt fmt{t.ExpBits(), t.MantBits()};
+    Builder b;
+    const Bits bx = InputBits(b, t.TotalBits(), "x");
+    const Bits by = InputBits(b, t.TotalBits(), "y");
+    OutputBits(b, gen(b, fmt, bx, by), "o");
+    std::vector<bool> in = t.Encode(x);
+    const std::vector<bool> in_y = t.Encode(y);
+    in.insert(in.end(), in_y.begin(), in_y.end());
+    return t.Decode(b.netlist().EvaluatePlain(in));
+}
+
+Signal EvalPred(const DType& t, double x, double y, bool* result,
+                const std::function<Signal(Builder&, const FloatFmt&,
+                                           const Bits&, const Bits&)>& gen) {
+    const FloatFmt fmt{t.ExpBits(), t.MantBits()};
+    Builder b;
+    const Bits bx = InputBits(b, t.TotalBits(), "x");
+    const Bits by = InputBits(b, t.TotalBits(), "y");
+    b.AddOutput(gen(b, fmt, bx, by), "p");
+    std::vector<bool> in = t.Encode(x);
+    const std::vector<bool> in_y = t.Encode(y);
+    in.insert(in.end(), in_y.begin(), in_y.end());
+    *result = b.netlist().EvaluatePlain(in)[0];
+    return 0;
+}
+
+bool Lt(const DType& t, double x, double y) {
+    bool r;
+    EvalPred(t, x, y, &r, [](Builder& b, const FloatFmt& f, const Bits& a,
+                             const Bits& c) { return FLt(b, f, a, c); });
+    return r;
+}
+
+/** Tolerance: a few units in the last mantissa place, relative. */
+double Tol(const DType& t, double magnitude) {
+    return std::max(std::abs(magnitude), 1e-30) *
+           std::pow(2.0, -(t.MantBits() - 2));
+}
+
+class FloatFormatTest : public ::testing::TestWithParam<DType> {
+  protected:
+    DType T() const { return GetParam(); }
+
+    std::vector<double> Samples() {
+        std::mt19937_64 rng(1234);
+        std::vector<double> v{0.0,  1.0,   -1.0,  0.5,    -2.75,
+                              3.25, 100.0, -0.01, 1024.0, -65.1875};
+        std::uniform_real_distribution<double> mag(-6, 6), sign(-1, 1);
+        for (int i = 0; i < 6; ++i) {
+            const double m = std::pow(2.0, mag(rng));
+            v.push_back(sign(rng) < 0 ? -m : m);
+        }
+        for (double& x : v) x = T().Quantize(x);
+        return v;
+    }
+};
+
+TEST_P(FloatFormatTest, AddMatchesReference) {
+    for (double x : Samples()) {
+        for (double y : Samples()) {
+            const double got = EvalF2(T(), x, y, FAdd);
+            const double want = T().Quantize(x + y);
+            EXPECT_NEAR(got, want, Tol(T(), want)) << x << " + " << y;
+        }
+    }
+}
+
+TEST_P(FloatFormatTest, SubMatchesReference) {
+    for (double x : Samples()) {
+        for (double y : Samples()) {
+            const double got = EvalF2(T(), x, y, FSub);
+            const double want = T().Quantize(x - y);
+            EXPECT_NEAR(got, want, Tol(T(), want)) << x << " - " << y;
+        }
+    }
+}
+
+TEST_P(FloatFormatTest, MulMatchesReference) {
+    for (double x : Samples()) {
+        for (double y : Samples()) {
+            const double got = EvalF2(T(), x, y, FMul);
+            const double want = T().Quantize(x * y);
+            if (std::isinf(want)) {
+                EXPECT_TRUE(std::isinf(got) ||
+                            std::abs(got) > std::abs(want) / 4);
+            } else {
+                EXPECT_NEAR(got, want, Tol(T(), want)) << x << " * " << y;
+            }
+        }
+    }
+}
+
+TEST_P(FloatFormatTest, DivMatchesReference) {
+    for (double x : Samples()) {
+        for (double y : Samples()) {
+            if (y == 0.0) continue;
+            const double got = EvalF2(T(), x, y, FDiv);
+            const double want = T().Quantize(x / y);
+            if (std::isinf(want)) {
+                EXPECT_TRUE(std::isinf(got) ||
+                            std::abs(got) > std::abs(want) / 4);
+            } else {
+                EXPECT_NEAR(got, want, Tol(T(), want)) << x << " / " << y;
+            }
+        }
+    }
+}
+
+TEST_P(FloatFormatTest, ComparisonMatchesReference) {
+    for (double x : Samples())
+        for (double y : Samples())
+            EXPECT_EQ(Lt(T(), x, y), x < y) << x << " < " << y;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, FloatFormatTest,
+    ::testing::Values(DType::Float(8, 8),    // bfloat16.
+                      DType::Float(5, 11),   // half.
+                      DType::Float(6, 6),    // Custom narrow.
+                      DType::Float(8, 23)),  // float32.
+    [](const ::testing::TestParamInfo<DType>& info) {
+        return "E" + std::to_string(info.param.ExpBits()) + "M" +
+               std::to_string(info.param.MantBits());
+    });
+
+TEST(FloatOps, ExhaustiveTinyFormatAdd) {
+    // Float(3,2): 64 bit patterns. Evaluate the adder circuit on EVERY
+    // pair of finite values and compare against double arithmetic
+    // re-quantized into the format (truncation may differ by 1 ulp when
+    // guard bits round differently; allow that).
+    const DType t = DType::Float(3, 2);
+    std::vector<double> values;
+    for (int pattern = 0; pattern < 64; ++pattern) {
+        std::vector<bool> bits(6);
+        for (int i = 0; i < 6; ++i) bits[i] = (pattern >> i) & 1;
+        const double v = t.Decode(bits);
+        if (std::isfinite(v)) values.push_back(v);
+    }
+    for (double x : values) {
+        for (double y : values) {
+            const double got = EvalF2(t, x, y, FAdd);
+            const double want = t.Quantize(x + y);
+            if (std::isinf(want)) continue;  // Saturation edge.
+            EXPECT_NEAR(got, want,
+                        std::max(std::abs(want), 0.25) * 0.5 + 1e-12)
+                << x << " + " << y;
+        }
+    }
+}
+
+TEST(FloatOps, ExhaustiveTinyFormatComparisons) {
+    const DType t = DType::Float(3, 2);
+    std::vector<double> values;
+    for (int pattern = 0; pattern < 64; ++pattern) {
+        std::vector<bool> bits(6);
+        for (int i = 0; i < 6; ++i) bits[i] = (pattern >> i) & 1;
+        values.push_back(t.Decode(bits));
+    }
+    for (double x : values)
+        for (double y : values)
+            EXPECT_EQ(Lt(t, x, y), x < y) << x << " < " << y;
+}
+
+TEST(FloatOps, AddingZeroIsIdentity) {
+    const DType t = DType::Float(8, 8);
+    for (double x : {1.5, -3.25, 1000.0, 0.0})
+        EXPECT_EQ(EvalF2(t, x, 0.0, FAdd), x);
+}
+
+TEST(FloatOps, CancellationGivesPositiveZero) {
+    const DType t = DType::Float(8, 8);
+    const double r = EvalF2(t, 5.5, -5.5, FAdd);
+    EXPECT_EQ(r, 0.0);
+    EXPECT_FALSE(std::signbit(r));
+}
+
+TEST(FloatOps, MulByZeroGivesZero) {
+    const DType t = DType::Float(8, 8);
+    EXPECT_EQ(EvalF2(t, 123.0, 0.0, FMul), 0.0);
+    EXPECT_EQ(EvalF2(t, 0.0, -55.0, FMul), 0.0);
+}
+
+TEST(FloatOps, DivByZeroGivesInfinity) {
+    const DType t = DType::Float(8, 8);
+    EXPECT_TRUE(std::isinf(EvalF2(t, 3.0, 0.0, FDiv)));
+}
+
+TEST(FloatOps, InfinityPropagatesThroughAdd) {
+    const DType t = DType::Float(6, 6);
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_TRUE(std::isinf(EvalF2(t, inf, 2.0, FAdd)));
+    EXPECT_TRUE(std::isinf(EvalF2(t, 2.0, -inf, FAdd)));
+    EXPECT_LT(EvalF2(t, 2.0, -inf, FAdd), 0.0);
+}
+
+TEST(FloatOps, ReluClampsNegatives) {
+    const DType t = DType::Float(8, 8);
+    const FloatFmt fmt{8, 8};
+    for (double x : {-5.5, -0.001, 0.0, 0.25, 77.0}) {
+        Builder b;
+        const Bits bx = InputBits(b, t.TotalBits(), "x");
+        OutputBits(b, FRelu(b, fmt, bx), "o");
+        const double got = t.Decode(b.netlist().EvaluatePlain(t.Encode(x)));
+        EXPECT_EQ(got, x < 0 ? 0.0 : x) << x;
+    }
+}
+
+TEST(FloatOps, ReluIsASingleMuxLayer) {
+    // The paper's argument: non-linear ops are cheap in bit-wise FHE.
+    // ReLU on bfloat16 must cost at most ~2 gates per data bit.
+    Builder b;
+    const Bits x = InputBits(b, 17, "x");
+    OutputBits(b, FRelu(b, FloatFmt{8, 8}, x), "o");
+    EXPECT_LE(b.netlist().NumGates(), 2u * 17u);
+}
+
+TEST(FloatOps, MaxMinAgreeWithComparison) {
+    const DType t = DType::Float(6, 6);
+    for (double x : {-3.0, 0.0, 2.5})
+        for (double y : {-7.0, 0.5, 2.5}) {
+            EXPECT_EQ(EvalF2(t, x, y, FMax), std::max(x, y));
+            EXPECT_EQ(EvalF2(t, x, y, FMin), std::min(x, y));
+        }
+}
+
+TEST(FloatOps, NegativeZeroComparesEqualToZero) {
+    const DType t = DType::Float(8, 8);
+    EXPECT_FALSE(Lt(t, -0.0, 0.0));
+    EXPECT_FALSE(Lt(t, 0.0, -0.0));
+}
+
+}  // namespace
+}  // namespace pytfhe::hdl

@@ -1,0 +1,70 @@
+/** @file Test helpers for evaluating HDL-built circuits on plaintext. */
+#ifndef PYTFHE_TESTS_HDL_TEST_UTIL_H
+#define PYTFHE_TESTS_HDL_TEST_UTIL_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hdl/value.h"
+#include "hdl/word_ops.h"
+
+namespace pytfhe::hdl {
+
+/** Packs a uint64 into `width` bools, LSB first. */
+inline std::vector<bool> ToBools(uint64_t v, int32_t width) {
+    std::vector<bool> out(width);
+    for (int32_t i = 0; i < width; ++i) out[i] = (v >> i) & 1;
+    return out;
+}
+
+/** Unpacks bools (LSB first) into a uint64. */
+inline uint64_t FromBools(const std::vector<bool>& bits) {
+    uint64_t v = 0;
+    for (size_t i = 0; i < bits.size() && i < 64; ++i)
+        if (bits[i]) v |= UINT64_C(1) << i;
+    return v;
+}
+
+/** Truncates v to `width` bits. */
+inline uint64_t Mask(uint64_t v, int32_t width) {
+    return width >= 64 ? v : v & ((UINT64_C(1) << width) - 1);
+}
+
+/** Sign-extends a `width`-bit pattern into an int64. */
+inline int64_t SignExtend64(uint64_t v, int32_t width) {
+    if (width < 64 && ((v >> (width - 1)) & 1))
+        return static_cast<int64_t>(v | ~((UINT64_C(1) << width) - 1));
+    return static_cast<int64_t>(Mask(v, width));
+}
+
+/**
+ * Builds a two-operand word circuit with `gen` and evaluates it on (x, y).
+ * Returns the output word (LSB-first packing of all circuit outputs).
+ */
+inline uint64_t EvalBinary(
+    int32_t wx, uint64_t x, int32_t wy, uint64_t y,
+    const std::function<Bits(Builder&, const Bits&, const Bits&)>& gen) {
+    Builder b;
+    const Bits bx = InputBits(b, wx, "x");
+    const Bits by = InputBits(b, wy, "y");
+    OutputBits(b, gen(b, bx, by), "o");
+    std::vector<bool> in = ToBools(x, wx);
+    const std::vector<bool> in_y = ToBools(y, wy);
+    in.insert(in.end(), in_y.begin(), in_y.end());
+    return FromBools(b.netlist().EvaluatePlain(in));
+}
+
+/** Same for a one-operand circuit. */
+inline uint64_t EvalUnary(
+    int32_t w, uint64_t x,
+    const std::function<Bits(Builder&, const Bits&)>& gen) {
+    Builder b;
+    const Bits bx = InputBits(b, w, "x");
+    OutputBits(b, gen(b, bx), "o");
+    return FromBools(b.netlist().EvaluatePlain(ToBools(x, w)));
+}
+
+}  // namespace pytfhe::hdl
+
+#endif  // PYTFHE_TESTS_HDL_TEST_UTIL_H

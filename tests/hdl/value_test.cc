@@ -1,0 +1,168 @@
+#include "hdl/value.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hdl_test_util.h"
+
+namespace pytfhe::hdl {
+namespace {
+
+/** Evaluates a typed binary op circuit on plaintext values. */
+double EvalV2(const DType& t, double x, double y,
+              const std::function<Value(Builder&, const Value&,
+                                        const Value&)>& gen) {
+    Builder b;
+    const Value vx = InputValue(b, t, "x");
+    const Value vy = InputValue(b, t, "y");
+    OutputValue(b, gen(b, vx, vy), "o");
+    std::vector<bool> in = t.Encode(x);
+    const std::vector<bool> in_y = t.Encode(y);
+    in.insert(in.end(), in_y.begin(), in_y.end());
+    return t.Decode(b.netlist().EvaluatePlain(in));
+}
+
+class ValueTypeTest : public ::testing::TestWithParam<DType> {
+  protected:
+    DType T() const { return GetParam(); }
+    std::vector<double> Samples() const {
+        std::vector<double> v{0, 1, -2, 3, 5.5, -7.25, 12, -13.75};
+        for (double& x : v) x = T().Quantize(x);
+        return v;
+    }
+    double Tol(double magnitude) const {
+        if (!T().IsFloat())
+            return T().kind() == DType::Kind::kFixed
+                       ? std::pow(2.0, -T().FracBits()) * 2
+                       : 0.0;
+        return std::max(std::abs(magnitude), 1.0) *
+               std::pow(2.0, -(T().MantBits() - 2));
+    }
+};
+
+TEST_P(ValueTypeTest, AddSubMatchReference) {
+    for (double x : Samples()) {
+        for (double y : Samples()) {
+            EXPECT_NEAR(EvalV2(T(), x, y, VAdd), T().Quantize(x + y),
+                        Tol(x + y))
+                << T().ToString() << " " << x << "+" << y;
+            EXPECT_NEAR(EvalV2(T(), x, y, VSub), T().Quantize(x - y),
+                        Tol(x - y));
+        }
+    }
+}
+
+TEST_P(ValueTypeTest, MulMatchesReference) {
+    for (double x : Samples()) {
+        for (double y : Samples()) {
+            const double want = T().Quantize(x * y);
+            // Skip wrap-around cases for narrow integer types.
+            if (!T().IsFloat() && want != x * y) continue;
+            EXPECT_NEAR(EvalV2(T(), x, y, VMul), want, Tol(want))
+                << T().ToString() << " " << x << "*" << y;
+        }
+    }
+}
+
+TEST_P(ValueTypeTest, DivMatchesReference) {
+    for (double x : Samples()) {
+        for (double y : Samples()) {
+            if (y == 0) continue;
+            double want;
+            if (T().IsFloat()) {
+                want = T().Quantize(x / y);
+            } else if (T().kind() == DType::Kind::kFixed) {
+                want = T().Quantize(std::trunc((x / y) * std::pow(2.0, T().FracBits())) /
+                                    std::pow(2.0, T().FracBits()));
+            } else {
+                want = std::trunc(x / y);
+            }
+            EXPECT_NEAR(EvalV2(T(), x, y, VDiv), want, 2 * Tol(want))
+                << T().ToString() << " " << x << "/" << y;
+        }
+    }
+}
+
+TEST_P(ValueTypeTest, ComparisonsMatchReference) {
+    for (double x : Samples()) {
+        for (double y : Samples()) {
+            Builder b;
+            const Value vx = InputValue(b, T(), "x");
+            const Value vy = InputValue(b, T(), "y");
+            b.AddOutput(VLt(b, vx, vy), "lt");
+            b.AddOutput(VEq(b, vx, vy), "eq");
+            b.AddOutput(VGe(b, vx, vy), "ge");
+            std::vector<bool> in = T().Encode(x);
+            const std::vector<bool> in_y = T().Encode(y);
+            in.insert(in.end(), in_y.begin(), in_y.end());
+            const auto out = b.netlist().EvaluatePlain(in);
+            EXPECT_EQ(out[0], x < y) << x << "<" << y;
+            EXPECT_EQ(out[1], x == y);
+            EXPECT_EQ(out[2], x >= y);
+        }
+    }
+}
+
+TEST_P(ValueTypeTest, ReluMaxMin) {
+    for (double x : Samples()) {
+        for (double y : Samples()) {
+            EXPECT_EQ(EvalV2(T(), x, y, VMax), std::max(x, y));
+            EXPECT_EQ(EvalV2(T(), x, y, VMin), std::min(x, y));
+        }
+        Builder b;
+        const Value vx = InputValue(b, T(), "x");
+        OutputValue(b, VRelu(b, vx), "o");
+        const double got = T().Decode(b.netlist().EvaluatePlain(T().Encode(x)));
+        EXPECT_EQ(got, std::max(0.0, x)) << T().ToString() << " relu " << x;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Types, ValueTypeTest,
+    ::testing::Values(DType::SInt(10), DType::Fixed(6, 6),
+                      DType::Float(8, 8), DType::Float(5, 11)),
+    [](const ::testing::TestParamInfo<DType>& info) {
+        std::string s = info.param.ToString();
+        for (char& c : s)
+            if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+        return s;
+    });
+
+TEST(ValueTest, ConstantsFoldToZeroGates) {
+    Builder b;
+    const Value c1 = ConstValue(b, DType::Float(8, 8), 3.5);
+    const Value c2 = ConstValue(b, DType::Float(8, 8), -1.25);
+    const Value sum = VAdd(b, c1, c2);
+    OutputValue(b, sum, "o");
+    // Constant inputs fold the entire adder away.
+    EXPECT_EQ(b.netlist().NumGates(), 0u);
+    EXPECT_EQ(DType::Float(8, 8).Decode(b.netlist().EvaluatePlain({})), 2.25);
+}
+
+TEST(ValueTest, MulByConstantIsCheaperThanGeneric) {
+    const DType t = DType::SInt(12);
+    Builder generic;
+    {
+        const Value x = InputValue(generic, t, "x");
+        const Value y = InputValue(generic, t, "y");
+        OutputValue(generic, VMul(generic, x, y), "o");
+    }
+    Builder by_const;
+    {
+        const Value x = InputValue(by_const, t, "x");
+        const Value c = ConstValue(by_const, t, 5);
+        OutputValue(by_const, VMul(by_const, x, c), "o");
+    }
+    EXPECT_LT(by_const.netlist().NumGates(), generic.netlist().NumGates() / 2);
+}
+
+TEST(ValueTest, UIntReluIsFree) {
+    Builder b;
+    const Value x = InputValue(b, DType::UInt(8), "x");
+    OutputValue(b, VRelu(b, x), "o");
+    EXPECT_EQ(b.netlist().NumGates(), 0u);
+}
+
+}  // namespace
+}  // namespace pytfhe::hdl

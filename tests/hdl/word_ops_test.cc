@@ -1,0 +1,345 @@
+#include "hdl/word_ops.h"
+
+#include <gtest/gtest.h>
+#include <random>
+
+#include "hdl_test_util.h"
+
+namespace pytfhe::hdl {
+namespace {
+
+class WordWidthTest : public ::testing::TestWithParam<int32_t> {
+  protected:
+    int32_t W() const { return GetParam(); }
+
+    /** Random values covering corners and uniform draws. */
+    std::vector<uint64_t> Samples() {
+        std::mt19937_64 rng(GetParam() * 7919);
+        std::vector<uint64_t> v{0, 1, Mask(~UINT64_C(0), W()),
+                                UINT64_C(1) << (W() - 1)};
+        for (int i = 0; i < 8; ++i) v.push_back(Mask(rng(), W()));
+        return v;
+    }
+};
+
+TEST_P(WordWidthTest, AddMatchesReference) {
+    for (uint64_t x : Samples())
+        for (uint64_t y : Samples())
+            EXPECT_EQ(EvalBinary(W(), x, W(), y,
+                                 [](Builder& b, const Bits& a, const Bits& c) {
+                                     return Add(b, a, c);
+                                 }),
+                      Mask(x + y, W()))
+                << x << "+" << y;
+}
+
+TEST_P(WordWidthTest, FastAdderMatchesReference) {
+    for (uint64_t x : Samples())
+        for (uint64_t y : Samples())
+            EXPECT_EQ(EvalBinary(W(), x, W(), y,
+                                 [](Builder& b, const Bits& a, const Bits& c) {
+                                     return AddFast(b, a, c);
+                                 }),
+                      Mask(x + y, W()))
+                << x << "+" << y;
+}
+
+TEST_P(WordWidthTest, FastSubMatchesReference) {
+    for (uint64_t x : Samples())
+        for (uint64_t y : Samples())
+            EXPECT_EQ(EvalBinary(W(), x, W(), y,
+                                 [](Builder& b, const Bits& a, const Bits& c) {
+                                     return SubFast(b, a, c);
+                                 }),
+                      Mask(x - y, W()))
+                << x << "-" << y;
+}
+
+TEST_P(WordWidthTest, SubMatchesReference) {
+    for (uint64_t x : Samples())
+        for (uint64_t y : Samples())
+            EXPECT_EQ(EvalBinary(W(), x, W(), y,
+                                 [](Builder& b, const Bits& a, const Bits& c) {
+                                     return Sub(b, a, c);
+                                 }),
+                      Mask(x - y, W()));
+}
+
+TEST_P(WordWidthTest, NegAndIncrement) {
+    for (uint64_t x : Samples()) {
+        EXPECT_EQ(EvalUnary(W(), x,
+                            [](Builder& b, const Bits& a) {
+                                return Neg(b, a);
+                            }),
+                  Mask(~x + 1, W()));
+        EXPECT_EQ(EvalUnary(W(), x,
+                            [](Builder& b, const Bits& a) {
+                                return Increment(b, a);
+                            }),
+                  Mask(x + 1, W()));
+    }
+}
+
+TEST_P(WordWidthTest, MulMatchesReference) {
+    for (uint64_t x : Samples())
+        for (uint64_t y : Samples())
+            EXPECT_EQ(EvalBinary(W(), x, W(), y,
+                                 [this](Builder& b, const Bits& a,
+                                        const Bits& c) {
+                                     return UMul(b, a, c, W());
+                                 }),
+                      Mask(x * y, W()));
+}
+
+TEST_P(WordWidthTest, SignedMulMatchesReference) {
+    for (uint64_t x : Samples())
+        for (uint64_t y : Samples()) {
+            const int64_t sx = SignExtend64(x, W());
+            const int64_t sy = SignExtend64(y, W());
+            EXPECT_EQ(
+                EvalBinary(W(), x, W(), y,
+                           [this](Builder& b, const Bits& a, const Bits& c) {
+                               return SMul(b, a, c, W());
+                           }),
+                Mask(static_cast<uint64_t>(sx) * static_cast<uint64_t>(sy),
+                     W()));
+        }
+}
+
+TEST_P(WordWidthTest, DivModMatchesReference) {
+    for (uint64_t x : Samples()) {
+        for (uint64_t y : Samples()) {
+            if (y == 0) continue;
+            EXPECT_EQ(EvalBinary(W(), x, W(), y,
+                                 [](Builder& b, const Bits& a, const Bits& c) {
+                                     return UDivMod(b, a, c).first;
+                                 }),
+                      x / y);
+            EXPECT_EQ(EvalBinary(W(), x, W(), y,
+                                 [](Builder& b, const Bits& a, const Bits& c) {
+                                     return UDivMod(b, a, c).second;
+                                 }),
+                      x % y);
+        }
+    }
+}
+
+TEST_P(WordWidthTest, SignedDivRoundsTowardZero) {
+    for (uint64_t x : Samples()) {
+        for (uint64_t y : Samples()) {
+            const int64_t sx = SignExtend64(x, W());
+            const int64_t sy = SignExtend64(y, W());
+            if (sy == 0) continue;
+            EXPECT_EQ(EvalBinary(W(), x, W(), y,
+                                 [](Builder& b, const Bits& a, const Bits& c) {
+                                     return SDivMod(b, a, c).first;
+                                 }),
+                      Mask(static_cast<uint64_t>(sx / sy), W()))
+                << sx << "/" << sy;
+            EXPECT_EQ(EvalBinary(W(), x, W(), y,
+                                 [](Builder& b, const Bits& a, const Bits& c) {
+                                     return SDivMod(b, a, c).second;
+                                 }),
+                      Mask(static_cast<uint64_t>(sx % sy), W()));
+        }
+    }
+}
+
+TEST_P(WordWidthTest, ComparisonsMatchReference) {
+    for (uint64_t x : Samples()) {
+        for (uint64_t y : Samples()) {
+            EXPECT_EQ(EvalBinary(W(), x, W(), y,
+                                 [](Builder& b, const Bits& a, const Bits& c) {
+                                     return Bits({Ult(b, a, c)});
+                                 }),
+                      x < y ? 1u : 0u);
+            EXPECT_EQ(EvalBinary(W(), x, W(), y,
+                                 [](Builder& b, const Bits& a, const Bits& c) {
+                                     return Bits({Eq(b, a, c)});
+                                 }),
+                      x == y ? 1u : 0u);
+            const int64_t sx = SignExtend64(x, W());
+            const int64_t sy = SignExtend64(y, W());
+            EXPECT_EQ(EvalBinary(W(), x, W(), y,
+                                 [](Builder& b, const Bits& a, const Bits& c) {
+                                     return Bits({Slt(b, a, c)});
+                                 }),
+                      sx < sy ? 1u : 0u);
+        }
+    }
+}
+
+TEST_P(WordWidthTest, DynamicShiftsMatchReference) {
+    const int32_t sw = 4;  // Shift amounts 0..15.
+    for (uint64_t x : Samples()) {
+        for (uint64_t s = 0; s < 16; s += 3) {
+            EXPECT_EQ(
+                EvalBinary(W(), x, sw, s,
+                           [](Builder& b, const Bits& a, const Bits& c) {
+                               return ShlDynamic(b, a, c);
+                           }),
+                s >= 64 ? 0 : Mask(x << s, W()));
+            EXPECT_EQ(
+                EvalBinary(W(), x, sw, s,
+                           [this](Builder& b, const Bits& a, const Bits& c) {
+                               return LshrDynamic(b, a, c);
+                           }),
+                s >= static_cast<uint64_t>(W()) ? 0 : Mask(x, W()) >> s);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WordWidthTest,
+                         ::testing::Values(3, 4, 7, 8, 12, 16, 24));
+
+TEST(WordOps, ConstBitsRoundTrip) {
+    for (uint64_t v : {UINT64_C(0), UINT64_C(5), UINT64_C(0xAB), UINT64_C(255)})
+        EXPECT_EQ(EvalUnary(1, 0,
+                            [&](Builder& b, const Bits&) {
+                                return ConstBits(b, v, 8);
+                            }),
+                  Mask(v, 8));
+}
+
+TEST(WordOps, ExtensionSemantics) {
+    // 0xA (1010) zero-extends to 0x0A, sign-extends to 0xFA in 8 bits.
+    EXPECT_EQ(EvalUnary(4, 0xA,
+                        [](Builder& b, const Bits& a) {
+                            return ZeroExtend(b, a, 8);
+                        }),
+              0x0Au);
+    EXPECT_EQ(EvalUnary(4, 0xA,
+                        [](Builder& b, const Bits& a) {
+                            return SignExtend(b, a, 8);
+                        }),
+              0xFAu);
+    EXPECT_EQ(EvalUnary(8, 0xFA,
+                        [](Builder& b, const Bits& a) {
+                            return SignExtend(b, a, 4);
+                        }),
+              0xAu);
+}
+
+TEST(WordOps, ConstShifts) {
+    EXPECT_EQ(EvalUnary(8, 0x81,
+                        [](Builder& b, const Bits& a) {
+                            return ShlConst(b, a, 2);
+                        }),
+              0x04u);
+    EXPECT_EQ(EvalUnary(8, 0x81,
+                        [](Builder& b, const Bits& a) {
+                            return LshrConst(b, a, 2);
+                        }),
+              0x20u);
+    EXPECT_EQ(EvalUnary(8, 0x81,
+                        [](Builder& b, const Bits& a) {
+                            return AshrConst(b, a, 2);
+                        }),
+              0xE0u);
+}
+
+TEST(WordOps, LeadingZeroCountAllWidths) {
+    for (int32_t w : {4, 8, 13}) {
+        for (int32_t pos = -1; pos < w; ++pos) {
+            const uint64_t x = pos < 0 ? 0 : (UINT64_C(1) << pos);
+            const uint64_t expect = pos < 0 ? w : w - 1 - pos;
+            EXPECT_EQ(EvalUnary(w, x,
+                                [](Builder& b, const Bits& a) {
+                                    return LeadingZeroCount(b, a);
+                                }),
+                      expect)
+                << "w=" << w << " pos=" << pos;
+        }
+    }
+}
+
+TEST(WordOps, PopCount) {
+    for (uint64_t x : {UINT64_C(0), UINT64_C(0xFF), UINT64_C(0xA5),
+                       UINT64_C(0x01), UINT64_C(0x80)})
+        EXPECT_EQ(EvalUnary(8, x,
+                            [](Builder& b, const Bits& a) {
+                                return PopCount(b, a);
+                            }),
+                  static_cast<uint64_t>(__builtin_popcountll(x)));
+}
+
+TEST(WordOps, ReductionsAndBitwise) {
+    EXPECT_EQ(EvalBinary(8, 0xF0, 8, 0x0F,
+                         [](Builder& b, const Bits& a, const Bits& c) {
+                             return OrBits(b, a, c);
+                         }),
+              0xFFu);
+    EXPECT_EQ(EvalBinary(8, 0xF3, 8, 0x35,
+                         [](Builder& b, const Bits& a, const Bits& c) {
+                             return AndBits(b, a, c);
+                         }),
+              0x31u);
+    EXPECT_EQ(EvalBinary(8, 0xF3, 8, 0x35,
+                         [](Builder& b, const Bits& a, const Bits& c) {
+                             return XorBits(b, a, c);
+                         }),
+              0xC6u);
+    EXPECT_EQ(EvalUnary(8, 0x00,
+                        [](Builder& b, const Bits& a) {
+                            return Bits({OrReduce(b, a)});
+                        }),
+              0u);
+    EXPECT_EQ(EvalUnary(8, 0xFF,
+                        [](Builder& b, const Bits& a) {
+                            return Bits({AndReduce(b, a)});
+                        }),
+              1u);
+}
+
+TEST(WordOps, AdderGateCountIsLinear) {
+    // Ripple adder: about 5 gates per bit. Structural sanity check that the
+    // builder is not duplicating logic.
+    Builder b;
+    const Bits x = InputBits(b, 16, "x");
+    const Bits y = InputBits(b, 16, "y");
+    OutputBits(b, Add(b, x, y), "s");
+    EXPECT_LE(b.netlist().NumGates(), 16u * 5u);
+    EXPECT_GE(b.netlist().NumGates(), 16u * 3u);
+}
+
+TEST(WordOps, FastAdderHasLogarithmicDepth) {
+    // Kogge-Stone: O(log w) bootstrap depth vs the ripple adder's O(w).
+    auto depth = [](int32_t w, bool fast) {
+        Builder b;
+        const Bits x = InputBits(b, w, "x");
+        const Bits y = InputBits(b, w, "y");
+        OutputBits(b, fast ? AddFast(b, x, y) : Add(b, x, y), "s");
+        return b.netlist().ComputeStats().depth;
+    };
+    EXPECT_LE(depth(32, true), 12u);   // ~2*log2(32) + 2.
+    EXPECT_GE(depth(32, false), 32u);  // Carry chain.
+    EXPECT_LT(depth(64, true), depth(64, false) / 4);
+}
+
+TEST(WordOps, FastAdderCostsMoreGates) {
+    Builder b1, b2;
+    const Bits x1 = InputBits(b1, 16, "x"), y1 = InputBits(b1, 16, "y");
+    OutputBits(b1, Add(b1, x1, y1), "s");
+    const Bits x2 = InputBits(b2, 16, "x"), y2 = InputBits(b2, 16, "y");
+    OutputBits(b2, AddFast(b2, x2, y2), "s");
+    EXPECT_GT(b2.netlist().NumGates(), b1.netlist().NumGates());
+    EXPECT_LT(b2.netlist().NumGates(), 4 * b1.netlist().NumGates());
+}
+
+TEST(WordOps, MuxBitsSelects) {
+    Builder b;
+    const Bits t = InputBits(b, 8, "t");
+    const Bits f = InputBits(b, 8, "f");
+    const Signal sel = b.MakeInput("sel");
+    OutputBits(b, MuxBits(b, sel, t, f), "o");
+    std::vector<bool> in = ToBools(0xAA, 8);
+    auto fbits = ToBools(0x55, 8);
+    in.insert(in.end(), fbits.begin(), fbits.end());
+    in.push_back(true);
+    EXPECT_EQ(FromBools(b.netlist().EvaluatePlain(in)), 0xAAu);
+    in.back() = false;
+    EXPECT_EQ(FromBools(b.netlist().EvaluatePlain(in)), 0x55u);
+}
+
+}  // namespace
+}  // namespace pytfhe::hdl

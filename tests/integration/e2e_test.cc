@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Cross-module integration tests: whole VIP-Bench workloads compiled by
+ * the full pipeline and executed under real encryption, plus the complete
+ * client/server wire protocol through serialized streams.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "backend/interpreter.h"
+#include "core/compiler.h"
+#include "tfhe/serialization.h"
+#include "vip/benchmarks.h"
+
+namespace pytfhe {
+namespace {
+
+class EncryptedWorkloadTest : public ::testing::Test {
+  protected:
+    static void SetUpTestSuite() {
+        rng_ = new tfhe::Rng(2001);
+        secret_ = new tfhe::SecretKeySet(tfhe::ToyParams(), *rng_);
+        gates_ = new tfhe::GateEvaluator(*secret_, *rng_);
+    }
+    static void TearDownTestSuite() {
+        delete gates_;
+        delete secret_;
+        delete rng_;
+    }
+
+    std::vector<tfhe::LweSample> Encrypt(const std::vector<bool>& bits) {
+        std::vector<tfhe::LweSample> out;
+        out.reserve(bits.size());
+        for (bool b : bits) out.push_back(secret_->Encrypt(b, *rng_));
+        return out;
+    }
+
+    /** Runs a compiled netlist under encryption and decrypts the result. */
+    std::vector<bool> RunEncrypted(const circuit::Netlist& netlist,
+                                   const std::vector<bool>& inputs) {
+        auto compiled = core::Compile(netlist);
+        EXPECT_TRUE(compiled.has_value());
+        backend::TfheEvaluator eval(*gates_);
+        const auto out = backend::RunProgramThreaded(
+            compiled->program, eval, Encrypt(inputs), 2);
+        std::vector<bool> bits;
+        bits.reserve(out.size());
+        for (const auto& s : out) bits.push_back(secret_->Decrypt(s));
+        return bits;
+    }
+
+    static tfhe::Rng* rng_;
+    static tfhe::SecretKeySet* secret_;
+    static tfhe::GateEvaluator* gates_;
+};
+
+tfhe::Rng* EncryptedWorkloadTest::rng_ = nullptr;
+tfhe::SecretKeySet* EncryptedWorkloadTest::secret_ = nullptr;
+tfhe::GateEvaluator* EncryptedWorkloadTest::gates_ = nullptr;
+
+uint64_t WordOf(const std::vector<bool>& bits, size_t offset, int32_t width) {
+    uint64_t v = 0;
+    for (int32_t i = 0; i < width; ++i)
+        if (bits[offset + i]) v |= UINT64_C(1) << i;
+    return v;
+}
+
+void PushWord(std::vector<bool>& bits, uint64_t v, int32_t width) {
+    for (int32_t i = 0; i < width; ++i) bits.push_back((v >> i) & 1);
+}
+
+TEST_F(EncryptedWorkloadTest, FibonacciUnderEncryption) {
+    // A full VIP-Bench workload through compile + optimize + assemble +
+    // encrypted threaded execution: ~900 bootstrapped gates.
+    const circuit::Netlist n = vip::BuildFibonacci();
+    std::vector<bool> in;
+    PushWord(in, 3, 16);
+    PushWord(in, 7, 16);
+    const auto out = RunEncrypted(n, in);
+    EXPECT_EQ(WordOf(out, 0, 16), vip::RefFibonacci(3, 7));
+}
+
+TEST_F(EncryptedWorkloadTest, PrimalityUnderEncryption) {
+    const circuit::Netlist n = vip::BuildPrimality();
+    for (uint64_t x : {97u, 91u}) {
+        std::vector<bool> in;
+        PushWord(in, x, 8);
+        EXPECT_EQ(RunEncrypted(n, in)[0], vip::RefPrimality(x)) << x;
+    }
+}
+
+TEST_F(EncryptedWorkloadTest, MinMaxMeanUnderEncryption) {
+    const circuit::Netlist n = vip::BuildMinMaxMean();
+    std::mt19937_64 prng(5);
+    std::vector<uint64_t> v(16);
+    std::vector<bool> in;
+    for (auto& x : v) {
+        x = prng() & 0xFF;
+        PushWord(in, x, 8);
+    }
+    const auto out = RunEncrypted(n, in);
+    const auto want = vip::RefMinMaxMean(v);
+    EXPECT_EQ(WordOf(out, 0, 8), want[0]);
+    EXPECT_EQ(WordOf(out, 8, 8), want[1]);
+    EXPECT_EQ(WordOf(out, 16, 8), want[2]);
+}
+
+TEST(WireProtocol, FullClientServerExchangeThroughStreams) {
+    // The complete Fig. 1 protocol with every artifact serialized:
+    // 1. Client generates keys, persists secrets, serializes the
+    //    evaluation key and the encrypted inputs.
+    tfhe::Rng rng(77);
+    tfhe::SecretKeySet client_keys(tfhe::ToyParams(), rng);
+    tfhe::GateEvaluator keygen(client_keys, rng);
+
+    std::stringstream eval_key_wire, input_wire, program_wire;
+    tfhe::SaveBootstrappingKey(eval_key_wire, keygen.key());
+
+    // An 8-bit adder program, shipped as a binary.
+    hdl::Builder b;
+    const hdl::Bits x = hdl::InputBits(b, 8, "x");
+    const hdl::Bits y = hdl::InputBits(b, 8, "y");
+    hdl::OutputBits(b, hdl::Add(b, x, y), "sum");
+    auto compiled = core::Compile(b.netlist());
+    ASSERT_TRUE(compiled.has_value());
+    compiled->program.Serialize(program_wire);
+
+    std::vector<tfhe::LweSample> inputs;
+    const hdl::DType u8 = hdl::DType::UInt(8);
+    for (double v : {209.0, 46.0}) {
+        for (bool bit : u8.Encode(v))
+            inputs.push_back(client_keys.Encrypt(bit, rng));
+    }
+    tfhe::SaveLweSamples(input_wire, inputs);
+
+    // 2. Server: sees ONLY the three wires. No secret key in scope.
+    std::stringstream result_wire;
+    {
+        std::string error;
+        auto bk = tfhe::LoadBootstrappingKey(eval_key_wire, &error);
+        ASSERT_TRUE(bk.has_value()) << error;
+        auto program = pasm::Program::Deserialize(program_wire, &error);
+        ASSERT_TRUE(program.has_value()) << error;
+        auto cts = tfhe::LoadLweSamples(input_wire, &error);
+        ASSERT_TRUE(cts.has_value()) << error;
+
+        tfhe::GateEvaluator server_gates(
+            std::make_shared<tfhe::BootstrappingKey>(std::move(*bk)));
+        backend::TfheEvaluator eval(server_gates);
+        tfhe::SaveLweSamples(result_wire,
+                             backend::RunProgram(*program, eval, *cts));
+    }
+
+    // 3. Client decrypts the response: 209 + 46 = 255.
+    auto result = tfhe::LoadLweSamples(result_wire);
+    ASSERT_TRUE(result.has_value());
+    std::vector<bool> bits;
+    for (const auto& s : *result) bits.push_back(client_keys.Decrypt(s));
+    EXPECT_EQ(u8.Decode(bits), 255.0);
+}
+
+}  // namespace
+}  // namespace pytfhe

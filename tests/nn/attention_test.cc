@@ -1,0 +1,65 @@
+#include "nn/attention.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.h"
+#include "nn_test_util.h"
+
+namespace pytfhe::nn {
+namespace {
+
+TEST(Attention, TinySelfAttentionMatchesReference) {
+    SelfAttention attn(3, 4);
+    attn.InitRandom(21);
+    const DType t = DType::Float(6, 10);
+    const Shape in_shape{3, 4};
+    const auto data = RandomData(77, NumElements(in_shape), t);
+
+    uint64_t gates = 0;
+    const auto got = RunModule(attn, t, in_shape, data, &gates);
+    Shape shape = in_shape;
+    const auto want = attn.RefForward(data, shape, t);
+    ASSERT_EQ(got.size(), want.size());
+    EXPECT_EQ(shape, in_shape);  // Attention preserves shape.
+    // Softmax + float truncation accumulate error; tolerate a few percent.
+    ExpectClose(got, want, 0.08, 0.08);
+    EXPECT_GT(gates, 10000u);
+}
+
+TEST(Attention, OutputIsConvexCombinationRange) {
+    // Attention output lies within the value rows' range per column
+    // (softmax weights sum to ~1).
+    SelfAttention attn(2, 2);
+    attn.SetWeights({1, 0, 0, 1}, {1, 0, 0, 1}, {1, 0, 0, 1});  // Identity.
+    const DType t = DType::Float(6, 10);
+    const std::vector<double> data{1.0, 0.0, 0.0, 1.0};
+    const auto got = RunModule(attn, t, {2, 2}, data);
+    for (double v : got) {
+        EXPECT_GE(v, -0.1);
+        EXPECT_LE(v, 1.1);
+    }
+}
+
+TEST(Attention, PaperConfigurationsConstruct) {
+    auto s = AttentionS();
+    auto l = AttentionL();
+    EXPECT_EQ(s->hidden(), 32);
+    EXPECT_EQ(l->hidden(), 64);
+    EXPECT_EQ(s->seq_len(), 16);
+}
+
+TEST(Attention, AttentionLHasMoreGatesThanS) {
+    // Build scaled-down versions (seq 4) to keep the test fast but still
+    // verify the hidden-size scaling.
+    SelfAttention small(4, 8), large(4, 16);
+    small.InitRandom(1);
+    large.InitRandom(1);
+    const DType t = DType::Float(5, 6);
+    Builder bs, bl;
+    small.Forward(bs, Tensor::Input(bs, t, {4, 8}, "x"));
+    large.Forward(bl, Tensor::Input(bl, t, {4, 16}, "x"));
+    EXPECT_GT(bl.netlist().NumGates(), bs.netlist().NumGates() * 2);
+}
+
+}  // namespace
+}  // namespace pytfhe::nn

@@ -1,0 +1,245 @@
+#include "nn/functional.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/reference.h"
+#include "nn_test_util.h"
+
+namespace pytfhe::nn {
+namespace {
+
+/** Builds a two-tensor functional circuit and evaluates it. */
+std::vector<double> RunBinary(
+    const DType& t, const Shape& shape, const std::vector<double>& x,
+    const std::vector<double>& y,
+    const std::function<Tensor(Builder&, const Tensor&, const Tensor&)>& fn) {
+    Builder b;
+    Tensor tx = Tensor::Input(b, t, shape, "x");
+    Tensor ty = Tensor::Input(b, t, shape, "y");
+    Tensor out = fn(b, tx, ty);
+    out.Output(b, "o");
+    std::vector<bool> bits;
+    for (double d : x) {
+        auto e = t.Encode(d);
+        bits.insert(bits.end(), e.begin(), e.end());
+    }
+    for (double d : y) {
+        auto e = t.Encode(d);
+        bits.insert(bits.end(), e.begin(), e.end());
+    }
+    auto raw = b.netlist().EvaluatePlain(bits);
+    const int32_t wb = out.dtype().TotalBits();
+    std::vector<double> result(out.Numel());
+    for (int64_t i = 0; i < out.Numel(); ++i)
+        result[i] = out.dtype().Decode(
+            std::vector<bool>(raw.begin() + i * wb, raw.begin() + (i + 1) * wb));
+    return result;
+}
+
+TEST(Functional, ElementwiseAddMul) {
+    const DType t = DType::Fixed(6, 4);
+    const std::vector<double> x{1.0, -2.5, 3.25, 0.5};
+    const std::vector<double> y{0.25, 1.5, -1.0, 2.0};
+    auto add = RunBinary(t, {2, 2}, x, y, Add);
+    auto mul = RunBinary(t, {2, 2}, x, y, Mul);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(add[i], x[i] + y[i]) << i;
+        EXPECT_NEAR(mul[i], x[i] * y[i], 1.0 / 16) << i;
+    }
+}
+
+TEST(Functional, ElementwiseSubDiv) {
+    const DType t = DType::Float(6, 8);
+    const std::vector<double> x{1.0, -2.5, 3.0, 8.0};
+    const std::vector<double> y{0.25, 1.25, -1.5, 2.0};
+    auto sub = RunBinary(t, {4}, x, y, Sub);
+    auto div = RunBinary(t, {4}, x, y, Div);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_NEAR(sub[i], x[i] - y[i], 0.02) << i;
+        EXPECT_NEAR(div[i], x[i] / y[i], std::abs(x[i] / y[i]) * 0.02) << i;
+    }
+}
+
+TEST(Functional, Comparisons) {
+    const DType t = DType::SInt(6);
+    Builder b;
+    Tensor x = Tensor::Input(b, t, {3}, "x");
+    Tensor y = Tensor::Input(b, t, {3}, "y");
+    CmpLt(b, x, y).Output(b, "lt");
+    CmpGe(b, x, y).Output(b, "ge");
+    CmpEq(b, x, y).Output(b, "eq");
+    std::vector<bool> bits;
+    for (double d : {1.0, -5.0, 3.0}) {
+        auto e = t.Encode(d);
+        bits.insert(bits.end(), e.begin(), e.end());
+    }
+    for (double d : {2.0, -5.0, -7.0}) {
+        auto e = t.Encode(d);
+        bits.insert(bits.end(), e.begin(), e.end());
+    }
+    auto raw = b.netlist().EvaluatePlain(bits);
+    // lt: {1<2, -5<-5, 3<-7} = {1,0,0}; ge = {0,1,1}; eq = {0,1,0}.
+    EXPECT_EQ(raw[0], true);
+    EXPECT_EQ(raw[1], false);
+    EXPECT_EQ(raw[2], false);
+    EXPECT_EQ(raw[3], false);
+    EXPECT_EQ(raw[4], true);
+    EXPECT_EQ(raw[5], true);
+    EXPECT_EQ(raw[6], false);
+    EXPECT_EQ(raw[7], true);
+    EXPECT_EQ(raw[8], false);
+}
+
+TEST(Functional, MatMulMatchesReference) {
+    const DType t = DType::Fixed(8, 6);
+    const std::vector<double> x = RandomData(7, 6, t);   // [2,3].
+    const std::vector<double> y = RandomData(8, 12, t);  // [3,4].
+    Builder b;
+    Tensor tx = Tensor::Input(b, t, {2, 3}, "x");
+    Tensor ty = Tensor::Input(b, t, {3, 4}, "y");
+    Tensor out = MatMul(b, tx, ty);
+    EXPECT_EQ(out.shape(), (Shape{2, 4}));
+    out.Output(b, "o");
+    std::vector<bool> bits;
+    for (double d : x) {
+        auto e = t.Encode(d);
+        bits.insert(bits.end(), e.begin(), e.end());
+    }
+    for (double d : y) {
+        auto e = t.Encode(d);
+        bits.insert(bits.end(), e.begin(), e.end());
+    }
+    auto raw = b.netlist().EvaluatePlain(bits);
+    auto want = reference::MatMul(x, y, 2, 3, 4);
+    const int32_t wb = t.TotalBits();
+    for (int i = 0; i < 8; ++i) {
+        const double got = t.Decode(std::vector<bool>(
+            raw.begin() + i * wb, raw.begin() + (i + 1) * wb));
+        EXPECT_NEAR(got, want[i], 0.2) << i;  // Fixed-point truncation.
+    }
+}
+
+TEST(Functional, DotProduct) {
+    const DType t = DType::SInt(12);
+    Builder b;
+    Tensor x = Tensor::Input(b, t, {4}, "x");
+    Tensor y = Tensor::Input(b, t, {4}, "y");
+    hdl::OutputValue(b, Dot(b, x, y), "o");
+    std::vector<bool> bits;
+    for (double d : {1.0, 2.0, 3.0, 4.0}) {
+        auto e = t.Encode(d);
+        bits.insert(bits.end(), e.begin(), e.end());
+    }
+    for (double d : {5.0, -6.0, 7.0, 8.0}) {
+        auto e = t.Encode(d);
+        bits.insert(bits.end(), e.begin(), e.end());
+    }
+    auto raw = b.netlist().EvaluatePlain(bits);
+    EXPECT_EQ(t.Decode(raw), 5.0 - 12.0 + 21.0 + 32.0);
+}
+
+TEST(Functional, Reductions) {
+    const DType t = DType::SInt(10);
+    Builder b;
+    Tensor x = Tensor::Input(b, t, {5}, "x");
+    hdl::OutputValue(b, Sum(b, x), "sum");
+    hdl::OutputValue(b, MaxVal(b, x), "max");
+    hdl::OutputValue(b, MinVal(b, x), "min");
+    hdl::OutputValue(b, Prod(b, x), "prod");
+    std::vector<bool> bits;
+    for (double d : {3.0, -7.0, 11.0, 2.0, -1.0}) {
+        auto e = t.Encode(d);
+        bits.insert(bits.end(), e.begin(), e.end());
+    }
+    auto raw = b.netlist().EvaluatePlain(bits);
+    auto word = [&](int i) {
+        return t.Decode(std::vector<bool>(raw.begin() + i * 10,
+                                          raw.begin() + (i + 1) * 10));
+    };
+    EXPECT_EQ(word(0), 8.0);
+    EXPECT_EQ(word(1), 11.0);
+    EXPECT_EQ(word(2), -7.0);
+    EXPECT_EQ(word(3), 3.0 * -7.0 * 11.0 * 2.0 * -1.0);
+}
+
+TEST(Functional, ArgMaxArgMin) {
+    const DType t = DType::SInt(8);
+    Builder b;
+    Tensor x = Tensor::Input(b, t, {6}, "x");
+    const Value amax = ArgMax(b, x);
+    const Value amin = ArgMin(b, x);
+    hdl::OutputValue(b, amax, "amax");
+    hdl::OutputValue(b, amin, "amin");
+    std::vector<bool> bits;
+    for (double d : {3.0, -7.0, 11.0, 2.0, 11.0, -9.0}) {
+        auto e = t.Encode(d);
+        bits.insert(bits.end(), e.begin(), e.end());
+    }
+    auto raw = b.netlist().EvaluatePlain(bits);
+    const int32_t iw = amax.dtype.TotalBits();
+    EXPECT_EQ(amax.dtype.Decode(std::vector<bool>(raw.begin(),
+                                                  raw.begin() + iw)),
+              2.0);  // First maximum wins ties.
+    EXPECT_EQ(amin.dtype.Decode(std::vector<bool>(raw.begin() + iw,
+                                                  raw.begin() + 2 * iw)),
+              5.0);
+}
+
+TEST(Functional, PwlExpTracksTrueExp) {
+    // The shared polyline itself approximates exp within a few percent.
+    for (double x = -7.5; x <= 0.0; x += 0.25) {
+        EXPECT_NEAR(reference::PwlExp(x), std::exp(x),
+                    0.03 * std::exp(x) + 0.01)
+            << x;
+    }
+    EXPECT_EQ(reference::PwlExp(-20.0), 0.0);
+    EXPECT_EQ(reference::PwlExp(0.0), 1.0);
+}
+
+TEST(Functional, ExpApproxMatchesPolyline) {
+    const DType t = DType::Float(6, 10);
+    Builder b;
+    Tensor x = Tensor::Input(b, t, {5}, "x");
+    Tensor y = ExpApprox(b, x);
+    y.Output(b, "y");
+    const std::vector<double> data{-0.5, -1.0, -2.25, -5.0, 0.0};
+    std::vector<bool> bits;
+    for (double d : data) {
+        auto e = t.Encode(d);
+        bits.insert(bits.end(), e.begin(), e.end());
+    }
+    auto raw = b.netlist().EvaluatePlain(bits);
+    const int32_t wb = t.TotalBits();
+    for (int i = 0; i < 5; ++i) {
+        const double got = t.Decode(std::vector<bool>(
+            raw.begin() + i * wb, raw.begin() + (i + 1) * wb));
+        EXPECT_NEAR(got, reference::PwlExp(data[i]), 0.02) << data[i];
+    }
+}
+
+TEST(Functional, SoftmaxRowsSumToOne) {
+    const DType t = DType::Float(6, 10);
+    Builder b;
+    Tensor x = Tensor::Input(b, t, {2, 3}, "x");
+    Tensor y = Softmax(b, x);
+    y.Output(b, "y");
+    const std::vector<double> data{0.5, 1.5, -0.5, 2.0, 2.0, 2.0};
+    std::vector<bool> bits;
+    for (double d : data) {
+        auto e = t.Encode(d);
+        bits.insert(bits.end(), e.begin(), e.end());
+    }
+    auto raw = b.netlist().EvaluatePlain(bits);
+    const int32_t wb = t.TotalBits();
+    std::vector<double> got(6);
+    for (int i = 0; i < 6; ++i)
+        got[i] = t.Decode(std::vector<bool>(raw.begin() + i * wb,
+                                            raw.begin() + (i + 1) * wb));
+    auto want = reference::Softmax(data, 2, 3);
+    for (int i = 0; i < 6; ++i) EXPECT_NEAR(got[i], want[i], 0.03) << i;
+    EXPECT_NEAR(got[0] + got[1] + got[2], 1.0, 0.05);
+    EXPECT_NEAR(got[3], 1.0 / 3, 0.02);  // Uniform row.
+}
+
+}  // namespace
+}  // namespace pytfhe::nn

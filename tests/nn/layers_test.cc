@@ -1,0 +1,218 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.h"
+#include "nn_test_util.h"
+
+namespace pytfhe::nn {
+namespace {
+
+/** Compares a module's circuit against its reference on random data. */
+void CheckModule(const Module& module, const DType& t, const Shape& in_shape,
+                 double rel, double abs_tol, uint64_t seed = 42) {
+    const auto data = RandomData(seed, NumElements(in_shape), t);
+    const auto got = RunModule(module, t, in_shape, data);
+    Shape shape = in_shape;
+    const auto want = module.RefForward(data, shape, t);
+    ASSERT_EQ(got.size(), want.size());
+    ASSERT_EQ(NumElements(shape), static_cast<int64_t>(want.size()));
+    ExpectClose(got, want, rel, abs_tol);
+}
+
+TEST(Layers, Conv2dMatchesReference) {
+    Conv2d conv(1, 2, 3, 1);
+    conv.InitRandom(7);
+    CheckModule(conv, DType::Fixed(8, 8), {1, 5, 5}, 0.01, 0.05);
+}
+
+TEST(Layers, Conv2dStride2) {
+    Conv2d conv(2, 1, 2, 2);
+    conv.InitRandom(8);
+    CheckModule(conv, DType::Fixed(8, 8), {2, 6, 6}, 0.01, 0.05);
+}
+
+TEST(Layers, Conv2dFloatDtype) {
+    Conv2d conv(1, 1, 2, 1);
+    conv.InitRandom(9);
+    CheckModule(conv, DType::Float(6, 10), {1, 4, 4}, 0.02, 0.02);
+}
+
+TEST(Layers, Conv2dWithPadding) {
+    Conv2d conv(1, 1, 3, 1, /*padding=*/1);
+    conv.InitRandom(17);
+    // Same-size output: 5x5 in -> 5x5 out.
+    Builder b;
+    Tensor in = Tensor::Input(b, DType::Fixed(8, 8), {1, 5, 5}, "x");
+    EXPECT_EQ(conv.Forward(b, in).shape(), (Shape{1, 5, 5}));
+    CheckModule(conv, DType::Fixed(8, 8), {1, 5, 5}, 0.01, 0.05);
+}
+
+TEST(Layers, Conv1dMatchesReference) {
+    Conv1d conv(2, 3, 3, 1);
+    conv.InitRandom(10);
+    CheckModule(conv, DType::Fixed(8, 8), {2, 9}, 0.01, 0.05);
+}
+
+TEST(Layers, LinearMatchesReference) {
+    Linear lin(6, 4);
+    lin.InitRandom(11);
+    CheckModule(lin, DType::Fixed(8, 8), {6}, 0.01, 0.05);
+}
+
+TEST(Layers, LinearFloat) {
+    Linear lin(5, 3);
+    lin.InitRandom(12);
+    CheckModule(lin, DType::Float(6, 10), {5}, 0.02, 0.02);
+}
+
+TEST(Layers, ReluMatchesReference) {
+    CheckModule(ReLU(), DType::SInt(8), {7}, 0.0, 0.0);
+    CheckModule(ReLU(), DType::Float(6, 8), {7}, 0.0, 0.0);
+    CheckModule(ReLU(), DType::Fixed(5, 5), {7}, 0.0, 0.0);
+}
+
+TEST(Layers, MaxPool2dMatchesReference) {
+    CheckModule(MaxPool2d(2, 1), DType::SInt(8), {2, 4, 4}, 0.0, 0.0);
+    CheckModule(MaxPool2d(3, 1), DType::Fixed(6, 4), {1, 5, 5}, 0.0, 0.0);
+    CheckModule(MaxPool2d(2, 2), DType::Float(6, 8), {1, 4, 4}, 0.0, 0.0);
+}
+
+TEST(Layers, AvgPool2dMatchesReference) {
+    CheckModule(AvgPool2d(2, 2), DType::Float(6, 10), {1, 4, 4}, 0.02, 0.02);
+    // Integer average truncates; allow one LSB of slack.
+    CheckModule(AvgPool2d(2, 2), DType::Fixed(8, 6), {1, 4, 4}, 0.0, 0.05);
+}
+
+TEST(Layers, Pool1dVariants) {
+    CheckModule(MaxPool1d(3, 1), DType::SInt(8), {2, 7}, 0.0, 0.0);
+    CheckModule(AvgPool1d(2, 2), DType::Float(6, 10), {2, 8}, 0.02, 0.02);
+}
+
+TEST(Layers, BatchNormMatchesReference) {
+    BatchNorm bn(3);
+    bn.InitRandom(13);
+    CheckModule(bn, DType::Fixed(8, 8), {3, 4}, 0.02, 0.05);
+    CheckModule(bn, DType::Float(6, 10), {3, 4}, 0.03, 0.03);
+}
+
+TEST(Layers, SigmoidMatchesPolyline) {
+    CheckModule(Sigmoid(), DType::Float(6, 10), {9}, 0.03, 0.02, 91);
+}
+
+TEST(Layers, SigmoidSaturates) {
+    Builder b;
+    const DType t = DType::Float(6, 10);
+    Tensor in = Tensor::Input(b, t, {2}, "x");
+    Sigmoid().Forward(b, in).Output(b, "y");
+    std::vector<bool> bits;
+    for (double v : {20.0, -20.0}) {
+        auto e = t.Encode(v);
+        bits.insert(bits.end(), e.begin(), e.end());
+    }
+    auto raw = b.netlist().EvaluatePlain(bits);
+    const int32_t wb = t.TotalBits();
+    EXPECT_EQ(t.Decode(std::vector<bool>(raw.begin(), raw.begin() + wb)),
+              1.0);
+    EXPECT_EQ(t.Decode(std::vector<bool>(raw.begin() + wb,
+                                         raw.begin() + 2 * wb)),
+              0.0);
+}
+
+TEST(Layers, TanhMatchesPolyline) {
+    CheckModule(Tanh(), DType::Float(6, 10), {9}, 0.05, 0.04, 92);
+}
+
+TEST(Layers, TanhIsOddAndBounded) {
+    Builder b;
+    const DType t = DType::Float(6, 10);
+    Tensor in = Tensor::Input(b, t, {3}, "x");
+    Tanh().Forward(b, in).Output(b, "y");
+    std::vector<bool> bits;
+    for (double v : {0.0, 15.0, -15.0}) {
+        auto e = t.Encode(v);
+        bits.insert(bits.end(), e.begin(), e.end());
+    }
+    auto raw = b.netlist().EvaluatePlain(bits);
+    const int32_t wb = t.TotalBits();
+    auto word = [&](int i) {
+        return t.Decode(std::vector<bool>(raw.begin() + i * wb,
+                                          raw.begin() + (i + 1) * wb));
+    };
+    EXPECT_NEAR(word(0), 0.0, 0.02);
+    EXPECT_NEAR(word(1), 1.0, 0.01);
+    EXPECT_NEAR(word(2), -1.0, 0.01);
+}
+
+TEST(Layers, FlattenIsFreeAndCorrect) {
+    Builder b;
+    Tensor in = Tensor::Input(b, DType::SInt(4), {2, 3, 4}, "x");
+    Flatten flatten;
+    Tensor out = flatten.Forward(b, in);
+    EXPECT_EQ(out.shape(), (Shape{24}));
+    EXPECT_EQ(b.netlist().NumGates(), 0u);  // The paper's wiring argument.
+}
+
+TEST(Layers, SequentialComposes) {
+    auto conv = std::make_shared<Conv2d>(1, 1, 2, 1);
+    conv->InitRandom(14);
+    auto lin = std::make_shared<Linear>(9, 3);
+    lin->InitRandom(15);
+    Sequential model({conv, MakeModule<ReLU>(), MakeModule<Flatten>(), lin});
+    CheckModule(model, DType::Fixed(8, 8), {1, 4, 4}, 0.02, 0.1);
+}
+
+TEST(Layers, MnistTinyEndToEnd) {
+    // MNIST_S topology on an 8x8 image; full plaintext circuit evaluation.
+    MnistConfig cfg;
+    cfg.image = 8;
+    cfg.seed = 3;
+    auto model = MnistS(cfg);
+    const DType t = DType::Fixed(8, 8);
+    const Shape in_shape = MnistInputShape(cfg);
+
+    const auto data = RandomData(44, NumElements(in_shape), t);
+    uint64_t gates = 0;
+    const auto got = RunModule(*model, t, in_shape, data, &gates);
+    Shape shape = in_shape;
+    const auto want = model->RefForward(data, shape, t);
+    ASSERT_EQ(got.size(), 10u);
+    ExpectClose(got, want, 0.03, 0.15);
+    EXPECT_GT(gates, 1000u);  // A real circuit, not a folded constant.
+
+    // The predicted class (argmax) agrees with the reference model.
+    const auto best =
+        std::max_element(want.begin(), want.end()) - want.begin();
+    const auto got_best =
+        std::max_element(got.begin(), got.end()) - got.begin();
+    EXPECT_EQ(best, got_best);
+}
+
+TEST(Layers, MnistVariantsGrowInSize) {
+    MnistConfig cfg;
+    cfg.image = 6;
+    Builder bs, bm, bl;
+    const DType t = DType::Fixed(4, 4);
+    MnistS(cfg)->Forward(bs, Tensor::Input(bs, t, MnistInputShape(cfg), "x"));
+    MnistM(cfg)->Forward(bm, Tensor::Input(bm, t, MnistInputShape(cfg), "x"));
+    MnistL(cfg)->Forward(bl, Tensor::Input(bl, t, MnistInputShape(cfg), "x"));
+    EXPECT_LT(bs.netlist().NumGates(), bm.netlist().NumGates());
+    EXPECT_LT(bm.netlist().NumGates(), bl.netlist().NumGates());
+}
+
+TEST(Layers, DtypeChoiceChangesGateCountByOrdersOfMagnitude) {
+    // Section IV-B: cheaper data types cut gates dramatically.
+    Linear lin(8, 8);
+    lin.InitRandom(16);
+    auto count = [&](const DType& t) {
+        Builder b;
+        lin.Forward(b, Tensor::Input(b, t, {8}, "x"));
+        return b.netlist().NumGates();
+    };
+    const uint64_t narrow = count(DType::SInt(4));
+    const uint64_t wide = count(DType::Float(8, 23));
+    EXPECT_GT(wide, narrow * 10);
+}
+
+}  // namespace
+}  // namespace pytfhe::nn

@@ -1,0 +1,66 @@
+/** @file Helpers for evaluating NN circuits against references. */
+#ifndef PYTFHE_TESTS_NN_TEST_UTIL_H
+#define PYTFHE_TESTS_NN_TEST_UTIL_H
+
+#include <random>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace pytfhe::nn {
+
+/** Deterministic input data in [-2, 2], quantized to the dtype. */
+inline std::vector<double> RandomData(uint64_t seed, size_t n,
+                                      const hdl::DType& t) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-2.0, 2.0);
+    std::vector<double> v(n);
+    for (auto& x : v) x = t.Quantize(dist(rng));
+    return v;
+}
+
+/**
+ * Builds module->Forward over an input tensor, evaluates the circuit on
+ * plaintext bits, and returns the decoded outputs.
+ */
+inline std::vector<double> RunModule(const Module& module, const DType& t,
+                                     const Shape& in_shape,
+                                     const std::vector<double>& data,
+                                     uint64_t* gate_count = nullptr) {
+    Builder b;
+    Tensor in = Tensor::Input(b, t, in_shape, "x");
+    Tensor out = module.Forward(b, in);
+    out.Output(b, "y");
+
+    std::vector<bool> bits;
+    for (double d : data) {
+        const auto enc = t.Encode(d);
+        bits.insert(bits.end(), enc.begin(), enc.end());
+    }
+    const std::vector<bool> raw = b.netlist().EvaluatePlain(bits);
+    if (gate_count) *gate_count = b.netlist().NumGates();
+
+    const int32_t wb = out.dtype().TotalBits();
+    std::vector<double> result(out.Numel());
+    for (int64_t i = 0; i < out.Numel(); ++i) {
+        std::vector<bool> word(raw.begin() + i * wb,
+                               raw.begin() + (i + 1) * wb);
+        result[i] = out.dtype().Decode(word);
+    }
+    return result;
+}
+
+/** Elementwise comparison with absolute+relative tolerance. */
+inline void ExpectClose(const std::vector<double>& got,
+                        const std::vector<double>& want, double rel,
+                        double abs_tol) {
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+        const double tol = abs_tol + rel * std::abs(want[i]);
+        EXPECT_NEAR(got[i], want[i], tol) << "index " << i;
+    }
+}
+
+}  // namespace pytfhe::nn
+
+#endif  // PYTFHE_TESTS_NN_TEST_UTIL_H

@@ -1,0 +1,91 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace pytfhe::nn {
+namespace {
+
+TEST(TensorTest, ShapesAndIndexing) {
+    Builder b;
+    Tensor t = Tensor::Input(b, DType::SInt(4), {2, 3, 4}, "x");
+    EXPECT_EQ(t.Numel(), 24);
+    EXPECT_EQ(t.Rank(), 3u);
+    EXPECT_EQ(t.FlatIndex({1, 2, 3}), 23);
+    EXPECT_EQ(t.FlatIndex({0, 0, 0}), 0);
+    EXPECT_EQ(t.FlatIndex({1, 0, 2}), 14);
+}
+
+TEST(TensorTest, LayoutOpsGenerateNoGates) {
+    Builder b;
+    Tensor t = Tensor::Input(b, DType::SInt(4), {2, 3, 4}, "x");
+    const uint64_t before = b.netlist().NumGates();
+    Tensor r = t.Reshape({4, 6});
+    Tensor f = t.Flatten();
+    Tensor tr = t.Transpose(0, 2);
+    EXPECT_EQ(b.netlist().NumGates(), before);  // Pure wiring.
+    EXPECT_EQ(r.shape(), (Shape{4, 6}));
+    EXPECT_EQ(f.shape(), (Shape{24}));
+    EXPECT_EQ(tr.shape(), (Shape{4, 3, 2}));
+}
+
+TEST(TensorTest, TransposeMovesElements) {
+    Builder b;
+    Tensor t = Tensor::Input(b, DType::UInt(2), {2, 3}, "x");
+    Tensor tr = t.Transpose(0, 1);
+    for (int64_t i = 0; i < 2; ++i)
+        for (int64_t j = 0; j < 3; ++j)
+            EXPECT_EQ(tr.At({j, i}).bits[0], t.At({i, j}).bits[0]);
+}
+
+TEST(TensorTest, TransposeIsInvolution) {
+    Builder b;
+    Tensor t = Tensor::Input(b, DType::UInt(3), {3, 5}, "x");
+    Tensor back = t.Transpose(0, 1).Transpose(0, 1);
+    for (int64_t i = 0; i < t.Numel(); ++i)
+        EXPECT_EQ(back.At(i).bits[0], t.At(i).bits[0]);
+}
+
+TEST(TensorTest, FromDataQuantizes) {
+    Builder b;
+    const DType t = DType::Fixed(4, 2);
+    Tensor c = Tensor::FromData(b, t, {3}, {1.25, -0.6, 2.0});
+    EXPECT_EQ(b.netlist().NumGates(), 0u);  // Constants only.
+    // Values decode to the quantized data.
+    std::vector<bool> none;
+    auto out_bits = [&](const hdl::Value& v) {
+        std::vector<bool> bits;
+        for (auto s : v.bits.bits) bits.push_back(s == circuit::kConstTrue);
+        return bits;
+    };
+    EXPECT_EQ(t.Decode(out_bits(c.At(0))), 1.25);
+    EXPECT_EQ(t.Decode(out_bits(c.At(1))), -0.5);  // Rounded to nearest 1/4.
+    EXPECT_EQ(t.Decode(out_bits(c.At(2))), 2.0);
+}
+
+TEST(TensorTest, Pad2dAddsZeroBorder) {
+    Builder b;
+    const DType t = DType::SInt(4);
+    Tensor x = Tensor::Input(b, t, {1, 2, 2}, "x");
+    Tensor p = x.Pad2d(b, 1);
+    EXPECT_EQ(p.shape(), (Shape{1, 4, 4}));
+    // Corners are constant false bits.
+    for (auto s : p.At({0, 0, 0}).bits.bits)
+        EXPECT_EQ(s, circuit::kConstFalse);
+    // Center keeps the original signals.
+    EXPECT_EQ(p.At({0, 1, 1}).bits[0], x.At({0, 0, 0}).bits[0]);
+    EXPECT_EQ(p.At({0, 2, 2}).bits[0], x.At({0, 1, 1}).bits[0]);
+}
+
+TEST(TensorTest, FullCreatesUniformConstant) {
+    Builder b;
+    Tensor f = Tensor::Full(b, DType::UInt(4), {2, 2}, 5.0);
+    EXPECT_EQ(f.Numel(), 4);
+    for (int64_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(f.At(i).bits[0], circuit::kConstTrue);   // Bit 0 of 5.
+        EXPECT_EQ(f.At(i).bits[1], circuit::kConstFalse);  // Bit 1.
+        EXPECT_EQ(f.At(i).bits[2], circuit::kConstTrue);   // Bit 2.
+    }
+}
+
+}  // namespace
+}  // namespace pytfhe::nn

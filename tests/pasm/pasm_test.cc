@@ -1,0 +1,230 @@
+#include "pasm/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "circuit/opt/passes.h"
+
+namespace pytfhe::pasm {
+namespace {
+
+using circuit::GateType;
+using circuit::Netlist;
+using circuit::NodeId;
+
+Netlist HalfAdder() {
+    Netlist n;
+    const NodeId a = n.AddInput("A");
+    const NodeId b = n.AddInput("B");
+    n.AddOutput(n.AddGate(GateType::kXor, a, b), "Sum");
+    n.AddOutput(n.AddGate(GateType::kAnd, a, b), "Carry");
+    return n;
+}
+
+TEST(InstructionTest, FieldRoundTrip) {
+    const Instruction g =
+        Instruction::MakeGate(GateType::kXor, UINT64_C(0x123456789AB),
+                              UINT64_C(0x3FFFFFFFFFFFFFE) /* large */);
+    EXPECT_EQ(g.TypeField(), 6);
+    EXPECT_EQ(g.Input0(), UINT64_C(0x123456789AB));
+    EXPECT_EQ(g.Input1(), UINT64_C(0x3FFFFFFFFFFFFFE));
+}
+
+TEST(InstructionTest, MaximumIndexSurvives) {
+    const Instruction g =
+        Instruction::MakeGate(GateType::kAnd, kMaxIndex, kMaxIndex);
+    EXPECT_EQ(g.Input0(), kMaxIndex);
+    EXPECT_EQ(g.Input1(), kMaxIndex);
+}
+
+TEST(InstructionTest, KindsClassifyCorrectly) {
+    EXPECT_EQ(Instruction::MakeHeader(7).Kind(0), InstructionKind::kHeader);
+    EXPECT_EQ(Instruction::MakeInput().Kind(1), InstructionKind::kInput);
+    EXPECT_EQ(Instruction::MakeGate(GateType::kOr, 1, 2).Kind(3),
+              InstructionKind::kGate);
+    EXPECT_EQ(Instruction::MakeOutput(3).Kind(5), InstructionKind::kOutput);
+}
+
+TEST(InstructionTest, InputInstructionIsAllOnes) {
+    // Fig. 5: input instructions have every field set to all ones.
+    const Instruction i = Instruction::MakeInput();
+    EXPECT_EQ(i.Input0(), kIndexAllOnes);
+    EXPECT_EQ(i.Input1(), kIndexAllOnes);
+    EXPECT_EQ(i.TypeField(), 0xF);
+}
+
+TEST(AssemblerTest, HalfAdderMatchesPaperExample) {
+    // Fig. 6: header(2 gates), inputs A=1 B=2, XOR@3(1,2), AND@4(1,2),
+    // outputs referencing 3 and 4.
+    auto p = Assemble(HalfAdder());
+    ASSERT_TRUE(p.has_value());
+    const auto& ins = p->Instructions();
+    ASSERT_EQ(ins.size(), 7u);
+    EXPECT_EQ(ins[0].Kind(0), InstructionKind::kHeader);
+    EXPECT_EQ(ins[0].Input1(), 2u);  // Total gate count.
+    EXPECT_EQ(ins[1].Kind(1), InstructionKind::kInput);
+    EXPECT_EQ(ins[2].Kind(2), InstructionKind::kInput);
+    EXPECT_EQ(ins[3].TypeField(), 6);  // XOR = 0110.
+    EXPECT_EQ(ins[3].Input0(), 1u);
+    EXPECT_EQ(ins[3].Input1(), 2u);
+    EXPECT_EQ(ins[4].TypeField(), static_cast<int>(GateType::kAnd));
+    EXPECT_EQ(ins[5].Kind(5), InstructionKind::kOutput);
+    EXPECT_EQ(ins[5].Input1(), 3u);  // Sum <- XOR.
+    EXPECT_EQ(ins[6].Input1(), 4u);  // Carry <- AND.
+}
+
+TEST(AssemblerTest, RejectsConstantReferences) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    n.AddOutput(n.AddGate(GateType::kOr, a, circuit::kConstTrue));
+    std::string error;
+    EXPECT_FALSE(Assemble(n, &error).has_value());
+    EXPECT_NE(error.find("constants"), std::string::npos);
+    // After optimization OR(a, 1) folds to constant true; the assembler
+    // synthesizes it as XNOR(a, a) so the binary stays constant-free.
+    auto opt = circuit::Optimize(n);
+    auto p = Assemble(opt.netlist);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->NumGates(), 1u);
+    Netlist back = ToNetlist(*p);
+    EXPECT_TRUE(back.EvaluatePlain({false})[0]);
+    EXPECT_TRUE(back.EvaluatePlain({true})[0]);
+}
+
+TEST(AssemblerTest, ConstantOutputsNeedAnInput) {
+    Netlist n;
+    n.AddOutput(circuit::kConstFalse);
+    std::string error;
+    EXPECT_FALSE(Assemble(n, &error).has_value());
+    EXPECT_NE(error.find("input"), std::string::npos);
+}
+
+TEST(AssemblerTest, NetlistRoundTripPreservesSemantics) {
+    std::mt19937_64 rng(99);
+    Netlist n;
+    std::vector<NodeId> pool;
+    for (int i = 0; i < 5; ++i) pool.push_back(n.AddInput());
+    for (int i = 0; i < 60; ++i) {
+        GateType t = static_cast<GateType>(rng() % circuit::kNumGateTypes);
+        pool.push_back(
+            n.AddGate(t, pool[rng() % pool.size()], pool[rng() % pool.size()]));
+    }
+    for (int i = 0; i < 3; ++i) n.AddOutput(pool[pool.size() - 1 - i]);
+
+    auto p = Assemble(n);
+    ASSERT_TRUE(p.has_value());
+    Netlist back = ToNetlist(*p);
+    for (int trial = 0; trial < 16; ++trial) {
+        std::vector<bool> in(5);
+        for (size_t i = 0; i < in.size(); ++i) in[i] = rng() & 1;
+        EXPECT_EQ(n.EvaluatePlain(in), back.EvaluatePlain(in));
+    }
+    // And assembling the reconstruction reproduces the same binary.
+    auto p2 = Assemble(back);
+    ASSERT_TRUE(p2.has_value());
+    EXPECT_EQ(p->Instructions(), p2->Instructions());
+}
+
+TEST(ProgramTest, SerializeDeserializeRoundTrip) {
+    auto p = Assemble(HalfAdder());
+    ASSERT_TRUE(p.has_value());
+    std::stringstream ss;
+    p->Serialize(ss);
+    EXPECT_EQ(ss.str().size(), p->ByteSize());
+    auto q = Program::Deserialize(ss);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(p->Instructions(), q->Instructions());
+    EXPECT_EQ(q->NumInputs(), 2u);
+    EXPECT_EQ(q->NumGates(), 2u);
+    EXPECT_EQ(q->OutputIndices(), (std::vector<uint64_t>{3, 4}));
+}
+
+TEST(ProgramTest, RejectsTruncatedStream) {
+    auto p = Assemble(HalfAdder());
+    std::stringstream ss;
+    p->Serialize(ss);
+    std::string bytes = ss.str();
+    bytes.pop_back();
+    std::stringstream truncated(bytes);
+    std::string error;
+    EXPECT_FALSE(Program::Deserialize(truncated, &error).has_value());
+    EXPECT_NE(error.find("multiple of 16"), std::string::npos);
+}
+
+TEST(ProgramTest, RejectsBadHeaderCount) {
+    std::vector<Instruction> ins;
+    ins.push_back(Instruction::MakeHeader(5));  // Claims 5 gates.
+    ins.push_back(Instruction::MakeInput());
+    ins.push_back(Instruction::MakeGate(GateType::kAnd, 1, 1));
+    std::string error;
+    EXPECT_FALSE(Program::FromInstructions(ins, &error).has_value());
+    EXPECT_NE(error.find("declares"), std::string::npos);
+}
+
+TEST(ProgramTest, RejectsForwardReference) {
+    std::vector<Instruction> ins;
+    ins.push_back(Instruction::MakeHeader(1));
+    ins.push_back(Instruction::MakeInput());
+    ins.push_back(Instruction::MakeGate(GateType::kAnd, 1, 2));  // 2 == self.
+    std::string error;
+    EXPECT_FALSE(Program::FromInstructions(ins, &error).has_value());
+    EXPECT_NE(error.find("invalid index"), std::string::npos);
+}
+
+TEST(ProgramTest, RejectsInputAfterGate) {
+    std::vector<Instruction> ins;
+    ins.push_back(Instruction::MakeHeader(1));
+    ins.push_back(Instruction::MakeInput());
+    ins.push_back(Instruction::MakeGate(GateType::kAnd, 1, 1));
+    ins.push_back(Instruction::MakeInput());
+    EXPECT_FALSE(Program::FromInstructions(ins).has_value());
+}
+
+TEST(ProgramTest, RejectsEmptyProgram) {
+    EXPECT_FALSE(Program::FromInstructions({}).has_value());
+}
+
+TEST(ProgramTest, FuzzedStreamsNeverCrash) {
+    // Random byte blobs either parse into a valid program or fail with a
+    // clean error — never crash or accept inconsistent structures.
+    std::mt19937_64 prng(123);
+    for (int trial = 0; trial < 200; ++trial) {
+        const size_t len = 16 * (prng() % 16);
+        std::string blob(len, '\0');
+        for (auto& c : blob) c = static_cast<char>(prng());
+        std::stringstream ss(blob);
+        std::string error;
+        auto p = Program::Deserialize(ss, &error);
+        if (p.has_value()) {
+            // Accepted programs must be internally consistent.
+            EXPECT_EQ(p->NumGates() + p->NumInputs() +
+                          p->OutputIndices().size() + 1,
+                      p->Instructions().size());
+        } else {
+            EXPECT_FALSE(error.empty());
+        }
+    }
+}
+
+TEST(ProgramTest, DisassemblyMentionsEveryInstruction) {
+    auto p = Assemble(HalfAdder());
+    const std::string dis = p->Disassemble();
+    EXPECT_NE(dis.find("HEADER gates=2"), std::string::npos);
+    EXPECT_NE(dis.find("XOR 1, 2"), std::string::npos);
+    EXPECT_NE(dis.find("OUTPUT <- 4"), std::string::npos);
+}
+
+TEST(ProgramTest, FileRoundTrip) {
+    auto p = Assemble(HalfAdder());
+    const std::string path = ::testing::TempDir() + "/half_adder.ptfhe";
+    ASSERT_TRUE(p->SaveToFile(path));
+    std::string error;
+    auto q = Program::LoadFromFile(path, &error);
+    ASSERT_TRUE(q.has_value()) << error;
+    EXPECT_EQ(p->Instructions(), q->Instructions());
+}
+
+}  // namespace
+}  // namespace pytfhe::pasm

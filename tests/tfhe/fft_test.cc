@@ -1,0 +1,118 @@
+#include "tfhe/fft.h"
+
+#include <gtest/gtest.h>
+
+#include "tfhe/rng.h"
+
+namespace pytfhe::tfhe {
+namespace {
+
+// Max absolute torus error (as uint32 distance) between two polynomials.
+uint32_t MaxError(const TorusPolynomial& a, const TorusPolynomial& b) {
+    uint32_t max_err = 0;
+    for (int32_t i = 0; i < a.Size(); ++i) {
+        const uint32_t d = a.coefs[i] - b.coefs[i];
+        const uint32_t err = std::min(d, static_cast<uint32_t>(-d));
+        max_err = std::max(max_err, err);
+    }
+    return max_err;
+}
+
+class FftParamTest : public ::testing::TestWithParam<int32_t> {};
+
+TEST_P(FftParamTest, MatchesNaiveWithSmallDigits) {
+    const int32_t n = GetParam();
+    const NegacyclicFft& fft = GetFftPlan(n);
+    Rng rng(11);
+    IntPolynomial a(n);
+    TorusPolynomial b(n), expected(n), got(n);
+    // Digits like gadget decomposition output: [-128, 128).
+    for (auto& c : a.coefs)
+        c = static_cast<int32_t>(rng.UniformBelow(256)) - 128;
+    for (auto& c : b.coefs) c = rng.UniformTorus32();
+
+    NaiveNegacyclicMul(expected, a, b);
+    fft.Multiply(got, a, b);
+    // Round-off must stay far below the noise budget (2^-15 of the torus
+    // is about 1.3e5 in uint32 units); allow 2^8.
+    EXPECT_LE(MaxError(expected, got), 256u) << "n=" << n;
+}
+
+TEST_P(FftParamTest, ForwardInverseRoundTrip) {
+    const int32_t n = GetParam();
+    const NegacyclicFft& fft = GetFftPlan(n);
+    Rng rng(12);
+    TorusPolynomial p(n), back(n);
+    for (auto& c : p.coefs) c = rng.UniformTorus32();
+    FreqPolynomial f;
+    fft.Forward(f, p);
+    fft.Inverse(back, f);
+    EXPECT_LE(MaxError(p, back), 16u) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftParamTest,
+                         ::testing::Values(64, 128, 256, 512, 1024, 2048));
+
+TEST(Fft, MultiplyByXaiMatchesExactRotation) {
+    const int32_t n = 128;
+    const NegacyclicFft& fft = GetFftPlan(n);
+    Rng rng(13);
+    TorusPolynomial p(n), exact(n), via_fft(n);
+    for (auto& c : p.coefs) c = rng.UniformTorus32();
+    for (int32_t shift : {1, 7, 63, 127}) {
+        IntPolynomial xa(n);
+        xa.coefs[shift] = 1;
+        MulByXai(exact, shift, p);
+        fft.Multiply(via_fft, xa, p);
+        EXPECT_LE(MaxError(exact, via_fft), 16u) << "shift=" << shift;
+    }
+}
+
+TEST(Fft, LinearityInFrequencyDomain) {
+    const int32_t n = 256;
+    const NegacyclicFft& fft = GetFftPlan(n);
+    Rng rng(14);
+    IntPolynomial a1(n), a2(n);
+    TorusPolynomial b(n);
+    for (auto& c : a1.coefs) c = static_cast<int32_t>(rng.UniformBelow(16)) - 8;
+    for (auto& c : a2.coefs) c = static_cast<int32_t>(rng.UniformBelow(16)) - 8;
+    for (auto& c : b.coefs) c = rng.UniformTorus32();
+
+    // (a1 + a2) * b == a1 * b + a2 * b, computed via accumulation.
+    FreqPolynomial fa1, fa2, fb, acc(n);
+    fft.Forward(fa1, a1);
+    fft.Forward(fa2, a2);
+    fft.Forward(fb, b);
+    acc.AddMul(fa1, fb);
+    acc.AddMul(fa2, fb);
+    TorusPolynomial sum_freq(n);
+    fft.Inverse(sum_freq, acc);
+
+    IntPolynomial a12(n);
+    for (int32_t i = 0; i < n; ++i) a12.coefs[i] = a1.coefs[i] + a2.coefs[i];
+    TorusPolynomial exact(n);
+    NaiveNegacyclicMul(exact, a12, b);
+
+    EXPECT_LE(MaxError(exact, sum_freq), 64u);
+}
+
+TEST(Fft, PlanCacheReturnsSameInstance) {
+    const NegacyclicFft& a = GetFftPlan(128);
+    const NegacyclicFft& b = GetFftPlan(128);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.Size(), 128);
+}
+
+TEST(Fft, ZeroTimesAnythingIsZero) {
+    const int32_t n = 64;
+    const NegacyclicFft& fft = GetFftPlan(n);
+    Rng rng(15);
+    IntPolynomial zero(n);
+    TorusPolynomial b(n), r(n);
+    for (auto& c : b.coefs) c = rng.UniformTorus32();
+    fft.Multiply(r, zero, b);
+    for (auto c : r.coefs) EXPECT_EQ(c, 0u);
+}
+
+}  // namespace
+}  // namespace pytfhe::tfhe

@@ -1,0 +1,117 @@
+#include "tfhe/integer.h"
+
+#include <gtest/gtest.h>
+
+namespace pytfhe::tfhe {
+namespace {
+
+class RadixTest : public ::testing::Test {
+  protected:
+    static void SetUpTestSuite() {
+        rng_ = new Rng(301);
+        params_ = new Params(ToyParams());
+        lwe_key_ = new LweKey(params_->n, *rng_);
+        tlwe_key_ = new TLweKey(params_->big_n, params_->k, *rng_);
+        bk_ = new BootstrappingKey(*params_, *lwe_key_, *tlwe_key_, *rng_);
+    }
+    static void TearDownTestSuite() {
+        delete bk_;
+        delete tlwe_key_;
+        delete lwe_key_;
+        delete params_;
+        delete rng_;
+    }
+
+    RadixInteger Enc(const RadixContext& ctx, uint64_t v) {
+        return ctx.Encrypt(v, *lwe_key_, params_->lwe_noise_stddev, *rng_);
+    }
+    uint64_t Dec(const RadixContext& ctx, const RadixInteger& x) {
+        return ctx.Decrypt(x, *lwe_key_);
+    }
+    int32_t DecDigit(const RadixContext& ctx, const LweSample& s) {
+        return ctx.digit_context().Decrypt(s, *lwe_key_);
+    }
+
+    static Rng* rng_;
+    static Params* params_;
+    static LweKey* lwe_key_;
+    static TLweKey* tlwe_key_;
+    static BootstrappingKey* bk_;
+};
+
+Rng* RadixTest::rng_ = nullptr;
+Params* RadixTest::params_ = nullptr;
+LweKey* RadixTest::lwe_key_ = nullptr;
+TLweKey* RadixTest::tlwe_key_ = nullptr;
+BootstrappingKey* RadixTest::bk_ = nullptr;
+
+TEST_F(RadixTest, EncryptDecryptRoundTrip) {
+    RadixContext ctx(4, 3, *bk_);  // Base-4, 3 digits: 0..63.
+    EXPECT_EQ(ctx.Modulus(), 64u);
+    for (uint64_t v : {0u, 1u, 17u, 42u, 63u})
+        EXPECT_EQ(Dec(ctx, Enc(ctx, v)), v) << v;
+}
+
+TEST_F(RadixTest, AdditionWithCarryPropagation) {
+    RadixContext ctx(4, 3, *bk_);
+    for (auto [a, b] : {std::pair<uint64_t, uint64_t>{5, 7},
+                        {15, 1},     // Carry across one digit boundary.
+                        {21, 21},
+                        {63, 1},     // Wraps mod 64.
+                        {47, 33}}) {
+        EXPECT_EQ(Dec(ctx, ctx.Add(Enc(ctx, a), Enc(ctx, b))),
+                  (a + b) % 64)
+            << a << "+" << b;
+    }
+}
+
+TEST_F(RadixTest, MultiplicationSchoolbook) {
+    RadixContext ctx(4, 3, *bk_);
+    for (auto [a, b] : {std::pair<uint64_t, uint64_t>{3, 5},
+                        {7, 9},
+                        {15, 4},
+                        {21, 11},   // 231 mod 64 = 39.
+                        {63, 63}}) {
+        EXPECT_EQ(Dec(ctx, ctx.Mul(Enc(ctx, a), Enc(ctx, b))),
+                  (a * b) % 64)
+            << a << "*" << b;
+    }
+}
+
+TEST_F(RadixTest, EqualityAndComparison) {
+    RadixContext ctx(4, 2, *bk_);  // 0..15.
+    for (auto [a, b] : {std::pair<uint64_t, uint64_t>{3, 3},
+                        {3, 5},
+                        {12, 9},
+                        {15, 15},
+                        {0, 1}}) {
+        EXPECT_EQ(DecDigit(ctx, ctx.Eq(Enc(ctx, a), Enc(ctx, b))),
+                  a == b ? 1 : 0)
+            << a << "==" << b;
+        EXPECT_EQ(DecDigit(ctx, ctx.Lt(Enc(ctx, a), Enc(ctx, b))),
+                  a < b ? 1 : 0)
+            << a << "<" << b;
+    }
+}
+
+TEST_F(RadixTest, LtDistinguishesDigitBoundaries) {
+    RadixContext ctx(4, 2, *bk_);
+    // Same low digit, different high digit and vice versa.
+    EXPECT_EQ(DecDigit(ctx, ctx.Lt(Enc(ctx, 2), Enc(ctx, 6))), 1);   // 02<12.
+    EXPECT_EQ(DecDigit(ctx, ctx.Lt(Enc(ctx, 6), Enc(ctx, 2))), 0);
+    EXPECT_EQ(DecDigit(ctx, ctx.Lt(Enc(ctx, 4), Enc(ctx, 5))), 1);   // 10<11.
+    EXPECT_EQ(DecDigit(ctx, ctx.Lt(Enc(ctx, 5), Enc(ctx, 4))), 0);
+}
+
+TEST_F(RadixTest, ChainedArithmeticStaysFresh) {
+    // (a + b) * c + a, every intermediate bootstrapped.
+    RadixContext ctx(4, 2, *bk_);
+    const uint64_t a = 3, b = 5, c = 7;
+    RadixInteger r = ctx.Add(Enc(ctx, a), Enc(ctx, b));
+    r = ctx.Mul(r, Enc(ctx, c));
+    r = ctx.Add(r, Enc(ctx, a));
+    EXPECT_EQ(Dec(ctx, r), ((a + b) * c + a) % 16);
+}
+
+}  // namespace
+}  // namespace pytfhe::tfhe

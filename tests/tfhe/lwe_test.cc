@@ -1,0 +1,109 @@
+#include "tfhe/lwe.h"
+
+#include <gtest/gtest.h>
+
+#include "tfhe/params.h"
+
+namespace pytfhe::tfhe {
+namespace {
+
+TEST(Lwe, EncryptDecryptBit) {
+    Rng rng(21);
+    const Params p = Tfhe128Params();
+    LweKey key(p.n, rng);
+    for (int i = 0; i < 50; ++i) {
+        const bool bit = (i % 2) == 0;
+        LweSample s = LweEncryptBit(bit, p.lwe_noise_stddev, key, rng);
+        EXPECT_EQ(LweDecryptBit(s, key), bit) << i;
+    }
+}
+
+TEST(Lwe, EncryptDecryptMessageSpace) {
+    Rng rng(22);
+    const Params p = Tfhe128Params();
+    LweKey key(p.n, rng);
+    const int32_t msize = 8;
+    for (int32_t mu = 0; mu < msize; ++mu) {
+        const Torus32 msg = ModSwitchToTorus32(mu, msize);
+        LweSample s = LweEncrypt(msg, p.lwe_noise_stddev, key, rng);
+        EXPECT_EQ(LweDecrypt(s, key, msize), msg) << mu;
+    }
+}
+
+TEST(Lwe, PhaseOfTrivialSampleIsMessage) {
+    Rng rng(23);
+    LweKey key(64, rng);
+    LweSample s(64);
+    s.SetTrivial(0xDEADBEEF);
+    EXPECT_EQ(LwePhase(s, key), 0xDEADBEEFu);
+}
+
+TEST(Lwe, HomomorphicAddition) {
+    Rng rng(24);
+    const Params p = Tfhe128Params();
+    LweKey key(p.n, rng);
+    const int32_t msize = 16;
+    const Torus32 m1 = ModSwitchToTorus32(3, msize);
+    const Torus32 m2 = ModSwitchToTorus32(5, msize);
+    LweSample s1 = LweEncrypt(m1, p.lwe_noise_stddev, key, rng);
+    LweSample s2 = LweEncrypt(m2, p.lwe_noise_stddev, key, rng);
+    s1.AddTo(s2);
+    EXPECT_EQ(LweDecrypt(s1, key, msize), ModSwitchToTorus32(8, msize));
+}
+
+TEST(Lwe, HomomorphicSubtractionAndNegation) {
+    Rng rng(25);
+    const Params p = Tfhe128Params();
+    LweKey key(p.n, rng);
+    const int32_t msize = 16;
+    LweSample s1 =
+        LweEncrypt(ModSwitchToTorus32(7, msize), p.lwe_noise_stddev, key, rng);
+    LweSample s2 =
+        LweEncrypt(ModSwitchToTorus32(2, msize), p.lwe_noise_stddev, key, rng);
+    LweSample diff = s1;
+    diff.SubTo(s2);
+    EXPECT_EQ(LweDecrypt(diff, key, msize), ModSwitchToTorus32(5, msize));
+
+    LweSample neg = s2;
+    neg.Negate();
+    EXPECT_EQ(LweDecrypt(neg, key, msize), ModSwitchToTorus32(14, msize));
+}
+
+TEST(Lwe, NoiseIsSmall) {
+    Rng rng(26);
+    const Params p = Tfhe128Params();
+    LweKey key(p.n, rng);
+    double max_err = 0;
+    for (int i = 0; i < 100; ++i) {
+        LweSample s = LweEncrypt(0, p.lwe_noise_stddev, key, rng);
+        max_err = std::max(
+            max_err, std::abs(Torus32ToDouble(LwePhase(s, key))));
+    }
+    // 100 samples at sigma = 2^-15 should stay below ~5 sigma.
+    EXPECT_LT(max_err, 5 * p.lwe_noise_stddev);
+    EXPECT_GT(max_err, 0.0);  // And encryption is not noiseless.
+}
+
+TEST(Lwe, DistinctSamplesForSameMessage) {
+    Rng rng(27);
+    LweKey key(32, rng);
+    LweSample s1 = LweEncryptBit(true, 1e-9, key, rng);
+    LweSample s2 = LweEncryptBit(true, 1e-9, key, rng);
+    EXPECT_NE(s1.a, s2.a);
+}
+
+TEST(Lwe, KeyIsBinary) {
+    Rng rng(28);
+    LweKey key(1000, rng);
+    int32_t ones = 0;
+    for (int32_t b : key.key) {
+        EXPECT_TRUE(b == 0 || b == 1);
+        ones += b;
+    }
+    // Roughly balanced.
+    EXPECT_GT(ones, 350);
+    EXPECT_LT(ones, 650);
+}
+
+}  // namespace
+}  // namespace pytfhe::tfhe

@@ -1,0 +1,113 @@
+#include "tfhe/noise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tfhe/gates.h"
+
+namespace pytfhe::tfhe {
+namespace {
+
+/** Empirical variance of the phase error over repeated gate evaluations. */
+double MeasureGateOutputVariance(const Params& params, int32_t samples) {
+    Rng rng(81);
+    SecretKeySet secret(params, rng);
+    GateEvaluator eval(secret, rng);
+    const Torus32 mu = ModSwitchToTorus32(1, 8);
+    double sum_sq = 0;
+    for (int32_t i = 0; i < samples; ++i) {
+        LweSample a = secret.Encrypt(true, rng);
+        LweSample b = secret.Encrypt(true, rng);
+        LweSample out = eval.And(a, b);
+        const double err = Torus32ToDouble(
+            LwePhase(out, secret.lwe_key) - mu);
+        sum_sq += err * err;
+    }
+    return sum_sq / samples;
+}
+
+TEST(Noise, PredictionBoundsEmpiricalVarianceToy) {
+    const Params p = ToyParams();
+    const NoiseAnalysis a = AnalyzeNoise(p);
+    const double measured = MeasureGateOutputVariance(p, 200);
+    // The model is an upper-bound heuristic: measured should not exceed it
+    // by more than sampling slack, and should not be absurdly below
+    // either (within a factor of ~100, since worst-case terms dominate).
+    EXPECT_LT(measured, a.gate_output_variance * 4.0);
+    EXPECT_GT(measured, a.gate_output_variance / 200.0);
+}
+
+TEST(Noise, PredictionBoundsEmpiricalVarianceSmall) {
+    const Params p = SmallParams();
+    const NoiseAnalysis a = AnalyzeNoise(p);
+    const double measured = MeasureGateOutputVariance(p, 60);
+    EXPECT_LT(measured, a.gate_output_variance * 4.0);
+}
+
+TEST(Noise, DefaultParametersAreSound) {
+    // The paper's 128-bit set must evaluate gates reliably.
+    const NoiseAnalysis a = AnalyzeNoise(Tfhe128Params());
+    EXPECT_LT(a.gate_failure_probability, 1e-6);
+    EXPECT_TRUE(CheckParams(Tfhe128Params(), 1e-6));
+    // And the noise budget is dominated by the blind rotation.
+    EXPECT_GT(a.blind_rotate_variance, 0.0);
+    EXPECT_GT(a.gate_output_variance, a.key_switch_variance);
+}
+
+TEST(Noise, ToyParametersAreSoundByConstruction) {
+    EXPECT_TRUE(CheckParams(ToyParams()));
+    EXPECT_TRUE(CheckParams(SmallParams()));
+}
+
+TEST(Noise, BrokenParametersAreRejected) {
+    Params bad = ToyParams();
+    bad.lwe_noise_stddev = 0.05;  // Noise at the decision margin.
+    bad.tlwe_noise_stddev = 0.01;
+    EXPECT_FALSE(CheckParams(bad));
+    EXPECT_GT(AnalyzeNoise(bad).gate_failure_probability, 0.01);
+}
+
+TEST(Noise, BrokenParametersActuallyFail) {
+    // The model's prediction of failure matches reality: gates misfire.
+    Params bad = ToyParams();
+    bad.lwe_noise_stddev = 0.08;
+    Rng rng(82);
+    SecretKeySet secret(bad, rng);
+    GateEvaluator eval(secret, rng);
+    int32_t wrong = 0;
+    for (int32_t i = 0; i < 40; ++i) {
+        LweSample a = secret.Encrypt(true, rng);
+        LweSample b = secret.Encrypt(true, rng);
+        if (!secret.Decrypt(eval.And(a, b))) ++wrong;
+    }
+    EXPECT_GT(wrong, 0);
+}
+
+TEST(Noise, FailureProbabilityIsMonotone) {
+    // Variances chosen so erfc stays representable (it underflows to an
+    // exact 0 beyond ~27 sigma, which is the desired answer there too).
+    EXPECT_LT(FailureProbability(1e-4, 0.125),
+              FailureProbability(1e-3, 0.125));
+    EXPECT_LT(FailureProbability(1e-3, 0.25), FailureProbability(1e-3, 0.125));
+    EXPECT_EQ(FailureProbability(0.0, 0.125), 0.0);
+    EXPECT_EQ(FailureProbability(1e-10, 0.125), 0.0);  // Underflow regime.
+}
+
+TEST(Noise, ModSwitchVarianceScalesWithDimension) {
+    Params small = ToyParams();
+    Params big = ToyParams();
+    big.n *= 4;
+    EXPECT_GT(AnalyzeNoise(big).mod_switch_variance,
+              AnalyzeNoise(small).mod_switch_variance);
+}
+
+TEST(Noise, ToStringMentionsEveryPhase) {
+    const std::string s = AnalyzeNoise(ToyParams()).ToString();
+    EXPECT_NE(s.find("blind rotate"), std::string::npos);
+    EXPECT_NE(s.find("key switch"), std::string::npos);
+    EXPECT_NE(s.find("failure"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pytfhe::tfhe

@@ -1,0 +1,120 @@
+#include "tfhe/polynomial.h"
+
+#include <gtest/gtest.h>
+
+#include "tfhe/rng.h"
+
+namespace pytfhe::tfhe {
+namespace {
+
+TEST(Polynomial, AddSubRoundTrip) {
+    const int32_t n = 16;
+    Rng rng(1);
+    TorusPolynomial a(n), b(n);
+    for (int32_t i = 0; i < n; ++i) {
+        a.coefs[i] = rng.UniformTorus32();
+        b.coefs[i] = rng.UniformTorus32();
+    }
+    TorusPolynomial c = a;
+    c.AddTo(b);
+    c.SubTo(b);
+    EXPECT_EQ(c.coefs, a.coefs);
+}
+
+TEST(Polynomial, MulByXaiIdentity) {
+    const int32_t n = 8;
+    TorusPolynomial p(n), q(n);
+    for (int32_t i = 0; i < n; ++i) p.coefs[i] = i + 1;
+    MulByXai(q, 0, p);
+    EXPECT_EQ(q.coefs, p.coefs);
+}
+
+TEST(Polynomial, MulByXaiShiftsAndNegates) {
+    const int32_t n = 4;
+    TorusPolynomial p(n), q(n);
+    p.coefs = {1, 2, 3, 4};
+    // X^1 * (1 + 2X + 3X^2 + 4X^3) = X + 2X^2 + 3X^3 + 4X^4 = -4 + X + 2X^2 + 3X^3.
+    MulByXai(q, 1, p);
+    EXPECT_EQ(q.coefs[0], static_cast<Torus32>(-4));
+    EXPECT_EQ(q.coefs[1], 1u);
+    EXPECT_EQ(q.coefs[2], 2u);
+    EXPECT_EQ(q.coefs[3], 3u);
+}
+
+TEST(Polynomial, MulByXNIsNegation) {
+    const int32_t n = 8;
+    Rng rng(2);
+    TorusPolynomial p(n), q(n);
+    for (auto& c : p.coefs) c = rng.UniformTorus32();
+    MulByXai(q, n, p);
+    for (int32_t i = 0; i < n; ++i)
+        EXPECT_EQ(q.coefs[i], static_cast<Torus32>(-p.coefs[i]));
+}
+
+TEST(Polynomial, MulByX2NIsIdentity) {
+    const int32_t n = 8;
+    Rng rng(3);
+    TorusPolynomial p(n), q(n);
+    for (auto& c : p.coefs) c = rng.UniformTorus32();
+    MulByXai(q, 2 * n, p);
+    EXPECT_EQ(q.coefs, p.coefs);
+}
+
+TEST(Polynomial, MulByXaiComposes) {
+    const int32_t n = 16;
+    Rng rng(4);
+    TorusPolynomial p(n), q1(n), q2(n), q3(n);
+    for (auto& c : p.coefs) c = rng.UniformTorus32();
+    MulByXai(q1, 5, p);
+    MulByXai(q2, 9, q1);
+    MulByXai(q3, 14, p);
+    EXPECT_EQ(q2.coefs, q3.coefs);
+}
+
+TEST(Polynomial, NaiveMulByConstantOne) {
+    const int32_t n = 8;
+    Rng rng(5);
+    IntPolynomial one(n);
+    one.coefs[0] = 1;
+    TorusPolynomial p(n), r(n);
+    for (auto& c : p.coefs) c = rng.UniformTorus32();
+    NaiveNegacyclicMul(r, one, p);
+    EXPECT_EQ(r.coefs, p.coefs);
+}
+
+TEST(Polynomial, NaiveMulMatchesMulByXai) {
+    const int32_t n = 16;
+    Rng rng(6);
+    TorusPolynomial p(n), expected(n), got(n);
+    for (auto& c : p.coefs) c = rng.UniformTorus32();
+    for (int32_t shift = 0; shift < n; ++shift) {
+        IntPolynomial xa(n);
+        xa.coefs[shift] = 1;
+        NaiveNegacyclicMul(got, xa, p);
+        MulByXai(expected, shift, p);
+        EXPECT_EQ(got.coefs, expected.coefs) << "shift=" << shift;
+    }
+}
+
+TEST(Polynomial, NaiveMulDistributesOverAddition) {
+    const int32_t n = 32;
+    Rng rng(7);
+    IntPolynomial a(n);
+    TorusPolynomial x(n), y(n);
+    for (auto& c : a.coefs)
+        c = static_cast<int32_t>(rng.UniformBelow(64)) - 32;
+    for (auto& c : x.coefs) c = rng.UniformTorus32();
+    for (auto& c : y.coefs) c = rng.UniformTorus32();
+
+    TorusPolynomial xy = x;
+    xy.AddTo(y);
+    TorusPolynomial r1(n), r2(n), r3(n);
+    NaiveNegacyclicMul(r1, a, xy);
+    NaiveNegacyclicMul(r2, a, x);
+    NaiveNegacyclicMul(r3, a, y);
+    r2.AddTo(r3);
+    EXPECT_EQ(r1.coefs, r2.coefs);
+}
+
+}  // namespace
+}  // namespace pytfhe::tfhe

@@ -1,0 +1,130 @@
+#include "tfhe/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pytfhe::tfhe {
+namespace {
+
+TEST(Serialization, ParamsRoundTrip) {
+    for (const Params& p : {ToyParams(), SmallParams(), Tfhe128Params()}) {
+        std::stringstream ss;
+        SaveParams(ss, p);
+        auto q = LoadParams(ss);
+        ASSERT_TRUE(q.has_value()) << p.name;
+        EXPECT_EQ(q->name, p.name);
+        EXPECT_EQ(q->n, p.n);
+        EXPECT_EQ(q->big_n, p.big_n);
+        EXPECT_EQ(q->bk_l, p.bk_l);
+        EXPECT_EQ(q->ks_t, p.ks_t);
+        EXPECT_EQ(q->lwe_noise_stddev, p.lwe_noise_stddev);
+    }
+}
+
+TEST(Serialization, LweSampleRoundTrip) {
+    Rng rng(101);
+    const Params p = ToyParams();
+    LweKey key(p.n, rng);
+    LweSample s = LweEncryptBit(true, p.lwe_noise_stddev, key, rng);
+    std::stringstream ss;
+    SaveLweSample(ss, s);
+    auto t = LoadLweSample(ss);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->a, s.a);
+    EXPECT_EQ(t->b, s.b);
+    EXPECT_TRUE(LweDecryptBit(*t, key));
+}
+
+TEST(Serialization, SampleBatchRoundTrip) {
+    Rng rng(102);
+    const Params p = ToyParams();
+    LweKey key(p.n, rng);
+    std::vector<LweSample> batch;
+    for (int i = 0; i < 7; ++i)
+        batch.push_back(LweEncryptBit(i % 2, p.lwe_noise_stddev, key, rng));
+    std::stringstream ss;
+    SaveLweSamples(ss, batch);
+    auto loaded = LoadLweSamples(ss);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i)
+        EXPECT_EQ(LweDecryptBit((*loaded)[i], key), i % 2 == 1);
+}
+
+TEST(Serialization, SecretKeySetRoundTrip) {
+    Rng rng(103);
+    SecretKeySet keys(ToyParams(), rng);
+    std::stringstream ss;
+    SaveSecretKeySet(ss, keys);
+    auto loaded = LoadSecretKeySet(ss);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->lwe_key.key, keys.lwe_key.key);
+    EXPECT_EQ(loaded->tlwe_key.key[0].coefs, keys.tlwe_key.key[0].coefs);
+
+    // A ciphertext from the original keys decrypts under the loaded ones.
+    LweSample s = keys.Encrypt(true, rng);
+    EXPECT_TRUE(loaded->Decrypt(s));
+}
+
+TEST(Serialization, BootstrappingKeyRoundTripEvaluatesGates) {
+    Rng rng(104);
+    SecretKeySet secret(ToyParams(), rng);
+    auto original = std::make_shared<BootstrappingKey>(
+        secret.params, secret.lwe_key, secret.tlwe_key, rng);
+
+    std::stringstream ss;
+    SaveBootstrappingKey(ss, *original);
+    std::string error;
+    auto loaded = LoadBootstrappingKey(ss, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+
+    // The server restored from disk computes correct gates.
+    GateEvaluator eval(
+        std::make_shared<BootstrappingKey>(std::move(*loaded)));
+    LweSample a = secret.Encrypt(true, rng);
+    LweSample b = secret.Encrypt(false, rng);
+    EXPECT_TRUE(secret.Decrypt(eval.Nand(a, b)));
+    EXPECT_TRUE(secret.Decrypt(eval.Xor(a, b)));
+    EXPECT_FALSE(secret.Decrypt(eval.And(a, b)));
+}
+
+TEST(Serialization, RejectsWrongMagic) {
+    Rng rng(105);
+    const Params p = ToyParams();
+    LweKey key(p.n, rng);
+    std::stringstream ss;
+    SaveLweSample(ss, LweEncryptBit(true, p.lwe_noise_stddev, key, rng));
+    std::string error;
+    EXPECT_FALSE(LoadParams(ss, &error).has_value());
+    EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(Serialization, RejectsTruncation) {
+    std::stringstream ss;
+    SaveParams(ss, ToyParams());
+    std::string bytes = ss.str();
+    for (size_t cut : {size_t{3}, size_t{9}, bytes.size() - 2}) {
+        std::stringstream truncated(bytes.substr(0, cut));
+        std::string error;
+        EXPECT_FALSE(LoadParams(truncated, &error).has_value()) << cut;
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(Serialization, RejectsGarbage) {
+    // Fuzz-ish: random byte blobs never crash, always error cleanly.
+    std::mt19937_64 prng(9);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::string blob(1 + prng() % 200, '\0');
+        for (auto& c : blob) c = static_cast<char>(prng());
+        std::stringstream ss(blob);
+        std::string error;
+        EXPECT_FALSE(LoadBootstrappingKey(ss, &error).has_value());
+        std::stringstream ss2(blob);
+        EXPECT_FALSE(LoadSecretKeySet(ss2, &error).has_value());
+    }
+}
+
+}  // namespace
+}  // namespace pytfhe::tfhe

@@ -1,0 +1,144 @@
+#include "tfhe/shortint.h"
+
+#include <gtest/gtest.h>
+
+namespace pytfhe::tfhe {
+namespace {
+
+class ShortIntTest : public ::testing::Test {
+  protected:
+    static void SetUpTestSuite() {
+        rng_ = new Rng(71);
+        params_ = new Params(ToyParams());
+        lwe_key_ = new LweKey(params_->n, *rng_);
+        tlwe_key_ = new TLweKey(params_->big_n, params_->k, *rng_);
+        bk_ = new BootstrappingKey(*params_, *lwe_key_, *tlwe_key_, *rng_);
+    }
+    static void TearDownTestSuite() {
+        delete bk_;
+        delete tlwe_key_;
+        delete lwe_key_;
+        delete params_;
+        delete rng_;
+    }
+
+    LweSample Enc(const ShortIntContext& ctx, int32_t m) {
+        return ctx.Encrypt(m, *lwe_key_, params_->lwe_noise_stddev, *rng_);
+    }
+    int32_t Dec(const ShortIntContext& ctx, const LweSample& ct) {
+        return ctx.Decrypt(ct, *lwe_key_);
+    }
+
+    static Rng* rng_;
+    static Params* params_;
+    static LweKey* lwe_key_;
+    static TLweKey* tlwe_key_;
+    static BootstrappingKey* bk_;
+};
+
+Rng* ShortIntTest::rng_ = nullptr;
+Params* ShortIntTest::params_ = nullptr;
+LweKey* ShortIntTest::lwe_key_ = nullptr;
+TLweKey* ShortIntTest::tlwe_key_ = nullptr;
+BootstrappingKey* ShortIntTest::bk_ = nullptr;
+
+TEST_F(ShortIntTest, EncryptDecryptRoundTrip) {
+    ShortIntContext ctx(4, *bk_);
+    for (int32_t m = 0; m < 4; ++m)
+        EXPECT_EQ(Dec(ctx, Enc(ctx, m)), m) << m;
+}
+
+TEST_F(ShortIntTest, UnaryLutSquares) {
+    ShortIntContext ctx(4, *bk_);
+    for (int32_t m = 0; m < 4; ++m) {
+        LweSample out = ctx.Apply(
+            [](int32_t x) { return (x * x) % 4; }, Enc(ctx, m));
+        EXPECT_EQ(Dec(ctx, out), (m * m) % 4) << m;
+    }
+}
+
+TEST_F(ShortIntTest, AddExhaustive) {
+    ShortIntContext ctx(4, *bk_);
+    for (int32_t a = 0; a < 4; ++a) {
+        for (int32_t b = 0; b < 4; ++b) {
+            EXPECT_EQ(Dec(ctx, ctx.Add(Enc(ctx, a), Enc(ctx, b))),
+                      (a + b) % 4)
+                << a << "+" << b;
+            EXPECT_EQ(Dec(ctx, ctx.AddCarry(Enc(ctx, a), Enc(ctx, b))),
+                      (a + b) / 4)
+                << a << "+" << b;
+        }
+    }
+}
+
+TEST_F(ShortIntTest, MulExhaustive) {
+    ShortIntContext ctx(4, *bk_);
+    for (int32_t a = 0; a < 4; ++a) {
+        for (int32_t b = 0; b < 4; ++b) {
+            EXPECT_EQ(Dec(ctx, ctx.Mul(Enc(ctx, a), Enc(ctx, b))),
+                      (a * b) % 4);
+            EXPECT_EQ(Dec(ctx, ctx.MulHigh(Enc(ctx, a), Enc(ctx, b))),
+                      (a * b) / 4);
+        }
+    }
+}
+
+TEST_F(ShortIntTest, ComparisonAndMinMax) {
+    ShortIntContext ctx(4, *bk_);
+    for (int32_t a = 0; a < 4; ++a) {
+        for (int32_t b = 0; b < 4; ++b) {
+            EXPECT_EQ(Dec(ctx, ctx.Lt(Enc(ctx, a), Enc(ctx, b))),
+                      a < b ? 1 : 0);
+            EXPECT_EQ(Dec(ctx, ctx.Max(Enc(ctx, a), Enc(ctx, b))),
+                      std::max(a, b));
+            EXPECT_EQ(Dec(ctx, ctx.Min(Enc(ctx, a), Enc(ctx, b))),
+                      std::min(a, b));
+        }
+    }
+}
+
+TEST_F(ShortIntTest, SubWrapsModP) {
+    ShortIntContext ctx(4, *bk_);
+    EXPECT_EQ(Dec(ctx, ctx.Sub(Enc(ctx, 1), Enc(ctx, 3))), 2);  // -2 mod 4.
+    EXPECT_EQ(Dec(ctx, ctx.Sub(Enc(ctx, 3), Enc(ctx, 1))), 2);
+}
+
+TEST_F(ShortIntTest, ChainedOpsRefreshNoise) {
+    // Multi-digit 2-digit base-4 addition: (3,2) + (1,3) = 14 + 7 = 21 =
+    // (1,1,1) in base 4. Each op is one bootstrap, so chains stay fresh.
+    ShortIntContext ctx(4, *bk_);
+    LweSample a0 = Enc(ctx, 2), a1 = Enc(ctx, 3);  // 3*4 + 2 = 14.
+    LweSample b0 = Enc(ctx, 3), b1 = Enc(ctx, 1);  // 1*4 + 3 = 7.
+    LweSample s0 = ctx.Add(a0, b0);
+    LweSample c0 = ctx.AddCarry(a0, b0);
+    LweSample s1 = ctx.Add(ctx.Add(a1, b1), c0);
+    // Carry out of digit 1: carry(a1,b1) OR carry(a1+b1, c0).
+    LweSample c1a = ctx.AddCarry(a1, b1);
+    LweSample c1b = ctx.AddCarry(ctx.Add(a1, b1), c0);
+    LweSample c1 = ctx.Apply2(
+        [](int32_t x, int32_t y) { return (x + y) > 0 ? 1 : 0; }, c1a, c1b);
+    EXPECT_EQ(Dec(ctx, s0), 1);  // 21 = 111_4.
+    EXPECT_EQ(Dec(ctx, s1), 1);
+    EXPECT_EQ(Dec(ctx, c1), 1);
+}
+
+TEST_F(ShortIntTest, LargerModulus) {
+    // p = 6 -> P = 36 slots of >= 3 ring coefficients each: enough margin
+    // for the mod-switch rounding error at the toy dimension. (p = 8
+    // would make 2P equal the ring dimension exactly, leaving zero
+    // noise margin — rejected territory for real deployments.)
+    ShortIntContext ctx(6, *bk_);
+    for (int32_t a : {0, 2, 3, 5}) {
+        for (int32_t b : {0, 1, 4, 5}) {
+            EXPECT_EQ(Dec(ctx, ctx.Add(Enc(ctx, a), Enc(ctx, b))),
+                      (a + b) % 6)
+                << a << "+" << b;
+            EXPECT_EQ(Dec(ctx, ctx.Mul(Enc(ctx, a), Enc(ctx, b))),
+                      (a * b) % 6)
+                << a << "*" << b;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace pytfhe::tfhe

@@ -1,0 +1,147 @@
+#include "tfhe/tgsw.h"
+
+#include <gtest/gtest.h>
+
+#include "tfhe/params.h"
+
+namespace pytfhe::tfhe {
+namespace {
+
+double TorusDistance(Torus32 a, Torus32 b) {
+    return std::abs(Torus32ToDouble(a - b));
+}
+
+class TGswTest : public ::testing::Test {
+  protected:
+    TGswTest() : rng_(41), params_(ToyParams()),
+                 key_(params_.big_n, params_.k, rng_),
+                 fft_(GetFftPlan(params_.big_n)) {}
+
+    TLweSample EncryptConst(Torus32 mu) {
+        return TLweEncryptConst(mu, params_.tlwe_noise_stddev, key_, rng_);
+    }
+
+    TGswSampleFft EncryptBitFft(int32_t bit) {
+        return TGswToFft(
+            TGswEncrypt(bit, params_.bk_l, params_.bk_bg_bit,
+                        params_.tlwe_noise_stddev, key_, rng_),
+            fft_);
+    }
+
+    Rng rng_;
+    Params params_;
+    TLweKey key_;
+    const NegacyclicFft& fft_;
+};
+
+TEST_F(TGswTest, DecomposeRecomposesApproximately) {
+    const int32_t n = params_.big_n;
+    TLweSample s(n, params_.k);
+    for (auto& poly : s.a)
+        for (auto& c : poly.coefs) c = rng_.UniformTorus32();
+
+    std::vector<IntPolynomial> dec;
+    TGswDecompose(dec, s, params_.bk_l, params_.bk_bg_bit);
+    ASSERT_EQ(dec.size(),
+              static_cast<size_t>((params_.k + 1) * params_.bk_l));
+
+    // Digits are in [-Bg/2, Bg/2).
+    const int32_t half_bg = params_.Bg() / 2;
+    for (const auto& poly : dec)
+        for (int32_t d : poly.coefs) {
+            EXPECT_GE(d, -half_bg);
+            EXPECT_LT(d, half_bg);
+        }
+
+    // sum_j digit_j * Bg^{-(j+1)} approximates each coefficient to within
+    // half of the smallest gadget level.
+    const double tol = 1.0 / std::pow(2.0, params_.bk_l * params_.bk_bg_bit);
+    for (int32_t c = 0; c <= params_.k; ++c) {
+        for (int32_t p = 0; p < n; ++p) {
+            double recomposed = 0;
+            for (int32_t j = 0; j < params_.bk_l; ++j) {
+                recomposed += dec[c * params_.bk_l + j].coefs[p] *
+                              std::pow(2.0, -params_.bk_bg_bit * (j + 1));
+            }
+            double orig = Torus32ToDouble(s.a[c].coefs[p]);
+            double diff = std::abs(recomposed - orig);
+            diff = std::min(diff, std::abs(1.0 - diff));  // torus distance
+            EXPECT_LE(diff, tol) << c << "," << p;
+        }
+    }
+}
+
+TEST_F(TGswTest, ExternalProductByOnePreservesMessage) {
+    const Torus32 mu = ModSwitchToTorus32(1, 8);
+    TLweSample s = EncryptConst(mu);
+    TGswSampleFft one = EncryptBitFft(1);
+    TLweSample result;
+    TGswExternalProduct(result, one, s, fft_);
+    TorusPolynomial phase = TLwePhase(result, key_);
+    EXPECT_LT(TorusDistance(phase.coefs[0], mu), 1e-4);
+}
+
+TEST_F(TGswTest, ExternalProductByZeroKillsMessage) {
+    const Torus32 mu = ModSwitchToTorus32(1, 4);
+    TLweSample s = EncryptConst(mu);
+    TGswSampleFft zero = EncryptBitFft(0);
+    TLweSample result;
+    TGswExternalProduct(result, zero, s, fft_);
+    TorusPolynomial phase = TLwePhase(result, key_);
+    EXPECT_LT(TorusDistance(phase.coefs[0], 0), 1e-4);
+}
+
+TEST_F(TGswTest, CMuxSelectsFirstWhenBitIsOne) {
+    const Torus32 m1 = ModSwitchToTorus32(1, 8);
+    const Torus32 m0 = ModSwitchToTorus32(5, 8);
+    TLweSample d1 = EncryptConst(m1);
+    TLweSample d0 = EncryptConst(m0);
+    TGswSampleFft c = EncryptBitFft(1);
+    TLweSample result;
+    TGswCMux(result, c, d1, d0, fft_);
+    EXPECT_LT(TorusDistance(TLwePhase(result, key_).coefs[0], m1), 1e-4);
+}
+
+TEST_F(TGswTest, CMuxSelectsSecondWhenBitIsZero) {
+    const Torus32 m1 = ModSwitchToTorus32(1, 8);
+    const Torus32 m0 = ModSwitchToTorus32(5, 8);
+    TLweSample d1 = EncryptConst(m1);
+    TLweSample d0 = EncryptConst(m0);
+    TGswSampleFft c = EncryptBitFft(0);
+    TLweSample result;
+    TGswCMux(result, c, d1, d0, fft_);
+    EXPECT_LT(TorusDistance(TLwePhase(result, key_).coefs[0], m0), 1e-4);
+}
+
+TEST_F(TGswTest, CMuxChainStaysCorrect) {
+    // A chain of CMUXes models blind rotation noise growth; after 32
+    // selections the message must still decode.
+    const Torus32 mu = ModSwitchToTorus32(1, 8);
+    TLweSample acc = EncryptConst(mu);
+    for (int i = 0; i < 32; ++i) {
+        TGswSampleFft bit = EncryptBitFft(i % 2);
+        TLweSample other = EncryptConst(mu);
+        TLweSample next;
+        TGswCMux(next, bit, other, acc, fft_);
+        acc = next;
+    }
+    EXPECT_LT(TorusDistance(TLwePhase(acc, key_).coefs[0], mu), 0.01);
+}
+
+TEST_F(TGswTest, ExternalProductOnPolynomialMessage) {
+    // Message with several nonzero coefficients survives multiply-by-1.
+    TorusPolynomial msg(params_.big_n);
+    for (int32_t i = 0; i < 8; ++i)
+        msg.coefs[i * 4] = ModSwitchToTorus32(i % 4, 4);
+    TLweSample s = TLweEncrypt(msg, params_.tlwe_noise_stddev, key_, rng_);
+    TGswSampleFft one = EncryptBitFft(1);
+    TLweSample result;
+    TGswExternalProduct(result, one, s, fft_);
+    TorusPolynomial phase = TLwePhase(result, key_);
+    for (int32_t i = 0; i < 8; ++i)
+        EXPECT_LT(TorusDistance(phase.coefs[i * 4], msg.coefs[i * 4]), 1e-4)
+            << i;
+}
+
+}  // namespace
+}  // namespace pytfhe::tfhe

@@ -1,0 +1,114 @@
+#include "tfhe/tlwe.h"
+
+#include <gtest/gtest.h>
+
+#include "tfhe/params.h"
+
+namespace pytfhe::tfhe {
+namespace {
+
+// Distance on the torus between two values.
+double TorusDistance(Torus32 a, Torus32 b) {
+    return std::abs(Torus32ToDouble(a - b));
+}
+
+TEST(TLwe, EncryptPhaseRecoversMessage) {
+    Rng rng(31);
+    const Params p = ToyParams();
+    TLweKey key(p.big_n, p.k, rng);
+    TorusPolynomial msg(p.big_n);
+    for (int32_t i = 0; i < p.big_n; ++i)
+        msg.coefs[i] = ModSwitchToTorus32(i % 8, 8);
+    TLweSample s = TLweEncrypt(msg, p.tlwe_noise_stddev, key, rng);
+    TorusPolynomial phase = TLwePhase(s, key);
+    for (int32_t i = 0; i < p.big_n; ++i)
+        EXPECT_LT(TorusDistance(phase.coefs[i], msg.coefs[i]), 1e-6) << i;
+}
+
+TEST(TLwe, TrivialSamplePhaseIsMessage) {
+    Rng rng(32);
+    const Params p = ToyParams();
+    TLweKey key(p.big_n, p.k, rng);
+    TorusPolynomial msg(p.big_n);
+    msg.coefs[3] = 0x40000000;
+    TLweSample s(p.big_n, p.k);
+    s.SetTrivial(msg);
+    TorusPolynomial phase = TLwePhase(s, key);
+    EXPECT_EQ(phase.coefs, msg.coefs);
+}
+
+TEST(TLwe, HomomorphicAdd) {
+    Rng rng(33);
+    const Params p = ToyParams();
+    TLweKey key(p.big_n, p.k, rng);
+    TorusPolynomial m1(p.big_n), m2(p.big_n);
+    m1.coefs[0] = ModSwitchToTorus32(1, 4);
+    m2.coefs[0] = ModSwitchToTorus32(1, 4);
+    TLweSample s1 = TLweEncrypt(m1, p.tlwe_noise_stddev, key, rng);
+    TLweSample s2 = TLweEncrypt(m2, p.tlwe_noise_stddev, key, rng);
+    s1.AddTo(s2);
+    TorusPolynomial phase = TLwePhase(s1, key);
+    EXPECT_LT(TorusDistance(phase.coefs[0], ModSwitchToTorus32(2, 4)), 1e-6);
+}
+
+TEST(TLwe, MulByXaiRotatesMessage) {
+    Rng rng(34);
+    const Params p = ToyParams();
+    TLweKey key(p.big_n, p.k, rng);
+    TorusPolynomial msg(p.big_n);
+    msg.coefs[0] = ModSwitchToTorus32(1, 4);
+    TLweSample s = TLweEncrypt(msg, p.tlwe_noise_stddev, key, rng);
+    TLweSample rotated(p.big_n, p.k);
+    TLweMulByXai(rotated, 5, s);
+    TorusPolynomial phase = TLwePhase(rotated, key);
+    EXPECT_LT(TorusDistance(phase.coefs[5], ModSwitchToTorus32(1, 4)), 1e-6);
+    EXPECT_LT(TorusDistance(phase.coefs[0], 0), 1e-6);
+}
+
+TEST(TLwe, ExtractSampleIndexZero) {
+    Rng rng(35);
+    const Params p = ToyParams();
+    TLweKey key(p.big_n, p.k, rng);
+    LweKey extracted = key.ExtractLweKey();
+    ASSERT_EQ(extracted.N(), p.ExtractedN());
+
+    TorusPolynomial msg(p.big_n);
+    msg.coefs[0] = ModSwitchToTorus32(3, 8);
+    TLweSample s = TLweEncrypt(msg, p.tlwe_noise_stddev, key, rng);
+    LweSample lwe = TLweExtractSample(s, 0);
+    Torus32 phase = LwePhase(lwe, extracted);
+    EXPECT_LT(TorusDistance(phase, msg.coefs[0]), 1e-6);
+}
+
+TEST(TLwe, ExtractSampleArbitraryIndex) {
+    Rng rng(36);
+    const Params p = ToyParams();
+    TLweKey key(p.big_n, p.k, rng);
+    LweKey extracted = key.ExtractLweKey();
+    TorusPolynomial msg(p.big_n);
+    for (int32_t i = 0; i < p.big_n; ++i)
+        msg.coefs[i] = ModSwitchToTorus32(i % 16, 16);
+    TLweSample s = TLweEncrypt(msg, p.tlwe_noise_stddev, key, rng);
+    for (int32_t idx : {0, 1, p.big_n / 2, p.big_n - 1}) {
+        LweSample lwe = TLweExtractSample(s, idx);
+        Torus32 phase = LwePhase(lwe, extracted);
+        EXPECT_LT(TorusDistance(phase, msg.coefs[idx]), 1e-6) << idx;
+    }
+}
+
+TEST(TLwe, ExtractWithK2) {
+    // Exercise the k > 1 layout of extraction.
+    Rng rng(37);
+    const int32_t n = 64, k = 2;
+    TLweKey key(n, k, rng);
+    LweKey extracted = key.ExtractLweKey();
+    ASSERT_EQ(extracted.N(), n * k);
+    TorusPolynomial msg(n);
+    msg.coefs[0] = ModSwitchToTorus32(1, 4);
+    TLweSample s = TLweEncrypt(msg, 1e-9, key, rng);
+    LweSample lwe = TLweExtractSample(s, 0);
+    EXPECT_LT(TorusDistance(LwePhase(lwe, extracted), msg.coefs[0]), 1e-6);
+}
+
+}  // namespace
+}  // namespace pytfhe::tfhe

@@ -1,0 +1,68 @@
+#include "tfhe/torus.h"
+
+#include <gtest/gtest.h>
+
+namespace pytfhe::tfhe {
+namespace {
+
+TEST(Torus, DoubleRoundTrip) {
+    EXPECT_EQ(DoubleToTorus32(0.0), 0u);
+    EXPECT_EQ(DoubleToTorus32(0.25), UINT32_C(1) << 30);
+    EXPECT_EQ(DoubleToTorus32(0.5), UINT32_C(1) << 31);
+    EXPECT_NEAR(Torus32ToDouble(DoubleToTorus32(0.125)), 0.125, 1e-9);
+    EXPECT_NEAR(Torus32ToDouble(DoubleToTorus32(-0.125)), -0.125, 1e-9);
+}
+
+TEST(Torus, DoubleToTorusWrapsModOne) {
+    EXPECT_EQ(DoubleToTorus32(1.25), DoubleToTorus32(0.25));
+    EXPECT_EQ(DoubleToTorus32(-0.75), DoubleToTorus32(0.25));
+    EXPECT_EQ(DoubleToTorus32(3.0), DoubleToTorus32(0.0));
+}
+
+TEST(Torus, AdditionWraps) {
+    Torus32 half = DoubleToTorus32(0.5);
+    Torus32 three_quarters = DoubleToTorus32(0.75);
+    // 0.5 + 0.75 = 1.25 = 0.25 mod 1.
+    EXPECT_EQ(half + three_quarters, DoubleToTorus32(0.25));
+}
+
+TEST(Torus, ModSwitchToTorus32) {
+    EXPECT_EQ(ModSwitchToTorus32(1, 8), UINT32_C(1) << 29);
+    EXPECT_EQ(ModSwitchToTorus32(2, 8), UINT32_C(1) << 30);
+    EXPECT_EQ(ModSwitchToTorus32(4, 8), UINT32_C(1) << 31);
+    EXPECT_EQ(ModSwitchToTorus32(0, 8), 0u);
+    // -1/8 equals 7/8 on the torus.
+    EXPECT_EQ(ModSwitchToTorus32(-1, 8), ModSwitchToTorus32(7, 8));
+}
+
+TEST(Torus, ModSwitchFromTorus32RoundsToNearest) {
+    const int32_t msize = 16;
+    for (int32_t mu = 0; mu < msize; ++mu) {
+        Torus32 t = ModSwitchToTorus32(mu, msize);
+        EXPECT_EQ(ModSwitchFromTorus32(t, msize) % msize, mu);
+        // A small perturbation should still round back.
+        EXPECT_EQ(ModSwitchFromTorus32(t + 1000, msize) % msize, mu);
+        EXPECT_EQ(ModSwitchFromTorus32(t - 1000, msize) % msize, mu);
+    }
+}
+
+TEST(Torus, ModSwitchRoundTripLargeMsize) {
+    const int32_t msize = 2048;  // 2N for N = 1024.
+    for (int32_t mu : {0, 1, 17, 1023, 1024, 2047}) {
+        Torus32 t = ModSwitchToTorus32(mu, msize);
+        EXPECT_EQ(ModSwitchFromTorus32(t, msize) % msize, mu) << mu;
+    }
+}
+
+TEST(Torus, ApproxPhaseKeepsHighBits) {
+    Torus32 t = 0x12345678;
+    Torus32 approx = ApproxPhase(t, 8);
+    // Rounded to 8 fractional bits: low 24 bits zero.
+    EXPECT_EQ(approx & 0x00FFFFFFu, 0u);
+    // Error at most half of 2^-8.
+    int64_t diff = static_cast<int32_t>(approx - t);
+    EXPECT_LE(std::abs(diff), INT64_C(1) << 23);
+}
+
+}  // namespace
+}  // namespace pytfhe::tfhe

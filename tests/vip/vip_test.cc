@@ -1,0 +1,407 @@
+#include "vip/benchmarks.h"
+
+#include <gtest/gtest.h>
+#include <random>
+
+#include "hdl/dtype.h"
+#include "vip/registry.h"
+
+namespace pytfhe::vip {
+namespace {
+
+using hdl::DType;
+
+/** Appends `value` as `width` little-endian bits. */
+void Push(std::vector<bool>& bits, uint64_t value, int32_t width) {
+    for (int32_t i = 0; i < width; ++i) bits.push_back((value >> i) & 1);
+}
+
+void PushFixed(std::vector<bool>& bits, double value) {
+    const auto enc = DType::Fixed(8, 8).Encode(value);
+    bits.insert(bits.end(), enc.begin(), enc.end());
+}
+
+uint64_t Word(const std::vector<bool>& bits, size_t offset, int32_t width) {
+    uint64_t v = 0;
+    for (int32_t i = 0; i < width; ++i)
+        if (bits[offset + i]) v |= UINT64_C(1) << i;
+    return v;
+}
+
+int64_t SignedWord(const std::vector<bool>& bits, size_t offset,
+                   int32_t width) {
+    uint64_t v = Word(bits, offset, width);
+    if ((v >> (width - 1)) & 1) v |= ~((UINT64_C(1) << width) - 1);
+    return static_cast<int64_t>(v);
+}
+
+double FixedWord(const std::vector<bool>& bits, size_t offset) {
+    return DType::Fixed(8, 8).Decode(
+        std::vector<bool>(bits.begin() + offset, bits.begin() + offset + 16));
+}
+
+TEST(Vip, HammingDistance) {
+    const Netlist n = BuildHammingDistance();
+    std::mt19937_64 rng(1);
+    for (int trial = 0; trial < 8; ++trial) {
+        const uint64_t a = rng(), b = rng();
+        std::vector<bool> in;
+        Push(in, a, 64);
+        Push(in, b, 64);
+        const auto out = n.EvaluatePlain(in);
+        EXPECT_EQ(Word(out, 0, out.size()), RefHammingDistance(a, b));
+    }
+}
+
+TEST(Vip, BubbleSort) {
+    const Netlist n = BuildBubbleSort();
+    std::mt19937_64 rng(2);
+    for (int trial = 0; trial < 6; ++trial) {
+        std::vector<uint64_t> v(8);
+        std::vector<bool> in;
+        for (auto& x : v) {
+            x = rng() & 0xFF;
+            Push(in, x, 8);
+        }
+        const auto out = n.EvaluatePlain(in);
+        const auto want = RefBubbleSort(v);
+        for (int i = 0; i < 8; ++i)
+            EXPECT_EQ(Word(out, i * 8, 8), want[i]) << trial << ":" << i;
+    }
+}
+
+TEST(Vip, Distinctness) {
+    const Netlist n = BuildDistinctness();
+    std::mt19937_64 rng(3);
+    int seen_true = 0, seen_false = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<uint64_t> v(8);
+        std::vector<bool> in;
+        for (auto& x : v) {
+            // Small range forces collisions in some trials.
+            x = rng() % (trial < 10 ? 10 : 256);
+            Push(in, x, 8);
+        }
+        const bool got = n.EvaluatePlain(in)[0];
+        EXPECT_EQ(got, RefDistinctness(v)) << trial;
+        (got ? seen_true : seen_false)++;
+    }
+    EXPECT_GT(seen_true, 0);
+    EXPECT_GT(seen_false, 0);
+}
+
+TEST(Vip, DotProduct) {
+    const Netlist n = BuildDotProduct();
+    std::mt19937_64 rng(4);
+    for (int trial = 0; trial < 6; ++trial) {
+        std::vector<int64_t> a(16), b(16);
+        std::vector<bool> in;
+        for (int i = 0; i < 16; ++i) {
+            a[i] = static_cast<int64_t>(rng() % 256) - 128;
+            b[i] = static_cast<int64_t>(rng() % 256) - 128;
+            Push(in, static_cast<uint64_t>(a[i]), 8);
+            Push(in, static_cast<uint64_t>(b[i]), 8);
+        }
+        const auto out = n.EvaluatePlain(in);
+        EXPECT_EQ(SignedWord(out, 0, 24), RefDotProduct(a, b)) << trial;
+    }
+}
+
+TEST(Vip, Fibonacci) {
+    const Netlist n = BuildFibonacci();
+    for (auto [f0, f1] : {std::pair<uint64_t, uint64_t>{0, 1},
+                          {1, 1},
+                          {10, 7},
+                          {60000, 60000}}) {
+        std::vector<bool> in;
+        Push(in, f0, 16);
+        Push(in, f1, 16);
+        const auto out = n.EvaluatePlain(in);
+        EXPECT_EQ(Word(out, 0, 16), RefFibonacci(f0, f1));
+    }
+}
+
+TEST(Vip, FilteredQuery) {
+    const Netlist n = BuildFilteredQuery();
+    std::mt19937_64 rng(5);
+    for (int trial = 0; trial < 6; ++trial) {
+        const uint64_t threshold = rng() & 0xFF;
+        std::vector<uint64_t> keys(16), values(16);
+        std::vector<bool> in;
+        Push(in, threshold, 8);
+        for (int i = 0; i < 16; ++i) {
+            keys[i] = rng() & 0xFF;
+            values[i] = rng() & 0xFF;
+            Push(in, keys[i], 8);
+            Push(in, values[i], 8);
+        }
+        const auto out = n.EvaluatePlain(in);
+        EXPECT_EQ(Word(out, 0, 12), RefFilteredQuery(keys, values, threshold));
+    }
+}
+
+TEST(Vip, Kadane) {
+    const Netlist n = BuildKadane();
+    std::mt19937_64 rng(6);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::vector<int64_t> v(12);
+        std::vector<bool> in;
+        for (auto& x : v) {
+            x = static_cast<int64_t>(rng() % 256) - 128;
+            Push(in, static_cast<uint64_t>(x), 8);
+        }
+        const auto out = n.EvaluatePlain(in);
+        EXPECT_EQ(SignedWord(out, 0, 16), RefKadane(v)) << trial;
+    }
+}
+
+TEST(Vip, Knn) {
+    const Netlist n = BuildKnn();
+    std::mt19937_64 rng(7);
+    for (int trial = 0; trial < 8; ++trial) {
+        const int64_t qx = static_cast<int64_t>(rng() % 200) - 100;
+        const int64_t qy = static_cast<int64_t>(rng() % 200) - 100;
+        std::vector<int64_t> px(8), py(8);
+        std::vector<bool> in;
+        Push(in, static_cast<uint64_t>(qx), 8);
+        Push(in, static_cast<uint64_t>(qy), 8);
+        for (int i = 0; i < 8; ++i) {
+            px[i] = static_cast<int64_t>(rng() % 200) - 100;
+            py[i] = static_cast<int64_t>(rng() % 200) - 100;
+            Push(in, static_cast<uint64_t>(px[i]), 8);
+            Push(in, static_cast<uint64_t>(py[i]), 8);
+        }
+        const auto out = n.EvaluatePlain(in);
+        EXPECT_EQ(Word(out, 0, 3), RefKnn(px, py, qx, qy)) << trial;
+    }
+}
+
+TEST(Vip, MatrixMultiply) {
+    const Netlist n = BuildMatrixMultiply();
+    std::mt19937_64 rng(8);
+    std::vector<int64_t> a(16), b(16);
+    std::vector<bool> in;
+    for (auto& x : a) {
+        x = static_cast<int64_t>(rng() % 256) - 128;
+        Push(in, static_cast<uint64_t>(x), 8);
+    }
+    for (auto& x : b) {
+        x = static_cast<int64_t>(rng() % 256) - 128;
+        Push(in, static_cast<uint64_t>(x), 8);
+    }
+    const auto out = n.EvaluatePlain(in);
+    const auto want = RefMatrixMultiply(a, b);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(SignedWord(out, i * 20, 20), want[i]) << i;
+}
+
+TEST(Vip, MinMaxMean) {
+    const Netlist n = BuildMinMaxMean();
+    std::mt19937_64 rng(9);
+    for (int trial = 0; trial < 6; ++trial) {
+        std::vector<uint64_t> v(16);
+        std::vector<bool> in;
+        for (auto& x : v) {
+            x = rng() & 0xFF;
+            Push(in, x, 8);
+        }
+        const auto out = n.EvaluatePlain(in);
+        const auto want = RefMinMaxMean(v);
+        EXPECT_EQ(Word(out, 0, 8), want[0]);
+        EXPECT_EQ(Word(out, 8, 8), want[1]);
+        EXPECT_EQ(Word(out, 16, 8), want[2]);
+    }
+}
+
+TEST(Vip, Primality) {
+    const Netlist n = BuildPrimality();
+    for (uint64_t x : {0u, 1u, 2u, 3u, 4u, 17u, 91u, 97u, 169u, 221u, 251u,
+                       255u}) {
+        std::vector<bool> in;
+        Push(in, x, 8);
+        EXPECT_EQ(n.EvaluatePlain(in)[0], RefPrimality(x)) << x;
+    }
+}
+
+TEST(Vip, EditDistance) {
+    const Netlist n = BuildEditDistance();
+    std::mt19937_64 rng(10);
+    for (int trial = 0; trial < 6; ++trial) {
+        std::vector<uint64_t> a(6), b(6);
+        std::vector<bool> in;
+        for (auto& x : a) x = rng() % 4;  // Small alphabet forces matches.
+        for (auto& x : b) x = rng() % 4;
+        for (auto x : a) Push(in, x, 4);
+        for (auto x : b) Push(in, x, 4);
+        const auto out = n.EvaluatePlain(in);
+        EXPECT_EQ(Word(out, 0, 4), RefEditDistance(a, b)) << trial;
+    }
+}
+
+TEST(Vip, EulerApprox) {
+    const Netlist n = BuildEulerApprox();
+    for (double x : {0.0, 0.5, 1.0, -0.5, 1.5}) {
+        std::vector<bool> in;
+        PushFixed(in, x);
+        const auto out = n.EvaluatePlain(in);
+        // Fixed-point truncation differs from the (rounding) reference by
+        // up to a few LSBs per iteration.
+        EXPECT_NEAR(FixedWord(out, 0), RefEulerApprox(x), 8.0 / 256) << x;
+        // And the truncated series itself tracks e^x.
+        EXPECT_NEAR(FixedWord(out, 0), std::exp(x), 0.1) << x;
+    }
+}
+
+TEST(Vip, NrSolver) {
+    const Netlist n = BuildNrSolver();
+    for (double a : {0.25, 1.0, 2.0, 3.0}) {
+        std::vector<bool> in;
+        PushFixed(in, a);
+        const auto out = n.EvaluatePlain(in);
+        EXPECT_NEAR(FixedWord(out, 0), std::sqrt(a), 0.05) << a;
+    }
+}
+
+TEST(Vip, GradientDescent) {
+    const Netlist n = BuildGradientDescent();
+    for (auto [x0, c] : {std::pair<double, double>{4.0, 1.0},
+                         {-2.0, 0.5},
+                         {0.0, -3.0}}) {
+        std::vector<bool> in;
+        PushFixed(in, c);
+        PushFixed(in, x0);
+        const auto out = n.EvaluatePlain(in);
+        // After 6 halvings the iterate is close to the target c.
+        EXPECT_NEAR(FixedWord(out, 0), c, std::abs(x0 - c) / 32 + 0.1);
+        EXPECT_NEAR(FixedWord(out, 0), RefGradientDescent(x0, c), 0.05);
+    }
+}
+
+TEST(Vip, Kepler) {
+    const Netlist n = BuildKepler();
+    for (auto [m, e] : {std::pair<double, double>{1.0, 0.1},
+                        {0.5, 0.3},
+                        {1.5, 0.05}}) {
+        std::vector<bool> in;
+        PushFixed(in, m);
+        PushFixed(in, e);
+        const auto out = n.EvaluatePlain(in);
+        EXPECT_NEAR(FixedWord(out, 0), RefKepler(m, e), 0.05) << m;
+        // Kepler residual: E - e sin(E) should be close to M.
+        const double big_e = FixedWord(out, 0);
+        EXPECT_NEAR(big_e - e * std::sin(big_e), m, 0.1);
+    }
+}
+
+TEST(Vip, Parrondo) {
+    const Netlist n = BuildParrondo();
+    std::mt19937_64 rng(11);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::vector<bool> coins(16);
+        for (size_t i = 0; i < coins.size(); ++i) coins[i] = rng() & 1;
+        const auto out = n.EvaluatePlain(coins);
+        EXPECT_EQ(Word(out, 0, 8),
+                  static_cast<uint64_t>(RefParrondo(coins))) << trial;
+    }
+}
+
+TEST(Vip, RobertsCross) {
+    const Netlist n = BuildRobertsCross();
+    std::mt19937_64 rng(12);
+    std::vector<double> img(64);
+    std::vector<bool> in;
+    for (auto& p : img) {
+        p = DType::Fixed(8, 8).Quantize((rng() % 512) / 256.0);
+        PushFixed(in, p);
+    }
+    const auto out = n.EvaluatePlain(in);
+    const auto want = RefRobertsCross(img);
+    for (size_t i = 0; i < want.size(); ++i)
+        EXPECT_NEAR(FixedWord(out, i * 16), want[i], 1e-9) << i;
+}
+
+TEST(Vip, TeaMatchesReferenceCipher) {
+    const Netlist n = BuildTea();
+    std::mt19937_64 rng(13);
+    for (int trial = 0; trial < 3; ++trial) {
+        const uint64_t v0 = rng() & 0xFFFFFFFF, v1 = rng() & 0xFFFFFFFF;
+        std::vector<uint64_t> key(4);
+        std::vector<bool> in;
+        Push(in, v0, 32);
+        Push(in, v1, 32);
+        for (auto& k : key) {
+            k = rng() & 0xFFFFFFFF;
+            Push(in, k, 32);
+        }
+        const auto out = n.EvaluatePlain(in);
+        const auto want = RefTea(v0, v1, key);
+        EXPECT_EQ(Word(out, 0, 32), want.first) << trial;
+        EXPECT_EQ(Word(out, 32, 32), want.second) << trial;
+    }
+}
+
+TEST(Vip, TeaDecryptsWhatItEncrypts) {
+    // Reference sanity: TEA decryption (software) inverts the circuit's
+    // encryption output.
+    std::vector<uint64_t> key{0x11111111, 0x22222222, 0x33333333, 0x44444444};
+    const auto ct = RefTea(0xDEADBEEF, 0xCAFEF00D, key);
+    uint32_t v0 = static_cast<uint32_t>(ct.first);
+    uint32_t v1 = static_cast<uint32_t>(ct.second);
+    uint32_t sum = 0x9E3779B9u * 32;
+    for (int r = 0; r < 32; ++r) {
+        v1 -= ((v0 << 4) + static_cast<uint32_t>(key[2])) ^ (v0 + sum) ^
+              ((v0 >> 5) + static_cast<uint32_t>(key[3]));
+        v0 -= ((v1 << 4) + static_cast<uint32_t>(key[0])) ^ (v1 + sum) ^
+              ((v1 >> 5) + static_cast<uint32_t>(key[1]));
+        sum -= 0x9E3779B9u;
+    }
+    EXPECT_EQ(v0, 0xDEADBEEF);
+    EXPECT_EQ(v1, 0xCAFEF00D);
+}
+
+TEST(VipRegistry, ExtraWorkloadsIncludeTea) {
+    const auto extras = ExtraWorkloads();
+    ASSERT_EQ(extras.size(), 1u);
+    EXPECT_EQ(extras[0].name, "TEA");
+    const Netlist n = extras[0].build();
+    EXPECT_FALSE(n.Validate().has_value());
+    EXPECT_GT(n.NumGates(), 10000u);  // 32 rounds of 32-bit arithmetic.
+}
+
+TEST(VipRegistry, Has18VipBenchmarks) {
+    EXPECT_EQ(VipWorkloads().size(), 18u);
+}
+
+TEST(VipRegistry, NamesAreUnique) {
+    auto all = AllWorkloads();
+    for (size_t i = 0; i < all.size(); ++i)
+        for (size_t j = i + 1; j < all.size(); ++j)
+            EXPECT_NE(all[i].name, all[j].name);
+}
+
+TEST(VipRegistry, EveryVipKernelBuildsValidNetlists) {
+    for (const auto& w : VipWorkloads()) {
+        const Netlist n = w.build();
+        EXPECT_FALSE(n.Validate().has_value()) << w.name;
+        EXPECT_GT(n.NumGates(), 0u) << w.name;
+        EXPECT_GT(n.Outputs().size(), 0u) << w.name;
+    }
+}
+
+TEST(VipRegistry, NeuralWorkloadsRegisteredWithScaledSizes) {
+    BenchScale scale;
+    scale.mnist_image = 6;
+    scale.attention_seq = 2;
+    scale.attention_hidden_s = 4;
+    scale.attention_hidden_l = 8;
+    const auto neural = NeuralWorkloads(scale);
+    ASSERT_EQ(neural.size(), 5u);
+    for (const auto& w : neural) {
+        const Netlist n = w.build();
+        EXPECT_FALSE(n.Validate().has_value()) << w.name;
+        EXPECT_TRUE(w.is_neural);
+    }
+}
+
+}  // namespace
+}  // namespace pytfhe::vip

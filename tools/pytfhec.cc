@@ -1,0 +1,173 @@
+/**
+ * @file
+ * pytfhec — the PyTFHE command-line toolchain driver.
+ *
+ * Commands:
+ *   pytfhec compile <workload> <out.ptfhe>   compile a registered workload
+ *   pytfhec disasm <file.ptfhe>              disassemble a binary
+ *   pytfhec stats <file.ptfhe>               gate/depth/schedule statistics
+ *   pytfhec simulate <file.ptfhe>            simulated backend runtimes
+ *   pytfhec to-bristol <file.ptfhe> <out>    export as a Bristol circuit
+ *   pytfhec from-bristol <in> <out.ptfhe>    compile a Bristol circuit
+ *   pytfhec list                             list registered workloads
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "backend/cluster_sim.h"
+#include "backend/gpu_sim.h"
+#include "circuit/bristol.h"
+#include "core/compiler.h"
+#include "vip/registry.h"
+
+using namespace pytfhe;
+
+namespace {
+
+int Usage() {
+    std::fprintf(stderr,
+                 "usage: pytfhec <command> [args]\n"
+                 "  compile <workload> <out.ptfhe>\n"
+                 "  disasm <file.ptfhe>\n"
+                 "  stats <file.ptfhe>\n"
+                 "  simulate <file.ptfhe>\n"
+                 "  to-bristol <file.ptfhe> <out.txt>\n"
+                 "  from-bristol <in.txt> <out.ptfhe>\n"
+                 "  list\n");
+    return 2;
+}
+
+std::optional<pasm::Program> LoadOrComplain(const char* path) {
+    std::string error;
+    auto p = pasm::Program::LoadFromFile(path, &error);
+    if (!p) std::fprintf(stderr, "error: %s\n", error.c_str());
+    return p;
+}
+
+int CmdCompile(const char* name, const char* out) {
+    const vip::Workload w = vip::FindWorkload(name);
+    std::string error;
+    auto compiled = core::Compile(w.build(), {}, &error);
+    if (!compiled) {
+        std::fprintf(stderr, "compile failed: %s\n", error.c_str());
+        return 1;
+    }
+    if (!compiled->program.SaveToFile(out)) {
+        std::fprintf(stderr, "cannot write %s\n", out);
+        return 1;
+    }
+    std::printf("%s: %llu gates -> %s (%zu bytes)\n", name,
+                static_cast<unsigned long long>(compiled->program.NumGates()),
+                out, compiled->program.ByteSize());
+    return 0;
+}
+
+int CmdDisasm(const char* path) {
+    auto p = LoadOrComplain(path);
+    if (!p) return 1;
+    std::fputs(p->Disassemble().c_str(), stdout);
+    return 0;
+}
+
+int CmdStats(const char* path) {
+    auto p = LoadOrComplain(path);
+    if (!p) return 1;
+    const circuit::Netlist n = pasm::ToNetlist(*p);
+    std::fputs(n.ComputeStats().ToString().c_str(), stdout);
+    const auto schedule = backend::ComputeSchedule(*p);
+    std::printf("schedule: %llu waves, max width %llu, avg width %.1f\n",
+                static_cast<unsigned long long>(schedule.NumLevels()),
+                static_cast<unsigned long long>(schedule.MaxWidth()),
+                schedule.AvgWidth());
+    return 0;
+}
+
+int CmdSimulate(const char* path) {
+    auto p = LoadOrComplain(path);
+    if (!p) return 1;
+    backend::ClusterConfig one, four;
+    four.nodes = 4;
+    const double single = backend::SingleCoreSeconds(
+        backend::ComputeGateMix(*p), one.cpu);
+    std::printf("single core:        %12.2f s\n", single);
+    const auto r1 = backend::SimulateCluster(*p, one);
+    const auto r4 = backend::SimulateCluster(*p, four);
+    std::printf("1 node (18 cores):  %12.2f s (%.1fx)\n", r1.seconds,
+                r1.Speedup());
+    std::printf("4 nodes (72 cores): %12.2f s (%.1fx)\n", r4.seconds,
+                r4.Speedup());
+    for (const auto& gpu : {backend::A5000(), backend::Rtx4090()}) {
+        const auto rc = backend::SimulateCuFhe(*p, gpu, 0);
+        const auto rp = backend::SimulatePyTfhe(*p, gpu, 0);
+        std::printf("%-19s %12.2f s (PyTFHE) vs %.2f s (cuFHE): %.1fx\n",
+                    (gpu.name + ":").c_str(), rp.seconds, rc.seconds,
+                    rc.seconds / rp.seconds);
+    }
+    return 0;
+}
+
+int CmdToBristol(const char* in, const char* out) {
+    auto p = LoadOrComplain(in);
+    if (!p) return 1;
+    std::ofstream f(out);
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out);
+        return 1;
+    }
+    circuit::ExportBristol(f, pasm::ToNetlist(*p));
+    std::printf("wrote %s\n", out);
+    return 0;
+}
+
+int CmdFromBristol(const char* in, const char* out) {
+    std::ifstream f(in);
+    if (!f) {
+        std::fprintf(stderr, "cannot read %s\n", in);
+        return 1;
+    }
+    std::string error;
+    auto netlist = circuit::ImportBristol(f, &error);
+    if (!netlist) {
+        std::fprintf(stderr, "parse failed: %s\n", error.c_str());
+        return 1;
+    }
+    auto compiled = core::Compile(*netlist, {}, &error);
+    if (!compiled) {
+        std::fprintf(stderr, "compile failed: %s\n", error.c_str());
+        return 1;
+    }
+    if (!compiled->program.SaveToFile(out)) {
+        std::fprintf(stderr, "cannot write %s\n", out);
+        return 1;
+    }
+    std::printf("%s: %llu gates (after optimization) -> %s\n", in,
+                static_cast<unsigned long long>(compiled->program.NumGates()),
+                out);
+    return 0;
+}
+
+int CmdList() {
+    for (const auto& w : vip::AllWorkloads())
+        std::printf("%s\n", w.name.c_str());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return Usage();
+    const char* cmd = argv[1];
+    if (!std::strcmp(cmd, "compile") && argc == 4)
+        return CmdCompile(argv[2], argv[3]);
+    if (!std::strcmp(cmd, "disasm") && argc == 3) return CmdDisasm(argv[2]);
+    if (!std::strcmp(cmd, "stats") && argc == 3) return CmdStats(argv[2]);
+    if (!std::strcmp(cmd, "simulate") && argc == 3)
+        return CmdSimulate(argv[2]);
+    if (!std::strcmp(cmd, "to-bristol") && argc == 4)
+        return CmdToBristol(argv[2], argv[3]);
+    if (!std::strcmp(cmd, "from-bristol") && argc == 4)
+        return CmdFromBristol(argv[2], argv[3]);
+    if (!std::strcmp(cmd, "list")) return CmdList();
+    return Usage();
+}
