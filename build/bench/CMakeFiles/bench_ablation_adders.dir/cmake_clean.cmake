@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_adders.dir/bench_ablation_adders.cc.o"
+  "CMakeFiles/bench_ablation_adders.dir/bench_ablation_adders.cc.o.d"
+  "bench_ablation_adders"
+  "bench_ablation_adders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dtypes.dir/bench_ablation_dtypes.cc.o"
+  "CMakeFiles/bench_ablation_dtypes.dir/bench_ablation_dtypes.cc.o.d"
+  "bench_ablation_dtypes"
+  "bench_ablation_dtypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dtypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_09_gpu_timeline.dir/bench_fig08_09_gpu_timeline.cc.o"
+  "CMakeFiles/bench_fig08_09_gpu_timeline.dir/bench_fig08_09_gpu_timeline.cc.o.d"
+  "bench_fig08_09_gpu_timeline"
+  "bench_fig08_09_gpu_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_09_gpu_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_gpu_vs_cufhe.dir/bench_fig11_gpu_vs_cufhe.cc.o"
+  "CMakeFiles/bench_fig11_gpu_vs_cufhe.dir/bench_fig11_gpu_vs_cufhe.cc.o.d"
+  "bench_fig11_gpu_vs_cufhe"
+  "bench_fig11_gpu_vs_cufhe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_gpu_vs_cufhe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

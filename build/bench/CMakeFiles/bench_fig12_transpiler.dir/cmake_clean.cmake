@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_transpiler.dir/bench_fig12_transpiler.cc.o"
+  "CMakeFiles/bench_fig12_transpiler.dir/bench_fig12_transpiler.cc.o.d"
+  "bench_fig12_transpiler"
+  "bench_fig12_transpiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_transpiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_tab4_frameworks.dir/bench_fig13_tab4_frameworks.cc.o"
+  "CMakeFiles/bench_fig13_tab4_frameworks.dir/bench_fig13_tab4_frameworks.cc.o.d"
+  "bench_fig13_tab4_frameworks"
+  "bench_fig13_tab4_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_tab4_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

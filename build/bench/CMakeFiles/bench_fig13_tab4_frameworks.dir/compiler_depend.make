@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig13_tab4_frameworks.
+# This may be replaced when dependencies are built.

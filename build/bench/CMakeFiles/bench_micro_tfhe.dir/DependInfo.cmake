@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_tfhe.cc" "bench/CMakeFiles/bench_micro_tfhe.dir/bench_micro_tfhe.cc.o" "gcc" "bench/CMakeFiles/bench_micro_tfhe.dir/bench_micro_tfhe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pytfhe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vip/CMakeFiles/pytfhe_vip.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pytfhe_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/pytfhe_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/tfhe/CMakeFiles/pytfhe_tfhe.dir/DependInfo.cmake"
+  "/root/repo/build/src/pasm/CMakeFiles/pytfhe_pasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pytfhe_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdl/CMakeFiles/pytfhe_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pytfhe_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

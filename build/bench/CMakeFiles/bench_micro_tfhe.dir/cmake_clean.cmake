@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_tfhe.dir/bench_micro_tfhe.cc.o"
+  "CMakeFiles/bench_micro_tfhe.dir/bench_micro_tfhe.cc.o.d"
+  "bench_micro_tfhe"
+  "bench_micro_tfhe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_tfhe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

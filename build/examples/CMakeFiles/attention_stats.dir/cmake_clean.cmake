@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attention_stats.dir/attention_stats.cpp.o"
+  "CMakeFiles/attention_stats.dir/attention_stats.cpp.o.d"
+  "attention_stats"
+  "attention_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attention_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

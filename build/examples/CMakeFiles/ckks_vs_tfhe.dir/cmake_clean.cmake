@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckks_vs_tfhe.dir/ckks_vs_tfhe.cpp.o"
+  "CMakeFiles/ckks_vs_tfhe.dir/ckks_vs_tfhe.cpp.o.d"
+  "ckks_vs_tfhe"
+  "ckks_vs_tfhe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckks_vs_tfhe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shortint_calculator.dir/shortint_calculator.cpp.o"
+  "CMakeFiles/shortint_calculator.dir/shortint_calculator.cpp.o.d"
+  "shortint_calculator"
+  "shortint_calculator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shortint_calculator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

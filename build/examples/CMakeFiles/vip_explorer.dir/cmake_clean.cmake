@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_explorer.dir/vip_explorer.cpp.o"
+  "CMakeFiles/vip_explorer.dir/vip_explorer.cpp.o.d"
+  "vip_explorer"
+  "vip_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

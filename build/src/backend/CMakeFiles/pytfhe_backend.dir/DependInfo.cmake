@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/calibrate.cc" "src/backend/CMakeFiles/pytfhe_backend.dir/calibrate.cc.o" "gcc" "src/backend/CMakeFiles/pytfhe_backend.dir/calibrate.cc.o.d"
+  "/root/repo/src/backend/cluster_sim.cc" "src/backend/CMakeFiles/pytfhe_backend.dir/cluster_sim.cc.o" "gcc" "src/backend/CMakeFiles/pytfhe_backend.dir/cluster_sim.cc.o.d"
+  "/root/repo/src/backend/cost_model.cc" "src/backend/CMakeFiles/pytfhe_backend.dir/cost_model.cc.o" "gcc" "src/backend/CMakeFiles/pytfhe_backend.dir/cost_model.cc.o.d"
+  "/root/repo/src/backend/gpu_sim.cc" "src/backend/CMakeFiles/pytfhe_backend.dir/gpu_sim.cc.o" "gcc" "src/backend/CMakeFiles/pytfhe_backend.dir/gpu_sim.cc.o.d"
+  "/root/repo/src/backend/scheduler.cc" "src/backend/CMakeFiles/pytfhe_backend.dir/scheduler.cc.o" "gcc" "src/backend/CMakeFiles/pytfhe_backend.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pasm/CMakeFiles/pytfhe_pasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tfhe/CMakeFiles/pytfhe_tfhe.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pytfhe_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytfhe_backend.dir/calibrate.cc.o"
+  "CMakeFiles/pytfhe_backend.dir/calibrate.cc.o.d"
+  "CMakeFiles/pytfhe_backend.dir/cluster_sim.cc.o"
+  "CMakeFiles/pytfhe_backend.dir/cluster_sim.cc.o.d"
+  "CMakeFiles/pytfhe_backend.dir/cost_model.cc.o"
+  "CMakeFiles/pytfhe_backend.dir/cost_model.cc.o.d"
+  "CMakeFiles/pytfhe_backend.dir/gpu_sim.cc.o"
+  "CMakeFiles/pytfhe_backend.dir/gpu_sim.cc.o.d"
+  "CMakeFiles/pytfhe_backend.dir/scheduler.cc.o"
+  "CMakeFiles/pytfhe_backend.dir/scheduler.cc.o.d"
+  "libpytfhe_backend.a"
+  "libpytfhe_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytfhe_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/mnist_compiler.cc" "src/baseline/CMakeFiles/pytfhe_baseline.dir/mnist_compiler.cc.o" "gcc" "src/baseline/CMakeFiles/pytfhe_baseline.dir/mnist_compiler.cc.o.d"
+  "/root/repo/src/baseline/profiles.cc" "src/baseline/CMakeFiles/pytfhe_baseline.dir/profiles.cc.o" "gcc" "src/baseline/CMakeFiles/pytfhe_baseline.dir/profiles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdl/CMakeFiles/pytfhe_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pytfhe_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

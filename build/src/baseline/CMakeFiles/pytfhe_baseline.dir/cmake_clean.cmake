@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytfhe_baseline.dir/mnist_compiler.cc.o"
+  "CMakeFiles/pytfhe_baseline.dir/mnist_compiler.cc.o.d"
+  "CMakeFiles/pytfhe_baseline.dir/profiles.cc.o"
+  "CMakeFiles/pytfhe_baseline.dir/profiles.cc.o.d"
+  "libpytfhe_baseline.a"
+  "libpytfhe_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytfhe_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

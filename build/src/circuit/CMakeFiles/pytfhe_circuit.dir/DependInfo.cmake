@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/bristol.cc" "src/circuit/CMakeFiles/pytfhe_circuit.dir/bristol.cc.o" "gcc" "src/circuit/CMakeFiles/pytfhe_circuit.dir/bristol.cc.o.d"
+  "/root/repo/src/circuit/builder.cc" "src/circuit/CMakeFiles/pytfhe_circuit.dir/builder.cc.o" "gcc" "src/circuit/CMakeFiles/pytfhe_circuit.dir/builder.cc.o.d"
+  "/root/repo/src/circuit/netlist.cc" "src/circuit/CMakeFiles/pytfhe_circuit.dir/netlist.cc.o" "gcc" "src/circuit/CMakeFiles/pytfhe_circuit.dir/netlist.cc.o.d"
+  "/root/repo/src/circuit/opt/passes.cc" "src/circuit/CMakeFiles/pytfhe_circuit.dir/opt/passes.cc.o" "gcc" "src/circuit/CMakeFiles/pytfhe_circuit.dir/opt/passes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytfhe_circuit.dir/bristol.cc.o"
+  "CMakeFiles/pytfhe_circuit.dir/bristol.cc.o.d"
+  "CMakeFiles/pytfhe_circuit.dir/builder.cc.o"
+  "CMakeFiles/pytfhe_circuit.dir/builder.cc.o.d"
+  "CMakeFiles/pytfhe_circuit.dir/netlist.cc.o"
+  "CMakeFiles/pytfhe_circuit.dir/netlist.cc.o.d"
+  "CMakeFiles/pytfhe_circuit.dir/opt/passes.cc.o"
+  "CMakeFiles/pytfhe_circuit.dir/opt/passes.cc.o.d"
+  "libpytfhe_circuit.a"
+  "libpytfhe_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytfhe_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytfhe_ckks.dir/ckks.cc.o"
+  "CMakeFiles/pytfhe_ckks.dir/ckks.cc.o.d"
+  "libpytfhe_ckks.a"
+  "libpytfhe_ckks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytfhe_ckks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

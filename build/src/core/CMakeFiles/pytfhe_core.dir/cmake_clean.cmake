@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytfhe_core.dir/compiler.cc.o"
+  "CMakeFiles/pytfhe_core.dir/compiler.cc.o.d"
+  "CMakeFiles/pytfhe_core.dir/runtime.cc.o"
+  "CMakeFiles/pytfhe_core.dir/runtime.cc.o.d"
+  "libpytfhe_core.a"
+  "libpytfhe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytfhe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdl/dtype.cc" "src/hdl/CMakeFiles/pytfhe_hdl.dir/dtype.cc.o" "gcc" "src/hdl/CMakeFiles/pytfhe_hdl.dir/dtype.cc.o.d"
+  "/root/repo/src/hdl/float_ops.cc" "src/hdl/CMakeFiles/pytfhe_hdl.dir/float_ops.cc.o" "gcc" "src/hdl/CMakeFiles/pytfhe_hdl.dir/float_ops.cc.o.d"
+  "/root/repo/src/hdl/value.cc" "src/hdl/CMakeFiles/pytfhe_hdl.dir/value.cc.o" "gcc" "src/hdl/CMakeFiles/pytfhe_hdl.dir/value.cc.o.d"
+  "/root/repo/src/hdl/word_ops.cc" "src/hdl/CMakeFiles/pytfhe_hdl.dir/word_ops.cc.o" "gcc" "src/hdl/CMakeFiles/pytfhe_hdl.dir/word_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/pytfhe_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytfhe_hdl.dir/dtype.cc.o"
+  "CMakeFiles/pytfhe_hdl.dir/dtype.cc.o.d"
+  "CMakeFiles/pytfhe_hdl.dir/float_ops.cc.o"
+  "CMakeFiles/pytfhe_hdl.dir/float_ops.cc.o.d"
+  "CMakeFiles/pytfhe_hdl.dir/value.cc.o"
+  "CMakeFiles/pytfhe_hdl.dir/value.cc.o.d"
+  "CMakeFiles/pytfhe_hdl.dir/word_ops.cc.o"
+  "CMakeFiles/pytfhe_hdl.dir/word_ops.cc.o.d"
+  "libpytfhe_hdl.a"
+  "libpytfhe_hdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytfhe_hdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

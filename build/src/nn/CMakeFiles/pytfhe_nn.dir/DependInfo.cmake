@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/pytfhe_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/pytfhe_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/functional.cc" "src/nn/CMakeFiles/pytfhe_nn.dir/functional.cc.o" "gcc" "src/nn/CMakeFiles/pytfhe_nn.dir/functional.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/pytfhe_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/pytfhe_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/models.cc" "src/nn/CMakeFiles/pytfhe_nn.dir/models.cc.o" "gcc" "src/nn/CMakeFiles/pytfhe_nn.dir/models.cc.o.d"
+  "/root/repo/src/nn/reference.cc" "src/nn/CMakeFiles/pytfhe_nn.dir/reference.cc.o" "gcc" "src/nn/CMakeFiles/pytfhe_nn.dir/reference.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/pytfhe_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/pytfhe_nn.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdl/CMakeFiles/pytfhe_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pytfhe_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytfhe_nn.dir/attention.cc.o"
+  "CMakeFiles/pytfhe_nn.dir/attention.cc.o.d"
+  "CMakeFiles/pytfhe_nn.dir/functional.cc.o"
+  "CMakeFiles/pytfhe_nn.dir/functional.cc.o.d"
+  "CMakeFiles/pytfhe_nn.dir/layers.cc.o"
+  "CMakeFiles/pytfhe_nn.dir/layers.cc.o.d"
+  "CMakeFiles/pytfhe_nn.dir/models.cc.o"
+  "CMakeFiles/pytfhe_nn.dir/models.cc.o.d"
+  "CMakeFiles/pytfhe_nn.dir/reference.cc.o"
+  "CMakeFiles/pytfhe_nn.dir/reference.cc.o.d"
+  "CMakeFiles/pytfhe_nn.dir/tensor.cc.o"
+  "CMakeFiles/pytfhe_nn.dir/tensor.cc.o.d"
+  "libpytfhe_nn.a"
+  "libpytfhe_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytfhe_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pasm/assembler.cc" "src/pasm/CMakeFiles/pytfhe_pasm.dir/assembler.cc.o" "gcc" "src/pasm/CMakeFiles/pytfhe_pasm.dir/assembler.cc.o.d"
+  "/root/repo/src/pasm/instruction.cc" "src/pasm/CMakeFiles/pytfhe_pasm.dir/instruction.cc.o" "gcc" "src/pasm/CMakeFiles/pytfhe_pasm.dir/instruction.cc.o.d"
+  "/root/repo/src/pasm/program.cc" "src/pasm/CMakeFiles/pytfhe_pasm.dir/program.cc.o" "gcc" "src/pasm/CMakeFiles/pytfhe_pasm.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/pytfhe_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

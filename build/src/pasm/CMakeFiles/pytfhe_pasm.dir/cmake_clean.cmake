@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytfhe_pasm.dir/assembler.cc.o"
+  "CMakeFiles/pytfhe_pasm.dir/assembler.cc.o.d"
+  "CMakeFiles/pytfhe_pasm.dir/instruction.cc.o"
+  "CMakeFiles/pytfhe_pasm.dir/instruction.cc.o.d"
+  "CMakeFiles/pytfhe_pasm.dir/program.cc.o"
+  "CMakeFiles/pytfhe_pasm.dir/program.cc.o.d"
+  "libpytfhe_pasm.a"
+  "libpytfhe_pasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytfhe_pasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tfhe/bootstrap.cc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/bootstrap.cc.o" "gcc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/bootstrap.cc.o.d"
+  "/root/repo/src/tfhe/fft.cc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/fft.cc.o" "gcc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/fft.cc.o.d"
+  "/root/repo/src/tfhe/gates.cc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/gates.cc.o" "gcc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/gates.cc.o.d"
+  "/root/repo/src/tfhe/integer.cc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/integer.cc.o" "gcc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/integer.cc.o.d"
+  "/root/repo/src/tfhe/keyswitch.cc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/keyswitch.cc.o" "gcc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/keyswitch.cc.o.d"
+  "/root/repo/src/tfhe/lwe.cc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/lwe.cc.o" "gcc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/lwe.cc.o.d"
+  "/root/repo/src/tfhe/noise.cc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/noise.cc.o" "gcc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/noise.cc.o.d"
+  "/root/repo/src/tfhe/params.cc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/params.cc.o" "gcc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/params.cc.o.d"
+  "/root/repo/src/tfhe/polynomial.cc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/polynomial.cc.o" "gcc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/polynomial.cc.o.d"
+  "/root/repo/src/tfhe/serialization.cc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/serialization.cc.o" "gcc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/serialization.cc.o.d"
+  "/root/repo/src/tfhe/shortint.cc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/shortint.cc.o" "gcc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/shortint.cc.o.d"
+  "/root/repo/src/tfhe/tgsw.cc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/tgsw.cc.o" "gcc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/tgsw.cc.o.d"
+  "/root/repo/src/tfhe/tlwe.cc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/tlwe.cc.o" "gcc" "src/tfhe/CMakeFiles/pytfhe_tfhe.dir/tlwe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

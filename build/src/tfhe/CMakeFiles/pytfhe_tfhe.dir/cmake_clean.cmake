@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytfhe_tfhe.dir/bootstrap.cc.o"
+  "CMakeFiles/pytfhe_tfhe.dir/bootstrap.cc.o.d"
+  "CMakeFiles/pytfhe_tfhe.dir/fft.cc.o"
+  "CMakeFiles/pytfhe_tfhe.dir/fft.cc.o.d"
+  "CMakeFiles/pytfhe_tfhe.dir/gates.cc.o"
+  "CMakeFiles/pytfhe_tfhe.dir/gates.cc.o.d"
+  "CMakeFiles/pytfhe_tfhe.dir/integer.cc.o"
+  "CMakeFiles/pytfhe_tfhe.dir/integer.cc.o.d"
+  "CMakeFiles/pytfhe_tfhe.dir/keyswitch.cc.o"
+  "CMakeFiles/pytfhe_tfhe.dir/keyswitch.cc.o.d"
+  "CMakeFiles/pytfhe_tfhe.dir/lwe.cc.o"
+  "CMakeFiles/pytfhe_tfhe.dir/lwe.cc.o.d"
+  "CMakeFiles/pytfhe_tfhe.dir/noise.cc.o"
+  "CMakeFiles/pytfhe_tfhe.dir/noise.cc.o.d"
+  "CMakeFiles/pytfhe_tfhe.dir/params.cc.o"
+  "CMakeFiles/pytfhe_tfhe.dir/params.cc.o.d"
+  "CMakeFiles/pytfhe_tfhe.dir/polynomial.cc.o"
+  "CMakeFiles/pytfhe_tfhe.dir/polynomial.cc.o.d"
+  "CMakeFiles/pytfhe_tfhe.dir/serialization.cc.o"
+  "CMakeFiles/pytfhe_tfhe.dir/serialization.cc.o.d"
+  "CMakeFiles/pytfhe_tfhe.dir/shortint.cc.o"
+  "CMakeFiles/pytfhe_tfhe.dir/shortint.cc.o.d"
+  "CMakeFiles/pytfhe_tfhe.dir/tgsw.cc.o"
+  "CMakeFiles/pytfhe_tfhe.dir/tgsw.cc.o.d"
+  "CMakeFiles/pytfhe_tfhe.dir/tlwe.cc.o"
+  "CMakeFiles/pytfhe_tfhe.dir/tlwe.cc.o.d"
+  "libpytfhe_tfhe.a"
+  "libpytfhe_tfhe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytfhe_tfhe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

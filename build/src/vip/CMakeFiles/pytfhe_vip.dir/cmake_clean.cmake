@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytfhe_vip.dir/benchmarks.cc.o"
+  "CMakeFiles/pytfhe_vip.dir/benchmarks.cc.o.d"
+  "CMakeFiles/pytfhe_vip.dir/registry.cc.o"
+  "CMakeFiles/pytfhe_vip.dir/registry.cc.o.d"
+  "libpytfhe_vip.a"
+  "libpytfhe_vip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytfhe_vip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pytfhe_vip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backend_interpreter.dir/backend/interpreter_test.cc.o"
+  "CMakeFiles/test_backend_interpreter.dir/backend/interpreter_test.cc.o.d"
+  "test_backend_interpreter"
+  "test_backend_interpreter.pdb"
+  "test_backend_interpreter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backend_interpreter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

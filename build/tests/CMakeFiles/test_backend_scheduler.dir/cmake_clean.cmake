@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backend_scheduler.dir/backend/scheduler_test.cc.o"
+  "CMakeFiles/test_backend_scheduler.dir/backend/scheduler_test.cc.o.d"
+  "test_backend_scheduler"
+  "test_backend_scheduler.pdb"
+  "test_backend_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backend_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline/baseline_test.cc" "tests/CMakeFiles/test_baseline.dir/baseline/baseline_test.cc.o" "gcc" "tests/CMakeFiles/test_baseline.dir/baseline/baseline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tfhe/CMakeFiles/pytfhe_tfhe.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pytfhe_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdl/CMakeFiles/pytfhe_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pytfhe_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit_bristol.dir/circuit/bristol_test.cc.o"
+  "CMakeFiles/test_circuit_bristol.dir/circuit/bristol_test.cc.o.d"
+  "test_circuit_bristol"
+  "test_circuit_bristol.pdb"
+  "test_circuit_bristol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit_bristol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit_netlist.dir/circuit/netlist_test.cc.o"
+  "CMakeFiles/test_circuit_netlist.dir/circuit/netlist_test.cc.o.d"
+  "test_circuit_netlist"
+  "test_circuit_netlist.pdb"
+  "test_circuit_netlist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

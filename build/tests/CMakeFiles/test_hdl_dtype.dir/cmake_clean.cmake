@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hdl_dtype.dir/hdl/dtype_test.cc.o"
+  "CMakeFiles/test_hdl_dtype.dir/hdl/dtype_test.cc.o.d"
+  "test_hdl_dtype"
+  "test_hdl_dtype.pdb"
+  "test_hdl_dtype[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hdl_dtype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hdl_value.dir/hdl/value_test.cc.o"
+  "CMakeFiles/test_hdl_value.dir/hdl/value_test.cc.o.d"
+  "test_hdl_value"
+  "test_hdl_value.pdb"
+  "test_hdl_value[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hdl_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

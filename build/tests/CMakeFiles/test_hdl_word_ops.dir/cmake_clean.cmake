@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hdl_word_ops.dir/hdl/word_ops_test.cc.o"
+  "CMakeFiles/test_hdl_word_ops.dir/hdl/word_ops_test.cc.o.d"
+  "test_hdl_word_ops"
+  "test_hdl_word_ops.pdb"
+  "test_hdl_word_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hdl_word_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

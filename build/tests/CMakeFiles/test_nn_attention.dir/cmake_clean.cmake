@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_attention.dir/nn/attention_test.cc.o"
+  "CMakeFiles/test_nn_attention.dir/nn/attention_test.cc.o.d"
+  "test_nn_attention"
+  "test_nn_attention.pdb"
+  "test_nn_attention[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

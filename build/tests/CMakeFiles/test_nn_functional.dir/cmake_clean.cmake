@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_functional.dir/nn/functional_test.cc.o"
+  "CMakeFiles/test_nn_functional.dir/nn/functional_test.cc.o.d"
+  "test_nn_functional"
+  "test_nn_functional.pdb"
+  "test_nn_functional[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pasm.dir/pasm/pasm_test.cc.o"
+  "CMakeFiles/test_pasm.dir/pasm/pasm_test.cc.o.d"
+  "test_pasm"
+  "test_pasm.pdb"
+  "test_pasm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

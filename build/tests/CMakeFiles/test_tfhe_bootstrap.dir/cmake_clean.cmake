@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tfhe_bootstrap.dir/tfhe/bootstrap_test.cc.o"
+  "CMakeFiles/test_tfhe_bootstrap.dir/tfhe/bootstrap_test.cc.o.d"
+  "test_tfhe_bootstrap"
+  "test_tfhe_bootstrap.pdb"
+  "test_tfhe_bootstrap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tfhe_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

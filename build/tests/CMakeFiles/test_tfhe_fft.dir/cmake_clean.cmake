@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tfhe_fft.dir/tfhe/fft_test.cc.o"
+  "CMakeFiles/test_tfhe_fft.dir/tfhe/fft_test.cc.o.d"
+  "test_tfhe_fft"
+  "test_tfhe_fft.pdb"
+  "test_tfhe_fft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tfhe_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tfhe_gates.dir/tfhe/gates_test.cc.o"
+  "CMakeFiles/test_tfhe_gates.dir/tfhe/gates_test.cc.o.d"
+  "test_tfhe_gates"
+  "test_tfhe_gates.pdb"
+  "test_tfhe_gates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tfhe_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

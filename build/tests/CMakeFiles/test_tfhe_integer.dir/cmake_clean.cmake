@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tfhe_integer.dir/tfhe/integer_test.cc.o"
+  "CMakeFiles/test_tfhe_integer.dir/tfhe/integer_test.cc.o.d"
+  "test_tfhe_integer"
+  "test_tfhe_integer.pdb"
+  "test_tfhe_integer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tfhe_integer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tfhe_lwe.dir/tfhe/lwe_test.cc.o"
+  "CMakeFiles/test_tfhe_lwe.dir/tfhe/lwe_test.cc.o.d"
+  "test_tfhe_lwe"
+  "test_tfhe_lwe.pdb"
+  "test_tfhe_lwe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tfhe_lwe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tfhe_noise.dir/tfhe/noise_test.cc.o"
+  "CMakeFiles/test_tfhe_noise.dir/tfhe/noise_test.cc.o.d"
+  "test_tfhe_noise"
+  "test_tfhe_noise.pdb"
+  "test_tfhe_noise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tfhe_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tfhe_polynomial.dir/tfhe/polynomial_test.cc.o"
+  "CMakeFiles/test_tfhe_polynomial.dir/tfhe/polynomial_test.cc.o.d"
+  "test_tfhe_polynomial"
+  "test_tfhe_polynomial.pdb"
+  "test_tfhe_polynomial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tfhe_polynomial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

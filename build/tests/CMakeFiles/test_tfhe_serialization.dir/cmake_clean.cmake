@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tfhe_serialization.dir/tfhe/serialization_test.cc.o"
+  "CMakeFiles/test_tfhe_serialization.dir/tfhe/serialization_test.cc.o.d"
+  "test_tfhe_serialization"
+  "test_tfhe_serialization.pdb"
+  "test_tfhe_serialization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tfhe_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

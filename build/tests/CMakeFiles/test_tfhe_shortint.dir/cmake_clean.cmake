@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tfhe_shortint.dir/tfhe/shortint_test.cc.o"
+  "CMakeFiles/test_tfhe_shortint.dir/tfhe/shortint_test.cc.o.d"
+  "test_tfhe_shortint"
+  "test_tfhe_shortint.pdb"
+  "test_tfhe_shortint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tfhe_shortint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

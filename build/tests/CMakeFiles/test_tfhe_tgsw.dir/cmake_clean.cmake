@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tfhe_tgsw.dir/tfhe/tgsw_test.cc.o"
+  "CMakeFiles/test_tfhe_tgsw.dir/tfhe/tgsw_test.cc.o.d"
+  "test_tfhe_tgsw"
+  "test_tfhe_tgsw.pdb"
+  "test_tfhe_tgsw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tfhe_tgsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tfhe_tlwe.dir/tfhe/tlwe_test.cc.o"
+  "CMakeFiles/test_tfhe_tlwe.dir/tfhe/tlwe_test.cc.o.d"
+  "test_tfhe_tlwe"
+  "test_tfhe_tlwe.pdb"
+  "test_tfhe_tlwe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tfhe_tlwe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tfhe_torus.dir/tfhe/torus_test.cc.o"
+  "CMakeFiles/test_tfhe_torus.dir/tfhe/torus_test.cc.o.d"
+  "test_tfhe_torus"
+  "test_tfhe_torus.pdb"
+  "test_tfhe_torus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tfhe_torus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vip.dir/vip/vip_test.cc.o"
+  "CMakeFiles/test_vip.dir/vip/vip_test.cc.o.d"
+  "test_vip"
+  "test_vip.pdb"
+  "test_vip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

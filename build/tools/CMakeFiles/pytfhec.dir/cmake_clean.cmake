@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytfhec.dir/pytfhec.cc.o"
+  "CMakeFiles/pytfhec.dir/pytfhec.cc.o.d"
+  "pytfhec"
+  "pytfhec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytfhec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
