@@ -84,7 +84,7 @@ void PrintFig7Breakdown() {
     constexpr int kGates = 20;
     for (int i = 0; i < kGates; ++i)
         benchmark::DoNotOptimize(k.eval.Nand(k.a, k.b));
-    const tfhe::GateProfile& p = k.eval.profile();
+    const tfhe::GateProfileSnapshot p = k.eval.profile().Snapshot();
 
     const double compute = p.TotalSeconds() / kGates;
     // One result ciphertext shipped per task over the gigabit NIC.

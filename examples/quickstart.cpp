@@ -59,6 +59,6 @@ int main(int argc, char** argv) {
     std::printf("%g + %g = %g (homomorphically)\n", a, b, sum);
     std::printf("bootstrapped gates evaluated: %llu\n",
                 static_cast<unsigned long long>(
-                    server->profile().bootstrap_count));
+                    server->profile().bootstrap_count()));
     return sum == a + b ? 0 : 1;
 }

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Persistent dependency-counting executor.
+ *
+ * The wave-barrier interpreter (RunProgramThreaded) spawns fresh threads
+ * per wave and makes every gate wait for the slowest gate in its level.
+ * The Executor keeps one worker pool alive across waves and across program
+ * runs, and schedules by dependency counting instead of levels: each gate
+ * carries a remaining-predecessor count, workers pop ready gates from a
+ * shared queue, and finishing a gate decrements its successors' counts —
+ * a gate starts the moment its inputs exist. The wave Schedule remains the
+ * reference discipline consumed by the cluster/GPU simulators; this is the
+ * substrate local execution actually runs on.
+ */
+#ifndef PYTFHE_BACKEND_EXECUTOR_H
+#define PYTFHE_BACKEND_EXECUTOR_H
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "backend/interpreter.h"
+#include "pasm/program.h"
+
+namespace pytfhe::backend {
+
+/**
+ * A persistent pool of worker threads that execute "parallel regions":
+ * RunOnWorkers(n, fn) runs `fn` on n pool workers plus the calling thread
+ * and returns when all participants finish. Workers are created on demand,
+ * kept across calls (no per-wave thread churn), and joined on destruction.
+ */
+class ThreadPool {
+  public:
+    ThreadPool() = default;
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /**
+     * Runs `fn` concurrently on `workers` pool threads and on the calling
+     * thread; blocks until every participant has returned. `workers == 0`
+     * degenerates to a plain inline call.
+     */
+    void RunOnWorkers(int32_t workers, const std::function<void()>& fn);
+
+    /** Number of pool threads created so far. */
+    int32_t NumWorkers() const;
+
+  private:
+    void EnsureWorkersLocked(int32_t n);
+    void WorkerLoop();
+
+    std::mutex region_mu_;  ///< Serializes RunOnWorkers callers.
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_;  ///< Workers wait here for a region.
+    std::condition_variable done_cv_;  ///< Caller waits here for completion.
+    std::vector<std::thread> threads_;
+    const std::function<void()>* job_ = nullptr;
+    uint64_t generation_ = 0;  ///< Bumped per region so workers join once.
+    int32_t target_ = 0;       ///< Workers wanted for the current region.
+    int32_t started_ = 0;
+    int32_t finished_ = 0;
+    bool shutdown_ = false;
+};
+
+namespace detail {
+
+/** Sentinel for "no gate held locally" in the worker loop. */
+inline constexpr uint64_t kNoGate = ~UINT64_C(0);
+
+/**
+ * Shared ready-queue with completion-count termination: Pop blocks until a
+ * gate is available or every gate in the program has been executed.
+ */
+class ReadyQueue {
+  public:
+    ReadyQueue(std::vector<uint64_t> initial, uint64_t total_gates)
+        : ready_(std::move(initial)), remaining_(total_gates) {}
+
+    void Push(uint64_t idx) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ready_.push_back(idx);
+        }
+        cv_.notify_one();
+    }
+
+    /** Returns false once all gates have executed and the queue drained. */
+    bool Pop(uint64_t* idx) {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return !ready_.empty() || remaining_ == 0; });
+        if (ready_.empty()) return false;
+        *idx = ready_.back();
+        ready_.pop_back();
+        return true;
+    }
+
+    /** Records one executed gate; wakes all waiters when none remain. */
+    void MarkDone() {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (--remaining_ == 0) {
+            lock.unlock();
+            cv_.notify_all();
+        }
+    }
+
+  private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<uint64_t> ready_;
+    uint64_t remaining_;
+};
+
+}  // namespace detail
+
+/**
+ * Reusable program executor: owns a persistent ThreadPool and runs
+ * programs with dependency-counting scheduling. One Executor per server
+ * (or per process) amortizes thread creation over every Run call.
+ * The evaluator's Apply must be safe to call concurrently.
+ */
+class Executor {
+  public:
+    Executor() = default;
+
+    /**
+     * Executes `program` on `inputs` with `num_threads` total workers
+     * (including the calling thread). num_threads == 1 bypasses scheduling
+     * entirely and runs the sequential interpreter; results are
+     * bit-identical either way. Throws std::invalid_argument on input
+     * count mismatch or num_threads < 1.
+     */
+    template <typename Evaluator>
+    std::vector<typename Evaluator::Ciphertext> Run(
+        const pasm::Program& program, Evaluator& eval,
+        const std::vector<typename Evaluator::Ciphertext>& inputs,
+        int32_t num_threads) {
+        using C = typename Evaluator::Ciphertext;
+        detail::ValidateRunArgs(program, inputs.size(), num_threads);
+        if (num_threads == 1 || program.NumGates() <= 1)
+            return RunProgram(program, eval, inputs);
+
+        const pasm::GateDependencies deps = program.BuildGateDependencies();
+        const uint64_t first_gate = program.FirstGateIndex();
+        const uint64_t end_gate = first_gate + program.NumGates();
+
+        detail::SlotBuffer<C> value(end_gate);
+        for (uint64_t i = 0; i < inputs.size(); ++i) value[1 + i] = inputs[i];
+
+        // Remaining-predecessor counts, one atomic per gate. The final
+        // decrement of a gate's count transfers ownership of its inputs to
+        // the thread that saw zero, hence acq_rel below.
+        std::vector<std::atomic<uint32_t>> pending(program.NumGates());
+        for (uint64_t g = 0; g < program.NumGates(); ++g)
+            pending[g].store(deps.pred_count[g], std::memory_order_relaxed);
+
+        detail::ReadyQueue queue(deps.RootGates(), program.NumGates());
+
+        auto worker = [&]() {
+            uint64_t idx = detail::kNoGate;
+            while (idx != detail::kNoGate || queue.Pop(&idx)) {
+                const pasm::DecodedGate g = program.GateAt(idx);
+                value[idx] = eval.Apply(g.type, value[g.in0], value[g.in1]);
+                // Decrement successors; run one newly ready gate ourselves
+                // (depth-first along the chain, no queue round-trip) and
+                // publish the rest.
+                uint64_t next = detail::kNoGate;
+                const auto [s, e] = deps.SuccessorsOf(idx);
+                for (const uint64_t* p = s; p != e; ++p) {
+                    if (pending[*p - first_gate].fetch_sub(
+                            1, std::memory_order_acq_rel) == 1) {
+                        if (next == detail::kNoGate) {
+                            next = *p;
+                        } else {
+                            queue.Push(*p);
+                        }
+                    }
+                }
+                queue.MarkDone();
+                idx = next;
+            }
+        };
+        const int32_t workers = static_cast<int32_t>(std::min<uint64_t>(
+            num_threads - 1, program.NumGates() - 1));
+        const std::function<void()> fn = worker;
+        pool_.RunOnWorkers(workers, fn);
+
+        std::vector<C> out;
+        out.reserve(program.OutputIndices().size());
+        for (uint64_t src : program.OutputIndices())
+            out.push_back(value[src]);
+        return out;
+    }
+
+    /** The underlying pool, exposed for reuse by other parallel backends. */
+    ThreadPool& pool() { return pool_; }
+
+  private:
+    ThreadPool pool_;
+};
+
+}  // namespace pytfhe::backend
+
+#endif  // PYTFHE_BACKEND_EXECUTOR_H

@@ -4,17 +4,23 @@
  *
  * RunProgram executes single-threaded in instruction order (indices are
  * topological by construction). RunProgramThreaded executes the BFS
- * schedule with a pool of worker threads synchronized per wave — the same
- * discipline the distributed backend uses, on local threads. Both are the
- * *functional* backends; wall-clock modeling of clusters/GPUs lives in
- * cluster_sim.h and gpu_sim.h.
+ * schedule with worker threads synchronized per wave — the same discipline
+ * the distributed backend uses, on local threads; it is kept as the
+ * reference implementation of Algorithm 1 and as the comparison baseline
+ * for the dependency-counting Executor (executor.h), which production
+ * paths use instead. Both are the *functional* backends; wall-clock
+ * modeling of clusters/GPUs lives in cluster_sim.h and gpu_sim.h.
  */
 #ifndef PYTFHE_BACKEND_INTERPRETER_H
 #define PYTFHE_BACKEND_INTERPRETER_H
 
+#include <algorithm>
 #include <atomic>
-#include <cassert>
+#include <memory>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "backend/evaluator.h"
 #include "backend/scheduler.h"
@@ -22,21 +28,61 @@
 
 namespace pytfhe::backend {
 
+namespace detail {
+
+/**
+ * Rejects malformed run requests. A plain assert would vanish in release
+ * builds and let the interpreter silently read default-constructed
+ * ciphertexts, so misuse throws instead.
+ */
+inline void ValidateRunArgs(const pasm::Program& program, size_t num_inputs,
+                            int32_t num_threads) {
+    if (num_inputs != program.NumInputs())
+        throw std::invalid_argument(
+            "RunProgram: program expects " +
+            std::to_string(program.NumInputs()) + " inputs, got " +
+            std::to_string(num_inputs));
+    if (num_threads < 1)
+        throw std::invalid_argument("RunProgram: num_threads must be >= 1, "
+                                    "got " +
+                                    std::to_string(num_threads));
+}
+
+/**
+ * Value slots indexed by instruction. A plain heap array rather than
+ * std::vector<C>: with C = bool, vector<bool> packs bits, and concurrent
+ * writers of *different* slots would race on the same byte. A bool[] has
+ * one addressable object per slot, so distinct-slot writes never conflict.
+ */
+template <typename C>
+class SlotBuffer {
+  public:
+    explicit SlotBuffer(uint64_t size) : slots_(new C[size]()) {}
+    C& operator[](uint64_t idx) { return slots_[idx]; }
+    const C& operator[](uint64_t idx) const { return slots_[idx]; }
+
+  private:
+    std::unique_ptr<C[]> slots_;
+};
+
+}  // namespace detail
+
 /**
  * Executes `program` on `inputs` (one ciphertext per input instruction).
- * Returns one ciphertext per output instruction.
+ * Returns one ciphertext per output instruction. Throws
+ * std::invalid_argument if inputs.size() != program.NumInputs().
  */
 template <typename Evaluator>
 std::vector<typename Evaluator::Ciphertext> RunProgram(
     const pasm::Program& program, Evaluator& eval,
     const std::vector<typename Evaluator::Ciphertext>& inputs) {
     using C = typename Evaluator::Ciphertext;
-    assert(inputs.size() == program.NumInputs());
+    detail::ValidateRunArgs(program, inputs.size(), 1);
 
     const uint64_t first_gate = program.FirstGateIndex();
     const uint64_t end_gate = first_gate + program.NumGates();
     // value[idx] for instruction idx (0 = header slot, unused).
-    std::vector<C> value(end_gate);
+    detail::SlotBuffer<C> value(end_gate);
     for (uint64_t i = 0; i < inputs.size(); ++i) value[1 + i] = inputs[i];
     for (uint64_t idx = first_gate; idx < end_gate; ++idx) {
         const pasm::DecodedGate g = program.GateAt(idx);
@@ -44,15 +90,21 @@ std::vector<typename Evaluator::Ciphertext> RunProgram(
     }
     std::vector<C> out;
     out.reserve(program.OutputIndices().size());
-    for (uint64_t src : program.OutputIndices()) out.push_back(value[src]);
+    for (uint64_t src : program.OutputIndices())
+        out.push_back(value[src]);
     return out;
 }
 
 /**
- * Level-parallel execution with `num_threads` workers. The evaluator's
- * Apply must be safe to call concurrently (TFHE gate evaluation is: the
- * evaluation key is read-only; the profile counters are approximate under
- * concurrency and only used for reporting).
+ * Level-parallel execution with `num_threads` workers and a barrier
+ * between waves (Algorithm 1's Compute(C - finished) discipline). The
+ * evaluator's Apply must be safe to call concurrently; profile counters
+ * are atomic, so accounting stays exact. num_threads == 1 bypasses
+ * scheduling entirely and runs the sequential interpreter — the outputs
+ * are bit-identical.
+ *
+ * Spawns fresh threads per wave; prefer Executor (executor.h) for
+ * repeated runs.
  */
 template <typename Evaluator>
 std::vector<typename Evaluator::Ciphertext> RunProgramThreaded(
@@ -60,17 +112,16 @@ std::vector<typename Evaluator::Ciphertext> RunProgramThreaded(
     const std::vector<typename Evaluator::Ciphertext>& inputs,
     int32_t num_threads) {
     using C = typename Evaluator::Ciphertext;
-    assert(inputs.size() == program.NumInputs());
-    assert(num_threads >= 1);
+    detail::ValidateRunArgs(program, inputs.size(), num_threads);
+    if (num_threads == 1) return RunProgram(program, eval, inputs);
 
     const Schedule schedule = ComputeSchedule(program);
     const uint64_t end_gate = program.FirstGateIndex() + program.NumGates();
-    std::vector<C> value(end_gate);
+    detail::SlotBuffer<C> value(end_gate);
     for (uint64_t i = 0; i < inputs.size(); ++i) value[1 + i] = inputs[i];
 
     for (const auto& wave : schedule.levels) {
-        // Submit the whole ready set (Algorithm 1's Compute(C - finished)),
-        // then barrier before the next wave.
+        // Submit the whole ready set, then barrier before the next wave.
         std::atomic<size_t> cursor{0};
         auto worker = [&]() {
             while (true) {
@@ -81,7 +132,7 @@ std::vector<typename Evaluator::Ciphertext> RunProgramThreaded(
                 value[idx] = eval.Apply(g.type, value[g.in0], value[g.in1]);
             }
         };
-        if (num_threads == 1 || wave.size() == 1) {
+        if (wave.size() == 1) {
             worker();
         } else {
             std::vector<std::thread> threads;
@@ -95,7 +146,8 @@ std::vector<typename Evaluator::Ciphertext> RunProgramThreaded(
 
     std::vector<C> out;
     out.reserve(program.OutputIndices().size());
-    for (uint64_t src : program.OutputIndices()) out.push_back(value[src]);
+    for (uint64_t src : program.OutputIndices())
+        out.push_back(value[src]);
     return out;
 }
 

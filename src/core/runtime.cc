@@ -56,10 +56,7 @@ std::unique_ptr<Server> Client::MakeServer() {
 
 Ciphertexts Server::Run(const pasm::Program& program,
                         const Ciphertexts& inputs, int32_t num_threads) {
-    if (num_threads <= 1)
-        return backend::RunProgram(program, evaluator_, inputs);
-    return backend::RunProgramThreaded(program, evaluator_, inputs,
-                                       num_threads);
+    return executor_.Run(program, evaluator_, inputs, num_threads);
 }
 
 }  // namespace pytfhe::core

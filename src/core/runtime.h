@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "backend/executor.h"
 #include "backend/interpreter.h"
 #include "hdl/dtype.h"
 #include "tfhe/gates.h"
@@ -62,7 +63,13 @@ class Server {
     explicit Server(std::unique_ptr<tfhe::GateEvaluator> gates)
         : gates_(std::move(gates)), evaluator_(*gates_) {}
 
-    /** Executes a compiled program over ciphertexts. */
+    /**
+     * Executes a compiled program over ciphertexts. num_threads > 1 runs
+     * on the server's persistent dependency-counting executor (the worker
+     * pool is shared across calls); num_threads == 1 runs the sequential
+     * interpreter. Throws std::invalid_argument on input-count mismatch or
+     * num_threads < 1.
+     */
     Ciphertexts Run(const pasm::Program& program, const Ciphertexts& inputs,
                     int32_t num_threads = 1);
 
@@ -71,6 +78,7 @@ class Server {
   private:
     std::unique_ptr<tfhe::GateEvaluator> gates_;
     backend::TfheEvaluator evaluator_;
+    backend::Executor executor_;
 };
 
 }  // namespace pytfhe::core

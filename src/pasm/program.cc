@@ -93,6 +93,39 @@ std::optional<Program> Program::FromInstructions(
     return p;
 }
 
+GateDependencies Program::BuildGateDependencies() const {
+    GateDependencies deps;
+    deps.first_gate = FirstGateIndex();
+    const uint64_t end_gate = deps.first_gate + num_gates_;
+    deps.pred_count.assign(num_gates_, 0);
+
+    // Two passes over the gates: count each gate's fan-out, then fill the
+    // CSR successor lists. Both operands count, even when they coincide.
+    std::vector<uint64_t> fan_out(num_gates_, 0);
+    for (uint64_t idx = deps.first_gate; idx < end_gate; ++idx) {
+        const DecodedGate g = GateAt(idx);
+        for (uint64_t in : {g.in0, g.in1}) {
+            if (in < deps.first_gate) continue;  // Program input.
+            ++deps.pred_count[idx - deps.first_gate];
+            ++fan_out[in - deps.first_gate];
+        }
+    }
+    deps.succ_offsets.assign(num_gates_ + 1, 0);
+    for (uint64_t g = 0; g < num_gates_; ++g)
+        deps.succ_offsets[g + 1] = deps.succ_offsets[g] + fan_out[g];
+    deps.successors.resize(deps.succ_offsets[num_gates_]);
+    std::vector<uint64_t> cursor(deps.succ_offsets.begin(),
+                                 deps.succ_offsets.end() - 1);
+    for (uint64_t idx = deps.first_gate; idx < end_gate; ++idx) {
+        const DecodedGate g = GateAt(idx);
+        for (uint64_t in : {g.in0, g.in1}) {
+            if (in < deps.first_gate) continue;
+            deps.successors[cursor[in - deps.first_gate]++] = idx;
+        }
+    }
+    return deps;
+}
+
 void Program::Serialize(std::ostream& os) const {
     for (const Instruction& i : instructions_) {
         char buf[16];

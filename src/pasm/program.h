@@ -13,6 +13,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "pasm/instruction.h"
@@ -24,6 +25,54 @@ struct DecodedGate {
     circuit::GateType type;
     uint64_t in0;
     uint64_t in1;
+};
+
+/**
+ * Dataflow view of a program's gate instructions: per-gate predecessor
+ * counts plus CSR fan-out (successor) lists. This is what the
+ * dependency-counting executor schedules on — a gate becomes ready when its
+ * predecessor count reaches zero, and finishing it decrements each
+ * successor's count.
+ *
+ * Counts and successor lists count input *slots*, not distinct producers:
+ * a gate reading the same producer through both operands contributes two
+ * decrements and appears twice in that producer's successor list, so the
+ * arithmetic always balances.
+ */
+struct GateDependencies {
+    /** Instruction index of the first gate; gate i lives at first_gate+i. */
+    uint64_t first_gate = 0;
+    /** Per gate: number of gate-typed operands (program inputs excluded). */
+    std::vector<uint32_t> pred_count;
+    /** CSR offsets into `successors`, one per gate plus a final sentinel. */
+    std::vector<uint64_t> succ_offsets;
+    /** Successor gate instruction indices, grouped by producing gate. */
+    std::vector<uint64_t> successors;
+
+    uint64_t NumGates() const { return pred_count.size(); }
+
+    /** Number of gate consumers of the gate at instruction index `idx`. */
+    uint64_t FanOut(uint64_t idx) const {
+        const uint64_t g = idx - first_gate;
+        return succ_offsets[g + 1] - succ_offsets[g];
+    }
+
+    /** Successor instruction indices of the gate at `idx`, as [begin,end). */
+    std::pair<const uint64_t*, const uint64_t*> SuccessorsOf(
+        uint64_t idx) const {
+        const uint64_t g = idx - first_gate;
+        return {successors.data() + succ_offsets[g],
+                successors.data() + succ_offsets[g + 1]};
+    }
+
+    /** Instruction indices of gates with no gate predecessors (ready at
+     * start). */
+    std::vector<uint64_t> RootGates() const {
+        std::vector<uint64_t> roots;
+        for (uint64_t g = 0; g < pred_count.size(); ++g)
+            if (pred_count[g] == 0) roots.push_back(first_gate + g);
+        return roots;
+    }
 };
 
 /** A validated PyTFHE binary. */
@@ -58,6 +107,13 @@ class Program {
         return DecodedGate{static_cast<circuit::GateType>(i.TypeField()),
                            i.Input0(), i.Input1()};
     }
+
+    /**
+     * Builds the predecessor-count / fan-out view of the gate DAG.
+     * O(NumGates()) time and memory; recompute-per-run is cheap relative to
+     * gate evaluation, so the result is not cached here.
+     */
+    GateDependencies BuildGateDependencies() const;
 
     /** Serializes to a binary stream (16 bytes per instruction, LE). */
     void Serialize(std::ostream& os) const;

@@ -8,8 +8,11 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-double SecondsSince(Clock::time_point start) {
-    return std::chrono::duration<double>(Clock::now() - start).count();
+uint64_t NanosSince(Clock::time_point start) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
 }
 
 // +1/8 and +1/4 on the discretized torus.
@@ -53,16 +56,16 @@ LweSample GateEvaluator::LinearBootstrap(int32_t sign_a, const LweSample& a,
         combo.Double();
         combo.b += offset;
     }
-    profile_.linear_seconds += SecondsSince(t0);
+    profile_.AddLinearNanos(NanosSince(t0));
 
     auto t1 = Clock::now();
     LweSample rotated = BootstrapWithoutKeySwitch(kEighth, combo, *key_);
-    profile_.blind_rotate_seconds += SecondsSince(t1);
+    profile_.AddBlindRotateNanos(NanosSince(t1));
 
     auto t2 = Clock::now();
     LweSample out = key_->ksk().Apply(rotated);
-    profile_.key_switch_seconds += SecondsSince(t2);
-    ++profile_.bootstrap_count;
+    profile_.AddKeySwitchNanos(NanosSince(t2));
+    profile_.AddBootstraps(1);
     return out;
 }
 
@@ -117,19 +120,19 @@ LweSample GateEvaluator::Mux(const LweSample& a, const LweSample& b,
     andny_ac.SetTrivial(-kEighth);
     andny_ac.SubTo(a);
     andny_ac.AddTo(c);
-    profile_.linear_seconds += SecondsSince(t0);
+    profile_.AddLinearNanos(NanosSince(t0));
 
     auto t1 = Clock::now();
     LweSample u = BootstrapWithoutKeySwitch(kEighth, and_ab, *key_);
     LweSample v = BootstrapWithoutKeySwitch(kEighth, andny_ac, *key_);
     u.AddTo(v);
     u.AddConstant(kEighth);
-    profile_.blind_rotate_seconds += SecondsSince(t1);
+    profile_.AddBlindRotateNanos(NanosSince(t1));
 
     auto t2 = Clock::now();
     LweSample out = key_->ksk().Apply(u);
-    profile_.key_switch_seconds += SecondsSince(t2);
-    profile_.bootstrap_count += 2;
+    profile_.AddKeySwitchNanos(NanosSince(t2));
+    profile_.AddBootstraps(2);
     return out;
 }
 

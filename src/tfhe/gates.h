@@ -16,6 +16,7 @@
 #ifndef PYTFHE_TFHE_GATES_H
 #define PYTFHE_TFHE_GATES_H
 
+#include <atomic>
 #include <memory>
 
 #include "tfhe/bootstrap.h"
@@ -48,8 +49,8 @@ struct SecretKeySet {
     }
 };
 
-/** Wall-clock breakdown of gate evaluation, for Fig. 7 style profiling. */
-struct GateProfile {
+/** Plain copyable snapshot of a GateProfile at one point in time. */
+struct GateProfileSnapshot {
     double linear_seconds = 0.0;       ///< LWE linear combinations.
     double blind_rotate_seconds = 0.0; ///< Blind rotation + extraction.
     double key_switch_seconds = 0.0;   ///< Key switching.
@@ -58,13 +59,71 @@ struct GateProfile {
     double TotalSeconds() const {
         return linear_seconds + blind_rotate_seconds + key_switch_seconds;
     }
-    void Reset() { *this = GateProfile(); }
+};
+
+/**
+ * Wall-clock breakdown of gate evaluation, for Fig. 7 style profiling.
+ *
+ * Counters are atomics updated with relaxed ordering: gate evaluation runs
+ * concurrently under the threaded backends, and relaxed adds keep the
+ * totals exact (each increment happens exactly once) without ordering any
+ * other memory. Time accumulates in integer nanoseconds because atomic
+ * float addition is not lock-free everywhere. Take a Snapshot() for a
+ * copyable view.
+ */
+class GateProfile {
+  public:
+    GateProfile() = default;
+    GateProfile(const GateProfile&) = delete;
+    GateProfile& operator=(const GateProfile&) = delete;
+
+    void AddLinearNanos(uint64_t ns) { Add(linear_ns_, ns); }
+    void AddBlindRotateNanos(uint64_t ns) { Add(blind_rotate_ns_, ns); }
+    void AddKeySwitchNanos(uint64_t ns) { Add(key_switch_ns_, ns); }
+    void AddBootstraps(uint64_t n) { Add(bootstraps_, n); }
+
+    double linear_seconds() const { return 1e-9 * Load(linear_ns_); }
+    double blind_rotate_seconds() const {
+        return 1e-9 * Load(blind_rotate_ns_);
+    }
+    double key_switch_seconds() const { return 1e-9 * Load(key_switch_ns_); }
+    uint64_t bootstrap_count() const { return Load(bootstraps_); }
+
+    double TotalSeconds() const {
+        return linear_seconds() + blind_rotate_seconds() +
+               key_switch_seconds();
+    }
+
+    GateProfileSnapshot Snapshot() const {
+        return GateProfileSnapshot{linear_seconds(), blind_rotate_seconds(),
+                                   key_switch_seconds(), bootstrap_count()};
+    }
+
+    void Reset() {
+        linear_ns_.store(0, std::memory_order_relaxed);
+        blind_rotate_ns_.store(0, std::memory_order_relaxed);
+        key_switch_ns_.store(0, std::memory_order_relaxed);
+        bootstraps_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    static void Add(std::atomic<uint64_t>& c, uint64_t v) {
+        c.fetch_add(v, std::memory_order_relaxed);
+    }
+    static uint64_t Load(const std::atomic<uint64_t>& c) {
+        return c.load(std::memory_order_relaxed);
+    }
+
+    std::atomic<uint64_t> linear_ns_{0};
+    std::atomic<uint64_t> blind_rotate_ns_{0};
+    std::atomic<uint64_t> key_switch_ns_{0};
+    std::atomic<uint64_t> bootstraps_{0};
 };
 
 /**
  * Server-side gate evaluator holding the public evaluation key.
- * All gate methods are const with respect to key material; the profile is
- * mutable accounting only.
+ * All gate methods are const with respect to key material and safe to call
+ * concurrently; the profile is atomic accounting only.
  */
 class GateEvaluator {
   public:

@@ -106,8 +106,8 @@ TEST(Runtime, ServerProfilesBootstraps) {
     auto server = client.MakeServer();
     (void)server->Run(compiled->program,
                       client.EncryptValues(DType::UInt(8), {1, 2}));
-    EXPECT_GT(server->profile().bootstrap_count, 0u);
-    EXPECT_GT(server->profile().blind_rotate_seconds, 0.0);
+    EXPECT_GT(server->profile().bootstrap_count(), 0u);
+    EXPECT_GT(server->profile().blind_rotate_seconds(), 0.0);
 }
 
 TEST(Runtime, EndToEndTinyMnistEncrypted) {

@@ -216,6 +216,69 @@ TEST(ProgramTest, DisassemblyMentionsEveryInstruction) {
     EXPECT_NE(dis.find("OUTPUT <- 4"), std::string::npos);
 }
 
+TEST(ProgramTest, GateDependenciesOfHalfAdder) {
+    // XOR@3(1,2) and AND@4(1,2) both read only program inputs: no gate
+    // predecessors, no successors, both ready at start.
+    auto p = Assemble(HalfAdder());
+    const GateDependencies deps = p->BuildGateDependencies();
+    EXPECT_EQ(deps.NumGates(), 2u);
+    EXPECT_EQ(deps.first_gate, 3u);
+    EXPECT_EQ(deps.pred_count, (std::vector<uint32_t>{0, 0}));
+    EXPECT_EQ(deps.FanOut(3), 0u);
+    EXPECT_EQ(deps.FanOut(4), 0u);
+    EXPECT_EQ(deps.RootGates(), (std::vector<uint64_t>{3, 4}));
+}
+
+TEST(ProgramTest, GateDependenciesCountDuplicateOperands) {
+    // g2 reads g1 through BOTH operands: pred_count 2 and g1's successor
+    // list holds g2 twice, so ready-counting decrements stay balanced.
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId g1 = n.AddGate(GateType::kOr, a, a);
+    const NodeId g2 = n.AddGate(GateType::kAnd, g1, g1);
+    n.AddOutput(g2);
+    auto p = Assemble(n);
+    ASSERT_TRUE(p.has_value());
+    const GateDependencies deps = p->BuildGateDependencies();
+    ASSERT_EQ(deps.NumGates(), 2u);
+    const uint64_t or_idx = deps.first_gate;
+    const uint64_t and_idx = deps.first_gate + 1;
+    EXPECT_EQ(deps.pred_count, (std::vector<uint32_t>{0, 2}));
+    EXPECT_EQ(deps.FanOut(or_idx), 2u);
+    const auto [s, e] = deps.SuccessorsOf(or_idx);
+    ASSERT_EQ(e - s, 2);
+    EXPECT_EQ(s[0], and_idx);
+    EXPECT_EQ(s[1], and_idx);
+    EXPECT_EQ(deps.RootGates(), (std::vector<uint64_t>{or_idx}));
+}
+
+TEST(ProgramTest, GateDependencyCountsMatchScheduleStructure) {
+    // Over a random program: total decrements == total predecessor slots,
+    // and the root set is exactly the gates reading only program inputs.
+    std::mt19937_64 rng(99);
+    Netlist n;
+    std::vector<NodeId> pool;
+    for (int i = 0; i < 5; ++i) pool.push_back(n.AddInput());
+    for (int i = 0; i < 200; ++i) {
+        GateType t = static_cast<GateType>(rng() % circuit::kNumGateTypes);
+        pool.push_back(
+            n.AddGate(t, pool[rng() % pool.size()], pool[rng() % pool.size()]));
+    }
+    n.AddOutput(pool.back());
+    auto p = Assemble(n);
+    ASSERT_TRUE(p.has_value());
+    const GateDependencies deps = p->BuildGateDependencies();
+    EXPECT_EQ(deps.NumGates(), p->NumGates());
+    uint64_t total_preds = 0;
+    for (uint32_t c : deps.pred_count) total_preds += c;
+    EXPECT_EQ(total_preds, deps.successors.size());
+    for (uint64_t idx : deps.RootGates()) {
+        const DecodedGate g = p->GateAt(idx);
+        EXPECT_LT(g.in0, p->FirstGateIndex());
+        EXPECT_LT(g.in1, p->FirstGateIndex());
+    }
+}
+
 TEST(ProgramTest, FileRoundTrip) {
     auto p = Assemble(HalfAdder());
     const std::string path = ::testing::TempDir() + "/half_adder.ptfhe";

@@ -125,9 +125,13 @@ TEST_F(GatesTest, ProfileAccountsBootstraps) {
     (void)eval_->And(a, b);
     (void)eval_->Xor(a, b);
     (void)eval_->Mux(a, b, b);
-    EXPECT_EQ(eval_->profile().bootstrap_count, 4u);  // 1 + 1 + 2.
-    EXPECT_GT(eval_->profile().blind_rotate_seconds, 0.0);
-    EXPECT_GT(eval_->profile().key_switch_seconds, 0.0);
+    EXPECT_EQ(eval_->profile().bootstrap_count(), 4u);  // 1 + 1 + 2.
+    EXPECT_GT(eval_->profile().blind_rotate_seconds(), 0.0);
+    EXPECT_GT(eval_->profile().key_switch_seconds(), 0.0);
+    // Snapshot is a plain copyable view of the same counters.
+    const tfhe::GateProfileSnapshot snap = eval_->profile().Snapshot();
+    EXPECT_EQ(snap.bootstrap_count, 4u);
+    EXPECT_EQ(snap.TotalSeconds(), eval_->profile().TotalSeconds());
 }
 
 TEST(Gates128, RealParameterSetEvaluatesCorrectly) {
