@@ -1,141 +1,153 @@
 /**
  * @file
- * Microbenchmarks of the TFHE substrate primitives (google-benchmark):
- * negacyclic FFT, external product, key switching, encryption, and the
- * compiler's gate-construction throughput. These are the building blocks
- * behind every per-gate number used by the cost models.
+ * Microbenchmarks of the TFHE substrate primitives, hand-rolled so the
+ * binary emits BENCH_micro_tfhe.json with per-op nanoseconds (forward FFT,
+ * inverse FFT, external product, blind rotate, full gate bootstrap, key
+ * switch). The JSON keeps the perf trajectory machine-readable across PRs;
+ * numbers are taken at the paper's 128-bit parameter set.
  */
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
-#include "circuit/builder.h"
 #include "tfhe/bootstrap.h"
 #include "tfhe/fft.h"
+#include "tfhe/gates.h"
 
 using namespace pytfhe;
 
 namespace {
 
-void BM_FftForward(benchmark::State& state) {
-    const int32_t n = static_cast<int32_t>(state.range(0));
-    const tfhe::NegacyclicFft& fft = tfhe::GetFftPlan(n);
-    tfhe::Rng rng(1);
-    tfhe::TorusPolynomial p(n);
-    for (auto& c : p.coefs) c = rng.UniformTorus32();
-    tfhe::FreqPolynomial f;
-    for (auto _ : state) {
-        fft.Forward(f, p);
-        benchmark::DoNotOptimize(f);
+using Clock = std::chrono::steady_clock;
+
+volatile uint32_t g_sink = 0;  // Defeats whole-benchmark dead-code removal.
+
+/**
+ * Runs `fn` in growing batches until the batch takes at least min_seconds
+ * of wall clock; returns nanoseconds per call from the final batch.
+ */
+template <typename F>
+double MeasureNs(F&& fn, double min_seconds = 0.2) {
+    fn();  // Warm-up: sizes scratch buffers, faults pages.
+    int64_t iters = 1;
+    while (true) {
+        const auto t0 = Clock::now();
+        for (int64_t i = 0; i < iters; ++i) fn();
+        const double sec =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        if (sec >= min_seconds || iters >= (INT64_C(1) << 30))
+            return sec * 1e9 / static_cast<double>(iters);
+        const double target = min_seconds * 1.2;
+        const int64_t next =
+            sec > 0 ? static_cast<int64_t>(iters * target / sec) + 1
+                    : iters * 4;
+        iters = std::max(next, iters * 2);
     }
 }
-BENCHMARK(BM_FftForward)->Arg(128)->Arg(1024)->Unit(benchmark::kMicrosecond);
 
-void BM_NegacyclicMulFft(benchmark::State& state) {
-    const int32_t n = static_cast<int32_t>(state.range(0));
-    const tfhe::NegacyclicFft& fft = tfhe::GetFftPlan(n);
-    tfhe::Rng rng(2);
-    tfhe::IntPolynomial a(n);
-    tfhe::TorusPolynomial b(n), r(n);
-    for (auto& c : a.coefs)
-        c = static_cast<int32_t>(rng.UniformBelow(128)) - 64;
-    for (auto& c : b.coefs) c = rng.UniformTorus32();
-    for (auto _ : state) {
-        fft.Multiply(r, a, b);
-        benchmark::DoNotOptimize(r);
-    }
+void Report(std::vector<std::pair<std::string, double>>* results,
+            const std::string& name, double ns) {
+    std::printf("%-18s %12.0f ns  (%.3f ms)\n", name.c_str(), ns, ns * 1e-6);
+    std::fflush(stdout);
+    results->emplace_back(name, ns);
 }
-BENCHMARK(BM_NegacyclicMulFft)
-    ->Arg(128)
-    ->Arg(1024)
-    ->Unit(benchmark::kMicrosecond);
-
-void BM_NegacyclicMulNaive(benchmark::State& state) {
-    const int32_t n = static_cast<int32_t>(state.range(0));
-    tfhe::Rng rng(3);
-    tfhe::IntPolynomial a(n);
-    tfhe::TorusPolynomial b(n), r(n);
-    for (auto& c : a.coefs)
-        c = static_cast<int32_t>(rng.UniformBelow(128)) - 64;
-    for (auto& c : b.coefs) c = rng.UniformTorus32();
-    for (auto _ : state) {
-        tfhe::NaiveNegacyclicMul(r, a, b);
-        benchmark::DoNotOptimize(r);
-    }
-}
-BENCHMARK(BM_NegacyclicMulNaive)
-    ->Arg(128)
-    ->Arg(1024)
-    ->Unit(benchmark::kMicrosecond);
-
-struct TgswFixture {
-    tfhe::Rng rng{4};
-    tfhe::Params params = tfhe::Tfhe128Params();
-    tfhe::TLweKey key{params.big_n, params.k, rng};
-    const tfhe::NegacyclicFft& fft = tfhe::GetFftPlan(params.big_n);
-    tfhe::TGswSampleFft c = tfhe::TGswToFft(
-        tfhe::TGswEncrypt(1, params.bk_l, params.bk_bg_bit,
-                          params.tlwe_noise_stddev, key, rng),
-        fft);
-    tfhe::TLweSample sample =
-        tfhe::TLweEncryptConst(1 << 29, params.tlwe_noise_stddev, key, rng);
-};
-
-void BM_ExternalProduct128(benchmark::State& state) {
-    static auto* f = new TgswFixture();
-    tfhe::TLweSample out;
-    for (auto _ : state) {
-        tfhe::TGswExternalProduct(out, f->c, f->sample, f->fft);
-        benchmark::DoNotOptimize(out);
-    }
-}
-BENCHMARK(BM_ExternalProduct128)->Unit(benchmark::kMicrosecond);
-
-struct KsFixture {
-    tfhe::Rng rng{5};
-    tfhe::Params params = tfhe::Tfhe128Params();
-    tfhe::LweKey small{params.n, rng};
-    tfhe::TLweKey big{params.big_n, params.k, rng};
-    tfhe::KeySwitchKey ksk{big.ExtractLweKey(), small, params.ks_t,
-                           params.ks_base_bit, params.lwe_noise_stddev, rng};
-    tfhe::LweSample in = tfhe::LweEncrypt(1 << 29, params.lwe_noise_stddev,
-                                          big.ExtractLweKey(), rng);
-};
-
-void BM_KeySwitch128(benchmark::State& state) {
-    static auto* f = new KsFixture();
-    for (auto _ : state) benchmark::DoNotOptimize(f->ksk.Apply(f->in));
-}
-BENCHMARK(BM_KeySwitch128)->Unit(benchmark::kMicrosecond);
-
-void BM_LweEncrypt128(benchmark::State& state) {
-    tfhe::Rng rng(6);
-    const tfhe::Params p = tfhe::Tfhe128Params();
-    tfhe::LweKey key(p.n, rng);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(
-            tfhe::LweEncryptBit(true, p.lwe_noise_stddev, key, rng));
-}
-BENCHMARK(BM_LweEncrypt128)->Unit(benchmark::kMicrosecond);
-
-void BM_BuilderGateConstruction(benchmark::State& state) {
-    // Compiler-side throughput: hash-consed gate emission.
-    for (auto _ : state) {
-        circuit::SimplifyingBuilder b;
-        std::vector<circuit::NodeId> pool;
-        for (int i = 0; i < 8; ++i) pool.push_back(b.MakeInput());
-        uint64_t x = 12345;
-        for (int i = 0; i < 10000; ++i) {
-            x = x * 6364136223846793005ull + 1442695040888963407ull;
-            const auto t = static_cast<circuit::GateType>(1 + (x >> 33) % 10);
-            const auto a = pool[(x >> 3) % pool.size()];
-            const auto c = pool[(x >> 13) % pool.size()];
-            pool.push_back(b.MakeGate(t, a, c));
-        }
-        benchmark::DoNotOptimize(pool.back());
-    }
-    state.SetItemsProcessed(state.iterations() * 10000);
-}
-BENCHMARK(BM_BuilderGateConstruction)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+    tfhe::Rng rng(1);
+    const tfhe::Params params = tfhe::Tfhe128Params();
+    const tfhe::NegacyclicFft& fft = tfhe::GetFftPlan(params.big_n);
+    std::vector<std::pair<std::string, double>> results;
+
+    std::printf("# bench_micro_tfhe: params=%s (n=%d, N=%d, k=%d, l=%d)\n",
+                params.name.c_str(), params.n, params.big_n, params.k,
+                params.bk_l);
+
+    // ---------------------------------------------------------- transforms
+    tfhe::TorusPolynomial poly(params.big_n), inv_out(params.big_n);
+    for (auto& c : poly.coefs) c = rng.UniformTorus32();
+    tfhe::FreqPolynomial freq;
+    tfhe::FftScratch fft_scratch;
+    fft.Forward(freq, poly);
+
+    Report(&results, "forward_fft", MeasureNs([&] {
+               fft.Forward(freq, poly);
+               g_sink += static_cast<uint32_t>(freq.Re()[0]);
+           }));
+    Report(&results, "inverse_fft", MeasureNs([&] {
+               fft.Inverse(inv_out, freq, fft_scratch);
+               g_sink += inv_out.coefs[0];
+           }));
+
+    // ----------------------------------------------------- external product
+    tfhe::TLweKey tlwe_key(params.big_n, params.k, rng);
+    tfhe::TGswSampleFft bit = tfhe::TGswToFft(
+        tfhe::TGswEncrypt(1, params.bk_l, params.bk_bg_bit,
+                          params.tlwe_noise_stddev, tlwe_key, rng),
+        fft);
+    tfhe::TLweSample tlwe_in = tfhe::TLweEncryptConst(
+        UINT32_C(1) << 29, params.tlwe_noise_stddev, tlwe_key, rng);
+    tfhe::TLweSample ep_out;
+    tfhe::ExternalProductScratch ep_scratch;
+
+    Report(&results, "external_product", MeasureNs([&] {
+               tfhe::TGswExternalProduct(ep_out, bit, tlwe_in, fft,
+                                         &ep_scratch);
+               g_sink += ep_out.Body().coefs[0];
+           }));
+
+    // ------------------------------------------- bootstrapping (full chain)
+    std::printf("# generating bootstrapping key...\n");
+    std::fflush(stdout);
+    tfhe::LweKey lwe_key(params.n, rng);
+    tfhe::BootstrappingKey bk(params, lwe_key, tlwe_key, rng);
+    tfhe::LweSample lwe_in = tfhe::LweEncryptBit(
+        true, params.lwe_noise_stddev, lwe_key, rng);
+    tfhe::BootstrapScratch bs_scratch;
+    constexpr tfhe::Torus32 kEighth = UINT32_C(1) << 29;
+
+    std::vector<int32_t> bara(params.n);
+    for (auto& v : bara)
+        v = static_cast<int32_t>(rng.UniformBelow(2 * params.big_n));
+    tfhe::TorusPolynomial testvect(params.big_n);
+    for (auto& c : testvect.coefs) c = kEighth;
+    tfhe::TLweSample acc(params.big_n, params.k);
+
+    Report(&results, "blind_rotate", MeasureNs([&] {
+               acc.SetTrivial(testvect);
+               tfhe::BlindRotate(acc, bara, bk, &bs_scratch);
+               g_sink += acc.Body().coefs[0];
+           }));
+
+    tfhe::LweSample extracted =
+        tfhe::BootstrapWithoutKeySwitch(kEighth, lwe_in, bk, &bs_scratch);
+    Report(&results, "key_switch", MeasureNs([&] {
+               g_sink += bk.ksk().Apply(extracted).b;
+           }));
+
+    Report(&results, "gate_bootstrap", MeasureNs([&] {
+               g_sink += tfhe::Bootstrap(kEighth, lwe_in, bk, &bs_scratch).b;
+           }));
+
+    // ------------------------------------------------------------- emit JSON
+    FILE* out = std::fopen("BENCH_micro_tfhe.json", "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot open BENCH_micro_tfhe.json\n");
+        return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"micro_tfhe\",\n");
+    std::fprintf(out, "  \"params\": \"%s\",\n", params.name.c_str());
+    std::fprintf(out, "  \"ops_ns\": {\n");
+    for (size_t i = 0; i < results.size(); ++i)
+        std::fprintf(out, "    \"%s\": %.1f%s\n", results[i].first.c_str(),
+                     results[i].second, i + 1 < results.size() ? "," : "");
+    std::fprintf(out, "  }\n}\n");
+    std::fclose(out);
+    std::printf("# wrote BENCH_micro_tfhe.json\n");
+    return 0;
+}

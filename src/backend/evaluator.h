@@ -35,6 +35,12 @@ class PlainEvaluator {
 class TfheEvaluator {
   public:
     using Ciphertext = tfhe::LweSample;
+    /**
+     * Interpreters construct one of these per worker thread and pass it to
+     * the scratch-aware Apply overload, making gate evaluation
+     * allocation-free in steady state.
+     */
+    using WorkerScratch = tfhe::BootstrapScratch;
 
     explicit TfheEvaluator(tfhe::GateEvaluator& gates) : gates_(&gates) {}
 
@@ -42,18 +48,24 @@ class TfheEvaluator {
 
     Ciphertext Apply(GateType t, const Ciphertext& a,
                      const Ciphertext& b) const {
+        WorkerScratch scratch;
+        return Apply(t, a, b, scratch);
+    }
+
+    Ciphertext Apply(GateType t, const Ciphertext& a, const Ciphertext& b,
+                     WorkerScratch& s) const {
         switch (t) {
             case GateType::kNot: return gates_->Not(a);
-            case GateType::kAnd: return gates_->And(a, b);
-            case GateType::kNand: return gates_->Nand(a, b);
-            case GateType::kOr: return gates_->Or(a, b);
-            case GateType::kNor: return gates_->Nor(a, b);
-            case GateType::kXnor: return gates_->Xnor(a, b);
-            case GateType::kXor: return gates_->Xor(a, b);
-            case GateType::kAndNY: return gates_->AndNY(a, b);
-            case GateType::kAndYN: return gates_->AndYN(a, b);
-            case GateType::kOrNY: return gates_->OrNY(a, b);
-            case GateType::kOrYN: return gates_->OrYN(a, b);
+            case GateType::kAnd: return gates_->And(a, b, &s);
+            case GateType::kNand: return gates_->Nand(a, b, &s);
+            case GateType::kOr: return gates_->Or(a, b, &s);
+            case GateType::kNor: return gates_->Nor(a, b, &s);
+            case GateType::kXnor: return gates_->Xnor(a, b, &s);
+            case GateType::kXor: return gates_->Xor(a, b, &s);
+            case GateType::kAndNY: return gates_->AndNY(a, b, &s);
+            case GateType::kAndYN: return gates_->AndYN(a, b, &s);
+            case GateType::kOrNY: return gates_->OrNY(a, b, &s);
+            case GateType::kOrYN: return gates_->OrYN(a, b, &s);
         }
         return a;  // Unreachable for valid gate types.
     }

@@ -164,10 +164,14 @@ class Executor {
         detail::ReadyQueue queue(deps.RootGates(), program.NumGates());
 
         auto worker = [&]() {
+            // Per-worker scratch: buffers live for the whole run, so every
+            // gate after the first on this thread is allocation-free.
+            typename detail::WorkerScratchOf<Evaluator>::type scratch{};
             uint64_t idx = detail::kNoGate;
             while (idx != detail::kNoGate || queue.Pop(&idx)) {
                 const pasm::DecodedGate g = program.GateAt(idx);
-                value[idx] = eval.Apply(g.type, value[g.in0], value[g.in1]);
+                value[idx] = detail::ApplyGate(eval, g.type, value[g.in0],
+                                               value[g.in1], scratch);
                 // Decrement successors; run one newly ready gate ourselves
                 // (depth-first along the chain, no queue round-trip) and
                 // publish the rest.

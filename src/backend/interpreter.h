@@ -20,6 +20,7 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "backend/evaluator.h"
@@ -65,6 +66,38 @@ class SlotBuffer {
     std::unique_ptr<C[]> slots_;
 };
 
+/** Placeholder scratch for evaluators that do not declare WorkerScratch. */
+struct NoScratch {};
+
+/**
+ * Maps an evaluator to its per-worker scratch type. Evaluators opt in by
+ * declaring `using WorkerScratch = ...` and providing an Apply overload
+ * taking a WorkerScratch&; everything else gets the empty NoScratch and
+ * the plain three-argument Apply.
+ */
+template <typename Evaluator, typename = void>
+struct WorkerScratchOf {
+    using type = NoScratch;
+};
+
+template <typename Evaluator>
+struct WorkerScratchOf<Evaluator,
+                       std::void_t<typename Evaluator::WorkerScratch>> {
+    using type = typename Evaluator::WorkerScratch;
+};
+
+/** Dispatches Apply with or without scratch, by evaluator capability. */
+template <typename Evaluator, typename C, typename Scratch>
+C ApplyGate(Evaluator& eval, circuit::GateType t, const C& a, const C& b,
+            Scratch& scratch) {
+    if constexpr (std::is_same_v<Scratch, NoScratch>) {
+        (void)scratch;
+        return eval.Apply(t, a, b);
+    } else {
+        return eval.Apply(t, a, b, scratch);
+    }
+}
+
 }  // namespace detail
 
 /**
@@ -84,9 +117,11 @@ std::vector<typename Evaluator::Ciphertext> RunProgram(
     // value[idx] for instruction idx (0 = header slot, unused).
     detail::SlotBuffer<C> value(end_gate);
     for (uint64_t i = 0; i < inputs.size(); ++i) value[1 + i] = inputs[i];
+    typename detail::WorkerScratchOf<Evaluator>::type scratch{};
     for (uint64_t idx = first_gate; idx < end_gate; ++idx) {
         const pasm::DecodedGate g = program.GateAt(idx);
-        value[idx] = eval.Apply(g.type, value[g.in0], value[g.in1]);
+        value[idx] = detail::ApplyGate(eval, g.type, value[g.in0],
+                                       value[g.in1], scratch);
     }
     std::vector<C> out;
     out.reserve(program.OutputIndices().size());
@@ -124,12 +159,15 @@ std::vector<typename Evaluator::Ciphertext> RunProgramThreaded(
         // Submit the whole ready set, then barrier before the next wave.
         std::atomic<size_t> cursor{0};
         auto worker = [&]() {
+            // One scratch per participating thread, local to its call.
+            typename detail::WorkerScratchOf<Evaluator>::type scratch{};
             while (true) {
                 const size_t i = cursor.fetch_add(1);
                 if (i >= wave.size()) break;
                 const uint64_t idx = wave[i];
                 const pasm::DecodedGate g = program.GateAt(idx);
-                value[idx] = eval.Apply(g.type, value[g.in0], value[g.in1]);
+                value[idx] = detail::ApplyGate(eval, g.type, value[g.in0],
+                                               value[g.in1], scratch);
             }
         };
         if (wave.size() == 1) {

@@ -4,6 +4,19 @@
 
 namespace pytfhe::tfhe {
 
+namespace {
+
+/** Reshapes a TLWE sample in place; preserves the buffers when shapes match. */
+void EnsureShape(TLweSample& s, int32_t n, int32_t k) {
+    if (s.BigN() != n || s.K() != k) s = TLweSample(n, k);
+}
+
+void EnsureSize(TorusPolynomial& p, int32_t n) {
+    if (p.Size() != n) p = TorusPolynomial(n);
+}
+
+}  // namespace
+
 BootstrappingKey::BootstrappingKey(const Params& params, const LweKey& lwe_key,
                                    const TLweKey& tlwe_key, Rng& rng)
     : params_(params),
@@ -37,25 +50,28 @@ size_t BootstrappingKey::BkByteSize() const {
     if (bk_.empty()) return 0;
     const auto& s = bk_[0];
     const size_t per_row =
-        s.rows.empty() ? 0 : s.rows[0].size() * s.rows[0][0].Size() * 2 *
+        s.rows.empty() ? 0 : s.rows[0].size() * s.rows[0][0].HalfSize() * 2 *
                                  sizeof(double);
     return bk_.size() * s.rows.size() * per_row;
 }
 
 void BlindRotate(TLweSample& acc, const std::vector<int32_t>& bara,
-                 const BootstrappingKey& key) {
+                 const BootstrappingKey& key, BootstrapScratch* scratch) {
+    BootstrapScratch local;
+    BootstrapScratch& s = scratch != nullptr ? *scratch : local;
     const Params& p = key.params();
     assert(static_cast<int32_t>(bara.size()) == p.n);
-    TLweSample rotated(p.big_n, p.k);
-    TLweSample product(p.big_n, p.k);
+    EnsureShape(s.rotated, p.big_n, p.k);
+    EnsureShape(s.product, p.big_n, p.k);
     for (int32_t i = 0; i < p.n; ++i) {
         const int32_t a = bara[i];
         if (a == 0) continue;
         // acc <- CMUX(bk_i, X^a * acc, acc) = acc + bk_i x (X^a - 1) * acc.
-        TLweMulByXai(rotated, a, acc);
-        rotated.SubTo(acc);
-        TGswExternalProduct(product, key.bk()[i], rotated, key.fft());
-        acc.AddTo(product);
+        TLweMulByXai(s.rotated, a, acc);
+        s.rotated.SubTo(acc);
+        TGswExternalProduct(s.product, key.bk()[i], s.rotated, key.fft(),
+                            &s.ep);
+        acc.AddTo(s.product);
     }
 }
 
@@ -67,22 +83,23 @@ namespace {
  * test_vector[round(phase * 2N)] with negacyclic wrap-around.
  */
 LweSample RotateAndExtract(const TorusPolynomial& test_vector,
-                           const LweSample& in, const BootstrappingKey& key) {
+                           const LweSample& in, const BootstrappingKey& key,
+                           BootstrapScratch& s) {
     const Params& p = key.params();
     const int32_t two_n = 2 * p.big_n;
 
     const int32_t barb = ModSwitchFromTorus32(in.b, two_n);
-    std::vector<int32_t> bara(p.n);
+    s.bara.resize(p.n);
     for (int32_t i = 0; i < p.n; ++i)
-        bara[i] = ModSwitchFromTorus32(in.a[i], two_n);
+        s.bara[i] = ModSwitchFromTorus32(in.a[i], two_n);
 
-    TorusPolynomial shifted(p.big_n);
-    MulByXai(shifted, two_n - barb, test_vector);
+    EnsureSize(s.shifted, p.big_n);
+    MulByXai(s.shifted, two_n - barb, test_vector);
 
-    TLweSample acc(p.big_n, p.k);
-    acc.SetTrivial(shifted);
-    BlindRotate(acc, bara, key);
-    return TLweExtractSample(acc, 0);
+    EnsureShape(s.acc, p.big_n, p.k);
+    s.acc.SetTrivial(s.shifted);
+    BlindRotate(s.acc, s.bara, key, &s);
+    return TLweExtractSample(s.acc, 0);
 }
 
 /**
@@ -91,29 +108,37 @@ LweSample RotateAndExtract(const TorusPolynomial& test_vector,
  * upper half circle and -mu otherwise (X^N = -1 flips the sign).
  */
 LweSample BlindRotateAndExtract(Torus32 mu, const LweSample& in,
-                                const BootstrappingKey& key) {
-    TorusPolynomial testvect(key.params().big_n);
-    for (auto& c : testvect.coefs) c = mu;
-    return RotateAndExtract(testvect, in, key);
+                                const BootstrappingKey& key,
+                                BootstrapScratch& s) {
+    EnsureSize(s.testvect, key.params().big_n);
+    for (auto& c : s.testvect.coefs) c = mu;
+    return RotateAndExtract(s.testvect, in, key, s);
 }
 
 }  // namespace
 
 LweSample BootstrapWithoutKeySwitch(Torus32 mu, const LweSample& in,
-                                    const BootstrappingKey& key) {
-    return BlindRotateAndExtract(mu, in, key);
+                                    const BootstrappingKey& key,
+                                    BootstrapScratch* scratch) {
+    BootstrapScratch local;
+    BootstrapScratch& s = scratch != nullptr ? *scratch : local;
+    return BlindRotateAndExtract(mu, in, key, s);
 }
 
 LweSample Bootstrap(Torus32 mu, const LweSample& in,
-                    const BootstrappingKey& key) {
-    return key.ksk().Apply(BlindRotateAndExtract(mu, in, key));
+                    const BootstrappingKey& key, BootstrapScratch* scratch) {
+    BootstrapScratch local;
+    BootstrapScratch& s = scratch != nullptr ? *scratch : local;
+    return key.ksk().Apply(BlindRotateAndExtract(mu, in, key, s));
 }
 
 LweSample FunctionalBootstrap(const TorusPolynomial& test_vector,
-                              const LweSample& in,
-                              const BootstrappingKey& key) {
+                              const LweSample& in, const BootstrappingKey& key,
+                              BootstrapScratch* scratch) {
     assert(test_vector.Size() == key.params().big_n);
-    return key.ksk().Apply(RotateAndExtract(test_vector, in, key));
+    BootstrapScratch local;
+    BootstrapScratch& s = scratch != nullptr ? *scratch : local;
+    return key.ksk().Apply(RotateAndExtract(test_vector, in, key, s));
 }
 
 Torus32 EncodePbsMessage(int32_t m, int32_t p) {

@@ -7,6 +7,10 @@
  * -mu otherwise. Combined with a linear pre-combination of the two input
  * bits, this evaluates any of the TFHE two-input gates with constant output
  * noise, allowing circuits of unbounded depth.
+ *
+ * Hot-path entry points accept an optional BootstrapScratch so repeated
+ * bootstraps (one per gate) reuse all working buffers; callers that evaluate
+ * gates concurrently own one scratch per worker thread.
  */
 #ifndef PYTFHE_TFHE_BOOTSTRAP_H
 #define PYTFHE_TFHE_BOOTSTRAP_H
@@ -54,22 +58,37 @@ class BootstrappingKey {
 };
 
 /**
+ * All working buffers of one bootstrap. One per worker thread; every buffer
+ * keeps its capacity across calls, so a reused scratch makes the whole
+ * blind-rotation loop allocation-free.
+ */
+struct BootstrapScratch {
+    ExternalProductScratch ep;
+    TLweSample rotated, product, acc;
+    TorusPolynomial shifted, testvect;
+    std::vector<int32_t> bara;
+};
+
+/**
  * In-place blind rotation: multiplies acc by X^{-sum bara_i * s_i} using one
  * CMUX per key bit.
  */
 void BlindRotate(TLweSample& acc, const std::vector<int32_t>& bara,
-                 const BootstrappingKey& key);
+                 const BootstrappingKey& key,
+                 BootstrapScratch* scratch = nullptr);
 
 /**
  * Bootstraps `in` to a fresh sample encrypting +-mu under the *extracted*
  * key (no key switch). Used directly by the MUX gate.
  */
 LweSample BootstrapWithoutKeySwitch(Torus32 mu, const LweSample& in,
-                                    const BootstrappingKey& key);
+                                    const BootstrappingKey& key,
+                                    BootstrapScratch* scratch = nullptr);
 
 /** Full gate bootstrap: blind rotate, extract, and key switch back to n. */
 LweSample Bootstrap(Torus32 mu, const LweSample& in,
-                    const BootstrappingKey& key);
+                    const BootstrappingKey& key,
+                    BootstrapScratch* scratch = nullptr);
 
 /**
  * Programmable bootstrapping (Section II-B of the paper): refreshes noise
@@ -80,7 +99,8 @@ LweSample Bootstrap(Torus32 mu, const LweSample& in,
  */
 LweSample FunctionalBootstrap(const TorusPolynomial& test_vector,
                               const LweSample& in,
-                              const BootstrappingKey& key);
+                              const BootstrappingKey& key,
+                              BootstrapScratch* scratch = nullptr);
 
 /**
  * Encodes message m in [0, p) at the center of its LUT slot:

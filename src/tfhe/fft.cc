@@ -1,32 +1,270 @@
 #include "tfhe/fft.h"
 
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstring>
+#include <memory>
 #include <mutex>
-#include <unordered_map>
+#include <new>
 
 namespace pytfhe::tfhe {
 
 namespace {
 constexpr double kPi = 3.14159265358979323846;
+constexpr size_t kAlign = 32;
+
+/** Rounds a slot count up so the second plane stays 32-byte aligned. */
+int32_t AlignedStride(int32_t half) { return (half + 3) & ~3; }
 }  // namespace
 
+// ------------------------------------------------------------ FreqPolynomial
+
+FreqPolynomial& FreqPolynomial::operator=(const FreqPolynomial& other) {
+    if (this == &other) return *this;
+    ResizeHalf(other.half_);
+    if (half_ > 0)
+        std::memcpy(data_, other.data_,
+                    2 * static_cast<size_t>(stride_) * sizeof(double));
+    return *this;
+}
+
+FreqPolynomial& FreqPolynomial::operator=(FreqPolynomial&& other) noexcept {
+    if (this == &other) return *this;
+    Free();
+    data_ = other.data_;
+    half_ = other.half_;
+    stride_ = other.stride_;
+    other.data_ = nullptr;
+    other.half_ = 0;
+    other.stride_ = 0;
+    return *this;
+}
+
+void FreqPolynomial::ResizeHalf(int32_t half) {
+    assert(half >= 0);
+    if (half == half_) return;
+    Free();
+    half_ = half;
+    stride_ = AlignedStride(half);
+    if (half == 0) return;
+    const size_t bytes = 2 * static_cast<size_t>(stride_) * sizeof(double);
+    data_ = static_cast<double*>(
+        ::operator new(bytes, std::align_val_t{kAlign}));
+    std::memset(data_, 0, bytes);
+}
+
+void FreqPolynomial::Clear() {
+    if (data_ != nullptr)
+        std::memset(data_, 0,
+                    2 * static_cast<size_t>(stride_) * sizeof(double));
+}
+
+void FreqPolynomial::Free() {
+    if (data_ != nullptr)
+        ::operator delete(data_, std::align_val_t{kAlign});
+    data_ = nullptr;
+    half_ = 0;
+    stride_ = 0;
+}
+
 void FreqPolynomial::AddMul(const FreqPolynomial& a, const FreqPolynomial& b) {
-    const int32_t n = Size();
-    assert(a.Size() == n && b.Size() == n);
-    const double* are = a.re.data();
-    const double* aim = a.im.data();
-    const double* bre = b.re.data();
-    const double* bim = b.im.data();
-    double* rre = re.data();
-    double* rim = im.data();
-    for (int32_t i = 0; i < n; ++i) {
+    const int32_t h = HalfSize();
+    assert(a.HalfSize() == h && b.HalfSize() == h);
+    const double* __restrict are = a.Re();
+    const double* __restrict aim = a.Im();
+    const double* __restrict bre = b.Re();
+    const double* __restrict bim = b.Im();
+    double* __restrict rre = Re();
+    double* __restrict rim = Im();
+    for (int32_t i = 0; i < h; ++i) {
         rre[i] += are[i] * bre[i] - aim[i] * bim[i];
         rim[i] += are[i] * bim[i] + aim[i] * bre[i];
     }
 }
 
-NegacyclicFft::NegacyclicFft(int32_t n) : n_(n) {
+// ------------------------------------------------------------- NegacyclicFft
+
+NegacyclicFft::NegacyclicFft(int32_t n) : n_(n), half_(n / 2) {
+    assert(n >= 2 && (n & (n - 1)) == 0);
+    log2half_ = 0;
+    while ((1 << log2half_) < half_) ++log2half_;
+
+    twist_re_.resize(half_);
+    twist_im_.resize(half_);
+    untwist_re_.resize(half_);
+    untwist_im_.resize(half_);
+    for (int32_t j = 0; j < half_; ++j) {
+        const double ang = -kPi * j / n;
+        twist_re_[j] = std::cos(ang);
+        twist_im_[j] = std::sin(ang);
+        // Untwist conjugates the twist and folds in the 1/h inverse-FFT
+        // normalization.
+        untwist_re_[j] = std::cos(ang) / half_;
+        untwist_im_[j] = -std::sin(ang) / half_;
+    }
+
+    // Twiddles for the stage with half-size hb live at flat offset hb - 1.
+    if (half_ > 1) {
+        tw_re_.resize(half_ - 1);
+        tw_im_.resize(half_ - 1);
+        for (int32_t hb = 1; hb < half_; hb *= 2) {
+            const int32_t len = hb * 2;
+            for (int32_t k = 0; k < hb; ++k) {
+                const double ang = -2.0 * kPi * k / len;
+                tw_re_[hb - 1 + k] = std::cos(ang);
+                tw_im_[hb - 1 + k] = std::sin(ang);
+            }
+        }
+    }
+
+    bitrev_.resize(half_);
+    for (int32_t i = 0; i < half_; ++i) {
+        int32_t r = 0;
+        for (int32_t b = 0; b < log2half_; ++b)
+            if (i & (1 << b)) r |= 1 << (log2half_ - 1 - b);
+        bitrev_[i] = r;
+    }
+}
+
+void NegacyclicFft::FftInPlace(double* re, double* im, bool inverse) const {
+    const int32_t h = half_;
+    for (int32_t i = 0; i < h; ++i) {
+        const int32_t j = bitrev_[i];
+        if (i < j) {
+            std::swap(re[i], re[j]);
+            std::swap(im[i], im[j]);
+        }
+    }
+    const double sign = inverse ? -1.0 : 1.0;
+    for (int32_t hb = 1; hb < h; hb *= 2) {
+        const int32_t len = hb * 2;
+        const double* __restrict wre = &tw_re_[hb - 1];
+        const double* __restrict wim = &tw_im_[hb - 1];
+        for (int32_t base = 0; base < h; base += len) {
+            double* __restrict re0 = re + base;
+            double* __restrict im0 = im + base;
+            double* __restrict re1 = re + base + hb;
+            double* __restrict im1 = im + base + hb;
+            for (int32_t k = 0; k < hb; ++k) {
+                const double cr = wre[k];
+                const double ci = sign * wim[k];
+                const double tre = re1[k] * cr - im1[k] * ci;
+                const double tim = re1[k] * ci + im1[k] * cr;
+                re1[k] = re0[k] - tre;
+                im1[k] = im0[k] - tim;
+                re0[k] += tre;
+                im0[k] += tim;
+            }
+        }
+    }
+}
+
+void NegacyclicFft::Forward(FreqPolynomial& out, const IntPolynomial& p) const {
+    assert(p.Size() == n_);
+    out.ResizeHalf(half_);
+    const int32_t* __restrict c = p.coefs.data();
+    const double* __restrict tr = twist_re_.data();
+    const double* __restrict ti = twist_im_.data();
+    double* __restrict re = out.Re();
+    double* __restrict im = out.Im();
+    for (int32_t j = 0; j < half_; ++j) {
+        const double lo = static_cast<double>(c[j]);
+        const double hi = static_cast<double>(c[j + half_]);
+        // (lo - i*hi) * (tr + i*ti), the X^h -> -i folding with the twist.
+        re[j] = lo * tr[j] + hi * ti[j];
+        im[j] = lo * ti[j] - hi * tr[j];
+    }
+    FftInPlace(re, im, /*inverse=*/false);
+}
+
+void NegacyclicFft::Forward(FreqPolynomial& out, const TorusPolynomial& p) const {
+    assert(p.Size() == n_);
+    out.ResizeHalf(half_);
+    const Torus32* __restrict c = p.coefs.data();
+    const double* __restrict tr = twist_re_.data();
+    const double* __restrict ti = twist_im_.data();
+    double* __restrict re = out.Re();
+    double* __restrict im = out.Im();
+    for (int32_t j = 0; j < half_; ++j) {
+        const double lo = static_cast<double>(static_cast<int32_t>(c[j]));
+        const double hi =
+            static_cast<double>(static_cast<int32_t>(c[j + half_]));
+        re[j] = lo * tr[j] + hi * ti[j];
+        im[j] = lo * ti[j] - hi * tr[j];
+    }
+    FftInPlace(re, im, /*inverse=*/false);
+}
+
+void NegacyclicFft::ForwardPacked(FreqPolynomial& f) const {
+    assert(f.HalfSize() == half_);
+    const double* __restrict tr = twist_re_.data();
+    const double* __restrict ti = twist_im_.data();
+    double* __restrict re = f.Re();
+    double* __restrict im = f.Im();
+    for (int32_t j = 0; j < half_; ++j) {
+        const double lo = re[j];
+        const double hi = im[j];
+        re[j] = lo * tr[j] + hi * ti[j];
+        im[j] = lo * ti[j] - hi * tr[j];
+    }
+    FftInPlace(re, im, /*inverse=*/false);
+}
+
+void NegacyclicFft::InverseInPlace(TorusPolynomial& out,
+                                   FreqPolynomial& f) const {
+    assert(f.HalfSize() == half_ && out.Size() == n_);
+    double* __restrict re = f.Re();
+    double* __restrict im = f.Im();
+    FftInPlace(re, im, /*inverse=*/true);
+    const double* __restrict ur = untwist_re_.data();
+    const double* __restrict ui = untwist_im_.data();
+    Torus32* __restrict c = out.coefs.data();
+    for (int32_t j = 0; j < half_; ++j) {
+        // a_j = (re + i*im) * (ur + i*ui); p[j] = Re(a), p[j+h] = -Im(a).
+        const double are = re[j] * ur[j] - im[j] * ui[j];
+        const double aim = re[j] * ui[j] + im[j] * ur[j];
+        c[j] = static_cast<Torus32>(
+            static_cast<uint64_t>(std::llround(are)));
+        c[j + half_] = static_cast<Torus32>(
+            static_cast<uint64_t>(std::llround(-aim)));
+    }
+}
+
+void NegacyclicFft::Inverse(TorusPolynomial& out, const FreqPolynomial& f,
+                            FftScratch& scratch) const {
+    scratch.acc = f;
+    InverseInPlace(out, scratch.acc);
+}
+
+void NegacyclicFft::Inverse(TorusPolynomial& out,
+                            const FreqPolynomial& f) const {
+    FftScratch scratch;
+    Inverse(out, f, scratch);
+}
+
+void NegacyclicFft::Multiply(TorusPolynomial& result, const IntPolynomial& a,
+                             const TorusPolynomial& b,
+                             FftScratch& scratch) const {
+    Forward(scratch.a, a);
+    Forward(scratch.b, b);
+    scratch.acc.ResizeHalf(half_);
+    scratch.acc.Clear();
+    scratch.acc.AddMul(scratch.a, scratch.b);
+    InverseInPlace(result, scratch.acc);
+}
+
+void NegacyclicFft::Multiply(TorusPolynomial& result, const IntPolynomial& a,
+                             const TorusPolynomial& b) const {
+    FftScratch scratch;
+    Multiply(result, a, b, scratch);
+}
+
+// -------------------------------------------------------------- ReferenceFft
+
+ReferenceFft::ReferenceFft(int32_t n) : n_(n) {
     assert(n >= 2 && (n & (n - 1)) == 0);
     log2n_ = 0;
     while ((1 << log2n_) < n) ++log2n_;
@@ -39,12 +277,10 @@ NegacyclicFft::NegacyclicFft(int32_t n) : n_(n) {
         const double ang = -kPi * j / n;
         twist_re_[j] = std::cos(ang);
         twist_im_[j] = std::sin(ang);
-        // Untwist includes the 1/n inverse-FFT normalization.
         untwist_re_[j] = std::cos(-ang) / n;
         untwist_im_[j] = std::sin(-ang) / n;
     }
 
-    // Twiddles for stage with half-size h live at flat offset h - 1.
     tw_re_.resize(n - 1);
     tw_im_.resize(n - 1);
     for (int32_t half = 1; half < n; half *= 2) {
@@ -65,7 +301,8 @@ NegacyclicFft::NegacyclicFft(int32_t n) : n_(n) {
     }
 }
 
-void NegacyclicFft::FftInPlace(double* re, double* im, bool inverse) const {
+void ReferenceFft::FftInPlace(std::vector<double>& re, std::vector<double>& im,
+                              bool inverse) const {
     const int32_t n = n_;
     for (int32_t i = 0; i < n; ++i) {
         const int32_t j = bitrev_[i];
@@ -96,61 +333,62 @@ void NegacyclicFft::FftInPlace(double* re, double* im, bool inverse) const {
     }
 }
 
-void NegacyclicFft::ForwardReal(FreqPolynomial& out, const double* coefs) const {
-    const int32_t n = n_;
-    out.re.resize(n);
-    out.im.resize(n);
-    for (int32_t j = 0; j < n; ++j) {
-        out.re[j] = coefs[j] * twist_re_[j];
-        out.im[j] = coefs[j] * twist_im_[j];
+void ReferenceFft::ForwardReal(std::vector<double>& re, std::vector<double>& im,
+                               const double* coefs) const {
+    re.resize(n_);
+    im.resize(n_);
+    for (int32_t j = 0; j < n_; ++j) {
+        re[j] = coefs[j] * twist_re_[j];
+        im[j] = coefs[j] * twist_im_[j];
     }
-    FftInPlace(out.re.data(), out.im.data(), /*inverse=*/false);
+    FftInPlace(re, im, /*inverse=*/false);
 }
 
-void NegacyclicFft::Forward(FreqPolynomial& out, const IntPolynomial& p) const {
-    assert(p.Size() == n_);
-    std::vector<double> tmp(n_);
-    for (int32_t j = 0; j < n_; ++j) tmp[j] = static_cast<double>(p.coefs[j]);
-    ForwardReal(out, tmp.data());
-}
-
-void NegacyclicFft::Forward(FreqPolynomial& out, const TorusPolynomial& p) const {
-    assert(p.Size() == n_);
+void ReferenceFft::Multiply(TorusPolynomial& result, const IntPolynomial& a,
+                            const TorusPolynomial& b) const {
+    assert(a.Size() == n_ && b.Size() == n_ && result.Size() == n_);
     std::vector<double> tmp(n_);
     for (int32_t j = 0; j < n_; ++j)
-        tmp[j] = static_cast<double>(static_cast<int32_t>(p.coefs[j]));
-    ForwardReal(out, tmp.data());
-}
+        tmp[j] = static_cast<double>(a.coefs[j]);
+    std::vector<double> are, aim;
+    ForwardReal(are, aim, tmp.data());
+    for (int32_t j = 0; j < n_; ++j)
+        tmp[j] = static_cast<double>(static_cast<int32_t>(b.coefs[j]));
+    std::vector<double> bre, bim;
+    ForwardReal(bre, bim, tmp.data());
 
-void NegacyclicFft::Inverse(TorusPolynomial& out, const FreqPolynomial& f) const {
-    const int32_t n = n_;
-    assert(f.Size() == n && out.Size() == n);
-    std::vector<double> re(f.re), im(f.im);
-    FftInPlace(re.data(), im.data(), /*inverse=*/true);
-    for (int32_t j = 0; j < n; ++j) {
-        const double val = re[j] * untwist_re_[j] - im[j] * untwist_im_[j];
-        out.coefs[j] =
+    std::vector<double> pre(n_), pim(n_);
+    for (int32_t j = 0; j < n_; ++j) {
+        pre[j] = are[j] * bre[j] - aim[j] * bim[j];
+        pim[j] = are[j] * bim[j] + aim[j] * bre[j];
+    }
+    FftInPlace(pre, pim, /*inverse=*/true);
+    for (int32_t j = 0; j < n_; ++j) {
+        const double val = pre[j] * untwist_re_[j] - pim[j] * untwist_im_[j];
+        result.coefs[j] =
             static_cast<Torus32>(static_cast<uint64_t>(std::llround(val)));
     }
 }
 
-void NegacyclicFft::Multiply(TorusPolynomial& result, const IntPolynomial& a,
-                             const TorusPolynomial& b) const {
-    FreqPolynomial fa, fb, acc(n_);
-    Forward(fa, a);
-    Forward(fb, b);
-    acc.AddMul(fa, fb);
-    Inverse(result, acc);
-}
+// ---------------------------------------------------------------- plan cache
 
 const NegacyclicFft& GetFftPlan(int32_t n) {
+    assert(n >= 2 && (n & (n - 1)) == 0);
+    // One slot per power of two; the hot path is a single acquire load.
+    static std::array<std::atomic<const NegacyclicFft*>, 32> slots{};
+    const int32_t lg = std::countr_zero(static_cast<uint32_t>(n));
+    std::atomic<const NegacyclicFft*>& slot = slots[lg];
+    if (const NegacyclicFft* plan = slot.load(std::memory_order_acquire))
+        return *plan;
+
     static std::mutex mu;
-    static std::unordered_map<int32_t, std::unique_ptr<NegacyclicFft>> plans;
+    static std::vector<std::unique_ptr<NegacyclicFft>> owned;
     std::lock_guard<std::mutex> lock(mu);
-    auto it = plans.find(n);
-    if (it == plans.end())
-        it = plans.emplace(n, std::make_unique<NegacyclicFft>(n)).first;
-    return *it->second;
+    if (const NegacyclicFft* plan = slot.load(std::memory_order_relaxed))
+        return *plan;
+    owned.push_back(std::make_unique<NegacyclicFft>(n));
+    slot.store(owned.back().get(), std::memory_order_release);
+    return *owned.back();
 }
 
 }  // namespace pytfhe::tfhe

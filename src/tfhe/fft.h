@@ -1,85 +1,191 @@
 /**
  * @file
- * Negacyclic FFT for fast polynomial multiplication in T[X]/(X^N + 1).
+ * Folded negacyclic FFT for fast polynomial multiplication in T[X]/(X^N + 1).
  *
- * A polynomial p of degree < N over X^N + 1 is evaluated at the odd 2N-th
- * roots of unity x_k = exp(-i*pi*(2k+1)/N). Pointwise products of these
- * evaluations correspond to negacyclic convolution. The evaluation is
- * computed as a cyclic FFT of the "twisted" sequence p_j * exp(-i*pi*j/N).
+ * TFHE works in the negacyclic ring R_N = R[X]/(X^N + 1). Writing h = N/2,
+ * the complexified ring C[X]/(X^N + 1) splits as
+ * C[Y]/(Y^h + i) x C[Y]/(Y^h - i); for *real* inputs either factor
+ * determines the other, so a real negacyclic polynomial is fully described
+ * by h complex values. Concretely, the ring map X^h -> -i sends
+ *
+ *     p(X)  |->  a(Y) = sum_{j<h} (p[j] - i*p[j+h]) Y^j   mod Y^h + i,
+ *
+ * and a(Y) is evaluated at the h roots of Y^h = -i by one h-point cyclic
+ * FFT of the twisted sequence a_j * exp(-i*pi*j/N). Pointwise products of
+ * these h evaluations correspond exactly to negacyclic convolution, with
+ * half the butterflies of the naive full-size complex FFT over N points.
  *
  * This is the workhorse of the external product: the bootstrapping key is
  * stored in the frequency domain once, and each CMUX performs l*(k+1)
  * forward transforms of gadget digits, a pointwise multiply-accumulate, and
  * k+1 inverse transforms.
  *
- * Round-off behaves as a small additional noise term (fraction of the torus
- * around 2^-26 for N=1024), far below the scheme noise; tests verify the FFT
- * path against the exact O(N^2) reference multiplier.
+ * Precision: digits are bounded by Bg/2 <= 2^7 and torus values by 2^31, so
+ * every intermediate of the transform stays below N * 2^7 * 2^31 <= 2^49 for
+ * N <= 2048 — comfortably inside the 53-bit double mantissa. Round-off
+ * behaves as a small additional noise term (fraction of the torus around
+ * 2^-26 for N=1024), far below the scheme noise; tests verify the folded
+ * path against the exact O(N^2) reference multiplier and against the
+ * full-size ReferenceFft.
+ *
+ * Allocation discipline: Forward/Inverse/Multiply never allocate in steady
+ * state. Callers on hot paths own FftScratch objects explicitly (one per
+ * worker thread); the scratch-less overloads allocate per call and exist
+ * for tests and cold paths only. No function in this header hides state in
+ * `static thread_local` storage.
  */
 #ifndef PYTFHE_TFHE_FFT_H
 #define PYTFHE_TFHE_FFT_H
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "tfhe/polynomial.h"
 
 namespace pytfhe::tfhe {
 
-/** Frequency-domain image of a polynomial: N complex values (re, im split). */
-struct FreqPolynomial {
-    std::vector<double> re;
-    std::vector<double> im;
-
+/**
+ * Frequency-domain image of a real negacyclic polynomial of degree < N:
+ * h = N/2 complex values in split re/im layout. Both planes live in one
+ * 32-byte-aligned allocation so the pointwise kernels vectorize to FMA.
+ */
+class FreqPolynomial {
+  public:
     FreqPolynomial() = default;
-    explicit FreqPolynomial(int32_t n) : re(n, 0.0), im(n, 0.0) {}
+    /** Allocates `half` zeroed complex slots (half = N/2). */
+    explicit FreqPolynomial(int32_t half) { ResizeHalf(half); }
+    FreqPolynomial(const FreqPolynomial& other) { *this = other; }
+    FreqPolynomial(FreqPolynomial&& other) noexcept { *this = std::move(other); }
+    FreqPolynomial& operator=(const FreqPolynomial& other);
+    FreqPolynomial& operator=(FreqPolynomial&& other) noexcept;
+    ~FreqPolynomial() { Free(); }
 
-    int32_t Size() const { return static_cast<int32_t>(re.size()); }
-    void Clear() {
-        std::fill(re.begin(), re.end(), 0.0);
-        std::fill(im.begin(), im.end(), 0.0);
-    }
+    /** Number of complex coefficients (N/2 for ring degree N). */
+    int32_t HalfSize() const { return half_; }
 
-    /** this += a * b, pointwise complex multiply-accumulate. */
+    double* Re() { return data_; }
+    const double* Re() const { return data_; }
+    double* Im() { return data_ + stride_; }
+    const double* Im() const { return data_ + stride_; }
+
+    /**
+     * Reshapes to `half` complex slots. No-op (contents preserved) when the
+     * size already matches; reallocates and zero-fills otherwise.
+     */
+    void ResizeHalf(int32_t half);
+    void Clear();
+
+    /** this += a * b, pointwise complex multiply-accumulate over h slots. */
     void AddMul(const FreqPolynomial& a, const FreqPolynomial& b);
+
+  private:
+    void Free();
+
+    double* data_ = nullptr;
+    int32_t half_ = 0;
+    int32_t stride_ = 0;  ///< half rounded up so Im() is 32-byte aligned too.
+};
+
+/** Reusable temporaries for the const-input Inverse and for Multiply. */
+struct FftScratch {
+    FreqPolynomial a, b, acc;
 };
 
 /**
- * Plan holding twiddle-factor tables for a fixed transform size N
+ * Plan holding twist and twiddle tables for a fixed ring degree N
  * (a power of two). One plan per parameter set; plans are reusable and
- * const-thread-safe after construction.
+ * const-thread-safe after construction. All transforms run over h = N/2
+ * complex points.
  */
 class NegacyclicFft {
   public:
     explicit NegacyclicFft(int32_t n);
 
+    /** Ring degree N. */
     int32_t Size() const { return n_; }
+    /** Transform length h = N/2 (slots of a FreqPolynomial). */
+    int32_t Half() const { return half_; }
 
-    /** Forward transform of an integer polynomial. */
+    /** Forward transform of an integer polynomial. Never allocates once
+     * `out` has the right size. */
     void Forward(FreqPolynomial& out, const IntPolynomial& p) const;
     /** Forward transform of a torus polynomial (signed interpretation). */
     void Forward(FreqPolynomial& out, const TorusPolynomial& p) const;
-    /** Inverse transform with rounding back onto the discretized torus. */
+
+    /**
+     * Forward transform of data already packed into `f`:
+     * f.Re()[j] = p[j], f.Im()[j] = p[j + N/2]. Twist and FFT run in place.
+     * This is the fused entry used by the gadget-decomposition path.
+     */
+    void ForwardPacked(FreqPolynomial& f) const;
+
+    /**
+     * Inverse transform with rounding back onto the discretized torus.
+     * Destroys `f` (the accumulator is dead after the inverse on every hot
+     * path, so no copy is needed).
+     */
+    void InverseInPlace(TorusPolynomial& out, FreqPolynomial& f) const;
+
+    /** Non-destructive inverse; copies `f` into `scratch`. */
+    void Inverse(TorusPolynomial& out, const FreqPolynomial& f,
+                 FftScratch& scratch) const;
+    /** Convenience overload; allocates a scratch per call (cold paths). */
     void Inverse(TorusPolynomial& out, const FreqPolynomial& f) const;
 
     /** result = a * b over X^N + 1 via the frequency domain. */
     void Multiply(TorusPolynomial& result, const IntPolynomial& a,
+                  const TorusPolynomial& b, FftScratch& scratch) const;
+    /** Convenience overload; allocates a scratch per call (cold paths). */
+    void Multiply(TorusPolynomial& result, const IntPolynomial& a,
                   const TorusPolynomial& b) const;
 
   private:
-    void ForwardReal(FreqPolynomial& out, const double* coefs) const;
     void FftInPlace(double* re, double* im, bool inverse) const;
 
     int32_t n_;
-    int32_t log2n_;
+    int32_t half_;
+    int32_t log2half_;
     std::vector<double> twist_re_, twist_im_;      ///< exp(-i*pi*j/N)
-    std::vector<double> untwist_re_, untwist_im_;  ///< exp(+i*pi*j/N) / N
-    std::vector<double> tw_re_, tw_im_;            ///< FFT twiddles, by stage
+    std::vector<double> untwist_re_, untwist_im_;  ///< exp(+i*pi*j/N) / h
+    std::vector<double> tw_re_, tw_im_;  ///< h-point FFT twiddles, by stage
+    std::vector<int32_t> bitrev_;        ///< bit reversal over h
+};
+
+/**
+ * The pre-folding full-size transform: an N-point complex FFT of the
+ * twisted real sequence, kept verbatim as an independent oracle. Used only
+ * by tests to prove that the folded kernel is equivalent at the decryption
+ * level; allocates freely and is not part of any hot path.
+ */
+class ReferenceFft {
+  public:
+    explicit ReferenceFft(int32_t n);
+
+    int32_t Size() const { return n_; }
+
+    /** result = a * b over X^N + 1 via the full-size frequency domain. */
+    void Multiply(TorusPolynomial& result, const IntPolynomial& a,
+                  const TorusPolynomial& b) const;
+
+  private:
+    void FftInPlace(std::vector<double>& re, std::vector<double>& im,
+                    bool inverse) const;
+    void ForwardReal(std::vector<double>& re, std::vector<double>& im,
+                     const double* coefs) const;
+
+    int32_t n_;
+    int32_t log2n_;
+    std::vector<double> twist_re_, twist_im_;
+    std::vector<double> untwist_re_, untwist_im_;
+    std::vector<double> tw_re_, tw_im_;
     std::vector<int32_t> bitrev_;
 };
 
-/** Shared FFT plan cache keyed by size. */
+/**
+ * Shared FFT plan cache keyed by size. The hot read path is lock-free (one
+ * atomic load per lookup); a mutex serializes only first-time construction
+ * of a plan. Plans live for the process lifetime.
+ */
 const NegacyclicFft& GetFftPlan(int32_t n);
 
 }  // namespace pytfhe::tfhe

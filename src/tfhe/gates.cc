@@ -35,7 +35,8 @@ LweSample GateEvaluator::Not(const LweSample& a) const {
 
 LweSample GateEvaluator::LinearBootstrap(int32_t sign_a, const LweSample& a,
                                          int32_t sign_b, const LweSample& b,
-                                         Torus32 offset, int32_t scale) {
+                                         Torus32 offset, int32_t scale,
+                                         BootstrapScratch* scratch) {
     auto t0 = Clock::now();
     LweSample combo(params().n);
     combo.SetTrivial(offset);
@@ -59,7 +60,8 @@ LweSample GateEvaluator::LinearBootstrap(int32_t sign_a, const LweSample& a,
     profile_.AddLinearNanos(NanosSince(t0));
 
     auto t1 = Clock::now();
-    LweSample rotated = BootstrapWithoutKeySwitch(kEighth, combo, *key_);
+    LweSample rotated = BootstrapWithoutKeySwitch(kEighth, combo, *key_,
+                                                  scratch);
     profile_.AddBlindRotateNanos(NanosSince(t1));
 
     auto t2 = Clock::now();
@@ -69,48 +71,58 @@ LweSample GateEvaluator::LinearBootstrap(int32_t sign_a, const LweSample& a,
     return out;
 }
 
-LweSample GateEvaluator::And(const LweSample& a, const LweSample& b) {
-    return LinearBootstrap(+1, a, +1, b, -kEighth);
+LweSample GateEvaluator::And(const LweSample& a, const LweSample& b,
+                             BootstrapScratch* scratch) {
+    return LinearBootstrap(+1, a, +1, b, -kEighth, /*scale=*/1, scratch);
 }
 
-LweSample GateEvaluator::Nand(const LweSample& a, const LweSample& b) {
-    return LinearBootstrap(-1, a, -1, b, kEighth);
+LweSample GateEvaluator::Nand(const LweSample& a, const LweSample& b,
+                              BootstrapScratch* scratch) {
+    return LinearBootstrap(-1, a, -1, b, kEighth, /*scale=*/1, scratch);
 }
 
-LweSample GateEvaluator::Or(const LweSample& a, const LweSample& b) {
-    return LinearBootstrap(+1, a, +1, b, kEighth);
+LweSample GateEvaluator::Or(const LweSample& a, const LweSample& b,
+                            BootstrapScratch* scratch) {
+    return LinearBootstrap(+1, a, +1, b, kEighth, /*scale=*/1, scratch);
 }
 
-LweSample GateEvaluator::Nor(const LweSample& a, const LweSample& b) {
-    return LinearBootstrap(-1, a, -1, b, -kEighth);
+LweSample GateEvaluator::Nor(const LweSample& a, const LweSample& b,
+                             BootstrapScratch* scratch) {
+    return LinearBootstrap(-1, a, -1, b, -kEighth, /*scale=*/1, scratch);
 }
 
-LweSample GateEvaluator::Xor(const LweSample& a, const LweSample& b) {
-    return LinearBootstrap(+1, a, +1, b, kQuarter, /*scale=*/2);
+LweSample GateEvaluator::Xor(const LweSample& a, const LweSample& b,
+                             BootstrapScratch* scratch) {
+    return LinearBootstrap(+1, a, +1, b, kQuarter, /*scale=*/2, scratch);
 }
 
-LweSample GateEvaluator::Xnor(const LweSample& a, const LweSample& b) {
-    return LinearBootstrap(+1, a, +1, b, -kQuarter, /*scale=*/2);
+LweSample GateEvaluator::Xnor(const LweSample& a, const LweSample& b,
+                              BootstrapScratch* scratch) {
+    return LinearBootstrap(+1, a, +1, b, -kQuarter, /*scale=*/2, scratch);
 }
 
-LweSample GateEvaluator::AndNY(const LweSample& a, const LweSample& b) {
-    return LinearBootstrap(-1, a, +1, b, -kEighth);
+LweSample GateEvaluator::AndNY(const LweSample& a, const LweSample& b,
+                               BootstrapScratch* scratch) {
+    return LinearBootstrap(-1, a, +1, b, -kEighth, /*scale=*/1, scratch);
 }
 
-LweSample GateEvaluator::AndYN(const LweSample& a, const LweSample& b) {
-    return LinearBootstrap(+1, a, -1, b, -kEighth);
+LweSample GateEvaluator::AndYN(const LweSample& a, const LweSample& b,
+                               BootstrapScratch* scratch) {
+    return LinearBootstrap(+1, a, -1, b, -kEighth, /*scale=*/1, scratch);
 }
 
-LweSample GateEvaluator::OrNY(const LweSample& a, const LweSample& b) {
-    return LinearBootstrap(-1, a, +1, b, kEighth);
+LweSample GateEvaluator::OrNY(const LweSample& a, const LweSample& b,
+                              BootstrapScratch* scratch) {
+    return LinearBootstrap(-1, a, +1, b, kEighth, /*scale=*/1, scratch);
 }
 
-LweSample GateEvaluator::OrYN(const LweSample& a, const LweSample& b) {
-    return LinearBootstrap(+1, a, -1, b, kEighth);
+LweSample GateEvaluator::OrYN(const LweSample& a, const LweSample& b,
+                              BootstrapScratch* scratch) {
+    return LinearBootstrap(+1, a, -1, b, kEighth, /*scale=*/1, scratch);
 }
 
 LweSample GateEvaluator::Mux(const LweSample& a, const LweSample& b,
-                             const LweSample& c) {
+                             const LweSample& c, BootstrapScratch* scratch) {
     auto t0 = Clock::now();
     LweSample and_ab(params().n);
     and_ab.SetTrivial(-kEighth);
@@ -123,8 +135,9 @@ LweSample GateEvaluator::Mux(const LweSample& a, const LweSample& b,
     profile_.AddLinearNanos(NanosSince(t0));
 
     auto t1 = Clock::now();
-    LweSample u = BootstrapWithoutKeySwitch(kEighth, and_ab, *key_);
-    LweSample v = BootstrapWithoutKeySwitch(kEighth, andny_ac, *key_);
+    LweSample u = BootstrapWithoutKeySwitch(kEighth, and_ab, *key_, scratch);
+    LweSample v = BootstrapWithoutKeySwitch(kEighth, andny_ac, *key_,
+                                            scratch);
     u.AddTo(v);
     u.AddConstant(kEighth);
     profile_.AddBlindRotateNanos(NanosSince(t1));

@@ -147,24 +147,38 @@ class GateEvaluator {
     LweSample Not(const LweSample& a) const;
     LweSample Copy(const LweSample& a) const { return a; }
 
-    /** Bootstrapped two-input gates. */
-    LweSample And(const LweSample& a, const LweSample& b);
-    LweSample Nand(const LweSample& a, const LweSample& b);
-    LweSample Or(const LweSample& a, const LweSample& b);
-    LweSample Nor(const LweSample& a, const LweSample& b);
-    LweSample Xor(const LweSample& a, const LweSample& b);
-    LweSample Xnor(const LweSample& a, const LweSample& b);
+    /**
+     * Bootstrapped two-input gates. The optional scratch is reused across
+     * calls (one per worker thread) to keep bootstrapping allocation-free.
+     */
+    LweSample And(const LweSample& a, const LweSample& b,
+                  BootstrapScratch* scratch = nullptr);
+    LweSample Nand(const LweSample& a, const LweSample& b,
+                   BootstrapScratch* scratch = nullptr);
+    LweSample Or(const LweSample& a, const LweSample& b,
+                 BootstrapScratch* scratch = nullptr);
+    LweSample Nor(const LweSample& a, const LweSample& b,
+                  BootstrapScratch* scratch = nullptr);
+    LweSample Xor(const LweSample& a, const LweSample& b,
+                  BootstrapScratch* scratch = nullptr);
+    LweSample Xnor(const LweSample& a, const LweSample& b,
+                   BootstrapScratch* scratch = nullptr);
     /** NOT(a) AND b. */
-    LweSample AndNY(const LweSample& a, const LweSample& b);
+    LweSample AndNY(const LweSample& a, const LweSample& b,
+                    BootstrapScratch* scratch = nullptr);
     /** a AND NOT(b). */
-    LweSample AndYN(const LweSample& a, const LweSample& b);
+    LweSample AndYN(const LweSample& a, const LweSample& b,
+                    BootstrapScratch* scratch = nullptr);
     /** NOT(a) OR b. */
-    LweSample OrNY(const LweSample& a, const LweSample& b);
+    LweSample OrNY(const LweSample& a, const LweSample& b,
+                   BootstrapScratch* scratch = nullptr);
     /** a OR NOT(b). */
-    LweSample OrYN(const LweSample& a, const LweSample& b);
+    LweSample OrYN(const LweSample& a, const LweSample& b,
+                   BootstrapScratch* scratch = nullptr);
 
     /** a ? b : c, two bootstraps plus one key switch. */
-    LweSample Mux(const LweSample& a, const LweSample& b, const LweSample& c);
+    LweSample Mux(const LweSample& a, const LweSample& b, const LweSample& c,
+                  BootstrapScratch* scratch = nullptr);
 
   private:
     /**
@@ -173,7 +187,8 @@ class GateEvaluator {
      */
     LweSample LinearBootstrap(int32_t sign_a, const LweSample& a,
                               int32_t sign_b, const LweSample& b,
-                              Torus32 offset, int32_t scale = 1);
+                              Torus32 offset, int32_t scale,
+                              BootstrapScratch* scratch);
 
     std::shared_ptr<BootstrappingKey> key_;
     GateProfile profile_;

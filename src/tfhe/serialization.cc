@@ -8,7 +8,8 @@ namespace pytfhe::tfhe {
 
 namespace {
 
-constexpr uint16_t kVersion = 1;
+// Version 2: FreqPolynomial carries N/2 folded-transform slots (was N).
+constexpr uint16_t kVersion = 2;
 
 // Magics, one per object kind.
 constexpr uint32_t kMagicParams = 0x50544850;   // "PHTP"
@@ -155,21 +156,25 @@ bool ReadIntPoly(std::istream& is, IntPolynomial* p, std::string* error) {
 }
 
 void WriteFreqPoly(std::ostream& os, const FreqPolynomial& f) {
-    W64(os, f.re.size());
-    for (double d : f.re) WDouble(os, d);
-    for (double d : f.im) WDouble(os, d);
+    const int32_t half = f.HalfSize();
+    W64(os, static_cast<uint64_t>(half));
+    const double* re = f.Re();
+    const double* im = f.Im();
+    for (int32_t i = 0; i < half; ++i) WDouble(os, re[i]);
+    for (int32_t i = 0; i < half; ++i) WDouble(os, im[i]);
 }
 
 bool ReadFreqPoly(std::istream& is, FreqPolynomial* f, std::string* error) {
     uint64_t n;
     if (!R64(is, &n) || n > (UINT64_C(1) << 24))
         return Fail(error, "bad frequency polynomial size");
-    f->re.resize(n);
-    f->im.resize(n);
-    for (auto& d : f->re)
-        if (!RDouble(is, &d)) return Fail(error, "truncated freq poly");
-    for (auto& d : f->im)
-        if (!RDouble(is, &d)) return Fail(error, "truncated freq poly");
+    f->ResizeHalf(static_cast<int32_t>(n));
+    double* re = f->Re();
+    double* im = f->Im();
+    for (uint64_t i = 0; i < n; ++i)
+        if (!RDouble(is, &re[i])) return Fail(error, "truncated freq poly");
+    for (uint64_t i = 0; i < n; ++i)
+        if (!RDouble(is, &im[i])) return Fail(error, "truncated freq poly");
     return true;
 }
 

@@ -4,6 +4,49 @@
 
 namespace pytfhe::tfhe {
 
+namespace {
+
+/**
+ * Rounding offset so truncation becomes round-to-nearest with digits
+ * recentered into [-Bg/2, Bg/2).
+ */
+uint32_t DecomposeOffset(int32_t l, int32_t bg_bit) {
+    const int32_t half_bg = INT32_C(1) << (bg_bit - 1);
+    uint32_t offset = 0;
+    for (int32_t j = 1; j <= l; ++j)
+        offset += static_cast<uint32_t>(half_bg) << (32 - j * bg_bit);
+    return offset;
+}
+
+/**
+ * Fused gadget decomposition of one TLWE component, written directly into
+ * the folded FFT's packed input layout: dec[j].Re()[p] is digit j of
+ * coefficient p and dec[j].Im()[p] is digit j of coefficient p + N/2.
+ */
+void DecomposePacked(std::vector<FreqPolynomial>& dec,
+                     const TorusPolynomial& poly, int32_t l, int32_t bg_bit,
+                     uint32_t offset) {
+    const int32_t half = poly.Size() / 2;
+    const int32_t half_bg = INT32_C(1) << (bg_bit - 1);
+    const uint32_t mask = (UINT32_C(1) << bg_bit) - 1;
+    const Torus32* __restrict c = poly.coefs.data();
+    for (int32_t j = 0; j < l; ++j) {
+        const int32_t shift = 32 - bg_bit * (j + 1);
+        double* __restrict re = dec[j].Re();
+        double* __restrict im = dec[j].Im();
+        for (int32_t p = 0; p < half; ++p) {
+            const uint32_t lo = c[p] + offset;
+            const uint32_t hi = c[p + half] + offset;
+            re[p] = static_cast<double>(
+                static_cast<int32_t>((lo >> shift) & mask) - half_bg);
+            im[p] = static_cast<double>(
+                static_cast<int32_t>((hi >> shift) & mask) - half_bg);
+        }
+    }
+}
+
+}  // namespace
+
 TGswSample TGswEncrypt(int32_t message, int32_t l, int32_t bg_bit,
                        double noise_stddev, const TLweKey& key, Rng& rng) {
     const int32_t n = key.BigN();
@@ -42,15 +85,9 @@ void TGswDecompose(std::vector<IntPolynomial>& out, const TLweSample& sample,
                    int32_t l, int32_t bg_bit) {
     const int32_t n = sample.BigN();
     const int32_t k = sample.K();
-    const int32_t bg = INT32_C(1) << bg_bit;
-    const int32_t half_bg = bg / 2;
-    const uint32_t mask = static_cast<uint32_t>(bg - 1);
-
-    // Rounding offset so truncation becomes round-to-nearest with digits
-    // recentered into [-Bg/2, Bg/2).
-    uint32_t offset = 0;
-    for (int32_t j = 1; j <= l; ++j)
-        offset += static_cast<uint32_t>(half_bg) << (32 - j * bg_bit);
+    const int32_t half_bg = INT32_C(1) << (bg_bit - 1);
+    const uint32_t mask = (UINT32_C(1) << bg_bit) - 1;
+    const uint32_t offset = DecomposeOffset(l, bg_bit);
 
     out.assign(static_cast<size_t>(k + 1) * l, IntPolynomial(n));
     for (int32_t c = 0; c <= k; ++c) {
@@ -67,34 +104,49 @@ void TGswDecompose(std::vector<IntPolynomial>& out, const TLweSample& sample,
 }
 
 void TGswExternalProduct(TLweSample& result, const TGswSampleFft& c,
-                         const TLweSample& sample, const NegacyclicFft& fft) {
+                         const TLweSample& sample, const NegacyclicFft& fft,
+                         ExternalProductScratch* scratch) {
+    ExternalProductScratch local;
+    ExternalProductScratch& s = scratch != nullptr ? *scratch : local;
+
     const int32_t n = sample.BigN();
     const int32_t k = sample.K();
+    const int32_t half = fft.Half();
+    assert(fft.Size() == n);
     assert(static_cast<size_t>((k + 1) * c.l) == c.rows.size());
 
-    static thread_local std::vector<IntPolynomial> dec;
-    TGswDecompose(dec, sample, c.l, c.bg_bit);
+    if (static_cast<int32_t>(s.dec.size()) != c.l) s.dec.resize(c.l);
+    for (auto& f : s.dec) f.ResizeHalf(half);
+    if (static_cast<int32_t>(s.acc.size()) != k + 1) s.acc.resize(k + 1);
+    for (auto& f : s.acc) {
+        f.ResizeHalf(half);
+        f.Clear();
+    }
 
-    static thread_local std::vector<FreqPolynomial> acc;
-    static thread_local FreqPolynomial dec_fft;
-    acc.assign(k + 1, FreqPolynomial(n));
-
-    for (size_t r = 0; r < dec.size(); ++r) {
-        fft.Forward(dec_fft, dec[r]);
-        for (int32_t col = 0; col <= k; ++col)
-            acc[col].AddMul(dec_fft, c.rows[r][col]);
+    const uint32_t offset = DecomposeOffset(c.l, c.bg_bit);
+    for (int32_t ci = 0; ci <= k; ++ci) {
+        DecomposePacked(s.dec, sample.a[ci], c.l, c.bg_bit, offset);
+        for (int32_t j = 0; j < c.l; ++j) {
+            fft.ForwardPacked(s.dec[j]);
+            const std::vector<FreqPolynomial>& row = c.rows[ci * c.l + j];
+            for (int32_t col = 0; col <= k; ++col)
+                s.acc[col].AddMul(s.dec[j], row[col]);
+        }
     }
 
     if (result.BigN() != n || result.K() != k) result = TLweSample(n, k);
     for (int32_t col = 0; col <= k; ++col)
-        fft.Inverse(result.a[col], acc[col]);
+        fft.InverseInPlace(result.a[col], s.acc[col]);
 }
 
 void TGswCMux(TLweSample& result, const TGswSampleFft& c, const TLweSample& d1,
-              const TLweSample& d0, const NegacyclicFft& fft) {
-    TLweSample diff = d1;
-    diff.SubTo(d0);
-    TGswExternalProduct(result, c, diff, fft);
+              const TLweSample& d0, const NegacyclicFft& fft,
+              ExternalProductScratch* scratch) {
+    ExternalProductScratch local;
+    ExternalProductScratch& s = scratch != nullptr ? *scratch : local;
+    s.cmux_diff = d1;  // No allocation once shapes match across calls.
+    s.cmux_diff.SubTo(d0);
+    TGswExternalProduct(result, c, s.cmux_diff, fft, &s);
     result.AddTo(d0);
 }
 

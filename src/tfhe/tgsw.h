@@ -9,6 +9,12 @@
  * selects between two TLWE samples under an encrypted bit C. Bootstrapping
  * keys store TGSW rows in the FFT domain so each CMUX needs only forward
  * transforms of the gadget digits.
+ *
+ * The external product is the innermost kernel of bootstrapping, so it is
+ * allocation-free in steady state: callers on hot paths pass an
+ * ExternalProductScratch they own (one per worker thread). Decomposition is
+ * fused with the FFT packing — digits are written as doubles directly into
+ * the transform's input buffers instead of materializing IntPolynomials.
  */
 #ifndef PYTFHE_TFHE_TGSW_H
 #define PYTFHE_TFHE_TGSW_H
@@ -36,6 +42,18 @@ struct TGswSampleFft {
     int32_t bg_bit = 0;
 };
 
+/**
+ * Reusable buffers for TGswExternalProduct / TGswCMux. Owned explicitly by
+ * the caller (per worker thread on hot paths); all buffers keep their
+ * capacity across calls, so repeated use with fixed parameters performs no
+ * heap allocation.
+ */
+struct ExternalProductScratch {
+    std::vector<FreqPolynomial> dec;  ///< l digit transforms, reused per row.
+    std::vector<FreqPolynomial> acc;  ///< k + 1 frequency accumulators.
+    TLweSample cmux_diff;             ///< d1 - d0 buffer for TGswCMux.
+};
+
 /** Encrypts integer message m (typically a key bit in {0, 1}). */
 TGswSample TGswEncrypt(int32_t message, int32_t l, int32_t bg_bit,
                        double noise_stddev, const TLweKey& key, Rng& rng);
@@ -46,20 +64,28 @@ TGswSampleFft TGswToFft(const TGswSample& sample, const NegacyclicFft& fft);
 /**
  * Signed gadget decomposition of every component of a TLWE sample:
  * produces (k+1)*l integer polynomials with digits in [-Bg/2, Bg/2).
+ * Reference entry point used by tests and noise analysis; the external
+ * product uses a fused decompose-and-pack internally.
  */
 void TGswDecompose(std::vector<IntPolynomial>& out, const TLweSample& sample,
                    int32_t l, int32_t bg_bit);
 
-/** result = C x sample (external product), via the FFT domain. */
+/**
+ * result = C x sample (external product), via the FFT domain.
+ * With a non-null `scratch` the call never allocates in steady state; the
+ * nullptr default allocates a local scratch (tests and cold paths).
+ */
 void TGswExternalProduct(TLweSample& result, const TGswSampleFft& c,
-                         const TLweSample& sample, const NegacyclicFft& fft);
+                         const TLweSample& sample, const NegacyclicFft& fft,
+                         ExternalProductScratch* scratch = nullptr);
 
 /**
  * result = d0 + C x (d1 - d0): selects d1 when C encrypts 1, d0 when C
  * encrypts 0, up to noise.
  */
 void TGswCMux(TLweSample& result, const TGswSampleFft& c, const TLweSample& d1,
-              const TLweSample& d0, const NegacyclicFft& fft);
+              const TLweSample& d0, const NegacyclicFft& fft,
+              ExternalProductScratch* scratch = nullptr);
 
 }  // namespace pytfhe::tfhe
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "tfhe/fft.h"
+
 namespace pytfhe::tfhe {
 
 TLweKey::TLweKey(int32_t n, int32_t k, Rng& rng) : key(k, IntPolynomial(n)) {
@@ -47,11 +49,16 @@ TLweSample TLweEncrypt(const TorusPolynomial& mu, double noise_stddev,
     TLweSample s(n, k);
     for (int32_t j = 0; j < n; ++j)
         s.Body().coefs[j] = rng.GaussianTorus32(mu.coefs[j], noise_stddev);
+    // The FFT product here and in TLwePhase run the identical computation,
+    // so encrypt/phase round-trips cancel exactly; any FFT round-off only
+    // shifts the effective noise by a fraction of the scheme noise.
+    const NegacyclicFft& fft = GetFftPlan(n);
+    FftScratch scratch;
     TorusPolynomial prod(n);
     for (int32_t i = 0; i < k; ++i) {
         for (int32_t j = 0; j < n; ++j)
             s.a[i].coefs[j] = rng.UniformTorus32();
-        NaiveNegacyclicMul(prod, key.key[i], s.a[i]);
+        fft.Multiply(prod, key.key[i], s.a[i], scratch);
         s.Body().AddTo(prod);
     }
     return s;
@@ -68,9 +75,11 @@ TorusPolynomial TLwePhase(const TLweSample& sample, const TLweKey& key) {
     const int32_t n = key.BigN();
     assert(sample.BigN() == n && sample.K() == key.K());
     TorusPolynomial phase = sample.Body();
+    const NegacyclicFft& fft = GetFftPlan(n);
+    FftScratch scratch;
     TorusPolynomial prod(n);
     for (int32_t i = 0; i < key.K(); ++i) {
-        NaiveNegacyclicMul(prod, key.key[i], sample.a[i]);
+        fft.Multiply(prod, key.key[i], sample.a[i], scratch);
         phase.SubTo(prod);
     }
     return phase;

@@ -50,8 +50,99 @@ TEST_P(FftParamTest, ForwardInverseRoundTrip) {
     EXPECT_LE(MaxError(p, back), 16u) << "n=" << n;
 }
 
+TEST_P(FftParamTest, FoldedMatchesReferenceFftOnAdversarialDigits) {
+    const int32_t n = GetParam();
+    const NegacyclicFft& fft = GetFftPlan(n);
+    const ReferenceFft ref(n);
+    Rng rng(21);
+    IntPolynomial a(n);
+    TorusPolynomial b(n), want(n), got(n);
+    // Max-magnitude digits, the worst case TGswDecompose can emit at
+    // bg_bit = 8, with uniform torus coefficients on the other side.
+    for (auto& c : a.coefs) c = rng.UniformBit() ? 128 : -128;
+    for (auto& c : b.coefs) c = rng.UniformTorus32();
+
+    ref.Multiply(want, a, b);
+    fft.Multiply(got, a, b);
+    // Both paths round the same exact product; they may land on opposite
+    // sides of a rounding boundary, never further apart.
+    EXPECT_LE(MaxError(want, got), 2u) << "n=" << n;
+}
+
+// Independent oracle: schoolbook negacyclic convolution with int64
+// accumulation, reduced mod 2^32 at the end.
+TorusPolynomial SchoolbookInt64(const IntPolynomial& a,
+                                const TorusPolynomial& b) {
+    const int32_t n = a.Size();
+    TorusPolynomial out(n);
+    for (int32_t j = 0; j < n; ++j) {
+        int64_t acc = 0;
+        for (int32_t i = 0; i <= j; ++i)
+            acc += static_cast<int64_t>(a.coefs[i]) *
+                   static_cast<int32_t>(b.coefs[j - i]);
+        for (int32_t i = j + 1; i < n; ++i)
+            acc -= static_cast<int64_t>(a.coefs[i]) *
+                   static_cast<int32_t>(b.coefs[n + j - i]);
+        out.coefs[j] = static_cast<Torus32>(static_cast<uint64_t>(acc));
+    }
+    return out;
+}
+
+TEST_P(FftParamTest, MatchesSchoolbookWithAdversarialDigits) {
+    const int32_t n = GetParam();
+    const NegacyclicFft& fft = GetFftPlan(n);
+    Rng rng(22);
+    IntPolynomial a(n);
+    TorusPolynomial b(n), got(n);
+    for (auto& c : a.coefs) c = rng.UniformBit() ? 128 : -128;
+    for (auto& c : b.coefs) c = rng.UniformTorus32();
+
+    const TorusPolynomial want = SchoolbookInt64(a, b);
+    fft.Multiply(got, a, b);
+    // Intermediates reach N * 128 * 2^31 <= 2^49 < 2^53; the double FFT
+    // resolves the exact integer to within a couple of final-rounding ULPs.
+    EXPECT_LE(MaxError(want, got), 2u) << "n=" << n;
+}
+
+TEST_P(FftParamTest, ExactlyMatchesSchoolbookWithBoundedTorus) {
+    const int32_t n = GetParam();
+    const NegacyclicFft& fft = GetFftPlan(n);
+    Rng rng(23);
+    IntPolynomial a(n);
+    TorusPolynomial b(n), got(n);
+    // Products bounded by N * 128 * 2^20 <= 2^38: FFT round-off is far
+    // below 1/2, so rounding recovers the exact Torus32 result.
+    for (auto& c : a.coefs) c = rng.UniformBit() ? 128 : -128;
+    for (auto& c : b.coefs)
+        c = static_cast<Torus32>(rng.UniformBelow(1u << 21)) - (1u << 20);
+
+    const TorusPolynomial want = SchoolbookInt64(a, b);
+    fft.Multiply(got, a, b);
+    for (int32_t i = 0; i < n; ++i)
+        ASSERT_EQ(want.coefs[i], got.coefs[i]) << "n=" << n << " i=" << i;
+}
+
+TEST_P(FftParamTest, ForwardInverseRoundTripIsExact) {
+    const int32_t n = GetParam();
+    const NegacyclicFft& fft = GetFftPlan(n);
+    Rng rng(24);
+    TorusPolynomial p(n), back(n);
+    // Adversarial extremes plus uniform fill: spectra stay <= N * 2^31,
+    // so the inverse rounds back to the exact input coefficients.
+    p.coefs[0] = UINT32_C(0x80000000);
+    p.coefs[n - 1] = UINT32_C(0x7FFFFFFF);
+    for (int32_t i = 1; i < n - 1; ++i) p.coefs[i] = rng.UniformTorus32();
+
+    FreqPolynomial f;
+    fft.Forward(f, p);
+    fft.InverseInPlace(back, f);
+    for (int32_t i = 0; i < n; ++i)
+        ASSERT_EQ(p.coefs[i], back.coefs[i]) << "n=" << n << " i=" << i;
+}
+
 INSTANTIATE_TEST_SUITE_P(Sizes, FftParamTest,
-                         ::testing::Values(64, 128, 256, 512, 1024, 2048));
+                         ::testing::Values(8, 16, 32, 64, 128, 256, 512,
+                                           1024, 2048));
 
 TEST(Fft, MultiplyByXaiMatchesExactRotation) {
     const int32_t n = 128;
@@ -79,7 +170,7 @@ TEST(Fft, LinearityInFrequencyDomain) {
     for (auto& c : b.coefs) c = rng.UniformTorus32();
 
     // (a1 + a2) * b == a1 * b + a2 * b, computed via accumulation.
-    FreqPolynomial fa1, fa2, fb, acc(n);
+    FreqPolynomial fa1, fa2, fb, acc(fft.Half());
     fft.Forward(fa1, a1);
     fft.Forward(fa2, a2);
     fft.Forward(fb, b);

@@ -48,7 +48,8 @@ TEST_F(GatesTest, NotAndCopy) {
 
 struct BinaryGateCase {
     const char* name;
-    LweSample (GateEvaluator::*fn)(const LweSample&, const LweSample&);
+    LweSample (GateEvaluator::*fn)(const LweSample&, const LweSample&,
+                                   BootstrapScratch*);
     bool truth[4];  // Output for (a, b) = (0,0), (0,1), (1,0), (1,1).
 };
 
@@ -60,7 +61,7 @@ TEST_P(BinaryGateTest, TruthTable) {
     for (int a = 0; a < 2; ++a) {
         for (int b = 0; b < 2; ++b) {
             LweSample ea = Enc(a), eb = Enc(b);
-            LweSample out = (eval_->*c.fn)(ea, eb);
+            LweSample out = (eval_->*c.fn)(ea, eb, nullptr);
             EXPECT_EQ(Dec(out), c.truth[a * 2 + b])
                 << c.name << "(" << a << "," << b << ")";
         }

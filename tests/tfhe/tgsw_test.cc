@@ -128,6 +128,22 @@ TEST_F(TGswTest, CMuxChainStaysCorrect) {
     EXPECT_LT(TorusDistance(TLwePhase(acc, key_).coefs[0], mu), 0.01);
 }
 
+TEST_F(TGswTest, ReusedScratchGivesBitIdenticalResults) {
+    TGswSampleFft one = EncryptBitFft(1);
+    ExternalProductScratch scratch;
+    for (int32_t i = 0; i < 4; ++i) {
+        TLweSample s = EncryptConst(ModSwitchToTorus32(i, 8));
+        TLweSample with_scratch, without;
+        TGswExternalProduct(with_scratch, one, s, fft_, &scratch);
+        TGswExternalProduct(without, one, s, fft_);
+        ASSERT_EQ(with_scratch.a.size(), without.a.size());
+        for (size_t c = 0; c < without.a.size(); ++c)
+            for (int32_t p = 0; p < params_.big_n; ++p)
+                ASSERT_EQ(with_scratch.a[c].coefs[p], without.a[c].coefs[p])
+                    << i << "," << c << "," << p;
+    }
+}
+
 TEST_F(TGswTest, ExternalProductOnPolynomialMessage) {
     // Message with several nonzero coefficients survives multiply-by-1.
     TorusPolynomial msg(params_.big_n);
