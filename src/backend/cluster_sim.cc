@@ -35,8 +35,9 @@ ClusterResult SimulateCluster(const pasm::Program& program,
     double t = 0.0;
     for (const auto& wave : schedule.levels) {
         // Split the wave's gates round-robin over workers; the wave span is
-        // the busiest worker. Linear (NOT) gates are executed inline by the
-        // driver at negligible cost.
+        // the busiest worker. Linear gates (NOT and the elided
+        // LXOR/LXNOR/LNOT) are executed inline by the driver at negligible
+        // cost.
         uint64_t bootstraps = 0;
         double linear_cost = 0.0;
         for (uint64_t idx : wave) {

@@ -30,7 +30,12 @@ constexpr double kCiphertextBytes = 2460.0;
 /** Cost of one gate on one CPU core. */
 struct CpuCostModel {
     double bootstrap_gate_seconds = 0.015;  ///< Bootstrapped gate.
-    double linear_gate_seconds = 2e-6;      ///< NOT/COPY (noiseless).
+    /**
+     * Non-bootstrapped gate: NOT/COPY and the elided linear gates
+     * (LXOR/LXNOR/LNOT), all O(n) sample arithmetic — four orders of
+     * magnitude below a bootstrap, which is the entire point of elision.
+     */
+    double linear_gate_seconds = 2e-6;
 };
 
 /** The distributed CPU platform (Table II + Section IV-D). */
@@ -67,6 +72,13 @@ struct GpuConfig {
     double graph_launch_seconds;   ///< Per CUDA-graph launch.
     double graph_build_per_gate;   ///< Host-side graph construction per gate.
     uint64_t batch_gates;          ///< Max sub-DAG batch size (GPU memory).
+    /**
+     * One elided linear gate (LXOR/LXNOR/LNOT) inside a CUDA graph: an
+     * elementwise vector add over n+1 coefficients, bandwidth-bound and
+     * ~1000x cheaper than a bootstrap kernel. Not subject to the
+     * sms_per_gate occupancy limit.
+     */
+    double linear_kernel_seconds = 3e-6;
 
     /** Concurrent gate kernels the device sustains. */
     int32_t Concurrency() const { return sms / sms_per_gate; }

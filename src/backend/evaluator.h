@@ -49,10 +49,23 @@ class TfheEvaluator {
     Ciphertext Apply(GateType t, const Ciphertext& a,
                      const Ciphertext& b) const {
         WorkerScratch scratch;
-        return Apply(t, a, b, scratch);
+        return Apply(t, a, false, b, false, scratch);
     }
 
     Ciphertext Apply(GateType t, const Ciphertext& a, const Ciphertext& b,
+                     WorkerScratch& s) const {
+        return Apply(t, a, false, b, false, s);
+    }
+
+    /**
+     * Domain-aware dispatch: `a_linear`/`b_linear` say whether each operand
+     * carries the linear (+-1/4) encoding, i.e. was produced by an elided
+     * kLin* gate. Interpreters derive the flags statically from the
+     * producing opcode (pasm::Program::ProducesLinearDomain). Linear gates
+     * never touch the bootstrap scratch — they are pure sample arithmetic.
+     */
+    Ciphertext Apply(GateType t, const Ciphertext& a, bool a_linear,
+                     const Ciphertext& b, bool b_linear,
                      WorkerScratch& s) const {
         switch (t) {
             case GateType::kNot: return gates_->Not(a);
@@ -60,12 +73,19 @@ class TfheEvaluator {
             case GateType::kNand: return gates_->Nand(a, b, &s);
             case GateType::kOr: return gates_->Or(a, b, &s);
             case GateType::kNor: return gates_->Nor(a, b, &s);
-            case GateType::kXnor: return gates_->Xnor(a, b, &s);
-            case GateType::kXor: return gates_->Xor(a, b, &s);
+            case GateType::kXnor:
+                return gates_->Xnor(a, a_linear, b, b_linear, &s);
+            case GateType::kXor:
+                return gates_->Xor(a, a_linear, b, b_linear, &s);
             case GateType::kAndNY: return gates_->AndNY(a, b, &s);
             case GateType::kAndYN: return gates_->AndYN(a, b, &s);
             case GateType::kOrNY: return gates_->OrNY(a, b, &s);
             case GateType::kOrYN: return gates_->OrYN(a, b, &s);
+            case GateType::kLinXor:
+                return gates_->LinXor(a, a_linear, b, b_linear);
+            case GateType::kLinXnor:
+                return gates_->LinXnor(a, a_linear, b, b_linear);
+            case GateType::kLinNot: return gates_->LinNot(a);
         }
         return a;  // Unreachable for valid gate types.
     }

@@ -170,8 +170,10 @@ class Executor {
             uint64_t idx = detail::kNoGate;
             while (idx != detail::kNoGate || queue.Pop(&idx)) {
                 const pasm::DecodedGate g = program.GateAt(idx);
-                value[idx] = detail::ApplyGate(eval, g.type, value[g.in0],
-                                               value[g.in1], scratch);
+                value[idx] = detail::ApplyGate(
+                    eval, g.type, value[g.in0],
+                    program.ProducesLinearDomain(g.in0), value[g.in1],
+                    program.ProducesLinearDomain(g.in1), scratch);
                 // Decrement successors; run one newly ready gate ourselves
                 // (depth-first along the chain, no queue round-trip) and
                 // publish the rest.

@@ -27,7 +27,9 @@ GpuResult SimulateCuFhe(const pasm::Program& program, const GpuConfig& gpu,
     const uint64_t first = program.FirstGateIndex();
     for (uint64_t idx = first; idx < first + program.NumGates(); ++idx) {
         const auto g = program.GateAt(idx);
-        if (!circuit::NeedsBootstrap(g.type)) continue;  // Host-side NOT.
+        // NOT and elided linear gates (LXOR/LXNOR/LNOT) are host-side LWE
+        // arithmetic in the per-gate discipline — no kernel, no transfer.
+        if (!circuit::NeedsBootstrap(g.type)) continue;
         // H2D of both operands, blocking.
         const double h2d = TransferSeconds(gpu, 2);
         AddEvent(r, max_events, t, t + h2d, "H2D",
@@ -130,10 +132,18 @@ GpuResult SimulatePyTfhe(const pasm::Program& program, const GpuConfig& gpu,
 
         const double kernel_start = t;
         for (const auto* wave : batch.waves) {
-            uint64_t bootstraps = 0;
-            for (uint64_t idx : *wave)
-                if (circuit::NeedsBootstrap(program.GateAt(idx).type))
+            // Elided linear gates run as elementwise kernels inside the
+            // same graph; they are priced serially (an upper bound) and
+            // never compete for the bootstrap kernels' SM budget.
+            uint64_t bootstraps = 0, linear = 0;
+            for (uint64_t idx : *wave) {
+                if (circuit::NeedsBootstrap(program.GateAt(idx).type)) {
                     ++bootstraps;
+                } else {
+                    ++linear;
+                }
+            }
+            t += linear * gpu.linear_kernel_seconds;
             if (bootstraps == 0) continue;
             const uint64_t rounds =
                 (bootstraps + concurrency - 1) / concurrency;

@@ -86,11 +86,20 @@ struct WorkerScratchOf<Evaluator,
     using type = typename Evaluator::WorkerScratch;
 };
 
-/** Dispatches Apply with or without scratch, by evaluator capability. */
+/**
+ * Dispatches Apply by evaluator capability. Evaluators may take operand
+ * encoding-domain flags (ciphertext evaluators need them to pick the
+ * linear-combination coefficients for elided gates) and/or a per-worker
+ * scratch; plaintext-style evaluators take neither, since the plaintext
+ * semantics of kLin* gates do not depend on the operand encoding.
+ */
 template <typename Evaluator, typename C, typename Scratch>
-C ApplyGate(Evaluator& eval, circuit::GateType t, const C& a, const C& b,
-            Scratch& scratch) {
-    if constexpr (std::is_same_v<Scratch, NoScratch>) {
+C ApplyGate(Evaluator& eval, circuit::GateType t, const C& a, bool a_linear,
+            const C& b, bool b_linear, Scratch& scratch) {
+    if constexpr (requires { eval.Apply(t, a, a_linear, b, b_linear,
+                                        scratch); }) {
+        return eval.Apply(t, a, a_linear, b, b_linear, scratch);
+    } else if constexpr (std::is_same_v<Scratch, NoScratch>) {
         (void)scratch;
         return eval.Apply(t, a, b);
     } else {
@@ -120,8 +129,9 @@ std::vector<typename Evaluator::Ciphertext> RunProgram(
     typename detail::WorkerScratchOf<Evaluator>::type scratch{};
     for (uint64_t idx = first_gate; idx < end_gate; ++idx) {
         const pasm::DecodedGate g = program.GateAt(idx);
-        value[idx] = detail::ApplyGate(eval, g.type, value[g.in0],
-                                       value[g.in1], scratch);
+        value[idx] = detail::ApplyGate(
+            eval, g.type, value[g.in0], program.ProducesLinearDomain(g.in0),
+            value[g.in1], program.ProducesLinearDomain(g.in1), scratch);
     }
     std::vector<C> out;
     out.reserve(program.OutputIndices().size());
@@ -166,8 +176,10 @@ std::vector<typename Evaluator::Ciphertext> RunProgramThreaded(
                 if (i >= wave.size()) break;
                 const uint64_t idx = wave[i];
                 const pasm::DecodedGate g = program.GateAt(idx);
-                value[idx] = detail::ApplyGate(eval, g.type, value[g.in0],
-                                               value[g.in1], scratch);
+                value[idx] = detail::ApplyGate(
+                    eval, g.type, value[g.in0],
+                    program.ProducesLinearDomain(g.in0), value[g.in1],
+                    program.ProducesLinearDomain(g.in1), scratch);
             }
         };
         if (wave.size() == 1) {

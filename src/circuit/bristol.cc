@@ -49,6 +49,11 @@ class BristolWriter {
             case GateType::kAndYN: return And(a, Inv(b));
             case GateType::kOrNY: return Inv(And(a, Inv(b)));
             case GateType::kOrYN: return Inv(And(Inv(a), b));
+            // Linear gates are a TFHE execution detail; Bristol has no
+            // encoding notion, so they export as their boolean function.
+            case GateType::kLinXor: return Xor(a, b);
+            case GateType::kLinXnor: return Inv(Xor(a, b));
+            case GateType::kLinNot: return Inv(a);
         }
         return a;  // Unreachable.
     }

@@ -53,6 +53,10 @@ NodeId SimplifyingBuilder::MakeNot(NodeId a) {
 }
 
 NodeId SimplifyingBuilder::MakeGate(GateType t, NodeId a, NodeId b) {
+    // Linear gates are an execution detail chosen by the elision pass from
+    // whole-DAG noise analysis; rebuilding through the builder drops them to
+    // their bootstrapped form and lets the pass re-derive elision afterwards.
+    t = BootstrappedForm(t);
     if (t == GateType::kNot) return MakeNot(a);
 
     if (opts_.basic_gates_only) {

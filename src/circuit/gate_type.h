@@ -14,7 +14,17 @@
 
 namespace pytfhe::circuit {
 
-/** The eleven PyTFHE gate types. */
+/**
+ * The eleven PyTFHE gate types, plus three linear forms emitted by the
+ * bootstrap-elision pass (opt/passes.h).
+ *
+ * The linear gates evaluate the same boolean function as their bootstrapped
+ * counterparts but as a pure LWE sample combination — no blind rotate, no
+ * key switch, no noise reset. Their output lives in the *linear* torus
+ * encoding (false = -1/4, true = +1/4) rather than the gate encoding
+ * (false = -1/8, true = +1/8); only XOR/XNOR-family consumers and circuit
+ * outputs can absorb such an operand (see DESIGN.md "Circuit optimization").
+ */
 enum class GateType : uint8_t {
     kNot = 0,    ///< NOT(a); single input, noiseless in TFHE.
     kAnd = 1,
@@ -27,15 +37,39 @@ enum class GateType : uint8_t {
     kAndYN = 8,  ///< a AND NOT(b).
     kOrNY = 9,   ///< NOT(a) OR b.
     kOrYN = 10,  ///< a OR NOT(b).
+    kLinXor = 11,   ///< XOR without bootstrap; linear-domain output.
+    kLinXnor = 12,  ///< XNOR without bootstrap; linear-domain output.
+    kLinNot = 13,   ///< NOT of a linear-domain value (sample negation).
 };
 
-constexpr int32_t kNumGateTypes = 11;
+constexpr int32_t kNumGateTypes = 14;
 
-/** True for the single-input NOT gate. */
-constexpr bool IsUnary(GateType t) { return t == GateType::kNot; }
+/**
+ * Gate types a frontend can emit directly (indices 0..10). The linear
+ * forms are introduced only by the bootstrap-elision pass, which also
+ * guarantees their operand-encoding invariants; random circuit generators
+ * and builders draw from this range.
+ */
+constexpr int32_t kNumFrontendGateTypes = 11;
 
-/** True for gates whose TFHE evaluation needs a bootstrap (all but NOT). */
-constexpr bool NeedsBootstrap(GateType t) { return t != GateType::kNot; }
+/** True for the single-input gates (NOT and its linear-domain twin). */
+constexpr bool IsUnary(GateType t) {
+    return t == GateType::kNot || t == GateType::kLinNot;
+}
+
+/**
+ * True for the linear gates introduced by bootstrap elision. Their output
+ * uses the linear torus encoding (+-1/4); everything else is gate-domain.
+ */
+constexpr bool IsLinearGate(GateType t) {
+    return t == GateType::kLinXor || t == GateType::kLinXnor ||
+           t == GateType::kLinNot;
+}
+
+/** True for gates whose TFHE evaluation needs a bootstrap. */
+constexpr bool NeedsBootstrap(GateType t) {
+    return t != GateType::kNot && !IsLinearGate(t);
+}
 
 /** Plaintext semantics of a gate. For NOT, b is ignored. */
 constexpr bool EvalGate(GateType t, bool a, bool b) {
@@ -51,6 +85,9 @@ constexpr bool EvalGate(GateType t, bool a, bool b) {
         case GateType::kAndYN: return a && !b;
         case GateType::kOrNY: return !a || b;
         case GateType::kOrYN: return a || !b;
+        case GateType::kLinXor: return a != b;
+        case GateType::kLinXnor: return a == b;
+        case GateType::kLinNot: return !a;
     }
     return false;  // Unreachable for valid gate types.
 }
@@ -64,9 +101,31 @@ constexpr bool IsCommutative(GateType t) {
         case GateType::kNor:
         case GateType::kXor:
         case GateType::kXnor:
+        case GateType::kLinXor:
+        case GateType::kLinXnor:
             return true;
         default:
             return false;
+    }
+}
+
+/** The linear form of a bootstrapped XOR/XNOR/NOT; t itself otherwise. */
+constexpr GateType LinearForm(GateType t) {
+    switch (t) {
+        case GateType::kXor: return GateType::kLinXor;
+        case GateType::kXnor: return GateType::kLinXnor;
+        case GateType::kNot: return GateType::kLinNot;
+        default: return t;
+    }
+}
+
+/** The bootstrapped/gate-domain form of a linear gate; t itself otherwise. */
+constexpr GateType BootstrappedForm(GateType t) {
+    switch (t) {
+        case GateType::kLinXor: return GateType::kXor;
+        case GateType::kLinXnor: return GateType::kXnor;
+        case GateType::kLinNot: return GateType::kNot;
+        default: return t;
     }
 }
 
@@ -84,6 +143,9 @@ constexpr std::string_view GateTypeName(GateType t) {
         case GateType::kAndYN: return "ANDYN";
         case GateType::kOrNY: return "ORNY";
         case GateType::kOrYN: return "ORYN";
+        case GateType::kLinXor: return "LXOR";
+        case GateType::kLinXnor: return "LXNOR";
+        case GateType::kLinNot: return "LNOT";
     }
     return "?";
 }
@@ -102,6 +164,9 @@ constexpr GateType NegatedGate(GateType t) {
         case GateType::kOrNY: return GateType::kAndYN;
         case GateType::kOrYN: return GateType::kAndNY;
         case GateType::kNot: return GateType::kNot;  // NOT(NOT) handled as copy.
+        case GateType::kLinXor: return GateType::kLinXnor;
+        case GateType::kLinXnor: return GateType::kLinXor;
+        case GateType::kLinNot: return GateType::kLinNot;
     }
     return t;
 }
@@ -120,6 +185,9 @@ constexpr GateType GateWithFirstInputNegated(GateType t) {
         case GateType::kAndYN: return GateType::kNor;
         case GateType::kOrYN: return GateType::kNand;
         case GateType::kNot: return GateType::kNot;
+        case GateType::kLinXor: return GateType::kLinXnor;
+        case GateType::kLinXnor: return GateType::kLinXor;
+        case GateType::kLinNot: return GateType::kLinNot;
     }
     return t;
 }
@@ -138,6 +206,9 @@ constexpr GateType GateWithSecondInputNegated(GateType t) {
         case GateType::kAndNY: return GateType::kNor;
         case GateType::kOrNY: return GateType::kNand;
         case GateType::kNot: return GateType::kNot;
+        case GateType::kLinXor: return GateType::kLinXnor;
+        case GateType::kLinXnor: return GateType::kLinXor;
+        case GateType::kLinNot: return GateType::kLinNot;
     }
     return t;
 }

@@ -9,7 +9,8 @@ std::string NetlistStats::ToString() const {
     std::ostringstream os;
     os << "inputs=" << num_inputs << " outputs=" << num_outputs
        << " gates=" << num_gates << " bootstraps=" << num_bootstrap_gates
-       << " depth=" << depth << " max_width=" << max_width << "\n";
+       << " linear=" << num_linear_gates << " depth=" << depth
+       << " max_width=" << max_width << "\n";
     for (int32_t t = 0; t < kNumGateTypes; ++t) {
         if (gate_histogram[t] == 0) continue;
         os << "  " << GateTypeName(static_cast<GateType>(t)) << ": "
@@ -62,6 +63,33 @@ std::optional<std::string> Netlist::Validate() const {
             if (n.in0 >= id || n.in1 >= id)
                 return "gate " + std::to_string(id) +
                        " references a non-topological input";
+            // Torus-domain rules (see ProducesLinearDomain). Inputs are
+            // topological, so their domains are already decided here.
+            const bool lin0 = ProducesLinearDomain(n.in0);
+            const bool lin1 = ProducesLinearDomain(n.in1);
+            switch (n.type) {
+                case GateType::kXor:
+                case GateType::kXnor:
+                case GateType::kLinXor:
+                case GateType::kLinXnor:
+                    break;  // Absorb any operand-domain mix.
+                case GateType::kNot:
+                    if (lin0)
+                        return "NOT gate " + std::to_string(id) +
+                               " consumes a linear-domain value (use LNOT)";
+                    break;
+                case GateType::kLinNot:
+                    if (!lin0)
+                        return "LNOT gate " + std::to_string(id) +
+                               " consumes a gate-domain value (use NOT)";
+                    break;
+                default:
+                    if (lin0 || lin1)
+                        return std::string(GateTypeName(n.type)) + " gate " +
+                               std::to_string(id) +
+                               " consumes a linear-domain value";
+                    break;
+            }
         }
     }
     for (NodeId id : outputs_) {
@@ -109,6 +137,7 @@ NetlistStats Netlist::ComputeStats() const {
             ++s.num_bootstrap_gates;
             bdepth[id] = in_depth + 1;
         } else {
+            if (IsLinearGate(n.type)) ++s.num_linear_gates;
             bdepth[id] = in_depth;
         }
         s.depth = std::max<uint64_t>(s.depth, bdepth[id]);

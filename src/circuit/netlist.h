@@ -49,6 +49,7 @@ struct NetlistStats {
     uint64_t num_outputs = 0;
     uint64_t num_gates = 0;               ///< All gates, including NOT.
     uint64_t num_bootstrap_gates = 0;     ///< Gates that cost a bootstrap.
+    uint64_t num_linear_gates = 0;        ///< Elided (kLin*) gates.
     uint64_t gate_histogram[kNumGateTypes] = {};
     uint64_t depth = 0;       ///< Critical path in bootstrapped gates.
     uint64_t max_width = 0;   ///< Largest level of the BFS schedule.
@@ -62,7 +63,12 @@ struct NetlistStats {
  * Invariants (checked by Validate):
  *  - every gate input id is smaller than the gate's own id;
  *  - every referenced id exists;
- *  - outputs reference existing nodes.
+ *  - outputs reference existing nodes;
+ *  - torus-domain rules for elided gates: a node carries the linear
+ *    encoding (+-1/4) iff its type is kLin*; only XOR/XNOR (bootstrapped
+ *    or linear), kLinNot, and circuit outputs may consume a linear-domain
+ *    value, and kLinNot/kNot require a linear-/gate-domain operand
+ *    respectively so every node's encoding is static.
  */
 class Netlist {
   public:
@@ -92,6 +98,16 @@ class Netlist {
 
     /** Returns an error description, or nullopt if the netlist is valid. */
     std::optional<std::string> Validate() const;
+
+    /**
+     * True if the node's ciphertext uses the linear torus encoding
+     * (+-1/4): exactly the kLin* gates. Inputs, constants, and every
+     * bootstrapped or NOT gate produce the gate encoding (+-1/8).
+     */
+    bool ProducesLinearDomain(NodeId id) const {
+        const Node& n = nodes_[id];
+        return n.kind == NodeKind::kGate && IsLinearGate(n.type);
+    }
 
     /**
      * Level-by-level BFS schedule per Algorithm 1 of the paper: level[0] is

@@ -1,5 +1,6 @@
 #include "circuit/opt/passes.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "circuit/builder.h"
@@ -79,6 +80,388 @@ OptResult Optimize(const Netlist& input, const OptOptions& options) {
 
     result.stats.gates_after = current.NumGates();
     result.netlist = std::move(current);
+    return result;
+}
+
+// ----------------------------------------------------------------------
+// Bootstrap elision.
+
+namespace {
+
+/** Coefficient an operand enters a XOR/XNOR combination with. */
+constexpr double XorCoef(bool operand_linear) {
+    return operand_linear ? 1.0 : 2.0;
+}
+
+/**
+ * Variance of c_a*a + c_b*b under the worst-case-independence heuristic,
+ * handling the duplicated-operand case (same sample, amplitudes add).
+ */
+double ComboVariance(double ca, double va, double cb, double vb, bool same) {
+    if (same) return (ca + cb) * (ca + cb) * va;
+    return ca * ca * va + cb * cb * vb;
+}
+
+/** Variance + margin of a bootstrapped gate's sign decision. */
+struct Decision {
+    double variance;
+    double margin;
+};
+
+Decision GateDecision(GateType t, double va, bool la, double vb, bool lb,
+                      bool same, const tfhe::NoiseAnalysis& noise) {
+    if (t == GateType::kXor || t == GateType::kXnor) {
+        // c*a + c*b +- 1/4 sits at distance 1/4 from the sign boundary.
+        return {ComboVariance(XorCoef(la), va, XorCoef(lb), vb, same) +
+                    noise.mod_switch_variance,
+                tfhe::kLinearDecisionMargin};
+    }
+    // AND family: +-1 coefficients, +-1/8 offset, 1/8 margin. Validation
+    // guarantees these never see a linear-domain operand.
+    return {ComboVariance(1.0, va, 1.0, vb, same) + noise.mod_switch_variance,
+            tfhe::kGateDecisionMargin};
+}
+
+/**
+ * The whole pass as a little state machine: reverse-topological
+ * structural eligibility, then one forward variance sweep that greedily
+ * un-elides chain roots whenever a sink's decision would leave the
+ * failure budget. Un-elision only ever lowers downstream variance and
+ * depth, so checks that already passed stay valid and each node is
+ * un-elided at most once.
+ */
+class ElisionPass {
+  public:
+    ElisionPass(const Netlist& in, const tfhe::NoiseAnalysis& noise,
+                const ElisionOptions& opt, int32_t cap)
+        : in_(in), noise_(noise), opt_(opt), cap_(cap) {}
+
+    ElisionResult Run() {
+        const size_t n = in_.NumNodes();
+        elide_.assign(n, 0);
+        lin_.assign(n, 0);
+        var_.assign(n, 0.0);
+        depth_.assign(n, 0);
+        MarkEligibility();
+        // Un-eliding a node mid-sweep can *raise* the variance its earlier
+        // consumers already accounted (a gate-domain XOR operand enters
+        // with coefficient 2), so sweep to a fixpoint: elide_ only ever
+        // shrinks, each refusal clears one flag, and the final sweep ran
+        // with no changes — every decision was judged on final variances.
+        uint64_t refusals;
+        do {
+            refusals = stats_.refused_noise + stats_.refused_depth;
+            ForwardPass();
+            CheckOutputs();
+        } while (stats_.refused_noise + stats_.refused_depth != refusals);
+        return Rebuild();
+    }
+
+  private:
+    /** Node type with any pre-existing linear gates dropped to base form. */
+    GateType BaseType(NodeId id) const {
+        return BootstrappedForm(in_.GetNode(id).type);
+    }
+
+    /**
+     * elide_[id] (for XOR/XNOR/NOT nodes) = every consumer can absorb a
+     * linear-domain operand. Consumers have larger ids, so a reverse scan
+     * sees their eligibility first.
+     */
+    void MarkEligibility() {
+        const size_t n = in_.NumNodes();
+        // blocked[id] = some consumer of id cannot absorb a linear-domain
+        // operand. Consumers have larger ids, so one reverse sweep sees
+        // every consumer's verdict before deciding a node — no explicit
+        // consumer lists needed.
+        std::vector<uint8_t> blocked(n, 0);
+        for (NodeId id = n; id-- > 2;) {
+            const Node& node = in_.GetNode(id);
+            if (node.kind != NodeKind::kGate) continue;
+            const GateType t = BaseType(id);
+            const bool xorlike = t == GateType::kXor || t == GateType::kXnor;
+            if (xorlike || t == GateType::kNot)
+                elide_[id] = !blocked[id];
+            // XOR/XNOR absorb linear operands whether or not they elide;
+            // a NOT only via its kLinNot form, i.e. when itself eligible.
+            const bool absorbs =
+                xorlike || (t == GateType::kNot && elide_[id]);
+            if (!absorbs) {
+                blocked[node.in0] = 1;
+                blocked[node.in1] = 1;
+            }
+            if (xorlike && !elide_[id]) ++stats_.refused_consumer;
+        }
+    }
+
+    void ForwardPass() {
+        const size_t n = in_.NumNodes();
+        for (NodeId id = 0; id < n; ++id) {
+            const Node& node = in_.GetNode(id);
+            switch (node.kind) {
+                case NodeKind::kConst:
+                    var_[id] = 0.0;
+                    break;
+                case NodeKind::kInput:
+                    var_[id] = noise_.fresh_lwe_variance;
+                    break;
+                case NodeKind::kGate:
+                    ComputeGate(id);
+                    break;
+            }
+        }
+    }
+
+    void ComputeGate(NodeId id) {
+        const Node& node = in_.GetNode(id);
+        const GateType t = BaseType(id);
+        if (t == GateType::kNot) {
+            // Becomes kLinNot exactly when the operand ends up linear;
+            // either way negation preserves variance.
+            lin_[id] = elide_[id] && lin_[node.in0];
+            var_[id] = var_[node.in0];
+            depth_[id] = depth_[node.in0];
+            return;
+        }
+        if (elide_[id]) {
+            const int32_t d =
+                1 + std::max(lin_[node.in0] ? depth_[node.in0] : 0,
+                             lin_[node.in1] ? depth_[node.in1] : 0);
+            if (d > cap_) {
+                elide_[id] = 0;
+                ++stats_.refused_depth;
+            } else {
+                lin_[id] = 1;
+                depth_[id] = d;
+                var_[id] = ComboVariance(
+                    XorCoef(lin_[node.in0]), var_[node.in0],
+                    XorCoef(lin_[node.in1]), var_[node.in1],
+                    node.in0 == node.in1);
+                return;
+            }
+        }
+        ComputeBootstrapped(id);
+    }
+
+    /** Decision check of a bootstrapped gate, un-eliding until in budget. */
+    void ComputeBootstrapped(NodeId id) {
+        const Node& node = in_.GetNode(id);
+        const GateType t = BaseType(id);
+        while (true) {
+            const Decision d = GateDecision(
+                t, var_[node.in0], lin_[node.in0], var_[node.in1],
+                lin_[node.in1], node.in0 == node.in1, noise_);
+            if (tfhe::FailureProbability(opt_.safety_margin * d.variance,
+                                         d.margin) <= opt_.max_failure)
+                break;
+            if (!UnelideWorstOperand(node)) break;  // All gate-domain.
+        }
+        lin_[id] = 0;
+        depth_[id] = 0;
+        var_[id] = noise_.gate_output_variance;
+    }
+
+    /**
+     * Un-elides the linear operand with the larger variance (its chain
+     * root: LinNots forward to the XOR/XNOR that owns the encoding).
+     * Returns false when neither operand is linear.
+     */
+    bool UnelideWorstOperand(const Node& node) {
+        NodeId victim;
+        if (lin_[node.in0] &&
+            (!lin_[node.in1] || var_[node.in0] >= var_[node.in1])) {
+            victim = node.in0;
+        } else if (lin_[node.in1]) {
+            victim = node.in1;
+        } else {
+            return false;
+        }
+        ++stats_.refused_noise;
+        // Walk down the LinNot chain to the owning XOR/XNOR.
+        std::vector<NodeId> nots;
+        while (BaseType(victim) == GateType::kNot) {
+            nots.push_back(victim);
+            victim = in_.GetNode(victim).in0;
+        }
+        elide_[victim] = 0;
+        ComputeBootstrapped(victim);  // May recursively un-elide further.
+        // The NOT chain above reverts to plain gate-domain NOTs.
+        for (auto it = nots.rbegin(); it != nots.rend(); ++it) {
+            const NodeId m = *it;
+            lin_[m] = 0;
+            var_[m] = var_[in_.GetNode(m).in0];
+            depth_[m] = 0;
+        }
+        return true;
+    }
+
+    /** Output sinks decide by decryption sign; margin set by encoding. */
+    void CheckOutputs() {
+        for (NodeId id : in_.Outputs()) {
+            // Gate-domain outputs carry at most one bootstrapped sample's
+            // variance, already covered by the per-gate analysis.
+            while (lin_[id] &&
+                   tfhe::FailureProbability(opt_.safety_margin * var_[id],
+                                            tfhe::kLinearDecisionMargin) >
+                       opt_.max_failure) {
+                // Reuse the operand walker on a synthetic edge to id; it
+                // resets lin_[id] via the chain recompute.
+                Node edge;
+                edge.in0 = id;
+                edge.in1 = id;
+                UnelideWorstOperand(edge);
+            }
+        }
+    }
+
+    ElisionResult Rebuild() {
+        Netlist out;
+        size_t input_idx = 0;
+        int32_t max_depth = 0;
+        for (NodeId id = 2; id < in_.NumNodes(); ++id) {
+            const Node& node = in_.GetNode(id);
+            if (node.kind == NodeKind::kInput) {
+                out.AddInput(in_.InputName(input_idx++));
+                continue;
+            }
+            GateType t = BaseType(id);
+            if (t == GateType::kNot) {
+                if (lin_[id]) t = GateType::kLinNot;
+            } else if (elide_[id]) {
+                t = LinearForm(t);
+            }
+            out.AddGate(t, node.in0, node.in1);
+            switch (t) {
+                case GateType::kLinXor: ++stats_.elided_xor; break;
+                case GateType::kLinXnor: ++stats_.elided_xnor; break;
+                case GateType::kLinNot: ++stats_.elided_not; break;
+                default:
+                    if (NeedsBootstrap(t)) ++stats_.bootstraps_after;
+                    break;
+            }
+            max_depth = std::max(max_depth, depth_[id]);
+        }
+        for (size_t i = 0; i < in_.Outputs().size(); ++i)
+            out.AddOutput(in_.Outputs()[i], in_.OutputName(i));
+        stats_.max_linear_depth = max_depth;
+        stats_.depth_cap = cap_;
+        // Raw (no safety margin) predicted failure of the final netlist.
+        stats_.worst_sink_failure =
+            AnalyzeNoiseBudget(out, noise_).worst_sink_failure;
+        return ElisionResult{std::move(out), stats_};
+    }
+
+    const Netlist& in_;
+    const tfhe::NoiseAnalysis& noise_;
+    const ElisionOptions& opt_;
+    const int32_t cap_;
+    std::vector<uint8_t> elide_;   ///< Candidate decision per node.
+    std::vector<uint8_t> lin_;     ///< Final: node carries +-1/4 encoding.
+    std::vector<double> var_;      ///< Phase variance per node.
+    std::vector<int32_t> depth_;   ///< Chained linear gates ending here.
+    ElisionStats stats_;
+};
+
+uint64_t CountBootstraps(const Netlist& nl) {
+    uint64_t count = 0;
+    for (NodeId id = 0; id < nl.NumNodes(); ++id) {
+        const Node& n = nl.GetNode(id);
+        if (n.kind == NodeKind::kGate && NeedsBootstrap(n.type)) ++count;
+    }
+    return count;
+}
+
+}  // namespace
+
+std::string ElisionStats::ToString() const {
+    std::ostringstream os;
+    os << "bootstraps " << bootstraps_before << " -> " << bootstraps_after
+       << " (elided xor " << elided_xor << ", xnor " << elided_xnor
+       << ", not " << elided_not << "; refused: consumer "
+       << refused_consumer << ", noise " << refused_noise << ", depth "
+       << refused_depth << "; chain depth " << max_linear_depth << "/"
+       << depth_cap << ", worst sink failure " << worst_sink_failure << ")";
+    return os.str();
+}
+
+NoiseBudget AnalyzeNoiseBudget(const Netlist& netlist,
+                               const tfhe::NoiseAnalysis& noise) {
+    NoiseBudget b;
+    const size_t n = netlist.NumNodes();
+    b.variance.assign(n, 0.0);
+    b.linear_depth.assign(n, 0);
+    for (NodeId id = 0; id < n; ++id) {
+        const Node& node = netlist.GetNode(id);
+        if (node.kind == NodeKind::kInput) {
+            b.variance[id] = noise.fresh_lwe_variance;
+            continue;
+        }
+        if (node.kind != NodeKind::kGate) continue;
+        const double va = b.variance[node.in0];
+        const double vb = b.variance[node.in1];
+        const bool la = netlist.ProducesLinearDomain(node.in0);
+        const bool lb = netlist.ProducesLinearDomain(node.in1);
+        const bool same = node.in0 == node.in1;
+        switch (node.type) {
+            case GateType::kNot:
+            case GateType::kLinNot:
+                b.variance[id] = va;
+                b.linear_depth[id] = b.linear_depth[node.in0];
+                break;
+            case GateType::kLinXor:
+            case GateType::kLinXnor:
+                b.variance[id] =
+                    ComboVariance(XorCoef(la), va, XorCoef(lb), vb, same);
+                b.linear_depth[id] =
+                    1 + std::max(la ? b.linear_depth[node.in0] : 0,
+                                 lb ? b.linear_depth[node.in1] : 0);
+                break;
+            default: {
+                const Decision d =
+                    GateDecision(node.type, va, la, vb, lb, same, noise);
+                b.worst_sink_failure =
+                    std::max(b.worst_sink_failure,
+                             tfhe::FailureProbability(d.variance, d.margin));
+                b.variance[id] = noise.gate_output_variance;
+                break;
+            }
+        }
+    }
+    for (NodeId id : netlist.Outputs()) {
+        const double margin = netlist.ProducesLinearDomain(id)
+                                  ? tfhe::kLinearDecisionMargin
+                                  : tfhe::kGateDecisionMargin;
+        b.worst_sink_failure =
+            std::max(b.worst_sink_failure,
+                     tfhe::FailureProbability(b.variance[id], margin));
+    }
+    return b;
+}
+
+ElisionResult ElideBootstraps(const Netlist& input,
+                              const tfhe::Params& params,
+                              const ElisionOptions& options) {
+    ElisionStats stats;
+    stats.bootstraps_before = CountBootstraps(input);
+    if (!options.enabled) {
+        stats.bootstraps_after = stats.bootstraps_before;
+        return ElisionResult{input, stats};
+    }
+    const tfhe::NoiseAnalysis noise =
+        tfhe::AnalyzeNoise(params, options.safety_margin);
+    const int32_t cap =
+        options.max_linear_depth > 0
+            ? options.max_linear_depth
+            : tfhe::MaxLinearDepth(noise, options.max_failure,
+                                   options.safety_margin);
+    if (cap <= 0) {
+        stats.bootstraps_after = stats.bootstraps_before;
+        stats.depth_cap = 0;
+        return ElisionResult{input, stats};
+    }
+    ElisionPass pass(input, noise, options, cap);
+    ElisionResult result = pass.Run();
+    result.stats.bootstraps_before = stats.bootstraps_before;
     return result;
 }
 

@@ -20,6 +20,8 @@
 #define PYTFHE_CIRCUIT_OPT_PASSES_H
 
 #include "circuit/netlist.h"
+#include "tfhe/noise.h"
+#include "tfhe/params.h"
 
 namespace pytfhe::circuit {
 
@@ -54,6 +56,83 @@ struct OptResult {
  * tests enforce this on random circuits).
  */
 OptResult Optimize(const Netlist& input, const OptOptions& options = {});
+
+// ----------------------------------------------------------------------
+// Noise-budget-aware bootstrap elision.
+//
+// XOR/XNOR/NOT are exact linear operations on LWE ciphertexts; the pass
+// rewrites them to kLinXor/kLinXnor/kLinNot (skipping the blind-rotate +
+// key-switch pipeline) whenever the CGGI noise model proves that every
+// downstream decision — the sign bootstrap of each consuming gate and the
+// sign decryption of each circuit output — keeps its failure probability
+// under the per-gate bound. A gate is structurally eligible only when all
+// its consumers can absorb the linear encoding (XOR/XNOR family, NOT
+// chains that are themselves eligible, and outputs); AND-family consumers
+// are parity-locked and can never absorb it (see DESIGN.md).
+
+/** Knobs of the elision pass. */
+struct ElisionOptions {
+    bool enabled = true;
+    /** Multiplier on predicted variances before the failure check. */
+    double safety_margin = tfhe::kDefaultElisionSafetyMargin;
+    /** Per-decision failure bound (matches CheckParams' default). */
+    double max_failure = tfhe::kDefaultMaxGateFailure;
+    /** Cap on chained linear gates; 0 derives it from the noise model. */
+    int32_t max_linear_depth = 0;
+};
+
+/** What the pass did, for reporting and the elision benchmark. */
+struct ElisionStats {
+    uint64_t elided_xor = 0;
+    uint64_t elided_xnor = 0;
+    uint64_t elided_not = 0;       ///< NOTs retyped to kLinNot.
+    uint64_t refused_consumer = 0; ///< Kept bootstrapped: AND-family user.
+    uint64_t refused_noise = 0;    ///< Un-elided to keep a sink in budget.
+    uint64_t refused_depth = 0;    ///< Un-elided by the chain-depth cap.
+    uint64_t bootstraps_before = 0;
+    uint64_t bootstraps_after = 0;
+    double worst_sink_failure = 0.0;  ///< Over all decisions, post-pass.
+    int32_t max_linear_depth = 0;     ///< Deepest chain actually emitted.
+    int32_t depth_cap = 0;            ///< The cap that was in force.
+
+    std::string ToString() const;
+};
+
+/** Result of the elision pass. */
+struct ElisionResult {
+    Netlist netlist;
+    ElisionStats stats;
+};
+
+/**
+ * Runs bootstrap elision against the noise budget of `params` (the
+ * parameter set the program will execute under — the analysis is only
+ * valid for ciphertexts of that set). Returns a netlist with identical
+ * structure and plaintext semantics where some XOR/XNOR/NOT nodes carry
+ * their kLin* types. With options.enabled == false the input is returned
+ * unchanged (the compiler's --no-elide escape hatch).
+ */
+ElisionResult ElideBootstraps(const Netlist& input,
+                              const tfhe::Params& params,
+                              const ElisionOptions& options = {});
+
+/**
+ * Worst-case phase-variance propagation over a netlist (which may already
+ * contain linear gates). variance[id] is the phase variance of node id's
+ * ciphertext; linear_depth[id] counts the chained linear XOR/XNORs ending
+ * at id (0 for bootstrapped/input nodes). worst_sink_failure is the
+ * largest predicted failure probability over every bootstrapped gate's
+ * sign decision and every output's sign decryption — no safety margin
+ * applied; callers add their own slack.
+ */
+struct NoiseBudget {
+    std::vector<double> variance;
+    std::vector<int32_t> linear_depth;
+    double worst_sink_failure = 0.0;
+};
+
+NoiseBudget AnalyzeNoiseBudget(const Netlist& netlist,
+                               const tfhe::NoiseAnalysis& noise);
 
 }  // namespace pytfhe::circuit
 

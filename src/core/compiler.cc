@@ -10,10 +10,17 @@ std::optional<Compiled> Compile(const circuit::Netlist& netlist,
         return std::nullopt;
     }
     circuit::OptResult opt = circuit::Optimize(netlist, options.opt);
+    circuit::ElisionStats elision_stats;
+    if (options.params && options.elision.enabled) {
+        circuit::ElisionResult elided = circuit::ElideBootstraps(
+            opt.netlist, *options.params, options.elision);
+        opt.netlist = std::move(elided.netlist);
+        elision_stats = elided.stats;
+    }
     auto program = pasm::Assemble(opt.netlist, error);
     if (!program) return std::nullopt;
     Compiled out{std::move(*program), opt.netlist.ComputeStats(),
-                 opt.stats};
+                 opt.stats, elision_stats};
     return out;
 }
 

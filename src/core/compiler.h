@@ -22,13 +22,25 @@ namespace pytfhe::core {
 /** Compilation knobs. */
 struct CompileOptions {
     circuit::OptOptions opt;  ///< Synthesis rewrites (default: all on).
+
+    /**
+     * Target crypto parameter set. When set, the noise-budget-aware
+     * bootstrap-elision pass runs after netlist optimization, rewriting
+     * XOR/XNOR/NOT gates to their linear (bootstrap-free) forms wherever
+     * this set's noise budget allows. When nullopt (the default) no gate
+     * is elided: the compiler refuses to judge elision safety without
+     * knowing the parameters the program will execute under.
+     */
+    std::optional<tfhe::Params> params;
+    circuit::ElisionOptions elision;  ///< Pass knobs; enabled by default.
 };
 
 /** A compiled TFHE program plus its provenance statistics. */
 struct Compiled {
     pasm::Program program;
-    circuit::NetlistStats stats;   ///< Of the optimized netlist.
-    circuit::OptStats opt_stats;   ///< What optimization achieved.
+    circuit::NetlistStats stats;      ///< Of the optimized netlist.
+    circuit::OptStats opt_stats;      ///< What optimization achieved.
+    circuit::ElisionStats elision_stats;  ///< All-zero when pass skipped.
 };
 
 /**

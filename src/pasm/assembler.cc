@@ -28,9 +28,22 @@ std::optional<Program> Assemble(const Netlist& netlist, std::string* error) {
     const uint64_t extra_gates =
         (needs_const0 ? 1 : 0) + (needs_const1 ? 1 : 0);
 
+    // Programs without linear gates keep the legacy (version 0) header,
+    // staying byte-identical to binaries from before format versioning.
+    bool has_linear = false;
+    for (NodeId id = 2; id < netlist.NumNodes(); ++id) {
+        const Node& n = netlist.GetNode(id);
+        if (n.kind == NodeKind::kGate && circuit::IsLinearGate(n.type)) {
+            has_linear = true;
+            break;
+        }
+    }
+
     std::vector<Instruction> ins;
     ins.reserve(2 + netlist.NumNodes() + netlist.Outputs().size());
-    ins.push_back(Instruction::MakeHeader(netlist.NumGates() + extra_gates));
+    ins.push_back(Instruction::MakeHeader(
+        netlist.NumGates() + extra_gates,
+        has_linear ? kFormatVersionLinear : kFormatVersionLegacy));
 
     // Map netlist node ids to binary indices: inputs first, then gates in
     // creation (topological) order.

@@ -11,8 +11,8 @@ Instruction Instruction::Pack(uint64_t in0, uint64_t in1, uint8_t type) {
     return i;
 }
 
-Instruction Instruction::MakeHeader(uint64_t total_gates) {
-    return Pack(0, total_gates, kHeaderType);
+Instruction Instruction::MakeHeader(uint64_t total_gates, uint64_t version) {
+    return Pack(version, total_gates, kHeaderType);
 }
 
 Instruction Instruction::MakeInput() {
@@ -43,7 +43,7 @@ std::string Instruction::ToString(uint64_t position) const {
     os << position << ": ";
     switch (Kind(position)) {
         case InstructionKind::kHeader:
-            os << "HEADER gates=" << Input1();
+            os << "HEADER gates=" << Input1() << " version=" << Input0();
             break;
         case InstructionKind::kInput:
             os << "INPUT";

@@ -9,7 +9,10 @@
  *
  * Four instruction kinds:
  *   header  — always the first instruction; the INPUT1 field holds the total
- *             number of gate instructions, all other fields are zero.
+ *             number of gate instructions, the INPUT0 field the format
+ *             version (0 = legacy all-bootstrapped programs, 1 = may
+ *             contain the linear kLinXor/kLinXnor/kLinNot opcodes), the
+ *             type field is zero.
  *   input   — reserves the next sequential index for a primary input; all
  *             fields are all-ones (0x3FFF..., 0x3FFF..., 0xF).
  *   gate    — INPUT0/INPUT1 hold the producing indices; type holds the gate.
@@ -41,6 +44,15 @@ constexpr uint8_t kHeaderType = 0x0;
 constexpr uint8_t kInputType = 0xF;
 constexpr uint8_t kOutputType = 0x3;
 
+/**
+ * Program format versions, carried in the header's INPUT0 field (which
+ * older writers always emitted as zero, making version 0 backward
+ * compatible by construction).
+ */
+constexpr uint64_t kFormatVersionLegacy = 0;  ///< Bootstrapped gates only.
+constexpr uint64_t kFormatVersionLinear = 1;  ///< May contain kLin* gates.
+constexpr uint64_t kMaxFormatVersion = kFormatVersionLinear;
+
 /** What an instruction is. */
 enum class InstructionKind : uint8_t { kHeader, kInput, kGate, kOutput };
 
@@ -63,7 +75,8 @@ struct Instruction {
     /** Human-readable one-line disassembly. */
     std::string ToString(uint64_t position) const;
 
-    static Instruction MakeHeader(uint64_t total_gates);
+    static Instruction MakeHeader(uint64_t total_gates,
+                                  uint64_t version = kFormatVersionLegacy);
     static Instruction MakeInput();
     static Instruction MakeGate(circuit::GateType type, uint64_t in0,
                                 uint64_t in1);

@@ -25,8 +25,14 @@ std::optional<Program> Program::FromInstructions(
         return std::nullopt;
     }
     if (ins[0].Kind(0) != InstructionKind::kHeader ||
-        ins[0].TypeField() != kHeaderType || ins[0].Input0() != 0) {
+        ins[0].TypeField() != kHeaderType) {
         Fail(error, "first instruction is not a valid header");
+        return std::nullopt;
+    }
+    p.format_version_ = ins[0].Input0();
+    if (p.format_version_ > kMaxFormatVersion) {
+        Fail(error, "unsupported program format version " +
+                        std::to_string(p.format_version_));
         return std::nullopt;
     }
     const uint64_t declared_gates = ins[0].Input1();
@@ -66,6 +72,46 @@ std::optional<Program> Program::FromInstructions(
                     Fail(error,
                          "gate at position " + std::to_string(pos) +
                              " references an invalid index");
+                    return std::nullopt;
+                }
+                if (circuit::IsLinearGate(g.type) &&
+                    p.format_version_ < kFormatVersionLinear) {
+                    Fail(error,
+                         "linear opcode at position " + std::to_string(pos) +
+                             " requires format version >= 1");
+                    return std::nullopt;
+                }
+                // Torus-domain rules, mirroring Netlist::Validate. The
+                // producing opcode decides an operand's encoding; indices
+                // at or below num_inputs_ are program inputs (gate
+                // domain).
+                const auto linear_operand = [&](uint64_t in) {
+                    return in > p.num_inputs_ &&
+                           circuit::IsLinearGate(static_cast<circuit::GateType>(
+                               ins[in].TypeField()));
+                };
+                const bool lin0 = linear_operand(g.in0);
+                const bool lin1 = linear_operand(g.in1);
+                bool domain_ok = true;
+                switch (g.type) {
+                    case circuit::GateType::kXor:
+                    case circuit::GateType::kXnor:
+                    case circuit::GateType::kLinXor:
+                    case circuit::GateType::kLinXnor:
+                        break;
+                    case circuit::GateType::kNot:
+                        domain_ok = !lin0;
+                        break;
+                    case circuit::GateType::kLinNot:
+                        domain_ok = lin0;
+                        break;
+                    default:
+                        domain_ok = !lin0 && !lin1;
+                        break;
+                }
+                if (!domain_ok) {
+                    Fail(error, "gate at position " + std::to_string(pos) +
+                                    " violates operand-encoding rules");
                     return std::nullopt;
                 }
                 ++p.num_gates_;

@@ -101,6 +101,25 @@ class Program {
     /** Index of the first gate instruction. */
     uint64_t FirstGateIndex() const { return 1 + num_inputs_; }
 
+    /**
+     * Format version from the header: kFormatVersionLegacy for
+     * all-bootstrapped programs (byte-identical to pre-versioning
+     * binaries), kFormatVersionLinear when linear opcodes may appear.
+     */
+    uint64_t FormatVersion() const { return format_version_; }
+
+    /**
+     * True if the instruction at `idx` produces a linear-domain (+-1/4)
+     * ciphertext: exactly the kLin* gates. Inputs and bootstrapped/NOT
+     * gates produce the gate (+-1/8) encoding. Backends use this to pick
+     * per-operand coefficients; it is static, derived from the opcode.
+     */
+    bool ProducesLinearDomain(uint64_t idx) const {
+        if (idx < FirstGateIndex()) return false;  // Program input.
+        return circuit::IsLinearGate(
+            static_cast<circuit::GateType>(instructions_[idx].TypeField()));
+    }
+
     /** Decoded gate at instruction index `idx` (idx >= FirstGateIndex()). */
     DecodedGate GateAt(uint64_t idx) const {
         const Instruction& i = instructions_[idx];
@@ -136,6 +155,7 @@ class Program {
     std::vector<Instruction> instructions_;
     uint64_t num_inputs_ = 0;
     uint64_t num_gates_ = 0;
+    uint64_t format_version_ = kFormatVersionLegacy;
     std::vector<uint64_t> outputs_;
 };
 

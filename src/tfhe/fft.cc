@@ -18,6 +18,25 @@ constexpr size_t kAlign = 32;
 
 /** Rounds a slot count up so the second plane stays 32-byte aligned. */
 int32_t AlignedStride(int32_t half) { return (half + 3) & ~3; }
+
+/**
+ * Round-to-nearest double -> Torus32 without a libm call. Adding
+ * 1.5 * 2^52 forces the sum into [2^52, 2^53), where the double ulp is
+ * exactly 1, so the mantissa's low bits hold the rounded integer and the
+ * low 32 bits are the torus value (the 2^51 bias is 0 mod 2^32). Requires
+ * |x| < 2^51 — external-product accumulations peak below 2^50 (decomposed
+ * digits < 2^7, torus values < 2^31, N * l * (k+1) < 2^13 addends). Ties
+ * round to even rather than llround's away-from-zero; the twist factors
+ * are irrational, so exact .5 products do not arise from real data.
+ */
+inline Torus32 RoundTorus32(double x) {
+    assert(std::fabs(x) < 2251799813685248.0);  // 2^51
+    constexpr double kRoundMagic = 6755399441055744.0;  // 1.5 * 2^52
+    const double biased = x + kRoundMagic;
+    uint64_t bits;
+    std::memcpy(&bits, &biased, sizeof(bits));
+    return static_cast<Torus32>(bits);
+}
 }  // namespace
 
 // ------------------------------------------------------------ FreqPolynomial
@@ -226,10 +245,8 @@ void NegacyclicFft::InverseInPlace(TorusPolynomial& out,
         // a_j = (re + i*im) * (ur + i*ui); p[j] = Re(a), p[j+h] = -Im(a).
         const double are = re[j] * ur[j] - im[j] * ui[j];
         const double aim = re[j] * ui[j] + im[j] * ur[j];
-        c[j] = static_cast<Torus32>(
-            static_cast<uint64_t>(std::llround(are)));
-        c[j + half_] = static_cast<Torus32>(
-            static_cast<uint64_t>(std::llround(-aim)));
+        c[j] = RoundTorus32(are);
+        c[j + half_] = RoundTorus32(-aim);
     }
 }
 

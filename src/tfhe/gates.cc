@@ -21,6 +21,36 @@ constexpr Torus32 kQuarter = UINT32_C(1) << 30;
 
 }  // namespace
 
+namespace {
+
+/** coef_a*a + coef_b*b + offset; the shared core of the linear gates. */
+LweSample LinearCombine(int32_t coef_a, const LweSample& a, int32_t coef_b,
+                        const LweSample& b, Torus32 offset) {
+    LweSample out(a.N());
+    out.SetTrivial(offset);
+    out.AddMulTo(a, coef_a);
+    out.AddMulTo(b, coef_b);
+    return out;
+}
+
+}  // namespace
+
+LweSample LweLinearXor(const LweSample& a, bool a_linear, const LweSample& b,
+                       bool b_linear) {
+    return LinearCombine(a_linear ? 1 : 2, a, b_linear ? 1 : 2, b, kQuarter);
+}
+
+LweSample LweLinearXnor(const LweSample& a, bool a_linear, const LweSample& b,
+                        bool b_linear) {
+    return LinearCombine(a_linear ? 1 : 2, a, b_linear ? 1 : 2, b, -kQuarter);
+}
+
+LweSample LweLinearNot(const LweSample& a) {
+    LweSample out = a;
+    out.Negate();
+    return out;
+}
+
 LweSample GateEvaluator::Constant(bool value) const {
     LweSample s(params().n);
     s.SetTrivial(value ? kEighth : -kEighth);
@@ -33,30 +63,12 @@ LweSample GateEvaluator::Not(const LweSample& a) const {
     return s;
 }
 
-LweSample GateEvaluator::LinearBootstrap(int32_t sign_a, const LweSample& a,
-                                         int32_t sign_b, const LweSample& b,
-                                         Torus32 offset, int32_t scale,
+LweSample GateEvaluator::LinearBootstrap(int32_t coef_a, const LweSample& a,
+                                         int32_t coef_b, const LweSample& b,
+                                         Torus32 offset,
                                          BootstrapScratch* scratch) {
     auto t0 = Clock::now();
-    LweSample combo(params().n);
-    combo.SetTrivial(offset);
-    if (sign_a > 0) {
-        combo.AddTo(a);
-    } else {
-        combo.SubTo(a);
-    }
-    if (sign_b > 0) {
-        combo.AddTo(b);
-    } else {
-        combo.SubTo(b);
-    }
-    if (scale == 2) {
-        // XOR/XNOR use 2*(a +- b) + offset; the offset must not be doubled,
-        // so re-apply it after doubling.
-        combo.b -= offset;
-        combo.Double();
-        combo.b += offset;
-    }
+    LweSample combo = LinearCombine(coef_a, a, coef_b, b, offset);
     profile_.AddLinearNanos(NanosSince(t0));
 
     auto t1 = Clock::now();
@@ -73,52 +85,89 @@ LweSample GateEvaluator::LinearBootstrap(int32_t sign_a, const LweSample& a,
 
 LweSample GateEvaluator::And(const LweSample& a, const LweSample& b,
                              BootstrapScratch* scratch) {
-    return LinearBootstrap(+1, a, +1, b, -kEighth, /*scale=*/1, scratch);
+    return LinearBootstrap(+1, a, +1, b, -kEighth, scratch);
 }
 
 LweSample GateEvaluator::Nand(const LweSample& a, const LweSample& b,
                               BootstrapScratch* scratch) {
-    return LinearBootstrap(-1, a, -1, b, kEighth, /*scale=*/1, scratch);
+    return LinearBootstrap(-1, a, -1, b, kEighth, scratch);
 }
 
 LweSample GateEvaluator::Or(const LweSample& a, const LweSample& b,
                             BootstrapScratch* scratch) {
-    return LinearBootstrap(+1, a, +1, b, kEighth, /*scale=*/1, scratch);
+    return LinearBootstrap(+1, a, +1, b, kEighth, scratch);
 }
 
 LweSample GateEvaluator::Nor(const LweSample& a, const LweSample& b,
                              BootstrapScratch* scratch) {
-    return LinearBootstrap(-1, a, -1, b, -kEighth, /*scale=*/1, scratch);
+    return LinearBootstrap(-1, a, -1, b, -kEighth, scratch);
 }
 
 LweSample GateEvaluator::Xor(const LweSample& a, const LweSample& b,
                              BootstrapScratch* scratch) {
-    return LinearBootstrap(+1, a, +1, b, kQuarter, /*scale=*/2, scratch);
+    return LinearBootstrap(+2, a, +2, b, kQuarter, scratch);
 }
 
 LweSample GateEvaluator::Xnor(const LweSample& a, const LweSample& b,
                               BootstrapScratch* scratch) {
-    return LinearBootstrap(+1, a, +1, b, -kQuarter, /*scale=*/2, scratch);
+    return LinearBootstrap(+2, a, +2, b, -kQuarter, scratch);
+}
+
+LweSample GateEvaluator::Xor(const LweSample& a, bool a_linear,
+                             const LweSample& b, bool b_linear,
+                             BootstrapScratch* scratch) {
+    return LinearBootstrap(a_linear ? 1 : 2, a, b_linear ? 1 : 2, b, kQuarter,
+                           scratch);
+}
+
+LweSample GateEvaluator::Xnor(const LweSample& a, bool a_linear,
+                              const LweSample& b, bool b_linear,
+                              BootstrapScratch* scratch) {
+    return LinearBootstrap(a_linear ? 1 : 2, a, b_linear ? 1 : 2, b, -kQuarter,
+                           scratch);
+}
+
+LweSample GateEvaluator::LinXor(const LweSample& a, bool a_linear,
+                                const LweSample& b, bool b_linear) {
+    auto t0 = Clock::now();
+    LweSample out = LweLinearXor(a, a_linear, b, b_linear);
+    profile_.AddLinearNanos(NanosSince(t0));
+    return out;
+}
+
+LweSample GateEvaluator::LinXnor(const LweSample& a, bool a_linear,
+                                 const LweSample& b, bool b_linear) {
+    auto t0 = Clock::now();
+    LweSample out = LweLinearXnor(a, a_linear, b, b_linear);
+    profile_.AddLinearNanos(NanosSince(t0));
+    return out;
+}
+
+LweSample GateEvaluator::LinNot(const LweSample& a) {
+    auto t0 = Clock::now();
+    LweSample out = LweLinearNot(a);
+    profile_.AddLinearNanos(NanosSince(t0));
+    return out;
 }
 
 LweSample GateEvaluator::AndNY(const LweSample& a, const LweSample& b,
                                BootstrapScratch* scratch) {
-    return LinearBootstrap(-1, a, +1, b, -kEighth, /*scale=*/1, scratch);
+    return LinearBootstrap(-1, a, +1, b, -kEighth, scratch);
 }
 
 LweSample GateEvaluator::AndYN(const LweSample& a, const LweSample& b,
                                BootstrapScratch* scratch) {
-    return LinearBootstrap(+1, a, -1, b, -kEighth, /*scale=*/1, scratch);
+    return LinearBootstrap(+1, a, -1, b, -kEighth, scratch);
 }
 
 LweSample GateEvaluator::OrNY(const LweSample& a, const LweSample& b,
                               BootstrapScratch* scratch) {
-    return LinearBootstrap(-1, a, +1, b, kEighth, /*scale=*/1, scratch);
+    return LinearBootstrap(-1, a, +1, b, kEighth, scratch);
 }
 
 LweSample GateEvaluator::OrYN(const LweSample& a, const LweSample& b,
                               BootstrapScratch* scratch) {
-    return LinearBootstrap(+1, a, -1, b, kEighth, /*scale=*/1, scratch);
+    return LinearBootstrap(+1, a, -1, b, kEighth, scratch);
 }
 
 LweSample GateEvaluator::Mux(const LweSample& a, const LweSample& b,

@@ -23,6 +23,28 @@
 
 namespace pytfhe::tfhe {
 
+/**
+ * Linear-domain gates: XOR/XNOR/NOT evaluated as pure LWE sample
+ * combinations — no blind rotate, no key switch, no noise refresh.
+ *
+ * Outputs use the *linear* bit encoding false = -1/4, true = +1/4 (the
+ * gate encoding is +-1/8). The `a_linear`/`b_linear` flags say which
+ * encoding each operand uses; a gate-domain operand enters with
+ * coefficient 2, a linear-domain one with coefficient 1, so
+ *   LweLinearXor  = c_a*a + c_b*b + 1/4,
+ *   LweLinearXnor = c_a*a + c_b*b - 1/4,
+ * both exact on the torus for every operand-domain mix. Noise adds as
+ * c_a^2 var(a) + c_b^2 var(b); the bootstrap-elision pass
+ * (circuit/opt/passes.h) bounds the accumulated variance. Linear-domain
+ * bits decrypt by phase sign, same as gate-domain ones.
+ */
+LweSample LweLinearXor(const LweSample& a, bool a_linear, const LweSample& b,
+                       bool b_linear);
+LweSample LweLinearXnor(const LweSample& a, bool a_linear, const LweSample& b,
+                        bool b_linear);
+/** NOT of a linear-domain sample: plain negation, stays linear-domain. */
+LweSample LweLinearNot(const LweSample& a);
+
 /** Client-side key material. */
 struct SecretKeySet {
     Params params;
@@ -163,6 +185,26 @@ class GateEvaluator {
                   BootstrapScratch* scratch = nullptr);
     LweSample Xnor(const LweSample& a, const LweSample& b,
                    BootstrapScratch* scratch = nullptr);
+
+    /**
+     * XOR/XNOR with operand-domain flags: a linear-domain operand (output
+     * of an elided gate, encoding +-1/4) is absorbed with coefficient 1
+     * instead of 2 before the sign bootstrap. Output is gate-domain.
+     */
+    LweSample Xor(const LweSample& a, bool a_linear, const LweSample& b,
+                  bool b_linear, BootstrapScratch* scratch = nullptr);
+    LweSample Xnor(const LweSample& a, bool a_linear, const LweSample& b,
+                   bool b_linear, BootstrapScratch* scratch = nullptr);
+
+    /**
+     * Elided gates (see LweLinearXor above): same results, but routed
+     * through the evaluator so the time lands in profile().linear_seconds.
+     */
+    LweSample LinXor(const LweSample& a, bool a_linear, const LweSample& b,
+                     bool b_linear);
+    LweSample LinXnor(const LweSample& a, bool a_linear, const LweSample& b,
+                      bool b_linear);
+    LweSample LinNot(const LweSample& a);
     /** NOT(a) AND b. */
     LweSample AndNY(const LweSample& a, const LweSample& b,
                     BootstrapScratch* scratch = nullptr);
@@ -182,13 +224,14 @@ class GateEvaluator {
 
   private:
     /**
-     * Evaluates a gate whose linear part is sign_a*a + sign_b*b + offset,
-     * followed by a bootstrap to +-1/8.
+     * Evaluates a gate whose linear part is coef_a*a + coef_b*b + offset,
+     * followed by a bootstrap to +-1/8. AND-family gates use +-1
+     * coefficients; XOR/XNOR use +-2 for gate-domain operands and +-1 for
+     * linear-domain ones.
      */
-    LweSample LinearBootstrap(int32_t sign_a, const LweSample& a,
-                              int32_t sign_b, const LweSample& b,
-                              Torus32 offset, int32_t scale,
-                              BootstrapScratch* scratch);
+    LweSample LinearBootstrap(int32_t coef_a, const LweSample& a,
+                              int32_t coef_b, const LweSample& b,
+                              Torus32 offset, BootstrapScratch* scratch);
 
     std::shared_ptr<BootstrappingKey> key_;
     GateProfile profile_;

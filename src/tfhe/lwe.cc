@@ -25,6 +25,13 @@ void LweSample::SubTo(const LweSample& other) {
     b -= other.b;
 }
 
+void LweSample::AddMulTo(const LweSample& other, int32_t k) {
+    assert(N() == other.N());
+    const uint32_t uk = static_cast<uint32_t>(k);
+    for (int32_t i = 0; i < N(); ++i) a[i] += uk * other.a[i];
+    b += uk * other.b;
+}
+
 void LweSample::Negate() {
     for (int32_t i = 0; i < N(); ++i) a[i] = -a[i];
     b = -b;

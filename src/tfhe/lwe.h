@@ -43,6 +43,8 @@ struct LweSample {
 
     void AddTo(const LweSample& other);
     void SubTo(const LweSample& other);
+    /** this += k * other, for small public integer k. */
+    void AddMulTo(const LweSample& other, int32_t k);
     /** this = -this. */
     void Negate();
     /** this = 2 * this (used by XOR/XNOR gate linear parts). */

@@ -5,7 +5,7 @@
 
 namespace pytfhe::tfhe {
 
-NoiseAnalysis AnalyzeNoise(const Params& p) {
+NoiseAnalysis AnalyzeNoise(const Params& p, double elision_safety_margin) {
     NoiseAnalysis a;
     a.fresh_lwe_variance = p.lwe_noise_stddev * p.lwe_noise_stddev;
 
@@ -47,8 +47,32 @@ NoiseAnalysis AnalyzeNoise(const Params& p) {
     // The decision margin of the gate encoding is 1/8: linear
     // combinations sit at distance 1/8 from the sign boundary.
     a.gate_failure_probability =
-        FailureProbability(a.worst_gate_input_variance, 1.0 / 8.0);
+        FailureProbability(a.worst_gate_input_variance, kGateDecisionMargin);
+
+    a.elision_safety_margin = elision_safety_margin;
+    a.max_linear_depth =
+        MaxLinearDepth(a, kDefaultMaxGateFailure, elision_safety_margin);
     return a;
+}
+
+int32_t MaxLinearDepth(const NoiseAnalysis& a, double max_failure,
+                       double safety_margin) {
+    // A chain of k linear XORs accumulates k+1 bootstrapped operands, each
+    // with total coefficient 2 (coefficient 2 on entry, 1 on every later
+    // hop), so its variance is 4*(k+1)*gate_output_variance. The binding
+    // consumer is one more bootstrapped XOR, which adds a second
+    // gate-domain operand (coefficient 2) plus the mod-switch error and
+    // decides at the +-1/4 margin of the combined phase.
+    int32_t depth = 0;
+    for (int32_t k = 1; k <= 64; ++k) {
+        const double variance =
+            safety_margin * (4.0 * (k + 2) * a.gate_output_variance +
+                             a.mod_switch_variance);
+        if (FailureProbability(variance, kLinearDecisionMargin) > max_failure)
+            break;
+        depth = k;
+    }
+    return depth;
 }
 
 double FailureProbability(double variance, double margin) {
@@ -56,8 +80,11 @@ double FailureProbability(double variance, double margin) {
     return std::erfc(margin / std::sqrt(2.0 * variance));
 }
 
-bool CheckParams(const Params& params, double max_failure) {
-    return AnalyzeNoise(params).gate_failure_probability <= max_failure;
+bool CheckParams(const Params& params, double max_failure,
+                 std::string* report) {
+    const NoiseAnalysis a = AnalyzeNoise(params);
+    if (report != nullptr) *report = a.ToString();
+    return a.gate_failure_probability <= max_failure;
 }
 
 std::string NoiseAnalysis::ToString() const {
@@ -68,7 +95,11 @@ std::string NoiseAnalysis::ToString() const {
        << "gate output:      " << gate_output_variance << "\n"
        << "mod switch:       " << mod_switch_variance << "\n"
        << "worst gate input: " << worst_gate_input_variance << "\n"
-       << "gate failure p:   " << gate_failure_probability << "\n";
+       << "gate failure p:   " << gate_failure_probability << "\n"
+       << "elision safety:   " << elision_safety_margin
+       << "x variance slack\n"
+       << "max linear depth: " << max_linear_depth
+       << " chained elided XORs\n";
     return os.str();
 }
 

@@ -22,6 +22,19 @@
 
 namespace pytfhe::tfhe {
 
+/** Decision margin of the gate bit encoding (+-1/8). */
+constexpr double kGateDecisionMargin = 1.0 / 8.0;
+/** Decision margin of the linear bit encoding (+-1/4) used by elision. */
+constexpr double kLinearDecisionMargin = 1.0 / 4.0;
+/** Default per-gate failure bound (2^-32), shared with CheckParams. */
+constexpr double kDefaultMaxGateFailure = 2.3e-10;
+/**
+ * Default multiplicative slack the bootstrap-elision pass applies to
+ * every predicted variance before comparing against the failure bound,
+ * absorbing model error (the CGGI formulas are heuristics, not proofs).
+ */
+constexpr double kDefaultElisionSafetyMargin = 2.0;
+
 /** Variance budget of one bootstrapped gate, in torus^2 units. */
 struct NoiseAnalysis {
     double fresh_lwe_variance;       ///< sigma_lwe^2.
@@ -40,11 +53,25 @@ struct NoiseAnalysis {
     /** Probability one gate decrypts/bootstraps to the wrong bit. */
     double gate_failure_probability;
 
+    /** Safety multiplier applied to variances when judging elision. */
+    double elision_safety_margin;
+
+    /**
+     * Longest chain of elided (linear) XORs the noise budget supports: the
+     * largest k such that a chain accumulating k+1 bootstrapped operands,
+     * consumed by one more bootstrapped XOR, still decides correctly with
+     * probability >= 1 - kDefaultMaxGateFailure under the safety margin.
+     * 0 means the parameter set cannot afford any elision.
+     */
+    int32_t max_linear_depth;
+
     std::string ToString() const;
 };
 
 /** Runs the model over a parameter set. */
-NoiseAnalysis AnalyzeNoise(const Params& params);
+NoiseAnalysis AnalyzeNoise(
+    const Params& params,
+    double elision_safety_margin = kDefaultElisionSafetyMargin);
 
 /**
  * Failure probability of a phase with the given variance staying within
@@ -54,9 +81,23 @@ double FailureProbability(double variance, double margin);
 
 /**
  * True when the parameter set evaluates gates with failure probability
- * below the given bound (default 2^-32 per gate).
+ * below the given bound (default 2^-32 per gate). When `report` is
+ * non-null it receives the full NoiseAnalysis::ToString() breakdown —
+ * including the elision safety margin and the chained-linear-depth limit,
+ * so a parameter-set check also explains what the bootstrap-elision pass
+ * is allowed to do under that set.
  */
-bool CheckParams(const Params& params, double max_failure = 2.3e-10);
+bool CheckParams(const Params& params,
+                 double max_failure = kDefaultMaxGateFailure,
+                 std::string* report = nullptr);
+
+/**
+ * Largest number of chained linear XORs a bootstrapped consumer can
+ * absorb while its decision failure probability stays under max_failure
+ * (variance first inflated by safety_margin). Capped at 64.
+ */
+int32_t MaxLinearDepth(const NoiseAnalysis& a, double max_failure,
+                       double safety_margin);
 
 }  // namespace pytfhe::tfhe
 

@@ -23,7 +23,7 @@ Netlist RandomNetlist(uint64_t seed, int32_t inputs, int32_t gates) {
     pool.push_back(kConstTrue);
     for (int32_t i = 0; i < inputs; ++i) pool.push_back(n.AddInput());
     for (int32_t i = 0; i < gates; ++i) {
-        GateType t = static_cast<GateType>(rng() % kNumGateTypes);
+        GateType t = static_cast<GateType>(rng() % kNumFrontendGateTypes);
         pool.push_back(
             n.AddGate(t, pool[rng() % pool.size()], pool[rng() % pool.size()]));
     }

@@ -1,0 +1,260 @@
+#include "circuit/opt/passes.h"
+
+#include <gtest/gtest.h>
+#include <random>
+
+#include "circuit/builder.h"
+#include "hdl/word_ops.h"
+#include "tfhe/noise.h"
+#include "tfhe/params.h"
+
+namespace pytfhe::circuit {
+namespace {
+
+tfhe::Params DeployParams() { return tfhe::Tfhe128Params(); }
+
+std::vector<bool> RandomInputs(std::mt19937_64& rng, size_t count) {
+    std::vector<bool> v(count);
+    for (size_t i = 0; i < count; ++i) v[i] = rng() & 1;
+    return v;
+}
+
+/** All 2^n assignments of n bits, little-endian. */
+std::vector<bool> Assignment(uint64_t value, size_t n) {
+    std::vector<bool> v(n);
+    for (size_t i = 0; i < n; ++i) v[i] = (value >> i) & 1;
+    return v;
+}
+
+TEST(ElisionTest, XorTreeFullyElided) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    const NodeId c = n.AddInput();
+    const NodeId d = n.AddInput();
+    const NodeId x = n.AddGate(GateType::kXor, a, b);
+    const NodeId y = n.AddGate(GateType::kXor, c, d);
+    const NodeId z = n.AddGate(GateType::kXor, x, y);
+    n.AddOutput(z);
+
+    const ElisionResult r = ElideBootstraps(n, DeployParams());
+    ASSERT_FALSE(r.netlist.Validate().has_value());
+    EXPECT_EQ(r.stats.bootstraps_before, 3u);
+    EXPECT_EQ(r.stats.bootstraps_after, 0u);
+    EXPECT_EQ(r.stats.elided_xor, 3u);
+    EXPECT_EQ(r.netlist.GetNode(z).type, GateType::kLinXor);
+    EXPECT_TRUE(r.netlist.ProducesLinearDomain(z));
+    EXPECT_EQ(r.netlist.ComputeStats().num_linear_gates, 3u);
+    for (uint64_t v = 0; v < 16; ++v) {
+        const auto in = Assignment(v, 4);
+        EXPECT_EQ(r.netlist.EvaluatePlain(in), n.EvaluatePlain(in));
+    }
+}
+
+TEST(ElisionTest, AndConsumerBlocksElision) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    const NodeId c = n.AddInput();
+    const NodeId x = n.AddGate(GateType::kXor, a, b);
+    n.AddOutput(n.AddGate(GateType::kAnd, x, c));
+
+    const ElisionResult r = ElideBootstraps(n, DeployParams());
+    EXPECT_EQ(r.stats.bootstraps_after, r.stats.bootstraps_before);
+    EXPECT_EQ(r.stats.elided_xor, 0u);
+    EXPECT_GE(r.stats.refused_consumer, 1u);
+    EXPECT_EQ(r.netlist.GetNode(x).type, GateType::kXor);
+}
+
+TEST(ElisionTest, MixedConsumersBlockEvenWhenOneAbsorbs) {
+    // x feeds both an output (absorbs) and an AND (cannot); the static
+    // domain encoding forces x to stay bootstrapped.
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    const NodeId c = n.AddInput();
+    const NodeId x = n.AddGate(GateType::kXor, a, b);
+    n.AddOutput(x);
+    n.AddOutput(n.AddGate(GateType::kAnd, x, c));
+
+    const ElisionResult r = ElideBootstraps(n, DeployParams());
+    EXPECT_EQ(r.netlist.GetNode(x).type, GateType::kXor);
+    EXPECT_GE(r.stats.refused_consumer, 1u);
+}
+
+TEST(ElisionTest, NotOverElidedXorBecomesLinNot) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    const NodeId x = n.AddGate(GateType::kXor, a, b);
+    const NodeId inv = n.AddGate(GateType::kNot, x, x);
+    n.AddOutput(inv);
+
+    const ElisionResult r = ElideBootstraps(n, DeployParams());
+    ASSERT_FALSE(r.netlist.Validate().has_value());
+    EXPECT_EQ(r.netlist.GetNode(x).type, GateType::kLinXor);
+    EXPECT_EQ(r.netlist.GetNode(inv).type, GateType::kLinNot);
+    EXPECT_EQ(r.stats.elided_not, 1u);
+    for (uint64_t v = 0; v < 4; ++v) {
+        const auto in = Assignment(v, 2);
+        EXPECT_EQ(r.netlist.EvaluatePlain(in), n.EvaluatePlain(in));
+    }
+}
+
+TEST(ElisionTest, DepthCapLimitsChains) {
+    // A chain x_i = XOR(x_{i-1}, in_i) of length 8 under a cap of 2:
+    // every third link must stay bootstrapped.
+    Netlist n;
+    NodeId acc = n.AddInput();
+    for (int i = 0; i < 8; ++i)
+        acc = n.AddGate(GateType::kXor, acc, n.AddInput());
+    n.AddOutput(acc);
+
+    ElisionOptions options;
+    options.max_linear_depth = 2;
+    const ElisionResult r = ElideBootstraps(n, DeployParams(), options);
+    ASSERT_FALSE(r.netlist.Validate().has_value());
+    EXPECT_EQ(r.stats.depth_cap, 2);
+    EXPECT_LE(r.stats.max_linear_depth, 2);
+    EXPECT_GE(r.stats.refused_depth, 1u);
+    EXPECT_LT(r.stats.bootstraps_after, r.stats.bootstraps_before);
+    std::mt19937_64 rng(7);
+    for (int trial = 0; trial < 16; ++trial) {
+        const auto in = RandomInputs(rng, 9);
+        EXPECT_EQ(r.netlist.EvaluatePlain(in), n.EvaluatePlain(in));
+    }
+}
+
+TEST(ElisionTest, DisabledPassReturnsInputUnchanged) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    n.AddOutput(n.AddGate(GateType::kXor, a, b));
+
+    ElisionOptions options;
+    options.enabled = false;
+    const ElisionResult r = ElideBootstraps(n, DeployParams(), options);
+    EXPECT_EQ(r.stats.bootstraps_after, r.stats.bootstraps_before);
+    EXPECT_EQ(r.netlist.ComputeStats().num_linear_gates, 0u);
+}
+
+TEST(ElisionTest, ReelidingAnElidedNetlistIsIdempotent) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    const NodeId c = n.AddInput();
+    const NodeId x = n.AddGate(GateType::kXor, a, b);
+    n.AddOutput(n.AddGate(GateType::kXnor, x, c));
+
+    const ElisionResult first = ElideBootstraps(n, DeployParams());
+    const ElisionResult second =
+        ElideBootstraps(first.netlist, DeployParams());
+    ASSERT_EQ(second.netlist.NumNodes(), first.netlist.NumNodes());
+    for (NodeId id = 0; id < first.netlist.NumNodes(); ++id)
+        EXPECT_EQ(second.netlist.GetNode(id).type,
+                  first.netlist.GetNode(id).type);
+}
+
+class ElisionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ElisionPropertyTest, PreservesSemanticsAndStaysInBudget) {
+    const uint64_t seed = GetParam();
+    std::mt19937_64 rng(seed);
+    Netlist n;
+    std::vector<NodeId> pool;
+    for (int i = 0; i < 6; ++i) pool.push_back(n.AddInput());
+    for (int i = 0; i < 120; ++i) {
+        const GateType t =
+            static_cast<GateType>(rng() % kNumFrontendGateTypes);
+        pool.push_back(
+            n.AddGate(t, pool[rng() % pool.size()], pool[rng() % pool.size()]));
+    }
+    for (int i = 0; i < 4; ++i)
+        n.AddOutput(pool[pool.size() - 1 - (rng() % 16)]);
+
+    ElisionOptions options;
+    const ElisionResult r = ElideBootstraps(n, DeployParams(), options);
+    ASSERT_FALSE(r.netlist.Validate().has_value());
+    EXPECT_LE(r.stats.bootstraps_after, r.stats.bootstraps_before);
+    // The reported worst sink failure is the raw (no safety margin) model
+    // prediction on the final netlist; the pass must keep it in budget.
+    EXPECT_LE(r.stats.worst_sink_failure, options.max_failure);
+
+    std::mt19937_64 trials(seed ^ 0x5EED);
+    for (int t = 0; t < 32; ++t) {
+        const auto in = RandomInputs(trials, 6);
+        EXPECT_EQ(r.netlist.EvaluatePlain(in), n.EvaluatePlain(in))
+            << "seed=" << seed << " trial=" << t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElisionPropertyTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+TEST(ElisionTest, NoiseBudgetTracksLinearChains) {
+    Netlist n;
+    NodeId acc = n.AddInput();
+    for (int i = 0; i < 3; ++i)
+        acc = n.AddGate(GateType::kXor, acc, n.AddInput());
+    n.AddOutput(acc);
+    const ElisionResult r = ElideBootstraps(n, DeployParams());
+    ASSERT_EQ(r.stats.bootstraps_after, 0u);
+
+    const tfhe::NoiseAnalysis noise = tfhe::AnalyzeNoise(DeployParams());
+    const NoiseBudget budget = AnalyzeNoiseBudget(r.netlist, noise);
+    // A chain of k linear XORs over fresh inputs: every leaf enters with
+    // total coefficient 2, so variance is 4 * (k+1) * fresh variance.
+    EXPECT_EQ(budget.linear_depth[acc], 3);
+    EXPECT_NEAR(budget.variance[acc], 16.0 * noise.fresh_lwe_variance,
+                1e-3 * budget.variance[acc]);
+}
+
+/** Exhaustive elided-vs-original equivalence for HDL generators. */
+void ExpectExhaustiveEquivalence(const Netlist& n) {
+    const ElisionResult r = ElideBootstraps(n, DeployParams());
+    ASSERT_FALSE(r.netlist.Validate().has_value());
+    const size_t bits = n.Inputs().size();
+    ASSERT_LE(bits, 17u);
+    for (uint64_t v = 0; v < (UINT64_C(1) << bits); ++v) {
+        const auto in = Assignment(v, bits);
+        ASSERT_EQ(r.netlist.EvaluatePlain(in), n.EvaluatePlain(in))
+            << "assignment " << v;
+    }
+}
+
+TEST(ElisionHdlTest, RippleAdder8BitExhaustive) {
+    hdl::Builder b;
+    const hdl::Bits x = hdl::InputBits(b, 8, "x");
+    const hdl::Bits y = hdl::InputBits(b, 8, "y");
+    hdl::OutputBits(b, hdl::Add(b, x, y), "sum");
+    ExpectExhaustiveEquivalence(b.netlist());
+}
+
+TEST(ElisionHdlTest, KoggeStoneAdder6BitExhaustive) {
+    hdl::Builder b;
+    const hdl::Bits x = hdl::InputBits(b, 6, "x");
+    const hdl::Bits y = hdl::InputBits(b, 6, "y");
+    hdl::OutputBits(b, hdl::AddFast(b, x, y), "sum");
+    ExpectExhaustiveEquivalence(b.netlist());
+}
+
+TEST(ElisionHdlTest, Mux8BitExhaustive) {
+    hdl::Builder b;
+    const hdl::Signal sel = b.MakeInput("sel");
+    const hdl::Bits t = hdl::InputBits(b, 8, "t");
+    const hdl::Bits f = hdl::InputBits(b, 8, "f");
+    hdl::OutputBits(b, hdl::MuxBits(b, sel, t, f), "out");
+    ExpectExhaustiveEquivalence(b.netlist());
+}
+
+TEST(ElisionHdlTest, Comparator8BitExhaustive) {
+    hdl::Builder b;
+    const hdl::Bits x = hdl::InputBits(b, 8, "x");
+    const hdl::Bits y = hdl::InputBits(b, 8, "y");
+    b.AddOutput(hdl::Ult(b, x, y), "lt");
+    b.AddOutput(hdl::Eq(b, x, y), "eq");
+    ExpectExhaustiveEquivalence(b.netlist());
+}
+
+}  // namespace
+}  // namespace pytfhe::circuit

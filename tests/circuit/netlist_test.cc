@@ -32,8 +32,11 @@ TEST(GateTypeTest, XorEncodesAsSix) {
 }
 
 TEST(GateTypeTest, NegatedGateIsInvolution) {
+    // Starts at 1 and skips kLinNot: NOT(NOT) and NOT(LNOT) are COPY,
+    // which has no gate type.
     for (int t = 1; t < kNumGateTypes; ++t) {
         const GateType g = static_cast<GateType>(t);
+        if (g == GateType::kLinNot) continue;
         EXPECT_EQ(NegatedGate(NegatedGate(g)), g);
         for (int a = 0; a < 2; ++a)
             for (int b = 0; b < 2; ++b)
@@ -44,6 +47,8 @@ TEST(GateTypeTest, NegatedGateIsInvolution) {
 TEST(GateTypeTest, InputNegationIdentities) {
     for (int t = 1; t < kNumGateTypes; ++t) {
         const GateType g = static_cast<GateType>(t);
+        // LNOT with a negated input is COPY, which has no gate type.
+        if (g == GateType::kLinNot) continue;
         for (int a = 0; a < 2; ++a) {
             for (int b = 0; b < 2; ++b) {
                 EXPECT_EQ(EvalGate(GateWithFirstInputNegated(g), a, b),

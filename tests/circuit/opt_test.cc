@@ -20,7 +20,7 @@ Netlist RandomNetlist(uint64_t seed, int32_t inputs, int32_t gates,
     }
     for (int32_t i = 0; i < inputs; ++i) pool.push_back(n.AddInput());
     for (int32_t i = 0; i < gates; ++i) {
-        const GateType t = static_cast<GateType>(rng() % kNumGateTypes);
+        const GateType t = static_cast<GateType>(rng() % kNumFrontendGateTypes);
         const NodeId a = pool[rng() % pool.size()];
         const NodeId b = pool[rng() % pool.size()];
         pool.push_back(n.AddGate(t, a, b));

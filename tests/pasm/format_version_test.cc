@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pasm/assembler.h"
+
+namespace pytfhe::pasm {
+namespace {
+
+using circuit::GateType;
+using circuit::Netlist;
+using circuit::NodeId;
+
+/** Netlist with an elided XOR chain: LXOR(a,b) -> LXOR(.,c) -> output. */
+Netlist LinearChain() {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    const NodeId c = n.AddInput();
+    const NodeId x = n.AddGate(GateType::kLinXor, a, b);
+    n.AddOutput(n.AddGate(GateType::kLinXor, x, c));
+    return n;
+}
+
+TEST(FormatVersionTest, LegacyProgramsStayByteIdenticalVersionZero) {
+    // All-bootstrapped netlists must produce the pre-versioning binary:
+    // header Input0 (the version field) zero, exactly as old writers
+    // emitted it.
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    n.AddOutput(n.AddGate(GateType::kXor, a, b));
+    auto p = Assemble(n);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->FormatVersion(), kFormatVersionLegacy);
+    EXPECT_EQ(p->Instructions()[0], Instruction::MakeHeader(1));
+}
+
+TEST(FormatVersionTest, OldAllBootstrappedBinariesStillLoad) {
+    // A binary assembled by a pre-versioning writer: header with Input0
+    // hard-zero, only bootstrapped opcodes.
+    std::vector<Instruction> ins;
+    ins.push_back(Instruction::MakeHeader(1));
+    ins.push_back(Instruction::MakeInput());
+    ins.push_back(Instruction::MakeInput());
+    ins.push_back(Instruction::MakeGate(GateType::kNand, 1, 2));
+    ins.push_back(Instruction::MakeOutput(3));
+    std::string error;
+    auto p = Program::FromInstructions(std::move(ins), &error);
+    ASSERT_TRUE(p.has_value()) << error;
+    EXPECT_EQ(p->FormatVersion(), kFormatVersionLegacy);
+    EXPECT_EQ(p->NumGates(), 1u);
+}
+
+TEST(FormatVersionTest, LinearOpcodeRequiresVersionOne) {
+    std::vector<Instruction> ins;
+    ins.push_back(Instruction::MakeHeader(1, kFormatVersionLegacy));
+    ins.push_back(Instruction::MakeInput());
+    ins.push_back(Instruction::MakeInput());
+    ins.push_back(Instruction::MakeGate(GateType::kLinXor, 1, 2));
+    ins.push_back(Instruction::MakeOutput(3));
+    std::string error;
+    EXPECT_FALSE(Program::FromInstructions(std::move(ins), &error));
+    EXPECT_NE(error.find("format version"), std::string::npos) << error;
+}
+
+TEST(FormatVersionTest, UnknownFutureVersionRejected) {
+    std::vector<Instruction> ins;
+    ins.push_back(Instruction::MakeHeader(0, kMaxFormatVersion + 1));
+    std::string error;
+    EXPECT_FALSE(Program::FromInstructions(std::move(ins), &error));
+    EXPECT_NE(error.find("unsupported"), std::string::npos) << error;
+}
+
+TEST(FormatVersionTest, LinearNetlistAssemblesToVersionOne) {
+    auto p = Assemble(LinearChain());
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->FormatVersion(), kFormatVersionLinear);
+    EXPECT_TRUE(p->ProducesLinearDomain(4));
+    EXPECT_TRUE(p->ProducesLinearDomain(5));
+    EXPECT_FALSE(p->ProducesLinearDomain(1));  // Input.
+}
+
+TEST(FormatVersionTest, LinearProgramRoundTripsThroughSerialization) {
+    auto p = Assemble(LinearChain());
+    ASSERT_TRUE(p.has_value());
+    std::stringstream buf;
+    p->Serialize(buf);
+    std::string error;
+    auto back = Program::Deserialize(buf, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(back->FormatVersion(), kFormatVersionLinear);
+    EXPECT_EQ(back->Instructions(), p->Instructions());
+    // And the decoded netlist preserves the linear gate types.
+    const Netlist round = ToNetlist(*back);
+    EXPECT_EQ(round.ComputeStats().num_linear_gates, 2u);
+}
+
+TEST(FormatVersionTest, DomainRuleViolationsRejected) {
+    // AND consuming a linear-domain operand is never valid, even in v1.
+    std::vector<Instruction> ins;
+    ins.push_back(Instruction::MakeHeader(2, kFormatVersionLinear));
+    ins.push_back(Instruction::MakeInput());
+    ins.push_back(Instruction::MakeInput());
+    ins.push_back(Instruction::MakeGate(GateType::kLinXor, 1, 2));
+    ins.push_back(Instruction::MakeGate(GateType::kAnd, 3, 2));
+    ins.push_back(Instruction::MakeOutput(4));
+    std::string error;
+    EXPECT_FALSE(Program::FromInstructions(std::move(ins), &error));
+    EXPECT_NE(error.find("operand-encoding"), std::string::npos) << error;
+}
+
+TEST(FormatVersionTest, LinNotDomainRulesEnforced) {
+    // LNOT needs a linear operand; NOT needs a gate-domain operand.
+    {
+        std::vector<Instruction> ins;
+        ins.push_back(Instruction::MakeHeader(1, kFormatVersionLinear));
+        ins.push_back(Instruction::MakeInput());
+        ins.push_back(Instruction::MakeGate(GateType::kLinNot, 1, 1));
+        ins.push_back(Instruction::MakeOutput(2));
+        EXPECT_FALSE(Program::FromInstructions(std::move(ins)));
+    }
+    {
+        std::vector<Instruction> ins;
+        ins.push_back(Instruction::MakeHeader(2, kFormatVersionLinear));
+        ins.push_back(Instruction::MakeInput());
+        ins.push_back(Instruction::MakeInput());
+        ins.push_back(Instruction::MakeGate(GateType::kLinXor, 1, 2));
+        ins.push_back(Instruction::MakeGate(GateType::kNot, 3, 3));
+        ins.push_back(Instruction::MakeOutput(4));
+        EXPECT_FALSE(Program::FromInstructions(std::move(ins)));
+    }
+}
+
+TEST(FormatVersionTest, HeaderDisassemblyShowsVersion) {
+    auto p = Assemble(LinearChain());
+    ASSERT_TRUE(p.has_value());
+    EXPECT_NE(p->Disassemble().find("version=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pytfhe::pasm

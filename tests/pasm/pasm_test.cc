@@ -107,7 +107,7 @@ TEST(AssemblerTest, NetlistRoundTripPreservesSemantics) {
     std::vector<NodeId> pool;
     for (int i = 0; i < 5; ++i) pool.push_back(n.AddInput());
     for (int i = 0; i < 60; ++i) {
-        GateType t = static_cast<GateType>(rng() % circuit::kNumGateTypes);
+        GateType t = static_cast<GateType>(rng() % circuit::kNumFrontendGateTypes);
         pool.push_back(
             n.AddGate(t, pool[rng() % pool.size()], pool[rng() % pool.size()]));
     }
@@ -260,7 +260,7 @@ TEST(ProgramTest, GateDependencyCountsMatchScheduleStructure) {
     std::vector<NodeId> pool;
     for (int i = 0; i < 5; ++i) pool.push_back(n.AddInput());
     for (int i = 0; i < 200; ++i) {
-        GateType t = static_cast<GateType>(rng() % circuit::kNumGateTypes);
+        GateType t = static_cast<GateType>(rng() % circuit::kNumFrontendGateTypes);
         pool.push_back(
             n.AddGate(t, pool[rng() % pool.size()], pool[rng() % pool.size()]));
     }

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "tfhe/gates.h"
+#include "tfhe/noise.h"
+
+namespace pytfhe::tfhe {
+namespace {
+
+constexpr Torus32 kEighth = UINT32_C(1) << 29;   // 1/8 on the torus.
+constexpr Torus32 kQuarter = UINT32_C(1) << 30;  // 1/4 on the torus.
+
+/** Encrypts a bit in either encoding with the parameter set's LWE noise. */
+LweSample EncryptDomain(bool bit, bool linear, const Params& p,
+                        const LweKey& key, Rng& rng) {
+    const Torus32 mu = linear ? (bit ? kQuarter : -kQuarter)
+                              : (bit ? kEighth : -kEighth);
+    return LweEncrypt(mu, p.lwe_noise_stddev, key, rng);
+}
+
+/** Phase error relative to the ideal +-1/4 linear-domain message. */
+double LinearPhaseError(const LweSample& s, bool bit, const LweKey& key) {
+    const Torus32 ideal = bit ? kQuarter : -kQuarter;
+    return Torus32ToDouble(LwePhase(s, key) - ideal);
+}
+
+class LinearGateTest : public ::testing::Test {
+  protected:
+    LinearGateTest() : params_(Tfhe128Params()), rng_(1234) {
+        key_ = LweKey(params_.n, rng_);
+    }
+
+    Params params_;
+    Rng rng_;
+    LweKey key_;
+};
+
+TEST_F(LinearGateTest, LinearXorAllDomainMixesAllBitCombos) {
+    for (int al = 0; al < 2; ++al) {
+        for (int bl = 0; bl < 2; ++bl) {
+            for (int av = 0; av < 2; ++av) {
+                for (int bv = 0; bv < 2; ++bv) {
+                    const LweSample a =
+                        EncryptDomain(av, al, params_, key_, rng_);
+                    const LweSample b =
+                        EncryptDomain(bv, bl, params_, key_, rng_);
+                    const LweSample x = LweLinearXor(a, al, b, bl);
+                    const LweSample n = LweLinearXnor(a, al, b, bl);
+                    EXPECT_EQ(LweDecryptBit(x, key_), av != bv)
+                        << "domains " << al << bl << " bits " << av << bv;
+                    EXPECT_EQ(LweDecryptBit(n, key_), av == bv)
+                        << "domains " << al << bl << " bits " << av << bv;
+                }
+            }
+        }
+    }
+}
+
+TEST_F(LinearGateTest, LinearNotNegatesLinearDomainBit) {
+    for (int v = 0; v < 2; ++v) {
+        const LweSample a = EncryptDomain(v, true, params_, key_, rng_);
+        EXPECT_EQ(LweDecryptBit(LweLinearNot(a), key_), v == 0);
+    }
+}
+
+TEST_F(LinearGateTest, DuplicatedOperandCollapsesExactly) {
+    // XOR(a, a) must decrypt to 0 even though the torus sum 2a + 1/4 wraps
+    // (e.g. 2*(1/4) + 1/4 = 3/4 = -1/4 mod 1).
+    for (int al = 0; al < 2; ++al) {
+        for (int v = 0; v < 2; ++v) {
+            const LweSample a = EncryptDomain(v, al, params_, key_, rng_);
+            EXPECT_FALSE(LweDecryptBit(LweLinearXor(a, al, a, al), key_));
+            EXPECT_TRUE(LweDecryptBit(LweLinearXnor(a, al, a, al), key_));
+        }
+    }
+}
+
+/**
+ * Empirical noise of chained linear XORs versus the analytic model: a
+ * chain of k linear XORs over k+1 fresh gate-domain encryptions carries
+ * every leaf with total coefficient 2, so the model predicts phase
+ * variance 4 * (k+1) * sigma_lwe^2. The CGGI formulas are worst-case
+ * flavored, so the measured variance must come in at or below the
+ * prediction (up to sampling error of the 1000-trial estimate).
+ */
+TEST_F(LinearGateTest, ChainedXorVarianceMatchesModel) {
+    const NoiseAnalysis noise = AnalyzeNoise(params_);
+    const int max_depth = std::min(noise.max_linear_depth, 6);
+    ASSERT_GE(max_depth, 1) << "Tfhe128 must afford some elision";
+    std::mt19937_64 bits(99);
+    constexpr int kTrials = 1000;
+    for (int k = 1; k <= max_depth; ++k) {
+        double sum_sq = 0.0;
+        for (int trial = 0; trial < kTrials; ++trial) {
+            bool acc_bit = bits() & 1;
+            LweSample acc =
+                EncryptDomain(acc_bit, false, params_, key_, rng_);
+            bool acc_linear = false;
+            for (int i = 0; i < k; ++i) {
+                const bool b = bits() & 1;
+                const LweSample fresh =
+                    EncryptDomain(b, false, params_, key_, rng_);
+                acc = LweLinearXor(acc, acc_linear, fresh, false);
+                acc_bit = acc_bit != b;
+                acc_linear = true;
+            }
+            const double err = LinearPhaseError(acc, acc_bit, key_);
+            sum_sq += err * err;
+        }
+        const double measured = sum_sq / kTrials;
+        const double predicted = 4.0 * (k + 1) * noise.fresh_lwe_variance;
+        // 1000-trial variance estimates scatter by ~sqrt(2/1000) ~ 4.5%;
+        // allow 3 sigma on top of the model's worst-case slack.
+        EXPECT_LE(measured, predicted * 1.14) << "depth " << k;
+        // And the chain must not be noiseless either - the model is tight
+        // for fresh encryptions, so grossly low readings flag a phase bug.
+        EXPECT_GE(measured, predicted * 0.8) << "depth " << k;
+    }
+}
+
+/**
+ * Same chain, but over ciphertexts carrying bootstrap-output noise — the
+ * distribution elided gates actually consume in a compiled program.
+ * Running 1000 real bootstraps per depth at TFHE-128 is minutes of work;
+ * encrypting at sigma = sqrt(gate_output_variance) draws from the model's
+ * distribution of a bootstrap output directly, which is the quantity the
+ * variance prediction is defined over.
+ */
+TEST_F(LinearGateTest, ChainedXorVarianceMatchesModelOnBootstrapNoise) {
+    const NoiseAnalysis noise = AnalyzeNoise(params_);
+    const double sigma = std::sqrt(noise.gate_output_variance);
+    const int max_depth = std::min(noise.max_linear_depth, 4);
+    ASSERT_GE(max_depth, 1);
+    std::mt19937_64 bits(1234);
+    constexpr int kTrials = 1000;
+    for (int k = 1; k <= max_depth; ++k) {
+        double sum_sq = 0.0;
+        for (int trial = 0; trial < kTrials; ++trial) {
+            bool acc_bit = bits() & 1;
+            LweSample acc = LweEncrypt(
+                acc_bit ? kEighth : -kEighth, sigma, key_, rng_);
+            bool acc_linear = false;
+            for (int i = 0; i < k; ++i) {
+                const bool b = bits() & 1;
+                const LweSample fresh = LweEncrypt(
+                    b ? kEighth : -kEighth, sigma, key_, rng_);
+                acc = LweLinearXor(acc, acc_linear, fresh, false);
+                acc_bit = acc_bit != b;
+                acc_linear = true;
+            }
+            const double err = LinearPhaseError(acc, acc_bit, key_);
+            sum_sq += err * err;
+        }
+        const double measured = sum_sq / kTrials;
+        const double predicted = 4.0 * (k + 1) * noise.gate_output_variance;
+        EXPECT_LE(measured, predicted * 1.14) << "depth " << k;
+        EXPECT_GE(measured, predicted * 0.8) << "depth " << k;
+    }
+}
+
+TEST(LinearNoiseModelTest, ToStringReportsElisionBudget) {
+    const NoiseAnalysis a = AnalyzeNoise(Tfhe128Params());
+    const std::string s = a.ToString();
+    EXPECT_NE(s.find("elision safety"), std::string::npos) << s;
+    EXPECT_NE(s.find("max linear depth"), std::string::npos) << s;
+    EXPECT_GE(a.max_linear_depth, 1);
+    EXPECT_LE(a.max_linear_depth, 64);
+}
+
+TEST(LinearNoiseModelTest, MaxLinearDepthShrinksWithSafetyMargin) {
+    const NoiseAnalysis a = AnalyzeNoise(Tfhe128Params());
+    const int loose = MaxLinearDepth(a, kDefaultMaxGateFailure, 1.0);
+    const int tight = MaxLinearDepth(a, kDefaultMaxGateFailure, 8.0);
+    EXPECT_LE(tight, loose);
+}
+
+}  // namespace
+}  // namespace pytfhe::tfhe

@@ -60,6 +60,14 @@ TEST(Noise, ToyParametersAreSoundByConstruction) {
     EXPECT_TRUE(CheckParams(SmallParams()));
 }
 
+TEST(Noise, CheckParamsReportExplainsElisionBudget) {
+    std::string report;
+    EXPECT_TRUE(CheckParams(Tfhe128Params(), kDefaultMaxGateFailure,
+                            &report));
+    EXPECT_NE(report.find("elision safety"), std::string::npos) << report;
+    EXPECT_NE(report.find("max linear depth"), std::string::npos) << report;
+}
+
 TEST(Noise, BrokenParametersAreRejected) {
     Params bad = ToyParams();
     bad.lwe_noise_stddev = 0.05;  // Noise at the decision margin.

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * bench_check — guards the committed BENCH_*.json baselines.
+ *
+ * Usage:
+ *   bench_check <baseline.json> <candidate.json> [tolerance]
+ *
+ * Flattens both files to dotted-path -> number maps and compares every
+ * lower-is-better metric (nanoseconds, wall seconds, bootstrap counts,
+ * predicted failure probabilities). Exits 1 if any such metric in the
+ * candidate exceeds its baseline by more than `tolerance` (default 0.10,
+ * i.e. a 10% regression), printing each offender. Metrics present in only
+ * one file are reported but do not fail the check — adding a benchmark
+ * row must not break the gate.
+ *
+ * Typical use after re-running a benchmark binary:
+ *   git stash -- BENCH_micro_tfhe.json   # keep the committed baseline
+ *   ./build/bench/bench_micro_tfhe
+ *   ./build/tools/bench_check /tmp/baseline.json BENCH_micro_tfhe.json
+ */
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace {
+
+/**
+ * Minimal JSON reader for the benchmark files: objects, strings, and
+ * numbers (arrays and bools are not used by any BENCH_*.json writer).
+ * Collects numeric leaves as "a.b.c" -> value.
+ */
+class FlatJson {
+  public:
+    bool Parse(const std::string& text) {
+        text_ = &text;
+        pos_ = 0;
+        SkipSpace();
+        return ParseValue("") && (SkipSpace(), pos_ == text.size());
+    }
+
+    const std::map<std::string, double>& numbers() const { return numbers_; }
+
+  private:
+    bool ParseValue(const std::string& path) {
+        SkipSpace();
+        if (pos_ >= text_->size()) return false;
+        const char c = (*text_)[pos_];
+        if (c == '{') return ParseObject(path);
+        if (c == '"') {
+            std::string ignored;
+            return ParseString(&ignored);
+        }
+        return ParseNumber(path);
+    }
+
+    bool ParseObject(const std::string& path) {
+        ++pos_;  // '{'
+        SkipSpace();
+        if (Peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            SkipSpace();
+            std::string key;
+            if (!ParseString(&key)) return false;
+            SkipSpace();
+            if (Peek() != ':') return false;
+            ++pos_;
+            const std::string child = path.empty() ? key : path + "." + key;
+            if (!ParseValue(child)) return false;
+            SkipSpace();
+            if (Peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (Peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool ParseString(std::string* out) {
+        if (Peek() != '"') return false;
+        ++pos_;
+        out->clear();
+        while (pos_ < text_->size() && (*text_)[pos_] != '"') {
+            if ((*text_)[pos_] == '\\') ++pos_;  // Keep escaped char as-is.
+            if (pos_ < text_->size()) out->push_back((*text_)[pos_++]);
+        }
+        if (pos_ >= text_->size()) return false;
+        ++pos_;  // Closing quote.
+        return true;
+    }
+
+    bool ParseNumber(const std::string& path) {
+        const size_t start = pos_;
+        while (pos_ < text_->size() &&
+               (std::isdigit(static_cast<unsigned char>((*text_)[pos_])) ||
+                (*text_)[pos_] == '-' || (*text_)[pos_] == '+' ||
+                (*text_)[pos_] == '.' || (*text_)[pos_] == 'e' ||
+                (*text_)[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start) return false;
+        numbers_[path] = std::atof(text_->substr(start, pos_ - start).c_str());
+        return true;
+    }
+
+    char Peek() const { return pos_ < text_->size() ? (*text_)[pos_] : '\0'; }
+    void SkipSpace() {
+        while (pos_ < text_->size() &&
+               std::isspace(static_cast<unsigned char>((*text_)[pos_])))
+            ++pos_;
+    }
+
+    const std::string* text_ = nullptr;
+    size_t pos_ = 0;
+    std::map<std::string, double> numbers_;
+};
+
+bool LoadFlat(const char* path, FlatJson* out) {
+    std::ifstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "bench_check: cannot read %s\n", path);
+        return false;
+    }
+    std::stringstream buf;
+    buf << f.rdbuf();
+    if (!out->Parse(buf.str())) {
+        std::fprintf(stderr, "bench_check: cannot parse %s\n", path);
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Metrics where a larger candidate value is a regression. Measured wall
+ * seconds (wall_s_*) are deliberately NOT gated: they carry the timing
+ * noise of whichever machine produced the baseline; the deterministic
+ * modeled_s_* and batched ops_ns metrics carry the perf signal.
+ */
+bool LowerIsBetter(const std::string& path) {
+    return path.find("_ns") != std::string::npos ||
+           path.find("ops_ns") != std::string::npos ||
+           path.find("modeled_s") != std::string::npos ||
+           path.find("failure_prob") != std::string::npos ||
+           path.find("bootstraps_after") != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 3 || argc > 4) {
+        std::fprintf(
+            stderr,
+            "usage: bench_check <baseline.json> <candidate.json> "
+            "[tolerance=0.10]\n");
+        return 2;
+    }
+    const double tolerance = argc == 4 ? std::atof(argv[3]) : 0.10;
+
+    FlatJson baseline, candidate;
+    if (!LoadFlat(argv[1], &baseline) || !LoadFlat(argv[2], &candidate))
+        return 2;
+
+    int regressions = 0;
+    for (const auto& [path, base] : baseline.numbers()) {
+        if (!LowerIsBetter(path)) continue;
+        const auto it = candidate.numbers().find(path);
+        if (it == candidate.numbers().end()) {
+            std::printf("MISSING   %-46s (baseline %.4g)\n", path.c_str(),
+                        base);
+            continue;
+        }
+        const double cand = it->second;
+        // A zero baseline (e.g. bootstraps_after on a fully elided
+        // workload) regresses on any increase beyond rounding.
+        const bool regressed = base == 0.0
+                                   ? cand > 1e-12
+                                   : cand > base * (1.0 + tolerance);
+        const double delta = base == 0.0 ? 0.0 : (cand - base) / base * 100.0;
+        if (regressed) {
+            std::printf("REGRESSED %-46s %.4g -> %.4g (%+.1f%%)\n",
+                        path.c_str(), base, cand, delta);
+            ++regressions;
+        } else if (std::fabs(delta) > tolerance * 100.0) {
+            std::printf("improved  %-46s %.4g -> %.4g (%+.1f%%)\n",
+                        path.c_str(), base, cand, delta);
+        }
+    }
+    for (const auto& [path, cand] : candidate.numbers()) {
+        if (LowerIsBetter(path) && !baseline.numbers().count(path))
+            std::printf("new       %-46s %.4g\n", path.c_str(), cand);
+    }
+
+    if (regressions > 0) {
+        std::printf("bench_check: %d metric(s) regressed beyond %.0f%%\n",
+                    regressions, tolerance * 100.0);
+        return 1;
+    }
+    std::printf("bench_check: ok (tolerance %.0f%%)\n", tolerance * 100.0);
+    return 0;
+}

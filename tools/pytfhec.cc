@@ -28,14 +28,60 @@ namespace {
 int Usage() {
     std::fprintf(stderr,
                  "usage: pytfhec <command> [args]\n"
-                 "  compile <workload> <out.ptfhe>\n"
+                 "  compile [options] <workload> <out.ptfhe>\n"
                  "  disasm <file.ptfhe>\n"
                  "  stats <file.ptfhe>\n"
                  "  simulate <file.ptfhe>\n"
                  "  to-bristol <file.ptfhe> <out.txt>\n"
-                 "  from-bristol <in.txt> <out.ptfhe>\n"
-                 "  list\n");
+                 "  from-bristol [options] <in.txt> <out.ptfhe>\n"
+                 "  list\n"
+                 "compile options:\n"
+                 "  --no-elide        keep every gate bootstrapped\n"
+                 "  --params=<set>    noise model for elision: tfhe128\n"
+                 "                    (default), small, toy\n");
     return 2;
+}
+
+/**
+ * Compilation knobs parsed from the leading --flags of compile /
+ * from-bristol. Elision is on by default against the TFHE-128 noise model
+ * — the deployment parameter set; a program executed under different
+ * parameters should be compiled with the matching --params (or --no-elide,
+ * the escape hatch that restores the all-bootstrapped legacy format).
+ */
+struct CliOptions {
+    core::CompileOptions compile;
+    bool ok = true;
+};
+
+CliOptions ParseCompileFlags(int argc, char** argv, int* next) {
+    CliOptions cli;
+    cli.compile.params = tfhe::Tfhe128Params();
+    for (; *next < argc && argv[*next][0] == '-'; ++*next) {
+        const char* flag = argv[*next];
+        if (!std::strcmp(flag, "--no-elide")) {
+            cli.compile.elision.enabled = false;
+        } else if (!std::strcmp(flag, "--params=tfhe128")) {
+            cli.compile.params = tfhe::Tfhe128Params();
+        } else if (!std::strcmp(flag, "--params=small")) {
+            cli.compile.params = tfhe::SmallParams();
+        } else if (!std::strcmp(flag, "--params=toy")) {
+            cli.compile.params = tfhe::ToyParams();
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", flag);
+            cli.ok = false;
+            return cli;
+        }
+    }
+    return cli;
+}
+
+void ReportElision(const core::Compiled& compiled) {
+    const auto& s = compiled.elision_stats;
+    if (s.bootstraps_before == s.bootstraps_after) return;
+    std::printf("elision: %llu -> %llu bootstraps\n",
+                static_cast<unsigned long long>(s.bootstraps_before),
+                static_cast<unsigned long long>(s.bootstraps_after));
 }
 
 std::optional<pasm::Program> LoadOrComplain(const char* path) {
@@ -45,10 +91,11 @@ std::optional<pasm::Program> LoadOrComplain(const char* path) {
     return p;
 }
 
-int CmdCompile(const char* name, const char* out) {
+int CmdCompile(const core::CompileOptions& options, const char* name,
+               const char* out) {
     const vip::Workload w = vip::FindWorkload(name);
     std::string error;
-    auto compiled = core::Compile(w.build(), {}, &error);
+    auto compiled = core::Compile(w.build(), options, &error);
     if (!compiled) {
         std::fprintf(stderr, "compile failed: %s\n", error.c_str());
         return 1;
@@ -57,6 +104,7 @@ int CmdCompile(const char* name, const char* out) {
         std::fprintf(stderr, "cannot write %s\n", out);
         return 1;
     }
+    ReportElision(*compiled);
     std::printf("%s: %llu gates -> %s (%zu bytes)\n", name,
                 static_cast<unsigned long long>(compiled->program.NumGates()),
                 out, compiled->program.ByteSize());
@@ -120,7 +168,8 @@ int CmdToBristol(const char* in, const char* out) {
     return 0;
 }
 
-int CmdFromBristol(const char* in, const char* out) {
+int CmdFromBristol(const core::CompileOptions& options, const char* in,
+                   const char* out) {
     std::ifstream f(in);
     if (!f) {
         std::fprintf(stderr, "cannot read %s\n", in);
@@ -132,7 +181,7 @@ int CmdFromBristol(const char* in, const char* out) {
         std::fprintf(stderr, "parse failed: %s\n", error.c_str());
         return 1;
     }
-    auto compiled = core::Compile(*netlist, {}, &error);
+    auto compiled = core::Compile(*netlist, options, &error);
     if (!compiled) {
         std::fprintf(stderr, "compile failed: %s\n", error.c_str());
         return 1;
@@ -141,6 +190,7 @@ int CmdFromBristol(const char* in, const char* out) {
         std::fprintf(stderr, "cannot write %s\n", out);
         return 1;
     }
+    ReportElision(*compiled);
     std::printf("%s: %llu gates (after optimization) -> %s\n", in,
                 static_cast<unsigned long long>(compiled->program.NumGates()),
                 out);
@@ -158,16 +208,20 @@ int CmdList() {
 int main(int argc, char** argv) {
     if (argc < 2) return Usage();
     const char* cmd = argv[1];
-    if (!std::strcmp(cmd, "compile") && argc == 4)
-        return CmdCompile(argv[2], argv[3]);
+    if (!std::strcmp(cmd, "compile") || !std::strcmp(cmd, "from-bristol")) {
+        int next = 2;
+        const CliOptions cli = ParseCompileFlags(argc, argv, &next);
+        if (!cli.ok || argc - next != 2) return Usage();
+        return !std::strcmp(cmd, "compile")
+                   ? CmdCompile(cli.compile, argv[next], argv[next + 1])
+                   : CmdFromBristol(cli.compile, argv[next], argv[next + 1]);
+    }
     if (!std::strcmp(cmd, "disasm") && argc == 3) return CmdDisasm(argv[2]);
     if (!std::strcmp(cmd, "stats") && argc == 3) return CmdStats(argv[2]);
     if (!std::strcmp(cmd, "simulate") && argc == 3)
         return CmdSimulate(argv[2]);
     if (!std::strcmp(cmd, "to-bristol") && argc == 4)
         return CmdToBristol(argv[2], argv[3]);
-    if (!std::strcmp(cmd, "from-bristol") && argc == 4)
-        return CmdFromBristol(argv[2], argv[3]);
     if (!std::strcmp(cmd, "list")) return CmdList();
     return Usage();
 }
