@@ -23,7 +23,7 @@
 #include <vector>
 
 #include "backend/cluster_sim.h"
-#include "backend/executor.h"
+#include "backend/execute.h"
 #include "circuit/builder.h"
 #include "core/compiler.h"
 #include "hdl/word_ops.h"
@@ -107,8 +107,11 @@ double RunEncrypted(const pasm::Program& program, Crypto& crypto,
     for (bool b : in) enc.push_back(crypto.secret.Encrypt(b, crypto.rng));
     backend::TfheEvaluator eval(crypto.gates);
     backend::Executor executor;
+    backend::ExecOptions options;
+    options.num_threads = threads;
+    options.executor = &executor;
     const auto t0 = Clock::now();
-    const auto out = executor.Run(program, eval, enc, threads);
+    const auto out = backend::Execute(program, eval, enc, options);
     const double sec =
         std::chrono::duration<double>(Clock::now() - t0).count();
     for (size_t i = 0; i < out.size(); ++i) {

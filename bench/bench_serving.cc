@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Serving-runtime benchmark: jobs/sec and latency percentiles for the
+ * multi-job ServingExecutor against back-to-back Server::Run, at 1, 4,
+ * and 16 concurrent clients on 8 shared workers. Emits
+ * BENCH_serving.json.
+ *
+ * The story the numbers tell: one small encrypted job is nearly serial
+ * (a ripple adder keeps ~1.3 workers busy), so giving it 8 threads
+ * barely helps — but 16 *independent* jobs interleaved gate-by-gate
+ * keep all 8 workers saturated and multiply throughput. Toy parameters
+ * keep real encrypted bootstraps in the loop without hour-long runs.
+ *
+ * Gating: wall-clock throughput and percentiles are recorded for humans
+ * (machine-noise caveat, like every wall_s metric); the deterministic
+ * modeled_s_single_job from the CPU cost model is what bench_check
+ * gates on. The acceptance headline `speedup_vs_sequential_1t` at
+ * concurrency 16 is asserted here at runtime instead: the binary exits
+ * nonzero below 3x, so regressions fail loudly at generation time.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "backend/serving.h"
+#include "bench_util.h"
+#include "core/service.h"
+#include "hdl/word_ops.h"
+
+using namespace pytfhe;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+circuit::Netlist AdderNetlist() {
+    hdl::Builder b;
+    const hdl::Bits x = hdl::InputBits(b, 8, "x");
+    const hdl::Bits y = hdl::InputBits(b, 8, "y");
+    hdl::OutputBits(b, hdl::Add(b, x, y), "sum");
+    return b.netlist();
+}
+
+struct Percentiles {
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+};
+
+Percentiles ComputePercentiles(std::vector<double> latencies_s) {
+    std::sort(latencies_s.begin(), latencies_s.end());
+    auto at = [&](double q) {
+        const size_t i = static_cast<size_t>(
+            q * static_cast<double>(latencies_s.size() - 1) + 0.5);
+        return latencies_s[i] * 1e3;
+    };
+    Percentiles p;
+    p.p50_ms = at(0.50);
+    p.p99_ms = at(0.99);
+    return p;
+}
+
+struct Measurement {
+    double jobs_per_s = 0.0;
+    Percentiles lat;
+};
+
+/**
+ * `concurrency` client threads each push `jobs_per_client` jobs
+ * back-to-back through `submit` (which blocks until its job completes
+ * and returns the job's wall latency in seconds).
+ */
+template <typename SubmitFn>
+Measurement DriveClients(int concurrency, int jobs_per_client,
+                         const SubmitFn& submit) {
+    std::vector<double> latencies(
+        static_cast<size_t>(concurrency) * jobs_per_client);
+    const Clock::time_point t0 = Clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(concurrency);
+    for (int c = 0; c < concurrency; ++c) {
+        clients.emplace_back([&, c] {
+            for (int j = 0; j < jobs_per_client; ++j)
+                latencies[static_cast<size_t>(c) * jobs_per_client + j] =
+                    submit(c, j);
+        });
+    }
+    for (auto& t : clients) t.join();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    Measurement m;
+    m.jobs_per_s = static_cast<double>(latencies.size()) / elapsed;
+    m.lat = ComputePercentiles(std::move(latencies));
+    return m;
+}
+
+constexpr int kWorkers = 8;
+constexpr int kConcurrency[] = {1, 4, 16};
+
+struct Suite {
+    double seq_1t_jobs_per_s = 0.0;
+    double seq_8t_jobs_per_s = 0.0;
+    Measurement at_concurrency[3];
+    double speedup_vs_sequential_1t = 0.0;  ///< Concurrency 16 vs seq 1t.
+};
+
+/** Encrypted suite: the full core::Service stack under toy parameters. */
+Suite MeasureEncrypted(const pasm::Program& program) {
+    Suite suite;
+    core::Client client(tfhe::ToyParams(), /*seed=*/77);
+    const auto key = client.MakeEvaluationKey();
+    const core::Ciphertexts inputs =
+        client.EncryptValues(hdl::DType::UInt(8), {161, 94});
+    backend::TfheEvaluator eval(*key);
+    const auto want = backend::RunProgram(program, eval, inputs);
+
+    auto check = [&](const core::Ciphertexts& got) {
+        if (got.size() != want.size()) std::abort();
+        for (size_t i = 0; i < got.size(); ++i)
+            if (got[i].a != want[i].a || got[i].b != want[i].b) {
+                std::fprintf(stderr,
+                             "serving output differs from sequential run "
+                             "at bit %zu\n",
+                             i);
+                std::abort();
+            }
+    };
+
+    // Baseline: one blocking Server::Run per job, back to back.
+    {
+        auto server = client.MakeServer();
+        const auto seq_want = server->Run(program, inputs);
+        for (auto [threads, slot] :
+             {std::pair<int, double*>{1, &suite.seq_1t_jobs_per_s},
+              {kWorkers, &suite.seq_8t_jobs_per_s}}) {
+            core::RunOptions options;
+            options.num_threads = threads;
+            constexpr int kJobs = 24;
+            const Clock::time_point t0 = Clock::now();
+            for (int j = 0; j < kJobs; ++j) {
+                const auto got = server->Run(program, inputs, options);
+                if (client.DecryptBits(got) != client.DecryptBits(seq_want))
+                    std::abort();
+            }
+            *slot = kJobs / std::chrono::duration<double>(Clock::now() - t0)
+                                .count();
+        }
+    }
+
+    for (size_t ci = 0; ci < 3; ++ci) {
+        const int concurrency = kConcurrency[ci];
+        core::ServiceOptions opts;
+        opts.serving.num_workers = kWorkers;
+        opts.serving.max_active_jobs = 16;
+        opts.serving.max_pending_jobs = 64;
+        core::Service service(opts);
+        const core::KeyId id = service.RegisterTenant(key);
+        const auto shared_program =
+            std::make_shared<const pasm::Program>(program);
+        const int jobs_per_client = concurrency == 1 ? 24 : 96 / concurrency;
+        suite.at_concurrency[ci] = DriveClients(
+            concurrency, jobs_per_client, [&](int, int) {
+                core::JobHandle job =
+                    service.Submit(id, shared_program, inputs);
+                check(job.Get());
+                return job.Metrics().wall_seconds;
+            });
+        std::printf("  encrypted c=%-2d  %8.2f jobs/s   p50 %7.2f ms   "
+                    "p99 %7.2f ms\n",
+                    concurrency, suite.at_concurrency[ci].jobs_per_s,
+                    suite.at_concurrency[ci].lat.p50_ms,
+                    suite.at_concurrency[ci].lat.p99_ms);
+        std::fflush(stdout);
+    }
+    suite.speedup_vs_sequential_1t =
+        suite.at_concurrency[2].jobs_per_s / suite.seq_1t_jobs_per_s;
+    return suite;
+}
+
+/**
+ * Plaintext suite: gate cost is ~ns, so this measures pure scheduler
+ * overhead — the honest worst case for gate-level interleaving.
+ */
+Suite MeasurePlain(const pasm::Program& program) {
+    Suite suite;
+    backend::PlainEvaluator eval;
+    std::vector<bool> inputs(program.NumInputs());
+    for (size_t i = 0; i < inputs.size(); ++i) inputs[i] = (i * 5) % 3 == 0;
+    const auto want = backend::RunProgram(program, eval, inputs);
+
+    {
+        constexpr int kJobs = 4000;
+        const Clock::time_point t0 = Clock::now();
+        for (int j = 0; j < kJobs; ++j)
+            if (backend::RunProgram(program, eval, inputs) != want)
+                std::abort();
+        suite.seq_1t_jobs_per_s =
+            kJobs /
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        suite.seq_8t_jobs_per_s = suite.seq_1t_jobs_per_s;  // 1t optimal.
+    }
+
+    for (size_t ci = 0; ci < 3; ++ci) {
+        const int concurrency = kConcurrency[ci];
+        backend::Executor executor;
+        backend::ServingOptions opts;
+        opts.num_workers = kWorkers;
+        opts.max_active_jobs = 16;
+        backend::ServingExecutor<backend::PlainEvaluator> serving(executor,
+                                                                  opts);
+        const auto shared_program =
+            std::make_shared<const pasm::Program>(program);
+        const int jobs_per_client = 2000 / concurrency;
+        suite.at_concurrency[ci] = DriveClients(
+            concurrency, jobs_per_client, [&](int, int) {
+                auto job = serving.Submit(shared_program, eval, inputs);
+                if (job->Outputs() != want) std::abort();
+                return job->Metrics().wall_seconds;
+            });
+        std::printf("  plain     c=%-2d  %8.0f jobs/s   p50 %7.3f ms   "
+                    "p99 %7.3f ms\n",
+                    concurrency, suite.at_concurrency[ci].jobs_per_s,
+                    suite.at_concurrency[ci].lat.p50_ms,
+                    suite.at_concurrency[ci].lat.p99_ms);
+        std::fflush(stdout);
+    }
+    suite.speedup_vs_sequential_1t =
+        suite.at_concurrency[2].jobs_per_s / suite.seq_1t_jobs_per_s;
+    return suite;
+}
+
+void WriteSuite(FILE* out, const char* name, const Suite& s,
+                bool trailing_comma) {
+    std::fprintf(out, "  \"%s\": {\n", name);
+    std::fprintf(out, "    \"seq_1t\": {\"jobs_per_s\": %.2f},\n",
+                 s.seq_1t_jobs_per_s);
+    std::fprintf(out, "    \"seq_8t\": {\"jobs_per_s\": %.2f},\n",
+                 s.seq_8t_jobs_per_s);
+    for (size_t ci = 0; ci < 3; ++ci) {
+        std::fprintf(out,
+                     "    \"c%d\": {\"jobs_per_s\": %.2f, "
+                     "\"p50_ms\": %.3f, \"p99_ms\": %.3f},\n",
+                     kConcurrency[ci], s.at_concurrency[ci].jobs_per_s,
+                     s.at_concurrency[ci].lat.p50_ms,
+                     s.at_concurrency[ci].lat.p99_ms);
+    }
+    std::fprintf(out, "    \"speedup_vs_sequential_1t\": %.2f\n",
+                 s.speedup_vs_sequential_1t);
+    std::fprintf(out, "  }%s\n", trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+int main() {
+    std::printf("# bench_serving: 8-bit ripple adder, %d workers\n",
+                kWorkers);
+    std::fflush(stdout);
+
+    auto compiled = core::Compile(AdderNetlist());
+    if (!compiled) {
+        std::fprintf(stderr, "adder compile failed\n");
+        return 1;
+    }
+    const pasm::Program& program = compiled->program;
+
+    const Suite plain = MeasurePlain(program);
+    const Suite encrypted = MeasureEncrypted(program);
+
+    FILE* out = std::fopen("BENCH_serving.json", "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot open BENCH_serving.json\n");
+        return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"serving\",\n");
+    std::fprintf(out, "  \"params\": \"toy\",\n");
+    std::fprintf(out, "  \"workers\": %d,\n", kWorkers);
+    std::fprintf(out, "  \"gates_per_job\": %llu,\n",
+                 static_cast<unsigned long long>(program.NumGates()));
+    std::fprintf(out, "  \"modeled_s_single_job\": %.4f,\n",
+                 bench::SingleCoreSeconds(program));
+    WriteSuite(out, "plain", plain, /*trailing_comma=*/true);
+    WriteSuite(out, "encrypted", encrypted, /*trailing_comma=*/false);
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+
+    std::printf("# encrypted speedup at c=16 vs sequential 1t: %.2fx\n",
+                encrypted.speedup_vs_sequential_1t);
+    // The 3x bar presumes cores for the workers to land on; on a 1-2 core
+    // machine gate-level interleaving can only amortize per-call setup, so
+    // the assertion would test the container, not the scheduler.
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (cores >= 4 && encrypted.speedup_vs_sequential_1t < 3.0) {
+        std::fprintf(stderr,
+                     "FAIL: serving throughput below the 3x acceptance "
+                     "bar on %u cores\n",
+                     cores);
+        return 1;
+    }
+    if (cores < 4)
+        std::printf("# note: only %u core(s) visible; 3x bar not "
+                    "enforced\n",
+                    cores);
+    std::printf("# wrote BENCH_serving.json\n");
+    return 0;
+}

@@ -95,7 +95,8 @@ int main() {
         core::Client client(tfhe::ToyParams(), 2);
         auto server = client.MakeServer();
         const auto out = server->Run(compiled->program,
-                                     client.EncryptValues(t, xs), 2);
+                                     client.EncryptValues(t, xs),
+                                     core::RunOptions{.num_threads = 2});
         const auto got = client.DecryptValues(t, out);
 
         std::printf("TFHE (%llu exact gates, toy params, real encrypted "

@@ -121,7 +121,8 @@ int main(int argc, char** argv) {
     auto server = client.MakeServer();
     const auto tiny_img = SyntheticDigit(6, tt);
     const auto enc = client.EncryptValues(tt, tiny_img);
-    const auto enc_out = server->Run(tiny_compiled->program, enc, 2);
+    const auto enc_out = server->Run(tiny_compiled->program, enc,
+                                     core::RunOptions{.num_threads = 2});
     const auto tiny_logits = client.DecryptValues(tt, enc_out);
     const int enc_class = static_cast<int>(
         std::max_element(tiny_logits.begin(), tiny_logits.end()) -

@@ -52,13 +52,19 @@ int main(int argc, char** argv) {
     inputs.insert(inputs.end(), more.begin(), more.end());
 
     // 4. Server: homomorphic evaluation — sees only ciphertexts.
-    const core::Ciphertexts result = server->Run(compiled->program, inputs);
+    // RunOptions carries the per-request knobs: worker threads, an
+    // optional deadline, and a per-run profile toggle.
+    core::RunOptions options;
+    options.num_threads = 2;
+    options.profile = true;
+    const core::Ciphertexts result =
+        server->Run(compiled->program, inputs, options);
 
     // 5. Client: decryption.
     const double sum = client.DecryptValue(u8, result);
     std::printf("%g + %g = %g (homomorphically)\n", a, b, sum);
     std::printf("bootstrapped gates evaluated: %llu\n",
                 static_cast<unsigned long long>(
-                    server->profile().bootstrap_count()));
+                    server->last_run_profile().bootstrap_count));
     return sum == a + b ? 0 : 1;
 }

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * backend::Execute — the single documented entry point for functional
+ * program execution.
+ *
+ * The repo grew three functional paths (RunProgram, RunProgramThreaded,
+ * Executor::Run) with three call conventions. Execute unifies them behind
+ * one options struct; interpreter.h documents exactly which path each
+ * option combination selects. The underlying entry points remain public
+ * (tests and ablation benchmarks compare them directly), but application
+ * code should go through Execute.
+ */
+#ifndef PYTFHE_BACKEND_EXECUTE_H
+#define PYTFHE_BACKEND_EXECUTE_H
+
+#include <stdexcept>
+#include <vector>
+
+#include "backend/executor.h"
+#include "backend/interpreter.h"
+
+namespace pytfhe::backend {
+
+/** Which functional execution substrate Execute dispatches to. */
+enum class ExecMode {
+    /** num_threads == 1 -> sequential, else dependency counting. */
+    kAuto,
+    /** In-order sequential interpretation (RunProgram). */
+    kSequential,
+    /** Per-wave barrier threads (RunProgramThreaded); legacy reference. */
+    kWaveBarrier,
+    /** Persistent-pool dependency counting (Executor::Run). */
+    kDependencyCounting,
+};
+
+/**
+ * Options for one Execute call. `executor` optionally names a caller-owned
+ * persistent Executor whose worker pool the run reuses (recommended for
+ * repeated runs — a null executor makes the dependency-counting path spin
+ * up and tear down a transient pool per call). `control` carries the
+ * cooperative deadline/cancel token; the wave-barrier path predates
+ * RunControl and rejects an engaged control with std::invalid_argument.
+ */
+struct ExecOptions {
+    int32_t num_threads = 1;
+    ExecMode mode = ExecMode::kAuto;
+    Executor* executor = nullptr;
+    RunControl control;
+};
+
+/**
+ * Executes `program` over `inputs` with `eval`, dispatching per `options`
+ * (see ExecMode and the path table in interpreter.h). All paths produce
+ * bit-identical outputs. Throws std::invalid_argument on malformed
+ * arguments, CancelledError / DeadlineExceededError on control aborts.
+ */
+template <typename Evaluator>
+std::vector<typename Evaluator::Ciphertext> Execute(
+    const pasm::Program& program, Evaluator& eval,
+    const std::vector<typename Evaluator::Ciphertext>& inputs,
+    const ExecOptions& options = {}) {
+    switch (options.mode) {
+        case ExecMode::kSequential:
+            return RunProgram(program, eval, inputs, options.control);
+        case ExecMode::kWaveBarrier:
+            if (options.control.Engaged())
+                throw std::invalid_argument(
+                    "Execute: the wave-barrier path does not support "
+                    "RunControl; use kDependencyCounting or kSequential");
+            return RunProgramThreaded(program, eval, inputs,
+                                      options.num_threads);
+        case ExecMode::kAuto:
+        case ExecMode::kDependencyCounting: break;
+    }
+    if (options.mode == ExecMode::kAuto && options.num_threads == 1)
+        return RunProgram(program, eval, inputs, options.control);
+    if (options.executor != nullptr)
+        return options.executor->Run(program, eval, inputs,
+                                     options.num_threads, options.control);
+    Executor transient;
+    return transient.Run(program, eval, inputs, options.num_threads,
+                         options.control);
+}
+
+}  // namespace pytfhe::backend
+
+#endif  // PYTFHE_BACKEND_EXECUTE_H

@@ -135,17 +135,20 @@ class Executor {
      * (including the calling thread). num_threads == 1 bypasses scheduling
      * entirely and runs the sequential interpreter; results are
      * bit-identical either way. Throws std::invalid_argument on input
-     * count mismatch or num_threads < 1.
+     * count mismatch or num_threads < 1, and CancelledError /
+     * DeadlineExceededError when `control` triggers mid-run (workers stop
+     * evaluating and drain the remaining dependency counts without
+     * touching the evaluator, so an aborted run returns promptly).
      */
     template <typename Evaluator>
     std::vector<typename Evaluator::Ciphertext> Run(
         const pasm::Program& program, Evaluator& eval,
         const std::vector<typename Evaluator::Ciphertext>& inputs,
-        int32_t num_threads) {
+        int32_t num_threads, const RunControl& control = {}) {
         using C = typename Evaluator::Ciphertext;
         detail::ValidateRunArgs(program, inputs.size(), num_threads);
         if (num_threads == 1 || program.NumGates() <= 1)
-            return RunProgram(program, eval, inputs);
+            return RunProgram(program, eval, inputs, control);
 
         const pasm::GateDependencies deps = program.BuildGateDependencies();
         const uint64_t first_gate = program.FirstGateIndex();
@@ -163,17 +166,35 @@ class Executor {
 
         detail::ReadyQueue queue(deps.RootGates(), program.NumGates());
 
+        // Abort reason, latched once by whichever worker first observes the
+        // control trigger; every worker then drains without evaluating.
+        const bool guarded = control.Engaged();
+        std::atomic<RunControl::Abort> abort{RunControl::Abort::kNone};
+
         auto worker = [&]() {
             // Per-worker scratch: buffers live for the whole run, so every
             // gate after the first on this thread is allocation-free.
             typename detail::WorkerScratchOf<Evaluator>::type scratch{};
             uint64_t idx = detail::kNoGate;
             while (idx != detail::kNoGate || queue.Pop(&idx)) {
+                bool skip = false;
+                if (guarded) {
+                    skip = abort.load(std::memory_order_relaxed) !=
+                           RunControl::Abort::kNone;
+                    if (!skip) {
+                        const RunControl::Abort a = control.Check();
+                        if (a != RunControl::Abort::kNone) {
+                            abort.store(a, std::memory_order_relaxed);
+                            skip = true;
+                        }
+                    }
+                }
                 const pasm::DecodedGate g = program.GateAt(idx);
-                value[idx] = detail::ApplyGate(
-                    eval, g.type, value[g.in0],
-                    program.ProducesLinearDomain(g.in0), value[g.in1],
-                    program.ProducesLinearDomain(g.in1), scratch);
+                if (!skip)
+                    value[idx] = detail::ApplyGate(
+                        eval, g.type, value[g.in0],
+                        program.ProducesLinearDomain(g.in0), value[g.in1],
+                        program.ProducesLinearDomain(g.in1), scratch);
                 // Decrement successors; run one newly ready gate ourselves
                 // (depth-first along the chain, no queue round-trip) and
                 // publish the rest.
@@ -197,6 +218,10 @@ class Executor {
             num_threads - 1, program.NumGates() - 1));
         const std::function<void()> fn = worker;
         pool_.RunOnWorkers(workers, fn);
+
+        const RunControl::Abort reason =
+            abort.load(std::memory_order_relaxed);
+        if (reason != RunControl::Abort::kNone) RunControl::Raise(reason);
 
         std::vector<C> out;
         out.reserve(program.OutputIndices().size());

@@ -10,12 +10,29 @@
  * for the dependency-counting Executor (executor.h), which production
  * paths use instead. Both are the *functional* backends; wall-clock
  * modeling of clusters/GPUs lives in cluster_sim.h and gpu_sim.h.
+ *
+ * Prefer the unified dispatcher backend::Execute (execute.h) over calling
+ * these entry points directly. Its ExecOptions select the path:
+ *   - mode == kSequential, or kAuto with num_threads == 1
+ *       -> RunProgram (this file): in-order interpretation, bit-identical
+ *          reference results, RunControl honored per gate.
+ *   - mode == kWaveBarrier
+ *       -> RunProgramThreaded (this file): per-wave barrier, fresh threads
+ *          each wave; legacy Algorithm-1 reference. No RunControl support.
+ *   - mode == kDependencyCounting, or kAuto with num_threads > 1
+ *       -> Executor::Run (executor.h): persistent pool, gates start the
+ *          moment their inputs exist, RunControl honored per gate. Passing
+ *          ExecOptions::executor reuses a caller-owned pool; otherwise a
+ *          transient pool is created for the call.
+ * Multi-job serving (many programs interleaved on one pool) is a separate
+ * substrate: backend/serving.h.
  */
 #ifndef PYTFHE_BACKEND_INTERPRETER_H
 #define PYTFHE_BACKEND_INTERPRETER_H
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -28,6 +45,55 @@
 #include "pasm/program.h"
 
 namespace pytfhe::backend {
+
+/** A run was abandoned because its RunControl cancel flag was raised. */
+class CancelledError : public std::runtime_error {
+  public:
+    CancelledError() : std::runtime_error("run cancelled") {}
+};
+
+/** A run was abandoned because its RunControl deadline passed. */
+class DeadlineExceededError : public std::runtime_error {
+  public:
+    DeadlineExceededError() : std::runtime_error("run deadline exceeded") {}
+};
+
+/**
+ * Cooperative mid-run controls, checked at gate granularity: a run stops
+ * between gates once the deadline passes or the (caller-owned) cancel flag
+ * is raised, and the interpreter throws the matching typed error after the
+ * in-flight gates drain. Defaults are fully disengaged and add a single
+ * branch to the hot loop. Partial results are discarded — an aborted run
+ * produces no outputs.
+ */
+struct RunControl {
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+    const std::atomic<bool>* cancel = nullptr;
+
+    bool Engaged() const {
+        return cancel != nullptr ||
+               deadline != std::chrono::steady_clock::time_point::max();
+    }
+
+    /** 0 = keep going, else the abort reason observed right now. */
+    enum class Abort { kNone, kCancelled, kDeadline };
+    Abort Check() const {
+        if (cancel != nullptr &&
+            cancel->load(std::memory_order_relaxed))
+            return Abort::kCancelled;
+        if (deadline != std::chrono::steady_clock::time_point::max() &&
+            std::chrono::steady_clock::now() >= deadline)
+            return Abort::kDeadline;
+        return Abort::kNone;
+    }
+
+    /** Throws the typed error for a non-kNone abort reason. */
+    [[noreturn]] static void Raise(Abort reason) {
+        if (reason == Abort::kDeadline) throw DeadlineExceededError();
+        throw CancelledError();
+    }
+};
 
 namespace detail {
 
@@ -112,14 +178,17 @@ C ApplyGate(Evaluator& eval, circuit::GateType t, const C& a, bool a_linear,
 /**
  * Executes `program` on `inputs` (one ciphertext per input instruction).
  * Returns one ciphertext per output instruction. Throws
- * std::invalid_argument if inputs.size() != program.NumInputs().
+ * std::invalid_argument if inputs.size() != program.NumInputs();
+ * CancelledError / DeadlineExceededError when `control` triggers mid-run.
  */
 template <typename Evaluator>
 std::vector<typename Evaluator::Ciphertext> RunProgram(
     const pasm::Program& program, Evaluator& eval,
-    const std::vector<typename Evaluator::Ciphertext>& inputs) {
+    const std::vector<typename Evaluator::Ciphertext>& inputs,
+    const RunControl& control = {}) {
     using C = typename Evaluator::Ciphertext;
     detail::ValidateRunArgs(program, inputs.size(), 1);
+    const bool guarded = control.Engaged();
 
     const uint64_t first_gate = program.FirstGateIndex();
     const uint64_t end_gate = first_gate + program.NumGates();
@@ -128,6 +197,10 @@ std::vector<typename Evaluator::Ciphertext> RunProgram(
     for (uint64_t i = 0; i < inputs.size(); ++i) value[1 + i] = inputs[i];
     typename detail::WorkerScratchOf<Evaluator>::type scratch{};
     for (uint64_t idx = first_gate; idx < end_gate; ++idx) {
+        if (guarded) {
+            const RunControl::Abort abort = control.Check();
+            if (abort != RunControl::Abort::kNone) RunControl::Raise(abort);
+        }
         const pasm::DecodedGate g = program.GateAt(idx);
         value[idx] = detail::ApplyGate(
             eval, g.type, value[g.in0], program.ProducesLinearDomain(g.in0),

@@ -1,0 +1,595 @@
+/**
+ * @file
+ * Multi-job serving substrate: many programs interleaved gate-by-gate on
+ * one persistent worker pool.
+ *
+ * Executor::Run multiplexes the gates of ONE program; a server under load
+ * has many small encrypted jobs whose individual dependency chains leave
+ * most workers idle (a ripple adder keeps ~1.3 threads busy no matter how
+ * many it is given). ServingExecutor keeps the dependency-counting
+ * discipline per job but lets the shared workers pick ready gates from
+ * every admitted job, so independent jobs fill each other's pipeline
+ * bubbles.
+ *
+ * Scheduling policy, in order:
+ *   - Admission: at most `max_active_jobs` jobs execute concurrently;
+ *     excess submissions wait in a FIFO queue. Submissions beyond
+ *     `max_pending_jobs` (queued + active) are rejected immediately with
+ *     the typed OverloadedError — bounded memory, no silent growth.
+ *   - Fairness: workers scan active jobs round-robin and each job holds at
+ *     most `per_job_inflight_cap` gates in flight, so one wide job cannot
+ *     monopolize the pool while narrow jobs starve.
+ *   - Chaining: a worker finishing a gate runs one newly ready successor
+ *     of the same job directly (no queue round-trip), which preserves the
+ *     in-flight count it already holds — depth-first within a job, fair
+ *     across jobs.
+ *
+ * Cancellation and deadlines are cooperative at gate granularity: a
+ * cancelled or expired job stops evaluating gates but still drains its
+ * dependency counts (skipped gates cost a counter decrement, not a
+ * bootstrap), so it terminates promptly without special-casing the
+ * scheduler. Queued jobs check the deadline at admission; there is no
+ * timer thread.
+ */
+#ifndef PYTFHE_BACKEND_SERVING_H
+#define PYTFHE_BACKEND_SERVING_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "backend/executor.h"
+#include "backend/interpreter.h"
+#include "circuit/gate_type.h"
+#include "pasm/program.h"
+
+namespace pytfhe::backend {
+
+/** Typed admission rejection: queued + active jobs hit the bound. */
+class OverloadedError : public std::runtime_error {
+  public:
+    explicit OverloadedError(const std::string& what)
+        : std::runtime_error(what) {}
+};
+
+/** Lifecycle of one submitted job. */
+enum class JobStatus {
+    kQueued,    ///< Admitted to the service, waiting for an active slot.
+    kRunning,   ///< Gates executing (or draining after cancel/expiry).
+    kDone,      ///< All gates executed; outputs available.
+    kCancelled, ///< Cancel() landed before completion; no outputs.
+    kDeadlineExceeded,  ///< Deadline passed before completion; no outputs.
+};
+
+inline bool IsTerminal(JobStatus s) {
+    return s == JobStatus::kDone || s == JobStatus::kCancelled ||
+           s == JobStatus::kDeadlineExceeded;
+}
+
+/** Per-job accounting, final once the job reaches a terminal status. */
+struct JobMetrics {
+    double queue_seconds = 0.0;  ///< Submit -> first active (admission).
+    double run_seconds = 0.0;    ///< Admission -> terminal.
+    double wall_seconds = 0.0;   ///< Submit -> terminal.
+    uint64_t total_gates = 0;    ///< Gates in the program.
+    uint64_t gates_executed = 0; ///< Gates actually evaluated.
+    uint64_t gates_skipped = 0;  ///< Drained without evaluation.
+    /** Executed kLin* gates: bootstraps the elision pass saved this job. */
+    uint64_t bootstraps_elided = 0;
+};
+
+/** Serving-wide counters; a consistent snapshot is taken under the lock. */
+struct ServingStats {
+    uint64_t jobs_submitted = 0;
+    uint64_t jobs_completed = 0;
+    uint64_t jobs_cancelled = 0;
+    uint64_t jobs_deadline_exceeded = 0;
+    uint64_t jobs_rejected = 0;  ///< Backpressure rejections (Overloaded).
+    uint64_t gates_executed = 0;
+    uint64_t bootstraps_elided = 0;
+    double total_queue_seconds = 0.0;
+    double total_run_seconds = 0.0;
+    uint32_t max_active_observed = 0;  ///< Peak concurrently active jobs.
+};
+
+/** Knobs for one ServingExecutor; all bounds must be >= 1. */
+struct ServingOptions {
+    int32_t num_workers = 4;
+    /** Jobs executing concurrently; the rest queue FIFO. */
+    uint32_t max_active_jobs = 8;
+    /** Queued + active bound; submissions beyond it throw Overloaded. */
+    uint32_t max_pending_jobs = 64;
+    /** Fairness cap: gates of one job in flight at once. */
+    uint32_t per_job_inflight_cap = 4;
+};
+
+/**
+ * The multi-job scheduler. One instance per service; workers are the
+ * persistent pool of a caller-owned Executor (the executor must outlive
+ * this object, and its pool is occupied for this object's whole lifetime).
+ * Evaluators passed to Submit must be safe to call concurrently and must
+ * outlive their jobs — a serving registry typically owns one evaluator per
+ * tenant key.
+ *
+ * Thread-safety: Submit, Stop, stats and every Job method may be called
+ * from any thread.
+ */
+template <typename Evaluator>
+class ServingExecutor {
+  public:
+    using Ciphertext = typename Evaluator::Ciphertext;
+
+    /** Per-submission options (service-wide knobs live in ServingOptions). */
+    struct SubmitOptions {
+        /** Absolute wall deadline; time_point::max() = none. */
+        std::chrono::steady_clock::time_point deadline =
+            std::chrono::steady_clock::time_point::max();
+    };
+
+    class Job;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    using JobPtr = std::shared_ptr<Job>;
+
+    /**
+     * All shared scheduler state, one mutex. Shared-ptr-owned so a Job
+     * handle outliving the ServingExecutor keeps the synchronization
+     * primitives its methods lock alive.
+     */
+    struct Core {
+        explicit Core(ServingOptions o) : opts(o) {}
+
+        const ServingOptions opts;
+
+        std::mutex mu;
+        std::condition_variable work_cv;  ///< Workers wait for ready gates.
+        std::vector<JobPtr> active;
+        std::deque<JobPtr> queued;
+        size_t rr = 0;  ///< Round-robin cursor into `active`.
+        bool shutdown = false;
+        ServingStats stats;
+
+        /** Pops the next ready gate, fair round-robin under the cap. */
+        bool PickLocked(JobPtr* job, uint64_t* gate) {
+            const size_t n = active.size();
+            for (size_t i = 0; i < n; ++i) {
+                const size_t j = (rr + i) % n;
+                Job& cand = *active[j];
+                if (cand.ready.empty() ||
+                    cand.in_flight >= opts.per_job_inflight_cap)
+                    continue;
+                *gate = cand.ready.back();
+                cand.ready.pop_back();
+                *job = active[j];
+                rr = (j + 1) % n;
+                return true;
+            }
+            return false;
+        }
+
+        /**
+         * Terminal transition: fills metrics, harvests outputs on kDone,
+         * updates stats, wakes waiters. Container removal is the caller's
+         * job (the job may live in `queued` or `active`).
+         */
+        void FinishLocked(Job& job, JobStatus status) {
+            const Clock::time_point end = Clock::now();
+            job.status = status;
+            job.metrics.total_gates = job.program->NumGates();
+            job.metrics.wall_seconds = Seconds(job.submit_time, end);
+            if (job.started) {
+                job.metrics.queue_seconds =
+                    Seconds(job.submit_time, job.start_time);
+                job.metrics.run_seconds = Seconds(job.start_time, end);
+            } else {
+                job.metrics.queue_seconds = job.metrics.wall_seconds;
+            }
+            job.metrics.gates_executed = job.gates_executed;
+            job.metrics.gates_skipped = job.gates_skipped;
+            job.metrics.bootstraps_elided = job.linear_executed;
+            if (status == JobStatus::kDone) {
+                job.outputs.reserve(job.program->OutputIndices().size());
+                for (uint64_t src : job.program->OutputIndices())
+                    job.outputs.push_back(job.values[src]);
+                ++stats.jobs_completed;
+            } else if (status == JobStatus::kCancelled) {
+                ++stats.jobs_cancelled;
+            } else {
+                ++stats.jobs_deadline_exceeded;
+            }
+            stats.gates_executed += job.gates_executed;
+            stats.bootstraps_elided += job.linear_executed;
+            stats.total_queue_seconds += job.metrics.queue_seconds;
+            stats.total_run_seconds += job.metrics.run_seconds;
+            job.done_cv.notify_all();
+            // Wakes idle workers so shutdown drain can complete, and lets
+            // a blocked Submit-side admission happen below via AdmitLocked.
+            work_cv.notify_all();
+        }
+
+        /** Moves queued jobs into active slots while capacity allows. */
+        void AdmitLocked() {
+            while (active.size() < opts.max_active_jobs && !queued.empty()) {
+                JobPtr job = std::move(queued.front());
+                queued.pop_front();
+                if (job->cancel_requested.load(std::memory_order_relaxed)) {
+                    FinishLocked(*job, JobStatus::kCancelled);
+                    continue;
+                }
+                if (Clock::now() >= job->deadline) {
+                    FinishLocked(*job, JobStatus::kDeadlineExceeded);
+                    continue;
+                }
+                job->started = true;
+                job->start_time = Clock::now();
+                job->status = JobStatus::kRunning;
+                active.push_back(std::move(job));
+                stats.max_active_observed =
+                    std::max(stats.max_active_observed,
+                             static_cast<uint32_t>(active.size()));
+                work_cv.notify_all();
+            }
+        }
+
+        /** Removes a finished job from `active` and admits successors. */
+        void FinishActiveLocked(Job& job, JobStatus status) {
+            FinishLocked(job, status);
+            for (size_t i = 0; i < active.size(); ++i) {
+                if (active[i].get() == &job) {
+                    active.erase(active.begin() + i);
+                    break;
+                }
+            }
+            AdmitLocked();
+        }
+
+        static double Seconds(Clock::time_point a, Clock::time_point b) {
+            return std::chrono::duration<double>(b - a).count();
+        }
+
+        /**
+         * One worker of the shared pool: pick a ready gate from any job,
+         * execute (or drain) it, propagate dependency counts, chain into
+         * at most one newly ready successor.
+         */
+        void WorkerLoop() {
+            typename detail::WorkerScratchOf<Evaluator>::type scratch{};
+            std::vector<uint64_t> publish;
+            std::unique_lock<std::mutex> lock(mu);
+            while (true) {
+                JobPtr job;
+                uint64_t gate = 0;
+                if (!PickLocked(&job, &gate)) {
+                    if (shutdown && active.empty() && queued.empty())
+                        return;
+                    work_cv.wait(lock);
+                    continue;
+                }
+                ++job->in_flight;
+                lock.unlock();
+                RunChain(*job, gate, scratch, publish, lock);
+                // RunChain returns with the lock re-held.
+            }
+        }
+
+        template <typename Scratch>
+        void RunChain(Job& job, uint64_t gate, Scratch& scratch,
+                      std::vector<uint64_t>& publish,
+                      std::unique_lock<std::mutex>& lock) {
+            while (true) {
+                publish.clear();
+                bool skip =
+                    job.cancel_requested.load(std::memory_order_relaxed);
+                bool expired = false;
+                if (!skip && Clock::now() >= job.deadline) {
+                    expired = true;
+                    skip = true;
+                }
+                bool linear = false;
+                if (!skip) {
+                    const pasm::DecodedGate g = job.program->GateAt(gate);
+                    job.values[gate] = detail::ApplyGate(
+                        *job.eval, g.type, job.values[g.in0],
+                        job.program->ProducesLinearDomain(g.in0),
+                        job.values[g.in1],
+                        job.program->ProducesLinearDomain(g.in1), scratch);
+                    linear = circuit::IsLinearGate(g.type);
+                }
+                // The final decrement transfers ownership of the successor's
+                // inputs to whoever saw zero, hence acq_rel.
+                uint64_t next = detail::kNoGate;
+                const auto [s, e] = job.deps.SuccessorsOf(gate);
+                for (const uint64_t* p = s; p != e; ++p) {
+                    if (job.pending[*p - job.first_gate].fetch_sub(
+                            1, std::memory_order_acq_rel) == 1) {
+                        if (next == detail::kNoGate) {
+                            next = *p;
+                        } else {
+                            publish.push_back(*p);
+                        }
+                    }
+                }
+                lock.lock();
+                if (expired) job.deadline_hit = true;
+                if (skip) {
+                    ++job.gates_skipped;
+                } else {
+                    ++job.gates_executed;
+                    if (linear) ++job.linear_executed;
+                }
+                if (!publish.empty()) {
+                    job.ready.insert(job.ready.end(), publish.begin(),
+                                     publish.end());
+                    if (publish.size() == 1) {
+                        work_cv.notify_one();
+                    } else {
+                        work_cv.notify_all();
+                    }
+                }
+                if (--job.remaining == 0) {
+                    --job.in_flight;
+                    FinishActiveLocked(
+                        job, job.cancel_requested.load(
+                                 std::memory_order_relaxed)
+                                 ? JobStatus::kCancelled
+                                 : (job.deadline_hit
+                                        ? JobStatus::kDeadlineExceeded
+                                        : JobStatus::kDone));
+                    return;
+                }
+                if (next != detail::kNoGate) {
+                    // Keep the in-flight slot and chain depth-first.
+                    lock.unlock();
+                    gate = next;
+                    continue;
+                }
+                --job.in_flight;
+                if (!job.ready.empty()) work_cv.notify_one();
+                return;
+            }
+        }
+    };
+
+  public:
+    /**
+     * A future-like handle to one submitted job. Copies of the shared_ptr
+     * returned by Submit stay valid after the ServingExecutor is gone
+     * (every job is terminal by then — Stop cancels stragglers).
+     */
+    class Job {
+      public:
+        /** Blocks until the job is terminal; returns the terminal status. */
+        JobStatus Wait() {
+            std::unique_lock<std::mutex> lock(core_->mu);
+            done_cv.wait(lock, [&] { return IsTerminal(status); });
+            return status;
+        }
+
+        /** Non-blocking: terminal status, or nullopt while in progress. */
+        std::optional<JobStatus> TryGet() const {
+            std::lock_guard<std::mutex> lock(core_->mu);
+            if (!IsTerminal(status)) return std::nullopt;
+            return status;
+        }
+
+        /**
+         * Requests cancellation. Returns true if the request landed before
+         * the job finished (the job will terminate kCancelled — instantly
+         * when still queued, after its in-flight gates drain when
+         * running); false if the job was already terminal.
+         */
+        bool Cancel() {
+            std::lock_guard<std::mutex> lock(core_->mu);
+            if (IsTerminal(status)) return false;
+            cancel_requested.store(true, std::memory_order_relaxed);
+            if (status == JobStatus::kQueued) {
+                for (size_t i = 0; i < core_->queued.size(); ++i) {
+                    if (core_->queued[i].get() == this) {
+                        JobPtr self = std::move(core_->queued[i]);
+                        core_->queued.erase(core_->queued.begin() + i);
+                        core_->FinishLocked(*self, JobStatus::kCancelled);
+                        break;
+                    }
+                }
+            } else {
+                core_->work_cv.notify_all();
+            }
+            return true;
+        }
+
+        /**
+         * Result ciphertexts, one per program output. Blocks like Wait;
+         * throws CancelledError / DeadlineExceededError if the job ended
+         * without producing outputs.
+         */
+        const std::vector<Ciphertext>& Outputs() {
+            switch (Wait()) {
+                case JobStatus::kCancelled: throw CancelledError();
+                case JobStatus::kDeadlineExceeded:
+                    throw DeadlineExceededError();
+                default: break;
+            }
+            return outputs;
+        }
+
+        /** Final accounting; blocks until the job is terminal. */
+        JobMetrics Metrics() {
+            (void)Wait();
+            std::lock_guard<std::mutex> lock(core_->mu);
+            return metrics;
+        }
+
+      private:
+        friend class ServingExecutor;
+        friend struct Core;
+
+        Job(std::shared_ptr<Core> core,
+            std::shared_ptr<const pasm::Program> p, Evaluator* e,
+            const SubmitOptions& so)
+            : core_(std::move(core)),
+              program(std::move(p)),
+              eval(e),
+              deps(program->BuildGateDependencies()),
+              first_gate(program->FirstGateIndex()),
+              submit_time(Clock::now()),
+              deadline(so.deadline),
+              values(first_gate + program->NumGates()),
+              pending(program->NumGates()),
+              remaining(program->NumGates()) {
+            for (uint64_t g = 0; g < program->NumGates(); ++g)
+                pending[g].store(deps.pred_count[g],
+                                 std::memory_order_relaxed);
+            ready = deps.RootGates();
+        }
+
+        const std::shared_ptr<Core> core_;
+
+        // Immutable after construction.
+        const std::shared_ptr<const pasm::Program> program;
+        Evaluator* const eval;
+        const pasm::GateDependencies deps;
+        const uint64_t first_gate;
+        const Clock::time_point submit_time;
+        const Clock::time_point deadline;
+
+        // Lock-free gate state: slots race-free by construction (one
+        // writer per slot), pending counts atomic.
+        detail::SlotBuffer<Ciphertext> values;
+        std::vector<std::atomic<uint32_t>> pending;
+        std::atomic<bool> cancel_requested{false};
+
+        // Guarded by core_->mu.
+        JobStatus status = JobStatus::kQueued;
+        std::vector<uint64_t> ready;
+        uint32_t in_flight = 0;
+        uint64_t remaining;
+        bool started = false;
+        bool deadline_hit = false;
+        Clock::time_point start_time{};
+        uint64_t gates_executed = 0;
+        uint64_t gates_skipped = 0;
+        uint64_t linear_executed = 0;
+        std::vector<Ciphertext> outputs;
+        JobMetrics metrics;
+        std::condition_variable done_cv;
+    };
+
+    /**
+     * Starts the serving workers on `executor`'s pool. The pool is held
+     * for this object's entire lifetime (one RunOnWorkers region that ends
+     * at Stop), so the executor cannot run other programs meanwhile.
+     */
+    ServingExecutor(Executor& executor, const ServingOptions& options)
+        : core_(std::make_shared<Core>(Validated(options))) {
+        std::shared_ptr<Core> core = core_;
+        dispatcher_ = std::thread([core, &executor] {
+            executor.pool().RunOnWorkers(core->opts.num_workers - 1,
+                                         [&core] { core->WorkerLoop(); });
+        });
+    }
+
+    ~ServingExecutor() { Stop(); }
+    ServingExecutor(const ServingExecutor&) = delete;
+    ServingExecutor& operator=(const ServingExecutor&) = delete;
+
+    /**
+     * Submits one job: the program (shared, not copied), the evaluator to
+     * run it on (per-tenant key material), and the input ciphertexts, one
+     * per program input. Returns the job handle immediately.
+     *
+     * Throws std::invalid_argument on a null program or input-count
+     * mismatch, OverloadedError when the pending bound is hit, and
+     * std::runtime_error after Stop.
+     */
+    JobPtr Submit(std::shared_ptr<const pasm::Program> program,
+                  Evaluator& eval, std::vector<Ciphertext> inputs,
+                  const SubmitOptions& options = {}) {
+        if (!program)
+            throw std::invalid_argument("ServingExecutor: null program");
+        detail::ValidateRunArgs(*program, inputs.size(), 1);
+        JobPtr job(new Job(core_, std::move(program), &eval, options));
+        for (uint64_t i = 0; i < inputs.size(); ++i)
+            job->values[1 + i] = std::move(inputs[i]);
+
+        std::lock_guard<std::mutex> lock(core_->mu);
+        if (core_->shutdown)
+            throw std::runtime_error("ServingExecutor: stopped");
+        if (core_->queued.size() + core_->active.size() >=
+            core_->opts.max_pending_jobs) {
+            ++core_->stats.jobs_rejected;
+            throw OverloadedError(
+                "ServingExecutor: overloaded (" +
+                std::to_string(core_->opts.max_pending_jobs) +
+                " jobs pending); retry later");
+        }
+        ++core_->stats.jobs_submitted;
+        if (job->program->NumGates() == 0) {
+            // Pass-through program: outputs reference inputs directly.
+            job->started = true;
+            job->start_time = Clock::now();
+            core_->FinishLocked(*job, JobStatus::kDone);
+            return job;
+        }
+        core_->queued.push_back(job);
+        core_->AdmitLocked();
+        return job;
+    }
+
+    /** Consistent snapshot of the serving counters. */
+    ServingStats stats() const {
+        std::lock_guard<std::mutex> lock(core_->mu);
+        return core_->stats;
+    }
+
+    /**
+     * Cancels queued jobs, requests cancellation of active ones, drains
+     * the workers, and releases the executor pool. Idempotent; called by
+     * the destructor. Wait for jobs you care about before stopping.
+     */
+    void Stop() {
+        {
+            std::lock_guard<std::mutex> lock(core_->mu);
+            if (!core_->shutdown) {
+                core_->shutdown = true;
+                while (!core_->queued.empty()) {
+                    JobPtr job = std::move(core_->queued.front());
+                    core_->queued.pop_front();
+                    core_->FinishLocked(*job, JobStatus::kCancelled);
+                }
+                for (const JobPtr& job : core_->active)
+                    job->cancel_requested.store(true,
+                                                std::memory_order_relaxed);
+            }
+            core_->work_cv.notify_all();
+        }
+        if (dispatcher_.joinable()) dispatcher_.join();
+    }
+
+    const ServingOptions& options() const { return core_->opts; }
+
+  private:
+    static ServingOptions Validated(const ServingOptions& o) {
+        if (o.num_workers < 1 || o.max_active_jobs < 1 ||
+            o.max_pending_jobs < 1 || o.per_job_inflight_cap < 1)
+            throw std::invalid_argument(
+                "ServingOptions: all knobs must be >= 1");
+        return o;
+    }
+
+    std::shared_ptr<Core> core_;
+    std::thread dispatcher_;
+};
+
+}  // namespace pytfhe::backend
+
+#endif  // PYTFHE_BACKEND_SERVING_H

@@ -54,9 +54,40 @@ std::unique_ptr<Server> Client::MakeServer() {
         std::make_unique<tfhe::GateEvaluator>(secret_, rng_));
 }
 
+std::shared_ptr<tfhe::GateEvaluator> Client::MakeEvaluationKey() {
+    return std::make_shared<tfhe::GateEvaluator>(secret_, rng_);
+}
+
+Ciphertexts Server::Run(const pasm::Program& program,
+                        const Ciphertexts& inputs,
+                        const RunOptions& options) {
+    backend::ExecOptions exec;
+    exec.num_threads = options.num_threads;
+    exec.executor = &executor_;
+    if (options.deadline_seconds > 0.0)
+        exec.control.deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(options.deadline_seconds));
+    if (!options.profile)
+        return backend::Execute(program, evaluator_, inputs, exec);
+
+    const tfhe::GateProfileSnapshot before = gates_->profile().Snapshot();
+    Ciphertexts out = backend::Execute(program, evaluator_, inputs, exec);
+    const tfhe::GateProfileSnapshot after = gates_->profile().Snapshot();
+    last_run_profile_ = tfhe::GateProfileSnapshot{
+        after.linear_seconds - before.linear_seconds,
+        after.blind_rotate_seconds - before.blind_rotate_seconds,
+        after.key_switch_seconds - before.key_switch_seconds,
+        after.bootstrap_count - before.bootstrap_count};
+    return out;
+}
+
 Ciphertexts Server::Run(const pasm::Program& program,
                         const Ciphertexts& inputs, int32_t num_threads) {
-    return executor_.Run(program, evaluator_, inputs, num_threads);
+    RunOptions options;
+    options.num_threads = num_threads;
+    return Run(program, inputs, options);
 }
 
 }  // namespace pytfhe::core

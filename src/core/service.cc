@@ -1,0 +1,67 @@
+#include "core/service.h"
+
+#include <chrono>
+#include <utility>
+
+namespace pytfhe::core {
+
+Service::Service(const ServiceOptions& options)
+    : serving_(executor_, options.serving) {}
+
+Service::~Service() {
+    serving_.Stop();
+}
+
+KeyId Service::RegisterTenant(std::shared_ptr<tfhe::GateEvaluator> gates) {
+    if (!gates)
+        throw std::invalid_argument("Service::RegisterTenant: null evaluator");
+    const KeyId id = gates->key_id();
+    if (!id.IsSet())
+        throw std::invalid_argument(
+            "Service::RegisterTenant: evaluation key carries no KeyId; "
+            "construct the GateEvaluator from a SecretKeySet or pass an "
+            "explicit id");
+    std::lock_guard<std::mutex> lock(mu_);
+    tenants_.try_emplace(id.value, std::move(gates));
+    return id;
+}
+
+JobHandle Service::Submit(KeyId key, const pasm::Program& program,
+                          Ciphertexts inputs, const RunOptions& options) {
+    return Submit(key, std::make_shared<const pasm::Program>(program),
+                  std::move(inputs), options);
+}
+
+JobHandle Service::Submit(KeyId key,
+                          std::shared_ptr<const pasm::Program> program,
+                          Ciphertexts inputs, const RunOptions& options) {
+    backend::TfheEvaluator* evaluator = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = tenants_.find(key.value);
+        if (it != tenants_.end()) evaluator = &it->second.evaluator;
+    }
+    if (evaluator == nullptr)
+        throw UnknownKeyError("Service::Submit: no tenant registered for " +
+                              key.ToString() +
+                              "; call RegisterTenant first");
+    backend::ServingExecutor<backend::TfheEvaluator>::SubmitOptions so;
+    if (options.deadline_seconds > 0.0)
+        so.deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(options.deadline_seconds));
+    return JobHandle(
+        serving_.Submit(std::move(program), *evaluator, std::move(inputs), so),
+        key);
+}
+
+Service::Stats Service::stats() const {
+    Stats out;
+    out.serving = serving_.stats();
+    std::lock_guard<std::mutex> lock(mu_);
+    out.tenants = tenants_.size();
+    return out;
+}
+
+}  // namespace pytfhe::core

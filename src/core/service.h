@@ -1,0 +1,176 @@
+/**
+ * @file
+ * core::Service — the multi-tenant serving runtime.
+ *
+ * The Fig. 1 cloud scenario has one client and one blocking request; a
+ * production server multiplexes many encrypted jobs from many clients
+ * over one shared worker pool. Service owns the persistent
+ * backend::Executor whose pool runs a backend::ServingExecutor: jobs from
+ * different tenants interleave at gate granularity (see serving.h for the
+ * fairness/backpressure policy), and each tenant evaluates under its own
+ * registered evaluation key.
+ *
+ * Protocol:
+ *   1. A client registers its public evaluation key once:
+ *        service.RegisterTenant(client.MakeEvaluationKey())
+ *      The returned KeyId equals client.key_id() — a stable digest of the
+ *      key material, so the client can verify it is talking to a service
+ *      that really holds *its* keys.
+ *   2. The client submits jobs against that id:
+ *        auto job = service.Submit(id, program, inputs, options);
+ *      Submit returns immediately with a JobHandle; an unknown id throws
+ *      UnknownKeyError (instead of evaluating under the wrong key and
+ *      returning garbage), and a full service throws
+ *      backend::OverloadedError.
+ *   3. The client waits on the handle and decrypts:
+ *        Ciphertexts out = job.Get();   // or TryGet() to poll, Cancel()
+ */
+#ifndef PYTFHE_CORE_SERVICE_H
+#define PYTFHE_CORE_SERVICE_H
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "backend/serving.h"
+#include "core/runtime.h"
+
+namespace pytfhe::core {
+
+using backend::JobMetrics;
+using backend::JobStatus;
+using backend::OverloadedError;
+
+/** Typed rejection: job submitted under a KeyId the service never saw. */
+class UnknownKeyError : public std::invalid_argument {
+  public:
+    explicit UnknownKeyError(const std::string& what)
+        : std::invalid_argument(what) {}
+};
+
+/** Service-wide configuration; see backend::ServingOptions for semantics. */
+struct ServiceOptions {
+    backend::ServingOptions serving;
+};
+
+/**
+ * Future-like handle to one submitted job. Cheap to copy; valid after the
+ * Service is destroyed (jobs are terminal by then).
+ */
+class JobHandle {
+  public:
+    /** Blocks until the job is terminal; returns the terminal status. */
+    JobStatus Wait() const { return job_->Wait(); }
+
+    /** Non-blocking: terminal status, or nullopt while queued/running. */
+    std::optional<JobStatus> TryGet() const { return job_->TryGet(); }
+
+    /**
+     * Requests cancellation; true if it landed before completion (the job
+     * will resolve kCancelled), false if the job was already terminal.
+     */
+    bool Cancel() const { return job_->Cancel(); }
+
+    /**
+     * The result ciphertexts; blocks until terminal. Throws
+     * backend::CancelledError / backend::DeadlineExceededError if the job
+     * ended without outputs.
+     */
+    const Ciphertexts& Get() const { return job_->Outputs(); }
+
+    /** Per-job accounting (queue wait, gates, elided bootstraps, wall). */
+    JobMetrics Metrics() const { return job_->Metrics(); }
+
+    /** The tenant key this job evaluates under. */
+    KeyId key_id() const { return key_id_; }
+
+  private:
+    friend class Service;
+    using BackendJob =
+        backend::ServingExecutor<backend::TfheEvaluator>::Job;
+
+    JobHandle(std::shared_ptr<BackendJob> job, KeyId key_id)
+        : job_(std::move(job)), key_id_(key_id) {}
+
+    std::shared_ptr<BackendJob> job_;
+    KeyId key_id_;
+};
+
+/**
+ * The serving runtime. Construction starts the worker pool; destruction
+ * cancels outstanding jobs and drains it. All methods are thread-safe.
+ */
+class Service {
+  public:
+    explicit Service(const ServiceOptions& options = {});
+    ~Service();
+    Service(const Service&) = delete;
+    Service& operator=(const Service&) = delete;
+
+    /**
+     * Registers one tenant's public evaluation key and returns its KeyId
+     * (the stable digest the key already carries — the client holds the
+     * same value). Registering the same key twice is idempotent. Throws
+     * std::invalid_argument for a null evaluator or one without a key
+     * identity (key_id().IsSet() == false, e.g. loaded from disk without
+     * recording an id).
+     */
+    KeyId RegisterTenant(std::shared_ptr<tfhe::GateEvaluator> gates);
+
+    /**
+     * Submits a job for tenant `key`: `program` over `inputs`, scheduled
+     * on the shared pool. Returns immediately. options.deadline_seconds
+     * bounds the job's wall time (queue wait included);
+     * options.num_threads is ignored — parallelism belongs to the
+     * service. Throws UnknownKeyError for an unregistered key,
+     * backend::OverloadedError under backpressure, std::invalid_argument
+     * on input-count mismatch.
+     */
+    JobHandle Submit(KeyId key, const pasm::Program& program,
+                     Ciphertexts inputs, const RunOptions& options = {});
+
+    /** Same, sharing the program instead of copying it. */
+    JobHandle Submit(KeyId key,
+                     std::shared_ptr<const pasm::Program> program,
+                     Ciphertexts inputs, const RunOptions& options = {});
+
+    /** Aggregated serving counters plus the tenant count. */
+    struct Stats {
+        backend::ServingStats serving;
+        uint64_t tenants = 0;
+    };
+    Stats stats() const;
+
+    const backend::ServingOptions& serving_options() const {
+        return serving_.options();
+    }
+
+  private:
+    /**
+     * A registered tenant: the owning handle on the key material plus the
+     * TfheEvaluator the scheduler calls into. std::map nodes are stable,
+     * so jobs hold pointers into the entry across rehash-free lifetime.
+     */
+    struct Tenant {
+        std::shared_ptr<tfhe::GateEvaluator> gates;
+        backend::TfheEvaluator evaluator;
+
+        explicit Tenant(std::shared_ptr<tfhe::GateEvaluator> g)
+            : gates(std::move(g)), evaluator(*gates) {}
+    };
+
+    mutable std::mutex mu_;  ///< Guards tenants_ only.
+    std::map<uint64_t, Tenant> tenants_;
+
+    // Destruction order matters: serving_ must stop (dtor drains workers)
+    // before executor_'s pool is torn down, hence executor_ first.
+    backend::Executor executor_;
+    backend::ServingExecutor<backend::TfheEvaluator> serving_;
+};
+
+}  // namespace pytfhe::core
+
+#endif  // PYTFHE_CORE_SERVICE_H

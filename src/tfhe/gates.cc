@@ -1,6 +1,8 @@
 #include "tfhe/gates.h"
 
+#include <bit>
 #include <chrono>
+#include <cstdio>
 
 namespace pytfhe::tfhe {
 
@@ -34,6 +36,45 @@ LweSample LinearCombine(int32_t coef_a, const LweSample& a, int32_t coef_b,
 }
 
 }  // namespace
+
+namespace {
+
+/** FNV-1a over 64-bit words; the digest behind KeyId. */
+struct Fnv64 {
+    uint64_t h = UINT64_C(1469598103934665603);
+
+    void Mix(uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= UINT64_C(1099511628211);
+        }
+    }
+};
+
+}  // namespace
+
+std::string KeyId::ToString() const {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "key:%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+KeyId ComputeKeyId(const SecretKeySet& secret) {
+    Fnv64 fnv;
+    const Params& p = secret.params;
+    for (int32_t v : {p.n, p.big_n, p.k, p.bk_l, p.bk_bg_bit, p.ks_t,
+                      p.ks_base_bit})
+        fnv.Mix(static_cast<uint64_t>(v));
+    fnv.Mix(std::bit_cast<uint64_t>(p.lwe_noise_stddev));
+    fnv.Mix(std::bit_cast<uint64_t>(p.tlwe_noise_stddev));
+    for (int32_t bit : secret.lwe_key.key)
+        fnv.Mix(static_cast<uint64_t>(bit));
+    for (const IntPolynomial& poly : secret.tlwe_key.key)
+        for (int32_t c : poly.coefs) fnv.Mix(static_cast<uint64_t>(c));
+    // 0 is reserved for "no identity"; remap the (2^-64) collision.
+    return KeyId{fnv.h == 0 ? UINT64_C(1) : fnv.h};
+}
 
 LweSample LweLinearXor(const LweSample& a, bool a_linear, const LweSample& b,
                        bool b_linear) {

@@ -18,10 +18,42 @@
 
 #include <atomic>
 #include <memory>
+#include <string>
 
 #include "tfhe/bootstrap.h"
 
 namespace pytfhe::tfhe {
+
+/**
+ * Stable identity of one client's key material: an FNV-1a digest of the
+ * parameter set plus the secret key bits the evaluation key was derived
+ * from. Every evaluation key generated from the same SecretKeySet hashes
+ * to the same KeyId (regeneration randomness does not enter the hash), so
+ * a client and the server it provisioned always agree on the id, and a
+ * serving registry can reject a job submitted against the wrong tenant's
+ * keys with a clear error instead of returning garbage decryptions.
+ * value == 0 means "no identity attached" (e.g. a key loaded from disk
+ * without one).
+ */
+struct KeyId {
+    uint64_t value = 0;
+
+    bool IsSet() const { return value != 0; }
+    /** Hex rendering for error messages, e.g. "key:4f1d22ab90c3e877". */
+    std::string ToString() const;
+
+    friend bool operator==(const KeyId& a, const KeyId& b) {
+        return a.value == b.value;
+    }
+    friend bool operator!=(const KeyId& a, const KeyId& b) {
+        return a.value != b.value;
+    }
+};
+
+struct SecretKeySet;
+
+/** Digest of `secret`'s params + key bits; never returns an unset id. */
+KeyId ComputeKeyId(const SecretKeySet& secret);
 
 /**
  * Linear-domain gates: XOR/XNOR/NOT evaluated as pure LWE sample
@@ -152,14 +184,24 @@ class GateEvaluator {
     /** Generates the evaluation key from the client's secret keys. */
     GateEvaluator(const SecretKeySet& secret, Rng& rng)
         : key_(std::make_shared<BootstrappingKey>(
-              secret.params, secret.lwe_key, secret.tlwe_key, rng)) {}
+              secret.params, secret.lwe_key, secret.tlwe_key, rng)),
+          key_id_(ComputeKeyId(secret)) {}
 
-    /** Wraps an existing evaluation key (e.g. loaded from disk). */
-    explicit GateEvaluator(std::shared_ptr<BootstrappingKey> key)
-        : key_(std::move(key)) {}
+    /**
+     * Wraps an existing evaluation key (e.g. loaded from disk). Pass the
+     * KeyId recorded alongside the key when it is known; the default leaves
+     * the evaluator without an identity (key_id().IsSet() == false), which
+     * a serving registry will refuse to register.
+     */
+    explicit GateEvaluator(std::shared_ptr<BootstrappingKey> key,
+                           KeyId key_id = {})
+        : key_(std::move(key)), key_id_(key_id) {}
 
     const Params& params() const { return key_->params(); }
     const BootstrappingKey& key() const { return *key_; }
+
+    /** Stable identity of the key material (see KeyId). */
+    KeyId key_id() const { return key_id_; }
 
     GateProfile& profile() { return profile_; }
     const GateProfile& profile() const { return profile_; }
@@ -234,6 +276,7 @@ class GateEvaluator {
                               Torus32 offset, BootstrapScratch* scratch);
 
     std::shared_ptr<BootstrappingKey> key_;
+    KeyId key_id_;
     GateProfile profile_;
 };
 

@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 #include <random>
 
+#include "backend/execute.h"
+
 #include "hdl/word_ops.h"
 #include "pasm/assembler.h"
 
@@ -135,6 +137,83 @@ TEST(Executor, RejectsBadArguments) {
     EXPECT_THROW((void)RunProgram(p, eval, too_few), std::invalid_argument);
     EXPECT_THROW((void)RunProgramThreaded(p, eval, right, 0),
                  std::invalid_argument);
+}
+
+TEST(Executor, RunControlCancelAbortsAllPaths) {
+    const auto p = AdderProgram();
+    PlainEvaluator eval;
+    Executor executor;
+    const std::vector<bool> in(16, true);
+    std::atomic<bool> cancel{true};  // Pre-raised: aborts at the first gate.
+    RunControl control;
+    control.cancel = &cancel;
+    EXPECT_THROW((void)RunProgram(p, eval, in, control), CancelledError);
+    EXPECT_THROW((void)executor.Run(p, eval, in, 1, control),
+                 CancelledError);
+    EXPECT_THROW((void)executor.Run(p, eval, in, 4, control),
+                 CancelledError);
+    // The pool survives an aborted run and executes the next one.
+    cancel.store(false);
+    EXPECT_EQ(executor.Run(p, eval, in, 4, control),
+              RunProgram(p, eval, in));
+}
+
+TEST(Executor, RunControlDeadlineAbortsAllPaths) {
+    const auto p = AdderProgram();
+    PlainEvaluator eval;
+    Executor executor;
+    const std::vector<bool> in(16, false);
+    RunControl control;
+    control.deadline = std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(1);
+    EXPECT_THROW((void)RunProgram(p, eval, in, control),
+                 DeadlineExceededError);
+    EXPECT_THROW((void)executor.Run(p, eval, in, 4, control),
+                 DeadlineExceededError);
+    control.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::hours(1);
+    EXPECT_EQ(executor.Run(p, eval, in, 4, control),
+              RunProgram(p, eval, in));
+}
+
+TEST(Execute, DispatcherSelectsEquivalentPaths) {
+    const auto p = AdderProgram();
+    PlainEvaluator eval;
+    Executor executor;
+    std::mt19937_64 rng(31);
+    std::vector<bool> in(16);
+    for (size_t i = 0; i < in.size(); ++i) in[i] = rng() & 1;
+    const auto want = RunProgram(p, eval, in);
+
+    for (ExecMode mode : {ExecMode::kAuto, ExecMode::kSequential,
+                          ExecMode::kWaveBarrier,
+                          ExecMode::kDependencyCounting}) {
+        for (int32_t threads : {1, 4}) {
+            if (mode == ExecMode::kSequential && threads != 1) continue;
+            ExecOptions options;
+            options.mode = mode;
+            options.num_threads = threads;
+            EXPECT_EQ(Execute(p, eval, in, options), want)
+                << "mode=" << static_cast<int>(mode)
+                << " threads=" << threads;
+            // And again through a caller-owned persistent executor.
+            options.executor = &executor;
+            EXPECT_EQ(Execute(p, eval, in, options), want)
+                << "persistent, mode=" << static_cast<int>(mode);
+        }
+    }
+}
+
+TEST(Execute, WaveBarrierRejectsRunControl) {
+    const auto p = AdderProgram();
+    PlainEvaluator eval;
+    const std::vector<bool> in(16, false);
+    ExecOptions options;
+    options.mode = ExecMode::kWaveBarrier;
+    options.num_threads = 2;
+    options.control.deadline = std::chrono::steady_clock::now() +
+                               std::chrono::hours(1);
+    EXPECT_THROW((void)Execute(p, eval, in, options), std::invalid_argument);
 }
 
 /** Encrypted equivalence across all three execution paths. */

@@ -89,8 +89,10 @@ TEST(Runtime, ThreadedServerMatchesSequential) {
     auto server = client.MakeServer();
     const DType u8 = DType::UInt(8);
     Ciphertexts in = client.EncryptValues(u8, {77, 11});
-    EXPECT_EQ(client.DecryptBits(server->Run(compiled->program, in, 1)),
-              client.DecryptBits(server->Run(compiled->program, in, 4)));
+    EXPECT_EQ(client.DecryptBits(server->Run(compiled->program, in,
+                                             RunOptions{.num_threads = 1})),
+              client.DecryptBits(server->Run(compiled->program, in,
+                                             RunOptions{.num_threads = 4})));
 }
 
 TEST(Runtime, EncryptDecryptValuesRoundTrip) {
@@ -129,7 +131,8 @@ TEST(Runtime, EndToEndTinyMnistEncrypted) {
         image[i] = t.Quantize(((i * 37) % 16) / 8.0 - 1.0);
 
     const Ciphertexts out =
-        server->Run(compiled->program, client.EncryptValues(t, image), 2);
+        server->Run(compiled->program, client.EncryptValues(t, image),
+                    RunOptions{.num_threads = 2});
     const std::vector<double> logits = client.DecryptValues(t, out);
 
     // Plaintext execution of the same binary is the ground truth.

@@ -9,7 +9,7 @@
 #include <random>
 #include <sstream>
 
-#include "backend/interpreter.h"
+#include "backend/execute.h"
 #include "core/compiler.h"
 #include "tfhe/serialization.h"
 #include "vip/benchmarks.h"
@@ -43,8 +43,10 @@ class EncryptedWorkloadTest : public ::testing::Test {
         auto compiled = core::Compile(netlist);
         EXPECT_TRUE(compiled.has_value());
         backend::TfheEvaluator eval(*gates_);
-        const auto out = backend::RunProgramThreaded(
-            compiled->program, eval, Encrypt(inputs), 2);
+        backend::ExecOptions options;
+        options.num_threads = 2;
+        const auto out = backend::Execute(compiled->program, eval,
+                                          Encrypt(inputs), options);
         std::vector<bool> bits;
         bits.reserve(out.size());
         for (const auto& s : out) bits.push_back(secret_->Decrypt(s));

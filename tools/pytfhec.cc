@@ -7,15 +7,20 @@
  *   pytfhec disasm <file.ptfhe>              disassemble a binary
  *   pytfhec stats <file.ptfhe>               gate/depth/schedule statistics
  *   pytfhec simulate <file.ptfhe>            simulated backend runtimes
+ *   pytfhec run <file.ptfhe>                 plaintext functional execution
  *   pytfhec to-bristol <file.ptfhe> <out>    export as a Bristol circuit
  *   pytfhec from-bristol <in> <out.ptfhe>    compile a Bristol circuit
  *   pytfhec list                             list registered workloads
  */
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <random>
 
 #include "backend/cluster_sim.h"
+#include "backend/execute.h"
 #include "backend/gpu_sim.h"
 #include "circuit/bristol.h"
 #include "core/compiler.h"
@@ -32,6 +37,7 @@ int Usage() {
                  "  disasm <file.ptfhe>\n"
                  "  stats <file.ptfhe>\n"
                  "  simulate <file.ptfhe>\n"
+                 "  run [--threads=N] [--seed=S] <file.ptfhe>\n"
                  "  to-bristol <file.ptfhe> <out.txt>\n"
                  "  from-bristol [options] <in.txt> <out.ptfhe>\n"
                  "  list\n"
@@ -197,6 +203,52 @@ int CmdFromBristol(const core::CompileOptions& options, const char* in,
     return 0;
 }
 
+/**
+ * Functional plaintext execution through the unified backend::Execute
+ * dispatcher — random inputs, printed outputs. Useful for smoke-testing a
+ * binary (and the dispatcher's thread scaling) without key material.
+ */
+int CmdRun(int argc, char** argv, int next) {
+    int32_t threads = 1;
+    uint64_t seed = 1;
+    for (; next < argc && argv[next][0] == '-'; ++next) {
+        if (!std::strncmp(argv[next], "--threads=", 10)) {
+            threads = std::atoi(argv[next] + 10);
+        } else if (!std::strncmp(argv[next], "--seed=", 7)) {
+            seed = std::strtoull(argv[next] + 7, nullptr, 10);
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", argv[next]);
+            return 2;
+        }
+    }
+    if (argc - next != 1) return Usage();
+    auto p = LoadOrComplain(argv[next]);
+    if (!p) return 1;
+
+    std::mt19937_64 rng(seed);
+    std::vector<bool> in(p->NumInputs());
+    for (size_t i = 0; i < in.size(); ++i) in[i] = rng() & 1;
+
+    backend::PlainEvaluator eval;
+    backend::ExecOptions options;
+    options.num_threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto out = backend::Execute(*p, eval, in, options);
+    const double sec = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+
+    std::printf("inputs  (seed %llu): ",
+                static_cast<unsigned long long>(seed));
+    for (bool b : in) std::putchar(b ? '1' : '0');
+    std::printf("\noutputs:             ");
+    for (bool b : out) std::putchar(b ? '1' : '0');
+    std::printf("\n%llu gates, %d thread(s), %.3f ms\n",
+                static_cast<unsigned long long>(p->NumGates()), threads,
+                sec * 1e3);
+    return 0;
+}
+
 int CmdList() {
     for (const auto& w : vip::AllWorkloads())
         std::printf("%s\n", w.name.c_str());
@@ -220,6 +272,7 @@ int main(int argc, char** argv) {
     if (!std::strcmp(cmd, "stats") && argc == 3) return CmdStats(argv[2]);
     if (!std::strcmp(cmd, "simulate") && argc == 3)
         return CmdSimulate(argv[2]);
+    if (!std::strcmp(cmd, "run") && argc >= 3) return CmdRun(argc, argv, 2);
     if (!std::strcmp(cmd, "to-bristol") && argc == 4)
         return CmdToBristol(argv[2], argv[3]);
     if (!std::strcmp(cmd, "list")) return CmdList();
