@@ -232,6 +232,74 @@ Suite MeasurePlain(const pasm::Program& program) {
     return suite;
 }
 
+struct FaultedResult {
+    double jobs_per_s = 0.0;
+    double fault_free_jobs_per_s = 0.0;
+    double recovery_overhead = 0.0;  ///< jobs/s lost to faults, fractional.
+    unsigned long long retries = 0;
+    unsigned long long faulted_jobs = 0;
+};
+
+/**
+ * Fault-tolerance scenario: transient gate faults injected into every
+ * 4th job (25%), RetryPolicy re-runs them, all outputs stay bit-exact.
+ * The recovery overhead is the throughput cost of retrying a quarter of
+ * the jobs — the price of surviving a flaky worker.
+ */
+FaultedResult MeasureFaulted(const pasm::Program& program) {
+    backend::PlainEvaluator eval;
+    std::vector<bool> inputs(program.NumInputs());
+    for (size_t i = 0; i < inputs.size(); ++i) inputs[i] = (i * 5) % 3 == 0;
+    const auto want = backend::RunProgram(program, eval, inputs);
+    const auto shared_program =
+        std::make_shared<const pasm::Program>(program);
+    constexpr int kConcurrentClients = 4;
+    constexpr int kJobsPerClient = 500;
+
+    FaultedResult result;
+    for (bool faulty : {false, true}) {
+        backend::FaultPlan plan;
+        plan.fault_every_nth_job = 4;
+        plan.transient_clears_after = 1;
+        backend::FaultInjector injector(plan);
+        backend::Executor executor;
+        backend::ServingOptions opts;
+        opts.num_workers = kWorkers;
+        opts.max_active_jobs = 16;
+        if (faulty) {
+            opts.fault_injector = &injector;
+            opts.retry.max_attempts = 3;
+        }
+        backend::ServingExecutor<backend::PlainEvaluator> serving(executor,
+                                                                  opts);
+        const Measurement m = DriveClients(
+            kConcurrentClients, kJobsPerClient, [&](int, int) {
+                auto job = serving.Submit(shared_program, eval, inputs);
+                if (job->Outputs() != want) std::abort();
+                return job->Metrics().wall_seconds;
+            });
+        const backend::ServingStats stats = serving.stats();
+        if (stats.jobs_failed != 0) std::abort();
+        if (faulty) {
+            result.jobs_per_s = m.jobs_per_s;
+            result.retries = stats.job_retries;
+            result.faulted_jobs = injector.counters().Total();
+        } else {
+            result.fault_free_jobs_per_s = m.jobs_per_s;
+        }
+    }
+    result.recovery_overhead =
+        result.fault_free_jobs_per_s > 0.0
+            ? 1.0 - result.jobs_per_s / result.fault_free_jobs_per_s
+            : 0.0;
+    std::printf("  faulted   25%%   %8.0f jobs/s   (fault-free %8.0f, "
+                "overhead %5.1f%%, %llu retries)\n",
+                result.jobs_per_s, result.fault_free_jobs_per_s,
+                result.recovery_overhead * 100.0, result.retries);
+    std::fflush(stdout);
+    return result;
+}
+
 void WriteSuite(FILE* out, const char* name, const Suite& s,
                 bool trailing_comma) {
     std::fprintf(out, "  \"%s\": {\n", name);
@@ -267,6 +335,7 @@ int main() {
     const pasm::Program& program = compiled->program;
 
     const Suite plain = MeasurePlain(program);
+    const FaultedResult faulted = MeasureFaulted(program);
     const Suite encrypted = MeasureEncrypted(program);
 
     FILE* out = std::fopen("BENCH_serving.json", "w");
@@ -282,6 +351,14 @@ int main() {
     std::fprintf(out, "  \"modeled_s_single_job\": %.4f,\n",
                  bench::SingleCoreSeconds(program));
     WriteSuite(out, "plain", plain, /*trailing_comma=*/true);
+    std::fprintf(out,
+                 "  \"faulted\": {\"fault_rate_jobs\": 0.25, "
+                 "\"jobs_per_s\": %.2f, \"fault_free_jobs_per_s\": %.2f, "
+                 "\"recovery_overhead\": %.4f, \"retries\": %llu, "
+                 "\"faulted_jobs\": %llu},\n",
+                 faulted.jobs_per_s, faulted.fault_free_jobs_per_s,
+                 faulted.recovery_overhead, faulted.retries,
+                 faulted.faulted_jobs);
     WriteSuite(out, "encrypted", encrypted, /*trailing_comma=*/false);
     std::fprintf(out, "}\n");
     std::fclose(out);

@@ -1,8 +1,52 @@
 #include "backend/cluster_sim.h"
 
 #include <algorithm>
+#include <vector>
+
+#include "backend/fault.h"
 
 namespace pytfhe::backend {
+
+namespace {
+
+// Decision salts for the cluster fault model; distinct from the
+// FaultInjector salts so gate-level and task-level schedules never alias.
+constexpr uint64_t kSaltTaskFail = 0xC1F0ull;
+constexpr uint64_t kSaltStraggle = 0x5788ull;
+constexpr uint64_t kSaltProgress = 0x9101ull;
+
+/** Cost of one task attempt; sets *completed. */
+double TaskAttemptSeconds(const ClusterFaultModel& faults, uint64_t wave,
+                          uint64_t task, int32_t attempt,
+                          double task_seconds, bool* completed,
+                          bool* straggled) {
+    // One site per (wave, task, attempt): re-executions draw fresh luck,
+    // matching a driver that reschedules onto a different worker.
+    const uint64_t site = task * 64 + static_cast<uint64_t>(attempt);
+    *straggled = false;
+    if (attempt < faults.max_reexecutions &&
+        FaultHashUnit(FaultSiteHash(faults.seed, wave, site,
+                                    kSaltTaskFail)) <
+            faults.task_failure_rate) {
+        // Lost mid-flight: the work completed before the loss is wasted,
+        // and the driver notices only after the detection delay.
+        *completed = false;
+        const double progress = FaultHashUnit(
+            FaultSiteHash(faults.seed, wave, site, kSaltProgress));
+        return task_seconds * progress + faults.detect_seconds;
+    }
+    *completed = true;
+    double exec = task_seconds;
+    if (FaultHashUnit(FaultSiteHash(faults.seed, wave, site,
+                                    kSaltStraggle)) <
+        faults.straggler_rate) {
+        *straggled = true;
+        exec *= faults.straggler_slowdown;
+    }
+    return exec;
+}
+
+}  // namespace
 
 GateMix ComputeGateMix(const pasm::Program& program) {
     GateMix mix;
@@ -19,6 +63,12 @@ GateMix ComputeGateMix(const pasm::Program& program) {
 
 ClusterResult SimulateCluster(const pasm::Program& program,
                               const ClusterConfig& config) {
+    return SimulateCluster(program, config, ClusterFaultModel{});
+}
+
+ClusterResult SimulateCluster(const pasm::Program& program,
+                              const ClusterConfig& config,
+                              const ClusterFaultModel& faults) {
     const Schedule schedule = ComputeSchedule(program);
     const GateMix mix = ComputeGateMix(program);
     const int32_t workers = config.TotalWorkers();
@@ -31,8 +81,12 @@ ClusterResult SimulateCluster(const pasm::Program& program,
 
     const double comm_per_task =
         config.ciphertexts_per_task * kCiphertextBytes / config.net_bandwidth;
+    const bool faulty = faults.Enabled();
 
     double t = 0.0;
+    double t_fault_free = 0.0;
+    std::vector<double> spans(static_cast<size_t>(workers));
+    uint64_t wave_index = 0;
     for (const auto& wave : schedule.levels) {
         // Split the wave's gates round-robin over workers; the wave span is
         // the busiest worker. Linear gates (NOT and the elided
@@ -47,8 +101,10 @@ ClusterResult SimulateCluster(const pasm::Program& program,
                 linear_cost += config.cpu.linear_gate_seconds;
             }
         }
+        ++wave_index;
         if (bootstraps == 0) {
             t += linear_cost;
+            t_fault_free += linear_cost;
             continue;
         }
         const uint64_t per_worker =
@@ -56,7 +112,32 @@ ClusterResult SimulateCluster(const pasm::Program& program,
         const double task_seconds =
             config.cpu.bootstrap_gate_seconds +
             (config.nodes > 1 ? comm_per_task : 0.0);
-        const double compute_span = per_worker * task_seconds;
+        double compute_span = per_worker * task_seconds;
+        const double fault_free_span = compute_span;
+        if (faulty) {
+            // Re-run the wave task by task: each attempt draws failure and
+            // straggler luck deterministically, a lost attempt costs its
+            // partial work plus the detection delay, and the wave waits
+            // for the busiest worker.
+            std::fill(spans.begin(), spans.end(), 0.0);
+            for (uint64_t task = 0; task < bootstraps; ++task) {
+                double cost = 0.0;
+                for (int32_t attempt = 0;; ++attempt) {
+                    bool completed = false;
+                    bool straggled = false;
+                    cost += TaskAttemptSeconds(faults, wave_index - 1, task,
+                                               attempt, task_seconds,
+                                               &completed, &straggled);
+                    if (completed) {
+                        if (straggled) ++result.straggler_tasks;
+                        break;
+                    }
+                    ++result.failed_tasks;
+                }
+                spans[task % static_cast<uint64_t>(workers)] += cost;
+            }
+            compute_span = *std::max_element(spans.begin(), spans.end());
+        }
         // The driver submits tasks serially but overlapped with execution;
         // it binds only when submission is slower than compute.
         const double submit_span = bootstraps * config.submit_seconds;
@@ -64,8 +145,11 @@ ClusterResult SimulateCluster(const pasm::Program& program,
             config.barrier_local_seconds +
             (config.nodes > 1 ? config.barrier_remote_seconds : 0.0);
         t += std::max(compute_span, submit_span) + barrier + linear_cost;
+        t_fault_free +=
+            std::max(fault_free_span, submit_span) + barrier + linear_cost;
     }
     result.seconds = t;
+    result.fault_free_seconds = t_fault_free;
     return result;
 }
 

@@ -24,11 +24,21 @@ struct ClusterResult {
     double ideal_seconds = 0;       ///< Perfect scaling over all workers.
     uint64_t waves = 0;
     uint64_t gates = 0;
+    /** Makespan of the same run with the fault model disabled. */
+    double fault_free_seconds = 0;
+    uint64_t failed_tasks = 0;      ///< Task attempts lost to failures.
+    uint64_t straggler_tasks = 0;   ///< Tasks hit by the straggler slowdown.
 
     double Speedup() const { return single_core_seconds / seconds; }
     double IdealSpeedup() const { return single_core_seconds / ideal_seconds; }
     /** Fraction of the ideal speedup achieved. */
     double Efficiency() const { return Speedup() / IdealSpeedup(); }
+    /** Fractional makespan inflation caused by failures and stragglers. */
+    double RecoveryOverhead() const {
+        return fault_free_seconds > 0.0
+                   ? seconds / fault_free_seconds - 1.0
+                   : 0.0;
+    }
 };
 
 /** Classifies gates of a program into bootstrapped vs linear. */
@@ -42,6 +52,20 @@ GateMix ComputeGateMix(const pasm::Program& program);
  */
 ClusterResult SimulateCluster(const pasm::Program& program,
                               const ClusterConfig& config);
+
+/**
+ * Fault-aware variant: bootstrapped tasks are dealt round-robin to
+ * workers, each task runs a deterministic attempt loop under `faults`
+ * (a failed attempt costs the fraction of the task completed before the
+ * loss plus the driver's detection delay; a straggling attempt is slowed
+ * by the configured factor), and the wave span is the busiest worker.
+ * With a disabled model this is exactly the two-argument overload, and
+ * `fault_free_seconds` always reports the undisturbed makespan so
+ * RecoveryOverhead() is directly comparable.
+ */
+ClusterResult SimulateCluster(const pasm::Program& program,
+                              const ClusterConfig& config,
+                              const ClusterFaultModel& faults);
 
 /**
  * Throughput (gates/second) of running independent single-threaded dummy

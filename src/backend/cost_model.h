@@ -60,6 +60,37 @@ struct ClusterConfig {
     int32_t TotalWorkers() const { return nodes * workers_per_node; }
 };
 
+/**
+ * Worker failure and straggler model for the cluster simulator. A Ray
+ * task on a failure-prone node may die mid-bootstrap (the driver detects
+ * the loss after `detect_seconds` and re-executes, losing the partial
+ * work) or land on a straggling worker (the task runs
+ * `straggler_slowdown` times slower). Decisions are deterministic hashes
+ * of (seed, wave, task, attempt) — the same model replays the same
+ * failure schedule, like backend::FaultInjector.
+ */
+struct ClusterFaultModel {
+    uint64_t seed = 1;
+    /** Per-task-attempt probability the task dies before completing. */
+    double task_failure_rate = 0.0;
+    /** Driver-side delay to detect a lost task and resubmit it. */
+    double detect_seconds = 0.5;
+    /** Per-task probability of landing on a straggling worker. */
+    double straggler_rate = 0.0;
+    /** Execution-time multiplier for a straggling task. */
+    double straggler_slowdown = 4.0;
+    /**
+     * Re-execution budget per task. After this many failed attempts the
+     * next attempt always completes — the simulator models a driver that
+     * reschedules onto a healthy worker rather than an unbounded loop.
+     */
+    int32_t max_reexecutions = 3;
+
+    bool Enabled() const {
+        return task_failure_rate > 0.0 || straggler_rate > 0.0;
+    }
+};
+
 /** A GPU platform for the cuFHE / PyTFHE backend simulation. */
 struct GpuConfig {
     std::string name;

@@ -40,19 +40,25 @@ enum class ExecMode {
  * up and tear down a transient pool per call). `control` carries the
  * cooperative deadline/cancel token; the wave-barrier path predates
  * RunControl and rejects an engaged control with std::invalid_argument.
+ * `fault` optionally names a FaultInjector (fault.h) plus the (job,
+ * attempt) identity of this execution; every path honors it, and a
+ * disengaged hook costs one branch per gate.
  */
 struct ExecOptions {
     int32_t num_threads = 1;
     ExecMode mode = ExecMode::kAuto;
     Executor* executor = nullptr;
     RunControl control;
+    FaultHook fault;
 };
 
 /**
  * Executes `program` over `inputs` with `eval`, dispatching per `options`
  * (see ExecMode and the path table in interpreter.h). All paths produce
  * bit-identical outputs. Throws std::invalid_argument on malformed
- * arguments, CancelledError / DeadlineExceededError on control aborts.
+ * arguments, CancelledError / DeadlineExceededError on control aborts,
+ * and GateExecutionError when a gate evaluation throws (every path fails
+ * the run cleanly — worker threads are joined, pools stay reusable).
  */
 template <typename Evaluator>
 std::vector<typename Evaluator::Ciphertext> Execute(
@@ -61,25 +67,28 @@ std::vector<typename Evaluator::Ciphertext> Execute(
     const ExecOptions& options = {}) {
     switch (options.mode) {
         case ExecMode::kSequential:
-            return RunProgram(program, eval, inputs, options.control);
+            return RunProgram(program, eval, inputs, options.control,
+                              options.fault);
         case ExecMode::kWaveBarrier:
             if (options.control.Engaged())
                 throw std::invalid_argument(
                     "Execute: the wave-barrier path does not support "
                     "RunControl; use kDependencyCounting or kSequential");
             return RunProgramThreaded(program, eval, inputs,
-                                      options.num_threads);
+                                      options.num_threads, options.fault);
         case ExecMode::kAuto:
         case ExecMode::kDependencyCounting: break;
     }
     if (options.mode == ExecMode::kAuto && options.num_threads == 1)
-        return RunProgram(program, eval, inputs, options.control);
+        return RunProgram(program, eval, inputs, options.control,
+                          options.fault);
     if (options.executor != nullptr)
         return options.executor->Run(program, eval, inputs,
-                                     options.num_threads, options.control);
+                                     options.num_threads, options.control,
+                                     options.fault);
     Executor transient;
     return transient.Run(program, eval, inputs, options.num_threads,
-                         options.control);
+                         options.control, options.fault);
 }
 
 }  // namespace pytfhe::backend

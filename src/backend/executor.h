@@ -22,6 +22,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -139,16 +140,24 @@ class Executor {
      * DeadlineExceededError when `control` triggers mid-run (workers stop
      * evaluating and drain the remaining dependency counts without
      * touching the evaluator, so an aborted run returns promptly).
+     *
+     * A gate evaluation that throws — a real evaluator exception or a
+     * fault injected through `fault` — fails only this Run call: the
+     * first error is latched, every worker drains the remaining counts
+     * without evaluating, and the call rethrows the typed
+     * GateExecutionError. The pool stays healthy; subsequent Run calls
+     * on this Executor behave normally.
      */
     template <typename Evaluator>
     std::vector<typename Evaluator::Ciphertext> Run(
         const pasm::Program& program, Evaluator& eval,
         const std::vector<typename Evaluator::Ciphertext>& inputs,
-        int32_t num_threads, const RunControl& control = {}) {
+        int32_t num_threads, const RunControl& control = {},
+        const FaultHook& fault = {}) {
         using C = typename Evaluator::Ciphertext;
         detail::ValidateRunArgs(program, inputs.size(), num_threads);
         if (num_threads == 1 || program.NumGates() <= 1)
-            return RunProgram(program, eval, inputs, control);
+            return RunProgram(program, eval, inputs, control, fault);
 
         const pasm::GateDependencies deps = program.BuildGateDependencies();
         const uint64_t first_gate = program.FirstGateIndex();
@@ -168,8 +177,13 @@ class Executor {
 
         // Abort reason, latched once by whichever worker first observes the
         // control trigger; every worker then drains without evaluating.
+        // Likewise the first gate failure: latch, drain, rethrow after the
+        // region so the pool survives a throwing evaluator.
         const bool guarded = control.Engaged();
         std::atomic<RunControl::Abort> abort{RunControl::Abort::kNone};
+        std::atomic<bool> failed{false};
+        std::mutex error_mu;
+        std::optional<GateExecutionError> error;
 
         auto worker = [&]() {
             // Per-worker scratch: buffers live for the whole run, so every
@@ -177,8 +191,8 @@ class Executor {
             typename detail::WorkerScratchOf<Evaluator>::type scratch{};
             uint64_t idx = detail::kNoGate;
             while (idx != detail::kNoGate || queue.Pop(&idx)) {
-                bool skip = false;
-                if (guarded) {
+                bool skip = failed.load(std::memory_order_relaxed);
+                if (!skip && guarded) {
                     skip = abort.load(std::memory_order_relaxed) !=
                            RunControl::Abort::kNone;
                     if (!skip) {
@@ -190,11 +204,25 @@ class Executor {
                     }
                 }
                 const pasm::DecodedGate g = program.GateAt(idx);
-                if (!skip)
-                    value[idx] = detail::ApplyGate(
-                        eval, g.type, value[g.in0],
-                        program.ProducesLinearDomain(g.in0), value[g.in1],
-                        program.ProducesLinearDomain(g.in1), scratch);
+                if (!skip) {
+                    try {
+                        fault.OnGate(idx - first_gate);
+                        value[idx] = detail::ApplyGate(
+                            eval, g.type, value[g.in0],
+                            program.ProducesLinearDomain(g.in0),
+                            value[g.in1],
+                            program.ProducesLinearDomain(g.in1), scratch);
+                    } catch (...) {
+                        try {
+                            RethrowAsGateError(idx - first_gate,
+                                               fault.attempt);
+                        } catch (const GateExecutionError& e) {
+                            std::lock_guard<std::mutex> lock(error_mu);
+                            if (!error) error = e;
+                        }
+                        failed.store(true, std::memory_order_relaxed);
+                    }
+                }
                 // Decrement successors; run one newly ready gate ourselves
                 // (depth-first along the chain, no queue round-trip) and
                 // publish the rest.
@@ -219,6 +247,7 @@ class Executor {
         const std::function<void()> fn = worker;
         pool_.RunOnWorkers(workers, fn);
 
+        if (error) throw *error;
         const RunControl::Abort reason =
             abort.load(std::memory_order_relaxed);
         if (reason != RunControl::Abort::kNone) RunControl::Raise(reason);

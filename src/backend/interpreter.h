@@ -34,6 +34,8 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -41,6 +43,7 @@
 #include <vector>
 
 #include "backend/evaluator.h"
+#include "backend/fault.h"
 #include "backend/scheduler.h"
 #include "pasm/program.h"
 
@@ -179,13 +182,15 @@ C ApplyGate(Evaluator& eval, circuit::GateType t, const C& a, bool a_linear,
  * Executes `program` on `inputs` (one ciphertext per input instruction).
  * Returns one ciphertext per output instruction. Throws
  * std::invalid_argument if inputs.size() != program.NumInputs();
- * CancelledError / DeadlineExceededError when `control` triggers mid-run.
+ * CancelledError / DeadlineExceededError when `control` triggers mid-run;
+ * GateExecutionError when a gate evaluation throws (including faults
+ * injected by `fault` — a disengaged hook costs one branch per gate).
  */
 template <typename Evaluator>
 std::vector<typename Evaluator::Ciphertext> RunProgram(
     const pasm::Program& program, Evaluator& eval,
     const std::vector<typename Evaluator::Ciphertext>& inputs,
-    const RunControl& control = {}) {
+    const RunControl& control = {}, const FaultHook& fault = {}) {
     using C = typename Evaluator::Ciphertext;
     detail::ValidateRunArgs(program, inputs.size(), 1);
     const bool guarded = control.Engaged();
@@ -202,9 +207,15 @@ std::vector<typename Evaluator::Ciphertext> RunProgram(
             if (abort != RunControl::Abort::kNone) RunControl::Raise(abort);
         }
         const pasm::DecodedGate g = program.GateAt(idx);
-        value[idx] = detail::ApplyGate(
-            eval, g.type, value[g.in0], program.ProducesLinearDomain(g.in0),
-            value[g.in1], program.ProducesLinearDomain(g.in1), scratch);
+        try {
+            fault.OnGate(idx - first_gate);
+            value[idx] = detail::ApplyGate(
+                eval, g.type, value[g.in0],
+                program.ProducesLinearDomain(g.in0), value[g.in1],
+                program.ProducesLinearDomain(g.in1), scratch);
+        } catch (...) {
+            RethrowAsGateError(idx - first_gate, fault.attempt);
+        }
     }
     std::vector<C> out;
     out.reserve(program.OutputIndices().size());
@@ -219,7 +230,9 @@ std::vector<typename Evaluator::Ciphertext> RunProgram(
  * evaluator's Apply must be safe to call concurrently; profile counters
  * are atomic, so accounting stays exact. num_threads == 1 bypasses
  * scheduling entirely and runs the sequential interpreter — the outputs
- * are bit-identical.
+ * are bit-identical. A throwing gate evaluation (or an injected fault)
+ * stops the remaining waves and rethrows as GateExecutionError after the
+ * in-flight wave drains — worker threads are always joined.
  *
  * Spawns fresh threads per wave; prefer Executor (executor.h) for
  * repeated runs.
@@ -228,15 +241,21 @@ template <typename Evaluator>
 std::vector<typename Evaluator::Ciphertext> RunProgramThreaded(
     const pasm::Program& program, Evaluator& eval,
     const std::vector<typename Evaluator::Ciphertext>& inputs,
-    int32_t num_threads) {
+    int32_t num_threads, const FaultHook& fault = {}) {
     using C = typename Evaluator::Ciphertext;
     detail::ValidateRunArgs(program, inputs.size(), num_threads);
-    if (num_threads == 1) return RunProgram(program, eval, inputs);
+    if (num_threads == 1) return RunProgram(program, eval, inputs, {}, fault);
 
     const Schedule schedule = ComputeSchedule(program);
-    const uint64_t end_gate = program.FirstGateIndex() + program.NumGates();
+    const uint64_t first_gate = program.FirstGateIndex();
+    const uint64_t end_gate = first_gate + program.NumGates();
     detail::SlotBuffer<C> value(end_gate);
     for (uint64_t i = 0; i < inputs.size(); ++i) value[1 + i] = inputs[i];
+
+    // First failure wins; later workers observe the flag and stop picking.
+    std::atomic<bool> failed{false};
+    std::mutex error_mu;
+    std::optional<GateExecutionError> error;
 
     for (const auto& wave : schedule.levels) {
         // Submit the whole ready set, then barrier before the next wave.
@@ -244,15 +263,26 @@ std::vector<typename Evaluator::Ciphertext> RunProgramThreaded(
         auto worker = [&]() {
             // One scratch per participating thread, local to its call.
             typename detail::WorkerScratchOf<Evaluator>::type scratch{};
-            while (true) {
+            while (!failed.load(std::memory_order_relaxed)) {
                 const size_t i = cursor.fetch_add(1);
                 if (i >= wave.size()) break;
                 const uint64_t idx = wave[i];
                 const pasm::DecodedGate g = program.GateAt(idx);
-                value[idx] = detail::ApplyGate(
-                    eval, g.type, value[g.in0],
-                    program.ProducesLinearDomain(g.in0), value[g.in1],
-                    program.ProducesLinearDomain(g.in1), scratch);
+                try {
+                    fault.OnGate(idx - first_gate);
+                    value[idx] = detail::ApplyGate(
+                        eval, g.type, value[g.in0],
+                        program.ProducesLinearDomain(g.in0), value[g.in1],
+                        program.ProducesLinearDomain(g.in1), scratch);
+                } catch (...) {
+                    try {
+                        RethrowAsGateError(idx - first_gate, fault.attempt);
+                    } catch (const GateExecutionError& e) {
+                        std::lock_guard<std::mutex> lock(error_mu);
+                        if (!error) error = e;
+                    }
+                    failed.store(true, std::memory_order_relaxed);
+                }
             }
         };
         if (wave.size() == 1) {
@@ -265,7 +295,9 @@ std::vector<typename Evaluator::Ciphertext> RunProgramThreaded(
             for (int32_t t = 0; t < n; ++t) threads.emplace_back(worker);
             for (auto& t : threads) t.join();
         }
+        if (failed.load(std::memory_order_relaxed)) break;
     }
+    if (error) throw *error;
 
     std::vector<C> out;
     out.reserve(program.OutputIndices().size());

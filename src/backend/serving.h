@@ -30,6 +30,21 @@
  * bootstrap), so it terminates promptly without special-casing the
  * scheduler. Queued jobs check the deadline at admission; there is no
  * timer thread.
+ *
+ * Fault tolerance (fault.h): a throwing gate evaluation — a real
+ * evaluator exception or one injected by ServingOptions::fault_injector —
+ * fails only its own job. The first error is latched as a typed
+ * GateExecutionError, the job's remaining gates skip-and-drain exactly
+ * like a cancellation, and the pool keeps serving every other job. When
+ * the failure is transient and ServingOptions::retry allows another
+ * attempt, the job is re-queued with exponential backoff (it waits in the
+ * queue until its backoff elapses; later submissions may be admitted
+ * ahead of it) and re-executed from its retained inputs. The degradation
+ * ladder: the final permitted attempt runs isolated on the sequential
+ * interpreter instead of the interleaved pool, so a job repeatedly killed
+ * by the parallel substrate still gets one clean shot. Jobs that exhaust
+ * their attempts (or hit a permanent fault) resolve kFailed and
+ * Outputs() rethrows the latched error.
  */
 #ifndef PYTFHE_BACKEND_SERVING_H
 #define PYTFHE_BACKEND_SERVING_H
@@ -48,17 +63,41 @@
 #include <vector>
 
 #include "backend/executor.h"
+#include "backend/fault.h"
 #include "backend/interpreter.h"
 #include "circuit/gate_type.h"
 #include "pasm/program.h"
 
 namespace pytfhe::backend {
 
-/** Typed admission rejection: queued + active jobs hit the bound. */
+/**
+ * Typed admission rejection: queued + active jobs hit the bound. Carries
+ * a machine-readable retry-after hint — the queue depth at rejection and
+ * an estimate of how long the backlog takes to drain (average completed-
+ * job run time x backlog / active slots; 0 until history exists) — so a
+ * client can back off proportionally instead of parsing "retry later".
+ */
 class OverloadedError : public std::runtime_error {
   public:
-    explicit OverloadedError(const std::string& what)
-        : std::runtime_error(what) {}
+    OverloadedError(uint32_t queue_depth, double estimated_drain_seconds)
+        : std::runtime_error(
+              "ServingExecutor: overloaded (" +
+              std::to_string(queue_depth) + " jobs pending; estimated " +
+              "drain " + std::to_string(estimated_drain_seconds) +
+              " s); retry later"),
+          queue_depth_(queue_depth),
+          estimated_drain_seconds_(estimated_drain_seconds) {}
+
+    /** Jobs pending (queued + active) at rejection time. */
+    uint32_t queue_depth() const { return queue_depth_; }
+    /** Retry-after hint: estimated seconds until the backlog drains. */
+    double estimated_drain_seconds() const {
+        return estimated_drain_seconds_;
+    }
+
+  private:
+    uint32_t queue_depth_;
+    double estimated_drain_seconds_;
 };
 
 /** Lifecycle of one submitted job. */
@@ -68,11 +107,12 @@ enum class JobStatus {
     kDone,      ///< All gates executed; outputs available.
     kCancelled, ///< Cancel() landed before completion; no outputs.
     kDeadlineExceeded,  ///< Deadline passed before completion; no outputs.
+    kFailed,    ///< A gate evaluation threw and retries ran out; no outputs.
 };
 
 inline bool IsTerminal(JobStatus s) {
     return s == JobStatus::kDone || s == JobStatus::kCancelled ||
-           s == JobStatus::kDeadlineExceeded;
+           s == JobStatus::kDeadlineExceeded || s == JobStatus::kFailed;
 }
 
 /** Per-job accounting, final once the job reaches a terminal status. */
@@ -85,6 +125,12 @@ struct JobMetrics {
     uint64_t gates_skipped = 0;  ///< Drained without evaluation.
     /** Executed kLin* gates: bootstraps the elision pass saved this job. */
     uint64_t bootstraps_elided = 0;
+    /** Executions of the job: 1 = first attempt succeeded, no retries. */
+    uint32_t attempts = 1;
+    /** Gate evaluations that threw, across all attempts. */
+    uint64_t gate_failures = 0;
+    /** True when the final attempt ran on the isolated sequential path. */
+    bool degraded_sequential = false;
 };
 
 /** Serving-wide counters; a consistent snapshot is taken under the lock. */
@@ -93,7 +139,10 @@ struct ServingStats {
     uint64_t jobs_completed = 0;
     uint64_t jobs_cancelled = 0;
     uint64_t jobs_deadline_exceeded = 0;
+    uint64_t jobs_failed = 0;    ///< Terminal kFailed (retries exhausted).
     uint64_t jobs_rejected = 0;  ///< Backpressure rejections (Overloaded).
+    uint64_t job_retries = 0;    ///< Re-executions after transient faults.
+    uint64_t jobs_degraded = 0;  ///< Final attempts on the sequential path.
     uint64_t gates_executed = 0;
     uint64_t bootstraps_elided = 0;
     double total_queue_seconds = 0.0;
@@ -110,6 +159,19 @@ struct ServingOptions {
     uint32_t max_pending_jobs = 64;
     /** Fairness cap: gates of one job in flight at once. */
     uint32_t per_job_inflight_cap = 4;
+    /**
+     * Re-execution of jobs killed by transient gate failures. The default
+     * (max_attempts 1) fails a job on its first error; with more
+     * attempts, inputs are retained per job and the last permitted
+     * attempt runs on the isolated sequential path (degradation ladder).
+     */
+    RetryPolicy retry;
+    /**
+     * Optional deterministic fault injection applied to every gate of
+     * every job (caller-owned, must outlive the executor). Null = no
+     * injection, zero overhead beyond one branch per gate.
+     */
+    FaultInjector* fault_injector = nullptr;
 };
 
 /**
@@ -159,12 +221,25 @@ class ServingExecutor {
         bool shutdown = false;
         ServingStats stats;
 
-        /** Pops the next ready gate, fair round-robin under the cap. */
+        /**
+         * Pops the next ready gate, fair round-robin under the cap. A job
+         * marked run_sequential (degraded final attempt) is claimed whole:
+         * the picker returns it with detail::kNoGate once no other worker
+         * holds any of its gates, and the claimer runs the entire program
+         * on the sequential interpreter.
+         */
         bool PickLocked(JobPtr* job, uint64_t* gate) {
             const size_t n = active.size();
             for (size_t i = 0; i < n; ++i) {
                 const size_t j = (rr + i) % n;
                 Job& cand = *active[j];
+                if (cand.run_sequential) {
+                    if (cand.in_flight > 0) continue;
+                    *gate = detail::kNoGate;
+                    *job = active[j];
+                    rr = (j + 1) % n;
+                    return true;
+                }
                 if (cand.ready.empty() ||
                     cand.in_flight >= opts.per_job_inflight_cap)
                     continue;
@@ -197,13 +272,22 @@ class ServingExecutor {
             job.metrics.gates_executed = job.gates_executed;
             job.metrics.gates_skipped = job.gates_skipped;
             job.metrics.bootstraps_elided = job.linear_executed;
+            job.metrics.attempts = job.attempt + 1;
+            job.metrics.gate_failures = job.gate_failures;
+            job.metrics.degraded_sequential = job.degraded;
             if (status == JobStatus::kDone) {
-                job.outputs.reserve(job.program->OutputIndices().size());
-                for (uint64_t src : job.program->OutputIndices())
-                    job.outputs.push_back(job.values[src]);
+                // The sequential degraded path harvests its own outputs.
+                if (job.outputs.empty()) {
+                    job.outputs.reserve(
+                        job.program->OutputIndices().size());
+                    for (uint64_t src : job.program->OutputIndices())
+                        job.outputs.push_back(job.values[src]);
+                }
                 ++stats.jobs_completed;
             } else if (status == JobStatus::kCancelled) {
                 ++stats.jobs_cancelled;
+            } else if (status == JobStatus::kFailed) {
+                ++stats.jobs_failed;
             } else {
                 ++stats.jobs_deadline_exceeded;
             }
@@ -217,11 +301,23 @@ class ServingExecutor {
             work_cv.notify_all();
         }
 
-        /** Moves queued jobs into active slots while capacity allows. */
+        /**
+         * Moves queued jobs into active slots while capacity allows.
+         * Jobs whose retry backoff has not elapsed (eligible_at in the
+         * future) are skipped in place — FIFO among eligible jobs, so a
+         * backing-off retry never blocks fresh admissions behind it.
+         */
         void AdmitLocked() {
-            while (active.size() < opts.max_active_jobs && !queued.empty()) {
-                JobPtr job = std::move(queued.front());
-                queued.pop_front();
+            const Clock::time_point now = Clock::now();
+            size_t i = 0;
+            while (active.size() < opts.max_active_jobs &&
+                   i < queued.size()) {
+                if (now < queued[i]->eligible_at) {
+                    ++i;
+                    continue;
+                }
+                JobPtr job = std::move(queued[i]);
+                queued.erase(queued.begin() + i);
                 if (job->cancel_requested.load(std::memory_order_relaxed)) {
                     FinishLocked(*job, JobStatus::kCancelled);
                     continue;
@@ -230,8 +326,10 @@ class ServingExecutor {
                     FinishLocked(*job, JobStatus::kDeadlineExceeded);
                     continue;
                 }
-                job->started = true;
-                job->start_time = Clock::now();
+                if (!job->started) {
+                    job->started = true;
+                    job->start_time = Clock::now();
+                }
                 job->status = JobStatus::kRunning;
                 active.push_back(std::move(job));
                 stats.max_active_observed =
@@ -239,6 +337,74 @@ class ServingExecutor {
                              static_cast<uint32_t>(active.size()));
                 work_cv.notify_all();
             }
+        }
+
+        /**
+         * Earliest instant a queued job could become admittable, for the
+         * worker idle wait: time_point::max() when nothing is waiting on a
+         * backoff (a plain cv wait suffices — any state change notifies).
+         */
+        Clock::time_point NextEligibleLocked() const {
+            if (active.size() >= opts.max_active_jobs)
+                return Clock::time_point::max();
+            Clock::time_point next = Clock::time_point::max();
+            for (const JobPtr& job : queued)
+                next = std::min(next, job->eligible_at);
+            return next;
+        }
+
+        /**
+         * Re-queues a failed job for another attempt: moves it out of
+         * `active`, resets its gate state from the retained inputs, and
+         * stamps the backoff eligibility time. On the last permitted
+         * attempt the job is flagged run_sequential instead — the
+         * degradation ladder's isolated clean shot.
+         */
+        void RequeueForRetryLocked(Job& job) {
+            JobPtr self;
+            for (size_t i = 0; i < active.size(); ++i) {
+                if (active[i].get() == &job) {
+                    self = std::move(active[i]);
+                    active.erase(active.begin() + i);
+                    break;
+                }
+            }
+            ++stats.job_retries;
+            ++job.attempt;
+            job.fail_requested.store(false, std::memory_order_relaxed);
+            job.failure.reset();
+            job.deadline_hit = false;
+            job.status = JobStatus::kQueued;
+            if (job.attempt + 1 >= opts.retry.max_attempts) {
+                job.run_sequential = true;
+                job.degraded = true;
+                ++stats.jobs_degraded;
+            } else {
+                // Rebuild the dependency-counted state for a parallel
+                // re-run. No worker holds gates of this job any more
+                // (remaining hit zero under the lock), so the resets are
+                // ordered before any future reader.
+                job.values = detail::SlotBuffer<Ciphertext>(
+                    job.first_gate + job.program->NumGates());
+                for (uint64_t i = 0; i < job.inputs.size(); ++i)
+                    job.values[1 + i] = job.inputs[i];
+                for (uint64_t g = 0; g < job.program->NumGates(); ++g)
+                    job.pending[g].store(job.deps.pred_count[g],
+                                         std::memory_order_relaxed);
+                job.ready = job.deps.RootGates();
+            }
+            job.remaining = job.program->NumGates();
+            const double backoff =
+                opts.retry.BackoffSeconds(job.seq, job.attempt);
+            job.eligible_at =
+                backoff > 0.0
+                    ? Clock::now() +
+                          std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(backoff))
+                    : Clock::time_point::min();
+            queued.push_back(self);
+            AdmitLocked();
+            work_cv.notify_all();
         }
 
         /** Removes a finished job from `active` and admits successors. */
@@ -267,43 +433,122 @@ class ServingExecutor {
             std::vector<uint64_t> publish;
             std::unique_lock<std::mutex> lock(mu);
             while (true) {
+                // Backoff expiries do not generate notifications, so idle
+                // workers re-scan the queue and sleep only until the next
+                // job becomes eligible.
+                if (!queued.empty()) AdmitLocked();
                 JobPtr job;
                 uint64_t gate = 0;
                 if (!PickLocked(&job, &gate)) {
                     if (shutdown && active.empty() && queued.empty())
                         return;
-                    work_cv.wait(lock);
+                    const Clock::time_point next = NextEligibleLocked();
+                    if (next == Clock::time_point::max()) {
+                        work_cv.wait(lock);
+                    } else {
+                        work_cv.wait_until(lock, next);
+                    }
                     continue;
                 }
+                const uint32_t attempt = job->attempt;
                 ++job->in_flight;
+                if (gate == detail::kNoGate) {
+                    RunSequentialJob(*job, attempt, lock);
+                    continue;
+                }
                 lock.unlock();
-                RunChain(*job, gate, scratch, publish, lock);
+                RunChain(*job, gate, attempt, scratch, publish, lock);
                 // RunChain returns with the lock re-held.
             }
         }
 
+        /**
+         * Degraded final attempt: the whole program on the isolated
+         * sequential interpreter, from the retained inputs. Cooperative
+         * cancel/deadline still apply (RunControl); a throw here is final
+         * — by construction this is the last permitted attempt.
+         */
+        void RunSequentialJob(Job& job, uint32_t attempt,
+                              std::unique_lock<std::mutex>& lock) {
+            lock.unlock();
+            JobStatus status = JobStatus::kDone;
+            std::optional<GateExecutionError> caught;
+            std::vector<Ciphertext> outs;
+            try {
+                RunControl rc;
+                rc.cancel = &job.cancel_requested;
+                rc.deadline = job.deadline;
+                FaultHook hook{opts.fault_injector, job.seq, attempt};
+                outs = RunProgram(*job.program, *job.eval, job.inputs, rc,
+                                  hook);
+            } catch (const CancelledError&) {
+                status = JobStatus::kCancelled;
+            } catch (const DeadlineExceededError&) {
+                status = JobStatus::kDeadlineExceeded;
+            } catch (const GateExecutionError& e) {
+                status = JobStatus::kFailed;
+                caught = e;
+            }
+            lock.lock();
+            --job.in_flight;
+            if (status == JobStatus::kDone) {
+                job.gates_executed += job.program->NumGates();
+                for (uint64_t idx = job.first_gate;
+                     idx < job.first_gate + job.program->NumGates(); ++idx)
+                    if (circuit::IsLinearGate(job.program->GateAt(idx).type))
+                        ++job.linear_executed;
+                job.outputs = std::move(outs);
+            } else {
+                job.gates_skipped += job.program->NumGates();
+                if (caught) {
+                    ++job.gate_failures;
+                    job.failure = std::move(caught);
+                }
+            }
+            FinishActiveLocked(job, status);
+        }
+
         template <typename Scratch>
-        void RunChain(Job& job, uint64_t gate, Scratch& scratch,
-                      std::vector<uint64_t>& publish,
+        void RunChain(Job& job, uint64_t gate, uint32_t attempt,
+                      Scratch& scratch, std::vector<uint64_t>& publish,
                       std::unique_lock<std::mutex>& lock) {
             while (true) {
                 publish.clear();
                 bool skip =
-                    job.cancel_requested.load(std::memory_order_relaxed);
+                    job.cancel_requested.load(std::memory_order_relaxed) ||
+                    job.fail_requested.load(std::memory_order_relaxed);
                 bool expired = false;
                 if (!skip && Clock::now() >= job.deadline) {
                     expired = true;
                     skip = true;
                 }
                 bool linear = false;
+                std::optional<GateExecutionError> caught;
                 if (!skip) {
                     const pasm::DecodedGate g = job.program->GateAt(gate);
-                    job.values[gate] = detail::ApplyGate(
-                        *job.eval, g.type, job.values[g.in0],
-                        job.program->ProducesLinearDomain(g.in0),
-                        job.values[g.in1],
-                        job.program->ProducesLinearDomain(g.in1), scratch);
-                    linear = circuit::IsLinearGate(g.type);
+                    try {
+                        if (opts.fault_injector != nullptr)
+                            opts.fault_injector->OnGate(
+                                job.seq, attempt, gate - job.first_gate);
+                        job.values[gate] = detail::ApplyGate(
+                            *job.eval, g.type, job.values[g.in0],
+                            job.program->ProducesLinearDomain(g.in0),
+                            job.values[g.in1],
+                            job.program->ProducesLinearDomain(g.in1),
+                            scratch);
+                        linear = circuit::IsLinearGate(g.type);
+                    } catch (...) {
+                        try {
+                            RethrowAsGateError(gate - job.first_gate,
+                                               attempt);
+                        } catch (const GateExecutionError& e) {
+                            caught = e;
+                        }
+                        // Dependents of this gate skip-and-drain like a
+                        // cancellation; other jobs are untouched.
+                        job.fail_requested.store(
+                            true, std::memory_order_relaxed);
+                    }
                 }
                 // The final decrement transfers ownership of the successor's
                 // inputs to whoever saw zero, hence acq_rel.
@@ -321,7 +566,10 @@ class ServingExecutor {
                 }
                 lock.lock();
                 if (expired) job.deadline_hit = true;
-                if (skip) {
+                if (caught) {
+                    ++job.gate_failures;
+                    if (!job.failure) job.failure = std::move(caught);
+                } else if (skip) {
                     ++job.gates_skipped;
                 } else {
                     ++job.gates_executed;
@@ -338,13 +586,25 @@ class ServingExecutor {
                 }
                 if (--job.remaining == 0) {
                     --job.in_flight;
-                    FinishActiveLocked(
-                        job, job.cancel_requested.load(
-                                 std::memory_order_relaxed)
-                                 ? JobStatus::kCancelled
-                                 : (job.deadline_hit
-                                        ? JobStatus::kDeadlineExceeded
-                                        : JobStatus::kDone));
+                    if (job.cancel_requested.load(
+                            std::memory_order_relaxed)) {
+                        FinishActiveLocked(job, JobStatus::kCancelled);
+                    } else if (job.deadline_hit) {
+                        FinishActiveLocked(job,
+                                           JobStatus::kDeadlineExceeded);
+                    } else if (job.fail_requested.load(
+                                   std::memory_order_relaxed)) {
+                        const bool transient =
+                            job.failure && job.failure->transient();
+                        if (transient && !shutdown &&
+                            job.attempt + 1 < opts.retry.max_attempts) {
+                            RequeueForRetryLocked(job);
+                        } else {
+                            FinishActiveLocked(job, JobStatus::kFailed);
+                        }
+                    } else {
+                        FinishActiveLocked(job, JobStatus::kDone);
+                    }
                     return;
                 }
                 if (next != detail::kNoGate) {
@@ -409,17 +669,33 @@ class ServingExecutor {
 
         /**
          * Result ciphertexts, one per program output. Blocks like Wait;
-         * throws CancelledError / DeadlineExceededError if the job ended
-         * without producing outputs.
+         * throws CancelledError / DeadlineExceededError /
+         * GateExecutionError if the job ended without producing outputs.
          */
         const std::vector<Ciphertext>& Outputs() {
             switch (Wait()) {
                 case JobStatus::kCancelled: throw CancelledError();
                 case JobStatus::kDeadlineExceeded:
                     throw DeadlineExceededError();
+                case JobStatus::kFailed: {
+                    std::lock_guard<std::mutex> lock(core_->mu);
+                    throw failure ? *failure
+                                  : GateExecutionError(
+                                        0, 0, "job failed", false);
+                }
                 default: break;
             }
             return outputs;
+        }
+
+        /**
+         * The latched gate error of a kFailed job; nullopt for every other
+         * terminal status. Blocks until the job is terminal.
+         */
+        std::optional<GateExecutionError> Error() {
+            (void)Wait();
+            std::lock_guard<std::mutex> lock(core_->mu);
+            return failure;
         }
 
         /** Final accounting; blocks until the job is terminal. */
@@ -463,10 +739,13 @@ class ServingExecutor {
         const Clock::time_point deadline;
 
         // Lock-free gate state: slots race-free by construction (one
-        // writer per slot), pending counts atomic.
+        // writer per slot), pending counts atomic. Retry resets happen
+        // under the lock only after remaining hit zero, so no worker can
+        // race a reset.
         detail::SlotBuffer<Ciphertext> values;
         std::vector<std::atomic<uint32_t>> pending;
         std::atomic<bool> cancel_requested{false};
+        std::atomic<bool> fail_requested{false};
 
         // Guarded by core_->mu.
         JobStatus status = JobStatus::kQueued;
@@ -482,6 +761,17 @@ class ServingExecutor {
         std::vector<Ciphertext> outputs;
         JobMetrics metrics;
         std::condition_variable done_cv;
+        // Fault-tolerance state (guarded by core_->mu).
+        uint64_t seq = 0;      ///< Submission ordinal: the fault/jitter key.
+        uint32_t attempt = 0;  ///< 0-based execution attempt.
+        std::optional<GateExecutionError> failure;
+        uint64_t gate_failures = 0;
+        /** Retained submission inputs when retries are enabled. */
+        std::vector<Ciphertext> inputs;
+        /** Backoff gate: AdmitLocked skips the job until this instant. */
+        Clock::time_point eligible_at = Clock::time_point::min();
+        bool run_sequential = false;  ///< Final attempt, isolated path.
+        bool degraded = false;
     };
 
     /**
@@ -518,6 +808,12 @@ class ServingExecutor {
             throw std::invalid_argument("ServingExecutor: null program");
         detail::ValidateRunArgs(*program, inputs.size(), 1);
         JobPtr job(new Job(core_, std::move(program), &eval, options));
+        if (core_->opts.retry.max_attempts > 1) {
+            // Retain the submission inputs so a retry can re-seed the
+            // value slots (and the degraded sequential attempt can run
+            // straight from them).
+            job->inputs = inputs;
+        }
         for (uint64_t i = 0; i < inputs.size(); ++i)
             job->values[1 + i] = std::move(inputs[i]);
 
@@ -527,11 +823,18 @@ class ServingExecutor {
         if (core_->queued.size() + core_->active.size() >=
             core_->opts.max_pending_jobs) {
             ++core_->stats.jobs_rejected;
-            throw OverloadedError(
-                "ServingExecutor: overloaded (" +
-                std::to_string(core_->opts.max_pending_jobs) +
-                " jobs pending); retry later");
+            const uint32_t depth = static_cast<uint32_t>(
+                core_->queued.size() + core_->active.size());
+            const double drain =
+                core_->stats.jobs_completed > 0
+                    ? (core_->stats.total_run_seconds /
+                       static_cast<double>(core_->stats.jobs_completed)) *
+                          static_cast<double>(depth) /
+                          static_cast<double>(core_->opts.max_active_jobs)
+                    : 0.0;
+            throw OverloadedError(depth, drain);
         }
+        job->seq = core_->stats.jobs_submitted;
         ++core_->stats.jobs_submitted;
         if (job->program->NumGates() == 0) {
             // Pass-through program: outputs reference inputs directly.

@@ -24,6 +24,15 @@
  *      backend::OverloadedError.
  *   3. The client waits on the handle and decrypts:
  *        Ciphertexts out = job.Get();   // or TryGet() to poll, Cancel()
+ *
+ * Fault tolerance rides in on the serving layer: configure
+ * ServiceOptions::serving.retry (and, in tests, .fault_injector) and a
+ * job killed by a transient gate failure is retried with backoff, the
+ * last permitted attempt running isolated on the sequential interpreter.
+ * A job that exhausts its attempts resolves JobStatus::kFailed and Get()
+ * rethrows the typed backend::GateExecutionError; every other job and
+ * the worker pool itself are unaffected. OverloadedError carries a
+ * machine-readable retry-after hint (queue depth + estimated drain time).
  */
 #ifndef PYTFHE_CORE_SERVICE_H
 #define PYTFHE_CORE_SERVICE_H
@@ -76,10 +85,18 @@ class JobHandle {
 
     /**
      * The result ciphertexts; blocks until terminal. Throws
-     * backend::CancelledError / backend::DeadlineExceededError if the job
-     * ended without outputs.
+     * backend::CancelledError / backend::DeadlineExceededError /
+     * backend::GateExecutionError if the job ended without outputs.
      */
     const Ciphertexts& Get() const { return job_->Outputs(); }
+
+    /**
+     * The latched gate error of a kFailed job, nullopt otherwise; blocks
+     * until terminal.
+     */
+    std::optional<backend::GateExecutionError> Error() const {
+        return job_->Error();
+    }
 
     /** Per-job accounting (queue wait, gates, elided bootstraps, wall). */
     JobMetrics Metrics() const { return job_->Metrics(); }

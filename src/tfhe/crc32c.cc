@@ -1,0 +1,34 @@
+#include "tfhe/crc32c.h"
+
+namespace pytfhe::tfhe {
+
+namespace {
+
+/** Reflected CRC32C lookup table, one entry per byte value. */
+struct Crc32cTable {
+    uint32_t entries[256];
+
+    Crc32cTable() {
+        // Reflected form of the Castagnoli polynomial 0x1EDC6F41.
+        constexpr uint32_t kPoly = 0x82F63B78u;
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t crc = i;
+            for (int bit = 0; bit < 8; ++bit)
+                crc = (crc >> 1) ^ (kPoly & (0u - (crc & 1u)));
+            entries[i] = crc;
+        }
+    }
+};
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+    static const Crc32cTable table;
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    uint32_t crc = ~seed;
+    for (size_t i = 0; i < size; ++i)
+        crc = (crc >> 8) ^ table.entries[(crc ^ p[i]) & 0xFFu];
+    return ~crc;
+}
+
+}  // namespace pytfhe::tfhe

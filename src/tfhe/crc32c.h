@@ -1,0 +1,25 @@
+/**
+ * @file
+ * CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected) — the integrity
+ * checksum framing every serialized payload (serialization.h). Chosen over
+ * CRC32 (IEEE) for its better error-detection properties on storage
+ * payloads; computed in software (table-driven), no hardware intrinsics.
+ */
+#ifndef PYTFHE_TFHE_CRC32C_H
+#define PYTFHE_TFHE_CRC32C_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pytfhe::tfhe {
+
+/**
+ * CRC32C of `size` bytes at `data`. `seed` is the running CRC of any
+ * preceding bytes (0 for a fresh computation), so large payloads can be
+ * checksummed incrementally: Crc32c(b, nb, Crc32c(a, na)).
+ */
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace pytfhe::tfhe
+
+#endif  // PYTFHE_TFHE_CRC32C_H

@@ -3,13 +3,19 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "tfhe/crc32c.h"
 
 namespace pytfhe::tfhe {
 
 namespace {
 
-// Version 2: FreqPolynomial carries N/2 folded-transform slots (was N).
-constexpr uint16_t kVersion = 2;
+// Version 3: CRC32C-framed body (magic, version, u64 length, body, u32
+// checksum). Version 2 (unframed FreqPolynomial-folded body) still loads.
+constexpr uint32_t kVersion = 3;
+constexpr uint32_t kLegacyVersion = 2;
 
 // Magics, one per object kind.
 constexpr uint32_t kMagicParams = 0x50544850;   // "PHTP"
@@ -18,12 +24,10 @@ constexpr uint32_t kMagicSamples = 0x5054484C;  // "LHTP"
 constexpr uint32_t kMagicSecret = 0x5054484B;   // "KHTP"
 constexpr uint32_t kMagicBk = 0x50544842;       // "BHTP"
 
-bool Fail(std::string* error, const char* message) {
-    if (error) *error = message;
-    return false;
-}
+/** Rejects absurd frame lengths before allocating the body buffer. */
+constexpr uint64_t kMaxBodyBytes = UINT64_C(1) << 31;
 
-// ------------------------------------------------------- scalar primitives
+// ------------------------------------------------------- write primitives
 
 void W32(std::ostream& os, uint32_t v) {
     char b[4];
@@ -58,23 +62,130 @@ bool R64(std::istream& is, uint64_t* v) {
     return true;
 }
 
-bool RDouble(std::istream& is, double* v) {
-    uint64_t bits;
-    if (!R64(is, &bits)) return false;
-    std::memcpy(v, &bits, 8);
-    return true;
-}
+// ------------------------------------------------------------ body reader
 
-void WriteHeader(std::ostream& os, uint32_t magic) {
+/**
+ * Cursor over an in-memory body. Every failure records the object section
+ * and the body byte offset where parsing stopped, so a diagnostic like
+ * "load BootstrappingKey: truncated tgsw row at body offset 1234" points
+ * at the corrupt region instead of a bare "failed".
+ */
+struct Reader {
+    const std::string& body;
+    const char* section;
+    std::string* error;
+    size_t pos = 0;
+
+    bool Fail(const std::string& message) {
+        if (error)
+            *error = std::string("load ") + section + ": " + message +
+                     " at body offset " + std::to_string(pos);
+        return false;
+    }
+
+    bool Bytes(void* out, size_t n, const char* what) {
+        if (body.size() - pos < n)
+            return Fail(std::string("truncated ") + what);
+        std::memcpy(out, body.data() + pos, n);
+        pos += n;
+        return true;
+    }
+
+    bool U32(uint32_t* v, const char* what) {
+        unsigned char b[4] = {0, 0, 0, 0};
+        if (!Bytes(b, 4, what)) return false;
+        *v = 0;
+        for (int i = 0; i < 4; ++i)
+            *v |= static_cast<uint32_t>(b[i]) << (8 * i);
+        return true;
+    }
+
+    bool U64(uint64_t* v, const char* what) {
+        uint32_t lo, hi;
+        if (!U32(&lo, what) || !U32(&hi, what)) return false;
+        *v = lo | (static_cast<uint64_t>(hi) << 32);
+        return true;
+    }
+
+    bool F64(double* v, const char* what) {
+        uint64_t bits;
+        if (!U64(&bits, what)) return false;
+        std::memcpy(v, &bits, 8);
+        return true;
+    }
+
+    bool String(std::string* out, size_t n, const char* what) {
+        if (body.size() - pos < n)
+            return Fail(std::string("truncated ") + what);
+        out->assign(body.data() + pos, n);
+        pos += n;
+        return true;
+    }
+
+    /** A fully parsed body must leave no unread bytes behind. */
+    bool AtEnd() {
+        if (pos != body.size())
+            return Fail(std::to_string(body.size() - pos) +
+                        " trailing bytes after object");
+        return true;
+    }
+};
+
+// ---------------------------------------------------------------- framing
+
+void WriteFramed(std::ostream& os, uint32_t magic, const std::string& body) {
     W32(os, magic);
     W32(os, kVersion);
+    W64(os, body.size());
+    os.write(body.data(), static_cast<std::streamsize>(body.size()));
+    W32(os, Crc32c(body.data(), body.size()));
 }
 
-bool ReadHeader(std::istream& is, uint32_t magic, std::string* error) {
+/**
+ * Reads the header and body of one object: validates magic and version,
+ * then — for version 3 — the frame length and the CRC32C of the body.
+ * Version-2 streams have no frame, so the body is the rest of the stream.
+ */
+bool ReadFramedBody(std::istream& is, uint32_t magic, const char* section,
+                    std::string* body, std::string* error) {
+    auto fail = [&](const std::string& message) {
+        if (error)
+            *error = std::string("load ") + section + ": " + message;
+        return false;
+    };
     uint32_t m, v;
-    if (!R32(is, &m) || !R32(is, &v)) return Fail(error, "truncated header");
-    if (m != magic) return Fail(error, "bad magic (wrong object type?)");
-    if (v != kVersion) return Fail(error, "unsupported version");
+    if (!R32(is, &m) || !R32(is, &v))
+        return fail("truncated header at byte offset 0");
+    if (m != magic)
+        return fail("bad magic (wrong object type?) at byte offset 0");
+    if (v == kLegacyVersion) {
+        // Legacy unframed body: everything after the header, no checksum.
+        std::ostringstream rest;
+        rest << is.rdbuf();
+        *body = rest.str();
+        return true;
+    }
+    if (v != kVersion) return fail("unsupported version at byte offset 4");
+    uint64_t len;
+    if (!R64(is, &len))
+        return fail("truncated frame length at byte offset 8");
+    if (len > kMaxBodyBytes)
+        return fail("implausible frame length " + std::to_string(len) +
+                    " at byte offset 8");
+    body->resize(len);
+    if (len > 0 &&
+        !is.read(body->data(), static_cast<std::streamsize>(len)))
+        return fail("truncated body (frame promises " + std::to_string(len) +
+                    " bytes) at byte offset 16");
+    uint32_t stored;
+    if (!R32(is, &stored))
+        return fail("truncated checksum at byte offset " +
+                    std::to_string(16 + len));
+    const uint32_t computed = Crc32c(body->data(), body->size());
+    if (stored != computed)
+        return fail("checksum mismatch (stored " + std::to_string(stored) +
+                    ", computed " + std::to_string(computed) +
+                    ") — corrupt payload");
     return true;
 }
 
@@ -94,16 +205,14 @@ void WriteParamsBody(std::ostream& os, const Params& p) {
     WDouble(os, p.tlwe_noise_stddev);
 }
 
-bool ReadParamsBody(std::istream& is, Params* p, std::string* error) {
+bool ReadParamsBody(Reader& r, Params* p) {
     uint64_t name_len;
-    if (!R64(is, &name_len) || name_len > 4096)
-        return Fail(error, "bad params name");
-    p->name.resize(name_len);
-    if (!is.read(p->name.data(), static_cast<std::streamsize>(name_len)))
-        return Fail(error, "truncated params name");
+    if (!r.U64(&name_len, "params name length")) return false;
+    if (name_len > 4096) return r.Fail("bad params name");
+    if (!r.String(&p->name, name_len, "params name")) return false;
     uint32_t v[7];
     for (auto& x : v)
-        if (!R32(is, &x)) return Fail(error, "truncated params");
+        if (!r.U32(&x, "params")) return false;
     p->n = static_cast<int32_t>(v[0]);
     p->big_n = static_cast<int32_t>(v[1]);
     p->k = static_cast<int32_t>(v[2]);
@@ -111,12 +220,12 @@ bool ReadParamsBody(std::istream& is, Params* p, std::string* error) {
     p->bk_bg_bit = static_cast<int32_t>(v[4]);
     p->ks_t = static_cast<int32_t>(v[5]);
     p->ks_base_bit = static_cast<int32_t>(v[6]);
-    if (!RDouble(is, &p->lwe_noise_stddev) ||
-        !RDouble(is, &p->tlwe_noise_stddev))
-        return Fail(error, "truncated params noise");
+    if (!r.F64(&p->lwe_noise_stddev, "params noise") ||
+        !r.F64(&p->tlwe_noise_stddev, "params noise"))
+        return false;
     if (p->n <= 0 || p->big_n <= 0 || (p->big_n & (p->big_n - 1)) != 0 ||
         p->k <= 0 || p->bk_l <= 0 || p->bk_bg_bit <= 0)
-        return Fail(error, "invalid parameter values");
+        return r.Fail("invalid parameter values");
     return true;
 }
 
@@ -126,14 +235,14 @@ void WriteSampleBody(std::ostream& os, const LweSample& s) {
     W32(os, s.b);
 }
 
-bool ReadSampleBody(std::istream& is, LweSample* s, std::string* error) {
+bool ReadSampleBody(Reader& r, LweSample* s) {
     uint64_t n;
-    if (!R64(is, &n) || n > (UINT64_C(1) << 24))
-        return Fail(error, "bad sample dimension");
+    if (!r.U64(&n, "sample dimension")) return false;
+    if (n > (UINT64_C(1) << 24)) return r.Fail("bad sample dimension");
     s->a.resize(n);
     for (auto& t : s->a)
-        if (!R32(is, &t)) return Fail(error, "truncated sample");
-    if (!R32(is, &s->b)) return Fail(error, "truncated sample body");
+        if (!r.U32(&t, "sample")) return false;
+    if (!r.U32(&s->b, "sample body")) return false;
     return true;
 }
 
@@ -142,14 +251,14 @@ void WriteIntPoly(std::ostream& os, const IntPolynomial& p) {
     for (int32_t c : p.coefs) W32(os, static_cast<uint32_t>(c));
 }
 
-bool ReadIntPoly(std::istream& is, IntPolynomial* p, std::string* error) {
+bool ReadIntPoly(Reader& r, IntPolynomial* p) {
     uint64_t n;
-    if (!R64(is, &n) || n > (UINT64_C(1) << 24))
-        return Fail(error, "bad polynomial size");
+    if (!r.U64(&n, "polynomial size")) return false;
+    if (n > (UINT64_C(1) << 24)) return r.Fail("bad polynomial size");
     p->coefs.resize(n);
     for (auto& c : p->coefs) {
         uint32_t v;
-        if (!R32(is, &v)) return Fail(error, "truncated polynomial");
+        if (!r.U32(&v, "polynomial")) return false;
         c = static_cast<int32_t>(v);
     }
     return true;
@@ -164,147 +273,173 @@ void WriteFreqPoly(std::ostream& os, const FreqPolynomial& f) {
     for (int32_t i = 0; i < half; ++i) WDouble(os, im[i]);
 }
 
-bool ReadFreqPoly(std::istream& is, FreqPolynomial* f, std::string* error) {
+bool ReadFreqPoly(Reader& r, FreqPolynomial* f) {
     uint64_t n;
-    if (!R64(is, &n) || n > (UINT64_C(1) << 24))
-        return Fail(error, "bad frequency polynomial size");
+    if (!r.U64(&n, "frequency polynomial size")) return false;
+    if (n > (UINT64_C(1) << 24))
+        return r.Fail("bad frequency polynomial size");
     f->ResizeHalf(static_cast<int32_t>(n));
     double* re = f->Re();
     double* im = f->Im();
     for (uint64_t i = 0; i < n; ++i)
-        if (!RDouble(is, &re[i])) return Fail(error, "truncated freq poly");
+        if (!r.F64(&re[i], "freq poly")) return false;
     for (uint64_t i = 0; i < n; ++i)
-        if (!RDouble(is, &im[i])) return Fail(error, "truncated freq poly");
+        if (!r.F64(&im[i], "freq poly")) return false;
     return true;
 }
 
 }  // namespace
 
 void SaveParams(std::ostream& os, const Params& params) {
-    WriteHeader(os, kMagicParams);
-    WriteParamsBody(os, params);
+    std::ostringstream body;
+    WriteParamsBody(body, params);
+    WriteFramed(os, kMagicParams, body.str());
 }
 
 std::optional<Params> LoadParams(std::istream& is, std::string* error) {
-    if (!ReadHeader(is, kMagicParams, error)) return std::nullopt;
+    std::string body;
+    if (!ReadFramedBody(is, kMagicParams, "Params", &body, error))
+        return std::nullopt;
+    Reader r{body, "Params", error};
     Params p;
-    if (!ReadParamsBody(is, &p, error)) return std::nullopt;
+    if (!ReadParamsBody(r, &p) || !r.AtEnd()) return std::nullopt;
     return p;
 }
 
 void SaveLweSample(std::ostream& os, const LweSample& sample) {
-    WriteHeader(os, kMagicSample);
-    WriteSampleBody(os, sample);
+    std::ostringstream body;
+    WriteSampleBody(body, sample);
+    WriteFramed(os, kMagicSample, body.str());
 }
 
 std::optional<LweSample> LoadLweSample(std::istream& is, std::string* error) {
-    if (!ReadHeader(is, kMagicSample, error)) return std::nullopt;
+    std::string body;
+    if (!ReadFramedBody(is, kMagicSample, "LweSample", &body, error))
+        return std::nullopt;
+    Reader r{body, "LweSample", error};
     LweSample s;
-    if (!ReadSampleBody(is, &s, error)) return std::nullopt;
+    if (!ReadSampleBody(r, &s) || !r.AtEnd()) return std::nullopt;
     return s;
 }
 
 void SaveLweSamples(std::ostream& os, const std::vector<LweSample>& samples) {
-    WriteHeader(os, kMagicSamples);
-    W64(os, samples.size());
-    for (const auto& s : samples) WriteSampleBody(os, s);
+    std::ostringstream body;
+    W64(body, samples.size());
+    for (const auto& s : samples) WriteSampleBody(body, s);
+    WriteFramed(os, kMagicSamples, body.str());
 }
 
 std::optional<std::vector<LweSample>> LoadLweSamples(std::istream& is,
                                                      std::string* error) {
-    if (!ReadHeader(is, kMagicSamples, error)) return std::nullopt;
+    std::string body;
+    if (!ReadFramedBody(is, kMagicSamples, "LweSamples", &body, error))
+        return std::nullopt;
+    Reader r{body, "LweSamples", error};
     uint64_t count;
-    if (!R64(is, &count) || count > (UINT64_C(1) << 28)) {
-        Fail(error, "bad sample count");
+    if (!r.U64(&count, "sample count")) return std::nullopt;
+    if (count > (UINT64_C(1) << 28)) {
+        r.Fail("bad sample count");
         return std::nullopt;
     }
     std::vector<LweSample> out(count);
     for (auto& s : out)
-        if (!ReadSampleBody(is, &s, error)) return std::nullopt;
+        if (!ReadSampleBody(r, &s)) return std::nullopt;
+    if (!r.AtEnd()) return std::nullopt;
     return out;
 }
 
 void SaveSecretKeySet(std::ostream& os, const SecretKeySet& keys) {
-    WriteHeader(os, kMagicSecret);
-    WriteParamsBody(os, keys.params);
-    W64(os, keys.lwe_key.key.size());
-    for (int32_t bit : keys.lwe_key.key) W32(os, static_cast<uint32_t>(bit));
-    W64(os, keys.tlwe_key.key.size());
-    for (const auto& poly : keys.tlwe_key.key) WriteIntPoly(os, poly);
+    std::ostringstream body;
+    WriteParamsBody(body, keys.params);
+    W64(body, keys.lwe_key.key.size());
+    for (int32_t bit : keys.lwe_key.key) W32(body, static_cast<uint32_t>(bit));
+    W64(body, keys.tlwe_key.key.size());
+    for (const auto& poly : keys.tlwe_key.key) WriteIntPoly(body, poly);
+    WriteFramed(os, kMagicSecret, body.str());
 }
 
 std::optional<SecretKeySet> LoadSecretKeySet(std::istream& is,
                                              std::string* error) {
-    if (!ReadHeader(is, kMagicSecret, error)) return std::nullopt;
+    std::string body;
+    if (!ReadFramedBody(is, kMagicSecret, "SecretKeySet", &body, error))
+        return std::nullopt;
+    Reader r{body, "SecretKeySet", error};
     Params p;
-    if (!ReadParamsBody(is, &p, error)) return std::nullopt;
+    if (!ReadParamsBody(r, &p)) return std::nullopt;
     uint64_t n;
-    if (!R64(is, &n) || n != static_cast<uint64_t>(p.n)) {
-        Fail(error, "lwe key dimension mismatch");
+    if (!r.U64(&n, "lwe key size")) return std::nullopt;
+    if (n != static_cast<uint64_t>(p.n)) {
+        r.Fail("lwe key dimension mismatch");
         return std::nullopt;
     }
     LweKey lwe;
     lwe.key.resize(n);
     for (auto& bit : lwe.key) {
         uint32_t v;
-        if (!R32(is, &v)) {
-            Fail(error, "truncated lwe key");
-            return std::nullopt;
-        }
+        if (!r.U32(&v, "lwe key")) return std::nullopt;
         bit = static_cast<int32_t>(v);
     }
     uint64_t k;
-    if (!R64(is, &k) || k != static_cast<uint64_t>(p.k)) {
-        Fail(error, "tlwe key size mismatch");
+    if (!r.U64(&k, "tlwe key size")) return std::nullopt;
+    if (k != static_cast<uint64_t>(p.k)) {
+        r.Fail("tlwe key size mismatch");
         return std::nullopt;
     }
     TLweKey tlwe;
     tlwe.key.resize(k);
     for (auto& poly : tlwe.key)
-        if (!ReadIntPoly(is, &poly, error)) return std::nullopt;
+        if (!ReadIntPoly(r, &poly)) return std::nullopt;
+    if (!r.AtEnd()) return std::nullopt;
     return SecretKeySet(std::move(p), std::move(lwe), std::move(tlwe));
 }
 
 void SaveBootstrappingKey(std::ostream& os, const BootstrappingKey& key) {
-    WriteHeader(os, kMagicBk);
-    WriteParamsBody(os, key.params());
-    W64(os, key.bk().size());
+    std::ostringstream body;
+    WriteParamsBody(body, key.params());
+    W64(body, key.bk().size());
     for (const TGswSampleFft& s : key.bk()) {
-        W32(os, static_cast<uint32_t>(s.l));
-        W32(os, static_cast<uint32_t>(s.bg_bit));
-        W64(os, s.rows.size());
+        W32(body, static_cast<uint32_t>(s.l));
+        W32(body, static_cast<uint32_t>(s.bg_bit));
+        W64(body, s.rows.size());
         for (const auto& row : s.rows) {
-            W64(os, row.size());
-            for (const auto& f : row) WriteFreqPoly(os, f);
+            W64(body, row.size());
+            for (const auto& f : row) WriteFreqPoly(body, f);
         }
     }
     const KeySwitchKey& ksk = key.ksk();
-    W32(os, static_cast<uint32_t>(ksk.InputN()));
-    W32(os, static_cast<uint32_t>(ksk.OutputN()));
-    W32(os, static_cast<uint32_t>(ksk.T()));
-    W32(os, static_cast<uint32_t>(ksk.BaseBit()));
-    W64(os, ksk.RawKeys().size());
-    for (const auto& s : ksk.RawKeys()) WriteSampleBody(os, s);
+    W32(body, static_cast<uint32_t>(ksk.InputN()));
+    W32(body, static_cast<uint32_t>(ksk.OutputN()));
+    W32(body, static_cast<uint32_t>(ksk.T()));
+    W32(body, static_cast<uint32_t>(ksk.BaseBit()));
+    W64(body, ksk.RawKeys().size());
+    for (const auto& s : ksk.RawKeys()) WriteSampleBody(body, s);
+    WriteFramed(os, kMagicBk, body.str());
 }
 
 std::optional<BootstrappingKey> LoadBootstrappingKey(std::istream& is,
                                                      std::string* error) {
-    if (!ReadHeader(is, kMagicBk, error)) return std::nullopt;
+    std::string body;
+    if (!ReadFramedBody(is, kMagicBk, "BootstrappingKey", &body, error))
+        return std::nullopt;
+    Reader r{body, "BootstrappingKey", error};
     Params p;
-    if (!ReadParamsBody(is, &p, error)) return std::nullopt;
+    if (!ReadParamsBody(r, &p)) return std::nullopt;
 
     uint64_t bk_size;
-    if (!R64(is, &bk_size) || bk_size != static_cast<uint64_t>(p.n)) {
-        Fail(error, "bootstrapping key size mismatch");
+    if (!r.U64(&bk_size, "bootstrapping key size")) return std::nullopt;
+    if (bk_size != static_cast<uint64_t>(p.n)) {
+        r.Fail("bootstrapping key size mismatch");
         return std::nullopt;
     }
     std::vector<TGswSampleFft> bk(bk_size);
     for (auto& s : bk) {
         uint32_t l, bg_bit;
         uint64_t rows;
-        if (!R32(is, &l) || !R32(is, &bg_bit) || !R64(is, &rows) ||
-            rows > 1024) {
-            Fail(error, "truncated tgsw sample");
+        if (!r.U32(&l, "tgsw sample") || !r.U32(&bg_bit, "tgsw sample") ||
+            !r.U64(&rows, "tgsw sample"))
+            return std::nullopt;
+        if (rows > 1024) {
+            r.Fail("bad tgsw row count");
             return std::nullopt;
         }
         s.l = static_cast<int32_t>(l);
@@ -312,31 +447,38 @@ std::optional<BootstrappingKey> LoadBootstrappingKey(std::istream& is,
         s.rows.resize(rows);
         for (auto& row : s.rows) {
             uint64_t cols;
-            if (!R64(is, &cols) || cols > 64) {
-                Fail(error, "truncated tgsw row");
+            if (!r.U64(&cols, "tgsw row")) return std::nullopt;
+            if (cols > 64) {
+                r.Fail("bad tgsw column count");
                 return std::nullopt;
             }
             row.resize(cols);
             for (auto& f : row)
-                if (!ReadFreqPoly(is, &f, error)) return std::nullopt;
+                if (!ReadFreqPoly(r, &f)) return std::nullopt;
         }
     }
 
     uint32_t n_in, n_out, t, base_bit;
     uint64_t ks_count;
-    if (!R32(is, &n_in) || !R32(is, &n_out) || !R32(is, &t) ||
-        !R32(is, &base_bit) || !R64(is, &ks_count) ||
-        ks_count > (UINT64_C(1) << 28)) {
-        Fail(error, "truncated key-switching key header");
+    if (!r.U32(&n_in, "key-switching key header") ||
+        !r.U32(&n_out, "key-switching key header") ||
+        !r.U32(&t, "key-switching key header") ||
+        !r.U32(&base_bit, "key-switching key header") ||
+        !r.U64(&ks_count, "key-switching key header"))
+        return std::nullopt;
+    if (ks_count > (UINT64_C(1) << 28)) {
+        r.Fail("bad key-switching key count");
         return std::nullopt;
     }
     std::vector<LweSample> ks(ks_count);
     for (auto& s : ks)
-        if (!ReadSampleBody(is, &s, error)) return std::nullopt;
-    if (ks_count != static_cast<uint64_t>(n_in) * t * (1u << base_bit)) {
-        Fail(error, "key-switching key size mismatch");
+        if (!ReadSampleBody(r, &s)) return std::nullopt;
+    if (base_bit >= 32 ||
+        ks_count != static_cast<uint64_t>(n_in) * t * (1u << base_bit)) {
+        r.Fail("key-switching key size mismatch");
         return std::nullopt;
     }
+    if (!r.AtEnd()) return std::nullopt;
     KeySwitchKey ksk = KeySwitchKey::FromRaw(
         static_cast<int32_t>(n_in), static_cast<int32_t>(n_out),
         static_cast<int32_t>(t), static_cast<int32_t>(base_bit),

@@ -8,15 +8,23 @@
  * encodings for every transferable object. Secret keys serialize too (for
  * client-side persistence) — never send those to the server.
  *
- * Every Save* writes a 4-byte magic + 2-byte version header; every Load*
- * validates it and returns nullopt (with an error string) on mismatch or
- * truncation.
+ * Wire format (version 3): 4-byte magic, 4-byte version, 8-byte body
+ * length, body, 4-byte CRC32C of the body. The checksum catches the
+ * corruption a network or disk can silently introduce — a bit-flipped
+ * bootstrapping key would otherwise decrypt to wrong plaintexts with no
+ * diagnostic. Version-2 files (unframed body, no checksum) still load.
+ *
+ * Every Load* validates the frame and returns nullopt on failure with an
+ * error string naming the object section and the byte offset of the
+ * problem. The Load*OrThrow wrappers raise the typed CorruptPayloadError
+ * instead, for call sites that prefer exceptions over optionals.
  */
 #ifndef PYTFHE_TFHE_SERIALIZATION_H
 #define PYTFHE_TFHE_SERIALIZATION_H
 
 #include <iosfwd>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -24,6 +32,18 @@
 #include "tfhe/gates.h"
 
 namespace pytfhe::tfhe {
+
+/**
+ * A serialized payload failed to load: truncated, bit-flipped (checksum
+ * mismatch), wrong object type, or structurally invalid. The message is
+ * the same offset-bearing diagnostic the optional-returning Load*
+ * functions report through their error out-parameter.
+ */
+class CorruptPayloadError : public std::runtime_error {
+  public:
+    explicit CorruptPayloadError(const std::string& what)
+        : std::runtime_error(what) {}
+};
 
 void SaveParams(std::ostream& os, const Params& params);
 std::optional<Params> LoadParams(std::istream& is,
@@ -50,6 +70,35 @@ std::optional<SecretKeySet> LoadSecretKeySet(std::istream& is,
 void SaveBootstrappingKey(std::ostream& os, const BootstrappingKey& key);
 std::optional<BootstrappingKey> LoadBootstrappingKey(
     std::istream& is, std::string* error = nullptr);
+
+namespace detail {
+template <typename T, typename LoadFn>
+T LoadOrThrowImpl(std::istream& is, LoadFn load) {
+    std::string error;
+    std::optional<T> value = load(is, &error);
+    if (!value) throw CorruptPayloadError(error);
+    return *std::move(value);
+}
+}  // namespace detail
+
+/** Throwing variants: CorruptPayloadError instead of nullopt. */
+inline Params LoadParamsOrThrow(std::istream& is) {
+    return detail::LoadOrThrowImpl<Params>(is, LoadParams);
+}
+inline LweSample LoadLweSampleOrThrow(std::istream& is) {
+    return detail::LoadOrThrowImpl<LweSample>(is, LoadLweSample);
+}
+inline std::vector<LweSample> LoadLweSamplesOrThrow(std::istream& is) {
+    return detail::LoadOrThrowImpl<std::vector<LweSample>>(is,
+                                                           LoadLweSamples);
+}
+inline SecretKeySet LoadSecretKeySetOrThrow(std::istream& is) {
+    return detail::LoadOrThrowImpl<SecretKeySet>(is, LoadSecretKeySet);
+}
+inline BootstrappingKey LoadBootstrappingKeyOrThrow(std::istream& is) {
+    return detail::LoadOrThrowImpl<BootstrappingKey>(is,
+                                                     LoadBootstrappingKey);
+}
 
 }  // namespace pytfhe::tfhe
 

@@ -236,6 +236,92 @@ TEST(GpuSim, MoreConcurrencyNeverSlower) {
     }
 }
 
+// ---------------------------------------------------- worker-fault model
+
+TEST(ClusterFaults, DisabledModelMatchesBaseline) {
+    const auto p = WideProgram(200, 10);
+    const ClusterResult base = SimulateCluster(p, Nodes(4));
+    const ClusterResult faulted =
+        SimulateCluster(p, Nodes(4), ClusterFaultModel{});
+    EXPECT_DOUBLE_EQ(base.seconds, faulted.seconds);
+    EXPECT_DOUBLE_EQ(faulted.seconds, faulted.fault_free_seconds);
+    EXPECT_EQ(faulted.failed_tasks, 0u);
+    EXPECT_EQ(faulted.straggler_tasks, 0u);
+    EXPECT_DOUBLE_EQ(faulted.RecoveryOverhead(), 0.0);
+}
+
+TEST(ClusterFaults, FailuresCostReexecutionTime) {
+    const auto p = WideProgram(400, 20);
+    ClusterFaultModel faults;
+    faults.task_failure_rate = 0.1;
+    const ClusterResult r = SimulateCluster(p, Nodes(4), faults);
+    EXPECT_GT(r.failed_tasks, 0u);
+    EXPECT_GT(r.seconds, r.fault_free_seconds);
+    EXPECT_GT(r.RecoveryOverhead(), 0.0);
+    // The baseline makespan is unchanged by the fault model.
+    EXPECT_DOUBLE_EQ(r.fault_free_seconds,
+                     SimulateCluster(p, Nodes(4)).seconds);
+}
+
+TEST(ClusterFaults, StragglersSlowTheWave) {
+    const auto p = WideProgram(400, 20);
+    ClusterFaultModel faults;
+    faults.straggler_rate = 0.05;
+    faults.straggler_slowdown = 4.0;
+    const ClusterResult r = SimulateCluster(p, Nodes(1), faults);
+    EXPECT_GT(r.straggler_tasks, 0u);
+    EXPECT_EQ(r.failed_tasks, 0u);
+    EXPECT_GT(r.seconds, r.fault_free_seconds);
+}
+
+TEST(ClusterFaults, DeterministicReplay) {
+    const auto p = WideProgram(300, 15);
+    ClusterFaultModel faults;
+    faults.seed = 7;
+    faults.task_failure_rate = 0.15;
+    faults.straggler_rate = 0.1;
+    const ClusterResult a = SimulateCluster(p, Nodes(4), faults);
+    const ClusterResult b = SimulateCluster(p, Nodes(4), faults);
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.failed_tasks, b.failed_tasks);
+    EXPECT_EQ(a.straggler_tasks, b.straggler_tasks);
+    // A different seed draws a different schedule.
+    faults.seed = 8;
+    const ClusterResult c = SimulateCluster(p, Nodes(4), faults);
+    EXPECT_NE(a.failed_tasks, c.failed_tasks);
+}
+
+TEST(ClusterFaults, HigherFailureRateNeverCheaper) {
+    // With no stragglers, every site failing at a low rate also fails at a
+    // higher one (same hash draw), so cost is monotone in the rate.
+    const auto p = WideProgram(300, 15);
+    double prev_seconds = 0.0;
+    uint64_t prev_failed = 0;
+    for (double rate : {0.05, 0.15, 0.3}) {
+        ClusterFaultModel faults;
+        faults.task_failure_rate = rate;
+        const ClusterResult r = SimulateCluster(p, Nodes(4), faults);
+        EXPECT_GE(r.seconds, prev_seconds) << rate;
+        EXPECT_GE(r.failed_tasks, prev_failed) << rate;
+        prev_seconds = r.seconds;
+        prev_failed = r.failed_tasks;
+    }
+}
+
+TEST(ClusterFaults, ReexecutionBudgetBoundsAttempts) {
+    // Even at an absurd failure rate the attempt loop terminates: after
+    // max_reexecutions failed attempts the next one always completes.
+    const auto p = WideProgram(50, 5);
+    ClusterFaultModel faults;
+    faults.task_failure_rate = 1.0;
+    faults.max_reexecutions = 2;
+    const ClusterResult r = SimulateCluster(p, Nodes(1), faults);
+    // Every bootstrapped task fails exactly max_reexecutions times.
+    const GateMix mix = ComputeGateMix(p);
+    EXPECT_EQ(r.failed_tasks, 2 * mix.bootstrap_gates);
+    EXPECT_GT(r.seconds, r.fault_free_seconds);
+}
+
 TEST(ClusterSim, SlowerGatesScaleLinearly) {
     const auto p = WideProgram(500, 20);
     ClusterConfig c1, c2;
