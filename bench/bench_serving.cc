@@ -20,16 +20,22 @@
  */
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "backend/cluster_sim.h"
 #include "backend/serving.h"
 #include "bench_util.h"
+#include "core/key_cache.h"
 #include "core/service.h"
 #include "hdl/word_ops.h"
+#include "tfhe/serialization.h"
 
 using namespace pytfhe;
 
@@ -300,6 +306,247 @@ FaultedResult MeasureFaulted(const pasm::Program& program) {
     return result;
 }
 
+struct KeyCacheResult {
+    uint64_t tenants = 0;
+    uint64_t jobs = 0;
+    uint64_t key_bytes = 0;       ///< Accounted size of one tenant key.
+    uint64_t capacity_bytes = 0;  ///< Cache bound (fits 2 of 5 keys).
+    core::KeyCacheStats stats;
+};
+
+/**
+ * Key-cache economics on the REAL service: 5 tenants with real toy-param
+ * evaluation keys registered as lazy FileKeySources (CRC32C artifacts on
+ * disk), cache capacity 2 keys. A skewed trace (tenant 1 hot) forces
+ * evictions and lazy reloads; every output is checked bit-exact against
+ * an unlimited-capacity service running the same trace, and peak resident
+ * bytes are asserted <= capacity. Aborts on any violation.
+ */
+KeyCacheResult MeasureKeyCache(const pasm::Program& program) {
+    constexpr int kTenants = 5;
+    const auto shared_program =
+        std::make_shared<const pasm::Program>(program);
+
+    std::vector<std::unique_ptr<core::Client>> clients;
+    std::vector<std::shared_ptr<tfhe::GateEvaluator>> keys;
+    std::vector<core::Ciphertexts> inputs;
+    std::vector<int> expected;
+    std::vector<std::string> artifacts;
+    for (int t = 0; t < kTenants; ++t) {
+        clients.push_back(std::make_unique<core::Client>(
+            tfhe::ToyParams(), /*seed=*/1000 + t));
+        keys.push_back(clients.back()->MakeEvaluationKey());
+        const int x = 37 + 11 * t;
+        const int y = 58 + 7 * t;
+        expected.push_back((x + y) & 0xFF);
+        inputs.push_back(clients.back()->EncryptValues(
+            hdl::DType::UInt(8),
+            {static_cast<double>(x), static_cast<double>(y)}));
+        const std::string path =
+            "bench_tenant_key_" + std::to_string(t) + ".ekey";
+        std::ofstream os(path, std::ios::binary);
+        tfhe::SaveEvaluationKey(os, keys.back()->key(),
+                                keys.back()->key_id());
+        artifacts.push_back(path);
+    }
+
+    KeyCacheResult result;
+    result.tenants = kTenants;
+    result.key_bytes = core::EvaluationKeyBytes(*keys[0]);
+
+    // Skewed trace: tenant 0 between every other access, so the LRU keeps
+    // the hot key while tenants 1..4 cycle through the remaining slot.
+    std::vector<int> trace;
+    for (int round = 0; round < 3; ++round)
+        for (int t = 1; t < kTenants; ++t) {
+            trace.push_back(0);
+            trace.push_back(t);
+        }
+    result.jobs = trace.size();
+
+    // Reference: unlimited capacity, keys registered directly.
+    std::vector<core::Ciphertexts> want(trace.size());
+    {
+        core::Service service;
+        for (int t = 0; t < kTenants; ++t) service.RegisterTenant(keys[t]);
+        for (size_t i = 0; i < trace.size(); ++i) {
+            const int t = trace[i];
+            want[i] = service
+                          .Submit(keys[t]->key_id(), shared_program,
+                                  inputs[t])
+                          .Get();
+        }
+    }
+
+    core::ServiceOptions opts;
+    opts.key_cache_capacity_bytes = 2 * result.key_bytes;
+    result.capacity_bytes = opts.key_cache_capacity_bytes;
+    core::Service service(opts);
+    for (int t = 0; t < kTenants; ++t)
+        service.RegisterTenantSource(keys[t]->key_id(),
+                                     core::FileKeySource(artifacts[t]));
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const int t = trace[i];
+        const core::JobHandle job =
+            service.Submit(keys[t]->key_id(), shared_program, inputs[t]);
+        const core::Ciphertexts& got = job.Get();
+        if (got.size() != want[i].size()) std::abort();
+        for (size_t b = 0; b < got.size(); ++b)
+            if (got[b].a != want[i][b].a || got[b].b != want[i][b].b) {
+                std::fprintf(stderr,
+                             "key-cache output differs from always-"
+                             "resident run at job %zu bit %zu\n",
+                             i, b);
+                std::abort();
+            }
+        const auto bits = clients[t]->DecryptBits(got);
+        int value = 0;
+        for (size_t b = 0; b < bits.size(); ++b)
+            value |= (bits[b] ? 1 : 0) << b;
+        if (value != expected[t]) {
+            std::fprintf(stderr,
+                         "key-cache decrypt mismatch: tenant %d got %d "
+                         "want %d\n",
+                         t, value, expected[t]);
+            std::abort();
+        }
+    }
+    result.stats = service.stats().key_cache;
+    for (const std::string& path : artifacts) std::remove(path.c_str());
+
+    if (result.stats.peak_resident_bytes > result.capacity_bytes) {
+        std::fprintf(stderr,
+                     "FAIL: peak resident key bytes %llu exceed the "
+                     "cache capacity %llu\n",
+                     static_cast<unsigned long long>(
+                         result.stats.peak_resident_bytes),
+                     static_cast<unsigned long long>(
+                         result.capacity_bytes));
+        std::abort();
+    }
+    if (result.stats.reloads == 0 || result.stats.evictions == 0) {
+        std::fprintf(stderr,
+                     "FAIL: key-cache scenario exercised no "
+                     "eviction/reload\n");
+        std::abort();
+    }
+    std::printf("  key-cache 5 tenants, capacity 2 keys: hit rate %.2f, "
+                "%llu reloads (%.3f s), peak resident %.1f MB\n",
+                result.stats.HitRate(),
+                static_cast<unsigned long long>(result.stats.reloads),
+                result.stats.reload_seconds,
+                static_cast<double>(result.stats.peak_resident_bytes) /
+                    1048576.0);
+    std::fflush(stdout);
+    return result;
+}
+
+struct ShardedResult {
+    uint64_t tenants = 0;
+    uint64_t requests = 0;
+    uint32_t shards = 0;
+    uint64_t fleet_key_slots = 0;  ///< Keys the whole fleet can hold.
+    backend::ShardedServingResult affinity;
+    backend::ShardedServingResult least_loaded;
+    backend::ShardedServingResult overload;
+};
+
+/**
+ * Sharded front-end simulation: a Zipf(1.1) trace over 100k tenants
+ * (fleet capacity 512 keys — 0.5% of the key population) through 8
+ * shards. Three runs: key-affinity routing at 70% utilization,
+ * least-loaded routing at the same load (the locality/balance
+ * counterfactual), and key-affinity at 110% utilization with per-epoch
+ * shard failures (p99 under overload + key movement). All modeled time:
+ * deterministic, so the latency quantiles gate in bench_check.
+ */
+ShardedResult MeasureSharded(const pasm::Program& program) {
+    ShardedResult result;
+    result.tenants = 100000;
+    result.requests = 200000;
+    const double service_s = bench::SingleCoreSeconds(program);
+
+    backend::ShardingConfig cfg;
+    cfg.shards = 8;
+    cfg.vnodes_per_shard = 64;
+    cfg.key_bytes = 59ull << 20;  // Paper-scale bootstrapping key, ~59 MB.
+    cfg.shard_cache_capacity_bytes = 64 * cfg.key_bytes;  // 64 keys/shard.
+    cfg.reload_seconds =
+        static_cast<double>(cfg.key_bytes) / 1e9;  // 1 GB/s fetch.
+    cfg.seed = 7;
+    result.shards = cfg.shards;
+    result.fleet_key_slots = 64ull * cfg.shards;
+
+    auto trace_at = [&](double utilization) {
+        return backend::MakeZipfTrace(
+            result.tenants, result.requests, /*zipf_s=*/1.1,
+            service_s / (cfg.shards * utilization), service_s,
+            /*seed=*/42);
+    };
+
+    cfg.routing = backend::ShardRouting::kKeyAffinity;
+    result.affinity = backend::SimulateShardedServing(trace_at(0.7), cfg);
+
+    cfg.routing = backend::ShardRouting::kLeastLoaded;
+    result.least_loaded =
+        backend::SimulateShardedServing(trace_at(0.7), cfg);
+
+    cfg.routing = backend::ShardRouting::kKeyAffinity;
+    cfg.epoch_seconds = 500.0 * service_s;
+    cfg.faults.seed = 11;
+    cfg.faults.task_failure_rate = 0.02;  // Per-epoch shard death.
+    cfg.faults.detect_seconds = 5.0 * service_s;
+    result.overload = backend::SimulateShardedServing(trace_at(1.1), cfg);
+
+    // The whole point of affinity routing: strictly better key locality
+    // than spraying requests across shards.
+    if (result.affinity.HitRate() <= result.least_loaded.HitRate()) {
+        std::fprintf(stderr,
+                     "FAIL: affinity routing hit rate %.3f not above "
+                     "least-loaded %.3f\n",
+                     result.affinity.HitRate(),
+                     result.least_loaded.HitRate());
+        std::abort();
+    }
+    if (result.affinity.peak_resident_bytes >
+        cfg.shard_cache_capacity_bytes) {
+        std::fprintf(stderr, "FAIL: shard cache exceeded its capacity\n");
+        std::abort();
+    }
+    std::printf("  sharded %llu tenants / %u shards: affinity hit %.3f "
+                "p99 %.2f s | least-loaded hit %.3f | overload p99 %.1f "
+                "s, %llu moved keys, %llu shard failures\n",
+                static_cast<unsigned long long>(result.tenants),
+                cfg.shards, result.affinity.HitRate(),
+                result.affinity.p99_latency_seconds,
+                result.least_loaded.HitRate(),
+                result.overload.p99_latency_seconds,
+                static_cast<unsigned long long>(
+                    result.overload.moved_keys),
+                static_cast<unsigned long long>(
+                    result.overload.shard_failures));
+    std::fflush(stdout);
+    return result;
+}
+
+void WriteShardRun(FILE* out, const char* name,
+                   const backend::ShardedServingResult& r,
+                   bool trailing_comma) {
+    std::fprintf(out,
+                 "    \"%s\": {\"hit_rate\": %.4f, \"modeled_s_p50\": "
+                 "%.4f, \"modeled_s_p99\": %.4f, "
+                 "\"modeled_s_reload_total\": %.2f, \"load_imbalance\": "
+                 "%.3f, \"evictions\": %llu, \"moved_keys\": %llu, "
+                 "\"shard_failures\": %llu}%s\n",
+                 name, r.HitRate(), r.p50_latency_seconds,
+                 r.p99_latency_seconds, r.reload_total_seconds,
+                 r.load_imbalance,
+                 static_cast<unsigned long long>(r.evictions),
+                 static_cast<unsigned long long>(r.moved_keys),
+                 static_cast<unsigned long long>(r.shard_failures),
+                 trailing_comma ? "," : "");
+}
+
 void WriteSuite(FILE* out, const char* name, const Suite& s,
                 bool trailing_comma) {
     std::fprintf(out, "  \"%s\": {\n", name);
@@ -336,6 +583,8 @@ int main() {
 
     const Suite plain = MeasurePlain(program);
     const FaultedResult faulted = MeasureFaulted(program);
+    const KeyCacheResult key_cache = MeasureKeyCache(program);
+    const ShardedResult sharded = MeasureSharded(program);
     const Suite encrypted = MeasureEncrypted(program);
 
     FILE* out = std::fopen("BENCH_serving.json", "w");
@@ -359,6 +608,41 @@ int main() {
                  faulted.jobs_per_s, faulted.fault_free_jobs_per_s,
                  faulted.recovery_overhead, faulted.retries,
                  faulted.faulted_jobs);
+    std::fprintf(out,
+                 "  \"key_cache\": {\"tenants\": %llu, \"jobs\": %llu, "
+                 "\"key_bytes\": %llu, \"capacity_bytes\": %llu, "
+                 "\"hit_rate\": %.4f, \"reloads\": %llu, \"evictions\": "
+                 "%llu, \"peak_resident_bytes\": %llu, "
+                 "\"peak_total_bytes\": %llu, \"wall_s_reload_total\": "
+                 "%.4f},\n",
+                 static_cast<unsigned long long>(key_cache.tenants),
+                 static_cast<unsigned long long>(key_cache.jobs),
+                 static_cast<unsigned long long>(key_cache.key_bytes),
+                 static_cast<unsigned long long>(key_cache.capacity_bytes),
+                 key_cache.stats.HitRate(),
+                 static_cast<unsigned long long>(key_cache.stats.reloads),
+                 static_cast<unsigned long long>(
+                     key_cache.stats.evictions),
+                 static_cast<unsigned long long>(
+                     key_cache.stats.peak_resident_bytes),
+                 static_cast<unsigned long long>(
+                     key_cache.stats.peak_total_bytes),
+                 key_cache.stats.reload_seconds);
+    std::fprintf(out,
+                 "  \"sharded\": {\"tenants\": %llu, \"requests\": %llu, "
+                 "\"shards\": %u, \"fleet_key_slots\": %llu, \"zipf_s\": "
+                 "1.1,\n",
+                 static_cast<unsigned long long>(sharded.tenants),
+                 static_cast<unsigned long long>(sharded.requests),
+                 sharded.shards,
+                 static_cast<unsigned long long>(sharded.fleet_key_slots));
+    WriteShardRun(out, "affinity", sharded.affinity,
+                  /*trailing_comma=*/true);
+    WriteShardRun(out, "least_loaded", sharded.least_loaded,
+                  /*trailing_comma=*/true);
+    WriteShardRun(out, "overload_faulted", sharded.overload,
+                  /*trailing_comma=*/false);
+    std::fprintf(out, "  },\n");
     WriteSuite(out, "encrypted", encrypted, /*trailing_comma=*/false);
     std::fprintf(out, "}\n");
     std::fclose(out);

@@ -1,6 +1,11 @@
 #include "backend/cluster_sim.h"
 
 #include <algorithm>
+#include <cmath>
+#include <list>
+#include <map>
+#include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "backend/fault.h"
@@ -157,6 +162,234 @@ double IdealThroughput(const ClusterConfig& config) {
     // Independent single-threaded programs: no barriers, no dependencies —
     // every worker streams gates back to back.
     return config.TotalWorkers() / config.cpu.bootstrap_gate_seconds;
+}
+
+namespace {
+
+// Decision salts for the sharded-serving simulation; distinct from the
+// wave-simulator and FaultInjector salts.
+constexpr uint64_t kSaltRing = 0x21D6ull;       ///< Vnode placement.
+constexpr uint64_t kSaltKeyHash = 0x8EA7ull;    ///< Key position lookup.
+constexpr uint64_t kSaltShardFail = 0xF0E1ull;  ///< Per-epoch shard death.
+constexpr uint64_t kSaltZipf = 0x21FFull;       ///< Trace tenant draws.
+
+/** Per-shard state: FIFO service + byte-LRU over tenant keys. */
+struct ShardState {
+    double next_free = 0.0;  ///< Instant the shard finishes its backlog.
+    double busy = 0.0;       ///< Accumulated reload + service time.
+    std::list<uint64_t> lru;  ///< Front = most recently used tenant.
+    std::map<uint64_t, std::list<uint64_t>::iterator> pos;
+    uint64_t resident_bytes = 0;
+};
+
+}  // namespace
+
+ShardRing::ShardRing(uint32_t shards, uint32_t vnodes, uint64_t seed)
+    : shards_(shards), seed_(seed) {
+    if (shards == 0 || vnodes == 0)
+        throw std::invalid_argument("ShardRing: shards and vnodes >= 1");
+    ring_.reserve(static_cast<size_t>(shards) * vnodes);
+    for (uint32_t s = 0; s < shards; ++s)
+        for (uint32_t v = 0; v < vnodes; ++v)
+            ring_.push_back(Point{FaultSiteHash(seed, s, v, kSaltRing), s});
+    std::sort(ring_.begin(), ring_.end(),
+              [](const Point& a, const Point& b) {
+                  return a.hash != b.hash ? a.hash < b.hash
+                                          : a.shard < b.shard;
+              });
+}
+
+uint32_t ShardRing::Owner(uint64_t key) const {
+    const uint64_t h = FaultSiteHash(seed_, key, 0, kSaltKeyHash);
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), h,
+        [](const Point& p, uint64_t value) { return p.hash < value; });
+    if (it == ring_.end()) it = ring_.begin();
+    return it->shard;
+}
+
+uint32_t ShardRing::Owner(uint64_t key,
+                          const std::vector<bool>& live) const {
+    const uint64_t h = FaultSiteHash(seed_, key, 0, kSaltKeyHash);
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), h,
+        [](const Point& p, uint64_t value) { return p.hash < value; });
+    // Clockwise walk to the first live point; one full lap at most.
+    for (size_t step = 0; step < ring_.size(); ++step) {
+        if (it == ring_.end()) it = ring_.begin();
+        if (it->shard < live.size() && live[it->shard]) return it->shard;
+        ++it;
+    }
+    throw std::invalid_argument("ShardRing::Owner: no live shard");
+}
+
+ShardedServingResult SimulateShardedServing(std::vector<ShardRequest> trace,
+                                            const ShardingConfig& config) {
+    if (config.shards == 0)
+        throw std::invalid_argument("SimulateShardedServing: shards >= 1");
+    std::stable_sort(trace.begin(), trace.end(),
+                     [](const ShardRequest& a, const ShardRequest& b) {
+                         return a.arrival_seconds < b.arrival_seconds;
+                     });
+
+    const ShardRing ring(config.shards, config.vnodes_per_shard,
+                         config.seed);
+    std::vector<ShardState> shard(config.shards);
+    std::vector<bool> live(config.shards, true);
+    const bool faulty =
+        config.epoch_seconds > 0.0 && config.faults.Enabled();
+
+    ShardedServingResult result;
+    result.requests = trace.size();
+    result.shards = config.shards;
+    std::vector<double> latencies;
+    latencies.reserve(trace.size());
+    std::set<uint64_t> moved;
+    int64_t epoch = -1;
+
+    for (const ShardRequest& req : trace) {
+        // Advance the failure process to this request's epoch: each shard
+        // dies independently with task_failure_rate per epoch, loses its
+        // cache, and sits out detect_seconds. Never kill the last shard.
+        if (faulty) {
+            const int64_t e = static_cast<int64_t>(
+                req.arrival_seconds / config.epoch_seconds);
+            if (e != epoch) {
+                epoch = e;
+                std::fill(live.begin(), live.end(), true);
+                uint32_t alive = config.shards;
+                for (uint32_t s = 0; s < config.shards; ++s) {
+                    if (alive <= 1) break;
+                    if (FaultHashUnit(FaultSiteHash(
+                            config.faults.seed,
+                            static_cast<uint64_t>(epoch), s,
+                            kSaltShardFail)) <
+                        config.faults.task_failure_rate) {
+                        live[s] = false;
+                        --alive;
+                        ++result.shard_failures;
+                        ShardState& dead = shard[s];
+                        dead.lru.clear();
+                        dead.pos.clear();
+                        dead.resident_bytes = 0;
+                        dead.next_free =
+                            std::max(dead.next_free,
+                                     req.arrival_seconds +
+                                         config.faults.detect_seconds);
+                    }
+                }
+            }
+        }
+
+        uint32_t target;
+        if (config.routing == ShardRouting::kKeyAffinity) {
+            target = ring.Owner(req.tenant, live);
+            if (target != ring.Owner(req.tenant)) moved.insert(req.tenant);
+        } else {
+            // Least loaded: the live shard that frees up first.
+            target = 0;
+            double best = 0.0;
+            bool found = false;
+            for (uint32_t s = 0; s < config.shards; ++s) {
+                if (!live[s]) continue;
+                if (!found || shard[s].next_free < best) {
+                    best = shard[s].next_free;
+                    target = s;
+                    found = true;
+                }
+            }
+        }
+
+        ShardState& st = shard[target];
+        const double start = std::max(req.arrival_seconds, st.next_free);
+        double reload = 0.0;
+        auto hit = st.pos.find(req.tenant);
+        if (hit != st.pos.end()) {
+            ++result.cache_hits;
+            st.lru.erase(hit->second);
+            st.lru.push_front(req.tenant);
+            hit->second = st.lru.begin();
+        } else {
+            ++result.cache_misses;
+            reload = config.reload_seconds;
+            st.lru.push_front(req.tenant);
+            st.pos[req.tenant] = st.lru.begin();
+            st.resident_bytes += config.key_bytes;
+            while (config.shard_cache_capacity_bytes > 0 &&
+                   st.resident_bytes > config.shard_cache_capacity_bytes &&
+                   st.lru.size() > 1) {
+                const uint64_t victim = st.lru.back();
+                st.lru.pop_back();
+                st.pos.erase(victim);
+                st.resident_bytes -= config.key_bytes;
+                ++result.evictions;
+            }
+            result.peak_resident_bytes =
+                std::max(result.peak_resident_bytes, st.resident_bytes);
+        }
+        const double finish = start + reload + req.service_seconds;
+        st.next_free = finish;
+        st.busy += reload + req.service_seconds;
+        result.reload_total_seconds += reload;
+        result.makespan_seconds = std::max(result.makespan_seconds, finish);
+        latencies.push_back(finish - req.arrival_seconds);
+    }
+
+    result.moved_keys = moved.size();
+    if (!latencies.empty()) {
+        std::sort(latencies.begin(), latencies.end());
+        auto quantile = [&](double q) {
+            const size_t idx = static_cast<size_t>(
+                std::min<double>(latencies.size() - 1,
+                                 q * static_cast<double>(latencies.size())));
+            return latencies[idx];
+        };
+        result.p50_latency_seconds = quantile(0.50);
+        result.p99_latency_seconds = quantile(0.99);
+        result.max_latency_seconds = latencies.back();
+        double sum = 0.0;
+        for (double v : latencies) sum += v;
+        result.mean_latency_seconds =
+            sum / static_cast<double>(latencies.size());
+    }
+    double busy_sum = 0.0;
+    double busy_max = 0.0;
+    for (const ShardState& st : shard) {
+        busy_sum += st.busy;
+        busy_max = std::max(busy_max, st.busy);
+    }
+    const double busy_mean = busy_sum / static_cast<double>(config.shards);
+    result.load_imbalance = busy_mean > 0.0 ? busy_max / busy_mean : 0.0;
+    return result;
+}
+
+std::vector<ShardRequest> MakeZipfTrace(uint64_t tenants, uint64_t requests,
+                                        double zipf_s,
+                                        double arrival_interval_seconds,
+                                        double service_seconds,
+                                        uint64_t seed) {
+    if (tenants == 0)
+        throw std::invalid_argument("MakeZipfTrace: tenants >= 1");
+    // Zipf CDF over ranks 1..tenants: weight(r) = r^-s. Binary-searched
+    // inverse-transform sampling off the deterministic site hash.
+    std::vector<double> cdf(tenants);
+    double total = 0.0;
+    for (uint64_t r = 0; r < tenants; ++r) {
+        total += std::pow(static_cast<double>(r + 1), -zipf_s);
+        cdf[r] = total;
+    }
+    std::vector<ShardRequest> trace(requests);
+    for (uint64_t i = 0; i < requests; ++i) {
+        const double u =
+            FaultHashUnit(FaultSiteHash(seed, i, 0, kSaltZipf)) * total;
+        const uint64_t rank = static_cast<uint64_t>(
+            std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+        trace[i].tenant = std::min(rank, tenants - 1) + 1;
+        trace[i].arrival_seconds =
+            static_cast<double>(i) * arrival_interval_seconds;
+        trace[i].service_seconds = service_seconds;
+    }
+    return trace;
 }
 
 }  // namespace pytfhe::backend

@@ -12,6 +12,9 @@
 #ifndef PYTFHE_BACKEND_CLUSTER_SIM_H
 #define PYTFHE_BACKEND_CLUSTER_SIM_H
 
+#include <cstdint>
+#include <vector>
+
 #include "backend/cost_model.h"
 #include "backend/scheduler.h"
 
@@ -73,6 +76,145 @@ ClusterResult SimulateCluster(const pasm::Program& program,
  * throughput measurement for Fig. 10.
  */
 double IdealThroughput(const ClusterConfig& config);
+
+// ---------------------------------------------------------------------------
+// Sharded multi-tenant serving simulation.
+//
+// One Service instance caps out at one machine's worth of tenants; serving
+// millions of users means a fleet of shards, each running its own bounded
+// key cache, with a front end routing a tenant's jobs by KeyId. The
+// routing policy is a locality/balance tradeoff this simulator quantifies:
+//
+//  - Key affinity (consistent hashing of KeyId onto a vnode ring): a
+//    tenant's key lives on ONE shard, so the fleet-wide cache hit rate is
+//    that of a single cache of shard capacity per tenant subset — but a
+//    hot shard can back up while others idle.
+//  - Least loaded: every request goes to the emptiest shard — perfect
+//    balance, but a popular tenant's key is re-fetched on many shards and
+//    the fleet pays the reload tax repeatedly.
+//
+// Shard failures draw from the same deterministic ClusterFaultModel as
+// the wave simulator: each epoch, each shard fails independently with
+// task_failure_rate; a failed shard loses its cache (cold restart), is
+// unavailable for detect_seconds, and the ring routes around it — the
+// consistent-hash property keeps the reshuffle to ~1/shards of the keys.
+// Everything is modeled time (no wall clock): results are bit-stable
+// across runs and machines, so they gate in bench_check.
+// ---------------------------------------------------------------------------
+
+/** One simulated request: a tenant's job arriving at a given instant. */
+struct ShardRequest {
+    uint64_t tenant = 0;           ///< KeyId value routed on.
+    double arrival_seconds = 0.0;  ///< Absolute arrival time.
+    double service_seconds = 0.0;  ///< Modeled execution time of the job.
+};
+
+/** Front-end routing policy. */
+enum class ShardRouting {
+    kKeyAffinity,  ///< Consistent hashing of the tenant key onto the ring.
+    kLeastLoaded,  ///< Emptiest live shard, ignoring key locality.
+};
+
+/** Fleet + policy knobs for one simulation. */
+struct ShardingConfig {
+    uint32_t shards = 4;
+    /** Ring points per shard; more vnodes = smoother key spread. */
+    uint32_t vnodes_per_shard = 64;
+    /** Accounted bytes of one tenant's evaluation key. */
+    uint64_t key_bytes = 1;
+    /** Per-shard key-cache capacity in bytes; 0 = unlimited. */
+    uint64_t shard_cache_capacity_bytes = 0;
+    /** Cost to load one cold key (disk/network fetch + deserialize). */
+    double reload_seconds = 0.0;
+    ShardRouting routing = ShardRouting::kKeyAffinity;
+    uint64_t seed = 1;  ///< Ring placement + key hashing salt.
+    /** Shard-failure check interval; 0 disables failures entirely. */
+    double epoch_seconds = 0.0;
+    /** Failure process (task_failure_rate = per-epoch shard death). */
+    ClusterFaultModel faults;
+};
+
+/** Aggregates of one simulated trace. */
+struct ShardedServingResult {
+    uint64_t requests = 0;
+    uint64_t shards = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;  ///< Cold keys: each pays reload_seconds.
+    uint64_t evictions = 0;
+    double reload_total_seconds = 0.0;
+    double p50_latency_seconds = 0.0;
+    double p99_latency_seconds = 0.0;
+    double max_latency_seconds = 0.0;
+    double mean_latency_seconds = 0.0;
+    double makespan_seconds = 0.0;  ///< Last completion instant.
+    /** Busiest shard's busy time / mean shard busy time (1.0 = perfect). */
+    double load_imbalance = 0.0;
+    /** Distinct keys ever routed away from their all-live ring owner. */
+    uint64_t moved_keys = 0;
+    uint64_t shard_failures = 0;
+    /** Max resident key bytes observed on any one shard. */
+    uint64_t peak_resident_bytes = 0;
+
+    double HitRate() const {
+        const uint64_t total = cache_hits + cache_misses;
+        return total > 0 ? static_cast<double>(cache_hits) / total : 0.0;
+    }
+};
+
+/**
+ * Consistent-hash ring mapping tenant keys to shards. Each shard owns
+ * `vnodes` points placed by a deterministic hash of (shard, vnode, seed);
+ * a key belongs to the first point clockwise from its own hash. Removing
+ * a shard moves only the keys it owned (~1/shards of them) to their next
+ * points — the property the failure model leans on.
+ */
+class ShardRing {
+  public:
+    ShardRing(uint32_t shards, uint32_t vnodes, uint64_t seed);
+
+    /** Owning shard with every shard live. */
+    uint32_t Owner(uint64_t key) const;
+
+    /**
+     * Owning shard given liveness (live.size() == shards; at least one
+     * true). A key whose owner is dead walks clockwise to the next live
+     * point.
+     */
+    uint32_t Owner(uint64_t key, const std::vector<bool>& live) const;
+
+    uint32_t shards() const { return shards_; }
+
+  private:
+    struct Point {
+        uint64_t hash;
+        uint32_t shard;
+    };
+    uint32_t shards_;
+    uint64_t seed_;
+    std::vector<Point> ring_;  ///< Sorted by hash.
+};
+
+/**
+ * Runs `trace` (sorted by arrival; sorted internally otherwise) through
+ * the sharded fleet. Each shard serves FIFO: a request waits for the
+ * shard to free up, pays reload_seconds when its tenant's key is cold,
+ * then its service time; per-shard byte-LRU caches evict beyond capacity.
+ * Deterministic: same trace + config = identical result.
+ */
+ShardedServingResult SimulateShardedServing(std::vector<ShardRequest> trace,
+                                            const ShardingConfig& config);
+
+/**
+ * Deterministic Zipf-distributed tenant trace: `requests` arrivals at
+ * fixed `arrival_interval_seconds` spacing, tenant drawn from a Zipf(s)
+ * law over `tenants` tenants (rank-1 hottest), each with the same
+ * modeled `service_seconds`. Tenant ids are 1-based (0 = unset KeyId).
+ */
+std::vector<ShardRequest> MakeZipfTrace(uint64_t tenants, uint64_t requests,
+                                        double zipf_s,
+                                        double arrival_interval_seconds,
+                                        double service_seconds,
+                                        uint64_t seed);
 
 }  // namespace pytfhe::backend
 

@@ -54,6 +54,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -141,6 +142,8 @@ struct ServingStats {
     uint64_t jobs_deadline_exceeded = 0;
     uint64_t jobs_failed = 0;    ///< Terminal kFailed (retries exhausted).
     uint64_t jobs_rejected = 0;  ///< Backpressure rejections (Overloaded).
+    /** Rejections by the per-tenant admission quota (also Overloaded). */
+    uint64_t jobs_rejected_tenant_quota = 0;
     uint64_t job_retries = 0;    ///< Re-executions after transient faults.
     uint64_t jobs_degraded = 0;  ///< Final attempts on the sequential path.
     uint64_t gates_executed = 0;
@@ -157,8 +160,24 @@ struct ServingOptions {
     uint32_t max_active_jobs = 8;
     /** Queued + active bound; submissions beyond it throw Overloaded. */
     uint32_t max_pending_jobs = 64;
-    /** Fairness cap: gates of one job in flight at once. */
+    /** Fairness cap: gates of one job in flight at once (scaled by the
+     *  job's SubmitOptions::weight — a weight-2 tenant holds up to twice
+     *  the in-flight gates of a weight-1 tenant under contention). */
     uint32_t per_job_inflight_cap = 4;
+    /**
+     * Per-tenant admission quota: pending (queued + active) jobs one
+     * tenant (SubmitOptions::tenant) may hold; submissions beyond it
+     * throw OverloadedError so one tenant cannot fill the whole service
+     * queue. 0 = unlimited. Jobs with tenant 0 share one anonymous pool.
+     */
+    uint32_t max_pending_jobs_per_tenant = 0;
+    /**
+     * Per-tenant concurrency quota: jobs of one tenant executing at once;
+     * excess jobs wait in the queue (FIFO among eligible jobs, exactly
+     * like retry backoff) without blocking other tenants' admissions.
+     * 0 = unlimited.
+     */
+    uint32_t max_active_jobs_per_tenant = 0;
     /**
      * Re-execution of jobs killed by transient gate failures. The default
      * (max_attempts 1) fails a job on its first error; with more
@@ -195,6 +214,25 @@ class ServingExecutor {
         /** Absolute wall deadline; time_point::max() = none. */
         std::chrono::steady_clock::time_point deadline =
             std::chrono::steady_clock::time_point::max();
+        /**
+         * Tenant identity for the per-tenant quotas (a serving registry
+         * passes the KeyId value). 0 = anonymous; anonymous jobs share
+         * one quota pool.
+         */
+        uint64_t tenant = 0;
+        /**
+         * Fairness weight: scales this job's share of the in-flight gate
+         * cap (per_job_inflight_cap * weight). Clamped to >= 1.
+         */
+        uint32_t weight = 1;
+        /**
+         * Opaque lifetime token held by the job until it is destroyed.
+         * A serving registry pins the evaluator's owning entry here so a
+         * key-cache eviction cannot free key material under an in-flight
+         * job — the evaluator passed to Submit must stay alive while any
+         * job references it, and this is how the registry guarantees it.
+         */
+        std::shared_ptr<void> pin;
     };
 
     class Job;
@@ -221,6 +259,44 @@ class ServingExecutor {
         bool shutdown = false;
         ServingStats stats;
 
+        /** Live per-tenant job counts, for the admission quotas. */
+        struct TenantLoad {
+            uint32_t pending = 0;  ///< Queued + active jobs.
+            uint32_t active = 0;   ///< Jobs in the active set.
+        };
+        std::map<uint64_t, TenantLoad> tenant_load;
+
+        /** Pending-count bump at submission (quota already checked). */
+        void TenantSubmittedLocked(uint64_t tenant) {
+            ++tenant_load[tenant].pending;
+        }
+
+        /** A job left the system entirely (any terminal transition). */
+        void TenantFinishedLocked(uint64_t tenant) {
+            auto it = tenant_load.find(tenant);
+            if (it == tenant_load.end()) return;
+            if (it->second.pending > 0) --it->second.pending;
+            if (it->second.pending == 0 && it->second.active == 0)
+                tenant_load.erase(it);
+        }
+
+        /** A job left the active set (finished or re-queued for retry). */
+        void TenantDeactivatedLocked(uint64_t tenant) {
+            auto it = tenant_load.find(tenant);
+            if (it == tenant_load.end()) return;
+            if (it->second.active > 0) --it->second.active;
+            if (it->second.pending == 0 && it->second.active == 0)
+                tenant_load.erase(it);
+        }
+
+        /** True when the tenant may occupy another active slot. */
+        bool TenantMayActivateLocked(uint64_t tenant) const {
+            if (opts.max_active_jobs_per_tenant == 0) return true;
+            auto it = tenant_load.find(tenant);
+            return it == tenant_load.end() ||
+                   it->second.active < opts.max_active_jobs_per_tenant;
+        }
+
         /**
          * Pops the next ready gate, fair round-robin under the cap. A job
          * marked run_sequential (degraded final attempt) is claimed whole:
@@ -241,7 +317,7 @@ class ServingExecutor {
                     return true;
                 }
                 if (cand.ready.empty() ||
-                    cand.in_flight >= opts.per_job_inflight_cap)
+                    cand.in_flight >= opts.per_job_inflight_cap * cand.weight)
                     continue;
                 *gate = cand.ready.back();
                 cand.ready.pop_back();
@@ -295,6 +371,7 @@ class ServingExecutor {
             stats.bootstraps_elided += job.linear_executed;
             stats.total_queue_seconds += job.metrics.queue_seconds;
             stats.total_run_seconds += job.metrics.run_seconds;
+            TenantFinishedLocked(job.tenant);
             job.done_cv.notify_all();
             // Wakes idle workers so shutdown drain can complete, and lets
             // a blocked Submit-side admission happen below via AdmitLocked.
@@ -304,15 +381,17 @@ class ServingExecutor {
         /**
          * Moves queued jobs into active slots while capacity allows.
          * Jobs whose retry backoff has not elapsed (eligible_at in the
-         * future) are skipped in place — FIFO among eligible jobs, so a
-         * backing-off retry never blocks fresh admissions behind it.
+         * future) or whose tenant is at its concurrency quota are skipped
+         * in place — FIFO among eligible jobs, so a backing-off retry or
+         * a throttled tenant never blocks fresh admissions behind it.
          */
         void AdmitLocked() {
             const Clock::time_point now = Clock::now();
             size_t i = 0;
             while (active.size() < opts.max_active_jobs &&
                    i < queued.size()) {
-                if (now < queued[i]->eligible_at) {
+                if (now < queued[i]->eligible_at ||
+                    !TenantMayActivateLocked(queued[i]->tenant)) {
                     ++i;
                     continue;
                 }
@@ -331,6 +410,7 @@ class ServingExecutor {
                     job->start_time = Clock::now();
                 }
                 job->status = JobStatus::kRunning;
+                ++tenant_load[job->tenant].active;
                 active.push_back(std::move(job));
                 stats.max_active_observed =
                     std::max(stats.max_active_observed,
@@ -343,13 +423,17 @@ class ServingExecutor {
          * Earliest instant a queued job could become admittable, for the
          * worker idle wait: time_point::max() when nothing is waiting on a
          * backoff (a plain cv wait suffices — any state change notifies).
+         * Tenant-quota-blocked jobs are excluded: time does not unblock
+         * them, the finishing job's notify_all does.
          */
         Clock::time_point NextEligibleLocked() const {
             if (active.size() >= opts.max_active_jobs)
                 return Clock::time_point::max();
             Clock::time_point next = Clock::time_point::max();
-            for (const JobPtr& job : queued)
+            for (const JobPtr& job : queued) {
+                if (!TenantMayActivateLocked(job->tenant)) continue;
                 next = std::min(next, job->eligible_at);
+            }
             return next;
         }
 
@@ -369,6 +453,7 @@ class ServingExecutor {
                     break;
                 }
             }
+            TenantDeactivatedLocked(job.tenant);
             ++stats.job_retries;
             ++job.attempt;
             job.fail_requested.store(false, std::memory_order_relaxed);
@@ -409,6 +494,7 @@ class ServingExecutor {
 
         /** Removes a finished job from `active` and admits successors. */
         void FinishActiveLocked(Job& job, JobStatus status) {
+            TenantDeactivatedLocked(job.tenant);
             FinishLocked(job, status);
             for (size_t i = 0; i < active.size(); ++i) {
                 if (active[i].get() == &job) {
@@ -719,6 +805,9 @@ class ServingExecutor {
               first_gate(program->FirstGateIndex()),
               submit_time(Clock::now()),
               deadline(so.deadline),
+              tenant(so.tenant),
+              weight(so.weight > 0 ? so.weight : 1),
+              pin(so.pin),
               values(first_gate + program->NumGates()),
               pending(program->NumGates()),
               remaining(program->NumGates()) {
@@ -737,6 +826,11 @@ class ServingExecutor {
         const uint64_t first_gate;
         const Clock::time_point submit_time;
         const Clock::time_point deadline;
+        const uint64_t tenant;  ///< Quota bucket (0 = anonymous pool).
+        const uint32_t weight;  ///< Fairness weight, clamped >= 1.
+        /** Opaque lifetime token (SubmitOptions::pin): keeps the
+         *  evaluator's owning entry alive for the job's whole life. */
+        const std::shared_ptr<void> pin;
 
         // Lock-free gate state: slots race-free by construction (one
         // writer per slot), pending counts atomic. Retry resets happen
@@ -825,15 +919,20 @@ class ServingExecutor {
             ++core_->stats.jobs_rejected;
             const uint32_t depth = static_cast<uint32_t>(
                 core_->queued.size() + core_->active.size());
-            const double drain =
-                core_->stats.jobs_completed > 0
-                    ? (core_->stats.total_run_seconds /
-                       static_cast<double>(core_->stats.jobs_completed)) *
-                          static_cast<double>(depth) /
-                          static_cast<double>(core_->opts.max_active_jobs)
-                    : 0.0;
-            throw OverloadedError(depth, drain);
+            throw OverloadedError(depth, DrainEstimateLocked(depth));
         }
+        if (core_->opts.max_pending_jobs_per_tenant > 0) {
+            auto it = core_->tenant_load.find(job->tenant);
+            const uint32_t tenant_pending =
+                it != core_->tenant_load.end() ? it->second.pending : 0;
+            if (tenant_pending >=
+                core_->opts.max_pending_jobs_per_tenant) {
+                ++core_->stats.jobs_rejected_tenant_quota;
+                throw OverloadedError(tenant_pending,
+                                      DrainEstimateLocked(tenant_pending));
+            }
+        }
+        core_->TenantSubmittedLocked(job->tenant);
         job->seq = core_->stats.jobs_submitted;
         ++core_->stats.jobs_submitted;
         if (job->program->NumGates() == 0) {
@@ -881,6 +980,16 @@ class ServingExecutor {
     const ServingOptions& options() const { return core_->opts; }
 
   private:
+    /** Retry-after hint: seconds for `depth` jobs to drain (core_->mu held). */
+    double DrainEstimateLocked(uint32_t depth) const {
+        return core_->stats.jobs_completed > 0
+                   ? (core_->stats.total_run_seconds /
+                      static_cast<double>(core_->stats.jobs_completed)) *
+                         static_cast<double>(depth) /
+                         static_cast<double>(core_->opts.max_active_jobs)
+                   : 0.0;
+    }
+
     static ServingOptions Validated(const ServingOptions& o) {
         if (o.num_workers < 1 || o.max_active_jobs < 1 ||
             o.max_pending_jobs < 1 || o.per_job_inflight_cap < 1)

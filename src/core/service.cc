@@ -3,16 +3,20 @@
 #include <chrono>
 #include <utility>
 
+#include "tfhe/serialization.h"
+
 namespace pytfhe::core {
 
 Service::Service(const ServiceOptions& options)
-    : serving_(executor_, options.serving) {}
+    : cache_(options.key_cache_capacity_bytes),
+      serving_(executor_, options.serving) {}
 
 Service::~Service() {
     serving_.Stop();
 }
 
-KeyId Service::RegisterTenant(std::shared_ptr<tfhe::GateEvaluator> gates) {
+KeyId Service::RegisterTenant(std::shared_ptr<tfhe::GateEvaluator> gates,
+                              uint32_t weight) {
     if (!gates)
         throw std::invalid_argument("Service::RegisterTenant: null evaluator");
     const KeyId id = gates->key_id();
@@ -21,9 +25,23 @@ KeyId Service::RegisterTenant(std::shared_ptr<tfhe::GateEvaluator> gates) {
             "Service::RegisterTenant: evaluation key carries no KeyId; "
             "construct the GateEvaluator from a SecretKeySet or pass an "
             "explicit id");
-    std::lock_guard<std::mutex> lock(mu_);
-    tenants_.try_emplace(id.value, std::move(gates));
+    cache_.Put(std::move(gates), weight);
     return id;
+}
+
+void Service::RegisterTenantSource(KeyId id, KeySource source,
+                                   uint32_t weight) {
+    if (!id.IsSet())
+        throw std::invalid_argument(
+            "Service::RegisterTenantSource: unset KeyId");
+    if (!source)
+        throw std::invalid_argument(
+            "Service::RegisterTenantSource: null source");
+    cache_.PutSource(id, std::move(source), weight);
+}
+
+bool Service::EvictTenant(KeyId key) {
+    return cache_.Evict(key);
 }
 
 JobHandle Service::Submit(KeyId key, const pasm::Program& program,
@@ -35,13 +53,15 @@ JobHandle Service::Submit(KeyId key, const pasm::Program& program,
 JobHandle Service::Submit(KeyId key,
                           std::shared_ptr<const pasm::Program> program,
                           Ciphertexts inputs, const RunOptions& options) {
-    backend::TfheEvaluator* evaluator = nullptr;
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        auto it = tenants_.find(key.value);
-        if (it != tenants_.end()) evaluator = &it->second.evaluator;
+    std::shared_ptr<TenantEntry> entry;
+    try {
+        entry = cache_.Get(key);
+    } catch (const tfhe::CorruptPayloadError&) {
+        // The tenant's backing artifact rotted: fail THIS submission with
+        // the typed error, leave the pool (and every other tenant) alone.
+        return JobHandle(std::current_exception(), key);
     }
-    if (evaluator == nullptr)
+    if (!entry)
         throw UnknownKeyError("Service::Submit: no tenant registered for " +
                               key.ToString() +
                               "; call RegisterTenant first");
@@ -51,16 +71,23 @@ JobHandle Service::Submit(KeyId key,
             std::chrono::steady_clock::now() +
             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                 std::chrono::duration<double>(options.deadline_seconds));
-    return JobHandle(
-        serving_.Submit(std::move(program), *evaluator, std::move(inputs), so),
-        key);
+    so.tenant = key.value;
+    so.weight = entry->weight;
+    // The job owns a reference to the whole tenant entry: a key-cache
+    // eviction (or tenant replacement) drops only the cache's reference,
+    // never the key material this job evaluates under.
+    so.pin = entry;
+    backend::TfheEvaluator& evaluator = entry->evaluator;
+    return JobHandle(serving_.Submit(std::move(program), evaluator,
+                                     std::move(inputs), so),
+                     key);
 }
 
 Service::Stats Service::stats() const {
     Stats out;
     out.serving = serving_.stats();
-    std::lock_guard<std::mutex> lock(mu_);
-    out.tenants = tenants_.size();
+    out.key_cache = cache_.stats();
+    out.tenants = cache_.KnownCount();
     return out;
 }
 

@@ -15,7 +15,10 @@
  *        service.RegisterTenant(client.MakeEvaluationKey())
  *      The returned KeyId equals client.key_id() — a stable digest of the
  *      key material, so the client can verify it is talking to a service
- *      that really holds *its* keys.
+ *      that really holds *its* keys. Alternatively RegisterTenantSource
+ *      registers a lazily loaded key (e.g. FileKeySource over a
+ *      CRC32C-framed evaluation-key artifact): no bytes are resident
+ *      until the first Submit.
  *   2. The client submits jobs against that id:
  *        auto job = service.Submit(id, program, inputs, options);
  *      Submit returns immediately with a JobHandle; an unknown id throws
@@ -24,6 +27,18 @@
  *      backend::OverloadedError.
  *   3. The client waits on the handle and decrypts:
  *        Ciphertexts out = job.Get();   // or TryGet() to poll, Cancel()
+ *
+ * Key residency (key_cache.h): tenant keys are NOT unconditionally
+ * resident. ServiceOptions::key_cache_capacity_bytes bounds resident key
+ * bytes with an LRU over tenants; an evicted tenant with a registered
+ * KeySource reloads transparently on its next Submit (the reload cost is
+ * visible in stats().key_cache.reload_seconds), and an evicted tenant
+ * without one reverts to unknown. Submitting pins the tenant's entry for
+ * the whole job lifetime, so eviction can never free key material under
+ * an in-flight job. A reload that throws tfhe::CorruptPayloadError (the
+ * backing artifact rotted) surfaces as a JobHandle already in kFailed
+ * whose Get() rethrows the typed error — a poisoned artifact fails that
+ * tenant's jobs, never the pool.
  *
  * Fault tolerance rides in on the serving layer: configure
  * ServiceOptions::serving.retry (and, in tests, .fault_injector) and a
@@ -37,14 +52,14 @@
 #ifndef PYTFHE_CORE_SERVICE_H
 #define PYTFHE_CORE_SERVICE_H
 
-#include <map>
+#include <exception>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "backend/serving.h"
+#include "core/key_cache.h"
 #include "core/runtime.h"
 
 namespace pytfhe::core {
@@ -63,43 +78,68 @@ class UnknownKeyError : public std::invalid_argument {
 /** Service-wide configuration; see backend::ServingOptions for semantics. */
 struct ServiceOptions {
     backend::ServingOptions serving;
+    /**
+     * Bound on resident evaluation-key bytes (key_cache.h). 0 = unlimited,
+     * the pre-cache behavior: every registered key stays resident forever.
+     * With a bound, least-recently-submitted tenants are evicted; in-flight
+     * jobs keep their pinned keys, so the true memory ceiling is
+     * capacity + keys pinned by running jobs.
+     */
+    uint64_t key_cache_capacity_bytes = 0;
 };
 
 /**
  * Future-like handle to one submitted job. Cheap to copy; valid after the
- * Service is destroyed (jobs are terminal by then).
+ * Service is destroyed (jobs are terminal by then). A handle may be born
+ * terminal: when a lazy key reload fails with tfhe::CorruptPayloadError,
+ * Submit returns a handle already in kFailed whose Get() rethrows that
+ * typed error.
  */
 class JobHandle {
   public:
     /** Blocks until the job is terminal; returns the terminal status. */
-    JobStatus Wait() const { return job_->Wait(); }
+    JobStatus Wait() const {
+        return job_ ? job_->Wait() : JobStatus::kFailed;
+    }
 
     /** Non-blocking: terminal status, or nullopt while queued/running. */
-    std::optional<JobStatus> TryGet() const { return job_->TryGet(); }
+    std::optional<JobStatus> TryGet() const {
+        if (!job_) return JobStatus::kFailed;
+        return job_->TryGet();
+    }
 
     /**
      * Requests cancellation; true if it landed before completion (the job
      * will resolve kCancelled), false if the job was already terminal.
      */
-    bool Cancel() const { return job_->Cancel(); }
+    bool Cancel() const { return job_ ? job_->Cancel() : false; }
 
     /**
      * The result ciphertexts; blocks until terminal. Throws
      * backend::CancelledError / backend::DeadlineExceededError /
-     * backend::GateExecutionError if the job ended without outputs.
+     * backend::GateExecutionError if the job ended without outputs, or
+     * the latched tfhe::CorruptPayloadError when the tenant's key reload
+     * failed at submit.
      */
-    const Ciphertexts& Get() const { return job_->Outputs(); }
+    const Ciphertexts& Get() const {
+        if (!job_) std::rethrow_exception(error_);
+        return job_->Outputs();
+    }
 
     /**
-     * The latched gate error of a kFailed job, nullopt otherwise; blocks
-     * until terminal.
+     * The latched gate error of a kFailed job, nullopt otherwise (a
+     * reload-failed handle has no gate error — Get() carries its cause);
+     * blocks until terminal.
      */
     std::optional<backend::GateExecutionError> Error() const {
+        if (!job_) return std::nullopt;
         return job_->Error();
     }
 
     /** Per-job accounting (queue wait, gates, elided bootstraps, wall). */
-    JobMetrics Metrics() const { return job_->Metrics(); }
+    JobMetrics Metrics() const {
+        return job_ ? job_->Metrics() : JobMetrics{};
+    }
 
     /** The tenant key this job evaluates under. */
     KeyId key_id() const { return key_id_; }
@@ -112,7 +152,12 @@ class JobHandle {
     JobHandle(std::shared_ptr<BackendJob> job, KeyId key_id)
         : job_(std::move(job)), key_id_(key_id) {}
 
+    /** Born-terminal handle: submit-time failure, no backend job. */
+    JobHandle(std::exception_ptr error, KeyId key_id)
+        : error_(std::move(error)), key_id_(key_id) {}
+
     std::shared_ptr<BackendJob> job_;
+    std::exception_ptr error_;
     KeyId key_id_;
 };
 
@@ -130,21 +175,49 @@ class Service {
     /**
      * Registers one tenant's public evaluation key and returns its KeyId
      * (the stable digest the key already carries — the client holds the
-     * same value). Registering the same key twice is idempotent. Throws
-     * std::invalid_argument for a null evaluator or one without a key
-     * identity (key_id().IsSet() == false, e.g. loaded from disk without
-     * recording an id).
+     * same value). Registering an id that is already known REPLACES the
+     * resident key (the key-refresh path: jobs already in flight finish
+     * under the old key they pinned; new submissions use the new one).
+     * `weight` is the tenant's fairness weight (see
+     * backend::ServingOptions::per_job_inflight_cap; clamped to >= 1).
+     * Throws std::invalid_argument for a null evaluator or one without a
+     * key identity (key_id().IsSet() == false, e.g. loaded from disk
+     * without recording an id). May evict other tenants when the key
+     * cache is over capacity.
      */
-    KeyId RegisterTenant(std::shared_ptr<tfhe::GateEvaluator> gates);
+    KeyId RegisterTenant(std::shared_ptr<tfhe::GateEvaluator> gates,
+                         uint32_t weight = 1);
+
+    /**
+     * Registers a tenant whose key loads on demand: `source` (e.g.
+     * FileKeySource over a CRC32C-framed evaluation-key artifact) is
+     * invoked on the tenant's first Submit and again after any eviction.
+     * No key bytes are resident until then. Replaces any previous source
+     * for `id`. Throws std::invalid_argument for an unset id or null
+     * source.
+     */
+    void RegisterTenantSource(KeyId id, KeySource source,
+                              uint32_t weight = 1);
+
+    /**
+     * Drops the tenant's resident key (in-flight jobs are unaffected —
+     * they pinned it). With a registered KeySource the tenant reloads on
+     * its next Submit; without one it becomes unknown. Returns true if a
+     * key was resident.
+     */
+    bool EvictTenant(KeyId key);
 
     /**
      * Submits a job for tenant `key`: `program` over `inputs`, scheduled
-     * on the shared pool. Returns immediately. options.deadline_seconds
-     * bounds the job's wall time (queue wait included);
-     * options.num_threads is ignored — parallelism belongs to the
-     * service. Throws UnknownKeyError for an unregistered key,
-     * backend::OverloadedError under backpressure, std::invalid_argument
-     * on input-count mismatch.
+     * on the shared pool. Returns immediately; pins the tenant's key for
+     * the job's lifetime, reloading it first if evicted (a reload that
+     * throws tfhe::CorruptPayloadError yields a kFailed handle instead).
+     * options.deadline_seconds bounds the job's wall time (queue wait
+     * included); options.num_threads is ignored — parallelism belongs to
+     * the service. Throws UnknownKeyError for an unregistered key,
+     * backend::OverloadedError under backpressure (service-wide or the
+     * tenant's own admission quota), std::invalid_argument on input-count
+     * mismatch.
      */
     JobHandle Submit(KeyId key, const pasm::Program& program,
                      Ciphertexts inputs, const RunOptions& options = {});
@@ -154,10 +227,11 @@ class Service {
                      std::shared_ptr<const pasm::Program> program,
                      Ciphertexts inputs, const RunOptions& options = {});
 
-    /** Aggregated serving counters plus the tenant count. */
+    /** Aggregated serving + key-cache counters plus the tenant count. */
     struct Stats {
         backend::ServingStats serving;
-        uint64_t tenants = 0;
+        KeyCacheStats key_cache;
+        uint64_t tenants = 0;  ///< Registered (resident or reloadable).
     };
     Stats stats() const;
 
@@ -165,25 +239,15 @@ class Service {
         return serving_.options();
     }
 
+    uint64_t key_cache_capacity_bytes() const {
+        return cache_.capacity_bytes();
+    }
+
   private:
-    /**
-     * A registered tenant: the owning handle on the key material plus the
-     * TfheEvaluator the scheduler calls into. std::map nodes are stable,
-     * so jobs hold pointers into the entry across rehash-free lifetime.
-     */
-    struct Tenant {
-        std::shared_ptr<tfhe::GateEvaluator> gates;
-        backend::TfheEvaluator evaluator;
-
-        explicit Tenant(std::shared_ptr<tfhe::GateEvaluator> g)
-            : gates(std::move(g)), evaluator(*gates) {}
-    };
-
-    mutable std::mutex mu_;  ///< Guards tenants_ only.
-    std::map<uint64_t, Tenant> tenants_;
-
-    // Destruction order matters: serving_ must stop (dtor drains workers)
-    // before executor_'s pool is torn down, hence executor_ first.
+    // Destruction order matters: serving_ must stop (dtor drains workers,
+    // releasing job pins into cache_) before executor_'s pool is torn
+    // down, hence cache_ first, serving_ last.
+    TenantKeyCache cache_;
     backend::Executor executor_;
     backend::ServingExecutor<backend::TfheEvaluator> serving_;
 };

@@ -23,6 +23,7 @@ constexpr uint32_t kMagicSample = 0x50544853;   // "SHTP"
 constexpr uint32_t kMagicSamples = 0x5054484C;  // "LHTP"
 constexpr uint32_t kMagicSecret = 0x5054484B;   // "KHTP"
 constexpr uint32_t kMagicBk = 0x50544842;       // "BHTP"
+constexpr uint32_t kMagicEk = 0x50544845;       // "EHTP"
 
 /** Rejects absurd frame lengths before allocating the body buffer. */
 constexpr uint64_t kMaxBodyBytes = UINT64_C(1) << 31;
@@ -288,6 +289,91 @@ bool ReadFreqPoly(Reader& r, FreqPolynomial* f) {
     return true;
 }
 
+void WriteBkBody(std::ostream& body, const BootstrappingKey& key) {
+    WriteParamsBody(body, key.params());
+    W64(body, key.bk().size());
+    for (const TGswSampleFft& s : key.bk()) {
+        W32(body, static_cast<uint32_t>(s.l));
+        W32(body, static_cast<uint32_t>(s.bg_bit));
+        W64(body, s.rows.size());
+        for (const auto& row : s.rows) {
+            W64(body, row.size());
+            for (const auto& f : row) WriteFreqPoly(body, f);
+        }
+    }
+    const KeySwitchKey& ksk = key.ksk();
+    W32(body, static_cast<uint32_t>(ksk.InputN()));
+    W32(body, static_cast<uint32_t>(ksk.OutputN()));
+    W32(body, static_cast<uint32_t>(ksk.T()));
+    W32(body, static_cast<uint32_t>(ksk.BaseBit()));
+    W64(body, ksk.RawKeys().size());
+    for (const auto& s : ksk.RawKeys()) WriteSampleBody(body, s);
+}
+
+std::optional<BootstrappingKey> ReadBkBody(Reader& r) {
+    Params p;
+    if (!ReadParamsBody(r, &p)) return std::nullopt;
+
+    uint64_t bk_size;
+    if (!r.U64(&bk_size, "bootstrapping key size")) return std::nullopt;
+    if (bk_size != static_cast<uint64_t>(p.n)) {
+        r.Fail("bootstrapping key size mismatch");
+        return std::nullopt;
+    }
+    std::vector<TGswSampleFft> bk(bk_size);
+    for (auto& s : bk) {
+        uint32_t l, bg_bit;
+        uint64_t rows;
+        if (!r.U32(&l, "tgsw sample") || !r.U32(&bg_bit, "tgsw sample") ||
+            !r.U64(&rows, "tgsw sample"))
+            return std::nullopt;
+        if (rows > 1024) {
+            r.Fail("bad tgsw row count");
+            return std::nullopt;
+        }
+        s.l = static_cast<int32_t>(l);
+        s.bg_bit = static_cast<int32_t>(bg_bit);
+        s.rows.resize(rows);
+        for (auto& row : s.rows) {
+            uint64_t cols;
+            if (!r.U64(&cols, "tgsw row")) return std::nullopt;
+            if (cols > 64) {
+                r.Fail("bad tgsw column count");
+                return std::nullopt;
+            }
+            row.resize(cols);
+            for (auto& f : row)
+                if (!ReadFreqPoly(r, &f)) return std::nullopt;
+        }
+    }
+
+    uint32_t n_in, n_out, t, base_bit;
+    uint64_t ks_count;
+    if (!r.U32(&n_in, "key-switching key header") ||
+        !r.U32(&n_out, "key-switching key header") ||
+        !r.U32(&t, "key-switching key header") ||
+        !r.U32(&base_bit, "key-switching key header") ||
+        !r.U64(&ks_count, "key-switching key header"))
+        return std::nullopt;
+    if (ks_count > (UINT64_C(1) << 28)) {
+        r.Fail("bad key-switching key count");
+        return std::nullopt;
+    }
+    std::vector<LweSample> ks(ks_count);
+    for (auto& s : ks)
+        if (!ReadSampleBody(r, &s)) return std::nullopt;
+    if (base_bit >= 32 ||
+        ks_count != static_cast<uint64_t>(n_in) * t * (1u << base_bit)) {
+        r.Fail("key-switching key size mismatch");
+        return std::nullopt;
+    }
+    KeySwitchKey ksk = KeySwitchKey::FromRaw(
+        static_cast<int32_t>(n_in), static_cast<int32_t>(n_out),
+        static_cast<int32_t>(t), static_cast<int32_t>(base_bit),
+        std::move(ks));
+    return BootstrappingKey(p, std::move(bk), std::move(ksk));
+}
+
 }  // namespace
 
 void SaveParams(std::ostream& os, const Params& params) {
@@ -395,24 +481,7 @@ std::optional<SecretKeySet> LoadSecretKeySet(std::istream& is,
 
 void SaveBootstrappingKey(std::ostream& os, const BootstrappingKey& key) {
     std::ostringstream body;
-    WriteParamsBody(body, key.params());
-    W64(body, key.bk().size());
-    for (const TGswSampleFft& s : key.bk()) {
-        W32(body, static_cast<uint32_t>(s.l));
-        W32(body, static_cast<uint32_t>(s.bg_bit));
-        W64(body, s.rows.size());
-        for (const auto& row : s.rows) {
-            W64(body, row.size());
-            for (const auto& f : row) WriteFreqPoly(body, f);
-        }
-    }
-    const KeySwitchKey& ksk = key.ksk();
-    W32(body, static_cast<uint32_t>(ksk.InputN()));
-    W32(body, static_cast<uint32_t>(ksk.OutputN()));
-    W32(body, static_cast<uint32_t>(ksk.T()));
-    W32(body, static_cast<uint32_t>(ksk.BaseBit()));
-    W64(body, ksk.RawKeys().size());
-    for (const auto& s : ksk.RawKeys()) WriteSampleBody(body, s);
+    WriteBkBody(body, key);
     WriteFramed(os, kMagicBk, body.str());
 }
 
@@ -422,68 +491,34 @@ std::optional<BootstrappingKey> LoadBootstrappingKey(std::istream& is,
     if (!ReadFramedBody(is, kMagicBk, "BootstrappingKey", &body, error))
         return std::nullopt;
     Reader r{body, "BootstrappingKey", error};
-    Params p;
-    if (!ReadParamsBody(r, &p)) return std::nullopt;
+    std::optional<BootstrappingKey> key = ReadBkBody(r);
+    if (!key || !r.AtEnd()) return std::nullopt;
+    return key;
+}
 
-    uint64_t bk_size;
-    if (!r.U64(&bk_size, "bootstrapping key size")) return std::nullopt;
-    if (bk_size != static_cast<uint64_t>(p.n)) {
-        r.Fail("bootstrapping key size mismatch");
-        return std::nullopt;
-    }
-    std::vector<TGswSampleFft> bk(bk_size);
-    for (auto& s : bk) {
-        uint32_t l, bg_bit;
-        uint64_t rows;
-        if (!r.U32(&l, "tgsw sample") || !r.U32(&bg_bit, "tgsw sample") ||
-            !r.U64(&rows, "tgsw sample"))
-            return std::nullopt;
-        if (rows > 1024) {
-            r.Fail("bad tgsw row count");
-            return std::nullopt;
-        }
-        s.l = static_cast<int32_t>(l);
-        s.bg_bit = static_cast<int32_t>(bg_bit);
-        s.rows.resize(rows);
-        for (auto& row : s.rows) {
-            uint64_t cols;
-            if (!r.U64(&cols, "tgsw row")) return std::nullopt;
-            if (cols > 64) {
-                r.Fail("bad tgsw column count");
-                return std::nullopt;
-            }
-            row.resize(cols);
-            for (auto& f : row)
-                if (!ReadFreqPoly(r, &f)) return std::nullopt;
-        }
-    }
+void SaveEvaluationKey(std::ostream& os, const BootstrappingKey& key,
+                       KeyId key_id) {
+    std::ostringstream body;
+    W64(body, key_id.value);
+    WriteBkBody(body, key);
+    WriteFramed(os, kMagicEk, body.str());
+}
 
-    uint32_t n_in, n_out, t, base_bit;
-    uint64_t ks_count;
-    if (!r.U32(&n_in, "key-switching key header") ||
-        !r.U32(&n_out, "key-switching key header") ||
-        !r.U32(&t, "key-switching key header") ||
-        !r.U32(&base_bit, "key-switching key header") ||
-        !r.U64(&ks_count, "key-switching key header"))
+std::optional<EvaluationKeyArtifact> LoadEvaluationKey(std::istream& is,
+                                                       std::string* error) {
+    std::string body;
+    if (!ReadFramedBody(is, kMagicEk, "EvaluationKey", &body, error))
         return std::nullopt;
-    if (ks_count > (UINT64_C(1) << 28)) {
-        r.Fail("bad key-switching key count");
-        return std::nullopt;
-    }
-    std::vector<LweSample> ks(ks_count);
-    for (auto& s : ks)
-        if (!ReadSampleBody(r, &s)) return std::nullopt;
-    if (base_bit >= 32 ||
-        ks_count != static_cast<uint64_t>(n_in) * t * (1u << base_bit)) {
-        r.Fail("key-switching key size mismatch");
+    Reader r{body, "EvaluationKey", error};
+    KeyId id;
+    if (!r.U64(&id.value, "key id")) return std::nullopt;
+    if (!id.IsSet()) {
+        r.Fail("unset key id");
         return std::nullopt;
     }
-    if (!r.AtEnd()) return std::nullopt;
-    KeySwitchKey ksk = KeySwitchKey::FromRaw(
-        static_cast<int32_t>(n_in), static_cast<int32_t>(n_out),
-        static_cast<int32_t>(t), static_cast<int32_t>(base_bit),
-        std::move(ks));
-    return BootstrappingKey(p, std::move(bk), std::move(ksk));
+    std::optional<BootstrappingKey> key = ReadBkBody(r);
+    if (!key || !r.AtEnd()) return std::nullopt;
+    return EvaluationKeyArtifact{id, *std::move(key)};
 }
 
 }  // namespace pytfhe::tfhe

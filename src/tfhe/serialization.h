@@ -71,6 +71,24 @@ void SaveBootstrappingKey(std::ostream& os, const BootstrappingKey& key);
 std::optional<BootstrappingKey> LoadBootstrappingKey(
     std::istream& is, std::string* error = nullptr);
 
+/**
+ * Evaluation-key artifact: the KeyId plus the full public evaluation key
+ * in one CRC32C-framed payload. This is the unit a serving key cache
+ * evicts to disk and lazily reloads — the id must ride inside the frame
+ * so a reloaded key keeps the tenant identity the registry indexes by
+ * (a bare BootstrappingKey file loads with no identity and a registry
+ * would refuse it).
+ */
+struct EvaluationKeyArtifact {
+    KeyId key_id;
+    BootstrappingKey key;
+};
+
+void SaveEvaluationKey(std::ostream& os, const BootstrappingKey& key,
+                       KeyId key_id);
+std::optional<EvaluationKeyArtifact> LoadEvaluationKey(
+    std::istream& is, std::string* error = nullptr);
+
 namespace detail {
 template <typename T, typename LoadFn>
 T LoadOrThrowImpl(std::istream& is, LoadFn load) {
@@ -98,6 +116,10 @@ inline SecretKeySet LoadSecretKeySetOrThrow(std::istream& is) {
 inline BootstrappingKey LoadBootstrappingKeyOrThrow(std::istream& is) {
     return detail::LoadOrThrowImpl<BootstrappingKey>(is,
                                                      LoadBootstrappingKey);
+}
+inline EvaluationKeyArtifact LoadEvaluationKeyOrThrow(std::istream& is) {
+    return detail::LoadOrThrowImpl<EvaluationKeyArtifact>(is,
+                                                          LoadEvaluationKey);
 }
 
 }  // namespace pytfhe::tfhe

@@ -440,5 +440,143 @@ TEST(Serving, StressRandomJobsWithCancellations) {
               stats.jobs_submitted);
 }
 
+TEST(ServingTenant, PendingQuotaRejectsOnlyTheHoggingTenant) {
+    std::atomic<bool> hold{true};
+    std::atomic<uint64_t> applied{0};
+    GaugeEvaluator eval{nullptr, nullptr, nullptr, nullptr, &applied, &hold};
+
+    Executor executor;
+    ServingOptions opts;
+    opts.num_workers = 2;
+    opts.max_active_jobs = 1;
+    opts.max_pending_jobs = 64;
+    opts.max_pending_jobs_per_tenant = 2;
+    ServingExecutor<GaugeEvaluator> serving(executor, opts);
+    using SubmitOptions = ServingExecutor<GaugeEvaluator>::SubmitOptions;
+
+    const auto chain = ChainProgram(8);
+    SubmitOptions hog;
+    hog.tenant = 1;
+    auto running = serving.Submit(chain, eval, {true}, hog);
+    while (applied.load() == 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    auto queued = serving.Submit(chain, eval, {true}, hog);
+    // Tenant 1 is at its quota: a third job bounces with the same typed
+    // retry-after error as global backpressure, counted separately.
+    EXPECT_THROW((void)serving.Submit(chain, eval, {true}, hog),
+                 OverloadedError);
+    EXPECT_EQ(serving.stats().jobs_rejected_tenant_quota, 1u);
+    EXPECT_EQ(serving.stats().jobs_rejected, 0u);
+
+    // The service-wide queue has room: another tenant submits fine.
+    SubmitOptions other;
+    other.tenant = 2;
+    auto bystander = serving.Submit(chain, eval, {true}, other);
+
+    hold.store(false);
+    EXPECT_EQ(running->Wait(), JobStatus::kDone);
+    EXPECT_EQ(queued->Wait(), JobStatus::kDone);
+    EXPECT_EQ(bystander->Wait(), JobStatus::kDone);
+    // Quota slots freed: tenant 1 submits again.
+    EXPECT_EQ(serving.Submit(chain, eval, {true}, hog)->Wait(),
+              JobStatus::kDone);
+}
+
+TEST(ServingTenant, ActiveQuotaThrottlesTenantWithoutBlockingOthers) {
+    std::atomic<bool> hold{true};
+    std::atomic<uint64_t> applied_t1{0};
+    std::atomic<uint64_t> applied_t2{0};
+    GaugeEvaluator held{nullptr, nullptr, nullptr, nullptr, &applied_t1,
+                        &hold};
+    GaugeEvaluator free_run{nullptr, nullptr, nullptr, nullptr,
+                            &applied_t2, nullptr};
+
+    Executor executor;
+    ServingOptions opts;
+    opts.num_workers = 2;
+    opts.max_active_jobs = 4;
+    opts.max_active_jobs_per_tenant = 1;
+    ServingExecutor<GaugeEvaluator> serving(executor, opts);
+    using SubmitOptions = ServingExecutor<GaugeEvaluator>::SubmitOptions;
+
+    const auto chain = ChainProgram(8);
+    SubmitOptions t1;
+    t1.tenant = 1;
+    auto first = serving.Submit(chain, held, {true}, t1);
+    while (applied_t1.load() == 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    // Tenant 1's second job must wait in the queue (active quota 1)...
+    auto second = serving.Submit(chain, held, {true}, t1);
+    // ...but it does NOT block tenant 2's admission behind it: tenant 2
+    // runs to completion while tenant 1's first job still holds its slot.
+    SubmitOptions t2;
+    t2.tenant = 2;
+    auto bystander = serving.Submit(chain, free_run, {true}, t2);
+    EXPECT_EQ(bystander->Wait(), JobStatus::kDone);
+    EXPECT_FALSE(second->TryGet().has_value());
+
+    hold.store(false);
+    EXPECT_EQ(first->Wait(), JobStatus::kDone);
+    EXPECT_EQ(second->Wait(), JobStatus::kDone);
+}
+
+TEST(ServingTenant, WeightScalesTheInflightCap) {
+    std::atomic<int32_t> gauge{0};
+    std::atomic<int32_t> peak{0};
+    std::atomic<bool> hold{true};
+    GaugeEvaluator eval{&gauge, &peak, nullptr, nullptr, nullptr, &hold};
+
+    Executor executor;
+    ServingOptions opts;
+    opts.num_workers = 4;
+    opts.per_job_inflight_cap = 1;
+    ServingExecutor<GaugeEvaluator> serving(executor, opts);
+    using SubmitOptions = ServingExecutor<GaugeEvaluator>::SubmitOptions;
+
+    // Weight 2 doubles the per-job in-flight budget: two workers enter
+    // Apply for the same job at once, impossible at weight 1 with cap 1.
+    SubmitOptions heavy;
+    heavy.weight = 2;
+    auto job = serving.Submit(WideProgram(8), eval, 
+                              std::vector<bool>(16, true), heavy);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (peak.load() < 2 && std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    EXPECT_GE(peak.load(), 2);
+    hold.store(false);
+    EXPECT_EQ(job->Wait(), JobStatus::kDone);
+    EXPECT_LE(peak.load(), 2);  // Cap x weight, never more.
+}
+
+TEST(ServingTenant, PinIsHeldForTheJobLifetime) {
+    PlainEvaluator eval;
+    Executor executor;
+    ServingOptions opts;
+    opts.num_workers = 2;
+    ServingExecutor<PlainEvaluator> serving(executor, opts);
+    using SubmitOptions = ServingExecutor<PlainEvaluator>::SubmitOptions;
+
+    auto token = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = token;
+    SubmitOptions so;
+    so.pin = std::move(token);
+    auto job = serving.Submit(ChainProgram(4), eval, {true}, so);
+    so.pin.reset();  // The job's copy is now the only owner.
+    EXPECT_EQ(job->Wait(), JobStatus::kDone);
+    // Terminal but the handle lives: the pin must still be held (a
+    // serving registry relies on this to keep key material alive until
+    // the last reference to the job is gone).
+    EXPECT_FALSE(watch.expired());
+    job.reset();
+    // A worker may still hold its transient JobPtr copy for a moment
+    // after Wait() returns; only the owning references must be gone.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!watch.expired() && std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    EXPECT_TRUE(watch.expired());
+}
+
 }  // namespace
 }  // namespace pytfhe::backend

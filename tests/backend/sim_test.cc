@@ -334,5 +334,115 @@ TEST(ClusterSim, SlowerGatesScaleLinearly) {
     EXPECT_LT(t2 / t1, 2.05);
 }
 
+TEST(ShardRing, RemovalMovesAboutOneNthOfKeysAndOnlyThose) {
+    const uint32_t shards = 8;
+    const ShardRing ring(shards, /*vnodes=*/64, /*seed=*/3);
+    std::vector<bool> live(shards, true);
+    live[3] = false;
+
+    uint64_t moved = 0, owned_by_dead = 0;
+    const uint64_t keys = 20000;
+    for (uint64_t k = 1; k <= keys; ++k) {
+        const uint32_t before = ring.Owner(k);
+        const uint32_t after = ring.Owner(k, live);
+        EXPECT_NE(after, 3u);
+        if (before == 3) {
+            ++owned_by_dead;
+            EXPECT_NE(after, before);
+            ++moved;
+        } else {
+            // The consistent-hashing contract: survivors keep their keys.
+            EXPECT_EQ(after, before) << "key " << k;
+        }
+    }
+    EXPECT_EQ(moved, owned_by_dead);
+    // The dead shard owned roughly 1/shards of the key space.
+    const double frac = static_cast<double>(moved) / keys;
+    EXPECT_GT(frac, 0.5 / shards);
+    EXPECT_LT(frac, 2.0 / shards);
+}
+
+TEST(ZipfTrace, DeterministicOneBasedAndRankOneHottest) {
+    const uint64_t tenants = 50, requests = 5000;
+    const auto a = MakeZipfTrace(tenants, requests, 1.1, 0.01, 0.1, 9);
+    const auto b = MakeZipfTrace(tenants, requests, 1.1, 0.01, 0.1, 9);
+    ASSERT_EQ(a.size(), requests);
+    std::vector<uint64_t> count(tenants + 1, 0);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].tenant, b[i].tenant);
+        ASSERT_GE(a[i].tenant, 1u);
+        ASSERT_LE(a[i].tenant, tenants);
+        ++count[a[i].tenant];
+        EXPECT_DOUBLE_EQ(a[i].arrival_seconds, i * 0.01);
+    }
+    // Zipf rank 1 dominates every other tenant.
+    for (uint64_t t = 2; t <= tenants; ++t)
+        EXPECT_GT(count[1], count[t]) << "tenant " << t;
+}
+
+TEST(ShardedServing, DeterministicAcrossRuns) {
+    ShardingConfig config;
+    config.shards = 4;
+    config.key_bytes = 10;
+    config.shard_cache_capacity_bytes = 80;
+    config.reload_seconds = 0.5;
+    config.epoch_seconds = 5.0;
+    config.faults.task_failure_rate = 0.05;
+    config.faults.detect_seconds = 1.0;
+    const auto trace = MakeZipfTrace(500, 4000, 1.0, 0.02, 0.05, 4);
+    const auto r1 = SimulateShardedServing(trace, config);
+    const auto r2 = SimulateShardedServing(trace, config);
+    EXPECT_EQ(r1.cache_hits, r2.cache_hits);
+    EXPECT_EQ(r1.evictions, r2.evictions);
+    EXPECT_EQ(r1.shard_failures, r2.shard_failures);
+    EXPECT_EQ(r1.moved_keys, r2.moved_keys);
+    EXPECT_DOUBLE_EQ(r1.p99_latency_seconds, r2.p99_latency_seconds);
+    EXPECT_DOUBLE_EQ(r1.makespan_seconds, r2.makespan_seconds);
+    EXPECT_GT(r1.shard_failures, 0u);
+    EXPECT_GT(r1.moved_keys, 0u);
+}
+
+TEST(ShardedServing, CachePeakBoundedAndHitRateMonotoneInCapacity) {
+    const auto trace = MakeZipfTrace(300, 3000, 1.0, 0.02, 0.05, 6);
+    double prev_hit = -1.0;
+    for (uint64_t keys_per_shard : {4, 16, 64}) {
+        ShardingConfig config;
+        config.shards = 4;
+        config.key_bytes = 100;
+        config.shard_cache_capacity_bytes = keys_per_shard * 100;
+        config.reload_seconds = 0.5;
+        const auto r = SimulateShardedServing(trace, config);
+        EXPECT_LE(r.peak_resident_bytes, config.shard_cache_capacity_bytes);
+        EXPECT_GT(r.evictions, 0u);
+        // More cache never hurts the hit rate on the same trace.
+        EXPECT_GE(r.HitRate(), prev_hit) << keys_per_shard;
+        prev_hit = r.HitRate();
+        EXPECT_DOUBLE_EQ(r.reload_total_seconds, 0.5 * r.cache_misses);
+    }
+}
+
+TEST(ShardedServing, KeyAffinityBeatsLeastLoadedOnLocality) {
+    const auto trace = MakeZipfTrace(2000, 8000, 1.0, 0.02, 0.05, 8);
+    ShardingConfig config;
+    config.shards = 8;
+    config.key_bytes = 100;
+    config.shard_cache_capacity_bytes = 32 * 100;
+    config.reload_seconds = 0.5;
+
+    config.routing = ShardRouting::kKeyAffinity;
+    const auto affinity = SimulateShardedServing(trace, config);
+    config.routing = ShardRouting::kLeastLoaded;
+    const auto balanced = SimulateShardedServing(trace, config);
+
+    // Affinity pins each tenant to one shard, so its working set per
+    // shard is 1/shards the size: strictly better cache behavior. The
+    // balanced router spreads each tenant's key across the fleet.
+    EXPECT_GT(affinity.HitRate(), balanced.HitRate());
+    EXPECT_LT(affinity.reload_total_seconds, balanced.reload_total_seconds);
+    // With no failures nothing ever leaves its ring owner.
+    EXPECT_EQ(affinity.moved_keys, 0u);
+    EXPECT_EQ(affinity.shard_failures, 0u);
+}
+
 }  // namespace
 }  // namespace pytfhe::backend

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Key-cache economics tests: byte-capacity LRU over real (toy-parameter)
+ * tenant evaluation keys, shared_ptr pinning across eviction, lazy reload
+ * from CRC32C evaluation-key artifacts, corrupt-artifact containment, and
+ * the Service-level eviction story under concurrent submissions. Labeled
+ * `concurrency` (TSan job) and `robustness` (fault-tolerance story).
+ */
+#include "core/key_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/compiler.h"
+#include "core/service.h"
+#include "hdl/word_ops.h"
+#include "tfhe/serialization.h"
+
+namespace pytfhe::core {
+namespace {
+
+using hdl::Bits;
+using hdl::Builder;
+using hdl::DType;
+
+circuit::Netlist AdderNetlist() {
+    Builder b;
+    const Bits x = hdl::InputBits(b, 8, "x");
+    const Bits y = hdl::InputBits(b, 8, "y");
+    hdl::OutputBits(b, hdl::Add(b, x, y), "sum");
+    return std::move(b.netlist());
+}
+
+std::shared_ptr<tfhe::GateEvaluator> MakeKey(int seed) {
+    Client client(tfhe::ToyParams(), seed);
+    return client.MakeEvaluationKey();
+}
+
+/** Writes `gates`' key as an evaluation-key artifact; returns the path. */
+std::string SaveArtifact(const tfhe::GateEvaluator& gates,
+                         const std::string& tag) {
+    const std::string path = "key_cache_test_" + tag + ".ekey";
+    std::ofstream os(path, std::ios::binary);
+    tfhe::SaveEvaluationKey(os, gates.key(), gates.key_id());
+    return path;
+}
+
+struct ArtifactCleaner {
+    std::vector<std::string> paths;
+    ~ArtifactCleaner() {
+        for (const auto& p : paths) std::remove(p.c_str());
+    }
+};
+
+TEST(KeyCache, ByteLruEvictsLeastRecentlyUsedTenant) {
+    auto k1 = MakeKey(101);
+    auto k2 = MakeKey(102);
+    auto k3 = MakeKey(103);
+    const uint64_t bytes = EvaluationKeyBytes(*k1);
+    ASSERT_GT(bytes, 0u);
+
+    TenantKeyCache cache(2 * bytes);
+    cache.Put(k1);
+    cache.Put(k2);
+    EXPECT_EQ(cache.stats().resident_keys, 2u);
+    EXPECT_EQ(cache.stats().resident_bytes, 2 * bytes);
+
+    // Touch k1 so k2 is the LRU victim when k3 arrives.
+    EXPECT_NE(cache.Get(k1->key_id()), nullptr);
+    cache.Put(k3);
+
+    const KeyCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.resident_keys, 2u);
+    EXPECT_EQ(stats.resident_bytes, 2 * bytes);
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_LE(stats.peak_resident_bytes, 2 * bytes);
+    EXPECT_NE(cache.Get(k1->key_id()), nullptr);
+    EXPECT_NE(cache.Get(k3->key_id()), nullptr);
+    // k2 had no KeySource: once evicted it is unknown, not reloadable.
+    EXPECT_EQ(cache.Get(k2->key_id()), nullptr);
+    EXPECT_FALSE(cache.Known(k2->key_id()));
+}
+
+TEST(KeyCache, PinKeepsEvictedKeyMaterialAlive) {
+    auto compiled = Compile(AdderNetlist());
+    ASSERT_TRUE(compiled.has_value());
+    Client client(tfhe::ToyParams(), 111);
+    auto key = client.MakeEvaluationKey();
+    const uint64_t bytes = EvaluationKeyBytes(*key);
+
+    TenantKeyCache cache(bytes);
+    std::shared_ptr<TenantEntry> pin = cache.Put(key);
+    ASSERT_NE(pin, nullptr);
+    ASSERT_TRUE(cache.Evict(key->key_id()));
+    EXPECT_EQ(cache.stats().resident_bytes, 0u);
+    // The evicted-but-pinned bytes are accounted, not hidden.
+    EXPECT_EQ(cache.stats().pinned_evicted_bytes, bytes);
+
+    // The pinned evaluator still runs a real encrypted program.
+    const Ciphertexts in =
+        client.EncryptValues(DType::UInt(8), {19, 23});
+    const Ciphertexts out =
+        backend::RunProgram(compiled->program, pin->evaluator, in);
+    EXPECT_EQ(client.DecryptValue(DType::UInt(8), out), 42);
+
+    pin.reset();
+    EXPECT_EQ(cache.stats().pinned_evicted_bytes, 0u);
+}
+
+TEST(KeyCache, SingleKeyOverCapacityStaysUsableThroughReturnedPin) {
+    auto key = MakeKey(121);
+    const uint64_t bytes = EvaluationKeyBytes(*key);
+    TenantKeyCache cache(bytes / 2);  // Nothing fits.
+    std::shared_ptr<TenantEntry> pin = cache.Put(key);
+    ASSERT_NE(pin, nullptr);
+    // The resident guarantee is strict: the oversized key was evicted
+    // immediately, the caller's pin is the only live reference.
+    EXPECT_EQ(cache.stats().resident_bytes, 0u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(pin->gates->key_id(), key->key_id());
+}
+
+TEST(KeyCache, FileSourceReloadRoundTrip) {
+    auto key = MakeKey(131);
+    ArtifactCleaner cleaner;
+    cleaner.paths.push_back(SaveArtifact(*key, "roundtrip"));
+
+    TenantKeyCache cache(/*capacity_bytes=*/0);
+    cache.PutSource(key->key_id(), FileKeySource(cleaner.paths[0]));
+    EXPECT_TRUE(cache.Known(key->key_id()));
+    EXPECT_EQ(cache.stats().resident_keys, 0u);  // Lazy: nothing loaded.
+
+    std::shared_ptr<TenantEntry> entry = cache.Get(key->key_id());
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->gates->key_id(), key->key_id());
+    KeyCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.reloads, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_GT(stats.reload_seconds, 0.0);
+
+    // Resident now: the next Get is a hit, no second load.
+    EXPECT_EQ(cache.Get(key->key_id()), entry);
+    EXPECT_EQ(cache.stats().reloads, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+
+    // Eviction keeps the source: the tenant reloads, same identity.
+    ASSERT_TRUE(cache.Evict(key->key_id()));
+    std::shared_ptr<TenantEntry> again = cache.Get(key->key_id());
+    ASSERT_NE(again, nullptr);
+    EXPECT_EQ(again->gates->key_id(), key->key_id());
+    EXPECT_EQ(cache.stats().reloads, 2u);
+}
+
+TEST(KeyCache, MissingArtifactThrowsCorruptPayloadError) {
+    auto key = MakeKey(141);
+    TenantKeyCache cache(0);
+    cache.PutSource(key->key_id(),
+                    FileKeySource("key_cache_test_nonexistent.ekey"));
+    EXPECT_THROW((void)cache.Get(key->key_id()),
+                 tfhe::CorruptPayloadError);
+    EXPECT_EQ(cache.stats().reload_failures, 1u);
+    // The slot is not poisoned: a later Get retries the source.
+    EXPECT_THROW((void)cache.Get(key->key_id()),
+                 tfhe::CorruptPayloadError);
+    EXPECT_EQ(cache.stats().reload_failures, 2u);
+}
+
+TEST(KeyCache, SourceReturningWrongKeyIsRejected) {
+    auto key = MakeKey(151);
+    auto impostor = MakeKey(152);
+    ArtifactCleaner cleaner;
+    cleaner.paths.push_back(SaveArtifact(*impostor, "impostor"));
+    TenantKeyCache cache(0);
+    // Registered under `key`'s id but the artifact holds impostor's key:
+    // the cache must refuse to serve the wrong key material.
+    cache.PutSource(key->key_id(), FileKeySource(cleaner.paths[0]));
+    EXPECT_THROW((void)cache.Get(key->key_id()),
+                 tfhe::CorruptPayloadError);
+}
+
+TEST(ServiceKeyCache, EvictedTenantReloadsLazilyAndBitExact) {
+    auto compiled = Compile(AdderNetlist());
+    ASSERT_TRUE(compiled.has_value());
+    const auto program =
+        std::make_shared<const pasm::Program>(compiled->program);
+
+    Client alice(tfhe::ToyParams(), 201);
+    Client bob(tfhe::ToyParams(), 202);
+    auto alice_key = alice.MakeEvaluationKey();
+    auto bob_key = bob.MakeEvaluationKey();
+    ArtifactCleaner cleaner;
+    cleaner.paths.push_back(SaveArtifact(*alice_key, "alice"));
+    cleaner.paths.push_back(SaveArtifact(*bob_key, "bob"));
+
+    // Capacity for ONE key: alternating tenants evict each other.
+    ServiceOptions opts;
+    opts.key_cache_capacity_bytes = EvaluationKeyBytes(*alice_key);
+    Service service(opts);
+    service.RegisterTenantSource(alice_key->key_id(),
+                                 FileKeySource(cleaner.paths[0]));
+    service.RegisterTenantSource(bob_key->key_id(),
+                                 FileKeySource(cleaner.paths[1]));
+    EXPECT_EQ(service.stats().tenants, 2u);
+
+    const DType u8 = DType::UInt(8);
+    backend::TfheEvaluator alice_eval(*alice_key);
+    backend::TfheEvaluator bob_eval(*bob_key);
+    for (int round = 0; round < 2; ++round) {
+        for (auto* side : {&alice, &bob}) {
+            Client& client = *side;
+            backend::TfheEvaluator& eval =
+                side == &alice ? alice_eval : bob_eval;
+            const Ciphertexts in = client.EncryptValues(u8, {100, 28});
+            const Ciphertexts want =
+                backend::RunProgram(*program, eval, in);
+            JobHandle job = service.Submit(client.key_id(), program, in);
+            const Ciphertexts& got = job.Get();
+            ASSERT_EQ(got.size(), want.size());
+            for (size_t i = 0; i < got.size(); ++i) {
+                ASSERT_EQ(got[i].a, want[i].a);
+                ASSERT_EQ(got[i].b, want[i].b);
+            }
+            EXPECT_EQ(client.DecryptValue(u8, got), 128);
+        }
+    }
+
+    const KeyCacheStats stats = service.stats().key_cache;
+    EXPECT_LE(stats.peak_resident_bytes, opts.key_cache_capacity_bytes);
+    EXPECT_GE(stats.reloads, 3u);    // First loads + reload after evict.
+    EXPECT_GE(stats.evictions, 2u);  // Each tenant evicted the other.
+}
+
+TEST(ServiceKeyCache, CorruptArtifactFailsJobNotPool) {
+    auto compiled = Compile(AdderNetlist());
+    ASSERT_TRUE(compiled.has_value());
+    const auto program =
+        std::make_shared<const pasm::Program>(compiled->program);
+
+    Client healthy(tfhe::ToyParams(), 211);
+    Client doomed(tfhe::ToyParams(), 212);
+    auto healthy_key = healthy.MakeEvaluationKey();
+    auto doomed_key = doomed.MakeEvaluationKey();
+    ArtifactCleaner cleaner;
+    cleaner.paths.push_back(SaveArtifact(*doomed_key, "doomed"));
+    {
+        // Flip one byte mid-body: the CRC32C frame must catch it.
+        std::fstream f(cleaner.paths[0],
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(600, std::ios::beg);
+        char byte = 0;
+        f.seekg(600, std::ios::beg);
+        f.read(&byte, 1);
+        byte = static_cast<char>(byte ^ 0x40);
+        f.seekp(600, std::ios::beg);
+        f.write(&byte, 1);
+    }
+
+    Service service;
+    service.RegisterTenant(healthy_key);
+    service.RegisterTenantSource(doomed_key->key_id(),
+                                 FileKeySource(cleaner.paths[0]));
+
+    const DType u8 = DType::UInt(8);
+    const Ciphertexts doomed_in = doomed.EncryptValues(u8, {1, 2});
+    JobHandle failed =
+        service.Submit(doomed.key_id(), program, doomed_in);
+    // The reload failure surfaces as a failed job with the TYPED error,
+    // not as a crashed pool or an anonymous unknown-key rejection.
+    EXPECT_EQ(failed.Wait(), JobStatus::kFailed);
+    ASSERT_TRUE(failed.TryGet().has_value());
+    EXPECT_EQ(*failed.TryGet(), JobStatus::kFailed);
+    EXPECT_THROW((void)failed.Get(), tfhe::CorruptPayloadError);
+    EXPECT_FALSE(failed.Error().has_value());
+    EXPECT_FALSE(failed.Cancel());
+    EXPECT_GE(service.stats().key_cache.reload_failures, 1u);
+
+    // The pool is alive and the healthy tenant unaffected.
+    const Ciphertexts in = healthy.EncryptValues(u8, {30, 12});
+    JobHandle ok = service.Submit(healthy.key_id(), program, in);
+    EXPECT_EQ(ok.Wait(), JobStatus::kDone);
+    EXPECT_EQ(healthy.DecryptValue(u8, ok.Get()), 42);
+}
+
+TEST(ServiceKeyCache, EvictTenantMidRunJobsFinishBitExact) {
+    auto compiled = Compile(AdderNetlist());
+    ASSERT_TRUE(compiled.has_value());
+    const auto program =
+        std::make_shared<const pasm::Program>(compiled->program);
+
+    ServiceOptions opts;
+    opts.serving.num_workers = 2;
+    Service service(opts);
+    Client client(tfhe::ToyParams(), 221);
+    auto key = client.MakeEvaluationKey();
+    service.RegisterTenant(key);
+
+    const DType u8 = DType::UInt(8);
+    backend::TfheEvaluator eval(*key);
+    const Ciphertexts in = client.EncryptValues(u8, {17, 25});
+    const Ciphertexts want = backend::RunProgram(*program, eval, in);
+
+    // Pile up jobs, then yank the tenant's residency while they run. The
+    // pre-cache Service dereferenced a registry pointer after unlocking —
+    // this is the use-after-free regression test: every in-flight job
+    // pinned the entry and must finish bit-exact.
+    std::vector<JobHandle> jobs;
+    for (int j = 0; j < 8; ++j)
+        jobs.push_back(service.Submit(client.key_id(), program, in));
+    EXPECT_TRUE(service.EvictTenant(client.key_id()));
+
+    for (JobHandle& job : jobs) {
+        ASSERT_EQ(job.Wait(), JobStatus::kDone);
+        const Ciphertexts& got = job.Get();
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+            ASSERT_EQ(got[i].a, want[i].a);
+            ASSERT_EQ(got[i].b, want[i].b);
+        }
+    }
+    // No KeySource was registered: the evicted tenant is unknown now.
+    EXPECT_THROW(
+        (void)service.Submit(client.key_id(), program, in),
+        UnknownKeyError);
+}
+
+TEST(ServiceKeyCache, ConcurrentSubmitsUnderEvictionPressure) {
+    auto compiled = Compile(AdderNetlist());
+    ASSERT_TRUE(compiled.has_value());
+    const auto program =
+        std::make_shared<const pasm::Program>(compiled->program);
+
+    constexpr int kTenants = 4;
+    std::vector<std::unique_ptr<Client>> clients;
+    std::vector<std::shared_ptr<tfhe::GateEvaluator>> keys;
+    ArtifactCleaner cleaner;
+    for (int t = 0; t < kTenants; ++t) {
+        clients.push_back(std::make_unique<Client>(tfhe::ToyParams(),
+                                                   231 + t));
+        keys.push_back(clients.back()->MakeEvaluationKey());
+        cleaner.paths.push_back(
+            SaveArtifact(*keys.back(), "stress" + std::to_string(t)));
+    }
+
+    // Working set of 4 keys over a 2-key cache: constant eviction and
+    // reload while 4 client threads submit concurrently.
+    ServiceOptions opts;
+    opts.serving.num_workers = 4;
+    opts.key_cache_capacity_bytes = 2 * EvaluationKeyBytes(*keys[0]);
+    Service service(opts);
+    for (int t = 0; t < kTenants; ++t)
+        service.RegisterTenantSource(keys[t]->key_id(),
+                                     FileKeySource(cleaner.paths[t]));
+
+    const DType u8 = DType::UInt(8);
+    std::vector<std::string> failures(kTenants);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kTenants; ++t) {
+        threads.emplace_back([&, t] {
+            backend::TfheEvaluator eval(*keys[t]);
+            for (int j = 0; j < 4; ++j) {
+                const int a = 10 * t + j;
+                const int b = 7 * j + 1;
+                const Ciphertexts in = clients[t]->EncryptValues(
+                    u8, {static_cast<double>(a),
+                         static_cast<double>(b)});
+                const Ciphertexts want =
+                    backend::RunProgram(*program, eval, in);
+                JobHandle job =
+                    service.Submit(keys[t]->key_id(), program, in);
+                if (job.Wait() != JobStatus::kDone) {
+                    failures[t] = "job not done";
+                    return;
+                }
+                const Ciphertexts& got = job.Get();
+                if (got.size() != want.size()) {
+                    failures[t] = "size mismatch";
+                    return;
+                }
+                for (size_t i = 0; i < got.size(); ++i)
+                    if (got[i].a != want[i].a || got[i].b != want[i].b) {
+                        failures[t] = "ciphertext mismatch";
+                        return;
+                    }
+                if (clients[t]->DecryptValue(u8, got) != (a + b) % 256) {
+                    failures[t] = "wrong sum";
+                    return;
+                }
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    for (int t = 0; t < kTenants; ++t) EXPECT_EQ(failures[t], "");
+
+    const KeyCacheStats stats = service.stats().key_cache;
+    EXPECT_LE(stats.peak_resident_bytes, opts.key_cache_capacity_bytes);
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_GT(stats.reloads, 0u);
+    EXPECT_EQ(service.stats().serving.jobs_completed, 4u * kTenants);
+}
+
+}  // namespace
+}  // namespace pytfhe::core

@@ -57,7 +57,8 @@ TEST(Service, RegistryAcceptsTenantsAndRejectsUnknownKeys) {
     Client bob(tfhe::ToyParams(), 32);
     const KeyId alice_id = service.RegisterTenant(alice.MakeEvaluationKey());
     EXPECT_EQ(alice_id, alice.key_id());
-    // Re-registering is idempotent.
+    // Re-registering the same id returns the same id and REPLACES the
+    // stored key (key refresh) — the registry still holds one tenant.
     EXPECT_EQ(service.RegisterTenant(alice.MakeEvaluationKey()), alice_id);
     EXPECT_EQ(service.stats().tenants, 1u);
 
@@ -73,6 +74,40 @@ TEST(Service, RegistryAcceptsTenantsAndRejectsUnknownKeys) {
     EXPECT_THROW((void)service.Submit(KeyId{}, compiled->program,
                                       bob.EncryptValues(u8, {1, 2})),
                  UnknownKeyError);
+}
+
+TEST(Service, ReRegistrationReplacesStaleKey) {
+    auto compiled = Compile(AdderNetlist());
+    ASSERT_TRUE(compiled.has_value());
+    const auto program =
+        std::make_shared<const pasm::Program>(compiled->program);
+
+    Service service;
+    Client alice(tfhe::ToyParams(), 33);
+    const DType u8 = DType::UInt(8);
+    const Ciphertexts in = alice.EncryptValues(u8, {20, 22});
+
+    // MakeEvaluationKey draws fresh bootstrapping randomness each call, so
+    // the two keys produce different (equally decryptable) ciphertexts —
+    // which key the service evaluates under is observable bit-exactly.
+    auto old_key = alice.MakeEvaluationKey();
+    auto new_key = alice.MakeEvaluationKey();
+    ASSERT_EQ(service.RegisterTenant(old_key), alice.key_id());
+    ASSERT_EQ(service.RegisterTenant(new_key), alice.key_id());
+    EXPECT_EQ(service.stats().tenants, 1u);
+
+    backend::TfheEvaluator new_eval(*new_key);
+    const Ciphertexts want = backend::RunProgram(*program, new_eval, in);
+    JobHandle job = service.Submit(alice.key_id(), program, in);
+    const Ciphertexts& got = job.Get();
+    // The refreshed key — not the stale first registration — served this
+    // job (this was silently try_emplace'd away before).
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].a, want[i].a) << "output " << i;
+        EXPECT_EQ(got[i].b, want[i].b) << "output " << i;
+    }
+    EXPECT_EQ(alice.DecryptValue(u8, got), 42);
 }
 
 TEST(Service, TwoTenantsConcurrentJobsMatchSequentialServer) {

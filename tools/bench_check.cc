@@ -154,6 +154,16 @@ bool LowerIsBetter(const std::string& path) {
            path.find("bootstraps_after") != std::string::npos;
 }
 
+/**
+ * Metrics where a SMALLER candidate value is a regression: cache hit
+ * rates from the key-cache economics runs (deterministic for the modeled
+ * sharded fleet; the real-service run is trace-driven and equally
+ * stable). A candidate below baseline * (1 - tolerance) fails.
+ */
+bool HigherIsBetter(const std::string& path) {
+    return path.find("hit_rate") != std::string::npos;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -172,7 +182,9 @@ int main(int argc, char** argv) {
 
     int regressions = 0;
     for (const auto& [path, base] : baseline.numbers()) {
-        if (!LowerIsBetter(path)) continue;
+        const bool lower = LowerIsBetter(path);
+        const bool higher = !lower && HigherIsBetter(path);
+        if (!lower && !higher) continue;
         const auto it = candidate.numbers().find(path);
         if (it == candidate.numbers().end()) {
             std::printf("MISSING   %-46s (baseline %.4g)\n", path.c_str(),
@@ -182,9 +194,13 @@ int main(int argc, char** argv) {
         const double cand = it->second;
         // A zero baseline (e.g. bootstraps_after on a fully elided
         // workload) regresses on any increase beyond rounding.
-        const bool regressed = base == 0.0
-                                   ? cand > 1e-12
-                                   : cand > base * (1.0 + tolerance);
+        bool regressed;
+        if (lower) {
+            regressed = base == 0.0 ? cand > 1e-12
+                                    : cand > base * (1.0 + tolerance);
+        } else {
+            regressed = cand < base * (1.0 - tolerance);
+        }
         const double delta = base == 0.0 ? 0.0 : (cand - base) / base * 100.0;
         if (regressed) {
             std::printf("REGRESSED %-46s %.4g -> %.4g (%+.1f%%)\n",
@@ -196,7 +212,8 @@ int main(int argc, char** argv) {
         }
     }
     for (const auto& [path, cand] : candidate.numbers()) {
-        if (LowerIsBetter(path) && !baseline.numbers().count(path))
+        if ((LowerIsBetter(path) || HigherIsBetter(path)) &&
+            !baseline.numbers().count(path))
             std::printf("new       %-46s %.4g\n", path.c_str(), cand);
     }
 
