@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "tfhe/bootstrap.h"
+#include "tfhe/bootstrap_batch.h"
 #include "tfhe/fft.h"
+#include "tfhe/fft_batch_kernels.h"
 #include "tfhe/gates.h"
 
 using namespace pytfhe;
@@ -130,9 +132,73 @@ int main() {
                g_sink += bk.ksk().Apply(extracted).b;
            }));
 
-    Report(&results, "gate_bootstrap", MeasureNs([&] {
-               g_sink += tfhe::Bootstrap(kEighth, lwe_in, bk, &bs_scratch).b;
-           }));
+    // Measured over the same 1.0s window as the batched sweep below: the
+    // scalar number is the denominator of every speedup_b* metric, so a
+    // noisy fast/slow window here would skew the whole committed sweep.
+    const double scalar_gate_ns = MeasureNs(
+        [&] { g_sink += tfhe::Bootstrap(kEighth, lwe_in, bk, &bs_scratch).b; },
+        1.0);
+    Report(&results, "gate_bootstrap", scalar_gate_ns);
+
+    // ------------------------------------------- batched bootstrap sweep
+    // Per-gate cost of the SoA fused kernel at batch sizes 1/2/4/8, plus
+    // the throughput speedup vs the scalar gate bootstrap. The `_ns`
+    // metrics are gated lower-is-better and the `speedup_*` metrics
+    // higher-is-better by tools/bench_check.
+    //
+    // The container this baseline is committed from drifts ~10% in
+    // single-core speed over minutes, so a speedup computed from scalar
+    // and batched windows measured far apart is dominated by that drift.
+    // Each batch size instead measures scalar/batched window *pairs*
+    // back-to-back and reports the median of the per-pair ratios — drift
+    // slow compared to one pair cancels out of the ratio.
+    std::vector<std::pair<std::string, double>> batched;
+    std::printf("# batched gate bootstrap sweep (simd=%d)\n",
+                tfhe::batch_detail::SimdAvailable() ? 1 : 0);
+    std::fflush(stdout);
+    tfhe::BatchScratch batch_scratch;
+    for (const int32_t b : {1, 2, 4, 8}) {
+        std::vector<tfhe::LweSample> ins(b, lwe_in), outs(b);
+        std::vector<const tfhe::LweSample*> in_ptrs(b);
+        std::vector<tfhe::LweSample*> out_ptrs(b);
+        for (int32_t i = 0; i < b; ++i) {
+            in_ptrs[i] = &ins[i];
+            out_ptrs[i] = &outs[i];
+        }
+        constexpr int kPairs = 3;
+        std::vector<double> ratios, batch_ns;
+        for (int p = 0; p < kPairs; ++p) {
+            const double scalar_ns = MeasureNs(
+                [&] {
+                    g_sink +=
+                        tfhe::Bootstrap(kEighth, lwe_in, bk, &bs_scratch).b;
+                },
+                0.4);
+            const double per_gate_ns =
+                MeasureNs(
+                    [&] {
+                        tfhe::BatchedGateBootstrap(kEighth, in_ptrs.data(),
+                                                   out_ptrs.data(), b, bk,
+                                                   &batch_scratch);
+                        g_sink += outs[0].b;
+                    },
+                    0.4) /
+                static_cast<double>(b);
+            ratios.push_back(scalar_ns / per_gate_ns);
+            batch_ns.push_back(per_gate_ns);
+        }
+        std::sort(ratios.begin(), ratios.end());
+        std::sort(batch_ns.begin(), batch_ns.end());
+        const double speedup = ratios[kPairs / 2];
+        char name[64];
+        std::snprintf(name, sizeof(name), "gate_bootstrap_b%d_ns", b);
+        Report(&batched, name, batch_ns[kPairs / 2]);
+        std::snprintf(name, sizeof(name), "speedup_b%d", b);
+        std::printf("%-18s %12.2fx\n", name, speedup);
+        batched.emplace_back(name, speedup);
+    }
+    batched.emplace_back("simd",
+                         tfhe::batch_detail::SimdAvailable() ? 1.0 : 0.0);
 
     // ------------------------------------------------------------- emit JSON
     FILE* out = std::fopen("BENCH_micro_tfhe.json", "w");
@@ -146,6 +212,10 @@ int main() {
     for (size_t i = 0; i < results.size(); ++i)
         std::fprintf(out, "    \"%s\": %.1f%s\n", results[i].first.c_str(),
                      results[i].second, i + 1 < results.size() ? "," : "");
+    std::fprintf(out, "  },\n  \"batched\": {\n");
+    for (size_t i = 0; i < batched.size(); ++i)
+        std::fprintf(out, "    \"%s\": %.3f%s\n", batched[i].first.c_str(),
+                     batched[i].second, i + 1 < batched.size() ? "," : "");
     std::fprintf(out, "  }\n}\n");
     std::fclose(out);
     std::printf("# wrote BENCH_micro_tfhe.json\n");

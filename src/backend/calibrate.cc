@@ -1,6 +1,7 @@
 #include "backend/calibrate.h"
 
 #include <chrono>
+#include <vector>
 
 namespace pytfhe::backend {
 
@@ -27,6 +28,45 @@ CpuCostModel MeasureCpuCostModel(tfhe::GateEvaluator& gates,
     model.bootstrap_gate_seconds = bootstrap;
     model.linear_gate_seconds = linear;
     return model;
+}
+
+void MeasureBatchSpeedups(tfhe::GateEvaluator& gates,
+                          tfhe::SecretKeySet& secret, tfhe::Rng& rng,
+                          CpuCostModel* model, int32_t samples) {
+    using Clock = std::chrono::steady_clock;
+    constexpr int32_t kMaxBatch = 8;
+    tfhe::LweSample a = secret.Encrypt(true, rng);
+    tfhe::LweSample b = secret.Encrypt(false, rng);
+    std::vector<tfhe::LweSample> outs(kMaxBatch, a);
+    tfhe::BatchScratch scratch;
+
+    // Per-gate seconds at a given batch size through the same fused entry
+    // point the batch dispatchers use.
+    const auto per_gate = [&](int32_t batch) {
+        std::vector<tfhe::BatchGateSpec> specs(batch);
+        for (int32_t i = 0; i < batch; ++i) {
+            specs[i].coef_a = 1;
+            specs[i].a = &a;
+            specs[i].coef_b = 1;
+            specs[i].b = &b;
+            specs[i].offset = -tfhe::kGateMu;  // AND
+            specs[i].out = &outs[i];
+        }
+        const auto t0 = Clock::now();
+        for (int32_t s = 0; s < samples; ++s)
+            gates.BatchedLinearBootstrap(specs.data(), batch, &scratch);
+        return std::chrono::duration<double>(Clock::now() - t0).count() /
+               (static_cast<double>(samples) * batch);
+    };
+
+    const double scalar = per_gate(1);
+    const auto speedup = [&](int32_t batch) {
+        const double s = scalar / per_gate(batch);
+        return s < 1.0 ? 1.0 : s;
+    };
+    model->batch2_speedup = speedup(2);
+    model->batch4_speedup = speedup(4);
+    model->batch8_speedup = speedup(8);
 }
 
 }  // namespace pytfhe::backend

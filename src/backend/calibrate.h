@@ -19,6 +19,18 @@ CpuCostModel MeasureCpuCostModel(tfhe::GateEvaluator& gates,
                                  tfhe::SecretKeySet& secret, tfhe::Rng& rng,
                                  int32_t samples = 10);
 
+/**
+ * Measures the batched-bootstrap speedups of the SoA kernel
+ * (GateEvaluator::BatchedLinearBootstrap) at batch 2/4/8 relative to
+ * batch 1 on this machine, and overwrites `model`'s batchN_speedup
+ * fields. `samples` batches are timed per size. Speedups below 1 are
+ * clamped to 1 so a noisy measurement never makes the simulators model
+ * batching as a slowdown.
+ */
+void MeasureBatchSpeedups(tfhe::GateEvaluator& gates,
+                          tfhe::SecretKeySet& secret, tfhe::Rng& rng,
+                          CpuCostModel* model, int32_t samples = 3);
+
 }  // namespace pytfhe::backend
 
 #endif  // PYTFHE_BACKEND_CALIBRATE_H

@@ -112,10 +112,19 @@ ClusterResult SimulateCluster(const pasm::Program& program,
             t_fault_free += linear_cost;
             continue;
         }
+        // With batch_size > 1 a task carries a batch of bootstraps through
+        // the SoA kernel: fewer, longer tasks whose per-gate cost follows
+        // the calibrated batched speedup. batch_size == 1 reproduces the
+        // original one-gate-per-task model exactly.
+        const uint64_t batch =
+            config.batch_size > 1 ? static_cast<uint64_t>(config.batch_size)
+                                  : 1;
+        const uint64_t tasks = (bootstraps + batch - 1) / batch;
         const uint64_t per_worker =
-            (bootstraps + workers - 1) / static_cast<uint64_t>(workers);
+            (tasks + workers - 1) / static_cast<uint64_t>(workers);
         const double task_seconds =
-            config.cpu.bootstrap_gate_seconds +
+            static_cast<double>(batch) *
+                config.cpu.BatchedGateSeconds(static_cast<int32_t>(batch)) +
             (config.nodes > 1 ? comm_per_task : 0.0);
         double compute_span = per_worker * task_seconds;
         const double fault_free_span = compute_span;
@@ -125,7 +134,7 @@ ClusterResult SimulateCluster(const pasm::Program& program,
             // partial work plus the detection delay, and the wave waits
             // for the busiest worker.
             std::fill(spans.begin(), spans.end(), 0.0);
-            for (uint64_t task = 0; task < bootstraps; ++task) {
+            for (uint64_t task = 0; task < tasks; ++task) {
                 double cost = 0.0;
                 for (int32_t attempt = 0;; ++attempt) {
                     bool completed = false;
@@ -145,7 +154,7 @@ ClusterResult SimulateCluster(const pasm::Program& program,
         }
         // The driver submits tasks serially but overlapped with execution;
         // it binds only when submission is slower than compute.
-        const double submit_span = bootstraps * config.submit_seconds;
+        const double submit_span = tasks * config.submit_seconds;
         const double barrier =
             config.barrier_local_seconds +
             (config.nodes > 1 ? config.barrier_remote_seconds : 0.0);
@@ -160,8 +169,10 @@ ClusterResult SimulateCluster(const pasm::Program& program,
 
 double IdealThroughput(const ClusterConfig& config) {
     // Independent single-threaded programs: no barriers, no dependencies —
-    // every worker streams gates back to back.
-    return config.TotalWorkers() / config.cpu.bootstrap_gate_seconds;
+    // every worker streams gates back to back (batched through the SoA
+    // kernel when config.batch_size > 1).
+    return config.TotalWorkers() /
+           config.cpu.BatchedGateSeconds(config.batch_size);
 }
 
 namespace {

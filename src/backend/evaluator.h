@@ -12,6 +12,8 @@
 #define PYTFHE_BACKEND_EVALUATOR_H
 
 #include <cstdint>
+#include <stdexcept>
+#include <vector>
 
 #include "circuit/gate_type.h"
 #include "tfhe/gates.h"
@@ -19,6 +21,23 @@
 namespace pytfhe::backend {
 
 using circuit::GateType;
+
+/**
+ * One gate inside a batched evaluator call: inputs by pointer (so
+ * dispatchers can gather scattered value slots without copies), output by
+ * pointer, operand encoding-domain flags as in the scalar Apply. Only
+ * bootstrapped gate types (circuit::NeedsBootstrap) are batchable; linear
+ * and NOT gates stay on the scalar fast path.
+ */
+template <typename C>
+struct BatchGate {
+    GateType type = GateType::kNot;
+    const C* a = nullptr;
+    bool a_linear = false;
+    const C* b = nullptr;
+    bool b_linear = false;
+    C* out = nullptr;
+};
 
 /** Evaluates gates on plaintext booleans (reference semantics). */
 class PlainEvaluator {
@@ -41,6 +60,11 @@ class TfheEvaluator {
      * allocation-free in steady state.
      */
     using WorkerScratch = tfhe::BootstrapScratch;
+    /**
+     * Per-worker scratch of the batched path (bootstrap_batch.h): sized on
+     * first use, reused across batches — including ragged tails.
+     */
+    using BatchScratch = tfhe::BatchScratch;
 
     explicit TfheEvaluator(tfhe::GateEvaluator& gates) : gates_(&gates) {}
 
@@ -88,6 +112,76 @@ class TfheEvaluator {
             case GateType::kLinNot: return gates_->LinNot(a);
         }
         return a;  // Unreachable for valid gate types.
+    }
+
+    /** True iff `t` may be placed in an ApplyBatch call. */
+    static bool Batchable(GateType t) { return circuit::NeedsBootstrap(t); }
+
+    /**
+     * Evaluates `count` bootstrapped gates through one batched blind
+     * rotation. Every item's type must satisfy Batchable(); gate kinds may
+     * be mixed freely — each kind is only a different linear prelude into
+     * the shared +-1/8 bootstrap. Bit-exact per gate vs the scalar Apply.
+     */
+    void ApplyBatch(const BatchGate<Ciphertext>* items, int32_t count,
+                    BatchScratch& s) const {
+        std::vector<tfhe::BatchGateSpec> specs(count);
+        for (int32_t i = 0; i < count; ++i) {
+            const BatchGate<Ciphertext>& g = items[i];
+            tfhe::BatchGateSpec& spec = specs[i];
+            spec.a = g.a;
+            spec.b = g.b;
+            spec.out = g.out;
+            switch (g.type) {
+                case GateType::kAnd:
+                    spec.coef_a = +1; spec.coef_b = +1;
+                    spec.offset = -tfhe::kGateMu;
+                    break;
+                case GateType::kNand:
+                    spec.coef_a = -1; spec.coef_b = -1;
+                    spec.offset = tfhe::kGateMu;
+                    break;
+                case GateType::kOr:
+                    spec.coef_a = +1; spec.coef_b = +1;
+                    spec.offset = tfhe::kGateMu;
+                    break;
+                case GateType::kNor:
+                    spec.coef_a = -1; spec.coef_b = -1;
+                    spec.offset = -tfhe::kGateMu;
+                    break;
+                case GateType::kXor:
+                    spec.coef_a = g.a_linear ? 1 : 2;
+                    spec.coef_b = g.b_linear ? 1 : 2;
+                    spec.offset = tfhe::kGateQuarter;
+                    break;
+                case GateType::kXnor:
+                    spec.coef_a = g.a_linear ? 1 : 2;
+                    spec.coef_b = g.b_linear ? 1 : 2;
+                    spec.offset = -tfhe::kGateQuarter;
+                    break;
+                case GateType::kAndNY:
+                    spec.coef_a = -1; spec.coef_b = +1;
+                    spec.offset = -tfhe::kGateMu;
+                    break;
+                case GateType::kAndYN:
+                    spec.coef_a = +1; spec.coef_b = -1;
+                    spec.offset = -tfhe::kGateMu;
+                    break;
+                case GateType::kOrNY:
+                    spec.coef_a = -1; spec.coef_b = +1;
+                    spec.offset = tfhe::kGateMu;
+                    break;
+                case GateType::kOrYN:
+                    spec.coef_a = +1; spec.coef_b = -1;
+                    spec.offset = tfhe::kGateMu;
+                    break;
+                default:
+                    throw std::invalid_argument(
+                        "TfheEvaluator::ApplyBatch: non-bootstrapped gate "
+                        "type in batch");
+            }
+        }
+        gates_->BatchedLinearBootstrap(specs.data(), count, &s);
     }
 
   private:

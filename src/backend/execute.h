@@ -14,6 +14,7 @@
 #define PYTFHE_BACKEND_EXECUTE_H
 
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "backend/executor.h"
@@ -50,6 +51,16 @@ struct ExecOptions {
     Executor* executor = nullptr;
     RunControl control;
     FaultHook fault;
+    /**
+     * Maximum simultaneously ready gates fused into one batched bootstrap
+     * kernel call (executor.h; evaluators opt in via ApplyBatch — others
+     * run the batch gate-by-gate). 1 disables batching. batch_size > 1
+     * routes even single-threaded runs through the dependency-counting
+     * executor, since only its ready set exposes batchable groups; outputs
+     * stay bit-identical to the sequential path. The wave-barrier legacy
+     * path ignores batching and rejects batch_size > 1.
+     */
+    int32_t batch_size = 1;
 };
 
 /**
@@ -65,6 +76,9 @@ std::vector<typename Evaluator::Ciphertext> Execute(
     const pasm::Program& program, Evaluator& eval,
     const std::vector<typename Evaluator::Ciphertext>& inputs,
     const ExecOptions& options = {}) {
+    if (options.batch_size < 1)
+        throw std::invalid_argument("Execute: batch_size must be >= 1, got " +
+                                    std::to_string(options.batch_size));
     switch (options.mode) {
         case ExecMode::kSequential:
             return RunProgram(program, eval, inputs, options.control,
@@ -74,21 +88,27 @@ std::vector<typename Evaluator::Ciphertext> Execute(
                 throw std::invalid_argument(
                     "Execute: the wave-barrier path does not support "
                     "RunControl; use kDependencyCounting or kSequential");
+            if (options.batch_size > 1)
+                throw std::invalid_argument(
+                    "Execute: the wave-barrier path does not support "
+                    "batching; use kDependencyCounting");
             return RunProgramThreaded(program, eval, inputs,
                                       options.num_threads, options.fault);
         case ExecMode::kAuto:
         case ExecMode::kDependencyCounting: break;
     }
-    if (options.mode == ExecMode::kAuto && options.num_threads == 1)
+    if (options.mode == ExecMode::kAuto && options.num_threads == 1 &&
+        options.batch_size <= 1)
         return RunProgram(program, eval, inputs, options.control,
                           options.fault);
     if (options.executor != nullptr)
         return options.executor->Run(program, eval, inputs,
                                      options.num_threads, options.control,
-                                     options.fault);
+                                     options.fault, options.batch_size);
     Executor transient;
     return transient.Run(program, eval, inputs, options.num_threads,
-                         options.control, options.fault);
+                         options.control, options.fault,
+                         options.batch_size);
 }
 
 }  // namespace pytfhe::backend

@@ -103,6 +103,27 @@ class ReadyQueue {
         return true;
     }
 
+    /**
+     * Pops up to `max_batch` ready gates in FIFO order (from the front).
+     * The single-gate Pop keeps its stack discipline — popping the
+     * most-recently published successor is the cache-friendly order for
+     * one-gate-at-a-time workers and preserves the batch_size == 1
+     * behavior exactly. Batches are served oldest-first instead: gates of
+     * one level that became ready together stay adjacent and land in one
+     * kernel call, rather than being interleaved with successors pushed
+     * while the batch accumulated.
+     */
+    bool PopBatch(std::vector<uint64_t>* out, int32_t max_batch) {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return !ready_.empty() || remaining_ == 0; });
+        if (ready_.empty()) return false;
+        const size_t k = std::min(ready_.size(),
+                                  static_cast<size_t>(max_batch));
+        out->assign(ready_.begin(), ready_.begin() + k);
+        ready_.erase(ready_.begin(), ready_.begin() + k);
+        return true;
+    }
+
     /** Records one executed gate; wakes all waiters when none remain. */
     void MarkDone() {
         std::unique_lock<std::mutex> lock(mu_);
@@ -147,16 +168,27 @@ class Executor {
      * without evaluating, and the call rethrows the typed
      * GateExecutionError. The pool stays healthy; subsequent Run calls
      * on this Executor behave normally.
+     *
+     * batch_size > 1 turns on batch-aware dispatch: each worker pops up
+     * to batch_size simultaneously ready gates (FIFO within the ready
+     * set), groups the bootstrapped ones into one ApplyBatch kernel call
+     * when the evaluator supports it (detail::kSupportsApplyBatch), and
+     * runs linear/NOT gates on the scalar fast path. Fault hooks fire per
+     * gate: a gate faulted inside a batch is excluded from the kernel and
+     * attributed individually, and a throwing kernel falls back to
+     * per-gate scalar evaluation so the error names the right gate.
+     * Results are bit-identical to batch_size == 1 for every evaluator.
      */
     template <typename Evaluator>
     std::vector<typename Evaluator::Ciphertext> Run(
         const pasm::Program& program, Evaluator& eval,
         const std::vector<typename Evaluator::Ciphertext>& inputs,
         int32_t num_threads, const RunControl& control = {},
-        const FaultHook& fault = {}) {
+        const FaultHook& fault = {}, int32_t batch_size = 1) {
         using C = typename Evaluator::Ciphertext;
         detail::ValidateRunArgs(program, inputs.size(), num_threads);
-        if (num_threads == 1 || program.NumGates() <= 1)
+        if ((num_threads == 1 && batch_size <= 1) ||
+            program.NumGates() <= 1)
             return RunProgram(program, eval, inputs, control, fault);
 
         const pasm::GateDependencies deps = program.BuildGateDependencies();
@@ -242,9 +274,122 @@ class Executor {
                 idx = next;
             }
         };
+
+        // Batch-aware worker: pops up to batch_size ready gates at once,
+        // fuses the batchable bootstraps into one kernel call, and
+        // publishes every newly ready successor (no depth-first chaining —
+        // a full ready set is what makes the next batch wide).
+        auto batch_worker = [&]() {
+            typename detail::WorkerScratchOf<Evaluator>::type scratch{};
+            typename detail::BatchScratchOf<Evaluator>::type batch_scratch{};
+            (void)batch_scratch;
+            std::vector<uint64_t> batch;
+            std::vector<uint64_t> kernel_gates;
+            std::vector<BatchGate<C>> items;
+            auto run_scalar = [&](uint64_t idx) {
+                const pasm::DecodedGate g = program.GateAt(idx);
+                value[idx] = detail::ApplyGate(
+                    eval, g.type, value[g.in0],
+                    program.ProducesLinearDomain(g.in0), value[g.in1],
+                    program.ProducesLinearDomain(g.in1), scratch);
+            };
+            auto latch = [&](uint64_t idx) {
+                try {
+                    RethrowAsGateError(idx - first_gate, fault.attempt);
+                } catch (const GateExecutionError& e) {
+                    std::lock_guard<std::mutex> lock(error_mu);
+                    if (!error) error = e;
+                }
+                failed.store(true, std::memory_order_relaxed);
+            };
+            while (queue.PopBatch(&batch, batch_size)) {
+                bool skip = failed.load(std::memory_order_relaxed);
+                if (!skip && guarded) {
+                    skip = abort.load(std::memory_order_relaxed) !=
+                           RunControl::Abort::kNone;
+                    if (!skip) {
+                        const RunControl::Abort a = control.Check();
+                        if (a != RunControl::Abort::kNone) {
+                            abort.store(a, std::memory_order_relaxed);
+                            skip = true;
+                        }
+                    }
+                }
+                if (!skip) {
+                    kernel_gates.clear();
+                    // Per-gate fault hooks and the scalar fast path; a
+                    // faulted gate is latched individually and never
+                    // reaches the kernel, so later gates in this batch and
+                    // every other batch drain cleanly.
+                    for (uint64_t idx : batch) {
+                        if (failed.load(std::memory_order_relaxed)) break;
+                        const pasm::DecodedGate g = program.GateAt(idx);
+                        bool batchable = false;
+                        if constexpr (detail::kSupportsApplyBatch<Evaluator>)
+                            batchable = Evaluator::Batchable(g.type);
+                        try {
+                            fault.OnGate(idx - first_gate);
+                            if (batchable) {
+                                kernel_gates.push_back(idx);
+                            } else {
+                                run_scalar(idx);
+                            }
+                        } catch (...) {
+                            latch(idx);
+                        }
+                    }
+                    if constexpr (detail::kSupportsApplyBatch<Evaluator>) {
+                        if (!kernel_gates.empty() &&
+                            !failed.load(std::memory_order_relaxed)) {
+                            items.resize(kernel_gates.size());
+                            for (size_t i = 0; i < kernel_gates.size(); ++i) {
+                                const uint64_t idx = kernel_gates[i];
+                                const pasm::DecodedGate g =
+                                    program.GateAt(idx);
+                                items[i] = BatchGate<C>{
+                                    g.type, &value[g.in0],
+                                    program.ProducesLinearDomain(g.in0),
+                                    &value[g.in1],
+                                    program.ProducesLinearDomain(g.in1),
+                                    &value[idx]};
+                            }
+                            try {
+                                eval.ApplyBatch(
+                                    items.data(),
+                                    static_cast<int32_t>(items.size()),
+                                    batch_scratch);
+                            } catch (...) {
+                                // Attribute precisely: replay each gate
+                                // scalar so the latched error names the
+                                // gate that actually fails.
+                                for (uint64_t idx : kernel_gates) {
+                                    try {
+                                        run_scalar(idx);
+                                    } catch (...) {
+                                        latch(idx);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                for (uint64_t idx : batch) {
+                    const auto [s, e] = deps.SuccessorsOf(idx);
+                    for (const uint64_t* p = s; p != e; ++p) {
+                        if (pending[*p - first_gate].fetch_sub(
+                                1, std::memory_order_acq_rel) == 1)
+                            queue.Push(*p);
+                    }
+                    queue.MarkDone();
+                }
+            }
+        };
+
         const int32_t workers = static_cast<int32_t>(std::min<uint64_t>(
             num_threads - 1, program.NumGates() - 1));
-        const std::function<void()> fn = worker;
+        const std::function<void()> fn =
+            batch_size > 1 ? std::function<void()>(batch_worker)
+                           : std::function<void()>(worker);
         pool_.RunOnWorkers(workers, fn);
 
         if (error) throw *error;

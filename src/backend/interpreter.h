@@ -33,6 +33,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <concepts>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -153,6 +154,37 @@ template <typename Evaluator>
 struct WorkerScratchOf<Evaluator,
                        std::void_t<typename Evaluator::WorkerScratch>> {
     using type = typename Evaluator::WorkerScratch;
+};
+
+/**
+ * Maps an evaluator to its per-worker *batch* scratch type. Evaluators
+ * opt in by declaring `using BatchScratch = ...` alongside an ApplyBatch
+ * method; everything else gets the empty NoScratch.
+ */
+template <typename Evaluator, typename = void>
+struct BatchScratchOf {
+    using type = NoScratch;
+};
+
+template <typename Evaluator>
+struct BatchScratchOf<Evaluator,
+                      std::void_t<typename Evaluator::BatchScratch>> {
+    using type = typename Evaluator::BatchScratch;
+};
+
+/**
+ * True when the evaluator can evaluate a batch of bootstrapped gates in
+ * one kernel call (ApplyBatch + Batchable + BatchScratch). Dispatchers
+ * with batch_size > 1 group ready gates for such evaluators and fall back
+ * to per-gate Apply for everything else.
+ */
+template <typename Evaluator>
+inline constexpr bool kSupportsApplyBatch = requires(
+    const Evaluator& e,
+    const BatchGate<typename Evaluator::Ciphertext>* items, int32_t count,
+    typename BatchScratchOf<Evaluator>::type& s) {
+    e.ApplyBatch(items, count, s);
+    { Evaluator::Batchable(circuit::GateType::kAnd) } -> std::same_as<bool>;
 };
 
 /**

@@ -191,6 +191,18 @@ struct ServingOptions {
      * injection, zero overhead beyond one branch per gate.
      */
     FaultInjector* fault_injector = nullptr;
+    /**
+     * Maximum simultaneously ready gates one worker claims at a time and
+     * fuses into one batched bootstrap kernel call (evaluators opt in via
+     * ApplyBatch; others run the claim gate-by-gate). Gates are gathered
+     * round-robin across active jobs — batching composes with fairness —
+     * but only from jobs sharing the first picked job's evaluator, since
+     * one batched blind rotation uses one bootstrapping key. Within a job,
+     * batch mode serves the ready list FIFO. Fault injection stays per
+     * gate: a faulted gate inside a batch fails only its own job.
+     * 1 disables batching and leaves the scalar pick/chain path untouched.
+     */
+    int32_t batch_size = 1;
 };
 
 /**
@@ -326,6 +338,56 @@ class ServingExecutor {
                 return true;
             }
             return false;
+        }
+
+        /** One gate claimed by a batch worker, with its attempt stamp. */
+        struct Picked {
+            JobPtr job;
+            uint64_t gate = 0;
+            uint32_t attempt = 0;
+        };
+
+        /**
+         * Batch-mode pick: claims up to opts.batch_size ready gates,
+         * round-robin across active jobs under the per-job in-flight cap,
+         * FIFO within each job's ready list. All gates of one claim come
+         * from jobs sharing the first picked job's evaluator (one batch =
+         * one bootstrapping key). In-flight counts are taken at pick time,
+         * one per gate. A run_sequential job is still claimed whole and
+         * alone (gate == detail::kNoGate), exactly like PickLocked.
+         */
+        bool PickBatchLocked(std::vector<Picked>* out) {
+            const size_t n = active.size();
+            const size_t want = static_cast<size_t>(opts.batch_size);
+            const Evaluator* anchor = nullptr;
+            size_t last = rr;
+            for (size_t i = 0; i < n && out->size() < want; ++i) {
+                const size_t j = (rr + i) % n;
+                Job& cand = *active[j];
+                if (cand.run_sequential) {
+                    if (!out->empty() || cand.in_flight > 0) continue;
+                    ++cand.in_flight;
+                    out->push_back(
+                        Picked{active[j], detail::kNoGate, cand.attempt});
+                    rr = (j + 1) % n;
+                    return true;
+                }
+                if (anchor != nullptr && cand.eval != anchor) continue;
+                const uint32_t cap =
+                    opts.per_job_inflight_cap * cand.weight;
+                while (out->size() < want && !cand.ready.empty() &&
+                       cand.in_flight < cap) {
+                    out->push_back(Picked{active[j], cand.ready.front(),
+                                          cand.attempt});
+                    cand.ready.erase(cand.ready.begin());
+                    ++cand.in_flight;
+                    anchor = cand.eval;
+                    last = j;
+                }
+            }
+            if (out->empty()) return false;
+            rr = (last + 1) % n;
+            return true;
         }
 
         /**
@@ -516,13 +578,39 @@ class ServingExecutor {
          */
         void WorkerLoop() {
             typename detail::WorkerScratchOf<Evaluator>::type scratch{};
+            typename detail::BatchScratchOf<Evaluator>::type batch_scratch{};
+            (void)batch_scratch;
             std::vector<uint64_t> publish;
+            std::vector<Picked> batch;
+            const bool batching = opts.batch_size > 1;
             std::unique_lock<std::mutex> lock(mu);
             while (true) {
                 // Backoff expiries do not generate notifications, so idle
                 // workers re-scan the queue and sleep only until the next
                 // job becomes eligible.
                 if (!queued.empty()) AdmitLocked();
+                if (batching) {
+                    batch.clear();
+                    if (!PickBatchLocked(&batch)) {
+                        if (shutdown && active.empty() && queued.empty())
+                            return;
+                        const Clock::time_point next = NextEligibleLocked();
+                        if (next == Clock::time_point::max()) {
+                            work_cv.wait(lock);
+                        } else {
+                            work_cv.wait_until(lock, next);
+                        }
+                        continue;
+                    }
+                    if (batch.front().gate == detail::kNoGate) {
+                        RunSequentialJob(*batch.front().job,
+                                         batch.front().attempt, lock);
+                        continue;
+                    }
+                    RunBatch(batch, scratch, batch_scratch, lock);
+                    // RunBatch returns with the lock re-held.
+                    continue;
+                }
                 JobPtr job;
                 uint64_t gate = 0;
                 if (!PickLocked(&job, &gate)) {
@@ -702,6 +790,175 @@ class ServingExecutor {
                 --job.in_flight;
                 if (!job.ready.empty()) work_cv.notify_one();
                 return;
+            }
+        }
+
+        /**
+         * Executes one batch claim: per-gate skip/deadline checks and
+         * fault hooks (a faulted gate fails only its own job), one fused
+         * ApplyBatch kernel call for the batchable bootstraps, scalar
+         * evaluation for everything else, then locked bookkeeping that
+         * handles any number of jobs reaching terminal state at once.
+         * Enters unlocked work with `lock` held; returns with it re-held.
+         */
+        template <typename Scratch, typename BatchScratchT>
+        void RunBatch(std::vector<Picked>& batch, Scratch& scratch,
+                      BatchScratchT& batch_scratch,
+                      std::unique_lock<std::mutex>& lock) {
+            lock.unlock();
+            struct GateState {
+                bool skip = false;
+                bool expired = false;
+                bool linear = false;
+                bool executed = false;
+                std::optional<GateExecutionError> caught;
+            };
+            std::vector<GateState> st(batch.size());
+            std::vector<size_t> kernel;
+
+            auto run_scalar = [&](size_t i) {
+                Job& job = *batch[i].job;
+                const uint64_t gate = batch[i].gate;
+                const pasm::DecodedGate g = job.program->GateAt(gate);
+                job.values[gate] = detail::ApplyGate(
+                    *job.eval, g.type, job.values[g.in0],
+                    job.program->ProducesLinearDomain(g.in0),
+                    job.values[g.in1],
+                    job.program->ProducesLinearDomain(g.in1), scratch);
+                st[i].linear = circuit::IsLinearGate(g.type);
+                st[i].executed = true;
+            };
+            auto latch = [&](size_t i) {
+                Job& job = *batch[i].job;
+                try {
+                    RethrowAsGateError(batch[i].gate - job.first_gate,
+                                       batch[i].attempt);
+                } catch (const GateExecutionError& e) {
+                    st[i].caught = e;
+                }
+                job.fail_requested.store(true, std::memory_order_relaxed);
+            };
+
+            for (size_t i = 0; i < batch.size(); ++i) {
+                Job& job = *batch[i].job;
+                GateState& gs = st[i];
+                gs.skip =
+                    job.cancel_requested.load(std::memory_order_relaxed) ||
+                    job.fail_requested.load(std::memory_order_relaxed);
+                if (!gs.skip && Clock::now() >= job.deadline) {
+                    gs.expired = true;
+                    gs.skip = true;
+                }
+                if (gs.skip) continue;
+                const pasm::DecodedGate g =
+                    job.program->GateAt(batch[i].gate);
+                bool batchable = false;
+                if constexpr (detail::kSupportsApplyBatch<Evaluator>)
+                    batchable = Evaluator::Batchable(g.type);
+                try {
+                    if (opts.fault_injector != nullptr)
+                        opts.fault_injector->OnGate(
+                            job.seq, batch[i].attempt,
+                            batch[i].gate - job.first_gate);
+                    if (batchable) {
+                        kernel.push_back(i);
+                    } else {
+                        run_scalar(i);
+                    }
+                } catch (...) {
+                    latch(i);
+                }
+            }
+
+            if constexpr (detail::kSupportsApplyBatch<Evaluator>) {
+                if (!kernel.empty()) {
+                    std::vector<BatchGate<Ciphertext>> items(kernel.size());
+                    for (size_t k = 0; k < kernel.size(); ++k) {
+                        const Picked& p = batch[kernel[k]];
+                        Job& job = *p.job;
+                        const pasm::DecodedGate g =
+                            job.program->GateAt(p.gate);
+                        items[k] = BatchGate<Ciphertext>{
+                            g.type, &job.values[g.in0],
+                            job.program->ProducesLinearDomain(g.in0),
+                            &job.values[g.in1],
+                            job.program->ProducesLinearDomain(g.in1),
+                            &job.values[p.gate]};
+                    }
+                    try {
+                        batch.front().job->eval->ApplyBatch(
+                            items.data(),
+                            static_cast<int32_t>(items.size()),
+                            batch_scratch);
+                        for (size_t i : kernel) st[i].executed = true;
+                    } catch (...) {
+                        // Kernel failure: replay each gate scalar so the
+                        // error is attributed to the gate — and only the
+                        // job — that actually fails.
+                        for (size_t i : kernel) {
+                            try {
+                                run_scalar(i);
+                            } catch (...) {
+                                latch(i);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Dependency propagation happens lock-free (acq_rel transfers
+            // input ownership); newly ready gates are published under the
+            // lock together with all terminal transitions.
+            std::vector<std::pair<Job*, uint64_t>> publish;
+            for (const Picked& p : batch) {
+                Job& job = *p.job;
+                const auto [s, e] = job.deps.SuccessorsOf(p.gate);
+                for (const uint64_t* q = s; q != e; ++q) {
+                    if (job.pending[*q - job.first_gate].fetch_sub(
+                            1, std::memory_order_acq_rel) == 1)
+                        publish.emplace_back(&job, *q);
+                }
+            }
+
+            lock.lock();
+            for (const auto& [job, gate] : publish)
+                job->ready.push_back(gate);
+            if (!publish.empty()) work_cv.notify_all();
+            for (size_t i = 0; i < batch.size(); ++i) {
+                Job& job = *batch[i].job;
+                if (st[i].expired) job.deadline_hit = true;
+                if (st[i].caught) {
+                    ++job.gate_failures;
+                    if (!job.failure)
+                        job.failure = std::move(st[i].caught);
+                } else if (st[i].executed) {
+                    ++job.gates_executed;
+                    if (st[i].linear) ++job.linear_executed;
+                } else {
+                    ++job.gates_skipped;
+                }
+                --job.in_flight;
+                if (--job.remaining == 0) {
+                    if (job.cancel_requested.load(
+                            std::memory_order_relaxed)) {
+                        FinishActiveLocked(job, JobStatus::kCancelled);
+                    } else if (job.deadline_hit) {
+                        FinishActiveLocked(job,
+                                           JobStatus::kDeadlineExceeded);
+                    } else if (job.fail_requested.load(
+                                   std::memory_order_relaxed)) {
+                        const bool transient =
+                            job.failure && job.failure->transient();
+                        if (transient && !shutdown &&
+                            job.attempt + 1 < opts.retry.max_attempts) {
+                            RequeueForRetryLocked(job);
+                        } else {
+                            FinishActiveLocked(job, JobStatus::kFailed);
+                        }
+                    } else {
+                        FinishActiveLocked(job, JobStatus::kDone);
+                    }
+                }
             }
         }
     };
@@ -992,7 +1249,8 @@ class ServingExecutor {
 
     static ServingOptions Validated(const ServingOptions& o) {
         if (o.num_workers < 1 || o.max_active_jobs < 1 ||
-            o.max_pending_jobs < 1 || o.per_job_inflight_cap < 1)
+            o.max_pending_jobs < 1 || o.per_job_inflight_cap < 1 ||
+            o.batch_size < 1)
             throw std::invalid_argument(
                 "ServingOptions: all knobs must be >= 1");
         return o;

@@ -148,6 +148,31 @@ NodeId SimplifyingBuilder::MakeMux(NodeId sel, NodeId t, NodeId f) {
     return MakeGate(GateType::kOr, arm_t, arm_f);
 }
 
+std::vector<NodeId> SimplifyingBuilder::MakeWideGate(
+    GateType t, const std::vector<std::pair<NodeId, NodeId>>& pairs) {
+    std::vector<NodeId> results;
+    results.reserve(pairs.size());
+    // Fresh bootstrapped gates bucketed by their emitted type: absorb_not
+    // can rewrite e.g. AND(NOT a, b) into ANDNY, splitting one logical
+    // wide op across types, and each bucket batches independently.
+    std::unordered_map<GateType, std::vector<NodeId>> fresh;
+    for (const auto& [a, b] : pairs) {
+        const NodeId before = out_.NumNodes();
+        const NodeId id = MakeGate(t, a, b);
+        results.push_back(id);
+        // A folded/deduped result reuses an existing node (id < before)
+        // and stays out of the group; a gate already executed once per
+        // program cannot be re-batched.
+        if (id < before) continue;
+        const GateType emitted = out_.GetNode(id).type;
+        if (NeedsBootstrap(emitted)) fresh[emitted].push_back(id);
+    }
+    for (auto& [type, members] : fresh) {
+        if (members.size() >= 2) out_.AddWideGroup(std::move(members));
+    }
+    return results;
+}
+
 NodeId SimplifyingBuilder::UnaryOf(GateType t, NodeId x, bool fixed_first,
                                    bool cval) {
     const bool r0 =

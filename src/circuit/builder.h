@@ -15,6 +15,8 @@
 
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "circuit/netlist.h"
 
@@ -62,6 +64,18 @@ class SimplifyingBuilder {
     NodeId MakeNot(NodeId a);
     /** sel ? t : f, lowered to the binary gate set (2 bootstrapped gates). */
     NodeId MakeMux(NodeId sel, NodeId t, NodeId f);
+
+    /**
+     * Builds gate type t over every (a, b) operand pair and registers the
+     * freshly emitted gates as kSimd-style wide groups (Netlist::
+     * AddWideGroup), one group per distinct emitted bootstrapped type —
+     * rewrites (constant folding, CSE hits, NOT absorption) may drop
+     * pairs out of the batch or change their type, and only fresh
+     * bootstrapped gates are batchable. Returns the per-pair result ids,
+     * simplified exactly as MakeGate would.
+     */
+    std::vector<NodeId> MakeWideGate(
+        GateType t, const std::vector<std::pair<NodeId, NodeId>>& pairs);
 
     void AddOutput(NodeId id, std::string name = {}) {
         out_.AddOutput(id, std::move(name));

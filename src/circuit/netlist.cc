@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <sstream>
+#include <unordered_set>
 
 namespace pytfhe::circuit {
 
@@ -10,7 +11,11 @@ std::string NetlistStats::ToString() const {
     os << "inputs=" << num_inputs << " outputs=" << num_outputs
        << " gates=" << num_gates << " bootstraps=" << num_bootstrap_gates
        << " linear=" << num_linear_gates << " depth=" << depth
-       << " max_width=" << max_width << "\n";
+       << " max_width=" << max_width;
+    if (num_wide_groups > 0)
+        os << " wide_groups=" << num_wide_groups
+           << " wide_gates=" << num_wide_gates;
+    os << "\n";
     for (int32_t t = 0; t < kNumGateTypes; ++t) {
         if (gate_histogram[t] == 0) continue;
         os << "  " << GateTypeName(static_cast<GateType>(t)) << ": "
@@ -39,6 +44,11 @@ NodeId Netlist::AddGate(GateType type, NodeId a, NodeId b) {
     nodes_.push_back(Node{NodeKind::kGate, type, a, IsUnary(type) ? a : b});
     ++num_gates_;
     return id;
+}
+
+size_t Netlist::AddWideGroup(std::vector<NodeId> members) {
+    wide_groups_.push_back(std::move(members));
+    return wide_groups_.size() - 1;
 }
 
 size_t Netlist::AddOutput(NodeId id, std::string name) {
@@ -96,6 +106,35 @@ std::optional<std::string> Netlist::Validate() const {
         if (id >= nodes_.size())
             return "output references missing node " + std::to_string(id);
     }
+    std::unordered_set<NodeId> grouped;
+    for (size_t gi = 0; gi < wide_groups_.size(); ++gi) {
+        const auto& group = wide_groups_[gi];
+        const std::string where = "wide group " + std::to_string(gi);
+        if (group.size() < 2) return where + " needs at least 2 members";
+        std::unordered_set<NodeId> local(group.begin(), group.end());
+        if (local.size() != group.size())
+            return where + " repeats a member";
+        for (NodeId id : group) {
+            if (id >= nodes_.size() || nodes_[id].kind != NodeKind::kGate)
+                return where + " member " + std::to_string(id) +
+                       " is not a gate";
+            const Node& n = nodes_[id];
+            if (n.type != nodes_[group[0]].type)
+                return where + " mixes gate types";
+            if (!NeedsBootstrap(n.type))
+                return where + " member " + std::to_string(id) +
+                       " is not a bootstrapped gate";
+            if (!grouped.insert(id).second)
+                return "gate " + std::to_string(id) +
+                       " appears in more than one wide group";
+            // Members must be mutually independent to share a batch; the
+            // direct-edge check catches the common construction mistakes
+            // (chained adder carries, reductions) cheaply.
+            if (local.count(n.in0) || local.count(n.in1))
+                return where + " member " + std::to_string(id) +
+                       " consumes another member";
+        }
+    }
     return std::nullopt;
 }
 
@@ -144,6 +183,8 @@ NetlistStats Netlist::ComputeStats() const {
     }
     for (const auto& lvl : ComputeLevels())
         s.max_width = std::max<uint64_t>(s.max_width, lvl.size());
+    s.num_wide_groups = wide_groups_.size();
+    for (const auto& group : wide_groups_) s.num_wide_gates += group.size();
     return s;
 }
 

@@ -53,6 +53,8 @@ struct NetlistStats {
     uint64_t gate_histogram[kNumGateTypes] = {};
     uint64_t depth = 0;       ///< Critical path in bootstrapped gates.
     uint64_t max_width = 0;   ///< Largest level of the BFS schedule.
+    uint64_t num_wide_groups = 0;  ///< Explicitly batchable wide groups.
+    uint64_t num_wide_gates = 0;   ///< Gates covered by wide groups.
 
     std::string ToString() const;
 };
@@ -64,6 +66,9 @@ struct NetlistStats {
  *  - every gate input id is smaller than the gate's own id;
  *  - every referenced id exists;
  *  - outputs reference existing nodes;
+ *  - wide groups name >= 2 distinct bootstrapped gates of one type, no
+ *    gate sits in two groups, and no member directly consumes another
+ *    member (members must be co-schedulable in one batch);
  *  - torus-domain rules for elided gates: a node carries the linear
  *    encoding (+-1/4) iff its type is kLin*; only XOR/XNOR (bootstrapped
  *    or linear), kLinNot, and circuit outputs may consume a linear-domain
@@ -85,6 +90,19 @@ class Netlist {
 
     /** Registers an output. Returns its output index. */
     size_t AddOutput(NodeId id, std::string name = {});
+
+    /**
+     * Registers a kSimd-style wide group: the same bootstrapped gate type
+     * applied to independent operand pairs, batchable through one SoA
+     * bootstrap kernel call (tfhe/bootstrap_batch.h). Groups are
+     * scheduling hints carried through pasm to the backends — correctness
+     * never depends on them, and a gate belongs to at most one group.
+     * Returns the group index.
+     */
+    size_t AddWideGroup(std::vector<NodeId> members);
+    const std::vector<std::vector<NodeId>>& WideGroups() const {
+        return wide_groups_;
+    }
 
     size_t NumNodes() const { return nodes_.size(); }
     const Node& GetNode(NodeId id) const { return nodes_[id]; }
@@ -135,6 +153,7 @@ class Netlist {
     std::vector<std::string> input_names_;
     std::vector<NodeId> outputs_;
     std::vector<std::string> output_names_;
+    std::vector<std::vector<NodeId>> wide_groups_;
     uint64_t num_gates_ = 0;
 };
 

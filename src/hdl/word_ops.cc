@@ -1,6 +1,7 @@
 #include "hdl/word_ops.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace pytfhe::hdl {
 
@@ -47,13 +48,17 @@ Bits SignExtend(Builder& b, const Bits& x, int32_t width) {
 
 namespace {
 
+/**
+ * Elementwise gate over two words through MakeWideGate: the per-bit gates
+ * are mutually independent, so fresh bootstrapped lanes are registered as
+ * an explicitly batchable wide group for the SoA batch dispatchers.
+ */
 Bits Bitwise(Builder& b, GateType t, const Bits& x, const Bits& y) {
     assert(x.Width() == y.Width());
-    Bits out;
-    out.bits.reserve(x.Width());
-    for (int32_t i = 0; i < x.Width(); ++i)
-        out.bits.push_back(b.MakeGate(t, x[i], y[i]));
-    return out;
+    std::vector<std::pair<Signal, Signal>> pairs;
+    pairs.reserve(x.Width());
+    for (int32_t i = 0; i < x.Width(); ++i) pairs.emplace_back(x[i], y[i]);
+    return Bits(b.MakeWideGate(t, pairs));
 }
 
 }  // namespace
@@ -77,11 +82,10 @@ Bits NotBits(Builder& b, const Bits& x) {
 }
 
 Bits MaskBits(Builder& b, const Bits& x, Signal bit) {
-    Bits out;
-    out.bits.reserve(x.Width());
-    for (int32_t i = 0; i < x.Width(); ++i)
-        out.bits.push_back(b.MakeGate(GateType::kAnd, x[i], bit));
-    return out;
+    std::vector<std::pair<Signal, Signal>> pairs;
+    pairs.reserve(x.Width());
+    for (int32_t i = 0; i < x.Width(); ++i) pairs.emplace_back(x[i], bit);
+    return Bits(b.MakeWideGate(GateType::kAnd, pairs));
 }
 
 Bits MuxBits(Builder& b, Signal sel, const Bits& t, const Bits& f) {

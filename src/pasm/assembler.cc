@@ -28,8 +28,10 @@ std::optional<Program> Assemble(const Netlist& netlist, std::string* error) {
     const uint64_t extra_gates =
         (needs_const0 ? 1 : 0) + (needs_const1 ? 1 : 0);
 
-    // Programs without linear gates keep the legacy (version 0) header,
-    // staying byte-identical to binaries from before format versioning.
+    // Programs without linear gates or wide groups keep the legacy
+    // (version 0) header, staying byte-identical to binaries from before
+    // format versioning; wide groups force version 2 (which also covers
+    // linear opcodes).
     bool has_linear = false;
     for (NodeId id = 2; id < netlist.NumNodes(); ++id) {
         const Node& n = netlist.GetNode(id);
@@ -38,12 +40,15 @@ std::optional<Program> Assemble(const Netlist& netlist, std::string* error) {
             break;
         }
     }
+    const bool has_wide = !netlist.WideGroups().empty();
+    const uint64_t version = has_wide ? kFormatVersionWide
+                             : has_linear ? kFormatVersionLinear
+                                          : kFormatVersionLegacy;
 
     std::vector<Instruction> ins;
     ins.reserve(2 + netlist.NumNodes() + netlist.Outputs().size());
-    ins.push_back(Instruction::MakeHeader(
-        netlist.NumGates() + extra_gates,
-        has_linear ? kFormatVersionLinear : kFormatVersionLegacy));
+    ins.push_back(
+        Instruction::MakeHeader(netlist.NumGates() + extra_gates, version));
 
     // Map netlist node ids to binary indices: inputs first, then gates in
     // creation (topological) order.
@@ -87,6 +92,17 @@ std::optional<Program> Assemble(const Netlist& netlist, std::string* error) {
             ins.push_back(Instruction::MakeOutput(index[id]));
         }
     }
+    // Wide-group trailer: one leader plus ceil(n/2) member-pair records
+    // per group, members remapped to instruction indices.
+    for (const auto& group : netlist.WideGroups()) {
+        ins.push_back(Instruction::MakeWideLeader(group.size()));
+        for (size_t i = 0; i < group.size(); i += 2) {
+            const uint64_t m0 = index[group[i]];
+            const uint64_t m1 =
+                i + 1 < group.size() ? index[group[i + 1]] : kIndexAllOnes;
+            ins.push_back(Instruction::MakeWideMembers(m0, m1));
+        }
+    }
     return Program::FromInstructions(std::move(ins), error);
 }
 
@@ -109,8 +125,15 @@ Netlist ToNetlist(const Program& program) {
                 out.AddOutput(node[ins[pos].Input1()]);
                 break;
             case InstructionKind::kHeader:
-                break;
+            case InstructionKind::kWide:
+                break;  // Wide records are reconstructed from WideOps().
         }
+    }
+    for (const auto& w : program.WideOps()) {
+        std::vector<NodeId> members;
+        members.reserve(w.members.size());
+        for (uint64_t idx : w.members) members.push_back(node[idx]);
+        out.AddWideGroup(std::move(members));
     }
     return out;
 }

@@ -28,8 +28,18 @@ Instruction Instruction::MakeOutput(uint64_t producer_index) {
     return Pack(kIndexAllOnes, producer_index, kOutputType);
 }
 
+Instruction Instruction::MakeWideLeader(uint64_t member_count) {
+    return Pack(kIndexAllOnes, member_count, kWideType);
+}
+
+Instruction Instruction::MakeWideMembers(uint64_t m0, uint64_t m1) {
+    return Pack(m0, m1, kWideType);
+}
+
 InstructionKind Instruction::Kind(uint64_t position) const {
     if (position == 0) return InstructionKind::kHeader;
+    // 0xE is not a gate type, so wide records are position-independent.
+    if (TypeField() == kWideType) return InstructionKind::kWide;
     if (Input0() == kIndexAllOnes) {
         if (TypeField() == kInputType && Input1() == kIndexAllOnes)
             return InstructionKind::kInput;
@@ -55,6 +65,14 @@ std::string Instruction::ToString(uint64_t position) const {
             os << circuit::GateTypeName(
                       static_cast<circuit::GateType>(TypeField()))
                << " " << Input0() << ", " << Input1();
+            break;
+        case InstructionKind::kWide:
+            if (Input0() == kIndexAllOnes) {
+                os << "WIDE group of " << Input1();
+            } else {
+                os << "WIDE members " << Input0();
+                if (Input1() != kIndexAllOnes) os << ", " << Input1();
+            }
             break;
     }
     return os.str();

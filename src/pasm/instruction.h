@@ -43,6 +43,16 @@ constexpr uint64_t kMaxIndex = kIndexAllOnes - 1;
 constexpr uint8_t kHeaderType = 0x0;
 constexpr uint8_t kInputType = 0xF;
 constexpr uint8_t kOutputType = 0x3;
+/**
+ * Wide-trailer records (format version >= 2). 0xE is the one nibble the
+ * 14 gate types and the input marker leave free, so wide records are
+ * unambiguous at any position. A wide group is encoded after the outputs
+ * as one *leader* (INPUT0 all-ones, INPUT1 = member count >= 2) followed
+ * by ceil(count / 2) *member* records, each naming two gate instruction
+ * indices (INPUT0, INPUT1; the final record pads INPUT1 with all-ones
+ * when the count is odd).
+ */
+constexpr uint8_t kWideType = 0xE;
 
 /**
  * Program format versions, carried in the header's INPUT0 field (which
@@ -51,10 +61,18 @@ constexpr uint8_t kOutputType = 0x3;
  */
 constexpr uint64_t kFormatVersionLegacy = 0;  ///< Bootstrapped gates only.
 constexpr uint64_t kFormatVersionLinear = 1;  ///< May contain kLin* gates.
-constexpr uint64_t kMaxFormatVersion = kFormatVersionLinear;
+/** May additionally carry a wide-group trailer after the outputs. */
+constexpr uint64_t kFormatVersionWide = 2;
+constexpr uint64_t kMaxFormatVersion = kFormatVersionWide;
 
 /** What an instruction is. */
-enum class InstructionKind : uint8_t { kHeader, kInput, kGate, kOutput };
+enum class InstructionKind : uint8_t {
+    kHeader,
+    kInput,
+    kGate,
+    kOutput,
+    kWide,  ///< Wide-group trailer record (leader or member pair).
+};
 
 /** One 128-bit instruction. */
 struct Instruction {
@@ -81,6 +99,11 @@ struct Instruction {
     static Instruction MakeGate(circuit::GateType type, uint64_t in0,
                                 uint64_t in1);
     static Instruction MakeOutput(uint64_t producer_index);
+    /** Wide-group leader: declares a group of `member_count` gates. */
+    static Instruction MakeWideLeader(uint64_t member_count);
+    /** Wide-group member pair; pass kIndexAllOnes for a trailing pad. */
+    static Instruction MakeWideMembers(uint64_t m0,
+                                       uint64_t m1 = kIndexAllOnes);
 
   private:
     static Instruction Pack(uint64_t in0, uint64_t in1, uint8_t type);

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 namespace pytfhe::pasm {
 
@@ -37,8 +38,14 @@ std::optional<Program> Program::FromInstructions(
     }
     const uint64_t declared_gates = ins[0].Input1();
 
-    // Phase order: inputs, then gates, then outputs.
-    enum Phase { kInputs, kGates, kOutputs } phase = kInputs;
+    // Phase order: inputs, then gates, then outputs, then the optional
+    // wide-group trailer (version >= 2).
+    enum Phase { kInputs, kGates, kOutputs, kWideTrailer } phase = kInputs;
+    // Wide-trailer decode state: members still expected for the open
+    // group, and the set of gates already claimed by some group.
+    uint64_t wide_expected = 0;
+    WideOp wide_current;
+    std::unordered_set<uint64_t> wide_used;
     for (uint64_t pos = 1; pos < ins.size(); ++pos) {
         switch (ins[pos].Kind(pos)) {
             case InstructionKind::kHeader:
@@ -54,7 +61,7 @@ std::optional<Program> Program::FromInstructions(
                 ++p.num_inputs_;
                 break;
             case InstructionKind::kGate: {
-                if (phase == kOutputs) {
+                if (phase == kOutputs || phase == kWideTrailer) {
                     Fail(error, "gate instruction after outputs at position " +
                                     std::to_string(pos));
                     return std::nullopt;
@@ -118,6 +125,11 @@ std::optional<Program> Program::FromInstructions(
                 break;
             }
             case InstructionKind::kOutput: {
+                if (phase == kWideTrailer) {
+                    Fail(error, "output after the wide trailer at position " +
+                                    std::to_string(pos));
+                    return std::nullopt;
+                }
                 phase = kOutputs;
                 const uint64_t src = ins[pos].Input1();
                 if (src == 0 || src > p.num_inputs_ + p.num_gates_) {
@@ -128,7 +140,89 @@ std::optional<Program> Program::FromInstructions(
                 p.outputs_.push_back(src);
                 break;
             }
+            case InstructionKind::kWide: {
+                if (p.format_version_ < kFormatVersionWide) {
+                    Fail(error, "wide record at position " +
+                                    std::to_string(pos) +
+                                    " requires format version >= 2");
+                    return std::nullopt;
+                }
+                phase = kWideTrailer;
+                const uint64_t first_gate = 1 + p.num_inputs_;
+                const uint64_t end_gate = first_gate + p.num_gates_;
+                if (wide_expected == 0) {
+                    // Leader: INPUT0 all-ones, INPUT1 the member count.
+                    if (ins[pos].Input0() != kIndexAllOnes) {
+                        Fail(error,
+                             "wide member record without a leader at "
+                             "position " +
+                                 std::to_string(pos));
+                        return std::nullopt;
+                    }
+                    wide_expected = ins[pos].Input1();
+                    if (wide_expected < 2 || wide_expected > p.num_gates_) {
+                        Fail(error, "wide leader at position " +
+                                        std::to_string(pos) +
+                                        " declares an invalid member count");
+                        return std::nullopt;
+                    }
+                    wide_current.members.clear();
+                    wide_current.members.reserve(wide_expected);
+                    break;
+                }
+                // Member pair record; the second slot of the group's final
+                // record pads with all-ones when the count is odd.
+                for (const uint64_t m : {ins[pos].Input0(),
+                                         ins[pos].Input1()}) {
+                    if (wide_expected == 0) {
+                        if (m != kIndexAllOnes) {
+                            Fail(error, "wide record at position " +
+                                            std::to_string(pos) +
+                                            " carries an extra member");
+                            return std::nullopt;
+                        }
+                        continue;
+                    }
+                    if (m < first_gate || m >= end_gate) {
+                        Fail(error, "wide member at position " +
+                                        std::to_string(pos) +
+                                        " is not a gate index");
+                        return std::nullopt;
+                    }
+                    const auto type =
+                        static_cast<circuit::GateType>(ins[m].TypeField());
+                    if (!circuit::NeedsBootstrap(type)) {
+                        Fail(error, "wide member " + std::to_string(m) +
+                                        " is not a bootstrapped gate");
+                        return std::nullopt;
+                    }
+                    if (!wide_current.members.empty() &&
+                        ins[m].TypeField() !=
+                            ins[wide_current.members[0]].TypeField()) {
+                        Fail(error, "wide group ending at position " +
+                                        std::to_string(pos) +
+                                        " mixes gate types");
+                        return std::nullopt;
+                    }
+                    if (!wide_used.insert(m).second) {
+                        Fail(error, "gate " + std::to_string(m) +
+                                        " appears in more than one wide "
+                                        "group");
+                        return std::nullopt;
+                    }
+                    wide_current.members.push_back(m);
+                    --wide_expected;
+                }
+                if (wide_expected == 0)
+                    p.wide_ops_.push_back(std::move(wide_current));
+                break;
+            }
         }
+    }
+    if (wide_expected != 0) {
+        Fail(error, "truncated wide group: " + std::to_string(wide_expected) +
+                        " members missing");
+        return std::nullopt;
     }
     if (p.num_gates_ != declared_gates) {
         Fail(error, "header declares " + std::to_string(declared_gates) +

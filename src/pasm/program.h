@@ -28,6 +28,18 @@ struct DecodedGate {
 };
 
 /**
+ * One decoded wide group from the trailer (format version >= 2): >= 2
+ * distinct gate instruction indices, all the same bootstrapped gate type,
+ * declared by the frontend as batchable through one SoA bootstrap kernel
+ * call. Membership is an explicit list, not a range — CSE and rewrites
+ * break index contiguity long before assembly. Groups are scheduling
+ * hints: every backend produces identical results with or without them.
+ */
+struct WideOp {
+    std::vector<uint64_t> members;
+};
+
+/**
  * Dataflow view of a program's gate instructions: per-gate predecessor
  * counts plus CSR fan-out (successor) lists. This is what the
  * dependency-counting executor schedules on — a gate becomes ready when its
@@ -97,6 +109,8 @@ class Program {
     uint64_t NumGates() const { return num_gates_; }
     /** Producing index for each declared output, in order. */
     const std::vector<uint64_t>& OutputIndices() const { return outputs_; }
+    /** Decoded wide groups, in trailer order (empty before version 2). */
+    const std::vector<WideOp>& WideOps() const { return wide_ops_; }
 
     /** Index of the first gate instruction. */
     uint64_t FirstGateIndex() const { return 1 + num_inputs_; }
@@ -104,7 +118,9 @@ class Program {
     /**
      * Format version from the header: kFormatVersionLegacy for
      * all-bootstrapped programs (byte-identical to pre-versioning
-     * binaries), kFormatVersionLinear when linear opcodes may appear.
+     * binaries), kFormatVersionLinear when linear opcodes may appear,
+     * kFormatVersionWide when a wide-group trailer may follow the
+     * outputs.
      */
     uint64_t FormatVersion() const { return format_version_; }
 
@@ -157,6 +173,7 @@ class Program {
     uint64_t num_gates_ = 0;
     uint64_t format_version_ = kFormatVersionLegacy;
     std::vector<uint64_t> outputs_;
+    std::vector<WideOp> wide_ops_;
 };
 
 }  // namespace pytfhe::pasm

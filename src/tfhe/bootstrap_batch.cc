@@ -1,0 +1,102 @@
+#include "tfhe/bootstrap_batch.h"
+
+#include <cassert>
+
+namespace pytfhe::tfhe {
+
+namespace {
+
+void EnsureShape(TLweSample& s, int32_t n, int32_t k) {
+    if (s.BigN() != n || s.K() != k) s = TLweSample(n, k);
+}
+
+void EnsureSize(TorusPolynomial& p, int32_t n) {
+    if (p.Size() != n) p = TorusPolynomial(n);
+}
+
+void EnsureLanes(BatchScratch& s, int32_t b, const Params& p) {
+    if (static_cast<int32_t>(s.acc.size()) < b) s.acc.resize(b);
+    if (static_cast<int32_t>(s.rotated.size()) < b) s.rotated.resize(b);
+    if (static_cast<int32_t>(s.product.size()) < b) s.product.resize(b);
+    if (static_cast<int32_t>(s.bara.size()) < b) s.bara.resize(b);
+    for (int32_t l = 0; l < b; ++l) {
+        EnsureShape(s.acc[l], p.big_n, p.k);
+        s.bara[l].resize(p.n);
+    }
+}
+
+}  // namespace
+
+void BatchedBlindRotate(std::vector<TLweSample>& accs,
+                        const std::vector<std::vector<int32_t>>& bara,
+                        int32_t b, const BootstrappingKey& key,
+                        BatchScratch& s) {
+    const Params& p = key.params();
+    assert(static_cast<int32_t>(accs.size()) >= b);
+    assert(static_cast<int32_t>(bara.size()) >= b);
+    if (static_cast<int32_t>(s.rotated.size()) < b) s.rotated.resize(b);
+    if (static_cast<int32_t>(s.product.size()) < b) s.product.resize(b);
+    for (int32_t l = 0; l < b; ++l) {
+        assert(static_cast<int32_t>(bara[l].size()) == p.n);
+        EnsureShape(s.rotated[l], p.big_n, p.k);
+        EnsureShape(s.product[l], p.big_n, p.k);
+    }
+    for (int32_t i = 0; i < p.n; ++i) {
+        // When every lane's coefficient is zero the whole CMUX is skipped,
+        // exactly like the scalar per-lane `continue`. A zero lane inside a
+        // mixed column rides through with an exactly-zero rotation
+        // difference, whose product is exactly zero (see file comment in
+        // bootstrap_batch.h), so adding it is also identical to skipping.
+        bool any = false;
+        for (int32_t l = 0; l < b; ++l) any = any || bara[l][i] != 0;
+        if (!any) continue;
+        for (int32_t l = 0; l < b; ++l) {
+            // acc <- CMUX(bk_i, X^a * acc, acc)
+            //      = acc + bk_i x (X^a - 1) * acc.
+            TLweMulByXai(s.rotated[l], bara[l][i], accs[l]);
+            s.rotated[l].SubTo(accs[l]);
+        }
+        TGswExternalProductBatch(s.product, key.bk()[i], s.rotated, b,
+                                 key.fft(), s.ep);
+        for (int32_t l = 0; l < b; ++l) accs[l].AddTo(s.product[l]);
+    }
+}
+
+void BatchedBootstrapWithoutKeySwitch(Torus32 mu, const LweSample* const* in,
+                                      LweSample* const* out, int32_t b,
+                                      const BootstrappingKey& key,
+                                      BatchScratch* scratch) {
+    BatchScratch local;
+    BatchScratch& s = scratch != nullptr ? *scratch : local;
+    const Params& p = key.params();
+    const int32_t two_n = 2 * p.big_n;
+    EnsureLanes(s, b, p);
+
+    EnsureSize(s.testvect, p.big_n);
+    for (auto& c : s.testvect.coefs) c = mu;
+    EnsureSize(s.shifted, p.big_n);
+
+    for (int32_t l = 0; l < b; ++l) {
+        const LweSample& sample = *in[l];
+        assert(sample.N() == p.n);
+        const int32_t barb = ModSwitchFromTorus32(sample.b, two_n);
+        for (int32_t i = 0; i < p.n; ++i)
+            s.bara[l][i] = ModSwitchFromTorus32(sample.a[i], two_n);
+        MulByXai(s.shifted, two_n - barb, s.testvect);
+        s.acc[l].SetTrivial(s.shifted);
+    }
+
+    BatchedBlindRotate(s.acc, s.bara, b, key, s);
+    for (int32_t l = 0; l < b; ++l) *out[l] = TLweExtractSample(s.acc[l], 0);
+}
+
+void BatchedGateBootstrap(Torus32 mu, const LweSample* const* in,
+                          LweSample* const* out, int32_t b,
+                          const BootstrappingKey& key, BatchScratch* scratch) {
+    BatchScratch local;
+    BatchScratch& s = scratch != nullptr ? *scratch : local;
+    BatchedBootstrapWithoutKeySwitch(mu, in, out, b, key, &s);
+    for (int32_t l = 0; l < b; ++l) *out[l] = key.ksk().Apply(*out[l]);
+}
+
+}  // namespace pytfhe::tfhe

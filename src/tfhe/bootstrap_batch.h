@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Batched gate bootstrapping: B independent LWE samples through one
+ * structure-of-arrays blind rotation.
+ *
+ * The batch pipeline is hybrid AoS/SoA. Integer-domain state (the TLWE
+ * accumulators, rotations, mod switches) stays per-lane and exact; only the
+ * floating-point pipeline of each CMUX is batched — gadget digits of all
+ * lanes are decomposed into the interleaved BatchFreqPolynomial layout,
+ * forward-transformed with one shared twiddle pass per FFT stage, and
+ * multiplied against each bootstrapping-key row loaded once for the whole
+ * batch (the MATCHA-style key-traffic amortization: the FFT-domain key is
+ * tens of megabytes and otherwise streams once per gate).
+ *
+ * Every batched entry point is bit-exact per lane against its scalar
+ * counterpart in bootstrap.h: the kernels perform the identical IEEE
+ * operation sequence per lane (see fft_batch_kernels.h), integer paths are
+ * exact by construction, and a lane whose mod-switched coefficient is zero
+ * contributes an exactly-zero CMUX (zero digits transform to signed zeros
+ * that round back to torus zero), matching the scalar skip.
+ */
+#ifndef PYTFHE_TFHE_BOOTSTRAP_BATCH_H
+#define PYTFHE_TFHE_BOOTSTRAP_BATCH_H
+
+#include "tfhe/bootstrap.h"
+
+namespace pytfhe::tfhe {
+
+/**
+ * All working buffers of one batched bootstrap, sized once per worker.
+ * Buffers keep their capacity across calls with a fixed (parameter set,
+ * batch size); a ragged final batch of a different size reallocates the
+ * frequency planes once.
+ */
+struct BatchScratch {
+    BatchExternalProductScratch ep;
+    std::vector<TLweSample> acc, rotated, product;  ///< One per lane.
+    std::vector<std::vector<int32_t>> bara;         ///< One per lane.
+    TorusPolynomial testvect;        ///< Shared: all gates bootstrap to ±mu.
+    TorusPolynomial shifted;         ///< Per-lane rotation staging buffer.
+    std::vector<LweSample> combo;    ///< Linear preludes (evaluator path).
+    std::vector<LweSample> rotated_lwe;  ///< Extracted pre-key-switch bits.
+};
+
+/**
+ * In-place batched blind rotation of accs[0..b): lane l is multiplied by
+ * X^{-sum_i bara[l][i] * s_i}, sharing each frequency-domain key row across
+ * all lanes. Bit-exact per lane vs BlindRotate.
+ */
+void BatchedBlindRotate(std::vector<TLweSample>& accs,
+                        const std::vector<std::vector<int32_t>>& bara,
+                        int32_t b, const BootstrappingKey& key,
+                        BatchScratch& scratch);
+
+/**
+ * Batched BootstrapWithoutKeySwitch: *out[l] encrypts ±mu under the
+ * extracted key according to the phase sign of *in[l]. Pointer arrays let
+ * callers gather scattered samples (executor value slots) without copies.
+ */
+void BatchedBootstrapWithoutKeySwitch(Torus32 mu, const LweSample* const* in,
+                                      LweSample* const* out, int32_t b,
+                                      const BootstrappingKey& key,
+                                      BatchScratch* scratch = nullptr);
+
+/**
+ * Full batched gate bootstrap: blind rotate, extract, and key switch each
+ * lane back to dimension n. Bit-exact per lane vs Bootstrap.
+ */
+void BatchedGateBootstrap(Torus32 mu, const LweSample* const* in,
+                          LweSample* const* out, int32_t b,
+                          const BootstrappingKey& key,
+                          BatchScratch* scratch = nullptr);
+
+}  // namespace pytfhe::tfhe
+
+#endif  // PYTFHE_TFHE_BOOTSTRAP_BATCH_H

@@ -92,6 +92,63 @@ struct FftScratch {
 };
 
 /**
+ * Frequency-domain image of B independent negacyclic polynomials in a
+ * structure-of-arrays batch layout: slot j of lane l lives at index
+ * j * Lanes() + l of each plane, so the B lane values of one slot are
+ * contiguous (a four-lane group is one AVX2 vector) and the twist/twiddle
+ * factor of slot j is broadcast across the whole group. Both planes share
+ * one 32-byte-aligned allocation, like FreqPolynomial.
+ *
+ * Every batched kernel applies the exact same sequence of IEEE operations
+ * to each lane as the scalar FreqPolynomial path applies to one polynomial,
+ * so batched results are bit-identical to B scalar runs.
+ */
+class BatchFreqPolynomial {
+  public:
+    BatchFreqPolynomial() = default;
+    BatchFreqPolynomial(int32_t half, int32_t lanes) { Resize(half, lanes); }
+    BatchFreqPolynomial(const BatchFreqPolynomial&) = delete;
+    BatchFreqPolynomial& operator=(const BatchFreqPolynomial&) = delete;
+    BatchFreqPolynomial(BatchFreqPolynomial&& other) noexcept {
+        *this = std::move(other);
+    }
+    BatchFreqPolynomial& operator=(BatchFreqPolynomial&& other) noexcept;
+    ~BatchFreqPolynomial() { Free(); }
+
+    int32_t HalfSize() const { return half_; }
+    int32_t Lanes() const { return lanes_; }
+
+    double* Re() { return data_; }
+    const double* Re() const { return data_; }
+    double* Im() { return data_ + stride_; }
+    const double* Im() const { return data_ + stride_; }
+
+    /**
+     * Reshapes to `half` complex slots of `lanes` lanes. No-op (contents
+     * preserved) when the shape matches; reallocates and zero-fills
+     * otherwise.
+     */
+    void Resize(int32_t half, int32_t lanes);
+    void Clear();
+
+    /**
+     * this += a * b pointwise, with the single polynomial `b` broadcast
+     * across every lane of `a` — the batched external product streams each
+     * bootstrapping-key row once for the whole batch.
+     */
+    void AddMulBroadcast(const BatchFreqPolynomial& a,
+                         const FreqPolynomial& b);
+
+  private:
+    void Free();
+
+    double* data_ = nullptr;
+    int32_t half_ = 0;
+    int32_t lanes_ = 0;
+    size_t stride_ = 0;  ///< half * lanes rounded up for Im() alignment.
+};
+
+/**
  * Plan holding twist and twiddle tables for a fixed ring degree N
  * (a power of two). One plan per parameter set; plans are reusable and
  * const-thread-safe after construction. All transforms run over h = N/2
@@ -138,6 +195,22 @@ class NegacyclicFft {
     /** Convenience overload; allocates a scratch per call (cold paths). */
     void Multiply(TorusPolynomial& result, const IntPolynomial& a,
                   const TorusPolynomial& b) const;
+
+    /**
+     * Batched ForwardPacked: every lane of `f` is packed like ForwardPacked
+     * (Re()[slot] = p[slot], Im()[slot] = p[slot + N/2]); twist and FFT run
+     * in place with one shared twiddle load per FFT stage slot, broadcast
+     * across the lanes. Bit-exact per lane vs ForwardPacked.
+     */
+    void ForwardPackedBatch(BatchFreqPolynomial& f) const;
+
+    /**
+     * Batched inverse transform with torus rounding: lane l of `f` is
+     * rounded into *outs[l] (outs holds f.Lanes() pointers). Destroys `f`.
+     * Bit-exact per lane vs InverseInPlace.
+     */
+    void InverseInPlaceBatch(TorusPolynomial* const* outs,
+                             BatchFreqPolynomial& f) const;
 
   private:
     void FftInPlace(double* re, double* im, bool inverse) const;

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Batched (structure-of-arrays) negacyclic FFT: BatchFreqPolynomial and the
+ * NegacyclicFft batch entry points. Portable lane loops live here; the
+ * AVX2/NEON variants live in fft_batch_simd.cc and are selected at runtime
+ * via batch_detail::SimdAvailable().
+ */
+#include <cassert>
+#include <cstring>
+#include <new>
+
+#include "tfhe/fft.h"
+#include "tfhe/fft_batch_kernels.h"
+
+namespace pytfhe::tfhe {
+
+namespace {
+
+constexpr size_t kAlign = 32;
+
+/** Rounds a plane length up so the second plane stays 32-byte aligned. */
+size_t AlignedPlane(int32_t half, int32_t lanes) {
+    return (static_cast<size_t>(half) * lanes + 3) & ~static_cast<size_t>(3);
+}
+
+bool UseSimd() {
+    static const bool use = batch_detail::SimdAvailable();
+    return use;
+}
+
+/**
+ * True when this (half, lanes) shape should run the AVX-512 kernels: 8
+ * same-slot lanes per vector, or the two-slots-x-4-lanes pairing (which
+ * needs an even slot count). The hb == 1 butterfly stage of the lanes == 4
+ * shape is excluded at the call site.
+ */
+bool UseSimd512(int32_t half, int32_t lanes) {
+    static const bool use = batch_detail::Simd512Available();
+    return use && (lanes % 8 == 0 || (lanes == 4 && half % 2 == 0));
+}
+
+void TwistForwardPortable(double* __restrict re, double* __restrict im,
+                          const double* __restrict tr,
+                          const double* __restrict ti, int32_t half,
+                          int32_t lanes) {
+    if (lanes == 1) {
+        // Contiguous single-lane layout: the same loop shape as the scalar
+        // twist in fft.cc, so -O3 autovectorizes it identically and a
+        // batch of one costs what a scalar transform costs.
+        for (int32_t j = 0; j < half; ++j) {
+            const double lo = re[j];
+            const double hi = im[j];
+            re[j] = lo * tr[j] + hi * ti[j];
+            im[j] = lo * ti[j] - hi * tr[j];
+        }
+        return;
+    }
+    for (int32_t j = 0; j < half; ++j) {
+        const double cr = tr[j];
+        const double ci = ti[j];
+        double* __restrict re_j = re + static_cast<size_t>(j) * lanes;
+        double* __restrict im_j = im + static_cast<size_t>(j) * lanes;
+        for (int32_t l = 0; l < lanes; ++l) {
+            const double lo = re_j[l];
+            const double hi = im_j[l];
+            re_j[l] = lo * cr + hi * ci;
+            im_j[l] = lo * ci - hi * cr;
+        }
+    }
+}
+
+void ButterflyStagePortable(double* __restrict re, double* __restrict im,
+                            const double* __restrict wre,
+                            const double* __restrict wim, double sign,
+                            int32_t half, int32_t hb, int32_t lanes) {
+    const int32_t len = hb * 2;
+    if (lanes == 1) {
+        // Same loop shape as FftInPlace in fft.cc for identical codegen.
+        for (int32_t base = 0; base < half; base += len) {
+            for (int32_t k = 0; k < hb; ++k) {
+                const double cr = wre[k];
+                const double ci = sign * wim[k];
+                const int32_t i0 = base + k;
+                const int32_t i1 = base + k + hb;
+                const double tre = re[i1] * cr - im[i1] * ci;
+                const double tim = re[i1] * ci + im[i1] * cr;
+                re[i1] = re[i0] - tre;
+                im[i1] = im[i0] - tim;
+                re[i0] += tre;
+                im[i0] += tim;
+            }
+        }
+        return;
+    }
+    for (int32_t base = 0; base < half; base += len) {
+        for (int32_t k = 0; k < hb; ++k) {
+            const double cr = wre[k];
+            const double ci = sign * wim[k];
+            const size_t i0 = static_cast<size_t>(base + k) * lanes;
+            const size_t i1 = static_cast<size_t>(base + k + hb) * lanes;
+            double* __restrict re0 = re + i0;
+            double* __restrict im0 = im + i0;
+            double* __restrict re1 = re + i1;
+            double* __restrict im1 = im + i1;
+            for (int32_t l = 0; l < lanes; ++l) {
+                const double tre = re1[l] * cr - im1[l] * ci;
+                const double tim = re1[l] * ci + im1[l] * cr;
+                re1[l] = re0[l] - tre;
+                im1[l] = im0[l] - tim;
+                re0[l] += tre;
+                im0[l] += tim;
+            }
+        }
+    }
+}
+
+void AddMulBroadcastPortable(double* __restrict rre, double* __restrict rim,
+                             const double* __restrict are,
+                             const double* __restrict aim,
+                             const double* __restrict bre,
+                             const double* __restrict bim, int32_t half,
+                             int32_t lanes) {
+    if (lanes == 1) {
+        for (int32_t j = 0; j < half; ++j) {
+            rre[j] += are[j] * bre[j] - aim[j] * bim[j];
+            rim[j] += are[j] * bim[j] + aim[j] * bre[j];
+        }
+        return;
+    }
+    for (int32_t j = 0; j < half; ++j) {
+        const double br = bre[j];
+        const double bi = bim[j];
+        const size_t off = static_cast<size_t>(j) * lanes;
+        const double* __restrict a_re = are + off;
+        const double* __restrict a_im = aim + off;
+        double* __restrict r_re = rre + off;
+        double* __restrict r_im = rim + off;
+        for (int32_t l = 0; l < lanes; ++l) {
+            r_re[l] += a_re[l] * br - a_im[l] * bi;
+            r_im[l] += a_re[l] * bi + a_im[l] * br;
+        }
+    }
+}
+
+/**
+ * Same magic-constant round-to-nearest as the scalar inverse path (see
+ * fft.cc); duplicated here so the batched extraction rounds identically.
+ */
+inline Torus32 RoundTorus32(double x) {
+    assert(x < 2251799813685248.0 && x > -2251799813685248.0);  // |x| < 2^51
+    constexpr double kRoundMagic = 6755399441055744.0;          // 1.5 * 2^52
+    const double biased = x + kRoundMagic;
+    uint64_t bits;
+    std::memcpy(&bits, &biased, sizeof(bits));
+    return static_cast<Torus32>(bits);
+}
+
+}  // namespace
+
+// ------------------------------------------------------- BatchFreqPolynomial
+
+BatchFreqPolynomial& BatchFreqPolynomial::operator=(
+    BatchFreqPolynomial&& other) noexcept {
+    if (this == &other) return *this;
+    Free();
+    data_ = other.data_;
+    half_ = other.half_;
+    lanes_ = other.lanes_;
+    stride_ = other.stride_;
+    other.data_ = nullptr;
+    other.half_ = 0;
+    other.lanes_ = 0;
+    other.stride_ = 0;
+    return *this;
+}
+
+void BatchFreqPolynomial::Resize(int32_t half, int32_t lanes) {
+    assert(half >= 0 && lanes >= 0);
+    if (half == half_ && lanes == lanes_) return;
+    Free();
+    half_ = half;
+    lanes_ = lanes;
+    stride_ = AlignedPlane(half, lanes);
+    if (half == 0 || lanes == 0) return;
+    const size_t bytes = 2 * stride_ * sizeof(double);
+    data_ = static_cast<double*>(
+        ::operator new(bytes, std::align_val_t{kAlign}));
+    std::memset(data_, 0, bytes);
+}
+
+void BatchFreqPolynomial::Clear() {
+    if (data_ != nullptr)
+        std::memset(data_, 0, 2 * stride_ * sizeof(double));
+}
+
+void BatchFreqPolynomial::Free() {
+    if (data_ != nullptr)
+        ::operator delete(data_, std::align_val_t{kAlign});
+    data_ = nullptr;
+    half_ = 0;
+    lanes_ = 0;
+    stride_ = 0;
+}
+
+void BatchFreqPolynomial::AddMulBroadcast(const BatchFreqPolynomial& a,
+                                          const FreqPolynomial& b) {
+    assert(a.HalfSize() == half_ && a.Lanes() == lanes_);
+    assert(b.HalfSize() == half_);
+    if (lanes_ > 1 && UseSimd512(half_, lanes_)) {
+        batch_detail::Simd512AddMulBroadcast(Re(), Im(), a.Re(), a.Im(),
+                                             b.Re(), b.Im(), half_, lanes_);
+    } else if (lanes_ > 1 && UseSimd()) {
+        batch_detail::SimdAddMulBroadcast(Re(), Im(), a.Re(), a.Im(), b.Re(),
+                                          b.Im(), half_, lanes_);
+    } else {
+        AddMulBroadcastPortable(Re(), Im(), a.Re(), a.Im(), b.Re(), b.Im(),
+                                half_, lanes_);
+    }
+}
+
+// ----------------------------------------------- NegacyclicFft batch entries
+
+namespace {
+
+/**
+ * Largest block of slots (a power of two) whose re+im planes stay within
+ * ~16KB, for depth-first stage tiling: after bit reversal, every butterfly
+ * stage with span <= block operates entirely inside contiguous blocks, so
+ * those stages can run back to back on one block while it is hot in L1
+ * instead of making one full pass over the batch per stage. Butterflies
+ * within a stage touch disjoint slots, so this reordering performs the
+ * identical per-lane operation sequence — bit-exactness is unaffected.
+ */
+int32_t StageBlockSlots(int32_t half, int32_t lanes) {
+    constexpr size_t kBlockBytes = 16 * 1024;
+    int32_t block = 2;
+    while (block < half &&
+           static_cast<size_t>(block) * 2 * lanes * 2 * sizeof(double) <=
+               kBlockBytes)
+        block *= 2;
+    return block;
+}
+
+/**
+ * Bit-reversal permutation over slot groups: pure lane-group swaps, no
+ * floating-point arithmetic, so it stays in the portable TU.
+ */
+void BitrevGroups(double* re, double* im, const std::vector<int32_t>& bitrev,
+                  int32_t half, int32_t lanes) {
+    for (int32_t i = 0; i < half; ++i) {
+        const int32_t j = bitrev[i];
+        if (i >= j) continue;
+        double* gi = re + static_cast<size_t>(i) * lanes;
+        double* gj = re + static_cast<size_t>(j) * lanes;
+        for (int32_t l = 0; l < lanes; ++l) std::swap(gi[l], gj[l]);
+        gi = im + static_cast<size_t>(i) * lanes;
+        gj = im + static_cast<size_t>(j) * lanes;
+        for (int32_t l = 0; l < lanes; ++l) std::swap(gi[l], gj[l]);
+    }
+}
+
+}  // namespace
+
+void NegacyclicFft::ForwardPackedBatch(BatchFreqPolynomial& f) const {
+    assert(f.HalfSize() == half_);
+    const int32_t b = f.Lanes();
+    double* re = f.Re();
+    double* im = f.Im();
+    const bool simd = b > 1 && UseSimd();
+    const bool simd512 = b > 1 && UseSimd512(half_, b);
+    if (simd512) {
+        batch_detail::Simd512TwistForward(re, im, twist_re_.data(),
+                                          twist_im_.data(), half_, b);
+    } else if (simd) {
+        batch_detail::SimdTwistForward(re, im, twist_re_.data(),
+                                       twist_im_.data(), half_, b);
+    } else {
+        TwistForwardPortable(re, im, twist_re_.data(), twist_im_.data(),
+                             half_, b);
+    }
+    BitrevGroups(re, im, bitrev_, half_, b);
+    const auto stage = [&](double* sre, double* sim, int32_t span,
+                           int32_t hb) {
+        // The lanes == 4 AVX-512 shape pairs butterflies k and k+1, which
+        // the hb == 1 stage does not have; that stage runs AVX2.
+        if (simd512 && !(b == 4 && hb == 1)) {
+            batch_detail::Simd512ButterflyStage(sre, sim, &tw_re_[hb - 1],
+                                                &tw_im_[hb - 1], 1.0, span,
+                                                hb, b);
+        } else if (simd || simd512) {
+            batch_detail::SimdButterflyStage(sre, sim, &tw_re_[hb - 1],
+                                             &tw_im_[hb - 1], 1.0, span, hb,
+                                             b);
+        } else {
+            ButterflyStagePortable(sre, sim, &tw_re_[hb - 1], &tw_im_[hb - 1],
+                                   1.0, span, hb, b);
+        }
+    };
+    // Depth-first over cache-sized blocks for the early stages, then the
+    // remaining cross-block stages as full passes.
+    const int32_t block = StageBlockSlots(half_, b);
+    for (int32_t base = 0; base < half_; base += block) {
+        double* bre = re + static_cast<size_t>(base) * b;
+        double* bim = im + static_cast<size_t>(base) * b;
+        for (int32_t hb = 1; hb < block; hb *= 2) stage(bre, bim, block, hb);
+    }
+    for (int32_t hb = block; hb < half_; hb *= 2) stage(re, im, half_, hb);
+}
+
+void NegacyclicFft::InverseInPlaceBatch(TorusPolynomial* const* outs,
+                                        BatchFreqPolynomial& f) const {
+    assert(f.HalfSize() == half_);
+    const int32_t b = f.Lanes();
+    double* re = f.Re();
+    double* im = f.Im();
+    const bool simd = b > 1 && UseSimd();
+    const bool simd512 = b > 1 && UseSimd512(half_, b);
+    BitrevGroups(re, im, bitrev_, half_, b);
+    const auto stage = [&](double* sre, double* sim, int32_t span,
+                           int32_t hb) {
+        if (simd512 && !(b == 4 && hb == 1)) {
+            batch_detail::Simd512ButterflyStage(sre, sim, &tw_re_[hb - 1],
+                                                &tw_im_[hb - 1], -1.0, span,
+                                                hb, b);
+        } else if (simd || simd512) {
+            batch_detail::SimdButterflyStage(sre, sim, &tw_re_[hb - 1],
+                                             &tw_im_[hb - 1], -1.0, span, hb,
+                                             b);
+        } else {
+            ButterflyStagePortable(sre, sim, &tw_re_[hb - 1], &tw_im_[hb - 1],
+                                   -1.0, span, hb, b);
+        }
+    };
+    const int32_t block = StageBlockSlots(half_, b);
+    for (int32_t base = 0; base < half_; base += block) {
+        double* bre = re + static_cast<size_t>(base) * b;
+        double* bim = im + static_cast<size_t>(base) * b;
+        for (int32_t hb = 1; hb < block; hb *= 2) stage(bre, bim, block, hb);
+    }
+    for (int32_t hb = block; hb < half_; hb *= 2) stage(re, im, half_, hb);
+    // Untwist and round each lane back onto the torus. The per-lane strided
+    // reads defeat SIMD anyway, so this tail stays portable.
+    const double* __restrict ur = untwist_re_.data();
+    const double* __restrict ui = untwist_im_.data();
+    if (b == 1) {
+        // Contiguous single-lane layout, same loop shape as the scalar
+        // inverse tail in fft.cc.
+        assert(outs[0]->Size() == n_);
+        Torus32* __restrict c = outs[0]->coefs.data();
+        for (int32_t j = 0; j < half_; ++j) {
+            const double are = re[j] * ur[j] - im[j] * ui[j];
+            const double aim = re[j] * ui[j] + im[j] * ur[j];
+            c[j] = RoundTorus32(are);
+            c[j + half_] = RoundTorus32(-aim);
+        }
+        return;
+    }
+    for (int32_t j = 0; j < half_; ++j) {
+        const double cr = ur[j];
+        const double ci = ui[j];
+        const size_t off = static_cast<size_t>(j) * b;
+        for (int32_t l = 0; l < b; ++l) {
+            assert(outs[l]->Size() == n_);
+            const double fre = re[off + l];
+            const double fim = im[off + l];
+            const double are = fre * cr - fim * ci;
+            const double aim = fre * ci + fim * cr;
+            Torus32* c = outs[l]->coefs.data();
+            c[j] = RoundTorus32(are);
+            c[j + half_] = RoundTorus32(-aim);
+        }
+    }
+}
+
+}  // namespace pytfhe::tfhe

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Internal lane-parallel kernels behind the batched FFT entry points.
+ *
+ * The three hot loops of the batched transform pipeline — twist, butterfly
+ * stage, and broadcast multiply-accumulate — exist twice: a portable scalar
+ * form compiled with the library's default flags (always present, always
+ * tested), and a SIMD form in fft_batch_simd.cc built with explicit AVX2
+ * (x86-64, per-file -mavx2) or NEON (aarch64) intrinsics. SimdAvailable()
+ * gates dispatch at runtime, so a binary carrying AVX2 code still runs on a
+ * CPU without it.
+ *
+ * Bit-exactness contract: every kernel performs, for each lane, exactly the
+ * scalar expression sequence of the NegacyclicFft hot loops — only
+ * mul/add/sub (no FMA, no reassociation), so vector lanes round identically
+ * to the scalar path on every ISA.
+ *
+ * All pointers address the BatchFreqPolynomial slot-major layout: the value
+ * of slot j, lane l is at [j * lanes + l].
+ */
+#ifndef PYTFHE_TFHE_FFT_BATCH_KERNELS_H
+#define PYTFHE_TFHE_FFT_BATCH_KERNELS_H
+
+#include <cstdint>
+
+namespace pytfhe::tfhe::batch_detail {
+
+/**
+ * True when fft_batch_simd.cc was compiled with vector intrinsics and the
+ * running CPU supports them (cached one-time runtime check on x86-64; NEON
+ * is baseline on aarch64). False in portable-only builds.
+ */
+bool SimdAvailable();
+
+/**
+ * Folding twist of every lane: for each slot j,
+ *   re' = re * tr[j] + im * ti[j],  im' = re * ti[j] - im * tr[j].
+ */
+void SimdTwistForward(double* re, double* im, const double* tr,
+                      const double* ti, int32_t half, int32_t lanes);
+
+/**
+ * One radix-2 FFT stage of half-size hb over `half` slots: the butterfly of
+ * NegacyclicFft::FftInPlace applied lane-parallel, with the stage twiddles
+ * wre/wim (flat tables for this stage) shared across lanes. sign is +1
+ * forward, -1 inverse.
+ */
+void SimdButterflyStage(double* re, double* im, const double* wre,
+                        const double* wim, double sign, int32_t half,
+                        int32_t hb, int32_t lanes);
+
+/**
+ * r += a * b with the single polynomial b (contiguous, one value per slot)
+ * broadcast across the lanes of a.
+ */
+void SimdAddMulBroadcast(double* rre, double* rim, const double* are,
+                         const double* aim, const double* bre,
+                         const double* bim, int32_t half, int32_t lanes);
+
+/**
+ * True when fft_batch_simd512.cc was compiled with AVX-512F and the running
+ * CPU supports it. The 512-bit kernels double the vector width of the AVX2
+ * path: 8 lanes of one slot per vector when lanes % 8 == 0, or two adjacent
+ * slots x 4 lanes with a paired twiddle vector when lanes == 4.
+ */
+bool Simd512Available();
+
+/**
+ * AVX-512 SimdTwistForward. Requires lanes % 8 == 0, or lanes == 4 with
+ * half even.
+ */
+void Simd512TwistForward(double* re, double* im, const double* tr,
+                         const double* ti, int32_t half, int32_t lanes);
+
+/**
+ * AVX-512 SimdButterflyStage. Requires lanes % 8 == 0, or lanes == 4 with
+ * hb >= 2 (the hb == 1 stage pairs adjacent slots inside one vector; the
+ * dispatcher routes it to the AVX2 kernel instead).
+ */
+void Simd512ButterflyStage(double* re, double* im, const double* wre,
+                           const double* wim, double sign, int32_t half,
+                           int32_t hb, int32_t lanes);
+
+/**
+ * AVX-512 SimdAddMulBroadcast. Requires lanes % 8 == 0, or lanes == 4 with
+ * half even.
+ */
+void Simd512AddMulBroadcast(double* rre, double* rim, const double* are,
+                            const double* aim, const double* bre,
+                            const double* bim, int32_t half, int32_t lanes);
+
+}  // namespace pytfhe::tfhe::batch_detail
+
+#endif  // PYTFHE_TFHE_FFT_BATCH_KERNELS_H

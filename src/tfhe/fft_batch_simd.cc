@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Explicit SIMD forms of the batched FFT kernels (see fft_batch_kernels.h).
+ *
+ * This is the only translation unit built with vector flags (-mavx2 on
+ * x86-64; NEON is baseline on aarch64), so the scalar library keeps its
+ * portable baseline codegen. Without either ISA the kernels compile to the
+ * portable loops and SimdAvailable() reports false, so they are never
+ * dispatched to.
+ *
+ * Bit-exactness: only mul/add/sub intrinsics appear — no FMA (AVX2 does not
+ * imply FMA3, this file is not built with -mfma, and the library is built
+ * with -ffp-contract=off), no horizontal ops, no reassociation — so each
+ * vector lane computes exactly the scalar expression of the portable loops.
+ * Remainder lanes (batch size not a multiple of the vector width) run the
+ * same expressions in scalar form inside this TU.
+ */
+#include "tfhe/fft_batch_kernels.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace pytfhe::tfhe::batch_detail {
+
+#if defined(__AVX2__)
+
+bool SimdAvailable() {
+    static const bool ok = __builtin_cpu_supports("avx2");
+    return ok;
+}
+
+void SimdTwistForward(double* re, double* im, const double* tr,
+                      const double* ti, int32_t half, int32_t lanes) {
+    for (int32_t j = 0; j < half; ++j) {
+        const double cr = tr[j];
+        const double ci = ti[j];
+        const __m256d vcr = _mm256_set1_pd(cr);
+        const __m256d vci = _mm256_set1_pd(ci);
+        double* re_j = re + static_cast<size_t>(j) * lanes;
+        double* im_j = im + static_cast<size_t>(j) * lanes;
+        int32_t l = 0;
+        for (; l + 4 <= lanes; l += 4) {
+            const __m256d lo = _mm256_loadu_pd(re_j + l);
+            const __m256d hi = _mm256_loadu_pd(im_j + l);
+            _mm256_storeu_pd(re_j + l,
+                             _mm256_add_pd(_mm256_mul_pd(lo, vcr),
+                                           _mm256_mul_pd(hi, vci)));
+            _mm256_storeu_pd(im_j + l,
+                             _mm256_sub_pd(_mm256_mul_pd(lo, vci),
+                                           _mm256_mul_pd(hi, vcr)));
+        }
+        for (; l + 2 <= lanes; l += 2) {
+            const __m128d lo = _mm_loadu_pd(re_j + l);
+            const __m128d hi = _mm_loadu_pd(im_j + l);
+            const __m128d hcr = _mm256_castpd256_pd128(vcr);
+            const __m128d hci = _mm256_castpd256_pd128(vci);
+            _mm_storeu_pd(re_j + l, _mm_add_pd(_mm_mul_pd(lo, hcr),
+                                               _mm_mul_pd(hi, hci)));
+            _mm_storeu_pd(im_j + l, _mm_sub_pd(_mm_mul_pd(lo, hci),
+                                               _mm_mul_pd(hi, hcr)));
+        }
+        for (; l < lanes; ++l) {
+            const double lo = re_j[l];
+            const double hi = im_j[l];
+            re_j[l] = lo * cr + hi * ci;
+            im_j[l] = lo * ci - hi * cr;
+        }
+    }
+}
+
+void SimdButterflyStage(double* re, double* im, const double* wre,
+                        const double* wim, double sign, int32_t half,
+                        int32_t hb, int32_t lanes) {
+    const int32_t len = hb * 2;
+    for (int32_t base = 0; base < half; base += len) {
+        for (int32_t k = 0; k < hb; ++k) {
+            const double cr = wre[k];
+            const double ci = sign * wim[k];
+            const __m256d vcr = _mm256_set1_pd(cr);
+            const __m256d vci = _mm256_set1_pd(ci);
+            const size_t i0 = static_cast<size_t>(base + k) * lanes;
+            const size_t i1 = static_cast<size_t>(base + k + hb) * lanes;
+            double* re0 = re + i0;
+            double* im0 = im + i0;
+            double* re1 = re + i1;
+            double* im1 = im + i1;
+            int32_t l = 0;
+            for (; l + 4 <= lanes; l += 4) {
+                const __m256d r1 = _mm256_loadu_pd(re1 + l);
+                const __m256d i1v = _mm256_loadu_pd(im1 + l);
+                const __m256d tre = _mm256_sub_pd(_mm256_mul_pd(r1, vcr),
+                                                  _mm256_mul_pd(i1v, vci));
+                const __m256d tim = _mm256_add_pd(_mm256_mul_pd(r1, vci),
+                                                  _mm256_mul_pd(i1v, vcr));
+                const __m256d r0 = _mm256_loadu_pd(re0 + l);
+                const __m256d i0v = _mm256_loadu_pd(im0 + l);
+                _mm256_storeu_pd(re1 + l, _mm256_sub_pd(r0, tre));
+                _mm256_storeu_pd(im1 + l, _mm256_sub_pd(i0v, tim));
+                _mm256_storeu_pd(re0 + l, _mm256_add_pd(r0, tre));
+                _mm256_storeu_pd(im0 + l, _mm256_add_pd(i0v, tim));
+            }
+            for (; l + 2 <= lanes; l += 2) {
+                const __m128d hcr = _mm256_castpd256_pd128(vcr);
+                const __m128d hci = _mm256_castpd256_pd128(vci);
+                const __m128d r1 = _mm_loadu_pd(re1 + l);
+                const __m128d i1v = _mm_loadu_pd(im1 + l);
+                const __m128d tre = _mm_sub_pd(_mm_mul_pd(r1, hcr),
+                                               _mm_mul_pd(i1v, hci));
+                const __m128d tim = _mm_add_pd(_mm_mul_pd(r1, hci),
+                                               _mm_mul_pd(i1v, hcr));
+                const __m128d r0 = _mm_loadu_pd(re0 + l);
+                const __m128d i0v = _mm_loadu_pd(im0 + l);
+                _mm_storeu_pd(re1 + l, _mm_sub_pd(r0, tre));
+                _mm_storeu_pd(im1 + l, _mm_sub_pd(i0v, tim));
+                _mm_storeu_pd(re0 + l, _mm_add_pd(r0, tre));
+                _mm_storeu_pd(im0 + l, _mm_add_pd(i0v, tim));
+            }
+            for (; l < lanes; ++l) {
+                const double tre = re1[l] * cr - im1[l] * ci;
+                const double tim = re1[l] * ci + im1[l] * cr;
+                re1[l] = re0[l] - tre;
+                im1[l] = im0[l] - tim;
+                re0[l] += tre;
+                im0[l] += tim;
+            }
+        }
+    }
+}
+
+void SimdAddMulBroadcast(double* rre, double* rim, const double* are,
+                         const double* aim, const double* bre,
+                         const double* bim, int32_t half, int32_t lanes) {
+    for (int32_t j = 0; j < half; ++j) {
+        const double br = bre[j];
+        const double bi = bim[j];
+        const __m256d vbr = _mm256_set1_pd(br);
+        const __m256d vbi = _mm256_set1_pd(bi);
+        const size_t off = static_cast<size_t>(j) * lanes;
+        const double* a_re = are + off;
+        const double* a_im = aim + off;
+        double* r_re = rre + off;
+        double* r_im = rim + off;
+        int32_t l = 0;
+        for (; l + 4 <= lanes; l += 4) {
+            const __m256d ar = _mm256_loadu_pd(a_re + l);
+            const __m256d ai = _mm256_loadu_pd(a_im + l);
+            const __m256d pre = _mm256_sub_pd(_mm256_mul_pd(ar, vbr),
+                                              _mm256_mul_pd(ai, vbi));
+            const __m256d pim = _mm256_add_pd(_mm256_mul_pd(ar, vbi),
+                                              _mm256_mul_pd(ai, vbr));
+            _mm256_storeu_pd(r_re + l,
+                             _mm256_add_pd(_mm256_loadu_pd(r_re + l), pre));
+            _mm256_storeu_pd(r_im + l,
+                             _mm256_add_pd(_mm256_loadu_pd(r_im + l), pim));
+        }
+        for (; l + 2 <= lanes; l += 2) {
+            const __m128d hbr = _mm256_castpd256_pd128(vbr);
+            const __m128d hbi = _mm256_castpd256_pd128(vbi);
+            const __m128d ar = _mm_loadu_pd(a_re + l);
+            const __m128d ai = _mm_loadu_pd(a_im + l);
+            const __m128d pre = _mm_sub_pd(_mm_mul_pd(ar, hbr),
+                                           _mm_mul_pd(ai, hbi));
+            const __m128d pim = _mm_add_pd(_mm_mul_pd(ar, hbi),
+                                           _mm_mul_pd(ai, hbr));
+            _mm_storeu_pd(r_re + l, _mm_add_pd(_mm_loadu_pd(r_re + l), pre));
+            _mm_storeu_pd(r_im + l, _mm_add_pd(_mm_loadu_pd(r_im + l), pim));
+        }
+        for (; l < lanes; ++l) {
+            r_re[l] += a_re[l] * br - a_im[l] * bi;
+            r_im[l] += a_re[l] * bi + a_im[l] * br;
+        }
+    }
+}
+
+#elif defined(__ARM_NEON)
+
+bool SimdAvailable() { return true; }
+
+void SimdTwistForward(double* re, double* im, const double* tr,
+                      const double* ti, int32_t half, int32_t lanes) {
+    for (int32_t j = 0; j < half; ++j) {
+        const double cr = tr[j];
+        const double ci = ti[j];
+        const float64x2_t vcr = vdupq_n_f64(cr);
+        const float64x2_t vci = vdupq_n_f64(ci);
+        double* re_j = re + static_cast<size_t>(j) * lanes;
+        double* im_j = im + static_cast<size_t>(j) * lanes;
+        int32_t l = 0;
+        for (; l + 2 <= lanes; l += 2) {
+            const float64x2_t lo = vld1q_f64(re_j + l);
+            const float64x2_t hi = vld1q_f64(im_j + l);
+            vst1q_f64(re_j + l,
+                      vaddq_f64(vmulq_f64(lo, vcr), vmulq_f64(hi, vci)));
+            vst1q_f64(im_j + l,
+                      vsubq_f64(vmulq_f64(lo, vci), vmulq_f64(hi, vcr)));
+        }
+        for (; l < lanes; ++l) {
+            const double lo = re_j[l];
+            const double hi = im_j[l];
+            re_j[l] = lo * cr + hi * ci;
+            im_j[l] = lo * ci - hi * cr;
+        }
+    }
+}
+
+void SimdButterflyStage(double* re, double* im, const double* wre,
+                        const double* wim, double sign, int32_t half,
+                        int32_t hb, int32_t lanes) {
+    const int32_t len = hb * 2;
+    for (int32_t base = 0; base < half; base += len) {
+        for (int32_t k = 0; k < hb; ++k) {
+            const double cr = wre[k];
+            const double ci = sign * wim[k];
+            const float64x2_t vcr = vdupq_n_f64(cr);
+            const float64x2_t vci = vdupq_n_f64(ci);
+            const size_t i0 = static_cast<size_t>(base + k) * lanes;
+            const size_t i1 = static_cast<size_t>(base + k + hb) * lanes;
+            double* re0 = re + i0;
+            double* im0 = im + i0;
+            double* re1 = re + i1;
+            double* im1 = im + i1;
+            int32_t l = 0;
+            for (; l + 2 <= lanes; l += 2) {
+                const float64x2_t r1 = vld1q_f64(re1 + l);
+                const float64x2_t i1v = vld1q_f64(im1 + l);
+                const float64x2_t tre =
+                    vsubq_f64(vmulq_f64(r1, vcr), vmulq_f64(i1v, vci));
+                const float64x2_t tim =
+                    vaddq_f64(vmulq_f64(r1, vci), vmulq_f64(i1v, vcr));
+                const float64x2_t r0 = vld1q_f64(re0 + l);
+                const float64x2_t i0v = vld1q_f64(im0 + l);
+                vst1q_f64(re1 + l, vsubq_f64(r0, tre));
+                vst1q_f64(im1 + l, vsubq_f64(i0v, tim));
+                vst1q_f64(re0 + l, vaddq_f64(r0, tre));
+                vst1q_f64(im0 + l, vaddq_f64(i0v, tim));
+            }
+            for (; l < lanes; ++l) {
+                const double tre = re1[l] * cr - im1[l] * ci;
+                const double tim = re1[l] * ci + im1[l] * cr;
+                re1[l] = re0[l] - tre;
+                im1[l] = im0[l] - tim;
+                re0[l] += tre;
+                im0[l] += tim;
+            }
+        }
+    }
+}
+
+void SimdAddMulBroadcast(double* rre, double* rim, const double* are,
+                         const double* aim, const double* bre,
+                         const double* bim, int32_t half, int32_t lanes) {
+    for (int32_t j = 0; j < half; ++j) {
+        const double br = bre[j];
+        const double bi = bim[j];
+        const float64x2_t vbr = vdupq_n_f64(br);
+        const float64x2_t vbi = vdupq_n_f64(bi);
+        const size_t off = static_cast<size_t>(j) * lanes;
+        const double* a_re = are + off;
+        const double* a_im = aim + off;
+        double* r_re = rre + off;
+        double* r_im = rim + off;
+        int32_t l = 0;
+        for (; l + 2 <= lanes; l += 2) {
+            const float64x2_t ar = vld1q_f64(a_re + l);
+            const float64x2_t ai = vld1q_f64(a_im + l);
+            const float64x2_t pre =
+                vsubq_f64(vmulq_f64(ar, vbr), vmulq_f64(ai, vbi));
+            const float64x2_t pim =
+                vaddq_f64(vmulq_f64(ar, vbi), vmulq_f64(ai, vbr));
+            vst1q_f64(r_re + l, vaddq_f64(vld1q_f64(r_re + l), pre));
+            vst1q_f64(r_im + l, vaddq_f64(vld1q_f64(r_im + l), pim));
+        }
+        for (; l < lanes; ++l) {
+            r_re[l] += a_re[l] * br - a_im[l] * bi;
+            r_im[l] += a_re[l] * bi + a_im[l] * br;
+        }
+    }
+}
+
+#else  // Neither AVX2 nor NEON: never dispatched to; portable bodies keep
+       // the symbols defined and correct if ever called directly.
+
+bool SimdAvailable() { return false; }
+
+void SimdTwistForward(double* re, double* im, const double* tr,
+                      const double* ti, int32_t half, int32_t lanes) {
+    for (int32_t j = 0; j < half; ++j) {
+        const double cr = tr[j];
+        const double ci = ti[j];
+        double* re_j = re + static_cast<size_t>(j) * lanes;
+        double* im_j = im + static_cast<size_t>(j) * lanes;
+        for (int32_t l = 0; l < lanes; ++l) {
+            const double lo = re_j[l];
+            const double hi = im_j[l];
+            re_j[l] = lo * cr + hi * ci;
+            im_j[l] = lo * ci - hi * cr;
+        }
+    }
+}
+
+void SimdButterflyStage(double* re, double* im, const double* wre,
+                        const double* wim, double sign, int32_t half,
+                        int32_t hb, int32_t lanes) {
+    const int32_t len = hb * 2;
+    for (int32_t base = 0; base < half; base += len) {
+        for (int32_t k = 0; k < hb; ++k) {
+            const double cr = wre[k];
+            const double ci = sign * wim[k];
+            const size_t i0 = static_cast<size_t>(base + k) * lanes;
+            const size_t i1 = static_cast<size_t>(base + k + hb) * lanes;
+            double* re0 = re + i0;
+            double* im0 = im + i0;
+            double* re1 = re + i1;
+            double* im1 = im + i1;
+            for (int32_t l = 0; l < lanes; ++l) {
+                const double tre = re1[l] * cr - im1[l] * ci;
+                const double tim = re1[l] * ci + im1[l] * cr;
+                re1[l] = re0[l] - tre;
+                im1[l] = im0[l] - tim;
+                re0[l] += tre;
+                im0[l] += tim;
+            }
+        }
+    }
+}
+
+void SimdAddMulBroadcast(double* rre, double* rim, const double* are,
+                         const double* aim, const double* bre,
+                         const double* bim, int32_t half, int32_t lanes) {
+    for (int32_t j = 0; j < half; ++j) {
+        const double br = bre[j];
+        const double bi = bim[j];
+        const size_t off = static_cast<size_t>(j) * lanes;
+        const double* a_re = are + off;
+        const double* a_im = aim + off;
+        double* r_re = rre + off;
+        double* r_im = rim + off;
+        for (int32_t l = 0; l < lanes; ++l) {
+            r_re[l] += a_re[l] * br - a_im[l] * bi;
+            r_im[l] += a_re[l] * bi + a_im[l] * br;
+        }
+    }
+}
+
+#endif
+
+}  // namespace pytfhe::tfhe::batch_detail

@@ -17,9 +17,9 @@ uint64_t NanosSince(Clock::time_point start) {
             .count());
 }
 
-// +1/8 and +1/4 on the discretized torus.
-constexpr Torus32 kEighth = UINT32_C(1) << 29;
-constexpr Torus32 kQuarter = UINT32_C(1) << 30;
+// Local aliases for the exported encodings (see gates.h).
+constexpr Torus32 kEighth = kGateMu;
+constexpr Torus32 kQuarter = kGateQuarter;
 
 }  // namespace
 
@@ -209,6 +209,41 @@ LweSample GateEvaluator::OrNY(const LweSample& a, const LweSample& b,
 LweSample GateEvaluator::OrYN(const LweSample& a, const LweSample& b,
                               BootstrapScratch* scratch) {
     return LinearBootstrap(+1, a, -1, b, kEighth, scratch);
+}
+
+void GateEvaluator::BatchedLinearBootstrap(const BatchGateSpec* specs,
+                                           int32_t count,
+                                           BatchScratch* scratch) {
+    if (count <= 0) return;
+    BatchScratch local;
+    BatchScratch& s = scratch != nullptr ? *scratch : local;
+
+    auto t0 = Clock::now();
+    if (static_cast<int32_t>(s.combo.size()) < count) s.combo.resize(count);
+    if (static_cast<int32_t>(s.rotated_lwe.size()) < count)
+        s.rotated_lwe.resize(count);
+    std::vector<const LweSample*> in(count);
+    std::vector<LweSample*> rotated(count);
+    for (int32_t i = 0; i < count; ++i) {
+        const BatchGateSpec& g = specs[i];
+        LweSample combo = LinearCombine(g.coef_a, *g.a, g.coef_b, *g.b,
+                                        g.offset);
+        s.combo[i] = std::move(combo);
+        in[i] = &s.combo[i];
+        rotated[i] = &s.rotated_lwe[i];
+    }
+    profile_.AddLinearNanos(NanosSince(t0));
+
+    auto t1 = Clock::now();
+    BatchedBootstrapWithoutKeySwitch(kEighth, in.data(), rotated.data(),
+                                     count, *key_, &s);
+    profile_.AddBlindRotateNanos(NanosSince(t1));
+
+    auto t2 = Clock::now();
+    for (int32_t i = 0; i < count; ++i)
+        *specs[i].out = key_->ksk().Apply(s.rotated_lwe[i]);
+    profile_.AddKeySwitchNanos(NanosSince(t2));
+    profile_.AddBootstraps(static_cast<uint64_t>(count));
 }
 
 LweSample GateEvaluator::Mux(const LweSample& a, const LweSample& b,

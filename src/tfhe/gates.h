@@ -21,8 +21,18 @@
 #include <string>
 
 #include "tfhe/bootstrap.h"
+#include "tfhe/bootstrap_batch.h"
 
 namespace pytfhe::tfhe {
+
+/**
+ * +1/8 on the discretized torus: the gate-domain bit encoding (+-kGateMu)
+ * and the bootstrap target of every two-input gate. Exported so batch
+ * dispatchers can form gate linear preludes outside the evaluator.
+ */
+constexpr Torus32 kGateMu = UINT32_C(1) << 29;
+/** +1/4: the linear-domain encoding and the XOR-family prelude offset. */
+constexpr Torus32 kGateQuarter = UINT32_C(1) << 30;
 
 /**
  * Stable identity of one client's key material: an FNV-1a digest of the
@@ -175,6 +185,23 @@ class GateProfile {
 };
 
 /**
+ * One bootstrapped gate inside a batch: the linear prelude
+ * coef_a * (*a) + coef_b * (*b) + offset is bootstrapped to +-kGateMu and
+ * key-switched into *out. Every two-input bootstrapped gate kind maps onto
+ * this shape (the AND family with +-1 coefficients, XOR/XNOR with +-2 or
+ * +-1 per operand domain), so a batch may freely mix gate kinds — they all
+ * share one blind rotation's test vector.
+ */
+struct BatchGateSpec {
+    int32_t coef_a = 0;
+    const LweSample* a = nullptr;
+    int32_t coef_b = 0;
+    const LweSample* b = nullptr;
+    Torus32 offset = 0;
+    LweSample* out = nullptr;
+};
+
+/**
  * Server-side gate evaluator holding the public evaluation key.
  * All gate methods are const with respect to key material and safe to call
  * concurrently; the profile is atomic accounting only.
@@ -263,6 +290,16 @@ class GateEvaluator {
     /** a ? b : c, two bootstraps plus one key switch. */
     LweSample Mux(const LweSample& a, const LweSample& b, const LweSample& c,
                   BootstrapScratch* scratch = nullptr);
+
+    /**
+     * Evaluates `count` bootstrapped gates through one batched blind
+     * rotation (see bootstrap_batch.h): linear preludes per spec, one
+     * structure-of-arrays rotation sharing every key row across lanes, then
+     * a per-lane key switch. Bit-exact per gate vs the scalar gate methods.
+     * Spec outputs must not alias spec inputs of the same call.
+     */
+    void BatchedLinearBootstrap(const BatchGateSpec* specs, int32_t count,
+                                BatchScratch* scratch = nullptr);
 
   private:
     /**

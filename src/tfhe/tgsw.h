@@ -54,6 +54,17 @@ struct ExternalProductScratch {
     TLweSample cmux_diff;             ///< d1 - d0 buffer for TGswCMux.
 };
 
+/**
+ * Reusable buffers for TGswExternalProductBatch. Buffers keep capacity
+ * across calls with a fixed (parameter set, batch size) pair; a change in
+ * batch size (e.g. a ragged final batch) reallocates once.
+ */
+struct BatchExternalProductScratch {
+    std::vector<BatchFreqPolynomial> dec;  ///< l digit transforms, all lanes.
+    std::vector<BatchFreqPolynomial> acc;  ///< k + 1 batch accumulators.
+    std::vector<TorusPolynomial*> inv_outs;  ///< Inverse extraction table.
+};
+
 /** Encrypts integer message m (typically a key bit in {0, 1}). */
 TGswSample TGswEncrypt(int32_t message, int32_t l, int32_t bg_bit,
                        double noise_stddev, const TLweKey& key, Rng& rng);
@@ -78,6 +89,20 @@ void TGswDecompose(std::vector<IntPolynomial>& out, const TLweSample& sample,
 void TGswExternalProduct(TLweSample& result, const TGswSampleFft& c,
                          const TLweSample& sample, const NegacyclicFft& fft,
                          ExternalProductScratch* scratch = nullptr);
+
+/**
+ * Batched external product: result[lane] = C x samples[lane] for b
+ * independent TLWE samples against ONE shared TGSW sample. The gadget
+ * digits of all lanes are decomposed into the structure-of-arrays
+ * BatchFreqPolynomial layout, transformed with one shared twiddle pass per
+ * FFT stage, and every frequency-domain key row is streamed from memory
+ * once for the whole batch. Bit-exact per lane vs TGswExternalProduct.
+ */
+void TGswExternalProductBatch(std::vector<TLweSample>& result,
+                              const TGswSampleFft& c,
+                              const std::vector<TLweSample>& samples,
+                              int32_t b, const NegacyclicFft& fft,
+                              BatchExternalProductScratch& scratch);
 
 /**
  * result = d0 + C x (d1 - d0): selects d1 when C encrypts 1, d0 when C

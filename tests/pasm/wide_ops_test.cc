@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Wide-gate IR tests across the whole path: Netlist wide groups and their
+ * validation rules, SimplifyingBuilder::MakeWideGate under rewrites, hdl
+ * word generators emitting wide groups, and the pasm v2 wide trailer
+ * (encode, serialize round-trip, ToNetlist reconstruction, malformed
+ * trailers, and byte-compatibility of programs without groups).
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "backend/interpreter.h"
+#include "circuit/builder.h"
+#include "hdl/word_ops.h"
+#include "pasm/assembler.h"
+
+namespace pytfhe {
+namespace {
+
+using circuit::GateType;
+using circuit::Netlist;
+using circuit::NodeId;
+using pasm::Instruction;
+using pasm::InstructionKind;
+
+/** width independent AND gates with registered wide group. */
+Netlist WideAndNetlist(int32_t width) {
+    Netlist n;
+    std::vector<NodeId> members;
+    for (int32_t i = 0; i < width; ++i) {
+        const NodeId a = n.AddInput();
+        const NodeId b = n.AddInput();
+        members.push_back(n.AddGate(GateType::kAnd, a, b));
+    }
+    for (NodeId g : members) n.AddOutput(g);
+    n.AddWideGroup(members);
+    return n;
+}
+
+TEST(NetlistWide, ValidGroupPassesAndShowsInStats) {
+    const Netlist n = WideAndNetlist(4);
+    EXPECT_EQ(n.Validate(), std::nullopt);
+    const auto stats = n.ComputeStats();
+    EXPECT_EQ(stats.num_wide_groups, 1u);
+    EXPECT_EQ(stats.num_wide_gates, 4u);
+    EXPECT_NE(stats.ToString().find("wide_groups=1"), std::string::npos);
+}
+
+TEST(NetlistWide, RejectsMalformedGroups) {
+    {
+        Netlist n = WideAndNetlist(2);
+        n.AddWideGroup({n.Inputs()[0]});  // Too small.
+        EXPECT_NE(n.Validate(), std::nullopt);
+    }
+    {
+        Netlist n;
+        const NodeId a = n.AddInput();
+        const NodeId b = n.AddInput();
+        const NodeId g0 = n.AddGate(GateType::kAnd, a, b);
+        const NodeId g1 = n.AddGate(GateType::kOr, a, b);
+        n.AddOutput(g0);
+        n.AddOutput(g1);
+        n.AddWideGroup({g0, g1});  // Mixed gate types.
+        EXPECT_NE(n.Validate(), std::nullopt);
+    }
+    {
+        Netlist n;
+        const NodeId a = n.AddInput();
+        const NodeId b = n.AddInput();
+        const NodeId g0 = n.AddGate(GateType::kAnd, a, b);
+        const NodeId g1 = n.AddGate(GateType::kNot, g0, g0);
+        n.AddOutput(g1);
+        n.AddWideGroup({g1, g1});  // NOT is not bootstrapped; also repeated.
+        EXPECT_NE(n.Validate(), std::nullopt);
+    }
+    {
+        Netlist n = WideAndNetlist(3);
+        // A gate may belong to at most one group.
+        const auto& members = n.WideGroups()[0];
+        n.AddWideGroup({members[0], members[1]});
+        EXPECT_NE(n.Validate(), std::nullopt);
+    }
+    {
+        Netlist n;
+        const NodeId a = n.AddInput();
+        const NodeId b = n.AddInput();
+        const NodeId g0 = n.AddGate(GateType::kAnd, a, b);
+        const NodeId g1 = n.AddGate(GateType::kAnd, g0, b);
+        n.AddOutput(g1);
+        n.AddWideGroup({g0, g1});  // g1 consumes g0: not co-schedulable.
+        EXPECT_NE(n.Validate(), std::nullopt);
+    }
+}
+
+TEST(BuilderWide, MakeWideGateGroupsFreshGatesAndSkipsRewrites) {
+    circuit::SimplifyingBuilder b;
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    for (int i = 0; i < 4; ++i)
+        pairs.emplace_back(b.MakeInput(), b.MakeInput());
+    // One pair constant-folds away, one duplicates pair 0 (CSE hit).
+    pairs.emplace_back(pairs[0].first, b.MakeConst(false));
+    pairs.push_back(pairs[0]);
+    const auto results = b.MakeWideGate(GateType::kAnd, pairs);
+    ASSERT_EQ(results.size(), 6u);
+    EXPECT_EQ(results[4], circuit::kConstFalse);  // x AND 0 == 0.
+    EXPECT_EQ(results[5], results[0]);            // Deduped.
+    for (NodeId id : results) b.AddOutput(id);
+    ASSERT_EQ(b.netlist().WideGroups().size(), 1u);
+    EXPECT_EQ(b.netlist().WideGroups()[0].size(), 4u);
+    EXPECT_EQ(b.netlist().Validate(), std::nullopt);
+
+    // Re-batching the same pairs emits nothing fresh: no new group.
+    (void)b.MakeWideGate(GateType::kAnd, pairs);
+    EXPECT_EQ(b.netlist().WideGroups().size(), 1u);
+}
+
+TEST(BuilderWide, NotAbsorptionSplitsGroupByEmittedType) {
+    circuit::SimplifyingBuilder b;
+    const NodeId x0 = b.MakeInput();
+    const NodeId x1 = b.MakeInput();
+    const NodeId y0 = b.MakeInput();
+    const NodeId y1 = b.MakeInput();
+    const NodeId ny1 = b.MakeNot(y1);
+    // Pair 1 rewrites to ANDYN(x1, y1): a different emitted type, so the
+    // two fresh gates land in different (here: singleton, unregistered)
+    // buckets rather than one mixed-type group.
+    const auto results = b.MakeWideGate(
+        GateType::kAnd, {{x0, y0}, {x1, ny1}});
+    for (NodeId id : results) b.AddOutput(id);
+    EXPECT_EQ(b.netlist().GetNode(results[1]).type, GateType::kAndYN);
+    EXPECT_TRUE(b.netlist().WideGroups().empty());
+    EXPECT_EQ(b.netlist().Validate(), std::nullopt);
+}
+
+TEST(HdlWide, BitwiseWordOpsEmitWideGroups) {
+    hdl::Builder b;
+    const hdl::Bits x = hdl::InputBits(b, 8, "x");
+    const hdl::Bits y = hdl::InputBits(b, 8, "y");
+    hdl::OutputBits(b, hdl::AndBits(b, x, y), "a");
+    hdl::OutputBits(b, hdl::XorBits(b, x, y), "x");
+    hdl::OutputBits(b, hdl::MaskBits(b, x, y[0]), "m");
+    const auto stats = b.netlist().ComputeStats();
+    EXPECT_EQ(stats.num_wide_groups, 3u);
+    // 8 + 8 from AndBits/XorBits; MaskBits lane 0 CSE-dedups against
+    // AndBits lane 0 (both AND(x[0], y[0])), leaving 7 fresh gates.
+    EXPECT_EQ(stats.num_wide_gates, 23u);
+    EXPECT_EQ(b.netlist().Validate(), std::nullopt);
+    const auto p = pasm::Assemble(b.netlist());
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->FormatVersion(), pasm::kFormatVersionWide);
+    EXPECT_EQ(p->WideOps().size(), 3u);
+}
+
+TEST(PasmWide, AssembleRoundTripsOddSizedGroups) {
+    const Netlist n = WideAndNetlist(3);  // Odd: final member record pads.
+    std::string error;
+    const auto p = pasm::Assemble(n, &error);
+    ASSERT_TRUE(p.has_value()) << error;
+    EXPECT_EQ(p->FormatVersion(), pasm::kFormatVersionWide);
+    ASSERT_EQ(p->WideOps().size(), 1u);
+    ASSERT_EQ(p->WideOps()[0].members.size(), 3u);
+    // Members are gate instruction indices of AND gates.
+    for (uint64_t idx : p->WideOps()[0].members) {
+        EXPECT_GE(idx, p->FirstGateIndex());
+        EXPECT_EQ(p->GateAt(idx).type, GateType::kAnd);
+    }
+
+    // Binary round-trip preserves the trailer bit-exactly.
+    std::stringstream buf;
+    p->Serialize(buf);
+    const auto p2 = pasm::Program::Deserialize(buf, &error);
+    ASSERT_TRUE(p2.has_value()) << error;
+    EXPECT_EQ(p2->Instructions(), p->Instructions());
+    ASSERT_EQ(p2->WideOps().size(), 1u);
+    EXPECT_EQ(p2->WideOps()[0].members, p->WideOps()[0].members);
+
+    // ToNetlist reconstructs the group and the netlist re-validates.
+    const Netlist back = pasm::ToNetlist(*p);
+    ASSERT_EQ(back.WideGroups().size(), 1u);
+    EXPECT_EQ(back.WideGroups()[0].size(), 3u);
+    EXPECT_EQ(back.Validate(), std::nullopt);
+
+    EXPECT_NE(p->Disassemble().find("WIDE group of 3"), std::string::npos);
+}
+
+TEST(PasmWide, ProgramsWithoutGroupsKeepLegacyVersion) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    n.AddOutput(n.AddGate(GateType::kAnd, a, b));
+    const auto p = pasm::Assemble(n);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->FormatVersion(), pasm::kFormatVersionLegacy);
+    EXPECT_TRUE(p->WideOps().empty());
+}
+
+TEST(PasmWide, WideTrailerExecutesIdenticallyToPlainEvaluation) {
+    // Backends that ignore the trailer still execute the program; the
+    // trailer is a hint, never a semantic change.
+    const Netlist n = WideAndNetlist(4);
+    const auto p = pasm::Assemble(n);
+    ASSERT_TRUE(p.has_value());
+    backend::PlainEvaluator eval;
+    std::vector<bool> in;
+    for (size_t i = 0; i < n.Inputs().size(); ++i) in.push_back(i % 3 != 1);
+    EXPECT_EQ(backend::RunProgram(*p, eval, in), n.EvaluatePlain(in));
+}
+
+/** Hand-crafts instructions for a 2-input, 2-AND program plus trailer. */
+std::vector<Instruction> TwoAndProgram(uint64_t version) {
+    std::vector<Instruction> ins;
+    ins.push_back(Instruction::MakeHeader(2, version));
+    ins.push_back(Instruction::MakeInput());  // 1
+    ins.push_back(Instruction::MakeInput());  // 2
+    ins.push_back(Instruction::MakeGate(GateType::kAnd, 1, 2));  // 3
+    ins.push_back(Instruction::MakeGate(GateType::kAnd, 2, 1));  // 4
+    ins.push_back(Instruction::MakeOutput(3));
+    ins.push_back(Instruction::MakeOutput(4));
+    return ins;
+}
+
+TEST(PasmWide, RejectsMalformedTrailers) {
+    std::string error;
+    {
+        // Wide records demand format version >= 2.
+        auto ins = TwoAndProgram(pasm::kFormatVersionLinear);
+        ins.push_back(Instruction::MakeWideLeader(2));
+        ins.push_back(Instruction::MakeWideMembers(3, 4));
+        EXPECT_FALSE(
+            pasm::Program::FromInstructions(std::move(ins), &error));
+        EXPECT_NE(error.find("version"), std::string::npos);
+    }
+    {
+        // Truncated group: leader declares 2 members, none follow.
+        auto ins = TwoAndProgram(pasm::kFormatVersionWide);
+        ins.push_back(Instruction::MakeWideLeader(2));
+        EXPECT_FALSE(
+            pasm::Program::FromInstructions(std::move(ins), &error));
+        EXPECT_NE(error.find("truncated"), std::string::npos);
+    }
+    {
+        // Member record without a leader.
+        auto ins = TwoAndProgram(pasm::kFormatVersionWide);
+        ins.push_back(Instruction::MakeWideMembers(3, 4));
+        EXPECT_FALSE(
+            pasm::Program::FromInstructions(std::move(ins), &error));
+    }
+    {
+        // Member index outside the gate range (names an input).
+        auto ins = TwoAndProgram(pasm::kFormatVersionWide);
+        ins.push_back(Instruction::MakeWideLeader(2));
+        ins.push_back(Instruction::MakeWideMembers(1, 4));
+        EXPECT_FALSE(
+            pasm::Program::FromInstructions(std::move(ins), &error));
+    }
+    {
+        // A gate may appear in only one group.
+        auto ins = TwoAndProgram(pasm::kFormatVersionWide);
+        ins.push_back(Instruction::MakeWideLeader(2));
+        ins.push_back(Instruction::MakeWideMembers(3, 4));
+        ins.push_back(Instruction::MakeWideLeader(2));
+        ins.push_back(Instruction::MakeWideMembers(4, 3));
+        EXPECT_FALSE(
+            pasm::Program::FromInstructions(std::move(ins), &error));
+        EXPECT_NE(error.find("more than one"), std::string::npos);
+    }
+    {
+        // Well-formed trailer for reference: the same stream parses.
+        auto ins = TwoAndProgram(pasm::kFormatVersionWide);
+        ins.push_back(Instruction::MakeWideLeader(2));
+        ins.push_back(Instruction::MakeWideMembers(3, 4));
+        const auto p =
+            pasm::Program::FromInstructions(std::move(ins), &error);
+        ASSERT_TRUE(p.has_value()) << error;
+        ASSERT_EQ(p->WideOps().size(), 1u);
+        EXPECT_EQ(p->WideOps()[0].members,
+                  (std::vector<uint64_t>{3, 4}));
+    }
+}
+
+TEST(PasmWide, KindClassifiesWideRecords) {
+    EXPECT_EQ(Instruction::MakeWideLeader(4).Kind(9),
+              InstructionKind::kWide);
+    EXPECT_EQ(Instruction::MakeWideMembers(3, 4).Kind(10),
+              InstructionKind::kWide);
+    EXPECT_EQ(Instruction::MakeWideMembers(3).Kind(10),
+              InstructionKind::kWide);
+}
+
+}  // namespace
+}  // namespace pytfhe

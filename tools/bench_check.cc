@@ -158,10 +158,12 @@ bool LowerIsBetter(const std::string& path) {
  * Metrics where a SMALLER candidate value is a regression: cache hit
  * rates from the key-cache economics runs (deterministic for the modeled
  * sharded fleet; the real-service run is trace-driven and equally
- * stable). A candidate below baseline * (1 - tolerance) fails.
+ * stable), and the batched-bootstrap throughput speedups from the
+ * micro-tfhe sweep. A candidate below baseline * (1 - tolerance) fails.
  */
 bool HigherIsBetter(const std::string& path) {
-    return path.find("hit_rate") != std::string::npos;
+    return path.find("hit_rate") != std::string::npos ||
+           path.find("speedup") != std::string::npos;
 }
 
 }  // namespace
