@@ -19,23 +19,68 @@
  * nonzero below 3x, so regressions fail loudly at generation time.
  */
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "backend/arena.h"
 #include "backend/cluster_sim.h"
 #include "backend/serving.h"
 #include "bench_util.h"
 #include "core/key_cache.h"
 #include "core/service.h"
 #include "hdl/word_ops.h"
+#include "pasm/assembler.h"
+#include "pasm/memory_plan.h"
 #include "tfhe/serialization.h"
+
+// Counting global allocator for the allocs-per-gate metric in the memory
+// suite. A relaxed fetch_add per allocation is noise next to a bootstrap,
+// and the plain-suite numbers are regenerated with the same binary as
+// their baseline, so the accounting does not skew any gated metric.
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t a = static_cast<std::size_t>(align);
+    const std::size_t rounded = (size + a - 1) / a * a;
+    if (void* p = std::aligned_alloc(a, rounded ? rounded : a)) return p;
+    throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new[](std::size_t size, std::align_val_t align) {
+    return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
 
 using namespace pytfhe;
 
@@ -529,6 +574,143 @@ ShardedResult MeasureSharded(const pasm::Program& program) {
     return result;
 }
 
+struct MemoryResult {
+    uint64_t gates = 0;
+    uint64_t values = 0;      ///< Inputs + gate results (unplanned slots).
+    uint64_t plan_slots = 0;  ///< Physical slots after linear-scan reuse.
+    uint64_t arena_bytes_planned = 0;    ///< Per-job ciphertext residency.
+    uint64_t arena_bytes_unplanned = 0;  ///< One slot per value (pre-plan).
+    double reduction_x = 0.0;
+    double allocs_per_gate_planned = 0.0;
+    double allocs_per_gate_legacy = 0.0;  ///< Object-per-value execution.
+};
+
+/**
+ * Memory-planning suite: the per-job ciphertext residency story.
+ *
+ * Peak-RSS-per-job proxy: a 32x32 array multiplier (the deepest DAG in
+ * the bench set) compiled with and without a memory plan; the arena byte
+ * requirement is exact — slots x aligned sample size — and deterministic,
+ * so it gates in bench_check, with the >= 4x reduction bar asserted here
+ * at generation time like the serving 3x bar.
+ *
+ * Allocs-per-gate, by the same delta method as the arena allocation
+ * tests: a 64-gate NAND chain and a 32-gate chain cost the same per-run
+ * overhead (equal slot counts when planned), so any allocation-count
+ * difference between real encrypted runs is per-gate cost. The arena
+ * core must measure 0 (slab in, slab out, warm scratch); the "before" is
+ * the object-per-value style — each gate materializing a fresh
+ * ciphertext through the value-returning Apply, as the interpreter did
+ * before the arena plane.
+ */
+MemoryResult MeasureMemory() {
+    MemoryResult result;
+
+    // --- Arena residency on the multiplier32 DAG. ---
+    hdl::Builder b;
+    const hdl::Bits x = hdl::InputBits(b, 32, "x");
+    const hdl::Bits y = hdl::InputBits(b, 32, "y");
+    hdl::OutputBits(b, hdl::UMul(b, x, y, 32), "prod");
+    auto mul = core::Compile(b.netlist());
+    if (!mul || mul->program.Plan() == nullptr) {
+        std::fprintf(stderr, "multiplier32 compile produced no plan\n");
+        std::abort();
+    }
+    const pasm::Program& prog = mul->program;
+    result.gates = prog.NumGates();
+    result.values = prog.FirstGateIndex() + prog.NumGates();
+    result.plan_slots = prog.Plan()->num_slots;
+
+    core::Client client(tfhe::ToyParams(), /*seed=*/55);
+    const core::Ciphertexts mul_inputs = client.EncryptValues(
+        hdl::DType::UInt(32), {3405691582.0, 2882400001.0});
+    using Plane = backend::ValuePlane<backend::TfheEvaluator>;
+    result.arena_bytes_planned =
+        Plane::RequiredBytes(prog, mul_inputs, /*use_plan=*/true);
+    result.arena_bytes_unplanned =
+        Plane::RequiredBytes(prog, mul_inputs, /*use_plan=*/false);
+    result.reduction_x =
+        static_cast<double>(result.arena_bytes_unplanned) /
+        static_cast<double>(result.arena_bytes_planned);
+    if (result.reduction_x < 4.0) {
+        std::fprintf(stderr,
+                     "FAIL: planned arena %.2fx smaller than unplanned on "
+                     "multiplier32, below the 4x acceptance bar\n",
+                     result.reduction_x);
+        std::abort();
+    }
+
+    // --- Allocs per gate on real encrypted NAND chains. ---
+    auto chain = [](int32_t length) {
+        circuit::Netlist n;
+        const circuit::NodeId a = n.AddInput();
+        circuit::NodeId cur = a;
+        for (int32_t i = 0; i < length; ++i)
+            cur = n.AddGate(circuit::GateType::kNand, cur, a);
+        n.AddOutput(cur);
+        auto p = pasm::Assemble(n);
+        if (!p) std::abort();
+        auto with_plan = p->WithPlan(pasm::ComputeMemoryPlan(*p));
+        if (!with_plan) std::abort();
+        return std::move(*with_plan);
+    };
+    tfhe::Rng rng(71);
+    tfhe::SecretKeySet secret(tfhe::ToyParams(), rng);
+    tfhe::GateEvaluator gates(secret, rng);
+    backend::TfheEvaluator eval(gates);
+    std::vector<tfhe::LweSample> inputs;
+    inputs.push_back(secret.Encrypt(true, rng));
+
+    auto delta_per_gate = [](const auto& run) {
+        run(64);  // Warm FFT plans and scratch.
+        const uint64_t b_half = g_alloc_count.load();
+        run(32);
+        const uint64_t half_allocs = g_alloc_count.load() - b_half;
+        const uint64_t b_full = g_alloc_count.load();
+        run(64);
+        const uint64_t full_allocs = g_alloc_count.load() - b_full;
+        return full_allocs > half_allocs
+                   ? static_cast<double>(full_allocs - half_allocs) / 32.0
+                   : 0.0;
+    };
+    const pasm::Program half_chain = chain(32);
+    const pasm::Program full_chain = chain(64);
+    result.allocs_per_gate_planned = delta_per_gate([&](int32_t length) {
+        (void)backend::RunProgram(length == 64 ? full_chain : half_chain,
+                                  eval, inputs);
+    });
+    tfhe::BootstrapScratch scratch;
+    result.allocs_per_gate_legacy = delta_per_gate([&](int32_t length) {
+        std::vector<tfhe::LweSample> vals;
+        vals.reserve(static_cast<size_t>(length) + 1);
+        vals.push_back(inputs[0]);
+        for (int32_t i = 0; i < length; ++i)
+            vals.push_back(eval.Apply(circuit::GateType::kNand,
+                                      vals.back(), vals[0], scratch));
+    });
+    if (result.allocs_per_gate_planned != 0.0) {
+        std::fprintf(stderr,
+                     "FAIL: planned execution allocates %.2f times per "
+                     "gate in steady state (want 0)\n",
+                     result.allocs_per_gate_planned);
+        std::abort();
+    }
+
+    std::printf("  memory    umul32 %llu gates: %llu slots for %llu "
+                "values, %.1f MB -> %.1f MB per job (%.1fx); allocs/gate "
+                "%.2f -> %.2f\n",
+                static_cast<unsigned long long>(result.gates),
+                static_cast<unsigned long long>(result.plan_slots),
+                static_cast<unsigned long long>(result.values),
+                static_cast<double>(result.arena_bytes_unplanned) /
+                    1048576.0,
+                static_cast<double>(result.arena_bytes_planned) / 1048576.0,
+                result.reduction_x, result.allocs_per_gate_legacy,
+                result.allocs_per_gate_planned);
+    std::fflush(stdout);
+    return result;
+}
+
 void WriteShardRun(FILE* out, const char* name,
                    const backend::ShardedServingResult& r,
                    bool trailing_comma) {
@@ -581,6 +763,7 @@ int main() {
     }
     const pasm::Program& program = compiled->program;
 
+    const MemoryResult memory = MeasureMemory();
     const Suite plain = MeasurePlain(program);
     const FaultedResult faulted = MeasureFaulted(program);
     const KeyCacheResult key_cache = MeasureKeyCache(program);
@@ -599,6 +782,23 @@ int main() {
                  static_cast<unsigned long long>(program.NumGates()));
     std::fprintf(out, "  \"modeled_s_single_job\": %.4f,\n",
                  bench::SingleCoreSeconds(program));
+    std::fprintf(out,
+                 "  \"memory\": {\"dag\": \"umul32\", \"gates\": %llu, "
+                 "\"values\": %llu, \"plan_slots\": %llu, "
+                 "\"arena_bytes_planned_per_job\": %llu, "
+                 "\"arena_bytes_unplanned_per_job\": %llu, "
+                 "\"arena_reduction_x\": %.2f, "
+                 "\"allocs_per_gate_planned\": %.4f, "
+                 "\"allocs_per_gate_legacy\": %.4f},\n",
+                 static_cast<unsigned long long>(memory.gates),
+                 static_cast<unsigned long long>(memory.values),
+                 static_cast<unsigned long long>(memory.plan_slots),
+                 static_cast<unsigned long long>(
+                     memory.arena_bytes_planned),
+                 static_cast<unsigned long long>(
+                     memory.arena_bytes_unplanned),
+                 memory.reduction_x, memory.allocs_per_gate_planned,
+                 memory.allocs_per_gate_legacy);
     WriteSuite(out, "plain", plain, /*trailing_comma=*/true);
     std::fprintf(out,
                  "  \"faulted\": {\"fault_rate_jobs\": 0.25, "

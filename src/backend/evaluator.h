@@ -39,6 +39,76 @@ struct BatchGate {
     C* out = nullptr;
 };
 
+/**
+ * View flavor of BatchGate for arena-resident ciphertexts (backend/arena.h):
+ * operands and output are spans into a ciphertext slab rather than pointers
+ * to LweSample objects. The kernel consumes every lane's inputs before
+ * writing any lane's output, so `out` may alias any input view of the same
+ * call — which is exactly what an in-place memory plan produces.
+ */
+struct BatchGateView {
+    GateType type = GateType::kNot;
+    tfhe::LweCView a;
+    bool a_linear = false;
+    tfhe::LweCView b;
+    bool b_linear = false;
+    tfhe::LweView out;
+};
+
+namespace detail {
+
+/**
+ * The linear prelude of each bootstrapped gate kind: the gate evaluates as
+ * sign-bootstrap(coef_a*a + coef_b*b + offset). Returns false for gate
+ * kinds that are not bootstrapped (NOT and the elided kLin* family), which
+ * must take the scalar linear path instead. This is the single coefficient
+ * table shared by every batched and view-based dispatch.
+ */
+inline bool GatePrelude(GateType t, bool a_linear, bool b_linear,
+                        int32_t* coef_a, int32_t* coef_b,
+                        tfhe::Torus32* offset) {
+    switch (t) {
+        case GateType::kAnd:
+            *coef_a = +1; *coef_b = +1; *offset = -tfhe::kGateMu;
+            return true;
+        case GateType::kNand:
+            *coef_a = -1; *coef_b = -1; *offset = tfhe::kGateMu;
+            return true;
+        case GateType::kOr:
+            *coef_a = +1; *coef_b = +1; *offset = tfhe::kGateMu;
+            return true;
+        case GateType::kNor:
+            *coef_a = -1; *coef_b = -1; *offset = -tfhe::kGateMu;
+            return true;
+        case GateType::kXor:
+            *coef_a = a_linear ? 1 : 2;
+            *coef_b = b_linear ? 1 : 2;
+            *offset = tfhe::kGateQuarter;
+            return true;
+        case GateType::kXnor:
+            *coef_a = a_linear ? 1 : 2;
+            *coef_b = b_linear ? 1 : 2;
+            *offset = -tfhe::kGateQuarter;
+            return true;
+        case GateType::kAndNY:
+            *coef_a = -1; *coef_b = +1; *offset = -tfhe::kGateMu;
+            return true;
+        case GateType::kAndYN:
+            *coef_a = +1; *coef_b = -1; *offset = -tfhe::kGateMu;
+            return true;
+        case GateType::kOrNY:
+            *coef_a = -1; *coef_b = +1; *offset = tfhe::kGateMu;
+            return true;
+        case GateType::kOrYN:
+            *coef_a = +1; *coef_b = -1; *offset = tfhe::kGateMu;
+            return true;
+        default:
+            return false;
+    }
+}
+
+}  // namespace detail
+
 /** Evaluates gates on plaintext booleans (reference semantics). */
 class PlainEvaluator {
   public:
@@ -122,66 +192,89 @@ class TfheEvaluator {
      * rotation. Every item's type must satisfy Batchable(); gate kinds may
      * be mixed freely — each kind is only a different linear prelude into
      * the shared +-1/8 bootstrap. Bit-exact per gate vs the scalar Apply.
+     * Staging lives in the scratch, so a warm scratch makes dispatch
+     * allocation-free.
      */
     void ApplyBatch(const BatchGate<Ciphertext>* items, int32_t count,
                     BatchScratch& s) const {
-        std::vector<tfhe::BatchGateSpec> specs(count);
+        s.specs.resize(count);
         for (int32_t i = 0; i < count; ++i) {
             const BatchGate<Ciphertext>& g = items[i];
-            tfhe::BatchGateSpec& spec = specs[i];
+            tfhe::BatchGateSpec& spec = s.specs[i];
             spec.a = g.a;
             spec.b = g.b;
             spec.out = g.out;
-            switch (g.type) {
-                case GateType::kAnd:
-                    spec.coef_a = +1; spec.coef_b = +1;
-                    spec.offset = -tfhe::kGateMu;
-                    break;
-                case GateType::kNand:
-                    spec.coef_a = -1; spec.coef_b = -1;
-                    spec.offset = tfhe::kGateMu;
-                    break;
-                case GateType::kOr:
-                    spec.coef_a = +1; spec.coef_b = +1;
-                    spec.offset = tfhe::kGateMu;
-                    break;
-                case GateType::kNor:
-                    spec.coef_a = -1; spec.coef_b = -1;
-                    spec.offset = -tfhe::kGateMu;
-                    break;
-                case GateType::kXor:
-                    spec.coef_a = g.a_linear ? 1 : 2;
-                    spec.coef_b = g.b_linear ? 1 : 2;
-                    spec.offset = tfhe::kGateQuarter;
-                    break;
-                case GateType::kXnor:
-                    spec.coef_a = g.a_linear ? 1 : 2;
-                    spec.coef_b = g.b_linear ? 1 : 2;
-                    spec.offset = -tfhe::kGateQuarter;
-                    break;
-                case GateType::kAndNY:
-                    spec.coef_a = -1; spec.coef_b = +1;
-                    spec.offset = -tfhe::kGateMu;
-                    break;
-                case GateType::kAndYN:
-                    spec.coef_a = +1; spec.coef_b = -1;
-                    spec.offset = -tfhe::kGateMu;
-                    break;
-                case GateType::kOrNY:
-                    spec.coef_a = -1; spec.coef_b = +1;
-                    spec.offset = tfhe::kGateMu;
-                    break;
-                case GateType::kOrYN:
-                    spec.coef_a = +1; spec.coef_b = -1;
-                    spec.offset = tfhe::kGateMu;
-                    break;
-                default:
-                    throw std::invalid_argument(
-                        "TfheEvaluator::ApplyBatch: non-bootstrapped gate "
-                        "type in batch");
-            }
+            if (!detail::GatePrelude(g.type, g.a_linear, g.b_linear,
+                                     &spec.coef_a, &spec.coef_b,
+                                     &spec.offset))
+                throw std::invalid_argument(
+                    "TfheEvaluator::ApplyBatch: non-bootstrapped gate "
+                    "type in batch");
         }
-        gates_->BatchedLinearBootstrap(specs.data(), count, &s);
+        gates_->BatchedLinearBootstrap(s.specs.data(), count, &s);
+    }
+
+    /**
+     * View flavor of ApplyBatch for arena-resident lanes: gathers operand
+     * slots and scatters output slots directly, no LweSample objects in
+     * the loop. Same batching contract and bit-exactness as above.
+     */
+    void ApplyBatch(const BatchGateView* items, int32_t count,
+                    BatchScratch& s) const {
+        s.view_specs.resize(count);
+        for (int32_t i = 0; i < count; ++i) {
+            const BatchGateView& g = items[i];
+            tfhe::BatchGateViewSpec& spec = s.view_specs[i];
+            spec.a = g.a;
+            spec.b = g.b;
+            spec.out = g.out;
+            if (!detail::GatePrelude(g.type, g.a_linear, g.b_linear,
+                                     &spec.coef_a, &spec.coef_b,
+                                     &spec.offset))
+                throw std::invalid_argument(
+                    "TfheEvaluator::ApplyBatch: non-bootstrapped gate "
+                    "type in batch");
+        }
+        gates_->BatchedLinearBootstrap(s.view_specs.data(), count, &s);
+    }
+
+    /**
+     * Zero-copy scalar dispatch: evaluates one gate from operand views
+     * straight into the destination view (typically all three are arena
+     * slots). Inputs are fully consumed before `out` is written, so `out`
+     * may alias either input — the in-place shape a memory plan produces.
+     * Bit-exact vs the object-based Apply for every gate kind.
+     */
+    void ApplyInto(GateType t, tfhe::LweCView a, bool a_linear,
+                   tfhe::LweCView b, bool b_linear, tfhe::LweView out,
+                   WorkerScratch& s) const {
+        int32_t coef_a = 0, coef_b = 0;
+        tfhe::Torus32 offset = 0;
+        if (detail::GatePrelude(t, a_linear, b_linear, &coef_a, &coef_b,
+                                &offset)) {
+            gates_->LinearBootstrapInto(coef_a, a, coef_b, b, offset, out,
+                                        &s);
+            return;
+        }
+        switch (t) {
+            case GateType::kNot:
+                gates_->NotInto(a, out);
+                return;
+            case GateType::kLinNot:
+                gates_->LinNotInto(a, out);
+                return;
+            case GateType::kLinXor:
+                gates_->LinCombineInto(a_linear ? 1 : 2, a, b_linear ? 1 : 2,
+                                       b, tfhe::kGateQuarter, out);
+                return;
+            case GateType::kLinXnor:
+                gates_->LinCombineInto(a_linear ? 1 : 2, a, b_linear ? 1 : 2,
+                                       b, -tfhe::kGateQuarter, out);
+                return;
+            default:
+                throw std::invalid_argument(
+                    "TfheEvaluator::ApplyInto: unknown gate type");
+        }
     }
 
   private:

@@ -191,12 +191,16 @@ class Executor {
             program.NumGates() <= 1)
             return RunProgram(program, eval, inputs, control, fault);
 
-        const pasm::GateDependencies deps = program.BuildGateDependencies();
+        // Plan-aware dependencies: anti-dependency edges serialize every
+        // reader of a slot before its overwriter, so any valid memory plan
+        // is safe under dependency counting (and hazardous pairs are never
+        // simultaneously ready, hence never co-batched).
+        const pasm::GateDependencies deps =
+            program.BuildGateDependencies(program.Plan());
         const uint64_t first_gate = program.FirstGateIndex();
-        const uint64_t end_gate = first_gate + program.NumGates();
 
-        detail::SlotBuffer<C> value(end_gate);
-        for (uint64_t i = 0; i < inputs.size(); ++i) value[1 + i] = inputs[i];
+        ValuePlane<Evaluator> plane;
+        plane.Reset(program, inputs);
 
         // Remaining-predecessor counts, one atomic per gate. The final
         // decrement of a gate's count transfers ownership of its inputs to
@@ -235,15 +239,10 @@ class Executor {
                         }
                     }
                 }
-                const pasm::DecodedGate g = program.GateAt(idx);
                 if (!skip) {
                     try {
                         fault.OnGate(idx - first_gate);
-                        value[idx] = detail::ApplyGate(
-                            eval, g.type, value[g.in0],
-                            program.ProducesLinearDomain(g.in0),
-                            value[g.in1],
-                            program.ProducesLinearDomain(g.in1), scratch);
+                        plane.Apply(eval, program, idx, scratch);
                     } catch (...) {
                         try {
                             RethrowAsGateError(idx - first_gate,
@@ -285,13 +284,9 @@ class Executor {
             (void)batch_scratch;
             std::vector<uint64_t> batch;
             std::vector<uint64_t> kernel_gates;
-            std::vector<BatchGate<C>> items;
+            std::vector<typename ValuePlane<Evaluator>::BatchItem> items;
             auto run_scalar = [&](uint64_t idx) {
-                const pasm::DecodedGate g = program.GateAt(idx);
-                value[idx] = detail::ApplyGate(
-                    eval, g.type, value[g.in0],
-                    program.ProducesLinearDomain(g.in0), value[g.in1],
-                    program.ProducesLinearDomain(g.in1), scratch);
+                plane.Apply(eval, program, idx, scratch);
             };
             auto latch = [&](uint64_t idx) {
                 try {
@@ -342,17 +337,9 @@ class Executor {
                         if (!kernel_gates.empty() &&
                             !failed.load(std::memory_order_relaxed)) {
                             items.resize(kernel_gates.size());
-                            for (size_t i = 0; i < kernel_gates.size(); ++i) {
-                                const uint64_t idx = kernel_gates[i];
-                                const pasm::DecodedGate g =
-                                    program.GateAt(idx);
-                                items[i] = BatchGate<C>{
-                                    g.type, &value[g.in0],
-                                    program.ProducesLinearDomain(g.in0),
-                                    &value[g.in1],
-                                    program.ProducesLinearDomain(g.in1),
-                                    &value[idx]};
-                            }
+                            for (size_t i = 0; i < kernel_gates.size(); ++i)
+                                items[i] = plane.BatchItemFor(
+                                    program, kernel_gates[i]);
                             try {
                                 eval.ApplyBatch(
                                     items.data(),
@@ -397,11 +384,7 @@ class Executor {
             abort.load(std::memory_order_relaxed);
         if (reason != RunControl::Abort::kNone) RunControl::Raise(reason);
 
-        std::vector<C> out;
-        out.reserve(program.OutputIndices().size());
-        for (uint64_t src : program.OutputIndices())
-            out.push_back(value[src]);
-        return out;
+        return plane.Harvest(program);
     }
 
     /** The underlying pool, exposed for reuse by other parallel backends. */

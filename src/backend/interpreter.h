@@ -33,16 +33,15 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <concepts>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
-#include <type_traits>
 #include <vector>
 
+#include "backend/arena.h"
 #include "backend/evaluator.h"
 #include "backend/fault.h"
 #include "backend/scheduler.h"
@@ -119,95 +118,6 @@ inline void ValidateRunArgs(const pasm::Program& program, size_t num_inputs,
                                     std::to_string(num_threads));
 }
 
-/**
- * Value slots indexed by instruction. A plain heap array rather than
- * std::vector<C>: with C = bool, vector<bool> packs bits, and concurrent
- * writers of *different* slots would race on the same byte. A bool[] has
- * one addressable object per slot, so distinct-slot writes never conflict.
- */
-template <typename C>
-class SlotBuffer {
-  public:
-    explicit SlotBuffer(uint64_t size) : slots_(new C[size]()) {}
-    C& operator[](uint64_t idx) { return slots_[idx]; }
-    const C& operator[](uint64_t idx) const { return slots_[idx]; }
-
-  private:
-    std::unique_ptr<C[]> slots_;
-};
-
-/** Placeholder scratch for evaluators that do not declare WorkerScratch. */
-struct NoScratch {};
-
-/**
- * Maps an evaluator to its per-worker scratch type. Evaluators opt in by
- * declaring `using WorkerScratch = ...` and providing an Apply overload
- * taking a WorkerScratch&; everything else gets the empty NoScratch and
- * the plain three-argument Apply.
- */
-template <typename Evaluator, typename = void>
-struct WorkerScratchOf {
-    using type = NoScratch;
-};
-
-template <typename Evaluator>
-struct WorkerScratchOf<Evaluator,
-                       std::void_t<typename Evaluator::WorkerScratch>> {
-    using type = typename Evaluator::WorkerScratch;
-};
-
-/**
- * Maps an evaluator to its per-worker *batch* scratch type. Evaluators
- * opt in by declaring `using BatchScratch = ...` alongside an ApplyBatch
- * method; everything else gets the empty NoScratch.
- */
-template <typename Evaluator, typename = void>
-struct BatchScratchOf {
-    using type = NoScratch;
-};
-
-template <typename Evaluator>
-struct BatchScratchOf<Evaluator,
-                      std::void_t<typename Evaluator::BatchScratch>> {
-    using type = typename Evaluator::BatchScratch;
-};
-
-/**
- * True when the evaluator can evaluate a batch of bootstrapped gates in
- * one kernel call (ApplyBatch + Batchable + BatchScratch). Dispatchers
- * with batch_size > 1 group ready gates for such evaluators and fall back
- * to per-gate Apply for everything else.
- */
-template <typename Evaluator>
-inline constexpr bool kSupportsApplyBatch = requires(
-    const Evaluator& e,
-    const BatchGate<typename Evaluator::Ciphertext>* items, int32_t count,
-    typename BatchScratchOf<Evaluator>::type& s) {
-    e.ApplyBatch(items, count, s);
-    { Evaluator::Batchable(circuit::GateType::kAnd) } -> std::same_as<bool>;
-};
-
-/**
- * Dispatches Apply by evaluator capability. Evaluators may take operand
- * encoding-domain flags (ciphertext evaluators need them to pick the
- * linear-combination coefficients for elided gates) and/or a per-worker
- * scratch; plaintext-style evaluators take neither, since the plaintext
- * semantics of kLin* gates do not depend on the operand encoding.
- */
-template <typename Evaluator, typename C, typename Scratch>
-C ApplyGate(Evaluator& eval, circuit::GateType t, const C& a, bool a_linear,
-            const C& b, bool b_linear, Scratch& scratch) {
-    if constexpr (requires { eval.Apply(t, a, a_linear, b, b_linear,
-                                        scratch); }) {
-        return eval.Apply(t, a, a_linear, b, b_linear, scratch);
-    } else if constexpr (std::is_same_v<Scratch, NoScratch>) {
-        (void)scratch;
-        return eval.Apply(t, a, b);
-    } else {
-        return eval.Apply(t, a, b, scratch);
-    }
-}
-
 }  // namespace detail
 
 /**
@@ -223,37 +133,29 @@ std::vector<typename Evaluator::Ciphertext> RunProgram(
     const pasm::Program& program, Evaluator& eval,
     const std::vector<typename Evaluator::Ciphertext>& inputs,
     const RunControl& control = {}, const FaultHook& fault = {}) {
-    using C = typename Evaluator::Ciphertext;
     detail::ValidateRunArgs(program, inputs.size(), 1);
     const bool guarded = control.Engaged();
 
     const uint64_t first_gate = program.FirstGateIndex();
     const uint64_t end_gate = first_gate + program.NumGates();
-    // value[idx] for instruction idx (0 = header slot, unused).
-    detail::SlotBuffer<C> value(end_gate);
-    for (uint64_t i = 0; i < inputs.size(); ++i) value[1 + i] = inputs[i];
+    // In-order execution tolerates any memory plan (a value's slot is not
+    // overwritten before its last in-order reader by plan validity).
+    ValuePlane<Evaluator> plane;
+    plane.Reset(program, inputs);
     typename detail::WorkerScratchOf<Evaluator>::type scratch{};
     for (uint64_t idx = first_gate; idx < end_gate; ++idx) {
         if (guarded) {
             const RunControl::Abort abort = control.Check();
             if (abort != RunControl::Abort::kNone) RunControl::Raise(abort);
         }
-        const pasm::DecodedGate g = program.GateAt(idx);
         try {
             fault.OnGate(idx - first_gate);
-            value[idx] = detail::ApplyGate(
-                eval, g.type, value[g.in0],
-                program.ProducesLinearDomain(g.in0), value[g.in1],
-                program.ProducesLinearDomain(g.in1), scratch);
+            plane.Apply(eval, program, idx, scratch);
         } catch (...) {
             RethrowAsGateError(idx - first_gate, fault.attempt);
         }
     }
-    std::vector<C> out;
-    out.reserve(program.OutputIndices().size());
-    for (uint64_t src : program.OutputIndices())
-        out.push_back(value[src]);
-    return out;
+    return plane.Harvest(program);
 }
 
 /**
@@ -280,9 +182,11 @@ std::vector<typename Evaluator::Ciphertext> RunProgramThreaded(
 
     const Schedule schedule = ComputeSchedule(program);
     const uint64_t first_gate = program.FirstGateIndex();
-    const uint64_t end_gate = first_gate + program.NumGates();
-    detail::SlotBuffer<C> value(end_gate);
-    for (uint64_t i = 0; i < inputs.size(); ++i) value[1 + i] = inputs[i];
+    // Wave-barrier execution may only reuse slots across a level boundary,
+    // so plans not flagged level-safe are ignored (identity layout).
+    const pasm::MemoryPlan* plan = program.Plan();
+    ValuePlane<Evaluator> plane;
+    plane.Reset(program, inputs, plan != nullptr && plan->level_safe);
 
     // First failure wins; later workers observe the flag and stop picking.
     std::atomic<bool> failed{false};
@@ -299,13 +203,9 @@ std::vector<typename Evaluator::Ciphertext> RunProgramThreaded(
                 const size_t i = cursor.fetch_add(1);
                 if (i >= wave.size()) break;
                 const uint64_t idx = wave[i];
-                const pasm::DecodedGate g = program.GateAt(idx);
                 try {
                     fault.OnGate(idx - first_gate);
-                    value[idx] = detail::ApplyGate(
-                        eval, g.type, value[g.in0],
-                        program.ProducesLinearDomain(g.in0), value[g.in1],
-                        program.ProducesLinearDomain(g.in1), scratch);
+                    plane.Apply(eval, program, idx, scratch);
                 } catch (...) {
                     try {
                         RethrowAsGateError(idx - first_gate, fault.attempt);
@@ -331,11 +231,7 @@ std::vector<typename Evaluator::Ciphertext> RunProgramThreaded(
     }
     if (error) throw *error;
 
-    std::vector<C> out;
-    out.reserve(program.OutputIndices().size());
-    for (uint64_t src : program.OutputIndices())
-        out.push_back(value[src]);
-    return out;
+    return plane.Harvest(program);
 }
 
 }  // namespace pytfhe::backend

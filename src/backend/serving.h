@@ -101,6 +101,31 @@ class OverloadedError : public std::runtime_error {
     double estimated_drain_seconds_;
 };
 
+/**
+ * Typed admission rejection for ServingOptions::max_job_arena_bytes: the
+ * job's ciphertext plane would exceed the per-job arena budget. Unlike
+ * OverloadedError this is not transient — resubmitting the same program
+ * against the same budget always fails; the client must split the job or
+ * the operator must raise the budget.
+ */
+class ArenaBudgetError : public std::runtime_error {
+  public:
+    ArenaBudgetError(size_t required_bytes, size_t budget_bytes)
+        : std::runtime_error(
+              "ServingExecutor: job ciphertext arena needs " +
+              std::to_string(required_bytes) + " bytes, budget is " +
+              std::to_string(budget_bytes)),
+          required_bytes_(required_bytes),
+          budget_bytes_(budget_bytes) {}
+
+    size_t required_bytes() const { return required_bytes_; }
+    size_t budget_bytes() const { return budget_bytes_; }
+
+  private:
+    size_t required_bytes_;
+    size_t budget_bytes_;
+};
+
 /** Lifecycle of one submitted job. */
 enum class JobStatus {
     kQueued,    ///< Admitted to the service, waiting for an active slot.
@@ -203,6 +228,16 @@ struct ServingOptions {
      * 1 disables batching and leaves the scalar pick/chain path untouched.
      */
     int32_t batch_size = 1;
+    /**
+     * Per-job ciphertext arena budget in bytes: a submission whose value
+     * plane (ValuePlane::RequiredBytes — the memory-planned slot count
+     * times the ciphertext stride) would exceed this throws the typed
+     * ArenaBudgetError at Submit time, before any state is allocated.
+     * 0 = unlimited. Memory planning shrinks a job's plane from one slot
+     * per instruction to one per peak-live value, so planned programs fit
+     * budgets their unplanned forms would blow through.
+     */
+    size_t max_job_arena_bytes = 0;
 };
 
 /**
@@ -415,12 +450,8 @@ class ServingExecutor {
             job.metrics.degraded_sequential = job.degraded;
             if (status == JobStatus::kDone) {
                 // The sequential degraded path harvests its own outputs.
-                if (job.outputs.empty()) {
-                    job.outputs.reserve(
-                        job.program->OutputIndices().size());
-                    for (uint64_t src : job.program->OutputIndices())
-                        job.outputs.push_back(job.values[src]);
-                }
+                if (job.outputs.empty())
+                    job.outputs = job.values.Harvest(*job.program);
                 ++stats.jobs_completed;
             } else if (status == JobStatus::kCancelled) {
                 ++stats.jobs_cancelled;
@@ -527,14 +558,13 @@ class ServingExecutor {
                 job.degraded = true;
                 ++stats.jobs_degraded;
             } else {
-                // Rebuild the dependency-counted state for a parallel
-                // re-run. No worker holds gates of this job any more
-                // (remaining hit zero under the lock), so the resets are
-                // ordered before any future reader.
-                job.values = detail::SlotBuffer<Ciphertext>(
-                    job.first_gate + job.program->NumGates());
-                for (uint64_t i = 0; i < job.inputs.size(); ++i)
-                    job.values[1 + i] = job.inputs[i];
+                // Reset the dependency-counted state for a parallel
+                // re-run in place: the value plane keeps its slab/slots
+                // (a retry re-seeds the inputs without reallocating). No
+                // worker holds gates of this job any more (remaining hit
+                // zero under the lock), so the resets are ordered before
+                // any future reader.
+                job.values.Reset(*job.program, job.inputs);
                 for (uint64_t g = 0; g < job.program->NumGates(); ++g)
                     job.pending[g].store(job.deps.pred_count[g],
                                          std::memory_order_relaxed);
@@ -704,12 +734,8 @@ class ServingExecutor {
                         if (opts.fault_injector != nullptr)
                             opts.fault_injector->OnGate(
                                 job.seq, attempt, gate - job.first_gate);
-                        job.values[gate] = detail::ApplyGate(
-                            *job.eval, g.type, job.values[g.in0],
-                            job.program->ProducesLinearDomain(g.in0),
-                            job.values[g.in1],
-                            job.program->ProducesLinearDomain(g.in1),
-                            scratch);
+                        job.values.Apply(*job.eval, *job.program, gate,
+                                         scratch);
                         linear = circuit::IsLinearGate(g.type);
                     } catch (...) {
                         try {
@@ -819,13 +845,9 @@ class ServingExecutor {
             auto run_scalar = [&](size_t i) {
                 Job& job = *batch[i].job;
                 const uint64_t gate = batch[i].gate;
-                const pasm::DecodedGate g = job.program->GateAt(gate);
-                job.values[gate] = detail::ApplyGate(
-                    *job.eval, g.type, job.values[g.in0],
-                    job.program->ProducesLinearDomain(g.in0),
-                    job.values[g.in1],
-                    job.program->ProducesLinearDomain(g.in1), scratch);
-                st[i].linear = circuit::IsLinearGate(g.type);
+                job.values.Apply(*job.eval, *job.program, gate, scratch);
+                st[i].linear = circuit::IsLinearGate(
+                    job.program->GateAt(gate).type);
                 st[i].executed = true;
             };
             auto latch = [&](size_t i) {
@@ -872,18 +894,12 @@ class ServingExecutor {
 
             if constexpr (detail::kSupportsApplyBatch<Evaluator>) {
                 if (!kernel.empty()) {
-                    std::vector<BatchGate<Ciphertext>> items(kernel.size());
+                    std::vector<typename ValuePlane<Evaluator>::BatchItem>
+                        items(kernel.size());
                     for (size_t k = 0; k < kernel.size(); ++k) {
                         const Picked& p = batch[kernel[k]];
-                        Job& job = *p.job;
-                        const pasm::DecodedGate g =
-                            job.program->GateAt(p.gate);
-                        items[k] = BatchGate<Ciphertext>{
-                            g.type, &job.values[g.in0],
-                            job.program->ProducesLinearDomain(g.in0),
-                            &job.values[g.in1],
-                            job.program->ProducesLinearDomain(g.in1),
-                            &job.values[p.gate]};
+                        items[k] = p.job->values.BatchItemFor(
+                            *p.job->program, p.gate);
                     }
                     try {
                         batch.front().job->eval->ApplyBatch(
@@ -1058,14 +1074,13 @@ class ServingExecutor {
             : core_(std::move(core)),
               program(std::move(p)),
               eval(e),
-              deps(program->BuildGateDependencies()),
+              deps(program->BuildGateDependencies(program->Plan())),
               first_gate(program->FirstGateIndex()),
               submit_time(Clock::now()),
               deadline(so.deadline),
               tenant(so.tenant),
               weight(so.weight > 0 ? so.weight : 1),
               pin(so.pin),
-              values(first_gate + program->NumGates()),
               pending(program->NumGates()),
               remaining(program->NumGates()) {
             for (uint64_t g = 0; g < program->NumGates(); ++g)
@@ -1089,11 +1104,13 @@ class ServingExecutor {
          *  evaluator's owning entry alive for the job's whole life. */
         const std::shared_ptr<void> pin;
 
-        // Lock-free gate state: slots race-free by construction (one
-        // writer per slot), pending counts atomic. Retry resets happen
-        // under the lock only after remaining hit zero, so no worker can
-        // race a reset.
-        detail::SlotBuffer<Ciphertext> values;
+        // Lock-free gate state: plane slots race-free by construction
+        // (one writer per slot; plan anti-dependency edges serialize slot
+        // reuse), pending counts atomic. Retry resets happen under the
+        // lock only after remaining hit zero, so no worker can race a
+        // reset — and the plane keeps its arena, so a retry allocates
+        // nothing.
+        ValuePlane<Evaluator> values;
         std::vector<std::atomic<uint32_t>> pending;
         std::atomic<bool> cancel_requested{false};
         std::atomic<bool> fail_requested{false};
@@ -1158,15 +1175,24 @@ class ServingExecutor {
         if (!program)
             throw std::invalid_argument("ServingExecutor: null program");
         detail::ValidateRunArgs(*program, inputs.size(), 1);
+        if (core_->opts.max_job_arena_bytes > 0) {
+            // Admission control before any job state is allocated: the
+            // plane size is a pure function of the program's memory plan
+            // and the ciphertext dimension.
+            const size_t need =
+                ValuePlane<Evaluator>::RequiredBytes(*program, inputs);
+            if (need > core_->opts.max_job_arena_bytes)
+                throw ArenaBudgetError(need,
+                                       core_->opts.max_job_arena_bytes);
+        }
         JobPtr job(new Job(core_, std::move(program), &eval, options));
         if (core_->opts.retry.max_attempts > 1) {
             // Retain the submission inputs so a retry can re-seed the
-            // value slots (and the degraded sequential attempt can run
+            // value plane (and the degraded sequential attempt can run
             // straight from them).
             job->inputs = inputs;
         }
-        for (uint64_t i = 0; i < inputs.size(); ++i)
-            job->values[1 + i] = std::move(inputs[i]);
+        job->values.Reset(*job->program, inputs);
 
         std::lock_guard<std::mutex> lock(core_->mu);
         if (core_->shutdown)

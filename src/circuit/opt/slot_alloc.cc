@@ -1,0 +1,57 @@
+#include "circuit/opt/slot_alloc.h"
+
+#include <cstddef>
+#include <queue>
+#include <utility>
+
+namespace pytfhe::circuit {
+
+namespace {
+
+/** A slot whose occupant has a known expiry, waiting to become free. */
+struct Expiring {
+    uint64_t last_use = 0;
+    uint64_t death_level = 0;
+    uint64_t slot = 0;
+    bool operator>(const Expiring& o) const { return last_use > o.last_use; }
+};
+
+}  // namespace
+
+SlotAssignment AssignSlots(const std::vector<LiveInterval>& intervals,
+                           bool level_safe) {
+    SlotAssignment out;
+    out.slot.resize(intervals.size());
+
+    // Claimants arrive in increasing `def`, so slots migrate monotonically
+    // from `pending` (occupant not yet dead by ordinal) to `ready`
+    // (ordinal-free, keyed by the occupant's death level). A claimant
+    // takes the ready slot with the smallest death level: if that one
+    // violates the level discipline, every ready slot does.
+    std::priority_queue<Expiring, std::vector<Expiring>, std::greater<>>
+        pending;
+    using LevelSlot = std::pair<uint64_t, uint64_t>;  // (death_level, slot)
+    std::priority_queue<LevelSlot, std::vector<LevelSlot>,
+                        std::greater<>>
+        ready;
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+        const LiveInterval& v = intervals[i];
+        while (!pending.empty() && pending.top().last_use <= v.def) {
+            ready.emplace(pending.top().death_level, pending.top().slot);
+            pending.pop();
+        }
+        uint64_t slot;
+        if (!ready.empty() &&
+            (!level_safe || ready.top().first + 1 <= v.def_level)) {
+            slot = ready.top().second;
+            ready.pop();
+        } else {
+            slot = out.num_slots++;
+        }
+        out.slot[i] = slot;
+        if (!v.pinned) pending.push({v.last_use, v.death_level, slot});
+    }
+    return out;
+}
+
+}  // namespace pytfhe::circuit

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Linear-scan slot allocation over value live intervals — classic register
+ * allocation applied to ciphertext storage. The circuit DAG is static at
+ * compile time, so each value's live interval is exact (no spilling, no
+ * heuristics): a value lives from the ordinal of its defining instruction
+ * to the ordinal of its last reader, or forever when it is pinned (program
+ * outputs must survive to harvest).
+ *
+ * Two reuse disciplines:
+ *  - *sequential* — a slot is free as soon as its occupant's last reader
+ *    has executed; the tightest packing, valid for in-order execution and
+ *    for dependency-counting executors that schedule on anti-dependency
+ *    edges (in-place reuse — destination slot == an operand's slot — is
+ *    permitted because kernels read all operands before writing);
+ *  - *level-safe* — a slot freed by a value whose last reader runs at wave
+ *    level L is reassigned only to values defined at level >= L+1, so
+ *    barrier-scheduled threads can never race a reader against the
+ *    overwriting gate. Slightly looser packing, safe on every backend.
+ */
+#ifndef PYTFHE_CIRCUIT_OPT_SLOT_ALLOC_H
+#define PYTFHE_CIRCUIT_OPT_SLOT_ALLOC_H
+
+#include <cstdint>
+#include <vector>
+
+namespace pytfhe::circuit {
+
+/**
+ * One value's live interval. Values are presented in definition order
+ * (their `def` ordinals strictly increase), which is what makes a single
+ * linear scan sufficient.
+ */
+struct LiveInterval {
+    /** Ordinal of the defining instruction. */
+    uint64_t def = 0;
+    /** Ordinal of the last reader; == def when the value has no readers. */
+    uint64_t last_use = 0;
+    /** Wave level of the defining instruction (inputs are level 0). */
+    uint64_t def_level = 0;
+    /** Wave level of the last reader; == def_level with no readers. */
+    uint64_t death_level = 0;
+    /** Pinned values (program outputs) never free their slot. */
+    bool pinned = false;
+};
+
+/** The computed assignment: one physical slot per interval. */
+struct SlotAssignment {
+    std::vector<uint64_t> slot;  ///< Parallel to the interval list.
+    uint64_t num_slots = 0;      ///< All slot entries are below this.
+};
+
+/**
+ * Assigns a physical slot to each interval by linear scan. With
+ * `level_safe` set, reuse honors the wave-level discipline above;
+ * otherwise reuse is sequential-tight. Intervals must be sorted by `def`
+ * (strictly increasing) and satisfy last_use >= def, death_level >=
+ * def_level for readers; violating intervals are the caller's bug, not
+ * detected here — the pasm loader independently re-validates any plan
+ * before execution.
+ */
+SlotAssignment AssignSlots(const std::vector<LiveInterval>& intervals,
+                           bool level_safe);
+
+}  // namespace pytfhe::circuit
+
+#endif  // PYTFHE_CIRCUIT_OPT_SLOT_ALLOC_H

@@ -1,5 +1,7 @@
 #include "core/compiler.h"
 
+#include "pasm/memory_plan.h"
+
 namespace pytfhe::core {
 
 std::optional<Compiled> Compile(const circuit::Netlist& netlist,
@@ -19,6 +21,14 @@ std::optional<Compiled> Compile(const circuit::Netlist& netlist,
     }
     auto program = pasm::Assemble(opt.netlist, error);
     if (!program) return std::nullopt;
+    if (options.plan_memory) {
+        // Level-safe plans are valid on every backend; a freshly assembled
+        // program always accepts its own plan, so failure here is a bug.
+        auto planned = program->WithPlan(pasm::ComputeMemoryPlan(*program),
+                                         error);
+        if (!planned) return std::nullopt;
+        program = std::move(planned);
+    }
     Compiled out{std::move(*program), opt.netlist.ComputeStats(),
                  opt.stats, elision_stats};
     return out;

@@ -33,6 +33,16 @@ struct CompileOptions {
      */
     std::optional<tfhe::Params> params;
     circuit::ElisionOptions elision;  ///< Pass knobs; enabled by default.
+
+    /**
+     * Compute a memory plan (liveness + linear-scan slot reuse) and embed
+     * it in the emitted binary as a version-3 plan section. The plan is
+     * level-safe, so every backend honors it; results are bit-identical
+     * with or without one — only peak ciphertext storage differs (one slot
+     * per peak-live value instead of one per instruction). Off emits the
+     * version-2 planless format.
+     */
+    bool plan_memory = true;
 };
 
 /** A compiled TFHE program plus its provenance statistics. */

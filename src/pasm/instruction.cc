@@ -36,6 +36,18 @@ Instruction Instruction::MakeWideMembers(uint64_t m0, uint64_t m1) {
     return Pack(m0, m1, kWideType);
 }
 
+Instruction Instruction::MakePlanSentinel() {
+    return Pack(kIndexAllOnes, kIndexAllOnes, kWideType);
+}
+
+Instruction Instruction::MakePlanHead(uint64_t num_slots, uint64_t flags) {
+    return Pack(num_slots, flags, kWideType);
+}
+
+Instruction Instruction::MakePlanSlots(uint64_t s0, uint64_t s1) {
+    return Pack(s0, s1, kWideType);
+}
+
 InstructionKind Instruction::Kind(uint64_t position) const {
     if (position == 0) return InstructionKind::kHeader;
     // 0xE is not a gate type, so wide records are position-independent.
@@ -67,7 +79,9 @@ std::string Instruction::ToString(uint64_t position) const {
                << " " << Input0() << ", " << Input1();
             break;
         case InstructionKind::kWide:
-            if (Input0() == kIndexAllOnes) {
+            if (Input0() == kIndexAllOnes && Input1() == kIndexAllOnes) {
+                os << "PLAN section";
+            } else if (Input0() == kIndexAllOnes) {
                 os << "WIDE group of " << Input1();
             } else {
                 os << "WIDE members " << Input0();

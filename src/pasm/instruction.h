@@ -63,7 +63,28 @@ constexpr uint64_t kFormatVersionLegacy = 0;  ///< Bootstrapped gates only.
 constexpr uint64_t kFormatVersionLinear = 1;  ///< May contain kLin* gates.
 /** May additionally carry a wide-group trailer after the outputs. */
 constexpr uint64_t kFormatVersionWide = 2;
-constexpr uint64_t kMaxFormatVersion = kFormatVersionWide;
+/**
+ * May additionally carry a memory-plan section at the very end of the
+ * file (after the wide trailer, if any). The section reuses the 0xE
+ * record nibble and consists of:
+ *   sentinel   — INPUT0 and INPUT1 both all-ones. A wide *leader* always
+ *                declares a member count in [2, num_gates], so the
+ *                sentinel is unambiguous.
+ *   plan head  — INPUT0 = number of physical slots, INPUT1 = flag bits
+ *                (bit 0: the plan respects wave-level boundaries and is
+ *                safe for barrier-scheduled threaded execution).
+ *   slot pairs — ceil(num_values / 2) records assigning physical slots
+ *                to values 1..num_inputs+num_gates in index order, two
+ *                per record (INPUT0 = first, INPUT1 = second; the final
+ *                record pads INPUT1 with all-ones when the value count
+ *                is odd).
+ * Older versions load with the identity plan (slot i = value i).
+ */
+constexpr uint64_t kFormatVersionPlanned = 3;
+constexpr uint64_t kMaxFormatVersion = kFormatVersionPlanned;
+
+/** Flag bits carried in the plan head's INPUT1 field. */
+constexpr uint64_t kPlanFlagLevelSafe = 1;
 
 /** What an instruction is. */
 enum class InstructionKind : uint8_t {
@@ -104,6 +125,13 @@ struct Instruction {
     /** Wide-group member pair; pass kIndexAllOnes for a trailing pad. */
     static Instruction MakeWideMembers(uint64_t m0,
                                        uint64_t m1 = kIndexAllOnes);
+    /** Memory-plan sentinel: both index fields all-ones (version >= 3). */
+    static Instruction MakePlanSentinel();
+    /** Memory-plan head: slot count plus flag bits. */
+    static Instruction MakePlanHead(uint64_t num_slots, uint64_t flags);
+    /** Two slot assignments; pass kIndexAllOnes for a trailing pad. */
+    static Instruction MakePlanSlots(uint64_t s0,
+                                     uint64_t s1 = kIndexAllOnes);
 
   private:
     static Instruction Pack(uint64_t in0, uint64_t in1, uint8_t type);

@@ -1,0 +1,60 @@
+#include "pasm/memory_plan.h"
+
+#include <algorithm>
+
+#include "circuit/opt/slot_alloc.h"
+
+namespace pytfhe::pasm {
+
+MemoryPlan ComputeMemoryPlan(const Program& program,
+                             const MemoryPlanOptions& options) {
+    const uint64_t first_gate = program.FirstGateIndex();
+    const uint64_t end_gate = first_gate + program.NumGates();
+    const uint64_t num_values = program.NumInputs() + program.NumGates();
+
+    MemoryPlan plan;
+    plan.level_safe = options.level_safe;
+    if (num_values == 0) return plan;
+
+    // Exact liveness: last reader per value, with outputs pinned. The
+    // death *level* is the max wave level over all readers — not the level
+    // of the last-by-ordinal reader, which can be the shallower one (an
+    // earlier-ordinal reader may sit at a deeper level, and wave-barrier
+    // execution runs it later).
+    const std::vector<uint64_t> level = program.ValueLevels();
+    std::vector<uint64_t> last(end_gate, 0);
+    std::vector<uint64_t> death(end_gate, 0);
+    for (uint64_t v = 1; v < end_gate; ++v) {
+        last[v] = v;
+        death[v] = level[v];
+    }
+    for (uint64_t idx = first_gate; idx < end_gate; ++idx) {
+        const DecodedGate g = program.GateAt(idx);
+        for (const uint64_t in : {g.in0, g.in1}) {
+            last[in] = std::max(last[in], idx);
+            death[in] = std::max(death[in], level[idx]);
+        }
+    }
+    std::vector<bool> pinned(end_gate, false);
+    for (const uint64_t src : program.OutputIndices()) pinned[src] = true;
+
+    std::vector<circuit::LiveInterval> intervals(num_values);
+    for (uint64_t v = 1; v <= num_values; ++v) {
+        circuit::LiveInterval& iv = intervals[v - 1];
+        iv.def = v;
+        iv.last_use = last[v];
+        iv.def_level = level[v];
+        iv.death_level = death[v];
+        iv.pinned = pinned[v];
+    }
+
+    const circuit::SlotAssignment assignment =
+        circuit::AssignSlots(intervals, options.level_safe);
+    plan.num_slots = assignment.num_slots;
+    plan.slot_of.assign(1 + num_values, 0);
+    for (uint64_t v = 1; v <= num_values; ++v)
+        plan.slot_of[v] = assignment.slot[v - 1];
+    return plan;
+}
+
+}  // namespace pytfhe::pasm

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Memory-plan computation: liveness analysis over a program's gate DAG
+ * followed by linear-scan slot allocation (circuit/opt/slot_alloc.h). The
+ * resulting MemoryPlan maps every value onto a physical ciphertext slot
+ * such that peak storage is O(max live ciphertexts) instead of O(gates);
+ * Program::WithPlan embeds it as a version-3 plan section.
+ */
+#ifndef PYTFHE_PASM_MEMORY_PLAN_H
+#define PYTFHE_PASM_MEMORY_PLAN_H
+
+#include "pasm/program.h"
+
+namespace pytfhe::pasm {
+
+struct MemoryPlanOptions {
+    /**
+     * Restrict slot reuse to wave-level boundaries (a slot freed at level
+     * L is reassigned only at level >= L+1). Level-safe plans are valid on
+     * every backend, including barrier-scheduled threading; turning this
+     * off packs slightly tighter but limits the plan to in-order and
+     * dependency-counting execution. The compiler emits level-safe plans.
+     */
+    bool level_safe = true;
+};
+
+/**
+ * Computes a slot plan for `program` from exact per-value live intervals:
+ * a value lives from its defining instruction to its last reader; program
+ * outputs are pinned (they must survive to harvest and never free their
+ * slot). Deterministic, O(V log V).
+ */
+MemoryPlan ComputeMemoryPlan(const Program& program,
+                             const MemoryPlanOptions& options = {});
+
+}  // namespace pytfhe::pasm
+
+#endif  // PYTFHE_PASM_MEMORY_PLAN_H

@@ -1,5 +1,6 @@
 #include "pasm/program.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <unordered_set>
@@ -11,6 +12,79 @@ namespace {
 bool Fail(std::string* error, const std::string& message) {
     if (error) *error = message;
     return false;
+}
+
+/**
+ * Last position at which each value is read: the maximum consuming gate
+ * index, the value's own index when it has no readers, or `end` (one past
+ * the last gate) when the value is a program output and must survive to
+ * harvest. Indexed by instruction index; entry 0 unused.
+ */
+std::vector<uint64_t> LastUses(const Program& p) {
+    const uint64_t first_gate = p.FirstGateIndex();
+    const uint64_t end = first_gate + p.NumGates();
+    std::vector<uint64_t> last(end, 0);
+    for (uint64_t v = 1; v < end; ++v) last[v] = v;
+    for (uint64_t idx = first_gate; idx < end; ++idx) {
+        const DecodedGate g = p.GateAt(idx);
+        last[g.in0] = std::max(last[g.in0], idx);
+        last[g.in1] = std::max(last[g.in1], idx);
+    }
+    for (const uint64_t src : p.OutputIndices()) last[src] = end;
+    return last;
+}
+
+/**
+ * Checks the plan's safety contract: values sharing a slot have disjoint
+ * live intervals, and (when level_safe) reuse skips at least one wave
+ * level so barrier-scheduled threads cannot race a reader against the
+ * overwriting gate.
+ */
+bool PlanIsSafe(const Program& p, const MemoryPlan& plan,
+                std::string* error) {
+    const uint64_t num_values = p.NumInputs() + p.NumGates();
+    const std::vector<uint64_t> last = LastUses(p);
+    std::vector<uint64_t> level;
+    std::vector<uint64_t> death;
+    if (plan.level_safe) {
+        level = p.ValueLevels();
+        // Death level = max wave level over ALL readers: an early-ordinal
+        // reader can sit at a deeper level than the last-by-ordinal one,
+        // and the wave-barrier backend runs it later.
+        death = level;
+        const uint64_t first_gate = p.FirstGateIndex();
+        for (uint64_t idx = first_gate; idx < first_gate + p.NumGates();
+             ++idx) {
+            const DecodedGate g = p.GateAt(idx);
+            for (const uint64_t in : {g.in0, g.in1})
+                death[in] = std::max(death[in], level[idx]);
+        }
+    }
+    // Values are defined in index order, so walking them in order visits
+    // each slot's occupants in definition order.
+    std::vector<uint64_t> prev(plan.num_slots, 0);  // 0 = slot untouched.
+    for (uint64_t v = 1; v <= num_values; ++v) {
+        const uint64_t s = plan.slot_of[v];
+        const uint64_t u = prev[s];
+        if (u != 0) {
+            if (last[u] > v)
+                return Fail(error,
+                            "memory plan assigns overlapping live values " +
+                                std::to_string(u) + " and " +
+                                std::to_string(v) + " to slot " +
+                                std::to_string(s));
+            if (plan.level_safe) {
+                if (level[v] < death[u] + 1)
+                    return Fail(error,
+                                "level-safe memory plan reuses slot " +
+                                    std::to_string(s) + " for value " +
+                                    std::to_string(v) +
+                                    " within the freeing wave level");
+            }
+        }
+        prev[s] = v;
+    }
+    return true;
 }
 
 }  // namespace
@@ -39,13 +113,25 @@ std::optional<Program> Program::FromInstructions(
     const uint64_t declared_gates = ins[0].Input1();
 
     // Phase order: inputs, then gates, then outputs, then the optional
-    // wide-group trailer (version >= 2).
-    enum Phase { kInputs, kGates, kOutputs, kWideTrailer } phase = kInputs;
+    // wide-group trailer (version >= 2), then the optional memory-plan
+    // section (version >= 3).
+    enum Phase {
+        kInputs,
+        kGates,
+        kOutputs,
+        kWideTrailer,
+        kPlanTrailer
+    } phase = kInputs;
     // Wide-trailer decode state: members still expected for the open
     // group, and the set of gates already claimed by some group.
     uint64_t wide_expected = 0;
     WideOp wide_current;
     std::unordered_set<uint64_t> wide_used;
+    // Plan-section decode state.
+    bool plan_head_seen = false;
+    uint64_t plan_values_left = 0;
+    uint64_t plan_next_value = 1;
+    MemoryPlan plan_current;
     for (uint64_t pos = 1; pos < ins.size(); ++pos) {
         switch (ins[pos].Kind(pos)) {
             case InstructionKind::kHeader:
@@ -61,7 +147,8 @@ std::optional<Program> Program::FromInstructions(
                 ++p.num_inputs_;
                 break;
             case InstructionKind::kGate: {
-                if (phase == kOutputs || phase == kWideTrailer) {
+                if (phase == kOutputs || phase == kWideTrailer ||
+                    phase == kPlanTrailer) {
                     Fail(error, "gate instruction after outputs at position " +
                                     std::to_string(pos));
                     return std::nullopt;
@@ -125,7 +212,7 @@ std::optional<Program> Program::FromInstructions(
                 break;
             }
             case InstructionKind::kOutput: {
-                if (phase == kWideTrailer) {
+                if (phase == kWideTrailer || phase == kPlanTrailer) {
                     Fail(error, "output after the wide trailer at position " +
                                     std::to_string(pos));
                     return std::nullopt;
@@ -141,6 +228,79 @@ std::optional<Program> Program::FromInstructions(
                 break;
             }
             case InstructionKind::kWide: {
+                // Memory-plan section: everything after the sentinel.
+                if (phase == kPlanTrailer) {
+                    if (!plan_head_seen) {
+                        plan_current.num_slots = ins[pos].Input0();
+                        const uint64_t flags = ins[pos].Input1();
+                        if (flags & ~kPlanFlagLevelSafe) {
+                            Fail(error, "plan head at position " +
+                                            std::to_string(pos) +
+                                            " carries unknown flag bits");
+                            return std::nullopt;
+                        }
+                        plan_current.level_safe =
+                            (flags & kPlanFlagLevelSafe) != 0;
+                        const uint64_t num_values =
+                            p.num_inputs_ + p.num_gates_;
+                        if (num_values == 0 ||
+                            plan_current.num_slots == 0 ||
+                            plan_current.num_slots > num_values) {
+                            Fail(error, "plan head at position " +
+                                            std::to_string(pos) +
+                                            " declares an invalid slot "
+                                            "count");
+                            return std::nullopt;
+                        }
+                        plan_current.slot_of.assign(1 + num_values, 0);
+                        plan_values_left = num_values;
+                        plan_head_seen = true;
+                        break;
+                    }
+                    if (plan_values_left == 0) {
+                        Fail(error, "record after the memory plan at "
+                                    "position " +
+                                        std::to_string(pos));
+                        return std::nullopt;
+                    }
+                    for (const uint64_t s :
+                         {ins[pos].Input0(), ins[pos].Input1()}) {
+                        if (plan_values_left == 0) {
+                            if (s != kIndexAllOnes) {
+                                Fail(error, "plan record at position " +
+                                                std::to_string(pos) +
+                                                " carries an extra slot");
+                                return std::nullopt;
+                            }
+                            continue;
+                        }
+                        if (s >= plan_current.num_slots) {
+                            Fail(error, "plan slot at position " +
+                                            std::to_string(pos) +
+                                            " is out of range");
+                            return std::nullopt;
+                        }
+                        plan_current.slot_of[plan_next_value++] = s;
+                        --plan_values_left;
+                    }
+                    break;
+                }
+                // Plan sentinel: both index fields all-ones. A wide leader
+                // always declares a count in [2, num_gates], so this is
+                // unambiguous outside an open wide group.
+                if (wide_expected == 0 &&
+                    ins[pos].Input0() == kIndexAllOnes &&
+                    ins[pos].Input1() == kIndexAllOnes) {
+                    if (p.format_version_ < kFormatVersionPlanned) {
+                        Fail(error, "memory plan at position " +
+                                        std::to_string(pos) +
+                                        " requires format version >= 3");
+                        return std::nullopt;
+                    }
+                    phase = kPlanTrailer;
+                    p.plan_pos_ = pos;
+                    break;
+                }
                 if (p.format_version_ < kFormatVersionWide) {
                     Fail(error, "wide record at position " +
                                     std::to_string(pos) +
@@ -230,6 +390,14 @@ std::optional<Program> Program::FromInstructions(
                         std::to_string(p.num_gates_));
         return std::nullopt;
     }
+    if (phase == kPlanTrailer) {
+        if (!plan_head_seen || plan_values_left != 0) {
+            Fail(error, "truncated memory plan section");
+            return std::nullopt;
+        }
+        if (!PlanIsSafe(p, plan_current, error)) return std::nullopt;
+        p.plan_ = std::move(plan_current);
+    }
     return p;
 }
 
@@ -264,6 +432,107 @@ GateDependencies Program::BuildGateDependencies() const {
         }
     }
     return deps;
+}
+
+GateDependencies Program::BuildGateDependencies(
+    const MemoryPlan* plan) const {
+    if (plan == nullptr) return BuildGateDependencies();
+    const uint64_t first_gate = FirstGateIndex();
+    const uint64_t end_gate = first_gate + num_gates_;
+
+    // Anti-dependency edges (r -> w): gate w overwrites the slot last held
+    // by value u, so every gate r reading u must finish first
+    // (write-after-read); a reader-less gate u must itself finish first
+    // (write-after-write). Validation guarantees last[u] <= w, so the
+    // edges always point forward; r == w is the in-place case (w consumes
+    // u and writes its slot), safe without an edge because gate kernels
+    // read all operands before writing the destination.
+    std::vector<std::vector<uint64_t>> readers(end_gate);
+    for (uint64_t idx = first_gate; idx < end_gate; ++idx) {
+        const DecodedGate g = GateAt(idx);
+        readers[g.in0].push_back(idx);
+        if (g.in1 != g.in0) readers[g.in1].push_back(idx);
+    }
+    std::vector<std::pair<uint64_t, uint64_t>> anti;  // (r, w)
+    std::vector<uint64_t> prev(plan->num_slots, 0);
+    for (uint64_t v = 1; v < end_gate; ++v) {
+        const uint64_t u = prev[plan->slot_of[v]];
+        if (u != 0 && v >= first_gate) {
+            if (readers[u].empty()) {
+                if (u >= first_gate) anti.emplace_back(u, v);
+            } else {
+                for (const uint64_t r : readers[u])
+                    if (r != v) anti.emplace_back(r, v);
+            }
+        }
+        prev[plan->slot_of[v]] = v;
+    }
+
+    GateDependencies deps = BuildGateDependencies();
+    if (anti.empty()) return deps;
+    for (const auto& [r, w] : anti) {
+        (void)r;
+        ++deps.pred_count[w - first_gate];
+    }
+    std::vector<uint64_t> extra(num_gates_, 0);
+    for (const auto& [r, w] : anti) {
+        (void)w;
+        ++extra[r - first_gate];
+    }
+    // Rebuild the CSR with room for the extra edges per source gate.
+    std::vector<uint64_t> offsets(num_gates_ + 1, 0);
+    for (uint64_t g = 0; g < num_gates_; ++g)
+        offsets[g + 1] = offsets[g] + (deps.succ_offsets[g + 1] -
+                                       deps.succ_offsets[g]) +
+                         extra[g];
+    std::vector<uint64_t> successors(offsets[num_gates_]);
+    std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (uint64_t g = 0; g < num_gates_; ++g)
+        for (uint64_t i = deps.succ_offsets[g]; i < deps.succ_offsets[g + 1];
+             ++i)
+            successors[cursor[g]++] = deps.successors[i];
+    for (const auto& [r, w] : anti) successors[cursor[r - first_gate]++] = w;
+    deps.succ_offsets = std::move(offsets);
+    deps.successors = std::move(successors);
+    return deps;
+}
+
+std::vector<uint64_t> Program::ValueLevels() const {
+    const uint64_t first_gate = FirstGateIndex();
+    const uint64_t end_gate = first_gate + num_gates_;
+    std::vector<uint64_t> level(end_gate, 0);
+    for (uint64_t idx = first_gate; idx < end_gate; ++idx) {
+        const DecodedGate g = GateAt(idx);
+        level[idx] = 1 + std::max(level[g.in0], level[g.in1]);
+    }
+    return level;
+}
+
+std::optional<Program> Program::WithPlan(MemoryPlan plan,
+                                         std::string* error) const {
+    const uint64_t num_values = num_inputs_ + num_gates_;
+    if (num_values == 0) return *this;
+    if (plan.slot_of.size() != 1 + num_values) {
+        Fail(error, "memory plan covers " +
+                        std::to_string(plan.slot_of.size()) +
+                        " entries but the program has " +
+                        std::to_string(num_values) + " values");
+        return std::nullopt;
+    }
+    std::vector<Instruction> ins(
+        instructions_.begin(),
+        plan_pos_ != 0 ? instructions_.begin() + plan_pos_
+                       : instructions_.end());
+    ins[0] = Instruction::MakeHeader(num_gates_, kFormatVersionPlanned);
+    ins.reserve(ins.size() + 2 + (num_values + 1) / 2);
+    ins.push_back(Instruction::MakePlanSentinel());
+    ins.push_back(Instruction::MakePlanHead(
+        plan.num_slots, plan.level_safe ? kPlanFlagLevelSafe : 0));
+    for (uint64_t v = 1; v <= num_values; v += 2)
+        ins.push_back(Instruction::MakePlanSlots(
+            plan.slot_of[v],
+            v + 1 <= num_values ? plan.slot_of[v + 1] : kIndexAllOnes));
+    return FromInstructions(std::move(ins), error);
 }
 
 void Program::Serialize(std::ostream& os) const {

@@ -87,6 +87,36 @@ struct GateDependencies {
     }
 };
 
+/**
+ * Compile-time memory plan (format version >= 3): a mapping from values
+ * (program inputs and gate results, named by instruction index) onto a
+ * small set of physical ciphertext slots, computed by liveness analysis
+ * over the static DAG. Backends that honor the plan bound peak memory per
+ * job at O(max live ciphertexts) instead of O(gates).
+ *
+ * Safety contract, enforced on load:
+ *  - two values may share a slot only if their live intervals do not
+ *    overlap (a value lives from its defining instruction to its last
+ *    reader, or to the end of the program when it is an output);
+ *  - when `level_safe` is set, a slot freed by a value whose last reader
+ *    runs at wave level L is only reassigned to a value defined at level
+ *    >= L+1, which makes the plan safe for barrier-scheduled threaded
+ *    execution (readers and the overwriting gate can never run in the
+ *    same wave). Dependency-counting executors additionally need the
+ *    anti-dependency edges from BuildGateDependencies(&plan).
+ */
+struct MemoryPlan {
+    /**
+     * Physical slot per instruction index; entries [1, NumInputs() +
+     * NumGates()] are meaningful, entry 0 is unused and zero.
+     */
+    std::vector<uint64_t> slot_of;
+    /** Number of physical slots; all slot_of entries are below this. */
+    uint64_t num_slots = 0;
+    /** Slot reuse respects wave-level boundaries (see above). */
+    bool level_safe = false;
+};
+
 /** A validated PyTFHE binary. */
 class Program {
   public:
@@ -150,6 +180,42 @@ class Program {
      */
     GateDependencies BuildGateDependencies() const;
 
+    /**
+     * Plan-aware variant: in addition to the data edges, adds the
+     * anti-dependency edges slot reuse induces — when value w overwrites
+     * the slot last held by value v, every gate reading v must complete
+     * before w executes (write-after-read), and a reader-less gate v must
+     * itself complete first (write-after-write). Dependency-counting
+     * executors schedule on these edges to make any valid plan safe under
+     * concurrency; with a null plan this is identical to the overload
+     * above.
+     */
+    GateDependencies BuildGateDependencies(const MemoryPlan* plan) const;
+
+    /**
+     * Memory plan carried by the binary (version >= 3), or nullptr.
+     * Backends without plan support simply ignore it — execution results
+     * are identical either way; only peak memory differs.
+     */
+    const MemoryPlan* Plan() const { return plan_ ? &*plan_ : nullptr; }
+
+    /**
+     * Returns a copy of this program carrying `plan` in a version-3 plan
+     * section (replacing any existing plan). The plan is validated like
+     * any other loaded plan; returns nullopt on an unsafe or malformed
+     * plan. A program with no values is returned unchanged.
+     */
+    std::optional<Program> WithPlan(MemoryPlan plan,
+                                    std::string* error = nullptr) const;
+
+    /**
+     * ASAP wave level per instruction index: inputs are level 0, a gate is
+     * one past its deepest operand. Matches the wave partition the
+     * barrier-scheduled backend executes (up to a constant offset), which
+     * is what level-safe plans are validated against.
+     */
+    std::vector<uint64_t> ValueLevels() const;
+
     /** Serializes to a binary stream (16 bytes per instruction, LE). */
     void Serialize(std::ostream& os) const;
     /** Deserializes and validates. */
@@ -174,6 +240,9 @@ class Program {
     uint64_t format_version_ = kFormatVersionLegacy;
     std::vector<uint64_t> outputs_;
     std::vector<WideOp> wide_ops_;
+    std::optional<MemoryPlan> plan_;
+    /** Position of the plan sentinel record, 0 when there is no plan. */
+    uint64_t plan_pos_ = 0;
 };
 
 }  // namespace pytfhe::pasm

@@ -79,12 +79,14 @@ namespace {
 
 /**
  * Runs mod switch, blind rotation over the given test vector, and
- * extraction of coefficient 0 under the extracted key. The result encrypts
- * test_vector[round(phase * 2N)] with negacyclic wrap-around.
+ * extraction of coefficient 0 under the extracted key, landing in
+ * `s.extracted`. The result encrypts test_vector[round(phase * 2N)] with
+ * negacyclic wrap-around.
  */
-LweSample RotateAndExtract(const TorusPolynomial& test_vector,
-                           const LweSample& in, const BootstrappingKey& key,
-                           BootstrapScratch& s) {
+const LweSample& RotateAndExtract(const TorusPolynomial& test_vector,
+                                  const LweSample& in,
+                                  const BootstrappingKey& key,
+                                  BootstrapScratch& s) {
     const Params& p = key.params();
     const int32_t two_n = 2 * p.big_n;
 
@@ -99,7 +101,8 @@ LweSample RotateAndExtract(const TorusPolynomial& test_vector,
     EnsureShape(s.acc, p.big_n, p.k);
     s.acc.SetTrivial(s.shifted);
     BlindRotate(s.acc, s.bara, key, &s);
-    return TLweExtractSample(s.acc, 0);
+    TLweExtractSampleInto(s.extracted, s.acc, 0);
+    return s.extracted;
 }
 
 /**
@@ -107,9 +110,9 @@ LweSample RotateAndExtract(const TorusPolynomial& test_vector,
  * by the negative phase, coefficient 0 holds +mu when the phase is in the
  * upper half circle and -mu otherwise (X^N = -1 flips the sign).
  */
-LweSample BlindRotateAndExtract(Torus32 mu, const LweSample& in,
-                                const BootstrappingKey& key,
-                                BootstrapScratch& s) {
+const LweSample& BlindRotateAndExtract(Torus32 mu, const LweSample& in,
+                                       const BootstrappingKey& key,
+                                       BootstrapScratch& s) {
     EnsureSize(s.testvect, key.params().big_n);
     for (auto& c : s.testvect.coefs) c = mu;
     return RotateAndExtract(s.testvect, in, key, s);
@@ -122,6 +125,12 @@ LweSample BootstrapWithoutKeySwitch(Torus32 mu, const LweSample& in,
                                     BootstrapScratch* scratch) {
     BootstrapScratch local;
     BootstrapScratch& s = scratch != nullptr ? *scratch : local;
+    return BlindRotateAndExtract(mu, in, key, s);
+}
+
+const LweSample& BootstrapWithoutKeySwitchInScratch(
+    Torus32 mu, const LweSample& in, const BootstrappingKey& key,
+    BootstrapScratch& s) {
     return BlindRotateAndExtract(mu, in, key, s);
 }
 

@@ -67,6 +67,10 @@ struct BootstrapScratch {
     TLweSample rotated, product, acc;
     TorusPolynomial shifted, testvect;
     std::vector<int32_t> bara;
+    /** Linear-prelude staging sample (dimension n), for the Into paths. */
+    LweSample combo;
+    /** Extracted sample (dimension N*k) the blind rotation lands in. */
+    LweSample extracted;
 };
 
 /**
@@ -84,6 +88,16 @@ void BlindRotate(TLweSample& acc, const std::vector<int32_t>& bara,
 LweSample BootstrapWithoutKeySwitch(Torus32 mu, const LweSample& in,
                                     const BootstrappingKey& key,
                                     BootstrapScratch* scratch = nullptr);
+
+/**
+ * Allocation-free variant: bootstraps `in` into `s.extracted` (dimension
+ * N*k under the extracted key) and returns a reference to it, valid until
+ * the scratch is next used. `in` must not alias `s.extracted` or
+ * `s.combo`.
+ */
+const LweSample& BootstrapWithoutKeySwitchInScratch(
+    Torus32 mu, const LweSample& in, const BootstrappingKey& key,
+    BootstrapScratch& s);
 
 /** Full gate bootstrap: blind rotate, extract, and key switch back to n. */
 LweSample Bootstrap(Torus32 mu, const LweSample& in,

@@ -27,6 +27,39 @@
 namespace pytfhe::tfhe {
 
 /**
+ * One bootstrapped gate inside a batch: the linear prelude
+ * coef_a * (*a) + coef_b * (*b) + offset is bootstrapped to +-kGateMu and
+ * key-switched into *out. Every two-input bootstrapped gate kind maps onto
+ * this shape (the AND family with +-1 coefficients, XOR/XNOR with +-2 or
+ * +-1 per operand domain), so a batch may freely mix gate kinds — they all
+ * share one blind rotation's test vector.
+ */
+struct BatchGateSpec {
+    int32_t coef_a = 0;
+    const LweSample* a = nullptr;
+    int32_t coef_b = 0;
+    const LweSample* b = nullptr;
+    Torus32 offset = 0;
+    LweSample* out = nullptr;
+};
+
+/**
+ * View flavor of BatchGateSpec for arena-resident operands: lanes read and
+ * write ciphertext slots in place. All lane inputs are consumed (into the
+ * scratch prelude buffers) before any lane output is written, so an out
+ * view may alias any input view of the same call — including inputs of
+ * *other* lanes — without affecting results.
+ */
+struct BatchGateViewSpec {
+    int32_t coef_a = 0;
+    LweCView a;
+    int32_t coef_b = 0;
+    LweCView b;
+    Torus32 offset = 0;
+    LweView out;
+};
+
+/**
  * All working buffers of one batched bootstrap, sized once per worker.
  * Buffers keep their capacity across calls with a fixed (parameter set,
  * batch size); a ragged final batch of a different size reallocates the
@@ -40,6 +73,10 @@ struct BatchScratch {
     TorusPolynomial shifted;         ///< Per-lane rotation staging buffer.
     std::vector<LweSample> combo;    ///< Linear preludes (evaluator path).
     std::vector<LweSample> rotated_lwe;  ///< Extracted pre-key-switch bits.
+    std::vector<const LweSample*> in_ptrs;  ///< Gather list (evaluator path).
+    std::vector<LweSample*> out_ptrs;       ///< Scatter list (evaluator path).
+    std::vector<BatchGateSpec> specs;       ///< Dispatcher staging.
+    std::vector<BatchGateViewSpec> view_specs;  ///< Dispatcher staging.
 };
 
 /**

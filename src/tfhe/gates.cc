@@ -211,6 +211,15 @@ LweSample GateEvaluator::OrYN(const LweSample& a, const LweSample& b,
     return LinearBootstrap(+1, a, -1, b, kEighth, scratch);
 }
 
+namespace {
+
+/** Reshapes an LWE sample in place; preserves the buffer when n matches. */
+void EnsureN(LweSample& s, int32_t n) {
+    if (s.N() != n) s = LweSample(n);
+}
+
+}  // namespace
+
 void GateEvaluator::BatchedLinearBootstrap(const BatchGateSpec* specs,
                                            int32_t count,
                                            BatchScratch* scratch) {
@@ -222,21 +231,21 @@ void GateEvaluator::BatchedLinearBootstrap(const BatchGateSpec* specs,
     if (static_cast<int32_t>(s.combo.size()) < count) s.combo.resize(count);
     if (static_cast<int32_t>(s.rotated_lwe.size()) < count)
         s.rotated_lwe.resize(count);
-    std::vector<const LweSample*> in(count);
-    std::vector<LweSample*> rotated(count);
+    s.in_ptrs.resize(count);
+    s.out_ptrs.resize(count);
     for (int32_t i = 0; i < count; ++i) {
         const BatchGateSpec& g = specs[i];
-        LweSample combo = LinearCombine(g.coef_a, *g.a, g.coef_b, *g.b,
-                                        g.offset);
-        s.combo[i] = std::move(combo);
-        in[i] = &s.combo[i];
-        rotated[i] = &s.rotated_lwe[i];
+        EnsureN(s.combo[i], g.a->N());
+        LweLinearCombineInto(g.coef_a, ViewOf(*g.a), g.coef_b, ViewOf(*g.b),
+                             g.offset, ViewOf(s.combo[i]));
+        s.in_ptrs[i] = &s.combo[i];
+        s.out_ptrs[i] = &s.rotated_lwe[i];
     }
     profile_.AddLinearNanos(NanosSince(t0));
 
     auto t1 = Clock::now();
-    BatchedBootstrapWithoutKeySwitch(kEighth, in.data(), rotated.data(),
-                                     count, *key_, &s);
+    BatchedBootstrapWithoutKeySwitch(kEighth, s.in_ptrs.data(),
+                                     s.out_ptrs.data(), count, *key_, &s);
     profile_.AddBlindRotateNanos(NanosSince(t1));
 
     auto t2 = Clock::now();
@@ -244,6 +253,79 @@ void GateEvaluator::BatchedLinearBootstrap(const BatchGateSpec* specs,
         *specs[i].out = key_->ksk().Apply(s.rotated_lwe[i]);
     profile_.AddKeySwitchNanos(NanosSince(t2));
     profile_.AddBootstraps(static_cast<uint64_t>(count));
+}
+
+void GateEvaluator::BatchedLinearBootstrap(const BatchGateViewSpec* specs,
+                                           int32_t count,
+                                           BatchScratch* scratch) {
+    if (count <= 0) return;
+    BatchScratch local;
+    BatchScratch& s = scratch != nullptr ? *scratch : local;
+
+    auto t0 = Clock::now();
+    if (static_cast<int32_t>(s.combo.size()) < count) s.combo.resize(count);
+    if (static_cast<int32_t>(s.rotated_lwe.size()) < count)
+        s.rotated_lwe.resize(count);
+    s.in_ptrs.resize(count);
+    s.out_ptrs.resize(count);
+    // Every lane's inputs are consumed here, before any lane output is
+    // written below — the alias-safety contract of BatchGateViewSpec.
+    for (int32_t i = 0; i < count; ++i) {
+        const BatchGateViewSpec& g = specs[i];
+        EnsureN(s.combo[i], g.a.n);
+        LweLinearCombineInto(g.coef_a, g.a, g.coef_b, g.b, g.offset,
+                             ViewOf(s.combo[i]));
+        s.in_ptrs[i] = &s.combo[i];
+        s.out_ptrs[i] = &s.rotated_lwe[i];
+    }
+    profile_.AddLinearNanos(NanosSince(t0));
+
+    auto t1 = Clock::now();
+    BatchedBootstrapWithoutKeySwitch(kEighth, s.in_ptrs.data(),
+                                     s.out_ptrs.data(), count, *key_, &s);
+    profile_.AddBlindRotateNanos(NanosSince(t1));
+
+    auto t2 = Clock::now();
+    for (int32_t i = 0; i < count; ++i)
+        key_->ksk().ApplyInto(s.rotated_lwe[i], specs[i].out);
+    profile_.AddKeySwitchNanos(NanosSince(t2));
+    profile_.AddBootstraps(static_cast<uint64_t>(count));
+}
+
+void GateEvaluator::LinearBootstrapInto(int32_t coef_a, LweCView a,
+                                        int32_t coef_b, LweCView b,
+                                        Torus32 offset, LweView out,
+                                        BootstrapScratch* scratch) {
+    BootstrapScratch local;
+    BootstrapScratch& s = scratch != nullptr ? *scratch : local;
+
+    auto t0 = Clock::now();
+    EnsureN(s.combo, a.n);
+    LweLinearCombineInto(coef_a, a, coef_b, b, offset, ViewOf(s.combo));
+    profile_.AddLinearNanos(NanosSince(t0));
+
+    auto t1 = Clock::now();
+    const LweSample& rotated =
+        BootstrapWithoutKeySwitchInScratch(kEighth, s.combo, *key_, s);
+    profile_.AddBlindRotateNanos(NanosSince(t1));
+
+    auto t2 = Clock::now();
+    key_->ksk().ApplyInto(rotated, out);
+    profile_.AddKeySwitchNanos(NanosSince(t2));
+    profile_.AddBootstraps(1);
+}
+
+void GateEvaluator::LinCombineInto(int32_t coef_a, LweCView a, int32_t coef_b,
+                                   LweCView b, Torus32 offset, LweView out) {
+    auto t0 = Clock::now();
+    LweLinearCombineInto(coef_a, a, coef_b, b, offset, out);
+    profile_.AddLinearNanos(NanosSince(t0));
+}
+
+void GateEvaluator::LinNotInto(LweCView a, LweView out) {
+    auto t0 = Clock::now();
+    LweNegateInto(a, out);
+    profile_.AddLinearNanos(NanosSince(t0));
 }
 
 LweSample GateEvaluator::Mux(const LweSample& a, const LweSample& b,

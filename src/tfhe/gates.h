@@ -185,23 +185,6 @@ class GateProfile {
 };
 
 /**
- * One bootstrapped gate inside a batch: the linear prelude
- * coef_a * (*a) + coef_b * (*b) + offset is bootstrapped to +-kGateMu and
- * key-switched into *out. Every two-input bootstrapped gate kind maps onto
- * this shape (the AND family with +-1 coefficients, XOR/XNOR with +-2 or
- * +-1 per operand domain), so a batch may freely mix gate kinds — they all
- * share one blind rotation's test vector.
- */
-struct BatchGateSpec {
-    int32_t coef_a = 0;
-    const LweSample* a = nullptr;
-    int32_t coef_b = 0;
-    const LweSample* b = nullptr;
-    Torus32 offset = 0;
-    LweSample* out = nullptr;
-};
-
-/**
  * Server-side gate evaluator holding the public evaluation key.
  * All gate methods are const with respect to key material and safe to call
  * concurrently; the profile is atomic accounting only.
@@ -300,6 +283,34 @@ class GateEvaluator {
      */
     void BatchedLinearBootstrap(const BatchGateSpec* specs, int32_t count,
                                 BatchScratch* scratch = nullptr);
+
+    /** View flavor: lanes gather from / scatter to caller-owned slots. */
+    void BatchedLinearBootstrap(const BatchGateViewSpec* specs, int32_t count,
+                                BatchScratch* scratch = nullptr);
+
+    /**
+     * Allocation-free bootstrapped gate over caller-owned storage: the
+     * linear prelude coef_a*a + coef_b*b + offset lands in the scratch,
+     * is bootstrapped to +-kGateMu, and key-switched into `out`. Inputs
+     * are fully read before `out` is written, so `out` may alias either
+     * input. Zero heap allocations when `scratch` is warm.
+     */
+    void LinearBootstrapInto(int32_t coef_a, LweCView a, int32_t coef_b,
+                             LweCView b, Torus32 offset, LweView out,
+                             BootstrapScratch* scratch = nullptr);
+
+    /**
+     * Profiled linear-domain combination into caller-owned storage (the
+     * elided XOR/XNOR path); elementwise, so `out` may alias an input.
+     */
+    void LinCombineInto(int32_t coef_a, LweCView a, int32_t coef_b,
+                        LweCView b, Torus32 offset, LweView out);
+
+    /** NOT into caller-owned storage; `out` may alias `a`. */
+    void NotInto(LweCView a, LweView out) const { LweNegateInto(a, out); }
+
+    /** Elided-NOT flavor of NotInto: time lands in the linear profile. */
+    void LinNotInto(LweCView a, LweView out);
 
   private:
     /**

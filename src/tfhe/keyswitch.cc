@@ -47,9 +47,15 @@ KeySwitchKey KeySwitchKey::FromRaw(int32_t n_in, int32_t n_out, int32_t t,
 }
 
 LweSample KeySwitchKey::Apply(const LweSample& in) const {
-    assert(in.N() == n_in_);
     LweSample out(n_out_);
-    out.b = in.b;
+    ApplyInto(in, ViewOf(out));
+    return out;
+}
+
+void KeySwitchKey::ApplyInto(const LweSample& in, LweView out) const {
+    assert(in.N() == n_in_);
+    assert(out.n == n_out_);
+    LweSetTrivial(out, in.b);
     // Rounding offset: round each a_i to t digits instead of truncating.
     const uint32_t prec_offset = UINT32_C(1)
                                  << (32 - (1 + base_bit_ * t_));
@@ -58,10 +64,12 @@ LweSample KeySwitchKey::Apply(const LweSample& in) const {
         const uint32_t ai = in.a[i] + prec_offset;
         for (int32_t j = 0; j < t_; ++j) {
             const uint32_t digit = (ai >> (32 - base_bit_ * (j + 1))) & mask;
-            if (digit != 0) out.SubTo(At(i, j, static_cast<int32_t>(digit)));
+            if (digit == 0) continue;
+            const LweSample& k = At(i, j, static_cast<int32_t>(digit));
+            for (int32_t c = 0; c < n_out_; ++c) out.a[c] -= k.a[c];
+            *out.b -= k.b;
         }
     }
-    return out;
 }
 
 size_t KeySwitchKey::ByteSize() const {

@@ -44,6 +44,14 @@ class KeySwitchKey {
     /** Re-encrypts `in` (under in_key) as a sample under out_key. */
     LweSample Apply(const LweSample& in) const;
 
+    /**
+     * Allocation-free variant writing into caller-owned storage of
+     * dimension OutputN(). `out` never aliases `in` in practice (the
+     * dimensions differ), and the result does not depend on out's prior
+     * contents.
+     */
+    void ApplyInto(const LweSample& in, LweView out) const;
+
     int32_t InputN() const { return n_in_; }
     int32_t OutputN() const { return n_out_; }
     int32_t T() const { return t_; }

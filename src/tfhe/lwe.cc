@@ -42,6 +42,33 @@ void LweSample::Double() {
     b *= 2;
 }
 
+void LweSetTrivial(LweView out, Torus32 mu) {
+    std::fill(out.a, out.a + out.n, 0);
+    *out.b = mu;
+}
+
+void LweCopyInto(LweCView in, LweView out) {
+    assert(in.n == out.n);
+    std::copy(in.a, in.a + in.n, out.a);
+    *out.b = *in.b;
+}
+
+void LweNegateInto(LweCView in, LweView out) {
+    assert(in.n == out.n);
+    for (int32_t i = 0; i < in.n; ++i) out.a[i] = -in.a[i];
+    *out.b = -*in.b;
+}
+
+void LweLinearCombineInto(int32_t coef_a, LweCView a, int32_t coef_b,
+                          LweCView b, Torus32 offset, LweView out) {
+    assert(a.n == b.n && a.n == out.n);
+    const uint32_t ua = static_cast<uint32_t>(coef_a);
+    const uint32_t ub = static_cast<uint32_t>(coef_b);
+    for (int32_t i = 0; i < out.n; ++i)
+        out.a[i] = ua * a.a[i] + ub * b.a[i];
+    *out.b = ua * *a.b + ub * *b.b + static_cast<uint32_t>(offset);
+}
+
 LweSample LweEncrypt(Torus32 mu, double noise_stddev, const LweKey& key,
                      Rng& rng) {
     const int32_t n = key.N();

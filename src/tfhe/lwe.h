@@ -52,6 +52,49 @@ struct LweSample {
     void AddConstant(Torus32 mu) { b += mu; }
 };
 
+/**
+ * Non-owning mutable view of an LWE sample whose mask and body live in
+ * caller-owned storage — the interface the arena-backed execution core
+ * uses so gate kernels read and write ciphertext slots in place, with no
+ * per-gate allocation. The mask is `n` contiguous Torus32 words at `a`;
+ * the body is a separate word (arena slots store it at a[n], LweSample
+ * keeps it in a distinct member).
+ */
+struct LweCView {
+    const Torus32* a = nullptr;
+    const Torus32* b = nullptr;
+    int32_t n = 0;
+};
+
+struct LweView {
+    Torus32* a = nullptr;
+    Torus32* b = nullptr;
+    int32_t n = 0;
+
+    operator LweCView() const { return LweCView{a, b, n}; }
+};
+
+inline LweView ViewOf(LweSample& s) { return LweView{s.a.data(), &s.b, s.N()}; }
+inline LweCView ViewOf(const LweSample& s) {
+    return LweCView{s.a.data(), &s.b, s.N()};
+}
+
+/** out = trivial encryption of mu (mask zero, body mu). */
+void LweSetTrivial(LweView out, Torus32 mu);
+
+/** out = in; views must agree on n (out may alias in). */
+void LweCopyInto(LweCView in, LweView out);
+
+/** out = -in, elementwise; out may alias in. */
+void LweNegateInto(LweCView in, LweView out);
+
+/**
+ * out = coef_a*a + coef_b*b + offset — the shared linear prelude of every
+ * gate. Elementwise, so out may alias either operand (or both).
+ */
+void LweLinearCombineInto(int32_t coef_a, LweCView a, int32_t coef_b,
+                          LweCView b, Torus32 offset, LweView out);
+
 /** Encrypts torus message mu with the given noise standard deviation. */
 LweSample LweEncrypt(Torus32 mu, double noise_stddev, const LweKey& key,
                      Rng& rng);

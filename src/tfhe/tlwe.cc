@@ -92,10 +92,17 @@ void TLweMulByXai(TLweSample& result, int32_t a, const TLweSample& sample) {
 }
 
 LweSample TLweExtractSample(const TLweSample& sample, int32_t index) {
+    LweSample out;
+    TLweExtractSampleInto(out, sample, index);
+    return out;
+}
+
+void TLweExtractSampleInto(LweSample& out, const TLweSample& sample,
+                           int32_t index) {
     const int32_t n = sample.BigN();
     const int32_t k = sample.K();
     assert(index >= 0 && index < n);
-    LweSample out(n * k);
+    if (out.N() != n * k) out = LweSample(n * k);
     for (int32_t i = 0; i < k; ++i) {
         for (int32_t j = 0; j <= index; ++j)
             out.a[i * n + j] = sample.a[i].coefs[index - j];
@@ -103,7 +110,6 @@ LweSample TLweExtractSample(const TLweSample& sample, int32_t index) {
             out.a[i * n + j] = -sample.a[i].coefs[n + index - j];
     }
     out.b = sample.Body().coefs[index];
-    return out;
 }
 
 }  // namespace pytfhe::tfhe

@@ -76,6 +76,13 @@ void TLweMulByXai(TLweSample& result, int32_t a, const TLweSample& sample);
  */
 LweSample TLweExtractSample(const TLweSample& sample, int32_t index = 0);
 
+/**
+ * Allocation-free variant: `out` is resized to N*k once and reused across
+ * calls (its prior contents are overwritten).
+ */
+void TLweExtractSampleInto(LweSample& out, const TLweSample& sample,
+                           int32_t index = 0);
+
 }  // namespace pytfhe::tfhe
 
 #endif  // PYTFHE_TFHE_TLWE_H

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Linear-scan slot allocation: deterministic shape checks plus a property
+ * test over random DAG-derived interval sets — in both reuse disciplines,
+ * no two values whose live intervals overlap may ever share a physical
+ * slot, pinned values never free theirs, and the level-safe discipline
+ * additionally keeps a freed slot cold until the next wave level.
+ */
+#include "circuit/opt/slot_alloc.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace pytfhe::circuit {
+namespace {
+
+/**
+ * Live intervals of a random DAG: `inputs` values defined up front (all
+ * live from ordinal 0), then `gates` values each reading two earlier
+ * values. Mirrors how pasm::ComputeMemoryPlan derives intervals from a
+ * program, including pinning a suffix of values as outputs.
+ */
+std::vector<LiveInterval> RandomDagIntervals(uint64_t seed, int32_t inputs,
+                                             int32_t gates) {
+    std::mt19937_64 rng(seed);
+    std::vector<LiveInterval> iv(inputs + gates);
+    std::vector<uint64_t> level(inputs + gates, 0);
+    for (int32_t i = 0; i < inputs; ++i) {
+        iv[i].def = i;
+        iv[i].last_use = i;
+    }
+    for (int32_t g = 0; g < gates; ++g) {
+        const uint64_t v = inputs + g;
+        const uint64_t a = rng() % v;
+        const uint64_t b = rng() % v;
+        iv[v].def = v;
+        iv[v].last_use = v;
+        level[v] = 1 + std::max(level[a], level[b]);
+        iv[v].def_level = level[v];
+        for (const uint64_t in : {a, b}) {
+            iv[in].last_use = std::max(iv[in].last_use, v);
+            iv[in].death_level = std::max(iv[in].death_level, level[v]);
+        }
+    }
+    // Pin the last few values (program outputs survive to harvest).
+    for (int32_t i = 0; i < 3 && i < gates; ++i)
+        iv[inputs + gates - 1 - i].pinned = true;
+    return iv;
+}
+
+/**
+ * Checks every safety property of an assignment. Values are in definition
+ * order, so each slot's occupants are visited in definition order too.
+ */
+void CheckAssignment(const std::vector<LiveInterval>& iv,
+                     const SlotAssignment& got, bool level_safe) {
+    ASSERT_EQ(got.slot.size(), iv.size());
+    ASSERT_LE(got.num_slots, iv.size());
+    // prev[s] = index of the latest occupant of slot s, or none.
+    std::vector<int64_t> prev(got.num_slots, -1);
+    for (size_t v = 0; v < iv.size(); ++v) {
+        ASSERT_LT(got.slot[v], got.num_slots) << "value " << v;
+        const int64_t u = prev[got.slot[v]];
+        if (u >= 0) {
+            EXPECT_FALSE(iv[u].pinned)
+                << "pinned value " << u << " lost slot " << got.slot[v]
+                << " to value " << v;
+            // Disjoint intervals: the previous occupant's last reader runs
+            // no later than the overwriting definition.
+            EXPECT_LE(iv[u].last_use, iv[v].def)
+                << "values " << u << " and " << v << " overlap in slot "
+                << got.slot[v];
+            if (level_safe)
+                EXPECT_GE(iv[v].def_level, iv[u].death_level + 1)
+                    << "slot " << got.slot[v] << " reused within wave for "
+                    << v;
+        }
+        prev[got.slot[v]] = static_cast<int64_t>(v);
+    }
+}
+
+TEST(SlotAlloc, ChainReusesAggressively) {
+    // v0 -> v1 -> v2 -> ... : at most two values live at once, and the
+    // sequential discipline allows in-place reuse (death == def), so a
+    // chain of any length needs 2 slots (+1 for the pinned tail).
+    std::vector<LiveInterval> iv(16);
+    for (uint64_t v = 0; v < iv.size(); ++v) {
+        iv[v] = {v, v + 1 < iv.size() ? v + 1 : v, v,
+                 v + 1 < iv.size() ? v + 1 : v, false};
+    }
+    iv.back().pinned = true;
+    const SlotAssignment seq = AssignSlots(iv, /*level_safe=*/false);
+    CheckAssignment(iv, seq, false);
+    EXPECT_LE(seq.num_slots, 3u);
+
+    // Level-safe forbids in-place (death_level + 1 > def_level of the
+    // immediate consumer), so the chain alternates between slots instead —
+    // still O(1), just one more slot.
+    const SlotAssignment lvl = AssignSlots(iv, /*level_safe=*/true);
+    CheckAssignment(iv, lvl, true);
+    EXPECT_LE(lvl.num_slots, 4u);
+}
+
+TEST(SlotAlloc, AllLiveValuesGetDistinctSlots) {
+    // Every value stays live past the last definition (ordinal 8, beyond
+    // every def): no reuse — not even in-place — is legal.
+    std::vector<LiveInterval> iv(8);
+    for (uint64_t v = 0; v < iv.size(); ++v)
+        iv[v] = {v, 8, 0, 1, false};
+    const SlotAssignment got = AssignSlots(iv, false);
+    CheckAssignment(iv, got, false);
+    EXPECT_EQ(got.num_slots, iv.size());
+    std::vector<uint64_t> sorted = got.slot;
+    std::sort(sorted.begin(), sorted.end());
+    for (uint64_t s = 0; s < sorted.size(); ++s) EXPECT_EQ(sorted[s], s);
+}
+
+TEST(SlotAlloc, PinnedValuesNeverFreeTheirSlot) {
+    // A pinned value with no readers would look immediately dead to the
+    // scan; pinning must keep its slot out of the free pool forever.
+    std::vector<LiveInterval> iv(6);
+    for (uint64_t v = 0; v < iv.size(); ++v) iv[v] = {v, v, 0, 0, true};
+    const SlotAssignment got = AssignSlots(iv, false);
+    CheckAssignment(iv, got, false);
+    EXPECT_EQ(got.num_slots, iv.size());
+}
+
+TEST(SlotAlloc, EmptyInput) {
+    const SlotAssignment got = AssignSlots({}, true);
+    EXPECT_EQ(got.num_slots, 0u);
+    EXPECT_TRUE(got.slot.empty());
+}
+
+class SlotAllocPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SlotAllocPropertyTest, RandomDagsAreSafeInBothDisciplines) {
+    const auto iv = RandomDagIntervals(GetParam(), 8, 200);
+    for (const bool level_safe : {false, true}) {
+        const SlotAssignment got = AssignSlots(iv, level_safe);
+        CheckAssignment(iv, got, level_safe);
+        // Reuse must actually happen on a 200-gate DAG with fan-in 2.
+        EXPECT_LT(got.num_slots, iv.size());
+    }
+}
+
+TEST_P(SlotAllocPropertyTest, SequentialPacksNoLooserThanLevelSafe) {
+    const auto iv = RandomDagIntervals(GetParam() ^ 0x5A5A, 6, 120);
+    EXPECT_LE(AssignSlots(iv, false).num_slots,
+              AssignSlots(iv, true).num_slots);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlotAllocPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace pytfhe::circuit

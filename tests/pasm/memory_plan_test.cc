@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Memory plans end to end through the pasm layer: ComputeMemoryPlan
+ * produces valid, genuinely-reusing plans; WithPlan embeds them as a
+ * version-3 section that round-trips through serialization; the loader
+ * rejects overlapping, out-of-range, truncated, and level-unsafe plans;
+ * and BuildGateDependencies(plan) adds exactly the anti-dependency edges
+ * slot reuse induces.
+ */
+#include "pasm/memory_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "pasm/assembler.h"
+
+namespace pytfhe::pasm {
+namespace {
+
+using circuit::GateType;
+using circuit::Netlist;
+using circuit::NodeId;
+
+Netlist RandomNetlist(uint64_t seed, int32_t inputs, int32_t gates) {
+    std::mt19937_64 rng(seed);
+    Netlist n;
+    std::vector<NodeId> pool;
+    for (int32_t i = 0; i < inputs; ++i) pool.push_back(n.AddInput());
+    for (int32_t i = 0; i < gates; ++i) {
+        GateType t =
+            static_cast<GateType>(rng() % circuit::kNumFrontendGateTypes);
+        pool.push_back(n.AddGate(t, pool[rng() % pool.size()],
+                                 pool[rng() % pool.size()]));
+    }
+    for (int i = 0; i < 4; ++i) n.AddOutput(pool[pool.size() - 1 - i]);
+    return n;
+}
+
+Program ChainProgram(int32_t length) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    NodeId cur = a;
+    for (int32_t i = 0; i < length; ++i)
+        cur = n.AddGate(GateType::kNand, cur, a);
+    n.AddOutput(cur);
+    auto p = Assemble(n);
+    EXPECT_TRUE(p.has_value());
+    return std::move(*p);
+}
+
+TEST(MemoryPlan, ChainNeedsConstantSlots) {
+    const Program p = ChainProgram(64);
+    const MemoryPlan plan = ComputeMemoryPlan(p);
+    EXPECT_TRUE(plan.level_safe);
+    EXPECT_EQ(plan.slot_of.size(), 1 + p.NumInputs() + p.NumGates());
+    // Only the input, the running value, and the overwriter are ever live;
+    // level-safe forbids in-place, so the chain ping-pongs in <= 4 slots.
+    EXPECT_LE(plan.num_slots, 4u);
+
+    MemoryPlanOptions tight;
+    tight.level_safe = false;
+    const MemoryPlan seq = ComputeMemoryPlan(p, tight);
+    EXPECT_FALSE(seq.level_safe);
+    EXPECT_LE(seq.num_slots, plan.num_slots);
+}
+
+TEST(MemoryPlan, WithPlanRoundTripsThroughSerialization) {
+    const auto base = Assemble(RandomNetlist(7, 6, 120));
+    ASSERT_TRUE(base.has_value());
+    EXPECT_EQ(base->Plan(), nullptr);  // Assemble emits no plan itself.
+
+    const MemoryPlan plan = ComputeMemoryPlan(*base);
+    std::string error;
+    const auto planned = base->WithPlan(plan, &error);
+    ASSERT_TRUE(planned.has_value()) << error;
+    ASSERT_NE(planned->Plan(), nullptr);
+    EXPECT_EQ(planned->FormatVersion(), kFormatVersionPlanned);
+
+    std::stringstream buf;
+    planned->Serialize(buf);
+    const auto loaded = Program::Deserialize(buf, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    ASSERT_NE(loaded->Plan(), nullptr);
+    EXPECT_EQ(loaded->Plan()->num_slots, plan.num_slots);
+    EXPECT_EQ(loaded->Plan()->level_safe, plan.level_safe);
+    EXPECT_EQ(loaded->Plan()->slot_of, plan.slot_of);
+    // The instruction streams (and thus gates/outputs) are unchanged.
+    EXPECT_EQ(loaded->Instructions(), planned->Instructions());
+    EXPECT_EQ(loaded->NumGates(), base->NumGates());
+}
+
+TEST(MemoryPlan, PlanlessVersionsLoadWithIdentityBehavior) {
+    const auto p = Assemble(RandomNetlist(9, 4, 40));
+    ASSERT_TRUE(p.has_value());
+    std::stringstream buf;
+    p->Serialize(buf);
+    const auto loaded = Program::Deserialize(buf);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->Plan(), nullptr);
+}
+
+TEST(MemoryPlan, WithPlanRejectsOverlappingLiveValues) {
+    const Program p = ChainProgram(8);
+    MemoryPlan bad = ComputeMemoryPlan(p);
+    // Force the first gate into the input's slot: the input is read by
+    // every later gate, so the intervals overlap.
+    bad.slot_of[p.FirstGateIndex()] = bad.slot_of[1];
+    std::string error;
+    EXPECT_FALSE(p.WithPlan(bad, &error).has_value());
+    EXPECT_NE(error.find("overlapping"), std::string::npos) << error;
+}
+
+TEST(MemoryPlan, WithPlanRejectsLevelUnsafeReuseWhenFlagged) {
+    const Program p = ChainProgram(8);
+    MemoryPlanOptions tight;
+    tight.level_safe = false;
+    MemoryPlan seq = ComputeMemoryPlan(p, tight);
+    // A sequential-tight chain plan reuses in place (death level == def
+    // level somewhere); claiming it level-safe must be rejected.
+    seq.level_safe = true;
+    std::string error;
+    EXPECT_FALSE(p.WithPlan(seq, &error).has_value());
+    EXPECT_NE(error.find("level"), std::string::npos) << error;
+    // The honest flag is accepted.
+    seq.level_safe = false;
+    EXPECT_TRUE(p.WithPlan(seq).has_value());
+}
+
+TEST(MemoryPlan, LoaderRejectsCorruptPlanRecords) {
+    const Program base = ChainProgram(6);
+    const auto planned = base.WithPlan(ComputeMemoryPlan(base));
+    ASSERT_TRUE(planned.has_value());
+
+    // Out-of-range slot in the final pair record.
+    auto ins = planned->Instructions();
+    ins.back() = Instruction::MakePlanSlots(1u << 20, kIndexAllOnes);
+    std::string error;
+    EXPECT_FALSE(Program::FromInstructions(ins, &error).has_value());
+    EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+
+    // Truncated plan: drop the last slot-pair record.
+    ins = planned->Instructions();
+    ins.pop_back();
+    EXPECT_FALSE(Program::FromInstructions(ins, &error).has_value());
+
+    // A version-2 header may not carry a plan section at all.
+    ins = planned->Instructions();
+    ins[0] = Instruction::MakeHeader(base.NumGates(), kFormatVersionWide);
+    EXPECT_FALSE(Program::FromInstructions(ins, &error).has_value());
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(MemoryPlan, ValueLevelsMatchAsapSchedule) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    const NodeId x = n.AddGate(GateType::kXor, a, b);   // level 1
+    const NodeId y = n.AddGate(GateType::kAnd, a, x);   // level 2
+    n.AddOutput(n.AddGate(GateType::kOr, x, y));        // level 3
+    const auto p = Assemble(n);
+    ASSERT_TRUE(p.has_value());
+    const auto levels = p->ValueLevels();
+    EXPECT_EQ(levels[1], 0u);
+    EXPECT_EQ(levels[2], 0u);
+    EXPECT_EQ(levels[3], 1u);
+    EXPECT_EQ(levels[4], 2u);
+    EXPECT_EQ(levels[5], 3u);
+}
+
+TEST(MemoryPlan, PlanAwareDependenciesAddAntiEdges) {
+    // Chain reuse means each overwriting gate gains a write-after-read
+    // edge from the reader(s) of its slot's previous occupant.
+    const Program p = ChainProgram(16);
+    const MemoryPlan plan = ComputeMemoryPlan(p);
+    const GateDependencies plain = p.BuildGateDependencies();
+    const GateDependencies planned = p.BuildGateDependencies(&plan);
+
+    ASSERT_EQ(planned.NumGates(), plain.NumGates());
+    uint64_t plain_edges = 0, planned_edges = 0;
+    uint64_t plain_preds = 0, planned_preds = 0;
+    for (uint64_t g = 0; g < plain.NumGates(); ++g) {
+        plain_edges += plain.FanOut(p.FirstGateIndex() + g);
+        planned_edges += planned.FanOut(p.FirstGateIndex() + g);
+        plain_preds += plain.pred_count[g];
+        planned_preds += planned.pred_count[g];
+    }
+    EXPECT_GT(planned_edges, plain_edges);
+    // Edge arithmetic still balances: every successor entry is matched by
+    // one predecessor count, so dependency counting terminates.
+    EXPECT_EQ(planned_edges, planned_preds);
+    EXPECT_EQ(plain_edges, plain_preds);
+    // Null plan is the identity overload.
+    const GateDependencies null_plan = p.BuildGateDependencies(nullptr);
+    EXPECT_EQ(null_plan.pred_count, plain.pred_count);
+    EXPECT_EQ(null_plan.successors, plain.successors);
+}
+
+TEST(MemoryPlan, RandomProgramsProduceLoadablePlans) {
+    for (uint64_t seed = 1; seed < 9; ++seed) {
+        const auto p = Assemble(RandomNetlist(seed, 5, 150));
+        ASSERT_TRUE(p.has_value());
+        for (const bool level_safe : {true, false}) {
+            MemoryPlanOptions o;
+            o.level_safe = level_safe;
+            const MemoryPlan plan = ComputeMemoryPlan(*p, o);
+            EXPECT_LT(plan.num_slots, 1 + p->NumInputs() + p->NumGates());
+            std::string error;
+            const auto planned = p->WithPlan(plan, &error);
+            ASSERT_TRUE(planned.has_value())
+                << "seed " << seed << ": " << error;
+            std::stringstream buf;
+            planned->Serialize(buf);
+            EXPECT_TRUE(Program::Deserialize(buf, &error).has_value())
+                << "seed " << seed << ": " << error;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace pytfhe::pasm

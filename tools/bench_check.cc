@@ -151,7 +151,14 @@ bool LowerIsBetter(const std::string& path) {
            path.find("ops_ns") != std::string::npos ||
            path.find("modeled_s") != std::string::npos ||
            path.find("failure_prob") != std::string::npos ||
-           path.find("bootstraps_after") != std::string::npos;
+           path.find("bootstraps_after") != std::string::npos ||
+           // Memory-planning metrics: per-job arena residency and
+           // steady-state heap traffic. Both are exact counts, not timings,
+           // so a >10% growth is a genuine planner or evaluator regression.
+           // allocs_per_gate_planned is 0 in the baseline; the zero-
+           // baseline rule below then forbids ANY per-gate allocation.
+           path.find("arena_bytes") != std::string::npos ||
+           path.find("allocs_per") != std::string::npos;
 }
 
 /**
@@ -163,7 +170,9 @@ bool LowerIsBetter(const std::string& path) {
  */
 bool HigherIsBetter(const std::string& path) {
     return path.find("hit_rate") != std::string::npos ||
-           path.find("speedup") != std::string::npos;
+           path.find("speedup") != std::string::npos ||
+           // Slot-reuse factor of the memory planner (deterministic).
+           path.find("reduction_x") != std::string::npos;
 }
 
 }  // namespace

@@ -43,6 +43,9 @@ int Usage() {
                  "  list\n"
                  "compile options:\n"
                  "  --no-elide        keep every gate bootstrapped\n"
+                 "  --no-plan         emit without a memory plan (v2 "
+                 "format,\n"
+                 "                    one ciphertext slot per instruction)\n"
                  "  --params=<set>    noise model for elision: tfhe128\n"
                  "                    (default), small, toy\n");
     return 2;
@@ -67,6 +70,8 @@ CliOptions ParseCompileFlags(int argc, char** argv, int* next) {
         const char* flag = argv[*next];
         if (!std::strcmp(flag, "--no-elide")) {
             cli.compile.elision.enabled = false;
+        } else if (!std::strcmp(flag, "--no-plan")) {
+            cli.compile.plan_memory = false;
         } else if (!std::strcmp(flag, "--params=tfhe128")) {
             cli.compile.params = tfhe::Tfhe128Params();
         } else if (!std::strcmp(flag, "--params=small")) {
@@ -134,6 +139,21 @@ int CmdStats(const char* path) {
                 static_cast<unsigned long long>(schedule.NumLevels()),
                 static_cast<unsigned long long>(schedule.MaxWidth()),
                 schedule.AvgWidth());
+    const uint64_t num_values = p->FirstGateIndex() + p->NumGates();
+    if (const pasm::MemoryPlan* plan = p->Plan()) {
+        std::printf("memory plan: %llu slots for %llu values (%.1fx "
+                    "reuse)%s\n",
+                    static_cast<unsigned long long>(plan->num_slots),
+                    static_cast<unsigned long long>(num_values),
+                    plan->num_slots > 0
+                        ? static_cast<double>(num_values) /
+                              static_cast<double>(plan->num_slots)
+                        : 0.0,
+                    plan->level_safe ? ", level-safe" : "");
+    } else {
+        std::printf("memory plan: none (%llu slots, one per value)\n",
+                    static_cast<unsigned long long>(num_values));
+    }
     return 0;
 }
 
