@@ -33,12 +33,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "backend/evaluator.h"
+#include "circuit/netlist.h"
 #include "pasm/program.h"
 #include "tfhe/lwe.h"
 
@@ -230,6 +232,17 @@ class ValuePlane {
             values_ = detail::SlotBuffer<C>(size);
             size_ = size;
         }
+        // Multi-bit programs carry 2-bit intermediate digits that a bool
+        // (or placeholder byte) slot cannot hold; a digit side-plane with
+        // the same slot mapping carries them. Inputs are 1-bit digits by
+        // the format's homogeneity rule, so seeding from C is lossless.
+        if (program.MessageModulus() != 0) {
+            digits_.assign(size, 0);
+            for (uint64_t i = 0; i < inputs.size(); ++i)
+                digits_[SlotOf(1 + i)] = inputs[i] ? 1 : 0;
+        } else {
+            digits_.clear();
+        }
         for (uint64_t i = 0; i < inputs.size(); ++i)
             values_[SlotOf(1 + i)] = inputs[i];
     }
@@ -237,6 +250,25 @@ class ValuePlane {
     template <typename Scratch>
     void Apply(Evaluator& eval, const pasm::Program& program, uint64_t idx,
                Scratch& scratch) {
+        if (program.IsLutGate(idx)) {
+            // The plane interprets weighted LUT gates itself (reference
+            // digit semantics, mirroring circuit::Netlist::EvaluatePlain);
+            // evaluators that account per-gate work opt in via OnLutGate.
+            const pasm::DecodedLut l = program.LutAt(idx);
+            int32_t m = 0;
+            for (const auto& [in, w] : l.operands)
+                m += static_cast<int32_t>(w) *
+                     static_cast<int32_t>(digits_[SlotOf(in)]);
+            const uint32_t entry =
+                (l.table >> ((m - l.lo) * l.out_bits)) &
+                ((1u << l.out_bits) - 1);
+            digits_[SlotOf(idx)] = static_cast<uint8_t>(entry);
+            // Program outputs may only read 1-bit gates (enforced at load
+            // time), so the low bit is the whole value wherever C matters.
+            values_[SlotOf(idx)] = static_cast<C>(entry & 1u);
+            if constexpr (requires { eval.OnLutGate(); }) eval.OnLutGate();
+            return;
+        }
         const pasm::DecodedGate g = program.GateAt(idx);
         // ApplyGate returns by value: the result is complete before the
         // assignment runs, so an in-place plan (out slot == operand slot)
@@ -285,6 +317,8 @@ class ValuePlane {
     const pasm::MemoryPlan* plan_ = nullptr;  ///< Borrowed from the program.
     uint64_t size_ = 0;
     detail::SlotBuffer<C> values_{0};
+    /** Digit values per slot; populated only for multi-bit programs. */
+    std::vector<uint8_t> digits_;
 };
 
 /**
@@ -322,6 +356,26 @@ class ValuePlane<Evaluator,
     template <typename Scratch>
     void Apply(Evaluator& eval, const pasm::Program& program, uint64_t idx,
                Scratch& scratch) {
+        if (program.IsLutGate(idx)) {
+            // Weighted LUT gate: gather operand slot views and dispatch
+            // one programmable bootstrap. Kernel inputs are consumed
+            // before the output view is written, so in-place plans hold.
+            const pasm::DecodedLut l = program.LutAt(idx);
+            tfhe::LweCView ops[circuit::kMaxLutArity];
+            int8_t weights[circuit::kMaxLutArity];
+            const size_t arity = l.operands.size();
+            for (size_t i = 0; i < arity; ++i) {
+                ops[i] = CSlot(l.operands[i].first);
+                weights[i] = l.operands[i].second;
+            }
+            const tfhe::LutKernel kernel{
+                std::span<const int8_t>(weights, arity), l.lo, l.table,
+                l.out_bits, program.MessageModulus()};
+            eval.ApplyLutInto(kernel,
+                              std::span<const tfhe::LweCView>(ops, arity),
+                              arena_.Slot(SlotOf(idx)), scratch);
+            return;
+        }
         const pasm::DecodedGate g = program.GateAt(idx);
         eval.ApplyInto(g.type, CSlot(g.in0),
                        program.ProducesLinearDomain(g.in0), CSlot(g.in1),

@@ -12,11 +12,13 @@
 #define PYTFHE_BACKEND_EVALUATOR_H
 
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
 #include "circuit/gate_type.h"
 #include "tfhe/gates.h"
+#include "tfhe/multibit.h"
 
 namespace pytfhe::backend {
 
@@ -184,8 +186,28 @@ class TfheEvaluator {
         return a;  // Unreachable for valid gate types.
     }
 
-    /** True iff `t` may be placed in an ApplyBatch call. */
-    static bool Batchable(GateType t) { return circuit::NeedsBootstrap(t); }
+    /**
+     * True iff `t` may be placed in an ApplyBatch call. LUT gates bootstrap
+     * but carry a per-gate test vector and variable arity, which the fused
+     * sign-bootstrap kernel cannot express — they dispatch through
+     * ApplyLutInto on the scalar path instead.
+     */
+    static bool Batchable(GateType t) {
+        return circuit::NeedsBootstrap(t) && t != GateType::kLut;
+    }
+
+    /**
+     * Evaluates one weighted LUT gate (multi-bit programs, format v4):
+     * linear prelude over the operand views, one programmable bootstrap
+     * through the table-valued test vector, one key switch into `out`.
+     * Operands are fully read before `out` is written, so `out` may alias
+     * any operand view — the in-place shape a memory plan produces.
+     */
+    void ApplyLutInto(const tfhe::LutKernel& lut,
+                      std::span<const tfhe::LweCView> ops, tfhe::LweView out,
+                      WorkerScratch& s) const {
+        tfhe::LutBootstrapInto(*gates_, lut, ops, out, &s);
+    }
 
     /**
      * Evaluates `count` bootstrapped gates through one batched blind
@@ -291,6 +313,17 @@ class CountingEvaluator {
         ++counts_[static_cast<int32_t>(t)];
         ++total_;
         return circuit::EvalGate(t, a, b) ? 1 : 0;
+    }
+
+    /**
+     * Accounting hook for LUT gates (multi-bit programs). The plane
+     * evaluates the digit semantics itself — a placeholder byte cannot be
+     * threaded through a weighted sum — and reports each gate here; one
+     * LUT gate costs exactly one bootstrap, like any bootstrapped gate.
+     */
+    void OnLutGate() {
+        ++counts_[static_cast<int32_t>(GateType::kLut)];
+        ++total_;
     }
 
     uint64_t Total() const { return total_; }

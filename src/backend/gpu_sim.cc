@@ -109,13 +109,12 @@ GpuResult SimulatePyTfhe(const pasm::Program& program, const GpuConfig& gpu,
         uint64_t fresh_inputs = 0;
         for (const auto* wave : batch.waves) {
             for (uint64_t idx : *wave) {
-                const auto g = program.GateAt(idx);
-                for (uint64_t in : {g.in0, g.in1}) {
-                    if (seen_stamp[in] == static_cast<int64_t>(bi)) continue;
+                program.ForEachOperand(idx, [&](uint64_t in) {
+                    if (seen_stamp[in] == static_cast<int64_t>(bi)) return;
                     seen_stamp[in] = static_cast<int64_t>(bi);
                     if (batch_of[in] != static_cast<int32_t>(bi))
                         ++fresh_inputs;
-                }
+                });
             }
         }
 

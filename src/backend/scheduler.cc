@@ -10,9 +10,10 @@ Schedule ComputeSchedule(const pasm::Program& program) {
     std::vector<uint32_t> level(end_gate, 0);
     uint32_t max_level = 0;
     for (uint64_t idx = first_gate; idx < end_gate; ++idx) {
-        const pasm::DecodedGate g = program.GateAt(idx);
-        const uint32_t in_level =
-            std::max(level[g.in0], level[g.in1]);
+        uint32_t in_level = 0;
+        program.ForEachOperand(idx, [&](uint64_t in) {
+            in_level = std::max(in_level, level[in]);
+        });
         level[idx] = in_level + 1;
         max_level = std::max(max_level, level[idx]);
     }

@@ -54,6 +54,10 @@ class BristolWriter {
             case GateType::kLinXor: return Xor(a, b);
             case GateType::kLinXnor: return Inv(Xor(a, b));
             case GateType::kLinNot: return Inv(a);
+            case GateType::kLut:
+                // Handled (rejected) by the caller before lowering; a LUT
+                // has no faithful 2-input Bristol spelling.
+                break;
         }
         return a;  // Unreachable.
     }
@@ -103,7 +107,17 @@ void ExportBristol(std::ostream& os, const Netlist& netlist) {
     for (NodeId id = 2; id < netlist.NumNodes(); ++id) {
         const Node& n = netlist.GetNode(id);
         if (n.kind != NodeKind::kGate) continue;
-        wire[id] = w.Lower(n.type, wire_of(n.in0), wire_of(n.in1));
+        if (n.type == GateType::kLut) {
+            // Refuse rather than truncate the operand list: Bristol's gate
+            // set is 2-input boolean and cannot express a weighted LUT.
+            throw UnsupportedGateError(
+                "cannot export node " + std::to_string(id) +
+                " to Bristol format: kLut gates (multibit netlists) have no "
+                "Bristol encoding — export the boolean form built without "
+                "CompileOptions::multibit instead");
+        }
+        wire[id] = w.Lower(n.type, wire_of(netlist.Op(id, 0)),
+                           wire_of(netlist.Op(id, 1)));
     }
     // Materialize any constant outputs before freezing the tail region.
     for (NodeId id : netlist.Outputs()) (void)wire_of(id);

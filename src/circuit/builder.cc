@@ -1,6 +1,8 @@
 #include "circuit/builder.h"
 
+#include <algorithm>
 #include <cassert>
+#include <string>
 
 namespace pytfhe::circuit {
 
@@ -21,7 +23,9 @@ GateType SwappedGate(GateType t) {
 
 std::optional<NodeId> SimplifyingBuilder::NotInputOf(NodeId id) const {
     const Node& n = out_.GetNode(id);
-    if (n.kind == NodeKind::kGate && n.type == GateType::kNot) return n.in0;
+    if (n.kind == NodeKind::kGate && n.type == GateType::kNot) {
+        return out_.Op(id, 0);
+    }
     return std::nullopt;
 }
 
@@ -40,8 +44,9 @@ NodeId SimplifyingBuilder::MakeNot(NodeId a) {
         // consumers duplicates logic instead of saving the (noiseless)
         // NOT. Only pay when the negated twin already exists.
         const Node& n = out_.GetNode(a);
-        if (n.kind == NodeKind::kGate && n.type != GateType::kNot) {
-            const GateKey key{NegatedGate(n.type), n.in0, n.in1};
+        if (n.kind == NodeKind::kGate && n.type != GateType::kNot &&
+            n.type != GateType::kLut) {
+            const GateKey key{NegatedGate(n.type), out_.Op(a, 0), out_.Op(a, 1)};
             auto it = cse_.find(key);
             if (it != cse_.end()) {
                 ++stats_.absorbed_nots;
@@ -128,6 +133,176 @@ NodeId SimplifyingBuilder::MakeGate(GateType t, NodeId a, NodeId b) {
         std::swap(a, b);
     }
     return Emit(t, a, b);
+}
+
+NodeId SimplifyingBuilder::MakeGate(GateType t,
+                                    std::span<const NodeId> operands) {
+    if (t == GateType::kLut) {
+        throw UnsupportedGateError(
+            "SimplifyingBuilder::MakeGate cannot build a kLut gate: LUT "
+            "semantics need a LutSpec — use MakeLut");
+    }
+    if (operands.size() == 1) {
+        if (!IsUnary(BootstrappedForm(t))) {
+            throw UnsupportedGateError(
+                std::string("gate type ") + std::string(GateTypeName(t)) +
+                " takes two operands, got 1");
+        }
+        return MakeNot(operands[0]);
+    }
+    if (operands.size() == 2) return MakeGate(t, operands[0], operands[1]);
+    throw UnsupportedGateError(
+        std::string("gate type ") + std::string(GateTypeName(t)) +
+        " takes at most two operands, got " + std::to_string(operands.size()));
+}
+
+NodeId SimplifyingBuilder::MakeLut(LutSpec spec,
+                                   std::span<const NodeId> operands) {
+    if (spec.weights.size() != operands.size()) {
+        throw UnsupportedGateError(
+            "MakeLut: " + std::to_string(spec.weights.size()) +
+            " weights for " + std::to_string(operands.size()) + " operands");
+    }
+    if (operands.empty()) {
+        throw UnsupportedGateError("MakeLut: a LUT needs at least one operand");
+    }
+    // Fail fast on a mis-declared lo, at the build site where the mistake
+    // is debuggable. The reachable minimum may exceed the declared lo (a
+    // rebuild pass can map a digit operand to a constant, shrinking its
+    // range); it must never dip below it, or the table has no entry.
+    int64_t reachable_lo = 0;
+    for (size_t i = 0; i < operands.size(); ++i) {
+        if (spec.weights[i] < 0) {
+            reachable_lo += int64_t{spec.weights[i]} *
+                            ((int64_t{1} << out_.DigitBits(operands[i])) - 1);
+        }
+    }
+    if (reachable_lo < spec.lo) {
+        throw UnsupportedGateError(
+            "MakeLut: declared lo " + std::to_string(spec.lo) +
+            " above the minimum reachable weighted sum " +
+            std::to_string(reachable_lo));
+    }
+
+    // Canonicalize: fold constant operands into the table bias, merge
+    // duplicate operands by summing their weights, drop zero weights, and
+    // sort the surviving (operand, weight) pairs — m = sum w_i * v_i is
+    // order-independent, so reordering never touches the table. All of it
+    // preserves the weighted sum up to the folded constant contribution
+    // `delta`, so the table is rebased, never refilled:
+    // new_entry[m] = old_entry[m + delta].
+    int64_t delta = 0;
+    std::vector<std::pair<NodeId, int64_t>> pairs;
+    for (size_t i = 0; i < operands.size(); ++i) {
+        const NodeId op = operands[i];
+        const int64_t w = spec.weights[i];
+        if (w == 0) continue;
+        if (op == kConstFalse) continue;  // Contributes 0 to the sum.
+        if (op == kConstTrue) {
+            delta += w;
+            continue;
+        }
+        bool merged = false;
+        for (auto& [prev_op, prev_w] : pairs) {
+            if (prev_op == op) {
+                prev_w += w;
+                merged = true;
+                break;
+            }
+        }
+        if (!merged) pairs.emplace_back(op, w);
+    }
+    std::erase_if(pairs, [](const auto& p) { return p.second == 0; });
+    std::sort(pairs.begin(), pairs.end());
+
+    // Rebase onto the surviving operands' reachable range [lo, hi]. Folding
+    // only ever shrinks the reachable set, so (m + delta) stays inside the
+    // caller's declared domain and old entries cover every new index.
+    int64_t lo = 0;
+    int64_t hi = 0;
+    for (const auto& [op, w] : pairs) {
+        const int64_t vmax = (int64_t{1} << out_.DigitBits(op)) - 1;
+        (w < 0 ? lo : hi) += w * vmax;
+    }
+    LutSpec canon;
+    canon.out_bits = spec.out_bits;
+    canon.lo = static_cast<int32_t>(lo);
+    canon.weights.reserve(pairs.size());
+    std::vector<NodeId> ops;
+    ops.reserve(pairs.size());
+    for (const auto& [op, w] : pairs) {
+        if (w < -127 || w > 127) {
+            throw UnsupportedGateError(
+                "MakeLut: merged operand weight " + std::to_string(w) +
+                " exceeds the int8 weight range");
+        }
+        canon.weights.push_back(static_cast<int8_t>(w));
+        ops.push_back(op);
+    }
+    if ((hi + delta - spec.lo + 1) * canon.out_bits > 32) {
+        throw UnsupportedGateError(
+            "MakeLut: reachable weighted sums span " +
+            std::to_string(hi + delta - spec.lo + 1) +
+            " table entries past the declared lo; the table word holds at "
+            "most " + std::to_string(32 / canon.out_bits));
+    }
+    for (int64_t m = lo; m <= hi; ++m) {
+        canon.table |= spec.Entry(static_cast<int32_t>(m + delta))
+                       << (static_cast<uint32_t>(m - lo) * canon.out_bits);
+    }
+
+    if (ops.empty()) {
+        // Every operand folded away: the LUT is the single entry at delta.
+        if (canon.out_bits != 1) {
+            throw UnsupportedGateError(
+                "MakeLut: a fully constant multi-bit LUT has no node "
+                "representation (split it into 1-bit outputs)");
+        }
+        ++stats_.folded;
+        return canon.table & 1 ? kConstTrue : kConstFalse;
+    }
+    if (ops.size() == 1 && out_.DigitBits(ops[0]) == 1) {
+        // Unary LUT over one bit: only m = 0 and m = w are reachable.
+        const uint32_t e0 = canon.Entry(0);
+        const uint32_t e1 = canon.Entry(canon.weights[0]);
+        if (opts_.fold_constants && canon.out_bits == 1 &&
+            !((e0 & 1) == 1 && (e1 & 1) == 0)) {
+            // Constant or identity table: no gate needed. The remaining
+            // shape (a NOT) stays a LUT — a multibit netlist has no kNot.
+            ++stats_.folded;
+            return FromTruth(e0 & 1, e1 & 1, ops[0]);
+        }
+        // Normalize to weight 1 so structurally equal unary LUTs that
+        // arrived with different weights CSE together.
+        canon.weights[0] = 1;
+        canon.lo = 0;
+        canon.table = e0 | (e1 << canon.out_bits);
+    }
+
+    if (opts_.cse) {
+        uint64_t h = (canon.table + 0x9E3779B97F4A7C15ull) *
+                     0x100000001B3ull;
+        h = h * 0x100000001B3ull + static_cast<uint32_t>(canon.lo + 512);
+        h = h * 0x100000001B3ull + canon.out_bits;
+        for (size_t i = 0; i < ops.size(); ++i) {
+            h = h * 0x100000001B3ull + ops[i];
+            h = h * 0x100000001B3ull + static_cast<uint8_t>(canon.weights[i]);
+        }
+        auto& bucket = lut_cse_[h];
+        for (const NodeId cand : bucket) {
+            const auto cand_ops = out_.Operands(cand);
+            if (std::equal(cand_ops.begin(), cand_ops.end(), ops.begin(),
+                           ops.end()) &&
+                out_.Lut(cand) == canon) {
+                ++stats_.deduped;
+                return cand;
+            }
+        }
+        const NodeId id = out_.AddLut(std::move(canon), ops);
+        bucket.push_back(id);
+        return id;
+    }
+    return out_.AddLut(std::move(canon), ops);
 }
 
 NodeId SimplifyingBuilder::MakeMux(NodeId sel, NodeId t, NodeId f) {

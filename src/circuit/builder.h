@@ -14,6 +14,7 @@
 #define PYTFHE_CIRCUIT_BUILDER_H
 
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -59,9 +60,31 @@ class SimplifyingBuilder {
     NodeId MakeConst(bool value) {
         return value ? kConstTrue : kConstFalse;
     }
+    /**
+     * Builds gate type t over an explicit operand span, simplifying.
+     * Classic gate types take one (NOT) or two operands; kLut is rejected
+     * with UnsupportedGateError (its semantics need a LutSpec — use
+     * MakeLut). The two-operand overload below remains the convenient
+     * spelling for the classic gate set.
+     */
+    NodeId MakeGate(GateType t, std::span<const NodeId> operands);
+
     /** Builds gate type t over (a, b), simplifying. For NOT, b is ignored. */
     NodeId MakeGate(GateType t, NodeId a, NodeId b);
     NodeId MakeNot(NodeId a);
+
+    /**
+     * Builds a kLut gate, simplifying: constant operands fold into the
+     * table, duplicate operands merge their weights, zero-weight operands
+     * drop out, single-bit identity tables collapse to the operand, fully
+     * constant 1-bit LUTs fold to the constant nodes, and structurally
+     * identical LUTs dedupe (CSE). The netlist must be multibit
+     * (SetMessageModulus) before the first call.
+     */
+    NodeId MakeLut(LutSpec spec, std::span<const NodeId> operands);
+
+    /** Declares the netlist under construction multibit (modulus p). */
+    void SetMessageModulus(int32_t p) { out_.SetMessageModulus(p); }
     /** sel ? t : f, lowered to the binary gate set (2 bootstrapped gates). */
     NodeId MakeMux(NodeId sel, NodeId t, NodeId f);
 
@@ -108,6 +131,8 @@ class SimplifyingBuilder {
     BuilderStats stats_;
     Netlist out_;
     std::unordered_map<GateKey, NodeId, GateKeyHash> cse_;
+    /** Structural CSE for kLut gates: digest of (operands, spec) -> id. */
+    std::unordered_map<uint64_t, std::vector<NodeId>> lut_cse_;
 };
 
 }  // namespace pytfhe::circuit

@@ -40,9 +40,17 @@ enum class GateType : uint8_t {
     kLinXor = 11,   ///< XOR without bootstrap; linear-domain output.
     kLinXnor = 12,  ///< XNOR without bootstrap; linear-domain output.
     kLinNot = 13,   ///< NOT of a linear-domain value (sample negation).
+    /**
+     * Programmable-bootstrap lookup table over k weighted operands
+     * (multi-bit message space; see tfhe/multibit.h). The node's operand
+     * list and LutSpec (weights, table, output width) live in the Netlist
+     * side tables; a kLut gate costs exactly one bootstrap regardless of
+     * arity. Only valid in multibit netlists (MessageModulus() > 0).
+     */
+    kLut = 14,
 };
 
-constexpr int32_t kNumGateTypes = 14;
+constexpr int32_t kNumGateTypes = 15;
 
 /**
  * Gate types a frontend can emit directly (indices 0..10). The linear
@@ -71,7 +79,11 @@ constexpr bool NeedsBootstrap(GateType t) {
     return t != GateType::kNot && !IsLinearGate(t);
 }
 
-/** Plaintext semantics of a gate. For NOT, b is ignored. */
+/**
+ * Plaintext semantics of a gate. For NOT, b is ignored. kLut semantics
+ * live in the netlist's LutSpec side table (Netlist::EvaluatePlain), not
+ * here; a bare kLut evaluates to false.
+ */
 constexpr bool EvalGate(GateType t, bool a, bool b) {
     switch (t) {
         case GateType::kNot: return !a;
@@ -88,6 +100,7 @@ constexpr bool EvalGate(GateType t, bool a, bool b) {
         case GateType::kLinXor: return a != b;
         case GateType::kLinXnor: return a == b;
         case GateType::kLinNot: return !a;
+        case GateType::kLut: return false;  // See Netlist::EvaluatePlain.
     }
     return false;  // Unreachable for valid gate types.
 }
@@ -146,6 +159,7 @@ constexpr std::string_view GateTypeName(GateType t) {
         case GateType::kLinXor: return "LXOR";
         case GateType::kLinXnor: return "LXNOR";
         case GateType::kLinNot: return "LNOT";
+        case GateType::kLut: return "LUT";
     }
     return "?";
 }
@@ -167,6 +181,7 @@ constexpr GateType NegatedGate(GateType t) {
         case GateType::kLinXor: return GateType::kLinXnor;
         case GateType::kLinXnor: return GateType::kLinXor;
         case GateType::kLinNot: return GateType::kLinNot;
+        case GateType::kLut: return GateType::kLut;  // Negation folds into the table.
     }
     return t;
 }
@@ -188,6 +203,7 @@ constexpr GateType GateWithFirstInputNegated(GateType t) {
         case GateType::kLinXor: return GateType::kLinXnor;
         case GateType::kLinXnor: return GateType::kLinXor;
         case GateType::kLinNot: return GateType::kLinNot;
+        case GateType::kLut: return GateType::kLut;  // Folds into the table.
     }
     return t;
 }
@@ -209,6 +225,7 @@ constexpr GateType GateWithSecondInputNegated(GateType t) {
         case GateType::kLinXor: return GateType::kLinXnor;
         case GateType::kLinXnor: return GateType::kLinXor;
         case GateType::kLinNot: return GateType::kLinNot;
+        case GateType::kLut: return GateType::kLut;  // Folds into the table.
     }
     return t;
 }

@@ -1,5 +1,6 @@
 #include "circuit/netlist.h"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
 #include <unordered_set>
@@ -15,6 +16,8 @@ std::string NetlistStats::ToString() const {
     if (num_wide_groups > 0)
         os << " wide_groups=" << num_wide_groups
            << " wide_gates=" << num_wide_gates;
+    if (num_lut_gates > 0)
+        os << " luts=" << num_lut_gates << " max_lut_arity=" << max_lut_arity;
     os << "\n";
     for (int32_t t = 0; t < kNumGateTypes; ++t) {
         if (gate_histogram[t] == 0) continue;
@@ -25,25 +28,86 @@ std::string NetlistStats::ToString() const {
 }
 
 Netlist::Netlist() {
-    nodes_.push_back(Node{NodeKind::kConst, GateType::kAnd, 0, 0});
-    nodes_.push_back(Node{NodeKind::kConst, GateType::kAnd, 0, 0});
+    nodes_.push_back(Node{NodeKind::kConst, GateType::kAnd, 0, -1, 0});
+    nodes_.push_back(Node{NodeKind::kConst, GateType::kAnd, 0, -1, 0});
 }
 
 NodeId Netlist::AddInput(std::string name) {
     const NodeId id = nodes_.size();
-    nodes_.push_back(Node{NodeKind::kInput, GateType::kAnd, 0, 0});
+    nodes_.push_back(Node{NodeKind::kInput, GateType::kAnd, 0, -1, 0});
     inputs_.push_back(id);
     if (name.empty()) name = "in" + std::to_string(inputs_.size() - 1);
     input_names_.push_back(std::move(name));
     return id;
 }
 
-NodeId Netlist::AddGate(GateType type, NodeId a, NodeId b) {
-    assert(a < nodes_.size() && b < nodes_.size());
+NodeId Netlist::AddGate(GateType type, std::span<const NodeId> operands) {
+    if (type == GateType::kLut)
+        throw UnsupportedGateError(
+            "AddGate cannot build a kLut gate: use AddLut so the gate "
+            "carries its LutSpec (weights, table, output width)");
+    // Unary gates take one operand but, for compatibility with the long-
+    // standing two-operand calling convention, also accept two — the
+    // second is ignored (callers historically passed anything there).
+    const size_t arity = IsUnary(type) ? 1 : 2;
+    if (operands.size() != arity && !(IsUnary(type) && operands.size() == 2))
+        throw UnsupportedGateError(
+            std::string(GateTypeName(type)) + " gate takes " +
+            std::to_string(arity) + " operand(s), got " +
+            std::to_string(operands.size()));
+    for ([[maybe_unused]] NodeId op : operands) assert(op < nodes_.size());
     const NodeId id = nodes_.size();
-    nodes_.push_back(Node{NodeKind::kGate, type, a, IsUnary(type) ? a : b});
+    Node n;
+    n.kind = NodeKind::kGate;
+    n.type = type;
+    n.first_op = operands_.size();
+    n.num_ops = 2;
+    // NOT stores its operand twice, preserving the historical in1 == in0
+    // convention every consumer of two-operand gates relies on (any
+    // second operand a caller did pass is ignored, per the old API).
+    operands_.push_back(operands[0]);
+    operands_.push_back(IsUnary(type) ? operands[0] : operands[1]);
+    nodes_.push_back(n);
     ++num_gates_;
     return id;
+}
+
+NodeId Netlist::AddLut(LutSpec spec, std::span<const NodeId> operands) {
+    if (message_modulus_ == 0)
+        throw UnsupportedGateError(
+            "AddLut on a boolean netlist: call SetMessageModulus(p) first "
+            "(kLut gates only exist in multibit netlists)");
+    if (spec.weights.size() != operands.size())
+        throw UnsupportedGateError(
+            "AddLut: " + std::to_string(spec.weights.size()) +
+            " weights for " + std::to_string(operands.size()) + " operands");
+    if (operands.empty() ||
+        operands.size() > static_cast<size_t>(kMaxLutArity))
+        throw UnsupportedGateError(
+            "AddLut: arity " + std::to_string(operands.size()) +
+            " outside [1, " + std::to_string(kMaxLutArity) + "]");
+    if (spec.out_bits < 1 || spec.out_bits > kMaxLutOutBits)
+        throw UnsupportedGateError(
+            "AddLut: out_bits " + std::to_string(spec.out_bits) +
+            " outside [1, " + std::to_string(kMaxLutOutBits) + "]");
+    for ([[maybe_unused]] NodeId op : operands) assert(op < nodes_.size());
+    const NodeId id = nodes_.size();
+    Node n;
+    n.kind = NodeKind::kGate;
+    n.type = GateType::kLut;
+    n.first_op = operands_.size();
+    n.num_ops = static_cast<uint16_t>(operands.size());
+    n.lut = static_cast<int32_t>(luts_.size());
+    operands_.insert(operands_.end(), operands.begin(), operands.end());
+    luts_.push_back(std::move(spec));
+    nodes_.push_back(n);
+    ++num_gates_;
+    return id;
+}
+
+void Netlist::SetMessageModulus(int32_t p) {
+    assert(p >= 2 && p <= kMaxMessageModulus);
+    message_modulus_ = p;
 }
 
 size_t Netlist::AddWideGroup(std::vector<NodeId> members) {
@@ -69,42 +133,91 @@ std::optional<std::string> Netlist::Validate() const {
         }
         if (n.kind == NodeKind::kConst)
             return "constant node at non-reserved id " + std::to_string(id);
-        if (n.kind == NodeKind::kGate) {
-            if (n.in0 >= id || n.in1 >= id)
+        if (n.kind != NodeKind::kGate) continue;
+        for (NodeId op : Operands(id)) {
+            if (op >= id)
                 return "gate " + std::to_string(id) +
                        " references a non-topological input";
-            // Torus-domain rules (see ProducesLinearDomain). Inputs are
-            // topological, so their domains are already decided here.
-            const bool lin0 = ProducesLinearDomain(n.in0);
-            const bool lin1 = ProducesLinearDomain(n.in1);
-            switch (n.type) {
-                case GateType::kXor:
-                case GateType::kXnor:
-                case GateType::kLinXor:
-                case GateType::kLinXnor:
-                    break;  // Absorb any operand-domain mix.
-                case GateType::kNot:
-                    if (lin0)
-                        return "NOT gate " + std::to_string(id) +
-                               " consumes a linear-domain value (use LNOT)";
-                    break;
-                case GateType::kLinNot:
-                    if (!lin0)
-                        return "LNOT gate " + std::to_string(id) +
-                               " consumes a gate-domain value (use NOT)";
-                    break;
-                default:
-                    if (lin0 || lin1)
-                        return std::string(GateTypeName(n.type)) + " gate " +
-                               std::to_string(id) +
-                               " consumes a linear-domain value";
-                    break;
+        }
+        if (n.type == GateType::kLut) {
+            if (message_modulus_ == 0)
+                return "LUT gate " + std::to_string(id) +
+                       " in a boolean netlist (no message modulus set); "
+                       "multibit lowering must set one before emitting LUTs";
+            const LutSpec& lut = luts_[n.lut];
+            if (lut.weights.size() != n.num_ops)
+                return "LUT gate " + std::to_string(id) +
+                       " weight/operand count mismatch";
+            // Recompute the reachable weighted-sum range and check the
+            // declared lo and the message-space fit.
+            int32_t lo = 0, hi = 0;
+            for (size_t i = 0; i < lut.weights.size(); ++i) {
+                const int32_t w = lut.weights[i];
+                if (w == 0)
+                    return "LUT gate " + std::to_string(id) +
+                           " has a zero operand weight";
+                const int32_t vmax = (1 << DigitBits(Op(id, i))) - 1;
+                if (w > 0)
+                    hi += w * vmax;
+                else
+                    lo += w * vmax;
             }
+            if (lo != lut.lo)
+                return "LUT gate " + std::to_string(id) + " declares lo=" +
+                       std::to_string(lut.lo) + " but the reachable minimum "
+                       "is " + std::to_string(lo);
+            const int32_t domain = hi - lo + 1;
+            if (domain > message_modulus_)
+                return "LUT gate " + std::to_string(id) + " packs a domain "
+                       "of " + std::to_string(domain) +
+                       " into message modulus " +
+                       std::to_string(message_modulus_) +
+                       "; split the cone or raise the modulus";
+            if (domain * lut.out_bits > 32)
+                return "LUT gate " + std::to_string(id) +
+                       " table does not fit 32 bits";
+            continue;
+        }
+        if (message_modulus_ != 0)
+            return std::string(GateTypeName(n.type)) + " gate " +
+                   std::to_string(id) + " in a multibit netlist: multibit "
+                   "programs are homogeneous (every gate must be a LUT; "
+                   "run LowerToLuts)";
+        // Torus-domain rules (see ProducesLinearDomain). Inputs are
+        // topological, so their domains are already decided here.
+        const bool lin0 = ProducesLinearDomain(Op(id, 0));
+        const bool lin1 = ProducesLinearDomain(Op(id, 1));
+        switch (n.type) {
+            case GateType::kXor:
+            case GateType::kXnor:
+            case GateType::kLinXor:
+            case GateType::kLinXnor:
+                break;  // Absorb any operand-domain mix.
+            case GateType::kNot:
+                if (lin0)
+                    return "NOT gate " + std::to_string(id) +
+                           " consumes a linear-domain value (use LNOT)";
+                break;
+            case GateType::kLinNot:
+                if (!lin0)
+                    return "LNOT gate " + std::to_string(id) +
+                           " consumes a gate-domain value (use NOT)";
+                break;
+            default:
+                if (lin0 || lin1)
+                    return std::string(GateTypeName(n.type)) + " gate " +
+                           std::to_string(id) +
+                           " consumes a linear-domain value";
+                break;
         }
     }
     for (NodeId id : outputs_) {
         if (id >= nodes_.size())
             return "output references missing node " + std::to_string(id);
+        if (DigitBits(id) != 1)
+            return "output references node " + std::to_string(id) +
+                   " carrying a " + std::to_string(DigitBits(id)) +
+                   "-bit digit; only 1-bit wires may be circuit outputs";
     }
     std::unordered_set<NodeId> grouped;
     for (size_t gi = 0; gi < wide_groups_.size(); ++gi) {
@@ -121,6 +234,10 @@ std::optional<std::string> Netlist::Validate() const {
             const Node& n = nodes_[id];
             if (n.type != nodes_[group[0]].type)
                 return where + " mixes gate types";
+            if (n.type == GateType::kLut)
+                return where + " member " + std::to_string(id) +
+                       " is a LUT gate; LUT bootstraps carry per-gate test "
+                       "vectors and cannot share a wide batch";
             if (!NeedsBootstrap(n.type))
                 return where + " member " + std::to_string(id) +
                        " is not a bootstrapped gate";
@@ -130,9 +247,10 @@ std::optional<std::string> Netlist::Validate() const {
             // Members must be mutually independent to share a batch; the
             // direct-edge check catches the common construction mistakes
             // (chained adder carries, reductions) cheaply.
-            if (local.count(n.in0) || local.count(n.in1))
-                return where + " member " + std::to_string(id) +
-                       " consumes another member";
+            for (NodeId op : Operands(id))
+                if (local.count(op))
+                    return where + " member " + std::to_string(id) +
+                           " consumes another member";
         }
     }
     return std::nullopt;
@@ -148,7 +266,10 @@ std::vector<std::vector<NodeId>> Netlist::ComputeLevels() const {
     for (NodeId id = 0; id < nodes_.size(); ++id) {
         const Node& n = nodes_[id];
         if (n.kind != NodeKind::kGate) continue;
-        level[id] = 1 + std::max(level[n.in0], level[n.in1]);
+        uint32_t in_level = 0;
+        for (NodeId op : Operands(id))
+            in_level = std::max(in_level, level[op]);
+        level[id] = 1 + in_level;
         max_level = std::max(max_level, level[id]);
     }
     std::vector<std::vector<NodeId>> levels(max_level);
@@ -171,7 +292,13 @@ NetlistStats Netlist::ComputeStats() const {
         if (n.kind != NodeKind::kGate) continue;
         ++s.num_gates;
         ++s.gate_histogram[static_cast<int32_t>(n.type)];
-        const uint32_t in_depth = std::max(bdepth[n.in0], bdepth[n.in1]);
+        if (n.type == GateType::kLut) {
+            ++s.num_lut_gates;
+            s.max_lut_arity = std::max<uint64_t>(s.max_lut_arity, n.num_ops);
+        }
+        uint32_t in_depth = 0;
+        for (NodeId op : Operands(id))
+            in_depth = std::max(in_depth, bdepth[op]);
         if (NeedsBootstrap(n.type)) {
             ++s.num_bootstrap_gates;
             bdepth[id] = in_depth + 1;
@@ -191,17 +318,31 @@ NetlistStats Netlist::ComputeStats() const {
 std::vector<bool> Netlist::EvaluatePlain(
     const std::vector<bool>& input_values) const {
     assert(input_values.size() == inputs_.size());
-    std::vector<bool> value(nodes_.size(), false);
-    value[kConstTrue] = true;
+    // Digit wires make node values small integers, not booleans.
+    std::vector<uint8_t> value(nodes_.size(), 0);
+    value[kConstTrue] = 1;
     for (size_t i = 0; i < inputs_.size(); ++i)
-        value[inputs_[i]] = input_values[i];
+        value[inputs_[i]] = input_values[i] ? 1 : 0;
     for (NodeId id = 0; id < nodes_.size(); ++id) {
         const Node& n = nodes_[id];
-        if (n.kind == NodeKind::kGate)
-            value[id] = EvalGate(n.type, value[n.in0], value[n.in1]);
+        if (n.kind != NodeKind::kGate) continue;
+        if (n.type == GateType::kLut) {
+            const LutSpec& lut = luts_[n.lut];
+            int32_t m = 0;
+            const auto ops = Operands(id);
+            for (size_t i = 0; i < ops.size(); ++i)
+                m += lut.weights[i] * static_cast<int32_t>(value[ops[i]]);
+            value[id] = static_cast<uint8_t>(lut.Entry(m));
+        } else {
+            value[id] = EvalGate(n.type, value[Op(id, 0)] != 0,
+                                 value[Op(id, 1)] != 0)
+                            ? 1
+                            : 0;
+        }
     }
     std::vector<bool> out(outputs_.size());
-    for (size_t i = 0; i < outputs_.size(); ++i) out[i] = value[outputs_[i]];
+    for (size_t i = 0; i < outputs_.size(); ++i)
+        out[i] = value[outputs_[i]] != 0;
     return out;
 }
 
@@ -220,11 +361,18 @@ std::string Netlist::ToDot() const {
                 os << "  n" << id << " [label=\"in\" shape=box];\n";
                 break;
             case NodeKind::kGate:
-                os << "  n" << id << " [label=\"" << GateTypeName(n.type)
-                   << "\"];\n";
-                os << "  n" << n.in0 << " -> n" << id << ";\n";
-                if (!IsUnary(n.type))
-                    os << "  n" << n.in1 << " -> n" << id << ";\n";
+                os << "  n" << id << " [label=\"" << GateTypeName(n.type);
+                if (n.type == GateType::kLut)
+                    os << n.num_ops << "x" << int32_t{luts_[n.lut].out_bits};
+                os << "\"];\n";
+                if (n.type == GateType::kLut) {
+                    for (NodeId op : Operands(id))
+                        os << "  n" << op << " -> n" << id << ";\n";
+                } else {
+                    os << "  n" << Op(id, 0) << " -> n" << id << ";\n";
+                    if (!IsUnary(n.type))
+                        os << "  n" << Op(id, 1) << " -> n" << id << ";\n";
+                }
                 break;
         }
     }

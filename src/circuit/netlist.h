@@ -1,20 +1,28 @@
 /**
  * @file
- * The gate-level intermediate representation: a DAG of 2-input gates.
+ * The gate-level intermediate representation: a DAG of variadic gates.
  *
  * A Netlist is the common artifact of every frontend (ChiselTorch, the
  * baseline models, hand-written circuits) and the common input of the
  * assembler and every backend. Nodes are identified by dense NodeIds in
- * creation order, which is also a valid topological order: a gate's inputs
- * always have smaller ids. Node 0 and 1 are reserved constant-false /
- * constant-true nodes (frontends fold them away before assembly; see
- * opt/passes.h).
+ * creation order, which is also a valid topological order: a gate's
+ * operands always have smaller ids. Node 0 and 1 are reserved constant-
+ * false / constant-true nodes (frontends fold them away before assembly;
+ * see opt/passes.h).
+ *
+ * Nodes do not embed operand ids; operands live in one pooled array owned
+ * by the Netlist and are addressed per node as a span (Operands()). The
+ * classic two-input gates store exactly two operands (NOT duplicates its
+ * single operand, preserving the historical in0 == in1 convention);
+ * kLut gates store k weighted operands plus a LutSpec side entry.
  */
 #ifndef PYTFHE_CIRCUIT_NETLIST_H
 #define PYTFHE_CIRCUIT_NETLIST_H
 
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -24,6 +32,19 @@ namespace pytfhe::circuit {
 
 using NodeId = uint64_t;
 
+/**
+ * A construction or export saw a gate shape its target cannot represent:
+ * a classic gate with an operand count other than its arity, a kLut fed
+ * to a 2-input-only consumer (Bristol text, the boolean assembler's
+ * legacy versions), or a LUT added to a boolean netlist. Raised instead
+ * of silently truncating the operand list to two.
+ */
+class UnsupportedGateError : public std::runtime_error {
+  public:
+    explicit UnsupportedGateError(const std::string& what)
+        : std::runtime_error(what) {}
+};
+
 /** Reserved node ids for the two constants. */
 constexpr NodeId kConstFalse = 0;
 constexpr NodeId kConstTrue = 1;
@@ -32,15 +53,63 @@ constexpr NodeId kConstTrue = 1;
 enum class NodeKind : uint8_t {
     kConst,  ///< One of the two reserved constants.
     kInput,  ///< Primary input.
-    kGate,   ///< Two-input (or NOT) gate.
+    kGate,   ///< Gate with operands in the netlist's pooled storage.
 };
 
-/** One DAG node. POD; 24 bytes. */
+/**
+ * One DAG node. Operand ids live in the Netlist's operand pool at
+ * [first_op, first_op + num_ops); use Netlist::Operands()/Op() to read
+ * them. `lut` indexes the LutSpec side table for kLut gates (-1 else).
+ */
 struct Node {
     NodeKind kind = NodeKind::kConst;
     GateType type = GateType::kAnd;  ///< Valid when kind == kGate.
-    NodeId in0 = 0;                  ///< Valid when kind == kGate.
-    NodeId in1 = 0;                  ///< Valid for binary gates; == in0 for NOT.
+    uint16_t num_ops = 0;            ///< Operand count (2 for classic gates).
+    int32_t lut = -1;                ///< LutSpec index for kLut gates.
+    uint64_t first_op = 0;           ///< Offset into the operand pool.
+};
+
+/** Upper bound on kLut operand count (pasm encodes arity in 4 bits). */
+constexpr int32_t kMaxLutArity = 8;
+
+/** Widest digit a kLut node may output (2 bits; see tfhe/multibit.h). */
+constexpr int32_t kMaxLutOutBits = 2;
+
+/** Largest supported multibit message modulus (p = 2^k, k <= 4). */
+constexpr int32_t kMaxMessageModulus = 16;
+
+/**
+ * Semantics of one kLut gate: a programmable-bootstrap lookup over the
+ * weighted sum of its operand digits.
+ *
+ *   m     = sum_i weights[i] * value(operand_i)      (an integer)
+ *   index = m - lo                                    (in [0, domain))
+ *   out   = (table >> (index * out_bits)) & (2^out_bits - 1)
+ *
+ * `lo` is the minimum reachable m (negative weights are allowed; equal
+ * weights turn the LUT into a symmetric/counting function — the trick
+ * multi-bit adders and multiplier column compressors are built on). The
+ * reachable domain must satisfy domain <= MessageModulus() of the owning
+ * netlist, and domain * out_bits <= 32 so the table fits one word.
+ * Operand values are 1 for ordinary bit wires and up to 2^out_bits - 1
+ * for digit wires produced by other kLut gates.
+ */
+struct LutSpec {
+    std::vector<int8_t> weights;  ///< One nonzero weight per operand.
+    int32_t lo = 0;               ///< Minimum reachable weighted sum.
+    uint32_t table = 0;           ///< Packed out_bits-wide entries.
+    uint8_t out_bits = 1;         ///< Output digit width (1 or 2).
+
+    /** Entry at packed sum m (callers guarantee lo <= m < lo + domain). */
+    uint32_t Entry(int32_t m) const {
+        const uint32_t mask = (uint32_t{1} << out_bits) - 1;
+        return (table >> (static_cast<uint32_t>(m - lo) * out_bits)) & mask;
+    }
+
+    friend bool operator==(const LutSpec& a, const LutSpec& b) {
+        return a.lo == b.lo && a.table == b.table &&
+               a.out_bits == b.out_bits && a.weights == b.weights;
+    }
 };
 
 /** Aggregate statistics over a netlist. */
@@ -55,6 +124,8 @@ struct NetlistStats {
     uint64_t max_width = 0;   ///< Largest level of the BFS schedule.
     uint64_t num_wide_groups = 0;  ///< Explicitly batchable wide groups.
     uint64_t num_wide_gates = 0;   ///< Gates covered by wide groups.
+    uint64_t num_lut_gates = 0;    ///< kLut gates (multibit netlists).
+    uint64_t max_lut_arity = 0;    ///< Widest kLut operand list.
 
     std::string ToString() const;
 };
@@ -63,7 +134,7 @@ struct NetlistStats {
  * A combinational circuit as a DAG of gates.
  *
  * Invariants (checked by Validate):
- *  - every gate input id is smaller than the gate's own id;
+ *  - every gate operand id is smaller than the gate's own id;
  *  - every referenced id exists;
  *  - outputs reference existing nodes;
  *  - wide groups name >= 2 distinct bootstrapped gates of one type, no
@@ -73,7 +144,11 @@ struct NetlistStats {
  *    encoding (+-1/4) iff its type is kLin*; only XOR/XNOR (bootstrapped
  *    or linear), kLinNot, and circuit outputs may consume a linear-domain
  *    value, and kLinNot/kNot require a linear-/gate-domain operand
- *    respectively so every node's encoding is static.
+ *    respectively so every node's encoding is static;
+ *  - multibit rules: kLut gates appear iff MessageModulus() > 0, in which
+ *    case every gate is a kLut (multibit programs are homogeneous — there
+ *    is no mixed boolean/LUT torus encoding), LUT domains fit the message
+ *    modulus, and only 1-bit LUT digits feed circuit outputs.
  */
 class Netlist {
   public:
@@ -83,10 +158,26 @@ class Netlist {
     NodeId AddInput(std::string name = {});
 
     /**
-     * Adds a gate node without any simplification (frontends that want
-     * hash-consing use hdl::Builder). For NOT gates pass b == a.
+     * Adds a gate node over an explicit operand span without any
+     * simplification (frontends that want hash-consing use hdl::Builder).
+     * Classic gate types take exactly two operands (one for NOT); kLut
+     * gates must be added through AddLut so their LutSpec exists. Throws
+     * UnsupportedGateError on an operand count the type cannot carry.
      */
-    NodeId AddGate(GateType type, NodeId a, NodeId b);
+    NodeId AddGate(GateType type, std::span<const NodeId> operands);
+
+    /** Two-operand convenience form. For NOT gates pass b == a. */
+    NodeId AddGate(GateType type, NodeId a, NodeId b) {
+        const NodeId ops[2] = {a, b};
+        return AddGate(type, std::span<const NodeId>(ops, 2));
+    }
+
+    /**
+     * Adds a kLut gate with its semantics. spec.weights must match the
+     * operand count; spec.lo must equal the minimum reachable weighted
+     * sum. Requires SetMessageModulus() to have been called.
+     */
+    NodeId AddLut(LutSpec spec, std::span<const NodeId> operands);
 
     /** Registers an output. Returns its output index. */
     size_t AddOutput(NodeId id, std::string name = {});
@@ -106,6 +197,41 @@ class Netlist {
 
     size_t NumNodes() const { return nodes_.size(); }
     const Node& GetNode(NodeId id) const { return nodes_[id]; }
+
+    /** The node's operands as a view into the pooled storage. */
+    std::span<const NodeId> Operands(NodeId id) const {
+        const Node& n = nodes_[id];
+        return std::span<const NodeId>(operands_.data() + n.first_op,
+                                       n.num_ops);
+    }
+
+    /** Operand i of node id (i < GetNode(id).num_ops). */
+    NodeId Op(NodeId id, size_t i) const {
+        return operands_[nodes_[id].first_op + i];
+    }
+
+    /** The LutSpec of a kLut node. */
+    const LutSpec& Lut(NodeId id) const { return luts_[nodes_[id].lut]; }
+    const std::vector<LutSpec>& Luts() const { return luts_; }
+
+    /**
+     * Message modulus p of a multibit netlist (digit wires encode value v
+     * as the torus phase (2v+1)/(4p); see tfhe/multibit.h). 0 for
+     * ordinary boolean netlists.
+     */
+    int32_t MessageModulus() const { return message_modulus_; }
+
+    /** Declares the netlist multibit. Must precede any AddLut. */
+    void SetMessageModulus(int32_t p);
+
+    /** Digit width of the value a node carries (1 for everything but
+     *  2-bit kLut outputs). */
+    int32_t DigitBits(NodeId id) const {
+        const Node& n = nodes_[id];
+        return (n.kind == NodeKind::kGate && n.type == GateType::kLut)
+                   ? luts_[n.lut].out_bits
+                   : 1;
+    }
 
     const std::vector<NodeId>& Inputs() const { return inputs_; }
     const std::vector<NodeId>& Outputs() const { return outputs_; }
@@ -141,6 +267,8 @@ class Netlist {
     /**
      * Evaluates the circuit on plaintext bits (reference semantics used by
      * tests and the functional backends). input_values must match Inputs().
+     * Digit wires evaluate to their integer value; outputs are booleans
+     * (Validate guarantees output nodes are 1-bit).
      */
     std::vector<bool> EvaluatePlain(const std::vector<bool>& input_values) const;
 
@@ -149,12 +277,15 @@ class Netlist {
 
   private:
     std::vector<Node> nodes_;
+    std::vector<NodeId> operands_;  ///< Pooled per-node operand storage.
+    std::vector<LutSpec> luts_;
     std::vector<NodeId> inputs_;
     std::vector<std::string> input_names_;
     std::vector<NodeId> outputs_;
     std::vector<std::string> output_names_;
     std::vector<std::vector<NodeId>> wide_groups_;
     uint64_t num_gates_ = 0;
+    int32_t message_modulus_ = 0;
 };
 
 }  // namespace pytfhe::circuit

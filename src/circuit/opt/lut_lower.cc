@@ -1,0 +1,298 @@
+#include "circuit/opt/lut_lower.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "circuit/builder.h"
+
+namespace pytfhe::circuit {
+
+namespace {
+
+/** A boolean literal: a non-NOT base node, possibly negated. Constants
+ * are normalized to the const nodes with neg == false. */
+struct Lit {
+    NodeId node = kConstFalse;
+    bool neg = false;
+};
+
+bool IsNotLike(GateType t) {
+    return t == GateType::kNot || t == GateType::kLinNot;
+}
+
+}  // namespace
+
+std::string LutLowerStats::ToString() const {
+    return "luts=" + std::to_string(luts) +
+           " merged_gates=" + std::to_string(merged_gates) +
+           " absorbed_nots=" + std::to_string(absorbed_nots);
+}
+
+LutLowerResult LowerToLuts(const Netlist& in, const LutLowerOptions& opt) {
+    if (in.MessageModulus() != 0)
+        throw UnsupportedGateError(
+            "LowerToLuts: the input netlist is already multibit "
+            "(message modulus " + std::to_string(in.MessageModulus()) + ")");
+    const int32_t p = opt.message_modulus;
+    if (p != 4 && p != 8 && p != 16)
+        throw UnsupportedGateError(
+            "LowerToLuts: message modulus " + std::to_string(p) +
+            " unsupported; the lowering needs p in {4, 8, 16} (a 2-leaf "
+            "LUT already indexes 4 slots)");
+    // Binary weights 1..2^(k-1) cost sum w^2 = (4^k - 1) / 3; shrink the
+    // cone cap until both the message space and the noise budget fit.
+    int32_t cap = std::min<int32_t>(opt.max_cone_leaves, kMaxLutArity);
+    auto weight_sq = [](int32_t k) {
+        return ((int64_t{1} << (2 * k)) - 1) / 3;
+    };
+    while (cap > 2 &&
+           ((int64_t{1} << cap) > p || weight_sq(cap) > opt.weight_budget))
+        --cap;
+    if (cap < 2 || weight_sq(2) > opt.weight_budget)
+        throw UnsupportedGateError(
+            "LowerToLuts: weight budget " +
+            std::to_string(opt.weight_budget) +
+            " cannot carry even a 2-leaf LUT (needs 5); the parameter "
+            "set is too noisy for multibit mode");
+
+    const size_t n = in.NumNodes();
+
+    // Resolve every node to a literal, looking through NOT/LNOT chains so
+    // negations fold into consumer tables instead of costing gates.
+    std::vector<Lit> lit(n);
+    lit[kConstTrue] = {kConstTrue, false};
+    for (NodeId id = 2; id < n; ++id) {
+        const Node& node = in.GetNode(id);
+        if (node.kind != NodeKind::kGate) {
+            lit[id] = {id, false};
+            continue;
+        }
+        if (node.type == GateType::kLut)
+            throw UnsupportedGateError(
+                "LowerToLuts: node " + std::to_string(id) +
+                " is already a LUT gate in a boolean netlist");
+        if (IsNotLike(node.type)) {
+            Lit l = lit[in.Op(id, 0)];
+            l.neg = !l.neg;
+            if (l.node <= kConstTrue && l.neg)
+                l = {l.node == kConstFalse ? kConstTrue : kConstFalse,
+                     false};
+            lit[id] = l;
+        } else {
+            lit[id] = {id, false};
+        }
+    }
+
+    // Effective fanout of each base node: consumers reached through
+    // literals plus output references. Only single-fanout gates may be
+    // absorbed into a consumer's cone (absorbing a shared gate would
+    // duplicate its bootstrap into every consumer).
+    std::vector<int32_t> fanout(n, 0);
+    for (NodeId id = 2; id < n; ++id) {
+        const Node& node = in.GetNode(id);
+        if (node.kind != NodeKind::kGate || IsNotLike(node.type)) continue;
+        for (NodeId op : in.Operands(id)) ++fanout[lit[op].node];
+    }
+    for (NodeId out : in.Outputs()) ++fanout[lit[out].node];
+
+    // Cut selection, topological: each real gate gets a sorted leaf set
+    // of at most `cap` base nodes; single-fanout operand gates are
+    // absorbed greedily (both if possible, else the one that fits).
+    std::vector<std::vector<NodeId>> cut(n);
+    auto merge = [](const std::vector<NodeId>& a,
+                    const std::vector<NodeId>& b) {
+        std::vector<NodeId> m;
+        std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                       std::back_inserter(m));
+        return m;
+    };
+    for (NodeId id = 2; id < n; ++id) {
+        const Node& node = in.GetNode(id);
+        if (node.kind != NodeKind::kGate || IsNotLike(node.type)) continue;
+        const Lit la = lit[in.Op(id, 0)];
+        const Lit lb = lit[in.Op(id, 1)];
+        auto self = [&](const Lit& l) -> std::vector<NodeId> {
+            if (l.node <= kConstTrue) return {};
+            return {l.node};
+        };
+        auto absorbable = [&](const Lit& l) {
+            return l.node > kConstTrue &&
+                   in.GetNode(l.node).kind == NodeKind::kGate &&
+                   fanout[l.node] == 1;
+        };
+        auto cone = [&](const Lit& l) -> const std::vector<NodeId>& {
+            return cut[l.node];
+        };
+        std::vector<NodeId> chosen =
+            merge(absorbable(la) ? cone(la) : self(la),
+                  absorbable(lb) ? cone(lb) : self(lb));
+        if (static_cast<int32_t>(chosen.size()) > cap && absorbable(la)) {
+            chosen = merge(cone(la), self(lb));
+        }
+        if (static_cast<int32_t>(chosen.size()) > cap && absorbable(lb)) {
+            chosen = merge(self(la), cone(lb));
+        }
+        if (static_cast<int32_t>(chosen.size()) > cap)
+            chosen = merge(self(la), self(lb));
+        assert(static_cast<int32_t>(chosen.size()) <= cap);
+        cut[id] = std::move(chosen);
+    }
+
+    LutLowerResult result;
+    SimplifyingBuilder builder;
+    builder.SetMessageModulus(p);
+    std::vector<NodeId> map(n, kConstFalse);
+    std::vector<bool> realized(n, false);
+    map[kConstTrue] = kConstTrue;
+    realized[kConstFalse] = realized[kConstTrue] = true;
+    size_t input_idx = 0;
+    for (NodeId id = 2; id < n; ++id) {
+        if (in.GetNode(id).kind != NodeKind::kInput) continue;
+        map[id] = builder.MakeInput(in.InputName(input_idx++));
+        realized[id] = true;
+    }
+
+    // Evaluates literal l under the cone valuation `vals`.
+    auto eval_lit = [&](const Lit& l,
+                        const std::vector<std::pair<NodeId, bool>>& vals) {
+        if (l.node == kConstFalse) return l.neg;
+        if (l.node == kConstTrue) return !l.neg;
+        for (const auto& [nid, v] : vals)
+            if (nid == l.node) return v != l.neg;
+        assert(false && "cone valuation is missing a literal base");
+        return false;
+    };
+
+    // Emits the LUT for gate id; all cut leaves must be realized.
+    auto emit = [&](NodeId id) {
+        const std::vector<NodeId>& leaves = cut[id];
+        const size_t k = leaves.size();
+
+        // The cone: id plus every absorbed gate, ascending = topological.
+        std::vector<NodeId> cone;
+        std::vector<NodeId> dfs{id};
+        while (!dfs.empty()) {
+            const NodeId g = dfs.back();
+            dfs.pop_back();
+            if (std::find(cone.begin(), cone.end(), g) != cone.end())
+                continue;
+            cone.push_back(g);
+            for (int i = 0; i < 2; ++i) {
+                const Lit l = lit[in.Op(g, i)];
+                if (l.node <= kConstTrue) continue;
+                if (in.GetNode(l.node).kind != NodeKind::kGate) continue;
+                if (std::binary_search(leaves.begin(), leaves.end(),
+                                       l.node))
+                    continue;
+                dfs.push_back(l.node);
+            }
+        }
+        std::sort(cone.begin(), cone.end());
+        result.stats.merged_gates += cone.size() - 1;
+
+        // Truth table: binary weights make the weighted sum equal the
+        // leaf assignment index, so entry m is the cone's value with
+        // leaf i set to bit i of m.
+        LutSpec spec;
+        spec.lo = 0;
+        spec.out_bits = 1;
+        for (size_t i = 0; i < k; ++i)
+            spec.weights.push_back(static_cast<int8_t>(1 << i));
+        std::vector<std::pair<NodeId, bool>> vals;
+        for (uint32_t m = 0; m < (1u << k); ++m) {
+            vals.clear();
+            for (size_t i = 0; i < k; ++i)
+                vals.emplace_back(leaves[i], ((m >> i) & 1) != 0);
+            for (const NodeId g : cone) {
+                const Node& gn = in.GetNode(g);
+                vals.emplace_back(
+                    g, EvalGate(gn.type, eval_lit(lit[in.Op(g, 0)], vals),
+                                eval_lit(lit[in.Op(g, 1)], vals)));
+            }
+            spec.table |= static_cast<uint32_t>(vals.back().second) << m;
+        }
+        if (k == 0) {
+            // Fully constant cone (degenerate input); entry 0 decides.
+            map[id] = (spec.table & 1) != 0 ? kConstTrue : kConstFalse;
+        } else {
+            std::vector<NodeId> ops;
+            for (const NodeId leaf : leaves) ops.push_back(map[leaf]);
+            map[id] = builder.MakeLut(std::move(spec), ops);
+        }
+        realized[id] = true;
+    };
+
+    // Demand-driven realization from the outputs: only the live cone is
+    // lowered (built-in DCE, matching Optimize's rebuild).
+    std::vector<NodeId> work;
+    for (const NodeId out : in.Outputs()) {
+        const NodeId base = lit[out].node;
+        if (!realized[base]) work.push_back(base);
+    }
+    while (!work.empty()) {
+        const NodeId id = work.back();
+        if (realized[id]) {
+            work.pop_back();
+            continue;
+        }
+        bool ready = true;
+        for (const NodeId leaf : cut[id]) {
+            if (!realized[leaf]) {
+                work.push_back(leaf);
+                ready = false;
+            }
+        }
+        if (ready) {
+            emit(id);
+            work.pop_back();
+        }
+    }
+
+    // Count the NOT gates that vanished into tables: every live NOT-like
+    // node in the input's output cone.
+    {
+        std::vector<bool> seen(n, false);
+        std::vector<NodeId> stack(in.Outputs().begin(), in.Outputs().end());
+        while (!stack.empty()) {
+            const NodeId id = stack.back();
+            stack.pop_back();
+            if (seen[id]) continue;
+            seen[id] = true;
+            const Node& node = in.GetNode(id);
+            if (node.kind != NodeKind::kGate) continue;
+            if (IsNotLike(node.type)) ++result.stats.absorbed_nots;
+            for (NodeId op : in.Operands(id))
+                if (!seen[op]) stack.push_back(op);
+        }
+    }
+
+    for (size_t i = 0; i < in.Outputs().size(); ++i) {
+        const Lit l = lit[in.Outputs()[i]];
+        NodeId sig;
+        if (l.node <= kConstTrue) {
+            sig = l.node;
+        } else {
+            sig = map[l.node];
+            if (l.neg) {
+                // Output-facing negation costs one LUT (as it cost one
+                // bootstrapped NOT before); CSE dedupes repeats.
+                LutSpec inv;
+                inv.weights = {1};
+                inv.table = 0b01;
+                const NodeId ops[] = {sig};
+                sig = builder.MakeLut(std::move(inv), ops);
+            }
+        }
+        builder.AddOutput(sig, in.OutputName(i));
+    }
+
+    result.netlist = std::move(builder.netlist());
+    result.stats.luts =
+        result.netlist.ComputeStats()
+            .gate_histogram[static_cast<size_t>(GateType::kLut)];
+    return result;
+}
+
+}  // namespace pytfhe::circuit

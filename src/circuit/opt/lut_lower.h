@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Boolean-to-LUT lowering: converts any classic-gate netlist into a
+ * homogeneous multibit (all-kLut) netlist for programmable-bootstrap
+ * execution. This is the generic path behind `pytfhec --multibit=k` and
+ * core::CompileOptions::multibit; the hdl word generators
+ * (hdl/multibit_ops.h) build structured LUTs directly and do better on
+ * arithmetic, but this pass handles arbitrary circuits.
+ *
+ * The lowering is a small cone mapper:
+ *  - NOT (and kLinNot) chains vanish: negations fold into every
+ *    consumer's table, whatever the fanout, because flipping table bits
+ *    is free.
+ *  - Each remaining gate becomes one LUT over its cone's leaves, packed
+ *    with binary weights 1, 2, 4, ... so the weighted sum IS the leaf
+ *    assignment index.
+ *  - Single-fanout operand gates are absorbed into their consumer's
+ *    cone while the leaf count stays within `max_cone_leaves` (also
+ *    capped by the message modulus — 2^k leaf assignments must fit p
+ *    table slots — and by the noise budget on sum w_i^2, which is
+ *    (4^k - 1)/3 for binary weights). A MUX pair collapses to one LUT3;
+ *    a full-adder carry cone to one LUT4.
+ *
+ * Every absorbed gate is a bootstrap saved; every gate that survives
+ * costs exactly one bootstrap, same as before — so the lowered netlist
+ * never bootstraps more than the boolean one, minus what elision would
+ * have saved (linear XORs do cost a bootstrap again; see DESIGN.md for
+ * when multibit still wins).
+ */
+#ifndef PYTFHE_CIRCUIT_OPT_LUT_LOWER_H
+#define PYTFHE_CIRCUIT_OPT_LUT_LOWER_H
+
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace pytfhe::circuit {
+
+/** Knobs of the boolean-to-LUT lowering. */
+struct LutLowerOptions {
+    /** Target message modulus p (power of two, 4 <= p <= 16). */
+    int32_t message_modulus = 16;
+    /**
+     * Largest sum of squared weights a lowered LUT may carry; the noise
+     * budget of the parameter set (tfhe::MaxMultibitWeightBudget). The
+     * default admits 4-leaf cones (1+4+16+64 = 85).
+     */
+    int64_t weight_budget = 85;
+    /** Cap on leaves per merged cone, before the modulus/budget caps. */
+    int32_t max_cone_leaves = 4;
+};
+
+/** What the lowering did, for reporting. */
+struct LutLowerStats {
+    uint64_t luts = 0;           ///< LUT gates in the lowered netlist.
+    uint64_t merged_gates = 0;   ///< Boolean gates absorbed into a cone.
+    uint64_t absorbed_nots = 0;  ///< NOT gates folded into tables.
+
+    std::string ToString() const;
+};
+
+/** Result of LowerToLuts. */
+struct LutLowerResult {
+    Netlist netlist;
+    LutLowerStats stats;
+};
+
+/**
+ * Lowers a boolean netlist to a homogeneous multibit netlist under the
+ * given modulus. Semantics are preserved exactly (1-bit digits in, 1-bit
+ * digits out, same truth table). Throws UnsupportedGateError when the
+ * input is already multibit or the modulus is outside {4, 8, 16}.
+ */
+LutLowerResult LowerToLuts(const Netlist& input,
+                           const LutLowerOptions& options = {});
+
+}  // namespace pytfhe::circuit
+
+#endif  // PYTFHE_CIRCUIT_OPT_LUT_LOWER_H

@@ -24,17 +24,20 @@ Netlist RebuildOnce(const Netlist& in, const OptOptions& opts,
             live[id] = true;
             const Node& n = in.GetNode(id);
             if (n.kind == NodeKind::kGate) {
-                if (!live[n.in0]) stack.push_back(n.in0);
-                if (!live[n.in1]) stack.push_back(n.in1);
+                for (NodeId op : in.Operands(id))
+                    if (!live[op]) stack.push_back(op);
             }
         }
     }
 
     SimplifyingBuilder builder(BuilderOptions{
         opts.fold_constants, opts.cse, opts.absorb_not});
+    if (in.MessageModulus() > 0)
+        builder.SetMessageModulus(in.MessageModulus());
     std::vector<NodeId> map(in.NumNodes(), kConstFalse);
     map[kConstTrue] = kConstTrue;
     size_t input_idx = 0;
+    std::vector<NodeId> mapped_ops;
     for (NodeId id = 2; id < in.NumNodes(); ++id) {
         const Node& n = in.GetNode(id);
         if (n.kind == NodeKind::kInput) {
@@ -43,7 +46,14 @@ Netlist RebuildOnce(const Netlist& in, const OptOptions& opts,
             continue;
         }
         if (!live[id]) continue;
-        map[id] = builder.MakeGate(n.type, map[n.in0], map[n.in1]);
+        if (n.type == GateType::kLut) {
+            mapped_ops.clear();
+            for (NodeId op : in.Operands(id)) mapped_ops.push_back(map[op]);
+            map[id] = builder.MakeLut(in.Lut(id), mapped_ops);
+        } else {
+            map[id] = builder.MakeGate(n.type, map[in.Op(id, 0)],
+                                       map[in.Op(id, 1)]);
+        }
     }
     for (size_t i = 0; i < in.Outputs().size(); ++i)
         builder.AddOutput(map[in.Outputs()[i]], in.OutputName(i));
@@ -163,6 +173,9 @@ class ElisionPass {
         return BootstrappedForm(in_.GetNode(id).type);
     }
 
+    NodeId A(NodeId id) const { return in_.Op(id, 0); }
+    NodeId B(NodeId id) const { return in_.Op(id, 1); }
+
     /**
      * elide_[id] (for XOR/XNOR/NOT nodes) = every consumer can absorb a
      * linear-domain operand. Consumers have larger ids, so a reverse scan
@@ -187,8 +200,7 @@ class ElisionPass {
             const bool absorbs =
                 xorlike || (t == GateType::kNot && elide_[id]);
             if (!absorbs) {
-                blocked[node.in0] = 1;
-                blocked[node.in1] = 1;
+                for (NodeId op : in_.Operands(id)) blocked[op] = 1;
             }
             if (xorlike && !elide_[id]) ++stats_.refused_consumer;
         }
@@ -213,30 +225,28 @@ class ElisionPass {
     }
 
     void ComputeGate(NodeId id) {
-        const Node& node = in_.GetNode(id);
+        const NodeId a = A(id);
         const GateType t = BaseType(id);
         if (t == GateType::kNot) {
             // Becomes kLinNot exactly when the operand ends up linear;
             // either way negation preserves variance.
-            lin_[id] = elide_[id] && lin_[node.in0];
-            var_[id] = var_[node.in0];
-            depth_[id] = depth_[node.in0];
+            lin_[id] = elide_[id] && lin_[a];
+            var_[id] = var_[a];
+            depth_[id] = depth_[a];
             return;
         }
+        const NodeId b = B(id);
         if (elide_[id]) {
-            const int32_t d =
-                1 + std::max(lin_[node.in0] ? depth_[node.in0] : 0,
-                             lin_[node.in1] ? depth_[node.in1] : 0);
+            const int32_t d = 1 + std::max(lin_[a] ? depth_[a] : 0,
+                                           lin_[b] ? depth_[b] : 0);
             if (d > cap_) {
                 elide_[id] = 0;
                 ++stats_.refused_depth;
             } else {
                 lin_[id] = 1;
                 depth_[id] = d;
-                var_[id] = ComboVariance(
-                    XorCoef(lin_[node.in0]), var_[node.in0],
-                    XorCoef(lin_[node.in1]), var_[node.in1],
-                    node.in0 == node.in1);
+                var_[id] = ComboVariance(XorCoef(lin_[a]), var_[a],
+                                         XorCoef(lin_[b]), var_[b], a == b);
                 return;
             }
         }
@@ -245,16 +255,16 @@ class ElisionPass {
 
     /** Decision check of a bootstrapped gate, un-eliding until in budget. */
     void ComputeBootstrapped(NodeId id) {
-        const Node& node = in_.GetNode(id);
+        const NodeId a = A(id);
+        const NodeId b = B(id);
         const GateType t = BaseType(id);
         while (true) {
-            const Decision d = GateDecision(
-                t, var_[node.in0], lin_[node.in0], var_[node.in1],
-                lin_[node.in1], node.in0 == node.in1, noise_);
+            const Decision d = GateDecision(t, var_[a], lin_[a], var_[b],
+                                            lin_[b], a == b, noise_);
             if (tfhe::FailureProbability(opt_.safety_margin * d.variance,
                                          d.margin) <= opt_.max_failure)
                 break;
-            if (!UnelideWorstOperand(node)) break;  // All gate-domain.
+            if (!UnelideWorstOperand(a, b)) break;  // All gate-domain.
         }
         lin_[id] = 0;
         depth_[id] = 0;
@@ -262,17 +272,16 @@ class ElisionPass {
     }
 
     /**
-     * Un-elides the linear operand with the larger variance (its chain
-     * root: LinNots forward to the XOR/XNOR that owns the encoding).
-     * Returns false when neither operand is linear.
+     * Un-elides the linear operand (of a or b) with the larger variance
+     * (its chain root: LinNots forward to the XOR/XNOR that owns the
+     * encoding). Returns false when neither operand is linear.
      */
-    bool UnelideWorstOperand(const Node& node) {
+    bool UnelideWorstOperand(NodeId a, NodeId b) {
         NodeId victim;
-        if (lin_[node.in0] &&
-            (!lin_[node.in1] || var_[node.in0] >= var_[node.in1])) {
-            victim = node.in0;
-        } else if (lin_[node.in1]) {
-            victim = node.in1;
+        if (lin_[a] && (!lin_[b] || var_[a] >= var_[b])) {
+            victim = a;
+        } else if (lin_[b]) {
+            victim = b;
         } else {
             return false;
         }
@@ -281,7 +290,7 @@ class ElisionPass {
         std::vector<NodeId> nots;
         while (BaseType(victim) == GateType::kNot) {
             nots.push_back(victim);
-            victim = in_.GetNode(victim).in0;
+            victim = A(victim);
         }
         elide_[victim] = 0;
         ComputeBootstrapped(victim);  // May recursively un-elide further.
@@ -289,7 +298,7 @@ class ElisionPass {
         for (auto it = nots.rbegin(); it != nots.rend(); ++it) {
             const NodeId m = *it;
             lin_[m] = 0;
-            var_[m] = var_[in_.GetNode(m).in0];
+            var_[m] = var_[A(m)];
             depth_[m] = 0;
         }
         return true;
@@ -306,10 +315,7 @@ class ElisionPass {
                        opt_.max_failure) {
                 // Reuse the operand walker on a synthetic edge to id; it
                 // resets lin_[id] via the chain recompute.
-                Node edge;
-                edge.in0 = id;
-                edge.in1 = id;
-                UnelideWorstOperand(edge);
+                UnelideWorstOperand(id, id);
             }
         }
     }
@@ -330,7 +336,7 @@ class ElisionPass {
             } else if (elide_[id]) {
                 t = LinearForm(t);
             }
-            out.AddGate(t, node.in0, node.in1);
+            out.AddGate(t, A(id), B(id));
             switch (t) {
                 case GateType::kLinXor: ++stats_.elided_xor; break;
                 case GateType::kLinXnor: ++stats_.elided_xnor; break;
@@ -397,24 +403,33 @@ NoiseBudget AnalyzeNoiseBudget(const Netlist& netlist,
             continue;
         }
         if (node.kind != NodeKind::kGate) continue;
-        const double va = b.variance[node.in0];
-        const double vb = b.variance[node.in1];
-        const bool la = netlist.ProducesLinearDomain(node.in0);
-        const bool lb = netlist.ProducesLinearDomain(node.in1);
-        const bool same = node.in0 == node.in1;
+        if (node.type == GateType::kLut) {
+            // Multibit LUT gates reset noise by construction (one
+            // bootstrap each); their packing-failure model lives in
+            // tfhe::CheckMultibitParams, not in this boolean analysis.
+            b.variance[id] = noise.gate_output_variance;
+            continue;
+        }
+        const NodeId a_id = netlist.Op(id, 0);
+        const NodeId b_id = netlist.Op(id, 1);
+        const double va = b.variance[a_id];
+        const double vb = b.variance[b_id];
+        const bool la = netlist.ProducesLinearDomain(a_id);
+        const bool lb = netlist.ProducesLinearDomain(b_id);
+        const bool same = a_id == b_id;
         switch (node.type) {
             case GateType::kNot:
             case GateType::kLinNot:
                 b.variance[id] = va;
-                b.linear_depth[id] = b.linear_depth[node.in0];
+                b.linear_depth[id] = b.linear_depth[a_id];
                 break;
             case GateType::kLinXor:
             case GateType::kLinXnor:
                 b.variance[id] =
                     ComboVariance(XorCoef(la), va, XorCoef(lb), vb, same);
                 b.linear_depth[id] =
-                    1 + std::max(la ? b.linear_depth[node.in0] : 0,
-                                 lb ? b.linear_depth[node.in1] : 0);
+                    1 + std::max(la ? b.linear_depth[a_id] : 0,
+                                 lb ? b.linear_depth[b_id] : 0);
                 break;
             default: {
                 const Decision d =
@@ -443,7 +458,10 @@ ElisionResult ElideBootstraps(const Netlist& input,
                               const ElisionOptions& options) {
     ElisionStats stats;
     stats.bootstraps_before = CountBootstraps(input);
-    if (!options.enabled) {
+    // Multibit netlists pass through untouched: every kLut gate already
+    // costs exactly one bootstrap and there is no boolean linear form to
+    // elide into (digit wires use the (2v+1)/(4p) encoding).
+    if (!options.enabled || input.MessageModulus() > 0) {
         stats.bootstraps_after = stats.bootstraps_before;
         return ElisionResult{input, stats};
     }

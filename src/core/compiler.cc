@@ -1,8 +1,31 @@
 #include "core/compiler.h"
 
+#include <string>
+
 #include "pasm/memory_plan.h"
+#include "tfhe/noise.h"
 
 namespace pytfhe::core {
+
+namespace {
+
+/** Heaviest sum of squared LUT operand weights anywhere in the netlist. */
+int64_t MaxWeightSq(const circuit::Netlist& netlist) {
+    int64_t max_sq = 0;
+    for (circuit::NodeId id = 2; id < netlist.NumNodes(); ++id) {
+        const circuit::Node& n = netlist.GetNode(id);
+        if (n.kind != circuit::NodeKind::kGate ||
+            n.type != circuit::GateType::kLut)
+            continue;
+        int64_t sq = 0;
+        for (const int8_t w : netlist.Lut(id).weights)
+            sq += static_cast<int64_t>(w) * w;
+        max_sq = std::max(max_sq, sq);
+    }
+    return max_sq;
+}
+
+}  // namespace
 
 std::optional<Compiled> Compile(const circuit::Netlist& netlist,
                                 const CompileOptions& options,
@@ -11,9 +34,62 @@ std::optional<Compiled> Compile(const circuit::Netlist& netlist,
         if (error) *error = *err;
         return std::nullopt;
     }
+    const bool source_multibit = netlist.MessageModulus() != 0;
+    if (options.multibit != 0 && options.multibit != 4 &&
+        options.multibit != 8 && options.multibit != 16) {
+        if (error)
+            *error = "CompileOptions::multibit must be 0, 4, 8, or 16; got " +
+                     std::to_string(options.multibit);
+        return std::nullopt;
+    }
+    if (options.multibit != 0 && !source_multibit && !options.params) {
+        if (error)
+            *error =
+                "multibit compilation needs CompileOptions::params: LUT cone "
+                "sizing depends on the parameter set's noise budget";
+        return std::nullopt;
+    }
     circuit::OptResult opt = circuit::Optimize(netlist, options.opt);
+    // Boolean-to-LUT lowering, budgeted by the parameter set. The weakest
+    // useful cone is two leaves with binary weights (1^2 + 2^2 = 5); a
+    // budget below that means the set cannot express any LUT gate at this
+    // modulus, and the boolean pipeline is the only sound output.
+    circuit::LutLowerStats lut_stats;
+    bool fell_back = false;
+    if (options.multibit != 0 && !source_multibit) {
+        const int64_t budget =
+            tfhe::MaxMultibitWeightBudget(*options.params, options.multibit);
+        if (budget < 5) {
+            fell_back = true;
+        } else {
+            circuit::LutLowerOptions lower;
+            lower.message_modulus = options.multibit;
+            lower.weight_budget = budget;
+            circuit::LutLowerResult lowered =
+                circuit::LowerToLuts(opt.netlist, lower);
+            opt.netlist = std::move(lowered.netlist);
+            lut_stats = lowered.stats;
+        }
+    }
+    // A multibit netlist (lowered above, or built directly by the hdl
+    // multibit generators) must fit the parameter set's noise budget —
+    // otherwise outputs decrypt to garbage with no runtime signal.
+    if (opt.netlist.MessageModulus() != 0 && options.params) {
+        const tfhe::MultibitNoiseCheck check = tfhe::CheckMultibitParams(
+            *options.params, opt.netlist.MessageModulus(),
+            MaxWeightSq(opt.netlist));
+        if (!check.fits) {
+            if (error)
+                *error = "multibit netlist exceeds the parameter set's "
+                         "noise budget: " +
+                         check.reason;
+            return std::nullopt;
+        }
+    }
+    // Elision is a boolean-pipeline pass; every multibit gate bootstraps.
     circuit::ElisionStats elision_stats;
-    if (options.params && options.elision.enabled) {
+    if (options.params && options.elision.enabled &&
+        opt.netlist.MessageModulus() == 0) {
         circuit::ElisionResult elided = circuit::ElideBootstraps(
             opt.netlist, *options.params, options.elision);
         opt.netlist = std::move(elided.netlist);
@@ -30,7 +106,7 @@ std::optional<Compiled> Compile(const circuit::Netlist& netlist,
         program = std::move(planned);
     }
     Compiled out{std::move(*program), opt.netlist.ComputeStats(),
-                 opt.stats, elision_stats};
+                 opt.stats, elision_stats, lut_stats, fell_back};
     return out;
 }
 

@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "circuit/opt/lut_lower.h"
 #include "circuit/opt/passes.h"
 #include "nn/layers.h"
 #include "pasm/assembler.h"
@@ -35,6 +36,24 @@ struct CompileOptions {
     circuit::ElisionOptions elision;  ///< Pass knobs; enabled by default.
 
     /**
+     * Message modulus for multi-bit (programmable-bootstrap) compilation.
+     * 0 (the default) keeps the classic boolean pipeline. A value in
+     * {4, 8, 16} lowers the optimized boolean netlist to a homogeneous
+     * LUT netlist (circuit::LowerToLuts) where every gate costs exactly
+     * one programmable bootstrap and merged cones cost less than their
+     * boolean expansion. Requires `params`: cone sizing depends on the
+     * parameter set's noise budget (tfhe::MaxMultibitWeightBudget). When
+     * the set cannot carry even the weakest two-leaf LUT at this modulus,
+     * compilation falls back to the boolean pipeline — recorded in
+     * Compiled::multibit_fell_back — instead of emitting a program whose
+     * outputs would decrypt to garbage. Netlists that are already
+     * multibit (hdl/multibit_ops.h generators) pass through unchanged;
+     * bootstrap elision never applies to multibit programs (every LUT
+     * bootstraps by construction). plan_memory composes with either path.
+     */
+    int32_t multibit = 0;
+
+    /**
      * Compute a memory plan (liveness + linear-scan slot reuse) and embed
      * it in the emitted binary as a version-3 plan section. The plan is
      * level-safe, so every backend honors it; results are bit-identical
@@ -51,6 +70,13 @@ struct Compiled {
     circuit::NetlistStats stats;      ///< Of the optimized netlist.
     circuit::OptStats opt_stats;      ///< What optimization achieved.
     circuit::ElisionStats elision_stats;  ///< All-zero when pass skipped.
+    circuit::LutLowerStats lut_stats;     ///< All-zero when pass skipped.
+    /**
+     * True when CompileOptions::multibit was requested but the parameter
+     * set's noise budget rejected the modulus, so the boolean pipeline
+     * (with elision, when enabled) was emitted instead.
+     */
+    bool multibit_fell_back = false;
 };
 
 /**

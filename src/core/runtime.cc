@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "tfhe/multibit.h"
+
 namespace pytfhe::core {
 
 Ciphertexts Client::EncryptBits(const std::vector<bool>& bits) {
@@ -25,11 +27,46 @@ Ciphertexts Client::EncryptValues(const hdl::DType& dtype,
     return EncryptBits(bits);
 }
 
+Ciphertexts Client::EncryptBitsFor(const pasm::Program& program,
+                                   const std::vector<bool>& bits) {
+    const int32_t p = program.MessageModulus();
+    if (p == 0) return EncryptBits(bits);
+    Ciphertexts out;
+    out.reserve(bits.size());
+    for (bool b : bits)
+        out.push_back(tfhe::LweEncryptDigit(b ? 1 : 0, p,
+                                            secret_.params.lwe_noise_stddev,
+                                            secret_.lwe_key, rng_));
+    return out;
+}
+
+Ciphertexts Client::EncryptValueFor(const pasm::Program& program,
+                                    const hdl::DType& dtype, double value) {
+    return EncryptBitsFor(program, dtype.Encode(value));
+}
+
 std::vector<bool> Client::DecryptBits(const Ciphertexts& cts) const {
     std::vector<bool> out;
     out.reserve(cts.size());
     for (const auto& c : cts) out.push_back(secret_.Decrypt(c));
     return out;
+}
+
+std::vector<bool> Client::DecryptBitsFor(const pasm::Program& program,
+                                         const Ciphertexts& cts) const {
+    const int32_t p = program.MessageModulus();
+    if (p == 0) return DecryptBits(cts);
+    std::vector<bool> out;
+    out.reserve(cts.size());
+    for (const auto& c : cts)
+        out.push_back(tfhe::LweDecryptDigit(c, secret_.lwe_key, p) != 0);
+    return out;
+}
+
+double Client::DecryptValueFor(const pasm::Program& program,
+                               const hdl::DType& dtype,
+                               const Ciphertexts& cts) const {
+    return dtype.Decode(DecryptBitsFor(program, cts));
 }
 
 double Client::DecryptValue(const hdl::DType& dtype,

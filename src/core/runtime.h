@@ -60,6 +60,21 @@ class Client {
     /** Encrypts raw bits. */
     Ciphertexts EncryptBits(const std::vector<bool>& bits);
 
+    /**
+     * Encrypts raw bits in the encoding `program` executes under: the
+     * boolean +-1/8 encoding for classic programs, the digit encoding
+     * phi(v) = (2v+1)/(4p) for multibit (format v4) programs. Use this
+     * overload whenever the program may have been compiled with
+     * CompileOptions::multibit; the plain EncryptBits produces samples a
+     * multibit program cannot consume.
+     */
+    Ciphertexts EncryptBitsFor(const pasm::Program& program,
+                               const std::vector<bool>& bits);
+
+    /** Program-aware flavor of EncryptValue (see EncryptBitsFor). */
+    Ciphertexts EncryptValueFor(const pasm::Program& program,
+                                const hdl::DType& dtype, double value);
+
     /** Encodes a number in `dtype` and encrypts its bits. */
     Ciphertexts EncryptValue(const hdl::DType& dtype, double value);
 
@@ -68,6 +83,19 @@ class Client {
                               const std::vector<double>& values);
 
     std::vector<bool> DecryptBits(const Ciphertexts& cts) const;
+
+    /**
+     * Decrypts outputs of `program` (see EncryptBitsFor): digit decoding
+     * for multibit programs — their outputs are 1-bit digits by the
+     * format's output rule — sign decoding otherwise.
+     */
+    std::vector<bool> DecryptBitsFor(const pasm::Program& program,
+                                     const Ciphertexts& cts) const;
+
+    /** Program-aware flavor of DecryptValue (see DecryptBitsFor). */
+    double DecryptValueFor(const pasm::Program& program,
+                           const hdl::DType& dtype,
+                           const Ciphertexts& cts) const;
     double DecryptValue(const hdl::DType& dtype, const Ciphertexts& cts) const;
     std::vector<double> DecryptValues(const hdl::DType& dtype,
                                       const Ciphertexts& cts) const;

@@ -1,0 +1,347 @@
+#include "hdl/multibit_ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "hdl/word_ops.h"
+
+namespace pytfhe::hdl {
+
+namespace {
+
+using circuit::kConstFalse;
+using circuit::kConstTrue;
+using circuit::LutSpec;
+
+/**
+ * Emits one weighted LUT whose table holds f(m) for every m in the
+ * nominal range of the weighted sum. Nominal operand ranges come from
+ * DigitBits — a 2-bit digit counts as 0..3 even when its producer emits
+ * at most 2 — matching what Netlist::Validate recomputes, so tables are
+ * total over the validator's domain even where sums are unreachable.
+ */
+Signal EmitLut(Builder& b, const std::vector<Signal>& ops,
+               const std::vector<int8_t>& weights, uint8_t out_bits,
+               const std::function<uint32_t(int32_t)>& f) {
+    assert(!ops.empty() && ops.size() == weights.size());
+    int32_t lo = 0, hi = 0;
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const int32_t vmax = (1 << b.netlist().DigitBits(ops[i])) - 1;
+        if (weights[i] > 0)
+            hi += weights[i] * vmax;
+        else
+            lo += weights[i] * vmax;
+    }
+    LutSpec spec;
+    spec.weights.assign(weights.begin(), weights.end());
+    spec.lo = lo;
+    spec.out_bits = out_bits;
+    const uint32_t mask = (uint32_t{1} << out_bits) - 1;
+    for (int32_t m = lo; m <= hi; ++m)
+        spec.table |= (f(m) & mask)
+                      << (static_cast<uint32_t>(m - lo) * out_bits);
+    return b.MakeLut(spec, std::span<const Signal>(ops));
+}
+
+}  // namespace
+
+Bits MultibitAdd(Builder& b, const MultibitPlan& plan, const Bits& x,
+                 const Bits& y) {
+    if (!plan.Fits(kMultibitAddWeightSq)) return Add(b, x, y);
+    const int32_t w = std::max(x.Width(), y.Width());
+    assert(w > 0);
+    b.SetMessageModulus(plan.p);
+    const Bits xe = ZeroExtend(b, x, w);
+    const Bits ye = ZeroExtend(b, y, w);
+
+    std::vector<Signal> out(w);
+    Signal carry = kConstFalse;  // MakeLut folds the constant ride-along.
+    int32_t i = 0;
+    while (i < w) {
+        // One block covers s result columns plus the incoming carry:
+        // m = sum_t 2^t (x_{i+t} + y_{i+t}) + carry, so result bit i+t is
+        // (m >> t) & 1 and the block's carry-out is m >> s. Every LUT of
+        // the block shares the same weighted sum, so the per-worker test
+        // vectors differ but the linear prelude is identical.
+        const int32_t s = std::min<int32_t>(3, w - i);
+        std::vector<Signal> ops;
+        std::vector<int8_t> weights;
+        for (int32_t t = 0; t < s; ++t) {
+            ops.push_back(xe[i + t]);
+            ops.push_back(ye[i + t]);
+            weights.push_back(static_cast<int8_t>(1 << t));
+            weights.push_back(static_cast<int8_t>(1 << t));
+        }
+        ops.push_back(carry);
+        weights.push_back(1);
+        for (int32_t t = 0; t < s; ++t)
+            out[i + t] = EmitLut(b, ops, weights, 1, [t](int32_t m) {
+                return static_cast<uint32_t>(m >> t) & 1u;
+            });
+        if (i + s < w)
+            carry = EmitLut(b, ops, weights, 1, [s](int32_t m) {
+                return static_cast<uint32_t>(m >> s) & 1u;
+            });
+        i += s;
+    }
+    return Bits(std::move(out));
+}
+
+Signal MultibitUlt(Builder& b, const MultibitPlan& plan, const Bits& x,
+                   const Bits& y) {
+    assert(x.Width() == y.Width() && x.Width() > 0);
+    if (!plan.Fits(kMultibitUltWeightSq)) return Ult(b, x, y);
+    b.SetMessageModulus(plan.p);
+    const int32_t w = x.Width();
+
+    Signal lt;
+    int32_t i;
+    if (w >= 2) {
+        // Fused low pair: m = x0 + 2 y0 + 4 x1 + 8 y1 packs both 2-bit
+        // values injectively, so one LUT4 decides their comparison.
+        lt = EmitLut(b, {x[0], y[0], x[1], y[1]}, {1, 2, 4, 8}, 1,
+                     [](int32_t m) {
+                         const int32_t xv = (m & 1) | (((m >> 2) & 1) << 1);
+                         const int32_t yv =
+                             ((m >> 1) & 1) | (((m >> 3) & 1) << 1);
+                         return xv < yv ? 1u : 0u;
+                     });
+        i = 2;
+    } else {
+        // Single bit: x < y iff (!x && y), i.e. m = x + 2y equals 2.
+        lt = EmitLut(b, {x[0], y[0]}, {1, 2}, 1,
+                     [](int32_t m) { return m == 2 ? 1u : 0u; });
+        i = 1;
+    }
+    for (; i < w; ++i) {
+        // Chain step, LSB to MSB so higher bits take priority:
+        // lt' = (x_i < y_i) or (x_i == y_i and lt).
+        lt = EmitLut(b, {lt, y[i], x[i]}, {1, 2, 4}, 1, [](int32_t m) {
+            const int32_t l = m & 1;
+            const int32_t yv = (m >> 1) & 1;
+            const int32_t xv = (m >> 2) & 1;
+            if (xv != yv) return yv ? 1u : 0u;
+            return l ? 1u : 0u;
+        });
+    }
+    return lt;
+}
+
+Signal MultibitEq(Builder& b, const MultibitPlan& plan, const Bits& x,
+                  const Bits& y) {
+    assert(x.Width() == y.Width() && x.Width() > 0);
+    if (!plan.Fits(kMultibitEqWeightSq)) return Eq(b, x, y);
+    b.SetMessageModulus(plan.p);
+    const int32_t w = x.Width();
+
+    // One verdict bit per two positions: weights (1,1,3,3) give two
+    // independent base-3 digits d0 = x_i + y_i and d1 = x_{i+1} + y_{i+1};
+    // a position is equal exactly when its digit differs from 1.
+    std::vector<Signal> verdicts;
+    for (int32_t i = 0; i < w; i += 2) {
+        if (i + 1 < w) {
+            verdicts.push_back(EmitLut(
+                b, {x[i], y[i], x[i + 1], y[i + 1]}, {1, 1, 3, 3}, 1,
+                [](int32_t m) {
+                    return (m % 3 != 1 && m / 3 != 1) ? 1u : 0u;
+                }));
+        } else {
+            verdicts.push_back(
+                EmitLut(b, {x[i], y[i]}, {1, 1}, 1,
+                        [](int32_t m) { return m != 1 ? 1u : 0u; }));
+        }
+    }
+
+    // Counting AND-reduction: up to kMaxLutArity verdicts collapse per
+    // LUT (all weights 1, true iff every operand is 1).
+    while (verdicts.size() > 1) {
+        std::vector<Signal> next;
+        for (size_t i = 0; i < verdicts.size();
+             i += circuit::kMaxLutArity) {
+            const size_t k = std::min<size_t>(circuit::kMaxLutArity,
+                                              verdicts.size() - i);
+            if (k == 1) {
+                next.push_back(verdicts[i]);
+                continue;
+            }
+            const std::vector<Signal> ops(verdicts.begin() + i,
+                                          verdicts.begin() + i + k);
+            const std::vector<int8_t> ones(k, 1);
+            next.push_back(EmitLut(b, ops, ones, 1, [k](int32_t m) {
+                return m == static_cast<int32_t>(k) ? 1u : 0u;
+            }));
+        }
+        verdicts = std::move(next);
+    }
+    return verdicts[0];
+}
+
+namespace {
+
+/** One addend of an output column: a signal plus its value bounds. */
+struct ColOp {
+    Signal sig = kConstFalse;
+    int32_t nominal = 1;  ///< Validator-visible max (from DigitBits).
+    int32_t actual = 1;   ///< Tightest known bound on the digit value.
+};
+
+/** Column addend bookkeeping for the multiplier's compression stage. */
+struct Columns {
+    std::vector<std::vector<ColOp>> ops;
+    std::vector<int32_t> const_add;
+
+    explicit Columns(int32_t n) : ops(n), const_add(n, 0) {}
+
+    int32_t Width() const { return static_cast<int32_t>(ops.size()); }
+
+    void Push(Builder& b, int32_t c, Signal sig, int32_t actual) {
+        if (c >= Width()) return;  // Carry past the kept output width.
+        if (sig == kConstFalse) return;
+        if (sig == kConstTrue) {
+            const_add[c] += 1;
+            return;
+        }
+        const int32_t nominal = (1 << b.netlist().DigitBits(sig)) - 1;
+        ops[c].push_back({sig, nominal, std::min(actual, nominal)});
+    }
+};
+
+}  // namespace
+
+Bits MultibitUMul(Builder& b, const MultibitPlan& plan, const Bits& x,
+                  const Bits& y, int32_t out_width) {
+    if (!plan.Fits(kMultibitMulWeightSq)) return UMul(b, x, y, out_width);
+    assert(out_width > 0 && x.Width() > 0 && y.Width() > 0);
+    b.SetMessageModulus(plan.p);
+    const int32_t wx = x.Width();
+    const int32_t wy = y.Width();
+    const int32_t cap = plan.p - 1;
+
+    Columns cols(out_width);
+
+    // Stage 1: count partial products two at a time. Weights (1,1,3,3)
+    // give two base-3 digits, one per product; the LUT emits how many of
+    // the two products are 1 as a 2-bit column digit. Constant factors
+    // never reach a LUT: a zero factor deletes the product, a one factor
+    // reduces it to the other bit.
+    for (int32_t c = 0; c < out_width; ++c) {
+        std::vector<std::pair<Signal, Signal>> pairs;
+        for (int32_t i = std::max(0, c - wy + 1); i <= std::min(wx - 1, c);
+             ++i) {
+            const Signal a = x[i];
+            const Signal d = y[c - i];
+            if (a == kConstFalse || d == kConstFalse) continue;
+            if (a == kConstTrue) {
+                cols.Push(b, c, d, 1);
+                continue;
+            }
+            if (d == kConstTrue) {
+                cols.Push(b, c, a, 1);
+                continue;
+            }
+            pairs.emplace_back(a, d);
+        }
+        size_t k = 0;
+        for (; k + 1 < pairs.size(); k += 2) {
+            const Signal digit = EmitLut(
+                b,
+                {pairs[k].first, pairs[k].second, pairs[k + 1].first,
+                 pairs[k + 1].second},
+                {1, 1, 3, 3}, 2, [](int32_t m) {
+                    return (m % 3 == 2 ? 1u : 0u) + (m / 3 == 2 ? 1u : 0u);
+                });
+            cols.Push(b, c, digit, 2);
+        }
+        if (k < pairs.size())
+            cols.Push(b, c,
+                      EmitLut(b, {pairs[k].first, pairs[k].second}, {1, 1},
+                              1, [](int32_t m) { return m == 2 ? 1u : 0u; }),
+                      1);
+    }
+
+    // Stage 2: resolve columns LSB first. Column c's value is
+    // v = sum(ops) + const_add; bit c of the product is v & 1 and bit t
+    // of v carries into column c + t. All counting LUTs use weight 1, so
+    // the noise-relevant weight square is just the operand count.
+    std::vector<Signal> out(out_width, kConstFalse);
+    for (int32_t c = 0; c < out_width; ++c) {
+        std::vector<ColOp>& ops = cols.ops[c];
+        const int32_t cadd = cols.const_add[c];
+
+        auto nominal_sum = [&]() {
+            int32_t s = cadd;
+            for (const ColOp& op : ops) s += op.nominal;
+            return s;
+        };
+
+        // Safety valve for widths beyond the 8x8 design point: compress
+        // a leading run of addends into its binary digits until the
+        // column fits the message space and the LUT arity.
+        while (static_cast<int32_t>(ops.size()) > circuit::kMaxLutArity ||
+               nominal_sum() > cap) {
+            size_t take = 0;
+            int32_t taken_nominal = 0, taken_actual = 0;
+            while (take < ops.size() &&
+                   take < static_cast<size_t>(circuit::kMaxLutArity) &&
+                   taken_nominal + ops[take].nominal <= cap) {
+                taken_nominal += ops[take].nominal;
+                taken_actual += ops[take].actual;
+                ++take;
+            }
+            assert(take >= 2 && "column addend does not fit message space");
+            std::vector<Signal> sub;
+            const std::vector<int8_t> ones(take, 1);
+            for (size_t i = 0; i < take; ++i) sub.push_back(ops[i].sig);
+            std::vector<ColOp> rest(ops.begin() + take, ops.end());
+            for (int32_t t = 0; (taken_actual >> t) != 0; ++t) {
+                if (t > 0 && c + t >= out_width) break;
+                const Signal bit =
+                    EmitLut(b, sub, ones, 1, [t](int32_t m) {
+                        return static_cast<uint32_t>(m >> t) & 1u;
+                    });
+                if (t == 0)
+                    rest.insert(rest.begin(), {bit, 1, 1});
+                else
+                    cols.Push(b, c + t, bit, 1);
+            }
+            ops = std::move(rest);
+        }
+
+        if (ops.empty()) {
+            out[c] = (cadd & 1) != 0 ? kConstTrue : kConstFalse;
+            for (int32_t t = 1; (cadd >> t) != 0; ++t)
+                if (((cadd >> t) & 1) != 0) cols.Push(b, c + t, kConstTrue, 1);
+            continue;
+        }
+        if (ops.size() == 1 && cadd == 0 && ops[0].nominal == 1) {
+            out[c] = ops[0].sig;
+            continue;
+        }
+
+        int32_t actual = cadd;
+        std::vector<Signal> sigs;
+        for (const ColOp& op : ops) {
+            actual += op.actual;
+            sigs.push_back(op.sig);
+        }
+        const std::vector<int8_t> ones(sigs.size(), 1);
+        out[c] = EmitLut(b, sigs, ones, 1, [cadd](int32_t m) {
+            return static_cast<uint32_t>(m + cadd) & 1u;
+        });
+        for (int32_t t = 1; (actual >> t) != 0 && c + t < out_width; ++t)
+            cols.Push(b, c + t,
+                      EmitLut(b, sigs, ones, 1,
+                              [cadd, t](int32_t m) {
+                                  return static_cast<uint32_t>(
+                                             (m + cadd) >> t) &
+                                         1u;
+                              }),
+                      1);
+    }
+    return Bits(std::move(out));
+}
+
+}  // namespace pytfhe::hdl

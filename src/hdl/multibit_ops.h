@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Multi-bit (LUT) word generators: arithmetic built from weighted
+ * programmable bootstraps instead of boolean gate bootstraps.
+ *
+ * Under message modulus p = 16 a single bootstrap can evaluate any
+ * function of a weighted sum m = sum_i w_i * v_i of up to kMaxLutArity
+ * operand digits (see circuit::LutSpec, tfhe/multibit.h). The generators
+ * here exploit that to collapse whole sub-circuits into one bootstrap
+ * each:
+ *
+ *  - MultibitAdd packs three result columns per LUT block,
+ *    m = (x_i + y_i) + 2(x_{i+1} + y_{i+1}) + 4(x_{i+2} + y_{i+2}) + c,
+ *    so an 8-bit ripple adder costs 10 bootstraps instead of 34.
+ *  - MultibitUlt fuses the two low bit-pairs into one LUT4 and walks the
+ *    remaining bits with one less-than chain LUT3 each: 7 bootstraps
+ *    for 8 bits instead of 32.
+ *  - MultibitEq checks two bit positions per LUT4 (weights 1,1,3,3 give
+ *    independent base-3 digits) and AND-reduces the verdicts with
+ *    counting LUTs: 5 bootstraps for 8 bits.
+ *  - MultibitUMul counts partial products two at a time into 2-bit
+ *    column digits and resolves each output column with counting LUTs
+ *    (all weights 1), ~83 bootstraps for an 8x8->16 multiply instead
+ *    of 320.
+ *
+ * Every generator degrades to its boolean word_ops counterpart when the
+ * supplied MultibitPlan does not fit — wrong modulus, or a parameter
+ * set whose noise budget (tfhe::CheckMultibitParams) cannot carry the
+ * generator's heaviest weighted sum. Multibit netlists are homogeneous
+ * (Netlist::Validate rejects classic gates once a message modulus is
+ * set), so resolve ONE plan per module, sized for the heaviest
+ * generator the module uses, and let the whole module fall back
+ * together: kMultibitMaxWeightSq covers them all.
+ */
+#ifndef PYTFHE_HDL_MULTIBIT_OPS_H
+#define PYTFHE_HDL_MULTIBIT_OPS_H
+
+#include "hdl/bits.h"
+
+namespace pytfhe::hdl {
+
+/**
+ * The resolved multibit decision for one module under construction.
+ * `p` is the message modulus (the generators require 16; anything else
+ * falls back to boolean). `weight_budget` is the largest sum of squared
+ * operand weights the chosen parameter set sustains within the gate
+ * failure bound — tfhe::MaxMultibitWeightBudget computes it. A
+ * default-constructed plan is disabled, so callers without a parameter
+ * set in hand get the boolean circuit.
+ */
+struct MultibitPlan {
+    int32_t p = 0;
+    int64_t weight_budget = 0;
+
+    bool Enabled() const { return p == 16; }
+    /** True when a LUT with sum w_i^2 == weight_sq stays inside budget. */
+    bool Fits(int64_t weight_sq) const {
+        return Enabled() && weight_sq <= weight_budget;
+    }
+};
+
+/** Heaviest sum w_i^2 each generator emits (the plan must cover it). */
+constexpr int64_t kMultibitAddWeightSq = 43;  ///< Block (1,1,2,2,4,4)+carry.
+constexpr int64_t kMultibitUltWeightSq = 85;  ///< Fused low LUT4 (1,2,4,8).
+constexpr int64_t kMultibitEqWeightSq = 20;   ///< Pair LUT4 (1,1,3,3).
+constexpr int64_t kMultibitMulWeightSq = 20;  ///< Pair-count LUT4 (1,1,3,3).
+/** Heaviest LUT any generator emits; sizes a plan covering all of them. */
+constexpr int64_t kMultibitMaxWeightSq = 85;
+
+/**
+ * x + y modulo 2^width via 3-column LUT blocks (4 bootstraps per 3 result
+ * bits). Widths may differ; the result has the wider operand's width.
+ * Falls back to Add when the plan does not fit kMultibitAddWeightSq.
+ */
+Bits MultibitAdd(Builder& b, const MultibitPlan& plan, const Bits& x,
+                 const Bits& y);
+
+/**
+ * Unsigned x < y (equal widths) via a fused low-pair LUT4 plus one chain
+ * LUT3 per remaining bit. Falls back to Ult below kMultibitUltWeightSq.
+ */
+Signal MultibitUlt(Builder& b, const MultibitPlan& plan, const Bits& x,
+                   const Bits& y);
+
+/**
+ * x == y (equal widths) via two-position equality LUT4s and counting
+ * AND-reduction LUTs. Falls back to Eq below kMultibitEqWeightSq.
+ */
+Signal MultibitEq(Builder& b, const MultibitPlan& plan, const Bits& x,
+                  const Bits& y);
+
+/**
+ * Low out_width bits of x * y via column compression: partial products
+ * are counted two at a time into 2-bit digits (one LUT4 per pair), then
+ * every output column is resolved by counting LUTs over its digits and
+ * incoming carry bits, all with weight 1. Falls back to UMul below
+ * kMultibitMulWeightSq.
+ */
+Bits MultibitUMul(Builder& b, const MultibitPlan& plan, const Bits& x,
+                  const Bits& y, int32_t out_width);
+
+}  // namespace pytfhe::hdl
+
+#endif  // PYTFHE_HDL_MULTIBIT_OPS_H

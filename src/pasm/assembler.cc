@@ -1,5 +1,8 @@
 #include "pasm/assembler.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace pytfhe::pasm {
 
 using circuit::Netlist;
@@ -12,9 +15,12 @@ std::optional<Program> Assemble(const Netlist& netlist, std::string* error) {
         if (error) *error = *err;
         return std::nullopt;
     }
+    const bool multibit = netlist.MessageModulus() != 0;
 
-    // Constant outputs are synthesized as XOR(x,x) / XNOR(x,x) over the
-    // first input — the binary format has no constant instruction.
+    // Constant outputs are synthesized over the first input — the binary
+    // format has no constant instruction. Boolean programs use XOR(x,x) /
+    // XNOR(x,x); multibit programs (which carry only LUT gates) use an
+    // arity-1 LUT with a constant table.
     bool needs_const0 = false, needs_const1 = false;
     for (NodeId id : netlist.Outputs()) {
         if (id == circuit::kConstFalse) needs_const0 = true;
@@ -31,7 +37,7 @@ std::optional<Program> Assemble(const Netlist& netlist, std::string* error) {
     // Programs without linear gates or wide groups keep the legacy
     // (version 0) header, staying byte-identical to binaries from before
     // format versioning; wide groups force version 2 (which also covers
-    // linear opcodes).
+    // linear opcodes); a message modulus forces version 4.
     bool has_linear = false;
     for (NodeId id = 2; id < netlist.NumNodes(); ++id) {
         const Node& n = netlist.GetNode(id);
@@ -41,18 +47,24 @@ std::optional<Program> Assemble(const Netlist& netlist, std::string* error) {
         }
     }
     const bool has_wide = !netlist.WideGroups().empty();
-    const uint64_t version = has_wide ? kFormatVersionWide
-                             : has_linear ? kFormatVersionLinear
-                                          : kFormatVersionLegacy;
+    const uint64_t version = multibit      ? kFormatVersionMultibit
+                             : has_wide    ? kFormatVersionWide
+                             : has_linear  ? kFormatVersionLinear
+                                           : kFormatVersionLegacy;
+    const uint64_t header_field =
+        version |
+        (static_cast<uint64_t>(netlist.MessageModulus()) << 8);
 
     std::vector<Instruction> ins;
     ins.reserve(2 + netlist.NumNodes() + netlist.Outputs().size());
-    ins.push_back(
-        Instruction::MakeHeader(netlist.NumGates() + extra_gates, version));
+    ins.push_back(Instruction::MakeHeader(netlist.NumGates() + extra_gates,
+                                          header_field));
 
     // Map netlist node ids to binary indices: inputs first, then gates in
-    // creation (topological) order.
+    // creation (topological) order. LUT gates bank their packed operand
+    // entries for the table emitted after the outputs.
     std::vector<uint64_t> index(netlist.NumNodes(), 0);
+    std::vector<uint64_t> lut_entries;
     for (NodeId id : netlist.Inputs()) {
         index[id] = ins.size();
         ins.push_back(Instruction::MakeInput());
@@ -60,29 +72,68 @@ std::optional<Program> Assemble(const Netlist& netlist, std::string* error) {
     for (NodeId id = 2; id < netlist.NumNodes(); ++id) {
         const Node& n = netlist.GetNode(id);
         if (n.kind != NodeKind::kGate) continue;
-        if (n.in0 <= circuit::kConstTrue || n.in1 <= circuit::kConstTrue) {
-            if (error)
-                *error = "netlist references constants; run circuit::Optimize "
-                         "before assembling";
-            return std::nullopt;
+        for (const NodeId op : netlist.Operands(id)) {
+            if (op <= circuit::kConstTrue) {
+                if (error)
+                    *error =
+                        "netlist references constants; run circuit::Optimize "
+                        "before assembling";
+                return std::nullopt;
+            }
         }
         index[id] = ins.size();
-        ins.push_back(
-            Instruction::MakeGate(n.type, index[n.in0], index[n.in1]));
+        if (n.type == circuit::GateType::kLut) {
+            const circuit::LutSpec& spec = netlist.Lut(id);
+            // The format stores a gate's entries sorted by producing
+            // index (instruction indices are monotone in node ids, so
+            // sorting by either is equivalent).
+            std::vector<std::pair<uint64_t, int8_t>> entries;
+            entries.reserve(n.num_ops);
+            for (uint16_t i = 0; i < n.num_ops; ++i)
+                entries.emplace_back(index[netlist.Op(id, i)],
+                                     spec.weights[i]);
+            std::sort(entries.begin(), entries.end());
+            for (size_t i = 1; i < entries.size(); ++i) {
+                if (entries[i].first == entries[i - 1].first) {
+                    if (error)
+                        *error = "LUT gate " + std::to_string(id) +
+                                 " repeats an operand; canonicalize through "
+                                 "Builder::MakeLut before assembling";
+                    return std::nullopt;
+                }
+            }
+            const uint64_t offset = lut_entries.size();
+            for (const auto& [in, w] : entries)
+                lut_entries.push_back(Instruction::PackLutOperand(in, w));
+            ins.push_back(Instruction::MakeLutGate(spec.table, n.num_ops,
+                                                   spec.out_bits, spec.lo,
+                                                   offset));
+        } else {
+            ins.push_back(Instruction::MakeGate(n.type,
+                                                index[netlist.Op(id, 0)],
+                                                index[netlist.Op(id, 1)]));
+        }
     }
     uint64_t const0_idx = 0, const1_idx = 0;
-    if (needs_const0) {
+    const auto synth_const = [&](bool value) {
         const uint64_t first_in = index[netlist.Inputs()[0]];
-        const0_idx = ins.size();
-        ins.push_back(
-            Instruction::MakeGate(circuit::GateType::kXor, first_in, first_in));
-    }
-    if (needs_const1) {
-        const uint64_t first_in = index[netlist.Inputs()[0]];
-        const1_idx = ins.size();
-        ins.push_back(Instruction::MakeGate(circuit::GateType::kXnor, first_in,
-                                            first_in));
-    }
+        const uint64_t idx = ins.size();
+        if (multibit) {
+            const uint64_t offset = lut_entries.size();
+            lut_entries.push_back(Instruction::PackLutOperand(first_in, 1));
+            ins.push_back(Instruction::MakeLutGate(value ? 0b11u : 0b00u,
+                                                   /*arity=*/1,
+                                                   /*out_bits=*/1, /*lo=*/0,
+                                                   offset));
+        } else {
+            ins.push_back(Instruction::MakeGate(
+                value ? circuit::GateType::kXnor : circuit::GateType::kXor,
+                first_in, first_in));
+        }
+        return idx;
+    };
+    if (needs_const0) const0_idx = synth_const(false);
+    if (needs_const1) const1_idx = synth_const(true);
     for (NodeId id : netlist.Outputs()) {
         if (id == circuit::kConstFalse) {
             ins.push_back(Instruction::MakeOutput(const0_idx));
@@ -91,6 +142,16 @@ std::optional<Program> Assemble(const Netlist& netlist, std::string* error) {
         } else {
             ins.push_back(Instruction::MakeOutput(index[id]));
         }
+    }
+    // LUT operand table (version 4): mandatory head, then two packed
+    // entries per record.
+    if (multibit) {
+        ins.push_back(Instruction::MakeLutOperandsHead(lut_entries.size()));
+        for (size_t i = 0; i < lut_entries.size(); i += 2)
+            ins.push_back(Instruction::MakeLutOperandPair(
+                lut_entries[i], i + 1 < lut_entries.size()
+                                    ? lut_entries[i + 1]
+                                    : kIndexAllOnes));
     }
     // Wide-group trailer: one leader plus ceil(n/2) member-pair records
     // per group, members remapped to instruction indices.
@@ -108,6 +169,8 @@ std::optional<Program> Assemble(const Netlist& netlist, std::string* error) {
 
 Netlist ToNetlist(const Program& program) {
     Netlist out;
+    if (program.MessageModulus() != 0)
+        out.SetMessageModulus(program.MessageModulus());
     const auto& ins = program.Instructions();
     // index in binary -> node id in netlist.
     std::vector<NodeId> node(ins.size(), circuit::kConstFalse);
@@ -125,8 +188,26 @@ Netlist ToNetlist(const Program& program) {
                 out.AddOutput(node[ins[pos].Input1()]);
                 break;
             case InstructionKind::kHeader:
+                break;
             case InstructionKind::kWide:
-                break;  // Wide records are reconstructed from WideOps().
+                // LUT gates classify as kWide (they share the 0xE
+                // nibble); operand-table / trailer records are skipped —
+                // wide groups are reconstructed from WideOps() below.
+                if (program.IsLutGate(pos)) {
+                    const DecodedLut l = program.LutAt(pos);
+                    circuit::LutSpec spec;
+                    spec.lo = l.lo;
+                    spec.table = l.table;
+                    spec.out_bits = l.out_bits;
+                    std::vector<NodeId> ops;
+                    ops.reserve(l.operands.size());
+                    for (const auto& [in, w] : l.operands) {
+                        spec.weights.push_back(w);
+                        ops.push_back(node[in]);
+                    }
+                    node[pos] = out.AddLut(std::move(spec), ops);
+                }
+                break;
         }
     }
     for (const auto& w : program.WideOps()) {

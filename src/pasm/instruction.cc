@@ -36,6 +36,25 @@ Instruction Instruction::MakeWideMembers(uint64_t m0, uint64_t m1) {
     return Pack(m0, m1, kWideType);
 }
 
+Instruction Instruction::MakeLutGate(uint32_t table, uint32_t arity,
+                                     uint32_t out_bits, int32_t lo,
+                                     uint64_t operand_offset) {
+    const uint64_t spec =
+        static_cast<uint64_t>(table) | (static_cast<uint64_t>(arity) << 32) |
+        (static_cast<uint64_t>(out_bits - 1) << 36) |
+        (static_cast<uint64_t>(static_cast<uint32_t>(lo + 512) & 0x3FF)
+         << 38);
+    return Pack(spec, operand_offset, kWideType);
+}
+
+Instruction Instruction::MakeLutOperandsHead(uint64_t entry_count) {
+    return Pack(kIndexAllOnes, entry_count, kWideType);
+}
+
+Instruction Instruction::MakeLutOperandPair(uint64_t e0, uint64_t e1) {
+    return Pack(e0, e1, kWideType);
+}
+
 Instruction Instruction::MakePlanSentinel() {
     return Pack(kIndexAllOnes, kIndexAllOnes, kWideType);
 }
@@ -65,7 +84,9 @@ std::string Instruction::ToString(uint64_t position) const {
     os << position << ": ";
     switch (Kind(position)) {
         case InstructionKind::kHeader:
-            os << "HEADER gates=" << Input1() << " version=" << Input0();
+            os << "HEADER gates=" << Input1() << " version="
+               << (Input0() & 0xFF);
+            if (Input0() >> 8) os << " p=" << ((Input0() >> 8) & 0xFF);
             break;
         case InstructionKind::kInput:
             os << "INPUT";

@@ -81,7 +81,38 @@ constexpr uint64_t kFormatVersionWide = 2;
  * Older versions load with the identity plan (slot i = value i).
  */
 constexpr uint64_t kFormatVersionPlanned = 3;
-constexpr uint64_t kMaxFormatVersion = kFormatVersionPlanned;
+/**
+ * Multibit (programmable-bootstrap) programs. The header's INPUT0 field
+ * becomes `version | message_modulus << 8` (older writers left those
+ * bits zero, so versions 0-3 decode unchanged), and the 0xE nibble gains
+ * two more record shapes, disambiguated purely by position:
+ *
+ *   LUT gate     — appears in the gate section. INPUT0 packs the
+ *                  LutSpec: bits [31:0] the table, [35:32] the operand
+ *                  count (1..8), [37:36] out_bits - 1, [47:38] lo + 512.
+ *                  INPUT1 is the gate's offset into the operand table.
+ *   operand head — the first record after the outputs: INPUT0 all-ones,
+ *                  INPUT1 the total operand-entry count (never all-ones,
+ *                  so it cannot be mistaken for the plan sentinel).
+ *   operand pair — two packed entries per record, each
+ *                  `index | (weight + 128) << 54` (the final record pads
+ *                  with all-ones when the count is odd). A gate's entries
+ *                  are sorted by producing index, strictly ascending.
+ *
+ * Multibit programs are homogeneous: every gate is a LUT record (the
+ * classic nibbles never appear), there is no wide trailer, and the
+ * operand table is always present — the plan section, if any, follows
+ * it. GateType::kLut == 0xE by design, so GateAt() on a LUT record
+ * reports kLut; decode the rest through Program::LutAt().
+ */
+constexpr uint64_t kFormatVersionMultibit = 4;
+constexpr uint64_t kMaxFormatVersion = kFormatVersionMultibit;
+
+/** Bit position of the weight byte in a packed LUT operand entry. */
+constexpr uint32_t kLutOperandIndexBits = 54;
+/** Mask of the producing-index bits of a packed LUT operand entry. */
+constexpr uint64_t kLutOperandIndexMask =
+    (UINT64_C(1) << kLutOperandIndexBits) - 1;
 
 /** Flag bits carried in the plan head's INPUT1 field. */
 constexpr uint64_t kPlanFlagLevelSafe = 1;
@@ -125,6 +156,27 @@ struct Instruction {
     /** Wide-group member pair; pass kIndexAllOnes for a trailing pad. */
     static Instruction MakeWideMembers(uint64_t m0,
                                        uint64_t m1 = kIndexAllOnes);
+    /**
+     * Multibit LUT gate record (version >= 4): the packed LutSpec plus
+     * the gate's offset into the operand table. `out_bits` is 1 or 2;
+     * `lo` must lie in [-512, 511] (domain <= modulus <= 16 guarantees
+     * lo in [-15, 0] for any valid spec).
+     */
+    static Instruction MakeLutGate(uint32_t table, uint32_t arity,
+                                   uint32_t out_bits, int32_t lo,
+                                   uint64_t operand_offset);
+    /** Operand-table head: total packed entry count across all gates. */
+    static Instruction MakeLutOperandsHead(uint64_t entry_count);
+    /** Two packed operand entries; pass kIndexAllOnes for a pad. */
+    static Instruction MakeLutOperandPair(uint64_t e0,
+                                          uint64_t e1 = kIndexAllOnes);
+    /** Packs one operand entry: producing index plus biased weight. */
+    static uint64_t PackLutOperand(uint64_t index, int8_t weight) {
+        return (index & kLutOperandIndexMask) |
+               (static_cast<uint64_t>(
+                    static_cast<uint8_t>(static_cast<int32_t>(weight) + 128))
+                << kLutOperandIndexBits);
+    }
     /** Memory-plan sentinel: both index fields all-ones (version >= 3). */
     static Instruction MakePlanSentinel();
     /** Memory-plan head: slot count plus flag bits. */

@@ -29,11 +29,10 @@ MemoryPlan ComputeMemoryPlan(const Program& program,
         death[v] = level[v];
     }
     for (uint64_t idx = first_gate; idx < end_gate; ++idx) {
-        const DecodedGate g = program.GateAt(idx);
-        for (const uint64_t in : {g.in0, g.in1}) {
+        program.ForEachOperand(idx, [&](uint64_t in) {
             last[in] = std::max(last[in], idx);
             death[in] = std::max(death[in], level[idx]);
-        }
+        });
     }
     std::vector<bool> pinned(end_gate, false);
     for (const uint64_t src : program.OutputIndices()) pinned[src] = true;

@@ -26,9 +26,9 @@ std::vector<uint64_t> LastUses(const Program& p) {
     std::vector<uint64_t> last(end, 0);
     for (uint64_t v = 1; v < end; ++v) last[v] = v;
     for (uint64_t idx = first_gate; idx < end; ++idx) {
-        const DecodedGate g = p.GateAt(idx);
-        last[g.in0] = std::max(last[g.in0], idx);
-        last[g.in1] = std::max(last[g.in1], idx);
+        p.ForEachOperand(idx, [&](uint64_t in) {
+            last[in] = std::max(last[in], idx);
+        });
     }
     for (const uint64_t src : p.OutputIndices()) last[src] = end;
     return last;
@@ -55,9 +55,9 @@ bool PlanIsSafe(const Program& p, const MemoryPlan& plan,
         const uint64_t first_gate = p.FirstGateIndex();
         for (uint64_t idx = first_gate; idx < first_gate + p.NumGates();
              ++idx) {
-            const DecodedGate g = p.GateAt(idx);
-            for (const uint64_t in : {g.in0, g.in1})
+            p.ForEachOperand(idx, [&](uint64_t in) {
                 death[in] = std::max(death[in], level[idx]);
+            });
         }
     }
     // Values are defined in index order, so walking them in order visits
@@ -104,21 +104,47 @@ std::optional<Program> Program::FromInstructions(
         Fail(error, "first instruction is not a valid header");
         return std::nullopt;
     }
-    p.format_version_ = ins[0].Input0();
+    // The header's INPUT0 is `version | message_modulus << 8` since
+    // version 4; earlier writers emitted the bare version, whose upper
+    // bits were zero, so the split decode is backward compatible.
+    const uint64_t header_field = ins[0].Input0();
+    p.format_version_ = header_field & 0xFF;
+    p.message_modulus_ = static_cast<int32_t>((header_field >> 8) & 0xFF);
     if (p.format_version_ > kMaxFormatVersion) {
         Fail(error, "unsupported program format version " +
                         std::to_string(p.format_version_));
         return std::nullopt;
     }
+    if ((header_field >> 16) != 0) {
+        Fail(error, "header carries unknown high bits");
+        return std::nullopt;
+    }
+    const bool multibit = p.format_version_ >= kFormatVersionMultibit;
+    if (!multibit && p.message_modulus_ != 0) {
+        Fail(error, "header declares a message modulus but format version " +
+                        std::to_string(p.format_version_) +
+                        " predates multibit programs");
+        return std::nullopt;
+    }
+    if (multibit &&
+        (p.message_modulus_ < 2 || p.message_modulus_ > 16 ||
+         (p.message_modulus_ & (p.message_modulus_ - 1)) != 0)) {
+        Fail(error, "invalid message modulus " +
+                        std::to_string(p.message_modulus_) +
+                        " (must be a power of two in [2, 16])");
+        return std::nullopt;
+    }
     const uint64_t declared_gates = ins[0].Input1();
 
-    // Phase order: inputs, then gates, then outputs, then the optional
-    // wide-group trailer (version >= 2), then the optional memory-plan
-    // section (version >= 3).
+    // Phase order: inputs, then gates, then outputs, then (version >= 4)
+    // the mandatory LUT operand table, then the optional wide-group
+    // trailer (version >= 2, boolean programs only), then the optional
+    // memory-plan section (version >= 3).
     enum Phase {
         kInputs,
         kGates,
         kOutputs,
+        kLutOperands,
         kWideTrailer,
         kPlanTrailer
     } phase = kInputs;
@@ -127,6 +153,10 @@ std::optional<Program> Program::FromInstructions(
     uint64_t wide_expected = 0;
     WideOp wide_current;
     std::unordered_set<uint64_t> wide_used;
+    // LUT operand-table decode state (version >= 4).
+    bool lut_head_seen = false;
+    uint64_t lut_declared = 0;
+    uint64_t lut_values_left = 0;
     // Plan-section decode state.
     bool plan_head_seen = false;
     uint64_t plan_values_left = 0;
@@ -147,10 +177,16 @@ std::optional<Program> Program::FromInstructions(
                 ++p.num_inputs_;
                 break;
             case InstructionKind::kGate: {
-                if (phase == kOutputs || phase == kWideTrailer ||
-                    phase == kPlanTrailer) {
+                if (phase != kInputs && phase != kGates) {
                     Fail(error, "gate instruction after outputs at position " +
                                     std::to_string(pos));
+                    return std::nullopt;
+                }
+                if (multibit) {
+                    Fail(error,
+                         "classic gate at position " + std::to_string(pos) +
+                             " in a multibit program (format version >= 4 "
+                             "programs carry only LUT gates)");
                     return std::nullopt;
                 }
                 phase = kGates;
@@ -212,7 +248,8 @@ std::optional<Program> Program::FromInstructions(
                 break;
             }
             case InstructionKind::kOutput: {
-                if (phase == kWideTrailer || phase == kPlanTrailer) {
+                if (phase == kLutOperands || phase == kWideTrailer ||
+                    phase == kPlanTrailer) {
                     Fail(error, "output after the wide trailer at position " +
                                     std::to_string(pos));
                     return std::nullopt;
@@ -228,6 +265,98 @@ std::optional<Program> Program::FromInstructions(
                 break;
             }
             case InstructionKind::kWide: {
+                // Version >= 4 reuses the 0xE nibble for LUT gate records
+                // (gate section) and the LUT operand table (directly
+                // after the outputs); the phase disambiguates.
+                if (multibit && (phase == kInputs || phase == kGates)) {
+                    phase = kGates;
+                    const uint64_t spec = ins[pos].Input0();
+                    if ((spec >> 48) != 0) {
+                        Fail(error, "LUT gate at position " +
+                                        std::to_string(pos) +
+                                        " carries unknown high bits");
+                        return std::nullopt;
+                    }
+                    LutRecord r;
+                    r.table = static_cast<uint32_t>(spec & 0xFFFFFFFF);
+                    r.arity = static_cast<uint8_t>((spec >> 32) & 0xF);
+                    r.out_bits = static_cast<uint8_t>(((spec >> 36) & 0x3) + 1);
+                    r.lo = static_cast<int32_t>((spec >> 38) & 0x3FF) - 512;
+                    r.first_op = ins[pos].Input1();
+                    if (r.arity < 1 || r.arity > 8) {
+                        Fail(error, "LUT gate at position " +
+                                        std::to_string(pos) +
+                                        " declares an invalid operand count " +
+                                        std::to_string(r.arity) +
+                                        " (1..8 allowed)");
+                        return std::nullopt;
+                    }
+                    if (r.out_bits > 2) {
+                        Fail(error, "LUT gate at position " +
+                                        std::to_string(pos) +
+                                        " declares an invalid output digit "
+                                        "width (1 or 2 bits allowed)");
+                        return std::nullopt;
+                    }
+                    p.lut_records_.push_back(r);
+                    ++p.num_gates_;
+                    break;
+                }
+                if (multibit && phase != kPlanTrailer && !lut_head_seen) {
+                    // The operand-table head is the mandatory first
+                    // trailer record of a multibit program. Its count is
+                    // never all-ones, which keeps it distinct from the
+                    // plan sentinel.
+                    if (ins[pos].Input0() != kIndexAllOnes ||
+                        ins[pos].Input1() == kIndexAllOnes) {
+                        Fail(error, "multibit program misses its LUT "
+                                    "operand-table head at position " +
+                                        std::to_string(pos));
+                        return std::nullopt;
+                    }
+                    lut_declared = ins[pos].Input1();
+                    // Every gate holds at most 8 entries, which bounds
+                    // the table (and the allocation below) up front.
+                    if (lut_declared > 8 * p.num_gates_) {
+                        Fail(error, "LUT operand-table head at position " +
+                                        std::to_string(pos) +
+                                        " declares an impossible entry "
+                                        "count");
+                        return std::nullopt;
+                    }
+                    lut_values_left = lut_declared;
+                    p.lut_operands_.reserve(lut_declared);
+                    lut_head_seen = true;
+                    phase = kLutOperands;
+                    break;
+                }
+                if (phase == kLutOperands && lut_values_left > 0) {
+                    for (const uint64_t field :
+                         {ins[pos].Input0(), ins[pos].Input1()}) {
+                        if (lut_values_left == 0) {
+                            if (field != kIndexAllOnes) {
+                                Fail(error, "LUT operand record at position " +
+                                                std::to_string(pos) +
+                                                " carries an extra entry");
+                                return std::nullopt;
+                            }
+                            continue;
+                        }
+                        const uint64_t in = field & kLutOperandIndexMask;
+                        const int32_t biased = static_cast<int32_t>(
+                            (field >> kLutOperandIndexBits) & 0xFF);
+                        if (biased == 128) {
+                            Fail(error, "LUT operand at position " +
+                                            std::to_string(pos) +
+                                            " carries a zero weight");
+                            return std::nullopt;
+                        }
+                        p.lut_operands_.emplace_back(
+                            in, static_cast<int8_t>(biased - 128));
+                        --lut_values_left;
+                    }
+                    break;
+                }
                 // Memory-plan section: everything after the sentinel.
                 if (phase == kPlanTrailer) {
                     if (!plan_head_seen) {
@@ -305,6 +434,13 @@ std::optional<Program> Program::FromInstructions(
                     Fail(error, "wide record at position " +
                                     std::to_string(pos) +
                                     " requires format version >= 2");
+                    return std::nullopt;
+                }
+                if (multibit) {
+                    Fail(error, "wide-group record at position " +
+                                    std::to_string(pos) +
+                                    " in a multibit program (LUT programs "
+                                    "carry no wide trailer)");
                     return std::nullopt;
                 }
                 phase = kWideTrailer;
@@ -390,6 +526,105 @@ std::optional<Program> Program::FromInstructions(
                         std::to_string(p.num_gates_));
         return std::nullopt;
     }
+    if (multibit) {
+        if (!lut_head_seen) {
+            Fail(error, "multibit program misses its LUT operand table");
+            return std::nullopt;
+        }
+        if (lut_values_left != 0) {
+            Fail(error, "truncated LUT operand table: " +
+                            std::to_string(lut_values_left) +
+                            " entries missing");
+            return std::nullopt;
+        }
+        uint64_t total_arity = 0;
+        for (const LutRecord& r : p.lut_records_) total_arity += r.arity;
+        if (total_arity != lut_declared) {
+            Fail(error, "LUT operand-table head declares " +
+                            std::to_string(lut_declared) +
+                            " entries but the gates reference " +
+                            std::to_string(total_arity));
+            return std::nullopt;
+        }
+        // Resolve and semantically validate every LUT gate, mirroring
+        // Netlist::Validate: offsets in range, operands strictly
+        // ascending prior indices, the declared lo equal to the minimum
+        // reachable weighted sum over nominal digit ranges, and the
+        // reachable domain inside the message modulus and the table word.
+        const uint64_t first_gate = p.FirstGateIndex();
+        for (uint64_t g = 0; g < p.lut_records_.size(); ++g) {
+            const LutRecord& r = p.lut_records_[g];
+            const uint64_t pos = first_gate + g;
+            if (r.first_op > lut_declared ||
+                r.arity > lut_declared - r.first_op) {
+                Fail(error, "LUT gate at position " + std::to_string(pos) +
+                                " references operand entries past the table");
+                return std::nullopt;
+            }
+            int64_t lo = 0, hi = 0;
+            uint64_t prev_in = 0;
+            for (uint64_t e = r.first_op; e < r.first_op + r.arity; ++e) {
+                const auto& [in, w] = p.lut_operands_[e];
+                if (in == 0 || in >= pos) {
+                    Fail(error, "LUT gate at position " +
+                                    std::to_string(pos) +
+                                    " references an invalid index " +
+                                    std::to_string(in));
+                    return std::nullopt;
+                }
+                if (e > r.first_op && in <= prev_in) {
+                    Fail(error, "LUT gate at position " +
+                                    std::to_string(pos) +
+                                    " carries unsorted or duplicate "
+                                    "operand entries");
+                    return std::nullopt;
+                }
+                prev_in = in;
+                // Nominal operand range: [0, 2^digit_bits - 1], the
+                // producing gate's declared output width (inputs are
+                // 1-bit wires).
+                const int64_t vmax =
+                    in >= first_gate &&
+                            p.lut_records_[in - first_gate].out_bits == 2
+                        ? 3
+                        : 1;
+                if (w > 0)
+                    hi += static_cast<int64_t>(w) * vmax;
+                else
+                    lo += static_cast<int64_t>(w) * vmax;
+            }
+            if (lo != r.lo) {
+                Fail(error, "LUT gate at position " + std::to_string(pos) +
+                                " declares lo " + std::to_string(r.lo) +
+                                " but its operands reach " +
+                                std::to_string(lo));
+                return std::nullopt;
+            }
+            const int64_t domain = hi - lo + 1;
+            if (domain > p.message_modulus_) {
+                Fail(error, "LUT gate at position " + std::to_string(pos) +
+                                " spans " + std::to_string(domain) +
+                                " sums, more than the message modulus " +
+                                std::to_string(p.message_modulus_));
+                return std::nullopt;
+            }
+            if (domain * r.out_bits > 32) {
+                Fail(error, "LUT gate at position " + std::to_string(pos) +
+                                " does not fit its 32-bit table");
+                return std::nullopt;
+            }
+        }
+        // Circuit outputs must be 1-bit digits, like Netlist::Validate.
+        for (const uint64_t src : p.outputs_) {
+            if (src >= first_gate &&
+                p.lut_records_[src - first_gate].out_bits != 1) {
+                Fail(error, "output references the 2-bit digit at position " +
+                                std::to_string(src) +
+                                "; outputs must be 1-bit");
+                return std::nullopt;
+            }
+        }
+    }
     if (phase == kPlanTrailer) {
         if (!plan_head_seen || plan_values_left != 0) {
             Fail(error, "truncated memory plan section");
@@ -411,12 +646,11 @@ GateDependencies Program::BuildGateDependencies() const {
     // CSR successor lists. Both operands count, even when they coincide.
     std::vector<uint64_t> fan_out(num_gates_, 0);
     for (uint64_t idx = deps.first_gate; idx < end_gate; ++idx) {
-        const DecodedGate g = GateAt(idx);
-        for (uint64_t in : {g.in0, g.in1}) {
-            if (in < deps.first_gate) continue;  // Program input.
+        ForEachOperand(idx, [&](uint64_t in) {
+            if (in < deps.first_gate) return;  // Program input.
             ++deps.pred_count[idx - deps.first_gate];
             ++fan_out[in - deps.first_gate];
-        }
+        });
     }
     deps.succ_offsets.assign(num_gates_ + 1, 0);
     for (uint64_t g = 0; g < num_gates_; ++g)
@@ -425,11 +659,10 @@ GateDependencies Program::BuildGateDependencies() const {
     std::vector<uint64_t> cursor(deps.succ_offsets.begin(),
                                  deps.succ_offsets.end() - 1);
     for (uint64_t idx = deps.first_gate; idx < end_gate; ++idx) {
-        const DecodedGate g = GateAt(idx);
-        for (uint64_t in : {g.in0, g.in1}) {
-            if (in < deps.first_gate) continue;
+        ForEachOperand(idx, [&](uint64_t in) {
+            if (in < deps.first_gate) return;
             deps.successors[cursor[in - deps.first_gate]++] = idx;
-        }
+        });
     }
     return deps;
 }
@@ -449,9 +682,10 @@ GateDependencies Program::BuildGateDependencies(
     // read all operands before writing the destination.
     std::vector<std::vector<uint64_t>> readers(end_gate);
     for (uint64_t idx = first_gate; idx < end_gate; ++idx) {
-        const DecodedGate g = GateAt(idx);
-        readers[g.in0].push_back(idx);
-        if (g.in1 != g.in0) readers[g.in1].push_back(idx);
+        ForEachOperand(idx, [&](uint64_t in) {
+            auto& r = readers[in];
+            if (r.empty() || r.back() != idx) r.push_back(idx);
+        });
     }
     std::vector<std::pair<uint64_t, uint64_t>> anti;  // (r, w)
     std::vector<uint64_t> prev(plan->num_slots, 0);
@@ -502,8 +736,11 @@ std::vector<uint64_t> Program::ValueLevels() const {
     const uint64_t end_gate = first_gate + num_gates_;
     std::vector<uint64_t> level(end_gate, 0);
     for (uint64_t idx = first_gate; idx < end_gate; ++idx) {
-        const DecodedGate g = GateAt(idx);
-        level[idx] = 1 + std::max(level[g.in0], level[g.in1]);
+        uint64_t deepest = 0;
+        ForEachOperand(idx, [&](uint64_t in) {
+            deepest = std::max(deepest, level[in]);
+        });
+        level[idx] = 1 + deepest;
     }
     return level;
 }
@@ -523,7 +760,13 @@ std::optional<Program> Program::WithPlan(MemoryPlan plan,
         instructions_.begin(),
         plan_pos_ != 0 ? instructions_.begin() + plan_pos_
                        : instructions_.end());
-    ins[0] = Instruction::MakeHeader(num_gates_, kFormatVersionPlanned);
+    // A plan section needs at least version 3; multibit programs keep
+    // their version-4 header (and its message-modulus byte).
+    const uint64_t version =
+        std::max<uint64_t>(format_version_, kFormatVersionPlanned);
+    ins[0] = Instruction::MakeHeader(
+        num_gates_,
+        version | (static_cast<uint64_t>(message_modulus_) << 8));
     ins.reserve(ins.size() + 2 + (num_values + 1) / 2);
     ins.push_back(Instruction::MakePlanSentinel());
     ins.push_back(Instruction::MakePlanHead(
@@ -586,8 +829,45 @@ std::optional<Program> Program::LoadFromFile(const std::string& path,
 
 std::string Program::Disassemble() const {
     std::ostringstream os;
-    for (uint64_t pos = 0; pos < instructions_.size(); ++pos)
-        os << instructions_[pos].ToString(pos) << "\n";
+    bool in_plan = false;
+    for (uint64_t pos = 0; pos < instructions_.size(); ++pos) {
+        if (IsLutGate(pos)) {
+            const DecodedLut l = LutAt(pos);
+            os << pos << ": LUT table=0x" << std::hex << l.table << std::dec
+               << " lo=" << l.lo
+               << " out_bits=" << static_cast<int>(l.out_bits);
+            for (const auto& [in, w] : l.operands)
+                os << " " << static_cast<int>(w) << "*v" << in;
+            os << "\n";
+            continue;
+        }
+        // Multibit programs keep the packed operand table after the
+        // outputs; print it as such rather than as a wide trailer (the
+        // records share the 0xE nibble). Plan-trailer records (after the
+        // sentinel) keep the generic printing.
+        const Instruction& ins = instructions_[pos];
+        if (ins.Input0() == kIndexAllOnes && ins.Input1() == kIndexAllOnes &&
+            ins.Kind(pos) == InstructionKind::kWide)
+            in_plan = true;
+        if (message_modulus_ != 0 && !in_plan &&
+            ins.Kind(pos) == InstructionKind::kWide) {
+            if (ins.Input0() == kIndexAllOnes) {
+                os << pos << ": LUTOPS " << ins.Input1() << " entries\n";
+            } else {
+                os << pos << ": LUTOPS";
+                for (const uint64_t e : {ins.Input0(), ins.Input1()}) {
+                    if (e == kIndexAllOnes) continue;  // Odd-count padding.
+                    os << " "
+                       << static_cast<int32_t>(e >> kLutOperandIndexBits) -
+                              128
+                       << "*v" << (e & kLutOperandIndexMask);
+                }
+                os << "\n";
+            }
+            continue;
+        }
+        os << ins.ToString(pos) << "\n";
+    }
     return os.str();
 }
 

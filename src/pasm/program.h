@@ -12,6 +12,7 @@
 
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,11 +21,34 @@
 
 namespace pytfhe::pasm {
 
-/** Decoded gate record, indexed the same way as the instruction stream. */
+/**
+ * Decoded gate record, indexed the same way as the instruction stream.
+ * For multibit LUT gates (format version >= 4) `type` is kLut but the
+ * operand fields are the packed record, not indices — branch on
+ * Program::IsLutGate() and decode through LutAt() instead.
+ */
 struct DecodedGate {
     circuit::GateType type;
     uint64_t in0;
     uint64_t in1;
+};
+
+/** One decoded kLut gate's stored form (format version >= 4). */
+struct LutRecord {
+    uint64_t first_op = 0;  ///< Offset into the program's operand table.
+    uint32_t table = 0;     ///< Packed out_bits-wide entries.
+    int32_t lo = 0;         ///< Minimum reachable weighted sum.
+    uint8_t arity = 0;      ///< Operand count (1..8).
+    uint8_t out_bits = 1;   ///< Output digit width (1 or 2).
+};
+
+/** Resolved view of one kLut gate: weighted operands plus the table. */
+struct DecodedLut {
+    /** (producing instruction index, weight), ascending by index. */
+    std::span<const std::pair<uint64_t, int8_t>> operands;
+    uint32_t table = 0;
+    int32_t lo = 0;
+    uint8_t out_bits = 1;
 };
 
 /**
@@ -174,6 +198,48 @@ class Program {
     }
 
     /**
+     * Message modulus p of a multibit program (format version >= 4);
+     * 0 for boolean programs. Multibit programs are homogeneous: every
+     * gate is a kLut record.
+     */
+    int32_t MessageModulus() const { return message_modulus_; }
+
+    /** True when the gate at `idx` is a multibit LUT gate. */
+    bool IsLutGate(uint64_t idx) const {
+        return message_modulus_ != 0 && idx >= FirstGateIndex() &&
+               idx < FirstGateIndex() + num_gates_;
+    }
+
+    /** Resolved LUT gate at `idx` (requires IsLutGate(idx)). */
+    DecodedLut LutAt(uint64_t idx) const {
+        const LutRecord& r = lut_records_[idx - FirstGateIndex()];
+        return DecodedLut{
+            std::span<const std::pair<uint64_t, int8_t>>(
+                lut_operands_.data() + r.first_op, r.arity),
+            r.table, r.lo, r.out_bits};
+    }
+
+    /**
+     * Invokes fn(producer_index) for every operand slot of the gate at
+     * `idx` — twice for a classic gate (even when both slots coincide,
+     * matching the dependency-count arithmetic), once per weighted
+     * operand for a LUT gate. The uniform traversal backends and
+     * liveness analyses iterate with.
+     */
+    template <typename Fn>
+    void ForEachOperand(uint64_t idx, Fn&& fn) const {
+        if (IsLutGate(idx)) {
+            const LutRecord& r = lut_records_[idx - FirstGateIndex()];
+            for (uint32_t i = 0; i < r.arity; ++i)
+                fn(lut_operands_[r.first_op + i].first);
+        } else {
+            const Instruction& ins = instructions_[idx];
+            fn(ins.Input0());
+            fn(ins.Input1());
+        }
+    }
+
+    /**
      * Builds the predecessor-count / fan-out view of the gate DAG.
      * O(NumGates()) time and memory; recompute-per-run is cheap relative to
      * gate evaluation, so the result is not cached here.
@@ -238,8 +304,13 @@ class Program {
     uint64_t num_inputs_ = 0;
     uint64_t num_gates_ = 0;
     uint64_t format_version_ = kFormatVersionLegacy;
+    int32_t message_modulus_ = 0;
     std::vector<uint64_t> outputs_;
     std::vector<WideOp> wide_ops_;
+    /** Per-gate LUT records, dense: gate at idx is entry idx-first_gate. */
+    std::vector<LutRecord> lut_records_;
+    /** Pooled (producer index, weight) operand entries for all LUT gates. */
+    std::vector<std::pair<uint64_t, int8_t>> lut_operands_;
     std::optional<MemoryPlan> plan_;
     /** Position of the plan sentinel record, 0 when there is no plan. */
     uint64_t plan_pos_ = 0;

@@ -150,6 +150,13 @@ LweSample FunctionalBootstrap(const TorusPolynomial& test_vector,
     return key.ksk().Apply(RotateAndExtract(test_vector, in, key, s));
 }
 
+const LweSample& FunctionalBootstrapInScratch(
+    const TorusPolynomial& test_vector, const LweSample& in,
+    const BootstrappingKey& key, BootstrapScratch& s) {
+    assert(test_vector.Size() == key.params().big_n);
+    return RotateAndExtract(test_vector, in, key, s);
+}
+
 Torus32 EncodePbsMessage(int32_t m, int32_t p) {
     return ModSwitchToTorus32(2 * m + 1, 4 * p);
 }

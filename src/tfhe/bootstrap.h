@@ -71,6 +71,18 @@ struct BootstrapScratch {
     LweSample combo;
     /** Extracted sample (dimension N*k) the blind rotation lands in. */
     LweSample extracted;
+    /**
+     * Per-worker cache of programmable-bootstrap test vectors, keyed by
+     * (table, out_bits, p) — see tfhe/multibit.h. LUT gates reuse a
+     * handful of tables across thousands of bootstraps (full-adder
+     * columns, comparator stages), so a small linear-scan cache removes
+     * the N-coefficient rebuild from the hot path.
+     */
+    struct LutTvEntry {
+        uint64_t key = 0;
+        TorusPolynomial tv;
+    };
+    std::vector<LutTvEntry> lut_tv_cache;
 };
 
 /**
@@ -115,6 +127,17 @@ LweSample FunctionalBootstrap(const TorusPolynomial& test_vector,
                               const LweSample& in,
                               const BootstrappingKey& key,
                               BootstrapScratch* scratch = nullptr);
+
+/**
+ * Allocation-free flavor of FunctionalBootstrap without the key switch:
+ * rotates into `s.extracted` (dimension N*k under the extracted key) and
+ * returns a reference, valid until the scratch is next used. Callers
+ * key-switch into their own storage (key.ksk().ApplyInto). `in` must not
+ * alias `s.extracted` or `s.combo`.
+ */
+const LweSample& FunctionalBootstrapInScratch(
+    const TorusPolynomial& test_vector, const LweSample& in,
+    const BootstrappingKey& key, BootstrapScratch& s);
 
 /**
  * Encodes message m in [0, p) at the center of its LUT slot:

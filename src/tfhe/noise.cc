@@ -87,6 +87,66 @@ bool CheckParams(const Params& params, double max_failure,
     return a.gate_failure_probability <= max_failure;
 }
 
+MultibitNoiseCheck CheckMultibitParams(const Params& params,
+                                       int32_t message_modulus,
+                                       int64_t weight_sq, double max_failure,
+                                       double safety_margin) {
+    MultibitNoiseCheck c;
+    c.message_modulus = message_modulus;
+    c.weight_sq = weight_sq;
+    const int32_t p = message_modulus;
+    if (p < 2 || p > 16 || (p & (p - 1)) != 0) {
+        c.reason = "message modulus " + std::to_string(p) +
+                   " is not a power of two in [2, 16]";
+        return c;
+    }
+    if (2 * p > params.big_n) {
+        c.reason = "2p = " + std::to_string(2 * p) + " exceeds N = " +
+                   std::to_string(params.big_n) +
+                   " (each message needs >= 2 test-vector slots)";
+        return c;
+    }
+    if (weight_sq < 1) {
+        c.reason = "weight budget must be positive";
+        return c;
+    }
+    const NoiseAnalysis a = AnalyzeNoise(params, safety_margin);
+    c.packed_variance = static_cast<double>(weight_sq) *
+                            a.gate_output_variance +
+                        a.mod_switch_variance;
+    c.margin = 1.0 / (4.0 * p);
+    c.failure_probability =
+        FailureProbability(safety_margin * c.packed_variance, c.margin);
+    if (c.failure_probability > max_failure) {
+        std::ostringstream os;
+        os << "slot-decision failure " << c.failure_probability
+           << " above bound " << max_failure << " at p = " << p
+           << ", sum w^2 = " << weight_sq;
+        c.reason = os.str();
+        return c;
+    }
+    c.fits = true;
+    return c;
+}
+
+int64_t MaxMultibitWeightBudget(const Params& params, int32_t message_modulus,
+                                double max_failure, double safety_margin) {
+    // failure = erfc(margin / sqrt(2 * safety * var)) is monotone in
+    // weight_sq, so binary search would do; the cap is small enough that a
+    // doubling scan plus backoff is simpler and equally cheap.
+    int64_t best = 0;
+    for (int64_t w = 1; w <= 4096; w = w < 64 ? w + 1 : w + w / 8) {
+        if (CheckMultibitParams(params, message_modulus, w, max_failure,
+                                safety_margin)
+                .fits) {
+            best = w;
+        } else {
+            break;
+        }
+    }
+    return best;
+}
+
 std::string NoiseAnalysis::ToString() const {
     std::ostringstream os;
     os << "fresh lwe:        " << fresh_lwe_variance << "\n"

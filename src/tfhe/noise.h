@@ -99,6 +99,48 @@ bool CheckParams(const Params& params,
 int32_t MaxLinearDepth(const NoiseAnalysis& a, double max_failure,
                        double safety_margin);
 
+/**
+ * Noise verdict for multi-bit programmable bootstrapping (tfhe/multibit.h).
+ *
+ * A kLut gate's packed input is the linear combination sum w_i * c_i of
+ * bootstrapped digit samples plus a public bias; its phase must land in
+ * the correct 1/(2p)-wide LUT slot, i.e. within margin = 1/(4p) of the
+ * slot center. Under the worst-case-independence heuristic the packed
+ * variance is (sum w_i^2) * gate_output_variance + mod_switch_variance.
+ */
+struct MultibitNoiseCheck {
+    int32_t message_modulus = 0;     ///< p the check ran for.
+    int64_t weight_sq = 0;           ///< The sum of squared weights judged.
+    double packed_variance = 0.0;    ///< At the blind-rotation input.
+    double margin = 0.0;             ///< 1 / (4p): half a LUT slot.
+    double failure_probability = 0.0;
+    bool fits = false;               ///< Whole verdict, reason below if not.
+    std::string reason;              ///< Human-readable refusal, "" if fits.
+};
+
+/**
+ * Checks that the parameter set evaluates p-ary LUT gates whose operand
+ * weights satisfy sum w_i^2 <= weight_sq with slot-decision failure below
+ * max_failure (variance first inflated by safety_margin, like elision).
+ * Also enforces the structural PBS requirements: p a power of two in
+ * [2, 16] and 2p <= N (each message needs at least two test-vector slots
+ * and the whole domain must fit the upper half-circle).
+ */
+MultibitNoiseCheck CheckMultibitParams(
+    const Params& params, int32_t message_modulus, int64_t weight_sq,
+    double max_failure = kDefaultMaxGateFailure,
+    double safety_margin = kDefaultElisionSafetyMargin);
+
+/**
+ * Largest sum of squared LUT operand weights the parameter set supports
+ * at message modulus p under the same bound, or 0 when even weight_sq = 1
+ * fails (the caller should fall back to boolean gates). Capped at 4096.
+ */
+int64_t MaxMultibitWeightBudget(
+    const Params& params, int32_t message_modulus,
+    double max_failure = kDefaultMaxGateFailure,
+    double safety_margin = kDefaultElisionSafetyMargin);
+
 }  // namespace pytfhe::tfhe
 
 #endif  // PYTFHE_TFHE_NOISE_H

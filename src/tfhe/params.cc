@@ -50,4 +50,34 @@ Params SmallParams() {
     return p;
 }
 
+Params MultibitParams() {
+    Params p;
+    p.name = "multibit-128";
+    p.n = 700;
+    p.big_n = 2048;
+    p.k = 1;
+    p.bk_l = 4;
+    p.bk_bg_bit = 6;
+    p.ks_t = 10;
+    p.ks_base_bit = 2;
+    p.lwe_noise_stddev = 3.3722513783332257e-07;   // 2^-21.5
+    p.tlwe_noise_stddev = 6.5878871044226424e-10;  // 2^-30.5
+    return p;
+}
+
+Params ToyMultibitParams() {
+    Params p;
+    p.name = "toy-multibit-insecure";
+    p.n = 8;
+    p.big_n = 256;
+    p.k = 1;
+    p.bk_l = 3;
+    p.bk_bg_bit = 8;
+    p.ks_t = 8;
+    p.ks_base_bit = 2;
+    p.lwe_noise_stddev = 1.0e-9;
+    p.tlwe_noise_stddev = 1.0e-9;
+    return p;
+}
+
 }  // namespace pytfhe::tfhe

@@ -62,6 +62,25 @@ Params ToyParams();
 /** Mid-sized insecure set used by integration tests that need more gates. */
 Params SmallParams();
 
+/**
+ * Parameter set sized for multi-bit programmable bootstrapping (message
+ * modulus up to p = 16 with weighted-operand packing; see tfhe/multibit.h).
+ * Relative to Tfhe128Params the ring grows to N = 2048 (more LUT slots,
+ * smaller mod-switch error), the gadget deepens to l = 4 at Bg = 2^6, and
+ * key-switching deepens to t = 10, buying the lower output variance a
+ * p = 16 decision margin of 1/64 needs. Noise stddevs 2^-21.5 / 2^-30.5
+ * track lattice-estimator-style settings for these dimensions at the
+ * 128-bit level (same methodology as the reference library's defaults).
+ */
+Params MultibitParams();
+
+/**
+ * Tiny, INSECURE multibit set for unit tests. ToyParams' N = 128 ring has
+ * too few slots and too much mod-switch error for p = 16 digits, so the
+ * ring doubles to N = 256; everything else stays toy-sized.
+ */
+Params ToyMultibitParams();
+
 }  // namespace pytfhe::tfhe
 
 #endif  // PYTFHE_TFHE_PARAMS_H

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * The kLut circuit IR: variadic AddGate/AddLut construction, pooled
+ * operand storage, Validate's multibit rules, plain LUT evaluation,
+ * Bristol's typed rejection, and the boolean-to-LUT lowering pass
+ * (exhaustive plain equivalence on every circuit it touches).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "circuit/bristol.h"
+#include "circuit/netlist.h"
+#include "circuit/opt/lut_lower.h"
+
+namespace pytfhe::circuit {
+namespace {
+
+LutSpec BitLut(std::vector<int8_t> weights, uint32_t table, int32_t lo = 0) {
+    LutSpec spec;
+    spec.weights = std::move(weights);
+    spec.table = table;
+    spec.lo = lo;
+    spec.out_bits = 1;
+    return spec;
+}
+
+TEST(VariadicAddGate, ClassicGatesTakeExactlyTwoOperands) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    const NodeId c = n.AddInput();
+    const NodeId ops3[3] = {a, b, c};
+    EXPECT_THROW(n.AddGate(GateType::kAnd, std::span<const NodeId>(ops3, 3)),
+                 UnsupportedGateError);
+    EXPECT_THROW(n.AddGate(GateType::kAnd, std::span<const NodeId>(ops3, 1)),
+                 UnsupportedGateError);
+    const NodeId g = n.AddGate(GateType::kAnd, a, b);
+    EXPECT_EQ(n.GetNode(g).num_ops, 2);
+    EXPECT_EQ(n.Op(g, 0), a);
+    EXPECT_EQ(n.Op(g, 1), b);
+}
+
+TEST(VariadicAddGate, NotAcceptsOneOperandAndStoresItTwice) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId one[1] = {a};
+    const NodeId g = n.AddGate(GateType::kNot, std::span<const NodeId>(one, 1));
+    EXPECT_EQ(n.GetNode(g).num_ops, 2);
+    EXPECT_EQ(n.Op(g, 0), a);
+    EXPECT_EQ(n.Op(g, 1), a);
+    // The historical two-operand spelling still works, and its second
+    // operand is ignored — in1 stores in0 regardless of what was passed.
+    const NodeId b = n.AddInput();
+    const NodeId h = n.AddGate(GateType::kNot, a, b);
+    EXPECT_EQ(n.Op(h, 0), a);
+    EXPECT_EQ(n.Op(h, 1), a);
+}
+
+TEST(VariadicAddGate, OperandsLiveInThePool) {
+    Netlist n;
+    std::vector<NodeId> ins;
+    for (int i = 0; i < 5; ++i) ins.push_back(n.AddInput());
+    n.SetMessageModulus(16);
+    const NodeId g = n.AddLut(BitLut({1, 2, 4, 8, 16}, 0xAAAAAAAAu),
+                              std::span<const NodeId>(ins.data(), 5));
+    const std::span<const NodeId> ops = n.Operands(g);
+    ASSERT_EQ(ops.size(), 5u);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(ops[i], ins[i]);
+    EXPECT_EQ(n.GetNode(g).lut, 0);
+    EXPECT_EQ(n.Lut(g).weights.size(), 5u);
+}
+
+TEST(AddLut, TypedConstructionErrors) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    const NodeId ops[2] = {a, b};
+    // kLut through AddGate is rejected: the LutSpec would be missing.
+    EXPECT_THROW(n.AddGate(GateType::kLut, a, b), UnsupportedGateError);
+    // AddLut before SetMessageModulus is rejected.
+    EXPECT_THROW(
+        n.AddLut(BitLut({1, 2}, 0b0110), std::span<const NodeId>(ops, 2)),
+        UnsupportedGateError);
+    n.SetMessageModulus(16);
+    // Weight count must match the operand count.
+    EXPECT_THROW(
+        n.AddLut(BitLut({1}, 0b0110), std::span<const NodeId>(ops, 2)),
+        UnsupportedGateError);
+    // Arity bounds.
+    std::vector<NodeId> many(kMaxLutArity + 1, a);
+    EXPECT_THROW(n.AddLut(BitLut(std::vector<int8_t>(kMaxLutArity + 1, 1), 0),
+                          std::span<const NodeId>(many.data(), many.size())),
+                 UnsupportedGateError);
+    // Output width bounds.
+    LutSpec wide = BitLut({1, 2}, 0);
+    wide.out_bits = kMaxLutOutBits + 1;
+    EXPECT_THROW(n.AddLut(wide, std::span<const NodeId>(ops, 2)),
+                 UnsupportedGateError);
+    EXPECT_NO_THROW(
+        n.AddLut(BitLut({1, 2}, 0b0110), std::span<const NodeId>(ops, 2)));
+}
+
+TEST(Validate, MultibitNetlistsAreHomogeneous) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    n.SetMessageModulus(16);
+    const NodeId ops[2] = {a, b};
+    const NodeId lut =
+        n.AddLut(BitLut({1, 2}, 0b0110), std::span<const NodeId>(ops, 2));
+    n.AddOutput(lut);
+    EXPECT_FALSE(n.Validate().has_value());
+    // A classic gate in a multibit netlist fails validation.
+    n.AddGate(GateType::kAnd, a, b);
+    EXPECT_TRUE(n.Validate().has_value());
+}
+
+TEST(Validate, RejectsWideDigitsAtOutputs) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    n.SetMessageModulus(16);
+    LutSpec pop = BitLut({1, 1}, 0xE4);
+    pop.out_bits = 2;
+    const NodeId ops[2] = {a, b};
+    const NodeId digit = n.AddLut(pop, std::span<const NodeId>(ops, 2));
+    n.AddOutput(digit);
+    EXPECT_TRUE(n.Validate().has_value())
+        << "a 2-bit digit fed a circuit output";
+}
+
+TEST(Validate, RejectsDomainBeyondMessageModulus) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    n.SetMessageModulus(4);
+    // Weights 1,4 reach m in [0,5]: 6 slots > p = 4.
+    const NodeId ops[2] = {a, b};
+    n.AddLut(BitLut({1, 4}, 0), std::span<const NodeId>(ops, 2));
+    EXPECT_TRUE(n.Validate().has_value());
+}
+
+TEST(EvaluatePlain, WeightedLutSemantics) {
+    // out = MAJ(a, b, c) via the counting LUT (1,1,1): entry m is 1 for
+    // counts 2 and 3, so the table reads 0b1100.
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    const NodeId c = n.AddInput();
+    n.SetMessageModulus(16);
+    const NodeId ops[3] = {a, b, c};
+    const NodeId maj =
+        n.AddLut(BitLut({1, 1, 1}, 0b1100), std::span<const NodeId>(ops, 3));
+    n.AddOutput(maj);
+    ASSERT_FALSE(n.Validate().has_value());
+    for (int m = 0; m < 8; ++m) {
+        const std::vector<bool> in = {(m & 1) != 0, (m & 2) != 0,
+                                      (m & 4) != 0};
+        const int count = (m & 1) + ((m >> 1) & 1) + ((m >> 2) & 1);
+        EXPECT_EQ(n.EvaluatePlain(in)[0], count >= 2) << "m=" << m;
+    }
+}
+
+TEST(Bristol, ExportRejectsLutGatesTyped) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    n.SetMessageModulus(16);
+    const NodeId ops[2] = {a, b};
+    n.AddOutput(
+        n.AddLut(BitLut({1, 2}, 0b0110), std::span<const NodeId>(ops, 2)));
+    EXPECT_THROW(ExportBristolString(n), UnsupportedGateError);
+}
+
+TEST(Bristol, BooleanRoundTripStillWorks) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    n.AddOutput(n.AddGate(GateType::kXor, a, b));
+    const std::string text = ExportBristolString(n);
+    std::string error;
+    const auto back = ImportBristolString(text, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(back->MessageModulus(), 0);
+    for (int m = 0; m < 4; ++m) {
+        const std::vector<bool> in = {(m & 1) != 0, (m & 2) != 0};
+        EXPECT_EQ(back->EvaluatePlain(in), n.EvaluatePlain(in));
+    }
+}
+
+/** Builds a small boolean netlist from a seeded random DAG. */
+Netlist RandomBoolean(uint32_t seed, int num_inputs, int num_gates) {
+    std::mt19937 prng(seed);
+    Netlist n;
+    std::vector<NodeId> pool;
+    for (int i = 0; i < num_inputs; ++i) pool.push_back(n.AddInput());
+    const GateType kinds[] = {GateType::kAnd,   GateType::kOr,
+                              GateType::kXor,   GateType::kNand,
+                              GateType::kNor,   GateType::kXnor,
+                              GateType::kAndYN, GateType::kNot};
+    for (int i = 0; i < num_gates; ++i) {
+        const GateType t = kinds[prng() % std::size(kinds)];
+        const NodeId a = pool[prng() % pool.size()];
+        const NodeId b = pool[prng() % pool.size()];
+        pool.push_back(t == GateType::kNot ? n.AddGate(t, a, a)
+                                           : n.AddGate(t, a, b));
+    }
+    // Last few nodes become outputs so deep cones stay live.
+    for (size_t i = pool.size() - 3; i < pool.size(); ++i)
+        n.AddOutput(pool[i]);
+    return n;
+}
+
+TEST(LowerToLuts, ExhaustivePlainEquivalenceOnRandomCircuits) {
+    for (uint32_t seed = 0; seed < 20; ++seed) {
+        const Netlist boolean = RandomBoolean(seed, 6, 24);
+        const LutLowerResult lowered = LowerToLuts(boolean);
+        ASSERT_FALSE(lowered.netlist.Validate().has_value()) << "seed=" << seed;
+        EXPECT_EQ(lowered.netlist.MessageModulus(), 16);
+        EXPECT_LE(lowered.netlist.ComputeStats().num_bootstrap_gates,
+                  boolean.ComputeStats().num_bootstrap_gates)
+            << "lowering must never add bootstraps (seed=" << seed << ")";
+        for (int m = 0; m < (1 << 6); ++m) {
+            std::vector<bool> in(6);
+            for (int i = 0; i < 6; ++i) in[i] = (m >> i) & 1;
+            ASSERT_EQ(lowered.netlist.EvaluatePlain(in),
+                      boolean.EvaluatePlain(in))
+                << "seed=" << seed << " m=" << m;
+        }
+    }
+}
+
+TEST(LowerToLuts, NotChainsVanish) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    NodeId x = n.AddGate(GateType::kNot, a, a);
+    x = n.AddGate(GateType::kNot, x, x);
+    x = n.AddGate(GateType::kNot, x, x);
+    n.AddOutput(n.AddGate(GateType::kAnd, x, b));
+    const LutLowerResult lowered = LowerToLuts(n);
+    EXPECT_GT(lowered.stats.absorbed_nots, 0u);
+    EXPECT_EQ(lowered.netlist.ComputeStats().num_lut_gates, 1u)
+        << "three NOTs and an AND should fold to a single LUT";
+    for (int m = 0; m < 4; ++m) {
+        const std::vector<bool> in = {(m & 1) != 0, (m & 2) != 0};
+        EXPECT_EQ(lowered.netlist.EvaluatePlain(in), n.EvaluatePlain(in));
+    }
+}
+
+TEST(LowerToLuts, TypedRejections) {
+    Netlist multibit;
+    const NodeId a = multibit.AddInput();
+    multibit.SetMessageModulus(16);
+    const NodeId ops[1] = {a};
+    multibit.AddOutput(multibit.AddLut(BitLut({1}, 0b10),
+                                       std::span<const NodeId>(ops, 1)));
+    EXPECT_THROW(LowerToLuts(multibit), UnsupportedGateError);
+
+    Netlist boolean;
+    const NodeId x = boolean.AddInput();
+    boolean.AddOutput(boolean.AddGate(GateType::kNot, x, x));
+    LutLowerOptions bad;
+    bad.message_modulus = 3;
+    EXPECT_THROW(LowerToLuts(boolean, bad), UnsupportedGateError);
+}
+
+TEST(Stats, CountLutGatesAndArity) {
+    Netlist n;
+    const NodeId a = n.AddInput();
+    const NodeId b = n.AddInput();
+    const NodeId c = n.AddInput();
+    n.SetMessageModulus(16);
+    const NodeId ops2[2] = {a, b};
+    const NodeId ops3[3] = {a, b, c};
+    n.AddLut(BitLut({1, 2}, 0b0110), std::span<const NodeId>(ops2, 2));
+    const NodeId maj =
+        n.AddLut(BitLut({1, 1, 1}, 0b1110), std::span<const NodeId>(ops3, 3));
+    n.AddOutput(maj);
+    const NetlistStats stats = n.ComputeStats();
+    EXPECT_EQ(stats.num_lut_gates, 2u);
+    EXPECT_EQ(stats.max_lut_arity, 3u);
+    EXPECT_EQ(stats.num_bootstrap_gates, 2u);
+    EXPECT_EQ(GateTypeName(GateType::kLut), "LUT");
+}
+
+}  // namespace
+}  // namespace pytfhe::circuit

@@ -33,11 +33,14 @@ TEST(GateTypeTest, XorEncodesAsSix) {
 
 TEST(GateTypeTest, NegatedGateIsInvolution) {
     // Starts at 1 and skips kLinNot: NOT(NOT) and NOT(LNOT) are COPY,
-    // which has no gate type.
+    // which has no gate type. kLut is type-level only here — its truth
+    // table (and thus its negation) lives in the LutSpec, so the
+    // EvalGate complement identity is not expressible on the bare type.
     for (int t = 1; t < kNumGateTypes; ++t) {
         const GateType g = static_cast<GateType>(t);
         if (g == GateType::kLinNot) continue;
         EXPECT_EQ(NegatedGate(NegatedGate(g)), g);
+        if (g == GateType::kLut) continue;
         for (int a = 0; a < 2; ++a)
             for (int b = 0; b < 2; ++b)
                 EXPECT_EQ(EvalGate(NegatedGate(g), a, b), !EvalGate(g, a, b));

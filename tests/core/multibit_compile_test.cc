@@ -1,0 +1,137 @@
+/**
+ * @file
+ * CompileOptions::multibit end to end: boolean sources lower to LUT
+ * programs when the parameter set carries them, fall back (recorded, not
+ * fatal) when it cannot, and refuse invalid configurations with typed
+ * errors; Client::EncryptBitsFor / DecryptBitsFor speak the digit
+ * encoding a v4 program expects, so the client/server protocol works
+ * unchanged over multibit programs.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/compiler.h"
+#include "core/runtime.h"
+#include "hdl/word_ops.h"
+#include "tfhe/params.h"
+
+namespace pytfhe::core {
+namespace {
+
+circuit::Netlist Adder8() {
+    hdl::Builder b;
+    const hdl::Bits x = hdl::InputBits(b, 8, "x");
+    const hdl::Bits y = hdl::InputBits(b, 8, "y");
+    hdl::OutputBits(b, hdl::Add(b, x, y), "sum");
+    return b.netlist();
+}
+
+TEST(MultibitCompile, LowersBooleanSourcesToLutPrograms) {
+    CompileOptions options;
+    options.params = tfhe::ToyMultibitParams();
+    options.multibit = 16;
+    std::string error;
+    const auto compiled = Compile(Adder8(), options, &error);
+    ASSERT_TRUE(compiled.has_value()) << error;
+    EXPECT_FALSE(compiled->multibit_fell_back);
+    EXPECT_EQ(compiled->program.MessageModulus(), 16);
+    EXPECT_EQ(compiled->program.FormatVersion(), 4u);
+    EXPECT_GT(compiled->lut_stats.luts, 0u);
+    EXPECT_GT(compiled->lut_stats.merged_gates, 0u)
+        << "cone merging found nothing to absorb in an adder";
+
+    // Fewer bootstraps than the boolean baseline, same plain semantics.
+    CompileOptions boolean_options;
+    boolean_options.params = tfhe::ToyMultibitParams();
+    boolean_options.elision.enabled = false;
+    const auto boolean = Compile(Adder8(), boolean_options, &error);
+    ASSERT_TRUE(boolean.has_value()) << error;
+    EXPECT_LT(compiled->lut_stats.luts, boolean->stats.num_bootstrap_gates);
+    const circuit::Netlist reference = Adder8();
+    for (uint32_t t = 0; t < 32; ++t) {
+        std::vector<bool> in(16);
+        for (int i = 0; i < 16; ++i) in[i] = ((t * 2654435761u) >> i) & 1;
+        EXPECT_EQ(pasm::ToNetlist(compiled->program).EvaluatePlain(in),
+                  reference.EvaluatePlain(in))
+            << "t=" << t;
+    }
+}
+
+TEST(MultibitCompile, FallsBackWhenParamsCannotCarryLuts) {
+    // tfhe-128's noise budget cannot hold a p=16 weighted sum: the
+    // compile must succeed as boolean and say so, not fail or emit a
+    // program that decrypts garbage.
+    CompileOptions options;
+    options.params = tfhe::Tfhe128Params();
+    options.multibit = 16;
+    std::string error;
+    const auto compiled = Compile(Adder8(), options, &error);
+    ASSERT_TRUE(compiled.has_value()) << error;
+    EXPECT_TRUE(compiled->multibit_fell_back);
+    EXPECT_EQ(compiled->program.MessageModulus(), 0);
+    EXPECT_EQ(compiled->lut_stats.luts, 0u);
+}
+
+TEST(MultibitCompile, TypedConfigurationErrors) {
+    std::string error;
+    CompileOptions bad_modulus;
+    bad_modulus.params = tfhe::ToyMultibitParams();
+    bad_modulus.multibit = 3;
+    EXPECT_FALSE(Compile(Adder8(), bad_modulus, &error).has_value());
+    EXPECT_NE(error.find("multibit"), std::string::npos) << error;
+
+    CompileOptions no_params;
+    no_params.multibit = 16;
+    error.clear();
+    EXPECT_FALSE(Compile(Adder8(), no_params, &error).has_value());
+    EXPECT_NE(error.find("params"), std::string::npos) << error;
+}
+
+TEST(MultibitRuntime, ClientServerProtocolOverLutPrograms) {
+    CompileOptions options;
+    options.params = tfhe::ToyMultibitParams();
+    options.multibit = 16;
+    std::string error;
+    const auto compiled = Compile(Adder8(), options, &error);
+    ASSERT_TRUE(compiled.has_value()) << error;
+    ASSERT_EQ(compiled->program.MessageModulus(), 16);
+
+    Client client(tfhe::ToyMultibitParams());
+    const auto server = client.MakeServer();
+    const circuit::Netlist reference = Adder8();
+    for (uint32_t trial = 0; trial < 2; ++trial) {
+        std::vector<bool> in(16);
+        for (int i = 0; i < 16; ++i)
+            in[i] = ((trial * 0x9E3779B9u + 0x55u) >> i) & 1;
+        const auto enc = client.EncryptBitsFor(compiled->program, in);
+        const auto out = server->Run(compiled->program, enc);
+        EXPECT_EQ(client.DecryptBitsFor(compiled->program, out),
+                  reference.EvaluatePlain(in))
+            << "trial " << trial;
+    }
+}
+
+TEST(MultibitRuntime, ProgramAwareHelpersMatchBooleanPathOnV3Programs) {
+    // On a boolean program the *For helpers must be byte-compatible with
+    // the classic ones: same rng stream, same samples, same decryptions.
+    CompileOptions options;
+    options.params = tfhe::ToyParams();
+    std::string error;
+    const auto compiled = Compile(Adder8(), options, &error);
+    ASSERT_TRUE(compiled.has_value()) << error;
+    ASSERT_EQ(compiled->program.MessageModulus(), 0);
+    Client client(tfhe::ToyParams());
+    const std::vector<bool> bits = {true, false, true, true,
+                                    false, false, true, false,
+                                    true, true, false, true,
+                                    false, true, false, false};
+    const auto enc = client.EncryptBitsFor(compiled->program, bits);
+    EXPECT_EQ(client.DecryptBitsFor(compiled->program, enc), bits);
+    EXPECT_EQ(client.DecryptBits(enc), bits)
+        << "boolean programs keep the sign encoding";
+}
+
+}  // namespace
+}  // namespace pytfhe::core

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The pasm v4 binary format: LUT gate records, the packed operand table,
+ * round-trips through serialization / disassembly-free ToNetlist /
+ * memory planning, uniform operand traversal, version selection (boolean
+ * programs must keep their v1-v3 encodings byte-for-byte), and a
+ * bit-flip corruption sweep over a real multibit binary.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hdl/multibit_ops.h"
+#include "hdl/word_ops.h"
+#include "pasm/assembler.h"
+#include "pasm/memory_plan.h"
+#include "pasm/program.h"
+
+namespace pytfhe {
+namespace {
+
+/** A multibit adder+comparator netlist: LUT3s, LUT4s, LUT6-sized blocks. */
+circuit::Netlist MultibitNetlist() {
+    hdl::Builder b;
+    const hdl::MultibitPlan plan{16, hdl::kMultibitMaxWeightSq};
+    const hdl::Bits x = hdl::InputBits(b, 8, "x");
+    const hdl::Bits y = hdl::InputBits(b, 8, "y");
+    hdl::OutputBits(b, hdl::MultibitAdd(b, plan, x, y), "s");
+    b.AddOutput(hdl::MultibitUlt(b, plan, x, y), "lt");
+    return b.netlist();
+}
+
+circuit::Netlist BooleanNetlist() {
+    hdl::Builder b;
+    const hdl::Bits x = hdl::InputBits(b, 8, "x");
+    const hdl::Bits y = hdl::InputBits(b, 8, "y");
+    hdl::OutputBits(b, hdl::Add(b, x, y), "s");
+    return b.netlist();
+}
+
+std::vector<bool> RandomInputs(uint32_t seed, size_t n) {
+    std::vector<bool> in(n);
+    uint32_t s = seed * 2654435761u + 12345u;
+    for (size_t i = 0; i < n; ++i) {
+        s = s * 1103515245u + 12345u;
+        in[i] = (s >> 16) & 1;
+    }
+    return in;
+}
+
+TEST(PasmV4, MultibitProgramsSerializeAsVersion4) {
+    std::string error;
+    const auto prog = pasm::Assemble(MultibitNetlist(), &error);
+    ASSERT_TRUE(prog.has_value()) << error;
+    EXPECT_EQ(prog->FormatVersion(), 4u);
+    EXPECT_EQ(prog->MessageModulus(), 16);
+    EXPECT_GT(prog->NumGates(), 0u);
+}
+
+TEST(PasmV4, BooleanProgramsKeepTheirOldVersion) {
+    std::string error;
+    const auto prog = pasm::Assemble(BooleanNetlist(), &error);
+    ASSERT_TRUE(prog.has_value()) << error;
+    EXPECT_LT(prog->FormatVersion(), 4u)
+        << "a boolean netlist must not pay the v4 format";
+    EXPECT_EQ(prog->MessageModulus(), 0);
+}
+
+TEST(PasmV4, SerializeDeserializeRoundTrip) {
+    std::string error;
+    const auto prog = pasm::Assemble(MultibitNetlist(), &error);
+    ASSERT_TRUE(prog.has_value()) << error;
+    std::stringstream ss;
+    prog->Serialize(ss);
+    const auto back = pasm::Program::Deserialize(ss, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(back->Instructions(), prog->Instructions());
+    EXPECT_EQ(back->MessageModulus(), 16);
+    EXPECT_EQ(back->FormatVersion(), 4u);
+}
+
+TEST(PasmV4, ToNetlistReassemblesByteIdentical) {
+    const circuit::Netlist net = MultibitNetlist();
+    std::string error;
+    const auto prog = pasm::Assemble(net, &error);
+    ASSERT_TRUE(prog.has_value()) << error;
+    const circuit::Netlist back = pasm::ToNetlist(*prog);
+    ASSERT_FALSE(back.Validate().has_value());
+    const auto again = pasm::Assemble(back, &error);
+    ASSERT_TRUE(again.has_value()) << error;
+    EXPECT_EQ(again->Instructions(), prog->Instructions());
+    for (uint32_t seed = 0; seed < 50; ++seed) {
+        const std::vector<bool> in = RandomInputs(seed, net.Inputs().size());
+        ASSERT_EQ(back.EvaluatePlain(in), net.EvaluatePlain(in))
+            << "seed=" << seed;
+    }
+}
+
+TEST(PasmV4, ForEachOperandSeesEveryLutOperand) {
+    std::string error;
+    const auto prog = pasm::Assemble(MultibitNetlist(), &error);
+    ASSERT_TRUE(prog.has_value()) << error;
+    const uint64_t first = prog->FirstGateIndex();
+    for (uint64_t idx = first; idx < first + prog->NumGates(); ++idx) {
+        ASSERT_TRUE(prog->IsLutGate(idx));
+        const pasm::DecodedLut lut = prog->LutAt(idx);
+        std::vector<uint64_t> walked;
+        prog->ForEachOperand(idx,
+                             [&](uint64_t in) { walked.push_back(in); });
+        ASSERT_EQ(walked.size(), lut.operands.size());
+        for (size_t i = 0; i < walked.size(); ++i) {
+            EXPECT_EQ(walked[i], lut.operands[i].first);
+            EXPECT_LT(walked[i], idx) << "operands precede their gate";
+            EXPECT_NE(lut.operands[i].second, 0) << "weights are nonzero";
+        }
+    }
+}
+
+TEST(PasmV4, MemoryPlanRoundTrip) {
+    std::string error;
+    const auto prog = pasm::Assemble(MultibitNetlist(), &error);
+    ASSERT_TRUE(prog.has_value()) << error;
+    const pasm::MemoryPlan plan = pasm::ComputeMemoryPlan(*prog, {});
+    EXPECT_LT(plan.num_slots, prog->NumInputs() + prog->NumGates())
+        << "LUT liveness must admit slot reuse";
+    const auto planned = prog->WithPlan(plan, &error);
+    ASSERT_TRUE(planned.has_value()) << error;
+    EXPECT_EQ(planned->FormatVersion(), 4u);
+    EXPECT_EQ(planned->MessageModulus(), 16);
+    std::stringstream ss;
+    planned->Serialize(ss);
+    const auto back = pasm::Program::Deserialize(ss, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    ASSERT_NE(back->Plan(), nullptr);
+    EXPECT_EQ(back->Plan()->num_slots, plan.num_slots);
+    EXPECT_EQ(back->Instructions(), planned->Instructions());
+}
+
+TEST(PasmV4, DisassembleDecodesLutRecords) {
+    std::string error;
+    const auto prog = pasm::Assemble(MultibitNetlist(), &error);
+    ASSERT_TRUE(prog.has_value()) << error;
+    const std::string text = prog->Disassemble();
+    EXPECT_NE(text.find("LUT"), std::string::npos);
+    EXPECT_EQ(text.find("WIDE"), std::string::npos)
+        << "operand-table records must not print as wide groups";
+}
+
+/**
+ * Flipping any single bit of the binary must either produce a program
+ * that still loads or a typed parse failure — never a crash, hang, or
+ * unbounded allocation (the operand-table head is attacker-controlled).
+ */
+TEST(PasmV4, BitFlipCorruptionNeverCrashes) {
+    std::string error;
+    const auto prog = pasm::Assemble(MultibitNetlist(), &error);
+    ASSERT_TRUE(prog.has_value()) << error;
+    std::stringstream ss;
+    prog->Serialize(ss);
+    const std::string bytes = ss.str();
+    int rejected = 0;
+    for (size_t i = 0; i < bytes.size(); ++i) {
+        for (int bit = 0; bit < 8; bit += 3) {
+            std::string corrupt = bytes;
+            corrupt[i] = static_cast<char>(corrupt[i] ^ (1 << bit));
+            std::stringstream cs(corrupt);
+            std::string why;
+            const auto loaded = pasm::Program::Deserialize(cs, &why);
+            if (!loaded.has_value()) {
+                ++rejected;
+                EXPECT_FALSE(why.empty()) << "rejections carry a reason";
+            }
+        }
+    }
+    EXPECT_GT(rejected, 0) << "the format has no checked structure at all?";
+}
+
+TEST(PasmV4, TruncationIsRejected) {
+    std::string error;
+    const auto prog = pasm::Assemble(MultibitNetlist(), &error);
+    ASSERT_TRUE(prog.has_value()) << error;
+    std::stringstream ss;
+    prog->Serialize(ss);
+    const std::string bytes = ss.str();
+    for (size_t keep : {size_t{0}, size_t{7}, bytes.size() / 2,
+                        bytes.size() - 1}) {
+        std::stringstream cs(bytes.substr(0, keep));
+        std::string why;
+        EXPECT_FALSE(pasm::Program::Deserialize(cs, &why).has_value())
+            << "kept " << keep << " of " << bytes.size() << " bytes";
+    }
+}
+
+}  // namespace
+}  // namespace pytfhe

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Multi-bit plaintext encoding and the weighted-LUT programmable
+ * bootstrap kernel (tfhe/multibit.h), under toy multibit parameters.
+ *
+ * The load-bearing suite is the exhaustive equivalence sweep: for every
+ * arity k <= 3 and EVERY truth table over k bits, the encrypted LUT
+ * bootstrap must agree with the plain table lookup on every input
+ * assignment (k = 4 is sampled — 2^16 tables is past the point of
+ * diminishing returns). Binary weights 1, 2, 4 make the weighted sum the
+ * assignment index, which is exactly how opt/lut_lower.cc packs cones.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "tfhe/multibit.h"
+#include "tfhe/noise.h"
+#include "tfhe/params.h"
+
+namespace pytfhe::tfhe {
+namespace {
+
+TEST(DigitEncoding, RoundTripsEveryDigitEveryModulus) {
+    for (int32_t p : {2, 4, 8, 16}) {
+        for (int32_t v = 0; v < p; ++v) {
+            EXPECT_EQ(DecodeDigit(EncodeDigit(v, p), p), v)
+                << "p=" << p << " v=" << v;
+        }
+    }
+}
+
+TEST(DigitEncoding, PhaseSitsAtSlotCenter) {
+    // phi(v) = (2v+1)/(4p): successive digits are 1/(2p) apart and the
+    // first sits half a slot above zero.
+    for (int32_t p : {4, 16}) {
+        const Torus32 slot = ModSwitchToTorus32(1, 2 * p);
+        EXPECT_EQ(EncodeDigit(0, p), ModSwitchToTorus32(1, 4 * p));
+        for (int32_t v = 1; v < p; ++v)
+            EXPECT_EQ(EncodeDigit(v, p) - EncodeDigit(v - 1, p), slot);
+    }
+}
+
+class MultibitKernelTest : public ::testing::Test {
+  protected:
+    MultibitKernelTest()
+        : params_(ToyMultibitParams()),
+          rng_(7),
+          secret_(params_, rng_),
+          gates_(secret_, rng_) {}
+
+    LweSample EncryptDigit(int32_t v, int32_t p) {
+        return LweEncryptDigit(v, p, params_.lwe_noise_stddev,
+                               secret_.lwe_key, rng_);
+    }
+
+    /** Runs one LUT gate over fresh encryptions of `digits`. */
+    int32_t EvalLut(const LutKernel& lut, const std::vector<int32_t>& digits) {
+        std::vector<LweSample> in;
+        in.reserve(digits.size());
+        for (int32_t d : digits) in.push_back(EncryptDigit(d, lut.p));
+        std::vector<LweCView> ops;
+        for (const LweSample& s : in) ops.push_back(ViewOf(s));
+        LweSample out(params_.n);
+        LutBootstrapInto(gates_, lut,
+                         std::span<const LweCView>(ops.data(), ops.size()),
+                         ViewOf(out), &scratch_);
+        return LweDecryptDigit(out, secret_.lwe_key, lut.p);
+    }
+
+    Params params_;
+    Rng rng_;
+    SecretKeySet secret_;
+    GateEvaluator gates_;
+    BootstrapScratch scratch_;
+};
+
+TEST_F(MultibitKernelTest, DigitEncryptionRoundTrips) {
+    for (int32_t p : {2, 4, 8, 16}) {
+        for (int32_t v = 0; v < p; ++v) {
+            const LweSample c = EncryptDigit(v, p);
+            EXPECT_EQ(LweDecryptDigit(c, secret_.lwe_key, p), v)
+                << "p=" << p << " v=" << v;
+        }
+    }
+}
+
+/**
+ * Exhaustive: every truth table of every arity up to 3, every input
+ * assignment, against the plain table bit. One encryption set per arity
+ * is reused across all tables (the kernel never mutates its operands).
+ */
+TEST_F(MultibitKernelTest, ExhaustiveTruthTablesUpToArity3) {
+    constexpr int32_t kP = 16;
+    ASSERT_GE(MaxMultibitWeightBudget(params_, kP), 21)
+        << "toy multibit params no longer carry binary-weight LUT3s";
+    for (int32_t k = 1; k <= 3; ++k) {
+        const int32_t combos = 1 << k;
+        std::vector<int8_t> weights;
+        for (int32_t i = 0; i < k; ++i)
+            weights.push_back(static_cast<int8_t>(1 << i));
+
+        // Fresh encryptions of every assignment's bit digits, made once.
+        std::vector<std::vector<LweSample>> enc(combos);
+        for (int32_t m = 0; m < combos; ++m)
+            for (int32_t i = 0; i < k; ++i)
+                enc[m].push_back(EncryptDigit((m >> i) & 1, kP));
+
+        const uint32_t tables = uint32_t{1} << combos;
+        for (uint32_t table = 0; table < tables; ++table) {
+            const LutKernel lut{
+                std::span<const int8_t>(weights.data(), weights.size()), 0,
+                table, 1, kP};
+            for (int32_t m = 0; m < combos; ++m) {
+                std::vector<LweCView> ops;
+                for (const LweSample& s : enc[m]) ops.push_back(ViewOf(s));
+                LweSample out(params_.n);
+                LutBootstrapInto(
+                    gates_, lut,
+                    std::span<const LweCView>(ops.data(), ops.size()),
+                    ViewOf(out), &scratch_);
+                const int32_t want = (table >> m) & 1;
+                ASSERT_EQ(LweDecryptDigit(out, secret_.lwe_key, kP), want)
+                    << "k=" << k << " table=" << table << " m=" << m;
+            }
+        }
+    }
+}
+
+/** Arity 4 sampled: 2^16 tables is too many; 32 random ones suffice. */
+TEST_F(MultibitKernelTest, SampledTruthTablesArity4) {
+    constexpr int32_t kP = 16;
+    ASSERT_GE(MaxMultibitWeightBudget(params_, kP), 85)
+        << "toy multibit params no longer carry binary-weight LUT4s";
+    const int8_t weights[4] = {1, 2, 4, 8};
+    std::mt19937 prng(42);
+    for (int32_t t = 0; t < 32; ++t) {
+        const uint32_t table = static_cast<uint16_t>(prng());
+        const LutKernel lut{std::span<const int8_t>(weights, 4), 0, table, 1,
+                            kP};
+        for (int32_t m = 0; m < 16; ++m) {
+            const int32_t got = EvalLut(
+                lut, {m & 1, (m >> 1) & 1, (m >> 2) & 1, (m >> 3) & 1});
+            ASSERT_EQ(got, (table >> m) & 1) << "table=" << table
+                                             << " m=" << m;
+        }
+    }
+}
+
+/** Negative weights shift the domain below zero; lo re-anchors it. */
+TEST_F(MultibitKernelTest, NegativeWeightsAndLo) {
+    constexpr int32_t kP = 16;
+    // m = a - b, in [-1, 1]; table encodes [a<b, a==b, a>b] as the bits
+    // of "is m == that slot" for the greater-than relation: 0b100.
+    const int8_t weights[2] = {1, -1};
+    const LutKernel lut{std::span<const int8_t>(weights, 2), -1, 0b100, 1,
+                        kP};
+    EXPECT_EQ(EvalLut(lut, {0, 0}), 0);
+    EXPECT_EQ(EvalLut(lut, {0, 1}), 0);
+    EXPECT_EQ(EvalLut(lut, {1, 0}), 1);
+    EXPECT_EQ(EvalLut(lut, {1, 1}), 0);
+}
+
+/** 2-bit output digits: a 3-way popcount in one bootstrap. */
+TEST_F(MultibitKernelTest, TwoBitOutputPopcount) {
+    constexpr int32_t kP = 16;
+    const int8_t weights[3] = {1, 1, 1};
+    // Entry i = i (the count itself), 2 bits each: 0b11'10'01'00.
+    const LutKernel lut{std::span<const int8_t>(weights, 3), 0, 0xE4, 2, kP};
+    for (int32_t m = 0; m < 8; ++m) {
+        const int32_t count = (m & 1) + ((m >> 1) & 1) + ((m >> 2) & 1);
+        ASSERT_EQ(EvalLut(lut, {m & 1, (m >> 1) & 1, (m >> 2) & 1}), count);
+    }
+}
+
+/** Digit-valued operands: a 2-bit digit consumed with weight 1. */
+TEST_F(MultibitKernelTest, DigitOperands) {
+    constexpr int32_t kP = 16;
+    // out = (digit + bit) & 1 over digit in [0,4), bit in [0,2).
+    const int8_t weights[2] = {1, 1};
+    uint32_t table = 0;
+    for (int32_t m = 0; m < 5; ++m) table |= (m & 1u) << m;
+    const LutKernel lut{std::span<const int8_t>(weights, 2), 0, table, 1, kP};
+    for (int32_t d = 0; d < 4; ++d)
+        for (int32_t b = 0; b < 2; ++b)
+            ASSERT_EQ(EvalLut(lut, {d, b}), (d + b) & 1) << d << "+" << b;
+}
+
+/** The output view may alias an operand: inputs are read first. */
+TEST_F(MultibitKernelTest, InPlaceOutputAliasesOperand) {
+    constexpr int32_t kP = 16;
+    const int8_t weights[2] = {1, 2};
+    const uint32_t table = 0b0110;  // XOR.
+    const LutKernel lut{std::span<const int8_t>(weights, 2), 0, table, 1, kP};
+    for (int32_t m = 0; m < 4; ++m) {
+        LweSample a = EncryptDigit(m & 1, kP);
+        LweSample b = EncryptDigit((m >> 1) & 1, kP);
+        const LweCView ops[2] = {ViewOf(a), ViewOf(b)};
+        LutBootstrapInto(gates_, lut, std::span<const LweCView>(ops, 2),
+                         ViewOf(a), &scratch_);
+        ASSERT_EQ(LweDecryptDigit(a, secret_.lwe_key, kP),
+                  ((m & 1) ^ (m >> 1)) & 1);
+    }
+}
+
+/** LUT bootstraps profile like boolean ones: one blind rotation each. */
+TEST_F(MultibitKernelTest, ProfilesAsOneBootstrap) {
+    constexpr int32_t kP = 16;
+    const uint64_t before = gates_.profile().Snapshot().bootstrap_count;
+    const int8_t weights[1] = {1};
+    const LutKernel lut{std::span<const int8_t>(weights, 1), 0, 0b10, 1, kP};
+    EvalLut(lut, {1});
+    EXPECT_EQ(gates_.profile().Snapshot().bootstrap_count, before + 1);
+}
+
+}  // namespace
+}  // namespace pytfhe::tfhe

@@ -147,6 +147,14 @@ bool LoadFlat(const char* path, FlatJson* out) {
  * modeled_s_* and batched ops_ns metrics carry the perf signal.
  */
 bool LowerIsBetter(const std::string& path) {
+    // Exact leaf "bootstraps" (BENCH_multibit): the deterministic
+    // programmable-bootstrap count per workload — the whole point of the
+    // multibit pipeline. The suffix match is exact so "bootstraps_before"
+    // (an ungated provenance number in BENCH_elision) stays ungated.
+    const size_t dot = path.rfind('.');
+    const std::string leaf =
+        dot == std::string::npos ? path : path.substr(dot + 1);
+    if (leaf == "bootstraps") return true;
     return path.find("_ns") != std::string::npos ||
            path.find("ops_ns") != std::string::npos ||
            path.find("modeled_s") != std::string::npos ||

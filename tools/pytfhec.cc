@@ -46,8 +46,14 @@ int Usage() {
                  "  --no-plan         emit without a memory plan (v2 "
                  "format,\n"
                  "                    one ciphertext slot per instruction)\n"
-                 "  --params=<set>    noise model for elision: tfhe128\n"
-                 "                    (default), small, toy\n");
+                 "  --params=<set>    noise model for elision and multibit\n"
+                 "                    budgeting: tfhe128 (default), small,\n"
+                 "                    toy, multibit, toymultibit\n"
+                 "  --multibit=<k>    lower to k-ary LUT gates (k in\n"
+                 "                    {4, 8, 16}; one programmable\n"
+                 "                    bootstrap per LUT). Falls back to the\n"
+                 "                    boolean pipeline when --params cannot\n"
+                 "                    carry the modulus\n");
     return 2;
 }
 
@@ -78,6 +84,12 @@ CliOptions ParseCompileFlags(int argc, char** argv, int* next) {
             cli.compile.params = tfhe::SmallParams();
         } else if (!std::strcmp(flag, "--params=toy")) {
             cli.compile.params = tfhe::ToyParams();
+        } else if (!std::strcmp(flag, "--params=multibit")) {
+            cli.compile.params = tfhe::MultibitParams();
+        } else if (!std::strcmp(flag, "--params=toymultibit")) {
+            cli.compile.params = tfhe::ToyMultibitParams();
+        } else if (!std::strncmp(flag, "--multibit=", 11)) {
+            cli.compile.multibit = std::atoi(flag + 11);
         } else {
             std::fprintf(stderr, "unknown flag %s\n", flag);
             cli.ok = false;
@@ -93,6 +105,17 @@ void ReportElision(const core::Compiled& compiled) {
     std::printf("elision: %llu -> %llu bootstraps\n",
                 static_cast<unsigned long long>(s.bootstraps_before),
                 static_cast<unsigned long long>(s.bootstraps_after));
+}
+
+void ReportMultibit(const core::Compiled& compiled) {
+    if (compiled.multibit_fell_back) {
+        std::printf("multibit: parameter set cannot carry the modulus; "
+                    "fell back to the boolean pipeline\n");
+        return;
+    }
+    if (compiled.lut_stats.luts != 0)
+        std::printf("multibit: %s\n",
+                    compiled.lut_stats.ToString().c_str());
 }
 
 std::optional<pasm::Program> LoadOrComplain(const char* path) {
@@ -116,6 +139,7 @@ int CmdCompile(const core::CompileOptions& options, const char* name,
         return 1;
     }
     ReportElision(*compiled);
+    ReportMultibit(*compiled);
     std::printf("%s: %llu gates -> %s (%zu bytes)\n", name,
                 static_cast<unsigned long long>(compiled->program.NumGates()),
                 out, compiled->program.ByteSize());
@@ -134,6 +158,11 @@ int CmdStats(const char* path) {
     if (!p) return 1;
     const circuit::Netlist n = pasm::ToNetlist(*p);
     std::fputs(n.ComputeStats().ToString().c_str(), stdout);
+    if (p->MessageModulus() != 0)
+        std::printf("message modulus: %d (format v%llu, programmable "
+                    "bootstrapping)\n",
+                    p->MessageModulus(),
+                    static_cast<unsigned long long>(p->FormatVersion()));
     const auto schedule = backend::ComputeSchedule(*p);
     std::printf("schedule: %llu waves, max width %llu, avg width %.1f\n",
                 static_cast<unsigned long long>(schedule.NumLevels()),
@@ -217,6 +246,7 @@ int CmdFromBristol(const core::CompileOptions& options, const char* in,
         return 1;
     }
     ReportElision(*compiled);
+    ReportMultibit(*compiled);
     std::printf("%s: %llu gates (after optimization) -> %s\n", in,
                 static_cast<unsigned long long>(compiled->program.NumGates()),
                 out);
