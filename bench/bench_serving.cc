@@ -289,13 +289,22 @@ struct FaultedResult {
     double recovery_overhead = 0.0;  ///< jobs/s lost to faults, fractional.
     unsigned long long retries = 0;
     unsigned long long faulted_jobs = 0;
+    /** Gates re-executed / gates executed among completed jobs when every
+     * retry restarts from scratch vs when it resumes from the last
+     * wave-boundary checkpoint. */
+    double reexec_fraction_no_ckpt = 0.0;
+    double reexec_fraction_ckpt = 0.0;
+    unsigned long long checkpoints_taken = 0;
+    unsigned long long checkpoint_resumes = 0;
 };
 
 /**
  * Fault-tolerance scenario: transient gate faults injected into every
- * 4th job (25%), RetryPolicy re-runs them, all outputs stay bit-exact.
- * The recovery overhead is the throughput cost of retrying a quarter of
- * the jobs — the price of surviving a flaky worker.
+ * 4th job (25%) late in the program (ordinal ~3N/4, where a from-scratch
+ * retry wastes the most work), RetryPolicy re-runs them, all outputs
+ * stay bit-exact. The faulted block runs twice — without and with
+ * ServingOptions::checkpoint — so the JSON reports the re-executed-gate
+ * fraction each way; checkpointed resume must cut it at least 2x.
  */
 FaultedResult MeasureFaulted(const pasm::Program& program) {
     backend::PlainEvaluator eval;
@@ -307,20 +316,23 @@ FaultedResult MeasureFaulted(const pasm::Program& program) {
     constexpr int kConcurrentClients = 4;
     constexpr int kJobsPerClient = 500;
 
+    enum Mode { kFaultFree, kFaulty, kFaultyCheckpointed };
     FaultedResult result;
-    for (bool faulty : {false, true}) {
+    for (Mode mode : {kFaultFree, kFaulty, kFaultyCheckpointed}) {
         backend::FaultPlan plan;
         plan.fault_every_nth_job = 4;
+        plan.fault_gate_ordinal = program.NumGates() * 3 / 4;
         plan.transient_clears_after = 1;
         backend::FaultInjector injector(plan);
         backend::Executor executor;
         backend::ServingOptions opts;
         opts.num_workers = kWorkers;
         opts.max_active_jobs = 16;
-        if (faulty) {
+        if (mode != kFaultFree) {
             opts.fault_injector = &injector;
             opts.retry.max_attempts = 3;
         }
+        if (mode == kFaultyCheckpointed) opts.checkpoint.every_n_levels = 2;
         backend::ServingExecutor<backend::PlainEvaluator> serving(executor,
                                                                   opts);
         const Measurement m = DriveClients(
@@ -331,22 +343,46 @@ FaultedResult MeasureFaulted(const pasm::Program& program) {
             });
         const backend::ServingStats stats = serving.stats();
         if (stats.jobs_failed != 0) std::abort();
-        if (faulty) {
-            result.jobs_per_s = m.jobs_per_s;
-            result.retries = stats.job_retries;
-            result.faulted_jobs = injector.counters().Total();
-        } else {
-            result.fault_free_jobs_per_s = m.jobs_per_s;
+        const double reexec =
+            stats.gates_executed > 0
+                ? static_cast<double>(stats.gates_reexecuted) /
+                      static_cast<double>(stats.gates_executed)
+                : 0.0;
+        switch (mode) {
+            case kFaultFree:
+                result.fault_free_jobs_per_s = m.jobs_per_s;
+                break;
+            case kFaulty:
+                result.jobs_per_s = m.jobs_per_s;
+                result.retries = stats.job_retries;
+                result.faulted_jobs = injector.counters().Total();
+                result.reexec_fraction_no_ckpt = reexec;
+                break;
+            case kFaultyCheckpointed:
+                result.reexec_fraction_ckpt = reexec;
+                result.checkpoints_taken = stats.checkpoints_taken;
+                result.checkpoint_resumes = stats.checkpoint_resumes;
+                if (stats.checkpoint_resumes == 0) std::abort();
+                break;
         }
     }
     result.recovery_overhead =
         result.fault_free_jobs_per_s > 0.0
             ? 1.0 - result.jobs_per_s / result.fault_free_jobs_per_s
             : 0.0;
+    // Acceptance gate: resuming from wave-boundary checkpoints must cut
+    // the re-executed-gate waste at least 2x at the 25% fault rate.
+    if (result.reexec_fraction_ckpt * 2.0 > result.reexec_fraction_no_ckpt)
+        std::abort();
     std::printf("  faulted   25%%   %8.0f jobs/s   (fault-free %8.0f, "
                 "overhead %5.1f%%, %llu retries)\n",
                 result.jobs_per_s, result.fault_free_jobs_per_s,
                 result.recovery_overhead * 100.0, result.retries);
+    std::printf("  reexec    25%%   %6.2f%% of gates w/o checkpoints, "
+                "%6.2f%% with (%llu snapshots, %llu resumes)\n",
+                result.reexec_fraction_no_ckpt * 100.0,
+                result.reexec_fraction_ckpt * 100.0,
+                result.checkpoints_taken, result.checkpoint_resumes);
     std::fflush(stdout);
     return result;
 }
@@ -804,10 +840,16 @@ int main() {
                  "  \"faulted\": {\"fault_rate_jobs\": 0.25, "
                  "\"jobs_per_s\": %.2f, \"fault_free_jobs_per_s\": %.2f, "
                  "\"recovery_overhead\": %.4f, \"retries\": %llu, "
-                 "\"faulted_jobs\": %llu},\n",
+                 "\"faulted_jobs\": %llu, "
+                 "\"reexec_fraction_no_ckpt\": %.4f, "
+                 "\"reexec_fraction_ckpt\": %.4f, "
+                 "\"checkpoints_taken\": %llu, "
+                 "\"checkpoint_resumes\": %llu},\n",
                  faulted.jobs_per_s, faulted.fault_free_jobs_per_s,
                  faulted.recovery_overhead, faulted.retries,
-                 faulted.faulted_jobs);
+                 faulted.faulted_jobs, faulted.reexec_fraction_no_ckpt,
+                 faulted.reexec_fraction_ckpt, faulted.checkpoints_taken,
+                 faulted.checkpoint_resumes);
     std::fprintf(out,
                  "  \"key_cache\": {\"tenants\": %llu, \"jobs\": %llu, "
                  "\"key_bytes\": %llu, \"capacity_bytes\": %llu, "

@@ -296,6 +296,19 @@ class ValuePlane {
         return out;
     }
 
+    /** Copy of the ciphertext in `idx`'s slot (checkpoint snapshot). */
+    C CopyValue(uint64_t idx) const { return values_[SlotOf(idx)]; }
+    /** Writes a checkpointed ciphertext back into `idx`'s slot. */
+    void RestoreValue(uint64_t idx, const C& value) {
+        values_[SlotOf(idx)] = value;
+    }
+    /** Digit side-plane access; meaningful only when HasDigits(). */
+    bool HasDigits() const { return !digits_.empty(); }
+    uint8_t DigitOf(uint64_t idx) const { return digits_[SlotOf(idx)]; }
+    void RestoreDigit(uint64_t idx, uint8_t digit) {
+        if (!digits_.empty()) digits_[SlotOf(idx)] = digit;
+    }
+
     size_t PlaneBytes() const { return size_ * sizeof(C); }
 
     static size_t RequiredBytes(const pasm::Program& program,
@@ -401,6 +414,21 @@ class ValuePlane<Evaluator,
         }
         return out;
     }
+
+    /** Copy of the ciphertext in `idx`'s slot (checkpoint snapshot). */
+    C CopyValue(uint64_t idx) const {
+        C s(arena_.SampleDim());
+        tfhe::LweCopyInto(CSlot(idx), tfhe::ViewOf(s));
+        return s;
+    }
+    /** Writes a checkpointed ciphertext back into `idx`'s slab slot. */
+    void RestoreValue(uint64_t idx, const C& value) {
+        tfhe::LweCopyInto(tfhe::ViewOf(value), arena_.Slot(SlotOf(idx)));
+    }
+    /** Arena planes carry digits inside the ciphertexts themselves. */
+    bool HasDigits() const { return false; }
+    uint8_t DigitOf(uint64_t) const { return 0; }
+    void RestoreDigit(uint64_t, uint8_t) {}
 
     size_t PlaneBytes() const { return arena_.ByteSize(); }
 

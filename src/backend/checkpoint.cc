@@ -1,0 +1,88 @@
+#include "backend/checkpoint.h"
+
+namespace pytfhe::backend {
+
+namespace {
+
+/** FNV-1a, the same mixing the fault injector's site hash uses. */
+inline uint64_t Mix(uint64_t h, uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFF;
+        h *= UINT64_C(0x100000001B3);
+    }
+    return h;
+}
+
+}  // namespace
+
+uint64_t ProgramFingerprint(const pasm::Program& program) {
+    uint64_t h = UINT64_C(0xCBF29CE484222325);
+    h = Mix(h, program.NumInputs());
+    h = Mix(h, program.NumGates());
+    h = Mix(h, static_cast<uint64_t>(program.MessageModulus()));
+    for (uint64_t src : program.OutputIndices()) h = Mix(h, src);
+    const uint64_t first_gate = program.FirstGateIndex();
+    const uint64_t end_gate = first_gate + program.NumGates();
+    for (uint64_t idx = first_gate; idx < end_gate; ++idx) {
+        if (program.IsLutGate(idx)) {
+            const pasm::DecodedLut l = program.LutAt(idx);
+            h = Mix(h, l.table);
+            h = Mix(h, static_cast<uint64_t>(static_cast<int64_t>(l.lo)));
+            h = Mix(h, l.out_bits);
+            for (const auto& [in, w] : l.operands) {
+                h = Mix(h, in);
+                h = Mix(h, static_cast<uint64_t>(static_cast<int64_t>(w)));
+            }
+        } else {
+            const pasm::DecodedGate g = program.GateAt(idx);
+            h = Mix(h, static_cast<uint64_t>(g.type));
+            h = Mix(h, g.in0);
+            h = Mix(h, g.in1);
+        }
+    }
+    if (const pasm::MemoryPlan* plan = program.Plan()) {
+        h = Mix(h, plan->num_slots);
+        h = Mix(h, plan->level_safe ? 1 : 2);
+    }
+    return h;
+}
+
+ResumeState BuildResumeState(const pasm::Program& program,
+                             const pasm::GateDependencies& deps,
+                             CheckpointCut cut, uint64_t boundary) {
+    const uint64_t first_gate = deps.first_gate;
+    const uint64_t num_gates = deps.NumGates();
+
+    ResumeState state;
+    state.done.assign(num_gates, 0);
+    if (cut == CheckpointCut::kLevel) {
+        const std::vector<uint64_t> level = program.ValueLevels();
+        for (uint64_t g = 0; g < num_gates; ++g)
+            state.done[g] = level[first_gate + g] < boundary ? 1 : 0;
+    } else {
+        for (uint64_t g = 0; g < num_gates; ++g)
+            state.done[g] = first_gate + g <= boundary ? 1 : 0;
+    }
+
+    // Replay the counter arithmetic of the done set: both cut kinds are
+    // downward-closed over the dependency edges (data and plan-induced
+    // anti edges all cross a valid cut forward), so every not-done gate's
+    // count is exactly its predecessors still outstanding.
+    state.pending.assign(deps.pred_count.begin(), deps.pred_count.end());
+    for (uint64_t g = 0; g < num_gates; ++g) {
+        if (!state.done[g]) continue;
+        ++state.gates_done;
+        const auto [begin, end] = deps.SuccessorsOf(first_gate + g);
+        for (const uint64_t* s = begin; s != end; ++s) {
+            const uint64_t succ = *s - first_gate;
+            if (!state.done[succ]) --state.pending[succ];
+        }
+    }
+    state.remaining = num_gates - state.gates_done;
+    for (uint64_t g = 0; g < num_gates; ++g)
+        if (!state.done[g] && state.pending[g] == 0)
+            state.ready.push_back(first_gate + g);
+    return state;
+}
+
+}  // namespace pytfhe::backend

@@ -20,35 +20,67 @@ constexpr uint64_t kSaltTaskFail = 0xC1F0ull;
 constexpr uint64_t kSaltStraggle = 0x5788ull;
 constexpr uint64_t kSaltProgress = 0x9101ull;
 
-/** Cost of one task attempt; sets *completed. */
+/**
+ * Cost of one task attempt. `resume_offset` is the work-seconds already
+ * durable from earlier attempts' checkpoints (in/out: a failed attempt
+ * advances it to its own last snapshot); `checkpoints` and `lost_seconds`
+ * accumulate snapshot writes and failure-discarded work. With
+ * checkpoint_interval_seconds == 0 the resume offset stays 0 and the
+ * attempt costs exactly what the uncheckpointed model charged.
+ */
 double TaskAttemptSeconds(const ClusterFaultModel& faults, uint64_t wave,
                           uint64_t task, int32_t attempt,
                           double task_seconds, bool* completed,
-                          bool* straggled) {
+                          bool* straggled, double* resume_offset,
+                          uint64_t* checkpoints, double* lost_seconds) {
     // One site per (wave, task, attempt): re-executions draw fresh luck,
     // matching a driver that reschedules onto a different worker.
     const uint64_t site = task * 64 + static_cast<uint64_t>(attempt);
+    const double interval = faults.checkpoint_interval_seconds;
+    const double start = *resume_offset;
+    // Snapshots land at interval multiples of absolute task progress;
+    // this attempt writes every multiple it newly crosses.
+    auto intervals_before = [&](double progress) {
+        return interval > 0.0
+                   ? static_cast<uint64_t>(std::floor(progress / interval))
+                   : 0;
+    };
     *straggled = false;
     if (attempt < faults.max_reexecutions &&
         FaultHashUnit(FaultSiteHash(faults.seed, wave, site,
                                     kSaltTaskFail)) <
             faults.task_failure_rate) {
-        // Lost mid-flight: the work completed before the loss is wasted,
-        // and the driver notices only after the detection delay.
+        // Lost mid-flight: work past the last snapshot is wasted, and
+        // the driver notices only after the detection delay.
         *completed = false;
         const double progress = FaultHashUnit(
             FaultSiteHash(faults.seed, wave, site, kSaltProgress));
-        return task_seconds * progress + faults.detect_seconds;
+        const double work = (task_seconds - start) * progress;
+        const double reached = start + work;
+        const uint64_t writes =
+            intervals_before(reached) - intervals_before(start);
+        *checkpoints += writes;
+        const double durable =
+            interval > 0.0
+                ? std::max(start, std::floor(reached / interval) * interval)
+                : 0.0;
+        *resume_offset = durable;
+        *lost_seconds += reached - durable;
+        return work + writes * faults.checkpoint_write_seconds +
+               faults.detect_seconds;
     }
     *completed = true;
-    double exec = task_seconds;
+    double exec = task_seconds - start;
     if (FaultHashUnit(FaultSiteHash(faults.seed, wave, site,
                                     kSaltStraggle)) <
         faults.straggler_rate) {
         *straggled = true;
         exec *= faults.straggler_slowdown;
     }
-    return exec;
+    const uint64_t writes =
+        intervals_before(task_seconds) - intervals_before(start);
+    *checkpoints += writes;
+    return exec + writes * faults.checkpoint_write_seconds;
 }
 
 }  // namespace
@@ -136,12 +168,14 @@ ClusterResult SimulateCluster(const pasm::Program& program,
             std::fill(spans.begin(), spans.end(), 0.0);
             for (uint64_t task = 0; task < tasks; ++task) {
                 double cost = 0.0;
+                double resume_offset = 0.0;
                 for (int32_t attempt = 0;; ++attempt) {
                     bool completed = false;
                     bool straggled = false;
-                    cost += TaskAttemptSeconds(faults, wave_index - 1, task,
-                                               attempt, task_seconds,
-                                               &completed, &straggled);
+                    cost += TaskAttemptSeconds(
+                        faults, wave_index - 1, task, attempt, task_seconds,
+                        &completed, &straggled, &resume_offset,
+                        &result.checkpoints_written, &result.lost_seconds);
                     if (completed) {
                         if (straggled) ++result.straggler_tasks;
                         break;

@@ -31,6 +31,11 @@ struct ClusterResult {
     double fault_free_seconds = 0;
     uint64_t failed_tasks = 0;      ///< Task attempts lost to failures.
     uint64_t straggler_tasks = 0;   ///< Tasks hit by the straggler slowdown.
+    /** Checkpoints written (checkpoint_interval_seconds > 0). */
+    uint64_t checkpoints_written = 0;
+    /** Work-seconds lost to failures: partial work past the last
+     *  checkpoint (the whole partial attempt when checkpointing is off). */
+    double lost_seconds = 0;
 
     double Speedup() const { return single_core_seconds / seconds; }
     double IdealSpeedup() const { return single_core_seconds / ideal_seconds; }
@@ -65,6 +70,14 @@ ClusterResult SimulateCluster(const pasm::Program& program,
  * With a disabled model this is exactly the two-argument overload, and
  * `fault_free_seconds` always reports the undisturbed makespan so
  * RecoveryOverhead() is directly comparable.
+ *
+ * With checkpoint_interval_seconds > 0 each task snapshots its progress
+ * at every interval multiple (paying checkpoint_write_seconds per
+ * snapshot) and a failed attempt resumes from its last snapshot instead
+ * of zero — only the work past the snapshot is lost. Interval 0
+ * reproduces the uncheckpointed model bit-exactly.
+ * ClusterFaultModel::OptimalCheckpointIntervalSeconds gives the
+ * Young/Daly interval that minimizes the expected total overhead.
  */
 ClusterResult SimulateCluster(const pasm::Program& program,
                               const ClusterConfig& config,

@@ -19,6 +19,7 @@
 #ifndef PYTFHE_BACKEND_COST_MODEL_H
 #define PYTFHE_BACKEND_COST_MODEL_H
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -134,8 +135,34 @@ struct ClusterFaultModel {
      */
     int32_t max_reexecutions = 3;
 
+    /**
+     * Checkpoint interval in task-seconds: a failed attempt loses only
+     * the work past its last multiple of this interval instead of the
+     * whole attempt. 0 disables checkpointing (a failure restarts the
+     * task from zero — the pre-checkpoint behavior, bit-exactly).
+     */
+    double checkpoint_interval_seconds = 0.0;
+    /** Cost of writing one checkpoint (added per interval crossed). */
+    double checkpoint_write_seconds = 0.0;
+
     bool Enabled() const {
         return task_failure_rate > 0.0 || straggler_rate > 0.0;
+    }
+
+    /**
+     * Young/Daly optimal checkpoint interval for a task of
+     * `task_seconds`: tau = sqrt(2 * C * MTBF) with C the checkpoint
+     * write cost and MTBF the mean time between failures, here
+     * task_seconds / task_failure_rate (one failure opportunity per
+     * attempt). Returns 0 — checkpointing cannot pay off — when the
+     * failure rate or the write cost is zero.
+     */
+    double OptimalCheckpointIntervalSeconds(double task_seconds) const {
+        if (task_failure_rate <= 0.0 || checkpoint_write_seconds <= 0.0 ||
+            task_seconds <= 0.0)
+            return 0.0;
+        return std::sqrt(2.0 * checkpoint_write_seconds *
+                         (task_seconds / task_failure_rate));
     }
 };
 

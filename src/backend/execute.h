@@ -13,6 +13,7 @@
 #ifndef PYTFHE_BACKEND_EXECUTE_H
 #define PYTFHE_BACKEND_EXECUTE_H
 
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -61,6 +62,21 @@ struct ExecOptions {
      * path ignores batching and rejects batch_size > 1.
      */
     int32_t batch_size = 1;
+    /**
+     * Checkpoint/resume (checkpoint.h). With a non-null caller-owned
+     * `checkpoint_store`, a run that finds a valid record there restores
+     * the snapshot and executes only the gates past the cut — on every
+     * path; a corrupt or mismatched record is cleared, counted, and the
+     * run re-executes from scratch. Capture (`checkpoint` policy) runs on
+     * the sequential path, which owns an ordinal quiesce point by
+     * construction; threaded paths consume checkpoints but do not take
+     * them — the serving executor is the concurrent producer. The store
+     * is left intact after a successful run; clearing it is the caller's
+     * retry-loop decision.
+     */
+    CheckpointPolicy checkpoint;
+    JobCheckpoint* checkpoint_store = nullptr;
+    CheckpointRunStats* checkpoint_stats = nullptr;
 };
 
 /**
@@ -76,39 +92,73 @@ std::vector<typename Evaluator::Ciphertext> Execute(
     const pasm::Program& program, Evaluator& eval,
     const std::vector<typename Evaluator::Ciphertext>& inputs,
     const ExecOptions& options = {}) {
+    using C = typename Evaluator::Ciphertext;
     if (options.batch_size < 1)
         throw std::invalid_argument("Execute: batch_size must be >= 1, got " +
                                     std::to_string(options.batch_size));
-    switch (options.mode) {
-        case ExecMode::kSequential:
-            return RunProgram(program, eval, inputs, options.control,
-                              options.fault);
-        case ExecMode::kWaveBarrier:
-            if (options.control.Engaged())
-                throw std::invalid_argument(
-                    "Execute: the wave-barrier path does not support "
-                    "RunControl; use kDependencyCounting or kSequential");
-            if (options.batch_size > 1)
-                throw std::invalid_argument(
-                    "Execute: the wave-barrier path does not support "
-                    "batching; use kDependencyCounting");
-            return RunProgramThreaded(program, eval, inputs,
-                                      options.num_threads, options.fault);
-        case ExecMode::kAuto:
-        case ExecMode::kDependencyCounting: break;
-    }
-    if (options.mode == ExecMode::kAuto && options.num_threads == 1 &&
-        options.batch_size <= 1)
+    const bool sequential =
+        options.mode == ExecMode::kSequential ||
+        (options.mode == ExecMode::kAuto && options.num_threads == 1 &&
+         options.batch_size <= 1);
+    if (sequential) {
+        if (options.checkpoint_store != nullptr)
+            return RunProgramCheckpointed(
+                program, eval, inputs, options.checkpoint,
+                options.checkpoint_store, options.control, options.fault,
+                options.checkpoint_stats);
         return RunProgram(program, eval, inputs, options.control,
                           options.fault);
+    }
+    // Threaded paths consume a stored checkpoint (decode + verify here,
+    // restore inside the dispatcher) but never capture one.
+    std::optional<DecodedCheckpoint<C>> resume;
+    if (options.checkpoint_store != nullptr &&
+        !options.checkpoint_store->Empty()) {
+        if constexpr (CiphertextCodec<C>::kSupported) {
+            std::string error;
+            resume = DecodeCheckpoint<C>(
+                options.checkpoint_store->record, ProgramFingerprint(program),
+                program.FirstGateIndex() + program.NumGates(), &error);
+            if (resume && !CutValidForProgram(resume->cut, program))
+                resume.reset();
+            if (resume) {
+                if (options.checkpoint_stats) {
+                    ++options.checkpoint_stats->resumes;
+                    options.checkpoint_stats->gates_resumed +=
+                        resume->gates_completed;
+                }
+            } else {
+                options.checkpoint_store->Clear();
+                if (options.checkpoint_stats)
+                    ++options.checkpoint_stats->corrupt_discarded;
+            }
+        } else {
+            options.checkpoint_store->Clear();
+        }
+    }
+    const DecodedCheckpoint<C>* resume_ptr = resume ? &*resume : nullptr;
+    if (options.mode == ExecMode::kWaveBarrier) {
+        if (options.control.Engaged())
+            throw std::invalid_argument(
+                "Execute: the wave-barrier path does not support "
+                "RunControl; use kDependencyCounting or kSequential");
+        if (options.batch_size > 1)
+            throw std::invalid_argument(
+                "Execute: the wave-barrier path does not support "
+                "batching; use kDependencyCounting");
+        return RunProgramThreaded(program, eval, inputs,
+                                  options.num_threads, options.fault,
+                                  resume_ptr);
+    }
     if (options.executor != nullptr)
         return options.executor->Run(program, eval, inputs,
                                      options.num_threads, options.control,
-                                     options.fault, options.batch_size);
+                                     options.fault, options.batch_size,
+                                     resume_ptr);
     Executor transient;
     return transient.Run(program, eval, inputs, options.num_threads,
-                         options.control, options.fault,
-                         options.batch_size);
+                         options.control, options.fault, options.batch_size,
+                         resume_ptr);
 }
 
 }  // namespace pytfhe::backend

@@ -178,17 +178,26 @@ class Executor {
      * attributed individually, and a throwing kernel falls back to
      * per-gate scalar evaluation so the error names the right gate.
      * Results are bit-identical to batch_size == 1 for every evaluator.
+     *
+     * `resume` optionally names a decoded checkpoint (frame already
+     * verified by the caller): the snapshotted values are restored into
+     * the plane and the dependency counters start past the cut, so only
+     * the gates beyond it execute. Capture is not supported here — the
+     * standalone executor has no quiesce point; checkpoints come from
+     * the sequential interpreter or the serving executor.
      */
     template <typename Evaluator>
     std::vector<typename Evaluator::Ciphertext> Run(
         const pasm::Program& program, Evaluator& eval,
         const std::vector<typename Evaluator::Ciphertext>& inputs,
         int32_t num_threads, const RunControl& control = {},
-        const FaultHook& fault = {}, int32_t batch_size = 1) {
-        using C = typename Evaluator::Ciphertext;
+        const FaultHook& fault = {}, int32_t batch_size = 1,
+        const DecodedCheckpoint<typename Evaluator::Ciphertext>* resume =
+            nullptr) {
         detail::ValidateRunArgs(program, inputs.size(), num_threads);
-        if ((num_threads == 1 && batch_size <= 1) ||
-            program.NumGates() <= 1)
+        if (((num_threads == 1 && batch_size <= 1) ||
+             program.NumGates() <= 1) &&
+            resume == nullptr)
             return RunProgram(program, eval, inputs, control, fault);
 
         // Plan-aware dependencies: anti-dependency edges serialize every
@@ -206,16 +215,34 @@ class Executor {
         // decrement of a gate's count transfers ownership of its inputs to
         // the thread that saw zero, hence acq_rel below.
         std::vector<std::atomic<uint32_t>> pending(program.NumGates());
-        for (uint64_t g = 0; g < program.NumGates(); ++g)
-            pending[g].store(deps.pred_count[g], std::memory_order_relaxed);
+        std::vector<uint64_t> roots;
+        uint64_t remaining = program.NumGates();
+        if (resume != nullptr) {
+            RestoreCheckpoint(plane, *resume);
+            ResumeState state = BuildResumeState(program, deps, resume->cut,
+                                                 resume->boundary);
+            for (uint64_t g = 0; g < program.NumGates(); ++g)
+                pending[g].store(state.pending[g],
+                                 std::memory_order_relaxed);
+            roots = std::move(state.ready);
+            remaining = state.remaining;
+        } else {
+            for (uint64_t g = 0; g < program.NumGates(); ++g)
+                pending[g].store(deps.pred_count[g],
+                                 std::memory_order_relaxed);
+            roots = deps.RootGates();
+        }
 
-        detail::ReadyQueue queue(deps.RootGates(), program.NumGates());
+        detail::ReadyQueue queue(std::move(roots), remaining);
 
         // Abort reason, latched once by whichever worker first observes the
         // control trigger; every worker then drains without evaluating.
         // Likewise the first gate failure: latch, drain, rethrow after the
         // region so the pool survives a throwing evaluator.
         const bool guarded = control.Engaged();
+        // Injected stalls honor this run's cancel/deadline token.
+        FaultHook hook = fault;
+        if (hook.control == nullptr) hook.control = &control;
         std::atomic<RunControl::Abort> abort{RunControl::Abort::kNone};
         std::atomic<bool> failed{false};
         std::mutex error_mu;
@@ -241,7 +268,7 @@ class Executor {
                 }
                 if (!skip) {
                     try {
-                        fault.OnGate(idx - first_gate);
+                        hook.OnGate(idx - first_gate);
                         plane.Apply(eval, program, idx, scratch);
                     } catch (...) {
                         try {
@@ -323,7 +350,7 @@ class Executor {
                         if constexpr (detail::kSupportsApplyBatch<Evaluator>)
                             batchable = Evaluator::Batchable(g.type);
                         try {
-                            fault.OnGate(idx - first_gate);
+                            hook.OnGate(idx - first_gate);
                             if (batchable) {
                                 kernel_gates.push_back(idx);
                             } else {

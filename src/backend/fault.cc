@@ -45,7 +45,8 @@ double Unit(uint64_t h) { return FaultHashUnit(h); }
 bool FaultInjector::WouldFault(uint64_t job, uint32_t attempt,
                                uint64_t gate_ordinal, bool* permanent) const {
     bool fires = false;
-    if (plan_.fault_every_nth_job != 0 && gate_ordinal == 0 &&
+    if (plan_.fault_every_nth_job != 0 &&
+        gate_ordinal == plan_.fault_gate_ordinal &&
         job % plan_.fault_every_nth_job == plan_.fault_every_nth_job - 1)
         fires = true;
     if (!fires && plan_.gate_fault_rate > 0.0 &&
@@ -63,13 +64,33 @@ bool FaultInjector::WouldFault(uint64_t job, uint32_t attempt,
 }
 
 void FaultInjector::OnGate(uint64_t job, uint32_t attempt,
-                           uint64_t gate_ordinal) {
+                           uint64_t gate_ordinal,
+                           const RunControl* control) {
     if (plan_.stall_rate > 0.0 &&
         Unit(SiteHash(plan_.seed, job, gate_ordinal, kSaltStall)) <
             plan_.stall_rate) {
         stalls_.fetch_add(1, std::memory_order_relaxed);
-        std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
-            plan_.stall_microseconds));
+        const auto total =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::duration<double, std::micro>(
+                    plan_.stall_microseconds));
+        if (control == nullptr || !control->Engaged()) {
+            std::this_thread::sleep_for(total);
+        } else {
+            // Cooperative stall: sleep in short slices so a cancelled or
+            // expired run sheds the injected straggler promptly instead
+            // of serving out the full sentence.
+            constexpr auto kSlice = std::chrono::milliseconds(1);
+            auto remaining = total;
+            while (remaining.count() > 0 &&
+                   control->Check() == RunControl::Abort::kNone) {
+                const auto step = remaining < kSlice
+                                      ? remaining
+                                      : std::chrono::microseconds(kSlice);
+                std::this_thread::sleep_for(step);
+                remaining -= step;
+            }
+        }
     }
     bool permanent = false;
     if (!WouldFault(job, attempt, gate_ordinal, &permanent)) return;

@@ -33,6 +33,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "backend/run_control.h"
+
 namespace pytfhe::backend {
 
 /**
@@ -129,11 +131,21 @@ struct FaultPlan {
     double gate_fault_rate = 0.0;
 
     /**
-     * Deterministic schedule: fault gate 0 of every nth job (job ids
-     * n-1, 2n-1, ...). 0 disables. Composes with gate_fault_rate; handy
-     * for "exactly 25% of jobs fail" acceptance runs.
+     * Deterministic schedule: fault gate `fault_gate_ordinal` of every
+     * nth job (job ids n-1, 2n-1, ...). 0 disables. Composes with
+     * gate_fault_rate; handy for "exactly 25% of jobs fail" acceptance
+     * runs.
      */
     uint32_t fault_every_nth_job = 0;
+
+    /**
+     * The gate the fault_every_nth_job schedule fires at (0-based gate
+     * ordinal). Faulting a late gate makes the cost of a retry visible:
+     * a job killed at gate 0 loses nothing to re-execution, one killed at
+     * 3N/4 loses three quarters of its work — the scenario checkpointed
+     * retry exists for.
+     */
+    uint64_t fault_gate_ordinal = 0;
 
     /**
      * Of the faulted sites, the fraction whose fault is permanent
@@ -178,9 +190,14 @@ class FaultInjector {
      * The per-gate hook: may sleep (injected stall) and/or throw
      * FaultInjectedError according to the plan. `gate_ordinal` is the
      * 0-based gate index within the program (stable across schedules and
-     * thread interleavings, unlike evaluation order).
+     * thread interleavings, unlike evaluation order). A non-null
+     * `control` makes injected stalls cooperative: the sleep runs in
+     * <= 1 ms slices and stops early once the control reports an abort
+     * (cancel raised or deadline passed), so an abandoned run is not
+     * pinned down by its own injected stragglers.
      */
-    void OnGate(uint64_t job, uint32_t attempt, uint64_t gate_ordinal);
+    void OnGate(uint64_t job, uint32_t attempt, uint64_t gate_ordinal,
+                const RunControl* control = nullptr);
 
     /**
      * Pure decision: would this site fault at this attempt? Sets
@@ -215,15 +232,21 @@ class FaultInjector {
 
 /**
  * The value the executors thread through a run: which injector (null =
- * disabled, zero work) and the (job, attempt) identity of this execution.
+ * disabled, zero work), the (job, attempt) identity of this execution,
+ * and optionally the run's control token so injected stalls respect
+ * cancellation and deadlines (the executors wire their own RunControl in
+ * before the hot loop; callers constructing hooks by hand may leave it
+ * null).
  */
 struct FaultHook {
     FaultInjector* injector = nullptr;
     uint64_t job = 0;
     uint32_t attempt = 0;
+    const RunControl* control = nullptr;
 
     void OnGate(uint64_t gate_ordinal) const {
-        if (injector != nullptr) injector->OnGate(job, attempt, gate_ordinal);
+        if (injector != nullptr)
+            injector->OnGate(job, attempt, gate_ordinal, control);
     }
 };
 

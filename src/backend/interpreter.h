@@ -42,61 +42,15 @@
 #include <vector>
 
 #include "backend/arena.h"
+#include "backend/checkpoint.h"
 #include "backend/evaluator.h"
 #include "backend/fault.h"
+#include "backend/run_control.h"
 #include "backend/scheduler.h"
+#include "pasm/memory_plan.h"
 #include "pasm/program.h"
 
 namespace pytfhe::backend {
-
-/** A run was abandoned because its RunControl cancel flag was raised. */
-class CancelledError : public std::runtime_error {
-  public:
-    CancelledError() : std::runtime_error("run cancelled") {}
-};
-
-/** A run was abandoned because its RunControl deadline passed. */
-class DeadlineExceededError : public std::runtime_error {
-  public:
-    DeadlineExceededError() : std::runtime_error("run deadline exceeded") {}
-};
-
-/**
- * Cooperative mid-run controls, checked at gate granularity: a run stops
- * between gates once the deadline passes or the (caller-owned) cancel flag
- * is raised, and the interpreter throws the matching typed error after the
- * in-flight gates drain. Defaults are fully disengaged and add a single
- * branch to the hot loop. Partial results are discarded — an aborted run
- * produces no outputs.
- */
-struct RunControl {
-    std::chrono::steady_clock::time_point deadline =
-        std::chrono::steady_clock::time_point::max();
-    const std::atomic<bool>* cancel = nullptr;
-
-    bool Engaged() const {
-        return cancel != nullptr ||
-               deadline != std::chrono::steady_clock::time_point::max();
-    }
-
-    /** 0 = keep going, else the abort reason observed right now. */
-    enum class Abort { kNone, kCancelled, kDeadline };
-    Abort Check() const {
-        if (cancel != nullptr &&
-            cancel->load(std::memory_order_relaxed))
-            return Abort::kCancelled;
-        if (deadline != std::chrono::steady_clock::time_point::max() &&
-            std::chrono::steady_clock::now() >= deadline)
-            return Abort::kDeadline;
-        return Abort::kNone;
-    }
-
-    /** Throws the typed error for a non-kNone abort reason. */
-    [[noreturn]] static void Raise(Abort reason) {
-        if (reason == Abort::kDeadline) throw DeadlineExceededError();
-        throw CancelledError();
-    }
-};
 
 namespace detail {
 
@@ -142,6 +96,9 @@ std::vector<typename Evaluator::Ciphertext> RunProgram(
     // overwritten before its last in-order reader by plan validity).
     ValuePlane<Evaluator> plane;
     plane.Reset(program, inputs);
+    // Injected stalls respect this run's cancel/deadline token.
+    FaultHook hook = fault;
+    if (hook.control == nullptr) hook.control = &control;
     typename detail::WorkerScratchOf<Evaluator>::type scratch{};
     for (uint64_t idx = first_gate; idx < end_gate; ++idx) {
         if (guarded) {
@@ -149,13 +106,151 @@ std::vector<typename Evaluator::Ciphertext> RunProgram(
             if (abort != RunControl::Abort::kNone) RunControl::Raise(abort);
         }
         try {
-            fault.OnGate(idx - first_gate);
+            hook.OnGate(idx - first_gate);
             plane.Apply(eval, program, idx, scratch);
         } catch (...) {
             RethrowAsGateError(idx - first_gate, fault.attempt);
         }
     }
     return plane.Harvest(program);
+}
+
+/**
+ * Checkpoint-aware sequential interpreter. Behaves like RunProgram, plus:
+ *
+ *  - If `store` holds a record, it is decoded (CRC + fingerprint
+ *    verified); on success the run restores the snapshotted live set and
+ *    skips every gate at or below the cut. A corrupt or mismatched
+ *    record is cleared from the store, counted in
+ *    `stats->corrupt_discarded`, and the run falls back to executing
+ *    from gate zero — a bad checkpoint can cost time, never correctness.
+ *  - When `policy` is enabled, a fresh ordinal-cut record is written
+ *    into `store` at wave boundaries (all levels <= L complete) selected
+ *    by the policy knobs. A fault that aborts the run (thrown
+ *    GateExecutionError, cancel, deadline) leaves the last record in the
+ *    store for the caller's retry.
+ *
+ * The checkpoint cadence is level-based even though the cut is ordinal:
+ * a boundary is considered each time every gate of some wave level has
+ * retired, which is when the live set is at its narrowest.
+ */
+template <typename Evaluator>
+std::vector<typename Evaluator::Ciphertext> RunProgramCheckpointed(
+    const pasm::Program& program, Evaluator& eval,
+    const std::vector<typename Evaluator::Ciphertext>& inputs,
+    const CheckpointPolicy& policy, JobCheckpoint* store,
+    const RunControl& control = {}, const FaultHook& fault = {},
+    CheckpointRunStats* stats = nullptr) {
+    using C = typename Evaluator::Ciphertext;
+    detail::ValidateRunArgs(program, inputs.size(), 1);
+    if constexpr (!CiphertextCodec<C>::kSupported) {
+        if (store != nullptr) store->Clear();
+        return RunProgram(program, eval, inputs, control, fault);
+    } else {
+        const bool guarded = control.Engaged();
+        const uint64_t first_gate = program.FirstGateIndex();
+        const uint64_t end_gate = first_gate + program.NumGates();
+        const bool capture = policy.Enabled() && store != nullptr;
+
+        ValuePlane<Evaluator> plane;
+        plane.Reset(program, inputs);
+
+        std::optional<DecodedCheckpoint<C>> resume;
+        if (store != nullptr && !store->Empty()) {
+            std::string error;
+            resume = DecodeCheckpoint<C>(store->record,
+                                         ProgramFingerprint(program),
+                                         end_gate, &error);
+            if (resume && !CutValidForProgram(resume->cut, program))
+                resume.reset();
+            if (!resume) {
+                store->Clear();
+                if (stats) ++stats->corrupt_discarded;
+            }
+        }
+
+        std::vector<uint64_t> level;
+        std::vector<uint64_t> suffmin;  // Min level over instrs >= idx.
+        pasm::ValueLiveness liveness;
+        if (capture || (resume && resume->cut == CheckpointCut::kLevel))
+            level = program.ValueLevels();
+        if (capture) {
+            liveness = pasm::ComputeValueLiveness(program);
+            suffmin.assign(end_gate + 1, ~UINT64_C(0));
+            for (uint64_t idx = end_gate; idx > first_gate; --idx)
+                suffmin[idx - 1] = std::min(suffmin[idx], level[idx - 1]);
+        }
+
+        uint64_t done_count = 0;
+        uint64_t last_ckpt_level = 0;
+        if (resume) {
+            RestoreCheckpoint(plane, *resume);
+            done_count = resume->gates_completed;
+            if (stats) {
+                ++stats->resumes;
+                stats->gates_resumed += resume->gates_completed;
+            }
+            if (capture)
+                last_ckpt_level =
+                    resume->cut == CheckpointCut::kLevel
+                        ? resume->boundary - 1
+                        : suffmin[std::min(resume->boundary + 1,
+                                           end_gate)] - 1;
+        }
+        auto is_done = [&](uint64_t idx) {
+            if (!resume) return false;
+            return resume->cut == CheckpointCut::kOrdinal
+                       ? idx <= resume->boundary
+                       : level[idx] < resume->boundary;
+        };
+
+        typename detail::WorkerScratchOf<Evaluator>::type scratch{};
+        // Injected stalls respect this run's cancel/deadline token.
+        FaultHook hook = fault;
+        if (hook.control == nullptr) hook.control = &control;
+        uint64_t gates_since_ckpt = 0;
+        for (uint64_t idx = first_gate; idx < end_gate; ++idx) {
+            if (is_done(idx)) continue;
+            if (guarded) {
+                const RunControl::Abort abort = control.Check();
+                if (abort != RunControl::Abort::kNone)
+                    RunControl::Raise(abort);
+            }
+            try {
+                hook.OnGate(idx - first_gate);
+                plane.Apply(eval, program, idx, scratch);
+            } catch (...) {
+                RethrowAsGateError(idx - first_gate, fault.attempt);
+            }
+            ++done_count;
+            ++gates_since_ckpt;
+            // A checkpoint is worthwhile only strictly mid-run: after the
+            // last gate the outputs are about to be harvested anyway.
+            if (capture && idx + 1 < end_gate) {
+                const uint64_t completed = suffmin[idx + 1] - 1;
+                if (completed >= last_ckpt_level + policy.every_n_levels &&
+                    gates_since_ckpt >= policy.min_gates_between) {
+                    const std::vector<uint64_t> live =
+                        pasm::LiveValuesAtOrdinalCut(liveness, idx);
+                    std::string record = EncodeCheckpoint(
+                        program, plane, live, CheckpointCut::kOrdinal, idx,
+                        done_count);
+                    if (policy.max_bytes == 0 ||
+                        record.size() <= policy.max_bytes) {
+                        store->gates_completed = done_count;
+                        store->record = std::move(record);
+                        last_ckpt_level = completed;
+                        gates_since_ckpt = 0;
+                        if (stats) {
+                            ++stats->checkpoints_taken;
+                            stats->checkpoint_bytes = store->record.size();
+                        }
+                    }
+                }
+            }
+        }
+        return plane.Harvest(program);
+    }
 }
 
 /**
@@ -170,15 +265,23 @@ std::vector<typename Evaluator::Ciphertext> RunProgram(
  *
  * Spawns fresh threads per wave; prefer Executor (executor.h) for
  * repeated runs.
+ *
+ * `resume` optionally names a decoded checkpoint (frame already
+ * verified): the snapshotted values are restored and every gate at or
+ * below the cut is skipped. Capture is not supported on this legacy
+ * path — checkpoints come from the sequential interpreter or the
+ * serving executor.
  */
 template <typename Evaluator>
 std::vector<typename Evaluator::Ciphertext> RunProgramThreaded(
     const pasm::Program& program, Evaluator& eval,
     const std::vector<typename Evaluator::Ciphertext>& inputs,
-    int32_t num_threads, const FaultHook& fault = {}) {
-    using C = typename Evaluator::Ciphertext;
+    int32_t num_threads, const FaultHook& fault = {},
+    const DecodedCheckpoint<typename Evaluator::Ciphertext>* resume =
+        nullptr) {
     detail::ValidateRunArgs(program, inputs.size(), num_threads);
-    if (num_threads == 1) return RunProgram(program, eval, inputs, {}, fault);
+    if (num_threads == 1 && resume == nullptr)
+        return RunProgram(program, eval, inputs, {}, fault);
 
     const Schedule schedule = ComputeSchedule(program);
     const uint64_t first_gate = program.FirstGateIndex();
@@ -187,6 +290,23 @@ std::vector<typename Evaluator::Ciphertext> RunProgramThreaded(
     const pasm::MemoryPlan* plan = program.Plan();
     ValuePlane<Evaluator> plane;
     plane.Reset(program, inputs, plan != nullptr && plan->level_safe);
+
+    std::vector<uint8_t> done;
+    if (resume != nullptr) {
+        RestoreCheckpoint(plane, *resume);
+        done.assign(program.NumGates(), 0);
+        if (resume->cut == CheckpointCut::kOrdinal) {
+            const uint64_t last =
+                std::min(resume->boundary + 1,
+                         first_gate + program.NumGates());
+            for (uint64_t idx = first_gate; idx < last; ++idx)
+                done[idx - first_gate] = 1;
+        } else {
+            const std::vector<uint64_t> level = program.ValueLevels();
+            for (uint64_t g = 0; g < program.NumGates(); ++g)
+                done[g] = level[first_gate + g] < resume->boundary ? 1 : 0;
+        }
+    }
 
     // First failure wins; later workers observe the flag and stop picking.
     std::atomic<bool> failed{false};
@@ -203,6 +323,7 @@ std::vector<typename Evaluator::Ciphertext> RunProgramThreaded(
                 const size_t i = cursor.fetch_add(1);
                 if (i >= wave.size()) break;
                 const uint64_t idx = wave[i];
+                if (!done.empty() && done[idx - first_gate]) continue;
                 try {
                     fault.OnGate(idx - first_gate);
                     plane.Apply(eval, program, idx, scratch);

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Cooperative run control: the cancel/deadline token threaded through
+ * every execution path, plus the typed errors an aborted run raises.
+ *
+ * Split out of interpreter.h so low-level modules (fault injection, which
+ * must interrupt injected stalls when the surrounding run is being
+ * abandoned) can consume RunControl without pulling in the interpreter
+ * templates — fault.h is included BY interpreter.h, so the control type
+ * has to live below both.
+ */
+#ifndef PYTFHE_BACKEND_RUN_CONTROL_H
+#define PYTFHE_BACKEND_RUN_CONTROL_H
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace pytfhe::backend {
+
+/** A run was abandoned because its RunControl cancel flag was raised. */
+class CancelledError : public std::runtime_error {
+  public:
+    CancelledError() : std::runtime_error("run cancelled") {}
+};
+
+/** A run was abandoned because its RunControl deadline passed. */
+class DeadlineExceededError : public std::runtime_error {
+  public:
+    DeadlineExceededError() : std::runtime_error("run deadline exceeded") {}
+};
+
+/**
+ * Cooperative mid-run controls, checked at gate granularity: a run stops
+ * between gates once the deadline passes or the (caller-owned) cancel flag
+ * is raised, and the interpreter throws the matching typed error after the
+ * in-flight gates drain. Defaults are fully disengaged and add a single
+ * branch to the hot loop. Partial results are discarded — an aborted run
+ * produces no outputs.
+ */
+struct RunControl {
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+    const std::atomic<bool>* cancel = nullptr;
+
+    bool Engaged() const {
+        return cancel != nullptr ||
+               deadline != std::chrono::steady_clock::time_point::max();
+    }
+
+    /** 0 = keep going, else the abort reason observed right now. */
+    enum class Abort { kNone, kCancelled, kDeadline };
+    Abort Check() const {
+        if (cancel != nullptr &&
+            cancel->load(std::memory_order_relaxed))
+            return Abort::kCancelled;
+        if (deadline != std::chrono::steady_clock::time_point::max() &&
+            std::chrono::steady_clock::now() >= deadline)
+            return Abort::kDeadline;
+        return Abort::kNone;
+    }
+
+    /** Throws the typed error for a non-kNone abort reason. */
+    [[noreturn]] static void Raise(Abort reason) {
+        if (reason == Abort::kDeadline) throw DeadlineExceededError();
+        throw CancelledError();
+    }
+};
+
+}  // namespace pytfhe::backend
+
+#endif  // PYTFHE_BACKEND_RUN_CONTROL_H

@@ -45,15 +45,40 @@
  * by the parallel substrate still gets one clean shot. Jobs that exhaust
  * their attempts (or hit a permanent fault) resolve kFailed and
  * Outputs() rethrows the latched error.
+ *
+ * Checkpointed execution (checkpoint.h): with ServingOptions::checkpoint
+ * enabled, each job quiesces at every Nth wave level — newly ready gates
+ * at or beyond the armed boundary are held back instead of published, so
+ * once every gate below the boundary has drained the job is provably
+ * quiescent — and the live slot set (pasm::ComputeValueLiveness: pinned
+ * outputs plus values whose death level reaches the boundary) is
+ * snapshotted into a CRC32C-framed record. A retry then resumes from the
+ * last valid checkpoint and re-executes only the gates past the cut; a
+ * corrupt record is discarded (counted) and the retry falls back to full
+ * re-execution — never a wrong answer. Jobs that keep dying after
+ * resuming are quarantined after max_resume_failures resumed attempts
+ * (typed JobQuarantinedError) so a poison job cannot burn pool time
+ * forever.
+ *
+ * Stall watchdog: with stall_timeout_seconds > 0 a dedicated thread
+ * compares each active job's progress heartbeat (bumped per processed
+ * gate) against the timeout. A stalled job is flagged (jobs_stalled),
+ * its in-flight gates are asked to abandon injected stalls early (the
+ * abort hint feeds the FaultInjector's cooperative sleep), and the job is
+ * preempted at the next gate boundary — retried from its checkpoint like
+ * any transient failure, or failed with the typed StalledError once
+ * attempts run out.
  */
 #ifndef PYTFHE_BACKEND_SERVING_H
 #define PYTFHE_BACKEND_SERVING_H
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -63,10 +88,12 @@
 #include <utility>
 #include <vector>
 
+#include "backend/checkpoint.h"
 #include "backend/executor.h"
 #include "backend/fault.h"
 #include "backend/interpreter.h"
 #include "circuit/gate_type.h"
+#include "pasm/memory_plan.h"
 #include "pasm/program.h"
 
 namespace pytfhe::backend {
@@ -126,6 +153,54 @@ class ArenaBudgetError : public std::runtime_error {
     size_t budget_bytes_;
 };
 
+/**
+ * A job made no progress for ServingOptions::stall_timeout_seconds and
+ * every permitted re-execution also stalled or failed. Thrown by
+ * Outputs() of a kFailed job whose terminal attempt was killed by the
+ * watchdog without a latched gate error.
+ */
+class StalledError : public std::runtime_error {
+  public:
+    StalledError(uint64_t job_seq, double timeout_seconds)
+        : std::runtime_error("job " + std::to_string(job_seq) +
+                             " stalled (no progress for " +
+                             std::to_string(timeout_seconds) +
+                             " s) and retries ran out"),
+          job_seq_(job_seq),
+          timeout_seconds_(timeout_seconds) {}
+
+    uint64_t job_seq() const { return job_seq_; }
+    double timeout_seconds() const { return timeout_seconds_; }
+
+  private:
+    uint64_t job_seq_;
+    double timeout_seconds_;
+};
+
+/**
+ * Poison-job quarantine: a job kept failing even after resuming from its
+ * checkpoint ServingOptions::max_resume_failures times. Retrying further
+ * would burn pool time deterministically; the job is failed with this
+ * typed error instead.
+ */
+class JobQuarantinedError : public std::runtime_error {
+  public:
+    JobQuarantinedError(uint64_t job_seq, uint32_t resume_failures)
+        : std::runtime_error("job " + std::to_string(job_seq) +
+                             " quarantined after " +
+                             std::to_string(resume_failures) +
+                             " failed resume(s) from checkpoint"),
+          job_seq_(job_seq),
+          resume_failures_(resume_failures) {}
+
+    uint64_t job_seq() const { return job_seq_; }
+    uint32_t resume_failures() const { return resume_failures_; }
+
+  private:
+    uint64_t job_seq_;
+    uint32_t resume_failures_;
+};
+
 /** Lifecycle of one submitted job. */
 enum class JobStatus {
     kQueued,    ///< Admitted to the service, waiting for an active slot.
@@ -157,6 +232,19 @@ struct JobMetrics {
     uint64_t gate_failures = 0;
     /** True when the final attempt ran on the isolated sequential path. */
     bool degraded_sequential = false;
+    /** Wave-boundary snapshots captured across all attempts. */
+    uint64_t checkpoints_taken = 0;
+    /** Retry attempts that restored a checkpoint instead of starting over. */
+    uint64_t checkpoint_resumes = 0;
+    /** Gates skipped on resume: work a checkpoint saved this job. */
+    uint64_t gates_resumed = 0;
+    /** Gates evaluated more than once across attempts (kDone jobs only):
+     *  the retry waste checkpointing exists to bound. */
+    uint64_t gates_reexecuted = 0;
+    /** Times the watchdog flagged this job as making no progress. */
+    uint64_t stalls = 0;
+    /** True when the job was failed by the poison-job quarantine. */
+    bool quarantined = false;
 };
 
 /** Serving-wide counters; a consistent snapshot is taken under the lock. */
@@ -176,6 +264,18 @@ struct ServingStats {
     double total_queue_seconds = 0.0;
     double total_run_seconds = 0.0;
     uint32_t max_active_observed = 0;  ///< Peak concurrently active jobs.
+    // Checkpoint/resume accounting (ServingOptions::checkpoint).
+    uint64_t checkpoints_taken = 0;    ///< Wave-boundary snapshots captured.
+    uint64_t checkpoint_bytes = 0;     ///< Cumulative captured record bytes.
+    uint64_t checkpoint_resumes = 0;   ///< Retries restored from a snapshot.
+    /** Records rejected at decode (CRC/fingerprint/structure mismatch). */
+    uint64_t checkpoints_corrupt_discarded = 0;
+    uint64_t gates_resumed = 0;        ///< Gates resume skipped re-running.
+    /** Gates evaluated more than once across attempts of completed jobs:
+     *  the re-execution waste the faulted-serving bench reports. */
+    uint64_t gates_reexecuted = 0;
+    uint64_t jobs_stalled = 0;         ///< Watchdog no-progress flags.
+    uint64_t jobs_quarantined = 0;     ///< Poison jobs failed terminally.
 };
 
 /** Knobs for one ServingExecutor; all bounds must be >= 1. */
@@ -238,6 +338,36 @@ struct ServingOptions {
      * budgets their unplanned forms would blow through.
      */
     size_t max_job_arena_bytes = 0;
+    /**
+     * Wave-boundary checkpointing (checkpoint.h): every
+     * checkpoint.every_n_levels wave levels a job quiesces and its live
+     * ciphertext set is snapshotted, so a retry resumes from the cut
+     * instead of gate zero. Disabled by default. Requires a level-safe
+     * memory plan (or none) and a checkpoint codec for the evaluator's
+     * ciphertext type; jobs that qualify for neither simply run
+     * uncheckpointed. The degraded sequential attempt checkpoints too
+     * (ordinal cuts, via RunProgramCheckpointed).
+     */
+    CheckpointPolicy checkpoint;
+    /**
+     * Stall watchdog: a job making no gate progress for this long is
+     * flagged stalled, preempted at the next gate boundary (its injected
+     * stalls are interrupted cooperatively), and retried from its last
+     * checkpoint. 0 disables the watchdog. Choose a timeout comfortably
+     * above the slowest legitimate gate — at bootstrap granularity a
+     * false positive costs a retry, not a wrong answer.
+     */
+    double stall_timeout_seconds = 0.0;
+    /** Watchdog poll period; 0 derives one from the timeout (~1/4, clamped
+     *  to [1 ms, 250 ms]). */
+    double stall_poll_seconds = 0.0;
+    /**
+     * Poison-job quarantine: after this many failed attempts that had
+     * resumed from a checkpoint, the job is failed with the typed
+     * JobQuarantinedError instead of retried again. 0 disables (plain
+     * RetryPolicy::max_attempts still bounds the total attempts).
+     */
+    uint32_t max_resume_failures = 0;
 };
 
 /**
@@ -300,6 +430,7 @@ class ServingExecutor {
 
         std::mutex mu;
         std::condition_variable work_cv;  ///< Workers wait for ready gates.
+        std::condition_variable watchdog_cv;  ///< Wakes the stall watchdog.
         std::vector<JobPtr> active;
         std::deque<JobPtr> queued;
         size_t rr = 0;  ///< Round-robin cursor into `active`.
@@ -342,6 +473,104 @@ class ServingExecutor {
             auto it = tenant_load.find(tenant);
             return it == tenant_load.end() ||
                    it->second.active < opts.max_active_jobs_per_tenant;
+        }
+
+        /**
+         * Arms the next checkpoint boundary of a checkpoint-enabled job,
+         * given that every gate at wave level <= done_level is complete
+         * and no gate above done_level has started (true at job start, at
+         * a fresh retry, after a capture at level done_level + 1, and
+         * after a level-cut resume at boundary done_level + 1). Newly
+         * ready gates at or beyond the boundary are held back until the
+         * capture fires, which is what makes the boundary a quiesce
+         * point: once every gate below it drains, nothing of the job is
+         * running. Past the last level the barrier is dropped entirely.
+         * Ready/held lists are re-partitioned against the new boundary.
+         */
+        void ArmBarrierLocked(Job& job, uint64_t done_level) {
+            const uint64_t boundary =
+                done_level + opts.checkpoint.every_n_levels + 1;
+            if (!job.ckpt_enabled || boundary > job.max_level) {
+                ReleaseBarrierLocked(job);
+                return;
+            }
+            job.ckpt_boundary = boundary;
+            // Gate levels are contiguous 1..max_level (ASAP levels), so
+            // at least one unfinished gate sits below every armed
+            // boundary — the capture trigger cannot starve.
+            job.below_remaining = job.cum_gates[boundary] -
+                                  job.cum_gates[done_level + 1];
+            std::vector<uint64_t> ready, held;
+            for (uint64_t g : job.ready)
+                (job.liveness.level[g] < boundary ? ready : held)
+                    .push_back(g);
+            for (uint64_t g : job.held)
+                (job.liveness.level[g] < boundary ? ready : held)
+                    .push_back(g);
+            job.ready.swap(ready);
+            job.held.swap(held);
+        }
+
+        /** Drops the quiesce barrier and publishes every held gate (drain,
+         *  stall preemption, shutdown, or no boundary left to arm). */
+        void ReleaseBarrierLocked(Job& job) {
+            job.ckpt_boundary = 0;
+            if (job.held.empty()) return;
+            job.ready.insert(job.ready.end(), job.held.begin(),
+                             job.held.end());
+            job.held.clear();
+            work_cv.notify_all();
+        }
+
+        /**
+         * Fires the armed checkpoint once the job quiesces at its
+         * boundary: every gate below it processed (below_remaining == 0)
+         * and no gate in flight. Called whenever a job's in-flight count
+         * drops. A draining job (cancel, failure, deadline, shutdown)
+         * drops its barrier instead — held gates must flow for the drain
+         * to terminate, and a snapshot of a dying attempt has no value.
+         */
+        void MaybeCaptureLocked(Job& job) {
+            if (job.ckpt_boundary == 0) return;
+            if (job.cancel_requested.load(std::memory_order_relaxed) ||
+                job.fail_requested.load(std::memory_order_relaxed) ||
+                job.deadline_hit || shutdown) {
+                ReleaseBarrierLocked(job);
+                return;
+            }
+            if (job.below_remaining != 0 || job.in_flight != 0 ||
+                job.remaining == 0)
+                return;
+            const uint64_t boundary = job.ckpt_boundary;
+            if constexpr (CiphertextCodec<Ciphertext>::kSupported) {
+                if (opts.checkpoint.min_gates_between == 0 ||
+                    job.gates_since_ckpt >=
+                        opts.checkpoint.min_gates_between ||
+                    job.checkpoint.Empty()) {
+                    // Encoding under the lock keeps the quiesce invariant
+                    // trivially true; the records are small (live set at
+                    // a wave boundary, not the whole plane).
+                    const std::vector<uint64_t> live =
+                        pasm::LiveValuesAtLevelCut(job.liveness, boundary);
+                    std::string record = EncodeCheckpoint(
+                        *job.program, job.values, live,
+                        CheckpointCut::kLevel, boundary,
+                        job.cum_gates[boundary]);
+                    if (opts.checkpoint.max_bytes == 0 ||
+                        record.size() <= opts.checkpoint.max_bytes) {
+                        job.checkpoint.gates_completed =
+                            job.cum_gates[boundary];
+                        job.checkpoint.record = std::move(record);
+                        job.gates_since_ckpt = 0;
+                        ++job.ckpt_taken;
+                        ++stats.checkpoints_taken;
+                        stats.checkpoint_bytes +=
+                            job.checkpoint.record.size();
+                    }
+                }
+            }
+            ArmBarrierLocked(job, boundary - 1);
+            work_cv.notify_all();
         }
 
         /**
@@ -448,7 +677,21 @@ class ServingExecutor {
             job.metrics.attempts = job.attempt + 1;
             job.metrics.gate_failures = job.gate_failures;
             job.metrics.degraded_sequential = job.degraded;
+            job.metrics.checkpoints_taken = job.ckpt_taken;
+            job.metrics.checkpoint_resumes = job.ckpt_resumes;
+            job.metrics.gates_resumed = job.ckpt_gates_resumed;
+            job.metrics.stalls = job.stall_count;
+            job.metrics.quarantined = job.quarantined;
             if (status == JobStatus::kDone) {
+                // Re-execution waste: every evaluation beyond the one the
+                // program needed was retry work a checkpoint could have
+                // saved. gates_executed accumulates across attempts and a
+                // resume skips its covered prefix, so the difference is
+                // exact (and provably non-negative for completed jobs).
+                const uint64_t n = job.program->NumGates();
+                job.metrics.gates_reexecuted =
+                    job.gates_executed > n ? job.gates_executed - n : 0;
+                stats.gates_reexecuted += job.metrics.gates_reexecuted;
                 // The sequential degraded path harvests its own outputs.
                 if (job.outputs.empty())
                     job.outputs = job.values.Harvest(*job.program);
@@ -480,6 +723,18 @@ class ServingExecutor {
          */
         void AdmitLocked() {
             const Clock::time_point now = Clock::now();
+            // Expired deadlines fail promptly even when every active slot
+            // is taken or the job is parked in retry backoff: neither a
+            // full service nor an unelapsed backoff extends a deadline.
+            for (size_t i = 0; i < queued.size();) {
+                if (now >= queued[i]->deadline) {
+                    JobPtr job = std::move(queued[i]);
+                    queued.erase(queued.begin() + i);
+                    FinishLocked(*job, JobStatus::kDeadlineExceeded);
+                    continue;
+                }
+                ++i;
+            }
             size_t i = 0;
             while (active.size() < opts.max_active_jobs &&
                    i < queued.size()) {
@@ -502,6 +757,10 @@ class ServingExecutor {
                     job->started = true;
                     job->start_time = Clock::now();
                 }
+                // Fresh watchdog lease on (re)activation: queue time is
+                // not a stall.
+                job->watchdog_mark = Clock::now();
+                job->watchdog_epoch = job->progress_epoch;
                 job->status = JobStatus::kRunning;
                 ++tenant_load[job->tenant].active;
                 active.push_back(std::move(job));
@@ -513,16 +772,23 @@ class ServingExecutor {
         }
 
         /**
-         * Earliest instant a queued job could become admittable, for the
-         * worker idle wait: time_point::max() when nothing is waiting on a
-         * backoff (a plain cv wait suffices — any state change notifies).
-         * Tenant-quota-blocked jobs are excluded: time does not unblock
+         * Earliest instant time alone could change a queued job's fate —
+         * a retry backoff elapsing (job becomes admittable) or a deadline
+         * expiring (job must fail) — for the worker idle wait.
+         * time_point::max() when neither applies (a plain cv wait
+         * suffices — any state change notifies). Tenant-quota-blocked
+         * jobs contribute only their deadline: time does not unblock
          * them, the finishing job's notify_all does.
          */
         Clock::time_point NextEligibleLocked() const {
-            if (active.size() >= opts.max_active_jobs)
-                return Clock::time_point::max();
             Clock::time_point next = Clock::time_point::max();
+            // Queued deadlines bound the idle wait even when no active
+            // slot is free: a job whose deadline expires while parked
+            // (backoff, full service, tenant quota) must fail at the
+            // deadline, not whenever a slot happens to open.
+            for (const JobPtr& job : queued)
+                next = std::min(next, job->deadline);
+            if (active.size() >= opts.max_active_jobs) return next;
             for (const JobPtr& job : queued) {
                 if (!TenantMayActivateLocked(job->tenant)) continue;
                 next = std::min(next, job->eligible_at);
@@ -531,11 +797,96 @@ class ServingExecutor {
         }
 
         /**
+         * Restores the job's last checkpoint for a retry: decodes (and
+         * thereby CRC-verifies) the record, re-seeds the plane, restores
+         * the snapshotted slots, and rebuilds the dependency counters past
+         * the cut. Returns false — and the caller falls back to a full
+         * reset — when no usable record exists; a record that fails
+         * verification is additionally discarded and counted, never
+         * trusted.
+         */
+        bool ResumeFromCheckpointLocked(Job& job) {
+            if (!job.ckpt_enabled || job.checkpoint.Empty()) return false;
+            if constexpr (CiphertextCodec<Ciphertext>::kSupported) {
+                std::string error;
+                std::optional<DecodedCheckpoint<Ciphertext>> decoded =
+                    DecodeCheckpoint<Ciphertext>(job.checkpoint.record,
+                                                 job.fingerprint,
+                                                 job.liveness.end_index,
+                                                 &error);
+                // The parallel pickers only resume level cuts (the kind
+                // this executor captures); an ordinal record — possible
+                // only by construction error, since the sequential path
+                // is the final attempt — is unusable here.
+                if (!decoded || decoded->cut != CheckpointCut::kLevel ||
+                    !CutValidForProgram(decoded->cut, *job.program)) {
+                    job.checkpoint.Clear();
+                    ++stats.checkpoints_corrupt_discarded;
+                    return false;
+                }
+                job.values.Reset(*job.program, job.inputs);
+                RestoreCheckpoint(job.values, *decoded);
+                ResumeState state = BuildResumeState(
+                    *job.program, job.deps, decoded->cut,
+                    decoded->boundary);
+                for (uint64_t g = 0; g < job.program->NumGates(); ++g)
+                    job.pending[g].store(state.pending[g],
+                                         std::memory_order_relaxed);
+                job.ready = std::move(state.ready);
+                job.held.clear();
+                job.remaining = state.remaining;
+                ArmBarrierLocked(job, decoded->boundary - 1);
+                job.resumed_attempt = true;
+                ++job.ckpt_resumes;
+                ++stats.checkpoint_resumes;
+                job.ckpt_gates_resumed += state.gates_done;
+                stats.gates_resumed += state.gates_done;
+                return true;
+            }
+            return false;
+        }
+
+        /**
+         * Terminal resolution of a job whose drain completed with
+         * fail_requested set: retry (possibly resuming from checkpoint),
+         * quarantine, or fail. A watchdog preemption without a latched
+         * gate error counts as transient — the next attempt may well
+         * progress. Quarantine fires when resumed attempts keep dying:
+         * at that point the checkpoint is not helping and the job is
+         * deterministically burning pool time.
+         */
+        void ResolveFailureLocked(Job& job) {
+            const bool stalled = job.stalled_attempt && !job.failure;
+            const bool transient =
+                (job.failure && job.failure->transient()) || stalled;
+            const bool poisoned =
+                opts.max_resume_failures > 0 && job.resumed_attempt &&
+                job.resume_failures + 1 >= opts.max_resume_failures;
+            if (job.resumed_attempt) ++job.resume_failures;
+            if (transient && !poisoned && !shutdown &&
+                job.attempt + 1 < opts.retry.max_attempts) {
+                RequeueForRetryLocked(job);
+                return;
+            }
+            if (poisoned) {
+                job.quarantined = true;
+                ++stats.jobs_quarantined;
+                job.terminal_error = std::make_exception_ptr(
+                    JobQuarantinedError(job.seq, job.resume_failures));
+            } else if (stalled) {
+                job.terminal_error = std::make_exception_ptr(StalledError(
+                    job.seq, opts.stall_timeout_seconds));
+            }
+            FinishActiveLocked(job, JobStatus::kFailed);
+        }
+
+        /**
          * Re-queues a failed job for another attempt: moves it out of
-         * `active`, resets its gate state from the retained inputs, and
-         * stamps the backoff eligibility time. On the last permitted
-         * attempt the job is flagged run_sequential instead — the
-         * degradation ladder's isolated clean shot.
+         * `active`, resets its gate state from the retained inputs (or
+         * from the last valid checkpoint — only the gates past the cut
+         * re-execute), and stamps the backoff eligibility time. On the
+         * last permitted attempt the job is flagged run_sequential
+         * instead — the degradation ladder's isolated clean shot.
          */
         void RequeueForRetryLocked(Job& job) {
             JobPtr self;
@@ -550,14 +901,24 @@ class ServingExecutor {
             ++stats.job_retries;
             ++job.attempt;
             job.fail_requested.store(false, std::memory_order_relaxed);
+            job.abort_hint.store(false, std::memory_order_relaxed);
             job.failure.reset();
             job.deadline_hit = false;
+            job.stalled_attempt = false;
+            job.resumed_attempt = false;
+            job.gates_since_ckpt = 0;
             job.status = JobStatus::kQueued;
+            job.remaining = job.program->NumGates();
             if (job.attempt + 1 >= opts.retry.max_attempts) {
                 job.run_sequential = true;
                 job.degraded = true;
                 ++stats.jobs_degraded;
-            } else {
+                // The sequential path owns the whole job; held-back gates
+                // and the quiesce barrier are parallel-path state.
+                job.ckpt_boundary = 0;
+                job.held.clear();
+                job.ready.clear();
+            } else if (!ResumeFromCheckpointLocked(job)) {
                 // Reset the dependency-counted state for a parallel
                 // re-run in place: the value plane keeps its slab/slots
                 // (a retry re-seeds the inputs without reallocating). No
@@ -569,8 +930,9 @@ class ServingExecutor {
                     job.pending[g].store(job.deps.pred_count[g],
                                          std::memory_order_relaxed);
                 job.ready = job.deps.RootGates();
+                job.held.clear();
+                if (job.ckpt_enabled) ArmBarrierLocked(job, 0);
             }
-            job.remaining = job.program->NumGates();
             const double backoff =
                 opts.retry.BackoffSeconds(job.seq, job.attempt);
             job.eligible_at =
@@ -599,6 +961,54 @@ class ServingExecutor {
 
         static double Seconds(Clock::time_point a, Clock::time_point b) {
             return std::chrono::duration<double>(b - a).count();
+        }
+
+        /**
+         * The stall watchdog (its own thread, started only when
+         * stall_timeout_seconds > 0): compares each active job's progress
+         * heartbeat — bumped once per processed gate — against the last
+         * observation. A job whose heartbeat has not moved for the
+         * timeout is flagged stalled and preempted like a transient
+         * failure: fail_requested drains its remaining gates, the abort
+         * hint interrupts injected stalls cooperatively (the stalled
+         * worker sheds its sleep at the next 1 ms slice), and terminal
+         * resolution retries from the last checkpoint. run_sequential
+         * jobs are exempt — the isolated final attempt emits no gate
+         * heartbeats and must be left to finish.
+         */
+        void WatchdogLoop() {
+            const double timeout = opts.stall_timeout_seconds;
+            double poll = opts.stall_poll_seconds;
+            if (poll <= 0.0)
+                poll = std::min(0.250, std::max(0.001, timeout / 4.0));
+            const auto poll_for = std::chrono::duration_cast<
+                Clock::duration>(std::chrono::duration<double>(poll));
+            std::unique_lock<std::mutex> lock(mu);
+            while (!shutdown) {
+                watchdog_cv.wait_for(lock, poll_for);
+                if (shutdown) return;
+                const Clock::time_point now = Clock::now();
+                for (const JobPtr& jp : active) {
+                    Job& job = *jp;
+                    if (job.run_sequential) continue;
+                    if (job.progress_epoch != job.watchdog_epoch) {
+                        job.watchdog_epoch = job.progress_epoch;
+                        job.watchdog_mark = now;
+                        continue;
+                    }
+                    if (Seconds(job.watchdog_mark, now) < timeout)
+                        continue;
+                    job.stalled_attempt = true;
+                    ++job.stall_count;
+                    ++stats.jobs_stalled;
+                    job.fail_requested.store(true,
+                                             std::memory_order_relaxed);
+                    job.abort_hint.store(true, std::memory_order_relaxed);
+                    job.watchdog_mark = now;
+                    ReleaseBarrierLocked(job);
+                    work_cv.notify_all();
+                }
+            }
         }
 
         /**
@@ -678,13 +1088,24 @@ class ServingExecutor {
             JobStatus status = JobStatus::kDone;
             std::optional<GateExecutionError> caught;
             std::vector<Ciphertext> outs;
+            CheckpointRunStats cstats;
             try {
                 RunControl rc;
                 rc.cancel = &job.cancel_requested;
                 rc.deadline = job.deadline;
                 FaultHook hook{opts.fault_injector, job.seq, attempt};
-                outs = RunProgram(*job.program, *job.eval, job.inputs, rc,
-                                  hook);
+                // Touching job.checkpoint unlocked is safe: a
+                // run_sequential job is claimed whole and alone, so this
+                // worker is the only actor on the job until it re-locks.
+                if (opts.checkpoint.Enabled()) {
+                    outs = RunProgramCheckpointed(
+                        *job.program, *job.eval, job.inputs,
+                        opts.checkpoint, &job.checkpoint, rc, hook,
+                        &cstats);
+                } else {
+                    outs = RunProgram(*job.program, *job.eval, job.inputs,
+                                      rc, hook);
+                }
             } catch (const CancelledError&) {
                 status = JobStatus::kCancelled;
             } catch (const DeadlineExceededError&) {
@@ -695,8 +1116,19 @@ class ServingExecutor {
             }
             lock.lock();
             --job.in_flight;
+            job.ckpt_taken += cstats.checkpoints_taken;
+            stats.checkpoints_taken += cstats.checkpoints_taken;
+            if (cstats.resumes > 0) {
+                job.resumed_attempt = true;
+                job.ckpt_resumes += cstats.resumes;
+                stats.checkpoint_resumes += cstats.resumes;
+                job.ckpt_gates_resumed += cstats.gates_resumed;
+                stats.gates_resumed += cstats.gates_resumed;
+            }
+            stats.checkpoints_corrupt_discarded += cstats.corrupt_discarded;
             if (status == JobStatus::kDone) {
-                job.gates_executed += job.program->NumGates();
+                job.gates_executed +=
+                    job.program->NumGates() - cstats.gates_resumed;
                 for (uint64_t idx = job.first_gate;
                      idx < job.first_gate + job.program->NumGates(); ++idx)
                     if (circuit::IsLinearGate(job.program->GateAt(idx).type))
@@ -731,9 +1163,17 @@ class ServingExecutor {
                 if (!skip) {
                     const pasm::DecodedGate g = job.program->GateAt(gate);
                     try {
-                        if (opts.fault_injector != nullptr)
+                        if (opts.fault_injector != nullptr) {
+                            // Injected stalls shed early once the job is
+                            // being abandoned (cancel, watchdog
+                            // preemption) or its deadline passes.
+                            RunControl stall_rc;
+                            stall_rc.cancel = &job.abort_hint;
+                            stall_rc.deadline = job.deadline;
                             opts.fault_injector->OnGate(
-                                job.seq, attempt, gate - job.first_gate);
+                                job.seq, attempt, gate - job.first_gate,
+                                &stall_rc);
+                        }
                         job.values.Apply(*job.eval, *job.program, gate,
                                          scratch);
                         linear = circuit::IsLinearGate(g.type);
@@ -773,14 +1213,30 @@ class ServingExecutor {
                     ++job.gates_skipped;
                 } else {
                     ++job.gates_executed;
+                    ++job.gates_since_ckpt;
                     if (linear) ++job.linear_executed;
                 }
+                // Every processed gate (run or drained) is progress the
+                // watchdog can see and, below an armed boundary, one step
+                // toward the quiesce point.
+                ++job.progress_epoch;
+                if (job.ckpt_boundary != 0 &&
+                    job.liveness.level[gate] < job.ckpt_boundary)
+                    --job.below_remaining;
                 if (!publish.empty()) {
-                    job.ready.insert(job.ready.end(), publish.begin(),
-                                     publish.end());
-                    if (publish.size() == 1) {
+                    size_t published = 0;
+                    for (uint64_t g : publish) {
+                        if (job.ckpt_boundary != 0 &&
+                            job.liveness.level[g] >= job.ckpt_boundary) {
+                            job.held.push_back(g);
+                        } else {
+                            job.ready.push_back(g);
+                            ++published;
+                        }
+                    }
+                    if (published == 1) {
                         work_cv.notify_one();
-                    } else {
+                    } else if (published > 1) {
                         work_cv.notify_all();
                     }
                 }
@@ -794,18 +1250,18 @@ class ServingExecutor {
                                            JobStatus::kDeadlineExceeded);
                     } else if (job.fail_requested.load(
                                    std::memory_order_relaxed)) {
-                        const bool transient =
-                            job.failure && job.failure->transient();
-                        if (transient && !shutdown &&
-                            job.attempt + 1 < opts.retry.max_attempts) {
-                            RequeueForRetryLocked(job);
-                        } else {
-                            FinishActiveLocked(job, JobStatus::kFailed);
-                        }
+                        ResolveFailureLocked(job);
                     } else {
                         FinishActiveLocked(job, JobStatus::kDone);
                     }
                     return;
+                }
+                if (next != detail::kNoGate && job.ckpt_boundary != 0 &&
+                    job.liveness.level[next] >= job.ckpt_boundary) {
+                    // The chain candidate sits beyond the armed quiesce
+                    // boundary: hold it back and drop the chain.
+                    job.held.push_back(next);
+                    next = detail::kNoGate;
                 }
                 if (next != detail::kNoGate) {
                     // Keep the in-flight slot and chain depth-first.
@@ -814,6 +1270,7 @@ class ServingExecutor {
                     continue;
                 }
                 --job.in_flight;
+                MaybeCaptureLocked(job);
                 if (!job.ready.empty()) work_cv.notify_one();
                 return;
             }
@@ -878,10 +1335,14 @@ class ServingExecutor {
                 if constexpr (detail::kSupportsApplyBatch<Evaluator>)
                     batchable = Evaluator::Batchable(g.type);
                 try {
-                    if (opts.fault_injector != nullptr)
+                    if (opts.fault_injector != nullptr) {
+                        RunControl stall_rc;
+                        stall_rc.cancel = &job.abort_hint;
+                        stall_rc.deadline = job.deadline;
                         opts.fault_injector->OnGate(
                             job.seq, batch[i].attempt,
-                            batch[i].gate - job.first_gate);
+                            batch[i].gate - job.first_gate, &stall_rc);
+                    }
                     if (batchable) {
                         kernel.push_back(i);
                     } else {
@@ -937,8 +1398,14 @@ class ServingExecutor {
             }
 
             lock.lock();
-            for (const auto& [job, gate] : publish)
-                job->ready.push_back(gate);
+            for (const auto& [job, gate] : publish) {
+                if (job->ckpt_boundary != 0 &&
+                    job->liveness.level[gate] >= job->ckpt_boundary) {
+                    job->held.push_back(gate);
+                } else {
+                    job->ready.push_back(gate);
+                }
+            }
             if (!publish.empty()) work_cv.notify_all();
             for (size_t i = 0; i < batch.size(); ++i) {
                 Job& job = *batch[i].job;
@@ -949,10 +1416,15 @@ class ServingExecutor {
                         job.failure = std::move(st[i].caught);
                 } else if (st[i].executed) {
                     ++job.gates_executed;
+                    ++job.gates_since_ckpt;
                     if (st[i].linear) ++job.linear_executed;
                 } else {
                     ++job.gates_skipped;
                 }
+                ++job.progress_epoch;
+                if (job.ckpt_boundary != 0 &&
+                    job.liveness.level[batch[i].gate] < job.ckpt_boundary)
+                    --job.below_remaining;
                 --job.in_flight;
                 if (--job.remaining == 0) {
                     if (job.cancel_requested.load(
@@ -963,17 +1435,12 @@ class ServingExecutor {
                                            JobStatus::kDeadlineExceeded);
                     } else if (job.fail_requested.load(
                                    std::memory_order_relaxed)) {
-                        const bool transient =
-                            job.failure && job.failure->transient();
-                        if (transient && !shutdown &&
-                            job.attempt + 1 < opts.retry.max_attempts) {
-                            RequeueForRetryLocked(job);
-                        } else {
-                            FinishActiveLocked(job, JobStatus::kFailed);
-                        }
+                        ResolveFailureLocked(job);
                     } else {
                         FinishActiveLocked(job, JobStatus::kDone);
                     }
+                } else {
+                    MaybeCaptureLocked(job);
                 }
             }
         }
@@ -1021,6 +1488,10 @@ class ServingExecutor {
                     }
                 }
             } else {
+                // Shed injected stalls and release held-back gates so the
+                // cancelled job drains promptly.
+                abort_hint.store(true, std::memory_order_relaxed);
+                core_->ReleaseBarrierLocked(*this);
                 core_->work_cv.notify_all();
             }
             return true;
@@ -1038,6 +1509,11 @@ class ServingExecutor {
                     throw DeadlineExceededError();
                 case JobStatus::kFailed: {
                     std::lock_guard<std::mutex> lock(core_->mu);
+                    // A typed terminal cause (StalledError,
+                    // JobQuarantinedError) outranks the latched gate
+                    // error: it names why retrying stopped.
+                    if (terminal_error)
+                        std::rethrow_exception(terminal_error);
                     throw failure ? *failure
                                   : GateExecutionError(
                                         0, 0, "job failed", false);
@@ -1087,6 +1563,33 @@ class ServingExecutor {
                 pending[g].store(deps.pred_count[g],
                                  std::memory_order_relaxed);
             ready = deps.RootGates();
+            if constexpr (CiphertextCodec<Ciphertext>::kSupported) {
+                if (core_->opts.checkpoint.Enabled() &&
+                    program->NumGates() > 0 &&
+                    CutValidForProgram(CheckpointCut::kLevel, *program)) {
+                    ckpt_enabled = true;
+                    fingerprint = ProgramFingerprint(*program);
+                    liveness = pasm::ComputeValueLiveness(*program);
+                    for (uint64_t idx = first_gate;
+                         idx < liveness.end_index; ++idx)
+                        max_level =
+                            std::max(max_level, liveness.level[idx]);
+                    // cum_gates[L] = gates at wave level < L; the O(1)
+                    // source of "how many gates below a boundary" the
+                    // barrier and the record's gates_completed use.
+                    std::vector<uint64_t> count(max_level + 1, 0);
+                    for (uint64_t idx = first_gate;
+                         idx < liveness.end_index; ++idx)
+                        ++count[liveness.level[idx]];
+                    cum_gates.assign(max_level + 2, 0);
+                    for (uint64_t l = 1; l <= max_level + 1; ++l)
+                        cum_gates[l] = cum_gates[l - 1] + count[l - 1];
+                    // Arm the first boundary pre-publication (no lock
+                    // needed: the job is not visible to workers yet).
+                    // Root gates all sit at level 1, below any boundary.
+                    core_->ArmBarrierLocked(*this, 0);
+                }
+            }
         }
 
         const std::shared_ptr<Core> core_;
@@ -1114,6 +1617,13 @@ class ServingExecutor {
         std::vector<std::atomic<uint32_t>> pending;
         std::atomic<bool> cancel_requested{false};
         std::atomic<bool> fail_requested{false};
+        /**
+         * Union interrupt hint for cooperative injected-stall sleeps:
+         * raised by Cancel(), the watchdog's stall preemption, and Stop;
+         * cleared when the job is requeued for another attempt. Never
+         * causes a typed abort by itself — it only shortens sleeps.
+         */
+        std::atomic<bool> abort_hint{false};
 
         // Guarded by core_->mu.
         JobStatus status = JobStatus::kQueued;
@@ -1140,6 +1650,43 @@ class ServingExecutor {
         Clock::time_point eligible_at = Clock::time_point::min();
         bool run_sequential = false;  ///< Final attempt, isolated path.
         bool degraded = false;
+
+        // Checkpoint state (guarded by core_->mu). ckpt_enabled is set
+        // once in the constructor: the policy is on, the program has
+        // gates, the plan admits level cuts, and the ciphertext type has
+        // a codec.
+        bool ckpt_enabled = false;
+        uint64_t fingerprint = 0;        ///< ProgramFingerprint, cached.
+        pasm::ValueLiveness liveness;    ///< Live-set facts for capture.
+        uint64_t max_level = 0;          ///< Deepest gate wave level.
+        std::vector<uint64_t> cum_gates; ///< [L] = gates at level < L.
+        /** Armed quiesce boundary (wave level); 0 = no barrier. Gates at
+         *  level >= this are held back until the capture fires. */
+        uint64_t ckpt_boundary = 0;
+        /** Unprocessed gates below the armed boundary; 0 + no in-flight
+         *  gates = the job is quiescent at the boundary. */
+        uint64_t below_remaining = 0;
+        /** Ready gates held back by the barrier (published on release). */
+        std::vector<uint64_t> held;
+        JobCheckpoint checkpoint;        ///< Last captured framed record.
+        uint64_t gates_since_ckpt = 0;   ///< For min_gates_between.
+        uint64_t ckpt_taken = 0;
+        uint64_t ckpt_resumes = 0;
+        uint64_t ckpt_gates_resumed = 0;
+        bool resumed_attempt = false;    ///< Current attempt resumed.
+        uint32_t resume_failures = 0;    ///< Failed resumed attempts.
+        bool quarantined = false;
+
+        // Watchdog state (guarded by core_->mu).
+        uint64_t progress_epoch = 0;   ///< Bumped per processed gate.
+        uint64_t watchdog_epoch = 0;   ///< Last epoch the watchdog saw.
+        Clock::time_point watchdog_mark{};  ///< When it saw it.
+        bool stalled_attempt = false;  ///< Current attempt was preempted.
+        uint64_t stall_count = 0;      ///< Watchdog flags, all attempts.
+
+        /** Typed terminal cause for kFailed beyond the latched gate
+         *  error: StalledError or JobQuarantinedError. */
+        std::exception_ptr terminal_error;
     };
 
     /**
@@ -1154,6 +1701,8 @@ class ServingExecutor {
             executor.pool().RunOnWorkers(core->opts.num_workers - 1,
                                          [&core] { core->WorkerLoop(); });
         });
+        if (core_->opts.stall_timeout_seconds > 0.0)
+            watchdog_ = std::thread([core] { core->WatchdogLoop(); });
     }
 
     ~ServingExecutor() { Stop(); }
@@ -1251,13 +1800,19 @@ class ServingExecutor {
                     core_->queued.pop_front();
                     core_->FinishLocked(*job, JobStatus::kCancelled);
                 }
-                for (const JobPtr& job : core_->active)
+                for (const JobPtr& job : core_->active) {
                     job->cancel_requested.store(true,
                                                 std::memory_order_relaxed);
+                    job->abort_hint.store(true, std::memory_order_relaxed);
+                    // Held-back gates must flow for the drain to finish.
+                    core_->ReleaseBarrierLocked(*job);
+                }
             }
             core_->work_cv.notify_all();
+            core_->watchdog_cv.notify_all();
         }
         if (dispatcher_.joinable()) dispatcher_.join();
+        if (watchdog_.joinable()) watchdog_.join();
     }
 
     const ServingOptions& options() const { return core_->opts; }
@@ -1279,11 +1834,15 @@ class ServingExecutor {
             o.batch_size < 1)
             throw std::invalid_argument(
                 "ServingOptions: all knobs must be >= 1");
+        if (o.stall_timeout_seconds < 0.0 || o.stall_poll_seconds < 0.0)
+            throw std::invalid_argument(
+                "ServingOptions: watchdog timeouts must be >= 0");
         return o;
     }
 
     std::shared_ptr<Core> core_;
     std::thread dispatcher_;
+    std::thread watchdog_;
 };
 
 }  // namespace pytfhe::backend

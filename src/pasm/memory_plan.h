@@ -9,6 +9,8 @@
 #ifndef PYTFHE_PASM_MEMORY_PLAN_H
 #define PYTFHE_PASM_MEMORY_PLAN_H
 
+#include <vector>
+
 #include "pasm/program.h"
 
 namespace pytfhe::pasm {
@@ -32,6 +34,45 @@ struct MemoryPlanOptions {
  */
 MemoryPlan ComputeMemoryPlan(const Program& program,
                              const MemoryPlanOptions& options = {});
+
+/**
+ * Per-value liveness facts for a program, in the exact form the memory
+ * plan is derived from. Vectors are indexed by instruction index
+ * (values are 1-based: inputs occupy [1, FirstGateIndex()), gates
+ * [FirstGateIndex(), end_index)). Checkpointing consumes this to decide
+ * which slots must be snapshotted at a cut.
+ */
+struct ValueLiveness {
+    uint64_t first_gate = 0;  ///< First gate instruction index.
+    uint64_t end_index = 0;   ///< One past the last instruction index.
+    std::vector<uint64_t> level;        ///< Wave level (inputs are 0).
+    std::vector<uint64_t> last_use;     ///< Last reader ordinal (or self).
+    std::vector<uint64_t> death_level;  ///< Max reader level (or own).
+    std::vector<bool> pinned;           ///< Program outputs.
+};
+
+/** Computes the liveness facts ComputeMemoryPlan is built on. O(V). */
+ValueLiveness ComputeValueLiveness(const Program& program);
+
+/**
+ * Values provably resident in their slots at a quiesced level-`boundary`
+ * cut (every gate at level < boundary done, none at level >= boundary
+ * started) and still needed afterwards: defined below the cut, with a
+ * reader at or above it or pinned as a program output. Valid for
+ * level-safe plans (and unplanned execution), where no overwriter of a
+ * still-live value can run below the cut.
+ */
+std::vector<uint64_t> LiveValuesAtLevelCut(const ValueLiveness& liveness,
+                                           uint64_t boundary);
+
+/**
+ * Values live immediately after instruction `last_done` in sequential
+ * (ordinal) execution order: defined at or before it, with a later
+ * reader or pinned. Valid for any plan the sequential interpreter
+ * accepts, including sequential-tight (non-level-safe) plans.
+ */
+std::vector<uint64_t> LiveValuesAtOrdinalCut(const ValueLiveness& liveness,
+                                             uint64_t last_done);
 
 }  // namespace pytfhe::pasm
 

@@ -148,7 +148,8 @@ void WriteFramed(std::ostream& os, uint32_t magic, const std::string& body) {
  * Version-2 streams have no frame, so the body is the rest of the stream.
  */
 bool ReadFramedBody(std::istream& is, uint32_t magic, const char* section,
-                    std::string* body, std::string* error) {
+                    std::string* body, std::string* error,
+                    bool allow_legacy = true) {
     auto fail = [&](const std::string& message) {
         if (error)
             *error = std::string("load ") + section + ": " + message;
@@ -159,7 +160,7 @@ bool ReadFramedBody(std::istream& is, uint32_t magic, const char* section,
         return fail("truncated header at byte offset 0");
     if (m != magic)
         return fail("bad magic (wrong object type?) at byte offset 0");
-    if (v == kLegacyVersion) {
+    if (v == kLegacyVersion && allow_legacy) {
         // Legacy unframed body: everything after the header, no checksum.
         std::ostringstream rest;
         rest << is.rdbuf();
@@ -519,6 +520,21 @@ std::optional<EvaluationKeyArtifact> LoadEvaluationKey(std::istream& is,
     std::optional<BootstrappingKey> key = ReadBkBody(r);
     if (!key || !r.AtEnd()) return std::nullopt;
     return EvaluationKeyArtifact{id, *std::move(key)};
+}
+
+void SaveFramedRecord(std::ostream& os, uint32_t magic,
+                      const std::string& body) {
+    WriteFramed(os, magic, body);
+}
+
+std::optional<std::string> LoadFramedRecord(std::istream& is, uint32_t magic,
+                                            const char* section,
+                                            std::string* error) {
+    std::string body;
+    if (!ReadFramedBody(is, magic, section, &body, error,
+                        /*allow_legacy=*/false))
+        return std::nullopt;
+    return body;
 }
 
 }  // namespace pytfhe::tfhe

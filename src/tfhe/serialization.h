@@ -89,6 +89,22 @@ void SaveEvaluationKey(std::ostream& os, const BootstrappingKey& key,
 std::optional<EvaluationKeyArtifact> LoadEvaluationKey(
     std::istream& is, std::string* error = nullptr);
 
+/**
+ * Generic framed-record escape hatch for higher layers that define their
+ * own body encodings (e.g. backend job checkpoints): wraps `body` in the
+ * same version-3 frame (magic, version, u64 length, body, CRC32C) every
+ * typed Save* above uses, so per-byte corruption and truncation are
+ * detected identically. `section` names the record kind in diagnostics.
+ * Unlike the key/ciphertext loaders, records reject legacy version-2
+ * (unchecksummed) frames: new record kinds never shipped without a CRC,
+ * so an un-checksummed body is corruption, not compatibility.
+ */
+void SaveFramedRecord(std::ostream& os, uint32_t magic,
+                      const std::string& body);
+std::optional<std::string> LoadFramedRecord(std::istream& is, uint32_t magic,
+                                            const char* section,
+                                            std::string* error = nullptr);
+
 namespace detail {
 template <typename T, typename LoadFn>
 T LoadOrThrowImpl(std::istream& is, LoadFn load) {
@@ -120,6 +136,14 @@ inline BootstrappingKey LoadBootstrappingKeyOrThrow(std::istream& is) {
 inline EvaluationKeyArtifact LoadEvaluationKeyOrThrow(std::istream& is) {
     return detail::LoadOrThrowImpl<EvaluationKeyArtifact>(is,
                                                           LoadEvaluationKey);
+}
+inline std::string LoadFramedRecordOrThrow(std::istream& is, uint32_t magic,
+                                           const char* section) {
+    std::string error;
+    std::optional<std::string> body =
+        LoadFramedRecord(is, magic, section, &error);
+    if (!body) throw CorruptPayloadError(error);
+    return *std::move(body);
 }
 
 }  // namespace pytfhe::tfhe

@@ -12,8 +12,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <random>
 #include <stdexcept>
+#include <thread>
 
 #include "backend/execute.h"
 #include "backend/executor.h"
@@ -333,6 +336,68 @@ TEST(FaultPaths, ThrowingChainMidwayKeepsExecutorReusable) {
     PlainEvaluator plain;
     EXPECT_EQ(executor.Run(*program, plain, inputs, 4),
               RunProgram(*program, plain, inputs));
+}
+
+// ------------------------------------------------- interruptible stalls
+
+TEST(FaultInjector, InjectedStallShedsOnCancel) {
+    // A 5-second injected stall must not pin down a cancelled run: the
+    // cooperative sleep checks the run's control token every millisecond
+    // and the run aborts with the typed cancel error almost immediately.
+    const auto program = ChainProgram(4);
+    const auto inputs = RandomBits(70, program->NumInputs());
+    FaultPlan plan;
+    plan.stall_rate = 1.0;
+    plan.stall_microseconds = 5e6;
+    FaultInjector inj(plan);
+
+    std::atomic<bool> cancel{false};
+    ExecOptions options;
+    options.mode = ExecMode::kDependencyCounting;
+    options.num_threads = 2;
+    options.control.cancel = &cancel;
+    options.fault.injector = &inj;
+
+    PlainEvaluator eval;
+    const auto start = std::chrono::steady_clock::now();
+    std::thread canceller([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        cancel.store(true);
+    });
+    EXPECT_THROW(Execute(*program, eval, inputs, options), CancelledError);
+    canceller.join();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    EXPECT_LT(wall, 2.5);  // Sheds the 5 s sleep, does not serve it out.
+    EXPECT_GT(inj.counters().stalls, 0u);
+}
+
+TEST(FaultInjector, InjectedStallShedsOnDeadline) {
+    // Same contract on the sequential path with a deadline token.
+    const auto program = ChainProgram(4);
+    const auto inputs = RandomBits(71, program->NumInputs());
+    FaultPlan plan;
+    plan.stall_rate = 1.0;
+    plan.stall_microseconds = 5e6;
+    FaultInjector inj(plan);
+
+    ExecOptions options;
+    options.mode = ExecMode::kSequential;
+    options.control.deadline = std::chrono::steady_clock::now() +
+                               std::chrono::milliseconds(100);
+    options.fault.injector = &inj;
+
+    PlainEvaluator eval;
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW(Execute(*program, eval, inputs, options),
+                 DeadlineExceededError);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    EXPECT_LT(wall, 2.5);
 }
 
 }  // namespace

@@ -374,5 +374,219 @@ TEST(ServingFaults, MixedFaultStormEveryJobResolves) {
     EXPECT_GT(done, 0u);
 }
 
+// --------------------------------------------- checkpointed retry + resume
+
+TEST(ServingCheckpoint, RetryResumesFromSnapshotBitExact) {
+    PlainEvaluator eval;
+    Executor executor;
+    ServingOptions options;
+    options.num_workers = 4;
+    FaultPlan plan;
+    plan.fault_every_nth_job = 1;     // Every job faults...
+    plan.fault_gate_ordinal = 24;     // ...late (3/4 of the chain)...
+    plan.transient_clears_after = 1;  // ...transiently, attempt 0 only.
+    FaultInjector inj(plan);
+    options.fault_injector = &inj;
+    options.retry.max_attempts = 3;
+    options.checkpoint.every_n_levels = 1;
+    ServingExecutor<PlainEvaluator> serving(executor, options);
+
+    const auto program = ChainProgram(32);
+    constexpr int kJobs = 4;
+    std::vector<std::vector<bool>> inputs;
+    std::vector<std::shared_ptr<ServingExecutor<PlainEvaluator>::Job>> jobs;
+    for (int i = 0; i < kJobs; ++i) {
+        inputs.push_back(RandomBits(300 + i, program->NumInputs()));
+        jobs.push_back(serving.Submit(program, eval, inputs.back()));
+    }
+    for (int i = 0; i < kJobs; ++i) {
+        EXPECT_EQ(jobs[i]->Wait(), JobStatus::kDone) << i;
+        EXPECT_EQ(jobs[i]->Outputs(),
+                  RunProgram(*program, eval, inputs[i]))
+            << i;
+        const JobMetrics m = jobs[i]->Metrics();
+        EXPECT_EQ(m.attempts, 2u) << i;
+        EXPECT_GT(m.checkpoints_taken, 0u) << i;
+        EXPECT_EQ(m.checkpoint_resumes, 1u) << i;
+        // The fault fires at gate 24 of 32 with a snapshot every level:
+        // the retry restores nearly the whole prefix instead of
+        // re-executing it.
+        EXPECT_GE(m.gates_resumed, 20u) << i;
+        EXPECT_LE(m.gates_reexecuted, 4u) << i;
+    }
+    const ServingStats stats = serving.stats();
+    EXPECT_EQ(stats.jobs_completed, static_cast<uint64_t>(kJobs));
+    EXPECT_EQ(stats.checkpoint_resumes, static_cast<uint64_t>(kJobs));
+    EXPECT_GT(stats.checkpoints_taken, 0u);
+    EXPECT_GT(stats.checkpoint_bytes, 0u);
+    EXPECT_GE(stats.gates_resumed, static_cast<uint64_t>(kJobs) * 20);
+    EXPECT_EQ(stats.checkpoints_corrupt_discarded, 0u);
+    // Without checkpoints those retries would have re-executed ~24 gates
+    // per job; with them the waste is a sliver.
+    EXPECT_LE(stats.gates_reexecuted, static_cast<uint64_t>(kJobs) * 4);
+}
+
+TEST(ServingCheckpoint, CheckpointingOffLeavesCountersZero) {
+    PlainEvaluator eval;
+    Executor executor;
+    ServingOptions options;
+    options.num_workers = 2;
+    FaultPlan plan;
+    plan.fault_every_nth_job = 1;
+    plan.fault_gate_ordinal = 12;
+    FaultInjector inj(plan);
+    options.fault_injector = &inj;
+    options.retry.max_attempts = 3;  // Checkpoint policy left disabled.
+    ServingExecutor<PlainEvaluator> serving(executor, options);
+
+    const auto program = ChainProgram(16);
+    const auto inputs = RandomBits(310, program->NumInputs());
+    auto job = serving.Submit(program, eval, inputs);
+    EXPECT_EQ(job->Wait(), JobStatus::kDone);
+    EXPECT_EQ(job->Outputs(), RunProgram(*program, eval, inputs));
+    const JobMetrics m = job->Metrics();
+    EXPECT_EQ(m.checkpoints_taken, 0u);
+    EXPECT_EQ(m.checkpoint_resumes, 0u);
+    EXPECT_EQ(m.gates_resumed, 0u);
+    // The from-scratch retry re-executed the whole pre-fault prefix.
+    EXPECT_GE(m.gates_reexecuted, 12u);
+    EXPECT_EQ(serving.stats().checkpoints_taken, 0u);
+}
+
+TEST(ServingCheckpoint, PoisonJobIsQuarantinedWithTypedError) {
+    PlainEvaluator eval;
+    Executor executor;
+    ServingOptions options;
+    options.num_workers = 2;
+    FaultPlan plan;
+    plan.fault_every_nth_job = 1;
+    plan.fault_gate_ordinal = 6;
+    plan.transient_clears_after = 100;  // Never clears within the budget.
+    FaultInjector inj(plan);
+    options.fault_injector = &inj;
+    options.retry.max_attempts = 6;
+    options.checkpoint.every_n_levels = 1;
+    options.max_resume_failures = 2;
+    ServingExecutor<PlainEvaluator> serving(executor, options);
+
+    const auto program = ChainProgram(8);
+    const auto inputs = RandomBits(320, program->NumInputs());
+    auto job = serving.Submit(program, eval, inputs);
+    EXPECT_EQ(job->Wait(), JobStatus::kFailed);
+    // Two checkpoint-resumed attempts failed at the same gate: the job is
+    // poison and fails with the typed quarantine error well before the
+    // retry budget (6 attempts) is spent.
+    EXPECT_THROW(job->Outputs(), JobQuarantinedError);
+    const JobMetrics m = job->Metrics();
+    EXPECT_TRUE(m.quarantined);
+    EXPECT_LT(m.attempts, 6u);
+    EXPECT_GE(m.checkpoint_resumes, 2u);
+    const ServingStats stats = serving.stats();
+    EXPECT_EQ(stats.jobs_quarantined, 1u);
+    EXPECT_EQ(stats.jobs_failed, 1u);
+
+    // The pool survives quarantine: a clean job still completes.
+    FaultPlan clean_plan;
+    (void)clean_plan;
+    const auto inputs2 = RandomBits(321, program->NumInputs());
+    // Job seq 1 also faults (every job does), but a fresh submit proves
+    // the executor did not wedge; it quarantines identically.
+    auto job2 = serving.Submit(program, eval, inputs2);
+    EXPECT_EQ(job2->Wait(), JobStatus::kFailed);
+    EXPECT_THROW(job2->Outputs(), JobQuarantinedError);
+}
+
+// ------------------------------------------------------------ stall watchdog
+
+TEST(ServingWatchdog, StalledJobIsPreemptedAndCompletes) {
+    PlainEvaluator eval;
+    Executor executor;
+    ServingOptions options;
+    options.num_workers = 2;
+    options.stall_timeout_seconds = 0.05;
+    FaultPlan plan;
+    plan.stall_rate = 1.0;              // Every gate stalls...
+    plan.stall_microseconds = 250000.0; // ...for 250 ms (>> timeout).
+    FaultInjector inj(plan);
+    options.fault_injector = &inj;
+    options.retry.max_attempts = 2;
+    ServingExecutor<PlainEvaluator> serving(executor, options);
+
+    const auto program = ChainProgram(3);
+    const auto inputs = RandomBits(330, program->NumInputs());
+    auto job = serving.Submit(program, eval, inputs);
+    EXPECT_EQ(job->Wait(), JobStatus::kDone);
+    EXPECT_EQ(job->Outputs(), RunProgram(*program, eval, inputs));
+    const JobMetrics m = job->Metrics();
+    // The watchdog flagged the first attempt as stalled, preempted it,
+    // and the final attempt completed on the sequential path (which the
+    // watchdog exempts — it cannot be preempted at a gate boundary).
+    EXPECT_GE(m.stalls, 1u);
+    EXPECT_EQ(m.attempts, 2u);
+    EXPECT_TRUE(m.degraded_sequential);
+    EXPECT_GE(serving.stats().jobs_stalled, 1u);
+    EXPECT_GE(serving.stats().job_retries, 1u);
+}
+
+TEST(ServingWatchdog, HealthyJobsAreNeverFlagged) {
+    PlainEvaluator eval;
+    Executor executor;
+    ServingOptions options;
+    options.num_workers = 4;
+    options.stall_timeout_seconds = 5.0;  // Far beyond any real gate.
+    ServingExecutor<PlainEvaluator> serving(executor, options);
+
+    const auto program = WideProgram(10);
+    std::vector<std::vector<bool>> inputs;
+    std::vector<std::shared_ptr<ServingExecutor<PlainEvaluator>::Job>> jobs;
+    for (int i = 0; i < 8; ++i) {
+        inputs.push_back(RandomBits(340 + i, program->NumInputs()));
+        jobs.push_back(serving.Submit(program, eval, inputs.back()));
+    }
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(jobs[i]->Wait(), JobStatus::kDone) << i;
+        EXPECT_EQ(jobs[i]->Outputs(),
+                  RunProgram(*program, eval, inputs[i]))
+            << i;
+        EXPECT_EQ(jobs[i]->Metrics().stalls, 0u) << i;
+    }
+    EXPECT_EQ(serving.stats().jobs_stalled, 0u);
+}
+
+// ----------------------------------------------- deadlines in retry backoff
+
+TEST(ServingRetry, DeadlineFiresPromptlyWhileParkedInBackoff) {
+    PlainEvaluator eval;
+    Executor executor;
+    ServingOptions options;
+    options.num_workers = 2;
+    FaultPlan plan;
+    plan.fault_every_nth_job = 1;  // Attempt 0 always faults at gate 0.
+    FaultInjector inj(plan);
+    options.fault_injector = &inj;
+    options.retry.max_attempts = 3;
+    // Backoff far longer than the deadline: the job sits parked in the
+    // retry queue when its deadline passes. It must fail at the deadline,
+    // not after the backoff drains.
+    options.retry.initial_backoff_seconds = 30.0;
+    ServingExecutor<PlainEvaluator> serving(executor, options);
+
+    const auto program = ChainProgram(6);
+    const auto inputs = RandomBits(350, program->NumInputs());
+    ServingExecutor<PlainEvaluator>::SubmitOptions submit;
+    submit.deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(150);
+    const auto start = std::chrono::steady_clock::now();
+    auto job = serving.Submit(program, eval, inputs, submit);
+    EXPECT_EQ(job->Wait(), JobStatus::kDeadlineExceeded);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    EXPECT_LT(wall, 5.0);  // Promptly — nowhere near the 30 s backoff.
+    EXPECT_THROW(job->Outputs(), DeadlineExceededError);
+    EXPECT_EQ(serving.stats().jobs_deadline_exceeded, 1u);
+}
+
 }  // namespace
 }  // namespace pytfhe::backend

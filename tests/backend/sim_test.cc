@@ -322,6 +322,93 @@ TEST(ClusterFaults, ReexecutionBudgetBoundsAttempts) {
     EXPECT_GT(r.seconds, r.fault_free_seconds);
 }
 
+// ------------------------------------------- checkpoint economics (sim)
+
+TEST(ClusterCheckpoints, ZeroIntervalReproducesUncheckpointedModel) {
+    // interval == 0 must be bit-exact with the pre-checkpoint behavior:
+    // no snapshots, every failure discards the whole partial attempt, and
+    // the write cost is never charged.
+    const auto p = WideProgram(400, 20);
+    ClusterFaultModel faults;
+    faults.task_failure_rate = 0.15;
+    const ClusterResult off = SimulateCluster(p, Nodes(1), faults);
+    faults.checkpoint_write_seconds = 123.0;  // Unused when interval == 0.
+    const ClusterResult off2 = SimulateCluster(p, Nodes(1), faults);
+    EXPECT_DOUBLE_EQ(off.seconds, off2.seconds);
+    EXPECT_EQ(off.checkpoints_written, 0u);
+    EXPECT_EQ(off2.checkpoints_written, 0u);
+    EXPECT_GT(off.failed_tasks, 0u);
+    EXPECT_GT(off.lost_seconds, 0.0);
+}
+
+TEST(ClusterCheckpoints, CheckpointsReduceLostWork) {
+    const auto p = WideProgram(400, 20);
+    ClusterFaultModel faults;
+    faults.task_failure_rate = 0.2;
+    const ClusterResult off = SimulateCluster(p, Nodes(1), faults);
+    // A quarter-task interval with free writes: a failed attempt resumes
+    // from its last snapshot, so the discarded work shrinks and the
+    // makespan with it. The fault-free baseline is untouched.
+    faults.checkpoint_interval_seconds = 0.004;  // task_seconds ~ 0.015.
+    const ClusterResult on = SimulateCluster(p, Nodes(1), faults);
+    EXPECT_GT(on.checkpoints_written, 0u);
+    EXPECT_LT(on.lost_seconds, off.lost_seconds);
+    EXPECT_LE(on.seconds, off.seconds);
+    EXPECT_DOUBLE_EQ(on.fault_free_seconds, off.fault_free_seconds);
+    EXPECT_EQ(on.failed_tasks, off.failed_tasks);  // Same failure draws.
+}
+
+TEST(ClusterCheckpoints, WriteCostIsCharged) {
+    const auto p = WideProgram(200, 10);
+    ClusterFaultModel faults;
+    faults.task_failure_rate = 0.1;
+    faults.checkpoint_interval_seconds = 0.004;
+    const ClusterResult free_writes = SimulateCluster(p, Nodes(1), faults);
+    faults.checkpoint_write_seconds = 0.002;
+    const ClusterResult paid_writes = SimulateCluster(p, Nodes(1), faults);
+    EXPECT_EQ(paid_writes.checkpoints_written,
+              free_writes.checkpoints_written);
+    EXPECT_GT(paid_writes.seconds, free_writes.seconds);
+}
+
+TEST(ClusterCheckpoints, DeterministicReplayWithCheckpoints) {
+    const auto p = WideProgram(300, 15);
+    ClusterFaultModel faults;
+    faults.seed = 11;
+    faults.task_failure_rate = 0.15;
+    faults.checkpoint_interval_seconds = 0.005;
+    faults.checkpoint_write_seconds = 0.001;
+    const ClusterResult a = SimulateCluster(p, Nodes(4), faults);
+    const ClusterResult b = SimulateCluster(p, Nodes(4), faults);
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.checkpoints_written, b.checkpoints_written);
+    EXPECT_DOUBLE_EQ(a.lost_seconds, b.lost_seconds);
+}
+
+TEST(ClusterCheckpoints, YoungDalyIntervalProperties) {
+    ClusterFaultModel faults;
+    // Disabled ingredients -> checkpointing cannot pay off.
+    EXPECT_DOUBLE_EQ(faults.OptimalCheckpointIntervalSeconds(10.0), 0.0);
+    faults.task_failure_rate = 0.1;
+    EXPECT_DOUBLE_EQ(faults.OptimalCheckpointIntervalSeconds(10.0), 0.0);
+    faults.checkpoint_write_seconds = 0.5;
+    EXPECT_DOUBLE_EQ(faults.OptimalCheckpointIntervalSeconds(0.0), 0.0);
+
+    // tau = sqrt(2 * C * MTBF), MTBF = task_seconds / rate:
+    // sqrt(2 * 0.5 * 10 / 0.1) = sqrt(100) = 10.
+    EXPECT_DOUBLE_EQ(faults.OptimalCheckpointIntervalSeconds(10.0), 10.0);
+
+    // Costlier writes push the interval out; flakier tasks pull it in.
+    ClusterFaultModel pricier = faults;
+    pricier.checkpoint_write_seconds = 2.0;
+    EXPECT_GT(pricier.OptimalCheckpointIntervalSeconds(10.0),
+              faults.OptimalCheckpointIntervalSeconds(10.0));
+    ClusterFaultModel flakier = faults;
+    flakier.task_failure_rate = 0.4;
+    EXPECT_LT(flakier.OptimalCheckpointIntervalSeconds(10.0),
+              faults.OptimalCheckpointIntervalSeconds(10.0));
+}
+
 TEST(ClusterSim, SlowerGatesScaleLinearly) {
     const auto p = WideProgram(500, 20);
     ClusterConfig c1, c2;

@@ -3,15 +3,21 @@
  * Corruption sweep for every serialization format: flip each byte (or a
  * stride of bytes for the multi-hundred-KB bootstrapping key) and truncate
  * at each prefix, asserting every mutation yields a typed failure — never
- * a crash, never a silently-wrong object. Also pins the legacy version-2
- * compatibility path and the Load*OrThrow wrappers.
+ * a crash, never a silently-wrong object. The sweep covers the five key /
+ * ciphertext formats plus the backend's job-checkpoint record, which rides
+ * the same v3 frame. Also pins the legacy version-2 compatibility path and
+ * the Load*OrThrow wrappers.
  */
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <iterator>
 #include <sstream>
 #include <string>
 
+#include "backend/checkpoint.h"
+#include "backend/interpreter.h"
+#include "pasm/assembler.h"
 #include "tfhe/serialization.h"
 
 namespace pytfhe::tfhe {
@@ -25,6 +31,9 @@ struct Format {
     std::function<bool(std::istream&, std::string*)> load;
     std::function<void(std::istream&)> load_or_throw;
     size_t flip_stride = 1;
+    // Whether a version-2 downgrade of the frame must still load.
+    // Formats born on v3 (the job-checkpoint record) refuse it instead.
+    bool legacy_v2 = true;
 };
 
 std::vector<Format> MakeFormats() {
@@ -88,6 +97,53 @@ std::vector<Format> MakeFormats() {
              },
              [](std::istream& is) { LoadBootstrappingKeyOrThrow(is); },
              /*flip_stride=*/997});
+    }
+    {
+        // The backend's job-checkpoint record shares the v3 frame: run a
+        // short chain halfway, snapshot the live set at an ordinal cut,
+        // and sweep the resulting bytes like any key or ciphertext file.
+        circuit::Netlist n;
+        const circuit::NodeId in = n.AddInput();
+        circuit::NodeId cur = in;
+        for (int i = 0; i < 12; ++i)
+            cur = n.AddGate(circuit::GateType::kNand, cur, in);
+        n.AddOutput(cur);
+        auto program = pasm::Assemble(n);
+        backend::PlainEvaluator eval;
+        backend::ValuePlane<backend::PlainEvaluator> plane;
+        plane.Reset(*program, std::vector<bool>{true});
+        typename backend::detail::WorkerScratchOf<
+            backend::PlainEvaluator>::type scratch{};
+        const uint64_t cut = program->FirstGateIndex() + 7;
+        for (uint64_t idx = program->FirstGateIndex(); idx <= cut; ++idx)
+            plane.Apply(eval, *program, idx, scratch);
+        const pasm::ValueLiveness liveness =
+            pasm::ComputeValueLiveness(*program);
+        const std::string record = backend::EncodeCheckpoint(
+            *program, plane, pasm::LiveValuesAtOrdinalCut(liveness, cut),
+            backend::CheckpointCut::kOrdinal, cut,
+            cut - program->FirstGateIndex() + 1);
+        const uint64_t fp = backend::ProgramFingerprint(*program);
+        const uint64_t end =
+            program->FirstGateIndex() + program->NumGates();
+        auto slurp = [](std::istream& is) {
+            return std::string(std::istreambuf_iterator<char>(is),
+                               std::istreambuf_iterator<char>());
+        };
+        formats.push_back(
+            {"job_checkpoint", record,
+             [fp, end, slurp](std::istream& is, std::string* e) {
+                 return backend::DecodeCheckpoint<bool>(slurp(is), fp, end,
+                                                        e)
+                     .has_value();
+             },
+             [fp, end, slurp](std::istream& is) {
+                 std::string error;
+                 if (!backend::DecodeCheckpoint<bool>(slurp(is), fp, end,
+                                                      &error))
+                     throw CorruptPayloadError(error);
+             },
+             /*flip_stride=*/1, /*legacy_v2=*/false});
     }
     return formats;
 }
@@ -202,7 +258,9 @@ TEST(SerializationRobustness, OrThrowRaisesCorruptPayloadError) {
 
 TEST(SerializationRobustness, LegacyVersion2StillLoads) {
     // Hand-build a v2 stream — magic, version word 2, raw body with no
-    // length or checksum — from the v3 frame and check it round-trips.
+    // length or checksum — from the v3 frame. Key/ciphertext formats
+    // must round-trip it; v3-native records must refuse the downgrade
+    // rather than trust an unchecksummed body.
     for (const Format& f : MakeFormats()) {
         ASSERT_GT(f.bytes.size(), size_t{20}) << f.name;
         std::string legacy = f.bytes.substr(0, 4);  // Magic.
@@ -211,7 +269,12 @@ TEST(SerializationRobustness, LegacyVersion2StillLoads) {
         legacy += f.bytes.substr(16, f.bytes.size() - 20);
         std::stringstream ss(legacy);
         std::string error;
-        EXPECT_TRUE(f.load(ss, &error)) << f.name << ": " << error;
+        if (f.legacy_v2) {
+            EXPECT_TRUE(f.load(ss, &error)) << f.name << ": " << error;
+        } else {
+            EXPECT_FALSE(f.load(ss, &error)) << f.name;
+            EXPECT_FALSE(error.empty()) << f.name;
+        }
     }
 }
 

@@ -166,7 +166,11 @@ bool LowerIsBetter(const std::string& path) {
            // allocs_per_gate_planned is 0 in the baseline; the zero-
            // baseline rule below then forbids ANY per-gate allocation.
            path.find("arena_bytes") != std::string::npos ||
-           path.find("allocs_per") != std::string::npos;
+           path.find("allocs_per") != std::string::npos ||
+           // Re-executed-gate fraction of the faulted serving block:
+           // growth means retries are redoing work checkpoints should
+           // have preserved (a resume or capture regression).
+           path.find("reexec_fraction") != std::string::npos;
 }
 
 /**
